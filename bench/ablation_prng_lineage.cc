@@ -1,0 +1,116 @@
+// Ablation — one table across the PRNG lineage of real worms.
+//
+// Puts every targeting algorithm in the library through the same
+// observation harness (a /16-scale darknet, per-/24 histogram) and reports
+// coverage + uniformity side by side: the uniform baseline, CodeRed v1's
+// static seed (every instance identical), the re-seeded CRv1.5, Slammer's
+// OR-bug LCG, Witty's structured two-state construction, Blaster's
+// boot-seeded sequential sweep, and CodeRedII's deliberate local
+// preference.  The point of the paper in one table: *every* real lineage
+// deviates measurably from uniform, each through a different root cause.
+#include <cstdio>
+#include <memory>
+#include <unordered_set>
+#include <vector>
+
+#include "analysis/uniformity.h"
+#include "bench_util.h"
+#include "telescope/telescope.h"
+#include "worms/blaster.h"
+#include "worms/codered1.h"
+#include "worms/codered2.h"
+#include "worms/slammer.h"
+#include "worms/uniform.h"
+#include "worms/witty.h"
+
+using namespace hotspots;
+
+namespace {
+
+struct LineageRow {
+  std::string name;
+  std::uint64_t distinct_targets = 0;
+  double top_slash16_share = 0.0;
+  analysis::UniformityReport report;
+};
+
+/// Profiles the *targeting distribution itself*: a per-/16 histogram of
+/// every emitted probe across the whole space, rather than a single remote
+/// darknet — this is the full-information view of the bias.
+LineageRow Profile(const sim::Worm& worm, int instances, int probes_each,
+                   std::uint64_t seed) {
+  prng::Xoshiro256 rng{seed};
+  std::unordered_set<std::uint32_t> distinct;
+  std::vector<std::uint64_t> per_slash16(1u << 16, 0);
+  std::uint64_t total = 0;
+  sim::Host host;
+  for (int h = 0; h < instances; ++h) {
+    host.address = net::Ipv4{rng.NextU32() | 0x01000000u};
+    auto scanner = worm.MakeScanner(host, rng.Next());
+    for (int p = 0; p < probes_each; ++p) {
+      const net::Ipv4 target = scanner->NextTarget(rng);
+      distinct.insert(target.value());
+      ++per_slash16[target.Slash16()];
+      ++total;
+    }
+  }
+
+  LineageRow row;
+  row.name = std::string{worm.name()};
+  row.distinct_targets = distinct.size();
+  std::uint64_t top = 0;
+  for (const std::uint64_t c : per_slash16) top = std::max(top, c);
+  row.top_slash16_share =
+      total == 0 ? 0.0 : static_cast<double>(top) / static_cast<double>(total);
+  row.report = analysis::AnalyzeUniformity(per_slash16);
+  return row;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const double scale = bench::ScaleArg(argc, argv);
+  bench::Title("Ablation", "hotspot severity across the worm PRNG lineage");
+
+  const int instances = static_cast<int>(100 * scale) + 10;
+  const int probes_each = static_cast<int>(300'000 * scale) + 10'000;
+  std::printf("  %d instances x %d probes each; per-/16 histogram of every "
+              "emitted probe\n\n",
+              instances, probes_each);
+
+  const worms::UniformWorm uniform;
+  const worms::CodeRed1Worm crv1{true};
+  const worms::CodeRed1Worm crv15{false};
+  const worms::SlammerWorm slammer;
+  const worms::WittyWorm witty;
+  const worms::BlasterWorm blaster = worms::BlasterWorm::Paper();
+  const worms::CodeRed2Worm crii;
+
+  std::printf("  %-14s %-16s %-14s %-10s %-10s %s\n", "worm",
+              "distinct targets", "top-/16 share", "chi2/dof", "gini",
+              "verdict");
+  for (const sim::Worm* worm :
+       std::initializer_list<const sim::Worm*>{
+           &uniform, &crv1, &crv15, &slammer, &witty, &blaster, &crii}) {
+    const LineageRow row = Profile(*worm, instances, probes_each, 0x11EA6E);
+    std::printf("  %-14s %-16llu %-14.5f %-10.2f %-10.3f %s\n",
+                row.name.c_str(),
+                static_cast<unsigned long long>(row.distinct_targets),
+                row.top_slash16_share,
+                row.report.chi_square_dof > 0
+                    ? row.report.chi_square / row.report.chi_square_dof
+                    : 0.0,
+                row.report.gini,
+                row.report.LooksNonUniform() ? "HOTSPOTS" : "uniform-ish");
+  }
+  bench::Measured(
+      "the uniform baseline passes; CRv1's static seed collapses coverage "
+      "to one shared sequence (distinct targets ≈ probes of ONE instance); "
+      "Blaster's boot-seeded sequential sweeps and CodeRedII's locality "
+      "light up the /16 histogram; Slammer and Witty look uniform at /16 "
+      "granularity — their bias is per-host (cycle confinement) and "
+      "per-address (preimage structure), quantified by the fig3 bench and "
+      "WittyPreimageCount instead. Different root causes need different "
+      "lenses, which is the paper's taxonomy in practice.");
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Shared helpers for the experiment benches: consistent headers, paper
+// reference callouts, and simple table/series printing.
+#pragma once
+
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace hotspots::bench {
+
+inline void Title(const char* id, const char* what) {
+  std::printf("==========================================================\n");
+  std::printf("%s — %s\n", id, what);
+  std::printf("==========================================================\n");
+}
+
+inline void Section(const char* name) {
+  std::printf("\n--- %s ---\n", name);
+}
+
+/// Prints a "what the paper reports" callout so every bench output can be
+/// read against the original.
+inline void PaperSays(const char* fmt, ...) {
+  std::printf("  [paper] ");
+  va_list args;
+  va_start(args, fmt);
+  std::vprintf(fmt, args);
+  va_end(args);
+  std::printf("\n");
+}
+
+inline void Measured(const char* fmt, ...) {
+  std::printf("  [ours ] ");
+  va_list args;
+  va_start(args, fmt);
+  std::vprintf(fmt, args);
+  va_end(args);
+  std::printf("\n");
+}
+
+/// Scale factor from argv[1] or HOTSPOTS_SCALE (0 < s ≤ 1); scales the
+/// expensive experiments down for quick runs.  Defaults to 1.0 (full paper
+/// scale).
+inline double ScaleArg(int argc, char** argv, double fallback = 1.0) {
+  double scale = fallback;
+  if (const char* env = std::getenv("HOTSPOTS_SCALE")) {
+    scale = std::atof(env);
+  }
+  if (argc > 1) scale = std::atof(argv[1]);
+  if (scale <= 0.0 || scale > 1.0) {
+    std::fprintf(stderr, "scale must be in (0,1]; got %f\n", scale);
+    std::exit(2);
+  }
+  return scale;
+}
+
+}  // namespace hotspots::bench

@@ -1,0 +1,210 @@
+// Figure 2 — "Observed unique Slammer infected source IPs by destination
+// /24s."
+//
+// Simulates a population of Slammer hosts (DLL versions split evenly,
+// uniform random initial seeds) each firing a long finite window of probes
+// from its flawed LCG, observed at the 11 IMS blocks.  The M block's
+// upstream provider filters the worm's port, so M records nothing — the
+// environmental hotspot the paper calls out.  The bench then compares the
+// per-block unique-source counts with the algebraic prediction
+// (N × Σ cycle lengths through block / 2^32) and reports the structural
+// finding our exact analysis adds: for the pure affine LCG, equal-size
+// aligned blocks have nearly invariant cycle sums, so the paper's H-block
+// deficit cannot stem from the affine recurrence alone (see EXPERIMENTS.md).
+#include <algorithm>
+#include <array>
+#include <cstdio>
+#include <vector>
+
+#include "analysis/block_comparison.h"
+#include "bench_util.h"
+#include "prng/xoshiro.h"
+#include "telescope/ims.h"
+#include "worms/slammer.h"
+
+using namespace hotspots;
+
+int main(int argc, char** argv) {
+  const double scale = bench::ScaleArg(argc, argv);
+  bench::Title("Figure 2", "unique Slammer sources by destination /24");
+
+  const int hosts = static_cast<int>(20'000 * scale);
+  const int probes_per_host = static_cast<int>(100'000 * scale) + 1000;
+
+  const auto& blocks = telescope::ImsBlocks();
+  const std::size_t num_blocks = blocks.size();
+  int m_index = -1;
+  int z_index = -1;
+
+  // Fast /8 pre-filter + small interval table.
+  std::array<std::uint8_t, 256> slash8_has_sensor{};
+  struct BlockInterval {
+    std::uint32_t lo, hi;
+    int index;
+  };
+  std::vector<BlockInterval> intervals;
+  for (std::size_t b = 0; b < num_blocks; ++b) {
+    slash8_has_sensor[blocks[b].block.first().Slash8()] = 1;
+    intervals.push_back(BlockInterval{blocks[b].block.first().value(),
+                                      blocks[b].block.last().value(),
+                                      static_cast<int>(b)});
+    if (blocks[b].label == "M/22") m_index = static_cast<int>(b);
+    if (blocks[b].label == "Z/8") z_index = static_cast<int>(b);
+  }
+  std::sort(intervals.begin(), intervals.end(),
+            [](const BlockInterval& a, const BlockInterval& b) {
+              return a.lo < b.lo;
+            });
+
+  std::vector<std::uint64_t> probes_per_block(num_blocks, 0);
+  std::vector<std::uint64_t> sources_per_block(num_blocks, 0);
+  std::uint64_t m_filtered_probes = 0;
+  // Per-/24 unique sources for the small (non-Z) blocks.
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> slash24_host_pairs;
+  // Per-/24 probe counts inside Z/8.
+  std::vector<std::uint32_t> z_slash24_probes(1u << 16, 0);
+  const std::uint32_t z_base24 = blocks[static_cast<std::size_t>(z_index)]
+                                     .block.first()
+                                     .Slash24();
+
+  prng::Xoshiro256 rng{0x51A33E5ull};
+  std::array<prng::LcgParams, 3> params = {worms::SlammerLcgParams(0),
+                                           worms::SlammerLcgParams(1),
+                                           worms::SlammerLcgParams(2)};
+
+  std::vector<std::uint8_t> hit_flags(num_blocks, 0);
+  for (int h = 0; h < hosts; ++h) {
+    const prng::LcgParams p = params[static_cast<std::size_t>(h) % 3];
+    std::uint32_t state = rng.NextU32();
+    std::fill(hit_flags.begin(), hit_flags.end(), 0);
+    for (int i = 0; i < probes_per_host; ++i) {
+      state = p.multiplier * state + p.increment;
+      if (!slash8_has_sensor[state >> 24]) continue;
+      // Locate the block.
+      const BlockInterval* found = nullptr;
+      for (const auto& iv : intervals) {
+        if (state < iv.lo) break;
+        if (state <= iv.hi) {
+          found = &iv;
+          break;
+        }
+      }
+      if (found == nullptr) continue;
+      if (found->index == m_index) {
+        ++m_filtered_probes;  // Upstream ACL drops the worm's port.
+        continue;
+      }
+      ++probes_per_block[static_cast<std::size_t>(found->index)];
+      hit_flags[static_cast<std::size_t>(found->index)] = 1;
+      if (found->index == z_index) {
+        ++z_slash24_probes[(state >> 8) - z_base24];
+      } else {
+        slash24_host_pairs.emplace_back(state >> 8,
+                                        static_cast<std::uint32_t>(h));
+      }
+    }
+    for (std::size_t b = 0; b < num_blocks; ++b) {
+      sources_per_block[b] += hit_flags[b];
+    }
+  }
+
+  // Per-/24 unique sources (small blocks).
+  std::sort(slash24_host_pairs.begin(), slash24_host_pairs.end());
+  slash24_host_pairs.erase(
+      std::unique(slash24_host_pairs.begin(), slash24_host_pairs.end()),
+      slash24_host_pairs.end());
+
+  bench::Section("per-block observations vs algebraic prediction");
+  const auto analyzer = worms::SlammerCycleAnalyzer(1);
+  std::printf("  %-6s %-12s %-10s %-14s %s\n", "block", "probes", "sources",
+              "E[sources]*", "note");
+  for (std::size_t b = 0; b < num_blocks; ++b) {
+    const double expected =
+        analyzer.ExpectedUniqueSources(blocks[b].block,
+                                       static_cast<std::uint64_t>(hosts));
+    std::printf("  %-6s %-12llu %-10llu %-14.0f %s\n",
+                blocks[b].label.c_str(),
+                static_cast<unsigned long long>(
+                    probes_per_block[b]),
+                static_cast<unsigned long long>(sources_per_block[b]),
+                expected,
+                static_cast<int>(b) == m_index ? "UPSTREAM-FILTERED" : "");
+  }
+  std::printf("  (*asymptotic: every host eventually visits its whole cycle; "
+              "the finite %d-probe window keeps measured counts below it)\n",
+              probes_per_host);
+  std::printf("  M filtered probes dropped upstream: %llu\n",
+              static_cast<unsigned long long>(m_filtered_probes));
+  bench::PaperSays("M saw zero Slammer (policy at its upstream provider); H "
+                   "saw ~8000 fewer sources than comparable blocks.");
+
+  bench::Section("cycle-length sums through D/H/I (the paper's statistic)");
+  for (const char* label : {"D/20", "H/18", "I/17"}) {
+    for (const auto& ims : blocks) {
+      if (ims.label != label) continue;
+      const double sum =
+          static_cast<double>(analyzer.SumCycleLengthsThrough(ims.block)) /
+          4294967296.0;
+      std::printf("  %-6s sum(cycles through block)/2^32 = %.6f\n",
+                  label, sum);
+    }
+  }
+  bench::PaperSays("cycle sums for D/H/I were 42.67 / 29.33 / 42.67 (in the "
+                   "paper's units): H is traversed by far fewer long "
+                   "cycles.");
+  bench::Measured(
+      "our exact 2-adic analysis shows the pure affine LCG cannot produce "
+      "such a deficit for aligned equal-size blocks (their valuation census "
+      "is invariant); the measured H/I difference here stems from block "
+      "size. The paper's magnitude likely reflects the worm's non-affine "
+      "implementation details; see EXPERIMENTS.md for the full discussion.");
+
+  bench::Section("cross-darknet disagreement (per-address source rates)");
+  {
+    std::vector<analysis::BlockObservation> observations;
+    for (std::size_t b = 0; b < num_blocks; ++b) {
+      observations.push_back(analysis::BlockObservation{
+          blocks[b].label, blocks[b].block.size(), sources_per_block[b]});
+    }
+    const auto comparison = analysis::CompareBlocks(std::move(observations));
+    std::printf("  max spread %.1fx (%.2f orders of magnitude), %zu silent "
+                "block(s)\n",
+                comparison.max_spread, comparison.orders_of_magnitude,
+                comparison.silent_blocks);
+    bench::PaperSays("distinct darknet monitors observed orders-of-magnitude "
+                     "different amounts of traffic (Cooke et al. [5]).");
+  }
+
+  bench::Section("hottest destination /24s inside small blocks");
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> per24;  // (count, s24)
+  {
+    std::size_t i = 0;
+    while (i < slash24_host_pairs.size()) {
+      std::size_t j = i;
+      while (j < slash24_host_pairs.size() &&
+             slash24_host_pairs[j].first == slash24_host_pairs[i].first) {
+        ++j;
+      }
+      per24.emplace_back(static_cast<std::uint32_t>(j - i),
+                         slash24_host_pairs[i].first);
+      i = j;
+    }
+  }
+  std::sort(per24.begin(), per24.end(), std::greater<>());
+  for (std::size_t i = 0; i < per24.size() && i < 5; ++i) {
+    std::printf("  %s/24: %u unique sources\n",
+                net::Ipv4{per24[i].second << 8}.ToString().c_str(),
+                per24[i].first);
+  }
+  std::uint64_t z_max = 0;
+  std::uint64_t z_nonzero = 0;
+  for (const auto c : z_slash24_probes) {
+    z_max = std::max<std::uint64_t>(z_max, c);
+    z_nonzero += c > 0 ? 1 : 0;
+  }
+  std::printf("  Z/8: %llu of 65536 /24s saw probes, max %llu probes in one "
+              "/24\n",
+              static_cast<unsigned long long>(z_nonzero),
+              static_cast<unsigned long long>(z_max));
+  return 0;
+}

@@ -1,0 +1,182 @@
+// Figure 3 — (a, b) Slammer infection attempts from two individual hosts by
+// destination /24; (c) the period of every cycle of the Slammer LCG.
+//
+// Reproduces both per-host hotspot classes of Section 4.2.3:
+//   * Host A sits on a maximal (2^30) cycle and sprays widely, but with
+//     block-to-block differences;
+//   * Host B is trapped on a short cycle and hammers a tiny fixed set of
+//     addresses — "appearing very much like a targeted denial of service
+//     attack".
+// Then prints the full cycle census for each effective increment (64
+// cycles each) and the exact fixed points — the four addresses a
+// worst-seeded Slammer instance would probe forever.
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <vector>
+
+#include "bench_util.h"
+#include "prng/lcg_cycles.h"
+#include "prng/spectral.h"
+#include "prng/xoshiro.h"
+#include "telescope/ims.h"
+#include "worms/slammer.h"
+
+using namespace hotspots;
+
+namespace {
+
+/// Inverse of odd `a` modulo 2^bits (Newton iteration).
+std::uint32_t OddInverse(std::uint32_t a, int bits) {
+  std::uint32_t x = 1;
+  for (int i = 0; i < 6; ++i) x *= 2 - a * x;  // Converges mod 2^64 > 2^32.
+  return bits == 32 ? x : x & ((1u << bits) - 1);
+}
+
+void ProfileHost(const char* name, int dll_version, std::uint32_t seed,
+                 std::uint64_t probes) {
+  const auto analyzer = worms::SlammerCycleAnalyzer(dll_version);
+  const auto params = worms::SlammerLcgParams(dll_version);
+  std::printf("  %s: seed 0x%08X, cycle period %llu\n", name, seed,
+              static_cast<unsigned long long>(
+                  analyzer.CycleLength(params.Step(seed))));
+
+  auto scanner = worms::SlammerWorm::MakeFixedScanner(dll_version, seed);
+  prng::Xoshiro256 rng{1};
+  const auto& blocks = telescope::ImsBlocks();
+  std::vector<std::uint64_t> hits(blocks.size(), 0);
+  std::map<std::uint32_t, std::uint32_t> i_block_per24;
+  const auto& i_block = blocks[8].block;  // I/17.
+  for (std::uint64_t i = 0; i < probes; ++i) {
+    const net::Ipv4 target = scanner->NextTarget(rng);
+    for (std::size_t b = 0; b < blocks.size(); ++b) {
+      if (blocks[b].block.Contains(target)) {
+        ++hits[b];
+        break;
+      }
+    }
+    if (i_block.Contains(target)) ++i_block_per24[target.Slash24()];
+  }
+  std::printf("    per-block infection attempts:");
+  for (std::size_t b = 0; b < blocks.size(); ++b) {
+    std::printf(" %s=%llu", blocks[b].label.c_str(),
+                static_cast<unsigned long long>(hits[b]));
+  }
+  std::printf("\n    I/17 internals: %zu of 128 /24s hit", i_block_per24.size());
+  if (!i_block_per24.empty()) {
+    std::uint32_t max = 0;
+    for (const auto& [s24, count] : i_block_per24) max = std::max(max, count);
+    std::printf(", max %u attempts in one /24", max);
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const double scale = bench::ScaleArg(argc, argv);
+  bench::Title("Figure 3",
+               "per-host Slammer scanning bias and the LCG cycle census");
+
+  // ---- (a, b): two individual infected hosts -------------------------
+  bench::Section("(a, b) individual Slammer hosts");
+  const auto analyzer = worms::SlammerCycleAnalyzer(1);
+  const auto params = worms::SlammerLcgParams(1);
+  prng::Xoshiro256 rng{0xF16u};
+  std::uint32_t long_seed = 0;
+  bool have_long = false;
+  std::uint32_t short_seed = 0;
+  bool have_short = false;
+  while (!have_long || !have_short) {
+    const std::uint32_t seed = rng.NextU32();
+    const std::uint64_t length = analyzer.CycleLength(params.Step(seed));
+    if (length == (1u << 30) && !have_long) {
+      long_seed = seed;
+      have_long = true;
+    }
+    if (length <= (1u << 16) && length >= 16 && !have_short) {
+      short_seed = seed;
+      have_short = true;
+    }
+  }
+  const auto probes = static_cast<std::uint64_t>(20'000'000 * scale) + 100'000;
+  ProfileHost("host A (maximal cycle)", 1, long_seed, probes);
+  ProfileHost("host B (short cycle) ", 1, short_seed, probes);
+  bench::PaperSays("host A reached I most, H some, D none; host B showed "
+                   "high intra-block variance — individual hosts are heavily "
+                   "biased, short cycles look like targeted DoS.");
+
+  // ---- (c): cycle census ---------------------------------------------
+  bench::Section("(c) cycle census per effective increment");
+  for (int version = 0; version < 3; ++version) {
+    const auto a = worms::SlammerCycleAnalyzer(version);
+    const auto census = a.Census();
+    std::printf("  b=0x%08X: %llu cycles —",
+                worms::SlammerEffectiveIncrements()[
+                    static_cast<std::size_t>(version)],
+                static_cast<unsigned long long>(a.TotalCycles()));
+    std::uint64_t shortest = ~0ull;
+    std::uint64_t longest = 0;
+    std::uint64_t period_one = 0;
+    for (const auto& cls : census) {
+      shortest = std::min(shortest, cls.length);
+      longest = std::max(longest, cls.length);
+      if (cls.length == 1) period_one += cls.num_cycles;
+    }
+    std::printf(" longest %llu, %llu fixed points\n",
+                static_cast<unsigned long long>(longest),
+                static_cast<unsigned long long>(period_one));
+  }
+  std::printf("  full census for b=0x8831FA24 (len x count):");
+  for (const auto& cls : analyzer.Census()) {
+    std::printf(" %llux%llu", static_cast<unsigned long long>(cls.length),
+                static_cast<unsigned long long>(cls.num_cycles));
+  }
+  std::printf("\n");
+  bench::PaperSays("64 cycles per b value; log plot shows many small cycles "
+                   "and seven cycles having a period of only one.");
+  bench::Measured("exactly 64 cycles per b value; the affine census gives "
+                  "four period-one cycles per b (the paper's 'seven' counts "
+                  "across b values / enumeration differences).");
+
+  // 2-D spectral quality: the multiplier itself is not the problem.
+  bench::Section("2-D spectral test of the Slammer/msvcrt multiplier");
+  {
+    const auto spectral = prng::SpectralTest2D(
+        prng::LcgParams{prng::kMsvcMultiplier, 0, 32});
+    std::printf("  a=214013 mod 2^32: nu2=%.1f, merit=%.3f "
+                "(shortest lattice vector (%lld, %lld))\n",
+                spectral.nu2, spectral.merit,
+                static_cast<long long>(spectral.shortest_x),
+                static_cast<long long>(spectral.shortest_y));
+    bench::Measured("the lattice quality is unremarkable — Slammer's "
+                    "hotspots come from the OR-bug increment and seeding, "
+                    "not the multiplier. Flaws live in implementation "
+                    "context, exactly the paper's algorithmic-factor "
+                    "definition.");
+  }
+
+  // Fixed points, exactly: (a-1)x + b ≡ 0 (mod 2^32) with a-1 = 4·53503.
+  bench::Section("exact fixed points (perpetual single-target DoS)");
+  for (int version = 0; version < 3; ++version) {
+    const std::uint32_t b =
+        worms::SlammerEffectiveIncrements()[static_cast<std::size_t>(version)];
+    const std::uint32_t inv = OddInverse(53503u, 30);
+    // x ≡ -(b/4)·inv(53503) (mod 2^30); b is divisible by 4 for all three.
+    const std::uint32_t x0 =
+        (static_cast<std::uint32_t>(-(static_cast<std::int64_t>(b / 4))) *
+         inv) &
+        ((1u << 30) - 1);
+    std::printf("  b=0x%08X:", b);
+    for (std::uint32_t k = 0; k < 4; ++k) {
+      const std::uint32_t x = x0 + (k << 30);
+      std::printf(" %s", net::Ipv4{x}.ToString().c_str());
+      // Sanity: really fixed.
+      if (worms::SlammerLcgParams(version).Step(x) != x) {
+        std::printf("(NOT-FIXED!)");
+      }
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,99 @@
+// Figure 5(a) — "Infection rate with different hit-list sizes."
+//
+// The Section-5.2 simulation: CodeRedII's real vulnerable-population
+// structure (134,586 hosts clustered into 4,481 non-empty /16s across 47
+// /8s — synthesized with the same shape), 25 random seeds, 10 probes/s.
+// Four worms, each restricted to a greedy /16 hit-list of 10 / 100 / 1000 /
+// 4481 prefixes.  Prints the hit-list coverage (paper: 10.60 %, 50.49 %,
+// 91.33 %, 100 %) and the infected-fraction time series: small lists
+// saturate their slice fastest (high vulnerable density); the full list
+// reaches everyone but much more slowly.
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/scenario.h"
+#include "sim/engine.h"
+#include "telescope/ims.h"
+#include "topology/reachability.h"
+#include "worms/hitlist.h"
+
+using namespace hotspots;
+
+int main(int argc, char** argv) {
+  const double scale = bench::ScaleArg(argc, argv);
+  bench::Title("Figure 5a", "infection rate vs hit-list size");
+
+  core::ScenarioBuilder builder;
+  for (const auto& block : telescope::ImsBlocks()) builder.Avoid(block.block);
+  core::ClusteredPopulationConfig config;
+  config.total_hosts =
+      static_cast<std::uint32_t>(134'586 * scale) + 1000;
+  config.nonempty_slash16s =
+      std::max(200, static_cast<int>(4481 * scale));
+  config.slash8_clusters = 47;
+  config.seed = 0xF16B;  // Same population as fig5b for comparability.
+  core::Scenario scenario = builder.BuildClustered(config);
+  std::printf("vulnerable population: %u hosts, %zu non-empty /16s, %zu "
+              "/8s\n",
+              scenario.public_hosts, scenario.slash16_clusters.size(),
+              scenario.slash8_clusters.size());
+  bench::PaperSays("134,586 hosts clustered in 47 /8 networks; hit-list "
+                   "coverage 10.60%% / 50.49%% / 91.33%% / 100%%.");
+
+  const int kListSizes[] = {10, 100, 1000,
+                            static_cast<int>(scenario.slash16_clusters.size())};
+  const topology::Reachability reachability{nullptr, nullptr, nullptr, 0.0};
+
+  // Collect all series, then print a merged table (time x four columns).
+  std::vector<std::vector<sim::SamplePoint>> series;
+  std::vector<double> coverages;
+  for (const int size : kListSizes) {
+    const auto selection = core::GreedyHitList(scenario, size);
+    coverages.push_back(selection.coverage);
+    worms::HitListWorm worm{selection.prefixes};
+
+    scenario.population.ResetAllToVulnerable();
+    sim::EngineConfig engine_config;
+    engine_config.scan_rate = 10.0;
+    engine_config.end_time = 2500.0;
+    engine_config.sample_interval = 25.0;
+    engine_config.seed = 0x5A + static_cast<std::uint64_t>(size);
+    // Stop once the covered slice is (almost) fully infected.
+    engine_config.stop_at_infected_fraction = 0.995 * selection.coverage;
+    sim::Engine engine{scenario.population, worm, reachability, nullptr,
+                       engine_config};
+    engine.SeedRandomInfections(25);
+    const sim::RunResult result = engine.Run();
+    series.push_back(result.series);
+    std::printf("  hit-list %4d /16s: coverage %6.2f%%, final infected "
+                "%6.2f%% at t=%.0fs (%llu probes)\n",
+                size, 100.0 * selection.coverage,
+                100.0 * result.FinalInfectedFraction(), result.end_time,
+                static_cast<unsigned long long>(result.total_probes));
+  }
+
+  bench::Section("infected fraction over time (%% of total vulnerable pop)");
+  std::printf("  %-8s", "t(s)");
+  for (const int size : kListSizes) std::printf(" list-%-6d", size);
+  std::printf("\n");
+  const double eligible = scenario.population.size();
+  for (double t = 0; t <= 2500.0; t += 125.0) {
+    std::printf("  %-8.0f", t);
+    for (const auto& s : series) {
+      // Find the last sample at or before t (series may end early).
+      double fraction = 0.0;
+      for (const auto& point : s) {
+        if (point.time > t) break;
+        fraction = static_cast<double>(point.infected) / eligible;
+      }
+      std::printf(" %-10.4f", fraction);
+    }
+    std::printf("\n");
+  }
+  bench::PaperSays("the smallest hit-list infects its whole slice quickest "
+                   "(higher vulnerable density); larger lists reach more of "
+                   "the population but more slowly — the speed/coverage "
+                   "trade-off of hit-list scanning.");
+  return 0;
+}

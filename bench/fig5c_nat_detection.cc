@@ -1,0 +1,150 @@
+// Figure 5(c) — "Effect of sensor placements on alert generation" for a
+// CodeRedII-type worm with 15 % of the vulnerable population behind
+// 192.168/16 NATs.
+//
+// Three sensor placements, as in Section 5.3:
+//   run 1: 10,000 /24 sensors placed uniformly at random;
+//   run 2: 10,000 /24 sensors placed inside the top-20 /8s by vulnerable
+//          population (collaborative pre-knowledge);
+//   run 3: 255 sensors, one per /16 of 192.0.0.0/8 (skipping 192.168/16) —
+//          exploiting the empirically measured NAT hotspot.
+// The paper's milestones: run 1 needs >11 minutes for even 10 % of sensors
+// (by which time >50 % of hosts are infected); run 2 alerts faster but only
+// ~20 % of sensors by 20 % infection; run 3 — every sensor alerts before
+// the worm reaches 20 % of the vulnerable population.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/containment.h"
+#include "core/detection_study.h"
+#include "core/placement.h"
+#include "core/scenario.h"
+#include "telescope/ims.h"
+#include "worms/codered2.h"
+
+using namespace hotspots;
+
+int main(int argc, char** argv) {
+  const double scale = bench::ScaleArg(argc, argv);
+  bench::Title("Figure 5c", "sensor placement vs NAT-driven hotspots");
+
+  core::ScenarioBuilder builder;
+  for (const auto& block : telescope::ImsBlocks()) builder.Avoid(block.block);
+  core::ClusteredPopulationConfig config;
+  config.total_hosts = static_cast<std::uint32_t>(134'586 * scale) + 1000;
+  config.nonempty_slash16s = std::max(200, static_cast<int>(4481 * scale));
+  config.slash8_clusters = 47;
+  config.nat_fraction = 0.15;
+  config.nat_site_mode = core::NatSiteMode::kSharedSite;
+  config.seed = 0xF16C;
+  core::Scenario scenario = builder.BuildClustered(config);
+  std::printf("population: %u public + %u NATed hosts (15%% behind "
+              "192.168/16, as the paper estimated from Figure 4a)\n",
+              scenario.public_hosts, scenario.natted_hosts);
+
+  prng::Xoshiro256 rng{0x9A7Cu};
+  const int fleet = static_cast<int>(10'000 * scale) + 100;
+  struct Placement {
+    const char* name;
+    std::vector<net::Prefix> sensors;
+  };
+  std::vector<Placement> placements;
+  placements.push_back({"randomly placed", core::PlaceRandomSensors(
+                                               scenario, fleet, rng)});
+  placements.push_back({"top-20 /8s", core::PlaceSensorsInTopSlash8s(
+                                          scenario, fleet, 20, rng)});
+  placements.push_back({"192/8 (one per /16)",
+                        core::PlaceSensorsAcross192(rng)});
+
+  const worms::CodeRed2Worm worm;
+  std::vector<core::DetectionOutcome> outcomes;
+  for (const Placement& placement : placements) {
+    core::DetectionStudyConfig study;
+    study.engine.scan_rate = 10.0;
+    study.engine.end_time = 1500.0;
+    study.engine.sample_interval = 15.0;
+    study.engine.stop_at_infected_fraction = 0.90;
+    study.engine.seed = 0xCC;
+    study.alert_threshold = 5;
+    study.seed_infections = 25;
+    outcomes.push_back(core::RunDetectionStudy(scenario, worm,
+                                               placement.sensors, study));
+    std::printf("  placed %zu sensors (%s)\n", placement.sensors.size(),
+                placement.name);
+  }
+
+  bench::Section("alert fraction (and infected fraction) over time");
+  std::printf("  %-8s %-10s", "t(s)", "infected");
+  for (const Placement& placement : placements) {
+    std::printf(" %-20s", placement.name);
+  }
+  std::printf("\n");
+  for (double t = 0; t <= 1500.0; t += 75.0) {
+    std::printf("  %-8.0f", t);
+    double infected = 0.0;
+    for (const auto& point : outcomes[0].curve) {
+      if (point.time > t) break;
+      infected = point.infected_fraction;
+    }
+    std::printf(" %-10.4f", infected);
+    for (const auto& outcome : outcomes) {
+      double fraction = 0.0;
+      for (const auto& point : outcome.curve) {
+        if (point.time > t) break;
+        fraction = point.alerted_fraction;
+      }
+      std::printf(" %-20.4f", fraction);
+    }
+    std::printf("\n");
+  }
+
+  bench::Section("paper milestones");
+  for (std::size_t i = 0; i < placements.size(); ++i) {
+    const auto& outcome = outcomes[i];
+    // Time for 10% of sensors to alert.
+    double t10 = -1.0;
+    for (const auto& point : outcome.curve) {
+      if (point.alerted_fraction >= 0.10) {
+        t10 = point.time;
+        break;
+      }
+    }
+    const std::string t10_text =
+        t10 < 0 ? "never" : std::to_string(static_cast<int>(t10)) + "s";
+    std::printf("  %-22s: 10%% of sensors alerted at %s; alerted fraction at "
+                "20%% infection: %.1f%%; at 50%% infection: %.1f%%\n",
+                placements[i].name, t10_text.c_str(),
+                100.0 * outcome.AlertedFractionWhenInfected(0.20),
+                100.0 * outcome.AlertedFractionWhenInfected(0.50));
+  }
+  bench::PaperSays("run 1: >11 min for 10%% of sensors, worm already >50%% "
+                   "done; run 2: faster, but only 20%% of sensors at 20%% "
+                   "infection; run 3: every sensor alerts before 20%% "
+                   "infection — a single well-placed local detector beats "
+                   "the global fleet.");
+
+  bench::Section("containment: infected fraction when a global response "
+                 "lands (quorum + 60 s deployment)");
+  for (std::size_t i = 0; i < placements.size(); ++i) {
+    const auto containment =
+        core::AnalyzeContainment(outcomes[i], {0.05, 0.25, 0.50}, 60.0);
+    std::printf("  %-22s:", placements[i].name);
+    for (const auto& point : containment) {
+      if (point.detection_time) {
+        std::printf("  q=%.0f%%: %.0f%% infected", 100 * point.quorum_fraction,
+                    100 * point.infected_at_response);
+      } else {
+        std::printf("  q=%.0f%%: NEVER (%.0f%% infected)",
+                    100 * point.quorum_fraction,
+                    100 * point.infected_at_response);
+      }
+    }
+    std::printf("\n");
+  }
+  bench::PaperSays("'After 11 minutes the worm has already infected more "
+                   "than 50%% of the vulnerable population making global "
+                   "containment difficult or impossible.'");
+  return 0;
+}

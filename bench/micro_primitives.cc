@@ -1,0 +1,150 @@
+// Microbenchmarks of the probe-loop primitives (google-benchmark).
+//
+// The Section-5 simulations emit up to billions of probes; these benches
+// track the cost of each stage of the per-probe pipeline so regressions in
+// the hot path are visible.
+#include <benchmark/benchmark.h>
+
+#include <unordered_set>
+
+#include "net/interval_set.h"
+#include "net/slash16_index.h"
+#include "prng/lcg.h"
+#include "prng/msvc_rand.h"
+#include "prng/xoshiro.h"
+#include "telescope/ims.h"
+#include "topology/reachability.h"
+#include "worms/codered2.h"
+#include "worms/slammer.h"
+#include "worms/uniform.h"
+
+namespace {
+
+using namespace hotspots;
+
+void BM_Xoshiro(benchmark::State& state) {
+  prng::Xoshiro256 rng{1};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.Next());
+  }
+}
+BENCHMARK(BM_Xoshiro);
+
+void BM_MsvcRand(benchmark::State& state) {
+  prng::MsvcRand rand{1};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rand.Next());
+  }
+}
+BENCHMARK(BM_MsvcRand);
+
+void BM_SlammerLcgStep(benchmark::State& state) {
+  prng::Lcg lcg{worms::SlammerLcgParams(1), 0x1234};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lcg.Next());
+  }
+}
+BENCHMARK(BM_SlammerLcgStep);
+
+void BM_ScannerNextTarget_Uniform(benchmark::State& state) {
+  worms::UniformWorm worm;
+  sim::Host host;
+  host.address = net::Ipv4{10, 0, 0, 1};
+  auto scanner = worm.MakeScanner(host, 7);
+  prng::Xoshiro256 rng{1};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(scanner->NextTarget(rng));
+  }
+}
+BENCHMARK(BM_ScannerNextTarget_Uniform);
+
+void BM_ScannerNextTarget_CodeRed2(benchmark::State& state) {
+  worms::CodeRed2Worm worm;
+  auto scanner = worm.MakeQuarantineScanner(net::Ipv4{141, 20, 3, 4}, 5);
+  prng::Xoshiro256 rng{1};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(scanner->NextTarget(rng));
+  }
+}
+BENCHMARK(BM_ScannerNextTarget_CodeRed2);
+
+void BM_TelescopeLookup(benchmark::State& state) {
+  telescope::SensorOptions options;
+  options.track_unique_sources = false;
+  options.track_per_slash24 = false;
+  telescope::Telescope ims = telescope::MakeImsTelescope(options);
+  prng::Xoshiro256 rng{1};
+  std::uint64_t t = 0;
+  for (auto _ : state) {
+    ims.Observe(static_cast<double>(t++), net::Ipv4{1, 2, 3, 4},
+                net::Ipv4{rng.NextU32()});
+  }
+}
+BENCHMARK(BM_TelescopeLookup);
+
+void BM_ReachabilityDecide(benchmark::State& state) {
+  topology::IngressAclSet acls;
+  acls.Block(net::Prefix{net::Ipv4{192, 88, 16, 0}, 22});
+  acls.Build();
+  topology::NatDirectory nats;
+  nats.AddSite();
+  const topology::Reachability reach{nullptr, &nats, &acls, 0.001};
+  prng::Xoshiro256 rng{1};
+  topology::Probe probe;
+  probe.src = net::Ipv4{1, 2, 3, 4};
+  for (auto _ : state) {
+    probe.dst = net::Ipv4{rng.NextU32()};
+    benchmark::DoNotOptimize(reach.Decide(probe, rng));
+  }
+}
+BENCHMARK(BM_ReachabilityDecide);
+
+// DESIGN.md ablation #2: sorted-interval binary search vs per-/16
+// direct-map, at sensor-fleet sizes (the /24 blocks of Figure 5's fleets).
+void BM_SensorLookup_IntervalMap(benchmark::State& state) {
+  net::IntervalMap<int> map;
+  prng::Xoshiro256 rng{3};
+  std::unordered_set<std::uint32_t> used;
+  for (int i = 0; i < state.range(0); ++i) {
+    std::uint32_t base = rng.NextU32() & 0xFFFFFF00u;
+    while (!used.insert(base).second) base = rng.NextU32() & 0xFFFFFF00u;
+    map.Add(base, base | 0xFF, i);
+  }
+  map.Build();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(map.Lookup(net::Ipv4{rng.NextU32()}));
+  }
+}
+BENCHMARK(BM_SensorLookup_IntervalMap)->Arg(256)->Arg(4481)->Arg(10000);
+
+void BM_SensorLookup_Slash16Index(benchmark::State& state) {
+  net::Slash16Index<int> index;
+  prng::Xoshiro256 rng{3};
+  std::unordered_set<std::uint32_t> used;
+  for (int i = 0; i < state.range(0); ++i) {
+    std::uint32_t base = rng.NextU32() & 0xFFFFFF00u;
+    while (!used.insert(base).second) base = rng.NextU32() & 0xFFFFFF00u;
+    index.Add(base, base | 0xFF, i);
+  }
+  index.Build();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(index.Lookup(net::Ipv4{rng.NextU32()}));
+  }
+}
+BENCHMARK(BM_SensorLookup_Slash16Index)->Arg(256)->Arg(4481)->Arg(10000);
+
+void BM_IntervalSetContains(benchmark::State& state) {
+  net::IntervalSet set;
+  prng::Xoshiro256 rng{2};
+  for (int i = 0; i < state.range(0); ++i) {
+    const std::uint32_t base = rng.NextU32() & 0xFFFFFF00u;
+    set.Add(base, base | 0xFF);
+  }
+  set.Build();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(set.Contains(net::Ipv4{rng.NextU32()}));
+  }
+}
+BENCHMARK(BM_IntervalSetContains)->Arg(16)->Arg(256)->Arg(4096)->Arg(65536);
+
+}  // namespace

@@ -1,0 +1,39 @@
+#include "analysis/block_comparison.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace hotspots::analysis {
+
+BlockComparisonReport CompareBlocks(
+    std::vector<BlockObservation> observations) {
+  if (observations.empty()) {
+    throw std::invalid_argument("CompareBlocks: no observations");
+  }
+  BlockComparisonReport report;
+  report.ranked = std::move(observations);
+  std::sort(report.ranked.begin(), report.ranked.end(),
+            [](const BlockObservation& a, const BlockObservation& b) {
+              return a.Rate() > b.Rate();
+            });
+
+  double min_nonzero = 0.0;
+  double max = 0.0;
+  for (const BlockObservation& block : report.ranked) {
+    if (block.count == 0) {
+      ++report.silent_blocks;
+      continue;
+    }
+    const double rate = block.Rate();
+    max = std::max(max, rate);
+    if (min_nonzero == 0.0 || rate < min_nonzero) min_nonzero = rate;
+  }
+  if (min_nonzero > 0.0 && max > min_nonzero) {
+    report.max_spread = max / min_nonzero;
+    report.orders_of_magnitude = std::log10(report.max_spread);
+  }
+  return report;
+}
+
+}  // namespace hotspots::analysis

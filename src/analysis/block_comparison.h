@@ -1,0 +1,53 @@
+// Cross-darknet comparison — the measurement methodology behind the paper.
+//
+// The empirical studies the paper builds on (Cooke et al., "Toward
+// understanding distributed blackhole placement"; Pang et al.,
+// "Characteristics of Internet background radiation") established that
+// distinct darknets see orders-of-magnitude different traffic.  This module
+// packages those comparisons: per-block rates normalized by block size,
+// pairwise ratios, the maximum spread, and a rank ordering — so experiments
+// can state "block X saw N× block Y" with one call.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace hotspots::analysis {
+
+/// One darknet's observation, normalized for comparison.
+struct BlockObservation {
+  std::string label;
+  std::uint64_t addresses = 0;  ///< Block size.
+  std::uint64_t count = 0;      ///< Probes or unique sources observed.
+
+  /// Observations per address — the size-normalized rate.
+  [[nodiscard]] double Rate() const {
+    return addresses == 0 ? 0.0
+                          : static_cast<double>(count) /
+                                static_cast<double>(addresses);
+  }
+};
+
+/// Pairwise comparison summary across blocks.
+struct BlockComparisonReport {
+  /// Blocks sorted by descending per-address rate.
+  std::vector<BlockObservation> ranked;
+  /// max rate / min nonzero rate; 0 when fewer than two nonzero blocks.
+  double max_spread = 0.0;
+  /// Number of blocks that saw nothing at all.
+  std::size_t silent_blocks = 0;
+  /// log10 of max_spread — the "orders of magnitude" headline.
+  double orders_of_magnitude = 0.0;
+
+  /// True when same-sized sensors disagree by more than `factor`.
+  [[nodiscard]] bool DisagreesBeyond(double factor) const {
+    return max_spread > factor;
+  }
+};
+
+/// Builds the comparison.  Throws on empty input.
+[[nodiscard]] BlockComparisonReport CompareBlocks(
+    std::vector<BlockObservation> observations);
+
+}  // namespace hotspots::analysis

@@ -1,0 +1,77 @@
+#include "analysis/seed_forensics.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "worms/blaster.h"
+
+namespace hotspots::analysis {
+namespace {
+
+constexpr std::uint32_t kSlash24Space = 1u << 24;
+
+/// Forward distance from `from` to `to` in /24-index space (wrapping).
+[[nodiscard]] std::uint32_t ForwardDistance(std::uint32_t from,
+                                            std::uint32_t to) {
+  return (to - from) & (kSlash24Space - 1);
+}
+
+}  // namespace
+
+std::vector<SeedCandidate> FindSeedsCovering(net::Ipv4 target,
+                                             const SeedSearchConfig& config) {
+  return FindSeedsCoveringBlock(net::Prefix{target, 32}, config);
+}
+
+std::vector<SeedCandidate> FindSeedsCoveringBlock(
+    const net::Prefix& block, const SeedSearchConfig& config) {
+  if (config.tick_step == 0) {
+    throw std::invalid_argument("SeedSearchConfig: tick_step must be > 0");
+  }
+  if (config.max_tick < config.min_tick) {
+    throw std::invalid_argument("SeedSearchConfig: max_tick < min_tick");
+  }
+  const std::uint32_t first24 = block.first().Slash24();
+  const std::uint32_t last24 = block.last().Slash24();
+  const std::uint32_t block_span = last24 - first24;  // Blocks never wrap.
+
+  std::vector<SeedCandidate> candidates;
+  for (std::uint64_t tick = config.min_tick; tick <= config.max_tick;
+       tick += config.tick_step) {
+    const net::Ipv4 start = worms::BlasterWorm::StartAddressForSeed(
+        static_cast<std::uint32_t>(tick));
+    const std::uint32_t start24 = start.Slash24();
+    // The sweep covers /24 indices [start24, start24 + sweep).  It reaches
+    // the block iff the forward distance to the block's *last* /24 is less
+    // than sweep + 0 — i.e. distance to first24 < sweep, or the start is
+    // inside the block itself.
+    const std::uint32_t distance_to_first = ForwardDistance(start24, first24);
+    const std::uint32_t distance_to_last = ForwardDistance(start24, last24);
+    const bool covers =
+        distance_to_first < config.sweep_slash24s ||
+        distance_to_last <= block_span;  // Start inside the block.
+    if (covers) {
+      candidates.push_back(
+          SeedCandidate{static_cast<std::uint32_t>(tick), start});
+    }
+  }
+  return candidates;
+}
+
+UptimeSummary SummarizeUptimes(const std::vector<SeedCandidate>& candidates) {
+  UptimeSummary summary;
+  summary.candidates = candidates.size();
+  if (candidates.empty()) return summary;
+  std::vector<double> uptimes;
+  uptimes.reserve(candidates.size());
+  for (const SeedCandidate& candidate : candidates) {
+    uptimes.push_back(candidate.UptimeSeconds());
+  }
+  std::sort(uptimes.begin(), uptimes.end());
+  summary.min_seconds = uptimes.front();
+  summary.max_seconds = uptimes.back();
+  summary.median_seconds = uptimes[uptimes.size() / 2];
+  return summary;
+}
+
+}  // namespace hotspots::analysis

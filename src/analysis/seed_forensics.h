@@ -1,0 +1,64 @@
+// Blaster seed forensics: inverting observed hotspots back to PRNG seeds.
+//
+// The paper's key Blaster result (Section 4.2.2): given the distribution of
+// Blaster sources observed per destination /24, map the hot ranges *back*
+// to the GetTickCount() values that would have produced starting points
+// leading there — and check whether those tick values correspond to
+// plausible boot times.  The spike at the I block mapped to a tick of
+// ≈2.3 minutes; hot ranges generally mapped to 1–20 minutes (clustered
+// around 4–5), while cold ranges mapped to implausible boot times of hours
+// to days.
+//
+// This module brute-forces the seed→start mapping over a tick range and
+// answers both directions: seeds→covered /24s and hot-/24→candidate seeds.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/ipv4.h"
+#include "net/prefix.h"
+
+namespace hotspots::analysis {
+
+/// One candidate explanation of a hotspot.
+struct SeedCandidate {
+  std::uint32_t tick_count = 0;   ///< GetTickCount() at srand().
+  net::Ipv4 start_address;        ///< The seed's starting point.
+  /// Tick count as wall-clock uptime.
+  [[nodiscard]] double UptimeSeconds() const { return tick_count / 1000.0; }
+};
+
+/// Search configuration.  The defaults are the paper's: ticks from 1,000 to
+/// 10,000,000 (boot times of 1 s to ≈2.8 h) and a host sweep long enough to
+/// cover `sweep_slash24s` /24 blocks past its starting point.
+struct SeedSearchConfig {
+  std::uint32_t min_tick = 1000;
+  std::uint32_t max_tick = 10'000'000;
+  std::uint32_t tick_step = 1;        ///< 1 ms resolution, like the paper.
+  std::uint32_t sweep_slash24s = 4096;  ///< Footprint ≈ 1M addresses.
+};
+
+/// All tick values in the configured range whose random-start sweep would
+/// cover `target` (i.e. whose starting /24 lies within sweep_slash24s /24s
+/// at or before the target's /24, with wraparound).
+[[nodiscard]] std::vector<SeedCandidate> FindSeedsCovering(
+    net::Ipv4 target, const SeedSearchConfig& config = {});
+
+/// Seeds covering any address of a sensor block (deduplicated).
+[[nodiscard]] std::vector<SeedCandidate> FindSeedsCoveringBlock(
+    const net::Prefix& block, const SeedSearchConfig& config = {});
+
+/// Summary statistics over candidate uptimes (for "centered around 4–5
+/// minutes" style reporting).
+struct UptimeSummary {
+  std::size_t candidates = 0;
+  double min_seconds = 0.0;
+  double median_seconds = 0.0;
+  double max_seconds = 0.0;
+};
+
+[[nodiscard]] UptimeSummary SummarizeUptimes(
+    const std::vector<SeedCandidate>& candidates);
+
+}  // namespace hotspots::analysis

@@ -1,0 +1,76 @@
+#include "analysis/uniformity.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace hotspots::analysis {
+
+double GiniCoefficient(std::span<const std::uint64_t> counts) {
+  if (counts.empty()) {
+    throw std::invalid_argument("GiniCoefficient: empty histogram");
+  }
+  std::vector<std::uint64_t> sorted(counts.begin(), counts.end());
+  std::sort(sorted.begin(), sorted.end());
+  long double weighted = 0.0L;
+  long double total = 0.0L;
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
+    weighted += static_cast<long double>(i + 1) * sorted[i];
+    total += sorted[i];
+  }
+  if (total == 0.0L) return 0.0;
+  const auto n = static_cast<long double>(sorted.size());
+  const long double gini = (2.0L * weighted) / (n * total) - (n + 1.0L) / n;
+  return static_cast<double>(gini);
+}
+
+UniformityReport AnalyzeUniformity(std::span<const std::uint64_t> counts) {
+  if (counts.empty()) {
+    throw std::invalid_argument("AnalyzeUniformity: empty histogram");
+  }
+  UniformityReport report;
+  report.bins = counts.size();
+  for (const std::uint64_t c : counts) {
+    report.total += c;
+    report.max = std::max(report.max, static_cast<double>(c));
+  }
+  report.mean =
+      static_cast<double>(report.total) / static_cast<double>(report.bins);
+  report.chi_square_dof = static_cast<double>(report.bins - 1);
+  report.peak_to_mean = report.mean > 0 ? report.max / report.mean : 0.0;
+  report.gini = GiniCoefficient(counts);
+
+  if (report.total > 0) {
+    const double expected = report.mean;
+    const double uniform_p = 1.0 / static_cast<double>(report.bins);
+    double chi = 0.0;
+    double kl = 0.0;
+    for (const std::uint64_t c : counts) {
+      const double diff = static_cast<double>(c) - expected;
+      chi += diff * diff / expected;
+      if (c > 0) {
+        const double p = static_cast<double>(c) / static_cast<double>(report.total);
+        kl += p * std::log(p / uniform_p);
+      }
+    }
+    report.chi_square = chi;
+    report.kl_divergence = kl;
+
+    // Half-mass concentration: sort descending, count bins to 50 % mass.
+    std::vector<std::uint64_t> sorted(counts.begin(), counts.end());
+    std::sort(sorted.begin(), sorted.end(), std::greater<>());
+    std::uint64_t running = 0;
+    std::size_t needed = 0;
+    const std::uint64_t half = (report.total + 1) / 2;
+    for (const std::uint64_t c : sorted) {
+      ++needed;
+      running += c;
+      if (running >= half) break;
+    }
+    report.half_mass_bin_fraction =
+        static_cast<double>(needed) / static_cast<double>(report.bins);
+  }
+  return report;
+}
+
+}  // namespace hotspots::analysis

@@ -1,0 +1,48 @@
+// Uniformity statistics: quantifying "deviation from uniform propagation".
+//
+// The paper defines hotspots qualitatively; this module gives the library a
+// quantitative footing.  Given a per-bin observation histogram (typically
+// unique sources per destination /24), it computes the classical measures
+// of departure from the uniform baseline: Pearson's χ², KL divergence from
+// uniform, the Gini coefficient, peak-to-mean ratio, and a "hotspot
+// concentration" (smallest fraction of bins holding half the mass).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace hotspots::analysis {
+
+/// Summary of a histogram's deviation from uniformity.
+struct UniformityReport {
+  std::uint64_t total = 0;        ///< Sum over all bins.
+  std::size_t bins = 0;
+  double mean = 0.0;
+  double max = 0.0;
+  double chi_square = 0.0;        ///< Pearson statistic vs uniform expectation.
+  double chi_square_dof = 0.0;    ///< Degrees of freedom (bins − 1).
+  double kl_divergence = 0.0;     ///< D(observed ‖ uniform), nats.
+  double gini = 0.0;              ///< 0 = perfectly uniform, →1 = one spike.
+  double peak_to_mean = 0.0;
+  /// Smallest fraction of bins that together hold ≥ 50 % of the mass
+  /// (0.5 for a uniform histogram; → 0 as observations concentrate).
+  double half_mass_bin_fraction = 0.0;
+
+  /// A single hotspot verdict: true when the histogram is grossly
+  /// incompatible with uniformity (χ²/dof > 2 and Gini > 0.2).  The
+  /// thresholds are deliberately blunt; experiments report the raw numbers.
+  [[nodiscard]] bool LooksNonUniform() const {
+    return chi_square_dof > 0 && chi_square / chi_square_dof > 2.0 &&
+           gini > 0.2;
+  }
+};
+
+/// Analyzes `counts` (one entry per bin).  Throws if empty.
+[[nodiscard]] UniformityReport AnalyzeUniformity(
+    std::span<const std::uint64_t> counts);
+
+/// Gini coefficient of `counts` (0 when all equal; requires non-empty).
+[[nodiscard]] double GiniCoefficient(std::span<const std::uint64_t> counts);
+
+}  // namespace hotspots::analysis

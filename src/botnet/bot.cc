@@ -1,0 +1,14 @@
+#include "botnet/bot.h"
+
+namespace hotspots::botnet {
+
+std::unique_ptr<sim::Worm> MakeWormForCommand(const BotCommand& command) {
+  return MakeWormForPrefixes({command.TargetPrefix()});
+}
+
+std::unique_ptr<sim::Worm> MakeWormForPrefixes(
+    std::vector<net::Prefix> prefixes) {
+  return std::make_unique<worms::HitListWorm>(std::move(prefixes));
+}
+
+}  // namespace hotspots::botnet

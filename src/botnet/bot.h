@@ -1,0 +1,28 @@
+// Bot execution: turning a captured command into scanning behaviour.
+//
+// Closes the loop between the command grammar and the epidemic simulator: a
+// commanded bot is simply a host running a hit-list worm whose hit-list is
+// the command's target prefix.  The Section-5.2 experiments use this to
+// release "a worm that uses a list of prefixes" built from observed bot
+// targeting behaviour.
+#pragma once
+
+#include <memory>
+
+#include "botnet/command.h"
+#include "sim/targeting.h"
+#include "worms/hitlist.h"
+
+namespace hotspots::botnet {
+
+/// A worm whose targeting obeys `command`'s pattern.  Commands with no
+/// pinned leading octet scan the whole space uniformly.
+[[nodiscard]] std::unique_ptr<sim::Worm> MakeWormForCommand(
+    const BotCommand& command);
+
+/// A worm scanning the union of several commanded prefixes (a botnet acting
+/// on its whole command log).
+[[nodiscard]] std::unique_ptr<sim::Worm> MakeWormForPrefixes(
+    std::vector<net::Prefix> prefixes);
+
+}  // namespace hotspots::botnet

@@ -1,0 +1,40 @@
+#include "botnet/capture.h"
+
+#include <algorithm>
+
+namespace hotspots::botnet {
+
+std::optional<BotCommand> SignatureCapture::Feed(const ChannelLine& line) {
+  ++lines_scanned_;
+  // Cheap signature pre-filter (what a network monitor greps payloads for),
+  // then the strict parse.
+  if (line.text.find("advscan") == std::string::npos &&
+      line.text.find("ipscan") == std::string::npos) {
+    return std::nullopt;
+  }
+  auto command = ParseBotCommand(line.text);
+  if (!command) return std::nullopt;
+  log_.push_back(CapturedCommand{line.time, *command});
+  return command;
+}
+
+void SignatureCapture::FeedAll(const std::vector<ChannelLine>& lines) {
+  for (const ChannelLine& line : lines) Feed(line);
+}
+
+std::vector<net::Prefix> SignatureCapture::CommandedPrefixes() const {
+  std::vector<net::Prefix> prefixes;
+  for (const CapturedCommand& entry : log_) {
+    prefixes.push_back(entry.command.TargetPrefix());
+  }
+  std::sort(prefixes.begin(), prefixes.end(),
+            [](const net::Prefix& a, const net::Prefix& b) {
+              if (a.length() != b.length()) return a.length() > b.length();
+              return a.base() < b.base();
+            });
+  prefixes.erase(std::unique(prefixes.begin(), prefixes.end()),
+                 prefixes.end());
+  return prefixes;
+}
+
+}  // namespace hotspots::botnet

@@ -1,0 +1,49 @@
+// Passive bot-command capture (the measurement side of Section 4.2.1).
+//
+// The paper "looked for the specific command signatures of Agobot/Phatbot,
+// rbot/sdbot, and Ghost-Bot in the payload of traffic captured in a large
+// academic network".  SignatureCapture is that pipeline: it scans captured
+// channel lines for the known propagation verbs, parses the hits with the
+// strict grammar, and accumulates the command log that becomes Table 1.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "botnet/command.h"
+#include "botnet/controller.h"
+
+namespace hotspots::botnet {
+
+/// One capture-log entry.
+struct CapturedCommand {
+  double time = 0.0;
+  BotCommand command;
+};
+
+class SignatureCapture {
+ public:
+  /// Feeds one line of captured traffic; records it if it parses as a
+  /// propagation command.  Returns the parsed command when matched.
+  std::optional<BotCommand> Feed(const ChannelLine& line);
+
+  /// Feeds a whole capture.
+  void FeedAll(const std::vector<ChannelLine>& lines);
+
+  [[nodiscard]] const std::vector<CapturedCommand>& log() const {
+    return log_;
+  }
+
+  /// Lines scanned so far (matched or not).
+  [[nodiscard]] std::uint64_t lines_scanned() const { return lines_scanned_; }
+
+  /// Distinct hit-list prefixes commanded, most specific first.
+  [[nodiscard]] std::vector<net::Prefix> CommandedPrefixes() const;
+
+ private:
+  std::vector<CapturedCommand> log_;
+  std::uint64_t lines_scanned_ = 0;
+};
+
+}  // namespace hotspots::botnet

@@ -1,0 +1,173 @@
+#include "botnet/command.h"
+
+#include <charconv>
+
+namespace hotspots::botnet {
+namespace {
+
+/// Known exploit module names across the three captured families.
+constexpr std::string_view kKnownModules[] = {
+    "dcom2", "dcom135", "dcass",  "lsass",     "mssql2000",
+    "webdav3", "wkssvceng", "netbios", "sym", "optix",
+};
+
+[[nodiscard]] bool IsKnownModule(std::string_view token) {
+  for (const std::string_view module : kKnownModules) {
+    if (token == module) return true;
+  }
+  return false;
+}
+
+[[nodiscard]] bool IsWildcardToken(std::string_view token) {
+  if (token.size() != 1) return false;
+  const char c = token[0];
+  return c == 'i' || c == 's' || c == 'r' || c == 'x' || c == 'b';
+}
+
+/// Splits on whitespace.
+[[nodiscard]] std::vector<std::string_view> Tokenize(std::string_view line) {
+  std::vector<std::string_view> tokens;
+  std::size_t i = 0;
+  while (i < line.size()) {
+    while (i < line.size() && (line[i] == ' ' || line[i] == '\t')) ++i;
+    std::size_t start = i;
+    while (i < line.size() && line[i] != ' ' && line[i] != '\t') ++i;
+    if (i > start) tokens.push_back(line.substr(start, i - start));
+  }
+  return tokens;
+}
+
+}  // namespace
+
+std::string_view ToString(Dialect dialect) {
+  switch (dialect) {
+    case Dialect::kAgobot: return "agobot";
+    case Dialect::kRbot: return "rbot";
+  }
+  return "unknown";
+}
+
+std::optional<TargetPattern> TargetPattern::Parse(std::string_view text) {
+  if (text.empty()) return std::nullopt;
+  TargetPattern pattern;
+  pattern.original_ = std::string{text};
+  std::size_t cursor = 0;
+  while (cursor <= text.size()) {
+    const std::size_t dot = text.find('.', cursor);
+    const std::string_view token =
+        text.substr(cursor, (dot == std::string_view::npos ? text.size() : dot) -
+                                cursor);
+    if (token.empty()) return std::nullopt;
+    PatternOctet octet;
+    if (IsWildcardToken(token)) {
+      octet.pinned = false;
+    } else {
+      unsigned value = 0;
+      auto [next, ec] =
+          std::from_chars(token.data(), token.data() + token.size(), value);
+      if (ec != std::errc{} || next != token.data() + token.size() ||
+          value > 255) {
+        return std::nullopt;
+      }
+      octet.pinned = true;
+      octet.value = static_cast<std::uint8_t>(value);
+    }
+    pattern.octets_.push_back(octet);
+    if (pattern.octets_.size() > 4) return std::nullopt;
+    if (dot == std::string_view::npos) break;
+    cursor = dot + 1;
+  }
+  return pattern;
+}
+
+int TargetPattern::PinnedLeadingOctets() const {
+  int pinned = 0;
+  for (const PatternOctet& octet : octets_) {
+    if (!octet.pinned) break;
+    ++pinned;
+  }
+  return pinned;
+}
+
+net::Prefix TargetPattern::ToPrefix() const {
+  std::uint32_t base = 0;
+  const int pinned = PinnedLeadingOctets();
+  for (int i = 0; i < pinned; ++i) {
+    base |= static_cast<std::uint32_t>(octets_[static_cast<std::size_t>(i)].value)
+            << (8 * (3 - i));
+  }
+  return net::Prefix{net::Ipv4{base}, pinned * 8};
+}
+
+std::string TargetPattern::ToString() const { return original_; }
+
+std::optional<BotCommand> ParseBotCommand(std::string_view line) {
+  auto tokens = Tokenize(line);
+  if (tokens.empty()) return std::nullopt;
+
+  // Strip an IRC-style control prefix ('.advscan', '!ipscan').
+  std::string_view verb = tokens[0];
+  if (!verb.empty() && (verb[0] == '.' || verb[0] == '!')) {
+    verb.remove_prefix(1);
+  }
+
+  BotCommand command;
+  command.raw = std::string{line};
+
+  if (verb == "advscan") {
+    // advscan <module> <pattern?> [flags...] — some captured commands omit
+    // the pattern entirely ("advscan lsass b"): trailing single-letter
+    // tokens are wildcard markers, not patterns.
+    if (tokens.size() < 2) return std::nullopt;
+    command.dialect = Dialect::kAgobot;
+    command.module = std::string{tokens[1]};
+    if (!IsKnownModule(command.module)) return std::nullopt;
+    std::size_t next = 2;
+    if (next < tokens.size() && tokens[next][0] != '-') {
+      if (auto pattern = TargetPattern::Parse(tokens[next])) {
+        command.pattern = *pattern;
+        ++next;
+      } else {
+        return std::nullopt;
+      }
+    } else {
+      command.pattern = *TargetPattern::Parse("x.x.x.x");
+    }
+    for (; next < tokens.size(); ++next) {
+      command.flags.emplace_back(tokens[next]);
+    }
+    return command;
+  }
+
+  if (verb == "ipscan") {
+    // ipscan <pattern> <module> [flags...]
+    if (tokens.size() < 3) return std::nullopt;
+    command.dialect = Dialect::kRbot;
+    auto pattern = TargetPattern::Parse(tokens[1]);
+    if (!pattern) return std::nullopt;
+    command.pattern = *pattern;
+    command.module = std::string{tokens[2]};
+    if (!IsKnownModule(command.module)) return std::nullopt;
+    for (std::size_t i = 3; i < tokens.size(); ++i) {
+      command.flags.emplace_back(tokens[i]);
+    }
+    return command;
+  }
+
+  return std::nullopt;
+}
+
+std::string FormatBotCommand(const BotCommand& command) {
+  std::string out;
+  if (command.dialect == Dialect::kAgobot) {
+    out = "advscan " + command.module + " " + command.pattern.ToString();
+  } else {
+    out = "ipscan " + command.pattern.ToString() + " " + command.module;
+  }
+  for (const std::string& flag : command.flags) {
+    out += " " + flag;
+  }
+  return out;
+}
+
+}  // namespace hotspots::botnet

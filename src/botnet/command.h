@@ -1,0 +1,92 @@
+// Bot propagation-command grammar (Section 4.2.1, Table 1).
+//
+// Bots wait for commands from a controller before propagating.  The paper
+// captured commands of the Agobot/Phatbot family ("advscan ...") and the
+// rbot/sdbot family ("ipscan ...") on a live /15 academic network; each
+// command names an exploit module and a *target pattern* with per-octet
+// wildcards:
+//
+//     ipscan  194.s.s.s dcom2 -s      →  scan 194.0.0.0/8 with DCOM2
+//     advscan dcass     x.x.x         →  scan everything (no pinned octet)
+//     ipscan  s.s       mssql2000 -s  →  scan everything
+//
+// A literal octet pins that byte of the target; a wildcard letter
+// (i/s/r/x/b — dialect-dependent spellings of "random") leaves it free.
+// Pinned leading octets therefore define a hit-list prefix: this is the
+// mechanism by which botnets create hotspots on demand.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "net/prefix.h"
+
+namespace hotspots::botnet {
+
+/// Which bot family's dialect a command is written in.
+enum class Dialect : std::uint8_t {
+  kAgobot,  ///< "advscan <module> <pattern> [flags]"
+  kRbot,    ///< "ipscan <pattern> <module> [flags]"
+};
+
+[[nodiscard]] std::string_view ToString(Dialect dialect);
+
+/// One octet of a target pattern: pinned to a value or wildcard.
+struct PatternOctet {
+  bool pinned = false;
+  std::uint8_t value = 0;
+};
+
+/// A dotted target pattern like "194.s.s.s" or "x.x.x".  Patterns shorter
+/// than four octets leave the remaining octets wildcard.
+class TargetPattern {
+ public:
+  /// Parses a dotted pattern.  Accepted wildcard letters: i, s, r, x, b.
+  /// Returns nullopt on malformed input (empty, >4 octets, bad tokens).
+  [[nodiscard]] static std::optional<TargetPattern> Parse(
+      std::string_view text);
+
+  /// The hit-list prefix implied by the *leading* pinned octets.  A pattern
+  /// with no leading pinned octet covers the whole space (0.0.0.0/0).
+  /// Interior pinned octets after a wildcard are rare and treated as
+  /// wildcard (matching observed bot behaviour, which scans sequentially
+  /// from a random start inside the leading prefix).
+  [[nodiscard]] net::Prefix ToPrefix() const;
+
+  /// Number of leading pinned octets (0..4).
+  [[nodiscard]] int PinnedLeadingOctets() const;
+
+  [[nodiscard]] const std::vector<PatternOctet>& octets() const {
+    return octets_;
+  }
+  [[nodiscard]] std::string ToString() const;
+
+ private:
+  std::vector<PatternOctet> octets_;
+  std::string original_;
+};
+
+/// A fully parsed propagation command.
+struct BotCommand {
+  Dialect dialect = Dialect::kAgobot;
+  std::string module;  ///< Exploit module: dcom2, lsass, mssql2000, ...
+  TargetPattern pattern;
+  std::vector<std::string> flags;  ///< e.g. "-s", "-r", "-b".
+  std::string raw;                 ///< The command text as captured.
+
+  /// The hit-list this command restricts propagation to.
+  [[nodiscard]] net::Prefix TargetPrefix() const { return pattern.ToPrefix(); }
+};
+
+/// Parses one command line ("advscan ..." / "ipscan ...", with or without a
+/// leading '.' control prefix).  Returns nullopt if the line is not a
+/// well-formed propagation command.
+[[nodiscard]] std::optional<BotCommand> ParseBotCommand(std::string_view line);
+
+/// Renders a command in its dialect's canonical syntax.
+[[nodiscard]] std::string FormatBotCommand(const BotCommand& command);
+
+}  // namespace hotspots::botnet

@@ -1,0 +1,95 @@
+#include "botnet/controller.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace hotspots::botnet {
+namespace {
+
+constexpr std::string_view kChatter[] = {
+    "lol did you see that",
+    "uptime 4d 12h",
+    "JOIN",
+    "PING :irc.example.net",
+    "anyone got the new build",
+    "QUIT :timeout",
+    "MODE +o operator",
+    "brb",
+};
+
+}  // namespace
+
+std::vector<CommandTemplate> PaperCommandRepertoire() {
+  // Mirrors the mix in Table 1: mostly rbot-style ipscan with dcom2, a few
+  // pinned-/8 hit-lists (194, 192, 128), plus lsass / mssql2000 / webdav3 /
+  // wkssvceng / dcass modules and fully wildcarded patterns.
+  return {
+      {Dialect::kRbot, "dcom2", "i.i.i.i", {"-s"}},
+      {Dialect::kRbot, "dcom2", "s.s.s.s", {"-s"}},
+      {Dialect::kRbot, "dcom2", "r.r.r.r", {"-s"}},
+      {Dialect::kRbot, "dcom2", "194.s.s.s", {"-s"}},
+      {Dialect::kRbot, "dcom2", "192.s.s.s", {"-s"}},
+      {Dialect::kRbot, "dcom2", "128.s.s.s", {"-s"}},
+      {Dialect::kRbot, "dcom2", "s.s", {}},
+      {Dialect::kRbot, "mssql2000", "s.s", {"-s"}},
+      {Dialect::kRbot, "lsass", "s.s.s", {"-s"}},
+      {Dialect::kRbot, "webdav3", "s.s", {"-s"}},
+      {Dialect::kAgobot, "wkssvceng", "x.x.x.x", {}},
+      {Dialect::kAgobot, "dcass", "x.x.x", {}},
+      {Dialect::kAgobot, "dcass", "x.x", {}},
+      {Dialect::kAgobot, "lsass", "b", {}},
+  };
+}
+
+BotController::BotController(std::string channel,
+                             std::vector<CommandTemplate> repertoire,
+                             std::uint64_t seed)
+    : channel_(std::move(channel)), repertoire_(std::move(repertoire)),
+      rng_(seed) {
+  if (repertoire_.empty()) {
+    throw std::invalid_argument("BotController: empty repertoire");
+  }
+}
+
+std::string BotController::DrawCommandText() {
+  const CommandTemplate& entry = repertoire_[rng_.UniformBelow(
+      static_cast<std::uint32_t>(repertoire_.size()))];
+  BotCommand command;
+  command.dialect = entry.dialect;
+  command.module = entry.module;
+  auto pattern = TargetPattern::Parse(entry.pattern);
+  if (!pattern) {
+    throw std::logic_error("BotController: repertoire pattern invalid: " +
+                           entry.pattern);
+  }
+  command.pattern = *pattern;
+  command.flags = entry.flags;
+  // Controllers typically prefix commands with the bot's control character.
+  return "." + FormatBotCommand(command);
+}
+
+std::vector<ChannelLine> BotController::EmitTraffic(double duration_seconds,
+                                                    int commands,
+                                                    int chatter_lines) {
+  if (duration_seconds <= 0 || commands < 0 || chatter_lines < 0) {
+    throw std::invalid_argument("BotController::EmitTraffic: bad arguments");
+  }
+  std::vector<ChannelLine> lines;
+  lines.reserve(static_cast<std::size_t>(commands + chatter_lines));
+  for (int i = 0; i < commands; ++i) {
+    lines.push_back(ChannelLine{rng_.NextDouble() * duration_seconds, channel_,
+                                DrawCommandText()});
+  }
+  for (int i = 0; i < chatter_lines; ++i) {
+    lines.push_back(ChannelLine{
+        rng_.NextDouble() * duration_seconds, channel_,
+        std::string{kChatter[rng_.UniformBelow(std::size(kChatter))]}});
+  }
+  std::sort(lines.begin(), lines.end(),
+            [](const ChannelLine& a, const ChannelLine& b) {
+              return a.time < b.time;
+            });
+  return lines;
+}
+
+}  // namespace hotspots::botnet

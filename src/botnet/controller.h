@@ -1,0 +1,61 @@
+// Bot controller: the command channel side of a botnet.
+//
+// Reproduces the measurement setting of Section 4.2.1: a controller sends
+// propagation commands over an IRC-style channel; bots that receive a
+// command begin scanning the commanded range.  The controller here is a
+// command *generator* — it produces a realistic stream of channel traffic
+// (chatter plus propagation commands drawn from a configurable repertoire)
+// that the passive capture pipeline then has to pick the commands out of.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "botnet/command.h"
+#include "prng/xoshiro.h"
+
+namespace hotspots::botnet {
+
+/// One line of captured channel traffic.
+struct ChannelLine {
+  double time = 0.0;       ///< Capture timestamp (seconds).
+  std::string channel;     ///< "#owned", etc.
+  std::string text;        ///< Payload as it would appear on the wire.
+};
+
+/// Command repertoire entry: a template the controller issues.
+struct CommandTemplate {
+  Dialect dialect = Dialect::kRbot;
+  std::string module;
+  std::string pattern;              ///< e.g. "194.s.s.s", "x.x.x".
+  std::vector<std::string> flags;   ///< e.g. {"-s"}.
+};
+
+/// The repertoire used to regenerate Table 1: the module/pattern mixes the
+/// paper captured from ~11 bots over a month (dcom2-dominant, a few /8
+/// hit-lists including 194/8, 192/8, 128/8, plus unrestricted scans).
+[[nodiscard]] std::vector<CommandTemplate> PaperCommandRepertoire();
+
+class BotController {
+ public:
+  BotController(std::string channel, std::vector<CommandTemplate> repertoire,
+                std::uint64_t seed);
+
+  /// Emits channel traffic over `duration_seconds`: roughly
+  /// `commands` propagation commands mixed into `chatter_lines` of benign
+  /// chatter, timestamped in order.
+  [[nodiscard]] std::vector<ChannelLine> EmitTraffic(double duration_seconds,
+                                                     int commands,
+                                                     int chatter_lines);
+
+  /// Renders one freshly drawn propagation command.
+  [[nodiscard]] std::string DrawCommandText();
+
+ private:
+  std::string channel_;
+  std::vector<CommandTemplate> repertoire_;
+  prng::Xoshiro256 rng_;
+};
+
+}  // namespace hotspots::botnet

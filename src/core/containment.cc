@@ -1,0 +1,46 @@
+#include "core/containment.h"
+
+#include <stdexcept>
+
+#include "telescope/alerting.h"
+
+namespace hotspots::core {
+
+double InfectedFractionAt(const DetectionOutcome& outcome, double time) {
+  double fraction = 0.0;
+  for (const DetectionPoint& point : outcome.curve) {
+    if (point.time > time) break;
+    fraction = point.infected_fraction;
+  }
+  return fraction;
+}
+
+std::vector<ContainmentPoint> AnalyzeContainment(
+    const DetectionOutcome& outcome, const std::vector<double>& quorums,
+    double deployment_delay) {
+  if (deployment_delay < 0.0) {
+    throw std::invalid_argument("AnalyzeContainment: negative delay");
+  }
+  std::vector<ContainmentPoint> points;
+  points.reserve(quorums.size());
+  for (const double quorum : quorums) {
+    ContainmentPoint point;
+    point.quorum_fraction = quorum;
+    point.detection_time = telescope::QuorumDetectionTime(
+        outcome.alert_times, outcome.total_sensors, quorum);
+    if (point.detection_time) {
+      point.response_time = *point.detection_time + deployment_delay;
+      point.infected_at_response =
+          InfectedFractionAt(outcome, *point.response_time);
+    } else {
+      // Never contained: the outbreak runs to wherever the run ended.
+      point.infected_at_response =
+          outcome.curve.empty() ? 0.0
+                                : outcome.curve.back().infected_fraction;
+    }
+    points.push_back(point);
+  }
+  return points;
+}
+
+}  // namespace hotspots::core

@@ -1,0 +1,44 @@
+// Containment analysis — what detection delay costs.
+//
+// The paper's Section 5.3 punchline is operational: "After 11 minutes the
+// worm has already infected more than 50% of the vulnerable population
+// making global containment difficult or impossible."  This module turns a
+// DetectionOutcome into that statement for any response policy: given a
+// quorum fraction (how much of the sensor fleet must agree before a global
+// response fires) and a deployment delay (signature generation and filter
+// push), it reports when the response lands and how much of the population
+// was already infected — the containment window analysis of the paper's
+// cited Internet-quarantine work.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "core/detection_study.h"
+
+namespace hotspots::core {
+
+/// One row of the containment analysis.
+struct ContainmentPoint {
+  double quorum_fraction = 0.0;
+  /// When the quorum fired (nullopt: never — containment impossible).
+  std::optional<double> detection_time;
+  /// When the response would be active (detection + deployment delay).
+  std::optional<double> response_time;
+  /// Infected fraction of the eligible population at response time (at the
+  /// end of the run when the response never fires).
+  double infected_at_response = 0.0;
+};
+
+/// Evaluates containment for each quorum fraction.  `deployment_delay` is
+/// the time from global detection to filters being effective.
+[[nodiscard]] std::vector<ContainmentPoint> AnalyzeContainment(
+    const DetectionOutcome& outcome, const std::vector<double>& quorums,
+    double deployment_delay);
+
+/// The infected fraction at simulated time `time` (last sample ≤ time; the
+/// final value when the run ended earlier).
+[[nodiscard]] double InfectedFractionAt(const DetectionOutcome& outcome,
+                                        double time);
+
+}  // namespace hotspots::core

@@ -1,0 +1,69 @@
+#include "core/detection_study.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "core/placement.h"
+#include "topology/reachability.h"
+
+namespace hotspots::core {
+
+double DetectionOutcome::AlertedFractionWhenInfected(
+    double infected_fraction) const {
+  for (const DetectionPoint& point : curve) {
+    if (point.infected_fraction >= infected_fraction) {
+      return point.alerted_fraction;
+    }
+  }
+  return curve.empty() ? 0.0 : curve.back().alerted_fraction;
+}
+
+DetectionOutcome RunDetectionStudy(Scenario& scenario, const sim::Worm& worm,
+                                   const std::vector<net::Prefix>& sensor_blocks,
+                                   const DetectionStudyConfig& config) {
+  if (sensor_blocks.empty()) {
+    throw std::invalid_argument("RunDetectionStudy: no sensors");
+  }
+  scenario.population.ResetAllToVulnerable();
+
+  telescope::Telescope sensors =
+      MakeAlertingTelescope(sensor_blocks, config.alert_threshold);
+  // The fleet is IMS-style (active responders), but declare the threat's
+  // transport anyway so passive-sensor configurations behave correctly.
+  sensors.SetThreatRequiresHandshake(worm.requires_handshake());
+
+  const topology::Reachability reachability{
+      nullptr, scenario.nats.size() > 0 ? &scenario.nats : nullptr, nullptr,
+      0.0};
+  sim::Engine engine{scenario.population, worm, reachability,
+                     scenario.nats.size() > 0 ? &scenario.nats : nullptr,
+                     config.engine};
+  engine.SeedRandomInfections(config.seed_infections);
+
+  DetectionOutcome outcome;
+  outcome.run = engine.Run(sensors);
+  outcome.total_sensors = sensors.size();
+  outcome.alerted_sensors = sensors.AlertedCount();
+  outcome.alert_times = sensors.AlertTimes();
+  std::sort(outcome.alert_times.begin(), outcome.alert_times.end());
+
+  outcome.curve.reserve(outcome.run.series.size());
+  const double eligible =
+      static_cast<double>(outcome.run.eligible_population);
+  for (const sim::SamplePoint& sample : outcome.run.series) {
+    DetectionPoint point;
+    point.time = sample.time;
+    point.infected_fraction =
+        eligible == 0 ? 0.0 : static_cast<double>(sample.infected) / eligible;
+    const auto alerted = static_cast<std::size_t>(
+        std::upper_bound(outcome.alert_times.begin(),
+                         outcome.alert_times.end(), sample.time) -
+        outcome.alert_times.begin());
+    point.alerted_fraction = static_cast<double>(alerted) /
+                             static_cast<double>(outcome.total_sensors);
+    outcome.curve.push_back(point);
+  }
+  return outcome;
+}
+
+}  // namespace hotspots::core

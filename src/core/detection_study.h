@@ -1,0 +1,53 @@
+// Detection-study driver: outbreak + sensor fleet + joined curves.
+//
+// Runs one simulated outbreak against one sensor placement and produces the
+// joined time series the Section-5 figures plot: infected fraction and
+// alerted-sensor fraction over time, plus the summary statistic the paper
+// leans on ("only X % of sensors have alerted when Y % of the vulnerable
+// population is infected").
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/scenario.h"
+#include "sim/engine.h"
+#include "telescope/telescope.h"
+
+namespace hotspots::core {
+
+struct DetectionStudyConfig {
+  sim::EngineConfig engine;
+  /// Alert after this many worm payloads at a sensor (paper: 5).
+  std::uint64_t alert_threshold = 5;
+  /// Random initial infections (paper: 25).
+  int seed_infections = 25;
+};
+
+struct DetectionPoint {
+  double time = 0.0;
+  double infected_fraction = 0.0;
+  double alerted_fraction = 0.0;
+};
+
+struct DetectionOutcome {
+  sim::RunResult run;
+  std::size_t total_sensors = 0;
+  std::size_t alerted_sensors = 0;
+  std::vector<double> alert_times;
+  std::vector<DetectionPoint> curve;
+
+  /// Fraction of sensors alerted at the first sample where the infected
+  /// fraction reaches `infected_fraction` (1.0 if never reached → final).
+  [[nodiscard]] double AlertedFractionWhenInfected(
+      double infected_fraction) const;
+};
+
+/// Runs the study.  Resets every host to vulnerable first, so a Scenario
+/// can be reused across runs with different worms/sensor placements.
+[[nodiscard]] DetectionOutcome RunDetectionStudy(
+    Scenario& scenario, const sim::Worm& worm,
+    const std::vector<net::Prefix>& sensor_blocks,
+    const DetectionStudyConfig& config);
+
+}  // namespace hotspots::core

@@ -1,0 +1,26 @@
+#include "core/hotspot.h"
+
+namespace hotspots::core {
+
+std::string_view ToString(FactorClass factor_class) {
+  switch (factor_class) {
+    case FactorClass::kAlgorithmic: return "algorithmic";
+    case FactorClass::kEnvironmental: return "environmental";
+  }
+  return "unknown";
+}
+
+std::string_view ToString(Factor factor) {
+  switch (factor) {
+    case Factor::kHitList: return "hit-list";
+    case Factor::kPrngFlaw: return "prng-flaw";
+    case Factor::kLocalPreference: return "local-preference";
+    case Factor::kRoutingAndFiltering: return "routing-and-filtering";
+    case Factor::kFailuresAndMisconfiguration:
+      return "failures-and-misconfiguration";
+    case Factor::kNetworkTopology: return "network-topology";
+  }
+  return "unknown";
+}
+
+}  // namespace hotspots::core

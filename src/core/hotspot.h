@@ -1,0 +1,65 @@
+// The hotspot taxonomy — the paper's conceptual contribution, as types.
+//
+// "Hotspots are deviations from uniform propagation behavior", decomposed
+// into two root-cause classes:
+//   * algorithmic factors — host-level, programmatic: hit-lists, flawed or
+//     badly seeded PRNGs, deliberate local preference;
+//   * environmental factors — network-level: routing & filtering policy,
+//     failures & misconfiguration, topology (NAT / private addressing).
+// There is no intentionality in the taxonomy: a hotspot can be designed-in
+// (hit-lists) or an accident (the Slammer OR bug).
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "analysis/uniformity.h"
+
+namespace hotspots::core {
+
+/// The two root-cause classes.
+enum class FactorClass : std::uint8_t {
+  kAlgorithmic,
+  kEnvironmental,
+};
+
+/// The six concrete factors the paper analyzes (three per class).
+enum class Factor : std::uint8_t {
+  // Algorithmic.
+  kHitList,
+  kPrngFlaw,
+  kLocalPreference,
+  // Environmental.
+  kRoutingAndFiltering,
+  kFailuresAndMisconfiguration,
+  kNetworkTopology,
+};
+
+[[nodiscard]] constexpr FactorClass ClassOf(Factor factor) {
+  switch (factor) {
+    case Factor::kHitList:
+    case Factor::kPrngFlaw:
+    case Factor::kLocalPreference:
+      return FactorClass::kAlgorithmic;
+    case Factor::kRoutingAndFiltering:
+    case Factor::kFailuresAndMisconfiguration:
+    case Factor::kNetworkTopology:
+      return FactorClass::kEnvironmental;
+  }
+  return FactorClass::kAlgorithmic;
+}
+
+[[nodiscard]] std::string_view ToString(FactorClass factor_class);
+[[nodiscard]] std::string_view ToString(Factor factor);
+
+/// A quantified hotspot observation: which factor produced it, where it was
+/// measured, and how non-uniform the measurement is.
+struct HotspotFinding {
+  Factor factor = Factor::kHitList;
+  std::string_view scenario;  ///< e.g. "Slammer at IMS blocks".
+  analysis::UniformityReport report;
+
+  [[nodiscard]] bool IsHotspot() const { return report.LooksNonUniform(); }
+};
+
+}  // namespace hotspots::core

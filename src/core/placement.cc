@@ -1,0 +1,132 @@
+#include "core/placement.h"
+
+#include <stdexcept>
+#include <unordered_set>
+
+#include "net/special_ranges.h"
+
+namespace hotspots::core {
+namespace {
+
+/// True if this /24 may host a darknet sensor: public targetable space with
+/// no scenario host inside.
+[[nodiscard]] bool UsableSensorSlash24(const Scenario& scenario,
+                                       std::uint32_t slash24) {
+  const net::Ipv4 first{slash24 << 8};
+  if (net::IsNonTargetable(first) || net::IsPrivate(first)) return false;
+  return !scenario.occupied_slash24s.contains(slash24);
+}
+
+[[nodiscard]] net::Prefix Slash24Prefix(std::uint32_t slash24) {
+  return net::Prefix{net::Ipv4{slash24 << 8}, 24};
+}
+
+}  // namespace
+
+std::vector<net::Prefix> PlaceSensorPerCluster16(const Scenario& scenario,
+                                                 prng::Xoshiro256& rng) {
+  std::vector<net::Prefix> sensors;
+  sensors.reserve(scenario.slash16_clusters.size());
+  for (const Scenario::Slash16Cluster& cluster : scenario.slash16_clusters) {
+    const std::uint32_t base24 = cluster.prefix.base().value() >> 8;
+    bool placed = false;
+    // Random probes first, then a deterministic sweep as fallback.
+    for (int attempt = 0; attempt < 64 && !placed; ++attempt) {
+      const std::uint32_t candidate = base24 + rng.UniformBelow(256);
+      if (UsableSensorSlash24(scenario, candidate)) {
+        sensors.push_back(Slash24Prefix(candidate));
+        placed = true;
+      }
+    }
+    for (std::uint32_t i = 0; i < 256 && !placed; ++i) {
+      const std::uint32_t candidate = base24 + i;
+      if (UsableSensorSlash24(scenario, candidate)) {
+        sensors.push_back(Slash24Prefix(candidate));
+        placed = true;
+      }
+    }
+    // A /16 with every /24 occupied simply gets no sensor (cannot happen
+    // with the paper's densities).
+  }
+  return sensors;
+}
+
+std::vector<net::Prefix> PlaceRandomSensors(const Scenario& scenario, int count,
+                                            prng::Xoshiro256& rng) {
+  if (count < 0) throw std::invalid_argument("PlaceRandomSensors: count<0");
+  std::vector<net::Prefix> sensors;
+  sensors.reserve(static_cast<std::size_t>(count));
+  std::unordered_set<std::uint32_t> chosen;
+  std::uint64_t attempts = 0;
+  const std::uint64_t max_attempts = 1000ull * static_cast<std::uint64_t>(count) + 1000;
+  while (sensors.size() < static_cast<std::size_t>(count)) {
+    if (++attempts > max_attempts) {
+      throw std::runtime_error("PlaceRandomSensors: space too constrained");
+    }
+    const std::uint32_t slash24 = rng.UniformBelow(1u << 24);
+    if (!UsableSensorSlash24(scenario, slash24)) continue;
+    if (!chosen.insert(slash24).second) continue;
+    sensors.push_back(Slash24Prefix(slash24));
+  }
+  return sensors;
+}
+
+std::vector<net::Prefix> PlaceSensorsInTopSlash8s(const Scenario& scenario,
+                                                  int count, int top_k,
+                                                  prng::Xoshiro256& rng) {
+  if (count < 0 || top_k <= 0) {
+    throw std::invalid_argument("PlaceSensorsInTopSlash8s: bad arguments");
+  }
+  const auto usable_slash8s = std::min<std::size_t>(
+      static_cast<std::size_t>(top_k), scenario.slash8_clusters.size());
+  if (usable_slash8s == 0) {
+    throw std::invalid_argument("PlaceSensorsInTopSlash8s: no /8 clusters");
+  }
+  std::vector<net::Prefix> sensors;
+  sensors.reserve(static_cast<std::size_t>(count));
+  std::unordered_set<std::uint32_t> chosen;
+  std::uint64_t attempts = 0;
+  const std::uint64_t max_attempts = 1000ull * static_cast<std::uint64_t>(count) + 1000;
+  while (sensors.size() < static_cast<std::size_t>(count)) {
+    if (++attempts > max_attempts) {
+      throw std::runtime_error("PlaceSensorsInTopSlash8s: space too constrained");
+    }
+    const net::Prefix& slash8 = scenario.slash8_clusters[rng.UniformBelow(
+        static_cast<std::uint32_t>(usable_slash8s))];
+    const std::uint32_t slash24 =
+        (slash8.base().value() >> 8) + rng.UniformBelow(1u << 16);
+    if (!UsableSensorSlash24(scenario, slash24)) continue;
+    if (!chosen.insert(slash24).second) continue;
+    sensors.push_back(Slash24Prefix(slash24));
+  }
+  return sensors;
+}
+
+std::vector<net::Prefix> PlaceSensorsAcross192(prng::Xoshiro256& rng) {
+  std::vector<net::Prefix> sensors;
+  sensors.reserve(255);
+  for (int b = 0; b < 256; ++b) {
+    if (b == 168) continue;  // 192.168/16 is the private space itself.
+    const std::uint32_t slash24 =
+        (192u << 16 | static_cast<std::uint32_t>(b) << 8) + rng.UniformBelow(256);
+    sensors.push_back(Slash24Prefix(slash24));
+  }
+  return sensors;
+}
+
+telescope::Telescope MakeAlertingTelescope(
+    const std::vector<net::Prefix>& blocks, std::uint64_t alert_threshold) {
+  telescope::SensorOptions options;
+  options.track_unique_sources = false;
+  options.track_per_slash24 = false;
+  options.alert_threshold = alert_threshold;
+  telescope::Telescope telescope{options};
+  int index = 0;
+  for (const net::Prefix& block : blocks) {
+    telescope.AddSensor("S" + std::to_string(index++), block);
+  }
+  telescope.Build();
+  return telescope;
+}
+
+}  // namespace hotspots::core

@@ -1,0 +1,50 @@
+// Sensor placement strategies (Section 5).
+//
+// The detection experiments differ only in where the /24 darknet sensors
+// sit:
+//   * Figure 5b — one /24 sensor in each of the 4,481 /16s with at least
+//     one vulnerable host;
+//   * Figure 5c, run 1 — 10,000 /24 sensors placed uniformly at random;
+//   * Figure 5c, run 2 — 10,000 /24 sensors placed randomly inside the top
+//     20 /8s by vulnerable-host count;
+//   * Figure 5c, run 3 — 255 sensors, one per /16 of 192.0.0.0/8, skipping
+//     192.168.0.0/16.
+// Sensors are darknets, so every strategy places them in /24s that contain
+// no host.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/scenario.h"
+#include "net/prefix.h"
+#include "prng/xoshiro.h"
+#include "telescope/telescope.h"
+
+namespace hotspots::core {
+
+/// One /24 sensor per non-empty /16 of the scenario (Fig 5b).
+[[nodiscard]] std::vector<net::Prefix> PlaceSensorPerCluster16(
+    const Scenario& scenario, prng::Xoshiro256& rng);
+
+/// `count` random /24 sensors anywhere in targetable unicast space
+/// (Fig 5c run 1).
+[[nodiscard]] std::vector<net::Prefix> PlaceRandomSensors(
+    const Scenario& scenario, int count, prng::Xoshiro256& rng);
+
+/// `count` random /24 sensors inside the scenario's top `top_k` /8s
+/// (Fig 5c run 2).
+[[nodiscard]] std::vector<net::Prefix> PlaceSensorsInTopSlash8s(
+    const Scenario& scenario, int count, int top_k, prng::Xoshiro256& rng);
+
+/// One /24 sensor in every /16 of 192.0.0.0/8 except 192.168.0.0/16 —
+/// 255 sensors (Fig 5c run 3).
+[[nodiscard]] std::vector<net::Prefix> PlaceSensorsAcross192(
+    prng::Xoshiro256& rng);
+
+/// Loads `blocks` into a telescope configured for alerting with
+/// `alert_threshold` payloads, and builds it.
+[[nodiscard]] telescope::Telescope MakeAlertingTelescope(
+    const std::vector<net::Prefix>& blocks, std::uint64_t alert_threshold);
+
+}  // namespace hotspots::core

@@ -1,0 +1,32 @@
+#include "core/quarantine.h"
+
+#include "prng/xoshiro.h"
+
+namespace hotspots::core {
+
+QuarantineResult RunQuarantine(sim::HostScanner& scanner, net::Ipv4 source,
+                               std::uint64_t probes,
+                               telescope::Telescope& sensors) {
+  QuarantineResult result;
+  prng::Xoshiro256 rng{0xC0DEull};
+  const std::uint64_t before = [&] {
+    std::uint64_t total = 0;
+    for (std::size_t i = 0; i < sensors.size(); ++i) {
+      total += sensors.sensor(static_cast<int>(i)).probe_count();
+    }
+    return total;
+  }();
+  for (std::uint64_t i = 0; i < probes; ++i) {
+    const net::Ipv4 target = scanner.NextTarget(rng);
+    sensors.Observe(static_cast<double>(i), source, target);
+    ++result.probes_emitted;
+  }
+  std::uint64_t after = 0;
+  for (std::size_t i = 0; i < sensors.size(); ++i) {
+    after += sensors.sensor(static_cast<int>(i)).probe_count();
+  }
+  result.probes_on_sensors = after - before;
+  return result;
+}
+
+}  // namespace hotspots::core

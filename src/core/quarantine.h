@@ -1,0 +1,33 @@
+// Quarantine harness — the honeypot experiment of Section 4.3.1.
+//
+// The paper captured CodeRedII in a VMWare honeypot, gave the infected
+// guest first a public and then a private (192.168.0.2) address, let it
+// emit ≈7.5 million infection attempts each time, and recorded which
+// monitored /24s the probes landed on.  This harness is that experiment:
+// run one scanner for a fixed number of probes against a telescope, with no
+// epidemic dynamics at all.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/ipv4.h"
+#include "sim/targeting.h"
+#include "telescope/telescope.h"
+
+namespace hotspots::core {
+
+struct QuarantineResult {
+  std::uint64_t probes_emitted = 0;
+  std::uint64_t probes_on_sensors = 0;
+};
+
+/// Emits `probes` targets from `scanner` (a quarantined infected host with
+/// source address `source`) into `sensors`.  Every probe is treated as
+/// routable — the honeypot's uplink is unconstrained, as in the paper's
+/// controlled environment.
+QuarantineResult RunQuarantine(sim::HostScanner& scanner, net::Ipv4 source,
+                               std::uint64_t probes,
+                               telescope::Telescope& sensors);
+
+}  // namespace hotspots::core

@@ -1,0 +1,243 @@
+#include "core/scenario.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+#include "net/special_ranges.h"
+
+namespace hotspots::core {
+namespace {
+
+/// /8s eligible to host population clusters: unicast space minus private,
+/// loopback, the Z/8 darknet (96/8, entirely unused by construction) and
+/// 192/8 (reserved for the NAT experiments and the M sensor).
+[[nodiscard]] std::vector<std::uint8_t> EligibleSlash8s() {
+  std::vector<std::uint8_t> eligible;
+  for (int a = 1; a <= 223; ++a) {
+    if (a == 10 || a == 96 || a == 127 || a == 172 || a == 192) continue;
+    eligible.push_back(static_cast<std::uint8_t>(a));
+  }
+  return eligible;
+}
+
+[[nodiscard]] double SampleStandardNormal(prng::Xoshiro256& rng) {
+  const double u1 = rng.NextDouble();
+  const double u2 = rng.NextDouble();
+  return std::sqrt(-2.0 * std::log(u1 + 1e-300)) *
+         std::cos(2.0 * std::numbers::pi * u2);
+}
+
+}  // namespace
+
+void ScenarioBuilder::Avoid(const net::Prefix& prefix) {
+  avoid_.Add(prefix);
+  avoid_built_ = false;
+}
+
+Scenario ScenarioBuilder::BuildClustered(
+    const ClusteredPopulationConfig& config) {
+  if (config.total_hosts == 0) {
+    throw std::invalid_argument("BuildClustered: total_hosts == 0");
+  }
+  if (config.slash8_clusters <= 0 || config.nonempty_slash16s <= 0) {
+    throw std::invalid_argument("BuildClustered: cluster counts must be > 0");
+  }
+  if (config.nonempty_slash16s > config.slash8_clusters * 256) {
+    throw std::invalid_argument("BuildClustered: more /16s than the /8s hold");
+  }
+  if (config.nat_fraction < 0.0 || config.nat_fraction > 1.0) {
+    throw std::invalid_argument("BuildClustered: nat_fraction outside [0,1]");
+  }
+  if (!avoid_built_) {
+    if (!avoid_.empty()) avoid_.Build();
+    avoid_built_ = true;
+  }
+
+  prng::Xoshiro256 rng{config.seed};
+  Scenario scenario;
+
+  // 1. Choose the /8 clusters.
+  std::vector<std::uint8_t> slash8_pool = EligibleSlash8s();
+  if (static_cast<std::size_t>(config.slash8_clusters) > slash8_pool.size()) {
+    throw std::invalid_argument("BuildClustered: not enough eligible /8s");
+  }
+  for (std::size_t i = slash8_pool.size(); i > 1; --i) {
+    std::swap(slash8_pool[i - 1],
+              slash8_pool[rng.UniformBelow(static_cast<std::uint32_t>(i))]);
+  }
+  slash8_pool.resize(static_cast<std::size_t>(config.slash8_clusters));
+
+  // 2. Choose the non-empty /16s: sample without replacement from the
+  //    (chosen /8) × (256 /16 indices) grid.
+  std::vector<std::uint32_t> slash16_bases;  // /16 index = address >> 16.
+  slash16_bases.reserve(
+      static_cast<std::size_t>(config.slash8_clusters) * 256);
+  for (const std::uint8_t a : slash8_pool) {
+    for (int b = 0; b < 256; ++b) {
+      slash16_bases.push_back((static_cast<std::uint32_t>(a) << 8) |
+                              static_cast<std::uint32_t>(b));
+    }
+  }
+  for (std::size_t i = slash16_bases.size(); i > 1; --i) {
+    std::swap(slash16_bases[i - 1],
+              slash16_bases[rng.UniformBelow(static_cast<std::uint32_t>(i))]);
+  }
+  slash16_bases.resize(static_cast<std::size_t>(config.nonempty_slash16s));
+
+  // 3. Heavy-tailed /16 sizes: log-normal weights, proportional allocation,
+  //    everyone gets at least one host.
+  const std::size_t num16 = slash16_bases.size();
+  std::vector<double> weights(num16);
+  double weight_total = 0.0;
+  for (double& w : weights) {
+    w = std::exp(config.slash16_size_sigma * SampleStandardNormal(rng));
+    weight_total += w;
+  }
+  std::vector<std::uint32_t> sizes(num16);
+  std::uint64_t allocated = 0;
+  constexpr std::uint32_t kSlash16Cap = 60'000;  // Leave headroom in a /16.
+  for (std::size_t i = 0; i < num16; ++i) {
+    const double share = weights[i] / weight_total;
+    auto n = static_cast<std::uint32_t>(
+        share * static_cast<double>(config.total_hosts));
+    n = std::clamp<std::uint32_t>(n, 1, kSlash16Cap);
+    sizes[i] = n;
+    allocated += n;
+  }
+  // Fix the rounding drift by walking the clusters (they are in random
+  // order, so this adds no systematic bias).
+  std::size_t cursor = 0;
+  while (allocated < config.total_hosts) {
+    if (sizes[cursor] < kSlash16Cap) {
+      ++sizes[cursor];
+      ++allocated;
+    }
+    cursor = (cursor + 1) % num16;
+  }
+  while (allocated > config.total_hosts) {
+    if (sizes[cursor] > 1) {
+      --sizes[cursor];
+      --allocated;
+    }
+    cursor = (cursor + 1) % num16;
+  }
+
+  // 4. Place hosts.  NAT assignment is drawn per host; NATed hosts move to
+  //    192.168/16 private space (one shared site modelling the union of
+  //    private networks — see DESIGN.md) and keep their would-have-been
+  //    public address as the site-side gateway is not meaningful per host,
+  //    so per-host gateways are only used in per-host-site scenarios.
+  topology::SiteId shared_site = topology::kPublicSite;
+  if (config.nat_fraction > 0.0 &&
+      config.nat_site_mode == NatSiteMode::kSharedSite) {
+    shared_site = scenario.nats.AddSite(
+        net::kPrivate192, net::Ipv4{198, 18, 0, 1});  // Benchmark space.
+  }
+  std::unordered_set<std::uint32_t> used_private;
+  std::unordered_set<std::uint32_t> used_public;
+
+  // Draws a fresh public address inside the /16, outside avoided space.
+  const auto draw_public_address = [&](std::uint32_t base16) {
+    for (int attempt = 0;; ++attempt) {
+      if (attempt > 1 << 20) {
+        throw std::runtime_error(
+            "BuildClustered: cannot place host; /16 too constrained");
+      }
+      const std::uint32_t address = (base16 << 16) | rng.UniformBelow(1u << 16);
+      if (!avoid_.empty() && avoid_.Contains(net::Ipv4{address})) continue;
+      if (!used_public.insert(address).second) continue;
+      return address;
+    }
+  };
+
+  std::vector<std::uint32_t> per8_counts(256, 0);
+  for (std::size_t i = 0; i < num16; ++i) {
+    const std::uint32_t base16 = slash16_bases[i];
+    std::uint32_t placed_public = 0;
+    for (std::uint32_t h = 0; h < sizes[i]; ++h) {
+      const bool natted = rng.Bernoulli(config.nat_fraction);
+      if (natted) {
+        if (config.nat_site_mode == NatSiteMode::kSharedSite) {
+          // Distinct private address in the one shared 192.168/16 space.
+          for (;;) {
+            const std::uint32_t offset = rng.UniformBelow(1u << 16);
+            const std::uint32_t address =
+                net::kPrivate192.base().value() | offset;
+            if (used_private.insert(address).second) {
+              scenario.population.AddHost(net::Ipv4{address}, shared_site);
+              ++scenario.natted_hosts;
+              break;
+            }
+          }
+        } else {
+          // One site per host: the gateway takes the public address the
+          // host would have occupied; the host sits at a typical private
+          // address behind it.
+          const std::uint32_t gateway = draw_public_address(base16);
+          const topology::SiteId site =
+              scenario.nats.AddSite(net::kPrivate192, net::Ipv4{gateway});
+          const std::uint32_t address =
+              net::kPrivate192.base().value() | (rng.UniformBelow(1u << 16));
+          scenario.population.AddHost(net::Ipv4{address}, site);
+          ++scenario.natted_hosts;
+        }
+        continue;
+      }
+      const std::uint32_t address = draw_public_address(base16);
+      scenario.population.AddHost(net::Ipv4{address});
+      scenario.occupied_slash24s.insert(address >> 8);
+      ++scenario.public_hosts;
+      ++placed_public;
+    }
+    if (placed_public > 0) {
+      scenario.slash16_clusters.push_back(Scenario::Slash16Cluster{
+          net::Prefix{net::Ipv4{base16 << 16}, 16}, placed_public});
+      per8_counts[base16 >> 8] += placed_public;
+    }
+  }
+
+  std::sort(scenario.slash16_clusters.begin(), scenario.slash16_clusters.end(),
+            [](const Scenario::Slash16Cluster& a,
+               const Scenario::Slash16Cluster& b) {
+              if (a.hosts != b.hosts) return a.hosts > b.hosts;
+              return a.prefix.base() < b.prefix.base();
+            });
+
+  std::vector<std::pair<std::uint32_t, std::uint8_t>> per8;
+  for (int a = 0; a < 256; ++a) {
+    if (per8_counts[static_cast<std::size_t>(a)] > 0) {
+      per8.emplace_back(per8_counts[static_cast<std::size_t>(a)],
+                        static_cast<std::uint8_t>(a));
+    }
+  }
+  std::sort(per8.begin(), per8.end(), std::greater<>());
+  for (const auto& [count, a] : per8) {
+    scenario.slash8_clusters.push_back(
+        net::Prefix{net::Ipv4{a, 0, 0, 0}, 8});
+  }
+
+  scenario.population.Build(nullptr);
+  return scenario;
+}
+
+HitListSelection GreedyHitList(const Scenario& scenario, int n) {
+  if (n < 0) throw std::invalid_argument("GreedyHitList: n < 0");
+  HitListSelection selection;
+  const auto take = std::min<std::size_t>(static_cast<std::size_t>(n),
+                                          scenario.slash16_clusters.size());
+  selection.prefixes.reserve(take);
+  for (std::size_t i = 0; i < take; ++i) {
+    selection.prefixes.push_back(scenario.slash16_clusters[i].prefix);
+    selection.covered_hosts += scenario.slash16_clusters[i].hosts;
+  }
+  selection.coverage =
+      scenario.public_hosts == 0
+          ? 0.0
+          : static_cast<double>(selection.covered_hosts) /
+                static_cast<double>(scenario.public_hosts);
+  return selection;
+}
+
+}  // namespace hotspots::core

@@ -1,0 +1,107 @@
+// Scenario builders: synthetic vulnerable populations.
+//
+// Section 5.1 fixes the simulation's vulnerable population at the actual
+// 134,586 CodeRedII-infected addresses, "clustered in 47 /8 networks", and
+// the hit-list experiment implies exactly 4,481 non-empty /16s (the full
+// hit-list length).  We cannot have the real address list, so this builder
+// synthesizes a population with the same published structure: N hosts,
+// clustered into K /8s, spread over M non-empty /16s whose sizes follow a
+// heavy-tailed (log-normal) distribution so that greedy hit-lists exhibit
+// the paper's coverage curve (a short head covering much of the population
+// and a long thin tail).
+//
+// The builder also places a configurable fraction of hosts behind NATs in
+// 192.168.0.0/16 private space (Section 5.3 estimates 15 %), each NATed
+// host in its own site with its own public-side gateway address.
+#pragma once
+
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include "net/interval_set.h"
+#include "net/prefix.h"
+#include "prng/xoshiro.h"
+#include "sim/population.h"
+#include "topology/nat.h"
+
+namespace hotspots::core {
+
+/// How NATed hosts are organized into sites.
+enum class NatSiteMode {
+  /// All NATed hosts share one 192.168/16 site — models the union of many
+  /// private networks as one space, which is what the paper's Section-5.3
+  /// simulation needs (NATed hosts must be able to infect each other
+  /// through the worm's same-/16 arm for the private epidemic to grow).
+  kSharedSite,
+  /// One site per host (strict home-NAT model): NATed hosts are only
+  /// reachable from themselves, so they stay clean unless seeded.  Used by
+  /// the ablation bench to show how strongly the site model matters, and
+  /// by the Fig-4a observational experiment (every NAT gets its own public
+  /// gateway address, giving distinct observable sources).
+  kPerHostSite,
+};
+
+/// Parameters of the synthetic clustered population.  Defaults reproduce
+/// the paper's CodeRedII population structure.
+struct ClusteredPopulationConfig {
+  std::uint32_t total_hosts = 134'586;
+  int slash8_clusters = 47;
+  int nonempty_slash16s = 4481;
+  /// Log-normal σ of /16 sizes; 2.0 gives a strong head/tail split.
+  double slash16_size_sigma = 2.0;
+  /// Fraction of hosts behind 192.168/16 NATs (paper's estimate: 0.15).
+  double nat_fraction = 0.0;
+  NatSiteMode nat_site_mode = NatSiteMode::kSharedSite;
+  std::uint64_t seed = 1;
+};
+
+/// A built scenario: population + NAT directory + the structures the
+/// experiment drivers need.
+struct Scenario {
+  sim::Population population;
+  topology::NatDirectory nats;
+  /// The non-empty public /16s, with per-/16 public host counts, sorted by
+  /// descending count (the greedy hit-list is a prefix of this vector).
+  struct Slash16Cluster {
+    net::Prefix prefix;
+    std::uint32_t hosts = 0;
+  };
+  std::vector<Slash16Cluster> slash16_clusters;
+  /// The /8s hosting clusters, by descending public host count.
+  std::vector<net::Prefix> slash8_clusters;
+  /// Every /24 that contains at least one public host (sensor placement
+  /// must avoid these — darknets are unused space).
+  std::unordered_set<std::uint32_t> occupied_slash24s;
+  std::uint32_t public_hosts = 0;
+  std::uint32_t natted_hosts = 0;
+};
+
+class ScenarioBuilder {
+ public:
+  ScenarioBuilder() = default;
+
+  /// Marks address space the population must avoid (sensor blocks).
+  void Avoid(const net::Prefix& prefix);
+
+  /// Builds the clustered population.  Throws std::invalid_argument on
+  /// inconsistent configs (more /16s than /8s can hold, zero hosts, ...).
+  [[nodiscard]] Scenario BuildClustered(const ClusteredPopulationConfig& config);
+
+ private:
+  net::IntervalSet avoid_;
+  bool avoid_built_ = false;
+};
+
+/// Greedy hit-list of `n` /16 prefixes (paper: "each /16 was chosen to
+/// cover as many remaining vulnerable hosts as possible").  Returns at most
+/// the number of non-empty /16s.
+struct HitListSelection {
+  std::vector<net::Prefix> prefixes;
+  std::uint64_t covered_hosts = 0;
+  double coverage = 0.0;  ///< covered / public hosts.
+};
+
+[[nodiscard]] HitListSelection GreedyHitList(const Scenario& scenario, int n);
+
+}  // namespace hotspots::core

@@ -1,0 +1,38 @@
+#include "detect/prevalence.h"
+
+namespace hotspots::detect {
+
+bool ContentPrevalenceDetector::Observe(double time, std::uint64_t content,
+                                        net::Ipv4 src, net::Ipv4 dst) {
+  Entry& entry = contents_[content];
+  ++entry.occurrences;
+  entry.sources.insert(src.value());
+  entry.destinations.insert(dst.value());
+  if (!entry.alert_time &&
+      entry.occurrences >= config_.prevalence_threshold &&
+      entry.sources.size() >= config_.min_sources &&
+      entry.destinations.size() >= config_.min_destinations) {
+    entry.alert_time = time;
+    ++flagged_;
+    return true;
+  }
+  return false;
+}
+
+std::optional<double> ContentPrevalenceDetector::AlertTime(
+    std::uint64_t content) const {
+  const auto it = contents_.find(content);
+  return it == contents_.end() ? std::nullopt : it->second.alert_time;
+}
+
+ContentPrevalenceDetector::ContentStats
+ContentPrevalenceDetector::StatsFor(std::uint64_t content) const {
+  const auto it = contents_.find(content);
+  if (it == contents_.end()) return {};
+  return ContentStats{it->second.occurrences,
+                      static_cast<std::uint32_t>(it->second.sources.size()),
+                      static_cast<std::uint32_t>(
+                          it->second.destinations.size())};
+}
+
+}  // namespace hotspots::detect

@@ -1,0 +1,71 @@
+// Content-prevalence worm detection (Autograph, EarlyBird — the paper's
+// references [12] and [24]).
+//
+// These systems flag a byte pattern as a worm signature when it becomes
+// *prevalent* (seen many times) with high *address dispersion* (many
+// distinct sources and destinations).  Section 5 of the paper argues that
+// hotspots make the alerts of such systems "highly inaccurate": detectors
+// at different vantage points observe wildly different prevalence for the
+// same threat, so the quorum of a distributed deployment may never agree.
+//
+// The detector is content-agnostic: callers feed (content-id, src, dst)
+// triples — in this library the content id is the worm's payload identity;
+// in the real systems it is a Rabin-fingerprinted substring.  Address
+// dispersion uses exact sets (experiments are bounded); the production
+// systems' sketches would only make dispersion estimates noisier.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "net/ipv4.h"
+
+namespace hotspots::detect {
+
+/// EarlyBird-style thresholds: all three must hold to flag content.
+struct PrevalenceConfig {
+  std::uint64_t prevalence_threshold = 50;  ///< Total occurrences.
+  std::uint32_t min_sources = 10;           ///< Distinct source addresses.
+  std::uint32_t min_destinations = 10;      ///< Distinct destinations.
+};
+
+class ContentPrevalenceDetector {
+ public:
+  explicit ContentPrevalenceDetector(PrevalenceConfig config = {})
+      : config_(config) {}
+
+  /// Feeds one observed payload instance.  Returns true the first time
+  /// `content` crosses all three thresholds (the signature alert).
+  bool Observe(double time, std::uint64_t content, net::Ipv4 src,
+               net::Ipv4 dst);
+
+  /// Alert time for `content`, if it was ever flagged.
+  [[nodiscard]] std::optional<double> AlertTime(std::uint64_t content) const;
+
+  /// Current statistics for `content` (zeros if never seen).
+  struct ContentStats {
+    std::uint64_t occurrences = 0;
+    std::uint32_t sources = 0;
+    std::uint32_t destinations = 0;
+  };
+  [[nodiscard]] ContentStats StatsFor(std::uint64_t content) const;
+
+  [[nodiscard]] std::size_t flagged_count() const { return flagged_; }
+  [[nodiscard]] const PrevalenceConfig& config() const { return config_; }
+
+ private:
+  struct Entry {
+    std::uint64_t occurrences = 0;
+    std::unordered_set<std::uint32_t> sources;
+    std::unordered_set<std::uint32_t> destinations;
+    std::optional<double> alert_time;
+  };
+
+  PrevalenceConfig config_;
+  std::unordered_map<std::uint64_t, Entry> contents_;
+  std::size_t flagged_ = 0;
+};
+
+}  // namespace hotspots::detect

@@ -1,0 +1,65 @@
+#include "detect/trw.h"
+
+namespace hotspots::detect {
+
+TrwDetector::TrwDetector(TrwConfig config) : config_(config) {
+  const auto in_unit = [](double x) { return x > 0.0 && x < 1.0; };
+  if (!in_unit(config.benign_success_rate) ||
+      !in_unit(config.scanner_success_rate) ||
+      !in_unit(config.false_positive_rate) ||
+      !in_unit(config.detection_rate)) {
+    throw std::invalid_argument("TrwDetector: rates must be in (0,1)");
+  }
+  if (config.scanner_success_rate >= config.benign_success_rate) {
+    throw std::invalid_argument(
+        "TrwDetector: scanners must fail more often than benign sources");
+  }
+  log_success_update_ =
+      std::log(config.scanner_success_rate / config.benign_success_rate);
+  log_failure_update_ = std::log((1.0 - config.scanner_success_rate) /
+                                 (1.0 - config.benign_success_rate));
+  log_eta1_ = std::log(config.detection_rate / config.false_positive_rate);
+  log_eta0_ =
+      std::log((1.0 - config.detection_rate) /
+               (1.0 - config.false_positive_rate));
+}
+
+TrwVerdict TrwDetector::Observe(double time, net::Ipv4 src, bool success) {
+  Walk& walk = walks_[src.value()];
+  if (walk.verdict != TrwVerdict::kPending) return walk.verdict;
+  walk.log_ratio += success ? log_success_update_ : log_failure_update_;
+  ++walk.observations;
+  if (walk.log_ratio >= log_eta1_) {
+    walk.verdict = TrwVerdict::kScanner;
+    walk.decided_at = time;
+    ++scanners_;
+  } else if (walk.log_ratio <= log_eta0_) {
+    walk.verdict = TrwVerdict::kBenign;
+    walk.decided_at = time;
+    ++benign_;
+  }
+  return walk.verdict;
+}
+
+TrwVerdict TrwDetector::VerdictFor(net::Ipv4 src) const {
+  const auto it = walks_.find(src.value());
+  return it == walks_.end() ? TrwVerdict::kPending : it->second.verdict;
+}
+
+std::optional<double> TrwDetector::ScannerFlagTime(net::Ipv4 src) const {
+  const auto it = walks_.find(src.value());
+  if (it == walks_.end() || it->second.verdict != TrwVerdict::kScanner) {
+    return std::nullopt;
+  }
+  return it->second.decided_at;
+}
+
+std::uint32_t TrwDetector::ObservationsToDecision(net::Ipv4 src) const {
+  const auto it = walks_.find(src.value());
+  if (it == walks_.end() || it->second.verdict == TrwVerdict::kPending) {
+    return 0;
+  }
+  return it->second.observations;
+}
+
+}  // namespace hotspots::detect

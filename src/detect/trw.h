@@ -1,0 +1,87 @@
+// Threshold Random Walk (TRW) portscan detection — Jung, Paxson, Berger,
+// Balakrishnan (the paper's reference [11]), the canonical *local*
+// detector.
+//
+// A scanner's connection attempts mostly fail (it probes addresses with
+// nothing there); a benign client's mostly succeed.  TRW runs a sequential
+// hypothesis test per source: each outcome multiplies a likelihood ratio,
+// and the source is flagged SCANNER or cleared BENIGN when the ratio
+// crosses Wald's thresholds derived from the target false-positive /
+// detection rates.
+//
+// The paper's conclusion — "it is critical to invest in local detection
+// systems" — is quantified by the detector ablation bench: a TRW gateway
+// flags an infected local host after a handful of probes (well under a
+// second at 10 probes/s), while hotspot-starved global quorums never fire.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "net/ipv4.h"
+
+namespace hotspots::detect {
+
+/// Hypothesis-test parameters (defaults follow the paper's reference).
+struct TrwConfig {
+  double benign_success_rate = 0.8;   ///< θ₀: P(success | benign).
+  double scanner_success_rate = 0.2;  ///< θ₁: P(success | scanner).
+  double false_positive_rate = 0.01;  ///< α.
+  double detection_rate = 0.99;       ///< β.
+};
+
+/// Per-source verdict.
+enum class TrwVerdict : std::uint8_t {
+  kPending,
+  kBenign,
+  kScanner,
+};
+
+class TrwDetector {
+ public:
+  explicit TrwDetector(TrwConfig config = {});
+
+  /// Feeds one connection outcome from `src` at `time`.  Returns the
+  /// source's verdict after the update.  Decided sources are sticky: once
+  /// SCANNER or BENIGN, further observations don't change the verdict
+  /// (matching the reference's per-connection decision process).
+  TrwVerdict Observe(double time, net::Ipv4 src, bool success);
+
+  [[nodiscard]] TrwVerdict VerdictFor(net::Ipv4 src) const;
+
+  /// Time the source was flagged as a scanner, if it was.
+  [[nodiscard]] std::optional<double> ScannerFlagTime(net::Ipv4 src) const;
+
+  /// Observations consumed before the source was decided (0 if undecided).
+  [[nodiscard]] std::uint32_t ObservationsToDecision(net::Ipv4 src) const;
+
+  [[nodiscard]] std::size_t flagged_scanners() const { return scanners_; }
+  [[nodiscard]] std::size_t cleared_benign() const { return benign_; }
+  [[nodiscard]] const TrwConfig& config() const { return config_; }
+
+  /// Wald thresholds (log-domain), exposed for tests.
+  [[nodiscard]] double log_upper_threshold() const { return log_eta1_; }
+  [[nodiscard]] double log_lower_threshold() const { return log_eta0_; }
+
+ private:
+  struct Walk {
+    double log_ratio = 0.0;
+    std::uint32_t observations = 0;
+    TrwVerdict verdict = TrwVerdict::kPending;
+    double decided_at = 0.0;
+  };
+
+  TrwConfig config_;
+  double log_success_update_;  ///< log(θ₁/θ₀) — negative.
+  double log_failure_update_;  ///< log((1−θ₁)/(1−θ₀)) — positive.
+  double log_eta1_;            ///< log(β/α).
+  double log_eta0_;            ///< log((1−β)/(1−α)).
+  std::unordered_map<std::uint32_t, Walk> walks_;
+  std::size_t scanners_ = 0;
+  std::size_t benign_ = 0;
+};
+
+}  // namespace hotspots::detect

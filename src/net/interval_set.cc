@@ -1,0 +1,44 @@
+#include "net/interval_set.h"
+
+namespace hotspots::net {
+
+void IntervalSet::Add(std::uint32_t lo, std::uint32_t hi) {
+  if (lo > hi) throw std::invalid_argument("IntervalSet: lo > hi");
+  intervals_.push_back(Interval{lo, hi});
+  built_ = false;
+}
+
+void IntervalSet::Build() {
+  std::sort(intervals_.begin(), intervals_.end());
+  std::vector<Interval> merged;
+  merged.reserve(intervals_.size());
+  for (const Interval& interval : intervals_) {
+    // Merge when overlapping or exactly adjacent (hi + 1 == lo), taking care
+    // not to overflow at 255.255.255.255.
+    if (!merged.empty() &&
+        (interval.lo <= merged.back().hi ||
+         (merged.back().hi != ~std::uint32_t{0} &&
+          interval.lo == merged.back().hi + 1))) {
+      merged.back().hi = std::max(merged.back().hi, interval.hi);
+    } else {
+      merged.push_back(interval);
+    }
+  }
+  intervals_ = std::move(merged);
+  total_ = 0;
+  for (const Interval& interval : intervals_) total_ += interval.size();
+  built_ = true;
+}
+
+bool IntervalSet::Contains(Ipv4 address) const {
+  RequireBuilt();
+  const std::uint32_t x = address.value();
+  auto it = std::upper_bound(
+      intervals_.begin(), intervals_.end(), x,
+      [](std::uint32_t v, const Interval& i) { return v < i.lo; });
+  if (it == intervals_.begin()) return false;
+  --it;
+  return it->Contains(x);
+}
+
+}  // namespace hotspots::net

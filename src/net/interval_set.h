@@ -1,0 +1,134 @@
+// Disjoint-interval containers over the 32-bit IPv4 address space.
+//
+// `IntervalSet` answers membership ("is this address monitored / filtered /
+// allocated?") in O(log n).  `IntervalMap<T>` additionally attaches a value
+// to each interval (e.g. a sensor id or an organization id).  Both are built
+// once and then queried from the hot probe loop, so queries avoid any
+// allocation.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <vector>
+
+#include "net/ipv4.h"
+#include "net/prefix.h"
+
+namespace hotspots::net {
+
+/// A closed interval [lo, hi] of host-order addresses.
+struct Interval {
+  std::uint32_t lo = 0;
+  std::uint32_t hi = 0;
+
+  [[nodiscard]] constexpr std::uint64_t size() const {
+    return std::uint64_t{hi} - lo + 1;
+  }
+  [[nodiscard]] constexpr bool Contains(std::uint32_t x) const {
+    return lo <= x && x <= hi;
+  }
+  friend constexpr auto operator<=>(const Interval&, const Interval&) = default;
+};
+
+/// A set of addresses stored as sorted, disjoint, merged intervals.
+class IntervalSet {
+ public:
+  IntervalSet() = default;
+
+  /// Adds [lo, hi] (closed).  Intervals may be added in any order and may
+  /// overlap; they are merged by Build().
+  void Add(std::uint32_t lo, std::uint32_t hi);
+  void Add(Interval interval) { Add(interval.lo, interval.hi); }
+  void Add(const Prefix& prefix) {
+    Add(prefix.first().value(), prefix.last().value());
+  }
+
+  /// Sorts and merges overlapping/adjacent intervals.  Must be called after
+  /// the last Add() and before queries; queries on an unbuilt set throw.
+  void Build();
+
+  /// O(log n) membership test.  Requires Build().
+  [[nodiscard]] bool Contains(Ipv4 address) const;
+
+  /// Total number of addresses covered.  Requires Build().
+  [[nodiscard]] std::uint64_t TotalAddresses() const { return total_; }
+
+  /// The merged intervals in ascending order.  Requires Build().
+  [[nodiscard]] const std::vector<Interval>& intervals() const {
+    RequireBuilt();
+    return intervals_;
+  }
+
+  [[nodiscard]] bool empty() const { return intervals_.empty(); }
+  [[nodiscard]] bool built() const { return built_; }
+
+ private:
+  void RequireBuilt() const {
+    if (!built_) throw std::logic_error("IntervalSet: Build() not called");
+  }
+
+  std::vector<Interval> intervals_;
+  std::uint64_t total_ = 0;
+  bool built_ = false;
+};
+
+/// Sorted disjoint intervals, each carrying a value.  Unlike IntervalSet,
+/// overlapping inserts are an error: the caller is mapping *distinct* regions
+/// (sensor blocks, org allocations) to identities.
+template <typename T>
+class IntervalMap {
+ public:
+  struct Entry {
+    Interval interval;
+    T value;
+  };
+
+  /// Adds a mapping for [lo, hi].
+  void Add(std::uint32_t lo, std::uint32_t hi, T value) {
+    entries_.push_back(Entry{Interval{lo, hi}, std::move(value)});
+    built_ = false;
+  }
+  void Add(const Prefix& prefix, T value) {
+    Add(prefix.first().value(), prefix.last().value(), std::move(value));
+  }
+
+  /// Sorts entries and verifies disjointness.  Throws std::invalid_argument
+  /// if two entries overlap.
+  void Build() {
+    std::sort(entries_.begin(), entries_.end(),
+              [](const Entry& a, const Entry& b) {
+                return a.interval.lo < b.interval.lo;
+              });
+    for (std::size_t i = 1; i < entries_.size(); ++i) {
+      if (entries_[i].interval.lo <= entries_[i - 1].interval.hi) {
+        throw std::invalid_argument("IntervalMap: overlapping intervals");
+      }
+    }
+    built_ = true;
+  }
+
+  /// Returns a pointer to the value covering `address`, or nullptr.
+  /// O(log n); requires Build().
+  [[nodiscard]] const T* Lookup(Ipv4 address) const {
+    if (!built_) throw std::logic_error("IntervalMap: Build() not called");
+    const std::uint32_t x = address.value();
+    auto it = std::upper_bound(
+        entries_.begin(), entries_.end(), x,
+        [](std::uint32_t v, const Entry& e) { return v < e.interval.lo; });
+    if (it == entries_.begin()) return nullptr;
+    --it;
+    return it->interval.Contains(x) ? &it->value : nullptr;
+  }
+
+  [[nodiscard]] const std::vector<Entry>& entries() const { return entries_; }
+  [[nodiscard]] bool empty() const { return entries_.empty(); }
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+
+ private:
+  std::vector<Entry> entries_;
+  bool built_ = false;
+};
+
+}  // namespace hotspots::net

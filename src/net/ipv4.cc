@@ -1,0 +1,45 @@
+#include "net/ipv4.h"
+
+#include <charconv>
+#include <ostream>
+
+namespace hotspots::net {
+
+std::optional<Ipv4> Ipv4::Parse(std::string_view text) {
+  std::uint32_t value = 0;
+  const char* cursor = text.data();
+  const char* const end = text.data() + text.size();
+  for (int i = 0; i < 4; ++i) {
+    if (i > 0) {
+      if (cursor == end || *cursor != '.') return std::nullopt;
+      ++cursor;
+    }
+    unsigned octet = 0;
+    auto [next, ec] = std::from_chars(cursor, end, octet);
+    if (ec != std::errc{} || next == cursor || octet > 255) {
+      return std::nullopt;
+    }
+    // Reject leading zeros longer than one digit ("01") to stay strict.
+    if (next - cursor > 1 && *cursor == '0') return std::nullopt;
+    value = (value << 8) | octet;
+    cursor = next;
+  }
+  if (cursor != end) return std::nullopt;
+  return Ipv4{value};
+}
+
+std::string Ipv4::ToString() const {
+  std::string out;
+  out.reserve(15);
+  for (int i = 0; i < 4; ++i) {
+    if (i > 0) out.push_back('.');
+    out += std::to_string(octet(i));
+  }
+  return out;
+}
+
+std::ostream& operator<<(std::ostream& os, Ipv4 address) {
+  return os << address.ToString();
+}
+
+}  // namespace hotspots::net

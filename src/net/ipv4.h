@@ -1,0 +1,82 @@
+// IPv4 address value type.
+//
+// The whole library manipulates IPv4 addresses as 32-bit host-order
+// integers.  `Ipv4` is a thin strong type around that integer with parsing,
+// formatting, octet access, and ordering.  It is trivially copyable and
+// suitable for use as a key in hash maps and in tight probe loops.
+#pragma once
+
+#include <array>
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace hotspots::net {
+
+/// A single IPv4 address, stored in host byte order.
+class Ipv4 {
+ public:
+  /// Default-constructs 0.0.0.0.
+  constexpr Ipv4() = default;
+
+  /// Constructs from a host-order 32-bit value.
+  constexpr explicit Ipv4(std::uint32_t value) : value_(value) {}
+
+  /// Constructs from four octets: Ipv4(192,168,0,1) == "192.168.0.1".
+  constexpr Ipv4(std::uint8_t a, std::uint8_t b, std::uint8_t c,
+                 std::uint8_t d)
+      : value_((std::uint32_t{a} << 24) | (std::uint32_t{b} << 16) |
+               (std::uint32_t{c} << 8) | std::uint32_t{d}) {}
+
+  /// Parses dotted-quad notation ("10.1.2.3").  Returns std::nullopt on any
+  /// syntax error (missing octets, values > 255, stray characters).
+  static std::optional<Ipv4> Parse(std::string_view text);
+
+  /// The host-order 32-bit value.
+  [[nodiscard]] constexpr std::uint32_t value() const { return value_; }
+
+  /// Octet `i` (0 is the most significant, i.e. the first in dotted quad).
+  [[nodiscard]] constexpr std::uint8_t octet(int i) const {
+    return static_cast<std::uint8_t>(value_ >> (8 * (3 - i)));
+  }
+
+  /// All four octets, most significant first.
+  [[nodiscard]] constexpr std::array<std::uint8_t, 4> octets() const {
+    return {octet(0), octet(1), octet(2), octet(3)};
+  }
+
+  /// Dotted-quad representation.
+  [[nodiscard]] std::string ToString() const;
+
+  /// The /24 index of this address (top 24 bits).  Used pervasively for the
+  /// paper's per-/24 observation histograms.
+  [[nodiscard]] constexpr std::uint32_t Slash24() const { return value_ >> 8; }
+
+  /// The /16 index of this address (top 16 bits).
+  [[nodiscard]] constexpr std::uint32_t Slash16() const { return value_ >> 16; }
+
+  /// The /8 index of this address (top 8 bits).
+  [[nodiscard]] constexpr std::uint32_t Slash8() const { return value_ >> 24; }
+
+  friend constexpr auto operator<=>(Ipv4, Ipv4) = default;
+
+ private:
+  std::uint32_t value_ = 0;
+};
+
+std::ostream& operator<<(std::ostream& os, Ipv4 address);
+
+}  // namespace hotspots::net
+
+template <>
+struct std::hash<hotspots::net::Ipv4> {
+  std::size_t operator()(hotspots::net::Ipv4 address) const noexcept {
+    // Fibonacci hashing; adequate for uniformly distributed addresses and
+    // cheap enough for the probe loop.
+    return static_cast<std::size_t>(address.value()) * 0x9E3779B97F4A7C15ull;
+  }
+};

@@ -1,0 +1,36 @@
+#include "net/prefix.h"
+
+#include <charconv>
+#include <ostream>
+
+namespace hotspots::net {
+
+std::optional<Prefix> Prefix::Parse(std::string_view text) {
+  const auto slash = text.find('/');
+  if (slash == std::string_view::npos) {
+    const auto address = Ipv4::Parse(text);
+    if (!address) return std::nullopt;
+    return Prefix{*address, 32};
+  }
+  const auto address = Ipv4::Parse(text.substr(0, slash));
+  if (!address) return std::nullopt;
+  const std::string_view length_text = text.substr(slash + 1);
+  int length = -1;
+  auto [next, ec] = std::from_chars(
+      length_text.data(), length_text.data() + length_text.size(), length);
+  if (ec != std::errc{} || next != length_text.data() + length_text.size() ||
+      length < 0 || length > 32) {
+    return std::nullopt;
+  }
+  return Prefix{*address, length};
+}
+
+std::string Prefix::ToString() const {
+  return base().ToString() + "/" + std::to_string(length_);
+}
+
+std::ostream& operator<<(std::ostream& os, const Prefix& prefix) {
+  return os << prefix.ToString();
+}
+
+}  // namespace hotspots::net

@@ -1,0 +1,97 @@
+// CIDR prefix value type.
+//
+// A `Prefix` is an aligned power-of-two block of IPv4 addresses, e.g.
+// 192.168.0.0/16.  The darknet sensor blocks, hit-list entries, filtering
+// rules, and private ranges in this library are all prefixes.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "net/ipv4.h"
+
+namespace hotspots::net {
+
+/// An aligned CIDR block.  Invariant: the host bits of `base()` are zero.
+class Prefix {
+ public:
+  /// Default-constructs 0.0.0.0/0 (the whole IPv4 space).
+  constexpr Prefix() = default;
+
+  /// Constructs from a base address and prefix length.  Host bits of `base`
+  /// are masked off, so Prefix(Ipv4(10,1,2,3), 8) == 10.0.0.0/8.
+  constexpr Prefix(Ipv4 base, int length)
+      : base_(base.value() & MaskFor(length)), length_(length) {}
+
+  /// Parses "a.b.c.d/len".  A bare address parses as a /32.
+  static std::optional<Prefix> Parse(std::string_view text);
+
+  /// The (masked) base address of the block.
+  [[nodiscard]] constexpr Ipv4 base() const { return Ipv4{base_}; }
+
+  /// The prefix length in [0, 32].
+  [[nodiscard]] constexpr int length() const { return length_; }
+
+  /// Number of addresses covered.  /0 covers 2^32 which still fits uint64.
+  [[nodiscard]] constexpr std::uint64_t size() const {
+    return std::uint64_t{1} << (32 - length_);
+  }
+
+  /// First address in the block (== base()).
+  [[nodiscard]] constexpr Ipv4 first() const { return Ipv4{base_}; }
+
+  /// Last address in the block.
+  [[nodiscard]] constexpr Ipv4 last() const {
+    return Ipv4{base_ | ~MaskFor(length_)};
+  }
+
+  /// True if `address` falls inside this block.
+  [[nodiscard]] constexpr bool Contains(Ipv4 address) const {
+    return (address.value() & MaskFor(length_)) == base_;
+  }
+
+  /// True if `other` is fully contained in this block.
+  [[nodiscard]] constexpr bool Contains(const Prefix& other) const {
+    return other.length_ >= length_ && Contains(other.base());
+  }
+
+  /// True if the two blocks share any address.
+  [[nodiscard]] constexpr bool Overlaps(const Prefix& other) const {
+    return Contains(other) || other.Contains(*this);
+  }
+
+  /// The i-th address of the block; `i` must be < size().
+  [[nodiscard]] constexpr Ipv4 AddressAt(std::uint64_t i) const {
+    return Ipv4{base_ + static_cast<std::uint32_t>(i)};
+  }
+
+  /// "a.b.c.d/len".
+  [[nodiscard]] std::string ToString() const;
+
+  /// The netmask for a prefix length, e.g. MaskFor(24) == 0xFFFFFF00.
+  [[nodiscard]] static constexpr std::uint32_t MaskFor(int length) {
+    return length == 0 ? 0u : ~std::uint32_t{0} << (32 - length);
+  }
+
+  friend constexpr auto operator<=>(const Prefix&, const Prefix&) = default;
+
+ private:
+  std::uint32_t base_ = 0;
+  int length_ = 0;
+};
+
+std::ostream& operator<<(std::ostream& os, const Prefix& prefix);
+
+}  // namespace hotspots::net
+
+template <>
+struct std::hash<hotspots::net::Prefix> {
+  std::size_t operator()(const hotspots::net::Prefix& prefix) const noexcept {
+    return std::hash<hotspots::net::Ipv4>{}(prefix.base()) ^
+           (static_cast<std::size_t>(prefix.length()) << 1);
+  }
+};

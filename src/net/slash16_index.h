@@ -1,0 +1,116 @@
+// Direct-mapped per-/16 interval index — the alternative lookup backend.
+//
+// DESIGN.md's sensor-lookup ablation: the default IntervalMap answers
+// address→value with a binary search over all intervals (O(log n), cache
+// misses grow with fleet size).  Slash16Index trades 256 KiB of bucket
+// headers for O(1) bucket selection: intervals are sliced per /16, each
+// bucket holding a (usually tiny) sorted run.  For 10,000-sensor fleets
+// this turns the per-probe lookup into one indexed load plus a scan of at
+// most a handful of entries.  Semantics match IntervalMap exactly
+// (disjoint intervals, Build() validation); equivalence is enforced by a
+// differential property test.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "net/interval_set.h"
+
+namespace hotspots::net {
+
+template <typename T>
+class Slash16Index {
+ public:
+  /// Adds a mapping for [lo, hi].  Overlaps are rejected by Build().
+  void Add(std::uint32_t lo, std::uint32_t hi, T value) {
+    if (lo > hi) throw std::invalid_argument("Slash16Index: lo > hi");
+    pending_.push_back(Entry{Interval{lo, hi}, std::move(value)});
+    built_ = false;
+  }
+  void Add(const Prefix& prefix, T value) {
+    Add(prefix.first().value(), prefix.last().value(), std::move(value));
+  }
+
+  /// Validates disjointness and slices every interval into the /16 buckets
+  /// it touches.
+  void Build() {
+    std::sort(pending_.begin(), pending_.end(),
+              [](const Entry& a, const Entry& b) {
+                return a.interval.lo < b.interval.lo;
+              });
+    for (std::size_t i = 1; i < pending_.size(); ++i) {
+      if (pending_[i].interval.lo <= pending_[i - 1].interval.hi) {
+        throw std::invalid_argument("Slash16Index: overlapping intervals");
+      }
+    }
+    bucket_offsets_.assign(kBuckets + 1, 0);
+    // Count slices per bucket, then fill (two-pass, flat storage).
+    std::vector<std::uint32_t> counts(kBuckets, 0);
+    for (const Entry& entry : pending_) {
+      for (std::uint32_t b = entry.interval.lo >> 16;
+           b <= entry.interval.hi >> 16; ++b) {
+        ++counts[b];
+      }
+    }
+    std::uint64_t total = 0;
+    for (std::uint32_t b = 0; b < kBuckets; ++b) {
+      bucket_offsets_[b] = static_cast<std::uint32_t>(total);
+      total += counts[b];
+    }
+    bucket_offsets_[kBuckets] = static_cast<std::uint32_t>(total);
+    slices_.assign(total, Slice{});
+    std::vector<std::uint32_t> cursor(bucket_offsets_.begin(),
+                                      bucket_offsets_.end() - 1);
+    for (std::uint32_t e = 0; e < pending_.size(); ++e) {
+      const Interval& interval = pending_[e].interval;
+      for (std::uint32_t b = interval.lo >> 16; b <= interval.hi >> 16; ++b) {
+        // Clip to the bucket so Lookup never needs cross-bucket logic.
+        const std::uint32_t bucket_lo = b << 16;
+        const std::uint32_t bucket_hi = bucket_lo | 0xFFFFu;
+        slices_[cursor[b]++] = Slice{
+            static_cast<std::uint16_t>(std::max(interval.lo, bucket_lo)),
+            static_cast<std::uint16_t>(std::min(interval.hi, bucket_hi)), e};
+      }
+    }
+    built_ = true;
+  }
+
+  /// Returns the value covering `address`, or nullptr.
+  [[nodiscard]] const T* Lookup(Ipv4 address) const {
+    if (!built_) throw std::logic_error("Slash16Index: Build() not called");
+    const std::uint32_t bucket = address.value() >> 16;
+    const auto low = static_cast<std::uint16_t>(address.value());
+    const std::uint32_t begin = bucket_offsets_[bucket];
+    const std::uint32_t end = bucket_offsets_[bucket + 1];
+    for (std::uint32_t i = begin; i < end; ++i) {
+      if (low >= slices_[i].lo && low <= slices_[i].hi) {
+        return &pending_[slices_[i].entry].value;
+      }
+    }
+    return nullptr;
+  }
+
+  [[nodiscard]] std::size_t size() const { return pending_.size(); }
+
+ private:
+  static constexpr std::uint32_t kBuckets = 1u << 16;
+
+  struct Entry {
+    Interval interval;
+    T value;
+  };
+  struct Slice {
+    std::uint16_t lo = 0;
+    std::uint16_t hi = 0;
+    std::uint32_t entry = 0;
+  };
+
+  std::vector<Entry> pending_;
+  std::vector<std::uint32_t> bucket_offsets_;
+  std::vector<Slice> slices_;
+  bool built_ = false;
+};
+
+}  // namespace hotspots::net

@@ -1,0 +1,13 @@
+#include "net/special_ranges.h"
+
+#include <array>
+
+namespace hotspots::net {
+
+std::span<const Prefix> PrivateRanges() {
+  static constexpr std::array<Prefix, 3> kRanges = {kPrivate10, kPrivate172,
+                                                    kPrivate192};
+  return kRanges;
+}
+
+}  // namespace hotspots::net

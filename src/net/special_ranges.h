@@ -1,0 +1,61 @@
+// Registry of special-purpose IPv4 ranges.
+//
+// Worm targeting algorithms and the paper's environmental analysis care
+// about a handful of well-known ranges: RFC 1918 private space (the NAT
+// analysis of Section 4.3 revolves around 192.168.0.0/16), loopback,
+// multicast, and reserved space.  This module provides them as constants
+// plus convenience predicates.
+#pragma once
+
+#include <span>
+
+#include "net/ipv4.h"
+#include "net/prefix.h"
+
+namespace hotspots::net {
+
+/// 10.0.0.0/8 (RFC 1918).
+inline constexpr Prefix kPrivate10{Ipv4{10, 0, 0, 0}, 8};
+/// 172.16.0.0/12 (RFC 1918).
+inline constexpr Prefix kPrivate172{Ipv4{172, 16, 0, 0}, 12};
+/// 192.168.0.0/16 (RFC 1918) — the only private /16 inside 192.0.0.0/8,
+/// which is what makes the CodeRedII hotspot of Section 4.3.1 possible.
+inline constexpr Prefix kPrivate192{Ipv4{192, 168, 0, 0}, 16};
+/// 127.0.0.0/8 loopback.
+inline constexpr Prefix kLoopback{Ipv4{127, 0, 0, 0}, 8};
+/// 224.0.0.0/4 multicast.
+inline constexpr Prefix kMulticast{Ipv4{224, 0, 0, 0}, 4};
+/// 240.0.0.0/4 reserved ("class E").
+inline constexpr Prefix kReserved{Ipv4{240, 0, 0, 0}, 4};
+/// 0.0.0.0/8 ("this network").
+inline constexpr Prefix kThisNetwork{Ipv4{0, 0, 0, 0}, 8};
+
+/// The three RFC 1918 private ranges.
+[[nodiscard]] std::span<const Prefix> PrivateRanges();
+
+/// True for any RFC 1918 private address.
+[[nodiscard]] constexpr bool IsPrivate(Ipv4 address) {
+  return kPrivate10.Contains(address) || kPrivate172.Contains(address) ||
+         kPrivate192.Contains(address);
+}
+
+/// True for loopback addresses.
+[[nodiscard]] constexpr bool IsLoopback(Ipv4 address) {
+  return kLoopback.Contains(address);
+}
+
+/// True for multicast (class D) addresses.
+[[nodiscard]] constexpr bool IsMulticast(Ipv4 address) {
+  return kMulticast.Contains(address);
+}
+
+/// True for addresses that can never be a unicast target on the public
+/// Internet: 0/8, loopback, multicast, class E.  Private space is *not*
+/// included — private addresses are routable inside a site, which is exactly
+/// the behaviour the NAT experiments depend on.
+[[nodiscard]] constexpr bool IsNonTargetable(Ipv4 address) {
+  return kThisNetwork.Contains(address) || IsLoopback(address) ||
+         IsMulticast(address) || kReserved.Contains(address);
+}
+
+}  // namespace hotspots::net

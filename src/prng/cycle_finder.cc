@@ -1,0 +1,65 @@
+#include "prng/cycle_finder.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace hotspots::prng {
+
+std::vector<FoundCycle> FindAllCycles(int domain_bits, const StepFn& step) {
+  if (domain_bits < 1 || domain_bits > 26) {
+    throw std::invalid_argument("FindAllCycles: domain_bits must be in [1,26]");
+  }
+  const std::uint64_t domain = std::uint64_t{1} << domain_bits;
+  const std::uint32_t mask = static_cast<std::uint32_t>(domain - 1);
+  std::vector<bool> visited(domain, false);
+  std::vector<FoundCycle> cycles;
+
+  for (std::uint64_t start = 0; start < domain; ++start) {
+    if (visited[start]) continue;
+    // Because the map is a permutation and `start` is the smallest
+    // unvisited element, the trajectory from `start` must return to `start`
+    // without touching any visited element.
+    std::uint64_t length = 0;
+    std::uint32_t smallest = static_cast<std::uint32_t>(start);
+    std::uint32_t cursor = static_cast<std::uint32_t>(start);
+    do {
+      if (visited[cursor]) {
+        throw std::invalid_argument("FindAllCycles: step is not a permutation");
+      }
+      visited[cursor] = true;
+      smallest = std::min(smallest, cursor);
+      cursor = step(cursor) & mask;
+      ++length;
+    } while (cursor != start);
+    cycles.push_back(FoundCycle{smallest, length});
+  }
+  return cycles;
+}
+
+std::vector<std::uint32_t> CollectOrbit(std::uint32_t start, const StepFn& step,
+                                        std::uint64_t max_steps) {
+  std::vector<std::uint32_t> orbit;
+  orbit.push_back(start);
+  std::uint32_t cursor = start;
+  for (std::uint64_t i = 0; i < max_steps; ++i) {
+    cursor = step(cursor);
+    if (cursor == start) break;
+    orbit.push_back(cursor);
+  }
+  return orbit;
+}
+
+std::uint64_t CountOrbitHitsInBlock(std::uint32_t start, const StepFn& step,
+                                    std::uint64_t max_steps,
+                                    const net::Prefix& block) {
+  std::uint64_t hits = 0;
+  std::uint32_t cursor = start;
+  for (std::uint64_t i = 0; i < max_steps; ++i) {
+    cursor = step(cursor);
+    if (block.Contains(net::Ipv4{cursor})) ++hits;
+    if (cursor == start) break;
+  }
+  return hits;
+}
+
+}  // namespace hotspots::prng

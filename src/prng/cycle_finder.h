@@ -1,0 +1,51 @@
+// Brute-force cycle enumeration for permutations of small power-of-two
+// domains.
+//
+// This is the ground truth used to validate the algebraic analyzer in
+// lcg_cycles.h: at moduli up to ~2^24 we can explicitly enumerate every
+// cycle of T(x) = a·x + b and compare lengths, counts, and membership with
+// the O(1) algebra.  It also provides the generic trajectory helpers used by
+// the forensics tooling (orbit collection, orbit/block intersection).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "net/prefix.h"
+
+namespace hotspots::prng {
+
+/// One enumerated cycle of a permutation.
+struct FoundCycle {
+  std::uint32_t representative = 0;  ///< Smallest element of the cycle.
+  std::uint64_t length = 0;
+};
+
+/// Step function over [0, 2^domain_bits).
+using StepFn = std::function<std::uint32_t(std::uint32_t)>;
+
+/// Enumerates every cycle of the permutation `step` over [0, 2^domain_bits).
+/// Requires domain_bits ≤ 26 (memory guard: the visited bitmap is
+/// 2^domain_bits bits).  Throws std::invalid_argument beyond that, and
+/// std::invalid_argument if `step` is detected not to be a permutation
+/// (a trajectory re-enters a visited element other than its start).
+[[nodiscard]] std::vector<FoundCycle> FindAllCycles(int domain_bits,
+                                                    const StepFn& step);
+
+/// Collects the forward orbit of `start` under `step`, stopping after the
+/// orbit closes or `max_steps` applications.  The returned vector begins
+/// with `start` and contains no duplicates.
+[[nodiscard]] std::vector<std::uint32_t> CollectOrbit(std::uint32_t start,
+                                                      const StepFn& step,
+                                                      std::uint64_t max_steps);
+
+/// Walks the orbit of `start` for at most `max_steps` applications and
+/// counts how many visited states fall inside `block`.  This is how a
+/// quarantined Slammer host's probes are attributed to sensor blocks.
+[[nodiscard]] std::uint64_t CountOrbitHitsInBlock(std::uint32_t start,
+                                                  const StepFn& step,
+                                                  std::uint64_t max_steps,
+                                                  const net::Prefix& block);
+
+}  // namespace hotspots::prng

@@ -1,0 +1,64 @@
+// Linear congruential generators over power-of-two moduli.
+//
+// Nearly every worm the paper studies derives its targets from an LCG of the
+// form  s ← a·s + b  (mod 2^m).  `Lcg` is the exact, reusable model of that
+// recurrence: it exposes the raw state sequence (what Slammer uses directly)
+// rather than any truncated output (see msvc_rand.h for the truncated
+// Windows CRT variant Blaster uses).
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+
+namespace hotspots::prng {
+
+/// Parameters of an LCG  s ← a·s + b  (mod 2^modulus_bits).
+struct LcgParams {
+  std::uint32_t multiplier = 0;   ///< a
+  std::uint32_t increment = 0;    ///< b
+  int modulus_bits = 32;          ///< m in [1, 32]
+
+  /// Bitmask selecting the low `modulus_bits` bits.
+  [[nodiscard]] constexpr std::uint32_t Mask() const {
+    return modulus_bits == 32 ? ~std::uint32_t{0}
+                              : (std::uint32_t{1} << modulus_bits) - 1;
+  }
+
+  /// One application of the recurrence to `state`.
+  [[nodiscard]] constexpr std::uint32_t Step(std::uint32_t state) const {
+    return (multiplier * state + increment) & Mask();
+  }
+
+  friend constexpr bool operator==(const LcgParams&, const LcgParams&) = default;
+};
+
+/// A running LCG instance.
+class Lcg {
+ public:
+  constexpr Lcg(LcgParams params, std::uint32_t seed)
+      : params_(params), state_(seed & params.Mask()) {
+    if (params.modulus_bits < 1 || params.modulus_bits > 32) {
+      throw std::invalid_argument("Lcg: modulus_bits must be in [1,32]");
+    }
+  }
+
+  /// Advances one step and returns the new state.
+  constexpr std::uint32_t Next() {
+    state_ = params_.Step(state_);
+    return state_;
+  }
+
+  [[nodiscard]] constexpr std::uint32_t state() const { return state_; }
+  [[nodiscard]] constexpr const LcgParams& params() const { return params_; }
+
+ private:
+  LcgParams params_;
+  std::uint32_t state_;
+};
+
+/// The multiplier shared by the Microsoft CRT rand() and the Slammer worm.
+inline constexpr std::uint32_t kMsvcMultiplier = 214013;
+/// The increment of the Microsoft CRT rand().
+inline constexpr std::uint32_t kMsvcIncrement = 2531011;
+
+}  // namespace hotspots::prng

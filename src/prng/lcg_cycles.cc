@@ -1,0 +1,132 @@
+#include "prng/lcg_cycles.h"
+
+#include <algorithm>
+#include <bit>
+#include <set>
+#include <stdexcept>
+
+namespace hotspots::prng {
+
+int Valuation2(std::uint32_t value, int cap) {
+  if (value == 0) return cap;
+  return std::min(cap, std::countr_zero(value));
+}
+
+LcgCycleAnalyzer::LcgCycleAnalyzer(LcgParams params)
+    : params_(params), m_(params.modulus_bits) {
+  if (m_ < 3 || m_ > 32) {
+    throw std::invalid_argument("LcgCycleAnalyzer: modulus_bits must be in [3,32]");
+  }
+  if (params.multiplier % 4 != 1 || params.multiplier == 1) {
+    throw std::invalid_argument(
+        "LcgCycleAnalyzer: multiplier must be ≡ 1 (mod 4) and ≠ 1");
+  }
+  a_minus_1_ = (params.multiplier - 1) & params.Mask();
+  e_ = Valuation2(a_minus_1_, m_);
+  if (e_ >= m_) {
+    throw std::invalid_argument(
+        "LcgCycleAnalyzer: multiplier is ≡ 1 (mod 2^m); map is a translation");
+  }
+}
+
+std::uint32_t LcgCycleAnalyzer::YOf(std::uint32_t x) const {
+  return (a_minus_1_ * x + params_.increment) & params_.Mask();
+}
+
+int LcgCycleAnalyzer::ValuationOf(std::uint32_t y) const {
+  return Valuation2(y, m_);
+}
+
+std::uint64_t LcgCycleAnalyzer::CycleLength(std::uint32_t x) const {
+  const int v = ValuationOf(YOf(x));
+  return v >= m_ ? 1 : (std::uint64_t{1} << (m_ - v));
+}
+
+CycleId LcgCycleAnalyzer::IdOf(std::uint32_t x) const {
+  x &= params_.Mask();
+  const std::uint32_t y = YOf(x);
+  const int v = ValuationOf(y);
+  if (v >= m_ - e_) {
+    // Short cycles (length ≤ 2^e): the algebraic coset invariant no longer
+    // separates distinct cycles inside one y-fibre, so canonicalize by
+    // walking the whole (tiny) orbit and taking its minimum element.
+    std::uint32_t min_element = x;
+    std::uint32_t cursor = params_.Step(x);
+    // Orbit length is 2^(m−v) ≤ 2^e; bound the walk defensively anyway.
+    for (int step = 0; step < (1 << e_) && cursor != x; ++step) {
+      min_element = std::min(min_element, cursor);
+      cursor = params_.Step(cursor);
+    }
+    return CycleId{v, min_element};
+  }
+  const std::uint32_t odd_part = y >> v;
+  // Same cycle ⇔ same v and odd parts agree modulo 2^min(e, m−v); here
+  // m−v > e so the modulus is 2^e.
+  return CycleId{v, odd_part & ((1u << e_) - 1)};
+}
+
+std::vector<CycleClass> LcgCycleAnalyzer::Census() const {
+  std::vector<CycleClass> census;
+  const int vb = ValuationOf(params_.increment & params_.Mask());
+  const auto points_total = std::uint64_t{1} << m_;
+
+  if (vb < e_) {
+    // v₂(y) = v₂(b) for every x: a single class of maximal cycles.
+    const std::uint64_t length = std::uint64_t{1} << (m_ - vb);
+    census.push_back(CycleClass{length, points_total / length, points_total});
+    return census;
+  }
+
+  // v₂(y) = e + v₂(w) with w uniform over Z_2^(m−e) (fibre multiplicity 2^e).
+  const int me = m_ - e_;
+  for (int j = 0; j < me; ++j) {
+    const std::uint64_t w_count = std::uint64_t{1} << (me - j - 1);
+    const std::uint64_t points = w_count << e_;
+    const int v = e_ + j;
+    const std::uint64_t length = std::uint64_t{1} << (m_ - v);
+    census.push_back(CycleClass{length, points / length, points});
+  }
+  // w = 0 ⇒ y ≡ 0 (mod 2^m): 2^e fixed points, each its own cycle.
+  census.push_back(CycleClass{1, std::uint64_t{1} << e_, std::uint64_t{1} << e_});
+
+  std::sort(census.begin(), census.end(),
+            [](const CycleClass& a, const CycleClass& b) {
+              return a.length > b.length;
+            });
+  return census;
+}
+
+std::uint64_t LcgCycleAnalyzer::TotalCycles() const {
+  std::uint64_t total = 0;
+  for (const CycleClass& cls : Census()) total += cls.num_cycles;
+  return total;
+}
+
+double LcgCycleAnalyzer::HitProbability(std::uint32_t x) const {
+  return static_cast<double>(CycleLength(x)) /
+         static_cast<double>(std::uint64_t{1} << m_);
+}
+
+std::uint64_t LcgCycleAnalyzer::SumCycleLengthsThrough(
+    const net::Prefix& block) const {
+  std::set<CycleId> seen;
+  std::uint64_t sum = 0;
+  for (std::uint64_t i = 0; i < block.size(); ++i) {
+    const std::uint32_t x = block.AddressAt(i).value() & params_.Mask();
+    const CycleId id = IdOf(x);
+    if (seen.insert(id).second) sum += CycleLength(x);
+    // Once both maximal cycles and everything shorter intersecting the block
+    // have been found, further scanning cannot add: no early exit — blocks
+    // are small (≤ /17 in the experiments) and this is not a hot path.
+  }
+  return sum;
+}
+
+double LcgCycleAnalyzer::ExpectedUniqueSources(const net::Prefix& block,
+                                               std::uint64_t population) const {
+  const double p = static_cast<double>(SumCycleLengthsThrough(block)) /
+                   static_cast<double>(std::uint64_t{1} << m_);
+  return static_cast<double>(population) * p;
+}
+
+}  // namespace hotspots::prng

@@ -1,0 +1,118 @@
+// Exact algebraic cycle analysis of LCGs over power-of-two moduli.
+//
+// The Slammer analysis in Section 4.2.3 of the paper rests entirely on the
+// cycle structure of the map T(x) = a·x + b (mod 2^m): each infected host is
+// trapped on one cycle forever, so the set of addresses a host can ever
+// target is exactly the cycle containing its seed, and the expected number
+// of distinct infected sources observed at an address t is
+// N · len(cycle(t)) / 2^m.
+//
+// For odd `a` the map is a permutation.  Substituting y = (a−1)x + b turns T
+// into pure multiplication, y ← a·y, which makes the cycle structure fully
+// computable in O(1) per point for a ≡ 1 (mod 4) (which covers the
+// msvcrt/Slammer multiplier a = 214013):
+//
+//   * With e = v₂(a−1) (e ≥ 2), the lifting-the-exponent lemma gives
+//     v₂(aᵏ−1) = e + v₂(k), so the partial geometric sums satisfy
+//     v₂(Sₖ) = v₂(k), where Sₖ = 1 + a + … + a^{k−1}.
+//   * T^k(x) = x  ⇔  Sₖ·y ≡ 0 (mod 2^m), so the cycle length of x is
+//     2^max(0, m − v₂(y)).
+//   * Two points are on the same cycle iff their y values have the same
+//     2-adic valuation v and the odd parts agree modulo 2^min(e, m−v).
+//     (For v ≥ m−e, where cycles are shorter than the y-fibre, we fall back
+//     to explicitly walking the ≤ 2^e-step orbit.)
+//
+// The census this module derives — (m−e)·2^{e−1} classes of 2^{e−1} cycles
+// plus 2^e fixed points when v₂(b) ≥ e — yields exactly 64 cycles for the
+// Slammer parameters (m=32, e=2), matching the paper's count.  Everything
+// here is verified against the brute-force permutation cycle finder in
+// cycle_finder.h at small moduli (see tests/prng_lcg_cycles_test.cc).
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <vector>
+
+#include "net/prefix.h"
+#include "prng/lcg.h"
+
+namespace hotspots::prng {
+
+/// A complete cycle-membership invariant: two states are on the same cycle
+/// of the LCG iff their CycleIds compare equal.
+struct CycleId {
+  int valuation = 0;          ///< v₂(y), capped at m.
+  std::uint32_t residue = 0;  ///< Coset/representative discriminator.
+
+  friend constexpr auto operator<=>(const CycleId&, const CycleId&) = default;
+};
+
+/// One equivalence class of cycles sharing a length.
+struct CycleClass {
+  std::uint64_t length = 0;      ///< Period of each cycle in the class.
+  std::uint64_t num_cycles = 0;  ///< How many distinct cycles have it.
+  std::uint64_t num_points = 0;  ///< length × num_cycles.
+};
+
+/// Exact cycle analysis of T(x) = a·x + b (mod 2^m) for a ≡ 1 (mod 4).
+class LcgCycleAnalyzer {
+ public:
+  /// Throws std::invalid_argument unless params.multiplier ≡ 1 (mod 4)
+  /// (and ≠ 1, which would make T a degenerate translation).
+  explicit LcgCycleAnalyzer(LcgParams params);
+
+  /// Length of the cycle through `x`.  O(1).
+  [[nodiscard]] std::uint64_t CycleLength(std::uint32_t x) const;
+
+  /// Complete cycle-membership invariant of `x`.  O(1) except for points
+  /// within 2^e of a fixed point, where it walks the ≤ 2^e-step orbit.
+  [[nodiscard]] CycleId IdOf(std::uint32_t x) const;
+
+  /// True iff `x` and `y` lie on the same cycle.
+  [[nodiscard]] bool SameCycle(std::uint32_t x, std::uint32_t y) const {
+    return IdOf(x) == IdOf(y);
+  }
+
+  /// The full cycle census (sorted by decreasing length).  Sum of
+  /// num_points over all classes is exactly 2^m.
+  [[nodiscard]] std::vector<CycleClass> Census() const;
+
+  /// Total number of distinct cycles (the paper reports 64 for Slammer).
+  [[nodiscard]] std::uint64_t TotalCycles() const;
+
+  /// Probability that a uniformly seeded instance ever targets `x`:
+  /// len(cycle(x)) / 2^m.
+  [[nodiscard]] double HitProbability(std::uint32_t x) const;
+
+  /// Sum of the lengths of all *distinct* cycles that pass through the
+  /// block — the statistic the paper computes for the D/H/I sensor blocks.
+  /// Also equals 2^m × (probability that a uniformly seeded instance ever
+  /// targets *some* address of the block).
+  [[nodiscard]] std::uint64_t SumCycleLengthsThrough(
+      const net::Prefix& block) const;
+
+  /// Expected number of distinct infected sources observed anywhere in
+  /// `block`, given `population` instances with independent uniform seeds.
+  [[nodiscard]] double ExpectedUniqueSources(const net::Prefix& block,
+                                             std::uint64_t population) const;
+
+  [[nodiscard]] const LcgParams& params() const { return params_; }
+  /// e = v₂(a−1).
+  [[nodiscard]] int increment_valuation_of_multiplier() const { return e_; }
+
+ private:
+  /// y = (a−1)x + b reduced mod 2^m.
+  [[nodiscard]] std::uint32_t YOf(std::uint32_t x) const;
+  /// v₂(y) capped at m.
+  [[nodiscard]] int ValuationOf(std::uint32_t y) const;
+
+  LcgParams params_;
+  int m_;                  ///< Modulus bits.
+  int e_;                  ///< v₂(a−1).
+  std::uint32_t a_minus_1_;
+};
+
+/// 2-adic valuation of a 32-bit value; `cap` is returned for zero.
+[[nodiscard]] int Valuation2(std::uint32_t value, int cap);
+
+}  // namespace hotspots::prng

@@ -1,0 +1,42 @@
+// The Microsoft Visual C runtime rand()/srand() pair.
+//
+// Blaster calls srand(GetTickCount()) and then uses rand() to choose its
+// starting /24 (Section 4.2.2 of the paper).  The CRT generator is the LCG
+// s ← 214013·s + 2531011 (mod 2^32) with 15-bit truncated output
+// (s >> 16) & 0x7FFF, so the *observable* behaviour of Blaster depends on
+// both the LCG flaw structure and the truncation.
+#pragma once
+
+#include <cstdint>
+
+#include "prng/lcg.h"
+
+namespace hotspots::prng {
+
+/// Faithful model of msvcrt's rand().
+class MsvcRand {
+ public:
+  /// RAND_MAX of the Microsoft CRT.
+  static constexpr std::uint32_t kRandMax = 0x7FFF;
+
+  /// Equivalent of srand(seed).
+  constexpr explicit MsvcRand(std::uint32_t seed) : state_(seed) {}
+
+  /// Equivalent of rand(): advances the LCG, returns 15 bits in [0, 0x7FFF].
+  constexpr std::uint32_t Next() {
+    state_ = state_ * kMsvcMultiplier + kMsvcIncrement;
+    return (state_ >> 16) & kRandMax;
+  }
+
+  /// rand() % bound, exactly as worm code does it (with its modulo bias).
+  constexpr std::uint32_t NextMod(std::uint32_t bound) {
+    return Next() % bound;
+  }
+
+  [[nodiscard]] constexpr std::uint32_t state() const { return state_; }
+
+ private:
+  std::uint32_t state_;
+};
+
+}  // namespace hotspots::prng

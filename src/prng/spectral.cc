@@ -1,0 +1,59 @@
+#include "prng/spectral.h"
+
+#include <cmath>
+#include <stdexcept>
+#include <utility>
+
+namespace hotspots::prng {
+namespace {
+
+struct Vec {
+  std::int64_t x = 0;
+  std::int64_t y = 0;
+
+  [[nodiscard]] double NormSquared() const {
+    return static_cast<double>(x) * static_cast<double>(x) +
+           static_cast<double>(y) * static_cast<double>(y);
+  }
+};
+
+}  // namespace
+
+SpectralResult SpectralTest2D(const LcgParams& params) {
+  if ((params.multiplier & 1u) == 0) {
+    throw std::invalid_argument("SpectralTest2D: multiplier must be odd");
+  }
+  if (params.modulus_bits < 2 || params.modulus_bits > 32) {
+    throw std::invalid_argument("SpectralTest2D: modulus_bits in [2,32]");
+  }
+  const std::int64_t modulus = std::int64_t{1} << params.modulus_bits;
+
+  // Lattice basis: u = (1, a), v = (0, 2^m).  Gaussian reduction: swap so
+  // |u| ≤ |v|, subtract the nearest-integer multiple, repeat.
+  Vec u{1, static_cast<std::int64_t>(params.multiplier)};
+  Vec v{0, modulus};
+  for (;;) {
+    if (u.NormSquared() > v.NormSquared()) std::swap(u, v);
+    // μ = round(<v,u> / <u,u>)
+    const double dot = static_cast<double>(v.x) * u.x +
+                       static_cast<double>(v.y) * u.y;
+    const double mu = std::nearbyint(dot / u.NormSquared());
+    if (mu == 0.0) break;
+    v.x -= static_cast<std::int64_t>(mu) * u.x;
+    v.y -= static_cast<std::int64_t>(mu) * u.y;
+  }
+  const Vec shortest = u.NormSquared() <= v.NormSquared() ? u : v;
+
+  SpectralResult result;
+  result.shortest_x = shortest.x;
+  result.shortest_y = shortest.y;
+  result.nu2 = std::sqrt(shortest.NormSquared());
+  // The densest possible 2-D lattice of determinant 2^m (hexagonal) has
+  // shortest vector sqrt(2^m · 2/sqrt(3)).
+  result.merit =
+      result.nu2 / std::sqrt(static_cast<double>(modulus) * 2.0 /
+                             std::sqrt(3.0));
+  return result;
+}
+
+}  // namespace hotspots::prng

@@ -1,0 +1,38 @@
+// SplitMix64 — the canonical seeding generator.
+//
+// Used to expand a single 64-bit seed into the larger states of the
+// simulation RNGs, and as a cheap stateless mixer.  Reference:
+// Steele, Lea, Flood, "Fast Splittable Pseudorandom Number Generators",
+// OOPSLA 2014.
+#pragma once
+
+#include <cstdint>
+
+namespace hotspots::prng {
+
+/// Stateful SplitMix64 stream.
+class SplitMix64 {
+ public:
+  constexpr explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  /// Next 64 pseudo-random bits.
+  constexpr std::uint64_t Next() {
+    std::uint64_t z = (state_ += 0x9E3779B97F4A7C15ull);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// One-shot mix of a 64-bit value (finalizer of SplitMix64).
+[[nodiscard]] constexpr std::uint64_t Mix64(std::uint64_t z) {
+  z += 0x9E3779B97F4A7C15ull;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+}  // namespace hotspots::prng

@@ -1,0 +1,109 @@
+#include "prng/tickcount.h"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace hotspots::prng {
+
+std::vector<HardwareGeneration> PaperHardwareGenerations() {
+  // The paper reports "a mean boot time of about 30 seconds with a 1 second
+  // standard deviation" across three generations; we give each generation a
+  // slightly different mean inside that envelope.
+  return {
+      HardwareGeneration{"Pentium II", 31.5, 1.0, 1.0},
+      HardwareGeneration{"Pentium III", 30.0, 1.0, 1.0},
+      HardwareGeneration{"Pentium IV", 28.5, 1.0, 1.0},
+  };
+}
+
+BootEntropyModel::BootEntropyModel(std::vector<HardwareGeneration> generations,
+                                   double reboot_start_fraction,
+                                   double min_uptime_seconds,
+                                   double max_uptime_seconds,
+                                   std::uint32_t tick_resolution_ms)
+    : generations_(std::move(generations)),
+      reboot_start_fraction_(reboot_start_fraction),
+      min_uptime_seconds_(min_uptime_seconds),
+      max_uptime_seconds_(max_uptime_seconds),
+      tick_resolution_ms_(tick_resolution_ms) {
+  if (tick_resolution_ms == 0) {
+    throw std::invalid_argument("BootEntropyModel: zero tick resolution");
+  }
+  if (generations_.empty()) {
+    throw std::invalid_argument("BootEntropyModel: no hardware generations");
+  }
+  if (reboot_start_fraction < 0.0 || reboot_start_fraction > 1.0) {
+    throw std::invalid_argument(
+        "BootEntropyModel: reboot_start_fraction outside [0,1]");
+  }
+  if (min_uptime_seconds <= 0 || max_uptime_seconds < min_uptime_seconds) {
+    throw std::invalid_argument("BootEntropyModel: bad uptime bounds");
+  }
+  double total = 0.0;
+  for (const HardwareGeneration& generation : generations_) {
+    if (generation.weight < 0) {
+      throw std::invalid_argument("BootEntropyModel: negative weight");
+    }
+    total += generation.weight;
+    cumulative_weights_.push_back(total);
+  }
+  if (total <= 0) {
+    throw std::invalid_argument("BootEntropyModel: zero total weight");
+  }
+  for (double& w : cumulative_weights_) w /= total;
+}
+
+BootEntropyModel BootEntropyModel::Paper() {
+  return BootEntropyModel{PaperHardwareGenerations()};
+}
+
+double BootEntropyModel::SampleBootSeconds(
+    const HardwareGeneration& generation, Xoshiro256& rng) const {
+  // Box–Muller; boot times are tightly clustered so a normal is adequate.
+  const double u1 = rng.NextDouble();
+  const double u2 = rng.NextDouble();
+  const double z =
+      std::sqrt(-2.0 * std::log(u1 + 1e-300)) *
+      std::cos(2.0 * std::numbers::pi * u2);
+  return std::max(1.0, generation.boot_mean_seconds +
+                           z * generation.boot_stddev_seconds);
+}
+
+std::uint32_t BootEntropyModel::SampleTickCount(Xoshiro256& rng) const {
+  const double pick = rng.NextDouble();
+  std::size_t index = 0;
+  while (index + 1 < cumulative_weights_.size() &&
+         pick > cumulative_weights_[index]) {
+    ++index;
+  }
+  double seconds = SampleBootSeconds(generations_[index], rng);
+  if (!rng.Bernoulli(reboot_start_fraction_)) {
+    // Host was up for a while before the worm started: add a log-uniform
+    // uptime, which produces the paper's tail of seeds out to tens of
+    // minutes and beyond.
+    const double log_min = std::log(min_uptime_seconds_);
+    const double log_max = std::log(max_uptime_seconds_);
+    seconds += std::exp(log_min + (log_max - log_min) * rng.NextDouble());
+  }
+  // GetTickCount wraps at 2^32 ms (~49.7 days) and advances in coarse
+  // timer-interrupt steps; model both faithfully.
+  const double ticks = seconds * 1000.0;
+  const auto raw = static_cast<std::uint32_t>(std::fmod(ticks, 4294967296.0));
+  return raw - raw % tick_resolution_ms_;
+}
+
+std::vector<std::uint32_t> BootEntropyModel::RebootLoopExperiment(
+    const HardwareGeneration& generation, int trials, Xoshiro256& rng) const {
+  if (trials < 0) throw std::invalid_argument("RebootLoopExperiment: trials<0");
+  std::vector<std::uint32_t> ticks;
+  ticks.reserve(static_cast<std::size_t>(trials));
+  for (int i = 0; i < trials; ++i) {
+    const auto raw = static_cast<std::uint32_t>(
+        SampleBootSeconds(generation, rng) * 1000.0);
+    ticks.push_back(raw - raw % tick_resolution_ms_);
+  }
+  return ticks;
+}
+
+}  // namespace hotspots::prng

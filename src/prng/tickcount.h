@@ -1,0 +1,90 @@
+// Model of GetTickCount() as a (bad) entropy source.
+//
+// Blaster seeds srand() with GetTickCount(), the number of milliseconds
+// since boot.  Because the worm is launched from a registry run key, the
+// tick count at launch is just the boot duration — and Section 4.2.2 of the
+// paper measured boot durations across three hardware generations at a mean
+// of ≈30 s with ≈1 s standard deviation.  The seed is therefore confined to
+// a tiny slice of the 32-bit space, which is the root cause of the Blaster
+// hotspots in Figure 1.
+//
+// This module reproduces both the paper's measurement (a simulated
+// reboot-loop experiment) and the resulting launch-time seed distribution,
+// including the longer tail of hosts that reboot, run for a while, and only
+// then get (re)infected.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "prng/xoshiro.h"
+
+namespace hotspots::prng {
+
+/// Boot-duration statistics for one hardware generation, as measured by the
+/// paper's reboot-loop program.
+struct HardwareGeneration {
+  std::string name;
+  double boot_mean_seconds = 30.0;
+  double boot_stddev_seconds = 1.0;
+  double weight = 1.0;  ///< Relative share of the infected population.
+};
+
+/// The three generations the paper measured (Pentium II/III/IV), all with a
+/// mean boot time of about 30 s and a 1 s standard deviation.
+[[nodiscard]] std::vector<HardwareGeneration> PaperHardwareGenerations();
+
+/// Distribution of GetTickCount() values observed at worm launch.
+class BootEntropyModel {
+ public:
+  /// `reboot_start_fraction` is the share of infections whose worm process
+  /// starts right at boot (registry run key after a reboot); the remainder
+  /// are hosts infected `uptime` into a session, where uptime is sampled
+  /// log-uniformly between `min_uptime_seconds` and `max_uptime_seconds`.
+  /// `tick_resolution_ms` models GetTickCount()'s coarse timer granularity
+  /// (~16 ms on the measured hardware): returned ticks are quantized to it,
+  /// which is what funnels thousands of rebooting hosts onto *identical*
+  /// seeds and makes the Figure-1 spikes so tall.
+  BootEntropyModel(std::vector<HardwareGeneration> generations,
+                   double reboot_start_fraction = 0.85,
+                   double min_uptime_seconds = 60.0,
+                   double max_uptime_seconds = 7.0 * 24 * 3600,
+                   std::uint32_t tick_resolution_ms = 16);
+
+  /// Model with the paper's measured hardware generations.
+  [[nodiscard]] static BootEntropyModel Paper();
+
+  /// Samples a GetTickCount() value (milliseconds since boot) at the moment
+  /// the worm calls srand().
+  [[nodiscard]] std::uint32_t SampleTickCount(Xoshiro256& rng) const;
+
+  /// Simulates the paper's measurement program: reboot `trials` times and
+  /// log GetTickCount() at launch; returns the tick values (ms).  Used by
+  /// the fig1 bench to reproduce the "mean ≈ 30 s, σ ≈ 1 s" observation.
+  [[nodiscard]] std::vector<std::uint32_t> RebootLoopExperiment(
+      const HardwareGeneration& generation, int trials, Xoshiro256& rng) const;
+
+  [[nodiscard]] const std::vector<HardwareGeneration>& generations() const {
+    return generations_;
+  }
+  [[nodiscard]] double reboot_start_fraction() const {
+    return reboot_start_fraction_;
+  }
+  [[nodiscard]] std::uint32_t tick_resolution_ms() const {
+    return tick_resolution_ms_;
+  }
+
+ private:
+  [[nodiscard]] double SampleBootSeconds(const HardwareGeneration& generation,
+                                         Xoshiro256& rng) const;
+
+  std::vector<HardwareGeneration> generations_;
+  std::vector<double> cumulative_weights_;
+  double reboot_start_fraction_;
+  double min_uptime_seconds_;
+  double max_uptime_seconds_;
+  std::uint32_t tick_resolution_ms_;
+};
+
+}  // namespace hotspots::prng

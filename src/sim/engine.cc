@@ -1,0 +1,221 @@
+#include "sim/engine.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace hotspots::sim {
+
+Engine::Engine(Population& population, const Worm& worm,
+               const topology::Reachability& reachability,
+               const topology::NatDirectory* nats, EngineConfig config)
+    : population_(population), worm_(worm), reachability_(reachability),
+      nats_(nats), config_(config), rng_(config.seed) {
+  if (config_.scan_rate <= 0.0) {
+    throw std::invalid_argument("Engine: scan_rate must be positive");
+  }
+  if (config_.dt == 0.0) config_.dt = 1.0 / config_.scan_rate;
+  if (config_.dt <= 0.0) {
+    throw std::invalid_argument("Engine: dt must be positive");
+  }
+  if (config_.sample_interval <= 0.0) {
+    throw std::invalid_argument("Engine: sample_interval must be positive");
+  }
+  if (config_.patch_rate < 0.0 || config_.disinfect_rate < 0.0 ||
+      config_.infection_latency < 0.0 ||
+      config_.global_bandwidth_probes_per_sec < 0.0) {
+    throw std::invalid_argument("Engine: lifecycle rates must be ≥ 0");
+  }
+}
+
+net::Ipv4 Engine::PublicFacingAddress(const Host& host) const {
+  if (!host.behind_nat()) return host.address;
+  if (nats_ == nullptr) {
+    throw std::logic_error("Engine: NATed host but no NatDirectory");
+  }
+  return nats_->Get(host.nat_site).public_address;
+}
+
+void Engine::Infect(HostId id, double time) {
+  Host& host = population_.host(id);
+  if (host.state != HostState::kVulnerable) return;
+  host.state = HostState::kInfected;
+  host.infected_at = time;
+  ++ever_infected_;
+  if (vulnerable_ > 0) --vulnerable_;
+  pending_.push_back(
+      PendingActivation{time + config_.infection_latency, id});
+}
+
+void Engine::ActivateDue(double time) {
+  while (pending_cursor_ < pending_.size() &&
+         pending_[pending_cursor_].activate_at <= time) {
+    const HostId id = pending_[pending_cursor_].host;
+    ++pending_cursor_;
+    // A host disinfected while still latent never starts scanning.
+    if (population_.host(id).state != HostState::kInfected) continue;
+    infected_.push_back(id);
+    scanners_.push_back(worm_.MakeScanner(population_.host(id), rng_.Next()));
+  }
+  if (pending_cursor_ == pending_.size() && !pending_.empty()) {
+    pending_.clear();
+    pending_cursor_ = 0;
+  }
+}
+
+void Engine::ApplyLifecycleEvents(double time, double dt) {
+  // Disinfection: expected events = rate · dt · #scanning.
+  if (config_.disinfect_rate > 0.0 && !infected_.empty()) {
+    disinfect_credit_ +=
+        config_.disinfect_rate * dt * static_cast<double>(infected_.size());
+    while (disinfect_credit_ >= 1.0 && !infected_.empty()) {
+      disinfect_credit_ -= 1.0;
+      const auto index = static_cast<std::size_t>(
+          rng_.UniformBelow(static_cast<std::uint32_t>(infected_.size())));
+      Host& host = population_.host(infected_[index]);
+      host.state = HostState::kImmune;
+      ++immune_;
+      infected_[index] = infected_.back();
+      infected_.pop_back();
+      std::swap(scanners_[index], scanners_.back());
+      scanners_.pop_back();
+    }
+  }
+  // Patching: expected events = rate · dt · #vulnerable; hosts are found by
+  // rejection sampling (cheap while any reasonable fraction is vulnerable).
+  if (config_.patch_rate > 0.0 && vulnerable_ > 0) {
+    patch_credit_ +=
+        config_.patch_rate * dt * static_cast<double>(vulnerable_);
+    const auto population_size =
+        static_cast<std::uint32_t>(population_.size());
+    while (patch_credit_ >= 1.0 && vulnerable_ > 0) {
+      patch_credit_ -= 1.0;
+      for (int attempt = 0; attempt < 1024; ++attempt) {
+        Host& host = population_.host(rng_.UniformBelow(population_size));
+        if (host.state == HostState::kVulnerable) {
+          host.state = HostState::kImmune;
+          ++immune_;
+          --vulnerable_;
+          break;
+        }
+      }
+    }
+  }
+  (void)time;
+}
+
+void Engine::SeedInfection(HostId id) { Infect(id, 0.0); }
+
+void Engine::SeedRandomInfections(int count) {
+  if (count < 0) throw std::invalid_argument("SeedRandomInfections: count<0");
+  const auto population_size = static_cast<std::uint32_t>(population_.size());
+  if (population_size == 0 && count > 0) {
+    throw std::logic_error("SeedRandomInfections: empty population");
+  }
+  int seeded = 0;
+  // Rejection-sample distinct vulnerable hosts; populations are far larger
+  // than seed counts (25 seeds vs 134k hosts), so this terminates quickly.
+  std::uint64_t attempts = 0;
+  const std::uint64_t max_attempts =
+      std::uint64_t{1000} * static_cast<std::uint64_t>(count) + 1000;
+  while (seeded < count) {
+    if (++attempts > max_attempts) {
+      throw std::runtime_error(
+          "SeedRandomInfections: could not find enough vulnerable hosts");
+    }
+    const HostId id = rng_.UniformBelow(population_size);
+    if (population_.host(id).state == HostState::kVulnerable) {
+      Infect(id, 0.0);
+      ++seeded;
+    }
+  }
+}
+
+RunResult Engine::Run() {
+  NullObserver null_observer;
+  return Run(null_observer);
+}
+
+RunResult Engine::Run(ProbeObserver& observer) {
+  RunResult result;
+  vulnerable_ = population_.CountInState(HostState::kVulnerable);
+  result.eligible_population = vulnerable_ + ever_infected_;
+  const auto stop_infected = static_cast<std::uint64_t>(
+      config_.stop_at_infected_fraction *
+      static_cast<double>(result.eligible_population));
+
+  double time = 0.0;
+  double probe_credit = 0.0;
+  double next_sample = 0.0;
+  ProbeEvent event;
+
+  while (time < config_.end_time && result.total_probes < config_.max_probes &&
+         ever_infected_ < stop_infected) {
+    ActivateDue(time);
+    ApplyLifecycleEvents(time, config_.dt);
+    if (time >= next_sample) {
+      result.series.push_back(
+          SamplePoint{time, ever_infected_, result.total_probes});
+      next_sample += config_.sample_interval;
+    }
+    if (infected_.empty() && pending_cursor_ >= pending_.size()) {
+      break;  // Nothing will ever happen again.
+    }
+
+    // Probes per infected host this step (usually exactly 1).  Under a
+    // global bandwidth cap, the outbreak throttles itself: the effective
+    // per-host rate is capacity / #infected once that is lower.
+    double effective_rate = config_.scan_rate;
+    if (config_.global_bandwidth_probes_per_sec > 0.0 && !infected_.empty()) {
+      effective_rate =
+          std::min(effective_rate, config_.global_bandwidth_probes_per_sec /
+                                       static_cast<double>(infected_.size()));
+    }
+    probe_credit += effective_rate * config_.dt;
+    const int probes_per_host = static_cast<int>(probe_credit);
+    probe_credit -= probes_per_host;
+
+    // Hosts activated during this step were appended beyond `active` (or
+    // are still latent) and therefore start scanning at a later step.
+    const std::size_t active = infected_.size();
+    for (std::size_t i = 0; i < active; ++i) {
+      const HostId src_id = infected_[i];
+      const Host& src = population_.host(src_id);
+      for (int p = 0; p < probes_per_host; ++p) {
+        const net::Ipv4 target = scanners_[i]->NextTarget(rng_);
+        ++result.total_probes;
+
+        topology::Probe probe;
+        probe.src = src.address;
+        probe.dst = target;
+        probe.src_site = src.nat_site;
+        probe.src_org = src.org;
+        const topology::Delivery verdict = reachability_.Decide(probe, rng_);
+        ++result.delivery_counts[static_cast<std::size_t>(verdict)];
+
+        event.time = time;
+        event.src_host = src_id;
+        event.src_address = PublicFacingAddress(src);
+        event.dst = target;
+        event.delivery = verdict;
+        observer.OnProbe(event);
+
+        if (verdict != topology::Delivery::kDelivered) continue;
+        const HostId victim =
+            net::IsPrivate(target)
+                ? population_.FindInSite(src.nat_site, target)
+                : population_.FindPublic(target);
+        if (victim != kInvalidHost) Infect(victim, time);
+      }
+    }
+    time += config_.dt;
+  }
+
+  result.series.push_back(
+      SamplePoint{time, ever_infected_, result.total_probes});
+  result.end_time = time;
+  result.final_infected = ever_infected_;
+  result.final_immune = immune_;
+  return result;
+}
+
+}  // namespace hotspots::sim

@@ -1,0 +1,153 @@
+// The epidemic simulation engine.
+//
+// A time-stepped discrete simulator of worm propagation, matching the
+// platform described in Section 5.1 of the paper: every infected host emits
+// probes at a fixed scan rate (the paper uses 10 probes/second), each probe
+// picks a target via the worm's (possibly hotspot-ridden) targeting
+// algorithm, travels through the environmental-factor pipeline
+// (topology::Reachability), and, if it lands on a vulnerable host, converts
+// it to the infected population.  Hosts infected during a step start
+// scanning at the next step.
+//
+// The step size defaults to 1/scan_rate so each infected host emits exactly
+// one probe per step; fractional configurations are handled with per-step
+// probe credit.  The engine is deterministic given (population order,
+// config.seed).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "prng/xoshiro.h"
+#include "sim/observer.h"
+#include "sim/population.h"
+#include "sim/targeting.h"
+#include "topology/nat.h"
+#include "topology/reachability.h"
+
+namespace hotspots::sim {
+
+/// Engine parameters.  Defaults reproduce the paper's platform.
+struct EngineConfig {
+  /// Probes per second per infected host (paper: 10).
+  double scan_rate = 10.0;
+  /// Step size in seconds; 0 means 1/scan_rate.
+  double dt = 0.0;
+  /// Hard stop (simulated seconds).
+  double end_time = 3600.0;
+  /// Hard stop (total probes emitted), as a runaway guard.
+  std::uint64_t max_probes = ~std::uint64_t{0};
+  /// Stop once this fraction of the vulnerable population is infected.
+  double stop_at_infected_fraction = 1.0;
+  /// Metrics sampling interval (simulated seconds).
+  double sample_interval = 1.0;
+  /// Master seed for the engine RNG (scanner entropy, loss draws).
+  std::uint64_t seed = 0x5EED;
+
+  // -- Host-lifecycle extensions (all default off) ----------------------
+  /// Per-second probability that a vulnerable host is patched (moves to
+  /// the immune population without ever being infected).
+  double patch_rate = 0.0;
+  /// Per-second probability that an infected host is cleaned up (moves to
+  /// the immune population and stops scanning).
+  double disinfect_rate = 0.0;
+  /// Delay between a successful infection and the first probe the new
+  /// instance emits (exploit + install latency).
+  double infection_latency = 0.0;
+  /// Aggregate network capacity in probes/second shared by all infected
+  /// hosts; 0 disables.  Models the self-induced congestion the paper
+  /// notes for Slammer ("which can be self-induced by the outbreak"):
+  /// once #infected × scan_rate exceeds this, every host's effective scan
+  /// rate drops to capacity / #infected.
+  double global_bandwidth_probes_per_sec = 0.0;
+};
+
+/// One metrics sample.
+struct SamplePoint {
+  double time = 0.0;
+  std::uint64_t infected = 0;
+  std::uint64_t probes = 0;
+};
+
+/// Result of a run.
+struct RunResult {
+  std::vector<SamplePoint> series;
+  std::uint64_t total_probes = 0;
+  /// Probe outcomes indexed by topology::Delivery.
+  std::array<std::uint64_t, 6> delivery_counts{};
+  double end_time = 0.0;
+  /// Vulnerable + already-infected hosts at the start of the run, i.e. the
+  /// paper's "vulnerable population" (seeds included).
+  std::uint64_t eligible_population = 0;
+  /// Hosts ever infected during (or seeded before) the run, including any
+  /// later disinfected.
+  std::uint64_t final_infected = 0;
+  /// Hosts in the immune population at the end (patched or disinfected).
+  std::uint64_t final_immune = 0;
+
+  [[nodiscard]] double FinalInfectedFraction() const {
+    return eligible_population == 0
+               ? 0.0
+               : static_cast<double>(final_infected) /
+                     static_cast<double>(eligible_population);
+  }
+};
+
+class Engine {
+ public:
+  /// `nats` may be nullptr when the scenario has no NAT sites.  The
+  /// population must already be Build()-t.
+  Engine(Population& population, const Worm& worm,
+         const topology::Reachability& reachability,
+         const topology::NatDirectory* nats, EngineConfig config);
+
+  /// Infects `host` at time 0 (before Run()).  No-op if already infected.
+  void SeedInfection(HostId host);
+
+  /// Infects `count` distinct random vulnerable hosts (paper: 25 seeds).
+  void SeedRandomInfections(int count);
+
+  /// Runs to completion; reports every probe to `observer`.
+  RunResult Run(ProbeObserver& observer);
+
+  /// Runs with no observer.
+  RunResult Run();
+
+  [[nodiscard]] const Population& population() const { return population_; }
+
+ private:
+  void Infect(HostId host, double time);
+  void ActivateDue(double time);
+  void ApplyLifecycleEvents(double time, double dt);
+  [[nodiscard]] net::Ipv4 PublicFacingAddress(const Host& host) const;
+
+  Population& population_;
+  const Worm& worm_;
+  const topology::Reachability& reachability_;
+  const topology::NatDirectory* nats_;
+  EngineConfig config_;
+  prng::Xoshiro256 rng_;
+
+  /// Actively scanning hosts and their per-host targeting state (parallel
+  /// vectors; disinfection swap-removes from both).
+  std::vector<HostId> infected_;
+  std::vector<std::unique_ptr<HostScanner>> scanners_;
+  /// Infected hosts waiting out the infection latency, in activation-time
+  /// order (time is monotone, so appends keep it sorted).
+  struct PendingActivation {
+    double activate_at;
+    HostId host;
+  };
+  std::vector<PendingActivation> pending_;
+  std::size_t pending_cursor_ = 0;
+
+  std::uint64_t ever_infected_ = 0;
+  std::uint64_t immune_ = 0;
+  std::uint64_t vulnerable_ = 0;  ///< Maintained during Run().
+  double patch_credit_ = 0.0;
+  double disinfect_credit_ = 0.0;
+};
+
+}  // namespace hotspots::sim

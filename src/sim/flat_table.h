@@ -1,0 +1,94 @@
+// A minimal open-addressing hash table for the probe loop's victim lookup.
+//
+// The engine performs one (site, address) → host lookup per delivered probe
+// — billions per experiment.  std::unordered_map's node-based buckets cost
+// two dependent cache misses per lookup; this flat, linear-probing table
+// costs one.  It is append-only (hosts are never removed) and sized at
+// Build() time for a fixed ≤0.5 load factor.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+namespace hotspots::sim {
+
+/// Maps non-zero 64-bit keys to 32-bit values.  Key 0 is reserved as the
+/// empty sentinel (the population never stores address 0.0.0.0 outside a
+/// site, which is non-targetable anyway).
+class FlatTable {
+ public:
+  FlatTable() = default;
+
+  /// Rebuilds the table for `expected` entries.
+  void Reserve(std::size_t expected) {
+    std::size_t capacity = 16;
+    while (capacity < expected * 2 + 1) capacity <<= 1;
+    slots_.assign(capacity, Slot{});
+    mask_ = capacity - 1;
+    size_ = 0;
+  }
+
+  /// Inserts `key` → `value`.  Returns false if the key already exists
+  /// (value unchanged).  Grows when the load factor passes 1/2.
+  bool Insert(std::uint64_t key, std::uint32_t value) {
+    if (key == 0) throw std::invalid_argument("FlatTable: key 0 is reserved");
+    if (slots_.empty() || (size_ + 1) * 2 > slots_.size()) {
+      Grow();
+    }
+    std::size_t index = Hash(key) & mask_;
+    while (slots_[index].key != 0) {
+      if (slots_[index].key == key) return false;
+      index = (index + 1) & mask_;
+    }
+    slots_[index] = Slot{key, value};
+    ++size_;
+    return true;
+  }
+
+  /// Returns the value for `key`, or `not_found`.
+  [[nodiscard]] std::uint32_t Find(std::uint64_t key,
+                                   std::uint32_t not_found) const {
+    if (slots_.empty()) return not_found;
+    std::size_t index = Hash(key) & mask_;
+    while (slots_[index].key != 0) {
+      if (slots_[index].key == key) return slots_[index].value;
+      index = (index + 1) & mask_;
+    }
+    return not_found;
+  }
+
+  [[nodiscard]] std::size_t size() const { return size_; }
+
+ private:
+  struct Slot {
+    std::uint64_t key = 0;
+    std::uint32_t value = 0;
+  };
+
+  [[nodiscard]] static std::size_t Hash(std::uint64_t key) {
+    // SplitMix64 finalizer: full-avalanche, cheap.
+    key = (key ^ (key >> 30)) * 0xBF58476D1CE4E5B9ull;
+    key = (key ^ (key >> 27)) * 0x94D049BB133111EBull;
+    return static_cast<std::size_t>(key ^ (key >> 31));
+  }
+
+  void Grow() {
+    std::vector<Slot> old = std::move(slots_);
+    Reserve(old.empty() ? 16 : old.size());
+    for (const Slot& slot : old) {
+      if (slot.key != 0) {
+        std::size_t index = Hash(slot.key) & mask_;
+        while (slots_[index].key != 0) index = (index + 1) & mask_;
+        slots_[index] = slot;
+        ++size_;
+      }
+    }
+  }
+
+  std::vector<Slot> slots_;
+  std::size_t mask_ = 0;
+  std::size_t size_ = 0;
+};
+
+}  // namespace hotspots::sim

@@ -1,0 +1,46 @@
+// Host model shared across the simulator.
+//
+// The paper's epidemic model has three populations — vulnerable, infected,
+// immune — and a host belongs to exactly one at a time.  A host here also
+// carries its network context (NAT site, organization), because that context
+// is what environmental factors act on, and it is handed to the worm's
+// targeting code, because *algorithmic* factors (CodeRedII local preference)
+// read the local address.
+#pragma once
+
+#include <cstdint>
+
+#include "net/ipv4.h"
+#include "topology/nat.h"
+#include "topology/org.h"
+
+namespace hotspots::sim {
+
+/// Index into the Population's host table.
+using HostId = std::uint32_t;
+inline constexpr HostId kInvalidHost = ~HostId{0};
+
+/// Which of the paper's three populations the host is in.
+enum class HostState : std::uint8_t {
+  kVulnerable,
+  kInfected,
+  kImmune,
+};
+
+/// One host.
+struct Host {
+  /// The address the host itself sees (private if behind a NAT).  This is
+  /// the address worm code reads for local preference.
+  net::Ipv4 address;
+  topology::SiteId nat_site = topology::kPublicSite;
+  topology::OrgId org = topology::kInvalidOrg;
+  HostState state = HostState::kVulnerable;
+  /// Simulation time of infection; meaningful only when infected.
+  double infected_at = -1.0;
+
+  [[nodiscard]] bool behind_nat() const {
+    return nat_site != topology::kPublicSite;
+  }
+};
+
+}  // namespace hotspots::sim

@@ -1,0 +1,39 @@
+// Probe observation interface.
+//
+// The engine reports every emitted probe to a single observer.  The darknet
+// telescope (src/telescope) implements this to feed its sensor blocks; the
+// quarantine harness implements it to histogram a single host's scan
+// targets.  Observers see the probe *and* the delivery verdict so they can
+// model either on-path sensors (see everything routable to them) or
+// end-host sensors.
+#pragma once
+
+#include "net/ipv4.h"
+#include "sim/host.h"
+#include "topology/reachability.h"
+
+namespace hotspots::sim {
+
+/// One emitted probe, as seen by observers.
+struct ProbeEvent {
+  double time = 0.0;
+  HostId src_host = kInvalidHost;
+  net::Ipv4 src_address;        ///< Public-facing source (post-NAT) address.
+  net::Ipv4 dst;
+  topology::Delivery delivery = topology::Delivery::kDelivered;
+};
+
+/// Observer of the probe stream.
+class ProbeObserver {
+ public:
+  virtual ~ProbeObserver() = default;
+  virtual void OnProbe(const ProbeEvent& event) = 0;
+};
+
+/// Observer that ignores everything.
+class NullObserver final : public ProbeObserver {
+ public:
+  void OnProbe(const ProbeEvent&) override {}
+};
+
+}  // namespace hotspots::sim

@@ -1,0 +1,46 @@
+#include "sim/population.h"
+
+#include <stdexcept>
+
+namespace hotspots::sim {
+
+HostId Population::AddHost(net::Ipv4 address, topology::SiteId site) {
+  const HostId id = static_cast<HostId>(hosts_.size());
+  if (!by_address_.Insert(Key(site, address), id)) {
+    throw std::invalid_argument("Population: duplicate (site, address): " +
+                                address.ToString());
+  }
+  Host host;
+  host.address = address;
+  host.nat_site = site;
+  hosts_.push_back(host);
+  return id;
+}
+
+void Population::Build(const topology::AllocationRegistry* orgs) {
+  if (orgs == nullptr) return;
+  for (Host& host : hosts_) {
+    // NATed hosts live in private space, which no organization holds; their
+    // org identity would be that of the NAT's public side, which the
+    // experiments in the paper never need.
+    host.org = host.behind_nat() ? topology::kInvalidOrg
+                                 : orgs->OrgOf(host.address);
+  }
+}
+
+void Population::ResetAllToVulnerable() {
+  for (Host& host : hosts_) {
+    host.state = HostState::kVulnerable;
+    host.infected_at = -1.0;
+  }
+}
+
+std::size_t Population::CountInState(HostState state) const {
+  std::size_t count = 0;
+  for (const Host& host : hosts_) {
+    if (host.state == state) ++count;
+  }
+  return count;
+}
+
+}  // namespace hotspots::sim

@@ -1,0 +1,67 @@
+// The host population and its address indexes.
+//
+// Holds every simulated host and answers the two lookups the probe loop
+// needs: "which host owns this public address?" and "which host owns this
+// private address inside NAT site S?".  Both are O(1) hash lookups.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/flat_table.h"
+#include "sim/host.h"
+#include "topology/org.h"
+
+namespace hotspots::sim {
+
+class Population {
+ public:
+  /// Adds a host.  For NATed hosts, `address` is the private address and
+  /// `site` identifies the NAT site; duplicate (site, address) pairs throw.
+  HostId AddHost(net::Ipv4 address,
+                 topology::SiteId site = topology::kPublicSite);
+
+  /// Resolves each host's organization from `orgs` (may be nullptr for
+  /// "no allocation registry").  Must be called after the last AddHost().
+  void Build(const topology::AllocationRegistry* orgs);
+
+  /// Host owning a public address, or kInvalidHost.
+  [[nodiscard]] HostId FindPublic(net::Ipv4 address) const {
+    return Find(topology::kPublicSite, address);
+  }
+
+  /// Host owning `address` inside NAT site `site`, or kInvalidHost.
+  [[nodiscard]] HostId FindInSite(topology::SiteId site,
+                                  net::Ipv4 address) const {
+    return Find(site, address);
+  }
+
+  [[nodiscard]] Host& host(HostId id) { return hosts_[id]; }
+  [[nodiscard]] const Host& host(HostId id) const { return hosts_[id]; }
+  [[nodiscard]] std::size_t size() const { return hosts_.size(); }
+  [[nodiscard]] const std::vector<Host>& hosts() const { return hosts_; }
+
+  /// Number of hosts currently in `state`.
+  [[nodiscard]] std::size_t CountInState(HostState state) const;
+
+  /// Returns every host to the vulnerable population (between experiment
+  /// runs that reuse one population).
+  void ResetAllToVulnerable();
+
+ private:
+  [[nodiscard]] static std::uint64_t Key(topology::SiteId site,
+                                         net::Ipv4 address) {
+    // Site −1 (public) maps to 0; sites are otherwise ≥ 0.
+    return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(site + 1))
+            << 32) |
+           address.value();
+  }
+  [[nodiscard]] HostId Find(topology::SiteId site, net::Ipv4 address) const {
+    return by_address_.Find(Key(site, address), kInvalidHost);
+  }
+
+  std::vector<Host> hosts_;
+  FlatTable by_address_;
+};
+
+}  // namespace hotspots::sim

@@ -1,0 +1,57 @@
+// Targeting interfaces: how an infected host chooses its next victim.
+//
+// The paper's taxonomy of algorithmic factors lives behind these two
+// interfaces.  A `Worm` describes a threat species; when a host becomes
+// infected the engine asks the worm for a `HostScanner` — the per-host
+// targeting state (PRNG state, sweep cursor, hit-list position).  Keeping
+// scanner state per host is essential: the whole point of the Blaster and
+// Slammer case studies is that *individual instances* are biased by their
+// local seeds and cycles.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "net/ipv4.h"
+#include "prng/xoshiro.h"
+#include "sim/host.h"
+
+namespace hotspots::sim {
+
+/// Per-infected-host targeting state.
+class HostScanner {
+ public:
+  virtual ~HostScanner() = default;
+
+  /// The next address this host will probe.  `rng` is the simulator's
+  /// well-behaved RNG; faithful worm models ignore it and use their own
+  /// (deliberately flawed) generators seeded at construction.
+  [[nodiscard]] virtual net::Ipv4 NextTarget(prng::Xoshiro256& rng) = 0;
+};
+
+/// A threat species: a factory for per-host scanners.
+class Worm {
+ public:
+  virtual ~Worm() = default;
+
+  /// Human-readable name ("CodeRedII", "Slammer", ...).
+  [[nodiscard]] virtual std::string_view name() const = 0;
+
+  /// Creates the scanner for a newly infected host.  `host` provides local
+  /// context (its own address — possibly private — is what local-preference
+  /// code reads).  `entropy` is a per-infection random value the worm may
+  /// use to seed its internal PRNG the way the real malware would
+  /// (e.g. Blaster derives its seed from the tick-count model instead).
+  [[nodiscard]] virtual std::unique_ptr<HostScanner> MakeScanner(
+      const Host& host, std::uint64_t entropy) const = 0;
+
+  /// True when the threat's first payload only travels after a transport
+  /// handshake (TCP worms like Blaster/CodeRed).  A *passive* darknet sees
+  /// such probes but can never identify the threat; the IMS sensors the
+  /// paper used answered SYNs precisely to elicit these payloads.  UDP
+  /// threats (Slammer) carry their payload in the first packet.
+  [[nodiscard]] virtual bool requires_handshake() const { return false; }
+};
+
+}  // namespace hotspots::sim

@@ -1,0 +1,49 @@
+#include "telescope/alerting.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace hotspots::telescope {
+
+std::vector<AlertCurvePoint> AlertFractionCurve(std::vector<double> alert_times,
+                                                std::size_t total_sensors,
+                                                double horizon, int points) {
+  if (total_sensors == 0) {
+    throw std::invalid_argument("AlertFractionCurve: no sensors");
+  }
+  if (points < 2) throw std::invalid_argument("AlertFractionCurve: points<2");
+  if (horizon <= 0) throw std::invalid_argument("AlertFractionCurve: horizon<=0");
+  std::sort(alert_times.begin(), alert_times.end());
+
+  std::vector<AlertCurvePoint> curve;
+  curve.reserve(static_cast<std::size_t>(points));
+  for (int i = 0; i < points; ++i) {
+    const double t =
+        horizon * static_cast<double>(i) / static_cast<double>(points - 1);
+    const auto alerted = static_cast<std::size_t>(
+        std::upper_bound(alert_times.begin(), alert_times.end(), t) -
+        alert_times.begin());
+    curve.push_back(AlertCurvePoint{
+        t, static_cast<double>(alerted) / static_cast<double>(total_sensors)});
+  }
+  return curve;
+}
+
+std::optional<double> QuorumDetectionTime(std::vector<double> alert_times,
+                                          std::size_t total_sensors,
+                                          double quorum_fraction) {
+  if (total_sensors == 0) {
+    throw std::invalid_argument("QuorumDetectionTime: no sensors");
+  }
+  if (quorum_fraction <= 0.0 || quorum_fraction > 1.0) {
+    throw std::invalid_argument("QuorumDetectionTime: bad quorum fraction");
+  }
+  const auto needed = static_cast<std::size_t>(
+      std::ceil(quorum_fraction * static_cast<double>(total_sensors)));
+  if (needed == 0 || alert_times.size() < needed) return std::nullopt;
+  std::sort(alert_times.begin(), alert_times.end());
+  return alert_times[needed - 1];
+}
+
+}  // namespace hotspots::telescope

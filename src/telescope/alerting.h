@@ -1,0 +1,35 @@
+// Quorum / global detection analysis over sensor alert times.
+//
+// Section 5 evaluates distributed detection by asking, over the course of an
+// outbreak, what fraction of deployed sensors have individually alerted —
+// and whether a quorum-based global detector (which requires some fraction
+// of sensors to agree) would ever fire.  This module turns per-sensor
+// first-alert times into those curves and decisions.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+namespace hotspots::telescope {
+
+/// Fraction of `total_sensors` whose alert time is ≤ t, evaluated on a
+/// uniform grid [0, horizon] with `points` samples.  `alert_times` holds
+/// only the sensors that alerted.
+struct AlertCurvePoint {
+  double time = 0.0;
+  double fraction_alerted = 0.0;
+};
+
+[[nodiscard]] std::vector<AlertCurvePoint> AlertFractionCurve(
+    std::vector<double> alert_times, std::size_t total_sensors, double horizon,
+    int points);
+
+/// A quorum-based global detector: fires at the first instant at least
+/// `quorum_fraction` of all sensors have alerted.  Returns the firing time,
+/// or nullopt if the quorum is never reached — the paper's headline failure
+/// mode for hotspot-ridden threats.
+[[nodiscard]] std::optional<double> QuorumDetectionTime(
+    std::vector<double> alert_times, std::size_t total_sensors,
+    double quorum_fraction);
+
+}  // namespace hotspots::telescope

@@ -1,0 +1,53 @@
+#include "telescope/event_series.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace hotspots::telescope {
+
+EventSeries::EventSeries(double bucket_seconds, double horizon_seconds)
+    : bucket_seconds_(bucket_seconds) {
+  if (bucket_seconds <= 0.0 || horizon_seconds <= 0.0 ||
+      horizon_seconds < bucket_seconds) {
+    throw std::invalid_argument("EventSeries: bad bucket/horizon");
+  }
+  const auto count =
+      static_cast<std::size_t>(std::ceil(horizon_seconds / bucket_seconds));
+  buckets_.assign(count, 0);
+}
+
+void EventSeries::Record(double t) {
+  if (t < 0.0) throw std::invalid_argument("EventSeries: negative time");
+  auto index = static_cast<std::size_t>(t / bucket_seconds_);
+  index = std::min(index, buckets_.size() - 1);
+  ++buckets_[index];
+  ++total_;
+}
+
+BurstReport EventSeries::Summarize() const {
+  BurstReport report;
+  const double n = static_cast<double>(buckets_.size());
+  report.mean_rate = static_cast<double>(total_) / n;
+  std::size_t silent = 0;
+  double variance = 0.0;
+  for (const std::uint64_t count : buckets_) {
+    report.peak_rate =
+        std::max(report.peak_rate, static_cast<double>(count));
+    if (count == 0) ++silent;
+    const double diff = static_cast<double>(count) - report.mean_rate;
+    variance += diff * diff;
+  }
+  variance /= n;
+  report.peak_to_mean =
+      report.mean_rate > 0 ? report.peak_rate / report.mean_rate : 0.0;
+  report.silent_fraction = static_cast<double>(silent) / n;
+  report.dispersion = report.mean_rate > 0 ? variance / report.mean_rate : 0.0;
+  return report;
+}
+
+void EventSeries::Reset() {
+  std::fill(buckets_.begin(), buckets_.end(), 0);
+  total_ = 0;
+}
+
+}  // namespace hotspots::telescope

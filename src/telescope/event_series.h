@@ -1,0 +1,53 @@
+// Temporal observation series — "temporal characteristics of traffic
+// patterns also differed" (Pang et al., via Section 2).
+//
+// Accumulates per-time-bucket event counts and summarizes burstiness, so
+// experiments can compare *when* sensors see traffic, not just how much.
+// Used alongside SensorBlock for the temporal side of the cross-darknet
+// comparisons.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+namespace hotspots::telescope {
+
+/// Burstiness summary of a time series.
+struct BurstReport {
+  double mean_rate = 0.0;        ///< Events per bucket.
+  double peak_rate = 0.0;        ///< Busiest bucket.
+  double peak_to_mean = 0.0;
+  /// Fraction of buckets with zero events (silence share).
+  double silent_fraction = 0.0;
+  /// Index of dispersion (variance/mean): 1 ≈ Poisson, ≫1 bursty.
+  double dispersion = 0.0;
+};
+
+class EventSeries {
+ public:
+  /// `bucket_seconds` is the aggregation width; `horizon_seconds` bounds
+  /// the series (events beyond it are clamped into the last bucket).
+  EventSeries(double bucket_seconds, double horizon_seconds);
+
+  /// Records one event at time `t` (seconds, ≥ 0).
+  void Record(double t);
+
+  [[nodiscard]] const std::vector<std::uint64_t>& buckets() const {
+    return buckets_;
+  }
+  [[nodiscard]] std::uint64_t total() const { return total_; }
+  [[nodiscard]] double bucket_seconds() const { return bucket_seconds_; }
+
+  /// Burstiness statistics over the whole series.
+  [[nodiscard]] BurstReport Summarize() const;
+
+  void Reset();
+
+ private:
+  double bucket_seconds_;
+  std::vector<std::uint64_t> buckets_;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace hotspots::telescope

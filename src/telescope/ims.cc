@@ -1,0 +1,35 @@
+#include "telescope/ims.h"
+
+namespace hotspots::telescope {
+
+const std::vector<ImsBlock>& ImsBlocks() {
+  using net::Ipv4;
+  using net::Prefix;
+  static const std::vector<ImsBlock> kBlocks = {
+      {"A/23", Prefix{Ipv4{24, 10, 4, 0}, 23}},
+      {"B/24", Prefix{Ipv4{61, 30, 9, 0}, 24}},
+      {"C/24", Prefix{Ipv4{67, 44, 200, 0}, 24}},
+      {"D/20", Prefix{Ipv4{84, 16, 32, 0}, 20}},
+      {"E/21", Prefix{Ipv4{131, 90, 8, 0}, 21}},
+      {"F/22", Prefix{Ipv4{150, 140, 40, 0}, 22}},
+      {"G/25", Prefix{Ipv4{166, 77, 5, 0}, 25}},
+      {"H/18", Prefix{Ipv4{198, 51, 64, 0}, 18}},
+      {"I/17", Prefix{Ipv4{205, 13, 128, 0}, 17}},
+      // Inside 192/8 but outside 192.168/16: the CodeRedII NAT hotspot
+      // (Section 4.3.1) lands here.
+      {"M/22", Prefix{Ipv4{192, 88, 16, 0}, 22}},
+      {"Z/8", Prefix{Ipv4{96, 0, 0, 0}, 8}},
+  };
+  return kBlocks;
+}
+
+Telescope MakeImsTelescope(SensorOptions options) {
+  Telescope telescope{options};
+  for (const ImsBlock& ims : ImsBlocks()) {
+    telescope.AddSensor(ims.label, ims.block);
+  }
+  telescope.Build();
+  return telescope;
+}
+
+}  // namespace hotspots::telescope

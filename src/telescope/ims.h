@@ -1,0 +1,35 @@
+// The 11 IMS-like darknet blocks.
+//
+// The paper's measurements come from 11 anonymized address blocks at 9
+// organizations, named by size: A/23, B/24, C/24, D/20, E/21, F/22, G/25,
+// H/18, I/17, M/22, Z/8.  The real base addresses were never published, so
+// we place synthetic blocks with the two properties the analyses depend on:
+//   * M lies inside 192.0.0.0/8 but outside 192.168.0.0/16 (the CodeRedII
+//     NAT hotspot lands on it);
+//   * the blocks are spread across the space and are pairwise disjoint.
+// Blocks are deliberately chosen in otherwise-unpopulated space; scenario
+// builders must not place vulnerable hosts inside them.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "net/prefix.h"
+#include "telescope/telescope.h"
+
+namespace hotspots::telescope {
+
+/// One IMS block: anonymized label + synthetic placement.
+struct ImsBlock {
+  std::string label;  ///< "A/23", ..., "Z/8".
+  net::Prefix block;
+};
+
+/// The 11 synthetic IMS blocks, in the paper's label order.
+[[nodiscard]] const std::vector<ImsBlock>& ImsBlocks();
+
+/// Convenience: a telescope pre-loaded with the 11 IMS blocks (already
+/// Build()-t).
+[[nodiscard]] Telescope MakeImsTelescope(SensorOptions options = {});
+
+}  // namespace hotspots::telescope

@@ -1,0 +1,61 @@
+#include "telescope/sensor.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace hotspots::telescope {
+
+SensorBlock::SensorBlock(std::string label, net::Prefix block,
+                         SensorOptions options)
+    : label_(std::move(label)), block_(block), options_(options) {}
+
+void SensorBlock::Record(double time, net::Ipv4 src, net::Ipv4 dst,
+                         bool identified) {
+  if (!identified) {
+    // The packet reached the darknet but the threat cannot be named: it
+    // only shows up as anonymous background radiation.
+    ++unidentified_probes_;
+    return;
+  }
+  ++probes_;
+  if (options_.alert_threshold > 0 && !alert_time_ &&
+      probes_ >= options_.alert_threshold) {
+    alert_time_ = time;
+  }
+  if (options_.track_unique_sources) sources_.insert(src.value());
+  if (options_.track_per_slash24) {
+    PerSlash24& cell = per_slash24_[dst.Slash24()];
+    ++cell.probes;
+    cell.sources.insert(src.value());
+  }
+}
+
+std::vector<Slash24Row> SensorBlock::Histogram() const {
+  std::vector<Slash24Row> rows;
+  const std::uint32_t first = block_.first().Slash24();
+  const std::uint32_t last = block_.last().Slash24();
+  rows.reserve(last - first + 1);
+  for (std::uint32_t s24 = first; s24 <= last; ++s24) {
+    Slash24Row row;
+    row.slash24 = s24;
+    const auto it = per_slash24_.find(s24);
+    if (it != per_slash24_.end()) {
+      row.stats.probes = it->second.probes;
+      row.stats.unique_sources =
+          static_cast<std::uint32_t>(it->second.sources.size());
+    }
+    rows.push_back(row);
+    if (s24 == last) break;  // Guard against /0-style wrap (s24 overflow).
+  }
+  return rows;
+}
+
+void SensorBlock::Reset() {
+  probes_ = 0;
+  unidentified_probes_ = 0;
+  alert_time_.reset();
+  sources_.clear();
+  per_slash24_.clear();
+}
+
+}  // namespace hotspots::telescope

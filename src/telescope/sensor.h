@@ -1,0 +1,108 @@
+// A darknet sensor block.
+//
+// Darknets are blocks of unused address space: any arriving packet is
+// misconfiguration, backscatter, or scanning (Section 4.1).  A SensorBlock
+// records, for the traffic delivered into its prefix: total probes, the set
+// of unique source addresses, per-destination-/24 probe counts and unique
+// source counts (the paper's Figures 1, 2 and 4 are exactly these
+// histograms), and the time at which the probe count crossed the alert
+// threshold (Section 5's "alert after observing n worm payloads").
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "net/ipv4.h"
+#include "net/prefix.h"
+
+namespace hotspots::telescope {
+
+/// What a sensor keeps track of.  Large fleets (the 10,000-sensor
+/// experiments) disable the per-source and per-/24 structures to stay lean.
+struct SensorOptions {
+  bool track_unique_sources = true;
+  bool track_per_slash24 = true;
+  /// Alert after this many observed payloads; 0 disables alerting.
+  std::uint64_t alert_threshold = 0;
+  /// Active sensors answer TCP SYNs with SYN-ACK to elicit the first data
+  /// payload (the IMS design, Section 4.1).  Passive sensors still *count*
+  /// probes of handshake-requiring (TCP) threats but can never identify
+  /// them — so those probes don't feed the histograms, unique-source sets,
+  /// or payload-based alerting.
+  bool active_responder = true;
+};
+
+/// Per-destination-/24 statistics.
+struct Slash24Stats {
+  std::uint64_t probes = 0;
+  std::uint32_t unique_sources = 0;
+};
+
+/// A labelled row of a per-/24 histogram, for report printing.
+struct Slash24Row {
+  std::uint32_t slash24 = 0;  ///< Global /24 index (address >> 8).
+  Slash24Stats stats;
+};
+
+class SensorBlock {
+ public:
+  SensorBlock(std::string label, net::Prefix block, SensorOptions options);
+
+  /// Records one delivered probe (dst must be inside block()).
+  /// `identified` is false when the threat required a handshake and this
+  /// sensor is passive: the packet is tallied but carries no payload, so it
+  /// contributes nothing to identification-based statistics.
+  void Record(double time, net::Ipv4 src, net::Ipv4 dst,
+              bool identified = true);
+
+  /// Probes that arrived but could not be identified (passive sensor vs a
+  /// TCP threat).
+  [[nodiscard]] std::uint64_t unidentified_probes() const {
+    return unidentified_probes_;
+  }
+
+  [[nodiscard]] const std::string& label() const { return label_; }
+  [[nodiscard]] const net::Prefix& block() const { return block_; }
+  [[nodiscard]] const SensorOptions& options() const { return options_; }
+  [[nodiscard]] std::uint64_t probe_count() const { return probes_; }
+
+  /// Number of distinct sources seen (requires track_unique_sources).
+  [[nodiscard]] std::size_t UniqueSourceCount() const {
+    return sources_.size();
+  }
+
+  /// Time the alert threshold was crossed, if it was.
+  [[nodiscard]] std::optional<double> alert_time() const { return alert_time_; }
+  [[nodiscard]] bool alerted() const { return alert_time_.has_value(); }
+
+  /// Per-/24 histogram rows in ascending /24 order, including zero rows for
+  /// /24s of the block that saw nothing (so plots have a complete x-axis).
+  [[nodiscard]] std::vector<Slash24Row> Histogram() const;
+
+  /// Resets all counters (between experiment phases).
+  void Reset();
+
+ private:
+  std::string label_;
+  net::Prefix block_;
+  SensorOptions options_;
+
+  std::uint64_t probes_ = 0;
+  std::uint64_t unidentified_probes_ = 0;
+  std::optional<double> alert_time_;
+  std::unordered_set<std::uint32_t> sources_;
+  // Keyed by global /24 index; value tracks probes plus that /24's own
+  // unique-source set (needed because Figures 1/2/4 plot unique sources
+  // per destination /24, not per block).
+  struct PerSlash24 {
+    std::uint64_t probes = 0;
+    std::unordered_set<std::uint32_t> sources;
+  };
+  std::unordered_map<std::uint32_t, PerSlash24> per_slash24_;
+};
+
+}  // namespace hotspots::telescope

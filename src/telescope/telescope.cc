@@ -1,0 +1,68 @@
+#include "telescope/telescope.h"
+
+#include <stdexcept>
+
+namespace hotspots::telescope {
+
+int Telescope::AddSensor(std::string label, net::Prefix block) {
+  return AddSensor(std::move(label), block, default_options_);
+}
+
+int Telescope::AddSensor(std::string label, net::Prefix block,
+                         SensorOptions options) {
+  const int index = static_cast<int>(sensors_.size());
+  sensors_.push_back(
+      std::make_unique<SensorBlock>(std::move(label), block, options));
+  by_address_.Add(block, index);
+  built_ = false;
+  return index;
+}
+
+void Telescope::Build() {
+  by_address_.Build();  // Throws if blocks overlap.
+  built_ = true;
+}
+
+void Telescope::OnProbe(const sim::ProbeEvent& event) {
+  if (event.delivery != topology::Delivery::kDelivered) return;
+  Observe(event.time, event.src_address, event.dst);
+}
+
+void Telescope::Observe(double time, net::Ipv4 src, net::Ipv4 dst) {
+  if (!built_) throw std::logic_error("Telescope: Build() not called");
+  const int* index = by_address_.Lookup(dst);
+  if (index == nullptr) return;
+  SensorBlock& sensor = *sensors_[static_cast<std::size_t>(*index)];
+  const bool identified =
+      !threat_requires_handshake_ || sensor.options().active_responder;
+  sensor.Record(time, src, dst, identified);
+}
+
+const SensorBlock* Telescope::FindByLabel(std::string_view label) const {
+  for (const auto& sensor : sensors_) {
+    if (sensor->label() == label) return sensor.get();
+  }
+  return nullptr;
+}
+
+std::size_t Telescope::AlertedCount() const {
+  std::size_t count = 0;
+  for (const auto& sensor : sensors_) {
+    if (sensor->alerted()) ++count;
+  }
+  return count;
+}
+
+std::vector<double> Telescope::AlertTimes() const {
+  std::vector<double> times;
+  for (const auto& sensor : sensors_) {
+    if (sensor->alerted()) times.push_back(*sensor->alert_time());
+  }
+  return times;
+}
+
+void Telescope::ResetAll() {
+  for (const auto& sensor : sensors_) sensor->Reset();
+}
+
+}  // namespace hotspots::telescope

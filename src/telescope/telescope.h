@@ -1,0 +1,77 @@
+// A fleet of darknet sensors attached to the probe stream.
+//
+// Implements sim::ProbeObserver: every probe the engine emits that is
+// *delivered* and lands inside a sensor block is recorded by that sensor.
+// (Probes dropped by environmental factors — upstream ACLs, perimeter
+// firewalls, NAT unroutability, loss — never reach a darknet, which is
+// precisely how environmental hotspots blind distributed detection.)
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "net/slash16_index.h"
+#include "sim/observer.h"
+#include "telescope/sensor.h"
+
+namespace hotspots::telescope {
+
+class Telescope final : public sim::ProbeObserver {
+ public:
+  explicit Telescope(SensorOptions default_options = {})
+      : default_options_(default_options) {}
+
+  /// Adds a sensor block; blocks must be pairwise disjoint.
+  /// Returns the sensor index.
+  int AddSensor(std::string label, net::Prefix block);
+  int AddSensor(std::string label, net::Prefix block, SensorOptions options);
+
+  /// Finalizes the address index.  Must be called before observing.
+  void Build();
+
+  void OnProbe(const sim::ProbeEvent& event) override;
+
+  /// Feeds a probe directly (for harnesses not using the engine).
+  void Observe(double time, net::Ipv4 src, net::Ipv4 dst);
+
+  /// Declares whether the observed threat's payload needs a transport
+  /// handshake (TCP worms).  When true, *passive* sensors tally such
+  /// probes as unidentified background radiation instead of identified
+  /// threat observations.  Typically set from Worm::requires_handshake().
+  void SetThreatRequiresHandshake(bool requires_handshake) {
+    threat_requires_handshake_ = requires_handshake;
+  }
+
+  [[nodiscard]] std::size_t size() const { return sensors_.size(); }
+  [[nodiscard]] const SensorBlock& sensor(int index) const {
+    return *sensors_[static_cast<std::size_t>(index)];
+  }
+  [[nodiscard]] SensorBlock& sensor(int index) {
+    return *sensors_[static_cast<std::size_t>(index)];
+  }
+
+  /// Sensor with the given label, or nullptr.
+  [[nodiscard]] const SensorBlock* FindByLabel(std::string_view label) const;
+
+  /// Number of sensors that have alerted.
+  [[nodiscard]] std::size_t AlertedCount() const;
+
+  /// First-alert times of all sensors that alerted (unsorted).
+  [[nodiscard]] std::vector<double> AlertTimes() const;
+
+  /// Resets every sensor's counters.
+  void ResetAll();
+
+ private:
+  SensorOptions default_options_;
+  std::vector<std::unique_ptr<SensorBlock>> sensors_;
+  // Per-/16 direct map: the address→sensor lookup runs once per delivered
+  // probe, and this backend is ~25× faster than interval binary search at
+  // 10,000-sensor fleet sizes (see bench/micro_primitives).
+  net::Slash16Index<int> by_address_;
+  bool built_ = false;
+  bool threat_requires_handshake_ = false;
+};
+
+}  // namespace hotspots::telescope

@@ -1,0 +1,17 @@
+#include "topology/filtering.h"
+
+namespace hotspots::topology {
+
+bool PerimeterBlocks(const AllocationRegistry& registry, OrgId src_org,
+                     OrgId dst_org) {
+  if (src_org == dst_org) return false;  // Intra-org traffic never filtered.
+  if (src_org != kInvalidOrg && registry.Get(src_org).perimeter_filtered) {
+    return true;  // Egress filter at the source organization.
+  }
+  if (dst_org != kInvalidOrg && registry.Get(dst_org).perimeter_filtered) {
+    return true;  // Ingress filter at the destination organization.
+  }
+  return false;
+}
+
+}  // namespace hotspots::topology

@@ -1,0 +1,59 @@
+// Routing and filtering policy (environmental factor #1).
+//
+// Two filtering mechanisms from the paper:
+//   * Perimeter firewalls at enterprises (Table 2): probes crossing an
+//     organization boundary in either direction are dropped when that
+//     organization filters; intra-organization probes always pass — which
+//     is exactly why "vulnerable but firewalled" hosts can still be infected
+//     from inside.
+//   * Upstream provider ACLs (Figure 2): the M sensor block saw *zero*
+//     Slammer packets because its upstream blocked the worm's port.  We
+//     model this as per-destination-prefix ingress ACLs attached to a
+//     threat.
+#pragma once
+
+#include <vector>
+
+#include "net/interval_set.h"
+#include "net/prefix.h"
+#include "topology/org.h"
+
+namespace hotspots::topology {
+
+/// Destination-side ACLs installed in the network for one threat (e.g.
+/// "upstream of M drops UDP/1434").
+class IngressAclSet {
+ public:
+  /// Drops all probes of the threat destined into `prefix`.
+  void Block(const net::Prefix& prefix) {
+    blocked_.Add(prefix);
+    built_ = false;
+  }
+
+  /// Finalizes; must be called before Blocks().
+  void Build() {
+    blocked_.Build();
+    built_ = true;
+  }
+
+  /// True if a probe to `dst` is dropped by an ACL.  An empty set never
+  /// blocks and does not require Build().
+  [[nodiscard]] bool Blocks(net::Ipv4 dst) const {
+    if (blocked_.empty()) return false;
+    if (!built_) throw std::logic_error("IngressAclSet: Build() not called");
+    return blocked_.Contains(dst);
+  }
+
+  [[nodiscard]] bool empty() const { return blocked_.empty(); }
+
+ private:
+  net::IntervalSet blocked_;
+  bool built_ = false;
+};
+
+/// Perimeter-firewall decision for a probe between two organizations.
+/// `src_org` / `dst_org` may be kInvalidOrg for unallocated space.
+[[nodiscard]] bool PerimeterBlocks(const AllocationRegistry& registry,
+                                   OrgId src_org, OrgId dst_org);
+
+}  // namespace hotspots::topology

@@ -1,0 +1,25 @@
+#include "topology/nat.h"
+
+namespace hotspots::topology {
+
+SiteId NatDirectory::AddSite(net::Prefix private_prefix,
+                             net::Ipv4 public_address) {
+  if (!net::kPrivate10.Contains(private_prefix) &&
+      !net::kPrivate172.Contains(private_prefix) &&
+      !net::kPrivate192.Contains(private_prefix)) {
+    throw std::invalid_argument(
+        "NatDirectory: site prefix must be RFC 1918 private space");
+  }
+  const SiteId id = static_cast<SiteId>(sites_.size());
+  sites_.push_back(NatSite{id, private_prefix, public_address});
+  return id;
+}
+
+const NatSite& NatDirectory::Get(SiteId id) const {
+  if (id < 0 || static_cast<std::size_t>(id) >= sites_.size()) {
+    throw std::out_of_range("NatDirectory: bad SiteId");
+  }
+  return sites_[static_cast<std::size_t>(id)];
+}
+
+}  // namespace hotspots::topology

@@ -1,0 +1,67 @@
+// NAT sites and private address space.
+//
+// Section 4.3.1 of the paper shows that a CodeRedII host behind a NAT — a
+// host whose *own* address is 192.168.x.y — aims its local-preference
+// scanning at 192.0.0.0/8, and every probe outside 192.168.0.0/16 leaks to
+// the public Internet, producing the M-block hotspot.  Section 5.3 then puts
+// 15 % of the vulnerable population behind such NATs and measures the effect
+// on detection.
+//
+// A `NatSite` is one private network: it owns a private prefix (usually
+// 192.168.0.0/16) and a set of member hosts.  Inside a site, private
+// addresses route normally; probes from a NATed host to public addresses
+// leak out; probes *to* private addresses from outside any site are
+// unroutable and die.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "net/prefix.h"
+#include "net/special_ranges.h"
+
+namespace hotspots::topology {
+
+/// Opaque NAT site handle; kPublicSite means "not behind a NAT".
+using SiteId = std::int32_t;
+inline constexpr SiteId kPublicSite = -1;
+
+/// One private network behind a NAT device.
+struct NatSite {
+  SiteId id = kPublicSite;
+  net::Prefix private_prefix{net::kPrivate192};
+  /// The NAT device's public side: outbound probes from the site appear to
+  /// come from this address.
+  net::Ipv4 public_address;
+};
+
+/// Registry of NAT sites.
+class NatDirectory {
+ public:
+  /// Creates a site using `private_prefix` (must be RFC 1918 space) whose
+  /// outbound traffic is translated to `public_address`.
+  SiteId AddSite(net::Prefix private_prefix = net::kPrivate192,
+                 net::Ipv4 public_address = net::Ipv4{});
+
+  [[nodiscard]] const NatSite& Get(SiteId id) const;
+  [[nodiscard]] std::size_t size() const { return sites_.size(); }
+
+  /// Routing decision for a probe from a host in `src_site` (kPublicSite if
+  /// public) to destination `dst`:
+  ///   * dst private, src in a site whose prefix covers dst → delivered
+  ///     inside that site (returns true; the caller resolves which internal
+  ///     host owns the address).
+  ///   * dst private otherwise → unroutable.
+  ///   * dst public → routable (the NAT translates outbound traffic).
+  [[nodiscard]] bool Routable(SiteId src_site, net::Ipv4 dst) const {
+    if (!net::IsPrivate(dst)) return true;
+    if (src_site == kPublicSite) return false;
+    return Get(src_site).private_prefix.Contains(dst);
+  }
+
+ private:
+  std::vector<NatSite> sites_;
+};
+
+}  // namespace hotspots::topology

@@ -1,0 +1,59 @@
+#include "topology/org.h"
+
+#include <stdexcept>
+
+namespace hotspots::topology {
+
+std::string_view ToString(OrgKind kind) {
+  switch (kind) {
+    case OrgKind::kEnterprise: return "enterprise";
+    case OrgKind::kBroadbandIsp: return "broadband-isp";
+    case OrgKind::kAcademic: return "academic";
+    case OrgKind::kOther: return "other";
+  }
+  return "unknown";
+}
+
+std::uint64_t Organization::TotalAddresses() const {
+  std::uint64_t total = 0;
+  for (const net::Prefix& prefix : prefixes) total += prefix.size();
+  return total;
+}
+
+OrgId AllocationRegistry::AddOrg(std::string name, OrgKind kind,
+                                 std::vector<net::Prefix> prefixes,
+                                 bool perimeter_filtered) {
+  const OrgId id = static_cast<OrgId>(orgs_.size());
+  Organization org;
+  org.id = id;
+  org.name = std::move(name);
+  org.kind = kind;
+  org.prefixes = std::move(prefixes);
+  org.perimeter_filtered = perimeter_filtered;
+  for (const net::Prefix& prefix : org.prefixes) {
+    by_address_.Add(prefix, id);
+  }
+  orgs_.push_back(std::move(org));
+  built_ = false;
+  return id;
+}
+
+void AllocationRegistry::Build() {
+  by_address_.Build();  // Throws on overlap.
+  built_ = true;
+}
+
+OrgId AllocationRegistry::OrgOf(net::Ipv4 address) const {
+  if (!built_) throw std::logic_error("AllocationRegistry: Build() not called");
+  const OrgId* id = by_address_.Lookup(address);
+  return id == nullptr ? kInvalidOrg : *id;
+}
+
+const Organization& AllocationRegistry::Get(OrgId id) const {
+  if (id < 0 || static_cast<std::size_t>(id) >= orgs_.size()) {
+    throw std::out_of_range("AllocationRegistry: bad OrgId");
+  }
+  return orgs_[static_cast<std::size_t>(id)];
+}
+
+}  // namespace hotspots::topology

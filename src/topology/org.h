@@ -1,0 +1,75 @@
+// Organizations and address allocations.
+//
+// The Table-2 experiment needs a registry mapping address space to the
+// organization that holds it (Fortune-100 enterprise vs broadband ISP vs
+// academic), because filtering policy in this library is an *organizational*
+// property: enterprises firewall their perimeter, broadband providers do
+// not.  The paper built this map from ARIN; we build an equivalent synthetic
+// registry.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "net/interval_set.h"
+#include "net/ipv4.h"
+#include "net/prefix.h"
+
+namespace hotspots::topology {
+
+/// Opaque organization handle; kInvalidOrg means "no organization".
+using OrgId = std::int32_t;
+inline constexpr OrgId kInvalidOrg = -1;
+
+/// Broad organizational categories with different default policies.
+enum class OrgKind {
+  kEnterprise,    ///< Fortune-100-style: egress+ingress perimeter firewall.
+  kBroadbandIsp,  ///< Customer space, effectively unfiltered.
+  kAcademic,      ///< Large, mostly open network.
+  kOther,
+};
+
+[[nodiscard]] std::string_view ToString(OrgKind kind);
+
+/// One organization and its address holdings.
+struct Organization {
+  OrgId id = kInvalidOrg;
+  std::string name;
+  OrgKind kind = OrgKind::kOther;
+  std::vector<net::Prefix> prefixes;
+  /// True if a perimeter firewall drops worm probes crossing the boundary
+  /// (either direction).  Probes between two hosts of the same organization
+  /// are never affected.
+  bool perimeter_filtered = false;
+
+  /// Total addresses held.
+  [[nodiscard]] std::uint64_t TotalAddresses() const;
+};
+
+/// Registry of organizations with O(log n) address→org lookup.
+class AllocationRegistry {
+ public:
+  /// Registers an organization; returns its id.  Prefixes of different
+  /// organizations must not overlap (enforced by Build()).
+  OrgId AddOrg(std::string name, OrgKind kind, std::vector<net::Prefix> prefixes,
+               bool perimeter_filtered);
+
+  /// Finalizes the registry for lookups.  Throws on overlapping holdings.
+  void Build();
+
+  /// The organization holding `address`, or kInvalidOrg.
+  [[nodiscard]] OrgId OrgOf(net::Ipv4 address) const;
+
+  [[nodiscard]] const Organization& Get(OrgId id) const;
+  [[nodiscard]] const std::vector<Organization>& orgs() const { return orgs_; }
+  [[nodiscard]] std::size_t size() const { return orgs_.size(); }
+
+ private:
+  std::vector<Organization> orgs_;
+  net::IntervalMap<OrgId> by_address_;
+  bool built_ = false;
+};
+
+}  // namespace hotspots::topology

@@ -1,0 +1,58 @@
+#include "topology/reachability.h"
+
+#include <stdexcept>
+
+namespace hotspots::topology {
+
+std::string_view ToString(Delivery delivery) {
+  switch (delivery) {
+    case Delivery::kDelivered: return "delivered";
+    case Delivery::kNonTargetable: return "non-targetable";
+    case Delivery::kNatUnroutable: return "nat-unroutable";
+    case Delivery::kIngressFiltered: return "ingress-filtered";
+    case Delivery::kPerimeterFiltered: return "perimeter-filtered";
+    case Delivery::kNetworkLoss: return "network-loss";
+  }
+  return "unknown";
+}
+
+Reachability::Reachability(const AllocationRegistry* orgs,
+                           const NatDirectory* nats,
+                           const IngressAclSet* ingress_acls, double loss_rate)
+    : orgs_(orgs), nats_(nats), ingress_acls_(ingress_acls),
+      loss_rate_(loss_rate) {
+  if (loss_rate < 0.0 || loss_rate >= 1.0) {
+    throw std::invalid_argument("Reachability: loss_rate outside [0,1)");
+  }
+}
+
+Delivery Reachability::Decide(const Probe& probe, prng::Xoshiro256& rng) const {
+  if (net::IsNonTargetable(probe.dst)) return Delivery::kNonTargetable;
+
+  if (net::IsPrivate(probe.dst)) {
+    // Private destinations only route inside the source's own NAT site.
+    if (nats_ == nullptr || !nats_->Routable(probe.src_site, probe.dst)) {
+      return Delivery::kNatUnroutable;
+    }
+    // Intra-site delivery bypasses all Internet-path factors below.
+    return Delivery::kDelivered;
+  }
+
+  if (ingress_acls_ != nullptr && ingress_acls_->Blocks(probe.dst)) {
+    return Delivery::kIngressFiltered;
+  }
+
+  if (orgs_ != nullptr) {
+    const OrgId dst_org = orgs_->OrgOf(probe.dst);
+    if (PerimeterBlocks(*orgs_, probe.src_org, dst_org)) {
+      return Delivery::kPerimeterFiltered;
+    }
+  }
+
+  if (loss_rate_ > 0.0 && rng.Bernoulli(loss_rate_)) {
+    return Delivery::kNetworkLoss;
+  }
+  return Delivery::kDelivered;
+}
+
+}  // namespace hotspots::topology

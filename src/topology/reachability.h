@@ -1,0 +1,85 @@
+// Composite end-to-end reachability (the environmental-factor pipeline).
+//
+// The paper defines environmental factors as everything along the path
+// between an infected host and its target: routing & filtering policy,
+// failures/misconfiguration, and topology (NAT/private space).  This module
+// composes those into a single `Deliverable()` decision evaluated for every
+// probe the simulator emits:
+//
+//   non-targetable dst (0/8, loopback, multicast, class E)  → drop
+//   NAT routing (private dst outside the source's site)     → drop
+//   upstream ingress ACL covering dst                       → drop
+//   perimeter firewall crossing (enterprise boundary)       → drop
+//   random network failure (loss_rate)                      → drop
+//   otherwise                                               → deliver
+//
+// The struct is deliberately cheap: the hot probe loop calls this billions
+// of times in the Section-5 simulations.
+#pragma once
+
+#include <cstdint>
+
+#include "net/special_ranges.h"
+#include "prng/xoshiro.h"
+#include "topology/filtering.h"
+#include "topology/nat.h"
+#include "topology/org.h"
+
+namespace hotspots::topology {
+
+/// Everything the network needs to know about a probe.
+struct Probe {
+  net::Ipv4 src;
+  net::Ipv4 dst;
+  SiteId src_site = kPublicSite;
+  OrgId src_org = kInvalidOrg;
+};
+
+/// Why a probe did or did not arrive.  Kept as an enum so experiments can
+/// attribute drops to individual environmental factors.
+enum class Delivery : std::uint8_t {
+  kDelivered,
+  kNonTargetable,     ///< Destination can never be a unicast target.
+  kNatUnroutable,     ///< Private destination not inside the source's site.
+  kIngressFiltered,   ///< Upstream ACL covering the destination.
+  kPerimeterFiltered, ///< Enterprise firewall on either side.
+  kNetworkLoss,       ///< Random failure/misconfiguration/congestion.
+};
+
+[[nodiscard]] std::string_view ToString(Delivery delivery);
+
+/// The composed reachability function for one threat.
+class Reachability {
+ public:
+  /// All dependencies are optional: pass nullptr to disable a factor.
+  /// `loss_rate` models failures and misconfiguration as Bernoulli drops.
+  Reachability(const AllocationRegistry* orgs, const NatDirectory* nats,
+               const IngressAclSet* ingress_acls, double loss_rate = 0.0);
+
+  /// Full decision with drop attribution.
+  [[nodiscard]] Delivery Decide(const Probe& probe,
+                                prng::Xoshiro256& rng) const;
+
+  /// Convenience: Decide() == kDelivered.
+  [[nodiscard]] bool Deliverable(const Probe& probe,
+                                 prng::Xoshiro256& rng) const {
+    return Decide(probe, rng) == Delivery::kDelivered;
+  }
+
+  /// The organization holding `address` (kInvalidOrg when the registry is
+  /// absent or the space unallocated).  Exposed so callers can precompute
+  /// src_org once per infected host instead of per probe.
+  [[nodiscard]] OrgId OrgOf(net::Ipv4 address) const {
+    return orgs_ == nullptr ? kInvalidOrg : orgs_->OrgOf(address);
+  }
+
+  [[nodiscard]] double loss_rate() const { return loss_rate_; }
+
+ private:
+  const AllocationRegistry* orgs_;
+  const NatDirectory* nats_;
+  const IngressAclSet* ingress_acls_;
+  double loss_rate_;
+};
+
+}  // namespace hotspots::topology

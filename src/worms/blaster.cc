@@ -1,0 +1,74 @@
+#include "worms/blaster.h"
+
+#include "net/special_ranges.h"
+
+namespace hotspots::worms {
+namespace {
+
+class BlasterScanner final : public sim::HostScanner {
+ public:
+  explicit BlasterScanner(net::Ipv4 start) : sweep_(start) {}
+
+  net::Ipv4 NextTarget(prng::Xoshiro256&) override { return sweep_.Next(); }
+
+ private:
+  SequentialSweep sweep_;
+};
+
+}  // namespace
+
+BlasterWorm::BlasterWorm(prng::BootEntropyModel boot_model,
+                         BlasterConfig config)
+    : boot_model_(std::move(boot_model)), config_(config) {}
+
+net::Ipv4 BlasterWorm::StartAddressForSeed(std::uint32_t tick_count) {
+  prng::MsvcRand rand{tick_count};
+  const auto a = static_cast<std::uint8_t>(rand.NextMod(254) + 1);
+  const auto b = static_cast<std::uint8_t>(rand.NextMod(254));
+  const auto c = static_cast<std::uint8_t>(rand.NextMod(254));
+  return net::Ipv4{a, b, c, 0};
+}
+
+net::Ipv4 BlasterWorm::LocalStartAddress(net::Ipv4 own,
+                                         prng::MsvcRand& rand) const {
+  // The worm starts "near" its own address: same A.B, and backs the third
+  // octet off by up to local_backoff_range so it re-covers its own subnet.
+  std::uint32_t c = own.octet(2);
+  if (c > config_.local_backoff_range) {
+    c -= rand.NextMod(config_.local_backoff_range);
+  }
+  return net::Ipv4{own.octet(0), own.octet(1), static_cast<std::uint8_t>(c), 0};
+}
+
+std::unique_ptr<sim::HostScanner> BlasterWorm::MakeScanner(
+    const sim::Host& host, std::uint64_t entropy) const {
+  prng::Xoshiro256 sim_rng{entropy};
+  const std::uint32_t tick = boot_model_.SampleTickCount(sim_rng);
+  prng::MsvcRand rand{tick};
+  net::Ipv4 start;
+  // The real worm draws rand() % 20 and compares against 12 (60 %).
+  if (rand.NextMod(20) < static_cast<std::uint32_t>(
+                             config_.random_start_probability * 20.0)) {
+    start = StartAddressForSeed(tick);
+  } else {
+    start = LocalStartAddress(host.address, rand);
+  }
+  return std::make_unique<BlasterScanner>(start);
+}
+
+net::Ipv4 SequentialSweep::Next() {
+  // Yield the current address, then advance; hop over space that can never
+  // hold a victim so the sweep doesn't burn weeks of simulated time inside
+  // multicast space (the real worm wastes the probes; the wasted probes
+  // carry no information for any experiment).
+  const net::Ipv4 target{cursor_};
+  ++cursor_;
+  while (net::IsNonTargetable(net::Ipv4{cursor_})) {
+    // Skip to the end of the non-targetable /8 in one stride.
+    cursor_ = (cursor_ | 0x00FFFFFFu) + 1;  // May wrap to 0.0.0.0 — 0/8 is
+    if (cursor_ == 0) cursor_ = 0x01000000;  // itself non-targetable.
+  }
+  return target;
+}
+
+}  // namespace hotspots::worms

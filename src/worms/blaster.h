@@ -1,0 +1,90 @@
+// The Blaster worm's targeting algorithm (Section 4.2.2).
+//
+// Blaster seeds msvcrt's srand() with GetTickCount() — a terrible entropy
+// source because the worm launches from a registry run key right after
+// boot, so the seed is confined to boot-duration ticks (≈30,000 ms ± 1,000).
+// From that seed it picks a starting /24 (60 % fully "random" via rand(),
+// 40 % derived from the host's own address minus a small offset) and then
+// sweeps the address space *sequentially* upward from the starting point.
+//
+// The hotspot mechanism: the restricted seed range restricts the set of
+// possible starting /24s, so freshly rebooted Blaster hosts pile onto the
+// same slices of the space; a sensor just "downstream" of a popular start
+// observes a spike of unique sources (the paper's Figure 1).
+//
+// `BlasterWorm::StartAddressForSeed` exposes the exact seed→start mapping so
+// the forensics layer can invert observed spikes back to plausible
+// GetTickCount values, reproducing the paper's 1–20-minute reconstruction.
+#pragma once
+
+#include <memory>
+
+#include "prng/msvc_rand.h"
+#include "prng/tickcount.h"
+#include "sim/targeting.h"
+
+namespace hotspots::worms {
+
+/// Tunables of the Blaster model.
+struct BlasterConfig {
+  /// Probability the start is drawn from rand() rather than the local
+  /// address (the decompiled worm uses 60 %).
+  double random_start_probability = 0.6;
+  /// Local starts back off the host's own third octet by rand() % 20.
+  std::uint32_t local_backoff_range = 20;
+};
+
+class BlasterWorm final : public sim::Worm {
+ public:
+  explicit BlasterWorm(prng::BootEntropyModel boot_model,
+                       BlasterConfig config = {});
+
+  /// Blaster with the paper's measured boot-entropy model.
+  [[nodiscard]] static BlasterWorm Paper() {
+    return BlasterWorm{prng::BootEntropyModel::Paper()};
+  }
+
+  [[nodiscard]] std::string_view name() const override { return "Blaster"; }
+
+  /// Blaster spreads over TCP/135: darknets must answer the SYN to ever
+  /// see an identifying payload.
+  [[nodiscard]] bool requires_handshake() const override { return true; }
+
+  [[nodiscard]] std::unique_ptr<sim::HostScanner> MakeScanner(
+      const sim::Host& host, std::uint64_t entropy) const override;
+
+  /// The deterministic seed→start mapping for a *random-start* instance:
+  /// what srand(tick_count); A=rand()%254+1; B=rand()%254; C=rand()%254
+  /// produces.  This is the function the forensics layer inverts.
+  [[nodiscard]] static net::Ipv4 StartAddressForSeed(std::uint32_t tick_count);
+
+  /// Start address for a *local-start* instance on `own` (40 % branch).
+  [[nodiscard]] net::Ipv4 LocalStartAddress(net::Ipv4 own,
+                                            prng::MsvcRand& rand) const;
+
+  [[nodiscard]] const prng::BootEntropyModel& boot_model() const {
+    return boot_model_;
+  }
+  [[nodiscard]] const BlasterConfig& config() const { return config_; }
+
+ private:
+  prng::BootEntropyModel boot_model_;
+  BlasterConfig config_;
+};
+
+/// The sequential sweep itself, reusable by the analytic footprint model:
+/// yields base, base+1, base+2, … skipping non-targetable space, wrapping
+/// at the top of the IPv4 space.
+class SequentialSweep {
+ public:
+  explicit SequentialSweep(net::Ipv4 start) : cursor_(start.value()) {}
+
+  [[nodiscard]] net::Ipv4 Next();
+
+  [[nodiscard]] net::Ipv4 cursor() const { return net::Ipv4{cursor_}; }
+
+ private:
+  std::uint32_t cursor_;
+};
+
+}  // namespace hotspots::worms

@@ -1,0 +1,34 @@
+#include "worms/codered1.h"
+
+#include "net/special_ranges.h"
+
+namespace hotspots::worms {
+namespace {
+
+class CodeRed1Scanner final : public sim::HostScanner {
+ public:
+  explicit CodeRed1Scanner(std::uint32_t seed)
+      : lcg_(prng::LcgParams{prng::kMsvcMultiplier, prng::kMsvcIncrement, 32},
+             seed) {}
+
+  net::Ipv4 NextTarget(prng::Xoshiro256&) override {
+    for (int attempt = 0; attempt < 64; ++attempt) {
+      const net::Ipv4 candidate{lcg_.Next()};
+      if (!net::IsNonTargetable(candidate)) return candidate;
+    }
+    return net::Ipv4{1, 1, 1, 1};  // Unreachable in practice.
+  }
+
+ private:
+  prng::Lcg lcg_;
+};
+
+}  // namespace
+
+std::unique_ptr<sim::HostScanner> CodeRed1Worm::MakeScanner(
+    const sim::Host&, std::uint64_t entropy) const {
+  return std::make_unique<CodeRed1Scanner>(
+      static_seed_bug_ ? kStaticSeed : static_cast<std::uint32_t>(entropy));
+}
+
+}  // namespace hotspots::worms

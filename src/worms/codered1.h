@@ -1,0 +1,43 @@
+// CodeRed v1 — the static-seed bug (the paper's Code-Red lineage, [22]).
+//
+// The first Code Red's PRNG was seeded with a *constant*, so every infected
+// host walked the exact same target sequence: a textbook algorithmic
+// hotspot where the addresses on the shared sequence are probed by every
+// instance simultaneously and everything else is never probed at all.  The
+// later variant (CRv1.5/v2) re-seeded per host, recovering coverage.  Both
+// modes are provided; the contrast is used by the ablation benches.
+#pragma once
+
+#include <memory>
+
+#include "prng/lcg.h"
+#include "sim/targeting.h"
+
+namespace hotspots::worms {
+
+class CodeRed1Worm final : public sim::Worm {
+ public:
+  /// `static_seed_bug` true reproduces CRv1 (every instance shares
+  /// kStaticSeed); false gives the re-seeded CRv1.5 behaviour.
+  explicit CodeRed1Worm(bool static_seed_bug = true)
+      : static_seed_bug_(static_seed_bug) {}
+
+  /// The constant seed every CRv1 instance starts from.
+  static constexpr std::uint32_t kStaticSeed = 0x12345678u;
+
+  [[nodiscard]] std::string_view name() const override {
+    return static_seed_bug_ ? "CodeRedV1" : "CodeRedV1.5";
+  }
+
+  [[nodiscard]] std::unique_ptr<sim::HostScanner> MakeScanner(
+      const sim::Host& host, std::uint64_t entropy) const override;
+
+  /// CodeRed spreads over TCP/80; identifying its payload at a darknet
+  /// requires an active responder (see telescope/sensor.h).
+  [[nodiscard]] bool requires_handshake() const override { return true; }
+
+ private:
+  bool static_seed_bug_;
+};
+
+}  // namespace hotspots::worms

@@ -1,0 +1,72 @@
+#include "worms/codered2.h"
+
+#include <stdexcept>
+
+#include "net/special_ranges.h"
+#include "prng/msvc_rand.h"
+
+namespace hotspots::worms {
+namespace {
+
+class CodeRed2Scanner final : public sim::HostScanner {
+ public:
+  CodeRed2Scanner(net::Ipv4 own, std::uint32_t seed, CodeRed2Config config)
+      : own_(own), config_(config), rand_(seed) {}
+
+  net::Ipv4 NextTarget(prng::Xoshiro256&) override {
+    // The real worm draws rand() per decision/octet and retries internally
+    // until it has an acceptable candidate; 64 tries make a failure
+    // astronomically unlikely, and the fallback below keeps the contract
+    // total.  (RAND_MAX+1 is a multiple of 8 and 256, so % is unbiased.)
+    for (int attempt = 0; attempt < 64; ++attempt) {
+      const std::uint32_t selector = rand_.NextMod(8);
+      std::uint32_t mask = 0;
+      if (selector < static_cast<std::uint32_t>(config_.eighths_same_slash8)) {
+        mask = 0xFF000000u;
+      } else if (selector <
+                 static_cast<std::uint32_t>(config_.eighths_same_slash8 +
+                                            config_.eighths_same_slash16)) {
+        mask = 0xFFFF0000u;
+      }
+      const std::uint32_t random_bits =
+          (rand_.NextMod(256) << 24) | (rand_.NextMod(256) << 16) |
+          (rand_.NextMod(256) << 8) | rand_.NextMod(256);
+      const net::Ipv4 candidate{(own_.value() & mask) | (random_bits & ~mask)};
+
+      if (candidate == own_) continue;
+      if (net::IsNonTargetable(candidate)) continue;
+      return candidate;
+    }
+    // Unreachable in practice; keep the contract total anyway.
+    return net::Ipv4{(own_.value() & 0xFFFF0000u) | 1u};
+  }
+
+ private:
+  net::Ipv4 own_;
+  CodeRed2Config config_;
+  prng::MsvcRand rand_;
+};
+
+}  // namespace
+
+CodeRed2Worm::CodeRed2Worm(CodeRed2Config config) : config_(config) {
+  if (config.eighths_same_slash8 < 0 || config.eighths_same_slash16 < 0 ||
+      config.eighths_random < 0 ||
+      config.eighths_same_slash8 + config.eighths_same_slash16 +
+              config.eighths_random != 8) {
+    throw std::invalid_argument("CodeRed2Worm: eighths must be ≥0 and sum to 8");
+  }
+}
+
+std::unique_ptr<sim::HostScanner> CodeRed2Worm::MakeScanner(
+    const sim::Host& host, std::uint64_t entropy) const {
+  return MakeQuarantineScanner(host.address,
+                               static_cast<std::uint32_t>(entropy));
+}
+
+std::unique_ptr<sim::HostScanner> CodeRed2Worm::MakeQuarantineScanner(
+    net::Ipv4 own, std::uint32_t seed) const {
+  return std::make_unique<CodeRed2Scanner>(own, seed, config_);
+}
+
+}  // namespace hotspots::worms

@@ -1,0 +1,58 @@
+// The CodeRedII local-preference targeting algorithm (Sections 4.3.1, 5.1).
+//
+// CodeRedII chooses targets with a strong deliberate locality bias:
+//
+//     probability 1/2 : keep the host's own first octet   (same /8)
+//     probability 3/8 : keep the host's own first two octets (same /16)
+//     probability 1/8 : completely random 32-bit address
+//
+// and regenerates when the candidate is the host's own address, loopback
+// (127/8) or multicast/reserved space.  The environmental punchline: when
+// the infected host sits behind a NAT with a 192.168.x.y address, "same /8"
+// means 192.0.0.0/8 — and since 192.168/16 is the only private /16 in that
+// /8, 7/8 of the locally-preferred probes leak onto the public Internet and
+// pile onto whatever real blocks live in 192/8 (the paper's M sensor).
+//
+// The generator models the worm's own PRNG with the msvcrt LCG's raw state
+// stream, matching the disassembled worm's structure (mask selection over a
+// 32-bit random word).
+#pragma once
+
+#include <memory>
+
+#include "prng/lcg.h"
+#include "sim/targeting.h"
+
+namespace hotspots::worms {
+
+/// Mask-selection probabilities, expressed in eighths so they sum to 8.
+struct CodeRed2Config {
+  int eighths_same_slash8 = 4;   ///< 1/2.
+  int eighths_same_slash16 = 3;  ///< 3/8.
+  int eighths_random = 1;        ///< 1/8.
+};
+
+class CodeRed2Worm final : public sim::Worm {
+ public:
+  explicit CodeRed2Worm(CodeRed2Config config = {});
+
+  [[nodiscard]] std::string_view name() const override { return "CodeRedII"; }
+
+  /// CodeRedII spreads over TCP/80 (see sim::Worm::requires_handshake).
+  [[nodiscard]] bool requires_handshake() const override { return true; }
+
+  [[nodiscard]] std::unique_ptr<sim::HostScanner> MakeScanner(
+      const sim::Host& host, std::uint64_t entropy) const override;
+
+  /// Deterministic scanner for the quarantine harness: the worm running on
+  /// a host whose local address is `own`, with a fixed PRNG seed.
+  [[nodiscard]] std::unique_ptr<sim::HostScanner> MakeQuarantineScanner(
+      net::Ipv4 own, std::uint32_t seed) const;
+
+  [[nodiscard]] const CodeRed2Config& config() const { return config_; }
+
+ private:
+  CodeRed2Config config_;
+};
+
+}  // namespace hotspots::worms

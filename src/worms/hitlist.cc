@@ -1,0 +1,78 @@
+#include "worms/hitlist.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace hotspots::worms {
+namespace {
+
+class HitListScanner final : public sim::HostScanner {
+ public:
+  HitListScanner(const std::vector<net::Prefix>* hit_list,
+                 const std::vector<std::uint64_t>* cumulative,
+                 int uniform_length, std::uint64_t entropy)
+      : hit_list_(hit_list), cumulative_(cumulative),
+        uniform_length_(uniform_length), rng_(entropy) {}
+
+  net::Ipv4 NextTarget(prng::Xoshiro256&) override {
+    if (uniform_length_ >= 0) {
+      // All prefixes are the same size (the common /16-list case): pick a
+      // prefix uniformly and a uniform offset inside it — no search.  This
+      // is the per-probe hot path of the Section-5.2 simulations.
+      const std::uint64_t draw = rng_.Next();
+      const auto index = static_cast<std::size_t>(
+          (static_cast<std::uint64_t>(static_cast<std::uint32_t>(draw)) *
+           hit_list_->size()) >>
+          32);
+      const std::uint64_t offset =
+          (draw >> 32) & ~net::Prefix::MaskFor(uniform_length_);
+      return (*hit_list_)[index].AddressAt(offset);
+    }
+    // Mixed sizes: draw a uniform offset into the total covered address
+    // count, then binary-search which prefix owns that offset.
+    const std::uint64_t total = cumulative_->back();
+    const std::uint64_t pick = rng_.Next() % total;
+    const auto it =
+        std::upper_bound(cumulative_->begin(), cumulative_->end(), pick);
+    const auto index =
+        static_cast<std::size_t>(it - cumulative_->begin());
+    const std::uint64_t offset =
+        index == 0 ? pick : pick - (*cumulative_)[index - 1];
+    return (*hit_list_)[index].AddressAt(offset);
+  }
+
+ private:
+  const std::vector<net::Prefix>* hit_list_;
+  const std::vector<std::uint64_t>* cumulative_;
+  int uniform_length_;  ///< Prefix length if all equal, −1 otherwise.
+  prng::Xoshiro256 rng_;
+};
+
+}  // namespace
+
+HitListWorm::HitListWorm(std::vector<net::Prefix> hit_list)
+    : hit_list_(std::move(hit_list)) {
+  if (hit_list_.empty()) {
+    throw std::invalid_argument("HitListWorm: empty hit list");
+  }
+  std::uint64_t running = 0;
+  cumulative_.reserve(hit_list_.size());
+  uniform_length_ = hit_list_.front().length();
+  for (const net::Prefix& prefix : hit_list_) {
+    running += prefix.size();
+    cumulative_.push_back(running);
+    if (prefix.length() != uniform_length_) uniform_length_ = -1;
+  }
+}
+
+std::unique_ptr<sim::HostScanner> HitListWorm::MakeScanner(
+    const sim::Host&, std::uint64_t entropy) const {
+  return std::make_unique<HitListScanner>(&hit_list_, &cumulative_,
+                                          uniform_length_, entropy);
+}
+
+std::uint64_t HitListWorm::CoveredAddresses() const {
+  return cumulative_.back();
+}
+
+}  // namespace hotspots::worms

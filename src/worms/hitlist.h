@@ -1,0 +1,47 @@
+// Hit-list targeting (Sections 4.2.1 and 5.2).
+//
+// Bots and hit-list worms carry a pre-programmed list of target prefixes —
+// captured bot commands like "advscan dcom2 194.x.x.x" restrict propagation
+// to a slice of the space.  The Section-5.2 simulation gives every infected
+// host the same list of /16 prefixes; each probe picks a uniformly random
+// address *covered by the list*.  The hotspot is the list itself: space
+// outside the list never sees a single probe, so detectors placed there can
+// never alert.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "net/prefix.h"
+#include "sim/targeting.h"
+
+namespace hotspots::worms {
+
+class HitListWorm final : public sim::Worm {
+ public:
+  /// `hit_list` must be non-empty.  Prefixes may have any length; sampling
+  /// is uniform over the covered *addresses* (prefixes weighted by size).
+  explicit HitListWorm(std::vector<net::Prefix> hit_list);
+
+  [[nodiscard]] std::string_view name() const override { return "HitList"; }
+
+  [[nodiscard]] std::unique_ptr<sim::HostScanner> MakeScanner(
+      const sim::Host& host, std::uint64_t entropy) const override;
+
+  [[nodiscard]] const std::vector<net::Prefix>& hit_list() const {
+    return hit_list_;
+  }
+
+  /// Total addresses covered by the list.
+  [[nodiscard]] std::uint64_t CoveredAddresses() const;
+
+ private:
+  std::vector<net::Prefix> hit_list_;
+  /// Cumulative address counts for weighted prefix selection.
+  std::vector<std::uint64_t> cumulative_;
+  /// Common prefix length when all entries share one, else −1 (enables the
+  /// search-free uniform sampling fast path).
+  int uniform_length_ = -1;
+};
+
+}  // namespace hotspots::worms

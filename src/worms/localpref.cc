@@ -1,0 +1,53 @@
+#include "worms/localpref.h"
+
+#include <stdexcept>
+
+namespace hotspots::worms {
+namespace {
+
+class LocalPreferenceScanner final : public sim::HostScanner {
+ public:
+  LocalPreferenceScanner(net::Ipv4 own, LocalPreferenceConfig config,
+                         std::uint64_t entropy)
+      : own_(own), config_(config), rng_(entropy) {}
+
+  net::Ipv4 NextTarget(prng::Xoshiro256&) override {
+    const double pick = rng_.NextDouble();
+    std::uint32_t mask = 0;
+    if (pick < config_.p_same_slash8) {
+      mask = 0xFF000000u;
+    } else if (pick < config_.p_same_slash8 + config_.p_same_slash16) {
+      mask = 0xFFFF0000u;
+    } else if (pick < config_.p_same_slash8 + config_.p_same_slash16 +
+                          config_.p_same_slash24) {
+      mask = 0xFFFFFF00u;
+    }
+    return net::Ipv4{(own_.value() & mask) | (rng_.NextU32() & ~mask)};
+  }
+
+ private:
+  net::Ipv4 own_;
+  LocalPreferenceConfig config_;
+  prng::Xoshiro256 rng_;
+};
+
+}  // namespace
+
+LocalPreferenceWorm::LocalPreferenceWorm(LocalPreferenceConfig config)
+    : config_(config) {
+  const double total =
+      config.p_same_slash8 + config.p_same_slash16 + config.p_same_slash24;
+  if (config.p_same_slash8 < 0 || config.p_same_slash16 < 0 ||
+      config.p_same_slash24 < 0 || total > 1.0) {
+    throw std::invalid_argument(
+        "LocalPreferenceWorm: probabilities must be ≥0 and sum to ≤1");
+  }
+}
+
+std::unique_ptr<sim::HostScanner> LocalPreferenceWorm::MakeScanner(
+    const sim::Host& host, std::uint64_t entropy) const {
+  return std::make_unique<LocalPreferenceScanner>(host.address, config_,
+                                                  entropy);
+}
+
+}  // namespace hotspots::worms

@@ -1,0 +1,42 @@
+// Generic local-preference targeting.
+//
+// A configurable generalization of the CodeRedII / Nimda family: with
+// probability p₈ keep the host's /8, with p₁₆ its /16, with p₂₄ its /24,
+// otherwise draw uniformly.  Used for the ablation benches that sweep
+// locality strength, and as a building block for synthetic threats.  Unlike
+// CodeRed2Worm this model uses a well-behaved generator, isolating the
+// *local preference* factor from any PRNG-flaw factor.
+#pragma once
+
+#include <memory>
+
+#include "sim/targeting.h"
+
+namespace hotspots::worms {
+
+/// Locality mix; the probabilities must be in [0,1] and sum to ≤ 1, with
+/// the remainder going to uniform scanning.
+struct LocalPreferenceConfig {
+  double p_same_slash8 = 0.0;
+  double p_same_slash16 = 0.0;
+  double p_same_slash24 = 0.0;
+};
+
+class LocalPreferenceWorm final : public sim::Worm {
+ public:
+  explicit LocalPreferenceWorm(LocalPreferenceConfig config);
+
+  [[nodiscard]] std::string_view name() const override {
+    return "LocalPreference";
+  }
+
+  [[nodiscard]] std::unique_ptr<sim::HostScanner> MakeScanner(
+      const sim::Host& host, std::uint64_t entropy) const override;
+
+  [[nodiscard]] const LocalPreferenceConfig& config() const { return config_; }
+
+ private:
+  LocalPreferenceConfig config_;
+};
+
+}  // namespace hotspots::worms

@@ -1,0 +1,62 @@
+#include "worms/permutation.h"
+
+#include "prng/splitmix.h"
+
+namespace hotspots::worms {
+namespace {
+
+class PermutationScanner final : public sim::HostScanner {
+ public:
+  PermutationScanner(const FeistelPermutation* permutation,
+                     std::uint32_t start_index)
+      : permutation_(permutation), index_(start_index) {}
+
+  net::Ipv4 NextTarget(prng::Xoshiro256&) override {
+    return net::Ipv4{permutation_->Forward(index_++)};
+  }
+
+ private:
+  const FeistelPermutation* permutation_;
+  std::uint32_t index_;
+};
+
+}  // namespace
+
+std::uint16_t FeistelPermutation::RoundFunction(std::uint16_t half,
+                                                std::uint64_t subkey) {
+  return static_cast<std::uint16_t>(
+      prng::Mix64(subkey ^ half) >> 48);
+}
+
+std::uint32_t FeistelPermutation::Forward(std::uint32_t index) const {
+  auto left = static_cast<std::uint16_t>(index >> 16);
+  auto right = static_cast<std::uint16_t>(index);
+  for (int round = 0; round < 4; ++round) {
+    const std::uint16_t next_left = right;
+    right = static_cast<std::uint16_t>(
+        left ^ RoundFunction(right, key_ + static_cast<std::uint64_t>(round)));
+    left = next_left;
+  }
+  return (static_cast<std::uint32_t>(left) << 16) | right;
+}
+
+std::uint32_t FeistelPermutation::Backward(std::uint32_t image) const {
+  auto left = static_cast<std::uint16_t>(image >> 16);
+  auto right = static_cast<std::uint16_t>(image);
+  for (int round = 3; round >= 0; --round) {
+    const std::uint16_t previous_right = left;
+    left = static_cast<std::uint16_t>(
+        right ^
+        RoundFunction(left, key_ + static_cast<std::uint64_t>(round)));
+    right = previous_right;
+  }
+  return (static_cast<std::uint32_t>(left) << 16) | right;
+}
+
+std::unique_ptr<sim::HostScanner> PermutationWorm::MakeScanner(
+    const sim::Host&, std::uint64_t entropy) const {
+  return std::make_unique<PermutationScanner>(
+      &permutation_, static_cast<std::uint32_t>(prng::Mix64(entropy)));
+}
+
+}  // namespace hotspots::worms

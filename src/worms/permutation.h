@@ -1,0 +1,57 @@
+// Permutation scanning (Staniford et al., "How to 0wn the Internet in Your
+// Spare Time") — one of the scanning strategies the paper lists as an
+// algorithmic factor.
+//
+// All instances share a pseudo-random permutation of the 32-bit space
+// (implemented as a 4-round Feistel network keyed by the worm release);
+// each new instance starts at a random index of the permutation and walks
+// it sequentially.  Instances therefore partition the space implicitly:
+// coverage is near-perfect and duplicate probing is rare, but any *single*
+// sensor sees sources at a rate governed by where it sits in the
+// permutation — another, subtler, deviation from uniform behaviour.
+#pragma once
+
+#include <memory>
+
+#include "sim/targeting.h"
+
+namespace hotspots::worms {
+
+/// A keyed pseudo-random permutation of the 32-bit address space.
+class FeistelPermutation {
+ public:
+  explicit constexpr FeistelPermutation(std::uint64_t key) : key_(key) {}
+
+  /// Image of `index` under the permutation.
+  [[nodiscard]] std::uint32_t Forward(std::uint32_t index) const;
+
+  /// Preimage: Backward(Forward(x)) == x.
+  [[nodiscard]] std::uint32_t Backward(std::uint32_t image) const;
+
+ private:
+  [[nodiscard]] static std::uint16_t RoundFunction(std::uint16_t half,
+                                                   std::uint64_t subkey);
+  std::uint64_t key_;
+};
+
+class PermutationWorm final : public sim::Worm {
+ public:
+  /// `key` identifies the worm release (all instances share it).
+  explicit PermutationWorm(std::uint64_t key) : permutation_(key) {}
+
+  [[nodiscard]] std::string_view name() const override {
+    return "PermutationScan";
+  }
+
+  [[nodiscard]] std::unique_ptr<sim::HostScanner> MakeScanner(
+      const sim::Host& host, std::uint64_t entropy) const override;
+
+  [[nodiscard]] const FeistelPermutation& permutation() const {
+    return permutation_;
+  }
+
+ private:
+  FeistelPermutation permutation_;
+};
+
+}  // namespace hotspots::worms

@@ -1,0 +1,75 @@
+#include "worms/slammer.h"
+
+#include <stdexcept>
+
+namespace hotspots::worms {
+namespace {
+
+class SlammerScanner final : public sim::HostScanner {
+ public:
+  SlammerScanner(prng::LcgParams params, std::uint32_t seed)
+      : lcg_(params, seed) {}
+
+  net::Ipv4 NextTarget(prng::Xoshiro256&) override {
+    return net::Ipv4{lcg_.Next()};
+  }
+
+ private:
+  prng::Lcg lcg_;
+};
+
+}  // namespace
+
+std::array<std::uint32_t, 3> SlammerEffectiveIncrements() {
+  std::array<std::uint32_t, 3> increments{};
+  for (std::size_t i = 0; i < kSqlsortIatEntries.size(); ++i) {
+    increments[i] = kSlammerIntendedIncrement ^ kSqlsortIatEntries[i];
+  }
+  return increments;
+}
+
+prng::LcgParams SlammerLcgParams(int dll_version) {
+  if (dll_version < 0 || dll_version >= 3) {
+    throw std::invalid_argument("SlammerLcgParams: dll_version must be 0..2");
+  }
+  return prng::LcgParams{prng::kMsvcMultiplier,
+                         SlammerEffectiveIncrements()[
+                             static_cast<std::size_t>(dll_version)],
+                         32};
+}
+
+prng::LcgCycleAnalyzer SlammerCycleAnalyzer(int dll_version) {
+  return prng::LcgCycleAnalyzer{SlammerLcgParams(dll_version)};
+}
+
+SlammerWorm::SlammerWorm(std::array<double, 3> weights) {
+  double total = 0;
+  for (double w : weights) {
+    if (w < 0) throw std::invalid_argument("SlammerWorm: negative weight");
+    total += w;
+  }
+  if (total <= 0) throw std::invalid_argument("SlammerWorm: zero weights");
+  double running = 0;
+  for (std::size_t i = 0; i < 3; ++i) {
+    running += weights[i] / total;
+    cumulative_[i] = running;
+  }
+}
+
+std::unique_ptr<sim::HostScanner> SlammerWorm::MakeScanner(
+    const sim::Host&, std::uint64_t entropy) const {
+  prng::Xoshiro256 rng{entropy};
+  const double pick = rng.NextDouble();
+  int version = 0;
+  while (version < 2 && pick > cumulative_[static_cast<std::size_t>(version)]) {
+    ++version;
+  }
+  return MakeFixedScanner(version, rng.NextU32());
+}
+
+std::unique_ptr<sim::HostScanner> SlammerWorm::MakeFixedScanner(
+    int dll_version, std::uint32_t seed) {
+  return std::make_unique<SlammerScanner>(SlammerLcgParams(dll_version), seed);
+}
+
+}  // namespace hotspots::worms

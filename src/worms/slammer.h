@@ -1,0 +1,73 @@
+// The Slammer worm's flawed PRNG targeting (Section 4.2.3).
+//
+// Slammer generates targets with the linear congruential generator
+//     s ← 214013·s + b   (mod 2^32)
+// and fires one UDP packet at each successive state.  The author intended
+// b = 0xFFD9613C, but an OR instruction used in place of XOR leaves the
+// sqlsort.dll Import Address Table entry in ebx OR-ed into the constant; the
+// *effective* increment is 0xFFD9613C ⊕ IAT for each of the three widely
+// deployed sqlsort.dll versions:
+//
+//     IAT 0x77F8313C → b = 0x88215000
+//     IAT 0x77E89B18 → b = 0x8831FA24   (the value quoted in the paper)
+//     IAT 0x77EA094C → b = 0x88336870
+//
+// With these increments the LCG splits the 32-bit space into exactly 64
+// cycles (two per power-of-two length plus four fixed points — see
+// prng/lcg_cycles.h), so every infected host is trapped scanning only the
+// addresses of the cycle its initial seed landed on.  That is both classes
+// of Slammer hotspot: per-host bias (short cycles look like targeted DoS)
+// and aggregate bias (addresses on short cycles see far fewer unique
+// sources).
+#pragma once
+
+#include <array>
+#include <memory>
+#include <vector>
+
+#include "prng/lcg.h"
+#include "prng/lcg_cycles.h"
+#include "sim/targeting.h"
+
+namespace hotspots::worms {
+
+/// The increment the worm author apparently intended.
+inline constexpr std::uint32_t kSlammerIntendedIncrement = 0xFFD9613Cu;
+
+/// The three widely reported sqlsort.dll Import Address Table entries.
+inline constexpr std::array<std::uint32_t, 3> kSqlsortIatEntries = {
+    0x77F8313Cu, 0x77E89B18u, 0x77EA094Cu};
+
+/// The effective increments: intended ⊕ IAT (the OR bug destroyed the
+/// intended constant; XOR-ing recovers what actually ends up in the add).
+[[nodiscard]] std::array<std::uint32_t, 3> SlammerEffectiveIncrements();
+
+/// LCG parameters for one DLL version (index into kSqlsortIatEntries).
+[[nodiscard]] prng::LcgParams SlammerLcgParams(int dll_version);
+
+/// Cycle analyzer for one DLL version.
+[[nodiscard]] prng::LcgCycleAnalyzer SlammerCycleAnalyzer(int dll_version);
+
+/// Slammer worm model.  Each infected host draws a DLL version (weighted)
+/// and a uniform 32-bit initial seed, then emits the raw LCG state sequence
+/// as targets, exactly like the real worm.
+class SlammerWorm final : public sim::Worm {
+ public:
+  /// `dll_version_weights` gives the population share of each sqlsort.dll
+  /// version; defaults to equal thirds.
+  explicit SlammerWorm(std::array<double, 3> dll_version_weights = {1, 1, 1});
+
+  [[nodiscard]] std::string_view name() const override { return "Slammer"; }
+
+  [[nodiscard]] std::unique_ptr<sim::HostScanner> MakeScanner(
+      const sim::Host& host, std::uint64_t entropy) const override;
+
+  /// Deterministic scanner for forensics: fixed DLL version and seed.
+  [[nodiscard]] static std::unique_ptr<sim::HostScanner> MakeFixedScanner(
+      int dll_version, std::uint32_t seed);
+
+ private:
+  std::array<double, 3> cumulative_;
+};
+
+}  // namespace hotspots::worms

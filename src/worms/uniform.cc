@@ -1,0 +1,27 @@
+#include "worms/uniform.h"
+
+namespace hotspots::worms {
+namespace {
+
+class UniformScanner final : public sim::HostScanner {
+ public:
+  explicit UniformScanner(std::uint64_t entropy) : rng_(entropy) {}
+
+  net::Ipv4 NextTarget(prng::Xoshiro256&) override {
+    // Each instance owns a well-seeded generator; the entire 32-bit space is
+    // equally likely, exactly as in the simple epidemic model.
+    return net::Ipv4{rng_.NextU32()};
+  }
+
+ private:
+  prng::Xoshiro256 rng_;
+};
+
+}  // namespace
+
+std::unique_ptr<sim::HostScanner> UniformWorm::MakeScanner(
+    const sim::Host&, std::uint64_t entropy) const {
+  return std::make_unique<UniformScanner>(entropy);
+}
+
+}  // namespace hotspots::worms

@@ -1,0 +1,22 @@
+// The uniform-scanning baseline.
+//
+// The paper's null model: "a worm instance chooses the next target address
+// from a uniform random distribution from 0 to 2^32" (Section 2).  Hotspots
+// are defined as deviation from this worm's behaviour, so every experiment
+// uses it as the control.
+#pragma once
+
+#include <memory>
+
+#include "sim/targeting.h"
+
+namespace hotspots::worms {
+
+class UniformWorm final : public sim::Worm {
+ public:
+  [[nodiscard]] std::string_view name() const override { return "Uniform"; }
+  [[nodiscard]] std::unique_ptr<sim::HostScanner> MakeScanner(
+      const sim::Host& host, std::uint64_t entropy) const override;
+};
+
+}  // namespace hotspots::worms

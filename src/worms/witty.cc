@@ -1,0 +1,55 @@
+#include "worms/witty.h"
+
+#include "prng/xoshiro.h"
+
+namespace hotspots::worms {
+namespace {
+
+constexpr prng::LcgParams kWittyLcg{prng::kMsvcMultiplier,
+                                    prng::kMsvcIncrement, 32};
+
+class WittyScanner final : public sim::HostScanner {
+ public:
+  explicit WittyScanner(std::uint32_t seed) : lcg_(kWittyLcg, seed) {}
+
+  net::Ipv4 NextTarget(prng::Xoshiro256&) override {
+    const std::uint32_t hi = lcg_.Next() >> 16;
+    const std::uint32_t lo = lcg_.Next() >> 16;
+    return net::Ipv4{(hi << 16) | lo};
+  }
+
+ private:
+  prng::Lcg lcg_;
+};
+
+}  // namespace
+
+int WittyPreimageCount(net::Ipv4 target) {
+  const std::uint32_t hi = target.value() >> 16;
+  const std::uint32_t lo = target.value() & 0xFFFFu;
+  int count = 0;
+  // Candidate states with the right top half: s = (hi << 16) | t.
+  for (std::uint32_t t = 0; t < (1u << 16); ++t) {
+    const std::uint32_t s = (hi << 16) | t;
+    if ((kWittyLcg.Step(s) >> 16) == lo) ++count;
+  }
+  return count;
+}
+
+double WittyUnreachableFraction(int samples, std::uint64_t seed) {
+  prng::Xoshiro256 rng{seed};
+  int unreachable = 0;
+  for (int i = 0; i < samples; ++i) {
+    if (WittyPreimageCount(net::Ipv4{rng.NextU32()}) == 0) ++unreachable;
+  }
+  return samples == 0 ? 0.0
+                      : static_cast<double>(unreachable) /
+                            static_cast<double>(samples);
+}
+
+std::unique_ptr<sim::HostScanner> WittyWorm::MakeScanner(
+    const sim::Host&, std::uint64_t entropy) const {
+  return std::make_unique<WittyScanner>(static_cast<std::uint32_t>(entropy));
+}
+
+}  // namespace hotspots::worms

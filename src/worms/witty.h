@@ -1,0 +1,50 @@
+// The Witty worm's target construction (Kumar, Paxson, Weaver — the paper's
+// reference [13] for "exploiting underlying structure").
+//
+// Witty drives the msvcrt LCG but builds each 32-bit target from the *top
+// 16 bits of two consecutive states*:
+//
+//     s ← a·s + b;  hi = s ≫ 16
+//     s ← a·s + b;  lo = s ≫ 16
+//     target = (hi ≪ 16) | lo
+//
+// Because consecutive states are linked by the recurrence, (hi, lo) pairs
+// are not free: an address (hi, lo) is generatable iff some state s with
+// s ≫ 16 == hi steps to a state with top half lo.  On average one of the
+// 2^16 candidate states does, but the distribution is lumpy — a measurable
+// fraction of the address space is *never* generated, and some addresses
+// have several preimages and are probed disproportionately often.  That is
+// precisely the "underlying structure" Kumar et al. exploited to
+// reconstruct the worm's spread, and another concrete PRNG-flaw hotspot.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "prng/lcg.h"
+#include "sim/targeting.h"
+
+namespace hotspots::worms {
+
+/// Number of LCG states whose two-step output produces `target`.
+/// 0 ⇒ Witty can never probe this address; k ⇒ the address is hit k× as
+/// often as the uniform rate.  Cost: one pass over 2^16 candidate states.
+[[nodiscard]] int WittyPreimageCount(net::Ipv4 target);
+
+/// Fraction of `samples` random addresses with no Witty preimage,
+/// estimated deterministically from `seed`.
+[[nodiscard]] double WittyUnreachableFraction(int samples,
+                                              std::uint64_t seed);
+
+class WittyWorm final : public sim::Worm {
+ public:
+  [[nodiscard]] std::string_view name() const override { return "Witty"; }
+
+  [[nodiscard]] std::unique_ptr<sim::HostScanner> MakeScanner(
+      const sim::Host& host, std::uint64_t entropy) const override;
+
+  /// Witty was a single-UDP-packet worm (ICQ/ISS, port 4000 source).
+  [[nodiscard]] bool requires_handshake() const override { return false; }
+};
+
+}  // namespace hotspots::worms

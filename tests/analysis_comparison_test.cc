@@ -1,0 +1,154 @@
+// Tests for cross-darknet comparison, the LCG spectral test, and the
+// containment analysis.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analysis/block_comparison.h"
+#include "core/containment.h"
+#include "prng/spectral.h"
+
+namespace hotspots {
+namespace {
+
+// ---------------------------------------------------------------------
+// Block comparison.
+// ---------------------------------------------------------------------
+
+TEST(BlockComparisonTest, EmptyThrows) {
+  EXPECT_THROW((void)analysis::CompareBlocks({}), std::invalid_argument);
+}
+
+TEST(BlockComparisonTest, RanksBySizeNormalizedRate) {
+  const auto report = analysis::CompareBlocks({
+      {"A", 256, 256},    // rate 1.0
+      {"B", 1024, 4096},  // rate 4.0
+      {"C", 65536, 0},    // silent
+  });
+  ASSERT_EQ(report.ranked.size(), 3u);
+  EXPECT_EQ(report.ranked[0].label, "B");
+  EXPECT_EQ(report.ranked[1].label, "A");
+  EXPECT_EQ(report.ranked[2].label, "C");
+  EXPECT_DOUBLE_EQ(report.max_spread, 4.0);
+  EXPECT_EQ(report.silent_blocks, 1u);
+  EXPECT_NEAR(report.orders_of_magnitude, std::log10(4.0), 1e-12);
+  EXPECT_TRUE(report.DisagreesBeyond(3.0));
+  EXPECT_FALSE(report.DisagreesBeyond(5.0));
+}
+
+TEST(BlockComparisonTest, IdenticalRatesHaveNoSpread) {
+  const auto report = analysis::CompareBlocks({
+      {"A", 100, 200},
+      {"B", 1000, 2000},
+  });
+  EXPECT_DOUBLE_EQ(report.max_spread, 0.0);
+  EXPECT_DOUBLE_EQ(report.orders_of_magnitude, 0.0);
+  EXPECT_FALSE(report.DisagreesBeyond(1.0));
+}
+
+TEST(BlockComparisonTest, SingleNonzeroBlockHasNoSpread) {
+  const auto report = analysis::CompareBlocks({{"A", 10, 5}, {"B", 10, 0}});
+  EXPECT_DOUBLE_EQ(report.max_spread, 0.0);
+  EXPECT_EQ(report.silent_blocks, 1u);
+}
+
+// ---------------------------------------------------------------------
+// Spectral test.
+// ---------------------------------------------------------------------
+
+TEST(SpectralTest, ShortestVectorIsLatticePoint) {
+  for (const std::uint32_t a : {214013u, 69069u, 1103515245u, 5u}) {
+    for (const int m : {16, 24, 32}) {
+      const prng::LcgParams params{a, 0, m};
+      const auto result = prng::SpectralTest2D(params);
+      // (vx, vy) must satisfy vy ≡ a·vx (mod 2^m).
+      const std::uint64_t modulus = std::uint64_t{1} << m;
+      const auto vx = static_cast<std::uint64_t>(result.shortest_x);
+      const auto vy = static_cast<std::uint64_t>(result.shortest_y);
+      EXPECT_EQ((vy - a * vx) % modulus, 0u)
+          << "a=" << a << " m=" << m;
+      EXPECT_GT(result.nu2, 0.0);
+      EXPECT_LE(result.merit, 1.0 + 1e-9);
+      EXPECT_GT(result.merit, 0.0);
+    }
+  }
+}
+
+TEST(SpectralTest, DetectsTerribleMultiplier) {
+  // a = 5: (1, 5) is a lattice point, so consecutive outputs lie on a
+  // handful of lines — minuscule ν₂ and merit versus a decent multiplier.
+  const auto bad = prng::SpectralTest2D(prng::LcgParams{5u, 0, 32});
+  const auto good = prng::SpectralTest2D(prng::LcgParams{69069u, 0, 32});
+  EXPECT_NEAR(bad.nu2, std::sqrt(26.0), 1e-9);
+  EXPECT_LT(bad.merit, 0.001);
+  EXPECT_GT(good.merit, 0.3);
+}
+
+TEST(SpectralTest, MsvcMultiplierIsReasonableIn2D) {
+  // The Slammer/Blaster multiplier is not a 2-D disaster — its problems
+  // (the OR-bug increment, 15-bit truncation, bad seeding) are elsewhere,
+  // which is exactly the paper's point about implementation context.
+  const auto result =
+      prng::SpectralTest2D(prng::LcgParams{prng::kMsvcMultiplier, 0, 32});
+  EXPECT_GT(result.merit, 0.1);
+}
+
+TEST(SpectralTest, ValidatesArguments) {
+  EXPECT_THROW((void)prng::SpectralTest2D(prng::LcgParams{2, 0, 16}),
+               std::invalid_argument);
+  EXPECT_THROW((void)prng::SpectralTest2D(prng::LcgParams{5, 0, 1}),
+               std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------
+// Containment.
+// ---------------------------------------------------------------------
+
+core::DetectionOutcome SyntheticOutcome() {
+  core::DetectionOutcome outcome;
+  outcome.total_sensors = 10;
+  outcome.alert_times = {10, 20, 30, 40, 50};  // 5 of 10 sensors alert.
+  outcome.curve = {
+      {0, 0.00, 0.0},  {10, 0.05, 0.1}, {20, 0.15, 0.2}, {30, 0.30, 0.3},
+      {40, 0.50, 0.4}, {50, 0.70, 0.5}, {60, 0.85, 0.5}, {70, 0.95, 0.5},
+  };
+  return outcome;
+}
+
+TEST(ContainmentTest, InfectedFractionAtSamplesTheCurve) {
+  const auto outcome = SyntheticOutcome();
+  EXPECT_DOUBLE_EQ(core::InfectedFractionAt(outcome, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(core::InfectedFractionAt(outcome, 25.0), 0.15);
+  EXPECT_DOUBLE_EQ(core::InfectedFractionAt(outcome, 1000.0), 0.95);
+}
+
+TEST(ContainmentTest, QuorumAndDelayComposition) {
+  const auto outcome = SyntheticOutcome();
+  const auto points =
+      core::AnalyzeContainment(outcome, {0.2, 0.5, 0.8}, 10.0);
+  ASSERT_EQ(points.size(), 3u);
+
+  // 20% quorum = 2 sensors = t=20; response at t=30 → 30% infected.
+  ASSERT_TRUE(points[0].detection_time.has_value());
+  EXPECT_DOUBLE_EQ(*points[0].detection_time, 20.0);
+  EXPECT_DOUBLE_EQ(*points[0].response_time, 30.0);
+  EXPECT_DOUBLE_EQ(points[0].infected_at_response, 0.30);
+
+  // 50% quorum = 5 sensors = t=50; response at t=60 → 85% infected:
+  // detection delay translated straight into infected population.
+  EXPECT_DOUBLE_EQ(*points[1].detection_time, 50.0);
+  EXPECT_DOUBLE_EQ(points[1].infected_at_response, 0.85);
+
+  // 80% quorum never fires: the outbreak runs to the end of the window.
+  EXPECT_FALSE(points[2].detection_time.has_value());
+  EXPECT_DOUBLE_EQ(points[2].infected_at_response, 0.95);
+}
+
+TEST(ContainmentTest, RejectsNegativeDelay) {
+  const auto outcome = SyntheticOutcome();
+  EXPECT_THROW((void)core::AnalyzeContainment(outcome, {0.5}, -1.0),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace hotspots

@@ -1,0 +1,145 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "analysis/seed_forensics.h"
+#include "analysis/uniformity.h"
+#include "worms/blaster.h"
+
+namespace hotspots::analysis {
+namespace {
+
+TEST(GiniTest, UniformIsZero) {
+  const std::vector<std::uint64_t> counts(100, 7);
+  EXPECT_NEAR(GiniCoefficient(counts), 0.0, 1e-12);
+}
+
+TEST(GiniTest, SingleSpikeApproachesOne) {
+  std::vector<std::uint64_t> counts(100, 0);
+  counts[13] = 1000;
+  EXPECT_GT(GiniCoefficient(counts), 0.95);
+}
+
+TEST(GiniTest, EmptyThrows) {
+  EXPECT_THROW((void)GiniCoefficient({}), std::invalid_argument);
+}
+
+TEST(UniformityTest, UniformHistogramLooksUniform) {
+  const std::vector<std::uint64_t> counts(256, 50);
+  const UniformityReport report = AnalyzeUniformity(counts);
+  EXPECT_EQ(report.total, 256u * 50u);
+  EXPECT_DOUBLE_EQ(report.mean, 50.0);
+  EXPECT_DOUBLE_EQ(report.chi_square, 0.0);
+  EXPECT_NEAR(report.kl_divergence, 0.0, 1e-12);
+  EXPECT_DOUBLE_EQ(report.peak_to_mean, 1.0);
+  EXPECT_NEAR(report.half_mass_bin_fraction, 0.5, 0.01);
+  EXPECT_FALSE(report.LooksNonUniform());
+}
+
+TEST(UniformityTest, SpikedHistogramFlagsHotspot) {
+  std::vector<std::uint64_t> counts(256, 2);
+  counts[100] = 5000;
+  const UniformityReport report = AnalyzeUniformity(counts);
+  EXPECT_TRUE(report.LooksNonUniform());
+  EXPECT_GT(report.peak_to_mean, 100.0);
+  EXPECT_LT(report.half_mass_bin_fraction, 0.01);
+  EXPECT_GT(report.kl_divergence, 1.0);
+}
+
+TEST(UniformityTest, PoissonNoiseIsNotAHotspot) {
+  // Statistical fluctuation around a uniform rate must not be classified
+  // as a hotspot: counts ~ Poisson(100).
+  prng::Xoshiro256 rng{5};
+  std::vector<std::uint64_t> counts(512);
+  for (auto& c : counts) {
+    // Crude Poisson via 100 Bernoulli batches is enough here.
+    std::uint64_t n = 0;
+    for (int i = 0; i < 200; ++i) n += rng.Bernoulli(0.5) ? 1 : 0;
+    c = n;
+  }
+  const UniformityReport report = AnalyzeUniformity(counts);
+  EXPECT_FALSE(report.LooksNonUniform());
+}
+
+TEST(UniformityTest, EmptyHistogramThrows) {
+  EXPECT_THROW((void)AnalyzeUniformity({}), std::invalid_argument);
+}
+
+TEST(UniformityTest, AllZeroHistogramIsDegenerateButSafe) {
+  const std::vector<std::uint64_t> counts(16, 0);
+  const UniformityReport report = AnalyzeUniformity(counts);
+  EXPECT_EQ(report.total, 0u);
+  EXPECT_FALSE(report.LooksNonUniform());
+}
+
+TEST(SeedForensicsTest, RecoversPlantedSeed) {
+  // Plant a seed, observe where its sweep goes, invert, and check the
+  // planted tick is among the candidates.
+  const std::uint32_t planted_tick = 140'000;  // 2.3 minutes — the paper's
+                                               // headline I-block seed.
+  const net::Ipv4 start = worms::BlasterWorm::StartAddressForSeed(planted_tick);
+  // A "sensor" /24 a little way into the sweep.
+  const net::Ipv4 sensor{((start.Slash24() + 100) << 8) | 7u};
+
+  SeedSearchConfig config;
+  config.min_tick = 100'000;
+  config.max_tick = 200'000;
+  const auto candidates = FindSeedsCovering(sensor, config);
+  bool found = false;
+  for (const SeedCandidate& candidate : candidates) {
+    if (candidate.tick_count == planted_tick) found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(SeedForensicsTest, StartInsideBlockCounts) {
+  const std::uint32_t tick = 123'456;
+  const net::Ipv4 start = worms::BlasterWorm::StartAddressForSeed(tick);
+  SeedSearchConfig config;
+  config.min_tick = tick;
+  config.max_tick = tick;
+  const auto candidates =
+      FindSeedsCoveringBlock(net::Prefix{start, 24}, config);
+  ASSERT_EQ(candidates.size(), 1u);
+  EXPECT_EQ(candidates[0].tick_count, tick);
+}
+
+TEST(SeedForensicsTest, FarAwayBlockHasNoCandidates) {
+  const std::uint32_t tick = 150'000;
+  const net::Ipv4 start = worms::BlasterWorm::StartAddressForSeed(tick);
+  // A /24 just *before* the start is unreachable within the sweep window
+  // (distance ≈ 2^24 − 10 forward).
+  const net::Ipv4 sensor{((start.Slash24() - 10) << 8) | 7u};
+  SeedSearchConfig config;
+  config.min_tick = tick;
+  config.max_tick = tick;
+  const auto candidates = FindSeedsCovering(sensor, config);
+  EXPECT_TRUE(candidates.empty());
+}
+
+TEST(SeedForensicsTest, UptimeSummary) {
+  std::vector<SeedCandidate> candidates;
+  for (const std::uint32_t tick : {60'000u, 120'000u, 300'000u}) {
+    candidates.push_back(SeedCandidate{tick, net::Ipv4{}});
+  }
+  const UptimeSummary summary = SummarizeUptimes(candidates);
+  EXPECT_EQ(summary.candidates, 3u);
+  EXPECT_DOUBLE_EQ(summary.min_seconds, 60.0);
+  EXPECT_DOUBLE_EQ(summary.median_seconds, 120.0);
+  EXPECT_DOUBLE_EQ(summary.max_seconds, 300.0);
+}
+
+TEST(SeedForensicsTest, ValidatesConfig) {
+  SeedSearchConfig config;
+  config.tick_step = 0;
+  EXPECT_THROW((void)FindSeedsCovering(net::Ipv4{1}, config),
+               std::invalid_argument);
+  config = SeedSearchConfig{};
+  config.min_tick = 10;
+  config.max_tick = 5;
+  EXPECT_THROW((void)FindSeedsCovering(net::Ipv4{1}, config),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace hotspots::analysis

@@ -1,0 +1,72 @@
+// Cross-validation of the Figure-1 analytic footprint model.
+//
+// The fig1 bench computes Blaster coverage analytically: a host sweeping
+// sequentially from start /24 covers the /24 interval
+// [start24, start24 + probes/256).  This suite pins that model to the real
+// scanner: stepping the actual SequentialSweep must cover exactly the
+// /24s the interval model claims (with the documented deviation that
+// non-targetable /8s are hopped over, which can only *extend* coverage
+// forward).
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "net/special_ranges.h"
+#include "worms/blaster.h"
+
+namespace hotspots::worms {
+namespace {
+
+using net::Ipv4;
+
+TEST(BlasterFootprintTest, SweepCoversTheAnalyticInterval) {
+  // Start well inside clean unicast space.
+  const Ipv4 start{60, 100, 0, 0};
+  SequentialSweep sweep{start};
+  constexpr std::uint32_t kSlash24s = 40;
+  std::set<std::uint32_t> covered;
+  for (std::uint32_t i = 0; i < kSlash24s * 256; ++i) {
+    covered.insert(sweep.Next().Slash24());
+  }
+  // Exactly the analytic interval, nothing less.
+  EXPECT_EQ(covered.size(), kSlash24s);
+  EXPECT_EQ(*covered.begin(), start.Slash24());
+  EXPECT_EQ(*covered.rbegin(), start.Slash24() + kSlash24s - 1);
+}
+
+TEST(BlasterFootprintTest, NonTargetableSkipsOnlyExtendCoverageForward) {
+  // A sweep that crosses loopback: the /24s covered are the analytic
+  // interval's targetable prefix plus post-skip space — never behind the
+  // start, never inside 127/8.
+  const Ipv4 start{126, 255, 250, 0};
+  SequentialSweep sweep{start};
+  std::set<std::uint32_t> covered;
+  for (int i = 0; i < 20 * 256; ++i) {
+    covered.insert(sweep.Next().Slash24());
+  }
+  for (const std::uint32_t s24 : covered) {
+    EXPECT_FALSE(net::IsNonTargetable(Ipv4{s24 << 8}))
+        << Ipv4{s24 << 8}.ToString();
+    EXPECT_GE(s24, start.Slash24());
+  }
+  // The 6 pre-loopback /24s plus 14 /24s of 128.0.0.x: 20 total.
+  EXPECT_EQ(covered.size(), 20u);
+  EXPECT_TRUE(covered.contains(Ipv4{128, 0, 0, 0}.Slash24()));
+}
+
+TEST(BlasterFootprintTest, EveryProbeStaysInsideCoveredSlash24s) {
+  // The per-address view: 256 consecutive probes fill one /24 completely
+  // before the sweep moves on — the property the unique-source interval
+  // stabbing in the fig1 bench relies on.
+  SequentialSweep sweep{Ipv4{77, 3, 9, 0}};
+  for (int block = 0; block < 5; ++block) {
+    for (int host = 0; host < 256; ++host) {
+      const Ipv4 target = sweep.Next();
+      EXPECT_EQ(target.Slash24(), Ipv4(77, 3, 9, 0).Slash24() + block);
+      EXPECT_EQ(target.octet(3), host);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace hotspots::worms

@@ -1,0 +1,103 @@
+// Robustness sweep of the bot-command parser: random and adversarial
+// inputs must never crash, and every successful parse must round-trip
+// through FormatBotCommand → ParseBotCommand to an equivalent command.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "botnet/command.h"
+#include "prng/xoshiro.h"
+
+namespace hotspots::botnet {
+namespace {
+
+TEST(BotCommandFuzzTest, RandomPrintableGarbageNeverCrashes) {
+  prng::Xoshiro256 rng{0xF022};
+  int parsed = 0;
+  for (int i = 0; i < 30'000; ++i) {
+    std::string line;
+    const int length = static_cast<int>(rng.UniformBelow(60));
+    for (int c = 0; c < length; ++c) {
+      line.push_back(static_cast<char>(' ' + rng.UniformBelow(95)));
+    }
+    if (ParseBotCommand(line).has_value()) ++parsed;
+  }
+  // Random printable noise essentially never forms a valid command.
+  EXPECT_LT(parsed, 3);
+}
+
+TEST(BotCommandFuzzTest, MutatedRealCommandsNeverCrash) {
+  const char* seeds[] = {
+      "ipscan 194.s.s.s dcom2 -s", "advscan dcass x.x.x",
+      ".advscan lsass b",          "ipscan s.s mssql2000 -s",
+      "!ipscan 128.s.s.s dcom2 -s"};
+  prng::Xoshiro256 rng{0xF023};
+  for (int i = 0; i < 30'000; ++i) {
+    std::string line = seeds[rng.UniformBelow(std::size(seeds))];
+    // Apply 1–3 random byte mutations (substitute / delete / duplicate).
+    const int mutations = 1 + static_cast<int>(rng.UniformBelow(3));
+    for (int m = 0; m < mutations && !line.empty(); ++m) {
+      const auto pos = rng.UniformBelow(static_cast<std::uint32_t>(line.size()));
+      switch (rng.UniformBelow(3)) {
+        case 0:
+          line[pos] = static_cast<char>(' ' + rng.UniformBelow(95));
+          break;
+        case 1:
+          line.erase(pos, 1);
+          break;
+        default:
+          line.insert(pos, 1, line[pos]);
+          break;
+      }
+    }
+    const auto command = ParseBotCommand(line);
+    if (!command) continue;
+    // Anything that parses must round-trip to an equivalent command.
+    const auto reparsed = ParseBotCommand(FormatBotCommand(*command));
+    ASSERT_TRUE(reparsed.has_value()) << line;
+    EXPECT_EQ(reparsed->dialect, command->dialect);
+    EXPECT_EQ(reparsed->module, command->module);
+    EXPECT_EQ(reparsed->TargetPrefix(), command->TargetPrefix());
+    EXPECT_EQ(reparsed->flags, command->flags);
+  }
+}
+
+TEST(BotCommandFuzzTest, PathologicalInputs) {
+  const char* inputs[] = {
+      "",
+      " ",
+      "\t\t\t",
+      "advscan",
+      "ipscan  ",
+      "advscan " ,
+      ".",
+      "!",
+      "advscan dcom2 ................",
+      "ipscan 1.2.3.4.5.6.7.8 dcom2",
+      "advscan dcom2 255.255.255.255",
+      "ipscan 999999999999999999.s dcom2",
+      "advscan dcom2 -s -s -s -s -s -s -s -s -s -s -s -s -s -s -s -s",
+      "ipscan -1.s dcom2",
+      "advscan advscan advscan",
+      "ipscan ipscan ipscan ipscan",
+  };
+  for (const char* input : inputs) {
+    EXPECT_NO_THROW((void)ParseBotCommand(input)) << input;
+  }
+  // A few of these are actually valid; spot-check the clearly-valid one.
+  const auto valid = ParseBotCommand("advscan dcom2 255.255.255.255");
+  ASSERT_TRUE(valid.has_value());
+  EXPECT_EQ(valid->TargetPrefix().length(), 32);
+}
+
+TEST(BotCommandFuzzTest, VeryLongLinesHandled) {
+  std::string long_line = "ipscan ";
+  long_line.append(100'000, 's');
+  EXPECT_NO_THROW((void)ParseBotCommand(long_line));
+  long_line = "advscan dcom2 ";
+  for (int i = 0; i < 50'000; ++i) long_line += "1.";
+  EXPECT_NO_THROW((void)ParseBotCommand(long_line));
+}
+
+}  // namespace
+}  // namespace hotspots::botnet

@@ -1,0 +1,156 @@
+#include <gtest/gtest.h>
+
+#include "botnet/bot.h"
+#include "botnet/capture.h"
+#include "botnet/command.h"
+#include "botnet/controller.h"
+
+namespace hotspots::botnet {
+namespace {
+
+using net::Ipv4;
+using net::Prefix;
+
+TEST(TargetPatternTest, ParsesPinnedAndWildcardOctets) {
+  const auto pattern = TargetPattern::Parse("194.s.s.s");
+  ASSERT_TRUE(pattern.has_value());
+  EXPECT_EQ(pattern->PinnedLeadingOctets(), 1);
+  EXPECT_EQ(pattern->ToPrefix(), Prefix(Ipv4(194, 0, 0, 0), 8));
+}
+
+TEST(TargetPatternTest, FullyWildcardCoversEverything) {
+  for (const char* text : {"i.i.i.i", "s.s.s.s", "x.x.x", "s.s", "b"}) {
+    const auto pattern = TargetPattern::Parse(text);
+    ASSERT_TRUE(pattern.has_value()) << text;
+    EXPECT_EQ(pattern->PinnedLeadingOctets(), 0) << text;
+    EXPECT_EQ(pattern->ToPrefix().length(), 0) << text;
+  }
+}
+
+TEST(TargetPatternTest, TwoPinnedOctetsMakeSlash16) {
+  const auto pattern = TargetPattern::Parse("128.30.s.s");
+  ASSERT_TRUE(pattern.has_value());
+  EXPECT_EQ(pattern->ToPrefix(), Prefix(Ipv4(128, 30, 0, 0), 16));
+}
+
+TEST(TargetPatternTest, RejectsMalformed) {
+  EXPECT_FALSE(TargetPattern::Parse("").has_value());
+  EXPECT_FALSE(TargetPattern::Parse("300.s.s.s").has_value());
+  EXPECT_FALSE(TargetPattern::Parse("1.2.3.4.5").has_value());
+  EXPECT_FALSE(TargetPattern::Parse("ss.s").has_value());
+  EXPECT_FALSE(TargetPattern::Parse("1..2").has_value());
+  EXPECT_FALSE(TargetPattern::Parse("q.q.q").has_value());
+}
+
+TEST(ParseBotCommandTest, RbotIpscan) {
+  const auto command = ParseBotCommand("ipscan 194.s.s.s dcom2 -s");
+  ASSERT_TRUE(command.has_value());
+  EXPECT_EQ(command->dialect, Dialect::kRbot);
+  EXPECT_EQ(command->module, "dcom2");
+  EXPECT_EQ(command->TargetPrefix(), Prefix(Ipv4(194, 0, 0, 0), 8));
+  ASSERT_EQ(command->flags.size(), 1u);
+  EXPECT_EQ(command->flags[0], "-s");
+}
+
+TEST(ParseBotCommandTest, AgobotAdvscan) {
+  const auto command = ParseBotCommand("advscan dcass x.x.x");
+  ASSERT_TRUE(command.has_value());
+  EXPECT_EQ(command->dialect, Dialect::kAgobot);
+  EXPECT_EQ(command->module, "dcass");
+  EXPECT_EQ(command->TargetPrefix().length(), 0);
+}
+
+TEST(ParseBotCommandTest, AdvscanWithoutPattern) {
+  const auto command = ParseBotCommand("advscan lsass b");
+  ASSERT_TRUE(command.has_value());
+  EXPECT_EQ(command->module, "lsass");
+  EXPECT_EQ(command->TargetPrefix().length(), 0);
+}
+
+TEST(ParseBotCommandTest, ControlPrefixAccepted) {
+  EXPECT_TRUE(ParseBotCommand(".advscan dcom2 s.s.s.s").has_value());
+  EXPECT_TRUE(ParseBotCommand("!ipscan s.s dcom2").has_value());
+}
+
+TEST(ParseBotCommandTest, RejectsNonCommands) {
+  EXPECT_FALSE(ParseBotCommand("").has_value());
+  EXPECT_FALSE(ParseBotCommand("PRIVMSG #chan :hello").has_value());
+  EXPECT_FALSE(ParseBotCommand("ipscan").has_value());
+  EXPECT_FALSE(ParseBotCommand("ipscan 194.s.s.s").has_value());
+  EXPECT_FALSE(ParseBotCommand("ipscan 194.s.s.s notamodule").has_value());
+  EXPECT_FALSE(ParseBotCommand("advscan notamodule x.x").has_value());
+  EXPECT_FALSE(ParseBotCommand("scan 194.s.s.s dcom2").has_value());
+}
+
+TEST(ParseBotCommandTest, FormatRoundTrips) {
+  for (const char* text :
+       {"ipscan 194.s.s.s dcom2 -s", "advscan dcass x.x.x",
+        "ipscan s.s mssql2000 -s", "advscan wkssvceng 194 1"}) {
+    const auto command = ParseBotCommand(text);
+    ASSERT_TRUE(command.has_value()) << text;
+    EXPECT_EQ(FormatBotCommand(*command), text);
+  }
+}
+
+TEST(BotControllerTest, EmittedCommandsAllParse) {
+  BotController controller{"#owned", PaperCommandRepertoire(), 7};
+  for (int i = 0; i < 200; ++i) {
+    const std::string text = controller.DrawCommandText();
+    EXPECT_TRUE(ParseBotCommand(text).has_value()) << text;
+  }
+}
+
+TEST(BotControllerTest, TrafficIsTimestampSorted) {
+  BotController controller{"#owned", PaperCommandRepertoire(), 8};
+  const auto lines = controller.EmitTraffic(3600.0, 20, 100);
+  EXPECT_EQ(lines.size(), 120u);
+  for (std::size_t i = 1; i < lines.size(); ++i) {
+    EXPECT_LE(lines[i - 1].time, lines[i].time);
+  }
+}
+
+TEST(BotControllerTest, ValidatesArguments) {
+  EXPECT_THROW((BotController{"#c", {}, 1}), std::invalid_argument);
+  BotController controller{"#c", PaperCommandRepertoire(), 1};
+  EXPECT_THROW((void)controller.EmitTraffic(-1.0, 1, 1),
+               std::invalid_argument);
+}
+
+TEST(SignatureCaptureTest, ExtractsOnlyCommands) {
+  BotController controller{"#owned", PaperCommandRepertoire(), 9};
+  const auto lines = controller.EmitTraffic(3600.0, 15, 200);
+  SignatureCapture capture;
+  capture.FeedAll(lines);
+  EXPECT_EQ(capture.lines_scanned(), 215u);
+  EXPECT_EQ(capture.log().size(), 15u);
+}
+
+TEST(SignatureCaptureTest, CommandedPrefixesDeduplicated) {
+  SignatureCapture capture;
+  capture.Feed(ChannelLine{0.0, "#c", "ipscan 194.s.s.s dcom2 -s"});
+  capture.Feed(ChannelLine{1.0, "#c", "ipscan 194.s.s.s dcom2 -s"});
+  capture.Feed(ChannelLine{2.0, "#c", "ipscan 128.s.s.s dcom2 -s"});
+  capture.Feed(ChannelLine{3.0, "#c", "advscan dcass x.x.x"});
+  const auto prefixes = capture.CommandedPrefixes();
+  ASSERT_EQ(prefixes.size(), 3u);
+  // Most specific first.
+  EXPECT_EQ(prefixes[0].length(), 8);
+  EXPECT_EQ(prefixes[1].length(), 8);
+  EXPECT_EQ(prefixes[2].length(), 0);
+}
+
+TEST(BotExecutionTest, CommandedWormScansOnlyCommandedPrefix) {
+  const auto command = ParseBotCommand("ipscan 194.s.s.s dcom2 -s");
+  ASSERT_TRUE(command.has_value());
+  const auto worm = MakeWormForCommand(*command);
+  sim::Host host;
+  host.address = Ipv4{60, 1, 2, 3};
+  auto scanner = worm->MakeScanner(host, 5);
+  prng::Xoshiro256 rng{1};
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_EQ(scanner->NextTarget(rng).Slash8(), 194u);
+  }
+}
+
+}  // namespace
+}  // namespace hotspots::botnet

@@ -1,0 +1,117 @@
+#include "core/detection_study.h"
+
+#include <gtest/gtest.h>
+
+#include "core/placement.h"
+#include "worms/hitlist.h"
+#include "worms/uniform.h"
+
+namespace hotspots::core {
+namespace {
+
+ClusteredPopulationConfig TestConfig() {
+  ClusteredPopulationConfig config;
+  config.total_hosts = 8000;
+  config.slash8_clusters = 6;
+  config.nonempty_slash16s = 60;
+  config.seed = 17;
+  return config;
+}
+
+class DetectionStudyTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ScenarioBuilder builder;
+    scenario_ = builder.BuildClustered(TestConfig());
+  }
+
+  Scenario scenario_;
+  prng::Xoshiro256 rng_{21};
+};
+
+TEST_F(DetectionStudyTest, HitListOutbreakAlertsOnlyCoveredSensors) {
+  // Hit-list = the top 10 /16s; sensors = one per /16 cluster (60 of them).
+  // Sensors outside the hit-list can never alert: that is the Figure-5b
+  // blindness result in miniature.
+  const HitListSelection selection = GreedyHitList(scenario_, 10);
+  worms::HitListWorm worm{selection.prefixes};
+
+  const auto sensors = PlaceSensorPerCluster16(scenario_, rng_);
+  DetectionStudyConfig config;
+  config.engine.end_time = 600.0;
+  config.engine.seed = 5;
+  config.seed_infections = 10;
+  const DetectionOutcome outcome =
+      RunDetectionStudy(scenario_, worm, sensors, config);
+
+  // Only sensors inside hit-listed /16s can alert.
+  std::size_t coverable = 0;
+  for (const auto& sensor : sensors) {
+    for (const auto& prefix : selection.prefixes) {
+      if (prefix.Contains(sensor)) {
+        ++coverable;
+        break;
+      }
+    }
+  }
+  EXPECT_LE(outcome.alerted_sensors, coverable);
+  EXPECT_LT(coverable, sensors.size());
+  // And the outbreak infected a nontrivial share of the covered hosts.
+  EXPECT_GT(outcome.run.final_infected, 10u);
+}
+
+TEST_F(DetectionStudyTest, CurveFractionsAreMonotoneAndBounded) {
+  const HitListSelection selection = GreedyHitList(scenario_, 20);
+  worms::HitListWorm worm{selection.prefixes};
+  const auto sensors = PlaceSensorPerCluster16(scenario_, rng_);
+  DetectionStudyConfig config;
+  config.engine.end_time = 300.0;
+  const DetectionOutcome outcome =
+      RunDetectionStudy(scenario_, worm, sensors, config);
+  ASSERT_FALSE(outcome.curve.empty());
+  for (std::size_t i = 0; i < outcome.curve.size(); ++i) {
+    const DetectionPoint& point = outcome.curve[i];
+    EXPECT_GE(point.infected_fraction, 0.0);
+    EXPECT_LE(point.infected_fraction, 1.0);
+    EXPECT_GE(point.alerted_fraction, 0.0);
+    EXPECT_LE(point.alerted_fraction, 1.0);
+    if (i > 0) {
+      EXPECT_GE(point.infected_fraction,
+                outcome.curve[i - 1].infected_fraction);
+      EXPECT_GE(point.alerted_fraction, outcome.curve[i - 1].alerted_fraction);
+    }
+  }
+}
+
+TEST_F(DetectionStudyTest, ScenarioReusableAcrossRuns) {
+  const HitListSelection selection = GreedyHitList(scenario_, 10);
+  worms::HitListWorm worm{selection.prefixes};
+  const auto sensors = PlaceSensorPerCluster16(scenario_, rng_);
+  DetectionStudyConfig config;
+  config.engine.end_time = 200.0;
+  const DetectionOutcome first =
+      RunDetectionStudy(scenario_, worm, sensors, config);
+  const DetectionOutcome second =
+      RunDetectionStudy(scenario_, worm, sensors, config);
+  // Same config + same scenario ⇒ identical results (states were reset).
+  EXPECT_EQ(first.run.final_infected, second.run.final_infected);
+  EXPECT_EQ(first.alerted_sensors, second.alerted_sensors);
+}
+
+TEST_F(DetectionStudyTest, AlertedFractionWhenInfectedInterpolates) {
+  DetectionOutcome outcome;
+  outcome.curve = {{0.0, 0.0, 0.0}, {1.0, 0.3, 0.1}, {2.0, 0.9, 0.4}};
+  EXPECT_DOUBLE_EQ(outcome.AlertedFractionWhenInfected(0.2), 0.1);
+  EXPECT_DOUBLE_EQ(outcome.AlertedFractionWhenInfected(0.5), 0.4);
+  EXPECT_DOUBLE_EQ(outcome.AlertedFractionWhenInfected(0.99), 0.4);
+}
+
+TEST_F(DetectionStudyTest, RequiresSensors) {
+  worms::UniformWorm worm;
+  DetectionStudyConfig config;
+  EXPECT_THROW((void)RunDetectionStudy(scenario_, worm, {}, config),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace hotspots::core

@@ -1,0 +1,79 @@
+#include "core/quarantine.h"
+
+#include <gtest/gtest.h>
+
+#include "telescope/ims.h"
+#include "worms/codered2.h"
+#include "worms/uniform.h"
+
+namespace hotspots::core {
+namespace {
+
+using net::Ipv4;
+using net::Prefix;
+
+TEST(QuarantineTest, EmitsExactlyRequestedProbes) {
+  worms::UniformWorm worm;
+  sim::Host host;
+  host.address = Ipv4{60, 1, 2, 3};
+  auto scanner = worm.MakeScanner(host, 1);
+  telescope::Telescope sensors;
+  sensors.AddSensor("T", Prefix{Ipv4{10, 0, 0, 0}, 8});
+  sensors.Build();
+  const QuarantineResult result =
+      RunQuarantine(*scanner, host.address, 100'000, sensors);
+  EXPECT_EQ(result.probes_emitted, 100'000u);
+  // A /8 is 1/256 of the space; uniform scanning lands ≈390 probes there.
+  EXPECT_NEAR(static_cast<double>(result.probes_on_sensors), 100'000.0 / 256,
+              120.0);
+  EXPECT_EQ(result.probes_on_sensors, sensors.sensor(0).probe_count());
+}
+
+TEST(QuarantineTest, CountsOnlyNewProbes) {
+  // Back-to-back runs against the same telescope: each result reflects its
+  // own probes, not the accumulated total.
+  worms::UniformWorm worm;
+  sim::Host host;
+  host.address = Ipv4{60, 1, 2, 3};
+  telescope::Telescope sensors;
+  sensors.AddSensor("T", Prefix{Ipv4{10, 0, 0, 0}, 8});
+  sensors.Build();
+  auto first = worm.MakeScanner(host, 1);
+  const auto r1 = RunQuarantine(*first, host.address, 50'000, sensors);
+  auto second = worm.MakeScanner(host, 2);
+  const auto r2 = RunQuarantine(*second, host.address, 50'000, sensors);
+  EXPECT_EQ(sensors.sensor(0).probe_count(),
+            r1.probes_on_sensors + r2.probes_on_sensors);
+  EXPECT_NEAR(static_cast<double>(r2.probes_on_sensors), 50'000.0 / 256,
+              90.0);
+}
+
+TEST(QuarantineTest, SourceAttributionReachesSensors) {
+  worms::CodeRed2Worm worm;
+  const Ipv4 source{192, 168, 0, 2};
+  auto scanner = worm.MakeQuarantineScanner(source, 3);
+  telescope::Telescope ims = telescope::MakeImsTelescope();
+  RunQuarantine(*scanner, source, 500'000, ims);
+  const auto* m_block = ims.FindByLabel("M/22");
+  ASSERT_NE(m_block, nullptr);
+  // All probes carry the quarantined host as their (only) source.
+  if (m_block->probe_count() > 0) {
+    EXPECT_EQ(m_block->UniqueSourceCount(), 1u);
+  }
+}
+
+TEST(QuarantineTest, ZeroProbesIsANoOp) {
+  worms::UniformWorm worm;
+  sim::Host host;
+  host.address = Ipv4{60, 1, 2, 3};
+  auto scanner = worm.MakeScanner(host, 1);
+  telescope::Telescope sensors;
+  sensors.AddSensor("T", Prefix{Ipv4{10, 0, 0, 0}, 8});
+  sensors.Build();
+  const auto result = RunQuarantine(*scanner, host.address, 0, sensors);
+  EXPECT_EQ(result.probes_emitted, 0u);
+  EXPECT_EQ(result.probes_on_sensors, 0u);
+}
+
+}  // namespace
+}  // namespace hotspots::core

@@ -1,0 +1,211 @@
+#include "core/scenario.h"
+
+#include <gtest/gtest.h>
+
+#include "core/hotspot.h"
+#include "core/placement.h"
+#include "net/special_ranges.h"
+#include "telescope/ims.h"
+
+namespace hotspots::core {
+namespace {
+
+using net::Ipv4;
+using net::Prefix;
+
+ClusteredPopulationConfig SmallConfig() {
+  ClusteredPopulationConfig config;
+  config.total_hosts = 5000;
+  config.slash8_clusters = 8;
+  config.nonempty_slash16s = 200;
+  config.seed = 3;
+  return config;
+}
+
+TEST(HotspotTaxonomyTest, FactorsMapToClasses) {
+  EXPECT_EQ(ClassOf(Factor::kHitList), FactorClass::kAlgorithmic);
+  EXPECT_EQ(ClassOf(Factor::kPrngFlaw), FactorClass::kAlgorithmic);
+  EXPECT_EQ(ClassOf(Factor::kLocalPreference), FactorClass::kAlgorithmic);
+  EXPECT_EQ(ClassOf(Factor::kRoutingAndFiltering),
+            FactorClass::kEnvironmental);
+  EXPECT_EQ(ClassOf(Factor::kFailuresAndMisconfiguration),
+            FactorClass::kEnvironmental);
+  EXPECT_EQ(ClassOf(Factor::kNetworkTopology), FactorClass::kEnvironmental);
+  EXPECT_EQ(ToString(Factor::kPrngFlaw), "prng-flaw");
+  EXPECT_EQ(ToString(FactorClass::kEnvironmental), "environmental");
+}
+
+TEST(ScenarioBuilderTest, BuildsRequestedStructure) {
+  ScenarioBuilder builder;
+  const Scenario scenario = builder.BuildClustered(SmallConfig());
+  EXPECT_EQ(scenario.population.size(), 5000u);
+  EXPECT_EQ(scenario.public_hosts, 5000u);
+  EXPECT_EQ(scenario.natted_hosts, 0u);
+  EXPECT_EQ(scenario.slash16_clusters.size(), 200u);
+  EXPECT_LE(scenario.slash8_clusters.size(), 8u);
+  // Clusters are sorted by descending host count.
+  for (std::size_t i = 1; i < scenario.slash16_clusters.size(); ++i) {
+    EXPECT_GE(scenario.slash16_clusters[i - 1].hosts,
+              scenario.slash16_clusters[i].hosts);
+  }
+  // Host counts add up.
+  std::uint64_t sum = 0;
+  for (const auto& cluster : scenario.slash16_clusters) sum += cluster.hosts;
+  EXPECT_EQ(sum, 5000u);
+}
+
+TEST(ScenarioBuilderTest, HostsAvoidForbiddenSpace) {
+  ScenarioBuilder builder;
+  for (const auto& ims : telescope::ImsBlocks()) builder.Avoid(ims.block);
+  const Scenario scenario = builder.BuildClustered(SmallConfig());
+  for (const auto& host : scenario.population.hosts()) {
+    EXPECT_FALSE(net::IsNonTargetable(host.address));
+    EXPECT_FALSE(net::IsPrivate(host.address));
+    for (const auto& ims : telescope::ImsBlocks()) {
+      EXPECT_FALSE(ims.block.Contains(host.address))
+          << host.address.ToString() << " inside " << ims.label;
+    }
+  }
+}
+
+TEST(ScenarioBuilderTest, NatFractionPlacesHostsInPrivateSpace) {
+  ScenarioBuilder builder;
+  ClusteredPopulationConfig config = SmallConfig();
+  config.nat_fraction = 0.15;
+  const Scenario scenario = builder.BuildClustered(config);
+  EXPECT_EQ(scenario.population.size(), 5000u);
+  EXPECT_EQ(scenario.public_hosts + scenario.natted_hosts, 5000u);
+  EXPECT_NEAR(scenario.natted_hosts / 5000.0, 0.15, 0.02);
+  EXPECT_EQ(scenario.nats.size(), 1u);
+  for (const auto& host : scenario.population.hosts()) {
+    if (host.behind_nat()) {
+      EXPECT_TRUE(net::kPrivate192.Contains(host.address));
+    } else {
+      EXPECT_FALSE(net::IsPrivate(host.address));
+    }
+  }
+}
+
+TEST(ScenarioBuilderTest, PaperScaleStructure) {
+  // Full paper scale: 134,586 hosts, 47 /8s, 4,481 /16s.
+  ScenarioBuilder builder;
+  ClusteredPopulationConfig config;
+  config.seed = 11;
+  const Scenario scenario = builder.BuildClustered(config);
+  EXPECT_EQ(scenario.population.size(), 134'586u);
+  EXPECT_EQ(scenario.slash16_clusters.size(), 4481u);
+  EXPECT_LE(scenario.slash8_clusters.size(), 47u);
+  EXPECT_GE(scenario.slash8_clusters.size(), 40u);
+}
+
+TEST(ScenarioBuilderTest, ValidatesConfig) {
+  ScenarioBuilder builder;
+  ClusteredPopulationConfig config = SmallConfig();
+  config.total_hosts = 0;
+  EXPECT_THROW((void)builder.BuildClustered(config), std::invalid_argument);
+  config = SmallConfig();
+  config.nonempty_slash16s = 8 * 256 + 1;
+  EXPECT_THROW((void)builder.BuildClustered(config), std::invalid_argument);
+  config = SmallConfig();
+  config.nat_fraction = 1.5;
+  EXPECT_THROW((void)builder.BuildClustered(config), std::invalid_argument);
+  config = SmallConfig();
+  config.slash8_clusters = 300;
+  EXPECT_THROW((void)builder.BuildClustered(config), std::invalid_argument);
+}
+
+TEST(ScenarioBuilderTest, DeterministicForSeed) {
+  ScenarioBuilder b1;
+  ScenarioBuilder b2;
+  const Scenario s1 = b1.BuildClustered(SmallConfig());
+  const Scenario s2 = b2.BuildClustered(SmallConfig());
+  ASSERT_EQ(s1.population.size(), s2.population.size());
+  for (std::size_t i = 0; i < s1.population.size(); ++i) {
+    EXPECT_EQ(s1.population.hosts()[i].address,
+              s2.population.hosts()[i].address);
+  }
+}
+
+TEST(GreedyHitListTest, CoverageGrowsWithLength) {
+  ScenarioBuilder builder;
+  const Scenario scenario = builder.BuildClustered(SmallConfig());
+  const auto list10 = GreedyHitList(scenario, 10);
+  const auto list50 = GreedyHitList(scenario, 50);
+  const auto all = GreedyHitList(scenario, 200);
+  EXPECT_EQ(list10.prefixes.size(), 10u);
+  EXPECT_LT(list10.coverage, list50.coverage);
+  EXPECT_LT(list50.coverage, all.coverage);
+  EXPECT_DOUBLE_EQ(all.coverage, 1.0);
+  EXPECT_EQ(all.covered_hosts, scenario.public_hosts);
+  // Greedy = take the largest clusters first, so coverage beats the
+  // proportional baseline.
+  EXPECT_GT(list10.coverage, 10.0 / 200.0);
+}
+
+TEST(GreedyHitListTest, OverLongRequestClamps) {
+  ScenarioBuilder builder;
+  const Scenario scenario = builder.BuildClustered(SmallConfig());
+  const auto list = GreedyHitList(scenario, 10'000);
+  EXPECT_EQ(list.prefixes.size(), 200u);
+  EXPECT_THROW((void)GreedyHitList(scenario, -1), std::invalid_argument);
+}
+
+TEST(PlacementTest, SensorPerCluster16AvoidsHosts) {
+  ScenarioBuilder builder;
+  const Scenario scenario = builder.BuildClustered(SmallConfig());
+  prng::Xoshiro256 rng{5};
+  const auto sensors = PlaceSensorPerCluster16(scenario, rng);
+  EXPECT_EQ(sensors.size(), scenario.slash16_clusters.size());
+  for (const Prefix& sensor : sensors) {
+    EXPECT_EQ(sensor.length(), 24);
+    EXPECT_FALSE(scenario.occupied_slash24s.contains(
+        sensor.base().value() >> 8));
+  }
+}
+
+TEST(PlacementTest, RandomSensorsAreDistinctAndClean) {
+  ScenarioBuilder builder;
+  const Scenario scenario = builder.BuildClustered(SmallConfig());
+  prng::Xoshiro256 rng{6};
+  const auto sensors = PlaceRandomSensors(scenario, 500, rng);
+  EXPECT_EQ(sensors.size(), 500u);
+  std::set<std::uint32_t> distinct;
+  for (const Prefix& sensor : sensors) {
+    EXPECT_TRUE(distinct.insert(sensor.base().value()).second);
+    EXPECT_FALSE(net::IsPrivate(sensor.base()));
+    EXPECT_FALSE(net::IsNonTargetable(sensor.base()));
+    EXPECT_FALSE(
+        scenario.occupied_slash24s.contains(sensor.base().value() >> 8));
+  }
+}
+
+TEST(PlacementTest, TopSlash8PlacementStaysInside) {
+  ScenarioBuilder builder;
+  const Scenario scenario = builder.BuildClustered(SmallConfig());
+  prng::Xoshiro256 rng{7};
+  const auto sensors = PlaceSensorsInTopSlash8s(scenario, 200, 3, rng);
+  EXPECT_EQ(sensors.size(), 200u);
+  for (const Prefix& sensor : sensors) {
+    bool inside_top3 = false;
+    for (std::size_t i = 0; i < 3 && i < scenario.slash8_clusters.size();
+         ++i) {
+      if (scenario.slash8_clusters[i].Contains(sensor.base())) {
+        inside_top3 = true;
+      }
+    }
+    EXPECT_TRUE(inside_top3) << sensor.ToString();
+  }
+}
+
+TEST(PlacementTest, Across192SkipsPrivateSlash16) {
+  prng::Xoshiro256 rng{8};
+  const auto sensors = PlaceSensorsAcross192(rng);
+  EXPECT_EQ(sensors.size(), 255u);
+  for (const Prefix& sensor : sensors) {
+    EXPECT_EQ(sensor.base().Slash8(), 192u);
+    EXPECT_FALSE(net::kPrivate192.Overlaps(sensor));
+  }
+}
+
+}  // namespace
+}  // namespace hotspots::core

@@ -1,0 +1,100 @@
+// End-to-end detection integration: the TRW gateway and the prevalence
+// aggregator wired to a live outbreak, at test scale.
+#include <gtest/gtest.h>
+
+#include "core/placement.h"
+#include "core/scenario.h"
+#include "detect/prevalence.h"
+#include "detect/trw.h"
+#include "sim/engine.h"
+#include "topology/reachability.h"
+#include "worms/hitlist.h"
+
+namespace hotspots {
+namespace {
+
+/// Gateway observer: runs TRW on outbound probes of one /16 and feeds a
+/// global prevalence detector from darknet space.
+class GatewayObserver final : public sim::ProbeObserver {
+ public:
+  GatewayObserver(const sim::Population* population, net::Prefix org,
+                  net::IntervalSet darknet_space)
+      : population_(population), org_(org),
+        darknet_space_(std::move(darknet_space)) {}
+
+  void OnProbe(const sim::ProbeEvent& event) override {
+    if (event.delivery != topology::Delivery::kDelivered) return;
+    if (org_.Contains(event.src_address)) {
+      const bool success =
+          population_->FindPublic(event.dst) != sim::kInvalidHost;
+      trw.Observe(event.time, event.src_address, success);
+    }
+    if (darknet_space_.Contains(event.dst)) {
+      prevalence.Observe(event.time, /*content=*/42, event.src_address,
+                         event.dst);
+    }
+  }
+
+  const sim::Population* population_;
+  net::Prefix org_;
+  net::IntervalSet darknet_space_;
+  detect::TrwDetector trw;
+  detect::ContentPrevalenceDetector prevalence{detect::PrevalenceConfig{
+      /*prevalence_threshold=*/100, /*min_sources=*/10,
+      /*min_destinations=*/50}};
+};
+
+TEST(DetectIntegrationTest, TrwFlagsInfectedHostsAndPrevalenceAssembles) {
+  core::ScenarioBuilder builder;
+  core::ClusteredPopulationConfig config;
+  config.total_hosts = 8000;
+  config.slash8_clusters = 8;
+  config.nonempty_slash16s = 80;
+  config.seed = 0xDE7EC7;
+  core::Scenario scenario = builder.BuildClustered(config);
+
+  const auto selection = core::GreedyHitList(scenario, 10);
+  worms::HitListWorm worm{selection.prefixes};
+  prng::Xoshiro256 rng{4};
+  const auto sensors = core::PlaceSensorPerCluster16(scenario, rng);
+  net::IntervalSet darknet_space;
+  for (const auto& block : sensors) darknet_space.Add(block);
+  darknet_space.Build();
+
+  GatewayObserver observer{&scenario.population, selection.prefixes.front(),
+                           std::move(darknet_space)};
+
+  const topology::Reachability reachability{nullptr, nullptr, nullptr, 0.0};
+  sim::EngineConfig engine_config;
+  engine_config.end_time = 400.0;
+  engine_config.stop_at_infected_fraction = 0.9 * selection.coverage;
+  sim::Engine engine{scenario.population, worm, reachability, nullptr,
+                     engine_config};
+  engine.SeedRandomInfections(15);
+  const sim::RunResult result = engine.Run(observer);
+  ASSERT_GT(result.final_infected, 100u);
+
+  // TRW flagged scanners inside the monitored /16 — and every flagged
+  // source really is an infected host there.
+  EXPECT_GT(observer.trw.flagged_scanners(), 0u);
+  std::size_t verified = 0;
+  for (const auto& host : scenario.population.hosts()) {
+    if (!observer.org_.Contains(host.address)) continue;
+    const auto verdict = observer.trw.VerdictFor(host.address);
+    if (verdict == detect::TrwVerdict::kScanner) {
+      EXPECT_EQ(host.state, sim::HostState::kInfected)
+          << host.address.ToString() << " flagged but never infected";
+      ++verified;
+    }
+  }
+  EXPECT_EQ(verified, observer.trw.flagged_scanners());
+
+  // The global prevalence aggregator assembled the signature.
+  EXPECT_TRUE(observer.prevalence.AlertTime(42).has_value());
+  const auto stats = observer.prevalence.StatsFor(42);
+  EXPECT_GE(stats.sources, 10u);
+  EXPECT_GE(stats.destinations, 50u);
+}
+
+}  // namespace
+}  // namespace hotspots

@@ -1,0 +1,187 @@
+// Tests for the detection substrate: content prevalence (EarlyBird-style)
+// and Threshold Random Walk (TRW) scan detection.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "detect/prevalence.h"
+#include "detect/trw.h"
+#include "prng/xoshiro.h"
+
+namespace hotspots::detect {
+namespace {
+
+using net::Ipv4;
+
+// ---------------------------------------------------------------------
+// Content prevalence.
+// ---------------------------------------------------------------------
+
+TEST(PrevalenceTest, RequiresAllThreeThresholds) {
+  PrevalenceConfig config;
+  config.prevalence_threshold = 5;
+  config.min_sources = 3;
+  config.min_destinations = 3;
+  ContentPrevalenceDetector detector{config};
+
+  // High prevalence, single source/destination → never flagged (a flash
+  // crowd to one server, or a stuck retransmitter).
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(detector.Observe(i, /*content=*/1, Ipv4{1, 1, 1, 1},
+                                  Ipv4{2, 2, 2, 2}));
+  }
+  EXPECT_FALSE(detector.AlertTime(1).has_value());
+  EXPECT_EQ(detector.StatsFor(1).occurrences, 100u);
+  EXPECT_EQ(detector.StatsFor(1).sources, 1u);
+
+  // Dispersed content crosses when the last threshold is met.
+  int alerts = 0;
+  for (int i = 0; i < 5; ++i) {
+    if (detector.Observe(10 + i, /*content=*/2,
+                         Ipv4{static_cast<std::uint8_t>(10 + i), 0, 0, 1},
+                         Ipv4{static_cast<std::uint8_t>(20 + i), 0, 0, 1})) {
+      ++alerts;
+    }
+  }
+  EXPECT_EQ(alerts, 1);
+  ASSERT_TRUE(detector.AlertTime(2).has_value());
+  EXPECT_DOUBLE_EQ(*detector.AlertTime(2), 14.0);  // 5th observation.
+  EXPECT_EQ(detector.flagged_count(), 1u);
+}
+
+TEST(PrevalenceTest, AlertFiresOnceAndTimeSticks) {
+  PrevalenceConfig config;
+  config.prevalence_threshold = 2;
+  config.min_sources = 2;
+  config.min_destinations = 1;
+  ContentPrevalenceDetector detector{config};
+  EXPECT_FALSE(detector.Observe(1.0, 7, Ipv4{1, 0, 0, 1}, Ipv4{9, 9, 9, 9}));
+  EXPECT_TRUE(detector.Observe(2.0, 7, Ipv4{2, 0, 0, 1}, Ipv4{9, 9, 9, 9}));
+  EXPECT_FALSE(detector.Observe(3.0, 7, Ipv4{3, 0, 0, 1}, Ipv4{9, 9, 9, 9}));
+  EXPECT_DOUBLE_EQ(*detector.AlertTime(7), 2.0);
+}
+
+TEST(PrevalenceTest, UnknownContentHasZeroStats) {
+  ContentPrevalenceDetector detector;
+  EXPECT_EQ(detector.StatsFor(999).occurrences, 0u);
+  EXPECT_FALSE(detector.AlertTime(999).has_value());
+}
+
+TEST(PrevalenceTest, DistinguishesContents) {
+  PrevalenceConfig config;
+  config.prevalence_threshold = 1;
+  config.min_sources = 1;
+  config.min_destinations = 1;
+  ContentPrevalenceDetector detector{config};
+  EXPECT_TRUE(detector.Observe(0.0, 1, Ipv4{1, 1, 1, 1}, Ipv4{2, 2, 2, 2}));
+  EXPECT_TRUE(detector.Observe(0.0, 2, Ipv4{1, 1, 1, 1}, Ipv4{2, 2, 2, 2}));
+  EXPECT_EQ(detector.flagged_count(), 2u);
+}
+
+// ---------------------------------------------------------------------
+// Threshold Random Walk.
+// ---------------------------------------------------------------------
+
+TEST(TrwTest, ValidatesConfig) {
+  TrwConfig bad;
+  bad.benign_success_rate = 1.0;
+  EXPECT_THROW(TrwDetector{bad}, std::invalid_argument);
+  bad = TrwConfig{};
+  bad.scanner_success_rate = 0.9;  // ≥ benign rate.
+  EXPECT_THROW(TrwDetector{bad}, std::invalid_argument);
+  bad = TrwConfig{};
+  bad.false_positive_rate = 0.0;
+  EXPECT_THROW(TrwDetector{bad}, std::invalid_argument);
+}
+
+TEST(TrwTest, AllFailuresFlagScannerAtWaldBound) {
+  TrwDetector detector;
+  const Ipv4 scanner{6, 6, 6, 6};
+  // Expected observations: ceil(log(β/α) / log((1−θ₁)/(1−θ₀))).
+  const double per_failure = std::log((1 - 0.2) / (1 - 0.8));
+  const auto expected = static_cast<std::uint32_t>(
+      std::ceil(detector.log_upper_threshold() / per_failure));
+  TrwVerdict verdict = TrwVerdict::kPending;
+  std::uint32_t used = 0;
+  while (verdict == TrwVerdict::kPending) {
+    verdict = detector.Observe(used, scanner, /*success=*/false);
+    ++used;
+  }
+  EXPECT_EQ(verdict, TrwVerdict::kScanner);
+  EXPECT_EQ(used, expected);
+  EXPECT_EQ(detector.ObservationsToDecision(scanner), expected);
+  ASSERT_TRUE(detector.ScannerFlagTime(scanner).has_value());
+  EXPECT_EQ(detector.flagged_scanners(), 1u);
+}
+
+TEST(TrwTest, AllSuccessesClearBenign) {
+  TrwDetector detector;
+  const Ipv4 client{7, 7, 7, 7};
+  TrwVerdict verdict = TrwVerdict::kPending;
+  for (int i = 0; i < 100 && verdict == TrwVerdict::kPending; ++i) {
+    verdict = detector.Observe(i, client, /*success=*/true);
+  }
+  EXPECT_EQ(verdict, TrwVerdict::kBenign);
+  EXPECT_EQ(detector.cleared_benign(), 1u);
+  EXPECT_FALSE(detector.ScannerFlagTime(client).has_value());
+}
+
+TEST(TrwTest, VerdictsAreSticky) {
+  TrwDetector detector;
+  const Ipv4 src{8, 8, 8, 8};
+  while (detector.Observe(0.0, src, false) == TrwVerdict::kPending) {
+  }
+  EXPECT_EQ(detector.VerdictFor(src), TrwVerdict::kScanner);
+  // A flood of successes afterwards cannot flip the decision.
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(detector.Observe(1.0, src, true), TrwVerdict::kScanner);
+  }
+}
+
+TEST(TrwTest, StatisticalErrorRatesRespectDesign) {
+  // Simulate benign sources (80% success) and scanners (worm hitting
+  // mostly-empty space, 2% success); measure the empirical error rates.
+  TrwDetector detector;
+  prng::Xoshiro256 rng{0x7124};
+  int benign_flagged = 0;
+  constexpr int kSources = 2000;
+  for (int s = 0; s < kSources; ++s) {
+    const Ipv4 src{static_cast<std::uint32_t>(0x0A000000 + s)};
+    TrwVerdict verdict = TrwVerdict::kPending;
+    for (int i = 0; i < 500 && verdict == TrwVerdict::kPending; ++i) {
+      verdict = detector.Observe(i, src, rng.Bernoulli(0.8));
+    }
+    if (verdict == TrwVerdict::kScanner) ++benign_flagged;
+  }
+  // α = 1%; allow generous slack for the overshoot of discrete walks.
+  EXPECT_LT(benign_flagged, kSources * 3 / 100);
+
+  int scanners_missed = 0;
+  for (int s = 0; s < kSources; ++s) {
+    const Ipv4 src{static_cast<std::uint32_t>(0x14000000 + s)};
+    TrwVerdict verdict = TrwVerdict::kPending;
+    for (int i = 0; i < 500 && verdict == TrwVerdict::kPending; ++i) {
+      verdict = detector.Observe(i, src, rng.Bernoulli(0.02));
+    }
+    if (verdict != TrwVerdict::kScanner) ++scanners_missed;
+  }
+  EXPECT_LT(scanners_missed, kSources / 100);
+}
+
+TEST(TrwTest, WormScannerCaughtWithinTenProbes) {
+  // The local-detection punchline: a worm probing random space virtually
+  // always fails; TRW needs only ~4 consecutive failures at the default
+  // parameters — under a second at 10 probes/s.
+  TrwDetector detector;
+  const Ipv4 infected{10, 1, 2, 3};
+  std::uint32_t probes = 0;
+  while (detector.VerdictFor(infected) == TrwVerdict::kPending) {
+    detector.Observe(probes * 0.1, infected, false);
+    ++probes;
+  }
+  EXPECT_LE(probes, 10u);
+  EXPECT_EQ(detector.VerdictFor(infected), TrwVerdict::kScanner);
+}
+
+}  // namespace
+}  // namespace hotspots::detect

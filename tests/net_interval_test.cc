@@ -1,0 +1,127 @@
+#include "net/interval_set.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "prng/xoshiro.h"
+
+namespace hotspots::net {
+namespace {
+
+TEST(IntervalSetTest, EmptySetContainsNothingAfterBuild) {
+  IntervalSet set;
+  set.Build();
+  EXPECT_FALSE(set.Contains(Ipv4{0}));
+  EXPECT_EQ(set.TotalAddresses(), 0u);
+}
+
+TEST(IntervalSetTest, QueriesBeforeBuildThrow) {
+  IntervalSet set;
+  set.Add(1, 2);
+  EXPECT_THROW((void)set.Contains(Ipv4{1}), std::logic_error);
+}
+
+TEST(IntervalSetTest, AddRejectsInvertedBounds) {
+  IntervalSet set;
+  EXPECT_THROW(set.Add(5, 4), std::invalid_argument);
+}
+
+TEST(IntervalSetTest, MergesOverlappingIntervals) {
+  IntervalSet set;
+  set.Add(10, 20);
+  set.Add(15, 30);
+  set.Add(100, 110);
+  set.Build();
+  ASSERT_EQ(set.intervals().size(), 2u);
+  EXPECT_EQ(set.intervals()[0], (Interval{10, 30}));
+  EXPECT_EQ(set.TotalAddresses(), 21u + 11u);
+}
+
+TEST(IntervalSetTest, MergesAdjacentIntervals) {
+  IntervalSet set;
+  set.Add(10, 20);
+  set.Add(21, 30);
+  set.Build();
+  ASSERT_EQ(set.intervals().size(), 1u);
+  EXPECT_EQ(set.intervals()[0], (Interval{10, 30}));
+}
+
+TEST(IntervalSetTest, MembershipAtBoundaries) {
+  IntervalSet set;
+  set.Add(Prefix{Ipv4{10, 0, 0, 0}, 8});
+  set.Add(Prefix{Ipv4{192, 168, 0, 0}, 16});
+  set.Build();
+  EXPECT_TRUE(set.Contains(Ipv4(10, 0, 0, 0)));
+  EXPECT_TRUE(set.Contains(Ipv4(10, 255, 255, 255)));
+  EXPECT_FALSE(set.Contains(Ipv4(11, 0, 0, 0)));
+  EXPECT_TRUE(set.Contains(Ipv4(192, 168, 77, 1)));
+  EXPECT_FALSE(set.Contains(Ipv4(192, 169, 0, 0)));
+}
+
+TEST(IntervalSetTest, HandlesTopOfAddressSpace) {
+  IntervalSet set;
+  set.Add(0xFFFFFF00u, 0xFFFFFFFFu);
+  set.Add(0xFFFFFE00u, 0xFFFFFEFFu);
+  set.Build();
+  EXPECT_TRUE(set.Contains(Ipv4{0xFFFFFFFFu}));
+  EXPECT_EQ(set.TotalAddresses(), 256u + 256u);
+}
+
+TEST(IntervalSetPropertyTest, AgreesWithBruteForceReference) {
+  // Randomized differential test against a simple per-address reference
+  // over a small window of the space.
+  prng::Xoshiro256 rng{0x1A7E};
+  for (int trial = 0; trial < 20; ++trial) {
+    constexpr std::uint32_t kWindow = 4096;
+    IntervalSet set;
+    std::set<std::uint32_t> reference;
+    const int intervals = 1 + static_cast<int>(rng.UniformBelow(30));
+    for (int i = 0; i < intervals; ++i) {
+      const std::uint32_t lo = rng.UniformBelow(kWindow);
+      const std::uint32_t hi =
+          std::min(kWindow - 1, lo + rng.UniformBelow(200));
+      set.Add(lo, hi);
+      for (std::uint32_t x = lo; x <= hi; ++x) reference.insert(x);
+    }
+    set.Build();
+    ASSERT_EQ(set.TotalAddresses(), reference.size()) << "trial " << trial;
+    for (std::uint32_t x = 0; x < kWindow; ++x) {
+      ASSERT_EQ(set.Contains(Ipv4{x}), reference.contains(x))
+          << "trial " << trial << " address " << x;
+    }
+    // Merged intervals are sorted, disjoint, non-adjacent.
+    for (std::size_t i = 1; i < set.intervals().size(); ++i) {
+      ASSERT_GT(set.intervals()[i].lo, set.intervals()[i - 1].hi + 1);
+    }
+  }
+}
+
+TEST(IntervalMapTest, LookupFindsCoveringValue) {
+  IntervalMap<int> map;
+  map.Add(Prefix{Ipv4{10, 0, 0, 0}, 8}, 1);
+  map.Add(Prefix{Ipv4{20, 0, 0, 0}, 8}, 2);
+  map.Build();
+  ASSERT_NE(map.Lookup(Ipv4(10, 9, 9, 9)), nullptr);
+  EXPECT_EQ(*map.Lookup(Ipv4(10, 9, 9, 9)), 1);
+  EXPECT_EQ(*map.Lookup(Ipv4(20, 0, 0, 0)), 2);
+  EXPECT_EQ(map.Lookup(Ipv4(15, 0, 0, 0)), nullptr);
+  EXPECT_EQ(map.Lookup(Ipv4(0, 0, 0, 1)), nullptr);
+  EXPECT_EQ(map.Lookup(Ipv4(255, 0, 0, 1)), nullptr);
+}
+
+TEST(IntervalMapTest, BuildRejectsOverlap) {
+  IntervalMap<int> map;
+  map.Add(Prefix{Ipv4{10, 0, 0, 0}, 8}, 1);
+  map.Add(Prefix{Ipv4{10, 5, 0, 0}, 16}, 2);
+  EXPECT_THROW(map.Build(), std::invalid_argument);
+}
+
+TEST(IntervalMapTest, LookupBeforeBuildThrows) {
+  IntervalMap<int> map;
+  map.Add(1, 2, 7);
+  EXPECT_THROW((void)map.Lookup(Ipv4{1}), std::logic_error);
+}
+
+}  // namespace
+}  // namespace hotspots::net

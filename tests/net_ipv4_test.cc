@@ -1,0 +1,90 @@
+#include "net/ipv4.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <unordered_set>
+
+namespace hotspots::net {
+namespace {
+
+TEST(Ipv4Test, DefaultIsZero) {
+  EXPECT_EQ(Ipv4{}.value(), 0u);
+  EXPECT_EQ(Ipv4{}.ToString(), "0.0.0.0");
+}
+
+TEST(Ipv4Test, OctetConstructionMatchesValue) {
+  const Ipv4 address{192, 168, 0, 1};
+  EXPECT_EQ(address.value(), 0xC0A80001u);
+  EXPECT_EQ(address.octet(0), 192);
+  EXPECT_EQ(address.octet(1), 168);
+  EXPECT_EQ(address.octet(2), 0);
+  EXPECT_EQ(address.octet(3), 1);
+}
+
+TEST(Ipv4Test, OctetsRoundTrip) {
+  const Ipv4 address{10, 20, 30, 40};
+  const auto octets = address.octets();
+  EXPECT_EQ(Ipv4(octets[0], octets[1], octets[2], octets[3]), address);
+}
+
+TEST(Ipv4Test, ParseValid) {
+  const auto parsed = Ipv4::Parse("1.2.3.4");
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(*parsed, Ipv4(1, 2, 3, 4));
+  EXPECT_EQ(Ipv4::Parse("255.255.255.255")->value(), 0xFFFFFFFFu);
+  EXPECT_EQ(Ipv4::Parse("0.0.0.0")->value(), 0u);
+}
+
+TEST(Ipv4Test, ParseRejectsMalformed) {
+  EXPECT_FALSE(Ipv4::Parse("").has_value());
+  EXPECT_FALSE(Ipv4::Parse("1.2.3").has_value());
+  EXPECT_FALSE(Ipv4::Parse("1.2.3.4.5").has_value());
+  EXPECT_FALSE(Ipv4::Parse("256.0.0.1").has_value());
+  EXPECT_FALSE(Ipv4::Parse("1.2.3.x").has_value());
+  EXPECT_FALSE(Ipv4::Parse("1..2.3").has_value());
+  EXPECT_FALSE(Ipv4::Parse(" 1.2.3.4").has_value());
+  EXPECT_FALSE(Ipv4::Parse("1.2.3.4 ").has_value());
+  EXPECT_FALSE(Ipv4::Parse("01.2.3.4").has_value());
+  EXPECT_FALSE(Ipv4::Parse("-1.2.3.4").has_value());
+}
+
+TEST(Ipv4Test, ToStringRoundTripsThroughParse) {
+  const Ipv4 values[] = {Ipv4{0}, Ipv4{1, 2, 3, 4}, Ipv4{0xFFFFFFFFu},
+                         Ipv4{127, 0, 0, 1}};
+  for (const Ipv4 address : values) {
+    const auto parsed = Ipv4::Parse(address.ToString());
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, address);
+  }
+}
+
+TEST(Ipv4Test, SlashIndexes) {
+  const Ipv4 address{10, 20, 30, 40};
+  EXPECT_EQ(address.Slash8(), 10u);
+  EXPECT_EQ(address.Slash16(), (10u << 8) | 20u);
+  EXPECT_EQ(address.Slash24(), (10u << 16) | (20u << 8) | 30u);
+}
+
+TEST(Ipv4Test, OrderingFollowsValue) {
+  EXPECT_LT(Ipv4(1, 0, 0, 0), Ipv4(2, 0, 0, 0));
+  EXPECT_LT(Ipv4(1, 0, 0, 255), Ipv4(1, 0, 1, 0));
+  EXPECT_EQ(Ipv4(9, 9, 9, 9), Ipv4(9, 9, 9, 9));
+}
+
+TEST(Ipv4Test, StreamOperatorPrintsDottedQuad) {
+  std::ostringstream out;
+  out << Ipv4{172, 16, 5, 9};
+  EXPECT_EQ(out.str(), "172.16.5.9");
+}
+
+TEST(Ipv4Test, HashableInUnorderedSet) {
+  std::unordered_set<Ipv4> set;
+  set.insert(Ipv4{1, 2, 3, 4});
+  set.insert(Ipv4{1, 2, 3, 4});
+  set.insert(Ipv4{4, 3, 2, 1});
+  EXPECT_EQ(set.size(), 2u);
+}
+
+}  // namespace
+}  // namespace hotspots::net

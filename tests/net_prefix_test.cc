@@ -1,0 +1,115 @@
+#include "net/prefix.h"
+
+#include <gtest/gtest.h>
+
+#include "net/special_ranges.h"
+
+namespace hotspots::net {
+namespace {
+
+TEST(PrefixTest, DefaultCoversEverything) {
+  const Prefix all;
+  EXPECT_EQ(all.length(), 0);
+  EXPECT_EQ(all.size(), std::uint64_t{1} << 32);
+  EXPECT_TRUE(all.Contains(Ipv4{0}));
+  EXPECT_TRUE(all.Contains(Ipv4{0xFFFFFFFFu}));
+}
+
+TEST(PrefixTest, MasksHostBits) {
+  const Prefix prefix{Ipv4{10, 1, 2, 3}, 8};
+  EXPECT_EQ(prefix.base(), Ipv4(10, 0, 0, 0));
+  EXPECT_EQ(prefix.ToString(), "10.0.0.0/8");
+}
+
+TEST(PrefixTest, FirstLastSize) {
+  const Prefix prefix{Ipv4{192, 168, 4, 0}, 22};
+  EXPECT_EQ(prefix.first(), Ipv4(192, 168, 4, 0));
+  EXPECT_EQ(prefix.last(), Ipv4(192, 168, 7, 255));
+  EXPECT_EQ(prefix.size(), 1024u);
+}
+
+TEST(PrefixTest, SlashThirtyTwoIsSingleAddress) {
+  const Prefix host{Ipv4{1, 2, 3, 4}, 32};
+  EXPECT_EQ(host.size(), 1u);
+  EXPECT_EQ(host.first(), host.last());
+  EXPECT_TRUE(host.Contains(Ipv4(1, 2, 3, 4)));
+  EXPECT_FALSE(host.Contains(Ipv4(1, 2, 3, 5)));
+}
+
+TEST(PrefixTest, ContainsAddressBoundaries) {
+  const Prefix prefix{Ipv4{10, 0, 0, 0}, 8};
+  EXPECT_TRUE(prefix.Contains(Ipv4(10, 0, 0, 0)));
+  EXPECT_TRUE(prefix.Contains(Ipv4(10, 255, 255, 255)));
+  EXPECT_FALSE(prefix.Contains(Ipv4(9, 255, 255, 255)));
+  EXPECT_FALSE(prefix.Contains(Ipv4(11, 0, 0, 0)));
+}
+
+TEST(PrefixTest, ContainsPrefixAndOverlap) {
+  const Prefix big{Ipv4{10, 0, 0, 0}, 8};
+  const Prefix small{Ipv4{10, 4, 0, 0}, 16};
+  const Prefix other{Ipv4{11, 0, 0, 0}, 16};
+  EXPECT_TRUE(big.Contains(small));
+  EXPECT_FALSE(small.Contains(big));
+  EXPECT_TRUE(big.Overlaps(small));
+  EXPECT_TRUE(small.Overlaps(big));
+  EXPECT_FALSE(big.Overlaps(other));
+}
+
+TEST(PrefixTest, AddressAtIteratesBlock) {
+  const Prefix prefix{Ipv4{1, 2, 3, 0}, 30};
+  EXPECT_EQ(prefix.AddressAt(0), Ipv4(1, 2, 3, 0));
+  EXPECT_EQ(prefix.AddressAt(3), Ipv4(1, 2, 3, 3));
+}
+
+TEST(PrefixTest, ParseValid) {
+  const auto parsed = Prefix::Parse("172.16.0.0/12");
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(*parsed, kPrivate172);
+  EXPECT_EQ(Prefix::Parse("1.2.3.4")->length(), 32);
+  EXPECT_EQ(Prefix::Parse("0.0.0.0/0")->size(), std::uint64_t{1} << 32);
+}
+
+TEST(PrefixTest, ParseRejectsMalformed) {
+  EXPECT_FALSE(Prefix::Parse("1.2.3.4/33").has_value());
+  EXPECT_FALSE(Prefix::Parse("1.2.3.4/-1").has_value());
+  EXPECT_FALSE(Prefix::Parse("1.2.3/8").has_value());
+  EXPECT_FALSE(Prefix::Parse("1.2.3.4/").has_value());
+  EXPECT_FALSE(Prefix::Parse("/8").has_value());
+}
+
+TEST(PrefixTest, MaskFor) {
+  EXPECT_EQ(Prefix::MaskFor(0), 0u);
+  EXPECT_EQ(Prefix::MaskFor(8), 0xFF000000u);
+  EXPECT_EQ(Prefix::MaskFor(24), 0xFFFFFF00u);
+  EXPECT_EQ(Prefix::MaskFor(32), 0xFFFFFFFFu);
+}
+
+TEST(SpecialRangesTest, PrivateDetection) {
+  EXPECT_TRUE(IsPrivate(Ipv4(10, 1, 2, 3)));
+  EXPECT_TRUE(IsPrivate(Ipv4(172, 16, 0, 1)));
+  EXPECT_TRUE(IsPrivate(Ipv4(172, 31, 255, 255)));
+  EXPECT_FALSE(IsPrivate(Ipv4(172, 32, 0, 0)));
+  EXPECT_TRUE(IsPrivate(Ipv4(192, 168, 200, 9)));
+  EXPECT_FALSE(IsPrivate(Ipv4(192, 167, 0, 1)));
+  EXPECT_FALSE(IsPrivate(Ipv4(8, 8, 8, 8)));
+}
+
+TEST(SpecialRangesTest, NonTargetable) {
+  EXPECT_TRUE(IsNonTargetable(Ipv4(0, 1, 2, 3)));
+  EXPECT_TRUE(IsNonTargetable(Ipv4(127, 0, 0, 1)));
+  EXPECT_TRUE(IsNonTargetable(Ipv4(224, 0, 0, 1)));
+  EXPECT_TRUE(IsNonTargetable(Ipv4(255, 255, 255, 255)));
+  EXPECT_FALSE(IsNonTargetable(Ipv4(192, 168, 0, 1)));  // Private ≠ non-targetable.
+  EXPECT_FALSE(IsNonTargetable(Ipv4(8, 8, 8, 8)));
+}
+
+TEST(SpecialRangesTest, PrivateRangesSpansAllThree) {
+  const auto ranges = PrivateRanges();
+  ASSERT_EQ(ranges.size(), 3u);
+  std::uint64_t total = 0;
+  for (const Prefix& p : ranges) total += p.size();
+  EXPECT_EQ(total, (1u << 24) + (1u << 20) + (1u << 16));
+}
+
+}  // namespace
+}  // namespace hotspots::net

@@ -1,0 +1,82 @@
+// Slash16Index: unit tests + differential equivalence with IntervalMap.
+#include "net/slash16_index.h"
+
+#include <gtest/gtest.h>
+
+#include "prng/xoshiro.h"
+
+namespace hotspots::net {
+namespace {
+
+TEST(Slash16IndexTest, BasicLookup) {
+  Slash16Index<int> index;
+  index.Add(Prefix{Ipv4{10, 0, 0, 0}, 8}, 1);
+  index.Add(Prefix{Ipv4{20, 5, 4, 0}, 24}, 2);
+  index.Build();
+  ASSERT_NE(index.Lookup(Ipv4(10, 200, 3, 4)), nullptr);
+  EXPECT_EQ(*index.Lookup(Ipv4(10, 200, 3, 4)), 1);
+  EXPECT_EQ(*index.Lookup(Ipv4(20, 5, 4, 255)), 2);
+  EXPECT_EQ(index.Lookup(Ipv4(20, 5, 5, 0)), nullptr);
+  EXPECT_EQ(index.Lookup(Ipv4(30, 0, 0, 0)), nullptr);
+}
+
+TEST(Slash16IndexTest, IntervalSpanningManyBucketsIsSliced) {
+  Slash16Index<int> index;
+  // A /8 touches 256 /16 buckets; boundaries must be exact.
+  index.Add(Prefix{Ipv4{50, 0, 0, 0}, 8}, 7);
+  index.Build();
+  EXPECT_NE(index.Lookup(Ipv4(50, 0, 0, 0)), nullptr);
+  EXPECT_NE(index.Lookup(Ipv4(50, 255, 255, 255)), nullptr);
+  EXPECT_NE(index.Lookup(Ipv4(50, 128, 77, 3)), nullptr);
+  EXPECT_EQ(index.Lookup(Ipv4(49, 255, 255, 255)), nullptr);
+  EXPECT_EQ(index.Lookup(Ipv4(51, 0, 0, 0)), nullptr);
+}
+
+TEST(Slash16IndexTest, RejectsOverlapAndBadBounds) {
+  Slash16Index<int> index;
+  index.Add(Prefix{Ipv4{10, 0, 0, 0}, 8}, 1);
+  index.Add(Prefix{Ipv4{10, 4, 0, 0}, 16}, 2);
+  EXPECT_THROW(index.Build(), std::invalid_argument);
+  Slash16Index<int> bad;
+  EXPECT_THROW(bad.Add(10, 5, 1), std::invalid_argument);
+}
+
+TEST(Slash16IndexTest, LookupBeforeBuildThrows) {
+  Slash16Index<int> index;
+  index.Add(1, 2, 3);
+  EXPECT_THROW((void)index.Lookup(Ipv4{1}), std::logic_error);
+}
+
+TEST(Slash16IndexTest, DifferentialAgainstIntervalMap) {
+  prng::Xoshiro256 rng{0x51AB};
+  for (int trial = 0; trial < 10; ++trial) {
+    Slash16Index<int> index;
+    IntervalMap<int> reference;
+    // Generate disjoint intervals of diverse sizes across the space.
+    std::uint32_t cursor = rng.UniformBelow(1u << 20);
+    int id = 0;
+    while (cursor < 0xF0000000u) {
+      const std::uint32_t length = 1 + rng.UniformBelow(1u << 18);
+      const std::uint32_t hi = cursor + length - 1;
+      index.Add(cursor, hi, id);
+      reference.Add(cursor, hi, id);
+      ++id;
+      cursor = hi + 2 + rng.UniformBelow(1u << 22);
+      if (id > 400) break;
+    }
+    index.Build();
+    reference.Build();
+    for (int i = 0; i < 30'000; ++i) {
+      const Ipv4 address{rng.NextU32()};
+      const int* a = index.Lookup(address);
+      const int* b = reference.Lookup(address);
+      ASSERT_EQ(a == nullptr, b == nullptr) << address.ToString();
+      if (a != nullptr) {
+        ASSERT_EQ(*a, *b) << address.ToString();
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace hotspots::net

@@ -1,0 +1,121 @@
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+
+#include "prng/lcg.h"
+#include "prng/msvc_rand.h"
+#include "prng/splitmix.h"
+#include "prng/xoshiro.h"
+
+namespace hotspots::prng {
+namespace {
+
+TEST(MsvcRandTest, MatchesKnownMicrosoftSequence) {
+  // The canonical srand(1) sequence of the Microsoft C runtime.
+  MsvcRand rand{1};
+  const std::array<std::uint32_t, 10> expected = {
+      41, 18467, 6334, 26500, 19169, 15724, 11478, 29358, 26962, 24464};
+  for (const std::uint32_t value : expected) {
+    EXPECT_EQ(rand.Next(), value);
+  }
+}
+
+TEST(MsvcRandTest, OutputsAreFifteenBits) {
+  MsvcRand rand{0xDEADBEEF};
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LE(rand.Next(), MsvcRand::kRandMax);
+  }
+}
+
+TEST(MsvcRandTest, NextModBoundsResult) {
+  MsvcRand rand{42};
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rand.NextMod(254), 254u);
+  }
+}
+
+TEST(LcgTest, StepMatchesManualComputation) {
+  const LcgParams params{214013, 2531011, 32};
+  EXPECT_EQ(params.Step(1), 214013u * 1 + 2531011u);
+  Lcg lcg{params, 1};
+  EXPECT_EQ(lcg.Next(), 214013u * 1 + 2531011u);
+}
+
+TEST(LcgTest, ModulusMaskApplies) {
+  const LcgParams params{5, 3, 8};  // mod 256
+  EXPECT_EQ(params.Mask(), 0xFFu);
+  Lcg lcg{params, 200};
+  EXPECT_EQ(lcg.Next(), (5u * 200 + 3) & 0xFF);
+}
+
+TEST(LcgTest, RejectsBadModulusBits) {
+  EXPECT_THROW((Lcg{LcgParams{5, 3, 0}, 1}), std::invalid_argument);
+  EXPECT_THROW((Lcg{LcgParams{5, 3, 33}, 1}), std::invalid_argument);
+}
+
+TEST(SplitMixTest, DeterministicAndDistinct) {
+  SplitMix64 a{7};
+  SplitMix64 b{7};
+  const auto first = a.Next();
+  EXPECT_EQ(first, b.Next());
+  EXPECT_NE(first, a.Next());
+}
+
+TEST(XoshiroTest, DeterministicForSeed) {
+  Xoshiro256 a{123};
+  Xoshiro256 b{123};
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(XoshiroTest, NextDoubleInUnitInterval) {
+  Xoshiro256 rng{9};
+  for (int i = 0; i < 100000; ++i) {
+    const double x = rng.NextDouble();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(XoshiroTest, UniformBelowRespectsBound) {
+  Xoshiro256 rng{10};
+  for (const std::uint32_t bound : {1u, 2u, 3u, 254u, 1000u, 1u << 30}) {
+    for (int i = 0; i < 1000; ++i) {
+      EXPECT_LT(rng.UniformBelow(bound), bound);
+    }
+  }
+}
+
+TEST(XoshiroTest, UniformBelowIsRoughlyUniform) {
+  Xoshiro256 rng{11};
+  constexpr int kBuckets = 16;
+  constexpr int kDraws = 160000;
+  std::array<int, kBuckets> counts{};
+  for (int i = 0; i < kDraws; ++i) {
+    ++counts[rng.UniformBelow(kBuckets)];
+  }
+  const double expected = static_cast<double>(kDraws) / kBuckets;
+  for (const int c : counts) {
+    EXPECT_NEAR(c, expected, 5 * std::sqrt(expected));
+  }
+}
+
+TEST(XoshiroTest, BernoulliMatchesProbability) {
+  Xoshiro256 rng{12};
+  int hits = 0;
+  constexpr int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) {
+    if (rng.Bernoulli(0.15)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / kDraws, 0.15, 0.01);
+}
+
+TEST(XoshiroTest, SatisfiesUniformRandomBitGenerator) {
+  static_assert(Xoshiro256::min() == 0);
+  static_assert(Xoshiro256::max() == ~std::uint64_t{0});
+  Xoshiro256 rng{1};
+  EXPECT_NE(rng(), rng());
+}
+
+}  // namespace
+}  // namespace hotspots::prng

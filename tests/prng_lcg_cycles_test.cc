@@ -1,0 +1,265 @@
+// Validation of the algebraic LCG cycle analyzer against brute force, plus
+// the Slammer-specific facts the paper reports (64 cycles, fixed points,
+// biased block sums).
+#include "prng/lcg_cycles.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "prng/cycle_finder.h"
+#include "worms/slammer.h"
+
+namespace hotspots::prng {
+namespace {
+
+TEST(Valuation2Test, Basics) {
+  EXPECT_EQ(Valuation2(1, 32), 0);
+  EXPECT_EQ(Valuation2(2, 32), 1);
+  EXPECT_EQ(Valuation2(12, 32), 2);
+  EXPECT_EQ(Valuation2(1u << 31, 32), 31);
+  EXPECT_EQ(Valuation2(0, 32), 32);
+  EXPECT_EQ(Valuation2(0, 16), 16);
+}
+
+TEST(LcgCycleAnalyzerTest, RejectsBadMultipliers) {
+  EXPECT_THROW(LcgCycleAnalyzer(LcgParams{3, 1, 16}), std::invalid_argument);
+  EXPECT_THROW(LcgCycleAnalyzer(LcgParams{1, 1, 16}), std::invalid_argument);
+  EXPECT_THROW(LcgCycleAnalyzer(LcgParams{2, 1, 16}), std::invalid_argument);
+}
+
+TEST(LcgCycleAnalyzerTest, CensusAccountsForEveryPoint) {
+  for (const std::uint32_t b : {0u, 1u, 2u, 4u, 12u, 0x1234u, 0xFFFFu}) {
+    const LcgParams params{214013, b, 16};
+    const LcgCycleAnalyzer analyzer{params};
+    std::uint64_t points = 0;
+    for (const CycleClass& cls : analyzer.Census()) {
+      EXPECT_EQ(cls.num_points, cls.length * cls.num_cycles);
+      points += cls.num_points;
+    }
+    EXPECT_EQ(points, std::uint64_t{1} << 16) << "b=" << b;
+  }
+}
+
+class CycleAlgebraVsBruteForce
+    : public ::testing::TestWithParam<std::tuple<std::uint32_t, std::uint32_t, int>> {};
+
+TEST_P(CycleAlgebraVsBruteForce, CensusMatchesEnumeration) {
+  const auto [a, b, m] = GetParam();
+  const LcgParams params{a, b, m};
+  const LcgCycleAnalyzer analyzer{params};
+
+  const auto cycles = FindAllCycles(
+      m, [&params](std::uint32_t x) { return params.Step(x); });
+
+  // Compare the (length → number of cycles) multiset.
+  std::map<std::uint64_t, std::uint64_t> brute;
+  for (const FoundCycle& cycle : cycles) ++brute[cycle.length];
+  std::map<std::uint64_t, std::uint64_t> algebra;
+  for (const CycleClass& cls : analyzer.Census()) {
+    algebra[cls.length] += cls.num_cycles;
+  }
+  EXPECT_EQ(brute, algebra);
+  EXPECT_EQ(analyzer.TotalCycles(), cycles.size());
+}
+
+TEST_P(CycleAlgebraVsBruteForce, PerPointLengthAndMembershipMatch) {
+  const auto [a, b, m] = GetParam();
+  const LcgParams params{a, b, m};
+  const LcgCycleAnalyzer analyzer{params};
+  const std::uint32_t mask = params.Mask();
+
+  // Walk a sample of orbits; every element of an orbit must share the
+  // CycleId and the length must equal the walked period.
+  Xoshiro256 rng{99};
+  for (int trial = 0; trial < 50; ++trial) {
+    const std::uint32_t start = rng.NextU32() & mask;
+    const std::uint64_t claimed = analyzer.CycleLength(start);
+    // Confirm T^claimed(start) == start and no smaller power-of-two works.
+    std::uint32_t cursor = start;
+    for (std::uint64_t i = 0; i < claimed; ++i) cursor = params.Step(cursor);
+    EXPECT_EQ(cursor, start);
+    if (claimed > 1) {
+      cursor = start;
+      for (std::uint64_t i = 0; i < claimed / 2; ++i) {
+        cursor = params.Step(cursor);
+      }
+      EXPECT_NE(cursor, start);
+    }
+    // Membership invariant along the orbit.
+    const CycleId id = analyzer.IdOf(start);
+    cursor = params.Step(start);
+    for (int i = 0; i < 16 && cursor != start; ++i) {
+      EXPECT_EQ(analyzer.IdOf(cursor), id);
+      EXPECT_TRUE(analyzer.SameCycle(start, cursor));
+      cursor = params.Step(cursor);
+    }
+  }
+}
+
+TEST_P(CycleAlgebraVsBruteForce, DistinctCyclesGetDistinctIds) {
+  const auto [a, b, m] = GetParam();
+  const LcgParams params{a, b, m};
+  const LcgCycleAnalyzer analyzer{params};
+  const auto cycles = FindAllCycles(
+      m, [&params](std::uint32_t x) { return params.Step(x); });
+  std::set<CycleId> ids;
+  for (const FoundCycle& cycle : cycles) {
+    EXPECT_TRUE(ids.insert(analyzer.IdOf(cycle.representative)).second)
+        << "representative " << cycle.representative;
+    EXPECT_EQ(analyzer.CycleLength(cycle.representative), cycle.length);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SmallModuli, CycleAlgebraVsBruteForce,
+    ::testing::Values(
+        // Slammer multiplier at small moduli with assorted increments,
+        // covering v2(b) < e, == e, > e, and b = 0.
+        std::make_tuple(214013u, 1u, 12), std::make_tuple(214013u, 2u, 12),
+        std::make_tuple(214013u, 4u, 12), std::make_tuple(214013u, 8u, 12),
+        std::make_tuple(214013u, 0u, 12), std::make_tuple(214013u, 0x124u, 14),
+        std::make_tuple(214013u, 0x8831u, 16),
+        // Other a ≡ 1 (mod 4) multipliers, including e > 2.
+        std::make_tuple(5u, 3u, 12), std::make_tuple(5u, 4u, 12),
+        std::make_tuple(9u, 1u, 12), std::make_tuple(9u, 8u, 14),
+        std::make_tuple(17u, 6u, 12), std::make_tuple(69069u, 1234u, 16)));
+
+TEST(SlammerCyclesTest, EffectiveIncrementsMatchKnownValues) {
+  const auto increments = worms::SlammerEffectiveIncrements();
+  EXPECT_EQ(increments[0], 0x88215000u);
+  EXPECT_EQ(increments[1], 0x8831FA24u);  // The value quoted in the paper.
+  EXPECT_EQ(increments[2], 0x88336870u);
+}
+
+TEST(SlammerCyclesTest, EveryDllVersionHasSixtyFourCycles) {
+  // The paper: "We find that there are 64 cycles for each b value and the
+  // lengths are very similar in each case."
+  for (int version = 0; version < 3; ++version) {
+    const auto analyzer = worms::SlammerCycleAnalyzer(version);
+    EXPECT_EQ(analyzer.TotalCycles(), 64u) << "dll version " << version;
+  }
+}
+
+TEST(SlammerCyclesTest, HasFixedPointsAndMaximalCycles) {
+  const auto analyzer = worms::SlammerCycleAnalyzer(1);
+  const auto census = analyzer.Census();
+  // Longest cycles: two of length 2^30; shortest: four fixed points.
+  EXPECT_EQ(census.front().length, std::uint64_t{1} << 30);
+  EXPECT_EQ(census.front().num_cycles, 2u);
+  EXPECT_EQ(census.back().length, 1u);
+  EXPECT_EQ(census.back().num_cycles, 4u);
+}
+
+TEST(SlammerCyclesTest, FixedPointsAreActuallyFixed) {
+  for (int version = 0; version < 3; ++version) {
+    const LcgParams params = worms::SlammerLcgParams(version);
+    const LcgCycleAnalyzer analyzer{params};
+    int fixed_points_found = 0;
+    // Fixed points satisfy (a−1)x + b ≡ 0 (mod 2^32); scan a coarse grid of
+    // candidates via the analyzer instead of solving, to exercise IdOf.
+    Xoshiro256 rng{7};
+    for (int i = 0; i < 200000 && fixed_points_found == 0; ++i) {
+      const std::uint32_t x = rng.NextU32();
+      if (analyzer.CycleLength(x) == 1) {
+        EXPECT_EQ(params.Step(x), x);
+        ++fixed_points_found;
+      }
+    }
+    // Fixed points are a 4-in-2^32 event; not finding one randomly is fine.
+    // What must hold: the census says they exist.
+    EXPECT_EQ(analyzer.Census().back().length, 1u);
+  }
+}
+
+TEST(SlammerCyclesTest, HitProbabilityProportionalToCycleLength) {
+  const auto analyzer = worms::SlammerCycleAnalyzer(1);
+  Xoshiro256 rng{3};
+  for (int i = 0; i < 100; ++i) {
+    const std::uint32_t x = rng.NextU32();
+    EXPECT_DOUBLE_EQ(analyzer.HitProbability(x),
+                     static_cast<double>(analyzer.CycleLength(x)) /
+                         4294967296.0);
+  }
+}
+
+TEST(SlammerCyclesTest, BlockSumsDifferAcrossGenericSlash24s) {
+  // The mechanism behind Figure 2: different /24s are traversed by cycle
+  // sets of different total length.  (For the affine map the per-level
+  // valuation census inside an aligned block is invariant, so differences
+  // come from coset splits at the deep levels — see EXPERIMENTS.md.)
+  const auto analyzer = worms::SlammerCycleAnalyzer(1);
+  Xoshiro256 rng{7};
+  std::set<std::uint64_t> sums;
+  for (int i = 0; i < 200; ++i) {
+    const net::Prefix block{net::Ipv4{rng.NextU32() & 0xFFFFFF00u}, 24};
+    sums.insert(analyzer.SumCycleLengthsThrough(block));
+  }
+  EXPECT_GT(sums.size(), 1u) << "all /24 blocks saw identical cycle sums";
+}
+
+TEST(SlammerCyclesTest, AlignedEqualSizeBlocksHaveInvariantValuationCensus) {
+  // Structural result our algebra proves and the library documents: for
+  // T(x)=a·x+b with x0 ≡ 0 (mod 2^16), y = (a−1)x+b mod 2^18 depends only
+  // on the offset, so all /16-aligned blocks share the same cycle-length
+  // census up to the deepest couple of points.
+  const auto analyzer = worms::SlammerCycleAnalyzer(1);
+  std::set<std::uint64_t> sums;
+  for (std::uint32_t a = 40; a < 60; ++a) {
+    const net::Prefix block{net::Ipv4{a << 24 | 10u << 16}, 16};
+    sums.insert(analyzer.SumCycleLengthsThrough(block));
+  }
+  // At most a couple of distinct values (deep-tail variation only).
+  EXPECT_LE(sums.size(), 3u);
+}
+
+TEST(SlammerCyclesTest, ExpectedUniqueSourcesScalesWithPopulation) {
+  const auto analyzer = worms::SlammerCycleAnalyzer(0);
+  const net::Prefix block{net::Ipv4{10, 0, 0, 0}, 24};
+  const double one = analyzer.ExpectedUniqueSources(block, 1000);
+  const double two = analyzer.ExpectedUniqueSources(block, 2000);
+  EXPECT_DOUBLE_EQ(two, 2 * one);
+}
+
+TEST(CycleFinderTest, RejectsNonPermutation) {
+  EXPECT_THROW(FindAllCycles(4, [](std::uint32_t) { return 0u; }),
+               std::invalid_argument);
+}
+
+TEST(CycleFinderTest, RejectsHugeDomains) {
+  EXPECT_THROW(FindAllCycles(27, [](std::uint32_t x) { return x; }),
+               std::invalid_argument);
+}
+
+TEST(CycleFinderTest, IdentityPermutationIsAllFixedPoints) {
+  const auto cycles = FindAllCycles(8, [](std::uint32_t x) { return x; });
+  EXPECT_EQ(cycles.size(), 256u);
+  for (const FoundCycle& cycle : cycles) EXPECT_EQ(cycle.length, 1u);
+}
+
+TEST(CycleFinderTest, SingleRotationIsOneCycle) {
+  const auto cycles =
+      FindAllCycles(8, [](std::uint32_t x) { return (x + 1) & 0xFF; });
+  ASSERT_EQ(cycles.size(), 1u);
+  EXPECT_EQ(cycles[0].length, 256u);
+  EXPECT_EQ(cycles[0].representative, 0u);
+}
+
+TEST(CycleFinderTest, CollectOrbitStopsAtClosure) {
+  const auto orbit = CollectOrbit(
+      3, [](std::uint32_t x) { return (x + 2) & 0xF; }, 1000);
+  EXPECT_EQ(orbit.size(), 8u);  // 3,5,7,...,1 then back to 3.
+  EXPECT_EQ(orbit.front(), 3u);
+}
+
+TEST(CycleFinderTest, CountOrbitHitsInBlock) {
+  // Orbit 0..15 under +1 mod 16; block covering 4..7 → 4 hits.
+  const net::Prefix block{net::Ipv4{4}, 30};
+  const std::uint64_t hits = CountOrbitHitsInBlock(
+      0, [](std::uint32_t x) { return (x + 1) & 0xF; }, 1000, block);
+  EXPECT_EQ(hits, 4u);
+}
+
+}  // namespace
+}  // namespace hotspots::prng

@@ -1,0 +1,93 @@
+#include "prng/tickcount.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace hotspots::prng {
+namespace {
+
+TEST(BootEntropyModelTest, PaperGenerationsMatchReportedStatistics) {
+  const auto generations = PaperHardwareGenerations();
+  ASSERT_EQ(generations.size(), 3u);
+  for (const HardwareGeneration& generation : generations) {
+    EXPECT_NEAR(generation.boot_mean_seconds, 30.0, 2.0);
+    EXPECT_DOUBLE_EQ(generation.boot_stddev_seconds, 1.0);
+  }
+}
+
+TEST(BootEntropyModelTest, RebootLoopReproducesMeanAndStddev) {
+  // The paper's measurement program found mean ≈ 30 s, σ ≈ 1 s.
+  Xoshiro256 rng{1};
+  const BootEntropyModel model = BootEntropyModel::Paper();
+  const HardwareGeneration generation{"PIII", 30.0, 1.0, 1.0};
+  const auto ticks = model.RebootLoopExperiment(generation, 5000, rng);
+  ASSERT_EQ(ticks.size(), 5000u);
+  const double mean =
+      std::accumulate(ticks.begin(), ticks.end(), 0.0) / ticks.size() / 1000.0;
+  EXPECT_NEAR(mean, 30.0, 0.2);
+  double variance = 0;
+  for (const std::uint32_t t : ticks) {
+    const double d = t / 1000.0 - mean;
+    variance += d * d;
+  }
+  variance /= ticks.size();
+  EXPECT_NEAR(std::sqrt(variance), 1.0, 0.1);
+}
+
+TEST(BootEntropyModelTest, RebootStartsDominateSeedDistribution) {
+  Xoshiro256 rng{2};
+  const BootEntropyModel model = BootEntropyModel::Paper();
+  int near_boot = 0;
+  constexpr int kSamples = 20000;
+  for (int i = 0; i < kSamples; ++i) {
+    // Ticks under 60 s can only come from the reboot-start branch.
+    if (model.SampleTickCount(rng) < 60'000u) ++near_boot;
+  }
+  EXPECT_NEAR(static_cast<double>(near_boot) / kSamples,
+              model.reboot_start_fraction(), 0.02);
+}
+
+TEST(BootEntropyModelTest, UptimeTailReachesMinutes) {
+  Xoshiro256 rng{3};
+  const BootEntropyModel model = BootEntropyModel::Paper();
+  bool saw_minutes = false;
+  for (int i = 0; i < 20000; ++i) {
+    const std::uint32_t tick = model.SampleTickCount(rng);
+    if (tick > 4 * 60 * 1000u) {
+      saw_minutes = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(saw_minutes)
+      << "seed distribution lacks the multi-minute uptime tail the paper "
+         "correlates hot ranges with";
+}
+
+TEST(BootEntropyModelTest, ValidatesArguments) {
+  EXPECT_THROW(BootEntropyModel({}, 0.5), std::invalid_argument);
+  EXPECT_THROW(BootEntropyModel(PaperHardwareGenerations(), -0.1),
+               std::invalid_argument);
+  EXPECT_THROW(BootEntropyModel(PaperHardwareGenerations(), 1.5),
+               std::invalid_argument);
+  EXPECT_THROW(BootEntropyModel(PaperHardwareGenerations(), 0.5, -1.0, 10.0),
+               std::invalid_argument);
+  EXPECT_THROW(BootEntropyModel(PaperHardwareGenerations(), 0.5, 10.0, 5.0),
+               std::invalid_argument);
+  std::vector<HardwareGeneration> negative = PaperHardwareGenerations();
+  negative[0].weight = -1.0;
+  EXPECT_THROW(BootEntropyModel(negative, 0.5), std::invalid_argument);
+}
+
+TEST(BootEntropyModelTest, RebootLoopRejectsNegativeTrials) {
+  Xoshiro256 rng{4};
+  const BootEntropyModel model = BootEntropyModel::Paper();
+  EXPECT_THROW(
+      (void)model.RebootLoopExperiment(PaperHardwareGenerations()[0], -1, rng),
+      std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace hotspots::prng

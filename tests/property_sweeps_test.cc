@@ -1,0 +1,237 @@
+// Parameterized property sweeps across the library's main axes:
+//   * every Worm honours the scanner contract (determinism per entropy,
+//     valid targets, stable metadata);
+//   * local-preference strength maps monotonically onto measured
+//     non-uniformity;
+//   * the scenario builder upholds its structural invariants across sizes
+//     and seeds.
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "analysis/uniformity.h"
+#include "core/scenario.h"
+#include "net/special_ranges.h"
+#include "telescope/ims.h"
+#include "worms/blaster.h"
+#include "worms/codered1.h"
+#include "worms/codered2.h"
+#include "worms/hitlist.h"
+#include "worms/localpref.h"
+#include "worms/permutation.h"
+#include "worms/slammer.h"
+#include "worms/uniform.h"
+#include "worms/witty.h"
+
+namespace hotspots {
+namespace {
+
+using net::Ipv4;
+using net::Prefix;
+
+// ---------------------------------------------------------------------
+// Worm contract sweep.
+// ---------------------------------------------------------------------
+
+using WormFactory = std::function<std::unique_ptr<sim::Worm>()>;
+
+struct WormCase {
+  std::string label;
+  WormFactory make;
+};
+
+class WormContractTest : public ::testing::TestWithParam<WormCase> {};
+
+TEST_P(WormContractTest, NameIsStableAndNonEmpty) {
+  const auto worm = GetParam().make();
+  EXPECT_FALSE(worm->name().empty());
+  EXPECT_EQ(worm->name(), GetParam().make()->name());
+}
+
+TEST_P(WormContractTest, ScannerIsDeterministicPerEntropy) {
+  const auto worm = GetParam().make();
+  sim::Host host;
+  host.address = Ipv4{141, 20, 30, 40};
+  auto a = worm->MakeScanner(host, 0xFEED);
+  auto b = worm->MakeScanner(host, 0xFEED);
+  prng::Xoshiro256 rng_a{1};
+  prng::Xoshiro256 rng_b{1};
+  for (int i = 0; i < 2000; ++i) {
+    ASSERT_EQ(a->NextTarget(rng_a), b->NextTarget(rng_b))
+        << GetParam().label << " diverged at probe " << i;
+  }
+}
+
+TEST_P(WormContractTest, ManyProbesNeverCrash) {
+  const auto worm = GetParam().make();
+  sim::Host host;
+  host.address = Ipv4{60, 61, 62, 63};
+  auto scanner = worm->MakeScanner(host, 99);
+  prng::Xoshiro256 rng{1};
+  std::uint64_t accumulator = 0;
+  for (int i = 0; i < 100'000; ++i) {
+    accumulator += scanner->NextTarget(rng).value();
+  }
+  EXPECT_NE(accumulator, 0u);
+}
+
+TEST_P(WormContractTest, NattedHostContextAccepted) {
+  const auto worm = GetParam().make();
+  sim::Host host;
+  host.address = Ipv4{192, 168, 0, 2};
+  host.nat_site = 0;
+  auto scanner = worm->MakeScanner(host, 3);
+  prng::Xoshiro256 rng{1};
+  for (int i = 0; i < 1000; ++i) {
+    (void)scanner->NextTarget(rng);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllWorms, WormContractTest,
+    ::testing::Values(
+        WormCase{"uniform", [] { return std::unique_ptr<sim::Worm>(
+                                     new worms::UniformWorm); }},
+        WormCase{"blaster",
+                 [] {
+                   return std::unique_ptr<sim::Worm>(new worms::BlasterWorm(
+                       worms::BlasterWorm::Paper()));
+                 }},
+        WormCase{"slammer", [] { return std::unique_ptr<sim::Worm>(
+                                     new worms::SlammerWorm); }},
+        WormCase{"codered1", [] { return std::unique_ptr<sim::Worm>(
+                                      new worms::CodeRed1Worm(true)); }},
+        WormCase{"codered2", [] { return std::unique_ptr<sim::Worm>(
+                                      new worms::CodeRed2Worm); }},
+        WormCase{"witty", [] { return std::unique_ptr<sim::Worm>(
+                                   new worms::WittyWorm); }},
+        WormCase{"hitlist",
+                 [] {
+                   return std::unique_ptr<sim::Worm>(new worms::HitListWorm(
+                       {Prefix{Ipv4{60, 1, 0, 0}, 16},
+                        Prefix{Ipv4{80, 0, 0, 0}, 12}}));
+                 }},
+        WormCase{"localpref",
+                 [] {
+                   return std::unique_ptr<sim::Worm>(
+                       new worms::LocalPreferenceWorm(
+                           worms::LocalPreferenceConfig{0.3, 0.3, 0.1}));
+                 }},
+        WormCase{"permutation", [] {
+                   return std::unique_ptr<sim::Worm>(
+                       new worms::PermutationWorm(0xFEED));
+                 }}),
+    [](const ::testing::TestParamInfo<WormCase>& info) {
+      return info.param.label;
+    });
+
+// ---------------------------------------------------------------------
+// Locality-strength sweep: stronger preference ⇒ more concentrated mass.
+// ---------------------------------------------------------------------
+
+class LocalityStrengthTest : public ::testing::TestWithParam<double> {};
+
+double MeasureSlash16Gini(double p_slash16) {
+  worms::LocalPreferenceWorm worm{
+      worms::LocalPreferenceConfig{0.0, p_slash16, 0.0}};
+  sim::Host host;
+  host.address = Ipv4{77, 88, 9, 9};
+  auto scanner = worm.MakeScanner(host, 5);
+  prng::Xoshiro256 rng{1};
+  std::vector<std::uint64_t> per_slash16(1u << 16, 0);
+  for (int i = 0; i < 300'000; ++i) {
+    ++per_slash16[scanner->NextTarget(rng).Slash16()];
+  }
+  return analysis::GiniCoefficient(per_slash16);
+}
+
+TEST_P(LocalityStrengthTest, GiniGrowsWithLocality) {
+  const double p = GetParam();
+  const double lower = MeasureSlash16Gini(p);
+  const double higher = MeasureSlash16Gini(p + 0.2);
+  EXPECT_LT(lower, higher)
+      << "locality " << p << " vs " << p + 0.2;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, LocalityStrengthTest,
+                         ::testing::Values(0.0, 0.2, 0.4, 0.6));
+
+// ---------------------------------------------------------------------
+// Scenario-builder invariants across configurations.
+// ---------------------------------------------------------------------
+
+struct ScenarioCase {
+  std::uint32_t hosts;
+  int slash8s;
+  int slash16s;
+  double nat_fraction;
+  std::uint64_t seed;
+};
+
+class ScenarioInvariantsTest
+    : public ::testing::TestWithParam<ScenarioCase> {};
+
+TEST_P(ScenarioInvariantsTest, StructureHolds) {
+  const ScenarioCase& param = GetParam();
+  core::ScenarioBuilder builder;
+  for (const auto& block : telescope::ImsBlocks()) builder.Avoid(block.block);
+  core::ClusteredPopulationConfig config;
+  config.total_hosts = param.hosts;
+  config.slash8_clusters = param.slash8s;
+  config.nonempty_slash16s = param.slash16s;
+  config.nat_fraction = param.nat_fraction;
+  config.seed = param.seed;
+  const core::Scenario scenario = builder.BuildClustered(config);
+
+  // Exact totals.
+  EXPECT_EQ(scenario.population.size(), param.hosts);
+  EXPECT_EQ(scenario.public_hosts + scenario.natted_hosts, param.hosts);
+
+  // Cluster accounting.
+  std::uint64_t in_clusters = 0;
+  for (const auto& cluster : scenario.slash16_clusters) {
+    in_clusters += cluster.hosts;
+    EXPECT_GT(cluster.hosts, 0u);
+  }
+  EXPECT_EQ(in_clusters, scenario.public_hosts);
+  EXPECT_LE(scenario.slash16_clusters.size(),
+            static_cast<std::size_t>(param.slash16s));
+
+  // Every public host sits inside a declared /16 cluster and outside the
+  // avoided sensor space; every NATed host is in 192.168/16.
+  net::IntervalSet cluster_space;
+  for (const auto& cluster : scenario.slash16_clusters) {
+    cluster_space.Add(cluster.prefix);
+  }
+  cluster_space.Build();
+  for (const auto& host : scenario.population.hosts()) {
+    if (host.behind_nat()) {
+      EXPECT_TRUE(net::kPrivate192.Contains(host.address));
+      continue;
+    }
+    EXPECT_TRUE(cluster_space.Contains(host.address))
+        << host.address.ToString();
+    EXPECT_FALSE(net::IsPrivate(host.address));
+    EXPECT_FALSE(net::IsNonTargetable(host.address));
+    EXPECT_TRUE(scenario.occupied_slash24s.contains(
+        host.address.value() >> 8));
+  }
+
+  // /8 clusters are sorted by descending host mass.
+  EXPECT_LE(scenario.slash8_clusters.size(),
+            static_cast<std::size_t>(param.slash8s));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ScenarioInvariantsTest,
+    ::testing::Values(ScenarioCase{1000, 4, 32, 0.0, 1},
+                      ScenarioCase{5000, 8, 200, 0.0, 2},
+                      ScenarioCase{5000, 8, 200, 0.15, 3},
+                      ScenarioCase{20'000, 16, 400, 0.3, 4},
+                      ScenarioCase{3000, 47, 2000, 0.0, 5},
+                      ScenarioCase{9000, 12, 64, 0.5, 6}));
+
+}  // namespace
+}  // namespace hotspots

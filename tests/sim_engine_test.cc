@@ -1,0 +1,207 @@
+#include "sim/engine.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/population.h"
+#include "worms/uniform.h"
+#include "worms/hitlist.h"
+
+namespace hotspots::sim {
+namespace {
+
+using net::Ipv4;
+using net::Prefix;
+
+TEST(PopulationTest, AddAndFind) {
+  Population population;
+  const HostId a = population.AddHost(Ipv4{10, 0, 0, 1});
+  const HostId b = population.AddHost(Ipv4{10, 0, 0, 2});
+  population.Build(nullptr);
+  EXPECT_EQ(population.size(), 2u);
+  EXPECT_EQ(population.FindPublic(Ipv4(10, 0, 0, 1)), a);
+  EXPECT_EQ(population.FindPublic(Ipv4(10, 0, 0, 2)), b);
+  EXPECT_EQ(population.FindPublic(Ipv4(10, 0, 0, 3)), kInvalidHost);
+}
+
+TEST(PopulationTest, DuplicateAddressThrows) {
+  Population population;
+  population.AddHost(Ipv4{10, 0, 0, 1});
+  EXPECT_THROW(population.AddHost(Ipv4{10, 0, 0, 1}), std::invalid_argument);
+}
+
+TEST(PopulationTest, SameAddressDifferentSitesAllowed) {
+  Population population;
+  topology::NatDirectory nats;
+  const auto site1 = nats.AddSite();
+  const auto site2 = nats.AddSite();
+  const HostId a = population.AddHost(Ipv4{192, 168, 0, 2}, site1);
+  const HostId b = population.AddHost(Ipv4{192, 168, 0, 2}, site2);
+  population.Build(nullptr);
+  EXPECT_EQ(population.FindInSite(site1, Ipv4(192, 168, 0, 2)), a);
+  EXPECT_EQ(population.FindInSite(site2, Ipv4(192, 168, 0, 2)), b);
+  EXPECT_EQ(population.FindPublic(Ipv4(192, 168, 0, 2)), kInvalidHost);
+}
+
+TEST(PopulationTest, ResetAllToVulnerable) {
+  Population population;
+  const HostId id = population.AddHost(Ipv4{10, 0, 0, 1});
+  population.Build(nullptr);
+  population.host(id).state = HostState::kInfected;
+  population.ResetAllToVulnerable();
+  EXPECT_EQ(population.host(id).state, HostState::kVulnerable);
+  EXPECT_EQ(population.CountInState(HostState::kVulnerable), 1u);
+}
+
+class EngineTest : public ::testing::Test {
+ protected:
+  /// A dense population inside one /16 so a hit-list worm targeting that
+  /// /16 infects everyone quickly and deterministically.
+  void BuildDensePopulation(int hosts) {
+    for (int i = 0; i < hosts; ++i) {
+      population_.AddHost(Ipv4{60, 5, static_cast<std::uint8_t>(i / 250),
+                               static_cast<std::uint8_t>(1 + i % 250)});
+    }
+    population_.Build(nullptr);
+  }
+
+  Population population_;
+  topology::Reachability reachability_{nullptr, nullptr, nullptr, 0.0};
+};
+
+TEST_F(EngineTest, SeededHostsAreInfected) {
+  BuildDensePopulation(10);
+  worms::UniformWorm worm;
+  Engine engine{population_, worm, reachability_, nullptr, EngineConfig{}};
+  engine.SeedInfection(0);
+  engine.SeedInfection(0);  // Idempotent.
+  EXPECT_EQ(population_.CountInState(HostState::kInfected), 1u);
+}
+
+TEST_F(EngineTest, SeedRandomInfectionsCountsDistinct) {
+  BuildDensePopulation(100);
+  worms::UniformWorm worm;
+  Engine engine{population_, worm, reachability_, nullptr, EngineConfig{}};
+  engine.SeedRandomInfections(25);
+  EXPECT_EQ(population_.CountInState(HostState::kInfected), 25u);
+}
+
+TEST_F(EngineTest, HitListWormSaturatesDensePopulation) {
+  BuildDensePopulation(500);
+  worms::HitListWorm worm{{Prefix{Ipv4{60, 5, 0, 0}, 16}}};
+  EngineConfig config;
+  config.scan_rate = 10.0;
+  config.end_time = 3000.0;
+  config.seed = 42;
+  Engine engine{population_, worm, reachability_, nullptr, config};
+  engine.SeedRandomInfections(5);
+  const RunResult result = engine.Run();
+  EXPECT_EQ(result.final_infected, 500u);
+  EXPECT_EQ(result.eligible_population, 500u);
+  EXPECT_DOUBLE_EQ(result.FinalInfectedFraction(), 1.0);
+  // The run must stop as soon as everyone is infected, not at end_time.
+  EXPECT_LT(result.end_time, 3000.0);
+}
+
+TEST_F(EngineTest, InfectionCurveIsMonotone) {
+  BuildDensePopulation(300);
+  worms::HitListWorm worm{{Prefix{Ipv4{60, 5, 0, 0}, 16}}};
+  EngineConfig config;
+  config.end_time = 2000.0;
+  Engine engine{population_, worm, reachability_, nullptr, config};
+  engine.SeedRandomInfections(3);
+  const RunResult result = engine.Run();
+  for (std::size_t i = 1; i < result.series.size(); ++i) {
+    EXPECT_GE(result.series[i].infected, result.series[i - 1].infected);
+    EXPECT_GE(result.series[i].probes, result.series[i - 1].probes);
+  }
+}
+
+TEST_F(EngineTest, StopAtInfectedFractionHonored) {
+  BuildDensePopulation(400);
+  worms::HitListWorm worm{{Prefix{Ipv4{60, 5, 0, 0}, 16}}};
+  EngineConfig config;
+  config.end_time = 5000.0;
+  config.stop_at_infected_fraction = 0.5;
+  Engine engine{population_, worm, reachability_, nullptr, config};
+  engine.SeedRandomInfections(4);
+  const RunResult result = engine.Run();
+  EXPECT_GE(result.final_infected, 200u);
+  // Should not grossly overshoot: one step adds at most #infected probes.
+  EXPECT_LT(result.final_infected, 400u);
+}
+
+TEST_F(EngineTest, MaxProbesActsAsGuard) {
+  BuildDensePopulation(50);
+  worms::UniformWorm worm;
+  EngineConfig config;
+  config.end_time = 1e9;
+  config.max_probes = 1000;
+  Engine engine{population_, worm, reachability_, nullptr, config};
+  engine.SeedRandomInfections(10);
+  const RunResult result = engine.Run();
+  EXPECT_LE(result.total_probes, 1000u + 10u);  // One step of slack.
+}
+
+TEST_F(EngineTest, DeterministicGivenSeed) {
+  BuildDensePopulation(200);
+  worms::HitListWorm worm{{Prefix{Ipv4{60, 5, 0, 0}, 16}}};
+  EngineConfig config;
+  config.end_time = 500.0;
+  config.seed = 77;
+
+  Population copy = population_;
+  Engine engine1{population_, worm, reachability_, nullptr, config};
+  engine1.SeedRandomInfections(5);
+  const RunResult r1 = engine1.Run();
+
+  Engine engine2{copy, worm, reachability_, nullptr, config};
+  engine2.SeedRandomInfections(5);
+  const RunResult r2 = engine2.Run();
+
+  EXPECT_EQ(r1.total_probes, r2.total_probes);
+  EXPECT_EQ(r1.final_infected, r2.final_infected);
+  ASSERT_EQ(r1.series.size(), r2.series.size());
+  for (std::size_t i = 0; i < r1.series.size(); ++i) {
+    EXPECT_EQ(r1.series[i].infected, r2.series[i].infected);
+  }
+}
+
+TEST_F(EngineTest, NoInfectedMeansNothingHappens) {
+  BuildDensePopulation(10);
+  worms::UniformWorm worm;
+  Engine engine{population_, worm, reachability_, nullptr, EngineConfig{}};
+  const RunResult result = engine.Run();
+  EXPECT_EQ(result.total_probes, 0u);
+  EXPECT_EQ(result.final_infected, 0u);
+}
+
+TEST_F(EngineTest, RejectsBadConfig) {
+  BuildDensePopulation(1);
+  worms::UniformWorm worm;
+  EngineConfig bad;
+  bad.scan_rate = 0.0;
+  EXPECT_THROW((Engine{population_, worm, reachability_, nullptr, bad}),
+               std::invalid_argument);
+  bad = EngineConfig{};
+  bad.sample_interval = 0.0;
+  EXPECT_THROW((Engine{population_, worm, reachability_, nullptr, bad}),
+               std::invalid_argument);
+}
+
+TEST_F(EngineTest, DeliveryCountsAttributeDrops) {
+  // A NATed-only destination space: uniform worm probes mostly die as
+  // non-targetable/unroutable but counters must account for all probes.
+  BuildDensePopulation(20);
+  worms::UniformWorm worm;
+  EngineConfig config;
+  config.end_time = 10.0;
+  Engine engine{population_, worm, reachability_, nullptr, config};
+  engine.SeedRandomInfections(5);
+  const RunResult result = engine.Run();
+  std::uint64_t accounted = 0;
+  for (const std::uint64_t count : result.delivery_counts) accounted += count;
+  EXPECT_EQ(accounted, result.total_probes);
+}
+
+}  // namespace
+}  // namespace hotspots::sim

@@ -1,0 +1,82 @@
+#include "sim/flat_table.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_map>
+
+#include "prng/xoshiro.h"
+
+namespace hotspots::sim {
+namespace {
+
+TEST(FlatTableTest, EmptyFindsNothing) {
+  FlatTable table;
+  EXPECT_EQ(table.Find(42, 0xFFFFFFFFu), 0xFFFFFFFFu);
+  EXPECT_EQ(table.size(), 0u);
+}
+
+TEST(FlatTableTest, InsertAndFind) {
+  FlatTable table;
+  EXPECT_TRUE(table.Insert(1, 100));
+  EXPECT_TRUE(table.Insert(2, 200));
+  EXPECT_EQ(table.Find(1, 0), 100u);
+  EXPECT_EQ(table.Find(2, 0), 200u);
+  EXPECT_EQ(table.Find(3, 7), 7u);
+  EXPECT_EQ(table.size(), 2u);
+}
+
+TEST(FlatTableTest, DuplicateInsertRejectedAndValueKept) {
+  FlatTable table;
+  EXPECT_TRUE(table.Insert(5, 50));
+  EXPECT_FALSE(table.Insert(5, 51));
+  EXPECT_EQ(table.Find(5, 0), 50u);
+  EXPECT_EQ(table.size(), 1u);
+}
+
+TEST(FlatTableTest, KeyZeroRejected) {
+  FlatTable table;
+  EXPECT_THROW(table.Insert(0, 1), std::invalid_argument);
+}
+
+TEST(FlatTableTest, GrowsAndKeepsEverything) {
+  FlatTable table;
+  constexpr std::uint64_t kEntries = 50'000;
+  for (std::uint64_t k = 1; k <= kEntries; ++k) {
+    ASSERT_TRUE(table.Insert(k, static_cast<std::uint32_t>(k * 3)));
+  }
+  EXPECT_EQ(table.size(), kEntries);
+  for (std::uint64_t k = 1; k <= kEntries; ++k) {
+    ASSERT_EQ(table.Find(k, 0), static_cast<std::uint32_t>(k * 3));
+  }
+  EXPECT_EQ(table.Find(kEntries + 1, 9), 9u);
+}
+
+TEST(FlatTableTest, ReserveThenInsertWithoutGrowth) {
+  FlatTable table;
+  table.Reserve(1000);
+  for (std::uint64_t k = 1; k <= 1000; ++k) {
+    ASSERT_TRUE(table.Insert(k << 32 | k, static_cast<std::uint32_t>(k)));
+  }
+  EXPECT_EQ(table.size(), 1000u);
+  EXPECT_EQ(table.Find((500ull << 32) | 500, 0), 500u);
+}
+
+TEST(FlatTableTest, AgreesWithUnorderedMapUnderRandomWorkload) {
+  FlatTable table;
+  std::unordered_map<std::uint64_t, std::uint32_t> reference;
+  prng::Xoshiro256 rng{77};
+  for (int i = 0; i < 20'000; ++i) {
+    // Small key space forces collisions/duplicates.
+    const std::uint64_t key = 1 + rng.Next() % 8192;
+    const auto value = static_cast<std::uint32_t>(rng.Next());
+    const bool inserted_reference = reference.emplace(key, value).second;
+    EXPECT_EQ(table.Insert(key, value), inserted_reference);
+  }
+  for (const auto& [key, value] : reference) {
+    EXPECT_EQ(table.Find(key, ~0u), value);
+  }
+  EXPECT_EQ(table.size(), reference.size());
+}
+
+}  // namespace
+}  // namespace hotspots::sim

@@ -1,0 +1,199 @@
+// Tests of the engine's host-lifecycle extensions: patching (vulnerable →
+// immune), disinfection (infected → immune) and infection latency.
+#include <gtest/gtest.h>
+
+#include "sim/engine.h"
+#include "worms/hitlist.h"
+#include "worms/uniform.h"
+
+namespace hotspots::sim {
+namespace {
+
+using net::Ipv4;
+using net::Prefix;
+
+class LifecycleTest : public ::testing::Test {
+ protected:
+  void BuildDensePopulation(int hosts) {
+    for (int i = 0; i < hosts; ++i) {
+      population_.AddHost(Ipv4{60, 5, static_cast<std::uint8_t>(i / 250),
+                               static_cast<std::uint8_t>(1 + i % 250)});
+    }
+    population_.Build(nullptr);
+  }
+
+  Population population_;
+  topology::Reachability reachability_{nullptr, nullptr, nullptr, 0.0};
+  worms::HitListWorm worm_{{Prefix{Ipv4{60, 5, 0, 0}, 16}}};
+};
+
+TEST_F(LifecycleTest, RejectsNegativeRates) {
+  BuildDensePopulation(10);
+  EngineConfig bad;
+  bad.patch_rate = -1.0;
+  EXPECT_THROW((Engine{population_, worm_, reachability_, nullptr, bad}),
+               std::invalid_argument);
+  bad = EngineConfig{};
+  bad.disinfect_rate = -0.1;
+  EXPECT_THROW((Engine{population_, worm_, reachability_, nullptr, bad}),
+               std::invalid_argument);
+  bad = EngineConfig{};
+  bad.infection_latency = -2.0;
+  EXPECT_THROW((Engine{population_, worm_, reachability_, nullptr, bad}),
+               std::invalid_argument);
+}
+
+TEST_F(LifecycleTest, PatchingMovesHostsToImmune) {
+  BuildDensePopulation(1000);
+  EngineConfig config;
+  config.end_time = 50.0;
+  config.patch_rate = 0.01;  // 1%/s of the vulnerable population.
+  Engine engine{population_, worm_, reachability_, nullptr, config};
+  engine.SeedRandomInfections(1);
+  const RunResult result = engine.Run();
+  // ~40% patched over 50 s (1 - e^-0.5), minus those the epidemic reaches
+  // first — comfortably in the hundreds either way.
+  EXPECT_GT(result.final_immune, 100u);
+  EXPECT_EQ(population_.CountInState(HostState::kImmune),
+            result.final_immune);
+  // Immune hosts are never infected.
+  EXPECT_EQ(result.final_infected +
+                population_.CountInState(HostState::kVulnerable) +
+                result.final_immune,
+            1000u);
+}
+
+TEST_F(LifecycleTest, PatchingSlowsTheEpidemic) {
+  BuildDensePopulation(800);
+  auto run_with_patch_rate = [&](double rate) {
+    population_.ResetAllToVulnerable();
+    EngineConfig config;
+    config.end_time = 300.0;
+    config.patch_rate = rate;
+    config.seed = 99;
+    Engine engine{population_, worm_, reachability_, nullptr, config};
+    engine.SeedRandomInfections(5);
+    return engine.Run().final_infected;
+  };
+  const std::uint64_t unpatched = run_with_patch_rate(0.0);
+  const std::uint64_t patched = run_with_patch_rate(0.02);
+  EXPECT_LT(patched, unpatched);
+}
+
+TEST_F(LifecycleTest, DisinfectionStopsScanners) {
+  BuildDensePopulation(100);
+  EngineConfig config;
+  config.end_time = 400.0;
+  // Aggressive cleanup, no growth possible: seed everyone, disinfect fast.
+  config.disinfect_rate = 0.05;
+  config.stop_at_infected_fraction = 2.0;
+  Engine engine{population_, worm_, reachability_, nullptr, config};
+  for (HostId id = 0; id < 100; ++id) engine.SeedInfection(id);
+  const RunResult result = engine.Run();
+  // Everyone was ever infected; most are cleaned by t=400 (E[survive] =
+  // e^-20 ≈ 0).
+  EXPECT_EQ(result.final_infected, 100u);
+  EXPECT_GT(result.final_immune, 90u);
+  EXPECT_EQ(population_.CountInState(HostState::kImmune),
+            result.final_immune);
+  // Once every scanner is dead the run ends early.
+  EXPECT_LT(result.end_time, 400.0);
+}
+
+TEST_F(LifecycleTest, DisinfectedHostsAreNotReinfected) {
+  BuildDensePopulation(300);
+  EngineConfig config;
+  config.end_time = 500.0;
+  config.disinfect_rate = 0.01;
+  config.stop_at_infected_fraction = 2.0;
+  Engine engine{population_, worm_, reachability_, nullptr, config};
+  engine.SeedRandomInfections(10);
+  const RunResult result = engine.Run();
+  // ever-infected + still-vulnerable == population, and immune ≤ infected:
+  // every immune host came from the infected pool (no patching here).
+  EXPECT_LE(result.final_immune, result.final_infected);
+  EXPECT_EQ(result.final_infected +
+                population_.CountInState(HostState::kVulnerable),
+            300u);
+}
+
+TEST_F(LifecycleTest, InfectionLatencyDelaysTakeoff) {
+  BuildDensePopulation(600);
+  auto time_to_half = [&](double latency) {
+    population_.ResetAllToVulnerable();
+    EngineConfig config;
+    config.end_time = 2000.0;
+    config.infection_latency = latency;
+    config.stop_at_infected_fraction = 0.5;
+    config.seed = 7;
+    Engine engine{population_, worm_, reachability_, nullptr, config};
+    engine.SeedRandomInfections(5);
+    return engine.Run().end_time;
+  };
+  const double fast = time_to_half(0.0);
+  const double slow = time_to_half(30.0);
+  EXPECT_GT(slow, fast + 25.0)
+      << "a 30 s exploit latency must delay the epidemic";
+}
+
+TEST_F(LifecycleTest, LatentHostsDoNotScan) {
+  BuildDensePopulation(50);
+  EngineConfig config;
+  config.end_time = 10.0;
+  config.infection_latency = 100.0;  // Longer than the whole run.
+  config.stop_at_infected_fraction = 2.0;
+  Engine engine{population_, worm_, reachability_, nullptr, config};
+  engine.SeedInfection(0);
+  const RunResult result = engine.Run();
+  EXPECT_EQ(result.total_probes, 0u);
+  EXPECT_EQ(result.final_infected, 1u);
+}
+
+TEST_F(LifecycleTest, BandwidthCapThrottlesTheOutbreak) {
+  BuildDensePopulation(600);
+  auto run_with_capacity = [&](double capacity) {
+    population_.ResetAllToVulnerable();
+    EngineConfig config;
+    config.end_time = 1500.0;
+    config.stop_at_infected_fraction = 0.9;
+    config.global_bandwidth_probes_per_sec = capacity;
+    config.seed = 13;
+    Engine engine{population_, worm_, reachability_, nullptr, config};
+    engine.SeedRandomInfections(5);
+    return engine.Run();
+  };
+  const RunResult unconstrained = run_with_capacity(0.0);
+  const RunResult congested = run_with_capacity(200.0);  // 20 hosts' worth.
+  // The congested outbreak reaches 90% later (or not at all).
+  EXPECT_GT(congested.end_time, unconstrained.end_time);
+  // Probe emission respects the cap: total ≤ capacity × duration (+slack).
+  EXPECT_LE(static_cast<double>(congested.total_probes),
+            200.0 * congested.end_time + 600.0);
+}
+
+TEST_F(LifecycleTest, BandwidthCapRejectsNegative) {
+  BuildDensePopulation(5);
+  EngineConfig bad;
+  bad.global_bandwidth_probes_per_sec = -5.0;
+  EXPECT_THROW((Engine{population_, worm_, reachability_, nullptr, bad}),
+               std::invalid_argument);
+}
+
+TEST_F(LifecycleTest, HostDisinfectedWhileLatentNeverScans) {
+  BuildDensePopulation(20);
+  EngineConfig config;
+  config.end_time = 200.0;
+  config.infection_latency = 50.0;
+  config.disinfect_rate = 10.0;  // Cleans everyone almost immediately.
+  config.stop_at_infected_fraction = 2.0;
+  Engine engine{population_, worm_, reachability_, nullptr, config};
+  for (HostId id = 0; id < 20; ++id) engine.SeedInfection(id);
+  const RunResult result = engine.Run();
+  // With such an aggressive cleanup, (almost) no probes escape; the key
+  // invariant: state bookkeeping stays consistent.
+  EXPECT_EQ(result.final_infected, 20u);
+  EXPECT_EQ(population_.CountInState(HostState::kVulnerable), 0u);
+}
+
+}  // namespace
+}  // namespace hotspots::sim

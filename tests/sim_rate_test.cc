@@ -1,0 +1,71 @@
+// Probe-rate accounting: the engine must emit scan_rate probes per second
+// per infected host regardless of the step size, including fractional
+// credit configurations.
+#include <gtest/gtest.h>
+
+#include "sim/engine.h"
+#include "worms/uniform.h"
+
+namespace hotspots::sim {
+namespace {
+
+using net::Ipv4;
+
+class RateTest : public ::testing::TestWithParam<std::pair<double, double>> {
+ protected:
+  Population population_;
+  topology::Reachability reachability_{nullptr, nullptr, nullptr, 0.0};
+};
+
+TEST_P(RateTest, TotalProbesMatchRateTimesTime) {
+  const auto [scan_rate, dt] = GetParam();
+  constexpr int kHosts = 20;
+  for (int i = 0; i < kHosts; ++i) {
+    population_.AddHost(Ipv4{60, 1, 0, static_cast<std::uint8_t>(i + 1)});
+  }
+  population_.Build(nullptr);
+
+  worms::UniformWorm worm;
+  EngineConfig config;
+  config.scan_rate = scan_rate;
+  config.dt = dt;
+  config.end_time = 100.0;
+  config.stop_at_infected_fraction = 2.0;  // Observational.
+  Engine engine{population_, worm, reachability_, nullptr, config};
+  for (HostId id = 0; id < kHosts; ++id) engine.SeedInfection(id);
+  const RunResult result = engine.Run();
+
+  const double expected = scan_rate * 100.0 * kHosts;
+  // Fractional credit rounds within one probe per host per step.
+  EXPECT_NEAR(static_cast<double>(result.total_probes), expected,
+              kHosts * (1.0 + scan_rate * dt));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, RateTest,
+    ::testing::Values(std::make_pair(10.0, 0.0),   // Default dt = 1/rate.
+                      std::make_pair(10.0, 0.05),  // Half-probe credit.
+                      std::make_pair(10.0, 0.3),   // 3 probes per step.
+                      std::make_pair(2.5, 0.1),    // Fractional per step.
+                      std::make_pair(1.0, 1.0),
+                      std::make_pair(7.0, 0.07)));
+
+TEST(RateEdgeTest, CreditNeverLosesProbesAcrossManySteps) {
+  Population population;
+  population.AddHost(Ipv4{60, 1, 0, 1});
+  population.Build(nullptr);
+  worms::UniformWorm worm;
+  topology::Reachability reachability{nullptr, nullptr, nullptr, 0.0};
+  EngineConfig config;
+  config.scan_rate = 3.0;
+  config.dt = 0.1;  // 0.3 probes of credit per step.
+  config.end_time = 1000.0;
+  config.stop_at_infected_fraction = 2.0;
+  Engine engine{population, worm, reachability, nullptr, config};
+  engine.SeedInfection(0);
+  const RunResult result = engine.Run();
+  EXPECT_NEAR(static_cast<double>(result.total_probes), 3.0 * 1000.0, 4.0);
+}
+
+}  // namespace
+}  // namespace hotspots::sim

@@ -1,0 +1,88 @@
+#include "telescope/event_series.h"
+
+#include <gtest/gtest.h>
+#include <cmath>
+
+#include "prng/xoshiro.h"
+
+namespace hotspots::telescope {
+namespace {
+
+TEST(EventSeriesTest, ValidatesConstruction) {
+  EXPECT_THROW((EventSeries{0.0, 10.0}), std::invalid_argument);
+  EXPECT_THROW((EventSeries{1.0, 0.0}), std::invalid_argument);
+  EXPECT_THROW((EventSeries{10.0, 5.0}), std::invalid_argument);
+}
+
+TEST(EventSeriesTest, BucketsEventsByTime) {
+  EventSeries series{10.0, 100.0};
+  series.Record(0.0);
+  series.Record(9.99);
+  series.Record(10.0);
+  series.Record(95.0);
+  ASSERT_EQ(series.buckets().size(), 10u);
+  EXPECT_EQ(series.buckets()[0], 2u);
+  EXPECT_EQ(series.buckets()[1], 1u);
+  EXPECT_EQ(series.buckets()[9], 1u);
+  EXPECT_EQ(series.total(), 4u);
+}
+
+TEST(EventSeriesTest, LateEventsClampToLastBucket) {
+  EventSeries series{1.0, 5.0};
+  series.Record(1e9);
+  EXPECT_EQ(series.buckets().back(), 1u);
+}
+
+TEST(EventSeriesTest, NegativeTimeRejected) {
+  EventSeries series{1.0, 5.0};
+  EXPECT_THROW(series.Record(-0.1), std::invalid_argument);
+}
+
+TEST(EventSeriesTest, SteadyTrafficHasLowDispersion) {
+  EventSeries series{1.0, 100.0};
+  for (int t = 0; t < 100; ++t) {
+    for (int k = 0; k < 10; ++k) {
+      series.Record(t + 0.05 * k);
+    }
+  }
+  const BurstReport report = series.Summarize();
+  EXPECT_DOUBLE_EQ(report.mean_rate, 10.0);
+  EXPECT_DOUBLE_EQ(report.peak_to_mean, 1.0);
+  EXPECT_DOUBLE_EQ(report.silent_fraction, 0.0);
+  EXPECT_NEAR(report.dispersion, 0.0, 1e-12);
+}
+
+TEST(EventSeriesTest, BurstTrafficHasHighDispersion) {
+  EventSeries series{1.0, 100.0};
+  for (int k = 0; k < 1000; ++k) series.Record(42.5);  // One huge burst.
+  const BurstReport report = series.Summarize();
+  EXPECT_DOUBLE_EQ(report.peak_rate, 1000.0);
+  EXPECT_DOUBLE_EQ(report.peak_to_mean, 100.0);
+  EXPECT_NEAR(report.silent_fraction, 0.99, 1e-12);
+  EXPECT_GT(report.dispersion, 100.0);
+}
+
+TEST(EventSeriesTest, PoissonTrafficHasUnitDispersion) {
+  EventSeries series{1.0, 2000.0};
+  prng::Xoshiro256 rng{1};
+  // Exponential inter-arrivals with rate 5/s.
+  double t = 0.0;
+  while (t < 2000.0) {
+    t += -std::log(1.0 - rng.NextDouble()) / 5.0;
+    if (t < 2000.0) series.Record(t);
+  }
+  const BurstReport report = series.Summarize();
+  EXPECT_NEAR(report.mean_rate, 5.0, 0.3);
+  EXPECT_NEAR(report.dispersion, 1.0, 0.2);
+}
+
+TEST(EventSeriesTest, ResetClears) {
+  EventSeries series{1.0, 10.0};
+  series.Record(3.0);
+  series.Reset();
+  EXPECT_EQ(series.total(), 0u);
+  EXPECT_EQ(series.Summarize().peak_rate, 0.0);
+}
+
+}  // namespace
+}  // namespace hotspots::telescope

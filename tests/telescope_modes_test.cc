@@ -1,0 +1,101 @@
+// Active vs passive darknet sensors (the IMS SYN-ACK responder design).
+#include <gtest/gtest.h>
+
+#include "telescope/telescope.h"
+#include "worms/codered2.h"
+#include "worms/slammer.h"
+
+namespace hotspots::telescope {
+namespace {
+
+using net::Ipv4;
+using net::Prefix;
+
+TEST(SensorModesTest, WormsDeclareTheirTransport) {
+  EXPECT_TRUE(worms::CodeRed2Worm{}.requires_handshake());   // TCP/80.
+  EXPECT_FALSE(worms::SlammerWorm{}.requires_handshake());   // UDP/1434.
+}
+
+TEST(SensorModesTest, PassiveSensorCannotIdentifyTcpThreat) {
+  SensorOptions passive;
+  passive.active_responder = false;
+  passive.alert_threshold = 2;
+  Telescope telescope{passive};
+  telescope.AddSensor("P", Prefix{Ipv4{10, 0, 0, 0}, 24});
+  telescope.Build();
+  telescope.SetThreatRequiresHandshake(true);  // A TCP worm.
+
+  for (int i = 0; i < 10; ++i) {
+    telescope.Observe(i, Ipv4{1, 1, 1, 1}, Ipv4{10, 0, 0, 5});
+  }
+  const SensorBlock& sensor = telescope.sensor(0);
+  EXPECT_EQ(sensor.probe_count(), 0u);          // No identified payloads.
+  EXPECT_EQ(sensor.unidentified_probes(), 10u);  // But the packets arrived.
+  EXPECT_EQ(sensor.UniqueSourceCount(), 0u);
+  EXPECT_FALSE(sensor.alerted());
+}
+
+TEST(SensorModesTest, ActiveSensorIdentifiesTcpThreat) {
+  SensorOptions active;  // Default: active responder.
+  active.alert_threshold = 2;
+  Telescope telescope{active};
+  telescope.AddSensor("A", Prefix{Ipv4{10, 0, 0, 0}, 24});
+  telescope.Build();
+  telescope.SetThreatRequiresHandshake(true);
+
+  for (int i = 0; i < 3; ++i) {
+    telescope.Observe(i, Ipv4{1, 1, 1, 1}, Ipv4{10, 0, 0, 5});
+  }
+  const SensorBlock& sensor = telescope.sensor(0);
+  EXPECT_EQ(sensor.probe_count(), 3u);
+  EXPECT_EQ(sensor.unidentified_probes(), 0u);
+  EXPECT_TRUE(sensor.alerted());
+}
+
+TEST(SensorModesTest, PassiveSensorStillSeesUdpThreats) {
+  SensorOptions passive;
+  passive.active_responder = false;
+  Telescope telescope{passive};
+  telescope.AddSensor("P", Prefix{Ipv4{10, 0, 0, 0}, 24});
+  telescope.Build();
+  telescope.SetThreatRequiresHandshake(false);  // Slammer-style UDP.
+
+  telescope.Observe(0.0, Ipv4{1, 1, 1, 1}, Ipv4{10, 0, 0, 5});
+  EXPECT_EQ(telescope.sensor(0).probe_count(), 1u);
+  EXPECT_EQ(telescope.sensor(0).unidentified_probes(), 0u);
+}
+
+TEST(SensorModesTest, MixedFleet) {
+  // One active, one passive sensor against a TCP threat: only the active
+  // one can feed payload-based detection — the paper's argument for the
+  // IMS responder design.
+  Telescope telescope;
+  SensorOptions active;
+  active.alert_threshold = 1;
+  SensorOptions passive = active;
+  passive.active_responder = false;
+  telescope.AddSensor("active", Prefix{Ipv4{10, 0, 0, 0}, 24}, active);
+  telescope.AddSensor("passive", Prefix{Ipv4{20, 0, 0, 0}, 24}, passive);
+  telescope.Build();
+  telescope.SetThreatRequiresHandshake(true);
+
+  telescope.Observe(1.0, Ipv4{1, 1, 1, 1}, Ipv4{10, 0, 0, 1});
+  telescope.Observe(1.0, Ipv4{1, 1, 1, 1}, Ipv4{20, 0, 0, 1});
+  EXPECT_EQ(telescope.AlertedCount(), 1u);
+  EXPECT_TRUE(telescope.FindByLabel("active")->alerted());
+  EXPECT_FALSE(telescope.FindByLabel("passive")->alerted());
+  EXPECT_EQ(telescope.FindByLabel("passive")->unidentified_probes(), 1u);
+}
+
+TEST(SensorModesTest, ResetClearsUnidentifiedCounter) {
+  SensorOptions passive;
+  passive.active_responder = false;
+  SensorBlock sensor{"P", Prefix{Ipv4{10, 0, 0, 0}, 24}, passive};
+  sensor.Record(0.0, Ipv4{1, 1, 1, 1}, Ipv4{10, 0, 0, 1}, false);
+  EXPECT_EQ(sensor.unidentified_probes(), 1u);
+  sensor.Reset();
+  EXPECT_EQ(sensor.unidentified_probes(), 0u);
+}
+
+}  // namespace
+}  // namespace hotspots::telescope

@@ -1,0 +1,182 @@
+#include "telescope/telescope.h"
+
+#include <gtest/gtest.h>
+
+#include "telescope/alerting.h"
+#include "telescope/ims.h"
+
+namespace hotspots::telescope {
+namespace {
+
+using net::Ipv4;
+using net::Prefix;
+
+TEST(SensorBlockTest, CountsProbesAndUniqueSources) {
+  SensorBlock sensor{"T", Prefix{Ipv4{10, 0, 0, 0}, 24}, SensorOptions{}};
+  sensor.Record(0.0, Ipv4{1, 1, 1, 1}, Ipv4{10, 0, 0, 5});
+  sensor.Record(1.0, Ipv4{1, 1, 1, 1}, Ipv4{10, 0, 0, 6});
+  sensor.Record(2.0, Ipv4{2, 2, 2, 2}, Ipv4{10, 0, 0, 5});
+  EXPECT_EQ(sensor.probe_count(), 3u);
+  EXPECT_EQ(sensor.UniqueSourceCount(), 2u);
+}
+
+TEST(SensorBlockTest, AlertFiresAtThreshold) {
+  SensorOptions options;
+  options.alert_threshold = 3;
+  SensorBlock sensor{"T", Prefix{Ipv4{10, 0, 0, 0}, 24}, options};
+  sensor.Record(5.0, Ipv4{1, 1, 1, 1}, Ipv4{10, 0, 0, 1});
+  EXPECT_FALSE(sensor.alerted());
+  sensor.Record(6.0, Ipv4{1, 1, 1, 1}, Ipv4{10, 0, 0, 2});
+  sensor.Record(7.0, Ipv4{1, 1, 1, 1}, Ipv4{10, 0, 0, 3});
+  ASSERT_TRUE(sensor.alerted());
+  EXPECT_DOUBLE_EQ(*sensor.alert_time(), 7.0);
+  // Further probes don't move the alert time.
+  sensor.Record(9.0, Ipv4{1, 1, 1, 1}, Ipv4{10, 0, 0, 4});
+  EXPECT_DOUBLE_EQ(*sensor.alert_time(), 7.0);
+}
+
+TEST(SensorBlockTest, HistogramPerSlash24) {
+  SensorBlock sensor{"T", Prefix{Ipv4{10, 0, 0, 0}, 22}, SensorOptions{}};
+  sensor.Record(0.0, Ipv4{1, 1, 1, 1}, Ipv4{10, 0, 1, 9});
+  sensor.Record(0.0, Ipv4{2, 2, 2, 2}, Ipv4{10, 0, 1, 10});
+  sensor.Record(0.0, Ipv4{1, 1, 1, 1}, Ipv4{10, 0, 3, 1});
+  const auto rows = sensor.Histogram();
+  ASSERT_EQ(rows.size(), 4u);  // A /22 spans four /24s.
+  EXPECT_EQ(rows[0].stats.probes, 0u);
+  EXPECT_EQ(rows[1].stats.probes, 2u);
+  EXPECT_EQ(rows[1].stats.unique_sources, 2u);
+  EXPECT_EQ(rows[3].stats.probes, 1u);
+  EXPECT_EQ(rows[3].stats.unique_sources, 1u);
+}
+
+TEST(SensorBlockTest, ResetClearsEverything) {
+  SensorOptions options;
+  options.alert_threshold = 1;
+  SensorBlock sensor{"T", Prefix{Ipv4{10, 0, 0, 0}, 24}, options};
+  sensor.Record(0.0, Ipv4{1, 1, 1, 1}, Ipv4{10, 0, 0, 5});
+  sensor.Reset();
+  EXPECT_EQ(sensor.probe_count(), 0u);
+  EXPECT_EQ(sensor.UniqueSourceCount(), 0u);
+  EXPECT_FALSE(sensor.alerted());
+}
+
+TEST(TelescopeTest, RoutesProbesToOwningSensor) {
+  Telescope telescope;
+  const int a = telescope.AddSensor("A", Prefix{Ipv4{10, 0, 0, 0}, 24});
+  const int b = telescope.AddSensor("B", Prefix{Ipv4{20, 0, 0, 0}, 24});
+  telescope.Build();
+  telescope.Observe(0.0, Ipv4{1, 1, 1, 1}, Ipv4{10, 0, 0, 7});
+  telescope.Observe(0.0, Ipv4{1, 1, 1, 1}, Ipv4{20, 0, 0, 7});
+  telescope.Observe(0.0, Ipv4{1, 1, 1, 1}, Ipv4{30, 0, 0, 7});  // Unmonitored.
+  EXPECT_EQ(telescope.sensor(a).probe_count(), 1u);
+  EXPECT_EQ(telescope.sensor(b).probe_count(), 1u);
+}
+
+TEST(TelescopeTest, OnProbeIgnoresUndelivered) {
+  Telescope telescope;
+  const int a = telescope.AddSensor("A", Prefix{Ipv4{10, 0, 0, 0}, 24});
+  telescope.Build();
+  sim::ProbeEvent event;
+  event.src_address = Ipv4{1, 1, 1, 1};
+  event.dst = Ipv4{10, 0, 0, 1};
+  event.delivery = topology::Delivery::kIngressFiltered;
+  telescope.OnProbe(event);
+  EXPECT_EQ(telescope.sensor(a).probe_count(), 0u);
+  event.delivery = topology::Delivery::kDelivered;
+  telescope.OnProbe(event);
+  EXPECT_EQ(telescope.sensor(a).probe_count(), 1u);
+}
+
+TEST(TelescopeTest, OverlappingSensorsRejected) {
+  Telescope telescope;
+  telescope.AddSensor("A", Prefix{Ipv4{10, 0, 0, 0}, 16});
+  telescope.AddSensor("B", Prefix{Ipv4{10, 0, 4, 0}, 24});
+  EXPECT_THROW(telescope.Build(), std::invalid_argument);
+}
+
+TEST(TelescopeTest, ObserveBeforeBuildThrows) {
+  Telescope telescope;
+  telescope.AddSensor("A", Prefix{Ipv4{10, 0, 0, 0}, 24});
+  EXPECT_THROW(telescope.Observe(0.0, Ipv4{1}, Ipv4{2}), std::logic_error);
+}
+
+TEST(TelescopeTest, AlertAccounting) {
+  SensorOptions options;
+  options.alert_threshold = 1;
+  Telescope telescope{options};
+  telescope.AddSensor("A", Prefix{Ipv4{10, 0, 0, 0}, 24});
+  telescope.AddSensor("B", Prefix{Ipv4{20, 0, 0, 0}, 24});
+  telescope.Build();
+  telescope.Observe(3.5, Ipv4{1, 1, 1, 1}, Ipv4{10, 0, 0, 1});
+  EXPECT_EQ(telescope.AlertedCount(), 1u);
+  ASSERT_EQ(telescope.AlertTimes().size(), 1u);
+  EXPECT_DOUBLE_EQ(telescope.AlertTimes()[0], 3.5);
+  telescope.ResetAll();
+  EXPECT_EQ(telescope.AlertedCount(), 0u);
+}
+
+TEST(TelescopeTest, FindByLabel) {
+  Telescope telescope = MakeImsTelescope();
+  EXPECT_NE(telescope.FindByLabel("M/22"), nullptr);
+  EXPECT_EQ(telescope.FindByLabel("Q/9"), nullptr);
+}
+
+TEST(ImsTest, ElevenBlocksWithPaperSizes) {
+  const auto& blocks = ImsBlocks();
+  ASSERT_EQ(blocks.size(), 11u);
+  // Sizes as given in the paper: A/23 B/24 C/24 D/20 E/21 F/22 G/25 H/18
+  // I/17 M/22 Z/8.
+  const std::pair<const char*, int> expected[] = {
+      {"A/23", 23}, {"B/24", 24}, {"C/24", 24}, {"D/20", 20},
+      {"E/21", 21}, {"F/22", 22}, {"G/25", 25}, {"H/18", 18},
+      {"I/17", 17}, {"M/22", 22}, {"Z/8", 8}};
+  for (std::size_t i = 0; i < blocks.size(); ++i) {
+    EXPECT_EQ(blocks[i].label, expected[i].first);
+    EXPECT_EQ(blocks[i].block.length(), expected[i].second);
+  }
+}
+
+TEST(ImsTest, MBlockInside192OutsidePrivate) {
+  const auto& blocks = ImsBlocks();
+  const auto& m = blocks[9];
+  ASSERT_EQ(m.label, "M/22");
+  EXPECT_TRUE((net::Prefix{Ipv4{192, 0, 0, 0}, 8}).Contains(m.block));
+  EXPECT_FALSE(net::kPrivate192.Overlaps(m.block));
+}
+
+TEST(ImsTest, BlocksAreDisjoint) {
+  const auto& blocks = ImsBlocks();
+  for (std::size_t i = 0; i < blocks.size(); ++i) {
+    for (std::size_t j = i + 1; j < blocks.size(); ++j) {
+      EXPECT_FALSE(blocks[i].block.Overlaps(blocks[j].block))
+          << blocks[i].label << " overlaps " << blocks[j].label;
+    }
+  }
+}
+
+TEST(AlertingTest, AlertFractionCurveBasics) {
+  const auto curve = AlertFractionCurve({1.0, 2.0, 3.0}, 10, 4.0, 5);
+  ASSERT_EQ(curve.size(), 5u);
+  EXPECT_DOUBLE_EQ(curve[0].fraction_alerted, 0.0);
+  EXPECT_DOUBLE_EQ(curve[1].fraction_alerted, 0.1);   // t=1.
+  EXPECT_DOUBLE_EQ(curve[4].fraction_alerted, 0.3);   // t=4.
+}
+
+TEST(AlertingTest, QuorumDetection) {
+  EXPECT_EQ(QuorumDetectionTime({1.0, 2.0, 3.0}, 10, 0.2), 2.0);
+  EXPECT_EQ(QuorumDetectionTime({1.0, 2.0, 3.0}, 10, 0.3), 3.0);
+  EXPECT_EQ(QuorumDetectionTime({1.0, 2.0, 3.0}, 10, 0.5), std::nullopt);
+  EXPECT_EQ(QuorumDetectionTime({}, 10, 0.5), std::nullopt);
+}
+
+TEST(AlertingTest, ValidatesArguments) {
+  EXPECT_THROW((void)AlertFractionCurve({}, 0, 1.0, 2), std::invalid_argument);
+  EXPECT_THROW((void)AlertFractionCurve({}, 1, 0.0, 2), std::invalid_argument);
+  EXPECT_THROW((void)AlertFractionCurve({}, 1, 1.0, 1), std::invalid_argument);
+  EXPECT_THROW((void)QuorumDetectionTime({}, 0, 0.5), std::invalid_argument);
+  EXPECT_THROW((void)QuorumDetectionTime({}, 1, 0.0), std::invalid_argument);
+  EXPECT_THROW((void)QuorumDetectionTime({}, 1, 1.5), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace hotspots::telescope

@@ -1,0 +1,218 @@
+#include <gtest/gtest.h>
+
+#include "topology/filtering.h"
+#include "topology/nat.h"
+#include "topology/org.h"
+#include "topology/reachability.h"
+
+namespace hotspots::topology {
+namespace {
+
+using net::Ipv4;
+using net::Prefix;
+
+TEST(AllocationRegistryTest, LookupFindsOwner) {
+  AllocationRegistry registry;
+  const OrgId enterprise = registry.AddOrg(
+      "MegaCorp", OrgKind::kEnterprise, {Prefix{Ipv4{20, 0, 0, 0}, 8}}, true);
+  const OrgId isp = registry.AddOrg(
+      "CableCo", OrgKind::kBroadbandIsp,
+      {Prefix{Ipv4{24, 0, 0, 0}, 8}, Prefix{Ipv4{65, 96, 0, 0}, 12}}, false);
+  registry.Build();
+
+  EXPECT_EQ(registry.OrgOf(Ipv4(20, 1, 2, 3)), enterprise);
+  EXPECT_EQ(registry.OrgOf(Ipv4(24, 200, 0, 9)), isp);
+  EXPECT_EQ(registry.OrgOf(Ipv4(65, 100, 0, 1)), isp);
+  EXPECT_EQ(registry.OrgOf(Ipv4(8, 8, 8, 8)), kInvalidOrg);
+  EXPECT_EQ(registry.Get(enterprise).name, "MegaCorp");
+  EXPECT_EQ(registry.Get(isp).TotalAddresses(), (1u << 24) + (1u << 20));
+}
+
+TEST(AllocationRegistryTest, OverlappingHoldingsRejected) {
+  AllocationRegistry registry;
+  registry.AddOrg("A", OrgKind::kOther, {Prefix{Ipv4{20, 0, 0, 0}, 8}}, false);
+  registry.AddOrg("B", OrgKind::kOther, {Prefix{Ipv4{20, 5, 0, 0}, 16}}, false);
+  EXPECT_THROW(registry.Build(), std::invalid_argument);
+}
+
+TEST(AllocationRegistryTest, LookupBeforeBuildThrows) {
+  AllocationRegistry registry;
+  EXPECT_THROW((void)registry.OrgOf(Ipv4{1}), std::logic_error);
+}
+
+TEST(AllocationRegistryTest, GetValidatesId) {
+  AllocationRegistry registry;
+  registry.Build();
+  EXPECT_THROW((void)registry.Get(0), std::out_of_range);
+  EXPECT_THROW((void)registry.Get(kInvalidOrg), std::out_of_range);
+}
+
+TEST(NatDirectoryTest, SitePrefixMustBePrivate) {
+  NatDirectory nats;
+  EXPECT_THROW(nats.AddSite(Prefix{Ipv4{8, 0, 0, 0}, 16}),
+               std::invalid_argument);
+  EXPECT_NO_THROW(nats.AddSite(net::kPrivate192));
+  EXPECT_NO_THROW(nats.AddSite(Prefix{Ipv4{10, 1, 0, 0}, 16}));
+  EXPECT_NO_THROW(nats.AddSite(Prefix{Ipv4{172, 20, 0, 0}, 16}));
+}
+
+TEST(NatDirectoryTest, RoutingRules) {
+  NatDirectory nats;
+  const SiteId site = nats.AddSite(net::kPrivate192, Ipv4{9, 9, 9, 9});
+
+  // Public destinations route from anywhere.
+  EXPECT_TRUE(nats.Routable(kPublicSite, Ipv4(8, 8, 8, 8)));
+  EXPECT_TRUE(nats.Routable(site, Ipv4(8, 8, 8, 8)));
+  // Private destinations route only from inside a covering site.
+  EXPECT_TRUE(nats.Routable(site, Ipv4(192, 168, 1, 1)));
+  EXPECT_FALSE(nats.Routable(kPublicSite, Ipv4(192, 168, 1, 1)));
+  EXPECT_FALSE(nats.Routable(site, Ipv4(10, 0, 0, 1)));
+  EXPECT_EQ(nats.Get(site).public_address, Ipv4(9, 9, 9, 9));
+}
+
+TEST(NatDirectoryTest, GetValidatesId) {
+  NatDirectory nats;
+  EXPECT_THROW((void)nats.Get(0), std::out_of_range);
+  EXPECT_THROW((void)nats.Get(kPublicSite), std::out_of_range);
+}
+
+TEST(FilteringTest, PerimeterRules) {
+  AllocationRegistry registry;
+  const OrgId filtered = registry.AddOrg(
+      "Fort", OrgKind::kEnterprise, {Prefix{Ipv4{20, 0, 0, 0}, 8}}, true);
+  const OrgId open = registry.AddOrg(
+      "ISP", OrgKind::kBroadbandIsp, {Prefix{Ipv4{24, 0, 0, 0}, 8}}, false);
+  registry.Build();
+
+  // Intra-org traffic never filtered — the paper's point that internal
+  // infections keep spreading behind the firewall.
+  EXPECT_FALSE(PerimeterBlocks(registry, filtered, filtered));
+  // Egress from a filtered org is blocked.
+  EXPECT_TRUE(PerimeterBlocks(registry, filtered, open));
+  EXPECT_TRUE(PerimeterBlocks(registry, filtered, kInvalidOrg));
+  // Ingress into a filtered org is blocked.
+  EXPECT_TRUE(PerimeterBlocks(registry, open, filtered));
+  EXPECT_TRUE(PerimeterBlocks(registry, kInvalidOrg, filtered));
+  // Open ↔ open and unallocated ↔ open pass.
+  EXPECT_FALSE(PerimeterBlocks(registry, open, kInvalidOrg));
+  EXPECT_FALSE(PerimeterBlocks(registry, kInvalidOrg, open));
+  EXPECT_FALSE(PerimeterBlocks(registry, kInvalidOrg, kInvalidOrg));
+}
+
+TEST(IngressAclTest, BlocksCoveredDestinations) {
+  IngressAclSet acls;
+  EXPECT_FALSE(acls.Blocks(Ipv4(1, 2, 3, 4)));  // Empty set never blocks.
+  acls.Block(Prefix{Ipv4{192, 88, 16, 0}, 22});
+  acls.Build();
+  EXPECT_TRUE(acls.Blocks(Ipv4(192, 88, 17, 200)));
+  EXPECT_FALSE(acls.Blocks(Ipv4(192, 88, 20, 0)));
+}
+
+TEST(IngressAclTest, QueriesWithoutBuildThrow) {
+  IngressAclSet acls;
+  acls.Block(Prefix{Ipv4{10, 0, 0, 0}, 8});
+  EXPECT_THROW((void)acls.Blocks(Ipv4(10, 0, 0, 1)), std::logic_error);
+}
+
+class ReachabilityTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    enterprise_ = registry_.AddOrg("Fort", OrgKind::kEnterprise,
+                                   {Prefix{Ipv4{20, 0, 0, 0}, 8}}, true);
+    isp_ = registry_.AddOrg("ISP", OrgKind::kBroadbandIsp,
+                            {Prefix{Ipv4{24, 0, 0, 0}, 8}}, false);
+    registry_.Build();
+    site_ = nats_.AddSite(net::kPrivate192, Ipv4{24, 1, 1, 1});
+    acls_.Block(Prefix{Ipv4{192, 88, 16, 0}, 22});
+    acls_.Build();
+  }
+
+  AllocationRegistry registry_;
+  NatDirectory nats_;
+  IngressAclSet acls_;
+  OrgId enterprise_ = kInvalidOrg;
+  OrgId isp_ = kInvalidOrg;
+  SiteId site_ = kPublicSite;
+  prng::Xoshiro256 rng_{1};
+};
+
+TEST_F(ReachabilityTest, FullPipelineAttribution) {
+  const Reachability reach{&registry_, &nats_, &acls_, 0.0};
+
+  Probe probe;
+  probe.src = Ipv4{24, 2, 2, 2};
+  probe.src_org = isp_;
+
+  probe.dst = Ipv4{127, 0, 0, 1};
+  EXPECT_EQ(reach.Decide(probe, rng_), Delivery::kNonTargetable);
+
+  probe.dst = Ipv4{192, 168, 0, 5};
+  EXPECT_EQ(reach.Decide(probe, rng_), Delivery::kNatUnroutable);
+
+  probe.src_site = site_;
+  EXPECT_EQ(reach.Decide(probe, rng_), Delivery::kDelivered);
+  probe.src_site = kPublicSite;
+
+  probe.dst = Ipv4{192, 88, 17, 9};
+  EXPECT_EQ(reach.Decide(probe, rng_), Delivery::kIngressFiltered);
+
+  probe.dst = Ipv4{20, 3, 3, 3};
+  EXPECT_EQ(reach.Decide(probe, rng_), Delivery::kPerimeterFiltered);
+
+  probe.dst = Ipv4{8, 8, 8, 8};
+  EXPECT_EQ(reach.Decide(probe, rng_), Delivery::kDelivered);
+}
+
+TEST_F(ReachabilityTest, EnterpriseEgressBlocked) {
+  const Reachability reach{&registry_, nullptr, nullptr, 0.0};
+  Probe probe;
+  probe.src = Ipv4{20, 1, 1, 1};
+  probe.src_org = enterprise_;
+  probe.dst = Ipv4{8, 8, 8, 8};
+  EXPECT_EQ(reach.Decide(probe, rng_), Delivery::kPerimeterFiltered);
+  // But intra-enterprise probes pass.
+  probe.dst = Ipv4{20, 9, 9, 9};
+  EXPECT_EQ(reach.Decide(probe, rng_), Delivery::kDelivered);
+}
+
+TEST_F(ReachabilityTest, NullDependenciesDisableFactors) {
+  const Reachability reach{nullptr, nullptr, nullptr, 0.0};
+  Probe probe;
+  probe.src = Ipv4{20, 1, 1, 1};
+  probe.dst = Ipv4{192, 88, 17, 9};  // Would be ACL-blocked above.
+  EXPECT_EQ(reach.Decide(probe, rng_), Delivery::kDelivered);
+  probe.dst = Ipv4{192, 168, 0, 1};  // Private w/o NAT directory → unroutable.
+  EXPECT_EQ(reach.Decide(probe, rng_), Delivery::kNatUnroutable);
+}
+
+TEST_F(ReachabilityTest, LossRateDropsApproximatelyThatFraction) {
+  const Reachability reach{nullptr, nullptr, nullptr, 0.25};
+  Probe probe;
+  probe.src = Ipv4{1, 1, 1, 1};
+  probe.dst = Ipv4{8, 8, 8, 8};
+  int lost = 0;
+  constexpr int kTrials = 40000;
+  for (int i = 0; i < kTrials; ++i) {
+    if (reach.Decide(probe, rng_) == Delivery::kNetworkLoss) ++lost;
+  }
+  EXPECT_NEAR(static_cast<double>(lost) / kTrials, 0.25, 0.02);
+}
+
+TEST_F(ReachabilityTest, RejectsBadLossRate) {
+  EXPECT_THROW((Reachability{nullptr, nullptr, nullptr, -0.1}),
+               std::invalid_argument);
+  EXPECT_THROW((Reachability{nullptr, nullptr, nullptr, 1.0}),
+               std::invalid_argument);
+}
+
+TEST(DeliveryTest, ToStringCoversAllOutcomes) {
+  EXPECT_EQ(ToString(Delivery::kDelivered), "delivered");
+  EXPECT_EQ(ToString(Delivery::kNonTargetable), "non-targetable");
+  EXPECT_EQ(ToString(Delivery::kNatUnroutable), "nat-unroutable");
+  EXPECT_EQ(ToString(Delivery::kIngressFiltered), "ingress-filtered");
+  EXPECT_EQ(ToString(Delivery::kPerimeterFiltered), "perimeter-filtered");
+  EXPECT_EQ(ToString(Delivery::kNetworkLoss), "network-loss");
+}
+
+}  // namespace
+}  // namespace hotspots::topology

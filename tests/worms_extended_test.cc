@@ -1,0 +1,133 @@
+// Tests for the extension worms: CodeRed v1 (static-seed bug) and Witty
+// (structured two-state target construction).
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "net/special_ranges.h"
+#include "prng/lcg.h"
+#include "worms/codered1.h"
+#include "worms/witty.h"
+
+namespace hotspots::worms {
+namespace {
+
+using net::Ipv4;
+
+sim::Host MakeHost(Ipv4 address) {
+  sim::Host host;
+  host.address = address;
+  return host;
+}
+
+TEST(CodeRed1Test, StaticSeedMakesEveryInstanceIdentical) {
+  const CodeRed1Worm worm{/*static_seed_bug=*/true};
+  auto a = worm.MakeScanner(MakeHost(Ipv4{1, 2, 3, 4}), 111);
+  auto b = worm.MakeScanner(MakeHost(Ipv4{9, 8, 7, 6}), 999);
+  prng::Xoshiro256 rng{1};
+  for (int i = 0; i < 10'000; ++i) {
+    ASSERT_EQ(a->NextTarget(rng), b->NextTarget(rng))
+        << "instances diverged at probe " << i;
+  }
+}
+
+TEST(CodeRed1Test, ReseededVariantDiverges) {
+  const CodeRed1Worm worm{/*static_seed_bug=*/false};
+  auto a = worm.MakeScanner(MakeHost(Ipv4{1, 2, 3, 4}), 111);
+  auto b = worm.MakeScanner(MakeHost(Ipv4{9, 8, 7, 6}), 999);
+  prng::Xoshiro256 rng{1};
+  int identical = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (a->NextTarget(rng) == b->NextTarget(rng)) ++identical;
+  }
+  EXPECT_LT(identical, 5);
+}
+
+TEST(CodeRed1Test, StaticSeedCoversOnlyTheSharedSequence) {
+  // The hotspot property: N instances × K probes touch at most K distinct
+  // addresses (vs ≈ N·K for the re-seeded variant).
+  const CodeRed1Worm buggy{true};
+  const CodeRed1Worm fixed{false};
+  prng::Xoshiro256 rng{1};
+  constexpr int kInstances = 20;
+  constexpr int kProbes = 500;
+  std::unordered_set<std::uint32_t> buggy_targets;
+  std::unordered_set<std::uint32_t> fixed_targets;
+  for (int h = 0; h < kInstances; ++h) {
+    auto a = buggy.MakeScanner(MakeHost(Ipv4{1, 1, 1, 1}),
+                               static_cast<std::uint64_t>(h));
+    auto b = fixed.MakeScanner(MakeHost(Ipv4{1, 1, 1, 1}),
+                               static_cast<std::uint64_t>(h) + 12345);
+    for (int i = 0; i < kProbes; ++i) {
+      buggy_targets.insert(a->NextTarget(rng).value());
+      fixed_targets.insert(b->NextTarget(rng).value());
+    }
+  }
+  EXPECT_LE(buggy_targets.size(), static_cast<std::size_t>(kProbes));
+  EXPECT_GT(fixed_targets.size(),
+            static_cast<std::size_t>(kInstances * kProbes) * 9 / 10);
+}
+
+TEST(CodeRed1Test, NeverTargetsNonTargetableSpace) {
+  const CodeRed1Worm worm{true};
+  auto scanner = worm.MakeScanner(MakeHost(Ipv4{1, 2, 3, 4}), 0);
+  prng::Xoshiro256 rng{1};
+  for (int i = 0; i < 50'000; ++i) {
+    EXPECT_FALSE(net::IsNonTargetable(scanner->NextTarget(rng)));
+  }
+}
+
+TEST(CodeRed1Test, TransportIsTcp) {
+  EXPECT_TRUE(CodeRed1Worm{}.requires_handshake());
+}
+
+TEST(WittyTest, ScannerMatchesTwoStateConstruction) {
+  const WittyWorm worm;
+  auto scanner = worm.MakeScanner(MakeHost(Ipv4{1, 2, 3, 4}), 0xABCD);
+  prng::Xoshiro256 rng{1};
+  prng::Lcg reference{
+      prng::LcgParams{prng::kMsvcMultiplier, prng::kMsvcIncrement, 32},
+      0xABCD};
+  for (int i = 0; i < 1000; ++i) {
+    const std::uint32_t hi = reference.Next() >> 16;
+    const std::uint32_t lo = reference.Next() >> 16;
+    EXPECT_EQ(scanner->NextTarget(rng).value(), (hi << 16) | lo);
+  }
+}
+
+TEST(WittyTest, GeneratedTargetsAlwaysHavePreimages) {
+  const WittyWorm worm;
+  auto scanner = worm.MakeScanner(MakeHost(Ipv4{1, 2, 3, 4}), 42);
+  prng::Xoshiro256 rng{1};
+  for (int i = 0; i < 20; ++i) {
+    const Ipv4 target = scanner->NextTarget(rng);
+    EXPECT_GE(WittyPreimageCount(target), 1) << target.ToString();
+  }
+}
+
+TEST(WittyTest, SomeAddressesAreUnreachable) {
+  // The structural hotspot: the two-state construction is not surjective.
+  // (The LCG's lattice structure spreads successors more evenly than a
+  // random map, so the unreachable share is smaller than the Poisson 1/e
+  // — but it is solidly nonzero, which is what Kumar et al. exploited.)
+  const double fraction = WittyUnreachableFraction(400, 7);
+  EXPECT_GT(fraction, 0.02);
+  EXPECT_LT(fraction, 0.35);
+}
+
+TEST(WittyTest, AveragePreimageCountIsAboutOne) {
+  prng::Xoshiro256 rng{3};
+  double total = 0;
+  constexpr int kSamples = 400;
+  for (int i = 0; i < kSamples; ++i) {
+    total += WittyPreimageCount(Ipv4{rng.NextU32()});
+  }
+  EXPECT_NEAR(total / kSamples, 1.0, 0.25);
+}
+
+TEST(WittyTest, TransportIsUdp) {
+  EXPECT_FALSE(WittyWorm{}.requires_handshake());
+}
+
+}  // namespace
+}  // namespace hotspots::worms

@@ -1,0 +1,311 @@
+#include <gtest/gtest.h>
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "net/special_ranges.h"
+#include "worms/blaster.h"
+#include "worms/codered2.h"
+#include "worms/hitlist.h"
+#include "worms/localpref.h"
+#include "worms/permutation.h"
+#include "worms/slammer.h"
+#include "worms/uniform.h"
+
+namespace hotspots::worms {
+namespace {
+
+using net::Ipv4;
+using net::Prefix;
+
+sim::Host MakeHost(Ipv4 address) {
+  sim::Host host;
+  host.address = address;
+  return host;
+}
+
+TEST(UniformWormTest, TargetsSpreadAcrossSlash8s) {
+  UniformWorm worm;
+  auto scanner = worm.MakeScanner(MakeHost(Ipv4{1, 2, 3, 4}), 99);
+  prng::Xoshiro256 rng{1};
+  std::unordered_set<std::uint32_t> slash8s;
+  for (int i = 0; i < 20000; ++i) {
+    slash8s.insert(scanner->NextTarget(rng).Slash8());
+  }
+  // 20k uniform draws should touch essentially every /8.
+  EXPECT_GT(slash8s.size(), 250u);
+}
+
+TEST(UniformWormTest, DeterministicPerEntropy) {
+  UniformWorm worm;
+  auto s1 = worm.MakeScanner(MakeHost(Ipv4{1, 2, 3, 4}), 7);
+  auto s2 = worm.MakeScanner(MakeHost(Ipv4{9, 9, 9, 9}), 7);
+  prng::Xoshiro256 rng{1};
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(s1->NextTarget(rng), s2->NextTarget(rng));
+  }
+}
+
+TEST(SequentialSweepTest, YieldsConsecutiveAddresses) {
+  SequentialSweep sweep{Ipv4{10, 0, 0, 254}};
+  EXPECT_EQ(sweep.Next(), Ipv4(10, 0, 0, 254));
+  EXPECT_EQ(sweep.Next(), Ipv4(10, 0, 0, 255));
+  EXPECT_EQ(sweep.Next(), Ipv4(10, 0, 1, 0));
+}
+
+TEST(SequentialSweepTest, SkipsNonTargetableSpace) {
+  SequentialSweep sweep{Ipv4{126, 255, 255, 255}};
+  EXPECT_EQ(sweep.Next(), Ipv4(126, 255, 255, 255));
+  // 127/8 is loopback: the sweep must hop over it.
+  EXPECT_EQ(sweep.Next(), Ipv4(128, 0, 0, 0));
+}
+
+TEST(SequentialSweepTest, WrapsAroundTopOfSpace) {
+  SequentialSweep sweep{Ipv4{223, 255, 255, 255}};
+  EXPECT_EQ(sweep.Next(), Ipv4(223, 255, 255, 255));
+  // 224/4 and 240/4 are non-targetable, 0/8 also: wrap to 1.0.0.0.
+  EXPECT_EQ(sweep.Next(), Ipv4(1, 0, 0, 0));
+}
+
+TEST(BlasterWormTest, StartAddressForSeedIsDeterministicDottedHost) {
+  const Ipv4 start = BlasterWorm::StartAddressForSeed(30'000);
+  EXPECT_EQ(start, BlasterWorm::StartAddressForSeed(30'000));
+  EXPECT_EQ(start.octet(3), 0u);             // Always a /24 base.
+  EXPECT_GE(start.octet(0), 1u);             // A = rand()%254 + 1.
+  EXPECT_LE(start.octet(0), 254u);
+  EXPECT_LE(start.octet(1), 253u);           // B = rand()%254.
+  EXPECT_LE(start.octet(2), 253u);
+}
+
+TEST(BlasterWormTest, BootSeededStartsCollideFarMoreThanUniformSeeds) {
+  // The whole Blaster hotspot story: boot-time ticks are confined to a few
+  // thousand plausible values, so independently infected hosts repeatedly
+  // draw the *same* seed and therefore the same starting /24 — something
+  // that essentially never happens with well-seeded instances.
+  prng::Xoshiro256 rng{42};
+  const prng::BootEntropyModel boot = prng::BootEntropyModel::Paper();
+  constexpr int kHosts = 5000;
+  std::unordered_set<std::uint32_t> boot_starts;
+  std::unordered_set<std::uint32_t> uniform_starts;
+  for (int i = 0; i < kHosts; ++i) {
+    boot_starts.insert(
+        BlasterWorm::StartAddressForSeed(boot.SampleTickCount(rng))
+            .Slash24());
+    uniform_starts.insert(
+        BlasterWorm::StartAddressForSeed(rng.NextU32()).Slash24());
+  }
+  EXPECT_LT(boot_starts.size(), kHosts * 9 / 10);
+  EXPECT_GT(uniform_starts.size(), kHosts * 95 / 100);
+  EXPECT_LT(boot_starts.size() + 500, uniform_starts.size());
+}
+
+TEST(BlasterWormTest, ScannerSweepsSequentiallyFromSeededStart) {
+  BlasterWorm worm = BlasterWorm::Paper();
+  auto scanner = worm.MakeScanner(MakeHost(Ipv4{30, 40, 50, 60}), 5);
+  prng::Xoshiro256 rng{1};
+  const Ipv4 first = scanner->NextTarget(rng);
+  const Ipv4 second = scanner->NextTarget(rng);
+  // Sequential property (no skip inside normal space).
+  EXPECT_EQ(second.value(), first.value() + 1);
+}
+
+TEST(BlasterWormTest, LocalStartStaysInOwnSlash16) {
+  BlasterWorm worm = BlasterWorm::Paper();
+  prng::MsvcRand rand{123};
+  const Ipv4 own{30, 40, 50, 60};
+  const Ipv4 start = worm.LocalStartAddress(own, rand);
+  EXPECT_EQ(start.octet(0), own.octet(0));
+  EXPECT_EQ(start.octet(1), own.octet(1));
+  EXPECT_LE(start.octet(2), own.octet(2));
+}
+
+TEST(SlammerWormTest, ScannerFollowsLcgStateSequence) {
+  auto scanner = SlammerWorm::MakeFixedScanner(1, 0xABCDEF01u);
+  prng::Xoshiro256 rng{1};
+  prng::Lcg reference{SlammerLcgParams(1), 0xABCDEF01u};
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(scanner->NextTarget(rng).value(), reference.Next());
+  }
+}
+
+TEST(SlammerWormTest, ScannerStaysOnItsCycle) {
+  const auto analyzer = SlammerCycleAnalyzer(2);
+  const std::uint32_t seed = 0x1234u;
+  auto scanner = SlammerWorm::MakeFixedScanner(2, seed);
+  prng::Xoshiro256 rng{1};
+  const auto seed_id = analyzer.IdOf(SlammerLcgParams(2).Step(seed));
+  for (int i = 0; i < 5000; ++i) {
+    EXPECT_EQ(analyzer.IdOf(scanner->NextTarget(rng).value()), seed_id);
+  }
+}
+
+TEST(SlammerWormTest, RejectsBadDllVersionAndWeights) {
+  EXPECT_THROW((void)SlammerLcgParams(-1), std::invalid_argument);
+  EXPECT_THROW((void)SlammerLcgParams(3), std::invalid_argument);
+  EXPECT_THROW(SlammerWorm({-1, 1, 1}), std::invalid_argument);
+  EXPECT_THROW(SlammerWorm({0, 0, 0}), std::invalid_argument);
+}
+
+TEST(CodeRed2WormTest, MaskProbabilitiesMatchSpec) {
+  // 1/2 same /8, 3/8 same /16 (within the /8), 1/8 fully random.
+  CodeRed2Worm worm;
+  const Ipv4 own{130, 60, 7, 9};
+  auto scanner = worm.MakeQuarantineScanner(own, 0xBEEF);
+  prng::Xoshiro256 rng{1};
+  constexpr int kDraws = 200000;
+  int same16 = 0;
+  int same8 = 0;
+  for (int i = 0; i < kDraws; ++i) {
+    const Ipv4 target = scanner->NextTarget(rng);
+    if (target.Slash16() == own.Slash16()) ++same16;
+    if (target.Slash8() == own.Slash8()) ++same8;
+  }
+  // Rejected candidates (non-targetable space, hit only via the 1/8 random
+  // arm: 34 of 256 /8s) are redrawn, renormalizing the accepted mix by
+  // 1/(1 − (1/8)(34/256)) — exactly like the real worm's retry loop.
+  const double renorm = 1.0 / (1.0 - (1.0 / 8.0) * (34.0 / 256.0));
+  // Same /16: 3/8 directly, plus the /8 arm landing in the own /16 (1/256).
+  EXPECT_NEAR(same16 / static_cast<double>(kDraws),
+              (3.0 / 8.0 + (1.0 / 2.0) / 256.0) * renorm, 0.005);
+  // Same /8: 1/2 + 3/8 (the /16 arm is inside the /8).
+  EXPECT_NEAR(same8 / static_cast<double>(kDraws), (7.0 / 8.0) * renorm,
+              0.005);
+}
+
+TEST(CodeRed2WormTest, NeverTargetsSelfOrExcludedSpace) {
+  CodeRed2Worm worm;
+  const Ipv4 own{192, 168, 0, 2};
+  auto scanner = worm.MakeQuarantineScanner(own, 7);
+  prng::Xoshiro256 rng{1};
+  for (int i = 0; i < 100000; ++i) {
+    const Ipv4 target = scanner->NextTarget(rng);
+    EXPECT_NE(target, own);
+    EXPECT_FALSE(net::IsNonTargetable(target))
+        << "targeted " << target.ToString();
+  }
+}
+
+TEST(CodeRed2WormTest, NattedHostLeaksInto192Slash8) {
+  // The Section 4.3.1 mechanism: a CRII host at 192.168.0.2 prefers 192/8,
+  // and only 1/256 of those probes stay inside 192.168/16.
+  CodeRed2Worm worm;
+  auto scanner = worm.MakeQuarantineScanner(Ipv4{192, 168, 0, 2}, 99);
+  prng::Xoshiro256 rng{1};
+  constexpr int kDraws = 100000;
+  int in_192 = 0;
+  int in_private = 0;
+  for (int i = 0; i < kDraws; ++i) {
+    const Ipv4 target = scanner->NextTarget(rng);
+    if (target.Slash8() == 192u) ++in_192;
+    if (net::kPrivate192.Contains(target)) ++in_private;
+  }
+  EXPECT_GT(in_192, kDraws / 2);               // ≈ 7/8 of probes.
+  EXPECT_LT(in_private, kDraws / 2);           // Most of them leak.
+  EXPECT_GT(in_private, kDraws / 4);           // The 3/8 same-/16 arm stays.
+}
+
+TEST(CodeRed2WormTest, ConfigValidation) {
+  EXPECT_THROW(CodeRed2Worm({4, 3, 2}), std::invalid_argument);
+  EXPECT_THROW(CodeRed2Worm({-1, 8, 1}), std::invalid_argument);
+  EXPECT_NO_THROW(CodeRed2Worm({8, 0, 0}));
+}
+
+TEST(HitListWormTest, TargetsOnlyCoveredSpace) {
+  const std::vector<Prefix> list = {Prefix{Ipv4{60, 1, 0, 0}, 16},
+                                    Prefix{Ipv4{80, 2, 0, 0}, 16}};
+  HitListWorm worm{list};
+  EXPECT_EQ(worm.CoveredAddresses(), 2u * 65536u);
+  auto scanner = worm.MakeScanner(MakeHost(Ipv4{1, 1, 1, 1}), 3);
+  prng::Xoshiro256 rng{1};
+  int first = 0;
+  constexpr int kDraws = 50000;
+  for (int i = 0; i < kDraws; ++i) {
+    const Ipv4 target = scanner->NextTarget(rng);
+    const bool in_first = list[0].Contains(target);
+    const bool in_second = list[1].Contains(target);
+    ASSERT_TRUE(in_first || in_second) << target.ToString();
+    if (in_first) ++first;
+  }
+  // Equal-size prefixes split the probes evenly.
+  EXPECT_NEAR(first / static_cast<double>(kDraws), 0.5, 0.02);
+}
+
+TEST(HitListWormTest, WeightsPrefixesBySize) {
+  const std::vector<Prefix> list = {Prefix{Ipv4{60, 1, 0, 0}, 16},
+                                    Prefix{Ipv4{80, 2, 4, 0}, 24}};
+  HitListWorm worm{list};
+  auto scanner = worm.MakeScanner(MakeHost(Ipv4{1, 1, 1, 1}), 3);
+  prng::Xoshiro256 rng{1};
+  int small = 0;
+  constexpr int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) {
+    if (list[1].Contains(scanner->NextTarget(rng))) ++small;
+  }
+  EXPECT_NEAR(small / static_cast<double>(kDraws), 256.0 / 65792.0, 0.003);
+}
+
+TEST(HitListWormTest, EmptyListRejected) {
+  EXPECT_THROW(HitListWorm{std::vector<Prefix>{}}, std::invalid_argument);
+}
+
+TEST(LocalPreferenceWormTest, HonorsConfiguredMix) {
+  LocalPreferenceWorm worm{LocalPreferenceConfig{0.25, 0.25, 0.25}};
+  const Ipv4 own{50, 60, 70, 80};
+  auto scanner = worm.MakeScanner(MakeHost(own), 11);
+  prng::Xoshiro256 rng{1};
+  constexpr int kDraws = 200000;
+  int same24 = 0;
+  int same16 = 0;
+  int same8 = 0;
+  for (int i = 0; i < kDraws; ++i) {
+    const Ipv4 target = scanner->NextTarget(rng);
+    if (target.Slash24() == own.Slash24()) ++same24;
+    if (target.Slash16() == own.Slash16()) ++same16;
+    if (target.Slash8() == own.Slash8()) ++same8;
+  }
+  EXPECT_NEAR(same24 / static_cast<double>(kDraws), 0.25, 0.01);
+  EXPECT_NEAR(same16 / static_cast<double>(kDraws), 0.50, 0.01);
+  EXPECT_NEAR(same8 / static_cast<double>(kDraws), 0.75, 0.01);
+}
+
+TEST(LocalPreferenceWormTest, ValidatesProbabilities) {
+  EXPECT_THROW(LocalPreferenceWorm({0.6, 0.6, 0.0}), std::invalid_argument);
+  EXPECT_THROW(LocalPreferenceWorm({-0.1, 0.0, 0.0}), std::invalid_argument);
+}
+
+TEST(FeistelPermutationTest, BijectiveOnSample) {
+  const FeistelPermutation permutation{0xFEEDull};
+  std::unordered_set<std::uint32_t> images;
+  for (std::uint32_t i = 0; i < 100000; ++i) {
+    const std::uint32_t image = permutation.Forward(i);
+    EXPECT_TRUE(images.insert(image).second);
+    EXPECT_EQ(permutation.Backward(image), i);
+  }
+}
+
+TEST(FeistelPermutationTest, DifferentKeysDiffer) {
+  const FeistelPermutation p1{1};
+  const FeistelPermutation p2{2};
+  int same = 0;
+  for (std::uint32_t i = 0; i < 1000; ++i) {
+    if (p1.Forward(i) == p2.Forward(i)) ++same;
+  }
+  EXPECT_LT(same, 5);
+}
+
+TEST(PermutationWormTest, InstancesPartitionTheSpace) {
+  PermutationWorm worm{0xABCDull};
+  auto s1 = worm.MakeScanner(MakeHost(Ipv4{1, 1, 1, 1}), 1);
+  auto s2 = worm.MakeScanner(MakeHost(Ipv4{2, 2, 2, 2}), 2);
+  prng::Xoshiro256 rng{1};
+  std::unordered_set<std::uint32_t> seen;
+  // Two instances walking disjoint segments of the same permutation must
+  // not collide over short horizons.
+  for (int i = 0; i < 20000; ++i) {
+    EXPECT_TRUE(seen.insert(s1->NextTarget(rng).value()).second);
+    EXPECT_TRUE(seen.insert(s2->NextTarget(rng).value()).second);
+  }
+}
+
+}  // namespace
+}  // namespace hotspots::worms
