@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_detectors.dir/ablation_detectors.cc.o"
+  "CMakeFiles/ablation_detectors.dir/ablation_detectors.cc.o.d"
+  "ablation_detectors"
+  "ablation_detectors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_detectors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_engine_dt.dir/ablation_engine_dt.cc.o"
+  "CMakeFiles/ablation_engine_dt.dir/ablation_engine_dt.cc.o.d"
+  "ablation_engine_dt"
+  "ablation_engine_dt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_engine_dt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

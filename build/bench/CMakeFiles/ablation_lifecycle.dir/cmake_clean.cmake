@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_lifecycle.dir/ablation_lifecycle.cc.o"
+  "CMakeFiles/ablation_lifecycle.dir/ablation_lifecycle.cc.o.d"
+  "ablation_lifecycle"
+  "ablation_lifecycle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_lifecycle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_nat_model.dir/ablation_nat_model.cc.o"
+  "CMakeFiles/ablation_nat_model.dir/ablation_nat_model.cc.o.d"
+  "ablation_nat_model"
+  "ablation_nat_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_nat_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_prng_lineage.dir/ablation_prng_lineage.cc.o"
+  "CMakeFiles/ablation_prng_lineage.dir/ablation_prng_lineage.cc.o.d"
+  "ablation_prng_lineage"
+  "ablation_prng_lineage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_prng_lineage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_sensor_mode.dir/ablation_sensor_mode.cc.o"
+  "CMakeFiles/ablation_sensor_mode.dir/ablation_sensor_mode.cc.o.d"
+  "ablation_sensor_mode"
+  "ablation_sensor_mode.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_sensor_mode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

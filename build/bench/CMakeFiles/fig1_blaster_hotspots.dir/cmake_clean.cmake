@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_blaster_hotspots.dir/fig1_blaster_hotspots.cc.o"
+  "CMakeFiles/fig1_blaster_hotspots.dir/fig1_blaster_hotspots.cc.o.d"
+  "fig1_blaster_hotspots"
+  "fig1_blaster_hotspots.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_blaster_hotspots.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

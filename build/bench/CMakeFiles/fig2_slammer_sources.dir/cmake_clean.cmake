@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_slammer_sources.dir/fig2_slammer_sources.cc.o"
+  "CMakeFiles/fig2_slammer_sources.dir/fig2_slammer_sources.cc.o.d"
+  "fig2_slammer_sources"
+  "fig2_slammer_sources.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_slammer_sources.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

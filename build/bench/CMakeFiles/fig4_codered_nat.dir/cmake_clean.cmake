@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_codered_nat.dir/fig4_codered_nat.cc.o"
+  "CMakeFiles/fig4_codered_nat.dir/fig4_codered_nat.cc.o.d"
+  "fig4_codered_nat"
+  "fig4_codered_nat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_codered_nat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5a_hitlist_infection.dir/fig5a_hitlist_infection.cc.o"
+  "CMakeFiles/fig5a_hitlist_infection.dir/fig5a_hitlist_infection.cc.o.d"
+  "fig5a_hitlist_infection"
+  "fig5a_hitlist_infection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5a_hitlist_infection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

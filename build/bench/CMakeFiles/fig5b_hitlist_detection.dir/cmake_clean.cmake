@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5b_hitlist_detection.dir/fig5b_hitlist_detection.cc.o"
+  "CMakeFiles/fig5b_hitlist_detection.dir/fig5b_hitlist_detection.cc.o.d"
+  "fig5b_hitlist_detection"
+  "fig5b_hitlist_detection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5b_hitlist_detection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

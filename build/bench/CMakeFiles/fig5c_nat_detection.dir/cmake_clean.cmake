@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5c_nat_detection.dir/fig5c_nat_detection.cc.o"
+  "CMakeFiles/fig5c_nat_detection.dir/fig5c_nat_detection.cc.o.d"
+  "fig5c_nat_detection"
+  "fig5c_nat_detection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5c_nat_detection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_bot_commands.dir/table1_bot_commands.cc.o"
+  "CMakeFiles/table1_bot_commands.dir/table1_bot_commands.cc.o.d"
+  "table1_bot_commands"
+  "table1_bot_commands.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_bot_commands.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_filtering.dir/table2_filtering.cc.o"
+  "CMakeFiles/table2_filtering.dir/table2_filtering.cc.o.d"
+  "table2_filtering"
+  "table2_filtering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_filtering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

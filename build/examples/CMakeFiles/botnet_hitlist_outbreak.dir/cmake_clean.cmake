@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/botnet_hitlist_outbreak.dir/botnet_hitlist_outbreak.cpp.o"
+  "CMakeFiles/botnet_hitlist_outbreak.dir/botnet_hitlist_outbreak.cpp.o.d"
+  "botnet_hitlist_outbreak"
+  "botnet_hitlist_outbreak.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/botnet_hitlist_outbreak.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

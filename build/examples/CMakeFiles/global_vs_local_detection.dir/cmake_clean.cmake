@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/global_vs_local_detection.dir/global_vs_local_detection.cpp.o"
+  "CMakeFiles/global_vs_local_detection.dir/global_vs_local_detection.cpp.o.d"
+  "global_vs_local_detection"
+  "global_vs_local_detection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/global_vs_local_detection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

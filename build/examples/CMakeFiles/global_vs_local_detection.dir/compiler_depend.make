@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for global_vs_local_detection.
+# This may be replaced when dependencies are built.

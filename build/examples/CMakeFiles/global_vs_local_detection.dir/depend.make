@@ -1,0 +1,2 @@
+# Empty dependencies file for global_vs_local_detection.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nat_hotspot_forensics.dir/nat_hotspot_forensics.cpp.o"
+  "CMakeFiles/nat_hotspot_forensics.dir/nat_hotspot_forensics.cpp.o.d"
+  "nat_hotspot_forensics"
+  "nat_hotspot_forensics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nat_hotspot_forensics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/slammer_cycle_forensics.dir/slammer_cycle_forensics.cpp.o"
+  "CMakeFiles/slammer_cycle_forensics.dir/slammer_cycle_forensics.cpp.o.d"
+  "slammer_cycle_forensics"
+  "slammer_cycle_forensics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/slammer_cycle_forensics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

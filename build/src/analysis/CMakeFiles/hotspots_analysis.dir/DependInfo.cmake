@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/block_comparison.cc" "src/analysis/CMakeFiles/hotspots_analysis.dir/block_comparison.cc.o" "gcc" "src/analysis/CMakeFiles/hotspots_analysis.dir/block_comparison.cc.o.d"
+  "/root/repo/src/analysis/seed_forensics.cc" "src/analysis/CMakeFiles/hotspots_analysis.dir/seed_forensics.cc.o" "gcc" "src/analysis/CMakeFiles/hotspots_analysis.dir/seed_forensics.cc.o.d"
+  "/root/repo/src/analysis/uniformity.cc" "src/analysis/CMakeFiles/hotspots_analysis.dir/uniformity.cc.o" "gcc" "src/analysis/CMakeFiles/hotspots_analysis.dir/uniformity.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/hotspots_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/prng/CMakeFiles/hotspots_prng.dir/DependInfo.cmake"
+  "/root/repo/build/src/worms/CMakeFiles/hotspots_worms.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/hotspots_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/hotspots_topology.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

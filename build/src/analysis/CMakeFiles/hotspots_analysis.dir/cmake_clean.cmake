@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hotspots_analysis.dir/block_comparison.cc.o"
+  "CMakeFiles/hotspots_analysis.dir/block_comparison.cc.o.d"
+  "CMakeFiles/hotspots_analysis.dir/seed_forensics.cc.o"
+  "CMakeFiles/hotspots_analysis.dir/seed_forensics.cc.o.d"
+  "CMakeFiles/hotspots_analysis.dir/uniformity.cc.o"
+  "CMakeFiles/hotspots_analysis.dir/uniformity.cc.o.d"
+  "libhotspots_analysis.a"
+  "libhotspots_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hotspots_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hotspots_botnet.dir/bot.cc.o"
+  "CMakeFiles/hotspots_botnet.dir/bot.cc.o.d"
+  "CMakeFiles/hotspots_botnet.dir/capture.cc.o"
+  "CMakeFiles/hotspots_botnet.dir/capture.cc.o.d"
+  "CMakeFiles/hotspots_botnet.dir/command.cc.o"
+  "CMakeFiles/hotspots_botnet.dir/command.cc.o.d"
+  "CMakeFiles/hotspots_botnet.dir/controller.cc.o"
+  "CMakeFiles/hotspots_botnet.dir/controller.cc.o.d"
+  "libhotspots_botnet.a"
+  "libhotspots_botnet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hotspots_botnet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/containment.cc" "src/core/CMakeFiles/hotspots_core.dir/containment.cc.o" "gcc" "src/core/CMakeFiles/hotspots_core.dir/containment.cc.o.d"
+  "/root/repo/src/core/detection_study.cc" "src/core/CMakeFiles/hotspots_core.dir/detection_study.cc.o" "gcc" "src/core/CMakeFiles/hotspots_core.dir/detection_study.cc.o.d"
+  "/root/repo/src/core/hotspot.cc" "src/core/CMakeFiles/hotspots_core.dir/hotspot.cc.o" "gcc" "src/core/CMakeFiles/hotspots_core.dir/hotspot.cc.o.d"
+  "/root/repo/src/core/placement.cc" "src/core/CMakeFiles/hotspots_core.dir/placement.cc.o" "gcc" "src/core/CMakeFiles/hotspots_core.dir/placement.cc.o.d"
+  "/root/repo/src/core/quarantine.cc" "src/core/CMakeFiles/hotspots_core.dir/quarantine.cc.o" "gcc" "src/core/CMakeFiles/hotspots_core.dir/quarantine.cc.o.d"
+  "/root/repo/src/core/scenario.cc" "src/core/CMakeFiles/hotspots_core.dir/scenario.cc.o" "gcc" "src/core/CMakeFiles/hotspots_core.dir/scenario.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/hotspots_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/prng/CMakeFiles/hotspots_prng.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/hotspots_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/hotspots_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/telescope/CMakeFiles/hotspots_telescope.dir/DependInfo.cmake"
+  "/root/repo/build/src/worms/CMakeFiles/hotspots_worms.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/hotspots_analysis.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

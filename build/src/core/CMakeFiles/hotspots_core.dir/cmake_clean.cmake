@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hotspots_core.dir/containment.cc.o"
+  "CMakeFiles/hotspots_core.dir/containment.cc.o.d"
+  "CMakeFiles/hotspots_core.dir/detection_study.cc.o"
+  "CMakeFiles/hotspots_core.dir/detection_study.cc.o.d"
+  "CMakeFiles/hotspots_core.dir/hotspot.cc.o"
+  "CMakeFiles/hotspots_core.dir/hotspot.cc.o.d"
+  "CMakeFiles/hotspots_core.dir/placement.cc.o"
+  "CMakeFiles/hotspots_core.dir/placement.cc.o.d"
+  "CMakeFiles/hotspots_core.dir/quarantine.cc.o"
+  "CMakeFiles/hotspots_core.dir/quarantine.cc.o.d"
+  "CMakeFiles/hotspots_core.dir/scenario.cc.o"
+  "CMakeFiles/hotspots_core.dir/scenario.cc.o.d"
+  "libhotspots_core.a"
+  "libhotspots_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hotspots_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

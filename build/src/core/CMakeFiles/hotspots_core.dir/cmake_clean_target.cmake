@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libhotspots_core.a"
+)

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/detect/prevalence.cc" "src/detect/CMakeFiles/hotspots_detect.dir/prevalence.cc.o" "gcc" "src/detect/CMakeFiles/hotspots_detect.dir/prevalence.cc.o.d"
+  "/root/repo/src/detect/trw.cc" "src/detect/CMakeFiles/hotspots_detect.dir/trw.cc.o" "gcc" "src/detect/CMakeFiles/hotspots_detect.dir/trw.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/hotspots_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hotspots_detect.dir/prevalence.cc.o"
+  "CMakeFiles/hotspots_detect.dir/prevalence.cc.o.d"
+  "CMakeFiles/hotspots_detect.dir/trw.cc.o"
+  "CMakeFiles/hotspots_detect.dir/trw.cc.o.d"
+  "libhotspots_detect.a"
+  "libhotspots_detect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hotspots_detect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

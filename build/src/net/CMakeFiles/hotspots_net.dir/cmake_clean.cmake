@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hotspots_net.dir/interval_set.cc.o"
+  "CMakeFiles/hotspots_net.dir/interval_set.cc.o.d"
+  "CMakeFiles/hotspots_net.dir/ipv4.cc.o"
+  "CMakeFiles/hotspots_net.dir/ipv4.cc.o.d"
+  "CMakeFiles/hotspots_net.dir/prefix.cc.o"
+  "CMakeFiles/hotspots_net.dir/prefix.cc.o.d"
+  "CMakeFiles/hotspots_net.dir/special_ranges.cc.o"
+  "CMakeFiles/hotspots_net.dir/special_ranges.cc.o.d"
+  "libhotspots_net.a"
+  "libhotspots_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hotspots_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/prng/cycle_finder.cc" "src/prng/CMakeFiles/hotspots_prng.dir/cycle_finder.cc.o" "gcc" "src/prng/CMakeFiles/hotspots_prng.dir/cycle_finder.cc.o.d"
+  "/root/repo/src/prng/lcg_cycles.cc" "src/prng/CMakeFiles/hotspots_prng.dir/lcg_cycles.cc.o" "gcc" "src/prng/CMakeFiles/hotspots_prng.dir/lcg_cycles.cc.o.d"
+  "/root/repo/src/prng/spectral.cc" "src/prng/CMakeFiles/hotspots_prng.dir/spectral.cc.o" "gcc" "src/prng/CMakeFiles/hotspots_prng.dir/spectral.cc.o.d"
+  "/root/repo/src/prng/tickcount.cc" "src/prng/CMakeFiles/hotspots_prng.dir/tickcount.cc.o" "gcc" "src/prng/CMakeFiles/hotspots_prng.dir/tickcount.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/hotspots_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hotspots_prng.dir/cycle_finder.cc.o"
+  "CMakeFiles/hotspots_prng.dir/cycle_finder.cc.o.d"
+  "CMakeFiles/hotspots_prng.dir/lcg_cycles.cc.o"
+  "CMakeFiles/hotspots_prng.dir/lcg_cycles.cc.o.d"
+  "CMakeFiles/hotspots_prng.dir/spectral.cc.o"
+  "CMakeFiles/hotspots_prng.dir/spectral.cc.o.d"
+  "CMakeFiles/hotspots_prng.dir/tickcount.cc.o"
+  "CMakeFiles/hotspots_prng.dir/tickcount.cc.o.d"
+  "libhotspots_prng.a"
+  "libhotspots_prng.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hotspots_prng.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

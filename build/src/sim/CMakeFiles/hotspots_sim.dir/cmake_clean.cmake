@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hotspots_sim.dir/engine.cc.o"
+  "CMakeFiles/hotspots_sim.dir/engine.cc.o.d"
+  "CMakeFiles/hotspots_sim.dir/population.cc.o"
+  "CMakeFiles/hotspots_sim.dir/population.cc.o.d"
+  "libhotspots_sim.a"
+  "libhotspots_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hotspots_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

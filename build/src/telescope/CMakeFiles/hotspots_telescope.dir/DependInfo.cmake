@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/telescope/alerting.cc" "src/telescope/CMakeFiles/hotspots_telescope.dir/alerting.cc.o" "gcc" "src/telescope/CMakeFiles/hotspots_telescope.dir/alerting.cc.o.d"
+  "/root/repo/src/telescope/event_series.cc" "src/telescope/CMakeFiles/hotspots_telescope.dir/event_series.cc.o" "gcc" "src/telescope/CMakeFiles/hotspots_telescope.dir/event_series.cc.o.d"
+  "/root/repo/src/telescope/ims.cc" "src/telescope/CMakeFiles/hotspots_telescope.dir/ims.cc.o" "gcc" "src/telescope/CMakeFiles/hotspots_telescope.dir/ims.cc.o.d"
+  "/root/repo/src/telescope/sensor.cc" "src/telescope/CMakeFiles/hotspots_telescope.dir/sensor.cc.o" "gcc" "src/telescope/CMakeFiles/hotspots_telescope.dir/sensor.cc.o.d"
+  "/root/repo/src/telescope/telescope.cc" "src/telescope/CMakeFiles/hotspots_telescope.dir/telescope.cc.o" "gcc" "src/telescope/CMakeFiles/hotspots_telescope.dir/telescope.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/hotspots_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/hotspots_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/hotspots_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/prng/CMakeFiles/hotspots_prng.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hotspots_telescope.dir/alerting.cc.o"
+  "CMakeFiles/hotspots_telescope.dir/alerting.cc.o.d"
+  "CMakeFiles/hotspots_telescope.dir/event_series.cc.o"
+  "CMakeFiles/hotspots_telescope.dir/event_series.cc.o.d"
+  "CMakeFiles/hotspots_telescope.dir/ims.cc.o"
+  "CMakeFiles/hotspots_telescope.dir/ims.cc.o.d"
+  "CMakeFiles/hotspots_telescope.dir/sensor.cc.o"
+  "CMakeFiles/hotspots_telescope.dir/sensor.cc.o.d"
+  "CMakeFiles/hotspots_telescope.dir/telescope.cc.o"
+  "CMakeFiles/hotspots_telescope.dir/telescope.cc.o.d"
+  "libhotspots_telescope.a"
+  "libhotspots_telescope.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hotspots_telescope.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

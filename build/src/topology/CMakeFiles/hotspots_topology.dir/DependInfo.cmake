@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/topology/filtering.cc" "src/topology/CMakeFiles/hotspots_topology.dir/filtering.cc.o" "gcc" "src/topology/CMakeFiles/hotspots_topology.dir/filtering.cc.o.d"
+  "/root/repo/src/topology/nat.cc" "src/topology/CMakeFiles/hotspots_topology.dir/nat.cc.o" "gcc" "src/topology/CMakeFiles/hotspots_topology.dir/nat.cc.o.d"
+  "/root/repo/src/topology/org.cc" "src/topology/CMakeFiles/hotspots_topology.dir/org.cc.o" "gcc" "src/topology/CMakeFiles/hotspots_topology.dir/org.cc.o.d"
+  "/root/repo/src/topology/reachability.cc" "src/topology/CMakeFiles/hotspots_topology.dir/reachability.cc.o" "gcc" "src/topology/CMakeFiles/hotspots_topology.dir/reachability.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/hotspots_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/prng/CMakeFiles/hotspots_prng.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

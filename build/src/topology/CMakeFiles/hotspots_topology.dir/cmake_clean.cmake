@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hotspots_topology.dir/filtering.cc.o"
+  "CMakeFiles/hotspots_topology.dir/filtering.cc.o.d"
+  "CMakeFiles/hotspots_topology.dir/nat.cc.o"
+  "CMakeFiles/hotspots_topology.dir/nat.cc.o.d"
+  "CMakeFiles/hotspots_topology.dir/org.cc.o"
+  "CMakeFiles/hotspots_topology.dir/org.cc.o.d"
+  "CMakeFiles/hotspots_topology.dir/reachability.cc.o"
+  "CMakeFiles/hotspots_topology.dir/reachability.cc.o.d"
+  "libhotspots_topology.a"
+  "libhotspots_topology.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hotspots_topology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

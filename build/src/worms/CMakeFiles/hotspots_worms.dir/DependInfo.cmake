@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/worms/blaster.cc" "src/worms/CMakeFiles/hotspots_worms.dir/blaster.cc.o" "gcc" "src/worms/CMakeFiles/hotspots_worms.dir/blaster.cc.o.d"
+  "/root/repo/src/worms/codered1.cc" "src/worms/CMakeFiles/hotspots_worms.dir/codered1.cc.o" "gcc" "src/worms/CMakeFiles/hotspots_worms.dir/codered1.cc.o.d"
+  "/root/repo/src/worms/codered2.cc" "src/worms/CMakeFiles/hotspots_worms.dir/codered2.cc.o" "gcc" "src/worms/CMakeFiles/hotspots_worms.dir/codered2.cc.o.d"
+  "/root/repo/src/worms/hitlist.cc" "src/worms/CMakeFiles/hotspots_worms.dir/hitlist.cc.o" "gcc" "src/worms/CMakeFiles/hotspots_worms.dir/hitlist.cc.o.d"
+  "/root/repo/src/worms/localpref.cc" "src/worms/CMakeFiles/hotspots_worms.dir/localpref.cc.o" "gcc" "src/worms/CMakeFiles/hotspots_worms.dir/localpref.cc.o.d"
+  "/root/repo/src/worms/permutation.cc" "src/worms/CMakeFiles/hotspots_worms.dir/permutation.cc.o" "gcc" "src/worms/CMakeFiles/hotspots_worms.dir/permutation.cc.o.d"
+  "/root/repo/src/worms/slammer.cc" "src/worms/CMakeFiles/hotspots_worms.dir/slammer.cc.o" "gcc" "src/worms/CMakeFiles/hotspots_worms.dir/slammer.cc.o.d"
+  "/root/repo/src/worms/uniform.cc" "src/worms/CMakeFiles/hotspots_worms.dir/uniform.cc.o" "gcc" "src/worms/CMakeFiles/hotspots_worms.dir/uniform.cc.o.d"
+  "/root/repo/src/worms/witty.cc" "src/worms/CMakeFiles/hotspots_worms.dir/witty.cc.o" "gcc" "src/worms/CMakeFiles/hotspots_worms.dir/witty.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/hotspots_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/prng/CMakeFiles/hotspots_prng.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/hotspots_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/hotspots_topology.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

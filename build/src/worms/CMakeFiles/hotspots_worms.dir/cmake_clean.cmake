@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hotspots_worms.dir/blaster.cc.o"
+  "CMakeFiles/hotspots_worms.dir/blaster.cc.o.d"
+  "CMakeFiles/hotspots_worms.dir/codered1.cc.o"
+  "CMakeFiles/hotspots_worms.dir/codered1.cc.o.d"
+  "CMakeFiles/hotspots_worms.dir/codered2.cc.o"
+  "CMakeFiles/hotspots_worms.dir/codered2.cc.o.d"
+  "CMakeFiles/hotspots_worms.dir/hitlist.cc.o"
+  "CMakeFiles/hotspots_worms.dir/hitlist.cc.o.d"
+  "CMakeFiles/hotspots_worms.dir/localpref.cc.o"
+  "CMakeFiles/hotspots_worms.dir/localpref.cc.o.d"
+  "CMakeFiles/hotspots_worms.dir/permutation.cc.o"
+  "CMakeFiles/hotspots_worms.dir/permutation.cc.o.d"
+  "CMakeFiles/hotspots_worms.dir/slammer.cc.o"
+  "CMakeFiles/hotspots_worms.dir/slammer.cc.o.d"
+  "CMakeFiles/hotspots_worms.dir/uniform.cc.o"
+  "CMakeFiles/hotspots_worms.dir/uniform.cc.o.d"
+  "CMakeFiles/hotspots_worms.dir/witty.cc.o"
+  "CMakeFiles/hotspots_worms.dir/witty.cc.o.d"
+  "libhotspots_worms.a"
+  "libhotspots_worms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hotspots_worms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

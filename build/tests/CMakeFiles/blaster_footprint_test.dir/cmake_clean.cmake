@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/blaster_footprint_test.dir/blaster_footprint_test.cc.o"
+  "CMakeFiles/blaster_footprint_test.dir/blaster_footprint_test.cc.o.d"
+  "blaster_footprint_test"
+  "blaster_footprint_test.pdb"
+  "blaster_footprint_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/blaster_footprint_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

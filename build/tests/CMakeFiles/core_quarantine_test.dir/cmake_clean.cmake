@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_quarantine_test.dir/core_quarantine_test.cc.o"
+  "CMakeFiles/core_quarantine_test.dir/core_quarantine_test.cc.o.d"
+  "core_quarantine_test"
+  "core_quarantine_test.pdb"
+  "core_quarantine_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_quarantine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/detect_integration_test.dir/detect_integration_test.cc.o"
+  "CMakeFiles/detect_integration_test.dir/detect_integration_test.cc.o.d"
+  "detect_integration_test"
+  "detect_integration_test.pdb"
+  "detect_integration_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/detect_integration_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

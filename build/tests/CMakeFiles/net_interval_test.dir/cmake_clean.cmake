@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/net_interval_test.dir/net_interval_test.cc.o"
+  "CMakeFiles/net_interval_test.dir/net_interval_test.cc.o.d"
+  "net_interval_test"
+  "net_interval_test.pdb"
+  "net_interval_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/net_interval_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

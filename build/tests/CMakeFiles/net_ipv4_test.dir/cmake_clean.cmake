@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/net_ipv4_test.dir/net_ipv4_test.cc.o"
+  "CMakeFiles/net_ipv4_test.dir/net_ipv4_test.cc.o.d"
+  "net_ipv4_test"
+  "net_ipv4_test.pdb"
+  "net_ipv4_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/net_ipv4_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

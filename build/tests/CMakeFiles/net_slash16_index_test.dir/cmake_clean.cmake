@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/net_slash16_index_test.dir/net_slash16_index_test.cc.o"
+  "CMakeFiles/net_slash16_index_test.dir/net_slash16_index_test.cc.o.d"
+  "net_slash16_index_test"
+  "net_slash16_index_test.pdb"
+  "net_slash16_index_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/net_slash16_index_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

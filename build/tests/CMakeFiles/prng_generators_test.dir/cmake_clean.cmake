@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prng_generators_test.dir/prng_generators_test.cc.o"
+  "CMakeFiles/prng_generators_test.dir/prng_generators_test.cc.o.d"
+  "prng_generators_test"
+  "prng_generators_test.pdb"
+  "prng_generators_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prng_generators_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prng_lcg_cycles_test.dir/prng_lcg_cycles_test.cc.o"
+  "CMakeFiles/prng_lcg_cycles_test.dir/prng_lcg_cycles_test.cc.o.d"
+  "prng_lcg_cycles_test"
+  "prng_lcg_cycles_test.pdb"
+  "prng_lcg_cycles_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prng_lcg_cycles_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_rate_test.dir/sim_rate_test.cc.o"
+  "CMakeFiles/sim_rate_test.dir/sim_rate_test.cc.o.d"
+  "sim_rate_test"
+  "sim_rate_test.pdb"
+  "sim_rate_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_rate_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

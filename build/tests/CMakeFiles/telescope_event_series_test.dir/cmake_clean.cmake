@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/telescope_event_series_test.dir/telescope_event_series_test.cc.o"
+  "CMakeFiles/telescope_event_series_test.dir/telescope_event_series_test.cc.o.d"
+  "telescope_event_series_test"
+  "telescope_event_series_test.pdb"
+  "telescope_event_series_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/telescope_event_series_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

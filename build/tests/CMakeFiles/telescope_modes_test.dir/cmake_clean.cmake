@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/telescope_modes_test.dir/telescope_modes_test.cc.o"
+  "CMakeFiles/telescope_modes_test.dir/telescope_modes_test.cc.o.d"
+  "telescope_modes_test"
+  "telescope_modes_test.pdb"
+  "telescope_modes_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/telescope_modes_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

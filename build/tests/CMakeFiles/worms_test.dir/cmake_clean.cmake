@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/worms_test.dir/worms_test.cc.o"
+  "CMakeFiles/worms_test.dir/worms_test.cc.o.d"
+  "worms_test"
+  "worms_test.pdb"
+  "worms_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/worms_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

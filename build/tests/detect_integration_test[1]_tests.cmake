@@ -1,0 +1,3 @@
+add_test([=[DetectIntegrationTest.TrwFlagsInfectedHostsAndPrevalenceAssembles]=]  /root/repo/build/tests/detect_integration_test [==[--gtest_filter=DetectIntegrationTest.TrwFlagsInfectedHostsAndPrevalenceAssembles]==] --gtest_also_run_disabled_tests)
+set_tests_properties([=[DetectIntegrationTest.TrwFlagsInfectedHostsAndPrevalenceAssembles]=]  PROPERTIES WORKING_DIRECTORY /root/repo/build/tests SKIP_REGULAR_EXPRESSION [==[\[  SKIPPED \]]==])
+set(  detect_integration_test_TESTS DetectIntegrationTest.TrwFlagsInfectedHostsAndPrevalenceAssembles)
