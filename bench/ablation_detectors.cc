@@ -12,7 +12,13 @@
 //   3. LOCAL TRW ([11]) at the gateway of a targeted network, watching
 //      outbound connection successes/failures: flags infected hosts within
 //      a handful of probes.
+// The race is repeated over HOTSPOTS_TRIALS independent outbreaks (each
+// trial owns its population, fleet and detectors) and the verdicts are
+// aggregated.
 #include <cstdio>
+#include <limits>
+#include <optional>
+#include <vector>
 
 #include "bench_util.h"
 #include "core/detection_study.h"
@@ -21,6 +27,7 @@
 #include "detect/prevalence.h"
 #include "detect/trw.h"
 #include "sim/engine.h"
+#include "sim/study.h"
 #include "telescope/alerting.h"
 #include "topology/reachability.h"
 #include "worms/hitlist.h"
@@ -88,10 +95,38 @@ class DetectorRace final : public sim::ProbeObserver {
   std::optional<double> first_trw_flag_;
 };
 
+/// Verdicts of one trial of the three-way race.
+struct RaceResult {
+  std::uint64_t probes = 0;
+  double infected_fraction = 0.0;
+  double end_time = 0.0;
+  std::optional<double> quorum25_time;
+  std::optional<double> quorum50_time;
+  std::optional<double> prevalence_time;
+  std::optional<double> trw_time;
+  std::size_t trw_flagged = 0;
+  std::size_t alerted_sensors = 0;
+  std::size_t total_sensors = 0;
+};
+
+/// Mean of the present values; count of the rest reported separately.
+sim::SummaryStats FiredStats(
+    const std::vector<RaceResult>& results,
+    std::optional<double> RaceResult::*member) {
+  std::vector<double> values;
+  for (const RaceResult& result : results) {
+    const auto& value = result.*member;
+    values.push_back(value ? *value
+                           : std::numeric_limits<double>::quiet_NaN());
+  }
+  return sim::Summarize(values);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const double scale = bench::ScaleArg(argc, argv);
+  const int trials = bench::TrialsArg(4);
   bench::Title("Ablation", "global quorum vs content prevalence vs local TRW");
 
   core::ScenarioBuilder builder;
@@ -104,13 +139,13 @@ int main(int argc, char** argv) {
 
   const auto selection = core::GreedyHitList(scenario, 60);
   worms::HitListWorm worm{selection.prefixes};
-  std::printf("threat: %zu-/16 hit-list covering %.1f%% of %u hosts\n",
+  std::printf("threat: %zu-/16 hit-list covering %.1f%% of %u hosts; %d "
+              "trials\n",
               selection.prefixes.size(), 100.0 * selection.coverage,
-              scenario.public_hosts);
+              scenario.public_hosts, trials);
 
   prng::Xoshiro256 rng{17};
   const auto sensor_blocks = core::PlaceSensorPerCluster16(scenario, rng);
-  telescope::Telescope fleet = core::MakeAlertingTelescope(sensor_blocks, 5);
   net::IntervalSet fleet_space;
   for (const auto& block : sensor_blocks) fleet_space.Add(block);
   fleet_space.Build();
@@ -118,49 +153,97 @@ int main(int argc, char** argv) {
   // Local gateway: the densest targeted /16 (an academic-network stand-in).
   const net::Prefix monitored = selection.prefixes.front();
 
-  DetectorRace race{&scenario, &fleet, monitored};
-  race.SetFleetChecker(&fleet_space);
-
   const topology::Reachability reachability{nullptr, nullptr, nullptr, 0.0};
-  sim::EngineConfig engine_config;
-  engine_config.scan_rate = 10.0;
-  engine_config.end_time = 900.0;
-  engine_config.stop_at_infected_fraction = 0.95 * selection.coverage;
-  engine_config.seed = 0xDE7DE7;
-  sim::Engine engine{scenario.population, worm, reachability, nullptr,
-                     engine_config};
-  engine.SeedRandomInfections(25);
-  const sim::RunResult result = engine.Run(race);
+  sim::StudyOptions options;
+  options.master_seed = 0xDE7DE7;
+  auto study = sim::RunStudy(
+      options, trials, [&](int /*trial*/, std::uint64_t seed) {
+        // Everything mutable is trial-local: population copy, fleet,
+        // detectors, engine.
+        core::Scenario trial_scenario = scenario;
+        telescope::Telescope fleet =
+            core::MakeAlertingTelescope(sensor_blocks, 5);
+        DetectorRace race{&trial_scenario, &fleet, monitored};
+        race.SetFleetChecker(&fleet_space);
 
-  bench::Section("outcome");
-  std::printf("  outbreak: %.1f%% of population infected by t=%.0fs\n",
-              100.0 * result.FinalInfectedFraction(), result.end_time);
+        sim::EngineConfig engine_config;
+        engine_config.scan_rate = 10.0;
+        engine_config.end_time = 900.0;
+        engine_config.stop_at_infected_fraction = 0.95 * selection.coverage;
+        engine_config.seed = seed;
+        sim::Engine engine{trial_scenario.population, worm, reachability,
+                           nullptr, engine_config};
+        engine.SeedRandomInfections(25);
+        const sim::RunResult run = engine.Run(race);
 
-  const auto alert_times = fleet.AlertTimes();
-  for (const double quorum : {0.25, 0.50}) {
-    const auto fired = telescope::QuorumDetectionTime(alert_times,
-                                                      fleet.size(), quorum);
-    std::printf("  global quorum %2.0f%% over %zu darknets: %s\n",
-                100 * quorum, fleet.size(),
-                fired ? ("fired at t=" + std::to_string(*fired) + "s").c_str()
-                      : "NEVER fired");
+        RaceResult result;
+        result.probes = run.total_probes;
+        result.infected_fraction = run.FinalInfectedFraction();
+        result.end_time = run.end_time;
+        const auto alert_times = fleet.AlertTimes();
+        result.quorum25_time =
+            telescope::QuorumDetectionTime(alert_times, fleet.size(), 0.25);
+        result.quorum50_time =
+            telescope::QuorumDetectionTime(alert_times, fleet.size(), 0.50);
+        result.prevalence_time = race.global_prevalence_time_;
+        result.trw_time = race.first_trw_flag_;
+        result.trw_flagged = race.trw_.flagged_scanners();
+        result.alerted_sensors = fleet.AlertedCount();
+        result.total_sensors = fleet.size();
+        return result;
+      });
+
+  std::uint64_t total_probes = 0;
+  std::vector<double> infected;
+  std::vector<double> alerted;
+  for (const RaceResult& result : study.trials) {
+    total_probes += result.probes;
+    infected.push_back(result.infected_fraction);
+    alerted.push_back(static_cast<double>(result.alerted_sensors));
   }
-  std::printf("  global content prevalence (aggregated fleet): %s\n",
-              race.global_prevalence_time_
-                  ? ("signature at t=" +
-                     std::to_string(*race.global_prevalence_time_) + "s")
-                        .c_str()
-                  : "never crossed thresholds");
-  std::printf("  per-sensor payload counts are wildly inconsistent: %zu of "
+  const std::size_t fleet_size =
+      study.trials.empty() ? 0 : study.trials.front().total_sensors;
+
+  bench::Section("outcome (mean across trials)");
+  std::printf("  outbreak: %s%% of population infected\n",
+              bench::MeanStd(sim::Summarize(infected), "%.1f", 100.0)
+                  .c_str());
+
+  const auto q25 = FiredStats(study.trials, &RaceResult::quorum25_time);
+  const auto q50 = FiredStats(study.trials, &RaceResult::quorum50_time);
+  std::printf("  global quorum 25%% over %zu darknets: fired in %d/%d "
+              "trials%s%s\n",
+              fleet_size, q25.count, trials,
+              q25.count > 0 ? " at mean t=" : "",
+              q25.count > 0 ? bench::MeanStd(q25, "%.0f").c_str() : "");
+  std::printf("  global quorum 50%% over %zu darknets: fired in %d/%d "
+              "trials%s%s\n",
+              fleet_size, q50.count, trials,
+              q50.count > 0 ? " at mean t=" : "",
+              q50.count > 0 ? bench::MeanStd(q50, "%.0f").c_str() : "");
+
+  const auto prevalence =
+      FiredStats(study.trials, &RaceResult::prevalence_time);
+  std::printf("  global content prevalence (aggregated fleet): signature in "
+              "%d/%d trials%s%s\n",
+              prevalence.count, trials,
+              prevalence.count > 0 ? " at mean t=" : "",
+              prevalence.count > 0 ? bench::MeanStd(prevalence, "%.0f").c_str()
+                                   : "");
+  std::printf("  per-sensor payload counts are wildly inconsistent: %s of "
               "%zu sensors alerted at all\n",
-              fleet.AlertedCount(), fleet.size());
-  if (race.first_trw_flag_) {
-    std::printf("  local TRW gateway at %s: first infected host flagged at "
-                "t=%.1fs (%zu scanners total)\n",
-                monitored.ToString().c_str(), *race.first_trw_flag_,
-                race.trw_.flagged_scanners());
+              bench::MeanStd(sim::Summarize(alerted), "%.0f").c_str(),
+              fleet_size);
+
+  const auto trw = FiredStats(study.trials, &RaceResult::trw_time);
+  if (trw.count > 0) {
+    std::printf("  local TRW gateway at %s: first infected host flagged in "
+                "%d/%d trials at mean t=%ss\n",
+                monitored.ToString().c_str(), trw.count, trials,
+                bench::MeanStd(trw, "%.1f").c_str());
   } else {
-    std::printf("  local TRW gateway at %s: no scanner flagged\n",
+    std::printf("  local TRW gateway at %s: no scanner flagged in any "
+                "trial\n",
                 monitored.ToString().c_str());
   }
   bench::Measured(
@@ -169,5 +252,6 @@ int main(int argc, char** argv) {
       "its per-vantage view inconsistent, not its global sum); the local "
       "TRW gateway names the infected machine within seconds of its first "
       "scans — the paper's closing recommendation, quantified.");
+  bench::PrintStudyThroughput(study.telemetry, total_probes);
   return 0;
 }

@@ -5,12 +5,16 @@
 // shows the epidemic curve is insensitive to the step size (Δt = 0.05 /
 // 0.1 / 0.2 s at 10 probes/s, i.e. 0.5 / 1 / 2 probes of credit per step)
 // while wall-clock cost tracks the probe count, justifying the default.
-#include <chrono>
+// Milestones are means over HOTSPOTS_TRIALS independent outbreaks; trial i
+// uses the same derived seed at every step size, so the comparison isolates
+// Δt.
 #include <cstdio>
+#include <vector>
 
 #include "bench_util.h"
 #include "core/scenario.h"
 #include "sim/engine.h"
+#include "sim/study.h"
 #include "telescope/ims.h"
 #include "topology/reachability.h"
 #include "worms/hitlist.h"
@@ -19,6 +23,7 @@ using namespace hotspots;
 
 int main(int argc, char** argv) {
   const double scale = bench::ScaleArg(argc, argv);
+  const int trials = bench::TrialsArg(4);
   bench::Title("Ablation", "engine step size vs epidemic dynamics");
 
   core::ScenarioBuilder builder;
@@ -33,38 +38,51 @@ int main(int argc, char** argv) {
   worms::HitListWorm worm{selection.prefixes};
   const topology::Reachability reachability{nullptr, nullptr, nullptr, 0.0};
 
+  std::uint64_t total_probes = 0;
+  sim::StudyTelemetry overall;
+  std::printf("  %d trials per step size\n", trials);
   std::printf("  %-8s %-14s %-14s %-14s %s\n", "dt(s)", "t(50% inf)",
-              "t(90% inf)", "probes", "wall(ms)");
+              "t(90% inf)", "probes", "wall(s)");
   for (const double dt : {0.05, 0.1, 0.2}) {
-    scenario.population.ResetAllToVulnerable();
-    sim::EngineConfig engine_config;
-    engine_config.scan_rate = 10.0;
-    engine_config.dt = dt;
-    engine_config.end_time = 2000.0;
-    engine_config.stop_at_infected_fraction = 0.95 * selection.coverage;
-    engine_config.seed = 0xD7D7;
-    sim::Engine engine{scenario.population, worm, reachability, nullptr,
-                       engine_config};
-    engine.SeedRandomInfections(25);
-    const auto start = std::chrono::steady_clock::now();
-    const sim::RunResult result = engine.Run();
-    const auto wall = std::chrono::duration_cast<std::chrono::milliseconds>(
-                          std::chrono::steady_clock::now() - start)
-                          .count();
-    double t50 = -1;
-    double t90 = -1;
-    const double eligible =
-        static_cast<double>(result.eligible_population) * selection.coverage;
-    for (const auto& point : result.series) {
-      if (t50 < 0 && point.infected >= 0.5 * eligible) t50 = point.time;
-      if (t90 < 0 && point.infected >= 0.9 * eligible) t90 = point.time;
+    sim::StudyOptions options;
+    options.master_seed = 0xD7D7;
+    auto study = sim::RunStudy(
+        options, trials, [&](int /*trial*/, std::uint64_t seed) {
+          sim::Population population = scenario.population;
+          sim::EngineConfig engine_config;
+          engine_config.scan_rate = 10.0;
+          engine_config.dt = dt;
+          engine_config.end_time = 2000.0;
+          engine_config.stop_at_infected_fraction = 0.95 * selection.coverage;
+          engine_config.seed = seed;
+          sim::Engine engine{population, worm, reachability, nullptr,
+                             engine_config};
+          engine.SeedRandomInfections(25);
+          return engine.Run();
+        });
+
+    std::vector<double> t50s;
+    std::vector<double> t90s;
+    std::vector<double> probes;
+    for (const sim::RunResult& run : study.trials) {
+      total_probes += run.total_probes;
+      // Milestones are against the covered slice, as in the serial bench.
+      t50s.push_back(
+          sim::TimeToInfectedFraction(run, 0.5 * selection.coverage));
+      t90s.push_back(
+          sim::TimeToInfectedFraction(run, 0.9 * selection.coverage));
+      probes.push_back(static_cast<double>(run.total_probes));
     }
-    std::printf("  %-8.2f %-14.0f %-14.0f %-14llu %lld\n", dt, t50, t90,
-                static_cast<unsigned long long>(result.total_probes),
-                static_cast<long long>(wall));
+    std::printf("  %-8.2f %-14s %-14s %-14s %.2f\n", dt,
+                bench::MeanStd(sim::Summarize(t50s), "%.0f").c_str(),
+                bench::MeanStd(sim::Summarize(t90s), "%.0f").c_str(),
+                bench::MeanStd(sim::Summarize(probes), "%.0f").c_str(),
+                study.telemetry.wall_seconds);
+    overall.Merge(study.telemetry);
   }
   bench::Measured("epidemic milestones (50%% / 90%% of covered hosts) agree "
                   "across step sizes; the default dt = 1/scan_rate is the "
                   "cheapest per simulated second.");
+  bench::PrintStudyThroughput(overall, total_probes);
   return 0;
 }

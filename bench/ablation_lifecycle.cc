@@ -6,8 +6,10 @@
 // patching rate is needed to blunt a hit-list worm, (b) how cleanup
 // (disinfection) interacts with detection — cleaned hosts stop feeding
 // sensors, so aggressive response *reduces* the evidence available to
-// distributed detectors.
+// distributed detectors.  Every sweep point is a Monte-Carlo mean over
+// HOTSPOTS_TRIALS independent outbreaks run across HOTSPOTS_THREADS.
 #include <cstdio>
+#include <vector>
 
 #include "bench_util.h"
 #include "core/detection_study.h"
@@ -19,6 +21,7 @@ using namespace hotspots;
 
 int main(int argc, char** argv) {
   const double scale = bench::ScaleArg(argc, argv);
+  const int trials = bench::TrialsArg(4);
   bench::Title("Ablation", "patching / disinfection / exploit latency");
 
   core::ScenarioBuilder builder;
@@ -32,59 +35,76 @@ int main(int argc, char** argv) {
   worms::HitListWorm worm{selection.prefixes};
   prng::Xoshiro256 rng{5};
   const auto sensors = core::PlaceSensorPerCluster16(scenario, rng);
+  std::printf("  %d trials per sweep point\n", trials);
 
+  std::uint64_t total_probes = 0;
+  sim::StudyTelemetry overall;
   const auto run = [&](double patch, double disinfect, double latency) {
-    core::DetectionStudyConfig study;
-    study.engine.scan_rate = 10.0;
-    study.engine.end_time = 1200.0;
-    study.engine.stop_at_infected_fraction = 0.95 * selection.coverage;
-    study.engine.patch_rate = patch;
-    study.engine.disinfect_rate = disinfect;
-    study.engine.infection_latency = latency;
-    study.engine.seed = 0xF00D;
-    study.alert_threshold = 5;
-    study.seed_infections = 25;
-    return core::RunDetectionStudy(scenario, worm, sensors, study);
+    core::MonteCarloStudyConfig mc;
+    mc.trials = trials;
+    mc.master_seed = 0xF00D;
+    mc.study.engine.scan_rate = 10.0;
+    mc.study.engine.end_time = 1200.0;
+    mc.study.engine.stop_at_infected_fraction = 0.95 * selection.coverage;
+    mc.study.engine.patch_rate = patch;
+    mc.study.engine.disinfect_rate = disinfect;
+    mc.study.engine.infection_latency = latency;
+    mc.study.alert_threshold = 5;
+    mc.study.seed_infections = 25;
+    auto summary =
+        core::RunDetectionStudyMonteCarlo(scenario, worm, sensors, mc);
+    total_probes += summary.total_probes;
+    overall.Merge(summary.telemetry);
+    return summary;
   };
 
   bench::Section("patch-rate sweep (fraction of vulnerable patched per s)");
-  std::printf("  %-10s %-12s %-12s %-10s\n", "rate", "ever-infected",
+  std::printf("  %-10s %-16s %-16s %-10s\n", "rate", "ever-infected",
               "immune", "alerted");
   for (const double rate : {0.0, 0.0005, 0.002, 0.01}) {
     const auto outcome = run(rate, 0.0, 0.0);
-    std::printf("  %-10.4f %-12.3f %-12.3f %zu/%zu\n", rate,
-                outcome.run.FinalInfectedFraction(),
-                static_cast<double>(outcome.run.final_immune) /
-                    static_cast<double>(outcome.run.eligible_population),
-                outcome.alerted_sensors, outcome.total_sensors);
+    std::vector<double> immune;
+    for (const auto& trial : outcome.trials) {
+      immune.push_back(static_cast<double>(trial.run.final_immune) /
+                       static_cast<double>(trial.run.eligible_population));
+    }
+    std::printf("  %-10.4f %-16s %-16s %s\n", rate,
+                bench::MeanStd(outcome.infected_fraction, "%.3f").c_str(),
+                bench::MeanStd(sim::Summarize(immune), "%.3f").c_str(),
+                bench::MeanStd(outcome.alerted_sensors, "%.0f").c_str());
   }
 
   bench::Section("disinfection sweep (cleanup rate of infected hosts)");
-  std::printf("  %-10s %-12s %-12s %-10s\n", "rate", "ever-infected",
+  std::printf("  %-10s %-16s %-16s %-10s\n", "rate", "ever-infected",
               "immune", "alerted");
   for (const double rate : {0.0, 0.001, 0.005, 0.02}) {
     const auto outcome = run(0.0, rate, 0.0);
-    std::printf("  %-10.4f %-12.3f %-12.3f %zu/%zu\n", rate,
-                outcome.run.FinalInfectedFraction(),
-                static_cast<double>(outcome.run.final_immune) /
-                    static_cast<double>(outcome.run.eligible_population),
-                outcome.alerted_sensors, outcome.total_sensors);
+    std::vector<double> immune;
+    for (const auto& trial : outcome.trials) {
+      immune.push_back(static_cast<double>(trial.run.final_immune) /
+                       static_cast<double>(trial.run.eligible_population));
+    }
+    std::printf("  %-10.4f %-16s %-16s %s\n", rate,
+                bench::MeanStd(outcome.infected_fraction, "%.3f").c_str(),
+                bench::MeanStd(sim::Summarize(immune), "%.3f").c_str(),
+                bench::MeanStd(outcome.alerted_sensors, "%.0f").c_str());
   }
 
   bench::Section("exploit-latency sweep (seconds before a new instance scans)");
-  std::printf("  %-10s %-12s %-14s\n", "latency", "ever-infected",
+  std::printf("  %-10s %-16s %-14s\n", "latency", "ever-infected",
               "t(25%% of covered)");
   for (const double latency : {0.0, 5.0, 20.0, 60.0}) {
     const auto outcome = run(0.0, 0.0, latency);
-    double t25 = -1;
-    for (const auto& point : outcome.curve) {
-      if (point.infected_fraction >= 0.25 * selection.coverage) {
-        t25 = point.time;
-        break;
-      }
+    std::vector<double> t25;
+    for (const auto& trial : outcome.trials) {
+      t25.push_back(sim::TimeToInfectedFraction(trial.run,
+                                                0.25 * selection.coverage));
     }
-    std::printf("  %-10.0f %-12.3f %-14.0f\n", latency,
-                outcome.run.FinalInfectedFraction(), t25);
+    const auto t25_stats = sim::Summarize(t25);
+    std::printf("  %-10.0f %-16s %s (%d/%d trials)\n", latency,
+                bench::MeanStd(outcome.infected_fraction, "%.3f").c_str(),
+                bench::MeanStd(t25_stats, "%.0f").c_str(), t25_stats.count,
+                trials);
   }
   bench::Measured(
       "patching races the epidemic and wins only at aggressive rates "
@@ -93,5 +113,6 @@ int main(int argc, char** argv) {
       "pool, and surviving scanners keep sensors alerting; exploit latency "
       "shifts the "
       "whole outbreak curve right without changing its endpoint.");
+  bench::PrintStudyThroughput(overall, total_probes);
   return 0;
 }

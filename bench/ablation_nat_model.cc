@@ -5,11 +5,13 @@
 // arm lets the private epidemic grow — what the paper's simulation needs),
 // versus the strict home-NAT model where every host is alone behind its own
 // device and can never be infected after t=0.  This bench runs the same
-// 192/8 sensor placement against both models and shows the Figure-5c
-// result's sensitivity: with shared private space the 255 sensors light up
-// almost immediately; with per-host sites only the handful of NATed *seed*
-// infections leak, and detection collapses.
+// 192/8 sensor placement against both models — HOTSPOTS_TRIALS Monte-Carlo
+// outbreaks each — and shows the Figure-5c result's sensitivity: with
+// shared private space the 255 sensors light up almost immediately; with
+// per-host sites only the handful of NATed *seed* infections leak, and
+// detection collapses.
 #include <cstdio>
+#include <vector>
 
 #include "bench_util.h"
 #include "core/detection_study.h"
@@ -22,8 +24,12 @@ using namespace hotspots;
 
 int main(int argc, char** argv) {
   const double scale = bench::ScaleArg(argc, argv);
+  const int trials = bench::TrialsArg(4);
   bench::Title("Ablation", "shared-site vs per-host-site NAT modelling");
+  std::printf("  %d trials per site model\n", trials);
 
+  std::uint64_t total_probes = 0;
+  sim::StudyTelemetry overall;
   const worms::CodeRed2Worm worm;
   for (const auto mode : {core::NatSiteMode::kSharedSite,
                           core::NatSiteMode::kPerHostSite}) {
@@ -42,24 +48,35 @@ int main(int argc, char** argv) {
 
     prng::Xoshiro256 rng{3};
     const auto sensors = core::PlaceSensorsAcross192(rng);
-    core::DetectionStudyConfig study;
-    study.engine.scan_rate = 10.0;
-    study.engine.end_time = 1200.0;
-    study.engine.stop_at_infected_fraction = 0.85;
-    study.alert_threshold = 5;
-    study.seed_infections = 25;
+    core::MonteCarloStudyConfig mc;
+    mc.trials = trials;
+    mc.master_seed = 0xAB1A;
+    mc.study.engine.scan_rate = 10.0;
+    mc.study.engine.end_time = 1200.0;
+    mc.study.engine.stop_at_infected_fraction = 0.85;
+    mc.study.alert_threshold = 5;
+    mc.study.seed_infections = 25;
     const auto outcome =
-        core::RunDetectionStudy(scenario, worm, sensors, study);
+        core::RunDetectionStudyMonteCarlo(scenario, worm, sensors, mc);
+    total_probes += outcome.total_probes;
+    overall.Merge(outcome.telemetry);
 
+    std::vector<double> at20;
+    for (const auto& trial : outcome.trials) {
+      at20.push_back(trial.AlertedFractionWhenInfected(0.20));
+    }
+    const std::size_t total_sensors =
+        outcome.trials.empty() ? 0 : outcome.trials.front().total_sensors;
     bench::Section(mode == core::NatSiteMode::kSharedSite
                        ? "shared 192.168/16 site (paper-faithful)"
                        : "per-host sites (strict home-NAT)");
-    std::printf("  NATed hosts: %u; final infected %.1f%%; sensors alerted "
-                "%zu/%zu; alerted at 20%% infection: %.1f%%\n",
+    std::printf("  NATed hosts: %u; final infected %s%%; sensors alerted "
+                "%s of %zu; alerted at 20%% infection: %.1f%%\n",
                 scenario.natted_hosts,
-                100.0 * outcome.run.FinalInfectedFraction(),
-                outcome.alerted_sensors, outcome.total_sensors,
-                100.0 * outcome.AlertedFractionWhenInfected(0.20));
+                bench::MeanStd(outcome.infected_fraction, "%.1f", 100.0)
+                    .c_str(),
+                bench::MeanStd(outcome.alerted_sensors, "%.1f").c_str(),
+                total_sensors, 100.0 * sim::Summarize(at20).mean);
   }
 
   bench::Measured(
@@ -67,5 +84,6 @@ int main(int argc, char** argv) {
       "private epidemic growing — i.e. on NATed hosts sharing reachable "
       "private space. Under strict per-host NATs, only seed infections ever "
       "scan from 192.168 space and the hotspot shrinks accordingly.");
+  bench::PrintStudyThroughput(overall, total_probes);
   return 0;
 }

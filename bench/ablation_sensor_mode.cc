@@ -5,13 +5,17 @@
 // (Section 4.1).  This bench quantifies why: against a TCP worm
 // (CodeRedII), a passive fleet sees the packets but can never *identify*
 // the threat, so payload-based alerting never fires; against a UDP worm
-// (Slammer) the two fleets are equivalent.
+// (Slammer) the two fleets are equivalent.  Each (threat, fleet) cell is a
+// Monte-Carlo mean over HOTSPOTS_TRIALS outbreaks run across
+// HOTSPOTS_THREADS threads.
 #include <cstdio>
+#include <vector>
 
 #include "bench_util.h"
 #include "core/placement.h"
 #include "core/scenario.h"
 #include "sim/engine.h"
+#include "sim/study.h"
 #include "telescope/telescope.h"
 #include "topology/reachability.h"
 #include "worms/codered2.h"
@@ -22,14 +26,17 @@ using namespace hotspots;
 namespace {
 
 struct FleetResult {
-  std::uint64_t identified = 0;
-  std::uint64_t unidentified = 0;
-  std::size_t alerted = 0;
+  std::uint64_t probes = 0;
+  double identified = 0;
+  double unidentified = 0;
+  double alerted = 0;
   std::size_t sensors = 0;
 };
 
-FleetResult RunFleet(core::Scenario& scenario, const sim::Worm& worm,
-                     bool active_responder) {
+/// One (threat, fleet-mode) trial: its own scenario copy, fleet and engine.
+FleetResult RunFleetTrial(const core::Scenario& base, const sim::Worm& worm,
+                          bool active_responder, std::uint64_t seed) {
+  core::Scenario scenario = base;
   scenario.population.ResetAllToVulnerable();
 
   telescope::SensorOptions options;
@@ -51,17 +58,21 @@ FleetResult RunFleet(core::Scenario& scenario, const sim::Worm& worm,
   config.scan_rate = 10.0;
   config.end_time = 600.0;
   config.stop_at_infected_fraction = 0.9;
-  sim::Engine engine{scenario.population, worm, reachability, nullptr, config};
+  config.seed = seed;
+  sim::Engine engine{scenario.population, worm, reachability, nullptr,
+                     config};
   engine.SeedRandomInfections(25);
-  engine.Run(fleet);
+  const sim::RunResult run = engine.Run(fleet);
 
   FleetResult result;
+  result.probes = run.total_probes;
   result.sensors = fleet.size();
-  result.alerted = fleet.AlertedCount();
+  result.alerted = static_cast<double>(fleet.AlertedCount());
   for (std::size_t i = 0; i < fleet.size(); ++i) {
-    result.identified += fleet.sensor(static_cast<int>(i)).probe_count();
-    result.unidentified +=
-        fleet.sensor(static_cast<int>(i)).unidentified_probes();
+    result.identified +=
+        static_cast<double>(fleet.sensor(static_cast<int>(i)).probe_count());
+    result.unidentified += static_cast<double>(
+        fleet.sensor(static_cast<int>(i)).unidentified_probes());
   }
   return result;
 }
@@ -70,6 +81,7 @@ FleetResult RunFleet(core::Scenario& scenario, const sim::Worm& worm,
 
 int main(int argc, char** argv) {
   const double scale = bench::ScaleArg(argc, argv);
+  const int trials = bench::TrialsArg(4);
   bench::Title("Ablation", "active vs passive darknet sensors");
 
   core::ScenarioBuilder builder;
@@ -79,21 +91,42 @@ int main(int argc, char** argv) {
   config.slash8_clusters = 25;
   config.seed = 0x5E0;
   core::Scenario scenario = builder.BuildClustered(config);
+  std::printf("  %d trials per (threat, fleet) cell\n", trials);
 
   const worms::CodeRed2Worm tcp_worm;
   const worms::SlammerWorm udp_worm;
-  std::printf("  %-12s %-8s %-14s %-14s %s\n", "threat", "fleet",
+  std::uint64_t total_probes = 0;
+  sim::StudyTelemetry overall;
+  std::printf("  %-12s %-8s %-18s %-18s %s\n", "threat", "fleet",
               "identified", "unidentified", "alerted");
   for (const auto* worm :
        std::initializer_list<const sim::Worm*>{&tcp_worm, &udp_worm}) {
     for (const bool active : {true, false}) {
-      const FleetResult result = RunFleet(scenario, *worm, active);
-      std::printf("  %-12s %-8s %-14llu %-14llu %zu/%zu\n",
+      sim::StudyOptions options;
+      options.master_seed = 0x5E0 + (active ? 1 : 0);
+      auto study = sim::RunStudy(
+          options, trials, [&](int /*trial*/, std::uint64_t seed) {
+            return RunFleetTrial(scenario, *worm, active, seed);
+          });
+      std::vector<double> identified;
+      std::vector<double> unidentified;
+      std::vector<double> alerted;
+      std::size_t sensors = 0;
+      for (const FleetResult& trial : study.trials) {
+        total_probes += trial.probes;
+        identified.push_back(trial.identified);
+        unidentified.push_back(trial.unidentified);
+        alerted.push_back(trial.alerted);
+        sensors = trial.sensors;
+      }
+      overall.Merge(study.telemetry);
+      std::printf("  %-12s %-8s %-18s %-18s %s/%zu\n",
                   std::string{worm->name()}.c_str(),
                   active ? "active" : "passive",
-                  static_cast<unsigned long long>(result.identified),
-                  static_cast<unsigned long long>(result.unidentified),
-                  result.alerted, result.sensors);
+                  bench::MeanStd(sim::Summarize(identified), "%.0f").c_str(),
+                  bench::MeanStd(sim::Summarize(unidentified), "%.0f").c_str(),
+                  bench::MeanStd(sim::Summarize(alerted), "%.0f").c_str(),
+                  sensors);
     }
   }
   bench::Measured(
@@ -101,5 +134,6 @@ int main(int argc, char** argv) {
       "the same packets but zero identifiable payloads, so payload-based "
       "alerting never fires — the paper's rationale for IMS's active "
       "SYN-ACK responder.");
+  bench::PrintStudyThroughput(overall, total_probes);
   return 0;
 }

@@ -1,11 +1,15 @@
 // Shared helpers for the experiment benches: consistent headers, paper
-// reference callouts, and simple table/series printing.
+// reference callouts, simple table/series printing, and the scale/trial
+// knobs plus Monte-Carlo throughput reporting.
 #pragma once
 
 #include <cstdarg>
 #include <cstdio>
 #include <cstdlib>
+#include <optional>
 #include <string>
+
+#include "sim/study.h"
 
 namespace hotspots::bench {
 
@@ -39,20 +43,96 @@ inline void Measured(const char* fmt, ...) {
   std::printf("\n");
 }
 
+/// Strict double parse: the whole string must be a number.  Unlike atof —
+/// which silently returns 0.0 for garbage — a failure reports the
+/// offending text.
+[[nodiscard]] inline std::optional<double> ParseDouble(const char* text) {
+  if (text == nullptr || *text == '\0') return std::nullopt;
+  char* end = nullptr;
+  const double value = std::strtod(text, &end);
+  if (end == text || *end != '\0') return std::nullopt;
+  return value;
+}
+
 /// Scale factor from argv[1] or HOTSPOTS_SCALE (0 < s ≤ 1); scales the
 /// expensive experiments down for quick runs.  Defaults to 1.0 (full paper
 /// scale).
 inline double ScaleArg(int argc, char** argv, double fallback = 1.0) {
   double scale = fallback;
+  const char* origin = "default";
+  const char* text = nullptr;
   if (const char* env = std::getenv("HOTSPOTS_SCALE")) {
-    scale = std::atof(env);
+    origin = "HOTSPOTS_SCALE";
+    text = env;
   }
-  if (argc > 1) scale = std::atof(argv[1]);
+  if (argc > 1) {
+    origin = "argv[1]";
+    text = argv[1];
+  }
+  if (text != nullptr) {
+    const std::optional<double> parsed = ParseDouble(text);
+    if (!parsed) {
+      std::fprintf(stderr, "%s: scale must be a number in (0,1]; got \"%s\"\n",
+                   origin, text);
+      std::exit(2);
+    }
+    scale = *parsed;
+  }
   if (scale <= 0.0 || scale > 1.0) {
-    std::fprintf(stderr, "scale must be in (0,1]; got %f\n", scale);
+    std::fprintf(stderr, "%s: scale must be in (0,1]; got %f\n", origin,
+                 scale);
     std::exit(2);
   }
   return scale;
+}
+
+/// Monte-Carlo trial count from HOTSPOTS_TRIALS (≥ 1); `fallback` when
+/// unset.  The statistical benches use this to trade runtime for tighter
+/// confidence intervals.
+inline int TrialsArg(int fallback) {
+  const char* env = std::getenv("HOTSPOTS_TRIALS");
+  if (env == nullptr) return fallback;
+  const std::optional<double> parsed = ParseDouble(env);
+  const int trials = parsed ? static_cast<int>(*parsed) : 0;
+  if (!parsed || trials < 1 || static_cast<double>(trials) != *parsed) {
+    std::fprintf(stderr,
+                 "HOTSPOTS_TRIALS: trial count must be a positive integer; "
+                 "got \"%s\"\n",
+                 env);
+    std::exit(2);
+  }
+  return trials;
+}
+
+/// Prints a study's throughput instrumentation: wall clock, realized
+/// parallel speedup, per-trial cost and probe rate.
+inline void PrintStudyThroughput(const sim::StudyTelemetry& telemetry,
+                                 std::uint64_t total_probes) {
+  const double serial = telemetry.TotalTrialSeconds();
+  const double speedup =
+      telemetry.wall_seconds > 0.0 ? serial / telemetry.wall_seconds : 0.0;
+  std::printf(
+      "  [mc   ] %d trials on %d threads: %.2fs wall (serial-equivalent "
+      "%.2fs, speedup %.2fx, peak %d concurrent), %.3fs/trial, %.2fM "
+      "probes/s\n",
+      telemetry.trials, telemetry.threads_used, telemetry.wall_seconds,
+      serial, speedup, telemetry.peak_concurrent_trials,
+      telemetry.MeanTrialSeconds(),
+      telemetry.wall_seconds > 0.0
+          ? static_cast<double>(total_probes) / telemetry.wall_seconds / 1e6
+          : 0.0);
+}
+
+/// Formats mean ± stddev compactly; `scale` converts units (100 → percent).
+inline std::string MeanStd(const sim::SummaryStats& stats, const char* fmt,
+                           double scale = 1.0) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof buffer, fmt, scale * stats.mean);
+  std::string text{buffer};
+  std::snprintf(buffer, sizeof buffer, fmt, scale * stats.stddev);
+  text += "±";
+  text += buffer;
+  return text;
 }
 
 }  // namespace hotspots::bench

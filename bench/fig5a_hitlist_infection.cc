@@ -5,15 +5,17 @@
 // /8s — synthesized with the same shape), 25 random seeds, 10 probes/s.
 // Four worms, each restricted to a greedy /16 hit-list of 10 / 100 / 1000 /
 // 4481 prefixes.  Prints the hit-list coverage (paper: 10.60 %, 50.49 %,
-// 91.33 %, 100 %) and the infected-fraction time series: small lists
-// saturate their slice fastest (high vulnerable density); the full list
-// reaches everyone but much more slowly.
+// 91.33 %, 100 %) and the mean infected-fraction time series over
+// HOTSPOTS_TRIALS independent outbreaks (parallel across
+// HOTSPOTS_THREADS): small lists saturate their slice fastest (high
+// vulnerable density); the full list reaches everyone but much more slowly.
 #include <cstdio>
 #include <vector>
 
 #include "bench_util.h"
 #include "core/scenario.h"
 #include "sim/engine.h"
+#include "sim/study.h"
 #include "telescope/ims.h"
 #include "topology/reachability.h"
 #include "worms/hitlist.h"
@@ -22,6 +24,7 @@ using namespace hotspots;
 
 int main(int argc, char** argv) {
   const double scale = bench::ScaleArg(argc, argv);
+  const int trials = bench::TrialsArg(4);
   bench::Title("Figure 5a", "infection rate vs hit-list size");
 
   core::ScenarioBuilder builder;
@@ -35,9 +38,9 @@ int main(int argc, char** argv) {
   config.seed = 0xF16B;  // Same population as fig5b for comparability.
   core::Scenario scenario = builder.BuildClustered(config);
   std::printf("vulnerable population: %u hosts, %zu non-empty /16s, %zu "
-              "/8s\n",
+              "/8s; %d trials per hit-list size\n",
               scenario.public_hosts, scenario.slash16_clusters.size(),
-              scenario.slash8_clusters.size());
+              scenario.slash8_clusters.size(), trials);
   bench::PaperSays("134,586 hosts clustered in 47 /8 networks; hit-list "
                    "coverage 10.60%% / 50.49%% / 91.33%% / 100%%.");
 
@@ -45,49 +48,69 @@ int main(int argc, char** argv) {
                             static_cast<int>(scenario.slash16_clusters.size())};
   const topology::Reachability reachability{nullptr, nullptr, nullptr, 0.0};
 
-  // Collect all series, then print a merged table (time x four columns).
-  std::vector<std::vector<sim::SamplePoint>> series;
-  std::vector<double> coverages;
+  // Collect all trial runs per list size, then print a merged mean table.
+  std::vector<std::vector<sim::RunResult>> runs_by_size;
+  std::uint64_t total_probes = 0;
+  sim::StudyTelemetry overall;
   for (const int size : kListSizes) {
     const auto selection = core::GreedyHitList(scenario, size);
-    coverages.push_back(selection.coverage);
     worms::HitListWorm worm{selection.prefixes};
 
-    scenario.population.ResetAllToVulnerable();
-    sim::EngineConfig engine_config;
-    engine_config.scan_rate = 10.0;
-    engine_config.end_time = 2500.0;
-    engine_config.sample_interval = 25.0;
-    engine_config.seed = 0x5A + static_cast<std::uint64_t>(size);
-    // Stop once the covered slice is (almost) fully infected.
-    engine_config.stop_at_infected_fraction = 0.995 * selection.coverage;
-    sim::Engine engine{scenario.population, worm, reachability, nullptr,
-                       engine_config};
-    engine.SeedRandomInfections(25);
-    const sim::RunResult result = engine.Run();
-    series.push_back(result.series);
+    sim::StudyOptions options;
+    options.master_seed = 0x5A + static_cast<std::uint64_t>(size);
+    auto study = sim::RunStudy(
+        options, trials, [&](int /*trial*/, std::uint64_t seed) {
+          // Per-trial copy: the engine mutates host states, so every trial
+          // owns its population (the scenario itself stays pristine).
+          sim::Population population = scenario.population;
+          sim::EngineConfig engine_config;
+          engine_config.scan_rate = 10.0;
+          engine_config.end_time = 2500.0;
+          engine_config.sample_interval = 25.0;
+          engine_config.seed = seed;
+          // Stop once the covered slice is (almost) fully infected.
+          engine_config.stop_at_infected_fraction = 0.995 * selection.coverage;
+          sim::Engine engine{population, worm, reachability, nullptr,
+                             engine_config};
+          engine.SeedRandomInfections(25);
+          return engine.Run();
+        });
+
+    std::vector<double> final_fraction;
+    std::vector<double> end_times;
+    for (const sim::RunResult& run : study.trials) {
+      total_probes += run.total_probes;
+      final_fraction.push_back(run.FinalInfectedFraction());
+      end_times.push_back(run.end_time);
+    }
+    const auto fraction_stats = sim::Summarize(final_fraction);
+    const auto end_stats = sim::Summarize(end_times);
     std::printf("  hit-list %4d /16s: coverage %6.2f%%, final infected "
-                "%6.2f%% at t=%.0fs (%llu probes)\n",
+                "%s%% at t=%s s\n",
                 size, 100.0 * selection.coverage,
-                100.0 * result.FinalInfectedFraction(), result.end_time,
-                static_cast<unsigned long long>(result.total_probes));
+                bench::MeanStd(fraction_stats, "%.2f", 100.0).c_str(),
+                bench::MeanStd(end_stats, "%.0f").c_str());
+
+    overall.Merge(study.telemetry);
+    runs_by_size.push_back(std::move(study.trials));
   }
 
-  bench::Section("infected fraction over time (%% of total vulnerable pop)");
+  bench::Section(
+      "mean infected fraction over time (%% of total vulnerable pop)");
   std::printf("  %-8s", "t(s)");
   for (const int size : kListSizes) std::printf(" list-%-6d", size);
   std::printf("\n");
-  const double eligible = scenario.population.size();
-  for (double t = 0; t <= 2500.0; t += 125.0) {
-    std::printf("  %-8.0f", t);
-    for (const auto& s : series) {
-      // Find the last sample at or before t (series may end early).
-      double fraction = 0.0;
-      for (const auto& point : s) {
-        if (point.time > t) break;
-        fraction = static_cast<double>(point.infected) / eligible;
-      }
-      std::printf(" %-10.4f", fraction);
+  std::vector<double> grid;
+  for (double t = 0; t <= 2500.0; t += 125.0) grid.push_back(t);
+  const double eligible = static_cast<double>(scenario.population.size());
+  std::vector<std::vector<double>> means;
+  for (const auto& runs : runs_by_size) {
+    means.push_back(sim::MeanInfectedAtTimes(runs, grid));
+  }
+  for (std::size_t row = 0; row < grid.size(); ++row) {
+    std::printf("  %-8.0f", grid[row]);
+    for (const auto& mean : means) {
+      std::printf(" %-10.4f", mean[row] / eligible);
     }
     std::printf("\n");
   }
@@ -95,5 +118,6 @@ int main(int argc, char** argv) {
                    "(higher vulnerable density); larger lists reach more of "
                    "the population but more slowly — the speed/coverage "
                    "trade-off of hit-list scanning.");
+  bench::PrintStudyThroughput(overall, total_probes);
   return 0;
 }

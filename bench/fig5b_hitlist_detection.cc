@@ -7,6 +7,10 @@
 // instantaneous quorum detector never fires — with the small lists under
 // 1 % of sensors ever alert, and even the full list leaves most sensors
 // silent while the population is being infected.
+//
+// Statistics are Monte-Carlo: HOTSPOTS_TRIALS independent outbreaks per
+// hit-list size (different seed placements and scan randomness), fanned
+// out across HOTSPOTS_THREADS worker threads and averaged.
 #include <cstdio>
 #include <vector>
 
@@ -22,6 +26,7 @@ using namespace hotspots;
 
 int main(int argc, char** argv) {
   const double scale = bench::ScaleArg(argc, argv);
+  const int trials = bench::TrialsArg(4);
   bench::Title("Figure 5b", "sensor alert rate vs hit-list size");
 
   core::ScenarioBuilder builder;
@@ -36,8 +41,9 @@ int main(int argc, char** argv) {
   prng::Xoshiro256 placement_rng{0x5E45u};
   const auto sensors = core::PlaceSensorPerCluster16(scenario, placement_rng);
   std::printf("population: %u hosts; sensors: %zu /24 darknets (one per "
-              "populated /16), alert threshold 5 payloads\n",
-              scenario.public_hosts, sensors.size());
+              "populated /16), alert threshold 5 payloads; %d trials per "
+              "hit-list size\n",
+              scenario.public_hosts, sensors.size(), trials);
 
   const int kListSizes[] = {10, 100, 1000,
                             static_cast<int>(scenario.slash16_clusters.size())};
@@ -45,63 +51,74 @@ int main(int argc, char** argv) {
   struct Row {
     int list_size;
     double coverage;
-    core::DetectionOutcome outcome;
+    core::MonteCarloDetectionSummary mc;
   };
   std::vector<Row> rows;
+  std::uint64_t total_probes = 0;
+  sim::StudyTelemetry overall;
   for (const int size : kListSizes) {
     const auto selection = core::GreedyHitList(scenario, size);
     worms::HitListWorm worm{selection.prefixes};
-    core::DetectionStudyConfig study;
-    study.engine.scan_rate = 10.0;
-    study.engine.end_time = 2500.0;
-    study.engine.sample_interval = 25.0;
-    study.engine.seed = 0xB5 + static_cast<std::uint64_t>(size);
-    study.engine.stop_at_infected_fraction = 0.995 * selection.coverage;
-    study.alert_threshold = 5;
-    study.seed_infections = 25;
-    rows.push_back(Row{size, selection.coverage,
-                       core::RunDetectionStudy(scenario, worm, sensors,
-                                               study)});
+    core::MonteCarloStudyConfig mc;
+    mc.trials = trials;
+    mc.master_seed = 0xB5 + static_cast<std::uint64_t>(size);
+    mc.study.engine.scan_rate = 10.0;
+    mc.study.engine.end_time = 2500.0;
+    mc.study.engine.sample_interval = 25.0;
+    mc.study.engine.stop_at_infected_fraction = 0.995 * selection.coverage;
+    mc.study.alert_threshold = 5;
+    mc.study.seed_infections = 25;
+    Row row{size, selection.coverage,
+            core::RunDetectionStudyMonteCarlo(scenario, worm, sensors, mc)};
+    total_probes += row.mc.total_probes;
+    overall.Merge(row.mc.telemetry);
+    rows.push_back(std::move(row));
   }
 
-  bench::Section("fraction of sensors alerting over time");
+  bench::Section("mean fraction of sensors alerting over time");
   std::printf("  %-8s", "t(s)");
   for (const Row& row : rows) std::printf(" list-%-6d", row.list_size);
   std::printf("\n");
   for (double t = 0; t <= 2500.0; t += 125.0) {
     std::printf("  %-8.0f", t);
     for (const Row& row : rows) {
-      double fraction = 0.0;
-      for (const auto& point : row.outcome.curve) {
-        if (point.time > t) break;
-        fraction = point.alerted_fraction;
-      }
-      std::printf(" %-10.4f", fraction);
+      std::printf(" %-10.4f", row.mc.MeanCurveAt(t).alerted_fraction);
     }
     std::printf("\n");
   }
 
-  bench::Section("summary: blindness of the distributed detector");
+  bench::Section("summary: blindness of the distributed detector "
+                 "(mean±stddev across trials)");
   for (const Row& row : rows) {
-    std::printf("  hit-list %4d: coverage %6.2f%%, final infected %6.2f%%, "
-                "sensors alerted %5zu/%zu (%.2f%%); alerted when 90%% of "
-                "covered hosts infected: %.2f%%\n",
-                row.list_size, 100.0 * row.coverage,
-                100.0 * row.outcome.run.FinalInfectedFraction(),
-                row.outcome.alerted_sensors, row.outcome.total_sensors,
-                100.0 * row.outcome.alerted_sensors /
-                    static_cast<double>(row.outcome.total_sensors),
-                100.0 * row.outcome.AlertedFractionWhenInfected(
-                            0.9 * row.coverage));
-    const auto quorum = telescope::QuorumDetectionTime(
-        row.outcome.alert_times, row.outcome.total_sensors, 0.5);
-    std::printf("    quorum detector (50%% of sensors): %s\n",
-                quorum ? "fires" : "NEVER fires");
+    const std::size_t total_sensors =
+        row.mc.trials.empty() ? 0 : row.mc.trials.front().total_sensors;
+    // The alerted fraction at the moment 90% of covered hosts are infected,
+    // averaged across trials.
+    std::vector<double> alerted_at_90;
+    for (const auto& trial : row.mc.trials) {
+      alerted_at_90.push_back(
+          trial.AlertedFractionWhenInfected(0.9 * row.coverage));
+    }
+    const auto at_90 = sim::Summarize(alerted_at_90);
+    std::printf(
+        "  hit-list %4d: coverage %6.2f%%, final infected %s%%, sensors "
+        "alerted %s of %zu (%s%%); alerted when 90%% of covered hosts "
+        "infected: %.2f%%\n",
+        row.list_size, 100.0 * row.coverage,
+        bench::MeanStd(row.mc.infected_fraction, "%.2f", 100.0).c_str(),
+        bench::MeanStd(row.mc.alerted_sensors, "%.1f").c_str(), total_sensors,
+        bench::MeanStd(row.mc.alerted_fraction, "%.2f", 100.0).c_str(),
+        100.0 * at_90.mean);
+    const int quorum_trials = row.mc.TrialsWithQuorum(0.5);
+    std::printf("    quorum detector (50%% of sensors): fires in %d/%d "
+                "trials\n",
+                quorum_trials, trials);
   }
   bench::PaperSays("even with no false positives and instantaneous sensor "
                    "communication, a quorum-based approach would likely "
                    "never alert; when >90%% of the vulnerable population is "
                    "infected, only slightly more than 20%% of detectors have "
                    "alerted.");
+  bench::PrintStudyThroughput(overall, total_probes);
   return 0;
 }

@@ -206,28 +206,31 @@ bench/CMakeFiles/ablation_prng_lineage.dir/ablation_prng_lineage.cc.o: \
  /usr/include/c++/12/bits/vector.tcc /root/repo/src/analysis/uniformity.h \
  /usr/include/c++/12/span /usr/include/c++/12/array \
  /usr/include/c++/12/cstddef /root/repo/bench/bench_util.h \
- /usr/include/c++/12/cstdarg /root/repo/src/telescope/telescope.h \
- /root/repo/src/net/slash16_index.h /usr/include/c++/12/algorithm \
+ /usr/include/c++/12/cstdarg /usr/include/c++/12/optional \
+ /root/repo/src/sim/study.h /usr/include/c++/12/functional \
+ /usr/include/c++/12/bits/std_function.h \
+ /usr/include/c++/12/unordered_map \
+ /usr/include/c++/12/bits/unordered_map.h \
  /usr/include/c++/12/bits/stl_algo.h \
  /usr/include/c++/12/bits/algorithmfwd.h \
  /usr/include/c++/12/bits/stl_heap.h \
- /usr/include/c++/12/bits/uniform_int_dist.h \
- /usr/include/c++/12/bits/ranges_algo.h \
+ /usr/include/c++/12/bits/uniform_int_dist.h /usr/include/c++/12/utility \
+ /usr/include/c++/12/bits/stl_relops.h /root/repo/src/sim/engine.h \
+ /root/repo/src/prng/xoshiro.h /root/repo/src/prng/splitmix.h \
+ /root/repo/src/sim/observer.h /root/repo/src/net/ipv4.h \
+ /root/repo/src/sim/host.h /root/repo/src/topology/nat.h \
+ /root/repo/src/net/prefix.h /root/repo/src/net/special_ranges.h \
+ /root/repo/src/topology/org.h /root/repo/src/net/interval_set.h \
+ /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
- /root/repo/src/net/interval_set.h /usr/include/c++/12/optional \
- /root/repo/src/net/ipv4.h /usr/include/c++/12/functional \
- /usr/include/c++/12/bits/std_function.h \
- /usr/include/c++/12/unordered_map \
- /usr/include/c++/12/bits/unordered_map.h /root/repo/src/net/prefix.h \
- /root/repo/src/sim/observer.h /root/repo/src/sim/host.h \
- /root/repo/src/topology/nat.h /root/repo/src/net/special_ranges.h \
- /root/repo/src/topology/org.h /root/repo/src/topology/reachability.h \
- /root/repo/src/prng/xoshiro.h /root/repo/src/prng/splitmix.h \
- /root/repo/src/topology/filtering.h /root/repo/src/telescope/sensor.h \
- /root/repo/src/worms/blaster.h /root/repo/src/prng/msvc_rand.h \
- /root/repo/src/prng/lcg.h /root/repo/src/prng/tickcount.h \
- /root/repo/src/sim/targeting.h /root/repo/src/worms/codered1.h \
+ /root/repo/src/topology/reachability.h \
+ /root/repo/src/topology/filtering.h /root/repo/src/sim/population.h \
+ /root/repo/src/sim/flat_table.h /root/repo/src/sim/targeting.h \
+ /root/repo/src/telescope/telescope.h /root/repo/src/net/slash16_index.h \
+ /root/repo/src/telescope/sensor.h /root/repo/src/worms/blaster.h \
+ /root/repo/src/prng/msvc_rand.h /root/repo/src/prng/lcg.h \
+ /root/repo/src/prng/tickcount.h /root/repo/src/worms/codered1.h \
  /root/repo/src/worms/codered2.h /root/repo/src/worms/slammer.h \
  /root/repo/src/prng/lcg_cycles.h /root/repo/src/worms/uniform.h \
  /root/repo/src/worms/witty.h

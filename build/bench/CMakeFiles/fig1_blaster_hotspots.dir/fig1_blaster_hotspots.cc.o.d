@@ -170,10 +170,9 @@ bench/CMakeFiles/fig1_blaster_hotspots.dir/fig1_blaster_hotspots.cc.o: \
  /usr/include/c++/12/bits/basic_string.tcc /root/repo/src/net/prefix.h \
  /root/repo/src/analysis/uniformity.h /usr/include/c++/12/span \
  /usr/include/c++/12/cstddef /root/repo/bench/bench_util.h \
- /usr/include/c++/12/cstdarg /root/repo/src/net/special_ranges.h \
- /root/repo/src/prng/tickcount.h /root/repo/src/prng/xoshiro.h \
- /root/repo/src/prng/splitmix.h /root/repo/src/telescope/ims.h \
- /root/repo/src/telescope/telescope.h /usr/include/c++/12/memory \
+ /usr/include/c++/12/cstdarg /root/repo/src/sim/study.h \
+ /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
+ /root/repo/src/sim/engine.h /usr/include/c++/12/memory \
  /usr/include/c++/12/bits/stl_raw_storage_iter.h \
  /usr/include/c++/12/bits/align.h /usr/include/c++/12/bit \
  /usr/include/c++/12/bits/unique_ptr.h /usr/include/c++/12/ostream \
@@ -241,10 +240,14 @@ bench/CMakeFiles/fig1_blaster_hotspots.dir/fig1_blaster_hotspots.cc.o: \
  /usr/include/c++/12/bits/ranges_uninitialized.h \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
- /root/repo/src/net/slash16_index.h /root/repo/src/net/interval_set.h \
+ /root/repo/src/prng/xoshiro.h /root/repo/src/prng/splitmix.h \
  /root/repo/src/sim/observer.h /root/repo/src/sim/host.h \
- /root/repo/src/topology/nat.h /root/repo/src/topology/org.h \
+ /root/repo/src/topology/nat.h /root/repo/src/net/special_ranges.h \
+ /root/repo/src/topology/org.h /root/repo/src/net/interval_set.h \
  /root/repo/src/topology/reachability.h \
- /root/repo/src/topology/filtering.h /root/repo/src/telescope/sensor.h \
- /root/repo/src/worms/blaster.h /root/repo/src/prng/msvc_rand.h \
- /root/repo/src/prng/lcg.h /root/repo/src/sim/targeting.h
+ /root/repo/src/topology/filtering.h /root/repo/src/sim/population.h \
+ /root/repo/src/sim/flat_table.h /root/repo/src/sim/targeting.h \
+ /root/repo/src/prng/tickcount.h /root/repo/src/telescope/ims.h \
+ /root/repo/src/telescope/telescope.h /root/repo/src/net/slash16_index.h \
+ /root/repo/src/telescope/sensor.h /root/repo/src/worms/blaster.h \
+ /root/repo/src/prng/msvc_rand.h /root/repo/src/prng/lcg.h

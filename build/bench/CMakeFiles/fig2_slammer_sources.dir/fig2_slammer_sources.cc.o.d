@@ -131,14 +131,12 @@ bench/CMakeFiles/fig2_slammer_sources.dir/fig2_slammer_sources.cc.o: \
  /usr/include/x86_64-linux-gnu/bits/types/error_t.h \
  /usr/include/c++/12/bits/charconv.h \
  /usr/include/c++/12/bits/basic_string.tcc /root/repo/bench/bench_util.h \
- /usr/include/c++/12/cstdarg /root/repo/src/prng/xoshiro.h \
- /root/repo/src/prng/splitmix.h /root/repo/src/telescope/ims.h \
- /root/repo/src/net/prefix.h /usr/include/c++/12/optional \
+ /usr/include/c++/12/cstdarg /usr/include/c++/12/optional \
  /usr/include/c++/12/exception /usr/include/c++/12/bits/exception_ptr.h \
  /usr/include/c++/12/bits/cxxabi_init_exception.h \
  /usr/include/c++/12/typeinfo /usr/include/c++/12/bits/nested_exception.h \
  /usr/include/c++/12/bits/enable_special_members.h \
- /root/repo/src/net/ipv4.h /usr/include/c++/12/functional \
+ /root/repo/src/sim/study.h /usr/include/c++/12/functional \
  /usr/include/c++/12/tuple /usr/include/c++/12/bits/uses_allocator.h \
  /usr/include/c++/12/bits/std_function.h \
  /usr/include/c++/12/unordered_map \
@@ -147,7 +145,8 @@ bench/CMakeFiles/fig2_slammer_sources.dir/fig2_slammer_sources.cc.o: \
  /usr/include/c++/12/bits/hashtable_policy.h \
  /usr/include/c++/12/bits/node_handle.h \
  /usr/include/c++/12/bits/unordered_map.h \
- /usr/include/c++/12/bits/erase_if.h /root/repo/src/telescope/telescope.h \
+ /usr/include/c++/12/bits/erase_if.h /usr/include/c++/12/utility \
+ /usr/include/c++/12/bits/stl_relops.h /root/repo/src/sim/engine.h \
  /usr/include/c++/12/memory \
  /usr/include/c++/12/bits/stl_raw_storage_iter.h \
  /usr/include/c++/12/bits/align.h /usr/include/c++/12/bit \
@@ -216,13 +215,17 @@ bench/CMakeFiles/fig2_slammer_sources.dir/fig2_slammer_sources.cc.o: \
  /usr/include/c++/12/bits/ranges_uninitialized.h \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
- /root/repo/src/net/slash16_index.h /root/repo/src/net/interval_set.h \
- /root/repo/src/sim/observer.h /root/repo/src/sim/host.h \
- /root/repo/src/topology/nat.h /root/repo/src/net/special_ranges.h \
+ /root/repo/src/prng/xoshiro.h /root/repo/src/prng/splitmix.h \
+ /root/repo/src/sim/observer.h /root/repo/src/net/ipv4.h \
+ /root/repo/src/sim/host.h /root/repo/src/topology/nat.h \
+ /root/repo/src/net/prefix.h /root/repo/src/net/special_ranges.h \
  /usr/include/c++/12/span /usr/include/c++/12/cstddef \
- /root/repo/src/topology/org.h /root/repo/src/topology/reachability.h \
- /root/repo/src/topology/filtering.h /root/repo/src/telescope/sensor.h \
+ /root/repo/src/topology/org.h /root/repo/src/net/interval_set.h \
+ /root/repo/src/topology/reachability.h \
+ /root/repo/src/topology/filtering.h /root/repo/src/sim/population.h \
+ /root/repo/src/sim/flat_table.h /root/repo/src/sim/targeting.h \
+ /root/repo/src/telescope/ims.h /root/repo/src/telescope/telescope.h \
+ /root/repo/src/net/slash16_index.h /root/repo/src/telescope/sensor.h \
  /usr/include/c++/12/unordered_set \
  /usr/include/c++/12/bits/unordered_set.h /root/repo/src/worms/slammer.h \
- /root/repo/src/prng/lcg.h /root/repo/src/prng/lcg_cycles.h \
- /root/repo/src/sim/targeting.h
+ /root/repo/src/prng/lcg.h /root/repo/src/prng/lcg_cycles.h

@@ -112,8 +112,12 @@ bench/CMakeFiles/fig3_slammer_cycles.dir/fig3_slammer_cycles.cc.o: \
  /usr/include/c++/12/bits/functional_hash.h \
  /usr/include/c++/12/bits/hash_bytes.h /usr/include/c++/12/bits/refwrap.h \
  /usr/include/c++/12/bits/vector.tcc /root/repo/bench/bench_util.h \
- /usr/include/c++/12/cstdarg /usr/include/c++/12/string \
- /usr/include/c++/12/bits/stringfwd.h \
+ /usr/include/c++/12/cstdarg /usr/include/c++/12/optional \
+ /usr/include/c++/12/exception /usr/include/c++/12/bits/exception_ptr.h \
+ /usr/include/c++/12/bits/cxxabi_init_exception.h \
+ /usr/include/c++/12/typeinfo /usr/include/c++/12/bits/nested_exception.h \
+ /usr/include/c++/12/bits/enable_special_members.h \
+ /usr/include/c++/12/string /usr/include/c++/12/bits/stringfwd.h \
  /usr/include/c++/12/bits/char_traits.h \
  /usr/include/c++/12/bits/postypes.h /usr/include/c++/12/cwchar \
  /usr/include/wchar.h /usr/include/x86_64-linux-gnu/bits/wchar.h \
@@ -137,22 +141,13 @@ bench/CMakeFiles/fig3_slammer_cycles.dir/fig3_slammer_cycles.cc.o: \
  /usr/include/asm-generic/errno.h /usr/include/asm-generic/errno-base.h \
  /usr/include/x86_64-linux-gnu/bits/types/error_t.h \
  /usr/include/c++/12/bits/charconv.h \
- /usr/include/c++/12/bits/basic_string.tcc \
- /root/repo/src/prng/lcg_cycles.h /root/repo/src/net/prefix.h \
- /usr/include/c++/12/optional /usr/include/c++/12/exception \
- /usr/include/c++/12/bits/exception_ptr.h \
- /usr/include/c++/12/bits/cxxabi_init_exception.h \
- /usr/include/c++/12/typeinfo /usr/include/c++/12/bits/nested_exception.h \
- /usr/include/c++/12/bits/enable_special_members.h \
- /root/repo/src/net/ipv4.h /usr/include/c++/12/array \
+ /usr/include/c++/12/bits/basic_string.tcc /root/repo/src/sim/study.h \
  /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
  /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
  /usr/include/c++/12/bits/hashtable_policy.h \
- /usr/include/c++/12/bits/unordered_map.h /root/repo/src/prng/lcg.h \
- /usr/include/c++/12/stdexcept /root/repo/src/prng/spectral.h \
- /root/repo/src/prng/xoshiro.h /root/repo/src/prng/splitmix.h \
- /root/repo/src/telescope/ims.h /root/repo/src/telescope/telescope.h \
- /usr/include/c++/12/memory \
+ /usr/include/c++/12/bits/unordered_map.h /usr/include/c++/12/array \
+ /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
+ /root/repo/src/sim/engine.h /usr/include/c++/12/memory \
  /usr/include/c++/12/bits/stl_raw_storage_iter.h \
  /usr/include/c++/12/bits/align.h /usr/include/c++/12/bit \
  /usr/include/c++/12/bits/unique_ptr.h /usr/include/c++/12/ostream \
@@ -177,7 +172,8 @@ bench/CMakeFiles/fig3_slammer_cycles.dir/fig3_slammer_cycles.cc.o: \
  /usr/include/c++/12/bits/locale_classes.tcc \
  /usr/include/c++/12/system_error \
  /usr/include/x86_64-linux-gnu/c++/12/bits/error_constants.h \
- /usr/include/c++/12/streambuf /usr/include/c++/12/bits/streambuf.tcc \
+ /usr/include/c++/12/stdexcept /usr/include/c++/12/streambuf \
+ /usr/include/c++/12/bits/streambuf.tcc \
  /usr/include/c++/12/bits/basic_ios.h \
  /usr/include/c++/12/bits/locale_facets.h /usr/include/c++/12/cwctype \
  /usr/include/wctype.h /usr/include/x86_64-linux-gnu/bits/wctype-wchar.h \
@@ -219,12 +215,17 @@ bench/CMakeFiles/fig3_slammer_cycles.dir/fig3_slammer_cycles.cc.o: \
  /usr/include/c++/12/bits/ranges_uninitialized.h \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
- /root/repo/src/net/slash16_index.h /root/repo/src/net/interval_set.h \
- /root/repo/src/sim/observer.h /root/repo/src/sim/host.h \
- /root/repo/src/topology/nat.h /root/repo/src/net/special_ranges.h \
+ /root/repo/src/prng/xoshiro.h /root/repo/src/prng/splitmix.h \
+ /root/repo/src/sim/observer.h /root/repo/src/net/ipv4.h \
+ /root/repo/src/sim/host.h /root/repo/src/topology/nat.h \
+ /root/repo/src/net/prefix.h /root/repo/src/net/special_ranges.h \
  /usr/include/c++/12/span /usr/include/c++/12/cstddef \
- /root/repo/src/topology/org.h /root/repo/src/topology/reachability.h \
- /root/repo/src/topology/filtering.h /root/repo/src/telescope/sensor.h \
- /usr/include/c++/12/unordered_set \
- /usr/include/c++/12/bits/unordered_set.h /root/repo/src/worms/slammer.h \
- /root/repo/src/sim/targeting.h
+ /root/repo/src/topology/org.h /root/repo/src/net/interval_set.h \
+ /root/repo/src/topology/reachability.h \
+ /root/repo/src/topology/filtering.h /root/repo/src/sim/population.h \
+ /root/repo/src/sim/flat_table.h /root/repo/src/sim/targeting.h \
+ /root/repo/src/prng/lcg_cycles.h /root/repo/src/prng/lcg.h \
+ /root/repo/src/prng/spectral.h /root/repo/src/telescope/ims.h \
+ /root/repo/src/telescope/telescope.h /root/repo/src/net/slash16_index.h \
+ /root/repo/src/telescope/sensor.h /usr/include/c++/12/unordered_set \
+ /usr/include/c++/12/bits/unordered_set.h /root/repo/src/worms/slammer.h

@@ -224,6 +224,7 @@ examples/CMakeFiles/botnet_hitlist_outbreak.dir/botnet_hitlist_outbreak.cpp.o: \
  /usr/include/c++/12/bits/unordered_set.h /root/repo/src/sim/population.h \
  /root/repo/src/sim/flat_table.h /root/repo/src/sim/engine.h \
  /root/repo/src/sim/observer.h /root/repo/src/topology/reachability.h \
- /root/repo/src/topology/filtering.h /root/repo/src/telescope/telescope.h \
- /root/repo/src/net/slash16_index.h /root/repo/src/telescope/sensor.h \
- /root/repo/src/core/placement.h
+ /root/repo/src/topology/filtering.h /root/repo/src/sim/study.h \
+ /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
+ /root/repo/src/telescope/telescope.h /root/repo/src/net/slash16_index.h \
+ /root/repo/src/telescope/sensor.h /root/repo/src/core/placement.h

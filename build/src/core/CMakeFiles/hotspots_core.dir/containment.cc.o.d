@@ -227,5 +227,7 @@ src/core/CMakeFiles/hotspots_core.dir/containment.cc.o: \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
  /root/repo/src/sim/observer.h /root/repo/src/topology/reachability.h \
  /root/repo/src/topology/filtering.h /root/repo/src/sim/targeting.h \
+ /root/repo/src/sim/study.h /usr/include/c++/12/utility \
+ /usr/include/c++/12/bits/stl_relops.h \
  /root/repo/src/telescope/telescope.h /root/repo/src/net/slash16_index.h \
  /root/repo/src/telescope/sensor.h /root/repo/src/telescope/alerting.h

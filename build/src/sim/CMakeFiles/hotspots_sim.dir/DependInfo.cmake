@@ -10,6 +10,7 @@ set(CMAKE_DEPENDS_LANGUAGES
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/sim/engine.cc" "src/sim/CMakeFiles/hotspots_sim.dir/engine.cc.o" "gcc" "src/sim/CMakeFiles/hotspots_sim.dir/engine.cc.o.d"
   "/root/repo/src/sim/population.cc" "src/sim/CMakeFiles/hotspots_sim.dir/population.cc.o" "gcc" "src/sim/CMakeFiles/hotspots_sim.dir/population.cc.o.d"
+  "/root/repo/src/sim/study.cc" "src/sim/CMakeFiles/hotspots_sim.dir/study.cc.o" "gcc" "src/sim/CMakeFiles/hotspots_sim.dir/study.cc.o.d"
   )
 
 # Targets to which this target links.

@@ -3,6 +3,8 @@ file(REMOVE_RECURSE
   "CMakeFiles/hotspots_sim.dir/engine.cc.o.d"
   "CMakeFiles/hotspots_sim.dir/population.cc.o"
   "CMakeFiles/hotspots_sim.dir/population.cc.o.d"
+  "CMakeFiles/hotspots_sim.dir/study.cc.o"
+  "CMakeFiles/hotspots_sim.dir/study.cc.o.d"
   "libhotspots_sim.a"
   "libhotspots_sim.pdb"
 )

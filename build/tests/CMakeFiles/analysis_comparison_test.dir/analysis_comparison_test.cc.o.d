@@ -331,6 +331,6 @@ tests/CMakeFiles/analysis_comparison_test.dir/analysis_comparison_test.cc.o: \
  /root/repo/src/sim/engine.h /root/repo/src/sim/observer.h \
  /root/repo/src/topology/reachability.h \
  /root/repo/src/topology/filtering.h /root/repo/src/sim/targeting.h \
- /root/repo/src/telescope/telescope.h /root/repo/src/net/slash16_index.h \
- /root/repo/src/telescope/sensor.h /root/repo/src/prng/spectral.h \
- /root/repo/src/prng/lcg.h
+ /root/repo/src/sim/study.h /root/repo/src/telescope/telescope.h \
+ /root/repo/src/net/slash16_index.h /root/repo/src/telescope/sensor.h \
+ /root/repo/src/prng/spectral.h /root/repo/src/prng/lcg.h

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/bench_util_test.cc" "tests/CMakeFiles/bench_util_test.dir/bench_util_test.cc.o" "gcc" "tests/CMakeFiles/bench_util_test.dir/bench_util_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/hotspots_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/detect/CMakeFiles/hotspots_detect.dir/DependInfo.cmake"
+  "/root/repo/build/src/botnet/CMakeFiles/hotspots_botnet.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/hotspots_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/worms/CMakeFiles/hotspots_worms.dir/DependInfo.cmake"
+  "/root/repo/build/src/telescope/CMakeFiles/hotspots_telescope.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/hotspots_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/hotspots_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/prng/CMakeFiles/hotspots_prng.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/hotspots_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -224,6 +224,8 @@ tests/CMakeFiles/core_detection_test.dir/core_detection_test.cc.o: \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
  /root/repo/src/sim/observer.h /root/repo/src/topology/reachability.h \
  /root/repo/src/topology/filtering.h /root/repo/src/sim/targeting.h \
+ /root/repo/src/sim/study.h /usr/include/c++/12/utility \
+ /usr/include/c++/12/bits/stl_relops.h \
  /root/repo/src/telescope/telescope.h /root/repo/src/net/slash16_index.h \
  /root/repo/src/telescope/sensor.h /root/miniconda/include/gtest/gtest.h \
  /usr/include/c++/12/limits \
@@ -299,7 +301,6 @@ tests/CMakeFiles/core_detection_test.dir/core_detection_test.cc.o: \
  /root/miniconda/include/gtest/gtest-matchers.h \
  /usr/include/c++/12/atomic \
  /root/miniconda/include/gtest/gtest-printers.h \
- /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
  /root/miniconda/include/gtest/internal/custom/gtest-printers.h \
  /root/miniconda/include/gtest/gtest-param-test.h \
  /usr/include/c++/12/iterator /usr/include/c++/12/bits/stream_iterator.h \

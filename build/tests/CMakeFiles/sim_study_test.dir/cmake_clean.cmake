@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_study_test.dir/sim_study_test.cc.o"
+  "CMakeFiles/sim_study_test.dir/sim_study_test.cc.o.d"
+  "sim_study_test"
+  "sim_study_test.pdb"
+  "sim_study_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_study_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,6 +1,8 @@
 #include "core/detection_study.h"
 
 #include <algorithm>
+#include <cmath>
+#include <limits>
 #include <stdexcept>
 
 #include "core/placement.h"
@@ -64,6 +66,103 @@ DetectionOutcome RunDetectionStudy(Scenario& scenario, const sim::Worm& worm,
     outcome.curve.push_back(point);
   }
   return outcome;
+}
+
+namespace {
+
+/// Staircase lookup: the last curve point at or before `time`.
+DetectionPoint CurveAt(const std::vector<DetectionPoint>& curve, double time) {
+  DetectionPoint value;
+  value.time = time;
+  for (const DetectionPoint& point : curve) {
+    if (point.time > time) break;
+    value.infected_fraction = point.infected_fraction;
+    value.alerted_fraction = point.alerted_fraction;
+  }
+  return value;
+}
+
+}  // namespace
+
+DetectionPoint MonteCarloDetectionSummary::MeanCurveAt(double time) const {
+  DetectionPoint mean;
+  mean.time = time;
+  if (trials.empty()) return mean;
+  for (const DetectionOutcome& trial : trials) {
+    const DetectionPoint point = CurveAt(trial.curve, time);
+    mean.infected_fraction += point.infected_fraction;
+    mean.alerted_fraction += point.alerted_fraction;
+  }
+  mean.infected_fraction /= static_cast<double>(trials.size());
+  mean.alerted_fraction /= static_cast<double>(trials.size());
+  return mean;
+}
+
+int MonteCarloDetectionSummary::TrialsWithQuorum(
+    double quorum_fraction) const {
+  int fired = 0;
+  for (const DetectionOutcome& trial : trials) {
+    const auto needed = static_cast<std::size_t>(
+        std::ceil(quorum_fraction * static_cast<double>(trial.total_sensors)));
+    if (trial.alert_times.size() >= needed && needed > 0) ++fired;
+  }
+  return fired;
+}
+
+MonteCarloDetectionSummary RunDetectionStudyMonteCarlo(
+    const Scenario& base, const sim::Worm& worm,
+    const std::vector<net::Prefix>& sensor_blocks,
+    const MonteCarloStudyConfig& config) {
+  sim::StudyOptions options;
+  options.threads = config.threads;
+  options.master_seed = config.master_seed;
+
+  MonteCarloDetectionSummary summary;
+  summary.trials.resize(static_cast<std::size_t>(config.trials));
+  summary.telemetry = sim::RunTrials(
+      options, config.trials, [&](int trial, std::uint64_t seed) {
+        // Each trial owns a full copy of the scenario: RunDetectionStudy
+        // resets and mutates host states, so nothing mutable is shared
+        // between worker threads.
+        Scenario scenario = base;
+        DetectionStudyConfig study = config.study;
+        study.engine.seed = seed;
+        summary.trials[static_cast<std::size_t>(trial)] =
+            RunDetectionStudy(scenario, worm, sensor_blocks, study);
+      });
+
+  std::vector<double> infected;
+  std::vector<double> alerted_fraction;
+  std::vector<double> alerted_count;
+  std::vector<double> first_alert;
+  const auto never = std::numeric_limits<double>::quiet_NaN();
+  for (const DetectionOutcome& trial : summary.trials) {
+    summary.total_probes += trial.run.total_probes;
+    infected.push_back(trial.run.FinalInfectedFraction());
+    alerted_count.push_back(static_cast<double>(trial.alerted_sensors));
+    alerted_fraction.push_back(
+        trial.total_sensors == 0
+            ? 0.0
+            : static_cast<double>(trial.alerted_sensors) /
+                  static_cast<double>(trial.total_sensors));
+    first_alert.push_back(trial.alert_times.empty() ? never
+                                                    : trial.alert_times.front());
+  }
+  summary.infected_fraction = sim::Summarize(infected, config.quantiles);
+  summary.alerted_fraction =
+      sim::Summarize(alerted_fraction, config.quantiles);
+  summary.alerted_sensors = sim::Summarize(alerted_count, config.quantiles);
+  summary.first_alert_time = sim::Summarize(first_alert, config.quantiles);
+  for (const double fraction : config.time_to_fractions) {
+    std::vector<double> times;
+    times.reserve(summary.trials.size());
+    for (const DetectionOutcome& trial : summary.trials) {
+      times.push_back(sim::TimeToInfectedFraction(trial.run, fraction));
+    }
+    summary.time_to_infected.emplace_back(
+        fraction, sim::Summarize(times, config.quantiles));
+  }
+  return summary;
 }
 
 }  // namespace hotspots::core

@@ -12,6 +12,7 @@
 
 #include "core/scenario.h"
 #include "sim/engine.h"
+#include "sim/study.h"
 #include "telescope/telescope.h"
 
 namespace hotspots::core {
@@ -49,5 +50,60 @@ struct DetectionOutcome {
     Scenario& scenario, const sim::Worm& worm,
     const std::vector<net::Prefix>& sensor_blocks,
     const DetectionStudyConfig& config);
+
+// ---------------------------------------------------------------------------
+// Monte-Carlo detection studies (many independent outbreak trials).
+
+/// A Monte-Carlo study: `trials` independent outbreaks of the same worm
+/// against the same sensor placement, differing only in their per-trial
+/// seeds (derived from `master_seed` with SplitMix64, by trial index).
+struct MonteCarloStudyConfig {
+  DetectionStudyConfig study;
+  int trials = 8;
+  /// Seed of the whole study; the per-trial engine seed (which drives seed
+  /// placement, scanner entropy and loss draws) is sim::TrialSeeds()[i].
+  std::uint64_t master_seed = 0x5EED;
+  /// Worker threads (0 = HOTSPOTS_THREADS env, else hardware_concurrency).
+  int threads = 0;
+  /// Quantiles reported for every summarized metric.
+  std::vector<double> quantiles = {0.10, 0.50, 0.90};
+  /// Infected fractions K for the time-to-K% summaries.
+  std::vector<double> time_to_fractions = {0.25, 0.50};
+};
+
+/// Order-insensitive aggregates of a Monte-Carlo detection study.  The
+/// per-trial outcomes are kept (by trial index) so callers can derive any
+/// further statistic; the summaries below are the ones the figure benches
+/// print.
+struct MonteCarloDetectionSummary {
+  std::vector<DetectionOutcome> trials;  ///< By trial index.
+  sim::StudyTelemetry telemetry;
+  std::uint64_t total_probes = 0;  ///< Across all trials.
+
+  sim::SummaryStats infected_fraction;  ///< Final infected fraction.
+  sim::SummaryStats alerted_fraction;   ///< Final alerted-sensor fraction.
+  sim::SummaryStats alerted_sensors;    ///< Final alerted-sensor count.
+  sim::SummaryStats first_alert_time;   ///< Earliest sensor alert per trial.
+  /// (K, stats of time-to-K%-infected); trials that never reach K are
+  /// excluded (stats.count tells how many did).
+  std::vector<std::pair<double, sim::SummaryStats>> time_to_infected;
+
+  /// Mean detection curve across trials, evaluated at `time` by staircase
+  /// interpolation of each trial's curve.
+  [[nodiscard]] DetectionPoint MeanCurveAt(double time) const;
+  /// Number of trials whose quorum detector (fraction of all sensors)
+  /// would ever fire.
+  [[nodiscard]] int TrialsWithQuorum(double quorum_fraction) const;
+};
+
+/// Runs `config.trials` independent RunDetectionStudy() trials across a
+/// thread pool (sim::RunTrials).  Each trial copies `base` — population,
+/// NAT directory and indexes — so trials share nothing mutable, and the
+/// aggregates are bit-identical for a given master seed at any thread
+/// count.
+[[nodiscard]] MonteCarloDetectionSummary RunDetectionStudyMonteCarlo(
+    const Scenario& base, const sim::Worm& worm,
+    const std::vector<net::Prefix>& sensor_blocks,
+    const MonteCarloStudyConfig& config);
 
 }  // namespace hotspots::core

@@ -1,6 +1,7 @@
 #include "sim/engine.h"
 
 #include <algorithm>
+#include <cmath>
 #include <stdexcept>
 
 namespace hotspots::sim {
@@ -82,22 +83,29 @@ void Engine::ApplyLifecycleEvents(double time, double dt) {
   }
   // Patching: expected events = rate · dt · #vulnerable; hosts are found by
   // rejection sampling (cheap while any reasonable fraction is vulnerable).
+  // Credit is only consumed on a successful patch: when all attempts of a
+  // round miss (vulnerable hosts are a tiny sliver of a mostly-immune
+  // population), the credit carries over to a later step instead of
+  // silently under-counting patch events.
   if (config_.patch_rate > 0.0 && vulnerable_ > 0) {
     patch_credit_ +=
         config_.patch_rate * dt * static_cast<double>(vulnerable_);
     const auto population_size =
         static_cast<std::uint32_t>(population_.size());
     while (patch_credit_ >= 1.0 && vulnerable_ > 0) {
-      patch_credit_ -= 1.0;
+      bool patched = false;
       for (int attempt = 0; attempt < 1024; ++attempt) {
         Host& host = population_.host(rng_.UniformBelow(population_size));
         if (host.state == HostState::kVulnerable) {
           host.state = HostState::kImmune;
           ++immune_;
           --vulnerable_;
+          patched = true;
           break;
         }
       }
+      if (!patched) break;
+      patch_credit_ -= 1.0;
     }
   }
   (void)time;
@@ -139,23 +147,41 @@ RunResult Engine::Run(ProbeObserver& observer) {
   RunResult result;
   vulnerable_ = population_.CountInState(HostState::kVulnerable);
   result.eligible_population = vulnerable_ + ever_infected_;
-  const auto stop_infected = static_cast<std::uint64_t>(
-      config_.stop_at_infected_fraction *
-      static_cast<double>(result.eligible_population));
+  // The stop threshold in exact arithmetic is fraction × eligible; the
+  // product carries FP round-off (0.7 × 10 = 6.999…), so a truncating cast
+  // would stop one infection early.  Round up unless the product sits just
+  // above an integer by round-off alone.
+  const double stop_target = config_.stop_at_infected_fraction *
+                             static_cast<double>(result.eligible_population);
+  const std::uint64_t stop_infected =
+      stop_target <= 0.0
+          ? 0
+          : static_cast<std::uint64_t>(
+                std::ceil(stop_target - 1e-9 * std::max(1.0, stop_target)));
 
   double time = 0.0;
   double probe_credit = 0.0;
-  double next_sample = 0.0;
+  std::uint64_t step = 0;
+  std::uint64_t next_sample = 0;  ///< Next due sample is next_sample·interval.
+  // Sample-due comparisons tolerate round-off in k·interval vs step·dt so a
+  // sample scheduled exactly on a step boundary is not pushed a step late.
+  const double sample_slack = 1e-9 * config_.sample_interval;
   ProbeEvent event;
 
   while (time < config_.end_time && result.total_probes < config_.max_probes &&
          ever_infected_ < stop_infected) {
     ActivateDue(time);
     ApplyLifecycleEvents(time, config_.dt);
-    if (time >= next_sample) {
-      result.series.push_back(
-          SamplePoint{time, ever_infected_, result.total_probes});
-      next_sample += config_.sample_interval;
+    // Emit *every* sample due by now at its scheduled time k·interval: an
+    // integer schedule cannot drift, and steps larger than the sampling
+    // interval yield one (staircase-repeated) point per due sample instead
+    // of silently skipping intervals.
+    while (static_cast<double>(next_sample) * config_.sample_interval <=
+           time + sample_slack) {
+      result.series.push_back(SamplePoint{
+          static_cast<double>(next_sample) * config_.sample_interval,
+          ever_infected_, result.total_probes});
+      ++next_sample;
     }
     if (infected_.empty() && pending_cursor_ >= pending_.size()) {
       break;  // Nothing will ever happen again.
@@ -207,7 +233,10 @@ RunResult Engine::Run(ProbeObserver& observer) {
         if (victim != kInvalidHost) Infect(victim, time);
       }
     }
-    time += config_.dt;
+    // Recompute instead of accumulating: step·dt has one rounding, a running
+    // sum has billions, enough to skew long runs' sample alignment.
+    ++step;
+    time = static_cast<double>(step) * config_.dt;
   }
 
   result.series.push_back(

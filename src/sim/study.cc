@@ -1,0 +1,209 @@
+#include "sim/study.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstdlib>
+#include <exception>
+#include <limits>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+
+#include "prng/splitmix.h"
+
+namespace hotspots::sim {
+
+double StudyTelemetry::MeanTrialSeconds() const {
+  return trial_wall_seconds.empty()
+             ? 0.0
+             : TotalTrialSeconds() /
+                   static_cast<double>(trial_wall_seconds.size());
+}
+
+double StudyTelemetry::TotalTrialSeconds() const {
+  double total = 0.0;
+  for (const double seconds : trial_wall_seconds) total += seconds;
+  return total;
+}
+
+void StudyTelemetry::Merge(const StudyTelemetry& other) {
+  trials += other.trials;
+  threads_used = std::max(threads_used, other.threads_used);
+  peak_concurrent_trials =
+      std::max(peak_concurrent_trials, other.peak_concurrent_trials);
+  wall_seconds += other.wall_seconds;
+  trial_wall_seconds.insert(trial_wall_seconds.end(),
+                            other.trial_wall_seconds.begin(),
+                            other.trial_wall_seconds.end());
+}
+
+std::vector<std::uint64_t> TrialSeeds(std::uint64_t master_seed, int count) {
+  if (count < 0) throw std::invalid_argument("TrialSeeds: count < 0");
+  prng::SplitMix64 stream{master_seed};
+  std::vector<std::uint64_t> seeds(static_cast<std::size_t>(count));
+  for (std::uint64_t& seed : seeds) seed = stream.Next();
+  return seeds;
+}
+
+int ResolveStudyThreads(int requested) {
+  if (requested > 0) return requested;
+  if (const char* env = std::getenv("HOTSPOTS_THREADS")) {
+    char* end = nullptr;
+    const long value = std::strtol(env, &end, 10);
+    if (end != env && *end == '\0' && value > 0 && value < 1 << 16) {
+      return static_cast<int>(value);
+    }
+  }
+  const unsigned hardware = std::thread::hardware_concurrency();
+  return hardware == 0 ? 1 : static_cast<int>(hardware);
+}
+
+StudyTelemetry RunTrials(
+    const StudyOptions& options, int trials,
+    const std::function<void(int, std::uint64_t)>& run_trial) {
+  if (trials < 0) throw std::invalid_argument("RunTrials: trials < 0");
+
+  StudyTelemetry telemetry;
+  telemetry.trials = trials;
+  telemetry.trial_wall_seconds.assign(static_cast<std::size_t>(trials), 0.0);
+  telemetry.threads_used =
+      std::max(1, std::min(ResolveStudyThreads(options.threads), trials));
+  if (trials == 0) {
+    telemetry.threads_used = 0;
+    return telemetry;
+  }
+
+  const std::vector<std::uint64_t> seeds =
+      TrialSeeds(options.master_seed, trials);
+
+  std::atomic<int> next_trial{0};
+  std::atomic<int> active{0};
+  std::atomic<int> peak{0};
+  std::mutex failure_mutex;
+  std::exception_ptr failure;
+
+  const auto worker = [&] {
+    for (;;) {
+      const int trial = next_trial.fetch_add(1, std::memory_order_relaxed);
+      if (trial >= trials) return;
+      const int in_flight = active.fetch_add(1, std::memory_order_relaxed) + 1;
+      int observed_peak = peak.load(std::memory_order_relaxed);
+      while (in_flight > observed_peak &&
+             !peak.compare_exchange_weak(observed_peak, in_flight,
+                                         std::memory_order_relaxed)) {
+      }
+      const auto start = std::chrono::steady_clock::now();
+      try {
+        run_trial(trial, seeds[static_cast<std::size_t>(trial)]);
+      } catch (...) {
+        const std::scoped_lock lock{failure_mutex};
+        if (!failure) failure = std::current_exception();
+      }
+      telemetry.trial_wall_seconds[static_cast<std::size_t>(trial)] =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        start)
+              .count();
+      active.fetch_sub(1, std::memory_order_relaxed);
+    }
+  };
+
+  const auto study_start = std::chrono::steady_clock::now();
+  if (telemetry.threads_used <= 1) {
+    worker();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<std::size_t>(telemetry.threads_used));
+    for (int i = 0; i < telemetry.threads_used; ++i) {
+      pool.emplace_back(worker);
+    }
+    for (std::thread& thread : pool) thread.join();
+  }
+  telemetry.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    study_start)
+          .count();
+  telemetry.peak_concurrent_trials = peak.load();
+  if (failure) std::rethrow_exception(failure);
+  return telemetry;
+}
+
+SummaryStats Summarize(const std::vector<double>& values,
+                       const std::vector<double>& quantiles) {
+  SummaryStats stats;
+  std::vector<double> kept;
+  kept.reserve(values.size());
+  for (const double value : values) {
+    if (!std::isnan(value)) kept.push_back(value);
+  }
+  stats.count = static_cast<int>(kept.size());
+  if (kept.empty()) {
+    for (const double q : quantiles) stats.quantiles.emplace_back(q, 0.0);
+    return stats;
+  }
+
+  double sum = 0.0;
+  stats.min = kept.front();
+  stats.max = kept.front();
+  for (const double value : kept) {
+    sum += value;
+    stats.min = std::min(stats.min, value);
+    stats.max = std::max(stats.max, value);
+  }
+  stats.mean = sum / static_cast<double>(kept.size());
+  if (kept.size() > 1) {
+    double squares = 0.0;
+    for (const double value : kept) {
+      const double delta = value - stats.mean;
+      squares += delta * delta;
+    }
+    stats.stddev = std::sqrt(squares / static_cast<double>(kept.size() - 1));
+  }
+
+  std::sort(kept.begin(), kept.end());
+  for (const double q : quantiles) {
+    const double clamped = std::clamp(q, 0.0, 1.0);
+    const double position =
+        clamped * static_cast<double>(kept.size() - 1);
+    const auto low = static_cast<std::size_t>(position);
+    const std::size_t high = std::min(low + 1, kept.size() - 1);
+    const double weight = position - static_cast<double>(low);
+    stats.quantiles.emplace_back(
+        q, kept[low] * (1.0 - weight) + kept[high] * weight);
+  }
+  return stats;
+}
+
+double TimeToInfectedFraction(const RunResult& result, double fraction) {
+  const double target =
+      fraction * static_cast<double>(result.eligible_population);
+  for (const SamplePoint& point : result.series) {
+    if (static_cast<double>(point.infected) >= target) return point.time;
+  }
+  return std::numeric_limits<double>::quiet_NaN();
+}
+
+double InfectedAt(const RunResult& result, double time) {
+  double infected = 0.0;
+  for (const SamplePoint& point : result.series) {
+    if (point.time > time) break;
+    infected = static_cast<double>(point.infected);
+  }
+  return infected;
+}
+
+std::vector<double> MeanInfectedAtTimes(const std::vector<RunResult>& runs,
+                                        const std::vector<double>& times) {
+  std::vector<double> means(times.size(), 0.0);
+  if (runs.empty()) return means;
+  for (const RunResult& run : runs) {
+    for (std::size_t i = 0; i < times.size(); ++i) {
+      means[i] += InfectedAt(run, times[i]);
+    }
+  }
+  for (double& mean : means) mean /= static_cast<double>(runs.size());
+  return means;
+}
+
+}  // namespace hotspots::sim

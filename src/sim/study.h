@@ -1,0 +1,139 @@
+// Multi-threaded Monte-Carlo study runner.
+//
+// The paper's Section-5 results are statistical: detection-time and
+// sensor-visibility numbers averaged over many independent outbreak trials.
+// This module fans a trial count out across a std::thread pool while
+// keeping the statistics *bit-identical to serial execution*:
+//
+//   * every trial gets a deterministic seed derived from the study's master
+//     seed by SplitMix64, indexed by trial number — never by scheduling
+//     order;
+//   * each trial owns all of its mutable state (its Population, Engine and
+//     observers are created inside the trial callback);
+//   * results land in a vector slot keyed by trial index, so aggregation
+//     never depends on completion order.
+//
+// Thread count defaults to std::thread::hardware_concurrency and can be
+// overridden per study (StudyOptions::threads) or globally with the
+// HOTSPOTS_THREADS environment variable.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "sim/engine.h"
+
+namespace hotspots::sim {
+
+/// Knobs of a Monte-Carlo study.
+struct StudyOptions {
+  /// Worker threads; 0 means "resolve automatically": HOTSPOTS_THREADS if
+  /// set, otherwise std::thread::hardware_concurrency().  Never more
+  /// threads than trials are started.
+  int threads = 0;
+  /// Master seed; per-trial seeds are SplitMix64 outputs of this value.
+  std::uint64_t master_seed = 0x5EED;
+};
+
+/// Wall-clock instrumentation of one study.
+struct StudyTelemetry {
+  int trials = 0;
+  int threads_used = 0;
+  /// Highest number of trials observed in flight at once.
+  int peak_concurrent_trials = 0;
+  /// Whole-study wall clock (seconds).
+  double wall_seconds = 0.0;
+  /// Per-trial wall clock, by trial index.
+  std::vector<double> trial_wall_seconds;
+
+  [[nodiscard]] double MeanTrialSeconds() const;
+  /// Sum of per-trial wall clocks — the serial-equivalent cost; the ratio
+  /// to wall_seconds is the realized parallel speedup.
+  [[nodiscard]] double TotalTrialSeconds() const;
+
+  /// Folds another study's telemetry in (benches run one study per sweep
+  /// point and report a combined throughput line): trial counts and wall
+  /// clocks add, thread/peak-concurrency figures take the max.
+  void Merge(const StudyTelemetry& other);
+};
+
+/// The deterministic per-trial seed sequence: `count` successive SplitMix64
+/// outputs of `master_seed`.  Trial i always receives seeds[i], no matter
+/// which thread runs it or when.
+[[nodiscard]] std::vector<std::uint64_t> TrialSeeds(std::uint64_t master_seed,
+                                                    int count);
+
+/// Resolves the worker-thread count: `requested` if positive, else the
+/// HOTSPOTS_THREADS environment variable, else hardware_concurrency
+/// (minimum 1).
+[[nodiscard]] int ResolveStudyThreads(int requested);
+
+/// Runs `run_trial(trial_index, trial_seed)` once for every trial index in
+/// [0, trials) across the study's thread pool and returns the telemetry.
+/// `run_trial` must confine its mutable state to the call (each trial owns
+/// its population/engine/observer); it may write its result into a
+/// per-index slot of a caller-owned vector without locking.  The first
+/// exception thrown by any trial is rethrown on the calling thread after
+/// all workers join.
+StudyTelemetry RunTrials(
+    const StudyOptions& options, int trials,
+    const std::function<void(int, std::uint64_t)>& run_trial);
+
+/// Typed study results: per-trial values (by trial index) + telemetry.
+template <typename Result>
+struct StudyResults {
+  std::vector<Result> trials;
+  StudyTelemetry telemetry;
+};
+
+/// Convenience wrapper: collects `fn(trial_index, trial_seed)` returns into
+/// a by-index vector.  `Result` must be default-constructible and movable.
+template <typename Fn>
+auto RunStudy(const StudyOptions& options, int trials, Fn&& fn)
+    -> StudyResults<decltype(fn(0, std::uint64_t{}))> {
+  using Result = decltype(fn(0, std::uint64_t{}));
+  StudyResults<Result> study;
+  study.trials.resize(static_cast<std::size_t>(trials > 0 ? trials : 0));
+  study.telemetry =
+      RunTrials(options, trials, [&](int trial, std::uint64_t seed) {
+        study.trials[static_cast<std::size_t>(trial)] = fn(trial, seed);
+      });
+  return study;
+}
+
+// ---------------------------------------------------------------------------
+// Order-insensitive aggregation helpers.
+
+/// Summary statistics of one per-trial scalar.
+struct SummaryStats {
+  int count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;  ///< Sample standard deviation (n-1); 0 when n < 2.
+  double min = 0.0;
+  double max = 0.0;
+  /// Requested (quantile, value) pairs, linearly interpolated.
+  std::vector<std::pair<double, double>> quantiles;
+};
+
+/// Summarizes `values` (one entry per trial, by index).  Entries that are
+/// NaN — "this trial never reached the milestone" — are excluded from the
+/// statistics; `count` reports how many were kept.
+[[nodiscard]] SummaryStats Summarize(const std::vector<double>& values,
+                                     const std::vector<double>& quantiles = {});
+
+/// First sampled time at which `result`'s infected count reaches
+/// `fraction` × eligible_population, or NaN if the run never got there.
+[[nodiscard]] double TimeToInfectedFraction(const RunResult& result,
+                                            double fraction);
+
+/// Infected count at the last sample taken at or before `time` (staircase
+/// interpolation, matching how the figure benches read their curves).
+[[nodiscard]] double InfectedAt(const RunResult& result, double time);
+
+/// Mean infected count across `runs` at each grid time (staircase).
+[[nodiscard]] std::vector<double> MeanInfectedAtTimes(
+    const std::vector<RunResult>& runs, const std::vector<double>& times);
+
+}  // namespace hotspots::sim

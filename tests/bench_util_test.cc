@@ -1,0 +1,40 @@
+// Strict numeric parsing for the bench harness: ParseDouble must accept
+// exactly the strings strtod fully consumes and reject everything atof
+// would have silently mapped to 0.0.
+#include <gtest/gtest.h>
+
+#include "bench_util.h"
+
+namespace hotspots::bench {
+namespace {
+
+TEST(ParseDoubleTest, AcceptsWholeStringNumbers) {
+  EXPECT_EQ(ParseDouble("0.25"), 0.25);
+  EXPECT_EQ(ParseDouble("1"), 1.0);
+  EXPECT_EQ(ParseDouble("-3.5"), -3.5);
+  EXPECT_EQ(ParseDouble("1e-3"), 1e-3);
+  EXPECT_EQ(ParseDouble("  0.5"), 0.5);  // strtod skips leading whitespace.
+}
+
+TEST(ParseDoubleTest, RejectsWhatAtofSilentlyZeroes) {
+  EXPECT_FALSE(ParseDouble("abc").has_value());
+  EXPECT_FALSE(ParseDouble("").has_value());
+  EXPECT_FALSE(ParseDouble(nullptr).has_value());
+  // atof("0.5x") == 0.5 with the trailing garbage ignored; a bench invoked
+  // as `fig5b 0.5x` must fail loudly instead of running at some scale.
+  EXPECT_FALSE(ParseDouble("0.5x").has_value());
+  EXPECT_FALSE(ParseDouble("1.0 2.0").has_value());
+  EXPECT_FALSE(ParseDouble("--1").has_value());
+}
+
+TEST(MeanStdTest, FormatsMeanPlusMinusStddev) {
+  sim::SummaryStats stats;
+  stats.count = 2;
+  stats.mean = 0.25;
+  stats.stddev = 0.05;
+  EXPECT_EQ(MeanStd(stats, "%.2f"), "0.25±0.05");
+  EXPECT_EQ(MeanStd(stats, "%.1f", 100.0), "25.0±5.0");
+}
+
+}  // namespace
+}  // namespace hotspots::bench

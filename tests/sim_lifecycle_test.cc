@@ -195,5 +195,39 @@ TEST_F(LifecycleTest, HostDisinfectedWhileLatentNeverScans) {
   EXPECT_EQ(population_.CountInState(HostState::kVulnerable), 0u);
 }
 
+TEST_F(LifecycleTest, StopFractionIsNotTruncatedByRoundoff) {
+  // 0.58 × 50 = 28.999999999999996 in floating point; a truncating cast
+  // would stop the run after the 28th infection instead of the 29th.
+  BuildDensePopulation(50);
+  EngineConfig config;
+  config.end_time = 50'000.0;
+  config.stop_at_infected_fraction = 0.58;
+  config.seed = 1;
+  Engine engine{population_, worm_, reachability_, nullptr, config};
+  engine.SeedInfection(0);
+  const RunResult result = engine.Run();
+  EXPECT_GE(result.final_infected, 29u);
+}
+
+TEST_F(LifecycleTest, PatchCreditIsNotBurnedByFailedSamplingRounds) {
+  // One vulnerable host hidden in a population that is 99.99% infected:
+  // most 1024-attempt rejection-sampling rounds find nobody.  A round that
+  // fails must not consume the patch credit — the credit trickles in at
+  // 0.001/step, so burning it on misses would leave the host unpatched for
+  // essentially the whole run.
+  BuildDensePopulation(8000);
+  EngineConfig config;
+  config.end_time = 200.0;
+  config.patch_rate = 0.01;
+  config.infection_latency = 1e9;  // Seeds stay latent: no scanning at all.
+  config.seed = 3;
+  Engine engine{population_, worm_, reachability_, nullptr, config};
+  for (HostId id = 0; id + 1 < 8000; ++id) engine.SeedInfection(id);
+  const RunResult result = engine.Run();
+  EXPECT_EQ(result.final_immune, 1u);
+  EXPECT_EQ(population_.CountInState(HostState::kVulnerable), 0u);
+  EXPECT_EQ(result.total_probes, 0u);
+}
+
 }  // namespace
 }  // namespace hotspots::sim

@@ -50,6 +50,64 @@ INSTANTIATE_TEST_SUITE_P(
                       std::make_pair(1.0, 1.0),
                       std::make_pair(7.0, 0.07)));
 
+TEST(SamplingTest, StepsLargerThanIntervalEmitEveryDueSample) {
+  Population population;
+  population.AddHost(Ipv4{60, 1, 0, 1});
+  population.Build(nullptr);
+  worms::UniformWorm worm;
+  topology::Reachability reachability{nullptr, nullptr, nullptr, 0.0};
+  EngineConfig config;
+  config.scan_rate = 10.0;
+  config.dt = 2.5;  // 25× the sampling interval.
+  config.sample_interval = 1.0;
+  config.end_time = 10.0;
+  config.stop_at_infected_fraction = 2.0;
+  Engine engine{population, worm, reachability, nullptr, config};
+  engine.SeedInfection(0);
+  const RunResult result = engine.Run();
+
+  // Steps run at t = 0, 2.5, 5, 7.5; every sample scheduled at or before
+  // each step must appear, at its *scheduled* time — samples 0..7 — plus
+  // the final end-of-run point.  A sampler that emits at most one point
+  // per step would skip whole intervals here.
+  ASSERT_EQ(result.series.size(), 9u);
+  for (std::size_t k = 0; k + 1 < result.series.size(); ++k) {
+    EXPECT_EQ(result.series[k].time, static_cast<double>(k));
+  }
+  EXPECT_EQ(result.series.back().time, 10.0);
+}
+
+TEST(SamplingTest, SampleTimesDoNotDriftOverLongRuns) {
+  Population population;
+  population.AddHost(Ipv4{60, 1, 0, 1});
+  population.Build(nullptr);
+  worms::UniformWorm worm;
+  topology::Reachability reachability{nullptr, nullptr, nullptr, 0.0};
+  EngineConfig config;
+  config.scan_rate = 10.0;  // dt = sample_interval = 0.1: one sample/step.
+  config.sample_interval = 0.1;
+  config.end_time = 500.0;
+  config.stop_at_infected_fraction = 2.0;
+  Engine engine{population, worm, reachability, nullptr, config};
+  engine.SeedInfection(0);
+  const RunResult result = engine.Run();
+
+  // 5000 steps × one scheduled sample each, plus the final point.  Every
+  // scheduled time must be *exactly* k·interval: a floating-point
+  // accumulator (time += dt, next += interval) piles up round-off over
+  // thousands of steps and both drifts the times and eventually drops or
+  // doubles samples.
+  ASSERT_EQ(result.series.size(), 5001u);
+  for (std::size_t k = 0; k + 1 < result.series.size(); ++k) {
+    EXPECT_EQ(result.series[k].time, static_cast<double>(k) * 0.1)
+        << "sample " << k;
+  }
+  // Samples are cumulative and monotone.
+  for (std::size_t k = 1; k < result.series.size(); ++k) {
+    EXPECT_GE(result.series[k].probes, result.series[k - 1].probes);
+  }
+}
+
 TEST(RateEdgeTest, CreditNeverLosesProbesAcrossManySteps) {
   Population population;
   population.AddHost(Ipv4{60, 1, 0, 1});

@@ -1,0 +1,235 @@
+// Monte-Carlo study runner: deterministic seed derivation, thread-count
+// invariance of results, telemetry sanity and the aggregation helpers.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+#include <limits>
+#include <set>
+#include <stdexcept>
+
+#include "sim/engine.h"
+#include "sim/study.h"
+#include "worms/hitlist.h"
+
+namespace hotspots::sim {
+namespace {
+
+using net::Ipv4;
+using net::Prefix;
+
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+
+TEST(TrialSeedsTest, DeterministicDistinctAndMasterDependent) {
+  const auto seeds = TrialSeeds(42, 64);
+  ASSERT_EQ(seeds.size(), 64u);
+  EXPECT_EQ(seeds, TrialSeeds(42, 64));
+  // A longer study's seed sequence extends a shorter one: trial i's seed
+  // depends only on (master, i).
+  const auto longer = TrialSeeds(42, 128);
+  for (std::size_t i = 0; i < seeds.size(); ++i) {
+    EXPECT_EQ(longer[i], seeds[i]);
+  }
+  EXPECT_EQ(std::set<std::uint64_t>(seeds.begin(), seeds.end()).size(), 64u);
+  EXPECT_NE(TrialSeeds(43, 64), seeds);
+  EXPECT_THROW(TrialSeeds(1, -1), std::invalid_argument);
+}
+
+TEST(ResolveStudyThreadsTest, ExplicitRequestWinsOverEnvironment) {
+  ::setenv("HOTSPOTS_THREADS", "3", 1);
+  EXPECT_EQ(ResolveStudyThreads(7), 7);
+  EXPECT_EQ(ResolveStudyThreads(0), 3);
+  ::setenv("HOTSPOTS_THREADS", "not-a-number", 1);
+  EXPECT_GE(ResolveStudyThreads(0), 1);  // Falls back to hardware.
+  ::unsetenv("HOTSPOTS_THREADS");
+  EXPECT_GE(ResolveStudyThreads(0), 1);
+}
+
+/// An engine study identical at every thread count: trial i's result depends
+/// only on (i, seeds[i]), never on scheduling.
+StudyResults<RunResult> RunEpidemicStudy(int threads, int trials) {
+  Population base;
+  for (int i = 0; i < 400; ++i) {
+    base.AddHost(Ipv4{60, 7, static_cast<std::uint8_t>(i / 200),
+                      static_cast<std::uint8_t>(1 + i % 200)});
+  }
+  base.Build(nullptr);
+  const worms::HitListWorm worm{{Prefix{Ipv4{60, 7, 0, 0}, 16}}};
+  const topology::Reachability reachability{nullptr, nullptr, nullptr, 0.0};
+
+  StudyOptions options;
+  options.threads = threads;
+  options.master_seed = 0xD15EA5E;
+  return RunStudy(options, trials, [&](int /*trial*/, std::uint64_t seed) {
+    Population population = base;
+    EngineConfig config;
+    config.scan_rate = 10.0;
+    config.end_time = 300.0;
+    config.stop_at_infected_fraction = 0.9;
+    config.seed = seed;
+    Engine engine{population, worm, reachability, nullptr, config};
+    engine.SeedRandomInfections(2);
+    return engine.Run();
+  });
+}
+
+TEST(RunStudyTest, ResultsAreBitIdenticalAcrossThreadCounts) {
+  constexpr int kTrials = 6;
+  const auto serial = RunEpidemicStudy(1, kTrials);
+  const auto parallel = RunEpidemicStudy(4, kTrials);
+  ASSERT_EQ(serial.trials.size(), static_cast<std::size_t>(kTrials));
+  ASSERT_EQ(parallel.trials.size(), static_cast<std::size_t>(kTrials));
+  for (int i = 0; i < kTrials; ++i) {
+    const RunResult& a = serial.trials[static_cast<std::size_t>(i)];
+    const RunResult& b = parallel.trials[static_cast<std::size_t>(i)];
+    EXPECT_EQ(a.total_probes, b.total_probes) << "trial " << i;
+    EXPECT_EQ(a.final_infected, b.final_infected) << "trial " << i;
+    EXPECT_EQ(a.final_immune, b.final_immune) << "trial " << i;
+    EXPECT_EQ(a.end_time, b.end_time) << "trial " << i;
+    ASSERT_EQ(a.series.size(), b.series.size()) << "trial " << i;
+    for (std::size_t k = 0; k < a.series.size(); ++k) {
+      EXPECT_EQ(a.series[k].time, b.series[k].time);
+      EXPECT_EQ(a.series[k].infected, b.series[k].infected);
+      EXPECT_EQ(a.series[k].probes, b.series[k].probes);
+    }
+  }
+  // Different seeds actually produce different outbreaks (the invariance
+  // above is not vacuous).
+  bool any_difference = false;
+  for (int i = 1; i < kTrials; ++i) {
+    any_difference |= serial.trials[static_cast<std::size_t>(i)].total_probes !=
+                      serial.trials[0].total_probes;
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+TEST(RunStudyTest, TelemetryIsSane) {
+  const auto study = RunEpidemicStudy(4, 6);
+  const StudyTelemetry& telemetry = study.telemetry;
+  EXPECT_EQ(telemetry.trials, 6);
+  EXPECT_GE(telemetry.threads_used, 1);
+  EXPECT_LE(telemetry.threads_used, 4);
+  EXPECT_GE(telemetry.peak_concurrent_trials, 1);
+  EXPECT_LE(telemetry.peak_concurrent_trials, telemetry.threads_used);
+  EXPECT_EQ(telemetry.trial_wall_seconds.size(), 6u);
+  EXPECT_GE(telemetry.wall_seconds, 0.0);
+  EXPECT_GE(telemetry.MeanTrialSeconds(), 0.0);
+  EXPECT_NEAR(telemetry.TotalTrialSeconds(),
+              telemetry.MeanTrialSeconds() * 6.0, 1e-9);
+}
+
+TEST(RunStudyTest, NeverStartsMoreThreadsThanTrials) {
+  StudyOptions options;
+  options.threads = 16;
+  const auto study =
+      RunStudy(options, 2, [](int trial, std::uint64_t) { return trial; });
+  EXPECT_EQ(study.telemetry.threads_used, 2);
+  EXPECT_EQ(study.trials, (std::vector<int>{0, 1}));
+}
+
+TEST(RunTrialsTest, TrialExceptionsReachTheCaller) {
+  StudyOptions options;
+  options.threads = 3;
+  EXPECT_THROW(RunTrials(options, 8,
+                         [](int trial, std::uint64_t) {
+                           if (trial == 5) {
+                             throw std::runtime_error("trial 5 failed");
+                           }
+                         }),
+               std::runtime_error);
+}
+
+TEST(RunTrialsTest, ZeroTrialsIsANoOp) {
+  const StudyOptions options;
+  const StudyTelemetry telemetry =
+      RunTrials(options, 0, [](int, std::uint64_t) { FAIL(); });
+  EXPECT_EQ(telemetry.trials, 0);
+  EXPECT_EQ(telemetry.threads_used, 0);
+  EXPECT_TRUE(telemetry.trial_wall_seconds.empty());
+}
+
+TEST(StudyTelemetryTest, MergeAddsTrialsAndTakesPeakMax) {
+  StudyTelemetry a;
+  a.trials = 4;
+  a.threads_used = 2;
+  a.peak_concurrent_trials = 2;
+  a.wall_seconds = 1.0;
+  a.trial_wall_seconds = {0.5, 0.5, 0.5, 0.5};
+  StudyTelemetry b;
+  b.trials = 2;
+  b.threads_used = 4;
+  b.peak_concurrent_trials = 3;
+  b.wall_seconds = 0.5;
+  b.trial_wall_seconds = {0.25, 0.25};
+  a.Merge(b);
+  EXPECT_EQ(a.trials, 6);
+  EXPECT_EQ(a.threads_used, 4);
+  EXPECT_EQ(a.peak_concurrent_trials, 3);
+  EXPECT_DOUBLE_EQ(a.wall_seconds, 1.5);
+  EXPECT_EQ(a.trial_wall_seconds.size(), 6u);
+  EXPECT_DOUBLE_EQ(a.TotalTrialSeconds(), 2.5);
+}
+
+TEST(SummarizeTest, BasicMoments) {
+  const SummaryStats stats =
+      Summarize({1.0, 2.0, 3.0, 4.0}, {0.0, 0.5, 1.0});
+  EXPECT_EQ(stats.count, 4);
+  EXPECT_DOUBLE_EQ(stats.mean, 2.5);
+  EXPECT_DOUBLE_EQ(stats.min, 1.0);
+  EXPECT_DOUBLE_EQ(stats.max, 4.0);
+  EXPECT_NEAR(stats.stddev, std::sqrt(5.0 / 3.0), 1e-12);
+  ASSERT_EQ(stats.quantiles.size(), 3u);
+  EXPECT_DOUBLE_EQ(stats.quantiles[0].second, 1.0);
+  EXPECT_DOUBLE_EQ(stats.quantiles[1].second, 2.5);
+  EXPECT_DOUBLE_EQ(stats.quantiles[2].second, 4.0);
+}
+
+TEST(SummarizeTest, NanMeansTrialNeverReachedTheMilestone) {
+  const SummaryStats stats = Summarize({1.0, kNaN, 3.0, kNaN});
+  EXPECT_EQ(stats.count, 2);
+  EXPECT_DOUBLE_EQ(stats.mean, 2.0);
+  const SummaryStats empty = Summarize({kNaN, kNaN}, {0.5});
+  EXPECT_EQ(empty.count, 0);
+  EXPECT_DOUBLE_EQ(empty.mean, 0.0);
+  ASSERT_EQ(empty.quantiles.size(), 1u);
+}
+
+RunResult SyntheticRun() {
+  RunResult run;
+  run.eligible_population = 100;
+  run.series = {SamplePoint{0.0, 0, 0}, SamplePoint{10.0, 20, 100},
+                SamplePoint{20.0, 50, 250}, SamplePoint{30.0, 80, 400}};
+  return run;
+}
+
+TEST(TimeToInfectedFractionTest, FirstSampleAtOrAboveTarget) {
+  const RunResult run = SyntheticRun();
+  EXPECT_DOUBLE_EQ(TimeToInfectedFraction(run, 0.2), 10.0);
+  EXPECT_DOUBLE_EQ(TimeToInfectedFraction(run, 0.21), 20.0);
+  EXPECT_DOUBLE_EQ(TimeToInfectedFraction(run, 0.8), 30.0);
+  EXPECT_TRUE(std::isnan(TimeToInfectedFraction(run, 0.81)));
+}
+
+TEST(InfectedAtTest, StaircaseInterpolation) {
+  const RunResult run = SyntheticRun();
+  EXPECT_DOUBLE_EQ(InfectedAt(run, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(InfectedAt(run, 9.9), 0.0);
+  EXPECT_DOUBLE_EQ(InfectedAt(run, 10.0), 20.0);
+  EXPECT_DOUBLE_EQ(InfectedAt(run, 25.0), 50.0);
+  EXPECT_DOUBLE_EQ(InfectedAt(run, 1000.0), 80.0);
+}
+
+TEST(MeanInfectedAtTimesTest, AveragesAcrossRuns) {
+  RunResult flat;
+  flat.eligible_population = 100;
+  flat.series = {SamplePoint{0.0, 10, 0}, SamplePoint{30.0, 10, 10}};
+  const auto means = MeanInfectedAtTimes({SyntheticRun(), flat},
+                                         {0.0, 10.0, 30.0});
+  ASSERT_EQ(means.size(), 3u);
+  EXPECT_DOUBLE_EQ(means[0], 5.0);
+  EXPECT_DOUBLE_EQ(means[1], 15.0);
+  EXPECT_DOUBLE_EQ(means[2], 45.0);
+}
+
+}  // namespace
+}  // namespace hotspots::sim
