@@ -1,0 +1,402 @@
+// Hot-path microbenchmark: times each stage of the per-probe pipeline —
+// targeting (HostScanner::NextTarget), reachability (Reachability::Decide),
+// telescope observation (Telescope::Observe), victim lookup
+// (Population::FindPublic) — plus the end-to-end engine loop at Figure-5
+// scale, and appends a machine-readable entry to results/BENCH_hotpath.json.
+//
+// The end-to-end run is fully deterministic (fixed seeds) and reports a
+// FNV-1a fingerprint over the RunResult series, delivery counts, and every
+// sensor's histogram/alert state.  Comparing entries recorded before and
+// after a hot-path change therefore checks both speed (probes_per_sec) and
+// behaviour (the fingerprints must be bit-identical).
+//
+// Usage: micro_hotpath [scale] [--label NAME] [--out FILE]
+//   scale    population scale in (0,1], default 1.0 (fig5a scale)
+//   --label  entry label, e.g. "before" / "after" (default "run")
+//   --out    JSON file to append to (default results/BENCH_hotpath.json)
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/scenario.h"
+#include "net/special_ranges.h"
+#include "prng/xoshiro.h"
+#include "sim/engine.h"
+#include "telescope/telescope.h"
+#include "topology/filtering.h"
+#include "topology/reachability.h"
+#include "worms/hitlist.h"
+
+using namespace hotspots;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+[[nodiscard]] double Seconds(Clock::time_point t0, Clock::time_point t1) {
+  return std::chrono::duration<double>(t1 - t0).count();
+}
+
+/// FNV-1a over arbitrary words, used to fingerprint simulation output.
+struct Fingerprint {
+  std::uint64_t hash = 0xcbf29ce484222325ull;
+  void Mix(std::uint64_t word) {
+    for (int shift = 0; shift < 64; shift += 8) {
+      hash ^= (word >> shift) & 0xFF;
+      hash *= 0x100000001b3ull;
+    }
+  }
+  void MixDouble(double value) {
+    std::uint64_t bits;
+    std::memcpy(&bits, &value, sizeof bits);
+    Mix(bits);
+  }
+};
+
+struct StageResult {
+  const char* name;
+  std::uint64_t ops = 0;
+  double seconds = 0.0;
+  std::uint64_t checksum = 0;
+
+  [[nodiscard]] double OpsPerSec() const {
+    return seconds > 0.0 ? static_cast<double>(ops) / seconds : 0.0;
+  }
+};
+
+void PrintStage(const StageResult& stage) {
+  std::printf("  %-14s %12" PRIu64 " ops in %7.3fs  → %8.2f M ops/s  "
+              "(checksum %016" PRIx64 ")\n",
+              stage.name, stage.ops, stage.seconds, stage.OpsPerSec() / 1e6,
+              stage.checksum);
+}
+
+/// Appends `entry` (a JSON object, no trailing newline) to the JSON array in
+/// `path`, creating the file if needed.
+void AppendJsonEntry(const std::string& path, const std::string& entry) {
+  std::string contents;
+  if (FILE* in = std::fopen(path.c_str(), "rb")) {
+    char buffer[4096];
+    std::size_t n;
+    while ((n = std::fread(buffer, 1, sizeof buffer, in)) > 0) {
+      contents.append(buffer, n);
+    }
+    std::fclose(in);
+  }
+  // Strip everything after the final closing bracket (and the bracket).
+  const std::size_t end = contents.rfind(']');
+  std::string out;
+  if (end == std::string::npos) {
+    out = "[\n" + entry + "\n]\n";
+  } else {
+    out = contents.substr(0, end);
+    while (!out.empty() && (out.back() == '\n' || out.back() == ' ')) {
+      out.pop_back();
+    }
+    out += ",\n" + entry + "\n]\n";
+  }
+  FILE* file = std::fopen(path.c_str(), "wb");
+  if (file == nullptr) {
+    std::fprintf(stderr, "micro_hotpath: cannot write %s\n", path.c_str());
+    std::exit(1);
+  }
+  std::fwrite(out.data(), 1, out.size(), file);
+  std::fclose(file);
+  std::printf("\nappended entry to %s\n", path.c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  double scale = 1.0;
+  std::string label = "run";
+  std::string out_path = "results/BENCH_hotpath.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--label") == 0 && i + 1 < argc) {
+      label = argv[++i];
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    } else {
+      const auto parsed = bench::ParseDouble(argv[i]);
+      if (!parsed || *parsed <= 0.0 || *parsed > 1.0) {
+        std::fprintf(stderr, "usage: %s [scale] [--label NAME] [--out FILE]\n",
+                     argv[0]);
+        return 2;
+      }
+      scale = *parsed;
+    }
+  }
+  bench::Title("micro_hotpath", "per-probe pipeline stage timings");
+
+  // ---- Shared fixture: fig5a-scale population + NAT + sensors + ACLs ----
+  core::ScenarioBuilder builder;
+  core::ClusteredPopulationConfig config;
+  config.total_hosts = static_cast<std::uint32_t>(134'586 * scale) + 1000;
+  config.nonempty_slash16s = std::max(200, static_cast<int>(4481 * scale));
+  config.slash8_clusters = 47;
+  config.nat_fraction = 0.15;  // Section 5.3's NAT share.
+  config.nat_site_mode = core::NatSiteMode::kSharedSite;
+  config.seed = 0xF16B;  // Same population as fig5a/fig5b.
+  core::Scenario scenario = builder.BuildClustered(config);
+
+  const auto selection = core::GreedyHitList(scenario, 1000);
+  worms::HitListWorm worm{selection.prefixes};
+
+  // One /24 darknet in every populated /16 (the fig5b fleet), with full
+  // per-/24 + unique-source tracking — the heaviest realistic observer.
+  prng::Xoshiro256 placement_rng{0x5E45u};
+  std::vector<net::Prefix> sensor_blocks;
+  {
+    std::vector<std::uint32_t> used;
+    for (const auto& cluster : scenario.slash16_clusters) {
+      for (int attempt = 0; attempt < 64; ++attempt) {
+        const std::uint32_t s24 =
+            (cluster.prefix.first().value() >> 8) | placement_rng.UniformBelow(256);
+        if (scenario.occupied_slash24s.count(s24) != 0) continue;
+        sensor_blocks.push_back(net::Prefix{net::Ipv4{s24 << 8}, 24});
+        break;
+      }
+    }
+  }
+  telescope::SensorOptions sensor_options;
+  sensor_options.track_unique_sources = true;
+  sensor_options.track_per_slash24 = true;
+  sensor_options.alert_threshold = 5;
+  auto make_telescope = [&] {
+    telescope::Telescope scope{sensor_options};
+    int id = 0;
+    for (const auto& block : sensor_blocks) {
+      scope.AddSensor("S" + std::to_string(id++), block);
+    }
+    scope.Build();
+    return scope;
+  };
+
+  // Upstream ACLs: two fully covered /16s from the hit-list (the Figure-2
+  // "M-block" effect) plus one partially covered /16 (a /22 slice).
+  topology::IngressAclSet acls;
+  acls.Block(net::Prefix{selection.prefixes[2].first(), 16});
+  acls.Block(net::Prefix{selection.prefixes[7].first(), 16});
+  acls.Block(net::Prefix{selection.prefixes[11].first(), 22});
+  acls.Build();
+  const topology::Reachability reachability{nullptr, &scenario.nats, &acls,
+                                            0.001};
+
+  std::printf("population: %u public + %u NATted hosts, %zu sensors, "
+              "hit-list 1000 /16s (coverage %.2f%%), scale %.2f\n",
+              scenario.public_hosts, scenario.natted_hosts,
+              sensor_blocks.size(), 100.0 * selection.coverage, scale);
+
+  std::vector<StageResult> stages;
+
+  // ---- Stage: targeting --------------------------------------------------
+  {
+    prng::Xoshiro256 rng{42};
+    const auto scanner = worm.MakeScanner(scenario.population.host(0), 7);
+    constexpr std::uint64_t kOps = 1 << 24;
+    std::uint64_t checksum = 0;
+    const auto t0 = Clock::now();
+    for (std::uint64_t i = 0; i < kOps; ++i) {
+      checksum ^= scanner->NextTarget(rng).value() * (i | 1);
+    }
+    const auto t1 = Clock::now();
+    stages.push_back({"targeting", kOps, Seconds(t0, t1), checksum});
+    PrintStage(stages.back());
+  }
+
+  // ---- Pre-generated probe stream shared by the decide/observe/victim
+  // stages: mostly hit-list targets, plus slices of special-range, private,
+  // and ACL-covered destinations so every path is exercised.
+  std::vector<topology::Probe> probes;
+  {
+    prng::Xoshiro256 rng{43};
+    const auto scanner = worm.MakeScanner(scenario.population.host(0), 9);
+    const std::size_t kStream = 1 << 20;
+    probes.reserve(kStream);
+    const topology::SiteId shared_site =
+        scenario.nats.size() > 0 ? 0 : topology::kPublicSite;
+    for (std::size_t i = 0; i < kStream; ++i) {
+      topology::Probe probe;
+      probe.src = net::Ipv4{rng.NextU32() | 0x01000000u};
+      probe.src_site = topology::kPublicSite;
+      const std::uint32_t roll = rng.UniformBelow(100);
+      if (roll < 70) {
+        probe.dst = scanner->NextTarget(rng);
+      } else if (roll < 80) {
+        probe.dst = net::Ipv4{rng.NextU32()};  // Anywhere (special ranges).
+      } else if (roll < 90) {
+        probe.dst = net::Ipv4{net::kPrivate192.first().value() |
+                              (rng.NextU32() & 0xFFFFu)};
+        if ((roll & 1) != 0) probe.src_site = shared_site;
+      } else {
+        probe.dst = net::Ipv4{selection.prefixes[2].first().value() |
+                              (rng.NextU32() & 0xFFFFu)};
+      }
+      probes.push_back(probe);
+    }
+  }
+
+  // ---- Stage: decide -----------------------------------------------------
+  {
+    prng::Xoshiro256 rng{44};
+    constexpr int kPasses = 16;
+    std::uint64_t checksum = 0;
+    const auto t0 = Clock::now();
+    for (int pass = 0; pass < kPasses; ++pass) {
+      for (const auto& probe : probes) {
+        checksum += static_cast<std::uint64_t>(reachability.Decide(probe, rng));
+      }
+    }
+    const auto t1 = Clock::now();
+    stages.push_back({"decide", kPasses * probes.size(), Seconds(t0, t1),
+                      checksum});
+    PrintStage(stages.back());
+  }
+
+  // ---- Stage: observe ----------------------------------------------------
+  {
+    telescope::Telescope scope = make_telescope();
+    prng::Xoshiro256 rng{45};
+    // 25% of the stream redirected into sensor blocks so the record path
+    // (not just the lookup miss path) is measured.
+    std::vector<std::pair<net::Ipv4, net::Ipv4>> stream;
+    stream.reserve(probes.size());
+    for (const auto& probe : probes) {
+      net::Ipv4 dst = probe.dst;
+      if (rng.UniformBelow(4) == 0) {
+        const auto& block =
+            sensor_blocks[rng.UniformBelow(
+                static_cast<std::uint32_t>(sensor_blocks.size()))];
+        dst = net::Ipv4{block.first().value() | (rng.NextU32() & 0xFFu)};
+      }
+      stream.emplace_back(probe.src, dst);
+    }
+    constexpr int kPasses = 8;
+    const auto t0 = Clock::now();
+    double time = 0.0;
+    for (int pass = 0; pass < kPasses; ++pass) {
+      for (const auto& [src, dst] : stream) {
+        scope.Observe(time, src, dst);
+        time += 1e-4;
+      }
+    }
+    const auto t1 = Clock::now();
+    std::uint64_t checksum = 0;
+    for (std::size_t i = 0; i < scope.size(); ++i) {
+      const auto& sensor = scope.sensor(static_cast<int>(i));
+      checksum += sensor.probe_count() + 31 * sensor.UniqueSourceCount();
+    }
+    stages.push_back({"observe", kPasses * stream.size(), Seconds(t0, t1),
+                      checksum});
+    PrintStage(stages.back());
+  }
+
+  // ---- Stage: victim lookup ----------------------------------------------
+  {
+    constexpr int kPasses = 16;
+    std::uint64_t checksum = 0;
+    const auto t0 = Clock::now();
+    for (int pass = 0; pass < kPasses; ++pass) {
+      for (const auto& probe : probes) {
+        const sim::HostId victim = scenario.population.FindPublic(probe.dst);
+        checksum += victim != sim::kInvalidHost ? victim : 1;
+      }
+    }
+    const auto t1 = Clock::now();
+    stages.push_back({"victim_lookup", kPasses * probes.size(),
+                      Seconds(t0, t1), checksum});
+    PrintStage(stages.back());
+  }
+
+  // ---- End-to-end: fig5-style outbreak with the sensor fleet attached ----
+  bench::Section("end-to-end engine run (hit-list 1000, fleet attached)");
+  StageResult end_to_end{"end_to_end", 0, 0.0, 0};
+  Fingerprint fingerprint;
+  {
+    sim::Population population = scenario.population;  // Trial-owned copy.
+    telescope::Telescope scope = make_telescope();
+    sim::EngineConfig engine_config;
+    engine_config.scan_rate = 10.0;
+    engine_config.end_time = 2500.0;
+    engine_config.sample_interval = 25.0;
+    engine_config.seed = 0xBEEF;
+    engine_config.stop_at_infected_fraction = 0.995 * selection.coverage;
+    engine_config.max_probes = 20'000'000;
+    sim::Engine engine{population, worm, reachability, &scenario.nats,
+                       engine_config};
+    engine.SeedRandomInfections(25);
+    const auto t0 = Clock::now();
+    const sim::RunResult result = engine.Run(scope);
+    const auto t1 = Clock::now();
+    end_to_end.ops = result.total_probes;
+    end_to_end.seconds = Seconds(t0, t1);
+
+    for (const auto& point : result.series) {
+      fingerprint.MixDouble(point.time);
+      fingerprint.Mix(point.infected);
+      fingerprint.Mix(point.probes);
+    }
+    for (const std::uint64_t count : result.delivery_counts) {
+      fingerprint.Mix(count);
+    }
+    fingerprint.Mix(result.total_probes);
+    fingerprint.Mix(result.final_infected);
+    for (std::size_t i = 0; i < scope.size(); ++i) {
+      const auto& sensor = scope.sensor(static_cast<int>(i));
+      fingerprint.Mix(sensor.probe_count());
+      fingerprint.Mix(sensor.UniqueSourceCount());
+      fingerprint.MixDouble(sensor.alert_time().value_or(-1.0));
+      for (const auto& row : sensor.Histogram()) {
+        if (row.stats.probes == 0) continue;
+        fingerprint.Mix(row.slash24);
+        fingerprint.Mix(row.stats.probes);
+        fingerprint.Mix(row.stats.unique_sources);
+      }
+    }
+    end_to_end.checksum = fingerprint.hash;
+    PrintStage(end_to_end);
+    std::printf("  delivered %" PRIu64 " / %" PRIu64 " probes, %zu/%zu "
+                "sensors alerted, fingerprint %016" PRIx64 "\n",
+                result.delivery_counts[0], result.total_probes,
+                scope.AlertedCount(), scope.size(), fingerprint.hash);
+  }
+
+  // ---- JSON entry --------------------------------------------------------
+  char buffer[256];
+  std::string entry = "  {\n";
+  entry += "    \"label\": \"" + label + "\",\n";
+  std::snprintf(buffer, sizeof buffer, "    \"scale\": %.4f,\n", scale);
+  entry += buffer;
+  std::snprintf(buffer, sizeof buffer, "    \"population\": %zu,\n",
+                scenario.population.size());
+  entry += buffer;
+  std::snprintf(buffer, sizeof buffer, "    \"sensors\": %zu,\n",
+                sensor_blocks.size());
+  entry += buffer;
+  entry += "    \"stages\": {\n";
+  for (std::size_t i = 0; i < stages.size(); ++i) {
+    std::snprintf(buffer, sizeof buffer,
+                  "      \"%s\": {\"ops\": %" PRIu64 ", \"seconds\": %.4f, "
+                  "\"mops_per_sec\": %.3f, \"checksum\": \"%016" PRIx64
+                  "\"}%s\n",
+                  stages[i].name, stages[i].ops, stages[i].seconds,
+                  stages[i].OpsPerSec() / 1e6, stages[i].checksum,
+                  i + 1 < stages.size() ? "," : "");
+    entry += buffer;
+  }
+  entry += "    },\n";
+  std::snprintf(buffer, sizeof buffer,
+                "    \"end_to_end\": {\"probes\": %" PRIu64
+                ", \"seconds\": %.4f, \"probes_per_sec\": %.0f, "
+                "\"fingerprint\": \"%016" PRIx64 "\"}\n",
+                end_to_end.ops, end_to_end.seconds, end_to_end.OpsPerSec(),
+                fingerprint.hash);
+  entry += buffer;
+  entry += "  }";
+  AppendJsonEntry(out_path, entry);
+  return 0;
+}

@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# CI entry point: the tier-1 verify (ROADMAP.md) plus a sanitizer pass.
+#
+#   ./ci.sh            # tier-1 + asan presets
+#   ./ci.sh --fast     # tier-1 only
+#
+# The sanitizer preset builds into its own tree (build-asan/) so it never
+# disturbs the primary build directory.  Sanitizer choice follows the
+# HOTSPOTS_SANITIZE cache option (asan = Address+UB, tsan = Thread); CI
+# runs asan by default — override with HOTSPOTS_SANITIZE=tsan ./ci.sh.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+SANITIZER="${HOTSPOTS_SANITIZE:-asan}"
+JOBS="$(nproc 2>/dev/null || echo 2)"
+
+echo "== tier-1: configure + build + ctest =="
+cmake -B build -S .
+cmake --build build -j "${JOBS}"
+ctest --test-dir build --output-on-failure -j "${JOBS}"
+
+if [[ "${1:-}" == "--fast" ]]; then
+  echo "== tier-1 passed (sanitizer pass skipped: --fast) =="
+  exit 0
+fi
+
+echo "== sanitizer pass: HOTSPOTS_SANITIZE=${SANITIZER} =="
+cmake -B "build-${SANITIZER}" -S . -DHOTSPOTS_SANITIZE="${SANITIZER}"
+cmake --build "build-${SANITIZER}" -j "${JOBS}"
+ctest --test-dir "build-${SANITIZER}" --output-on-failure -j "${JOBS}"
+
+echo "== ci.sh: all passes green =="

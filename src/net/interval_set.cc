@@ -41,4 +41,18 @@ bool IntervalSet::Contains(Ipv4 address) const {
   return it->Contains(x);
 }
 
+Coverage IntervalSet::CoverageOf(Interval query) const {
+  if (intervals_.empty()) return Coverage::kNone;
+  RequireBuilt();
+  // First merged interval ending at or after the query's start.
+  auto it = std::lower_bound(
+      intervals_.begin(), intervals_.end(), query.lo,
+      [](const Interval& interval, std::uint32_t lo) {
+        return interval.hi < lo;
+      });
+  if (it == intervals_.end() || it->lo > query.hi) return Coverage::kNone;
+  return it->lo <= query.lo && it->hi >= query.hi ? Coverage::kFull
+                                                  : Coverage::kPartial;
+}
+
 }  // namespace hotspots::net

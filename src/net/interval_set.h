@@ -32,6 +32,9 @@ struct Interval {
   friend constexpr auto operator<=>(const Interval&, const Interval&) = default;
 };
 
+/// How much of a queried range an IntervalSet covers.
+enum class Coverage : std::uint8_t { kNone, kPartial, kFull };
+
 /// A set of addresses stored as sorted, disjoint, merged intervals.
 class IntervalSet {
  public:
@@ -51,6 +54,12 @@ class IntervalSet {
 
   /// O(log n) membership test.  Requires Build().
   [[nodiscard]] bool Contains(Ipv4 address) const;
+
+  /// Classifies how much of [query.lo, query.hi] the set covers.  Because
+  /// Build() merges overlapping *and* adjacent intervals, full coverage is
+  /// equivalent to one merged interval containing the whole query.  An
+  /// empty set covers nothing; otherwise requires Build().
+  [[nodiscard]] Coverage CoverageOf(Interval query) const;
 
   /// Total number of addresses covered.  Requires Build().
   [[nodiscard]] std::uint64_t TotalAddresses() const { return total_; }

@@ -36,11 +36,7 @@ struct LcgParams {
 class Lcg {
  public:
   constexpr Lcg(LcgParams params, std::uint32_t seed)
-      : params_(params), state_(seed & params.Mask()) {
-    if (params.modulus_bits < 1 || params.modulus_bits > 32) {
-      throw std::invalid_argument("Lcg: modulus_bits must be in [1,32]");
-    }
-  }
+      : params_(Validated(params)), state_(seed & params_.Mask()) {}
 
   /// Advances one step and returns the new state.
   constexpr std::uint32_t Next() {
@@ -52,6 +48,14 @@ class Lcg {
   [[nodiscard]] constexpr const LcgParams& params() const { return params_; }
 
  private:
+  /// Throws before Mask() can shift by an out-of-range bit count.
+  static constexpr LcgParams Validated(LcgParams params) {
+    if (params.modulus_bits < 1 || params.modulus_bits > 32) {
+      throw std::invalid_argument("Lcg: modulus_bits must be in [1,32]");
+    }
+    return params;
+  }
+
   LcgParams params_;
   std::uint32_t state_;
 };

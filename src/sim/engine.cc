@@ -56,6 +56,9 @@ void Engine::ActivateDue(double time) {
     if (population_.host(id).state != HostState::kInfected) continue;
     infected_.push_back(id);
     scanners_.push_back(worm_.MakeScanner(population_.host(id), rng_.Next()));
+    // NAT resolution hoisted out of the probe loop: the public-facing
+    // source address is fixed for the scanner's lifetime.
+    scanner_sources_.push_back(PublicFacingAddress(population_.host(id)));
   }
   if (pending_cursor_ == pending_.size() && !pending_.empty()) {
     pending_.clear();
@@ -79,6 +82,8 @@ void Engine::ApplyLifecycleEvents(double time, double dt) {
       infected_.pop_back();
       std::swap(scanners_[index], scanners_.back());
       scanners_.pop_back();
+      scanner_sources_[index] = scanner_sources_.back();
+      scanner_sources_.pop_back();
     }
   }
   // Patching: expected events = rate · dt · #vulnerable; hosts are found by
@@ -144,6 +149,7 @@ RunResult Engine::Run() {
 }
 
 RunResult Engine::Run(ProbeObserver& observer) {
+  observer.OnAttach();
   RunResult result;
   vulnerable_ = population_.CountInState(HostState::kVulnerable);
   result.eligible_population = vulnerable_ + ever_infected_;
@@ -166,7 +172,36 @@ RunResult Engine::Run(ProbeObserver& observer) {
   // Sample-due comparisons tolerate round-off in k·interval vs step·dt so a
   // sample scheduled exactly on a step boundary is not pushed a step late.
   const double sample_slack = 1e-9 * config_.sample_interval;
-  ProbeEvent event;
+
+  // Probes are staged into event_buffer_ and their delivered subset into
+  // victim_buffer_, both flushed at step end (or when full).  Deferring the
+  // victim lookups is exact: infections take effect within the same step at
+  // the same timestamp, in emission order, and nothing reads the infection
+  // counters mid-step.
+  constexpr std::size_t kBatchCapacity = 1024;
+  event_buffer_.clear();
+  event_buffer_.reserve(kBatchCapacity);
+  victim_buffer_.clear();
+  victim_buffer_.reserve(kBatchCapacity);
+  const auto flush_events = [&] {
+    if (event_buffer_.empty()) return;
+    observer.OnProbeBatch(event_buffer_);
+    event_buffer_.clear();
+  };
+  const auto flush_victims = [&](double now) {
+    constexpr std::size_t kPrefetchAhead = 8;
+    const std::size_t count = victim_buffer_.size();
+    for (std::size_t i = 0; i < count; ++i) {
+      if (i + kPrefetchAhead < count) {
+        const auto& [site, dst] = victim_buffer_[i + kPrefetchAhead];
+        population_.PrefetchFind(site, dst);
+      }
+      const auto& [site, dst] = victim_buffer_[i];
+      const HostId victim = population_.FindInSite(site, dst);
+      if (victim != kInvalidHost) Infect(victim, now);
+    }
+    victim_buffer_.clear();
+  };
 
   while (time < config_.end_time && result.total_probes < config_.max_probes &&
          ever_infected_ < stop_infected) {
@@ -206,33 +241,33 @@ RunResult Engine::Run(ProbeObserver& observer) {
     for (std::size_t i = 0; i < active; ++i) {
       const HostId src_id = infected_[i];
       const Host& src = population_.host(src_id);
+      const net::Ipv4 src_address = scanner_sources_[i];
+      topology::Probe probe;
+      probe.src = src.address;
+      probe.src_site = src.nat_site;
+      probe.src_org = src.org;
       for (int p = 0; p < probes_per_host; ++p) {
         const net::Ipv4 target = scanners_[i]->NextTarget(rng_);
         ++result.total_probes;
 
-        topology::Probe probe;
-        probe.src = src.address;
         probe.dst = target;
-        probe.src_site = src.nat_site;
-        probe.src_org = src.org;
         const topology::Delivery verdict = reachability_.Decide(probe, rng_);
         ++result.delivery_counts[static_cast<std::size_t>(verdict)];
 
-        event.time = time;
-        event.src_host = src_id;
-        event.src_address = PublicFacingAddress(src);
-        event.dst = target;
-        event.delivery = verdict;
-        observer.OnProbe(event);
+        event_buffer_.push_back(
+            ProbeEvent{time, src_id, src_address, target, verdict});
+        if (event_buffer_.size() == kBatchCapacity) flush_events();
 
         if (verdict != topology::Delivery::kDelivered) continue;
-        const HostId victim =
-            net::IsPrivate(target)
-                ? population_.FindInSite(src.nat_site, target)
-                : population_.FindPublic(target);
-        if (victim != kInvalidHost) Infect(victim, time);
+        victim_buffer_.emplace_back(net::IsPrivate(target)
+                                        ? src.nat_site
+                                        : topology::kPublicSite,
+                                    target);
+        if (victim_buffer_.size() == kBatchCapacity) flush_victims(time);
       }
     }
+    flush_events();
+    flush_victims(time);
     // Recompute instead of accumulating: step·dt has one rounding, a running
     // sum has billions, enough to skew long runs' sample alignment.
     ++step;

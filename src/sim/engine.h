@@ -109,7 +109,8 @@ class Engine {
   /// Infects `count` distinct random vulnerable hosts (paper: 25 seeds).
   void SeedRandomInfections(int count);
 
-  /// Runs to completion; reports every probe to `observer`.
+  /// Runs to completion; reports every probe to `observer` (batched
+  /// through ProbeObserver::OnProbeBatch in emission order).
   RunResult Run(ProbeObserver& observer);
 
   /// Runs with no observer.
@@ -130,10 +131,19 @@ class Engine {
   EngineConfig config_;
   prng::Xoshiro256 rng_;
 
-  /// Actively scanning hosts and their per-host targeting state (parallel
-  /// vectors; disinfection swap-removes from both).
+  /// Actively scanning hosts, their per-host targeting state, and their
+  /// public-facing (post-NAT) source address — resolved once at activation
+  /// instead of per probe (parallel vectors; disinfection swap-removes from
+  /// all three).
   std::vector<HostId> infected_;
   std::vector<std::unique_ptr<HostScanner>> scanners_;
+  std::vector<net::Ipv4> scanner_sources_;
+  /// Probe-event staging buffer, flushed to the observer per step (or when
+  /// full) so virtual dispatch is amortized over whole batches.
+  std::vector<ProbeEvent> event_buffer_;
+  /// Delivered probes awaiting their victim lookup: (lookup site, dst).
+  /// Batched so the hash-table loads can be prefetched ahead of use.
+  std::vector<std::pair<topology::SiteId, net::Ipv4>> victim_buffer_;
   /// Infected hosts waiting out the infection latency, in activation-time
   /// order (time is monotone, so appends keep it sorted).
   struct PendingActivation {

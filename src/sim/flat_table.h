@@ -1,24 +1,46 @@
-// A minimal open-addressing hash table for the probe loop's victim lookup.
+// Minimal open-addressing hash containers for the per-probe hot paths.
 //
-// The engine performs one (site, address) → host lookup per delivered probe
-// — billions per experiment.  std::unordered_map's node-based buckets cost
-// two dependent cache misses per lookup; this flat, linear-probing table
-// costs one.  It is append-only (hosts are never removed) and sized at
-// Build() time for a fixed ≤0.5 load factor.
+// The probe loop performs billions of hash lookups and inserts per
+// experiment: (site, address) → host victim lookups in the engine, and
+// unique-source membership inserts in every darknet sensor.  Node-based
+// std::unordered_{map,set} cost two dependent cache misses plus an
+// allocation per insert; these flat, linear-probing tables cost one probe
+// chain and never allocate after reaching steady-state capacity.
+//
+// `FlatMap<Key, Value>` maps non-zero integral keys to values (key 0 is
+// reserved as the empty-slot sentinel).  `FlatSet<Key>` is a set of
+// integral keys that additionally admits key 0 via a side flag, so raw
+// IPv4 addresses (including 0.0.0.0) can be stored directly.  Both grow by
+// doubling at a ≤0.5 load factor, and `Clear()` retains capacity so
+// per-trial `Reset()` loops reuse their storage instead of reallocating.
 #pragma once
 
 #include <cstdint>
 #include <stdexcept>
+#include <type_traits>
 #include <vector>
 
 namespace hotspots::sim {
 
-/// Maps non-zero 64-bit keys to 32-bit values.  Key 0 is reserved as the
-/// empty sentinel (the population never stores address 0.0.0.0 outside a
-/// site, which is non-targetable anyway).
-class FlatTable {
+namespace detail {
+/// SplitMix64 finalizer: full-avalanche, cheap.
+[[nodiscard]] constexpr std::size_t HashKey(std::uint64_t key) {
+  key = (key ^ (key >> 30)) * 0xBF58476D1CE4E5B9ull;
+  key = (key ^ (key >> 27)) * 0x94D049BB133111EBull;
+  return static_cast<std::size_t>(key ^ (key >> 31));
+}
+}  // namespace detail
+
+/// Maps non-zero integral keys to values.  Key 0 is reserved as the empty
+/// sentinel (the population never stores address 0.0.0.0 outside a site,
+/// which is non-targetable anyway).
+template <typename Key, typename Value>
+class FlatMap {
+  static_assert(std::is_integral_v<Key> && sizeof(Key) <= 8,
+                "FlatMap requires integral keys up to 64 bits");
+
  public:
-  FlatTable() = default;
+  FlatMap() = default;
 
   /// Rebuilds the table for `expected` entries.
   void Reserve(std::size_t expected) {
@@ -31,12 +53,12 @@ class FlatTable {
 
   /// Inserts `key` → `value`.  Returns false if the key already exists
   /// (value unchanged).  Grows when the load factor passes 1/2.
-  bool Insert(std::uint64_t key, std::uint32_t value) {
-    if (key == 0) throw std::invalid_argument("FlatTable: key 0 is reserved");
+  bool Insert(Key key, Value value) {
+    if (key == 0) throw std::invalid_argument("FlatMap: key 0 is reserved");
     if (slots_.empty() || (size_ + 1) * 2 > slots_.size()) {
       Grow();
     }
-    std::size_t index = Hash(key) & mask_;
+    std::size_t index = detail::HashKey(static_cast<std::uint64_t>(key)) & mask_;
     while (slots_[index].key != 0) {
       if (slots_[index].key == key) return false;
       index = (index + 1) & mask_;
@@ -47,10 +69,9 @@ class FlatTable {
   }
 
   /// Returns the value for `key`, or `not_found`.
-  [[nodiscard]] std::uint32_t Find(std::uint64_t key,
-                                   std::uint32_t not_found) const {
+  [[nodiscard]] Value Find(Key key, Value not_found) const {
     if (slots_.empty()) return not_found;
-    std::size_t index = Hash(key) & mask_;
+    std::size_t index = detail::HashKey(static_cast<std::uint64_t>(key)) & mask_;
     while (slots_[index].key != 0) {
       if (slots_[index].key == key) return slots_[index].value;
       index = (index + 1) & mask_;
@@ -58,27 +79,37 @@ class FlatTable {
     return not_found;
   }
 
+  /// Prefetches the first slot `key` hashes to.  Issued a few iterations
+  /// ahead of Find() in batched lookup loops, it overlaps the (all but
+  /// guaranteed) cache miss with other work.
+  void PrefetchFind(Key key) const {
+    if (slots_.empty()) return;
+    const std::size_t index =
+        detail::HashKey(static_cast<std::uint64_t>(key)) & mask_;
+    __builtin_prefetch(&slots_[index], 0, 1);
+  }
+
+  /// Drops all entries but keeps the allocated capacity.
+  void Clear() {
+    slots_.assign(slots_.size(), Slot{});
+    size_ = 0;
+  }
+
   [[nodiscard]] std::size_t size() const { return size_; }
 
  private:
   struct Slot {
-    std::uint64_t key = 0;
-    std::uint32_t value = 0;
+    Key key = 0;
+    Value value{};
   };
-
-  [[nodiscard]] static std::size_t Hash(std::uint64_t key) {
-    // SplitMix64 finalizer: full-avalanche, cheap.
-    key = (key ^ (key >> 30)) * 0xBF58476D1CE4E5B9ull;
-    key = (key ^ (key >> 27)) * 0x94D049BB133111EBull;
-    return static_cast<std::size_t>(key ^ (key >> 31));
-  }
 
   void Grow() {
     std::vector<Slot> old = std::move(slots_);
     Reserve(old.empty() ? 16 : old.size());
     for (const Slot& slot : old) {
       if (slot.key != 0) {
-        std::size_t index = Hash(slot.key) & mask_;
+        std::size_t index =
+            detail::HashKey(static_cast<std::uint64_t>(slot.key)) & mask_;
         while (slots_[index].key != 0) index = (index + 1) & mask_;
         slots_[index] = slot;
         ++size_;
@@ -90,5 +121,98 @@ class FlatTable {
   std::size_t mask_ = 0;
   std::size_t size_ = 0;
 };
+
+/// A set of integral keys.  Key 0 is tracked by a side flag so the full key
+/// domain (e.g. every IPv4 address) is storable.
+template <typename Key>
+class FlatSet {
+  static_assert(std::is_integral_v<Key> && sizeof(Key) <= 8,
+                "FlatSet requires integral keys up to 64 bits");
+
+ public:
+  FlatSet() = default;
+
+  void Reserve(std::size_t expected) {
+    std::size_t capacity = 16;
+    while (capacity < expected * 2 + 1) capacity <<= 1;
+    slots_.assign(capacity, Key{0});
+    mask_ = capacity - 1;
+    size_ = 0;
+    has_zero_ = false;
+  }
+
+  /// Inserts `key`; returns true if it was not already present.
+  bool Insert(Key key) {
+    if (key == 0) {
+      if (has_zero_) return false;
+      has_zero_ = true;
+      ++size_;
+      return true;
+    }
+    if (slots_.empty() || (NonZeroCount() + 1) * 2 > slots_.size()) {
+      Grow();
+    }
+    std::size_t index = detail::HashKey(static_cast<std::uint64_t>(key)) & mask_;
+    while (slots_[index] != 0) {
+      if (slots_[index] == key) return false;
+      index = (index + 1) & mask_;
+    }
+    slots_[index] = key;
+    ++size_;
+    return true;
+  }
+
+  [[nodiscard]] bool Contains(Key key) const {
+    if (key == 0) return has_zero_;
+    if (slots_.empty()) return false;
+    std::size_t index = detail::HashKey(static_cast<std::uint64_t>(key)) & mask_;
+    while (slots_[index] != 0) {
+      if (slots_[index] == key) return true;
+      index = (index + 1) & mask_;
+    }
+    return false;
+  }
+
+  /// Drops all entries but keeps the allocated capacity.
+  void Clear() {
+    if (size_ == 0) return;
+    slots_.assign(slots_.size(), Key{0});
+    has_zero_ = false;
+    size_ = 0;
+  }
+
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+
+ private:
+  [[nodiscard]] std::size_t NonZeroCount() const {
+    return size_ - (has_zero_ ? 1 : 0);
+  }
+
+  void Grow() {
+    std::vector<Key> old = std::move(slots_);
+    const std::size_t target = old.empty() ? 16 : old.size();
+    std::size_t capacity = 16;
+    while (capacity < target * 2 + 1) capacity <<= 1;
+    slots_.assign(capacity, Key{0});
+    mask_ = capacity - 1;
+    for (const Key key : old) {
+      if (key != 0) {
+        std::size_t index =
+            detail::HashKey(static_cast<std::uint64_t>(key)) & mask_;
+        while (slots_[index] != 0) index = (index + 1) & mask_;
+        slots_[index] = key;
+      }
+    }
+  }
+
+  std::vector<Key> slots_;
+  std::size_t mask_ = 0;
+  std::size_t size_ = 0;
+  bool has_zero_ = false;
+};
+
+/// The engine's (site, address) → host table (historical name).
+using FlatTable = FlatMap<std::uint64_t, std::uint32_t>;
 
 }  // namespace hotspots::sim

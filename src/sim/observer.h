@@ -6,7 +6,15 @@
 // targets.  Observers see the probe *and* the delivery verdict so they can
 // model either on-path sensors (see everything routable to them) or
 // end-host sensors.
+//
+// Delivery is batched: the engine buffers probes and flushes them through
+// OnProbeBatch() once per step (or when the buffer fills), which amortizes
+// the virtual dispatch and lets observers process a cache-resident run of
+// events.  The default OnProbeBatch() loops OnProbe(), so observers that
+// only care about individual probes implement just that.
 #pragma once
+
+#include <span>
 
 #include "net/ipv4.h"
 #include "sim/host.h"
@@ -27,13 +35,27 @@ struct ProbeEvent {
 class ProbeObserver {
  public:
   virtual ~ProbeObserver() = default;
+
+  /// Called once by Engine::Run before the first probe is emitted.
+  /// Observers validate their configuration here (e.g. an un-built
+  /// telescope fails at attach time instead of per probe).
+  virtual void OnAttach() {}
+
   virtual void OnProbe(const ProbeEvent& event) = 0;
+
+  /// Receives a run of probes in emission order.  The default forwards each
+  /// event to OnProbe(); hot observers override this to process the whole
+  /// batch without per-probe virtual dispatch.
+  virtual void OnProbeBatch(std::span<const ProbeEvent> events) {
+    for (const ProbeEvent& event : events) OnProbe(event);
+  }
 };
 
 /// Observer that ignores everything.
 class NullObserver final : public ProbeObserver {
  public:
   void OnProbe(const ProbeEvent&) override {}
+  void OnProbeBatch(std::span<const ProbeEvent>) override {}
 };
 
 }  // namespace hotspots::sim

@@ -31,9 +31,18 @@ class Population {
   }
 
   /// Host owning `address` inside NAT site `site`, or kInvalidHost.
+  /// Pass kPublicSite for public addresses (== FindPublic).
   [[nodiscard]] HostId FindInSite(topology::SiteId site,
                                   net::Ipv4 address) const {
     return Find(site, address);
+  }
+
+  /// Prefetches the hash slot a subsequent FindInSite/FindPublic for the
+  /// same (site, address) will touch.  The engine issues these a few
+  /// lookups ahead while flushing its delivered-probe batch, overlapping
+  /// the near-certain cache miss per random address.
+  void PrefetchFind(topology::SiteId site, net::Ipv4 address) const {
+    by_address_.PrefetchFind(Key(site, address));
   }
 
   [[nodiscard]] Host& host(HostId id) { return hosts_[id]; }

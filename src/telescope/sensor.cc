@@ -7,7 +7,14 @@ namespace hotspots::telescope {
 
 SensorBlock::SensorBlock(std::string label, net::Prefix block,
                          SensorOptions options)
-    : label_(std::move(label)), block_(block), options_(options) {}
+    : label_(std::move(label)), block_(block), options_(options),
+      first_slash24_(block.first().Slash24()) {
+  if (options_.track_per_slash24) {
+    // One dense cell per /24 the block touches (a sub-/24 block still gets
+    // one cell).  Sized once here; never reallocated.
+    per_slash24_.resize(block.last().Slash24() - first_slash24_ + 1);
+  }
+}
 
 void SensorBlock::Record(double time, net::Ipv4 src, net::Ipv4 dst,
                          bool identified) {
@@ -22,30 +29,34 @@ void SensorBlock::Record(double time, net::Ipv4 src, net::Ipv4 dst,
       probes_ >= options_.alert_threshold) {
     alert_time_ = time;
   }
-  if (options_.track_unique_sources) sources_.insert(src.value());
+  if (options_.track_unique_sources) sources_.Insert(src.value());
   if (options_.track_per_slash24) {
-    PerSlash24& cell = per_slash24_[dst.Slash24()];
+    PerSlash24& cell = per_slash24_[dst.Slash24() - first_slash24_];
     ++cell.probes;
-    cell.sources.insert(src.value());
+    cell.sources.Insert(src.value());
   }
 }
 
 std::vector<Slash24Row> SensorBlock::Histogram() const {
   std::vector<Slash24Row> rows;
-  const std::uint32_t first = block_.first().Slash24();
-  const std::uint32_t last = block_.last().Slash24();
-  rows.reserve(last - first + 1);
-  for (std::uint32_t s24 = first; s24 <= last; ++s24) {
-    Slash24Row row;
-    row.slash24 = s24;
-    const auto it = per_slash24_.find(s24);
-    if (it != per_slash24_.end()) {
-      row.stats.probes = it->second.probes;
-      row.stats.unique_sources =
-          static_cast<std::uint32_t>(it->second.sources.size());
+  if (!options_.track_per_slash24) {
+    // No per-/24 tracking: still emit the all-zero x-axis rows so callers
+    // get a complete (if empty) histogram, as before.
+    const std::uint32_t count = block_.last().Slash24() - first_slash24_ + 1;
+    rows.resize(count);
+    for (std::uint32_t i = 0; i < count; ++i) {
+      rows[i].slash24 = first_slash24_ + i;
     }
+    return rows;
+  }
+  rows.reserve(per_slash24_.size());
+  for (std::size_t i = 0; i < per_slash24_.size(); ++i) {
+    Slash24Row row;
+    row.slash24 = first_slash24_ + static_cast<std::uint32_t>(i);
+    row.stats.probes = per_slash24_[i].probes;
+    row.stats.unique_sources =
+        static_cast<std::uint32_t>(per_slash24_[i].sources.size());
     rows.push_back(row);
-    if (s24 == last) break;  // Guard against /0-style wrap (s24 overflow).
   }
   return rows;
 }
@@ -54,8 +65,11 @@ void SensorBlock::Reset() {
   probes_ = 0;
   unidentified_probes_ = 0;
   alert_time_.reset();
-  sources_.clear();
-  per_slash24_.clear();
+  sources_.Clear();
+  for (PerSlash24& cell : per_slash24_) {
+    cell.probes = 0;
+    cell.sources.Clear();
+  }
 }
 
 }  // namespace hotspots::telescope

@@ -7,17 +7,22 @@
 // source counts (the paper's Figures 1, 2 and 4 are exactly these
 // histograms), and the time at which the probe count crossed the alert
 // threshold (Section 5's "alert after observing n worm payloads").
+//
+// Record() is on the per-probe hot path, so every structure is flat and
+// allocation-free at steady state: unique sources live in open-addressing
+// FlatSets, and the per-/24 statistics are a dense array indexed by the
+// destination's offset within the block (the block size is fixed at
+// construction).  Reset() keeps all capacity so trial loops reuse storage.
 #pragma once
 
 #include <cstdint>
 #include <optional>
 #include <string>
-#include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
 #include "net/ipv4.h"
 #include "net/prefix.h"
+#include "sim/flat_table.h"
 
 namespace hotspots::telescope {
 
@@ -83,26 +88,29 @@ class SensorBlock {
   /// /24s of the block that saw nothing (so plots have a complete x-axis).
   [[nodiscard]] std::vector<Slash24Row> Histogram() const;
 
-  /// Resets all counters (between experiment phases).
+  /// Resets all counters (between experiment phases).  Capacity is kept, so
+  /// resetting between trials is allocation-free.
   void Reset();
 
  private:
   std::string label_;
   net::Prefix block_;
   SensorOptions options_;
+  /// Global /24 index of the block's first address; per-/24 cells are
+  /// indexed by `dst.Slash24() - first_slash24_`.
+  std::uint32_t first_slash24_ = 0;
 
   std::uint64_t probes_ = 0;
   std::uint64_t unidentified_probes_ = 0;
   std::optional<double> alert_time_;
-  std::unordered_set<std::uint32_t> sources_;
-  // Keyed by global /24 index; value tracks probes plus that /24's own
-  // unique-source set (needed because Figures 1/2/4 plot unique sources
-  // per destination /24, not per block).
+  sim::FlatSet<std::uint32_t> sources_;
+  // Dense per-/24 statistics (Figures 1/2/4 plot probes *and* unique
+  // sources per destination /24, so each cell carries its own source set).
   struct PerSlash24 {
     std::uint64_t probes = 0;
-    std::unordered_set<std::uint32_t> sources;
+    sim::FlatSet<std::uint32_t> sources;
   };
-  std::unordered_map<std::uint32_t, PerSlash24> per_slash24_;
+  std::vector<PerSlash24> per_slash24_;
 };
 
 }  // namespace hotspots::telescope

@@ -19,17 +19,49 @@ int Telescope::AddSensor(std::string label, net::Prefix block,
 }
 
 void Telescope::Build() {
-  by_address_.Build();  // Throws if blocks overlap.
+  if (built_) return;          // Idempotent until the next AddSensor().
+  by_address_.Build();         // Throws if blocks overlap.
   built_ = true;
 }
 
+void Telescope::RequireBuilt() const {
+  if (!built_) throw std::logic_error("Telescope: Build() not called");
+}
+
+void Telescope::OnAttach() { RequireBuilt(); }
+
 void Telescope::OnProbe(const sim::ProbeEvent& event) {
   if (event.delivery != topology::Delivery::kDelivered) return;
-  Observe(event.time, event.src_address, event.dst);
+  RequireBuilt();
+  ObserveBuilt(event.time, event.src_address, event.dst);
+}
+
+void Telescope::OnProbeBatch(std::span<const sim::ProbeEvent> events) {
+  RequireBuilt();  // Once per batch; the attach check makes this redundant
+                   // on the engine path, but direct callers batch too.
+  // Overlap the (random-access) sensor-index loads of upcoming events with
+  // the processing of the current one.
+  constexpr std::size_t kPrefetchAhead = 8;
+  const std::size_t count = events.size();
+  for (std::size_t i = 0; i < count; ++i) {
+    if (i + kPrefetchAhead < count) {
+      const sim::ProbeEvent& ahead = events[i + kPrefetchAhead];
+      if (ahead.delivery == topology::Delivery::kDelivered) {
+        by_address_.PrefetchLookup(ahead.dst);
+      }
+    }
+    const sim::ProbeEvent& event = events[i];
+    if (event.delivery != topology::Delivery::kDelivered) continue;
+    ObserveBuilt(event.time, event.src_address, event.dst);
+  }
 }
 
 void Telescope::Observe(double time, net::Ipv4 src, net::Ipv4 dst) {
-  if (!built_) throw std::logic_error("Telescope: Build() not called");
+  RequireBuilt();
+  ObserveBuilt(time, src, dst);
+}
+
+void Telescope::ObserveBuilt(double time, net::Ipv4 src, net::Ipv4 dst) {
   const int* index = by_address_.Lookup(dst);
   if (index == nullptr) return;
   SensorBlock& sensor = *sensors_[static_cast<std::size_t>(*index)];

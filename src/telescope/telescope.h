@@ -5,9 +5,15 @@
 // (Probes dropped by environmental factors — upstream ACLs, perimeter
 // firewalls, NAT unroutability, loss — never reach a darknet, which is
 // precisely how environmental hotspots blind distributed detection.)
+//
+// The engine feeds probes through OnProbeBatch(); the telescope validates
+// its built state once per attach/batch and walks the events with a
+// prefetch window over the address index, so the per-probe cost is one
+// (overlapped) indexed load plus, on a hit, an allocation-free record.
 #pragma once
 
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -28,9 +34,16 @@ class Telescope final : public sim::ProbeObserver {
   int AddSensor(std::string label, net::Prefix block, SensorOptions options);
 
   /// Finalizes the address index.  Must be called before observing.
+  /// Idempotent: calling it again without new sensors is a no-op.
   void Build();
 
+  /// Fails fast (std::logic_error) if Build() was not called, so an
+  /// un-built telescope is rejected once at attach time rather than
+  /// branching+throwing per probe.
+  void OnAttach() override;
+
   void OnProbe(const sim::ProbeEvent& event) override;
+  void OnProbeBatch(std::span<const sim::ProbeEvent> events) override;
 
   /// Feeds a probe directly (for harnesses not using the engine).
   void Observe(double time, net::Ipv4 src, net::Ipv4 dst);
@@ -64,11 +77,16 @@ class Telescope final : public sim::ProbeObserver {
   void ResetAll();
 
  private:
+  void RequireBuilt() const;
+  /// Hot path shared by Observe()/OnProbe()/OnProbeBatch(); assumes built.
+  void ObserveBuilt(double time, net::Ipv4 src, net::Ipv4 dst);
+
   SensorOptions default_options_;
   std::vector<std::unique_ptr<SensorBlock>> sensors_;
   // Per-/16 direct map: the address→sensor lookup runs once per delivered
-  // probe, and this backend is ~25× faster than interval binary search at
-  // 10,000-sensor fleet sizes (see bench/micro_primitives).
+  // probe, and this backend is far faster than interval binary search at
+  // 10,000-sensor fleet sizes (see bench/micro_primitives: ~5.5 ns vs
+  // ~108 ns per lookup at 10,000 sensors, ~20×).
   net::Slash16Index<int> by_address_;
   bool built_ = false;
   bool threat_requires_handshake_ = false;

@@ -45,6 +45,14 @@ class IngressAclSet {
   }
 
   [[nodiscard]] bool empty() const { return blocked_.empty(); }
+  [[nodiscard]] bool built() const { return blocked_.built(); }
+
+  /// Coverage of [interval.lo, interval.hi] by the installed ACLs, used by
+  /// Reachability to precompute its per-/16 classification table.  An empty
+  /// set covers nothing; otherwise requires Build().
+  [[nodiscard]] net::Coverage CoverageOf(net::Interval interval) const {
+    return blocked_.CoverageOf(interval);
+  }
 
  private:
   net::IntervalSet blocked_;

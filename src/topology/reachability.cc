@@ -24,9 +24,55 @@ Reachability::Reachability(const AllocationRegistry* orgs,
   if (loss_rate < 0.0 || loss_rate >= 1.0) {
     throw std::invalid_argument("Reachability: loss_rate outside [0,1)");
   }
+  BuildClass16Table();
 }
 
-Delivery Reachability::Decide(const Probe& probe, prng::Xoshiro256& rng) const {
+void Reachability::BuildClass16Table() {
+  const bool have_acls = ingress_acls_ != nullptr && !ingress_acls_->empty();
+  const bool acls_built = have_acls && ingress_acls_->built();
+  for (std::uint32_t w = 0; w < 65536; ++w) {
+    const net::Ipv4 first{w << 16};
+    Class16 cls = Class16::kCleanPublic;
+    // Every special range is a /16-aligned prefix (length ≤ 16), so the
+    // first address of a /16 classifies the whole block exactly.
+    if (net::IsNonTargetable(first)) {
+      cls = Class16::kNonTargetable;
+    } else if (net::IsPrivate(first)) {
+      cls = Class16::kPrivate;
+    } else if (have_acls) {
+      if (!acls_built) {
+        // An un-built non-empty ACL set cannot be classified; keep the
+        // original error timing by deferring to the reference chain.
+        cls = Class16::kSlowPath;
+      } else {
+        switch (ingress_acls_->CoverageOf(
+            net::Interval{w << 16, (w << 16) | 0xFFFFu})) {
+          case net::Coverage::kFull: cls = Class16::kIngressBlocked; break;
+          case net::Coverage::kPartial: cls = Class16::kSlowPath; break;
+          case net::Coverage::kNone: break;
+        }
+      }
+    }
+    class16_[w] = static_cast<std::uint8_t>(cls);
+  }
+}
+
+Delivery Reachability::DecidePublicTail(const Probe& probe,
+                                        prng::Xoshiro256& rng) const {
+  if (orgs_ != nullptr) {
+    const OrgId dst_org = orgs_->OrgOf(probe.dst);
+    if (PerimeterBlocks(*orgs_, probe.src_org, dst_org)) {
+      return Delivery::kPerimeterFiltered;
+    }
+  }
+  if (loss_rate_ > 0.0 && rng.Bernoulli(loss_rate_)) {
+    return Delivery::kNetworkLoss;
+  }
+  return Delivery::kDelivered;
+}
+
+Delivery Reachability::DecideReference(const Probe& probe,
+                                       prng::Xoshiro256& rng) const {
   if (net::IsNonTargetable(probe.dst)) return Delivery::kNonTargetable;
 
   if (net::IsPrivate(probe.dst)) {
@@ -42,17 +88,7 @@ Delivery Reachability::Decide(const Probe& probe, prng::Xoshiro256& rng) const {
     return Delivery::kIngressFiltered;
   }
 
-  if (orgs_ != nullptr) {
-    const OrgId dst_org = orgs_->OrgOf(probe.dst);
-    if (PerimeterBlocks(*orgs_, probe.src_org, dst_org)) {
-      return Delivery::kPerimeterFiltered;
-    }
-  }
-
-  if (loss_rate_ > 0.0 && rng.Bernoulli(loss_rate_)) {
-    return Delivery::kNetworkLoss;
-  }
-  return Delivery::kDelivered;
+  return DecidePublicTail(probe, rng);
 }
 
 }  // namespace hotspots::topology

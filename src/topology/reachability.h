@@ -13,10 +13,16 @@
 //   random network failure (loss_rate)                      → drop
 //   otherwise                                               → deliver
 //
-// The struct is deliberately cheap: the hot probe loop calls this billions
-// of times in the Section-5 simulations.
+// The hot probe loop calls Decide() billions of times per Section-5 run, so
+// the destination-only factors are folded into a 65,536-entry per-/16
+// classification table at construction: every special range is /16-aligned,
+// and a /16 either fully inside or fully outside the ingress ACLs resolves
+// with a single indexed load.  Only /16s *partially* covered by an ACL fall
+// through to DecideReference(), the original factor-by-factor chain, which
+// is retained as the differential-test oracle.
 #pragma once
 
+#include <array>
 #include <cstdint>
 
 #include "net/special_ranges.h"
@@ -53,12 +59,42 @@ class Reachability {
  public:
   /// All dependencies are optional: pass nullptr to disable a factor.
   /// `loss_rate` models failures and misconfiguration as Bernoulli drops.
+  /// A non-empty ingress ACL set should be Build()-t before this
+  /// constructor runs; if it is not, every public /16 stays on the slow
+  /// path, which re-raises the original "Build() not called" error on the
+  /// first Decide().
   Reachability(const AllocationRegistry* orgs, const NatDirectory* nats,
                const IngressAclSet* ingress_acls, double loss_rate = 0.0);
 
-  /// Full decision with drop attribution.
+  /// Full decision with drop attribution.  Table-driven: destination-only
+  /// factors cost one indexed load; bit-identical to DecideReference().
   [[nodiscard]] Delivery Decide(const Probe& probe,
-                                prng::Xoshiro256& rng) const;
+                                prng::Xoshiro256& rng) const {
+    switch (static_cast<Class16>(class16_[probe.dst.value() >> 16])) {
+      case Class16::kNonTargetable:
+        return Delivery::kNonTargetable;
+      case Class16::kIngressBlocked:
+        return Delivery::kIngressFiltered;
+      case Class16::kPrivate:
+        // Private destinations only route inside the source's own NAT
+        // site; intra-site delivery bypasses all Internet-path factors.
+        if (nats_ == nullptr || !nats_->Routable(probe.src_site, probe.dst)) {
+          return Delivery::kNatUnroutable;
+        }
+        return Delivery::kDelivered;
+      case Class16::kSlowPath:
+        return DecideReference(probe, rng);
+      case Class16::kCleanPublic:
+        break;
+    }
+    return DecidePublicTail(probe, rng);
+  }
+
+  /// The original factor-by-factor decision chain.  Semantically identical
+  /// to Decide() (enforced by a differential test); kept as the oracle and
+  /// as the slow path for partially-ACL-covered /16s.
+  [[nodiscard]] Delivery DecideReference(const Probe& probe,
+                                         prng::Xoshiro256& rng) const;
 
   /// Convenience: Decide() == kDelivered.
   [[nodiscard]] bool Deliverable(const Probe& probe,
@@ -76,10 +112,27 @@ class Reachability {
   [[nodiscard]] double loss_rate() const { return loss_rate_; }
 
  private:
+  /// Per-/16 destination classification, precomputed at construction.
+  enum class Class16 : std::uint8_t {
+    kCleanPublic,    ///< Public, targetable, no ACL: only org/loss remain.
+    kNonTargetable,  ///< Whole /16 can never be a unicast target.
+    kPrivate,        ///< Whole /16 is RFC 1918 space: NAT routing decides.
+    kIngressBlocked, ///< Whole /16 behind an ingress ACL.
+    kSlowPath,       ///< Mixed (partial ACL): defer to DecideReference().
+  };
+
+  void BuildClass16Table();
+
+  /// Source-dependent factors for a clean public destination: perimeter
+  /// firewalls, then random loss.
+  [[nodiscard]] Delivery DecidePublicTail(const Probe& probe,
+                                          prng::Xoshiro256& rng) const;
+
   const AllocationRegistry* orgs_;
   const NatDirectory* nats_;
   const IngressAclSet* ingress_acls_;
   double loss_rate_;
+  std::array<std::uint8_t, 65536> class16_{};
 };
 
 }  // namespace hotspots::topology

@@ -45,8 +45,9 @@ TEST(IntegrationTest, SlammerUpstreamFilteringBlindsTheMBlock) {
   sim::Population population = ScatteredHosts(300, 1);
   worms::SlammerWorm worm;
 
+  telescope::Telescope ims = telescope::MakeImsTelescope();
   topology::IngressAclSet acls;
-  const auto* m_block = telescope::MakeImsTelescope().FindByLabel("M/22");
+  const auto* m_block = ims.FindByLabel("M/22");
   ASSERT_NE(m_block, nullptr);
   acls.Block(m_block->block());
   acls.Build();
@@ -58,7 +59,6 @@ TEST(IntegrationTest, SlammerUpstreamFilteringBlindsTheMBlock) {
   sim::Engine engine{population, worm, reach, nullptr, config};
   for (sim::HostId id = 0; id < 300; ++id) engine.SeedInfection(id);
 
-  telescope::Telescope ims = telescope::MakeImsTelescope();
   engine.Run(ims);
 
   EXPECT_EQ(ims.FindByLabel("M/22")->probe_count(), 0u);

@@ -1,0 +1,283 @@
+// Equivalence tests for the flat (open-addressing) telescope counters.
+//
+// SensorBlock replaced its std::unordered_set/unordered_map bookkeeping
+// with sim::FlatSet and a dense per-/24 array.  These tests replay recorded
+// probe streams into both the production sensor and a naive unordered_*
+// reference tally and require Histogram(), UniqueSourceCount(), probe
+// counts, and alert times to be bit-identical — including after Reset()
+// reuse across trials, and whether events arrive per-probe or in batches.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "net/ipv4.h"
+#include "net/prefix.h"
+#include "prng/xoshiro.h"
+#include "sim/flat_table.h"
+#include "sim/observer.h"
+#include "telescope/telescope.h"
+
+namespace hotspots::telescope {
+namespace {
+
+using net::Ipv4;
+using net::Prefix;
+
+struct RecordedProbe {
+  double time;
+  Ipv4 src;
+  Ipv4 dst;
+};
+
+/// A recorded stream of probes into `block`, with deliberate source reuse
+/// (small source pool) and src == 0.0.0.0 mixed in: address 0 is a valid
+/// set member and must not be confused with the FlatSet empty slot.
+std::vector<RecordedProbe> MakeStream(const Prefix& block, std::uint64_t seed,
+                                      int count) {
+  prng::Xoshiro256 rng{seed};
+  std::vector<RecordedProbe> stream;
+  stream.reserve(static_cast<std::size_t>(count));
+  const std::uint32_t span = block.last().value() - block.first().value();
+  for (int i = 0; i < count; ++i) {
+    RecordedProbe probe;
+    probe.time = static_cast<double>(i) * 0.01;
+    const std::uint32_t pick = rng.UniformBelow(1000);
+    probe.src = pick == 0 ? Ipv4{0} : Ipv4{rng.NextU32() & 0x3FFu};
+    probe.dst = Ipv4{block.first().value() + rng.UniformBelow(span + 1)};
+    stream.push_back(probe);
+  }
+  return stream;
+}
+
+/// The pre-refactor bookkeeping, kept as the oracle.
+struct ReferenceTally {
+  std::uint64_t probes = 0;
+  std::optional<double> alert_time;
+  std::unordered_set<std::uint32_t> sources;
+  std::unordered_map<std::uint32_t, std::uint64_t> per_slash24_probes;
+  std::unordered_map<std::uint32_t, std::unordered_set<std::uint32_t>>
+      per_slash24_sources;
+
+  void Record(const RecordedProbe& probe, std::uint64_t alert_threshold) {
+    ++probes;
+    if (alert_threshold > 0 && !alert_time && probes >= alert_threshold) {
+      alert_time = probe.time;
+    }
+    sources.insert(probe.src.value());
+    const std::uint32_t slash24 = probe.dst.Slash24();
+    ++per_slash24_probes[slash24];
+    per_slash24_sources[slash24].insert(probe.src.value());
+  }
+};
+
+void ExpectSensorMatchesReference(const SensorBlock& sensor,
+                                  const ReferenceTally& reference) {
+  EXPECT_EQ(sensor.probe_count(), reference.probes);
+  EXPECT_EQ(sensor.UniqueSourceCount(), reference.sources.size());
+  EXPECT_EQ(sensor.alert_time(), reference.alert_time);
+  const auto rows = sensor.Histogram();
+  const std::uint32_t first = sensor.block().first().Slash24();
+  const std::uint32_t last = sensor.block().last().Slash24();
+  ASSERT_EQ(rows.size(), static_cast<std::size_t>(last - first + 1));
+  for (const Slash24Row& row : rows) {
+    const auto probes_it = reference.per_slash24_probes.find(row.slash24);
+    const std::uint64_t want_probes =
+        probes_it == reference.per_slash24_probes.end() ? 0
+                                                        : probes_it->second;
+    const auto sources_it = reference.per_slash24_sources.find(row.slash24);
+    const std::size_t want_sources =
+        sources_it == reference.per_slash24_sources.end()
+            ? 0
+            : sources_it->second.size();
+    ASSERT_EQ(row.stats.probes, want_probes) << "slash24=" << row.slash24;
+    ASSERT_EQ(row.stats.unique_sources, want_sources)
+        << "slash24=" << row.slash24;
+  }
+}
+
+TEST(FlatSensorEquivalenceTest, MatchesUnorderedBaselineOnRandomStream) {
+  const Prefix block{Ipv4{60, 20, 0, 0}, 18};
+  SensorOptions options;
+  options.alert_threshold = 500;
+  SensorBlock sensor{"eq", block, options};
+  ReferenceTally reference;
+  for (const RecordedProbe& probe : MakeStream(block, 0xFEED, 50'000)) {
+    sensor.Record(probe.time, probe.src, probe.dst);
+    reference.Record(probe, options.alert_threshold);
+  }
+  ExpectSensorMatchesReference(sensor, reference);
+  EXPECT_TRUE(sensor.alerted());
+}
+
+TEST(FlatSensorEquivalenceTest, ResetReuseMatchesFreshSensor) {
+  const Prefix block{Ipv4{80, 44, 0, 0}, 16};
+  SensorOptions options;
+  options.alert_threshold = 100;
+  SensorBlock reused{"reused", block, options};
+  // Trial 1: a large stream that grows the internal tables.
+  for (const RecordedProbe& probe : MakeStream(block, 0xAAA, 30'000)) {
+    reused.Record(probe.time, probe.src, probe.dst);
+  }
+  reused.Reset();
+  EXPECT_EQ(reused.probe_count(), 0u);
+  EXPECT_EQ(reused.UniqueSourceCount(), 0u);
+  EXPECT_FALSE(reused.alerted());
+
+  // Trial 2: the reused sensor must be indistinguishable from a fresh one
+  // (and from the unordered reference) on a different stream.
+  SensorBlock fresh{"fresh", block, options};
+  ReferenceTally reference;
+  for (const RecordedProbe& probe : MakeStream(block, 0xBBB, 20'000)) {
+    reused.Record(probe.time, probe.src, probe.dst);
+    fresh.Record(probe.time, probe.src, probe.dst);
+    reference.Record(probe, options.alert_threshold);
+  }
+  ExpectSensorMatchesReference(reused, reference);
+  ExpectSensorMatchesReference(fresh, reference);
+  EXPECT_EQ(reused.alert_time(), fresh.alert_time());
+}
+
+TEST(FlatSensorEquivalenceTest, HistogramWithoutPerSlash24IsZeroRows) {
+  SensorOptions options;
+  options.track_per_slash24 = false;
+  SensorBlock sensor{"lean", Prefix{Ipv4{91, 7, 0, 0}, 20}, options};
+  sensor.Record(1.0, Ipv4{1, 2, 3, 4}, Ipv4{91, 7, 3, 9});
+  const auto rows = sensor.Histogram();
+  ASSERT_EQ(rows.size(), 16u);  // A /20 spans 16 /24s.
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    EXPECT_EQ(rows[i].slash24, Ipv4(91, 7, 0, 0).Slash24() + i);
+    EXPECT_EQ(rows[i].stats.probes, 0u);
+    EXPECT_EQ(rows[i].stats.unique_sources, 0u);
+  }
+  EXPECT_EQ(sensor.probe_count(), 1u);
+}
+
+TEST(TelescopeBatchEquivalenceTest, BatchedAndPerProbeDeliveryAgree) {
+  SensorOptions options;
+  options.alert_threshold = 50;
+  const std::vector<Prefix> blocks = {Prefix{Ipv4{60, 20, 0, 0}, 18},
+                                      Prefix{Ipv4{80, 44, 0, 0}, 16},
+                                      Prefix{Ipv4{91, 7, 0, 0}, 20}};
+  Telescope per_probe{options};
+  Telescope batched{options};
+  for (std::size_t i = 0; i < blocks.size(); ++i) {
+    per_probe.AddSensor("s" + std::to_string(i), blocks[i]);
+    batched.AddSensor("s" + std::to_string(i), blocks[i]);
+  }
+  per_probe.Build();
+  batched.Build();
+
+  // Event stream mixing hits on every block, misses, and non-delivered
+  // verdicts (which observers must ignore).
+  prng::Xoshiro256 rng{0xCAFE};
+  std::vector<sim::ProbeEvent> events;
+  for (int i = 0; i < 40'000; ++i) {
+    sim::ProbeEvent event;
+    event.time = static_cast<double>(i) * 0.001;
+    event.src_address = Ipv4{rng.NextU32()};
+    const Prefix& block = blocks[rng.UniformBelow(4) % blocks.size()];
+    event.dst = rng.UniformBelow(4) == 0
+                    ? Ipv4{rng.NextU32()}
+                    : Ipv4{block.first().value() +
+                           (rng.NextU32() &
+                            (block.last().value() - block.first().value()))};
+    event.delivery = rng.UniformBelow(10) == 0
+                         ? topology::Delivery::kNetworkLoss
+                         : topology::Delivery::kDelivered;
+    events.push_back(event);
+  }
+
+  for (const sim::ProbeEvent& event : events) per_probe.OnProbe(event);
+  // Feed the same stream in irregular batch sizes.
+  std::size_t begin = 0;
+  prng::Xoshiro256 chunk_rng{0xBA7C};
+  while (begin < events.size()) {
+    const std::size_t size = std::min<std::size_t>(
+        1 + chunk_rng.UniformBelow(999), events.size() - begin);
+    batched.OnProbeBatch(
+        std::span<const sim::ProbeEvent>{events.data() + begin, size});
+    begin += size;
+  }
+
+  ASSERT_EQ(per_probe.size(), batched.size());
+  EXPECT_EQ(per_probe.AlertedCount(), batched.AlertedCount());
+  for (int i = 0; i < static_cast<int>(per_probe.size()); ++i) {
+    const SensorBlock& a = per_probe.sensor(i);
+    const SensorBlock& b = batched.sensor(i);
+    EXPECT_EQ(a.probe_count(), b.probe_count());
+    EXPECT_EQ(a.UniqueSourceCount(), b.UniqueSourceCount());
+    EXPECT_EQ(a.alert_time(), b.alert_time());
+    const auto rows_a = a.Histogram();
+    const auto rows_b = b.Histogram();
+    ASSERT_EQ(rows_a.size(), rows_b.size());
+    for (std::size_t r = 0; r < rows_a.size(); ++r) {
+      ASSERT_EQ(rows_a[r].slash24, rows_b[r].slash24);
+      ASSERT_EQ(rows_a[r].stats.probes, rows_b[r].stats.probes);
+      ASSERT_EQ(rows_a[r].stats.unique_sources,
+                rows_b[r].stats.unique_sources);
+    }
+  }
+}
+
+TEST(TelescopeBuildTest, BuildIsIdempotent) {
+  Telescope telescope;
+  telescope.AddSensor("a", Prefix{Ipv4{60, 20, 0, 0}, 16});
+  telescope.Build();
+  EXPECT_NO_THROW(telescope.Build());
+  EXPECT_NO_THROW(telescope.OnAttach());
+  telescope.Observe(1.0, Ipv4{9, 9, 9, 9}, Ipv4{60, 20, 1, 1});
+  EXPECT_EQ(telescope.sensor(0).probe_count(), 1u);
+}
+
+TEST(TelescopeBuildTest, UnbuiltTelescopeFailsAtAttach) {
+  Telescope telescope;
+  telescope.AddSensor("a", Prefix{Ipv4{60, 20, 0, 0}, 16});
+  EXPECT_THROW(telescope.OnAttach(), std::logic_error);
+  sim::ProbeEvent event;
+  event.dst = Ipv4{60, 20, 1, 1};
+  event.delivery = topology::Delivery::kDelivered;
+  EXPECT_THROW(telescope.OnProbe(event), std::logic_error);
+  EXPECT_THROW(
+      telescope.OnProbeBatch(std::span<const sim::ProbeEvent>{&event, 1}),
+      std::logic_error);
+  telescope.Build();
+  EXPECT_NO_THROW(telescope.OnAttach());
+  EXPECT_NO_THROW(telescope.OnProbe(event));
+}
+
+TEST(FlatSetTest, SupportsKeyZeroAndAgreesWithUnorderedSet) {
+  sim::FlatSet<std::uint32_t> set;
+  std::unordered_set<std::uint32_t> reference;
+  prng::Xoshiro256 rng{99};
+  for (int i = 0; i < 30'000; ++i) {
+    // Small key space (with 0 included) forces duplicates and collisions.
+    const std::uint32_t key = rng.NextU32() & 0xFFFu;
+    EXPECT_EQ(set.Insert(key), reference.insert(key).second);
+  }
+  EXPECT_EQ(set.size(), reference.size());
+  for (std::uint32_t key = 0; key < 0x1000u; ++key) {
+    ASSERT_EQ(set.Contains(key), reference.count(key) != 0) << key;
+  }
+}
+
+TEST(FlatSetTest, ClearKeepsContentsOut) {
+  sim::FlatSet<std::uint32_t> set;
+  set.Insert(0);
+  set.Insert(17);
+  EXPECT_EQ(set.size(), 2u);
+  set.Clear();
+  EXPECT_EQ(set.size(), 0u);
+  EXPECT_TRUE(set.empty());
+  EXPECT_FALSE(set.Contains(0));
+  EXPECT_FALSE(set.Contains(17));
+  EXPECT_TRUE(set.Insert(17));
+  EXPECT_TRUE(set.Insert(0));
+  EXPECT_EQ(set.size(), 2u);
+}
+
+}  // namespace
+}  // namespace hotspots::telescope

@@ -1,0 +1,208 @@
+// Differential test for the table-driven Reachability fast path.
+//
+// Reachability::Decide() resolves destination-only factors through a
+// 65,536-entry per-/16 classification table; DecideReference() is the
+// original factor-by-factor chain, retained as the oracle.  These tests
+// drive both through the same probe streams and require them to agree
+// verdict-for-verdict — and, because the fast path must consume the engine
+// RNG identically (loss draws only on the clean-public/slow path), they
+// also require the two RNG streams to stay in lockstep.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "net/special_ranges.h"
+#include "prng/xoshiro.h"
+#include "topology/filtering.h"
+#include "topology/nat.h"
+#include "topology/org.h"
+#include "topology/reachability.h"
+
+namespace hotspots::topology {
+namespace {
+
+using net::Ipv4;
+using net::Prefix;
+
+/// Every boundary address of the special ranges the per-/16 table folds in:
+/// first/last address of the range plus its outside neighbours.
+std::vector<Ipv4> SpecialRangeBoundaries() {
+  return {
+      // 0.0.0.0/8 ("this network").
+      Ipv4{0, 0, 0, 0}, Ipv4{0, 255, 255, 255}, Ipv4{1, 0, 0, 0},
+      // 127.0.0.0/8 loopback.
+      Ipv4{126, 255, 255, 255}, Ipv4{127, 0, 0, 0}, Ipv4{127, 255, 255, 255},
+      Ipv4{128, 0, 0, 0},
+      // 224.0.0.0/4 multicast.
+      Ipv4{223, 255, 255, 255}, Ipv4{224, 0, 0, 0}, Ipv4{239, 255, 255, 255},
+      // 240.0.0.0/4 class E (through the top of the address space).
+      Ipv4{240, 0, 0, 0}, Ipv4{255, 255, 255, 255},
+      // 10.0.0.0/8 (RFC 1918).
+      Ipv4{9, 255, 255, 255}, Ipv4{10, 0, 0, 0}, Ipv4{10, 255, 255, 255},
+      Ipv4{11, 0, 0, 0},
+      // 172.16.0.0/12 (RFC 1918).
+      Ipv4{172, 15, 255, 255}, Ipv4{172, 16, 0, 0}, Ipv4{172, 31, 255, 255},
+      Ipv4{172, 32, 0, 0},
+      // 192.168.0.0/16 (RFC 1918).
+      Ipv4{192, 167, 255, 255}, Ipv4{192, 168, 0, 0},
+      Ipv4{192, 168, 255, 255}, Ipv4{192, 169, 0, 0},
+  };
+}
+
+/// Scenario with every factor active: org perimeters, one NAT site, and an
+/// ACL set that covers one full /16, one partial /16 (a /17), and one /22.
+class ReachabilityTableTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    enterprise_ = registry_.AddOrg("Fort", OrgKind::kEnterprise,
+                                   {Prefix{Ipv4{20, 0, 0, 0}, 8}}, true);
+    isp_ = registry_.AddOrg("ISP", OrgKind::kBroadbandIsp,
+                            {Prefix{Ipv4{24, 0, 0, 0}, 8}}, false);
+    registry_.Build();
+    site_ = nats_.AddSite(net::kPrivate192, Ipv4{24, 1, 1, 1});
+    acls_.Block(Prefix{Ipv4{61, 0, 0, 0}, 16});     // Whole /16.
+    acls_.Block(Prefix{Ipv4{60, 10, 128, 0}, 17});  // Half a /16.
+    acls_.Block(Prefix{Ipv4{192, 88, 16, 0}, 22});  // Sliver of a /16.
+    acls_.Build();
+  }
+
+  /// Asserts Decide == DecideReference for `probe` under two RNGs seeded
+  /// identically, then asserts the RNG streams are still in lockstep (both
+  /// must have consumed the same number of draws).
+  void ExpectEquivalent(const Reachability& reach, const Probe& probe,
+                        prng::Xoshiro256& fast_rng,
+                        prng::Xoshiro256& reference_rng) {
+    const Delivery fast = reach.Decide(probe, fast_rng);
+    const Delivery reference = reach.DecideReference(probe, reference_rng);
+    ASSERT_EQ(fast, reference)
+        << "dst=" << probe.dst.value() << " src_site=" << probe.src_site
+        << " fast=" << ToString(fast) << " ref=" << ToString(reference);
+    ASSERT_EQ(fast_rng.Next(), reference_rng.Next())
+        << "RNG streams diverged at dst=" << probe.dst.value();
+  }
+
+  AllocationRegistry registry_;
+  NatDirectory nats_;
+  IngressAclSet acls_;
+  OrgId enterprise_ = kInvalidOrg;
+  OrgId isp_ = kInvalidOrg;
+  SiteId site_ = kPublicSite;
+};
+
+TEST_F(ReachabilityTableTest, SpecialRangeBoundariesMatchReference) {
+  const Reachability reach{&registry_, &nats_, &acls_, 0.0};
+  prng::Xoshiro256 fast_rng{7}, reference_rng{7};
+  for (const Ipv4 dst : SpecialRangeBoundaries()) {
+    for (const SiteId src_site : {kPublicSite, site_}) {
+      Probe probe;
+      probe.src = Ipv4{24, 2, 2, 2};
+      probe.src_org = isp_;
+      probe.src_site = src_site;
+      probe.dst = dst;
+      ExpectEquivalent(reach, probe, fast_rng, reference_rng);
+    }
+  }
+}
+
+TEST_F(ReachabilityTableTest, PartiallyCoveredSlash16MatchesReference) {
+  const Reachability reach{&registry_, &nats_, &acls_, 0.0};
+  prng::Xoshiro256 fast_rng{11}, reference_rng{11};
+  Probe probe;
+  probe.src = Ipv4{24, 2, 2, 2};
+  probe.src_org = isp_;
+
+  // 61.0.0.0/16 is fully covered → table answers directly.
+  probe.dst = Ipv4{61, 0, 200, 2};
+  EXPECT_EQ(reach.Decide(probe, fast_rng), Delivery::kIngressFiltered);
+
+  // 60.10.0.0/16 is half covered and 192.88.0.0/16 has a covered /22:
+  // addresses on both sides of each ACL edge must agree with the oracle.
+  for (const Ipv4 dst :
+       {Ipv4{60, 10, 127, 255}, Ipv4{60, 10, 128, 0}, Ipv4{60, 10, 255, 255},
+        Ipv4{60, 10, 0, 0}, Ipv4{192, 88, 15, 255}, Ipv4{192, 88, 16, 0},
+        Ipv4{192, 88, 19, 255}, Ipv4{192, 88, 20, 0}}) {
+    probe.dst = dst;
+    ExpectEquivalent(reach, probe, fast_rng, reference_rng);
+  }
+  // And spot-check the expected verdicts on the partial /16 itself.
+  probe.dst = Ipv4{60, 10, 200, 1};
+  EXPECT_EQ(reach.Decide(probe, fast_rng), Delivery::kIngressFiltered);
+  probe.dst = Ipv4{60, 10, 5, 1};
+  EXPECT_EQ(reach.Decide(probe, fast_rng), Delivery::kDelivered);
+}
+
+TEST_F(ReachabilityTableTest, RandomizedProbesMatchReferenceWithLoss) {
+  // loss_rate > 0 exercises the Bernoulli draw: the fast path must reach it
+  // exactly when the reference chain does, or the streams diverge.
+  const Reachability reach{&registry_, &nats_, &acls_, 0.05};
+  prng::Xoshiro256 fast_rng{0xD1FF}, reference_rng{0xD1FF};
+  prng::Xoshiro256 gen{0x5EED5};
+  const auto boundaries = SpecialRangeBoundaries();
+  for (int i = 0; i < 200000; ++i) {
+    Probe probe;
+    probe.src = Ipv4{24, 2, 2, 2};
+    probe.src_org = isp_;
+    probe.src_site = (gen.Next() & 1) ? site_ : kPublicSite;
+    switch (gen.UniformBelow(4)) {
+      case 0:  // Anywhere in the address space.
+        probe.dst = Ipv4{gen.NextU32()};
+        break;
+      case 1:  // Dense around the ACL-covered blocks.
+        probe.dst = Ipv4{(gen.Next() & 1 ? 60u : 61u) << 24 |
+                         (10u << 16) | (gen.NextU32() & 0xFFFFu)};
+        break;
+      case 2:  // A special-range boundary, nudged ±1 occasionally.
+        probe.dst = Ipv4{boundaries[gen.UniformBelow(static_cast<std::uint32_t>(
+                             boundaries.size()))]
+                             .value() +
+                         gen.UniformBelow(3) - 1};
+        break;
+      default:  // Organization space (perimeter factor).
+        probe.dst = Ipv4{(gen.Next() & 1 ? 20u : 24u) << 24 |
+                         (gen.NextU32() & 0xFFFFFFu)};
+        break;
+    }
+    ExpectEquivalent(reach, probe, fast_rng, reference_rng);
+  }
+}
+
+TEST_F(ReachabilityTableTest, EnterpriseSourcesMatchReference) {
+  const Reachability reach{&registry_, &nats_, &acls_, 0.0};
+  prng::Xoshiro256 fast_rng{3}, reference_rng{3};
+  prng::Xoshiro256 gen{0xE9};
+  for (int i = 0; i < 20000; ++i) {
+    Probe probe;
+    probe.src = Ipv4{20, 1, 1, 1};
+    probe.src_org = enterprise_;
+    probe.dst = Ipv4{gen.NextU32()};
+    ExpectEquivalent(reach, probe, fast_rng, reference_rng);
+  }
+}
+
+TEST_F(ReachabilityTableTest, AclCoverageClassification) {
+  EXPECT_EQ(acls_.CoverageOf(net::Interval{61u << 24, (61u << 24) | 0xFFFFu}),
+            net::Coverage::kFull);
+  EXPECT_EQ(acls_.CoverageOf(net::Interval{(60u << 24) | (10u << 16),
+                                           (60u << 24) | (10u << 16) | 0xFFFFu}),
+            net::Coverage::kPartial);
+  EXPECT_EQ(acls_.CoverageOf(net::Interval{8u << 24, (8u << 24) | 0xFFFFu}),
+            net::Coverage::kNone);
+}
+
+TEST(ReachabilityTableErrorTest, UnbuiltAclsStillFailOnFirstDecide) {
+  // A non-empty, un-built ACL set cannot be classified at table-build time;
+  // the original error must still surface on the first public-destination
+  // Decide(), not silently disappear into the table.
+  IngressAclSet acls;
+  acls.Block(Prefix{Ipv4{10, 0, 0, 0}, 8});
+  const Reachability reach{nullptr, nullptr, &acls, 0.0};
+  prng::Xoshiro256 rng{1};
+  Probe probe;
+  probe.src = Ipv4{1, 1, 1, 1};
+  probe.dst = Ipv4{8, 8, 8, 8};
+  EXPECT_THROW((void)reach.Decide(probe, rng), std::logic_error);
+}
+
+}  // namespace
+}  // namespace hotspots::topology
