@@ -125,6 +125,7 @@ sim::SummaryStats FiredStats(
 }  // namespace
 
 int main(int argc, char** argv) {
+  const std::string metrics_out = bench::MetricsOutArg(argc, argv);
   const double scale = bench::ScaleArg(argc, argv);
   const int trials = bench::TrialsArg(4);
   bench::Title("Ablation", "global quorum vs content prevalence vs local TRW");
@@ -156,6 +157,7 @@ int main(int argc, char** argv) {
   const topology::Reachability reachability{nullptr, nullptr, nullptr, 0.0};
   sim::StudyOptions options;
   options.master_seed = 0xDE7DE7;
+  options.label = "combined-fleet";
   auto study = sim::RunStudy(
       options, trials, [&](int /*trial*/, std::uint64_t seed) {
         // Everything mutable is trial-local: population copy, fleet,
@@ -253,5 +255,6 @@ int main(int argc, char** argv) {
       "TRW gateway names the infected machine within seconds of its first "
       "scans — the paper's closing recommendation, quantified.");
   bench::PrintStudyThroughput(study.telemetry, total_probes);
+  bench::DumpMetrics(metrics_out, "ablation_detectors", &study.telemetry);
   return 0;
 }

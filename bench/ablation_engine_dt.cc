@@ -22,6 +22,7 @@
 using namespace hotspots;
 
 int main(int argc, char** argv) {
+  const std::string metrics_out = bench::MetricsOutArg(argc, argv);
   const double scale = bench::ScaleArg(argc, argv);
   const int trials = bench::TrialsArg(4);
   bench::Title("Ablation", "engine step size vs epidemic dynamics");
@@ -46,6 +47,9 @@ int main(int argc, char** argv) {
   for (const double dt : {0.05, 0.1, 0.2}) {
     sim::StudyOptions options;
     options.master_seed = 0xD7D7;
+    char label[32];
+    std::snprintf(label, sizeof label, "dt-%.2f", dt);
+    options.label = label;
     auto study = sim::RunStudy(
         options, trials, [&](int /*trial*/, std::uint64_t seed) {
           sim::Population population = scenario.population;
@@ -84,5 +88,6 @@ int main(int argc, char** argv) {
                   "across step sizes; the default dt = 1/scan_rate is the "
                   "cheapest per simulated second.");
   bench::PrintStudyThroughput(overall, total_probes);
+  bench::DumpMetrics(metrics_out, "ablation_engine_dt", &overall);
   return 0;
 }

@@ -20,6 +20,7 @@
 using namespace hotspots;
 
 int main(int argc, char** argv) {
+  const std::string metrics_out = bench::MetricsOutArg(argc, argv);
   const double scale = bench::ScaleArg(argc, argv);
   const int trials = bench::TrialsArg(4);
   bench::Title("Ablation", "patching / disinfection / exploit latency");
@@ -43,6 +44,10 @@ int main(int argc, char** argv) {
     core::MonteCarloStudyConfig mc;
     mc.trials = trials;
     mc.master_seed = 0xF00D;
+    char label[64];
+    std::snprintf(label, sizeof label, "patch=%g,disinfect=%g,latency=%g",
+                  patch, disinfect, latency);
+    mc.label = label;
     mc.study.engine.scan_rate = 10.0;
     mc.study.engine.end_time = 1200.0;
     mc.study.engine.stop_at_infected_fraction = 0.95 * selection.coverage;
@@ -114,5 +119,6 @@ int main(int argc, char** argv) {
       "shifts the "
       "whole outbreak curve right without changing its endpoint.");
   bench::PrintStudyThroughput(overall, total_probes);
+  bench::DumpMetrics(metrics_out, "ablation_lifecycle", &overall);
   return 0;
 }

@@ -23,6 +23,7 @@
 using namespace hotspots;
 
 int main(int argc, char** argv) {
+  const std::string metrics_out = bench::MetricsOutArg(argc, argv);
   const double scale = bench::ScaleArg(argc, argv);
   const int trials = bench::TrialsArg(4);
   bench::Title("Ablation", "shared-site vs per-host-site NAT modelling");
@@ -51,6 +52,8 @@ int main(int argc, char** argv) {
     core::MonteCarloStudyConfig mc;
     mc.trials = trials;
     mc.master_seed = 0xAB1A;
+    mc.label = mode == core::NatSiteMode::kSharedSite ? "shared-site"
+                                                      : "per-host-site";
     mc.study.engine.scan_rate = 10.0;
     mc.study.engine.end_time = 1200.0;
     mc.study.engine.stop_at_infected_fraction = 0.85;
@@ -85,5 +88,6 @@ int main(int argc, char** argv) {
       "private space. Under strict per-host NATs, only seed infections ever "
       "scan from 192.168 space and the hotspot shrinks accordingly.");
   bench::PrintStudyThroughput(overall, total_probes);
+  bench::DumpMetrics(metrics_out, "ablation_nat_model", &overall);
   return 0;
 }

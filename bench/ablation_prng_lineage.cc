@@ -70,6 +70,7 @@ LineageRow Profile(const sim::Worm& worm, int instances, int probes_each,
 }  // namespace
 
 int main(int argc, char** argv) {
+  const std::string metrics_out = bench::MetricsOutArg(argc, argv);
   const double scale = bench::ScaleArg(argc, argv);
   bench::Title("Ablation", "hotspot severity across the worm PRNG lineage");
 
@@ -94,6 +95,7 @@ int main(int argc, char** argv) {
   // runner parallelizes the rows while the printed numbers stay identical
   // to a serial sweep at any thread count.
   sim::StudyOptions options;
+  options.label = "lineage-rows";
   auto study = sim::RunStudy(
       options, static_cast<int>(lineage.size()),
       [&](int row, std::uint64_t /*seed*/) {
@@ -128,5 +130,6 @@ int main(int argc, char** argv) {
                               static_cast<std::uint64_t>(instances) *
                                   static_cast<std::uint64_t>(probes_each) *
                                   study.trials.size());
+  bench::DumpMetrics(metrics_out, "ablation_prng_lineage", &study.telemetry);
   return 0;
 }

@@ -80,6 +80,7 @@ FleetResult RunFleetTrial(const core::Scenario& base, const sim::Worm& worm,
 }  // namespace
 
 int main(int argc, char** argv) {
+  const std::string metrics_out = bench::MetricsOutArg(argc, argv);
   const double scale = bench::ScaleArg(argc, argv);
   const int trials = bench::TrialsArg(4);
   bench::Title("Ablation", "active vs passive darknet sensors");
@@ -104,6 +105,8 @@ int main(int argc, char** argv) {
     for (const bool active : {true, false}) {
       sim::StudyOptions options;
       options.master_seed = 0x5E0 + (active ? 1 : 0);
+      options.label =
+          std::string{worm->name()} + (active ? "/active" : "/passive");
       auto study = sim::RunStudy(
           options, trials, [&](int /*trial*/, std::uint64_t seed) {
             return RunFleetTrial(scenario, *worm, active, seed);
@@ -135,5 +138,6 @@ int main(int argc, char** argv) {
       "alerting never fires — the paper's rationale for IMS's active "
       "SYN-ACK responder.");
   bench::PrintStudyThroughput(overall, total_probes);
+  bench::DumpMetrics(metrics_out, "ablation_sensor_mode", &overall);
   return 0;
 }

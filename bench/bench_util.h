@@ -1,14 +1,21 @@
 // Shared helpers for the experiment benches: consistent headers, paper
-// reference callouts, simple table/series printing, and the scale/trial
-// knobs plus Monte-Carlo throughput reporting.
+// reference callouts, simple table/series printing, the scale/trial knobs
+// plus Monte-Carlo throughput reporting, and the uniform --metrics-out
+// sidecar (a JSON dump of the global obs registry + study telemetry) every
+// bench and example supports.
 #pragma once
 
 #include <cstdarg>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <optional>
 #include <string>
 
+#include "obs/export.h"
+#include "obs/json_writer.h"
+#include "obs/metrics.h"
+#include "obs/stage_timer.h"
 #include "sim/study.h"
 
 namespace hotspots::bench {
@@ -52,6 +59,87 @@ inline void Measured(const char* fmt, ...) {
   const double value = std::strtod(text, &end);
   if (end == text || *end != '\0') return std::nullopt;
   return value;
+}
+
+/// Extracts `--metrics-out PATH` from argv, compacting the remaining
+/// arguments in place so positional parsing (ScaleArg) still sees a clean
+/// argv.  Returns the path, or "" when the flag is absent.  Call before
+/// any positional argument parsing.
+[[nodiscard]] inline std::string MetricsOutArg(int& argc, char** argv) {
+  std::string path;
+  int kept = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--metrics-out") == 0) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "--metrics-out requires a file path\n");
+        std::exit(2);
+      }
+      path = argv[++i];
+    } else {
+      argv[kept++] = argv[i];
+    }
+  }
+  argc = kept;
+  return path;
+}
+
+/// Writes the metrics sidecar (EXPERIMENTS.md documents the schema): the
+/// global registry snapshot plus, when given, the bench's merged study
+/// telemetry with per-sweep-point segments.  No-op when `path` is empty,
+/// so benches call it unconditionally at exit.
+inline void DumpMetrics(const std::string& path, const char* bench_name,
+                        const sim::StudyTelemetry* telemetry = nullptr) {
+  if (path.empty()) return;
+  const obs::Snapshot snapshot = obs::Registry::Global().TakeSnapshot();
+  obs::JsonWriter writer;
+  writer.BeginObject();
+  writer.KV("schema", obs::kMetricsSchema);
+  writer.KV("bench", bench_name);
+  writer.KV("timers_enabled", obs::StageTimersEnabled());
+  obs::WriteSnapshotSections(snapshot, writer);
+  if (telemetry != nullptr) {
+    const auto write_stats = [&](const sim::SummaryStats& stats) {
+      writer.BeginObject();
+      writer.KV("mean", stats.mean);
+      for (const auto& [quantile, value] : stats.quantiles) {
+        writer.KV(quantile == 0.5 ? "p50" : "p95", value);
+      }
+      writer.KV("min", stats.min);
+      writer.KV("max", stats.max);
+      writer.EndObject();
+    };
+    writer.Key("study").BeginObject();
+    writer.KV("trials", telemetry->trials);
+    writer.KV("threads", telemetry->threads_used);
+    writer.KV("peak_concurrent_trials", telemetry->peak_concurrent_trials);
+    writer.KV("wall_seconds", telemetry->wall_seconds);
+    writer.KV("serial_seconds", telemetry->TotalTrialSeconds());
+    writer.Key("trial_seconds");
+    write_stats(telemetry->TrialLatencyStats());
+    writer.Key("queue_wait_seconds");
+    write_stats(telemetry->QueueWaitStats());
+    writer.Key("segments").BeginArray();
+    for (const sim::StudySegment& segment : telemetry->segments) {
+      writer.BeginObject();
+      writer.KV("label", segment.label);
+      writer.KV("trial_offset", segment.trial_offset);
+      writer.KV("trials", segment.trials);
+      writer.EndObject();
+    }
+    writer.EndArray();
+    writer.EndObject();
+  }
+  writer.EndObject();
+  FILE* file = std::fopen(path.c_str(), "wb");
+  if (file == nullptr) {
+    std::fprintf(stderr, "--metrics-out: cannot write %s\n", path.c_str());
+    std::exit(1);
+  }
+  const std::string& json = writer.str();
+  std::fwrite(json.data(), 1, json.size(), file);
+  std::fputc('\n', file);
+  std::fclose(file);
+  std::printf("metrics sidecar written to %s\n", path.c_str());
 }
 
 /// Scale factor from argv[1] or HOTSPOTS_SCALE (0 < s ≤ 1); scales the
@@ -121,6 +209,16 @@ inline void PrintStudyThroughput(const sim::StudyTelemetry& telemetry,
       telemetry.wall_seconds > 0.0
           ? static_cast<double>(total_probes) / telemetry.wall_seconds / 1e6
           : 0.0);
+  const sim::SummaryStats latency = telemetry.TrialLatencyStats();
+  const sim::SummaryStats queue_wait = telemetry.QueueWaitStats();
+  if (latency.count > 0 && latency.quantiles.size() == 2) {
+    std::printf(
+        "  [mc   ] trial latency p50 %.3fs, p95 %.3fs, max %.3fs; queue "
+        "wait p50 %.3fs, max %.3fs\n",
+        latency.quantiles[0].second, latency.quantiles[1].second, latency.max,
+        queue_wait.quantiles.empty() ? 0.0 : queue_wait.quantiles[0].second,
+        queue_wait.max);
+  }
 }
 
 /// Formats mean ± stddev compactly; `scale` converts units (100 → percent).

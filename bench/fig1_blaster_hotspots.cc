@@ -45,6 +45,7 @@ constexpr std::uint32_t kSlash24Space = 1u << 24;
 }  // namespace
 
 int main(int argc, char** argv) {
+  const std::string metrics_out = bench::MetricsOutArg(argc, argv);
   const double scale = bench::ScaleArg(argc, argv);
   bench::Title("Figure 1", "unique Blaster sources by destination /24");
 
@@ -257,5 +258,6 @@ int main(int argc, char** argv) {
       "space 16-fold, and the spike's explaining seeds sit in the "
       "boot-plausible band while a cold /24's candidates are only chance "
       "grid hits that no host ever drew.");
+  bench::DumpMetrics(metrics_out, "fig1_blaster_hotspots");
   return 0;
 }

@@ -25,6 +25,7 @@
 using namespace hotspots;
 
 int main(int argc, char** argv) {
+  const std::string metrics_out = bench::MetricsOutArg(argc, argv);
   const double scale = bench::ScaleArg(argc, argv);
   bench::Title("Figure 2", "unique Slammer sources by destination /24");
 
@@ -206,5 +207,6 @@ int main(int argc, char** argv) {
               "/24\n",
               static_cast<unsigned long long>(z_nonzero),
               static_cast<unsigned long long>(z_max));
+  bench::DumpMetrics(metrics_out, "fig2_slammer_sources");
   return 0;
 }

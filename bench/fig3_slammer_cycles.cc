@@ -74,6 +74,7 @@ void ProfileHost(const char* name, int dll_version, std::uint32_t seed,
 }  // namespace
 
 int main(int argc, char** argv) {
+  const std::string metrics_out = bench::MetricsOutArg(argc, argv);
   const double scale = bench::ScaleArg(argc, argv);
   bench::Title("Figure 3",
                "per-host Slammer scanning bias and the LCG cycle census");
@@ -178,5 +179,6 @@ int main(int argc, char** argv) {
     }
     std::printf("\n");
   }
+  bench::DumpMetrics(metrics_out, "fig3_slammer_cycles");
   return 0;
 }

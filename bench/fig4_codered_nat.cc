@@ -43,6 +43,7 @@ void PrintBlocks(telescope::Telescope& ims, bool unique_sources) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  const std::string metrics_out = bench::MetricsOutArg(argc, argv);
   const double scale = bench::ScaleArg(argc, argv);
   bench::Title("Figure 4", "CodeRedII, private address space, and the "
                            "M-block hotspot");
@@ -127,5 +128,6 @@ int main(int argc, char** argv) {
   bench::Measured("the M block's unique-source count towers over every other "
                   "small block; only the Z/8 (16M addresses) sees more "
                   "absolute traffic.");
+  bench::DumpMetrics(metrics_out, "fig4_codered_nat");
   return 0;
 }

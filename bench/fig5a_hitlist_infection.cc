@@ -23,6 +23,7 @@
 using namespace hotspots;
 
 int main(int argc, char** argv) {
+  const std::string metrics_out = bench::MetricsOutArg(argc, argv);
   const double scale = bench::ScaleArg(argc, argv);
   const int trials = bench::TrialsArg(4);
   bench::Title("Figure 5a", "infection rate vs hit-list size");
@@ -58,6 +59,7 @@ int main(int argc, char** argv) {
 
     sim::StudyOptions options;
     options.master_seed = 0x5A + static_cast<std::uint64_t>(size);
+    options.label = "list-" + std::to_string(size);
     auto study = sim::RunStudy(
         options, trials, [&](int /*trial*/, std::uint64_t seed) {
           // Per-trial copy: the engine mutates host states, so every trial
@@ -119,5 +121,6 @@ int main(int argc, char** argv) {
                    "the population but more slowly — the speed/coverage "
                    "trade-off of hit-list scanning.");
   bench::PrintStudyThroughput(overall, total_probes);
+  bench::DumpMetrics(metrics_out, "fig5a_hitlist_infection", &overall);
   return 0;
 }

@@ -25,6 +25,7 @@
 using namespace hotspots;
 
 int main(int argc, char** argv) {
+  const std::string metrics_out = bench::MetricsOutArg(argc, argv);
   const double scale = bench::ScaleArg(argc, argv);
   const int trials = bench::TrialsArg(4);
   bench::Title("Figure 5b", "sensor alert rate vs hit-list size");
@@ -62,6 +63,7 @@ int main(int argc, char** argv) {
     core::MonteCarloStudyConfig mc;
     mc.trials = trials;
     mc.master_seed = 0xB5 + static_cast<std::uint64_t>(size);
+    mc.label = "list-" + std::to_string(size);
     mc.study.engine.scan_rate = 10.0;
     mc.study.engine.end_time = 2500.0;
     mc.study.engine.sample_interval = 25.0;
@@ -120,5 +122,6 @@ int main(int argc, char** argv) {
                    "infected, only slightly more than 20%% of detectors have "
                    "alerted.");
   bench::PrintStudyThroughput(overall, total_probes);
+  bench::DumpMetrics(metrics_out, "fig5b_hitlist_detection", &overall);
   return 0;
 }

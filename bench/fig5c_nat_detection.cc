@@ -29,6 +29,7 @@
 using namespace hotspots;
 
 int main(int argc, char** argv) {
+  const std::string metrics_out = bench::MetricsOutArg(argc, argv);
   const double scale = bench::ScaleArg(argc, argv);
   const int trials = bench::TrialsArg(4);
   bench::Title("Figure 5c", "sensor placement vs NAT-driven hotspots");
@@ -70,6 +71,7 @@ int main(int argc, char** argv) {
     core::MonteCarloStudyConfig mc;
     mc.trials = trials;
     mc.master_seed = 0xCC;
+    mc.label = placement.name;
     mc.study.engine.scan_rate = 10.0;
     mc.study.engine.end_time = 1500.0;
     mc.study.engine.sample_interval = 15.0;
@@ -165,5 +167,6 @@ int main(int argc, char** argv) {
                    "than 50%% of the vulnerable population making global "
                    "containment difficult or impossible.'");
   bench::PrintStudyThroughput(overall, total_probes);
+  bench::DumpMetrics(metrics_out, "fig5c_nat_detection", &overall);
   return 0;
 }

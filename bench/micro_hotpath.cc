@@ -10,14 +10,26 @@
 // after a hot-path change therefore checks both speed (probes_per_sec) and
 // behaviour (the fingerprints must be bit-identical).
 //
-// Usage: micro_hotpath [scale] [--label NAME] [--out FILE]
+// Usage: micro_hotpath [scale] [--label NAME] [--out FILE] [gate flags]
 //   scale    population scale in (0,1], default 1.0 (fig5a scale)
 //   --label  entry label, e.g. "before" / "after" (default "run")
 //   --out    JSON file to append to (default results/BENCH_hotpath.json)
+//   --metrics-out FILE      obs registry sidecar (see bench_util.h)
+//
+// Gate mode (CI overhead regression check) — compares this run against a
+// previously recorded entry and exits non-zero on regression:
+//   --gate LABEL            baseline entry label to compare against
+//   --gate-file FILE        file holding the baseline (default: --out file)
+//   --gate-tolerance PCT    allowed probes_per_sec slowdown (default 2.0)
+//   --gate-fingerprint-only skip the throughput check (fingerprint must
+//                           still match — used for the timers-on run,
+//                           whose throughput is expected to differ)
 #include <chrono>
 #include <cinttypes>
+#include <cmath>
 #include <cstdio>
 #include <cstring>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -75,9 +87,8 @@ void PrintStage(const StageResult& stage) {
               stage.checksum);
 }
 
-/// Appends `entry` (a JSON object, no trailing newline) to the JSON array in
-/// `path`, creating the file if needed.
-void AppendJsonEntry(const std::string& path, const std::string& entry) {
+/// Reads a whole file; empty string if it does not exist.
+[[nodiscard]] std::string ReadFileOrEmpty(const std::string& path) {
   std::string contents;
   if (FILE* in = std::fopen(path.c_str(), "rb")) {
     char buffer[4096];
@@ -87,6 +98,13 @@ void AppendJsonEntry(const std::string& path, const std::string& entry) {
     }
     std::fclose(in);
   }
+  return contents;
+}
+
+/// Appends `entry` (a JSON object, no trailing newline) to the JSON array in
+/// `path`, creating the file if needed.
+void AppendJsonEntry(const std::string& path, const std::string& entry) {
+  std::string contents = ReadFileOrEmpty(path);
   // Strip everything after the final closing bracket (and the bracket).
   const std::size_t end = contents.rfind(']');
   std::string out;
@@ -109,27 +127,89 @@ void AppendJsonEntry(const std::string& path, const std::string& entry) {
   std::printf("\nappended entry to %s\n", path.c_str());
 }
 
+struct GateBaseline {
+  double scale = -1.0;
+  double probes_per_sec = 0.0;
+  std::string fingerprint;
+};
+
+/// Finds the most recent entry labelled `label` in the results file and
+/// extracts the fields the gate compares.  The scan is textual (the file is
+/// our own fixed-key format), anchored at the last occurrence of the label
+/// so re-recorded baselines win.
+[[nodiscard]] std::optional<GateBaseline> FindGateBaseline(
+    const std::string& path, const std::string& label) {
+  const std::string contents = ReadFileOrEmpty(path);
+  const std::string needle = "\"label\": \"" + label + "\"";
+  const std::size_t start = contents.rfind(needle);
+  if (start == std::string::npos) return std::nullopt;
+  std::size_t end = contents.find("\"label\":", start + needle.size());
+  if (end == std::string::npos) end = contents.size();
+  const std::string entry = contents.substr(start, end - start);
+
+  const auto number_after = [&](const char* key) -> std::optional<double> {
+    const std::size_t pos = entry.find(key);
+    if (pos == std::string::npos) return std::nullopt;
+    return std::strtod(entry.c_str() + pos + std::strlen(key), nullptr);
+  };
+  GateBaseline baseline;
+  const auto scale = number_after("\"scale\": ");
+  const auto rate = number_after("\"probes_per_sec\": ");
+  const std::size_t fp = entry.find("\"fingerprint\": \"");
+  if (!scale || !rate || fp == std::string::npos) return std::nullopt;
+  baseline.scale = *scale;
+  baseline.probes_per_sec = *rate;
+  const std::size_t fp_start = fp + std::strlen("\"fingerprint\": \"");
+  const std::size_t fp_end = entry.find('"', fp_start);
+  if (fp_end == std::string::npos) return std::nullopt;
+  baseline.fingerprint = entry.substr(fp_start, fp_end - fp_start);
+  return baseline;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  const std::string metrics_out = bench::MetricsOutArg(argc, argv);
   double scale = 1.0;
   std::string label = "run";
   std::string out_path = "results/BENCH_hotpath.json";
+  std::string gate_label;
+  std::string gate_file;
+  double gate_tolerance = 2.0;
+  bool gate_fingerprint_only = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--label") == 0 && i + 1 < argc) {
       label = argv[++i];
     } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
       out_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--gate") == 0 && i + 1 < argc) {
+      gate_label = argv[++i];
+    } else if (std::strcmp(argv[i], "--gate-file") == 0 && i + 1 < argc) {
+      gate_file = argv[++i];
+    } else if (std::strcmp(argv[i], "--gate-tolerance") == 0 && i + 1 < argc) {
+      const auto parsed = bench::ParseDouble(argv[++i]);
+      if (!parsed || *parsed < 0.0) {
+        std::fprintf(stderr, "--gate-tolerance: non-negative percent "
+                     "expected; got \"%s\"\n", argv[i]);
+        return 2;
+      }
+      gate_tolerance = *parsed;
+    } else if (std::strcmp(argv[i], "--gate-fingerprint-only") == 0) {
+      gate_fingerprint_only = true;
     } else {
       const auto parsed = bench::ParseDouble(argv[i]);
       if (!parsed || *parsed <= 0.0 || *parsed > 1.0) {
-        std::fprintf(stderr, "usage: %s [scale] [--label NAME] [--out FILE]\n",
+        std::fprintf(stderr,
+                     "usage: %s [scale] [--label NAME] [--out FILE] "
+                     "[--metrics-out FILE] [--gate LABEL [--gate-file FILE] "
+                     "[--gate-tolerance PCT] [--gate-fingerprint-only]]\n",
                      argv[0]);
         return 2;
       }
       scale = *parsed;
     }
   }
+  if (gate_file.empty()) gate_file = out_path;
   bench::Title("micro_hotpath", "per-probe pipeline stage timings");
 
   // ---- Shared fixture: fig5a-scale population + NAT + sensors + ACLs ----
@@ -358,6 +438,9 @@ int main(int argc, char** argv) {
       }
     }
     end_to_end.checksum = fingerprint.hash;
+    // Export per-sensor gauges (probe totals, rates, alert times) so a
+    // --metrics-out sidecar of this bench carries the full fleet state.
+    if (!metrics_out.empty()) scope.PublishSensorMetrics(result.end_time);
     PrintStage(end_to_end);
     std::printf("  delivered %" PRIu64 " / %" PRIu64 " probes, %zu/%zu "
                 "sensors alerted, fingerprint %016" PRIx64 "\n",
@@ -366,37 +449,90 @@ int main(int argc, char** argv) {
   }
 
   // ---- JSON entry --------------------------------------------------------
-  char buffer[256];
-  std::string entry = "  {\n";
-  entry += "    \"label\": \"" + label + "\",\n";
-  std::snprintf(buffer, sizeof buffer, "    \"scale\": %.4f,\n", scale);
-  entry += buffer;
-  std::snprintf(buffer, sizeof buffer, "    \"population\": %zu,\n",
-                scenario.population.size());
-  entry += buffer;
-  std::snprintf(buffer, sizeof buffer, "    \"sensors\": %zu,\n",
-                sensor_blocks.size());
-  entry += buffer;
-  entry += "    \"stages\": {\n";
-  for (std::size_t i = 0; i < stages.size(); ++i) {
-    std::snprintf(buffer, sizeof buffer,
-                  "      \"%s\": {\"ops\": %" PRIu64 ", \"seconds\": %.4f, "
-                  "\"mops_per_sec\": %.3f, \"checksum\": \"%016" PRIx64
-                  "\"}%s\n",
-                  stages[i].name, stages[i].ops, stages[i].seconds,
-                  stages[i].OpsPerSec() / 1e6, stages[i].checksum,
-                  i + 1 < stages.size() ? "," : "");
-    entry += buffer;
+  char hex[32];
+  const auto hex64 = [&](std::uint64_t value) -> const char* {
+    std::snprintf(hex, sizeof hex, "%016" PRIx64, value);
+    return hex;
+  };
+  obs::JsonWriter writer;
+  writer.BeginObject();
+  writer.KV("label", label);
+  writer.Key("scale").FixedValue(scale, 4);
+  writer.KV("population", static_cast<std::uint64_t>(
+                              scenario.population.size()));
+  writer.KV("sensors", static_cast<std::uint64_t>(sensor_blocks.size()));
+  writer.KV("obs_timers", obs::StageTimersEnabled());
+  writer.Key("stages").BeginObject();
+  for (const StageResult& stage : stages) {
+    writer.Key(stage.name).BeginObject();
+    writer.KV("ops", stage.ops);
+    writer.Key("seconds").FixedValue(stage.seconds, 4);
+    writer.Key("mops_per_sec").FixedValue(stage.OpsPerSec() / 1e6, 3);
+    writer.KV("checksum", hex64(stage.checksum));
+    writer.EndObject();
   }
-  entry += "    },\n";
-  std::snprintf(buffer, sizeof buffer,
-                "    \"end_to_end\": {\"probes\": %" PRIu64
-                ", \"seconds\": %.4f, \"probes_per_sec\": %.0f, "
-                "\"fingerprint\": \"%016" PRIx64 "\"}\n",
-                end_to_end.ops, end_to_end.seconds, end_to_end.OpsPerSec(),
-                fingerprint.hash);
-  entry += buffer;
-  entry += "  }";
-  AppendJsonEntry(out_path, entry);
+  writer.EndObject();
+  writer.Key("end_to_end").BeginObject();
+  writer.KV("probes", end_to_end.ops);
+  writer.Key("seconds").FixedValue(end_to_end.seconds, 4);
+  writer.Key("probes_per_sec").FixedValue(end_to_end.OpsPerSec(), 0);
+  writer.KV("fingerprint", hex64(fingerprint.hash));
+  writer.EndObject();
+  writer.EndObject();
+  AppendJsonEntry(out_path, writer.str());
+
+  bench::DumpMetrics(metrics_out, "micro_hotpath");
+
+  // ---- Gate: regression check against a recorded baseline ----------------
+  if (!gate_label.empty()) {
+    const auto baseline = FindGateBaseline(gate_file, gate_label);
+    if (!baseline) {
+      std::fprintf(stderr, "gate: no entry labelled \"%s\" in %s\n",
+                   gate_label.c_str(), gate_file.c_str());
+      return 1;
+    }
+    if (std::fabs(baseline->scale - scale) > 1e-9) {
+      std::fprintf(stderr,
+                   "gate: baseline \"%s\" was recorded at scale %.4f but "
+                   "this run used %.4f; fingerprints and throughput are "
+                   "only comparable at matching scales\n",
+                   gate_label.c_str(), baseline->scale, scale);
+      return 1;
+    }
+    bool ok = true;
+    if (baseline->fingerprint != hex64(fingerprint.hash)) {
+      std::fprintf(stderr,
+                   "gate: FINGERPRINT MISMATCH vs \"%s\": %s != %s — the "
+                   "simulation output changed\n",
+                   gate_label.c_str(), hex64(fingerprint.hash),
+                   baseline->fingerprint.c_str());
+      ok = false;
+    }
+    if (!gate_fingerprint_only) {
+      const double floor =
+          baseline->probes_per_sec * (1.0 - gate_tolerance / 100.0);
+      const double delta_pct =
+          baseline->probes_per_sec > 0.0
+              ? 100.0 * (end_to_end.OpsPerSec() / baseline->probes_per_sec -
+                         1.0)
+              : 0.0;
+      if (end_to_end.OpsPerSec() < floor) {
+        std::fprintf(stderr,
+                     "gate: THROUGHPUT REGRESSION vs \"%s\": %.0f probes/s "
+                     "(%.2f%%) is below the %.1f%% tolerance floor %.0f\n",
+                     gate_label.c_str(), end_to_end.OpsPerSec(), delta_pct,
+                     gate_tolerance, floor);
+        ok = false;
+      } else {
+        std::printf("gate: throughput %.0f probes/s, %+.2f%% vs \"%s\" "
+                    "(tolerance %.1f%%)\n",
+                    end_to_end.OpsPerSec(), delta_pct, gate_label.c_str(),
+                    gate_tolerance);
+      }
+    }
+    if (!ok) return 1;
+    std::printf("gate: PASS vs \"%s\"%s\n", gate_label.c_str(),
+                gate_fingerprint_only ? " (fingerprint only)" : "");
+  }
   return 0;
 }

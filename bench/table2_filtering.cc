@@ -63,6 +63,7 @@ class SourceCollector final : public sim::ProbeObserver {
 }  // namespace
 
 int main(int argc, char** argv) {
+  const std::string metrics_out = bench::MetricsOutArg(argc, argv);
   const double scale = bench::ScaleArg(argc, argv);
   bench::Title("Table 2", "enterprise egress filtering vs broadband leakage");
 
@@ -168,5 +169,6 @@ int main(int argc, char** argv) {
                   "infected hosts (Blaster less than Slammer/CRII because "
                   "its sequential sweep crosses monitored space rarely in a "
                   "bounded window).");
+  bench::DumpMetrics(metrics_out, "table2_filtering");
   return 0;
 }

@@ -1,13 +1,25 @@
 #!/usr/bin/env bash
-# CI entry point: the tier-1 verify (ROADMAP.md) plus a sanitizer pass.
+# CI entry point: the tier-1 verify (ROADMAP.md), a metrics smoke step,
+# and a sanitizer pass.
 #
-#   ./ci.sh            # tier-1 + asan presets
+#   ./ci.sh            # tier-1 + metrics smoke + asan presets
 #   ./ci.sh --fast     # tier-1 only
 #
 # The sanitizer preset builds into its own tree (build-asan/) so it never
 # disturbs the primary build directory.  Sanitizer choice follows the
 # HOTSPOTS_SANITIZE cache option (asan = Address+UB, tsan = Thread); CI
 # runs asan by default — override with HOTSPOTS_SANITIZE=tsan ./ci.sh.
+#
+# The metrics smoke step exercises the observability layer end to end:
+# a scaled-down fig5a run must produce a valid --metrics-out sidecar, and
+# micro_hotpath (timers off) must stay within HOTSPOTS_OVERHEAD_TOL percent
+# (default 15 — single-run container noise; see below) of the committed
+# "after-obs" baseline at the same scale, with a bit-identical fingerprint;
+# a timers-on rerun must keep the fingerprint.
+# HOTSPOTS_OVERHEAD_SCALE (default 1.0) must match a recorded baseline's
+# scale — gate comparisons across scales are meaningless.  Set
+# HOTSPOTS_SKIP_OVERHEAD_GATE=1 to skip the slow gate runs (the sidecar
+# validation still runs).
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -20,8 +32,61 @@ cmake --build build -j "${JOBS}"
 ctest --test-dir build --output-on-failure -j "${JOBS}"
 
 if [[ "${1:-}" == "--fast" ]]; then
-  echo "== tier-1 passed (sanitizer pass skipped: --fast) =="
+  echo "== tier-1 passed (metrics smoke + sanitizer passes skipped: --fast) =="
   exit 0
+fi
+
+echo "== metrics smoke: --metrics-out sidecar + overhead gate =="
+SMOKE_DIR="$(mktemp -d)"
+trap 'rm -rf "${SMOKE_DIR}"' EXIT
+HOTSPOTS_TRIALS=2 ./build/bench/fig5a_hitlist_infection 0.05 \
+  --metrics-out "${SMOKE_DIR}/fig5a.metrics.json" > /dev/null
+if command -v python3 > /dev/null 2>&1; then
+  python3 - "${SMOKE_DIR}/fig5a.metrics.json" <<'PY'
+import json, sys
+with open(sys.argv[1]) as handle:
+    doc = json.load(handle)
+assert doc["schema"] == "hotspots.metrics.v1", doc.get("schema")
+for key in ("bench", "timers_enabled", "counters", "gauges", "histograms",
+            "study"):
+    assert key in doc, f"missing key: {key}"
+assert doc["counters"]["engine.probes"] > 0
+assert doc["study"]["trials"] > 0
+assert doc["study"]["segments"], "merged telemetry lost its segments"
+print("metrics sidecar OK:", len(doc["counters"]), "counters,",
+      len(doc["study"]["segments"]), "study segments")
+PY
+else
+  # Minimal fallback when python3 is unavailable: key presence only.
+  for key in '"schema": "hotspots.metrics.v1"' '"counters"' '"study"'; do
+    grep -qF "${key}" "${SMOKE_DIR}/fig5a.metrics.json" \
+      || { echo "metrics sidecar missing ${key}" >&2; exit 1; }
+  done
+  echo "metrics sidecar OK (grep fallback)"
+fi
+
+if [[ "${HOTSPOTS_SKIP_OVERHEAD_GATE:-0}" != "1" ]]; then
+  # The acceptance criterion for the obs layer is ≤2% mean overhead under
+  # interleaved A/B runs, but a SINGLE run on a shared container jitters by
+  # ±10-15%, so the default single-run floor is wider; tighten
+  # HOTSPOTS_OVERHEAD_TOL on quiet dedicated hardware.
+  OVERHEAD_TOL="${HOTSPOTS_OVERHEAD_TOL:-15}"
+  OVERHEAD_SCALE="${HOTSPOTS_OVERHEAD_SCALE:-1.0}"
+  # Timers off: throughput and fingerprint against the committed baseline.
+  # The baseline was recorded at the same scale on the reference machine;
+  # raise HOTSPOTS_OVERHEAD_TOL (or skip) when gating on slower hardware.
+  HOTSPOTS_OBS_TIMERS=0 ./build/bench/micro_hotpath "${OVERHEAD_SCALE}" \
+    --label ci-off --out "${SMOKE_DIR}/hotpath.json" \
+    --gate after-obs --gate-file results/BENCH_hotpath.json \
+    --gate-tolerance "${OVERHEAD_TOL}"
+  # Timers on: throughput is expected to drop, but the simulation output
+  # must stay bit-identical to the timers-off run just recorded.
+  HOTSPOTS_OBS_TIMERS=1 ./build/bench/micro_hotpath "${OVERHEAD_SCALE}" \
+    --label ci-on --out "${SMOKE_DIR}/hotpath.json" \
+    --gate ci-off --gate-file "${SMOKE_DIR}/hotpath.json" \
+    --gate-fingerprint-only
+else
+  echo "overhead gate skipped (HOTSPOTS_SKIP_OVERHEAD_GATE=1)"
 fi
 
 echo "== sanitizer pass: HOTSPOTS_SANITIZE=${SANITIZER} =="

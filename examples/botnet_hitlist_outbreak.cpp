@@ -18,9 +18,12 @@
 #include "core/placement.h"
 #include "core/scenario.h"
 
+#include "bench_util.h"
+
 using namespace hotspots;
 
-int main() {
+int main(int argc, char** argv) {
+  const std::string metrics_out = bench::MetricsOutArg(argc, argv);
   // --- Step 1+2: command channel and capture -----------------------------
   botnet::BotController controller{"#0wned", botnet::PaperCommandRepertoire(),
                                    2024};
@@ -72,5 +75,6 @@ int main() {
               outcome.alerted_sensors * 2 > outcome.total_sensors
                   ? "fire"
                   : "NEVER fire despite the outbreak");
+  bench::DumpMetrics(metrics_out, "botnet_hitlist_outbreak");
   return 0;
 }

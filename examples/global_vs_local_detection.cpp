@@ -20,9 +20,12 @@
 #include "telescope/alerting.h"
 #include "worms/hitlist.h"
 
+#include "bench_util.h"
+
 using namespace hotspots;
 
-int main() {
+int main(int argc, char** argv) {
+  const std::string metrics_out = bench::MetricsOutArg(argc, argv);
   core::ScenarioBuilder builder;
   core::ClusteredPopulationConfig config;
   config.total_hosts = 40'000;
@@ -83,6 +86,7 @@ int main() {
   if (local.empty()) {
     std::printf("every /24 of the targeted /16s hosts machines; no darknet "
                 "space available for a local sensor.\n");
+    bench::DumpMetrics(metrics_out, "global_vs_local_detection");
     return 0;
   }
   const auto local_outcome =
@@ -106,5 +110,6 @@ int main() {
   }
   std::printf("\nHotspots starve globally scoped detectors; the network "
               "being targeted sees the threat immediately.\n");
+  bench::DumpMetrics(metrics_out, "global_vs_local_detection");
   return 0;
 }

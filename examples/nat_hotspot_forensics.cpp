@@ -13,6 +13,8 @@
 #include "telescope/ims.h"
 #include "worms/codered2.h"
 
+#include "bench_util.h"
+
 using namespace hotspots;
 
 namespace {
@@ -37,6 +39,7 @@ void Report(const char* title, telescope::Telescope& ims,
 }  // namespace
 
 int main(int argc, char** argv) {
+  const std::string metrics_out = bench::MetricsOutArg(argc, argv);
   // Paper: 7,567,093 (public) and 7,567,361 (NATed) attempts.
   const std::uint64_t probes =
       argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 7'567'093ull;
@@ -65,5 +68,6 @@ int main(int argc, char** argv) {
   std::printf("The M/22 block lives inside 192.0.0.0/8: the NATed host's "
               "local preference aims at 192/8, and everything outside "
               "192.168/16 leaks onto the real Internet.\n");
+  bench::DumpMetrics(metrics_out, "nat_hotspot_forensics");
   return 0;
 }

@@ -16,6 +16,8 @@
 #include "worms/codered2.h"
 #include "worms/uniform.h"
 
+#include "bench_util.h"
+
 using namespace hotspots;
 
 namespace {
@@ -70,7 +72,8 @@ void RunAndReport(const char* title, core::Scenario& scenario,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const std::string metrics_out = bench::MetricsOutArg(argc, argv);
   // A small population so the quickstart finishes in seconds.
   core::ScenarioBuilder builder;
   for (const auto& ims : telescope::ImsBlocks()) builder.Avoid(ims.block);
@@ -93,5 +96,6 @@ int main() {
 
   std::printf("Deviation from the uniform baseline = hotspots. See DESIGN.md "
               "and the bench/ binaries for the paper's full experiments.\n");
+  bench::DumpMetrics(metrics_out, "quickstart");
   return 0;
 }

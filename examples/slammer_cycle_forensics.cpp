@@ -14,9 +14,12 @@
 #include "telescope/ims.h"
 #include "worms/slammer.h"
 
+#include "bench_util.h"
+
 using namespace hotspots;
 
-int main() {
+int main(int argc, char** argv) {
+  const std::string metrics_out = bench::MetricsOutArg(argc, argv);
   const auto increments = worms::SlammerEffectiveIncrements();
   std::printf("intended increment: 0x%08X (destroyed by the OR bug)\n",
               worms::kSlammerIntendedIncrement);
@@ -73,5 +76,6 @@ int main() {
   }
   std::printf("\nBlocks traversed by fewer long cycles observe fewer unique "
               "Slammer sources — the paper's H-block deficit.\n");
+  bench::DumpMetrics(metrics_out, "slammer_cycle_forensics");
   return 0;
 }

@@ -116,6 +116,7 @@ MonteCarloDetectionSummary RunDetectionStudyMonteCarlo(
   sim::StudyOptions options;
   options.threads = config.threads;
   options.master_seed = config.master_seed;
+  options.label = config.label;
 
   MonteCarloDetectionSummary summary;
   summary.trials.resize(static_cast<std::size_t>(config.trials));

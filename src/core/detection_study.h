@@ -65,6 +65,9 @@ struct MonteCarloStudyConfig {
   std::uint64_t master_seed = 0x5EED;
   /// Worker threads (0 = HOTSPOTS_THREADS env, else hardware_concurrency).
   int threads = 0;
+  /// Sweep-point label recorded in the telemetry's segment list so merged
+  /// telemetry stays attributable (see sim::StudySegment).
+  std::string label;
   /// Quantiles reported for every summarized metric.
   std::vector<double> quantiles = {0.10, 0.50, 0.90};
   /// Infected fractions K for the time-to-K% summaries.

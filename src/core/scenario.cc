@@ -47,6 +47,12 @@ Scenario ScenarioBuilder::BuildClustered(
   if (config.nonempty_slash16s > config.slash8_clusters * 256) {
     throw std::invalid_argument("BuildClustered: more /16s than the /8s hold");
   }
+  if (config.total_hosts < static_cast<std::uint64_t>(config.nonempty_slash16s)) {
+    // Every non-empty /16 holds at least one host, so fewer hosts than /16s
+    // is unsatisfiable (and used to spin forever in the rebalancing loop).
+    throw std::invalid_argument(
+        "BuildClustered: total_hosts < nonempty_slash16s");
+  }
   if (config.nat_fraction < 0.0 || config.nat_fraction > 1.0) {
     throw std::invalid_argument("BuildClustered: nat_fraction outside [0,1]");
   }

@@ -1,5 +1,7 @@
 #include "detect/prevalence.h"
 
+#include "obs/metrics.h"
+
 namespace hotspots::detect {
 
 bool ContentPrevalenceDetector::Observe(double time, std::uint64_t content,
@@ -14,6 +16,11 @@ bool ContentPrevalenceDetector::Observe(double time, std::uint64_t content,
       entry.destinations.size() >= config_.min_destinations) {
     entry.alert_time = time;
     ++flagged_;
+    // Signature alerts are rare (once per content), so folding straight
+    // into the registry costs nothing measurable.
+    auto& registry = obs::Registry::Global();
+    registry.GetCounter("detect.prevalence.alerts").Increment();
+    registry.GetGauge("detect.prevalence.first_alert_seconds").SetMin(time);
     return true;
   }
   return false;

@@ -1,5 +1,7 @@
 #include "detect/trw.h"
 
+#include "obs/metrics.h"
+
 namespace hotspots::detect {
 
 TrwDetector::TrwDetector(TrwConfig config) : config_(config) {
@@ -33,10 +35,15 @@ TrwVerdict TrwDetector::Observe(double time, net::Ipv4 src, bool success) {
     walk.verdict = TrwVerdict::kScanner;
     walk.decided_at = time;
     ++scanners_;
+    // Decisions happen once per source — cold enough to fold immediately.
+    auto& registry = obs::Registry::Global();
+    registry.GetCounter("detect.trw.scanners").Increment();
+    registry.GetGauge("detect.trw.first_flag_seconds").SetMin(time);
   } else if (walk.log_ratio <= log_eta0_) {
     walk.verdict = TrwVerdict::kBenign;
     walk.decided_at = time;
     ++benign_;
+    obs::Registry::Global().GetCounter("detect.trw.benign").Increment();
   }
   return walk.verdict;
 }

@@ -1,0 +1,84 @@
+#include "obs/export.h"
+
+namespace hotspots::obs {
+
+void WriteSnapshotSections(const Snapshot& snapshot, JsonWriter& writer) {
+  writer.Key("counters").BeginObject();
+  for (const CounterSample& sample : snapshot.counters) {
+    writer.KV(sample.name, sample.value);
+  }
+  writer.EndObject();
+
+  writer.Key("gauges").BeginObject();
+  for (const GaugeSample& sample : snapshot.gauges) {
+    writer.KV(sample.name, sample.value);
+  }
+  writer.EndObject();
+
+  writer.Key("histograms").BeginObject();
+  for (const HistogramSample& sample : snapshot.histograms) {
+    writer.Key(sample.name).BeginObject();
+    writer.Key("bounds").BeginArray();
+    for (const double bound : sample.bounds) writer.Value(bound);
+    writer.EndArray();
+    writer.Key("buckets").BeginArray();
+    for (const std::uint64_t count : sample.buckets) writer.Value(count);
+    writer.EndArray();
+    writer.KV("count", sample.count);
+    writer.KV("sum", sample.sum);
+    if (sample.count > 0) {
+      writer.KV("min", sample.min);
+      writer.KV("max", sample.max);
+      writer.KV("mean", sample.sum / static_cast<double>(sample.count));
+    }
+    writer.EndObject();
+  }
+  writer.EndObject();
+}
+
+std::string SnapshotToJson(const Snapshot& snapshot) {
+  JsonWriter writer;
+  writer.BeginObject();
+  writer.KV("schema", kMetricsSchema);
+  WriteSnapshotSections(snapshot, writer);
+  writer.EndObject();
+  return writer.str();
+}
+
+std::string SnapshotToCsv(const Snapshot& snapshot) {
+  std::string out = "kind,name,key,value\n";
+  const auto csv_field = [](const std::string& name) {
+    // Metric names are [a-z0-9._] by convention, but quote defensively.
+    if (name.find_first_of(",\"\n") == std::string::npos) return name;
+    std::string quoted = "\"";
+    for (const char c : name) {
+      if (c == '"') quoted += '"';
+      quoted += c;
+    }
+    quoted += '"';
+    return quoted;
+  };
+  for (const CounterSample& sample : snapshot.counters) {
+    out += "counter," + csv_field(sample.name) + ",value," +
+           std::to_string(sample.value) + "\n";
+  }
+  for (const GaugeSample& sample : snapshot.gauges) {
+    out += "gauge," + csv_field(sample.name) + ",value," +
+           JsonNumber(sample.value) + "\n";
+  }
+  for (const HistogramSample& sample : snapshot.histograms) {
+    const std::string name = csv_field(sample.name);
+    for (std::size_t i = 0; i < sample.buckets.size(); ++i) {
+      const std::string bound =
+          i < sample.bounds.size() ? JsonNumber(sample.bounds[i]) : "+inf";
+      out += "histogram," + name + ",le=" + bound + "," +
+             std::to_string(sample.buckets[i]) + "\n";
+    }
+    out += "histogram," + name + ",count," + std::to_string(sample.count) +
+           "\n";
+    out += "histogram," + name + ",sum," + JsonNumber(sample.sum) + "\n";
+  }
+  return out;
+}
+
+}  // namespace hotspots::obs

@@ -1,0 +1,35 @@
+// Snapshot exporters: the machine-readable run-report formats.
+//
+// Every bench and example can dump the global registry as a JSON sidecar
+// (--metrics-out), giving the repo one uniform perf-trajectory format; the
+// CSV form is for spreadsheet-style diffing of counter values across runs.
+// The JSON schema is documented in EXPERIMENTS.md ("Observability") and
+// validated by ci.sh's metrics smoke step.
+#pragma once
+
+#include <string>
+
+#include "obs/json_writer.h"
+#include "obs/metrics.h"
+
+namespace hotspots::obs {
+
+/// Schema tag stamped into every metrics JSON document.
+inline constexpr const char* kMetricsSchema = "hotspots.metrics.v1";
+
+/// Writes `snapshot` as the members of an (already Begin'd) JSON object:
+/// "counters" / "gauges" (name → value maps) and "histograms" (name →
+/// {bounds, buckets, count, sum, min, max}).  The caller owns the
+/// enclosing object so it can add its own context (bench name, study
+/// telemetry) beside the metric sections.
+void WriteSnapshotSections(const Snapshot& snapshot, JsonWriter& writer);
+
+/// Complete standalone document: {schema, counters, gauges, histograms}.
+[[nodiscard]] std::string SnapshotToJson(const Snapshot& snapshot);
+
+/// CSV rows `kind,name,value` (counters/gauges) and
+/// `histogram,name,le=<bound>,<count>` per bucket (`le=+inf` for the
+/// overflow bucket), plus `histogram,name,count|sum,<value>` totals.
+[[nodiscard]] std::string SnapshotToCsv(const Snapshot& snapshot);
+
+}  // namespace hotspots::obs

@@ -1,0 +1,184 @@
+#include "obs/json_writer.h"
+
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+namespace hotspots::obs {
+
+std::string JsonEscape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof buffer, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buffer;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string JsonNumber(double value) {
+  if (!std::isfinite(value)) return "null";
+  char buffer[32];
+  std::snprintf(buffer, sizeof buffer, "%.12g", value);
+  return buffer;
+}
+
+JsonWriter& JsonWriter::BeginObject() {
+  OpenContainer(Scope::kObject, '{');
+  return *this;
+}
+
+JsonWriter& JsonWriter::EndObject() {
+  CloseContainer(Scope::kObject, '}');
+  return *this;
+}
+
+JsonWriter& JsonWriter::BeginArray() {
+  OpenContainer(Scope::kArray, '[');
+  return *this;
+}
+
+JsonWriter& JsonWriter::EndArray() {
+  CloseContainer(Scope::kArray, ']');
+  return *this;
+}
+
+JsonWriter& JsonWriter::Key(std::string_view key) {
+  if (stack_.empty() || stack_.back().scope != Scope::kObject) {
+    throw std::logic_error("JsonWriter: Key() outside an object");
+  }
+  if (key_pending_) {
+    throw std::logic_error("JsonWriter: Key() while a value is pending");
+  }
+  if (stack_.back().members > 0) WriteRaw(",");
+  NewlineIndent(stack_.size());
+  WriteRaw("\"");
+  WriteRaw(JsonEscape(key));
+  WriteRaw(indent_ > 0 ? "\": " : "\":");
+  key_pending_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::Value(std::string_view text) {
+  BeforeValue();
+  WriteRaw("\"");
+  WriteRaw(JsonEscape(text));
+  WriteRaw("\"");
+  return *this;
+}
+
+JsonWriter& JsonWriter::Value(double number) {
+  BeforeValue();
+  WriteRaw(JsonNumber(number));
+  return *this;
+}
+
+JsonWriter& JsonWriter::FixedValue(double number, int decimals) {
+  BeforeValue();
+  if (!std::isfinite(number)) {
+    WriteRaw("null");
+    return *this;
+  }
+  char buffer[64];
+  std::snprintf(buffer, sizeof buffer, "%.*f", decimals, number);
+  WriteRaw(buffer);
+  return *this;
+}
+
+JsonWriter& JsonWriter::Value(std::uint64_t number) {
+  BeforeValue();
+  WriteRaw(std::to_string(number));
+  return *this;
+}
+
+JsonWriter& JsonWriter::Value(std::int64_t number) {
+  BeforeValue();
+  WriteRaw(std::to_string(number));
+  return *this;
+}
+
+JsonWriter& JsonWriter::Value(bool flag) {
+  BeforeValue();
+  WriteRaw(flag ? "true" : "false");
+  return *this;
+}
+
+JsonWriter& JsonWriter::Null() {
+  BeforeValue();
+  WriteRaw("null");
+  return *this;
+}
+
+const std::string& JsonWriter::str() const {
+  if (!done_ || !stack_.empty()) {
+    throw std::logic_error("JsonWriter: document incomplete");
+  }
+  return out_;
+}
+
+void JsonWriter::BeforeValue() {
+  if (done_) throw std::logic_error("JsonWriter: document already complete");
+  if (stack_.empty()) {
+    // Top-level scalar (or the root container, handled by OpenContainer).
+    done_ = true;
+    return;
+  }
+  Frame& frame = stack_.back();
+  if (frame.scope == Scope::kObject) {
+    if (!key_pending_) {
+      throw std::logic_error("JsonWriter: object value without a Key()");
+    }
+    key_pending_ = false;
+  } else {
+    if (frame.members > 0) WriteRaw(",");
+    NewlineIndent(stack_.size());
+  }
+  ++frame.members;
+}
+
+void JsonWriter::OpenContainer(Scope scope, char bracket) {
+  BeforeValue();
+  done_ = false;  // BeforeValue marks top-level scalars done; undo for us.
+  stack_.push_back(Frame{scope, 0});
+  WriteRaw(std::string_view{&bracket, 1});
+}
+
+void JsonWriter::CloseContainer(Scope scope, char bracket) {
+  if (stack_.empty() || stack_.back().scope != scope) {
+    throw std::logic_error("JsonWriter: mismatched container close");
+  }
+  if (key_pending_) {
+    throw std::logic_error("JsonWriter: container close with a key pending");
+  }
+  const bool had_members = stack_.back().members > 0;
+  stack_.pop_back();
+  if (had_members) NewlineIndent(stack_.size());
+  WriteRaw(std::string_view{&bracket, 1});
+  if (stack_.empty()) done_ = true;
+}
+
+void JsonWriter::NewlineIndent(std::size_t depth) {
+  if (indent_ <= 0) return;
+  out_ += '\n';
+  out_.append(depth * static_cast<std::size_t>(indent_), ' ');
+}
+
+void JsonWriter::WriteRaw(std::string_view text) { out_ += text; }
+
+}  // namespace hotspots::obs

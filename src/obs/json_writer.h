@@ -1,0 +1,90 @@
+// Minimal streaming JSON writer.
+//
+// The repo emits machine-readable artifacts from several places — the
+// hot-path bench appends entries to results/BENCH_hotpath.json, every bench
+// can dump a metrics sidecar via --metrics-out, and the obs exporters
+// serialize registry snapshots.  Hand-formatted JSON (the pre-obs
+// micro_hotpath approach) gets escaping and comma placement wrong the
+// moment a label contains a quote; this writer centralizes escaping,
+// nesting, indentation, and float formatting.
+//
+// Usage is strictly streaming: Begin/End calls must nest correctly and
+// every object member is Key() followed by exactly one value (or a nested
+// container).  Violations throw std::logic_error — an artifact writer that
+// produces invalid JSON should fail loudly in tests, not emit garbage that
+// a downstream parser chokes on.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace hotspots::obs {
+
+/// Escapes `text` as the body of a JSON string literal (no surrounding
+/// quotes): quote, backslash, and control characters become their \-escapes.
+[[nodiscard]] std::string JsonEscape(std::string_view text);
+
+/// Formats a finite double with up to 12 significant digits; NaN and ±Inf —
+/// which JSON cannot represent — become "null".
+[[nodiscard]] std::string JsonNumber(double value);
+
+class JsonWriter {
+ public:
+  /// `indent` spaces per nesting level; 0 writes compact single-line JSON.
+  explicit JsonWriter(int indent = 2) : indent_(indent) {}
+
+  JsonWriter& BeginObject();
+  JsonWriter& EndObject();
+  JsonWriter& BeginArray();
+  JsonWriter& EndArray();
+
+  /// Starts an object member; must be inside an object and followed by a
+  /// value or nested container.
+  JsonWriter& Key(std::string_view key);
+
+  JsonWriter& Value(std::string_view text);
+  JsonWriter& Value(const char* text) { return Value(std::string_view{text}); }
+  JsonWriter& Value(double number);
+  /// Fixed-point double (e.g. `decimals` = 4 → "0.2500"), for artifacts
+  /// whose historical format used a fixed precision.
+  JsonWriter& FixedValue(double number, int decimals);
+  JsonWriter& Value(std::uint64_t number);
+  JsonWriter& Value(std::int64_t number);
+  JsonWriter& Value(int number) { return Value(static_cast<std::int64_t>(number)); }
+  JsonWriter& Value(bool flag);
+  JsonWriter& Null();
+
+  /// Convenience: Key(key) + Value(value).
+  template <typename T>
+  JsonWriter& KV(std::string_view key, T&& value) {
+    Key(key);
+    return Value(std::forward<T>(value));
+  }
+
+  /// The document so far.  Complete (all containers closed) documents only;
+  /// throws otherwise.
+  [[nodiscard]] const std::string& str() const;
+
+ private:
+  enum class Scope : std::uint8_t { kObject, kArray };
+  struct Frame {
+    Scope scope;
+    int members = 0;
+  };
+
+  void BeforeValue();  ///< Comma/newline/indent bookkeeping, key-state check.
+  void OpenContainer(Scope scope, char bracket);
+  void CloseContainer(Scope scope, char bracket);
+  void NewlineIndent(std::size_t depth);
+  void WriteRaw(std::string_view text);
+
+  int indent_;
+  bool key_pending_ = false;  ///< A Key() was written, value expected next.
+  bool done_ = false;         ///< Top-level value completed.
+  std::vector<Frame> stack_;
+  std::string out_;
+};
+
+}  // namespace hotspots::obs

@@ -1,0 +1,229 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace hotspots::obs {
+
+namespace {
+
+/// Each thread gets a stable shard slot assigned on first use; successive
+/// threads spread round-robin over the shards.
+std::size_t ThisThreadShard() noexcept {
+  static std::atomic<std::size_t> next_slot{0};
+  thread_local const std::size_t slot =
+      next_slot.fetch_add(1, std::memory_order_relaxed);
+  return slot;
+}
+
+/// CAS loop folding `delta` into an atomic double sum.
+void AtomicAdd(std::atomic<double>& target, double delta) noexcept {
+  double current = target.load(std::memory_order_relaxed);
+  while (!target.compare_exchange_weak(current, current + delta,
+                                       std::memory_order_relaxed)) {
+  }
+}
+
+/// CAS loop keeping the extreme of the current and given value; an unset
+/// (NaN) slot adopts `value`.
+template <typename Better>
+void AtomicExtreme(std::atomic<double>& target, double value,
+                   Better better) noexcept {
+  double current = target.load(std::memory_order_relaxed);
+  while (std::isnan(current) || better(value, current)) {
+    if (target.compare_exchange_weak(current, value,
+                                     std::memory_order_relaxed)) {
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+void Counter::Add(std::uint64_t delta) noexcept {
+  cells_[ThisThreadShard() & (kShards - 1)].value.fetch_add(
+      delta, std::memory_order_relaxed);
+}
+
+std::uint64_t Counter::Value() const noexcept {
+  std::uint64_t total = 0;
+  for (const Cell& cell : cells_) {
+    total += cell.value.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+void Gauge::Set(double value) noexcept {
+  value_.store(value, std::memory_order_relaxed);
+}
+
+void Gauge::SetMax(double value) noexcept {
+  AtomicExtreme(value_, value, [](double a, double b) { return a > b; });
+}
+
+void Gauge::SetMin(double value) noexcept {
+  AtomicExtreme(value_, value, [](double a, double b) { return a < b; });
+}
+
+bool Gauge::has_value() const noexcept {
+  return !std::isnan(value_.load(std::memory_order_relaxed));
+}
+
+double Gauge::Value() const noexcept {
+  return value_.load(std::memory_order_relaxed);
+}
+
+Histogram::Histogram(std::span<const double> bounds)
+    : bounds_(bounds.begin(), bounds.end()) {
+  if (bounds_.empty()) {
+    throw std::invalid_argument("Histogram: bounds must be non-empty");
+  }
+  for (std::size_t i = 1; i < bounds_.size(); ++i) {
+    if (!(bounds_[i - 1] < bounds_[i])) {
+      throw std::invalid_argument("Histogram: bounds must strictly ascend");
+    }
+  }
+  buckets_ = std::make_unique<std::atomic<std::uint64_t>[]>(
+      bounds_.size() + 1);  // Value-initialized to zero.
+}
+
+void Histogram::Observe(double value) noexcept {
+  // First bucket whose (inclusive) upper bound admits the value; the
+  // overflow bucket takes everything past bounds_.back().
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), value);
+  const std::size_t bucket = static_cast<std::size_t>(it - bounds_.begin());
+  buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  AtomicAdd(sum_, value);
+  AtomicExtreme(min_, value, [](double a, double b) { return a < b; });
+  AtomicExtreme(max_, value, [](double a, double b) { return a > b; });
+}
+
+std::vector<std::uint64_t> Histogram::BucketCounts() const {
+  std::vector<std::uint64_t> counts(bounds_.size() + 1);
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    counts[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  return counts;
+}
+
+std::uint64_t Histogram::Count() const noexcept {
+  return count_.load(std::memory_order_relaxed);
+}
+
+double Histogram::Sum() const noexcept {
+  return sum_.load(std::memory_order_relaxed);
+}
+
+double Histogram::Min() const noexcept {
+  return min_.load(std::memory_order_relaxed);
+}
+
+double Histogram::Max() const noexcept {
+  return max_.load(std::memory_order_relaxed);
+}
+
+std::vector<double> ExponentialBounds(double start, double factor,
+                                      int count) {
+  if (start <= 0.0 || factor <= 1.0 || count < 1) {
+    throw std::invalid_argument(
+        "ExponentialBounds: need start > 0, factor > 1, count ≥ 1");
+  }
+  std::vector<double> bounds;
+  bounds.reserve(static_cast<std::size_t>(count));
+  double bound = start;
+  for (int i = 0; i < count; ++i) {
+    bounds.push_back(bound);
+    bound *= factor;
+  }
+  return bounds;
+}
+
+const CounterSample* Snapshot::FindCounter(std::string_view name) const {
+  for (const CounterSample& sample : counters) {
+    if (sample.name == name) return &sample;
+  }
+  return nullptr;
+}
+
+const GaugeSample* Snapshot::FindGauge(std::string_view name) const {
+  for (const GaugeSample& sample : gauges) {
+    if (sample.name == name) return &sample;
+  }
+  return nullptr;
+}
+
+const HistogramSample* Snapshot::FindHistogram(std::string_view name) const {
+  for (const HistogramSample& sample : histograms) {
+    if (sample.name == name) return &sample;
+  }
+  return nullptr;
+}
+
+Registry& Registry::Global() {
+  static Registry* const registry = new Registry;  // Never destroyed.
+  return *registry;
+}
+
+Counter& Registry::GetCounter(std::string_view name) {
+  const std::scoped_lock lock{mutex_};
+  const auto it = counters_.find(name);
+  if (it != counters_.end()) return *it->second;
+  return *counters_.emplace(std::string{name}, std::make_unique<Counter>())
+              .first->second;
+}
+
+Gauge& Registry::GetGauge(std::string_view name) {
+  const std::scoped_lock lock{mutex_};
+  const auto it = gauges_.find(name);
+  if (it != gauges_.end()) return *it->second;
+  return *gauges_.emplace(std::string{name}, std::make_unique<Gauge>())
+              .first->second;
+}
+
+Histogram& Registry::GetHistogram(std::string_view name,
+                                  std::span<const double> bounds) {
+  const std::scoped_lock lock{mutex_};
+  const auto it = histograms_.find(name);
+  if (it != histograms_.end()) return *it->second;
+  return *histograms_
+              .emplace(std::string{name}, std::make_unique<Histogram>(bounds))
+              .first->second;
+}
+
+Snapshot Registry::TakeSnapshot() const {
+  const std::scoped_lock lock{mutex_};
+  Snapshot snapshot;
+  snapshot.counters.reserve(counters_.size());
+  for (const auto& [name, counter] : counters_) {
+    snapshot.counters.push_back(CounterSample{name, counter->Value()});
+  }
+  snapshot.gauges.reserve(gauges_.size());
+  for (const auto& [name, gauge] : gauges_) {
+    if (!gauge->has_value()) continue;  // Never written — nothing to report.
+    snapshot.gauges.push_back(GaugeSample{name, gauge->Value()});
+  }
+  snapshot.histograms.reserve(histograms_.size());
+  for (const auto& [name, histogram] : histograms_) {
+    HistogramSample sample;
+    sample.name = name;
+    sample.bounds = histogram->bounds();
+    sample.buckets = histogram->BucketCounts();
+    sample.count = histogram->Count();
+    sample.sum = histogram->Sum();
+    sample.min = histogram->Min();
+    sample.max = histogram->Max();
+    snapshot.histograms.push_back(std::move(sample));
+  }
+  return snapshot;
+}
+
+void Registry::ResetForTesting() {
+  const std::scoped_lock lock{mutex_};
+  counters_.clear();
+  gauges_.clear();
+  histograms_.clear();
+}
+
+}  // namespace hotspots::obs

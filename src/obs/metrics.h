@@ -1,0 +1,178 @@
+// Process-wide metrics: counters, gauges, fixed-bucket histograms.
+//
+// The paper's Section-5 numbers are statistical aggregates over thousands
+// of Monte-Carlo trials, and the performance work on this codebase (PR 2's
+// 2.15× hot-path win) is only trustworthy if instrumentation does not
+// perturb the phenomenon being measured — the same constraint the
+// hyper-compact connection-failure estimators literature runs under.  The
+// design rules here follow from that:
+//
+//   * Counters are sharded: each thread increments one of kShards
+//     cache-line-padded relaxed-atomic cells picked by a thread-local slot,
+//     so parallel study trials never contend on a line.  A read sums the
+//     shards — exact once writers are quiescent, a valid momentary lower
+//     bound while they are not (each shard is monotone, so successive
+//     snapshots never go backwards).
+//   * Nothing here is ever read *by* the simulation: metrics flow strictly
+//     sim → registry, which keeps engine runs bit-identical with metrics
+//     attached or not (tests/obs_determinism_test.cc pins this).
+//   * Hot paths fold local tallies in batch (once per engine run, per
+//     observer batch, per trial) instead of per probe; the registry's maps
+//     and mutex are touched only on name lookup, which callers do once and
+//     cache the returned reference (metric objects are never invalidated).
+//
+// Histogram bucket semantics (pinned by tests/obs_metrics_test.cc): bucket
+// i counts values v with bounds[i-1] < v ≤ bounds[i] — upper bounds are
+// INCLUSIVE, lower bounds exclusive; bucket 0 is v ≤ bounds[0] and one
+// implicit overflow bucket holds v > bounds.back().
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace hotspots::obs {
+
+/// Monotonic counter with per-thread sharded cells.
+class Counter {
+ public:
+  static constexpr std::size_t kShards = 16;  // Power of two.
+
+  void Add(std::uint64_t delta) noexcept;
+  void Increment() noexcept { Add(1); }
+
+  /// Sum of all shards (relaxed loads): exact when no writer is mid-flight,
+  /// otherwise a momentary lower bound that never decreases between reads.
+  [[nodiscard]] std::uint64_t Value() const noexcept;
+
+ private:
+  struct alignas(64) Cell {
+    std::atomic<std::uint64_t> value{0};
+  };
+  std::array<Cell, kShards> cells_{};
+};
+
+/// Last-written value; Set/SetMax/SetMin race benignly (atomic CAS).
+class Gauge {
+ public:
+  void Set(double value) noexcept;
+  /// Keeps the larger / smaller of the current and given value.  An unset
+  /// gauge (never written) adopts the first value either way.
+  void SetMax(double value) noexcept;
+  void SetMin(double value) noexcept;
+
+  [[nodiscard]] bool has_value() const noexcept;
+  /// NaN when never written.
+  [[nodiscard]] double Value() const noexcept;
+
+ private:
+  std::atomic<double> value_{std::numeric_limits<double>::quiet_NaN()};
+};
+
+/// Fixed-bucket histogram (see the boundary semantics in the file header).
+class Histogram {
+ public:
+  /// `bounds` must be non-empty and strictly ascending (throws otherwise).
+  explicit Histogram(std::span<const double> bounds);
+
+  void Observe(double value) noexcept;
+
+  [[nodiscard]] const std::vector<double>& bounds() const { return bounds_; }
+  /// bounds().size() + 1 entries; the last is the overflow bucket.
+  [[nodiscard]] std::vector<std::uint64_t> BucketCounts() const;
+  [[nodiscard]] std::uint64_t Count() const noexcept;
+  [[nodiscard]] double Sum() const noexcept;
+  /// NaN when empty.
+  [[nodiscard]] double Min() const noexcept;
+  [[nodiscard]] double Max() const noexcept;
+
+ private:
+  std::vector<double> bounds_;
+  std::unique_ptr<std::atomic<std::uint64_t>[]> buckets_;
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+  std::atomic<double> min_{std::numeric_limits<double>::quiet_NaN()};
+  std::atomic<double> max_{std::numeric_limits<double>::quiet_NaN()};
+};
+
+/// `count` ascending upper bounds starting at `start`, each `factor` times
+/// the previous — the usual latency-histogram shape.
+[[nodiscard]] std::vector<double> ExponentialBounds(double start,
+                                                    double factor, int count);
+
+// ---------------------------------------------------------------------------
+// Snapshot: a consistent-enough point-in-time copy for export.
+
+struct CounterSample {
+  std::string name;
+  std::uint64_t value = 0;
+};
+
+struct GaugeSample {
+  std::string name;
+  double value = 0.0;
+};
+
+struct HistogramSample {
+  std::string name;
+  std::vector<double> bounds;
+  std::vector<std::uint64_t> buckets;  ///< bounds.size() + 1 (overflow last).
+  std::uint64_t count = 0;
+  double sum = 0.0;
+  double min = 0.0;  ///< NaN when count == 0.
+  double max = 0.0;  ///< NaN when count == 0.
+};
+
+/// Name-sorted samples of every registered metric.
+struct Snapshot {
+  std::vector<CounterSample> counters;
+  std::vector<GaugeSample> gauges;
+  std::vector<HistogramSample> histograms;
+
+  [[nodiscard]] const CounterSample* FindCounter(std::string_view name) const;
+  [[nodiscard]] const GaugeSample* FindGauge(std::string_view name) const;
+  [[nodiscard]] const HistogramSample* FindHistogram(
+      std::string_view name) const;
+};
+
+// ---------------------------------------------------------------------------
+// Registry.
+
+/// Named metric registry.  Get* registers on first use and returns a
+/// reference that stays valid for the registry's lifetime; callers on hot
+/// paths resolve once and keep the reference.
+class Registry {
+ public:
+  /// The process-wide registry (never destroyed).
+  static Registry& Global();
+
+  Counter& GetCounter(std::string_view name);
+  Gauge& GetGauge(std::string_view name);
+  /// First registration fixes the bucket bounds; later calls with the same
+  /// name return the existing histogram regardless of `bounds`.
+  Histogram& GetHistogram(std::string_view name,
+                          std::span<const double> bounds);
+
+  [[nodiscard]] Snapshot TakeSnapshot() const;
+
+  /// Drops every registered metric.  Only for test isolation — references
+  /// handed out earlier dangle after this.
+  void ResetForTesting();
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+}  // namespace hotspots::obs

@@ -1,0 +1,39 @@
+#include "obs/stage_timer.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+namespace hotspots::obs {
+
+namespace {
+
+/// -2 = not yet resolved, -1 = resolve from environment, 0/1 = forced.
+std::atomic<int> g_forced{-1};
+std::atomic<int> g_cached{-2};
+
+int ReadEnvironment() noexcept {
+  const char* value = std::getenv("HOTSPOTS_OBS_TIMERS");
+  if (value == nullptr || *value == '\0') return 0;
+  return std::strcmp(value, "0") == 0 ? 0 : 1;
+}
+
+}  // namespace
+
+bool StageTimersEnabled() noexcept {
+  const int forced = g_forced.load(std::memory_order_relaxed);
+  if (forced >= 0) return forced != 0;
+  int cached = g_cached.load(std::memory_order_relaxed);
+  if (cached == -2) {
+    cached = ReadEnvironment();
+    g_cached.store(cached, std::memory_order_relaxed);
+  }
+  return cached != 0;
+}
+
+void SetStageTimersForTesting(int forced) noexcept {
+  g_forced.store(forced < 0 ? -1 : (forced != 0 ? 1 : 0),
+                 std::memory_order_relaxed);
+}
+
+}  // namespace hotspots::obs

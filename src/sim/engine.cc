@@ -2,9 +2,28 @@
 
 #include <algorithm>
 #include <cmath>
+#include <iterator>
 #include <stdexcept>
+#include <tuple>
+
+#include "obs/metrics.h"
+#include "obs/stage_timer.h"
 
 namespace hotspots::sim {
+
+namespace {
+
+/// Registry counter names for the delivery-verdict breakdown, indexed by
+/// topology::Delivery.
+constexpr const char* kDeliveryCounterNames[] = {
+    "engine.delivery.delivered",          "engine.delivery.non_targetable",
+    "engine.delivery.nat_unroutable",     "engine.delivery.ingress_filtered",
+    "engine.delivery.perimeter_filtered", "engine.delivery.network_loss",
+};
+static_assert(std::size(kDeliveryCounterNames) ==
+              std::tuple_size_v<decltype(RunResult::delivery_counts)>);
+
+}  // namespace
 
 Engine::Engine(Population& population, const Worm& worm,
                const topology::Reachability& reachability,
@@ -151,6 +170,20 @@ RunResult Engine::Run() {
 RunResult Engine::Run(ProbeObserver& observer) {
   observer.OnAttach();
   RunResult result;
+  // Observability is strictly one-way: the locals below feed the global
+  // metrics registry once at the end of the run, and nothing in the
+  // simulation ever reads a metric, so runs are bit-identical with the
+  // registry populated or not.  Stage timers are opt-in
+  // (HOTSPOTS_OBS_TIMERS=1): with them off the per-probe cost is one
+  // hoisted-bool branch and the clock is never read.
+  const bool stage_timers = obs::StageTimersEnabled();
+  const std::uint64_t infected_at_start = ever_infected_;
+  std::uint64_t targeting_ns = 0;
+  std::uint64_t decide_ns = 0;
+  std::uint64_t observe_flush_ns = 0;
+  std::uint64_t victim_flush_ns = 0;
+  std::uint64_t lifecycle_ns = 0;
+  const std::uint64_t run_start_ns = stage_timers ? obs::NowNanos() : 0;
   vulnerable_ = population_.CountInState(HostState::kVulnerable);
   result.eligible_population = vulnerable_ + ever_infected_;
   // The stop threshold in exact arithmetic is fraction × eligible; the
@@ -185,10 +218,17 @@ RunResult Engine::Run(ProbeObserver& observer) {
   victim_buffer_.reserve(kBatchCapacity);
   const auto flush_events = [&] {
     if (event_buffer_.empty()) return;
-    observer.OnProbeBatch(event_buffer_);
+    if (stage_timers) {
+      const std::uint64_t t0 = obs::NowNanos();
+      observer.OnProbeBatch(event_buffer_);
+      observe_flush_ns += obs::NowNanos() - t0;
+    } else {
+      observer.OnProbeBatch(event_buffer_);
+    }
     event_buffer_.clear();
   };
   const auto flush_victims = [&](double now) {
+    const std::uint64_t t0 = stage_timers ? obs::NowNanos() : 0;
     constexpr std::size_t kPrefetchAhead = 8;
     const std::size_t count = victim_buffer_.size();
     for (std::size_t i = 0; i < count; ++i) {
@@ -201,12 +241,20 @@ RunResult Engine::Run(ProbeObserver& observer) {
       if (victim != kInvalidHost) Infect(victim, now);
     }
     victim_buffer_.clear();
+    if (stage_timers) victim_flush_ns += obs::NowNanos() - t0;
   };
 
   while (time < config_.end_time && result.total_probes < config_.max_probes &&
          ever_infected_ < stop_infected) {
-    ActivateDue(time);
-    ApplyLifecycleEvents(time, config_.dt);
+    if (stage_timers) {
+      const std::uint64_t t0 = obs::NowNanos();
+      ActivateDue(time);
+      ApplyLifecycleEvents(time, config_.dt);
+      lifecycle_ns += obs::NowNanos() - t0;
+    } else {
+      ActivateDue(time);
+      ApplyLifecycleEvents(time, config_.dt);
+    }
     // Emit *every* sample due by now at its scheduled time k·interval: an
     // integer schedule cannot drift, and steps larger than the sampling
     // interval yield one (staircase-repeated) point per due sample instead
@@ -247,11 +295,22 @@ RunResult Engine::Run(ProbeObserver& observer) {
       probe.src_site = src.nat_site;
       probe.src_org = src.org;
       for (int p = 0; p < probes_per_host; ++p) {
-        const net::Ipv4 target = scanners_[i]->NextTarget(rng_);
+        net::Ipv4 target;
+        topology::Delivery verdict;
+        if (stage_timers) {
+          const std::uint64_t t0 = obs::NowNanos();
+          target = scanners_[i]->NextTarget(rng_);
+          const std::uint64_t t1 = obs::NowNanos();
+          probe.dst = target;
+          verdict = reachability_.Decide(probe, rng_);
+          decide_ns += obs::NowNanos() - t1;
+          targeting_ns += t1 - t0;
+        } else {
+          target = scanners_[i]->NextTarget(rng_);
+          probe.dst = target;
+          verdict = reachability_.Decide(probe, rng_);
+        }
         ++result.total_probes;
-
-        probe.dst = target;
-        const topology::Delivery verdict = reachability_.Decide(probe, rng_);
         ++result.delivery_counts[static_cast<std::size_t>(verdict)];
 
         event_buffer_.push_back(
@@ -279,6 +338,33 @@ RunResult Engine::Run(ProbeObserver& observer) {
   result.end_time = time;
   result.final_infected = ever_infected_;
   result.final_immune = immune_;
+
+  // One batched fold into the registry per run — the per-probe path never
+  // touches shared metrics state.
+  auto& registry = obs::Registry::Global();
+  registry.GetCounter("engine.runs").Increment();
+  registry.GetCounter("engine.steps").Add(step);
+  registry.GetCounter("engine.probes").Add(result.total_probes);
+  registry.GetCounter("engine.infections")
+      .Add(ever_infected_ - infected_at_start);
+  registry.GetCounter("engine.samples").Add(result.series.size());
+  for (std::size_t i = 0; i < result.delivery_counts.size(); ++i) {
+    if (result.delivery_counts[i] > 0) {
+      registry.GetCounter(kDeliveryCounterNames[i])
+          .Add(result.delivery_counts[i]);
+    }
+  }
+  if (stage_timers) {
+    registry.GetCounter("engine.stage.targeting.nanos").Add(targeting_ns);
+    registry.GetCounter("engine.stage.decide.nanos").Add(decide_ns);
+    registry.GetCounter("engine.stage.observe_flush.nanos")
+        .Add(observe_flush_ns);
+    registry.GetCounter("engine.stage.victim_flush.nanos")
+        .Add(victim_flush_ns);
+    registry.GetCounter("engine.stage.lifecycle.nanos").Add(lifecycle_ns);
+    registry.GetCounter("engine.run.nanos")
+        .Add(obs::NowNanos() - run_start_ns);
+  }
   return result;
 }
 

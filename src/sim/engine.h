@@ -13,6 +13,14 @@
 // one probe per step; fractional configurations are handled with per-step
 // probe credit.  The engine is deterministic given (population order,
 // config.seed).
+//
+// Observability: every Run() folds its accounting (steps, probes,
+// infections, the delivery-verdict breakdown) into the process-wide
+// obs::Registry under "engine.*" once at run end, and — only when
+// HOTSPOTS_OBS_TIMERS=1 — per-stage wall-clock totals under
+// "engine.stage.*.nanos" (targeting, decide, observe_flush, victim_flush,
+// lifecycle).  Metrics never feed back into simulation state, so results
+// are bit-identical with observability on or off.
 #pragma once
 
 #include <array>

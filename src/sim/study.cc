@@ -11,6 +11,7 @@
 #include <stdexcept>
 #include <thread>
 
+#include "obs/metrics.h"
 #include "prng/splitmix.h"
 
 namespace hotspots::sim {
@@ -28,7 +29,33 @@ double StudyTelemetry::TotalTrialSeconds() const {
   return total;
 }
 
+SummaryStats StudyTelemetry::TrialLatencyStats() const {
+  return Summarize(trial_wall_seconds, {0.5, 0.95});
+}
+
+SummaryStats StudyTelemetry::QueueWaitStats() const {
+  return Summarize(trial_queue_wait_seconds, {0.5, 0.95});
+}
+
+const StudySegment* StudyTelemetry::SegmentOf(int trial) const {
+  for (const StudySegment& segment : segments) {
+    if (trial >= segment.trial_offset &&
+        trial < segment.trial_offset + segment.trials) {
+      return &segment;
+    }
+  }
+  return nullptr;
+}
+
 void StudyTelemetry::Merge(const StudyTelemetry& other) {
+  // Shift the incoming segments past our trials *before* the trial count
+  // grows, so merged indices keep pointing at the right sweep point.
+  const int offset = trials;
+  for (const StudySegment& segment : other.segments) {
+    segments.push_back(StudySegment{segment.label,
+                                    segment.trial_offset + offset,
+                                    segment.trials});
+  }
   trials += other.trials;
   threads_used = std::max(threads_used, other.threads_used);
   peak_concurrent_trials =
@@ -37,6 +64,9 @@ void StudyTelemetry::Merge(const StudyTelemetry& other) {
   trial_wall_seconds.insert(trial_wall_seconds.end(),
                             other.trial_wall_seconds.begin(),
                             other.trial_wall_seconds.end());
+  trial_queue_wait_seconds.insert(trial_queue_wait_seconds.end(),
+                                  other.trial_queue_wait_seconds.begin(),
+                                  other.trial_queue_wait_seconds.end());
 }
 
 std::vector<std::uint64_t> TrialSeeds(std::uint64_t master_seed, int count) {
@@ -68,6 +98,9 @@ StudyTelemetry RunTrials(
   StudyTelemetry telemetry;
   telemetry.trials = trials;
   telemetry.trial_wall_seconds.assign(static_cast<std::size_t>(trials), 0.0);
+  telemetry.trial_queue_wait_seconds.assign(static_cast<std::size_t>(trials),
+                                            0.0);
+  telemetry.segments = {StudySegment{options.label, 0, trials}};
   telemetry.threads_used =
       std::max(1, std::min(ResolveStudyThreads(options.threads), trials));
   if (trials == 0) {
@@ -84,6 +117,7 @@ StudyTelemetry RunTrials(
   std::mutex failure_mutex;
   std::exception_ptr failure;
 
+  const auto study_start = std::chrono::steady_clock::now();
   const auto worker = [&] {
     for (;;) {
       const int trial = next_trial.fetch_add(1, std::memory_order_relaxed);
@@ -95,6 +129,8 @@ StudyTelemetry RunTrials(
                                          std::memory_order_relaxed)) {
       }
       const auto start = std::chrono::steady_clock::now();
+      telemetry.trial_queue_wait_seconds[static_cast<std::size_t>(trial)] =
+          std::chrono::duration<double>(start - study_start).count();
       try {
         run_trial(trial, seeds[static_cast<std::size_t>(trial)]);
       } catch (...) {
@@ -109,7 +145,6 @@ StudyTelemetry RunTrials(
     }
   };
 
-  const auto study_start = std::chrono::steady_clock::now();
   if (telemetry.threads_used <= 1) {
     worker();
   } else {
@@ -126,6 +161,32 @@ StudyTelemetry RunTrials(
           .count();
   telemetry.peak_concurrent_trials = peak.load();
   if (failure) std::rethrow_exception(failure);
+
+  // Study-level observability: fold once per study, after the workers have
+  // joined (so histogram observations never race the trials themselves).
+  auto& registry = obs::Registry::Global();
+  registry.GetCounter("study.studies").Increment();
+  registry.GetCounter("study.trials")
+      .Add(static_cast<std::uint64_t>(trials));
+  registry.GetGauge("study.threads")
+      .Set(static_cast<double>(telemetry.threads_used));
+  registry.GetGauge("study.peak_concurrent_trials")
+      .SetMax(static_cast<double>(telemetry.peak_concurrent_trials));
+  // 1 ms … ~2.3 h trial latencies; 1 µs … ~4.8 h queue waits.
+  static const std::vector<double> kLatencyBounds =
+      obs::ExponentialBounds(1e-3, 2.0, 24);
+  static const std::vector<double> kQueueBounds =
+      obs::ExponentialBounds(1e-6, 4.0, 17);
+  auto& latency =
+      registry.GetHistogram("study.trial_seconds", kLatencyBounds);
+  for (const double seconds : telemetry.trial_wall_seconds) {
+    latency.Observe(seconds);
+  }
+  auto& queue_wait =
+      registry.GetHistogram("study.queue_wait_seconds", kQueueBounds);
+  for (const double seconds : telemetry.trial_queue_wait_seconds) {
+    queue_wait.Observe(seconds);
+  }
   return telemetry;
 }
 

@@ -20,12 +20,15 @@
 
 #include <cstdint>
 #include <functional>
+#include <string>
 #include <utility>
 #include <vector>
 
 #include "sim/engine.h"
 
 namespace hotspots::sim {
+
+struct SummaryStats;
 
 /// Knobs of a Monte-Carlo study.
 struct StudyOptions {
@@ -35,9 +38,23 @@ struct StudyOptions {
   int threads = 0;
   /// Master seed; per-trial seeds are SplitMix64 outputs of this value.
   std::uint64_t master_seed = 0x5EED;
+  /// Sweep-point label carried into the telemetry's segment list, so
+  /// merged telemetry can attribute each trial back to the study that ran
+  /// it (benches use e.g. "list-1000" per hit-list size).
+  std::string label;
 };
 
-/// Wall-clock instrumentation of one study.
+/// One study's slice of a merged telemetry: trials
+/// [trial_offset, trial_offset + trials) of the merged per-trial vectors
+/// came from the study labelled `label`.
+struct StudySegment {
+  std::string label;
+  int trial_offset = 0;
+  int trials = 0;
+};
+
+/// Wall-clock instrumentation of one study (or, after Merge, of a sweep of
+/// studies — `segments` maps merged trial indices back to sweep points).
 struct StudyTelemetry {
   int trials = 0;
   int threads_used = 0;
@@ -47,15 +64,29 @@ struct StudyTelemetry {
   double wall_seconds = 0.0;
   /// Per-trial wall clock, by trial index.
   std::vector<double> trial_wall_seconds;
+  /// Per-trial wait between study start and the trial being picked up by a
+  /// worker, by trial index — the scheduling-delay component of latency.
+  std::vector<double> trial_queue_wait_seconds;
+  /// Originating studies of the per-trial vectors, in merge order.  A
+  /// freshly run study has one segment covering all its trials.
+  std::vector<StudySegment> segments;
 
   [[nodiscard]] double MeanTrialSeconds() const;
   /// Sum of per-trial wall clocks — the serial-equivalent cost; the ratio
   /// to wall_seconds is the realized parallel speedup.
   [[nodiscard]] double TotalTrialSeconds() const;
+  /// Per-trial wall-clock summary with p50/p95 quantiles.
+  [[nodiscard]] SummaryStats TrialLatencyStats() const;
+  /// Queue-wait summary with p50/p95 quantiles.
+  [[nodiscard]] SummaryStats QueueWaitStats() const;
+  /// The segment owning merged trial index `trial`, or nullptr.
+  [[nodiscard]] const StudySegment* SegmentOf(int trial) const;
 
   /// Folds another study's telemetry in (benches run one study per sweep
   /// point and report a combined throughput line): trial counts and wall
-  /// clocks add, thread/peak-concurrency figures take the max.
+  /// clocks add, thread/peak-concurrency figures take the max, and the
+  /// other study's segments are appended with their trial offsets shifted
+  /// past this study's trials — per-trial attribution survives the merge.
   void Merge(const StudyTelemetry& other);
 };
 

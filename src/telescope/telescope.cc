@@ -30,15 +30,42 @@ void Telescope::RequireBuilt() const {
 
 void Telescope::OnAttach() { RequireBuilt(); }
 
+const Telescope::RegistryHandles& Telescope::Handles() {
+  if (handles_.events == nullptr) {
+    auto& registry = obs::Registry::Global();
+    handles_.events = &registry.GetCounter("telescope.events");
+    handles_.delivered = &registry.GetCounter("telescope.delivered");
+    handles_.recorded = &registry.GetCounter("telescope.recorded");
+    handles_.alerts = &registry.GetCounter("telescope.alerts");
+    handles_.first_alert = &registry.GetGauge("telescope.first_alert_seconds");
+  }
+  return handles_;
+}
+
 void Telescope::OnProbe(const sim::ProbeEvent& event) {
+  const RegistryHandles& handles = Handles();
+  handles.events->Increment();
   if (event.delivery != topology::Delivery::kDelivered) return;
   RequireBuilt();
-  ObserveBuilt(event.time, event.src_address, event.dst);
+  handles.delivered->Increment();
+  const unsigned outcome = ObserveBuilt(event.time, event.src_address,
+                                        event.dst);
+  if (outcome & kRecorded) handles.recorded->Increment();
+  if (outcome & kNewAlert) {
+    handles.alerts->Increment();
+    handles.first_alert->SetMin(event.time);
+  }
 }
 
 void Telescope::OnProbeBatch(std::span<const sim::ProbeEvent> events) {
   RequireBuilt();  // Once per batch; the attach check makes this redundant
                    // on the engine path, but direct callers batch too.
+  // Metrics are tallied into locals and folded into the registry once per
+  // batch — the per-event cost of observability here is two integer adds.
+  std::uint64_t delivered = 0;
+  std::uint64_t recorded = 0;
+  std::uint64_t new_alerts = 0;
+  double first_alert_time = 0.0;
   // Overlap the (random-access) sensor-index loads of upcoming events with
   // the processing of the current one.
   constexpr std::size_t kPrefetchAhead = 8;
@@ -52,7 +79,22 @@ void Telescope::OnProbeBatch(std::span<const sim::ProbeEvent> events) {
     }
     const sim::ProbeEvent& event = events[i];
     if (event.delivery != topology::Delivery::kDelivered) continue;
-    ObserveBuilt(event.time, event.src_address, event.dst);
+    ++delivered;
+    const unsigned outcome = ObserveBuilt(event.time, event.src_address,
+                                          event.dst);
+    recorded += outcome & kRecorded;
+    if (outcome & kNewAlert) {
+      if (new_alerts == 0) first_alert_time = event.time;
+      ++new_alerts;
+    }
+  }
+  const RegistryHandles& handles = Handles();
+  handles.events->Add(count);
+  if (delivered > 0) handles.delivered->Add(delivered);
+  if (recorded > 0) handles.recorded->Add(recorded);
+  if (new_alerts > 0) {
+    handles.alerts->Add(new_alerts);
+    handles.first_alert->SetMin(first_alert_time);
   }
 }
 
@@ -61,13 +103,16 @@ void Telescope::Observe(double time, net::Ipv4 src, net::Ipv4 dst) {
   ObserveBuilt(time, src, dst);
 }
 
-void Telescope::ObserveBuilt(double time, net::Ipv4 src, net::Ipv4 dst) {
+unsigned Telescope::ObserveBuilt(double time, net::Ipv4 src, net::Ipv4 dst) {
   const int* index = by_address_.Lookup(dst);
-  if (index == nullptr) return;
+  if (index == nullptr) return 0;
   SensorBlock& sensor = *sensors_[static_cast<std::size_t>(*index)];
   const bool identified =
       !threat_requires_handshake_ || sensor.options().active_responder;
+  const bool was_alerted = sensor.alerted();
   sensor.Record(time, src, dst, identified);
+  return kRecorded |
+         (sensor.alerted() != was_alerted ? kNewAlert : 0u);
 }
 
 const SensorBlock* Telescope::FindByLabel(std::string_view label) const {
@@ -95,6 +140,26 @@ std::vector<double> Telescope::AlertTimes() const {
 
 void Telescope::ResetAll() {
   for (const auto& sensor : sensors_) sensor->Reset();
+}
+
+void Telescope::PublishSensorMetrics(double sim_duration) const {
+  auto& registry = obs::Registry::Global();
+  for (const auto& sensor : sensors_) {
+    const std::string prefix = "telescope.sensor." + sensor->label();
+    registry.GetGauge(prefix + ".probes")
+        .Set(static_cast<double>(sensor->probe_count()));
+    if (sensor->options().track_unique_sources) {
+      registry.GetGauge(prefix + ".unique_sources")
+          .Set(static_cast<double>(sensor->UniqueSourceCount()));
+    }
+    if (sensor->alerted()) {
+      registry.GetGauge(prefix + ".alert_seconds").Set(*sensor->alert_time());
+    }
+    if (sim_duration > 0.0) {
+      registry.GetGauge(prefix + ".rate_per_sec")
+          .Set(static_cast<double>(sensor->probe_count()) / sim_duration);
+    }
+  }
 }
 
 }  // namespace hotspots::telescope

@@ -10,6 +10,16 @@
 // its built state once per attach/batch and walks the events with a
 // prefetch window over the address index, so the per-probe cost is one
 // (overlapped) indexed load plus, on a hit, an allocation-free record.
+//
+// Observability: the ProbeObserver entry points (OnProbe/OnProbeBatch)
+// tally events, delivered probes, sensor hits, and alert transitions into
+// local counts and fold them into obs::Registry::Global() under
+// "telescope.*" once per batch; the first alert also sets the
+// "telescope.first_alert_seconds" gauge (sim time).  The raw Observe()
+// feed — used by harnesses replaying canned streams — records into
+// sensors only and stays registry-free, so microbenchmarks of the record
+// path measure the record path.  PublishSensorMetrics() exports
+// per-sensor probe counts and event rates as gauges on demand.
 #pragma once
 
 #include <memory>
@@ -18,6 +28,7 @@
 #include <vector>
 
 #include "net/slash16_index.h"
+#include "obs/metrics.h"
 #include "sim/observer.h"
 #include "telescope/sensor.h"
 
@@ -76,12 +87,36 @@ class Telescope final : public sim::ProbeObserver {
   /// Resets every sensor's counters.
   void ResetAll();
 
+  /// Folds per-sensor statistics into the global metrics registry as
+  /// gauges: "telescope.sensor.<label>.probes", ".unique_sources",
+  /// ".alert_seconds" (alerted sensors only), and — when `sim_duration`
+  /// is positive — ".rate_per_sec" (probes per simulated second).  Cold
+  /// path, call once per run; fleets are caller-bounded, so so is the
+  /// metric count.
+  void PublishSensorMetrics(double sim_duration = 0.0) const;
+
  private:
+  /// Outcome flags of one observed probe (hot-path result, branch-free to
+  /// tally): bit 0 = recorded by a sensor, bit 1 = that record crossed the
+  /// sensor's alert threshold.
+  static constexpr unsigned kRecorded = 1u;
+  static constexpr unsigned kNewAlert = 2u;
+
   void RequireBuilt() const;
   /// Hot path shared by Observe()/OnProbe()/OnProbeBatch(); assumes built.
-  void ObserveBuilt(double time, net::Ipv4 src, net::Ipv4 dst);
+  unsigned ObserveBuilt(double time, net::Ipv4 src, net::Ipv4 dst);
+  /// Lazily resolved registry handles for the batch-fold counters.
+  struct RegistryHandles {
+    obs::Counter* events = nullptr;
+    obs::Counter* delivered = nullptr;
+    obs::Counter* recorded = nullptr;
+    obs::Counter* alerts = nullptr;
+    obs::Gauge* first_alert = nullptr;
+  };
+  const RegistryHandles& Handles();
 
   SensorOptions default_options_;
+  RegistryHandles handles_;
   std::vector<std::unique_ptr<SensorBlock>> sensors_;
   // Per-/16 direct map: the address→sensor lookup runs once per delivered
   // probe, and this backend is far faster than interval binary search at

@@ -112,6 +112,11 @@ TEST(ScenarioBuilderTest, ValidatesConfig) {
   config = SmallConfig();
   config.slash8_clusters = 300;
   EXPECT_THROW((void)builder.BuildClustered(config), std::invalid_argument);
+  // Fewer hosts than non-empty /16s is unsatisfiable (each /16 gets >= 1
+  // host) and must be rejected rather than spin in the rebalancing loop.
+  config = SmallConfig();
+  config.total_hosts = static_cast<std::uint32_t>(config.nonempty_slash16s) - 1;
+  EXPECT_THROW((void)builder.BuildClustered(config), std::invalid_argument);
 }
 
 TEST(ScenarioBuilderTest, DeterministicForSeed) {

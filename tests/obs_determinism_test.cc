@@ -1,0 +1,202 @@
+// Pins the PR's central invariant: observability never perturbs the
+// simulation.  Metrics flow strictly sim → registry and stage timers only
+// read clocks, so an engine run must be bit-identical — same series, same
+// delivery counts, same sensor state — with timers on or off and with a
+// metrics-fed telescope attached or a NullObserver.
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "core/scenario.h"
+#include "obs/metrics.h"
+#include "obs/stage_timer.h"
+#include "sim/engine.h"
+#include "sim/observer.h"
+#include "telescope/telescope.h"
+#include "topology/reachability.h"
+#include "worms/hitlist.h"
+
+namespace hotspots {
+namespace {
+
+/// FNV-1a over the complete externally visible run output (mirrors
+/// bench/micro_hotpath.cc's fingerprint so regressions here predict gate
+/// failures there).
+struct Fingerprint {
+  std::uint64_t hash = 0xcbf29ce484222325ull;
+  void Mix(std::uint64_t word) {
+    for (int shift = 0; shift < 64; shift += 8) {
+      hash ^= (word >> shift) & 0xFF;
+      hash *= 0x100000001b3ull;
+    }
+  }
+  void MixDouble(double value) {
+    std::uint64_t bits;
+    std::memcpy(&bits, &value, sizeof bits);
+    Mix(bits);
+  }
+};
+
+struct Fixture {
+  core::Scenario scenario;
+  std::vector<net::Prefix> sensor_blocks;
+
+  Fixture() {
+    core::ScenarioBuilder builder;
+    core::ClusteredPopulationConfig config;
+    config.total_hosts = 4000;
+    config.nonempty_slash16s = 120;
+    config.slash8_clusters = 12;
+    config.nat_fraction = 0.15;
+    config.nat_site_mode = core::NatSiteMode::kSharedSite;
+    config.seed = 0x0B5;
+    scenario = builder.BuildClustered(config);
+    // One /24 sensor next to every 8th populated /16.
+    for (std::size_t i = 0; i < scenario.slash16_clusters.size(); i += 8) {
+      const auto& cluster = scenario.slash16_clusters[i];
+      const std::uint32_t s24 = (cluster.prefix.first().value() >> 8) | 0xFE;
+      if (scenario.occupied_slash24s.count(s24) != 0) continue;
+      sensor_blocks.push_back(net::Prefix{net::Ipv4{s24 << 8}, 24});
+    }
+  }
+
+  [[nodiscard]] telescope::Telescope MakeTelescope() const {
+    telescope::SensorOptions options;
+    options.track_unique_sources = true;
+    options.track_per_slash24 = true;
+    options.alert_threshold = 5;
+    telescope::Telescope scope{options};
+    int id = 0;
+    for (const auto& block : sensor_blocks) {
+      scope.AddSensor("S" + std::to_string(id++), block);
+    }
+    scope.Build();
+    return scope;
+  }
+
+  /// Runs one deterministic outbreak and fingerprints everything externally
+  /// visible.  `use_telescope` attaches the full sensor fleet (whose
+  /// observation path folds metrics into the global registry);
+  /// `mix_sensors` additionally folds the sensor state into the hash (only
+  /// meaningful with the telescope attached).
+  [[nodiscard]] std::uint64_t RunAndFingerprint(bool use_telescope,
+                                                bool mix_sensors = true) const {
+    const auto selection = core::GreedyHitList(scenario, 40);
+    worms::HitListWorm worm{selection.prefixes};
+    const topology::Reachability reachability{
+        nullptr, scenario.nats.size() > 0 ? &scenario.nats : nullptr, nullptr,
+        0.001};
+    sim::Population population = scenario.population;
+    sim::EngineConfig config;
+    config.scan_rate = 10.0;
+    config.end_time = 400.0;
+    config.sample_interval = 10.0;
+    config.seed = 0xBEEF;
+    config.max_probes = 2'000'000;
+    sim::Engine engine{population, worm, reachability,
+                       scenario.nats.size() > 0 ? &scenario.nats : nullptr,
+                       config};
+    engine.SeedRandomInfections(10);
+
+    Fingerprint fingerprint;
+    telescope::Telescope scope = MakeTelescope();
+    sim::NullObserver null_observer;
+    const sim::RunResult result =
+        use_telescope ? engine.Run(scope) : engine.Run(null_observer);
+
+    for (const auto& point : result.series) {
+      fingerprint.MixDouble(point.time);
+      fingerprint.Mix(point.infected);
+      fingerprint.Mix(point.probes);
+    }
+    for (const std::uint64_t count : result.delivery_counts) {
+      fingerprint.Mix(count);
+    }
+    fingerprint.Mix(result.total_probes);
+    fingerprint.Mix(result.final_infected);
+    if (use_telescope && mix_sensors) {
+      for (std::size_t i = 0; i < scope.size(); ++i) {
+        const auto& sensor = scope.sensor(static_cast<int>(i));
+        fingerprint.Mix(sensor.probe_count());
+        fingerprint.Mix(sensor.UniqueSourceCount());
+        fingerprint.MixDouble(sensor.alert_time().value_or(-1.0));
+      }
+    }
+    return fingerprint.hash;
+  }
+};
+
+class ObsDeterminismTest : public ::testing::Test {
+ protected:
+  void TearDown() override { obs::SetStageTimersForTesting(-1); }
+  Fixture fixture_;
+};
+
+TEST_F(ObsDeterminismTest, FingerprintIdenticalWithTimersOnAndOff) {
+  obs::SetStageTimersForTesting(0);
+  ASSERT_FALSE(obs::StageTimersEnabled());
+  const std::uint64_t off = fixture_.RunAndFingerprint(true);
+
+  obs::SetStageTimersForTesting(1);
+  ASSERT_TRUE(obs::StageTimersEnabled());
+  const std::uint64_t on = fixture_.RunAndFingerprint(true);
+
+  EXPECT_EQ(off, on) << "stage timers changed simulation output";
+}
+
+TEST_F(ObsDeterminismTest, FingerprintIdenticalWithMetricsSinkVsNullObserver) {
+  obs::SetStageTimersForTesting(0);
+  // Same run repeated must be bit-identical (the baseline for the rest).
+  EXPECT_EQ(fixture_.RunAndFingerprint(false), fixture_.RunAndFingerprint(false))
+      << "repeat runs must be deterministic";
+
+  // The engine-visible output (series + delivery counts, sensor state
+  // excluded from the hash) must not depend on whether a metrics-folding
+  // telescope or the NullObserver consumed the probe stream.
+  const std::uint64_t with_null = fixture_.RunAndFingerprint(false);
+  const std::uint64_t with_scope =
+      fixture_.RunAndFingerprint(true, /*mix_sensors=*/false);
+  EXPECT_EQ(with_null, with_scope)
+      << "attaching the telescope changed engine output";
+}
+
+TEST_F(ObsDeterminismTest, MetricsFoldMatchesRunAccounting) {
+  // The registry's engine counters are fed from the same accounting the
+  // RunResult reports, so after a run on a clean registry the counter
+  // deltas must reproduce the result exactly.
+  obs::SetStageTimersForTesting(0);
+  auto& registry = obs::Registry::Global();
+  const std::uint64_t probes_before =
+      registry.GetCounter("engine.probes").Value();
+  const std::uint64_t runs_before = registry.GetCounter("engine.runs").Value();
+
+  const auto selection = core::GreedyHitList(fixture_.scenario, 40);
+  worms::HitListWorm worm{selection.prefixes};
+  const topology::Reachability reachability{nullptr, nullptr, nullptr, 0.0};
+  sim::Population population = fixture_.scenario.population;
+  sim::EngineConfig config;
+  config.scan_rate = 10.0;
+  config.end_time = 200.0;
+  config.seed = 0xF00;
+  sim::Engine engine{population, worm, reachability, nullptr, config};
+  engine.SeedRandomInfections(5);
+  const sim::RunResult result = engine.Run();
+
+  EXPECT_EQ(registry.GetCounter("engine.probes").Value() - probes_before,
+            result.total_probes);
+  EXPECT_EQ(registry.GetCounter("engine.runs").Value() - runs_before, 1u);
+  std::uint64_t delivered_breakdown = 0;
+  for (const char* name :
+       {"engine.delivery.delivered", "engine.delivery.non_targetable",
+        "engine.delivery.nat_unroutable", "engine.delivery.ingress_filtered",
+        "engine.delivery.perimeter_filtered",
+        "engine.delivery.network_loss"}) {
+    delivered_breakdown += registry.GetCounter(name).Value();
+  }
+  // Across the whole process every probe lands in exactly one verdict
+  // bucket, so the breakdown total matches the probe total.
+  EXPECT_EQ(delivered_breakdown, registry.GetCounter("engine.probes").Value());
+}
+
+}  // namespace
+}  // namespace hotspots

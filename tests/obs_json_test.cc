@@ -1,0 +1,125 @@
+// Pins the JSON writer's output format and misuse detection.  Every
+// machine-readable artifact in the repo (metrics sidecars, the hot-path
+// results file) is produced by this writer, so the exact text — escaping,
+// separators, indentation, fixed-decimal formatting — is a contract.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "obs/json_writer.h"
+
+namespace hotspots::obs {
+namespace {
+
+TEST(JsonEscapeTest, EscapesQuotesBackslashesAndControls) {
+  EXPECT_EQ(JsonEscape("plain"), "plain");
+  EXPECT_EQ(JsonEscape("a\"b"), "a\\\"b");
+  EXPECT_EQ(JsonEscape("a\\b"), "a\\\\b");
+  EXPECT_EQ(JsonEscape("a\nb\tc"), "a\\nb\\tc");
+  EXPECT_EQ(JsonEscape(std::string_view{"\x01", 1}), "\\u0001");
+  // Non-ASCII bytes pass through untouched (UTF-8 stays UTF-8).
+  EXPECT_EQ(JsonEscape("café"), "café");
+}
+
+TEST(JsonNumberTest, FormatsFinitesAndNullsNonFinites) {
+  EXPECT_EQ(JsonNumber(0.5), "0.5");
+  EXPECT_EQ(JsonNumber(-3.0), "-3");
+  EXPECT_EQ(JsonNumber(std::numeric_limits<double>::quiet_NaN()), "null");
+  EXPECT_EQ(JsonNumber(std::numeric_limits<double>::infinity()), "null");
+}
+
+TEST(JsonWriterTest, CompactObjectWithNestedArray) {
+  JsonWriter writer{0};
+  writer.BeginObject();
+  writer.KV("a", 1);
+  writer.Key("b").BeginArray();
+  writer.Value(true).Null();
+  writer.EndArray();
+  writer.EndObject();
+  EXPECT_EQ(writer.str(), R"({"a":1,"b":[true,null]})");
+}
+
+TEST(JsonWriterTest, IndentedOutputMatchesExactly) {
+  JsonWriter writer{2};
+  writer.BeginObject();
+  writer.KV("a", 1);
+  writer.Key("b").BeginArray();
+  writer.Value(true);
+  writer.EndArray();
+  writer.EndObject();
+  EXPECT_EQ(writer.str(),
+            "{\n  \"a\": 1,\n  \"b\": [\n    true\n  ]\n}");
+}
+
+TEST(JsonWriterTest, EmptyContainersStayOnOneLine) {
+  JsonWriter writer{2};
+  writer.BeginObject();
+  writer.Key("empty").BeginObject().EndObject();
+  writer.Key("none").BeginArray().EndArray();
+  writer.EndObject();
+  EXPECT_EQ(writer.str(),
+            "{\n  \"empty\": {},\n  \"none\": []\n}");
+}
+
+TEST(JsonWriterTest, FixedValueUsesRequestedDecimals) {
+  JsonWriter writer{0};
+  writer.BeginArray();
+  writer.FixedValue(0.25, 4);
+  writer.FixedValue(12345.678, 0);
+  writer.FixedValue(std::numeric_limits<double>::quiet_NaN(), 3);
+  writer.EndArray();
+  EXPECT_EQ(writer.str(), "[0.2500,12346,null]");
+}
+
+TEST(JsonWriterTest, EscapesKeysAndStringValues) {
+  JsonWriter writer{0};
+  writer.BeginObject();
+  writer.KV("we\"ird", "line\nbreak");
+  writer.EndObject();
+  EXPECT_EQ(writer.str(), R"({"we\"ird":"line\nbreak"})");
+}
+
+TEST(JsonWriterTest, TopLevelScalarIsAValidDocument) {
+  JsonWriter writer{0};
+  writer.Value(std::uint64_t{7});
+  EXPECT_EQ(writer.str(), "7");
+}
+
+TEST(JsonWriterTest, MisuseThrows) {
+  {
+    JsonWriter writer;
+    writer.BeginObject();
+    EXPECT_THROW((void)writer.str(), std::logic_error);  // Still open.
+  }
+  {
+    JsonWriter writer;
+    writer.BeginObject();
+    EXPECT_THROW(writer.Value(1), std::logic_error);  // Value without Key.
+  }
+  {
+    JsonWriter writer;
+    writer.BeginArray();
+    EXPECT_THROW(writer.Key("k"), std::logic_error);  // Key inside array.
+  }
+  {
+    JsonWriter writer;
+    writer.BeginObject();
+    EXPECT_THROW(writer.EndArray(), std::logic_error);  // Mismatched close.
+  }
+  {
+    JsonWriter writer;
+    writer.BeginObject();
+    writer.Key("dangling");
+    EXPECT_THROW(writer.EndObject(), std::logic_error);  // Key pending.
+  }
+  {
+    JsonWriter writer;
+    writer.Value(1);
+    EXPECT_THROW(writer.Value(2), std::logic_error);  // Already complete.
+  }
+}
+
+}  // namespace
+}  // namespace hotspots::obs

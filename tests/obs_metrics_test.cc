@@ -1,0 +1,180 @@
+// Pins the metrics-registry contracts the instrumentation layers rely on:
+// sharded-counter exactness under contention, the INCLUSIVE-upper-bound
+// histogram semantics, snapshot monotonicity while writers are mid-flight,
+// and registry identity (one name → one metric object, forever).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace hotspots::obs {
+namespace {
+
+TEST(ObsCounterTest, ConcurrentIncrementsAreExact) {
+  Counter counter;
+  constexpr int kThreads = 8;
+  constexpr std::uint64_t kPerThread = 100'000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&counter] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i) counter.Increment();
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(counter.Value(), kThreads * kPerThread);
+}
+
+TEST(ObsCounterTest, AddAccumulatesDeltas) {
+  Counter counter;
+  counter.Add(40);
+  counter.Add(0);
+  counter.Add(2);
+  EXPECT_EQ(counter.Value(), 42u);
+}
+
+TEST(ObsGaugeTest, SetMaxMinAndUnsetSemantics) {
+  Gauge gauge;
+  EXPECT_FALSE(gauge.has_value());
+  EXPECT_TRUE(std::isnan(gauge.Value()));
+
+  // An unset gauge adopts the first value through either extreme op.
+  gauge.SetMin(5.0);
+  EXPECT_TRUE(gauge.has_value());
+  EXPECT_DOUBLE_EQ(gauge.Value(), 5.0);
+  gauge.SetMin(7.0);  // Larger: ignored.
+  EXPECT_DOUBLE_EQ(gauge.Value(), 5.0);
+  gauge.SetMin(2.0);
+  EXPECT_DOUBLE_EQ(gauge.Value(), 2.0);
+
+  gauge.SetMax(1.0);  // Smaller: ignored.
+  EXPECT_DOUBLE_EQ(gauge.Value(), 2.0);
+  gauge.SetMax(9.0);
+  EXPECT_DOUBLE_EQ(gauge.Value(), 9.0);
+
+  gauge.Set(-3.0);  // Plain Set always overwrites.
+  EXPECT_DOUBLE_EQ(gauge.Value(), -3.0);
+}
+
+TEST(ObsHistogramTest, UpperBoundsAreInclusive) {
+  const std::vector<double> bounds{1.0, 2.0, 4.0};
+  Histogram histogram{bounds};
+  histogram.Observe(0.5);     // ≤ 1        → bucket 0
+  histogram.Observe(1.0);     // == bound   → bucket 0 (inclusive upper)
+  histogram.Observe(1.0001);  // just above → bucket 1
+  histogram.Observe(2.0);     // == bound   → bucket 1
+  histogram.Observe(4.0);     // == last    → bucket 2
+  histogram.Observe(4.1);     // above all  → overflow
+  const std::vector<std::uint64_t> expected{2, 2, 1, 1};
+  EXPECT_EQ(histogram.BucketCounts(), expected);
+  EXPECT_EQ(histogram.Count(), 6u);
+  EXPECT_DOUBLE_EQ(histogram.Min(), 0.5);
+  EXPECT_DOUBLE_EQ(histogram.Max(), 4.1);
+  EXPECT_NEAR(histogram.Sum(), 0.5 + 1.0 + 1.0001 + 2.0 + 4.0 + 4.1, 1e-12);
+}
+
+TEST(ObsHistogramTest, EmptyHistogramReportsNaNExtremes) {
+  const std::vector<double> bounds{1.0};
+  Histogram histogram{bounds};
+  EXPECT_EQ(histogram.Count(), 0u);
+  EXPECT_TRUE(std::isnan(histogram.Min()));
+  EXPECT_TRUE(std::isnan(histogram.Max()));
+}
+
+TEST(ObsHistogramTest, RejectsEmptyOrNonAscendingBounds) {
+  const std::vector<double> empty;
+  EXPECT_THROW(Histogram{empty}, std::invalid_argument);
+  const std::vector<double> repeated{1.0, 1.0};
+  EXPECT_THROW(Histogram{repeated}, std::invalid_argument);
+  const std::vector<double> descending{2.0, 1.0};
+  EXPECT_THROW(Histogram{descending}, std::invalid_argument);
+}
+
+TEST(ObsHistogramTest, ExponentialBoundsShape) {
+  const std::vector<double> bounds = ExponentialBounds(1e-3, 2.0, 4);
+  ASSERT_EQ(bounds.size(), 4u);
+  EXPECT_DOUBLE_EQ(bounds[0], 1e-3);
+  EXPECT_DOUBLE_EQ(bounds[1], 2e-3);
+  EXPECT_DOUBLE_EQ(bounds[2], 4e-3);
+  EXPECT_DOUBLE_EQ(bounds[3], 8e-3);
+}
+
+TEST(ObsRegistryTest, OneNameOneMetricObject) {
+  Registry registry;
+  Counter& a = registry.GetCounter("x");
+  Counter& b = registry.GetCounter("x");
+  EXPECT_EQ(&a, &b);
+  EXPECT_NE(&a, &registry.GetCounter("y"));
+
+  const std::vector<double> bounds1{1.0, 2.0};
+  const std::vector<double> bounds2{10.0};
+  Histogram& h1 = registry.GetHistogram("h", bounds1);
+  // First registration fixes the bounds; later callers get the same object.
+  Histogram& h2 = registry.GetHistogram("h", bounds2);
+  EXPECT_EQ(&h1, &h2);
+  EXPECT_EQ(h2.bounds(), bounds1);
+}
+
+TEST(ObsRegistryTest, SnapshotSkipsUnsetGaugesAndSortsNames) {
+  Registry registry;
+  registry.GetCounter("b.count").Add(2);
+  registry.GetCounter("a.count").Add(1);
+  registry.GetGauge("set.gauge").Set(1.5);
+  registry.GetGauge("unset.gauge");  // Registered but never written.
+  const Snapshot snapshot = registry.TakeSnapshot();
+  ASSERT_EQ(snapshot.counters.size(), 2u);
+  EXPECT_EQ(snapshot.counters[0].name, "a.count");
+  EXPECT_EQ(snapshot.counters[1].name, "b.count");
+  ASSERT_EQ(snapshot.gauges.size(), 1u);
+  EXPECT_EQ(snapshot.gauges[0].name, "set.gauge");
+  EXPECT_EQ(snapshot.FindCounter("b.count")->value, 2u);
+  EXPECT_EQ(snapshot.FindCounter("missing"), nullptr);
+  EXPECT_EQ(snapshot.FindGauge("unset.gauge"), nullptr);
+}
+
+TEST(ObsRegistryTest, SnapshotWhileWritingIsMonotoneAndFinallyExact) {
+  Registry registry;
+  Counter& counter = registry.GetCounter("contended");
+  constexpr int kWriters = 4;
+  constexpr std::uint64_t kPerWriter = 50'000;
+  std::atomic<bool> go{false};
+  std::vector<std::thread> writers;
+  writers.reserve(kWriters);
+  for (int t = 0; t < kWriters; ++t) {
+    writers.emplace_back([&] {
+      while (!go.load(std::memory_order_acquire)) {}
+      for (std::uint64_t i = 0; i < kPerWriter; ++i) counter.Increment();
+    });
+  }
+  go.store(true, std::memory_order_release);
+  // Successive snapshots taken mid-write must never go backwards: every
+  // shard is monotone, so a sum of relaxed loads is a valid lower bound.
+  std::uint64_t previous = 0;
+  for (int i = 0; i < 100; ++i) {
+    const Snapshot snapshot = registry.TakeSnapshot();
+    const std::uint64_t value = snapshot.FindCounter("contended")->value;
+    EXPECT_GE(value, previous);
+    EXPECT_LE(value, kWriters * kPerWriter);
+    previous = value;
+  }
+  for (auto& writer : writers) writer.join();
+  EXPECT_EQ(registry.TakeSnapshot().FindCounter("contended")->value,
+            kWriters * kPerWriter);
+}
+
+TEST(ObsRegistryTest, ResetForTestingDropsEverything) {
+  Registry registry;
+  registry.GetCounter("gone").Add(3);
+  registry.ResetForTesting();
+  const Snapshot snapshot = registry.TakeSnapshot();
+  EXPECT_TRUE(snapshot.counters.empty());
+  EXPECT_TRUE(snapshot.gauges.empty());
+  EXPECT_TRUE(snapshot.histograms.empty());
+}
+
+}  // namespace
+}  // namespace hotspots::obs
