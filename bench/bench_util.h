@@ -83,6 +83,28 @@ inline void Measured(const char* fmt, ...) {
   return path;
 }
 
+/// Extracts `--trace-out PATH` from argv, exactly like MetricsOutArg: the
+/// remaining arguments are compacted in place, and "" means the flag was
+/// absent (benches skip their capture step entirely — the disabled path
+/// adds no observer and no work).  Call before positional parsing.
+[[nodiscard]] inline std::string TraceOutArg(int& argc, char** argv) {
+  std::string path;
+  int kept = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--trace-out") == 0) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "--trace-out requires a file path\n");
+        std::exit(2);
+      }
+      path = argv[++i];
+    } else {
+      argv[kept++] = argv[i];
+    }
+  }
+  argc = kept;
+  return path;
+}
+
 /// Writes the metrics sidecar (EXPERIMENTS.md documents the schema): the
 /// global registry snapshot plus, when given, the bench's merged study
 /// telemetry with per-sweep-point segments.  No-op when `path` is empty,

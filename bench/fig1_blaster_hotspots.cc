@@ -28,6 +28,7 @@
 #include "prng/tickcount.h"
 #include "prng/xoshiro.h"
 #include "telescope/ims.h"
+#include "trace_capture.h"
 #include "worms/blaster.h"
 
 using namespace hotspots;
@@ -46,6 +47,7 @@ constexpr std::uint32_t kSlash24Space = 1u << 24;
 
 int main(int argc, char** argv) {
   const std::string metrics_out = bench::MetricsOutArg(argc, argv);
+  const std::string trace_out = bench::TraceOutArg(argc, argv);
   const double scale = bench::ScaleArg(argc, argv);
   bench::Title("Figure 1", "unique Blaster sources by destination /24");
 
@@ -258,6 +260,8 @@ int main(int argc, char** argv) {
       "space 16-fold, and the spike's explaining seeds sit in the "
       "boot-plausible band while a cold /24's candidates are only chance "
       "grid hits that no host ever drew.");
+  bench::CaptureObservationalTrace(trace_out, "fig1_blaster_hotspots", worm,
+                                   bench::CaptureOptions{.scale = scale});
   bench::DumpMetrics(metrics_out, "fig1_blaster_hotspots");
   return 0;
 }

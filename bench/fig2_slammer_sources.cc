@@ -20,12 +20,14 @@
 #include "bench_util.h"
 #include "prng/xoshiro.h"
 #include "telescope/ims.h"
+#include "trace_capture.h"
 #include "worms/slammer.h"
 
 using namespace hotspots;
 
 int main(int argc, char** argv) {
   const std::string metrics_out = bench::MetricsOutArg(argc, argv);
+  const std::string trace_out = bench::TraceOutArg(argc, argv);
   const double scale = bench::ScaleArg(argc, argv);
   bench::Title("Figure 2", "unique Slammer sources by destination /24");
 
@@ -207,6 +209,10 @@ int main(int argc, char** argv) {
               "/24\n",
               static_cast<unsigned long long>(z_nonzero),
               static_cast<unsigned long long>(z_max));
+  const worms::SlammerWorm capture_worm;
+  bench::CaptureObservationalTrace(trace_out, "fig2_slammer_sources",
+                                   capture_worm,
+                                   bench::CaptureOptions{.scale = scale});
   bench::DumpMetrics(metrics_out, "fig2_slammer_sources");
   return 0;
 }

@@ -12,6 +12,7 @@
 // 1/8 uniform arm only.
 #include <algorithm>
 #include <cstdio>
+#include <memory>
 #include <vector>
 
 #include "bench_util.h"
@@ -20,6 +21,8 @@
 #include "sim/engine.h"
 #include "telescope/ims.h"
 #include "topology/reachability.h"
+#include "trace/format.h"
+#include "trace/writer.h"
 #include "worms/codered2.h"
 
 using namespace hotspots;
@@ -44,6 +47,7 @@ void PrintBlocks(telescope::Telescope& ims, bool unique_sources) {
 
 int main(int argc, char** argv) {
   const std::string metrics_out = bench::MetricsOutArg(argc, argv);
+  const std::string trace_out = bench::TraceOutArg(argc, argv);
   const double scale = bench::ScaleArg(argc, argv);
   bench::Title("Figure 4", "CodeRedII, private address space, and the "
                            "M-block hotspot");
@@ -106,7 +110,29 @@ int main(int argc, char** argv) {
     engine.SeedInfection(id);
   }
   ims.ResetAll();
-  const sim::RunResult run = engine.Run(ims);
+  // With --trace-out, a TraceWriter rides along on the same run through the
+  // standard tee path, capturing the aggregate NAT-hotspot probe stream.
+  std::unique_ptr<trace::TraceWriter> writer;
+  if (!trace_out.empty()) {
+    trace::Fingerprint scenario_fingerprint;
+    scenario_fingerprint.MixString("fig4_codered_nat");
+    scenario_fingerprint.Mix(config.total_hosts);
+    scenario_fingerprint.Mix(config.seed);
+    scenario_fingerprint.MixDouble(engine_config.end_time);
+    trace::TraceWriterOptions writer_options;
+    writer_options.scenario_fingerprint = scenario_fingerprint.hash;
+    writer_options.seed = engine_config.seed;
+    writer = std::make_unique<trace::TraceWriter>(trace_out, writer_options);
+  }
+  const sim::RunResult run = engine.Run({&ims, writer.get()});
+  if (writer != nullptr) {
+    writer->Finish();
+    std::printf("  trace: %llu records in %llu blocks (%llu bytes) -> %s\n",
+                static_cast<unsigned long long>(writer->records_written()),
+                static_cast<unsigned long long>(writer->blocks_written()),
+                static_cast<unsigned long long>(writer->bytes_written()),
+                trace_out.c_str());
+  }
   std::printf("  %llu probes emitted by %zu infected hosts\n",
               static_cast<unsigned long long>(run.total_probes),
               scenario.population.size());

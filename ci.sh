@@ -1,8 +1,8 @@
 #!/usr/bin/env bash
 # CI entry point: the tier-1 verify (ROADMAP.md), a metrics smoke step,
-# and a sanitizer pass.
+# a trace capture/replay smoke step, and a sanitizer pass.
 #
-#   ./ci.sh            # tier-1 + metrics smoke + asan presets
+#   ./ci.sh            # tier-1 + metrics smoke + trace smoke + asan presets
 #   ./ci.sh --fast     # tier-1 only
 #
 # The sanitizer preset builds into its own tree (build-asan/) so it never
@@ -87,6 +87,65 @@ if [[ "${HOTSPOTS_SKIP_OVERHEAD_GATE:-0}" != "1" ]]; then
     --gate-fingerprint-only
 else
   echo "overhead gate skipped (HOTSPOTS_SKIP_OVERHEAD_GATE=1)"
+fi
+
+echo "== trace smoke: capture -> validate -> replay -> diff =="
+# End-to-end exercise of the src/trace subsystem: a small fig1 run captures
+# a probe trace plus a live metrics sidecar; trace_tool must validate the
+# file (CRC walk) and replay it through the IMS telescope; the replayed
+# per-sensor gauges must equal the live run's bit for bit.
+./build/bench/fig1_blaster_hotspots 0.05 \
+  --trace-out "${SMOKE_DIR}/fig1.trace" \
+  --metrics-out "${SMOKE_DIR}/fig1.live.metrics.json" > /dev/null
+./build/tools/trace_tool validate "${SMOKE_DIR}/fig1.trace"
+./build/tools/trace_tool replay "${SMOKE_DIR}/fig1.trace" --ims \
+  --alert-threshold 100 \
+  --metrics-out "${SMOKE_DIR}/fig1.replay.metrics.json" > /dev/null
+if command -v python3 > /dev/null 2>&1; then
+  python3 - "${SMOKE_DIR}/fig1.live.metrics.json" \
+    "${SMOKE_DIR}/fig1.replay.metrics.json" <<'PY'
+import json, sys
+with open(sys.argv[1]) as handle:
+    live = json.load(handle)["gauges"]
+with open(sys.argv[2]) as handle:
+    replayed = json.load(handle)["gauges"]
+# Per-sensor probe counts, unique sources, and alert times must replay
+# bit-identically.  .rate_per_sec is skipped: it divides by the run
+# duration, which the trace does not carry (only event times).
+keys = sorted(k for k in live
+              if k.startswith("telescope.sensor.")
+              and not k.endswith(".rate_per_sec"))
+assert keys, "live sidecar has no telescope.sensor.* gauges"
+mismatches = [(k, live[k], replayed.get(k)) for k in keys
+              if replayed.get(k) != live[k]]
+assert not mismatches, f"replay diverged from live run: {mismatches}"
+nonzero = sum(1 for k in keys if k.endswith(".probes") and live[k] > 0)
+assert nonzero > 0, "no sensor saw probes — smoke scenario regressed"
+print(f"trace replay OK: {len(keys)} sensor gauges identical, "
+      f"{nonzero} sensors nonzero")
+PY
+else
+  # Fallback: the replay sidecar must at least carry sensor gauges.
+  grep -qF '"telescope.sensor.' "${SMOKE_DIR}/fig1.replay.metrics.json" \
+    || { echo "replay sidecar has no sensor gauges" >&2; exit 1; }
+  echo "trace replay OK (grep fallback: sensor gauges present)"
+fi
+
+if [[ "${HOTSPOTS_SKIP_OVERHEAD_GATE:-0}" != "1" ]]; then
+  # Capture-overhead gate: a sampled TraceWriter teed into the hot path
+  # must cost <= HOTSPOTS_TRACE_OVERHEAD_TOL percent (default 10) against
+  # an interleaved per-cycle baseline, with a bit-identical simulation
+  # fingerprint.  Full-fidelity capture is reported in the same JSON entry
+  # as an informational figure (encode+CRC+I/O cannot hit 10% of a ~30 ns
+  # probe loop on one core).
+  TRACE_OVERHEAD_TOL="${HOTSPOTS_TRACE_OVERHEAD_TOL:-10}"
+  ./build/bench/micro_hotpath "${HOTSPOTS_OVERHEAD_SCALE:-1.0}" \
+    --label ci-trace --trace-overhead \
+    --trace-out "${SMOKE_DIR}/hotpath.trace" \
+    --overhead-tolerance "${TRACE_OVERHEAD_TOL}" \
+    --out "${SMOKE_DIR}/hotpath.json"
+else
+  echo "trace overhead gate skipped (HOTSPOTS_SKIP_OVERHEAD_GATE=1)"
 fi
 
 echo "== sanitizer pass: HOTSPOTS_SANITIZE=${SANITIZER} =="

@@ -5,12 +5,19 @@
 // behind a NAT.  Prints where the probes land across the 11 IMS blocks —
 // the private-addressed host produces the M-block hotspot.
 //
+// With --trace-out FILE the NATed run's probe stream is also captured to a
+// binary trace (replayable with tools/trace_tool) through the quarantine
+// harness's observer hook.
+//
 //   $ ./nat_hotspot_forensics [probes]
+//   $ ./nat_hotspot_forensics --trace-out nated.trace 100000
 #include <cstdio>
 #include <cstdlib>
+#include <memory>
 
 #include "core/quarantine.h"
 #include "telescope/ims.h"
+#include "trace/writer.h"
 #include "worms/codered2.h"
 
 #include "bench_util.h"
@@ -40,6 +47,7 @@ void Report(const char* title, telescope::Telescope& ims,
 
 int main(int argc, char** argv) {
   const std::string metrics_out = bench::MetricsOutArg(argc, argv);
+  const std::string trace_out = bench::TraceOutArg(argc, argv);
   // Paper: 7,567,093 (public) and 7,567,361 (NATed) attempts.
   const std::uint64_t probes =
       argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 7'567'093ull;
@@ -56,12 +64,26 @@ int main(int argc, char** argv) {
   Report("quarantined CodeRedII, public address 141.213.4.4 (Fig 4b)", ims,
          public_result);
 
-  // Run 2: same worm behind a NAT at 192.168.0.2.
+  // Run 2: same worm behind a NAT at 192.168.0.2.  With --trace-out, the
+  // quarantine harness tees the probe stream into a trace writer.
   ims.ResetAll();
+  std::unique_ptr<trace::TraceWriter> writer;
+  if (!trace_out.empty()) {
+    trace::TraceWriterOptions writer_options;
+    writer_options.seed = 0x1234;
+    writer = std::make_unique<trace::TraceWriter>(trace_out, writer_options);
+  }
   auto nat_scanner =
       worm.MakeQuarantineScanner(net::Ipv4{192, 168, 0, 2}, 0x1234);
   const auto nat_result = core::RunQuarantine(
-      *nat_scanner, net::Ipv4{192, 168, 0, 2}, probes, ims);
+      *nat_scanner, net::Ipv4{192, 168, 0, 2}, probes, ims, writer.get());
+  if (writer != nullptr) {
+    writer->Finish();
+    std::printf("captured %llu probe records -> %s (inspect with "
+                "tools/trace_tool)\n\n",
+                static_cast<unsigned long long>(writer->records_written()),
+                trace_out.c_str());
+  }
   Report("quarantined CodeRedII, NATed address 192.168.0.2 (Fig 4c)", ims,
          nat_result);
 

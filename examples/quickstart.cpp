@@ -3,16 +3,23 @@
 // Builds a small clustered vulnerable population, releases a uniform
 // scanning worm (the paper's baseline) and a CodeRedII-style local
 // preference worm, observes both from the 11 IMS-like darknet blocks, and
-// prints how non-uniform the observations are.
+// prints how non-uniform the observations are.  With --trace-out FILE the
+// CodeRedII run is additionally captured to a binary probe trace and
+// replayed back through a fresh telescope to show the counters reproduce
+// bit-identically from the file.
 //
 //   $ ./quickstart
+//   $ ./quickstart --trace-out codered.trace
 #include <cstdio>
+#include <memory>
 
 #include "analysis/uniformity.h"
 #include "core/scenario.h"
 #include "sim/engine.h"
 #include "telescope/ims.h"
 #include "topology/reachability.h"
+#include "trace/replay.h"
+#include "trace/writer.h"
 #include "worms/codered2.h"
 #include "worms/uniform.h"
 
@@ -23,7 +30,8 @@ using namespace hotspots;
 namespace {
 
 void RunAndReport(const char* title, core::Scenario& scenario,
-                  const sim::Worm& worm) {
+                  const sim::Worm& worm,
+                  const std::string& trace_path = {}) {
   scenario.population.ResetAllToVulnerable();
 
   // Environmental pipeline: NAT routing only (no filtering, no loss).
@@ -37,7 +45,14 @@ void RunAndReport(const char* title, core::Scenario& scenario,
   engine.SeedRandomInfections(25);
 
   telescope::Telescope ims = telescope::MakeImsTelescope();
-  const sim::RunResult result = engine.Run(ims);
+  std::unique_ptr<trace::TraceWriter> writer;
+  if (!trace_path.empty()) {
+    trace::TraceWriterOptions writer_options;
+    writer_options.seed = config.seed;
+    writer = std::make_unique<trace::TraceWriter>(trace_path, writer_options);
+  }
+  const sim::RunResult result = engine.Run({&ims, writer.get()});
+  if (writer != nullptr) writer->Finish();
 
   std::printf("=== %s ===\n", title);
   std::printf("  infected %llu / %llu hosts in %.0f simulated seconds "
@@ -68,12 +83,32 @@ void RunAndReport(const char* title, core::Scenario& scenario,
                   : 0.0,
               report.gini,
               report.LooksNonUniform() ? "HOTSPOTS" : "uniform-looking");
+
+  if (writer != nullptr) {
+    std::printf("  captured %llu probe records -> %s\n",
+                static_cast<unsigned long long>(writer->records_written()),
+                trace_path.c_str());
+    // Replay the file through a fresh telescope: same counters, no engine.
+    telescope::Telescope replayed = telescope::MakeImsTelescope();
+    trace::ReplayFile(trace_path, replayed);
+    bool identical = true;
+    for (std::size_t i = 0; i < ims.size(); ++i) {
+      const auto& live = ims.sensor(static_cast<int>(i));
+      const auto& replay = replayed.sensor(static_cast<int>(i));
+      identical = identical && live.probe_count() == replay.probe_count() &&
+                  live.UniqueSourceCount() == replay.UniqueSourceCount();
+    }
+    std::printf("  replayed it through a fresh telescope: per-sensor counters "
+                "%s\n\n",
+                identical ? "bit-identical" : "DIFFER (bug!)");
+  }
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   const std::string metrics_out = bench::MetricsOutArg(argc, argv);
+  const std::string trace_out = bench::TraceOutArg(argc, argv);
   // A small population so the quickstart finishes in seconds.
   core::ScenarioBuilder builder;
   for (const auto& ims : telescope::ImsBlocks()) builder.Avoid(ims.block);
@@ -92,7 +127,7 @@ int main(int argc, char** argv) {
   RunAndReport("uniform scanning (baseline)", scenario, uniform);
 
   const worms::CodeRed2Worm codered;
-  RunAndReport("CodeRedII local preference", scenario, codered);
+  RunAndReport("CodeRedII local preference", scenario, codered, trace_out);
 
   std::printf("Deviation from the uniform baseline = hotspots. See DESIGN.md "
               "and the bench/ binaries for the paper's full experiments.\n");

@@ -1,0 +1,61 @@
+#include "analysis/trace_uniformity.h"
+
+#include <stdexcept>
+
+#include "topology/reachability.h"
+#include "trace/replay.h"
+
+namespace hotspots::analysis {
+
+BlockHistogramObserver::BlockHistogramObserver(
+    std::span<const net::Prefix> blocks, BlockHistogramOptions options)
+    : options_(options),
+      probe_counts_(blocks.size(), 0),
+      sources_(options.unique_sources ? blocks.size() : 0) {
+  if (blocks.empty()) {
+    throw std::invalid_argument("BlockHistogramObserver: no blocks");
+  }
+  for (std::size_t i = 0; i < blocks.size(); ++i) {
+    block_index_.Add(blocks[i], i);
+  }
+  block_index_.Build();  // Throws on overlapping blocks.
+}
+
+void BlockHistogramObserver::OnProbe(const sim::ProbeEvent& event) {
+  ++probes_seen_;
+  if (options_.delivered_only &&
+      event.delivery != topology::Delivery::kDelivered) {
+    return;
+  }
+  const std::size_t* bin = block_index_.Lookup(event.dst);
+  if (bin == nullptr) return;
+  ++probes_binned_;
+  ++probe_counts_[*bin];
+  if (options_.unique_sources) {
+    sources_[*bin].insert(event.src_address.value());
+  }
+}
+
+std::vector<std::uint64_t> BlockHistogramObserver::Counts() const {
+  if (!options_.unique_sources) return probe_counts_;
+  std::vector<std::uint64_t> counts(sources_.size(), 0);
+  for (std::size_t i = 0; i < sources_.size(); ++i) {
+    counts[i] = sources_[i].size();
+  }
+  return counts;
+}
+
+TraceUniformity AnalyzeTraceUniformity(const std::string& path,
+                                       std::span<const net::Prefix> blocks,
+                                       BlockHistogramOptions options) {
+  BlockHistogramObserver histogram{blocks, options};
+  const trace::ReplaySummary summary = trace::ReplayFile(path, histogram);
+  TraceUniformity result;
+  result.per_block = histogram.Counts();
+  result.report = AnalyzeUniformity(result.per_block);
+  result.records = summary.records;
+  result.binned = histogram.probes_binned();
+  return result;
+}
+
+}  // namespace hotspots::analysis

@@ -1,0 +1,77 @@
+// Offline uniformity analysis over captured probe traces.
+//
+// The live pipeline histograms probes per monitored /24 as the engine runs;
+// this module computes the same per-block histogram and UniformityReport
+// from a `hotspots.trace.v1` file instead, so a single captured outbreak
+// can be re-binned against any sensor layout after the fact — no re-run,
+// no engine.  The histogrammer is itself a sim::ProbeObserver, so it also
+// attaches to live runs (or a tee) when the trace detour is not wanted;
+// live and replayed streams produce identical histograms by construction.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "analysis/uniformity.h"
+#include "net/interval_set.h"
+#include "net/prefix.h"
+#include "sim/observer.h"
+
+namespace hotspots::analysis {
+
+/// What to count per block.
+struct BlockHistogramOptions {
+  /// Count only probes with delivery == kDelivered (an on-path sensor sees
+  /// everything routable; an end-host sensor only what arrives).  Off by
+  /// default: the paper's telescope figures count raw arrivals at monitored
+  /// space, which the reachability pipeline has already filtered.
+  bool delivered_only = false;
+  /// Count distinct source addresses per block instead of raw probes
+  /// (the paper's Figure 1/2 metric).
+  bool unique_sources = false;
+};
+
+/// Histograms the probe stream into per-prefix bins (typically /24s).
+class BlockHistogramObserver final : public sim::ProbeObserver {
+ public:
+  /// One bin per entry of `blocks`; bins keep the given order.
+  explicit BlockHistogramObserver(std::span<const net::Prefix> blocks,
+                                  BlockHistogramOptions options = {});
+
+  void OnProbe(const sim::ProbeEvent& event) override;
+
+  /// Per-block counts, in constructor order.  With unique_sources set, the
+  /// counts are distinct sources per block.
+  [[nodiscard]] std::vector<std::uint64_t> Counts() const;
+
+  [[nodiscard]] std::uint64_t probes_seen() const { return probes_seen_; }
+  [[nodiscard]] std::uint64_t probes_binned() const { return probes_binned_; }
+
+ private:
+  net::IntervalMap<std::size_t> block_index_;
+  BlockHistogramOptions options_;
+  std::vector<std::uint64_t> probe_counts_;
+  std::vector<std::unordered_set<std::uint32_t>> sources_;
+  std::uint64_t probes_seen_ = 0;
+  std::uint64_t probes_binned_ = 0;
+};
+
+/// Result of analyzing one trace against a block layout.
+struct TraceUniformity {
+  std::vector<std::uint64_t> per_block;  ///< One count per input block.
+  UniformityReport report;               ///< AnalyzeUniformity(per_block).
+  std::uint64_t records = 0;             ///< Records replayed from the trace.
+  std::uint64_t binned = 0;              ///< Records that landed in a block.
+};
+
+/// Replays `path` through a BlockHistogramObserver over `blocks` and
+/// analyzes the resulting histogram.  Throws trace::TraceError on a
+/// malformed file and std::invalid_argument if `blocks` is empty.
+[[nodiscard]] TraceUniformity AnalyzeTraceUniformity(
+    const std::string& path, std::span<const net::Prefix> blocks,
+    BlockHistogramOptions options = {});
+
+}  // namespace hotspots::analysis

@@ -6,7 +6,8 @@ namespace hotspots::core {
 
 QuarantineResult RunQuarantine(sim::HostScanner& scanner, net::Ipv4 source,
                                std::uint64_t probes,
-                               telescope::Telescope& sensors) {
+                               telescope::Telescope& sensors,
+                               sim::ProbeObserver* capture) {
   QuarantineResult result;
   prng::Xoshiro256 rng{0xC0DEull};
   const std::uint64_t before = [&] {
@@ -16,11 +17,29 @@ QuarantineResult RunQuarantine(sim::HostScanner& scanner, net::Ipv4 source,
     }
     return total;
   }();
+  std::vector<sim::ProbeEvent> batch;
+  constexpr std::size_t kBatchCapacity = 1024;
+  if (capture != nullptr) {
+    capture->OnAttach();
+    batch.reserve(kBatchCapacity);
+  }
   for (std::uint64_t i = 0; i < probes; ++i) {
     const net::Ipv4 target = scanner.NextTarget(rng);
     sensors.Observe(static_cast<double>(i), source, target);
+    if (capture != nullptr) {
+      batch.push_back(sim::ProbeEvent{.time = static_cast<double>(i),
+                                      .src_host = sim::kInvalidHost,
+                                      .src_address = source,
+                                      .dst = target,
+                                      .delivery = topology::Delivery::kDelivered});
+      if (batch.size() == kBatchCapacity) {
+        capture->OnProbeBatch(batch);
+        batch.clear();
+      }
+    }
     ++result.probes_emitted;
   }
+  if (capture != nullptr && !batch.empty()) capture->OnProbeBatch(batch);
   std::uint64_t after = 0;
   for (std::size_t i = 0; i < sensors.size(); ++i) {
     after += sensors.sensor(static_cast<int>(i)).probe_count();

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "net/ipv4.h"
+#include "sim/observer.h"
 #include "sim/targeting.h"
 #include "telescope/telescope.h"
 
@@ -26,8 +27,15 @@ struct QuarantineResult {
 /// source address `source`) into `sensors`.  Every probe is treated as
 /// routable — the honeypot's uplink is unconstrained, as in the paper's
 /// controlled environment.
+///
+/// When `capture` is non-null it receives the same probe stream through the
+/// standard batched ProbeObserver path (time = probe index, src_host =
+/// kInvalidHost since there is no population, delivery = kDelivered) — this
+/// is how a trace::TraceWriter or any other sink composes with quarantine
+/// histogramming without bespoke glue.
 QuarantineResult RunQuarantine(sim::HostScanner& scanner, net::Ipv4 source,
                                std::uint64_t probes,
-                               telescope::Telescope& sensors);
+                               telescope::Telescope& sensors,
+                               sim::ProbeObserver* capture = nullptr);
 
 }  // namespace hotspots::core

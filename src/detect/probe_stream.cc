@@ -1,0 +1,45 @@
+#include "detect/probe_stream.h"
+
+#include <stdexcept>
+#include <utility>
+
+#include "topology/reachability.h"
+
+namespace hotspots::detect {
+
+TrwGatewayObserver::TrwGatewayObserver(net::IntervalSet live_space,
+                                       TrwGatewayConfig config)
+    : live_space_(std::move(live_space)),
+      watched_sources_(config.watched_sources),
+      detector_(config.trw) {}
+
+void TrwGatewayObserver::OnAttach() {
+  if (!live_space_.built()) {
+    throw std::logic_error(
+        "TrwGatewayObserver: live_space must be Build()-t before attach");
+  }
+}
+
+void TrwGatewayObserver::OnProbe(const sim::ProbeEvent& event) {
+  ++probes_seen_;
+  if (event.delivery != topology::Delivery::kDelivered) return;
+  if (!watched_sources_.Contains(event.src_address)) return;
+  const bool success = live_space_.Contains(event.dst);
+  ++probes_fed_;
+  const TrwVerdict verdict =
+      detector_.Observe(event.time, event.src_address, success);
+  if (verdict == TrwVerdict::kScanner && !first_alert_time_.has_value()) {
+    first_alert_time_ = detector_.ScannerFlagTime(event.src_address);
+  }
+}
+
+PrevalenceStreamObserver::PrevalenceStreamObserver(PrevalenceStreamConfig config)
+    : config_(config), detector_(config.prevalence) {}
+
+void PrevalenceStreamObserver::OnProbe(const sim::ProbeEvent& event) {
+  if (event.delivery != topology::Delivery::kDelivered) return;
+  detector_.Observe(event.time, config_.content_id, event.src_address,
+                    event.dst);
+}
+
+}  // namespace hotspots::detect

@@ -1,0 +1,98 @@
+// Probe-stream adapters: feed the detectors from a sim::ProbeObserver.
+//
+// The detectors in this module (TRW, content prevalence) consume abstract
+// (time, src, dst, outcome) observations; the engine and the trace replayer
+// both speak sim::ProbeEvent.  These adapters bridge the two, with one hard
+// requirement: every detector input must be a *pure function of the event*.
+// No population lookups, no engine state — only fields carried in the
+// ProbeEvent plus configuration fixed at construction.  That invariant is
+// what makes capture → replay reproduce bit-identical detector verdicts and
+// alert times (the trace file stores exactly the event fields).
+//
+// Connection "success" is therefore modeled structurally: a probe succeeds
+// iff it was delivered AND its destination lies in the configured live
+// address space (the set of addresses where something answers).  Probes
+// into unallocated/darknet space fail, which is precisely the asymmetry TRW
+// exploits.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "detect/prevalence.h"
+#include "detect/trw.h"
+#include "net/interval_set.h"
+#include "net/prefix.h"
+#include "sim/observer.h"
+
+namespace hotspots::detect {
+
+/// Configuration for a TrwGatewayObserver.
+struct TrwGatewayConfig {
+  /// Detector parameters (Wald thresholds etc.).
+  TrwConfig trw;
+  /// Only probes whose (post-NAT) source lies in this prefix are fed to the
+  /// detector — the gateway watches one organization's egress.  The default
+  /// /0 prefix watches every source.
+  net::Prefix watched_sources;
+};
+
+/// A TRW portscan gateway driven directly by the probe stream.  Attachable
+/// to a live Engine::Run and to trace::Replay interchangeably; because the
+/// success predicate is a pure function of the event, both paths yield the
+/// same verdicts, flag times, and counters for the same stream.
+class TrwGatewayObserver final : public sim::ProbeObserver {
+ public:
+  /// `live_space` is the set of destination addresses where a connection
+  /// can succeed; it must be Build()-t (checked at OnAttach).
+  TrwGatewayObserver(net::IntervalSet live_space, TrwGatewayConfig config = {});
+
+  void OnAttach() override;
+  void OnProbe(const sim::ProbeEvent& event) override;
+
+  /// Earliest time any watched source was flagged SCANNER.
+  [[nodiscard]] std::optional<double> first_alert_time() const {
+    return first_alert_time_;
+  }
+  [[nodiscard]] std::uint64_t probes_seen() const { return probes_seen_; }
+  [[nodiscard]] std::uint64_t probes_fed() const { return probes_fed_; }
+  [[nodiscard]] const TrwDetector& detector() const { return detector_; }
+
+ private:
+  net::IntervalSet live_space_;
+  net::Prefix watched_sources_;
+  TrwDetector detector_;
+  std::optional<double> first_alert_time_;
+  std::uint64_t probes_seen_ = 0;
+  std::uint64_t probes_fed_ = 0;
+};
+
+/// Configuration for a PrevalenceStreamObserver.
+struct PrevalenceStreamConfig {
+  PrevalenceConfig prevalence;
+  /// Content id fed for every probe (one worm = one payload identity).
+  std::uint64_t content_id = 1;
+};
+
+/// Feeds a content-prevalence detector from the probe stream: every
+/// *delivered* probe counts as one payload instance of `content_id`.
+/// Pure function of the event, so live and replayed streams agree.
+class PrevalenceStreamObserver final : public sim::ProbeObserver {
+ public:
+  explicit PrevalenceStreamObserver(PrevalenceStreamConfig config = {});
+
+  void OnProbe(const sim::ProbeEvent& event) override;
+
+  [[nodiscard]] std::optional<double> alert_time() const {
+    return detector_.AlertTime(config_.content_id);
+  }
+  [[nodiscard]] const ContentPrevalenceDetector& detector() const {
+    return detector_;
+  }
+
+ private:
+  PrevalenceStreamConfig config_;
+  ContentPrevalenceDetector detector_;
+};
+
+}  // namespace hotspots::detect

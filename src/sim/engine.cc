@@ -167,6 +167,17 @@ RunResult Engine::Run() {
   return Run(null_observer);
 }
 
+RunResult Engine::Run(std::initializer_list<ProbeObserver*> observers) {
+  TeeObserver tee{observers};
+  if (tee.size() == 1) {
+    // One real observer: skip the tee's forwarding layer entirely.
+    for (ProbeObserver* observer : observers) {
+      if (observer != nullptr) return Run(*observer);
+    }
+  }
+  return Run(tee);
+}
+
 RunResult Engine::Run(ProbeObserver& observer) {
   observer.OnAttach();
   RunResult result;

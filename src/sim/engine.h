@@ -118,8 +118,17 @@ class Engine {
   void SeedRandomInfections(int count);
 
   /// Runs to completion; reports every probe to `observer` (batched
-  /// through ProbeObserver::OnProbeBatch in emission order).
+  /// through ProbeObserver::OnProbeBatch in emission order).  `observer`
+  /// may be — and for composed pipelines should be — a TeeObserver; the
+  /// engine itself assumes nothing about how many consumers sit behind
+  /// the reference.
   RunResult Run(ProbeObserver& observer);
+
+  /// Runs with several observers attached through the standard tee path:
+  /// every listed observer (nullptrs are skipped) sees each batch in list
+  /// order.  `Run({&telescope, &trace_writer, &gateway})` is the idiom for
+  /// capture + observation + detection on one run.
+  RunResult Run(std::initializer_list<ProbeObserver*> observers);
 
   /// Runs with no observer.
   RunResult Run();

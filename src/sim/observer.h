@@ -1,11 +1,13 @@
 // Probe observation interface.
 //
-// The engine reports every emitted probe to a single observer.  The darknet
-// telescope (src/telescope) implements this to feed its sensor blocks; the
-// quarantine harness implements it to histogram a single host's scan
-// targets.  Observers see the probe *and* the delivery verdict so they can
-// model either on-path sensors (see everything routable to them) or
-// end-host sensors.
+// The engine reports every emitted probe through one ProbeObserver
+// reference; observer *composition* is the tee's job, not the engine's.
+// Any number of consumers — the darknet telescope (src/telescope), the
+// quarantine histogrammer, a TRW gateway (src/detect), a trace capture
+// writer (src/trace) — attach together through a TeeObserver, which is the
+// single multiplexing attach path.  Observers see the probe *and* the
+// delivery verdict so they can model either on-path sensors (see
+// everything routable to them) or end-host sensors.
 //
 // Delivery is batched: the engine buffers probes and flushes them through
 // OnProbeBatch() once per step (or when the buffer fills), which amortizes
@@ -14,7 +16,9 @@
 // only care about individual probes implement just that.
 #pragma once
 
+#include <initializer_list>
 #include <span>
+#include <vector>
 
 #include "net/ipv4.h"
 #include "sim/host.h"
@@ -36,9 +40,9 @@ class ProbeObserver {
  public:
   virtual ~ProbeObserver() = default;
 
-  /// Called once by Engine::Run before the first probe is emitted.
-  /// Observers validate their configuration here (e.g. an un-built
-  /// telescope fails at attach time instead of per probe).
+  /// Called once by Engine::Run (and trace::Replay) before the first probe
+  /// is delivered.  Observers validate their configuration here (e.g. an
+  /// un-built telescope fails at attach time instead of per probe).
   virtual void OnAttach() {}
 
   virtual void OnProbe(const ProbeEvent& event) = 0;
@@ -56,6 +60,57 @@ class NullObserver final : public ProbeObserver {
  public:
   void OnProbe(const ProbeEvent&) override {}
   void OnProbeBatch(std::span<const ProbeEvent>) override {}
+};
+
+/// The multiplexing observer: forwards attach and every batch, in order,
+/// to each child.  This is how capture + telescope + detectors compose on
+/// one engine run without bespoke forwarding glue — each child still gets
+/// the whole-batch fast path.  Children are borrowed, must outlive the
+/// tee, and receive batches in Add() order (observers are side-effect
+/// sinks, so ordering only matters for reproducible diagnostics).
+class TeeObserver final : public ProbeObserver {
+ public:
+  TeeObserver() = default;
+  TeeObserver(std::initializer_list<ProbeObserver*> children) {
+    for (ProbeObserver* child : children) Add(child);
+  }
+
+  /// Adds a child; nullptr is ignored so callers can pass optional sinks
+  /// (e.g. a trace writer that exists only when --trace-out was given).
+  void Add(ProbeObserver* child) {
+    if (child != nullptr) children_.push_back(child);
+  }
+
+  [[nodiscard]] std::size_t size() const { return children_.size(); }
+
+  void OnAttach() override {
+    for (ProbeObserver* child : children_) child->OnAttach();
+  }
+
+  void OnProbe(const ProbeEvent& event) override {
+    for (ProbeObserver* child : children_) child->OnProbe(event);
+  }
+
+  void OnProbeBatch(std::span<const ProbeEvent> events) override {
+    for (ProbeObserver* child : children_) child->OnProbeBatch(events);
+  }
+
+ private:
+  std::vector<ProbeObserver*> children_;
+};
+
+/// Observer that copies every event into a vector (tests, small captures).
+class RecordingObserver final : public ProbeObserver {
+ public:
+  void OnProbe(const ProbeEvent& event) override { events_.push_back(event); }
+
+  [[nodiscard]] const std::vector<ProbeEvent>& events() const {
+    return events_;
+  }
+  void clear() { events_.clear(); }
+
+ private:
+  std::vector<ProbeEvent> events_;
 };
 
 }  // namespace hotspots::sim

@@ -1,0 +1,68 @@
+#include "trace/crc32.h"
+
+#include <array>
+
+namespace hotspots::trace {
+
+namespace {
+
+constexpr std::uint32_t kPolynomial = 0xEDB88320u;
+
+/// Eight derived tables for slicing-by-8: table[0] is the classic CRC-32
+/// table; table[k][b] extends a byte's contribution k positions further
+/// into the stream.  Built once at static-init time (constexpr, so
+/// actually at compile time).
+struct Tables {
+  std::uint32_t t[8][256];
+};
+
+constexpr Tables BuildTables() {
+  Tables tables{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t crc = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc >> 1) ^ ((crc & 1u) != 0 ? kPolynomial : 0u);
+    }
+    tables.t[0][i] = crc;
+  }
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t crc = tables.t[0][i];
+    for (int k = 1; k < 8; ++k) {
+      crc = tables.t[0][crc & 0xFFu] ^ (crc >> 8);
+      tables.t[k][i] = crc;
+    }
+  }
+  return tables;
+}
+
+constexpr Tables kTables = BuildTables();
+
+}  // namespace
+
+std::uint32_t Crc32(const void* data, std::size_t size, std::uint32_t seed) {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  std::uint32_t crc = ~seed;
+  // Slicing-by-8 main loop: consume 8 bytes per iteration.
+  while (size >= 8) {
+    const std::uint32_t lo = crc ^ (static_cast<std::uint32_t>(bytes[0]) |
+                                    static_cast<std::uint32_t>(bytes[1]) << 8 |
+                                    static_cast<std::uint32_t>(bytes[2]) << 16 |
+                                    static_cast<std::uint32_t>(bytes[3]) << 24);
+    const std::uint32_t hi = static_cast<std::uint32_t>(bytes[4]) |
+                             static_cast<std::uint32_t>(bytes[5]) << 8 |
+                             static_cast<std::uint32_t>(bytes[6]) << 16 |
+                             static_cast<std::uint32_t>(bytes[7]) << 24;
+    crc = kTables.t[7][lo & 0xFFu] ^ kTables.t[6][(lo >> 8) & 0xFFu] ^
+          kTables.t[5][(lo >> 16) & 0xFFu] ^ kTables.t[4][lo >> 24] ^
+          kTables.t[3][hi & 0xFFu] ^ kTables.t[2][(hi >> 8) & 0xFFu] ^
+          kTables.t[1][(hi >> 16) & 0xFFu] ^ kTables.t[0][hi >> 24];
+    bytes += 8;
+    size -= 8;
+  }
+  while (size-- > 0) {
+    crc = kTables.t[0][(crc ^ *bytes++) & 0xFFu] ^ (crc >> 8);
+  }
+  return ~crc;
+}
+
+}  // namespace hotspots::trace

@@ -1,0 +1,22 @@
+// CRC-32 (the zlib/IEEE 802.3 polynomial, reflected 0xEDB88320).
+//
+// Every `hotspots.trace.v1` block carries a CRC-32 of its payload so the
+// reader can reject bit flips and truncation instead of silently replaying
+// garbage.  The checksum sits on the capture hot path (one update per
+// flushed block, amortized to a few bytes per record), so the
+// implementation is slicing-by-8: eight table lookups per 8 input bytes,
+// ~0.5 cycles/byte on commodity hardware — an order of magnitude faster
+// than the classic byte-at-a-time loop and still pure portable C++.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace hotspots::trace {
+
+/// CRC-32 of `size` bytes at `data`.  `seed` chains partial computations:
+/// Crc32(b, n) == Crc32(b + k, n - k, Crc32(b, k)).
+[[nodiscard]] std::uint32_t Crc32(const void* data, std::size_t size,
+                                  std::uint32_t seed = 0);
+
+}  // namespace hotspots::trace

@@ -1,0 +1,124 @@
+// `hotspots.trace.v1` — the binary probe-trace format.
+//
+// The paper's measurement half was built on *recorded* darknet traces that
+// were re-analyzed offline many times; this format gives the reproduction
+// the same decoupling.  A trace is the engine's full probe stream — every
+// ProbeEvent, including drops, in emission order — captured once and
+// replayable through any sim::ProbeObserver (telescope, TRW gateway,
+// analysis histograms) with bit-identical results.
+//
+// Wire layout (all integers little-endian):
+//
+//   header (48 bytes)
+//     [ 0..8)   magic  "HSPTRACE"
+//     [ 8..12)  u32    format version (1)
+//     [12..16)  u32    header size in bytes (48; later versions may grow)
+//     [16..24)  u64    scenario fingerprint (caller-defined; ties the
+//                      trace to the config that produced it)
+//     [24..32)  u64    engine seed
+//     [32..40)  u64    flags (bit 0: stream was down-sampled)
+//     [40..48)  u64    IEEE-754 bits of the sampling rate (1.0 = full)
+//
+//   zero or more blocks
+//     [0..4)    u32    record count (> 0; 0 marks the trailer)
+//     [4..8)    u32    payload size in bytes
+//     [8..12)   u32    CRC-32 of the payload (crc32.h)
+//     [12..)           payload: `record count` encoded records
+//
+//   trailer (a block frame with record count 0)
+//     payload (24 bytes): u64 total records, u64 total blocks,
+//                         u64 IEEE-754 bits of the last event timestamp
+//     (CRC-32 protects the trailer payload like any block's.)
+//
+// Record encoding — four varints (varint.h), delta-predicted against the
+// previous record *of the same block* (predictors reset to zero at each
+// block boundary, so blocks decode independently):
+//
+//   varint( time_bits XOR prev_time_bits )     // identical times → 1 byte
+//   varint( zigzag(src_host − prev_src_host) ) // host walk → 1-2 bytes
+//   varint( src_address XOR prev_src_address )
+//   varint( (dst << 3) | delivery )            // 3-bit Delivery verdict
+//
+// A record is therefore at most 25 bytes and typically ~12: the engine
+// emits whole steps at one timestamp with ascending host ids, which the
+// XOR/zigzag predictors collapse to single bytes.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+
+namespace hotspots::trace {
+
+/// Schema identifier used in sidecars and diagnostics.
+inline constexpr const char* kTraceSchema = "hotspots.trace.v1";
+
+inline constexpr char kMagic[8] = {'H', 'S', 'P', 'T', 'R', 'A', 'C', 'E'};
+inline constexpr std::uint32_t kFormatVersion = 1;
+inline constexpr std::uint32_t kHeaderBytes = 48;
+inline constexpr std::uint32_t kBlockFrameBytes = 12;
+inline constexpr std::uint32_t kTrailerPayloadBytes = 24;
+
+/// Header flag bits.
+inline constexpr std::uint64_t kFlagSampled = 1ull << 0;
+
+/// Worst-case encoded record size (4 varints: 10 + 5 + 5 + 5).
+inline constexpr std::size_t kMaxRecordBytes = 25;
+
+/// Default records per block.  Chosen to match the engine's event-staging
+/// batch (1024) times four: blocks are big enough to amortize the frame +
+/// CRC and small enough that `head`/corruption diagnostics stay local.
+inline constexpr std::uint32_t kDefaultBlockRecords = 4096;
+
+/// Hard ceiling a reader enforces on the declared payload size, so a
+/// corrupt length field cannot drive an allocation of gigabytes.
+inline constexpr std::uint32_t kMaxBlockRecords = 1u << 20;
+inline constexpr std::uint32_t kMaxBlockPayloadBytes =
+    kMaxBlockRecords * static_cast<std::uint32_t>(kMaxRecordBytes);
+
+/// Any malformed input — bad magic, wrong version, truncation, CRC
+/// mismatch, varint garbage — raises this, never UB.  The message names
+/// the failing structure and file offset.
+class TraceError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Parsed file header.
+struct TraceHeader {
+  std::uint32_t version = kFormatVersion;
+  std::uint64_t scenario_fingerprint = 0;
+  std::uint64_t seed = 0;
+  std::uint64_t flags = 0;
+  double sample_rate = 1.0;
+
+  [[nodiscard]] bool sampled() const { return (flags & kFlagSampled) != 0; }
+};
+
+/// FNV-1a over 64-bit words: the repo's standard output fingerprint
+/// (micro_hotpath and the determinism tests fold run results through
+/// this).  Centralized here so capture, replay, and the gates all agree
+/// on one mixing function.
+struct Fingerprint {
+  std::uint64_t hash = 0xcbf29ce484222325ull;
+
+  void Mix(std::uint64_t word) {
+    for (int shift = 0; shift < 64; shift += 8) {
+      hash ^= (word >> shift) & 0xFF;
+      hash *= 0x100000001b3ull;
+    }
+  }
+
+  void MixDouble(double value) {
+    std::uint64_t bits;
+    std::memcpy(&bits, &value, sizeof bits);
+    Mix(bits);
+  }
+
+  void MixString(const std::string& text) {
+    for (const char c : text) Mix(static_cast<unsigned char>(c));
+  }
+};
+
+}  // namespace hotspots::trace

@@ -1,0 +1,230 @@
+#include "trace/reader.h"
+
+#include <cstring>
+
+#include "obs/metrics.h"
+#include "trace/crc32.h"
+#include "trace/varint.h"
+
+namespace hotspots::trace {
+
+namespace {
+
+inline std::uint32_t LoadU32(const std::uint8_t* in) {
+  return static_cast<std::uint32_t>(in[0]) |
+         static_cast<std::uint32_t>(in[1]) << 8 |
+         static_cast<std::uint32_t>(in[2]) << 16 |
+         static_cast<std::uint32_t>(in[3]) << 24;
+}
+
+inline std::uint64_t LoadU64(const std::uint8_t* in) {
+  return static_cast<std::uint64_t>(LoadU32(in)) |
+         static_cast<std::uint64_t>(LoadU32(in + 4)) << 32;
+}
+
+inline double BitsToDouble(std::uint64_t bits) {
+  double value;
+  std::memcpy(&value, &bits, sizeof value);
+  return value;
+}
+
+}  // namespace
+
+TraceReader::TraceReader(const std::string& path) : path_(path) {
+  file_ = std::fopen(path_.c_str(), "rb");
+  if (file_ == nullptr) {
+    throw TraceError("trace: cannot open " + path_);
+  }
+  std::uint8_t header[kHeaderBytes];
+  ReadExact(header, sizeof header, "file header");
+  if (std::memcmp(header, kMagic, sizeof kMagic) != 0) {
+    Fail("bad magic — not a hotspots.trace file");
+  }
+  header_.version = LoadU32(header + 8);
+  if (header_.version != kFormatVersion) {
+    Fail("unsupported format version " + std::to_string(header_.version) +
+         " (this reader understands version " +
+         std::to_string(kFormatVersion) + ")");
+  }
+  const std::uint32_t header_bytes = LoadU32(header + 12);
+  if (header_bytes != kHeaderBytes) {
+    Fail("declared header size " + std::to_string(header_bytes) +
+         " != " + std::to_string(kHeaderBytes));
+  }
+  header_.scenario_fingerprint = LoadU64(header + 16);
+  header_.seed = LoadU64(header + 24);
+  header_.flags = LoadU64(header + 32);
+  header_.sample_rate = BitsToDouble(LoadU64(header + 40));
+  if (!(header_.sample_rate > 0.0) || header_.sample_rate > 1.0) {
+    Fail("sample rate outside (0,1]");
+  }
+}
+
+TraceReader::~TraceReader() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+void TraceReader::Fail(const std::string& what) const {
+  throw TraceError("trace: " + path_ + " @" + std::to_string(offset_) + ": " +
+                   what);
+}
+
+void TraceReader::ReadExact(void* out, std::size_t size, const char* what) {
+  if (file_ == nullptr) Fail("read after end");
+  const std::size_t got = std::fread(out, 1, size, file_);
+  if (got != size) {
+    Fail("truncated " + std::string(what) + " (needed " +
+         std::to_string(size) + " bytes, got " + std::to_string(got) + ")");
+  }
+  offset_ += size;
+}
+
+std::span<const sim::ProbeEvent> TraceReader::NextBatch() {
+  if (at_end_) return {};
+  std::uint8_t frame[kBlockFrameBytes];
+  ReadExact(frame, sizeof frame, "block frame");
+  const std::uint32_t record_count = LoadU32(frame);
+  const std::uint32_t payload_bytes = LoadU32(frame + 4);
+  const std::uint32_t stored_crc = LoadU32(frame + 8);
+
+  if (record_count > kMaxBlockRecords) {
+    Fail("block record count " + std::to_string(record_count) +
+         " exceeds the format ceiling " + std::to_string(kMaxBlockRecords));
+  }
+  if (payload_bytes > kMaxBlockPayloadBytes) {
+    Fail("block payload size " + std::to_string(payload_bytes) +
+         " exceeds the format ceiling");
+  }
+  if (record_count != 0 &&
+      payload_bytes > static_cast<std::uint64_t>(record_count) *
+                          kMaxRecordBytes) {
+    Fail("block payload size " + std::to_string(payload_bytes) +
+         " impossible for " + std::to_string(record_count) + " records");
+  }
+  payload_.resize(payload_bytes);
+  ReadExact(payload_.data(), payload_bytes,
+            record_count == 0 ? "trailer payload" : "block payload");
+  const std::uint32_t computed_crc = Crc32(payload_.data(), payload_bytes);
+  if (computed_crc != stored_crc) {
+    Fail((record_count == 0 ? std::string("trailer") : std::string("block ")) +
+         (record_count == 0 ? "" : std::to_string(blocks_)) +
+         " CRC mismatch (stored " + std::to_string(stored_crc) +
+         ", computed " + std::to_string(computed_crc) + ")");
+  }
+
+  if (record_count == 0) {
+    VerifyTrailer(payload_);
+    at_end_ = true;
+    auto& registry = obs::Registry::Global();
+    registry.GetCounter("trace.reader.files").Increment();
+    registry.GetCounter("trace.reader.records").Add(records_);
+    registry.GetCounter("trace.reader.blocks").Add(blocks_);
+    return {};
+  }
+
+  DecodeBlock(record_count, payload_);
+  ++blocks_;
+  records_ += record_count;
+  payload_bytes_ += payload_bytes;
+  return events_;
+}
+
+void TraceReader::VerifyTrailer(std::span<const std::uint8_t> payload) {
+  if (payload.size() != kTrailerPayloadBytes) {
+    Fail("trailer payload is " + std::to_string(payload.size()) +
+         " bytes, expected " + std::to_string(kTrailerPayloadBytes));
+  }
+  const std::uint64_t declared_records = LoadU64(payload.data());
+  const std::uint64_t declared_blocks = LoadU64(payload.data() + 8);
+  if (declared_records != records_) {
+    Fail("trailer declares " + std::to_string(declared_records) +
+         " records but the stream held " + std::to_string(records_));
+  }
+  if (declared_blocks != blocks_) {
+    Fail("trailer declares " + std::to_string(declared_blocks) +
+         " blocks but the stream held " + std::to_string(blocks_));
+  }
+  // Nothing may follow the trailer.
+  std::uint8_t extra;
+  if (std::fread(&extra, 1, 1, file_) == 1) {
+    Fail("trailing bytes after the trailer");
+  }
+}
+
+void TraceReader::DecodeBlock(std::uint32_t record_count,
+                              std::span<const std::uint8_t> payload) {
+  events_.resize(record_count);
+  const std::uint8_t* cursor = payload.data();
+  const std::uint8_t* const end = cursor + payload.size();
+  std::uint64_t prev_time_bits = 0;
+  std::uint32_t prev_src_host = 0;
+  std::uint32_t prev_src_address = 0;
+  for (std::uint32_t i = 0; i < record_count; ++i) {
+    std::uint64_t time_delta = 0;
+    std::uint64_t host_delta = 0;
+    std::uint64_t addr_delta = 0;
+    std::uint64_t dst_delivery = 0;
+    if (!DecodeVarint(&cursor, end, &time_delta) ||
+        !DecodeVarint(&cursor, end, &host_delta) ||
+        !DecodeVarint(&cursor, end, &addr_delta) ||
+        !DecodeVarint(&cursor, end, &dst_delivery)) {
+      Fail("block " + std::to_string(blocks_) + " record " +
+           std::to_string(i) + ": malformed varint");
+    }
+    const std::uint64_t time_bits = prev_time_bits ^ time_delta;
+    prev_time_bits = time_bits;
+    const std::int64_t src_host =
+        static_cast<std::int64_t>(prev_src_host) + ZigZagDecode(host_delta);
+    if (src_host < 0 || src_host > static_cast<std::int64_t>(~std::uint32_t{0})) {
+      Fail("block " + std::to_string(blocks_) + " record " +
+           std::to_string(i) + ": source host id out of range");
+    }
+    prev_src_host = static_cast<std::uint32_t>(src_host);
+    if (addr_delta > ~std::uint32_t{0}) {
+      Fail("block " + std::to_string(blocks_) + " record " +
+           std::to_string(i) + ": source address out of range");
+    }
+    prev_src_address ^= static_cast<std::uint32_t>(addr_delta);
+    const std::uint64_t delivery = dst_delivery & 0x7u;
+    const std::uint64_t dst = dst_delivery >> 3;
+    if (dst > ~std::uint32_t{0} ||
+        delivery > static_cast<std::uint64_t>(
+                       topology::Delivery::kNetworkLoss)) {
+      Fail("block " + std::to_string(blocks_) + " record " +
+           std::to_string(i) + ": destination/delivery out of range");
+    }
+    sim::ProbeEvent& event = events_[i];
+    event.time = BitsToDouble(time_bits);
+    event.src_host = prev_src_host;
+    event.src_address = net::Ipv4{prev_src_address};
+    event.dst = net::Ipv4{static_cast<std::uint32_t>(dst)};
+    event.delivery = static_cast<topology::Delivery>(delivery);
+  }
+  if (cursor != end) {
+    Fail("block " + std::to_string(blocks_) + ": " +
+         std::to_string(end - cursor) + " unconsumed payload bytes");
+  }
+}
+
+TraceInfo ScanTrace(const std::string& path) {
+  TraceReader reader{path};
+  TraceInfo info;
+  info.header = reader.header();
+  bool first = true;
+  while (true) {
+    const auto batch = reader.NextBatch();
+    if (batch.empty()) break;
+    if (first) {
+      info.first_time = batch.front().time;
+      first = false;
+    }
+    info.last_time = batch.back().time;
+  }
+  info.blocks = reader.blocks_read();
+  info.records = reader.records_read();
+  info.payload_bytes = reader.payload_bytes_read();
+  info.file_bytes = reader.bytes_read();
+  return info;
+}
+
+}  // namespace hotspots::trace

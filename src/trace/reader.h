@@ -1,0 +1,96 @@
+// Validating, allocation-free `hotspots.trace.v1` reading.
+//
+// TraceReader iterates a trace file block by block: NextBatch() returns
+// the next block's records decoded into a reusable buffer as a span of
+// sim::ProbeEvent — after warm-up the read loop performs no allocation,
+// mirroring the engine's own batched observer pipeline so replay costs
+// what live observation costs.
+//
+// Every structural invariant is checked and every violation fails closed
+// with a TraceError naming the failing structure and file offset: bad
+// magic, unsupported version, truncated frames, payload-size bombs, CRC
+// mismatches, varint garbage, record-count mismatches, a missing trailer,
+// or bytes after it.  A corrupt trace can therefore never crash a replay
+// or silently skew an analysis.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "sim/observer.h"
+#include "trace/format.h"
+
+namespace hotspots::trace {
+
+/// Summary of a full-file scan (trace_tool info/validate).
+struct TraceInfo {
+  TraceHeader header;
+  std::uint64_t blocks = 0;
+  std::uint64_t records = 0;
+  std::uint64_t payload_bytes = 0;
+  std::uint64_t file_bytes = 0;
+  double first_time = 0.0;
+  double last_time = 0.0;
+};
+
+class TraceReader {
+ public:
+  /// Opens `path` and validates the header.  Throws TraceError if the file
+  /// is missing, not a trace, or of an unsupported version.
+  explicit TraceReader(const std::string& path);
+
+  TraceReader(const TraceReader&) = delete;
+  TraceReader& operator=(const TraceReader&) = delete;
+  ~TraceReader();
+
+  [[nodiscard]] const TraceHeader& header() const { return header_; }
+  [[nodiscard]] const std::string& path() const { return path_; }
+
+  /// Decodes the next block.  Returns an empty span once the trailer has
+  /// been reached and verified (total record/block counts must match the
+  /// stream, and nothing may follow the trailer).  The span aliases an
+  /// internal buffer that the next call overwrites.  Throws TraceError on
+  /// any corruption.
+  [[nodiscard]] std::span<const sim::ProbeEvent> NextBatch();
+
+  /// True once NextBatch() has returned the trailer's empty span.
+  [[nodiscard]] bool at_end() const { return at_end_; }
+
+  /// Records decoded so far.
+  [[nodiscard]] std::uint64_t records_read() const { return records_; }
+  [[nodiscard]] std::uint64_t blocks_read() const { return blocks_; }
+  /// Encoded record bytes consumed so far (excludes header and frames).
+  [[nodiscard]] std::uint64_t payload_bytes_read() const {
+    return payload_bytes_;
+  }
+  /// Total file bytes consumed so far.
+  [[nodiscard]] std::uint64_t bytes_read() const { return offset_; }
+
+ private:
+  [[noreturn]] void Fail(const std::string& what) const;
+  void ReadExact(void* out, std::size_t size, const char* what);
+  void VerifyTrailer(std::span<const std::uint8_t> payload);
+  void DecodeBlock(std::uint32_t record_count,
+                   std::span<const std::uint8_t> payload);
+
+  std::string path_;
+  std::FILE* file_ = nullptr;
+  TraceHeader header_;
+  std::uint64_t offset_ = 0;  ///< Bytes consumed; for diagnostics.
+  bool at_end_ = false;
+
+  std::vector<std::uint8_t> payload_;      ///< Reused raw block bytes.
+  std::vector<sim::ProbeEvent> events_;    ///< Reused decoded batch.
+  std::uint64_t records_ = 0;
+  std::uint64_t blocks_ = 0;
+  std::uint64_t payload_bytes_ = 0;
+};
+
+/// Scans `path` end to end — every frame, CRC, and record decoded — and
+/// returns the totals.  Throws TraceError on the first violation.
+[[nodiscard]] TraceInfo ScanTrace(const std::string& path);
+
+}  // namespace hotspots::trace

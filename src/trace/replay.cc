@@ -1,0 +1,38 @@
+#include "trace/replay.h"
+
+#include "obs/metrics.h"
+
+namespace hotspots::trace {
+
+ReplaySummary Replay(TraceReader& reader, sim::ProbeObserver& observer) {
+  observer.OnAttach();
+  ReplaySummary summary;
+  bool first = true;
+  while (true) {
+    const auto batch = reader.NextBatch();
+    if (batch.empty()) break;
+    if (first) {
+      summary.first_time = batch.front().time;
+      first = false;
+    }
+    summary.last_time = batch.back().time;
+    for (const sim::ProbeEvent& event : batch) {
+      ++summary.delivery_counts[static_cast<std::size_t>(event.delivery)];
+    }
+    observer.OnProbeBatch(batch);
+    ++summary.blocks;
+    summary.records += batch.size();
+  }
+  auto& registry = obs::Registry::Global();
+  registry.GetCounter("trace.replay.runs").Increment();
+  registry.GetCounter("trace.replay.records").Add(summary.records);
+  return summary;
+}
+
+ReplaySummary ReplayFile(const std::string& path,
+                         sim::ProbeObserver& observer) {
+  TraceReader reader{path};
+  return Replay(reader, observer);
+}
+
+}  // namespace hotspots::trace

@@ -1,0 +1,44 @@
+// Deterministic replay: feed a captured trace into any ProbeObserver.
+//
+// Replay() mirrors Engine::Run's observer contract exactly — OnAttach()
+// once, then OnProbeBatch() per block in stream order — so a telescope,
+// TRW gateway, analysis histogram, or tee of all three reproduces
+// bit-identical counters and alert times from a file instead of a live
+// engine.  This is the offline execution mode the trace corpora,
+// cross-run diffing, and external-trace workloads build on.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "sim/observer.h"
+#include "trace/reader.h"
+
+namespace hotspots::trace {
+
+/// Accounting of one replay, shaped like the slice of sim::RunResult a
+/// trace can reconstruct.
+struct ReplaySummary {
+  std::uint64_t records = 0;
+  std::uint64_t blocks = 0;
+  /// Probe outcomes indexed by topology::Delivery, as in RunResult.
+  std::array<std::uint64_t, 6> delivery_counts{};
+  double first_time = 0.0;
+  double last_time = 0.0;
+
+  [[nodiscard]] std::uint64_t delivered() const {
+    return delivery_counts[static_cast<std::size_t>(
+        topology::Delivery::kDelivered)];
+  }
+};
+
+/// Replays everything remaining in `reader` into `observer`.  Throws
+/// TraceError on corrupt input (the observer sees only verified blocks —
+/// a CRC failure aborts before the bad batch is delivered).
+ReplaySummary Replay(TraceReader& reader, sim::ProbeObserver& observer);
+
+/// Convenience: open + replay in one call.
+ReplaySummary ReplayFile(const std::string& path,
+                         sim::ProbeObserver& observer);
+
+}  // namespace hotspots::trace

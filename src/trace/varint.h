@@ -1,0 +1,63 @@
+// LEB128 variable-length integers + ZigZag, the scalar encoding of
+// `hotspots.trace.v1` records.
+//
+// Encoders are raw-pointer appends into a caller-reserved buffer (the
+// writer bounds every record by kMaxVarintBytes × fields, so the hot path
+// carries no per-byte capacity checks); decoders are bounds-checked
+// against the block end and fail closed on overlong/truncated input.
+#pragma once
+
+#include <cstdint>
+
+namespace hotspots::trace {
+
+/// Maximum encoded size of one 64-bit varint.
+inline constexpr int kMaxVarintBytes = 10;
+
+/// Appends `value` at `out` (little-endian base-128, 7 bits per byte, high
+/// bit = continuation).  Returns one past the last byte written.  The
+/// caller must have kMaxVarintBytes available.
+inline std::uint8_t* EncodeVarint(std::uint8_t* out, std::uint64_t value) {
+  while (value >= 0x80u) {
+    *out++ = static_cast<std::uint8_t>(value) | 0x80u;
+    value >>= 7;
+  }
+  *out++ = static_cast<std::uint8_t>(value);
+  return out;
+}
+
+/// Decodes a varint from [*cursor, end).  On success advances *cursor past
+/// the encoding and returns true; on truncated or overlong (> 10 bytes)
+/// input returns false with *cursor unspecified.
+inline bool DecodeVarint(const std::uint8_t** cursor, const std::uint8_t* end,
+                         std::uint64_t* value) {
+  const std::uint8_t* p = *cursor;
+  std::uint64_t result = 0;
+  for (int shift = 0; shift < 64; shift += 7) {
+    if (p == end) return false;
+    const std::uint8_t byte = *p++;
+    result |= static_cast<std::uint64_t>(byte & 0x7Fu) << shift;
+    if ((byte & 0x80u) == 0) {
+      // Reject non-canonical bits beyond 64 in the final (10th) byte.
+      if (shift == 63 && byte > 1u) return false;
+      *cursor = p;
+      *value = result;
+      return true;
+    }
+  }
+  return false;  // Continuation bit set on the 10th byte: overlong.
+}
+
+/// ZigZag: maps signed deltas to small unsigned varints (0, -1, 1, -2 → 0,
+/// 1, 2, 3).
+[[nodiscard]] inline constexpr std::uint64_t ZigZagEncode(std::int64_t value) {
+  return (static_cast<std::uint64_t>(value) << 1) ^
+         static_cast<std::uint64_t>(value >> 63);
+}
+
+[[nodiscard]] inline constexpr std::int64_t ZigZagDecode(std::uint64_t value) {
+  return static_cast<std::int64_t>(value >> 1) ^
+         -static_cast<std::int64_t>(value & 1u);
+}
+
+}  // namespace hotspots::trace

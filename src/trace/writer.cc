@@ -1,0 +1,287 @@
+#include "trace/writer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+#include "obs/metrics.h"
+#include "trace/crc32.h"
+#include "trace/varint.h"
+
+namespace hotspots::trace {
+
+namespace {
+
+inline void StoreU32(std::uint8_t* out, std::uint32_t value) {
+  out[0] = static_cast<std::uint8_t>(value);
+  out[1] = static_cast<std::uint8_t>(value >> 8);
+  out[2] = static_cast<std::uint8_t>(value >> 16);
+  out[3] = static_cast<std::uint8_t>(value >> 24);
+}
+
+inline void StoreU64(std::uint8_t* out, std::uint64_t value) {
+  StoreU32(out, static_cast<std::uint32_t>(value));
+  StoreU32(out + 4, static_cast<std::uint32_t>(value >> 32));
+}
+
+inline std::uint64_t DoubleBits(double value) {
+  std::uint64_t bits;
+  std::memcpy(&bits, &value, sizeof bits);
+  return bits;
+}
+
+/// Bound on buffers queued ahead of the encoder (back-pressure point).
+constexpr std::size_t kMaxQueuedBuffers = 8;
+
+}  // namespace
+
+TraceWriter::TraceWriter(const std::string& path, TraceWriterOptions options)
+    : path_(path), options_(options), sampler_(options.sample_seed) {
+  if (!(options_.sample_rate > 0.0) || options_.sample_rate > 1.0) {
+    throw TraceError("TraceWriter: sample_rate must be in (0,1]; got " +
+                     std::to_string(options_.sample_rate));
+  }
+  if (options_.block_records == 0 ||
+      options_.block_records > kMaxBlockRecords) {
+    throw TraceError("TraceWriter: block_records out of range");
+  }
+  sampling_ = options_.sample_rate < 1.0;
+  if (sampling_) {
+    // Geometric gap-sampling: instead of a Bernoulli coin per record, draw
+    // how many records to skip until the next kept one.  The distribution
+    // of kept records is identical (geometric gaps ⇔ independent
+    // Bernoulli(rate) coins), but the per-record cost on the skip path
+    // collapses to a decrement — which is what lets a sampled writer ride
+    // along at full engine rate.
+    inv_log1m_rate_ = 1.0 / std::log1p(-options_.sample_rate);
+    skip_ = NextGap();
+  }
+  payload_.resize(static_cast<std::size_t>(options_.block_records) *
+                  kMaxRecordBytes);
+
+  file_ = std::fopen(path_.c_str(), "wb");
+  if (file_ == nullptr) {
+    throw TraceError("TraceWriter: cannot open " + path_ + " for writing");
+  }
+
+  std::uint8_t header[kHeaderBytes];
+  std::memcpy(header, kMagic, sizeof kMagic);
+  StoreU32(header + 8, kFormatVersion);
+  StoreU32(header + 12, kHeaderBytes);
+  StoreU64(header + 16, options_.scenario_fingerprint);
+  StoreU64(header + 24, options_.seed);
+  StoreU64(header + 32, sampling_ ? kFlagSampled : 0ull);
+  StoreU64(header + 40, DoubleBits(options_.sample_rate));
+  WriteOrThrow(header, sizeof header);
+
+  pipelined_ =
+      options_.pipeline == PipelineMode::kOn ||
+      (options_.pipeline == PipelineMode::kAuto &&
+       std::thread::hardware_concurrency() > 1);
+  if (pipelined_) {
+    staging_capacity_ = options_.block_records;
+    staging_.reserve(staging_capacity_);
+    worker_ = std::thread{&TraceWriter::WorkerLoop, this};
+  }
+}
+
+TraceWriter::~TraceWriter() {
+  if (finished_) {
+    JoinWorker();  // Finish() may have thrown between join and return.
+    return;
+  }
+  try {
+    Finish();
+  } catch (const TraceError& error) {
+    std::fprintf(stderr, "TraceWriter: %s\n", error.what());
+  }
+  JoinWorker();
+}
+
+void TraceWriter::OnAttach() {
+  if (finished_) {
+    throw TraceError("TraceWriter: attached after Finish() — " + path_);
+  }
+}
+
+std::uint64_t TraceWriter::NextGap() {
+  // Top 53 sampler bits → uniform u ∈ [0,1); Geometric(rate) via inversion:
+  // ⌊log(1-u) / log(1-rate)⌋ records skipped before the next kept one.
+  const double u =
+      static_cast<double>(sampler_.Next() >> 11) * 0x1.0p-53;
+  const double gap = std::log1p(-u) * inv_log1m_rate_;
+  return gap >= 1e18 ? static_cast<std::uint64_t>(1e18)
+                     : static_cast<std::uint64_t>(gap);
+}
+
+void TraceWriter::Encode(const sim::ProbeEvent& event) {
+  if (sampling_) {
+    if (skip_ > 0) {
+      --skip_;
+      ++sampled_out_;
+      return;
+    }
+    skip_ = NextGap();
+  }
+  EncodeRecord(event);
+}
+
+void TraceWriter::EncodeRecord(const sim::ProbeEvent& event) {
+  std::uint8_t* p = payload_.data() + payload_used_;
+  const std::uint64_t time_bits = DoubleBits(event.time);
+  p = EncodeVarint(p, time_bits ^ prev_time_bits_);
+  prev_time_bits_ = time_bits;
+  p = EncodeVarint(p, ZigZagEncode(static_cast<std::int64_t>(event.src_host) -
+                                   static_cast<std::int64_t>(prev_src_host_)));
+  prev_src_host_ = event.src_host;
+  const std::uint32_t src_address = event.src_address.value();
+  p = EncodeVarint(p, src_address ^ prev_src_address_);
+  prev_src_address_ = src_address;
+  p = EncodeVarint(
+      p, (static_cast<std::uint64_t>(event.dst.value()) << 3) |
+             static_cast<std::uint64_t>(event.delivery));
+  payload_used_ = static_cast<std::size_t>(p - payload_.data());
+  last_time_ = event.time;
+  ++records_;
+  if (++block_record_count_ == options_.block_records) FlushBlock();
+}
+
+void TraceWriter::FlushBlock() {
+  if (block_record_count_ == 0) return;
+  std::uint8_t frame[kBlockFrameBytes];
+  StoreU32(frame, block_record_count_);
+  StoreU32(frame + 4, static_cast<std::uint32_t>(payload_used_));
+  StoreU32(frame + 8, Crc32(payload_.data(), payload_used_));
+  WriteOrThrow(frame, sizeof frame);
+  WriteOrThrow(payload_.data(), payload_used_);
+  ++blocks_;
+  payload_used_ = 0;
+  block_record_count_ = 0;
+  prev_time_bits_ = 0;
+  prev_src_host_ = 0;
+  prev_src_address_ = 0;
+}
+
+void TraceWriter::EnqueueStaging() {
+  {
+    std::unique_lock<std::mutex> lock{mutex_};
+    space_ready_.wait(lock, [this] {
+      return queue_.size() < kMaxQueuedBuffers || worker_error_ != nullptr;
+    });
+    if (worker_error_ != nullptr) {
+      // Surface the worker's failure on the simulation thread; the run
+      // aborts just as a synchronous write failure would abort it.
+      std::rethrow_exception(worker_error_);
+    }
+    queue_.push_back(std::move(staging_));
+    if (!free_.empty()) {
+      staging_ = std::move(free_.back());
+      free_.pop_back();
+    } else {
+      staging_ = {};
+      staging_.reserve(staging_capacity_);
+    }
+  }
+  work_ready_.notify_one();
+  staging_.clear();
+}
+
+void TraceWriter::WorkerLoop() {
+  bool failed = false;
+  for (;;) {
+    std::vector<sim::ProbeEvent> buffer;
+    {
+      std::unique_lock<std::mutex> lock{mutex_};
+      work_ready_.wait(lock, [this] { return !queue_.empty() || stop_; });
+      if (queue_.empty()) return;
+      buffer = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    space_ready_.notify_one();
+    if (!failed) {
+      try {
+        for (const sim::ProbeEvent& event : buffer) Encode(event);
+      } catch (...) {
+        failed = true;  // Keep draining so the producer never deadlocks.
+        std::lock_guard<std::mutex> lock{mutex_};
+        worker_error_ = std::current_exception();
+      }
+    }
+    buffer.clear();
+    std::lock_guard<std::mutex> lock{mutex_};
+    if (free_.size() < kMaxQueuedBuffers) free_.push_back(std::move(buffer));
+  }
+}
+
+void TraceWriter::JoinWorker() {
+  if (!worker_.joinable()) return;
+  {
+    std::lock_guard<std::mutex> lock{mutex_};
+    stop_ = true;
+  }
+  work_ready_.notify_one();
+  worker_.join();
+}
+
+void TraceWriter::Finish() {
+  if (finished_) return;
+  if (pipelined_) {
+    // Hand over the partial staging buffer (unless the worker already
+    // failed — then there is nothing useful left to encode), drain, and
+    // stop the worker before touching the stream from this thread again.
+    {
+      std::unique_lock<std::mutex> lock{mutex_};
+      space_ready_.wait(lock, [this] {
+        return queue_.size() < kMaxQueuedBuffers || worker_error_ != nullptr;
+      });
+      if (!staging_.empty() && worker_error_ == nullptr) {
+        queue_.push_back(std::move(staging_));
+      }
+      stop_ = true;
+    }
+    work_ready_.notify_one();
+    worker_.join();
+    if (worker_error_ != nullptr) {
+      finished_ = true;
+      std::rethrow_exception(worker_error_);
+    }
+  }
+  FlushBlock();
+  std::uint8_t trailer[kBlockFrameBytes + kTrailerPayloadBytes];
+  std::uint8_t* payload = trailer + kBlockFrameBytes;
+  StoreU64(payload, records_);
+  StoreU64(payload + 8, blocks_);
+  StoreU64(payload + 16, DoubleBits(last_time_));
+  StoreU32(trailer, 0);  // Record count 0 marks the trailer.
+  StoreU32(trailer + 4, kTrailerPayloadBytes);
+  StoreU32(trailer + 8, Crc32(payload, kTrailerPayloadBytes));
+  WriteOrThrow(trailer, sizeof trailer);
+  const bool close_ok = std::fclose(file_) == 0;
+  file_ = nullptr;
+  finished_ = true;
+  auto& registry = obs::Registry::Global();
+  registry.GetCounter("trace.writer.files").Increment();
+  registry.GetCounter("trace.writer.records").Add(records_);
+  registry.GetCounter("trace.writer.blocks").Add(blocks_);
+  registry.GetCounter("trace.writer.bytes").Add(bytes_);
+  if (sampled_out_ > 0) {
+    registry.GetCounter("trace.writer.sampled_out").Add(sampled_out_);
+  }
+  if (!close_ok) {
+    throw TraceError("TraceWriter: close failed for " + path_);
+  }
+}
+
+void TraceWriter::WriteOrThrow(const void* data, std::size_t size) {
+  if (file_ == nullptr) {
+    throw TraceError("TraceWriter: write after close — " + path_);
+  }
+  if (std::fwrite(data, 1, size, file_) != size) {
+    std::fclose(file_);
+    file_ = nullptr;
+    throw TraceError("TraceWriter: short write to " + path_);
+  }
+  bytes_ += size;
+}
+
+}  // namespace hotspots::trace

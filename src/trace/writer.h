@@ -1,0 +1,199 @@
+// Streaming `hotspots.trace.v1` capture.
+//
+// TraceWriter is a sim::ProbeObserver: attach it to Engine::Run — alone or
+// composed with a telescope through sim::TeeObserver — and every probe the
+// engine emits is delta-encoded and flushed to disk in framed,
+// CRC-protected blocks (format.h).
+//
+// The engine's probe loop runs tens of millions of probes per second, so
+// by default the writer is *pipelined*: the observer hot path only copies
+// raw events into a staging buffer (a bounds-checked memcpy per batch),
+// and a single worker thread does the varint encoding, CRC, and fwrite.
+// One worker consuming buffers in FIFO order means the bytes on disk are
+// identical to the synchronous writer's, block for block — set
+// `pipelined = false` to get that single-threaded path (simpler stacks
+// under a debugger, same file).  Back-pressure is a bounded queue: if the
+// encoder falls behind, the simulation thread blocks rather than buffering
+// without limit.
+//
+// The optional sampling knob keeps a Bernoulli subset of the stream,
+// drawn from the writer's own SplitMix64 stream — the engine's RNG is
+// never touched, so capture (sampled or not) cannot perturb a run.
+//
+// Observability: Finish() folds totals into obs::Registry::Global() under
+// "trace.writer.*" (records, blocks, bytes, sampled_out) — cold path only.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <cstdio>
+#include <deque>
+#include <exception>
+#include <mutex>
+#include <span>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "prng/splitmix.h"
+#include "sim/observer.h"
+#include "trace/format.h"
+
+namespace hotspots::trace {
+
+/// Whether encode + CRC + I/O run on a worker thread (see file comment).
+enum class PipelineMode {
+  kAuto,  ///< Pipeline iff the host has >1 hardware thread.
+  kOff,   ///< Always synchronous.
+  kOn,    ///< Always pipelined (tests force the worker path with this).
+};
+
+struct TraceWriterOptions {
+  /// Caller-defined fingerprint of the scenario/config that produced the
+  /// stream; replay tooling surfaces it so trace files stay attributable.
+  std::uint64_t scenario_fingerprint = 0;
+  /// The engine seed of the captured run.
+  std::uint64_t seed = 0;
+  /// Keep each record with this probability (1.0 = capture everything).
+  double sample_rate = 1.0;
+  /// Seed of the writer-private sampling stream.
+  std::uint64_t sample_seed = 0x7ace5eed;
+  /// Records per block; bounded by format.h's kMaxBlockRecords.
+  std::uint32_t block_records = kDefaultBlockRecords;
+  /// The file produced is byte-identical in every mode; kAuto avoids the
+  /// pipeline on single-core hosts, where sharing the core with the
+  /// simulation only adds context switches.
+  PipelineMode pipeline = PipelineMode::kAuto;
+};
+
+class TraceWriter final : public sim::ProbeObserver {
+ public:
+  /// Opens `path` for writing and emits the header.  Throws TraceError on
+  /// I/O failure or out-of-range options.
+  TraceWriter(const std::string& path, TraceWriterOptions options);
+
+  TraceWriter(const TraceWriter&) = delete;
+  TraceWriter& operator=(const TraceWriter&) = delete;
+
+  /// Finishes the file if Finish() was not called; I/O errors at this
+  /// point are reported to stderr (a destructor cannot throw).
+  ~TraceWriter() override;
+
+  void OnAttach() override;
+  void OnProbe(const sim::ProbeEvent& event) override {
+    if (!pipelined_) {
+      Encode(event);
+      return;
+    }
+    staging_.push_back(event);
+    if (staging_.size() == staging_capacity_) EnqueueStaging();
+  }
+  void OnProbeBatch(std::span<const sim::ProbeEvent> events) override {
+    if (!pipelined_) {
+      if (sampling_) {
+        // Jump the skip counter across whole stretches of the batch — the
+        // per-event work between kept records is a subtraction, not a
+        // call.  Draw-for-draw identical to Encode()'s per-event path.
+        std::size_t i = 0;
+        while (i < events.size()) {
+          const std::size_t remaining = events.size() - i;
+          if (skip_ >= remaining) {
+            skip_ -= remaining;
+            sampled_out_ += remaining;
+            return;
+          }
+          i += static_cast<std::size_t>(skip_);
+          sampled_out_ += skip_;
+          skip_ = NextGap();
+          EncodeRecord(events[i]);
+          ++i;
+        }
+        return;
+      }
+      for (const sim::ProbeEvent& event : events) Encode(event);
+      return;
+    }
+    std::size_t offset = 0;
+    while (offset < events.size()) {
+      const std::size_t take = std::min(staging_capacity_ - staging_.size(),
+                                        events.size() - offset);
+      staging_.insert(staging_.end(), events.begin() + offset,
+                      events.begin() + offset + take);
+      offset += take;
+      if (staging_.size() == staging_capacity_) EnqueueStaging();
+    }
+  }
+
+  /// Flushes the open block, writes the trailer, and closes the file.
+  /// Idempotent.  Throws TraceError on I/O failure (including one hit by
+  /// the pipeline worker mid-stream).
+  void Finish();
+
+  /// Counters are final once Finish() has returned; while a pipelined
+  /// capture is in flight they trail the events already handed over.
+  [[nodiscard]] std::uint64_t records_written() const { return records_; }
+  [[nodiscard]] std::uint64_t records_sampled_out() const {
+    return sampled_out_;
+  }
+  [[nodiscard]] std::uint64_t blocks_written() const { return blocks_; }
+  [[nodiscard]] std::uint64_t bytes_written() const { return bytes_; }
+  [[nodiscard]] const std::string& path() const { return path_; }
+
+ private:
+  void Encode(const sim::ProbeEvent& event);
+  void EncodeRecord(const sim::ProbeEvent& event);
+  void FlushBlock();
+  void WriteOrThrow(const void* data, std::size_t size);
+  void EnqueueStaging();
+  void WorkerLoop();
+  void JoinWorker();
+  std::uint64_t NextGap();
+
+  std::string path_;
+  TraceWriterOptions options_;
+  std::FILE* file_ = nullptr;
+  bool finished_ = false;
+
+  /// Encoded payload of the open block.  Capacity is fixed at
+  /// block_records × kMaxRecordBytes, so Encode() never reallocates and
+  /// needs no per-record capacity check.
+  std::vector<std::uint8_t> payload_;
+  std::size_t payload_used_ = 0;
+  std::uint32_t block_record_count_ = 0;
+
+  // Per-block predictors (format.h): reset at every block boundary.
+  std::uint64_t prev_time_bits_ = 0;
+  std::uint32_t prev_src_host_ = 0;
+  std::uint32_t prev_src_address_ = 0;
+
+  bool sampling_ = false;
+  prng::SplitMix64 sampler_;
+  /// Geometric gap-sampling state: records left to skip before the next
+  /// kept one, and 1/log(1-sample_rate) for drawing the next gap.
+  std::uint64_t skip_ = 0;
+  double inv_log1m_rate_ = 0.0;
+
+  std::uint64_t records_ = 0;
+  std::uint64_t sampled_out_ = 0;
+  std::uint64_t blocks_ = 0;
+  std::uint64_t bytes_ = 0;
+  double last_time_ = 0.0;
+
+  // Pipelined mode.  The simulation thread appends raw events to
+  // `staging_` and hands full buffers to `queue_`; the worker drains the
+  // queue in order, runs Encode()/FlushBlock() (which only it touches
+  // once the thread is live), and recycles empty buffers through `free_`.
+  bool pipelined_ = false;
+  std::size_t staging_capacity_ = 0;
+  std::vector<sim::ProbeEvent> staging_;
+  std::deque<std::vector<sim::ProbeEvent>> queue_;
+  std::vector<std::vector<sim::ProbeEvent>> free_;
+  std::mutex mutex_;
+  std::condition_variable work_ready_;
+  std::condition_variable space_ready_;
+  std::thread worker_;
+  bool stop_ = false;
+  std::exception_ptr worker_error_;  ///< First worker failure; see mutex_.
+};
+
+}  // namespace hotspots::trace

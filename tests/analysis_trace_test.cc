@@ -1,0 +1,139 @@
+// Offline analysis over captured traces: BlockHistogramObserver binning
+// semantics (raw vs delivered-only vs unique-source counting, empty-layout
+// rejection) and AnalyzeTraceUniformity's verdicts on synthetic traces
+// with known uniformity structure.
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "analysis/trace_uniformity.h"
+#include "prng/splitmix.h"
+#include "trace/writer.h"
+
+namespace hotspots::analysis {
+namespace {
+
+using net::Ipv4;
+using net::Prefix;
+
+sim::ProbeEvent Event(std::uint32_t dst, std::uint32_t src,
+                      topology::Delivery delivery) {
+  sim::ProbeEvent event;
+  event.dst = Ipv4{dst};
+  event.src_address = Ipv4{src};
+  event.delivery = delivery;
+  return event;
+}
+
+std::vector<Prefix> Layout() {
+  // Four disjoint /24s.
+  return {Prefix{Ipv4{10, 0, 0, 0}, 24}, Prefix{Ipv4{10, 0, 1, 0}, 24},
+          Prefix{Ipv4{10, 0, 2, 0}, 24}, Prefix{Ipv4{10, 0, 3, 0}, 24}};
+}
+
+TEST(BlockHistogramObserverTest, RejectsEmptyLayout) {
+  EXPECT_THROW(BlockHistogramObserver({}, {}), std::invalid_argument);
+}
+
+TEST(BlockHistogramObserverTest, BinsByBlockAndCountsModes) {
+  const auto layout = Layout();
+  BlockHistogramObserver raw{layout, {}};
+  BlockHistogramOptions delivered_options;
+  delivered_options.delivered_only = true;
+  BlockHistogramObserver delivered{layout, delivered_options};
+  BlockHistogramOptions unique_options;
+  unique_options.unique_sources = true;
+  BlockHistogramObserver unique{layout, unique_options};
+
+  const std::uint32_t base = Ipv4{10, 0, 0, 0}.value();
+  const std::vector<sim::ProbeEvent> events = {
+      // Block 0: two probes, same source, one filtered.
+      Event(base + 1, 500, topology::Delivery::kDelivered),
+      Event(base + 2, 500, topology::Delivery::kIngressFiltered),
+      // Block 2: three probes, two sources.
+      Event(base + 2 * 256 + 9, 600, topology::Delivery::kDelivered),
+      Event(base + 2 * 256 + 9, 601, topology::Delivery::kDelivered),
+      Event(base + 2 * 256 + 10, 600, topology::Delivery::kNetworkLoss),
+      // Outside every block: seen but not binned.
+      Event(Ipv4{192, 168, 0, 1}.value(), 700,
+            topology::Delivery::kDelivered),
+  };
+  for (const sim::ProbeEvent& event : events) {
+    raw.OnProbe(event);
+    delivered.OnProbe(event);
+    unique.OnProbe(event);
+  }
+
+  EXPECT_EQ(raw.Counts(), (std::vector<std::uint64_t>{2, 0, 3, 0}));
+  EXPECT_EQ(raw.probes_seen(), 6u);
+  EXPECT_EQ(raw.probes_binned(), 5u);
+  // Delivered-only drops the filtered and the lost probe.
+  EXPECT_EQ(delivered.Counts(), (std::vector<std::uint64_t>{1, 0, 2, 0}));
+  // Unique sources: one in block 0, two in block 2.
+  EXPECT_EQ(unique.Counts(), (std::vector<std::uint64_t>{1, 0, 2, 0}));
+}
+
+class AnalyzeTraceUniformityTest : public ::testing::Test {
+ protected:
+  /// Writes a trace aiming `spike_weight` of ~40k probes at block 0 and
+  /// spreading the rest uniformly over the whole layout.
+  std::string WriteTrace(const std::string& name, double spike_weight) {
+    const std::string path = ::testing::TempDir() + "/" + name + ".trace";
+    trace::TraceWriter writer{path, {}};
+    writer.OnAttach();
+    prng::SplitMix64 rng{0xD1CE};
+    const auto layout = Layout();
+    for (int i = 0; i < 40'000; ++i) {
+      const std::uint64_t draw = rng.Next();
+      const double coin =
+          static_cast<double>(draw >> 11) * 0x1.0p-53;
+      const std::size_t block =
+          coin < spike_weight ? 0 : (draw % layout.size());
+      const std::uint32_t dst =
+          layout[block].first().value() +
+          static_cast<std::uint32_t>((draw >> 32) % 256);
+      writer.OnProbe(Event(dst, static_cast<std::uint32_t>(draw >> 13),
+                           topology::Delivery::kDelivered));
+    }
+    writer.Finish();
+    return path;
+  }
+};
+
+TEST_F(AnalyzeTraceUniformityTest, UniformTraceLooksUniform) {
+  const std::string path = WriteTrace("uniform", 0.0);
+  const auto layout = Layout();
+  const TraceUniformity result = AnalyzeTraceUniformity(path, layout);
+  EXPECT_EQ(result.records, 40'000u);
+  EXPECT_EQ(result.binned, 40'000u);
+  ASSERT_EQ(result.per_block.size(), layout.size());
+  EXPECT_FALSE(result.report.LooksNonUniform());
+  EXPECT_LT(result.report.gini, 0.05);
+  std::remove(path.c_str());
+}
+
+TEST_F(AnalyzeTraceUniformityTest, SpikedTraceLooksNonUniform) {
+  // ~70% of the mass on one of four blocks: a gross hotspot.
+  const std::string path = WriteTrace("spiked", 0.6);
+  const auto layout = Layout();
+  const TraceUniformity result = AnalyzeTraceUniformity(path, layout);
+  EXPECT_EQ(result.records, 40'000u);
+  ASSERT_EQ(result.per_block.size(), layout.size());
+  EXPECT_GT(result.per_block[0], result.per_block[1] * 3);
+  EXPECT_TRUE(result.report.LooksNonUniform());
+  EXPECT_GT(result.report.peak_to_mean, 2.0);
+  std::remove(path.c_str());
+}
+
+TEST_F(AnalyzeTraceUniformityTest, EmptyLayoutThrows) {
+  const std::string path = WriteTrace("nolayout", 0.0);
+  EXPECT_THROW((void)AnalyzeTraceUniformity(path, {}),
+               std::invalid_argument);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace hotspots::analysis

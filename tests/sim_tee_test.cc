@@ -1,0 +1,204 @@
+// The engine's composition points for probe sinks: TeeObserver fan-out
+// semantics (order, batch forwarding, nullptr tolerance), the
+// Engine::Run(initializer_list) tee attach path, and the quarantine
+// harness's capture hook — the three ways a trace writer, telescope, or
+// detector rides along on a probe stream.
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/quarantine.h"
+#include "sim/engine.h"
+#include "sim/observer.h"
+#include "telescope/telescope.h"
+#include "worms/uniform.h"
+
+namespace hotspots {
+namespace {
+
+using net::Ipv4;
+using net::Prefix;
+
+/// Logs every callback with an instance tag, so fan-out order and batch
+/// boundaries are assertable.
+class LoggingObserver final : public sim::ProbeObserver {
+ public:
+  LoggingObserver(std::string tag, std::vector<std::string>* journal)
+      : tag_(std::move(tag)), journal_(journal) {}
+
+  void OnAttach() override { journal_->push_back(tag_ + ":attach"); }
+  void OnProbe(const sim::ProbeEvent& event) override {
+    journal_->push_back(tag_ + ":probe@" + std::to_string(event.dst.value()));
+  }
+  void OnProbeBatch(std::span<const sim::ProbeEvent> events) override {
+    journal_->push_back(tag_ + ":batch/" + std::to_string(events.size()));
+  }
+
+ private:
+  std::string tag_;
+  std::vector<std::string>* journal_;
+};
+
+sim::ProbeEvent Event(std::uint32_t dst) {
+  sim::ProbeEvent event;
+  event.dst = Ipv4{dst};
+  return event;
+}
+
+TEST(TeeObserverTest, FansOutInAdditionOrder) {
+  std::vector<std::string> journal;
+  LoggingObserver a{"a", &journal};
+  LoggingObserver b{"b", &journal};
+  sim::TeeObserver tee;
+  tee.Add(&a);
+  tee.Add(nullptr);  // Optional sink not present: skipped, not stored.
+  tee.Add(&b);
+  EXPECT_EQ(tee.size(), 2u);
+
+  tee.OnAttach();
+  tee.OnProbe(Event(7));
+  const sim::ProbeEvent batch[] = {Event(1), Event(2), Event(3)};
+  tee.OnProbeBatch({batch, 3});
+
+  const std::vector<std::string> expected = {
+      "a:attach", "b:attach", "a:probe@7", "b:probe@7",
+      "a:batch/3", "b:batch/3"};
+  EXPECT_EQ(journal, expected);
+}
+
+TEST(TeeObserverTest, InitializerListConstructorSkipsNull) {
+  std::vector<std::string> journal;
+  LoggingObserver a{"a", &journal};
+  sim::TeeObserver tee{&a, nullptr, nullptr};
+  EXPECT_EQ(tee.size(), 1u);
+}
+
+TEST(TeeObserverTest, BatchesForwardTheSameSpan) {
+  // Children must see the engine's batch as-is — same count, same events,
+  // not a re-chunked copy.
+  std::vector<sim::ProbeEvent> seen;
+  class Collector final : public sim::ProbeObserver {
+   public:
+    explicit Collector(std::vector<sim::ProbeEvent>* out) : out_(out) {}
+    void OnProbe(const sim::ProbeEvent& event) override {
+      out_->push_back(event);
+    }
+
+   private:
+    std::vector<sim::ProbeEvent>* out_;
+  } collector{&seen};
+
+  sim::TeeObserver tee{&collector};
+  const sim::ProbeEvent batch[] = {Event(10), Event(20)};
+  tee.OnProbeBatch({batch, 2});  // Default OnProbeBatch → per-event calls.
+  ASSERT_EQ(seen.size(), 2u);
+  EXPECT_EQ(seen[0].dst.value(), 10u);
+  EXPECT_EQ(seen[1].dst.value(), 20u);
+}
+
+// ---------------------------------------------------------------------
+// Engine::Run({...}) tee path.
+// ---------------------------------------------------------------------
+
+class EngineTeeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    for (int i = 0; i < 50; ++i) {
+      population_.AddHost(Ipv4{10, 0, 0, static_cast<std::uint8_t>(1 + i)});
+    }
+    population_.Build(nullptr);
+  }
+
+  sim::EngineConfig Config() const {
+    sim::EngineConfig config;
+    config.scan_rate = 5.0;
+    config.end_time = 10.0;
+    config.seed = 0xBEEF;
+    config.stop_at_infected_fraction = 2.0;
+    return config;
+  }
+
+  sim::Population population_;
+  worms::UniformWorm worm_;
+  topology::Reachability reachability_{nullptr, nullptr, nullptr, 0.0};
+};
+
+TEST_F(EngineTeeTest, ListRunMatchesSingleObserverRun) {
+  // Same seed → same stream; the tee path must not perturb the run.
+  sim::RecordingObserver direct;
+  {
+    sim::Engine engine{population_, worm_, reachability_, nullptr, Config()};
+    engine.SeedInfection(0);
+    engine.Run(direct);
+  }
+
+  // Reset population state by rebuilding it.
+  sim::Population population;
+  for (int i = 0; i < 50; ++i) {
+    population.AddHost(Ipv4{10, 0, 0, static_cast<std::uint8_t>(1 + i)});
+  }
+  population.Build(nullptr);
+  sim::RecordingObserver teed_a;
+  sim::RecordingObserver teed_b;
+  sim::Engine engine{population, worm_, reachability_, nullptr, Config()};
+  engine.SeedInfection(0);
+  const sim::RunResult run = engine.Run({&teed_a, nullptr, &teed_b});
+
+  ASSERT_GT(direct.events().size(), 0u);
+  ASSERT_EQ(teed_a.events().size(), direct.events().size());
+  ASSERT_EQ(teed_b.events().size(), direct.events().size());
+  EXPECT_EQ(run.total_probes, direct.events().size());
+  for (std::size_t i = 0; i < direct.events().size(); ++i) {
+    EXPECT_EQ(teed_a.events()[i].dst.value(),
+              direct.events()[i].dst.value());
+    EXPECT_EQ(teed_b.events()[i].time, direct.events()[i].time);
+  }
+}
+
+// ---------------------------------------------------------------------
+// Quarantine capture hook.
+// ---------------------------------------------------------------------
+
+TEST(QuarantineCaptureTest, CaptureSeesEveryEmittedProbe) {
+  telescope::Telescope sensors;
+  sensors.AddSensor("Q/16", Prefix{Ipv4{100, 64, 0, 0}, 16});
+  sensors.Build();
+
+  worms::UniformWorm worm;
+  sim::Host host;
+  host.address = Ipv4{141, 20, 30, 40};
+  const auto scanner = worm.MakeScanner(host, 0x1234);
+
+  sim::RecordingObserver capture;
+  const core::QuarantineResult result = core::RunQuarantine(
+      *scanner, host.address, 5000, sensors, &capture);
+
+  EXPECT_EQ(result.probes_emitted, 5000u);
+  ASSERT_EQ(capture.events().size(), 5000u);
+  // Synthetic stream contract: time = probe index, no population host,
+  // everything delivered (the honeypot uplink is unconstrained).
+  EXPECT_EQ(capture.events()[0].time, 0.0);
+  EXPECT_EQ(capture.events()[4999].time, 4999.0);
+  for (const sim::ProbeEvent& event : capture.events()) {
+    EXPECT_EQ(event.src_host, sim::kInvalidHost);
+    EXPECT_EQ(event.src_address.value(), host.address.value());
+    EXPECT_EQ(event.delivery, topology::Delivery::kDelivered);
+  }
+
+  // The capture rides along without changing sensor accounting: a second
+  // identical run with no capture agrees.
+  telescope::Telescope sensors_again;
+  sensors_again.AddSensor("Q/16", Prefix{Ipv4{100, 64, 0, 0}, 16});
+  sensors_again.Build();
+  const auto scanner_again = worm.MakeScanner(host, 0x1234);
+  const core::QuarantineResult again = core::RunQuarantine(
+      *scanner_again, host.address, 5000, sensors_again, nullptr);
+  EXPECT_EQ(again.probes_on_sensors, result.probes_on_sensors);
+  EXPECT_EQ(sensors_again.sensor(0).probe_count(),
+            sensors.sensor(0).probe_count());
+}
+
+}  // namespace
+}  // namespace hotspots

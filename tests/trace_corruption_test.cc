@@ -1,0 +1,251 @@
+// Fail-closed behaviour of the trace reader: every class of corruption —
+// truncation, bit flips, header damage, structural lies, trailing
+// garbage — must raise TraceError with a diagnostic naming the problem,
+// and must never deliver an unverified batch to an observer.
+//
+// Each case starts from a freshly written valid trace and applies one
+// surgical mutation, so a failure pinpoints the validation that regressed.
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "sim/observer.h"
+#include "trace/crc32.h"
+#include "trace/format.h"
+#include "trace/reader.h"
+#include "trace/replay.h"
+#include "trace/writer.h"
+
+namespace hotspots::trace {
+namespace {
+
+void StoreU32At(std::vector<std::uint8_t>& bytes, std::size_t offset,
+                std::uint32_t value) {
+  bytes[offset] = static_cast<std::uint8_t>(value);
+  bytes[offset + 1] = static_cast<std::uint8_t>(value >> 8);
+  bytes[offset + 2] = static_cast<std::uint8_t>(value >> 16);
+  bytes[offset + 3] = static_cast<std::uint8_t>(value >> 24);
+}
+
+class TraceCorruptionTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = ::testing::TempDir() + "/corruption.trace";
+    // Small blocks → several blocks plus a trailer in a few KB.
+    TraceWriterOptions options;
+    options.block_records = 64;
+    options.scenario_fingerprint = 0xC0FFEE;
+    options.seed = 0x5EED;
+    TraceWriter writer{path_, options};
+    writer.OnAttach();
+    std::uint64_t x = 9;
+    for (int i = 0; i < 300; ++i) {
+      x = x * 6364136223846793005ull + 1442695040888963407ull;
+      writer.OnProbe(sim::ProbeEvent{
+          .time = 0.01 * i,
+          .src_host = static_cast<sim::HostId>(x % 64),
+          .src_address = net::Ipv4{static_cast<std::uint32_t>(x >> 13)},
+          .dst = net::Ipv4{static_cast<std::uint32_t>(x >> 27)},
+          .delivery = static_cast<topology::Delivery>(x % 6)});
+    }
+    writer.Finish();
+    records_ = writer.records_written();
+
+    std::ifstream in{path_, std::ios::binary};
+    bytes_.assign(std::istreambuf_iterator<char>(in),
+                  std::istreambuf_iterator<char>());
+    ASSERT_GT(bytes_.size(),
+              kHeaderBytes + kBlockFrameBytes + kTrailerPayloadBytes);
+  }
+
+  void TearDown() override {
+    std::remove(path_.c_str());
+    std::remove(MutantPath().c_str());
+  }
+
+  std::string MutantPath() const {
+    return ::testing::TempDir() + "/corruption_mutant.trace";
+  }
+
+  /// Writes `mutant` to disk and reads it to exhaustion, expecting a
+  /// TraceError whose message mentions `expected_substring`.  Records
+  /// delivered before the failure must all come from CRC-verified blocks.
+  void ExpectFailure(const std::vector<std::uint8_t>& mutant,
+                     const std::string& expected_substring) {
+    const std::string path = MutantPath();
+    {
+      std::ofstream out{path, std::ios::binary | std::ios::trunc};
+      out.write(reinterpret_cast<const char*>(mutant.data()),
+                static_cast<std::streamsize>(mutant.size()));
+    }
+    try {
+      TraceReader reader{path};
+      while (!reader.NextBatch().empty()) {
+      }
+      FAIL() << "corrupt trace accepted; expected error mentioning \""
+             << expected_substring << "\"";
+    } catch (const TraceError& error) {
+      EXPECT_NE(std::string(error.what()).find(expected_substring),
+                std::string::npos)
+          << "actual message: " << error.what();
+      // Diagnostics carry the file path so batch jobs can attribute
+      // failures to the offending file.
+      EXPECT_NE(std::string(error.what()).find(path), std::string::npos);
+    }
+  }
+
+  std::size_t TrailerOffset() const {
+    return bytes_.size() - kBlockFrameBytes - kTrailerPayloadBytes;
+  }
+
+  std::string path_;
+  std::vector<std::uint8_t> bytes_;
+  std::uint64_t records_ = 0;
+};
+
+TEST_F(TraceCorruptionTest, PristineFileReads) {
+  TraceReader reader{path_};
+  std::uint64_t seen = 0;
+  for (auto batch = reader.NextBatch(); !batch.empty();
+       batch = reader.NextBatch()) {
+    seen += batch.size();
+  }
+  EXPECT_EQ(seen, records_);
+  EXPECT_TRUE(reader.at_end());
+  EXPECT_TRUE(reader.NextBatch().empty());  // Stays at end.
+}
+
+TEST_F(TraceCorruptionTest, EmptyFile) {
+  ExpectFailure({}, "truncated file header");
+}
+
+TEST_F(TraceCorruptionTest, HeaderOnlyFileIsTruncated) {
+  std::vector<std::uint8_t> mutant(bytes_.begin(),
+                                   bytes_.begin() + kHeaderBytes);
+  ExpectFailure(mutant, "truncated block frame");
+}
+
+TEST_F(TraceCorruptionTest, BadMagic) {
+  auto mutant = bytes_;
+  mutant[0] ^= 0xFF;
+  ExpectFailure(mutant, "bad magic");
+}
+
+TEST_F(TraceCorruptionTest, UnsupportedVersion) {
+  auto mutant = bytes_;
+  StoreU32At(mutant, 8, kFormatVersion + 1);
+  ExpectFailure(mutant, "unsupported format version");
+}
+
+TEST_F(TraceCorruptionTest, WrongDeclaredHeaderSize) {
+  auto mutant = bytes_;
+  StoreU32At(mutant, 12, kHeaderBytes + 8);
+  ExpectFailure(mutant, "declared header size");
+}
+
+TEST_F(TraceCorruptionTest, SampledFlagWithZeroRate) {
+  auto mutant = bytes_;
+  // flags := sampled, sample_rate bits := 0.0 — an impossible pairing.
+  StoreU32At(mutant, 32, static_cast<std::uint32_t>(kFlagSampled));
+  for (std::size_t i = 40; i < 48; ++i) mutant[i] = 0;
+  ExpectFailure(mutant, "sample rate outside (0,1]");
+}
+
+TEST_F(TraceCorruptionTest, PayloadBitFlipFailsCrc) {
+  auto mutant = bytes_;
+  // One bit inside the first block's payload.
+  mutant[kHeaderBytes + kBlockFrameBytes + 5] ^= 0x10;
+  ExpectFailure(mutant, "CRC mismatch");
+}
+
+TEST_F(TraceCorruptionTest, FrameCrcFieldFlipFailsCrc) {
+  auto mutant = bytes_;
+  mutant[kHeaderBytes + 8] ^= 0x01;  // Stored CRC of the first block.
+  ExpectFailure(mutant, "CRC mismatch");
+}
+
+TEST_F(TraceCorruptionTest, AbsurdBlockRecordCount) {
+  auto mutant = bytes_;
+  StoreU32At(mutant, kHeaderBytes, kMaxBlockRecords + 1);
+  ExpectFailure(mutant, "block record count");
+}
+
+TEST_F(TraceCorruptionTest, ImpossiblePayloadSizeForRecordCount) {
+  auto mutant = bytes_;
+  // 64 records cannot need more than 64 × kMaxRecordBytes of payload.
+  StoreU32At(mutant, kHeaderBytes + 4, 64 * kMaxRecordBytes + 1);
+  ExpectFailure(mutant, "impossible for");
+}
+
+TEST_F(TraceCorruptionTest, OversizedDeclaredPayload) {
+  auto mutant = bytes_;
+  StoreU32At(mutant, kHeaderBytes,
+             kMaxBlockRecords);  // Count stays legal...
+  StoreU32At(mutant, kHeaderBytes + 4,
+             kMaxBlockPayloadBytes + 1);  // ...payload ceiling does not.
+  ExpectFailure(mutant, "exceeds the format ceiling");
+}
+
+TEST_F(TraceCorruptionTest, TruncatedMidPayload) {
+  std::vector<std::uint8_t> mutant(
+      bytes_.begin(),
+      bytes_.begin() + kHeaderBytes + kBlockFrameBytes + 10);
+  ExpectFailure(mutant, "truncated block payload");
+}
+
+TEST_F(TraceCorruptionTest, TruncatedAtBlockBoundary) {
+  // Cut exactly before the trailer: framing is intact, trailer missing.
+  std::vector<std::uint8_t> mutant(bytes_.begin(),
+                                   bytes_.begin() + TrailerOffset());
+  ExpectFailure(mutant, "truncated block frame");
+}
+
+TEST_F(TraceCorruptionTest, TruncatedTrailerPayload) {
+  std::vector<std::uint8_t> mutant(bytes_.begin(), bytes_.end() - 4);
+  ExpectFailure(mutant, "truncated trailer payload");
+}
+
+TEST_F(TraceCorruptionTest, TrailerRecordCountLie) {
+  auto mutant = bytes_;
+  // Rewrite the trailer's record tally and recompute its CRC, so the lie
+  // survives the checksum and must be caught by cross-checking.
+  const std::size_t payload = TrailerOffset() + kBlockFrameBytes;
+  StoreU32At(mutant, payload, static_cast<std::uint32_t>(records_ + 1));
+  StoreU32At(mutant, TrailerOffset() + 8,
+             Crc32(mutant.data() + payload, kTrailerPayloadBytes));
+  ExpectFailure(mutant, "trailer declares");
+}
+
+TEST_F(TraceCorruptionTest, TrailingGarbageAfterTrailer) {
+  auto mutant = bytes_;
+  mutant.push_back(0xAB);
+  ExpectFailure(mutant, "trailing bytes after the trailer");
+}
+
+TEST_F(TraceCorruptionTest, ReplayOfCorruptFileDeliversNoBadBatch) {
+  auto mutant = bytes_;
+  mutant[kHeaderBytes + kBlockFrameBytes + 3] ^= 0x80;  // First block.
+  const std::string path = MutantPath();
+  {
+    std::ofstream out{path, std::ios::binary | std::ios::trunc};
+    out.write(reinterpret_cast<const char*>(mutant.data()),
+              static_cast<std::streamsize>(mutant.size()));
+  }
+  sim::RecordingObserver observer;
+  EXPECT_THROW(ReplayFile(path, observer), TraceError);
+  // The corrupt block was the first one: the observer saw nothing.
+  EXPECT_TRUE(observer.events().empty());
+}
+
+TEST_F(TraceCorruptionTest, MissingFile) {
+  EXPECT_THROW(TraceReader{std::string{"/nonexistent/no.trace"}},
+               TraceError);
+}
+
+}  // namespace
+}  // namespace hotspots::trace

@@ -1,0 +1,197 @@
+// Wire-level invariants of `hotspots.trace.v1`: varint/zigzag encoding
+// (including rejection of overlong and truncated input), the CRC-32
+// check vector and chaining property, header layout constants, and the
+// shared FNV-1a output fingerprint.
+#include "trace/format.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <limits>
+#include <vector>
+
+#include "trace/crc32.h"
+#include "trace/varint.h"
+
+namespace hotspots::trace {
+namespace {
+
+// ---------------------------------------------------------------------
+// Varint.
+// ---------------------------------------------------------------------
+
+std::vector<std::uint8_t> Encode(std::uint64_t value) {
+  std::uint8_t buffer[kMaxVarintBytes];
+  std::uint8_t* end = EncodeVarint(buffer, value);
+  return {buffer, end};
+}
+
+TEST(VarintTest, RoundTripBoundaries) {
+  const std::uint64_t cases[] = {0,
+                                 1,
+                                 127,
+                                 128,
+                                 16383,
+                                 16384,
+                                 (1ull << 32) - 1,
+                                 1ull << 32,
+                                 (1ull << 56) - 1,
+                                 1ull << 63,
+                                 std::numeric_limits<std::uint64_t>::max()};
+  for (const std::uint64_t value : cases) {
+    const auto bytes = Encode(value);
+    const std::uint8_t* cursor = bytes.data();
+    std::uint64_t decoded = 0;
+    ASSERT_TRUE(
+        DecodeVarint(&cursor, bytes.data() + bytes.size(), &decoded))
+        << value;
+    EXPECT_EQ(decoded, value);
+    EXPECT_EQ(cursor, bytes.data() + bytes.size());
+  }
+}
+
+TEST(VarintTest, EncodedSizes) {
+  EXPECT_EQ(Encode(0).size(), 1u);
+  EXPECT_EQ(Encode(127).size(), 1u);
+  EXPECT_EQ(Encode(128).size(), 2u);
+  EXPECT_EQ(Encode((1ull << 35) - 1).size(), 5u);
+  EXPECT_EQ(Encode(std::numeric_limits<std::uint64_t>::max()).size(), 10u);
+  EXPECT_LE(Encode(std::numeric_limits<std::uint64_t>::max()).size(),
+            static_cast<std::size_t>(kMaxVarintBytes));
+}
+
+TEST(VarintTest, RejectsTruncatedInput) {
+  const std::uint8_t truncated[] = {0x80, 0x80};  // Continuation, no end.
+  const std::uint8_t* cursor = truncated;
+  std::uint64_t value = 0;
+  EXPECT_FALSE(DecodeVarint(&cursor, truncated + sizeof truncated, &value));
+}
+
+TEST(VarintTest, RejectsOverlongEncoding) {
+  // Eleven continuation bytes: more than any 64-bit value needs.
+  const std::uint8_t overlong[] = {0x80, 0x80, 0x80, 0x80, 0x80, 0x80,
+                                   0x80, 0x80, 0x80, 0x80, 0x00};
+  const std::uint8_t* cursor = overlong;
+  std::uint64_t value = 0;
+  EXPECT_FALSE(DecodeVarint(&cursor, overlong + sizeof overlong, &value));
+}
+
+TEST(VarintTest, RejectsNonCanonicalTenthByte) {
+  // Ten bytes whose final byte carries bits beyond the 64th.
+  const std::uint8_t bad[] = {0xFF, 0xFF, 0xFF, 0xFF, 0xFF,
+                              0xFF, 0xFF, 0xFF, 0xFF, 0x02};
+  const std::uint8_t* cursor = bad;
+  std::uint64_t value = 0;
+  EXPECT_FALSE(DecodeVarint(&cursor, bad + sizeof bad, &value));
+}
+
+TEST(VarintTest, EmptyInputFails) {
+  const std::uint8_t* cursor = nullptr;
+  std::uint64_t value = 0;
+  EXPECT_FALSE(DecodeVarint(&cursor, nullptr, &value));
+}
+
+// ---------------------------------------------------------------------
+// ZigZag.
+// ---------------------------------------------------------------------
+
+TEST(ZigZagTest, MapsSmallMagnitudesToSmallCodes) {
+  EXPECT_EQ(ZigZagEncode(0), 0u);
+  EXPECT_EQ(ZigZagEncode(-1), 1u);
+  EXPECT_EQ(ZigZagEncode(1), 2u);
+  EXPECT_EQ(ZigZagEncode(-2), 3u);
+  EXPECT_EQ(ZigZagEncode(2), 4u);
+}
+
+TEST(ZigZagTest, RoundTripExtremes) {
+  const std::int64_t cases[] = {0, 1, -1, 1000, -1000,
+                                std::numeric_limits<std::int64_t>::max(),
+                                std::numeric_limits<std::int64_t>::min()};
+  for (const std::int64_t value : cases) {
+    EXPECT_EQ(ZigZagDecode(ZigZagEncode(value)), value) << value;
+  }
+}
+
+// ---------------------------------------------------------------------
+// CRC-32.
+// ---------------------------------------------------------------------
+
+TEST(Crc32Test, CheckVector) {
+  // The canonical IEEE 802.3 check value.
+  const char* input = "123456789";
+  EXPECT_EQ(Crc32(input, 9), 0xCBF43926u);
+}
+
+TEST(Crc32Test, EmptyIsZero) { EXPECT_EQ(Crc32(nullptr, 0), 0u); }
+
+TEST(Crc32Test, ChainingMatchesOneShot) {
+  std::uint8_t data[257];
+  for (std::size_t i = 0; i < sizeof data; ++i) {
+    data[i] = static_cast<std::uint8_t>(i * 37 + 11);
+  }
+  const std::uint32_t whole = Crc32(data, sizeof data);
+  for (const std::size_t split : {std::size_t{1}, std::size_t{7},
+                                  std::size_t{64}, std::size_t{256}}) {
+    const std::uint32_t part = Crc32(data, split);
+    EXPECT_EQ(Crc32(data + split, sizeof data - split, part), whole)
+        << "split at " << split;
+  }
+}
+
+TEST(Crc32Test, DetectsSingleBitFlip) {
+  std::uint8_t data[64] = {};
+  const std::uint32_t clean = Crc32(data, sizeof data);
+  data[17] ^= 0x04;
+  EXPECT_NE(Crc32(data, sizeof data), clean);
+}
+
+// ---------------------------------------------------------------------
+// Header / format constants.
+// ---------------------------------------------------------------------
+
+TEST(FormatTest, LayoutConstants) {
+  EXPECT_EQ(kHeaderBytes, 48u);
+  EXPECT_EQ(kBlockFrameBytes, 12u);
+  EXPECT_EQ(kTrailerPayloadBytes, 24u);
+  EXPECT_EQ(kFormatVersion, 1u);
+  EXPECT_EQ(std::memcmp(kMagic, "HSPTRACE", 8), 0);
+  // 4 varints: 10 (time bits) + 5 + 5 + 5 (35-bit dst|delivery).
+  EXPECT_EQ(kMaxRecordBytes, 25u);
+  EXPECT_LE(kDefaultBlockRecords, kMaxBlockRecords);
+  EXPECT_EQ(kMaxBlockPayloadBytes, kMaxBlockRecords * 25u);
+}
+
+TEST(FormatTest, HeaderFlagAccessors) {
+  TraceHeader header;
+  EXPECT_FALSE(header.sampled());
+  header.flags = kFlagSampled;
+  EXPECT_TRUE(header.sampled());
+}
+
+// ---------------------------------------------------------------------
+// Shared output fingerprint.
+// ---------------------------------------------------------------------
+
+TEST(FingerprintTest, FnvOffsetBasisAndDeterminism) {
+  Fingerprint empty;
+  EXPECT_EQ(empty.hash, 0xcbf29ce484222325ull);
+
+  Fingerprint a, b;
+  a.Mix(42);
+  a.MixDouble(1.5);
+  a.MixString("fig1");
+  b.Mix(42);
+  b.MixDouble(1.5);
+  b.MixString("fig1");
+  EXPECT_EQ(a.hash, b.hash);
+  EXPECT_NE(a.hash, empty.hash);
+
+  Fingerprint c;
+  c.Mix(43);  // One-bit input change moves the hash.
+  Fingerprint d;
+  d.Mix(42);
+  EXPECT_NE(c.hash, d.hash);
+}
+
+}  // namespace
+}  // namespace hotspots::trace

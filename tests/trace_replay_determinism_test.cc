@@ -1,0 +1,206 @@
+// The PR's acceptance criterion, as a test: replay a captured fig1-style
+// Blaster outbreak through the IMS telescope and the TRW gateway and get
+// bit-identical per-sensor counters, alert times, detector verdicts, and
+// stream fingerprint to the live engine run that produced the file.
+//
+// The scenario mirrors bench/trace_capture.h: a clustered population that
+// avoids the IMS darknet blocks, plus a few hosts seeded in the /24
+// directly below each sensor so Blaster's sequential local sweeps walk
+// upward into the darknet — the adjacency mechanism behind the paper's
+// hotspots — and the compared counters are non-trivial.
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "core/scenario.h"
+#include "detect/probe_stream.h"
+#include "net/interval_set.h"
+#include "sim/engine.h"
+#include "telescope/ims.h"
+#include "topology/reachability.h"
+#include "trace/format.h"
+#include "trace/reader.h"
+#include "trace/replay.h"
+#include "trace/writer.h"
+#include "worms/blaster.h"
+
+namespace hotspots {
+namespace {
+
+/// Folds every event field into a trace::Fingerprint — the run identity
+/// the live and replayed streams must share.
+class FingerprintObserver final : public sim::ProbeObserver {
+ public:
+  void OnProbe(const sim::ProbeEvent& event) override {
+    std::uint64_t time_bits;
+    std::memcpy(&time_bits, &event.time, sizeof time_bits);
+    fingerprint_.Mix(time_bits);
+    fingerprint_.Mix(event.src_host);
+    fingerprint_.Mix(event.src_address.value());
+    fingerprint_.Mix(event.dst.value());
+    fingerprint_.Mix(static_cast<std::uint64_t>(event.delivery));
+  }
+
+  [[nodiscard]] std::uint64_t hash() const { return fingerprint_.hash; }
+
+ private:
+  trace::Fingerprint fingerprint_;
+};
+
+class ReplayDeterminismTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    core::ScenarioBuilder builder;
+    for (const auto& block : telescope::ImsBlocks()) {
+      builder.Avoid(block.block);
+    }
+    core::ClusteredPopulationConfig population_config;
+    population_config.total_hosts = 700;
+    population_config.slash8_clusters = 20;
+    population_config.nonempty_slash16s = 100;
+    population_config.seed = kSeed;
+    scenario_ = builder.BuildClustered(population_config);
+
+    // Sensor-adjacent hosts: local sequential sweeps reach the darknet.
+    for (const auto& block : telescope::ImsBlocks()) {
+      const std::uint32_t below = block.block.first().value() - 256;
+      for (std::uint32_t i = 0; i < 4; ++i) {
+        const net::Ipv4 address{below + 10 + i * 40};
+        if (scenario_.population.FindPublic(address) == sim::kInvalidHost) {
+          scenario_.population.AddHost(address);
+        }
+      }
+    }
+
+    // TRW's live space: everything the population answers on.
+    for (const sim::Host& host : scenario_.population.hosts()) {
+      live_space_.Add(host.address.value(), host.address.value());
+    }
+    live_space_.Build();
+  }
+
+  sim::EngineConfig EngineConfigForRun() const {
+    sim::EngineConfig config;
+    config.scan_rate = 10.0;
+    config.end_time = 60.0;
+    config.stop_at_infected_fraction = 2.0;  // Observational run.
+    config.seed = kSeed;
+    return config;
+  }
+
+  telescope::Telescope MakeScope() const {
+    telescope::SensorOptions options;
+    options.alert_threshold = 100;
+    telescope::Telescope scope = telescope::MakeImsTelescope(options);
+    scope.SetThreatRequiresHandshake(worm_.requires_handshake());
+    return scope;
+  }
+
+  detect::TrwGatewayObserver MakeGateway() const {
+    return detect::TrwGatewayObserver{live_space_, {}};
+  }
+
+  static constexpr std::uint64_t kSeed = 0xF161;
+  core::Scenario scenario_;
+  net::IntervalSet live_space_;
+  worms::BlasterWorm worm_{worms::BlasterWorm::Paper()};
+};
+
+TEST_F(ReplayDeterminismTest, CapturedBlasterRunReplaysBitIdentical) {
+  const std::string path = ::testing::TempDir() + "/fig1_blaster.trace";
+
+  // ---- Live run: telescope + TRW + fingerprint + writer, one tee. ----
+  const topology::Reachability reachability{nullptr, &scenario_.nats,
+                                            nullptr, 0.0};
+  sim::Engine engine{scenario_.population, worm_, reachability,
+                     &scenario_.nats, EngineConfigForRun()};
+  // Observational run: everyone scans, so the sensor-adjacent hosts'
+  // local sweeps are guaranteed to be in the stream.
+  for (sim::HostId id = 0; id < scenario_.population.size(); ++id) {
+    engine.SeedInfection(id);
+  }
+
+  telescope::Telescope live_scope = MakeScope();
+  detect::TrwGatewayObserver live_trw = MakeGateway();
+  FingerprintObserver live_fingerprint;
+  trace::TraceWriterOptions writer_options;
+  writer_options.seed = kSeed;
+  writer_options.scenario_fingerprint = 0xF161F161;
+  trace::TraceWriter writer{path, writer_options};
+  const sim::RunResult run =
+      engine.Run({&live_scope, &live_trw, &live_fingerprint, &writer});
+  writer.Finish();
+
+  ASSERT_GT(run.total_probes, 1000u);
+  ASSERT_EQ(writer.records_written(), run.total_probes);
+  // The scenario must actually light up sensors, or the equalities below
+  // would be trivial.
+  std::size_t live_sensors_hit = 0;
+  for (std::size_t i = 0; i < live_scope.size(); ++i) {
+    if (live_scope.sensor(static_cast<int>(i)).probe_count() > 0) {
+      ++live_sensors_hit;
+    }
+  }
+  ASSERT_GT(live_sensors_hit, 0u)
+      << "no IMS sensor saw a probe — scenario regressed";
+  ASSERT_GT(live_trw.probes_fed(), 0u);
+
+  // ---- Replay the file into fresh instances of the same observers. ----
+  telescope::Telescope replay_scope = MakeScope();
+  detect::TrwGatewayObserver replay_trw = MakeGateway();
+  FingerprintObserver replay_fingerprint;
+  sim::TeeObserver tee;
+  tee.Add(&replay_scope);
+  tee.Add(&replay_trw);
+  tee.Add(&replay_fingerprint);
+  const trace::ReplaySummary summary = trace::ReplayFile(path, tee);
+
+  // Stream identity.
+  EXPECT_EQ(summary.records, run.total_probes);
+  EXPECT_EQ(summary.delivery_counts, run.delivery_counts);
+  EXPECT_EQ(replay_fingerprint.hash(), live_fingerprint.hash());
+
+  // Per-sensor counters and alert times, bit for bit.
+  ASSERT_EQ(replay_scope.size(), live_scope.size());
+  for (std::size_t i = 0; i < live_scope.size(); ++i) {
+    const auto& expected = live_scope.sensor(static_cast<int>(i));
+    const auto& actual = replay_scope.sensor(static_cast<int>(i));
+    EXPECT_EQ(actual.probe_count(), expected.probe_count())
+        << expected.label();
+    EXPECT_EQ(actual.UniqueSourceCount(), expected.UniqueSourceCount())
+        << expected.label();
+    ASSERT_EQ(actual.alerted(), expected.alerted()) << expected.label();
+    if (expected.alerted()) {
+      // Bitwise: alert time came out of the same double in the stream.
+      EXPECT_EQ(*actual.alert_time(), *expected.alert_time())
+          << expected.label();
+    }
+  }
+  EXPECT_EQ(replay_scope.AlertedCount(), live_scope.AlertedCount());
+
+  // TRW gateway: same probes fed, same verdict, same alert time.
+  EXPECT_EQ(replay_trw.probes_seen(), live_trw.probes_seen());
+  EXPECT_EQ(replay_trw.probes_fed(), live_trw.probes_fed());
+  ASSERT_EQ(replay_trw.first_alert_time().has_value(),
+            live_trw.first_alert_time().has_value());
+  if (live_trw.first_alert_time().has_value()) {
+    EXPECT_EQ(*replay_trw.first_alert_time(), *live_trw.first_alert_time());
+  }
+
+  // A second replay of the same file is just as deterministic.
+  FingerprintObserver again;
+  trace::ReplayFile(path, again);
+  EXPECT_EQ(again.hash(), live_fingerprint.hash());
+
+  // Header provenance survived the round trip.
+  trace::TraceReader reader{path};
+  EXPECT_EQ(reader.header().seed, kSeed);
+  EXPECT_EQ(reader.header().scenario_fingerprint, 0xF161F161u);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace hotspots

@@ -1,0 +1,358 @@
+// Capture → read → replay round-trips for every worm family.
+//
+// For each family: one live engine run feeds a RecordingObserver, a
+// TraceWriter, and a telescope through the tee attach path.  The file
+// must decode to exactly the recorded stream (every field of every
+// ProbeEvent, in order), and replaying it through a fresh telescope must
+// reproduce the live sensors' probe counts, unique-source counts, and
+// alert times bit for bit.  Also covers: pipelined vs synchronous writers
+// emitting identical bytes, and the sampling knob keeping a deterministic
+// subsequence of the full stream.
+#include <algorithm>
+#include <array>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "sim/engine.h"
+#include "sim/observer.h"
+#include "telescope/telescope.h"
+#include "trace/reader.h"
+#include "trace/replay.h"
+#include "trace/writer.h"
+#include "worms/blaster.h"
+#include "worms/codered1.h"
+#include "worms/codered2.h"
+#include "worms/hitlist.h"
+#include "worms/localpref.h"
+#include "worms/permutation.h"
+#include "worms/slammer.h"
+#include "worms/uniform.h"
+#include "worms/witty.h"
+
+namespace hotspots {
+namespace {
+
+using net::Ipv4;
+using net::Prefix;
+
+struct WormCase {
+  const char* label;
+  std::function<std::unique_ptr<sim::Worm>()> make;
+};
+
+void PrintTo(const WormCase& param, std::ostream* os) { *os << param.label; }
+
+std::string TempTracePath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name + ".trace";
+}
+
+std::vector<char> FileBytes(const std::string& path) {
+  std::ifstream in{path, std::ios::binary};
+  return {std::istreambuf_iterator<char>(in),
+          std::istreambuf_iterator<char>()};
+}
+
+bool SameEvent(const sim::ProbeEvent& a, const sim::ProbeEvent& b) {
+  return a.time == b.time && a.src_host == b.src_host &&
+         a.src_address.value() == b.src_address.value() &&
+         a.dst.value() == b.dst.value() && a.delivery == b.delivery;
+}
+
+telescope::Telescope MakeScope(bool requires_handshake) {
+  telescope::SensorOptions options;
+  options.alert_threshold = 25;
+  telescope::Telescope scope;
+  scope.AddSensor("Z/8", Prefix{Ipv4{96, 0, 0, 0}, 8}, options);
+  scope.AddSensor("D/16", Prefix{Ipv4{61, 30, 0, 0}, 16}, options);
+  scope.AddSensor("N/24", Prefix{Ipv4{60, 5, 255, 0}, 24}, options);
+  scope.Build();
+  scope.SetThreatRequiresHandshake(requires_handshake);
+  return scope;
+}
+
+class TraceRoundTripTest : public ::testing::TestWithParam<WormCase> {
+ protected:
+  /// Dense population in 60.5.0.0/17 (the N/24 sensor sits in the top
+  /// half of the /16, so local sweeps can reach it but nobody owns it).
+  void BuildPopulation() {
+    for (int i = 0; i < 300; ++i) {
+      population_.AddHost(Ipv4{60, 5, static_cast<std::uint8_t>(i / 250),
+                               static_cast<std::uint8_t>(1 + i % 250)});
+    }
+    population_.Build(nullptr);
+  }
+
+  sim::EngineConfig Config() const {
+    sim::EngineConfig config;
+    config.scan_rate = 5.0;
+    config.end_time = 40.0;
+    config.seed = 0x7E57;
+    config.max_probes = 100'000;
+    config.stop_at_infected_fraction = 2.0;
+    return config;
+  }
+
+  sim::Population population_;
+  topology::Reachability reachability_{nullptr, nullptr, nullptr, 0.0};
+};
+
+TEST_P(TraceRoundTripTest, CaptureReadReplayBitIdentical) {
+  BuildPopulation();
+  const auto worm = GetParam().make();
+  const std::string path =
+      TempTracePath(std::string("roundtrip_") + GetParam().label);
+
+  sim::Engine engine{population_, *worm, reachability_, nullptr, Config()};
+  engine.SeedInfection(0);
+
+  sim::RecordingObserver live;
+  telescope::Telescope live_scope = MakeScope(worm->requires_handshake());
+  trace::TraceWriterOptions writer_options;
+  writer_options.scenario_fingerprint = 0xAB5012;
+  writer_options.seed = Config().seed;
+  trace::TraceWriter writer{path, writer_options};
+  const sim::RunResult run =
+      engine.Run({&live, &live_scope, &writer});
+  writer.Finish();
+
+  ASSERT_GT(live.events().size(), 100u) << "run emitted too few probes";
+  EXPECT_EQ(writer.records_written(), live.events().size());
+  EXPECT_EQ(writer.records_written(), run.total_probes);
+
+  // Read back: stream equality, field by field, in order.
+  trace::TraceReader reader{path};
+  EXPECT_EQ(reader.header().seed, Config().seed);
+  EXPECT_EQ(reader.header().scenario_fingerprint, 0xAB5012u);
+  EXPECT_FALSE(reader.header().sampled());
+  std::size_t index = 0;
+  for (auto batch = reader.NextBatch(); !batch.empty();
+       batch = reader.NextBatch()) {
+    for (const sim::ProbeEvent& event : batch) {
+      ASSERT_LT(index, live.events().size());
+      ASSERT_TRUE(SameEvent(event, live.events()[index]))
+          << GetParam().label << " record " << index;
+      ++index;
+    }
+  }
+  EXPECT_EQ(index, live.events().size());
+  EXPECT_TRUE(reader.at_end());
+
+  // Replay into a fresh telescope: live counters reproduced exactly.
+  telescope::Telescope replay_scope = MakeScope(worm->requires_handshake());
+  const trace::ReplaySummary summary =
+      trace::ReplayFile(path, replay_scope);
+  EXPECT_EQ(summary.records, live.events().size());
+  ASSERT_EQ(replay_scope.size(), live_scope.size());
+  for (std::size_t i = 0; i < live_scope.size(); ++i) {
+    const auto& expected = live_scope.sensor(static_cast<int>(i));
+    const auto& actual = replay_scope.sensor(static_cast<int>(i));
+    EXPECT_EQ(actual.probe_count(), expected.probe_count())
+        << expected.label();
+    EXPECT_EQ(actual.UniqueSourceCount(), expected.UniqueSourceCount())
+        << expected.label();
+    ASSERT_EQ(actual.alerted(), expected.alerted()) << expected.label();
+    if (expected.alerted()) {
+      EXPECT_EQ(*actual.alert_time(), *expected.alert_time())
+          << expected.label();
+    }
+  }
+
+  // The replay summary's delivery tally matches the recorded stream.
+  std::array<std::uint64_t, 6> expected_counts{};
+  for (const sim::ProbeEvent& event : live.events()) {
+    ++expected_counts[static_cast<std::size_t>(event.delivery)];
+  }
+  EXPECT_EQ(summary.delivery_counts, expected_counts);
+  std::remove(path.c_str());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllWorms, TraceRoundTripTest,
+    ::testing::Values(
+        WormCase{"uniform",
+                 [] {
+                   return std::unique_ptr<sim::Worm>(new worms::UniformWorm);
+                 }},
+        WormCase{"blaster",
+                 [] {
+                   return std::unique_ptr<sim::Worm>(new worms::BlasterWorm(
+                       worms::BlasterWorm::Paper()));
+                 }},
+        WormCase{"slammer",
+                 [] {
+                   return std::unique_ptr<sim::Worm>(new worms::SlammerWorm);
+                 }},
+        WormCase{"codered1",
+                 [] {
+                   return std::unique_ptr<sim::Worm>(
+                       new worms::CodeRed1Worm(true));
+                 }},
+        WormCase{"codered2",
+                 [] {
+                   return std::unique_ptr<sim::Worm>(new worms::CodeRed2Worm);
+                 }},
+        WormCase{"witty",
+                 [] {
+                   return std::unique_ptr<sim::Worm>(new worms::WittyWorm);
+                 }},
+        WormCase{"hitlist",
+                 [] {
+                   return std::unique_ptr<sim::Worm>(new worms::HitListWorm(
+                       {Prefix{Ipv4{60, 5, 0, 0}, 17},
+                        Prefix{Ipv4{96, 10, 0, 0}, 16}}));
+                 }},
+        WormCase{"localpref",
+                 [] {
+                   return std::unique_ptr<sim::Worm>(
+                       new worms::LocalPreferenceWorm(
+                           worms::LocalPreferenceConfig{0.3, 0.3, 0.1}));
+                 }},
+        WormCase{"permutation",
+                 [] {
+                   return std::unique_ptr<sim::Worm>(
+                       new worms::PermutationWorm(0xFEED));
+                 }}),
+    [](const ::testing::TestParamInfo<WormCase>& info) {
+      return info.param.label;
+    });
+
+// ---------------------------------------------------------------------
+// Pipelined and synchronous writers produce identical bytes.
+// ---------------------------------------------------------------------
+
+TEST(TraceWriterModesTest, PipelinedMatchesSynchronousByteForByte) {
+  std::vector<sim::ProbeEvent> events;
+  std::uint64_t x = 77;
+  for (int i = 0; i < 10'000; ++i) {
+    x = x * 6364136223846793005ull + 1442695040888963407ull;
+    events.push_back(sim::ProbeEvent{
+        .time = 0.1 * static_cast<double>(i / 100),
+        .src_host = static_cast<sim::HostId>(x % 500),
+        .src_address = Ipv4{static_cast<std::uint32_t>(x >> 16)},
+        .dst = Ipv4{static_cast<std::uint32_t>(x >> 29)},
+        .delivery = static_cast<topology::Delivery>(x % 6)});
+  }
+
+  const auto write_with = [&](trace::PipelineMode mode,
+                              const std::string& path) {
+    trace::TraceWriterOptions options;
+    options.pipeline = mode;
+    trace::TraceWriter writer{path, options};
+    writer.OnAttach();
+    // Uneven batch sizes exercise staging-buffer splits.
+    std::size_t offset = 0;
+    std::size_t step = 1;
+    while (offset < events.size()) {
+      const std::size_t take = std::min(step, events.size() - offset);
+      writer.OnProbeBatch({events.data() + offset, take});
+      offset += take;
+      step = step * 3 + 1;
+      if (step > 3000) step = 1;
+    }
+    writer.Finish();
+    return writer.records_written();
+  };
+
+  const std::string sync_path = TempTracePath("mode_sync");
+  const std::string piped_path = TempTracePath("mode_piped");
+  EXPECT_EQ(write_with(trace::PipelineMode::kOff, sync_path),
+            events.size());
+  EXPECT_EQ(write_with(trace::PipelineMode::kOn, piped_path),
+            events.size());
+  const auto sync_bytes = FileBytes(sync_path);
+  ASSERT_FALSE(sync_bytes.empty());
+  EXPECT_EQ(sync_bytes, FileBytes(piped_path));
+  std::remove(sync_path.c_str());
+  std::remove(piped_path.c_str());
+}
+
+// ---------------------------------------------------------------------
+// Sampling: deterministic subsequence of the full stream.
+// ---------------------------------------------------------------------
+
+TEST(TraceSamplingTest, SampledStreamIsDeterministicSubsequence) {
+  sim::Population population;
+  for (int i = 0; i < 200; ++i) {
+    population.AddHost(Ipv4{60, 5, static_cast<std::uint8_t>(i / 200),
+                            static_cast<std::uint8_t>(1 + i % 200)});
+  }
+  population.Build(nullptr);
+  topology::Reachability reachability{nullptr, nullptr, nullptr, 0.0};
+  worms::UniformWorm worm;
+  sim::EngineConfig config;
+  config.scan_rate = 5.0;
+  config.end_time = 40.0;
+  config.seed = 0x5A11;
+  config.max_probes = 50'000;
+  config.stop_at_infected_fraction = 2.0;
+  sim::Engine engine{population, worm, reachability, nullptr, config};
+  engine.SeedInfection(0);
+
+  const std::string full_path = TempTracePath("sample_full");
+  const std::string sampled_path = TempTracePath("sample_part");
+  trace::TraceWriterOptions full_options;
+  trace::TraceWriterOptions sampled_options;
+  sampled_options.sample_rate = 0.25;
+  trace::TraceWriter full{full_path, full_options};
+  trace::TraceWriter sampled{sampled_path, sampled_options};
+  engine.Run({&full, &sampled});
+  full.Finish();
+  sampled.Finish();
+
+  EXPECT_EQ(sampled.records_written() + sampled.records_sampled_out(),
+            full.records_written());
+  EXPECT_GT(sampled.records_written(), 0u);
+  EXPECT_LT(sampled.records_written(), full.records_written());
+  // Bernoulli(0.25) over >10k draws stays well inside (0.1, 0.5).
+  const double fraction =
+      static_cast<double>(sampled.records_written()) /
+      static_cast<double>(full.records_written());
+  EXPECT_GT(fraction, 0.1);
+  EXPECT_LT(fraction, 0.5);
+
+  sim::RecordingObserver full_events;
+  sim::RecordingObserver sampled_events;
+  trace::ReplayFile(full_path, full_events);
+  const trace::ReplaySummary sampled_summary =
+      trace::ReplayFile(sampled_path, sampled_events);
+  EXPECT_EQ(sampled_summary.records, sampled.records_written());
+
+  trace::TraceReader sampled_reader{sampled_path};
+  EXPECT_TRUE(sampled_reader.header().sampled());
+  EXPECT_DOUBLE_EQ(sampled_reader.header().sample_rate, 0.25);
+
+  // Subsequence check: every sampled record appears in the full stream,
+  // in order.
+  std::size_t cursor = 0;
+  for (const sim::ProbeEvent& event : sampled_events.events()) {
+    while (cursor < full_events.events().size() &&
+           !SameEvent(full_events.events()[cursor], event)) {
+      ++cursor;
+    }
+    ASSERT_LT(cursor, full_events.events().size())
+        << "sampled record not found in the full stream in order";
+    ++cursor;
+  }
+
+  // Same seed, same stream → identical sampled bytes on a rewrite.
+  const std::string again_path = TempTracePath("sample_again");
+  trace::TraceWriter again{again_path, sampled_options};
+  again.OnAttach();
+  const auto& events = full_events.events();
+  again.OnProbeBatch({events.data(), events.size()});
+  again.Finish();
+  EXPECT_EQ(FileBytes(again_path), FileBytes(sampled_path));
+  std::remove(full_path.c_str());
+  std::remove(sampled_path.c_str());
+  std::remove(again_path.c_str());
+}
+
+}  // namespace
+}  // namespace hotspots

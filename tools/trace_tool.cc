@@ -1,0 +1,278 @@
+// trace_tool — inspect, validate, and replay `hotspots.trace.v1` files.
+//
+//   trace_tool info FILE
+//       Header fields plus full-scan totals (blocks, records, time span).
+//   trace_tool validate FILE
+//       Decodes every frame, CRC, and record; prints OK or the first
+//       violation (exit 1).  This is the CI smoke step's integrity check.
+//   trace_tool head FILE [N]
+//       Prints the first N records (default 10) as a table.
+//   trace_tool replay FILE [--sensors CIDR[,CIDR...] | --ims]
+//                         [--alert-threshold N] [--metrics-out PATH]
+//       Replays the trace through a darknet telescope built from the given
+//       sensor blocks — or the standard 11 IMS blocks with their canonical
+//       labels (--ims) — or just tallies delivery verdicts when neither is
+//       given.  Prints per-sensor counters, and — with --metrics-out —
+//       writes the standard metrics sidecar so replayed counters diff
+//       directly against a live run's sidecar (matching gauge keys).
+//   trace_tool uniformity FILE CIDR [CIDR...] [--unique-sources]
+//                         [--delivered-only]
+//       Bins the trace's destinations into the /24s of the given blocks
+//       and prints the uniformity report (χ², KL, Gini, peak/mean).
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "analysis/trace_uniformity.h"
+#include "bench_util.h"
+#include "net/prefix.h"
+#include "sim/observer.h"
+#include "telescope/ims.h"
+#include "telescope/telescope.h"
+#include "topology/reachability.h"
+#include "trace/reader.h"
+#include "trace/replay.h"
+
+namespace {
+
+using namespace hotspots;
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: trace_tool <command> [args]\n"
+               "  info FILE\n"
+               "  validate FILE\n"
+               "  head FILE [N]\n"
+               "  replay FILE [--sensors CIDR[,CIDR...] | --ims]"
+               " [--alert-threshold N] [--metrics-out PATH]\n"
+               "  uniformity FILE CIDR [CIDR...] [--unique-sources]"
+               " [--delivered-only]\n");
+  return 2;
+}
+
+/// Parses "a.b.c.d/len[,a.b.c.d/len...]" into prefixes; exits on bad input.
+std::vector<net::Prefix> ParsePrefixList(const std::string& spec) {
+  std::vector<net::Prefix> prefixes;
+  std::size_t start = 0;
+  while (start <= spec.size()) {
+    std::size_t comma = spec.find(',', start);
+    if (comma == std::string::npos) comma = spec.size();
+    const std::string one = spec.substr(start, comma - start);
+    if (!one.empty()) {
+      const auto prefix = net::Prefix::Parse(one);
+      if (!prefix) {
+        std::fprintf(stderr, "trace_tool: bad CIDR block \"%s\"\n",
+                     one.c_str());
+        std::exit(2);
+      }
+      prefixes.push_back(*prefix);
+    }
+    start = comma + 1;
+  }
+  return prefixes;
+}
+
+/// Expands each block into its /24s (blocks at /24 or longer map to one
+/// bin), giving the paper's per-/24 histogram granularity.
+std::vector<net::Prefix> ExpandToSlash24(
+    const std::vector<net::Prefix>& blocks) {
+  std::vector<net::Prefix> bins;
+  for (const net::Prefix& block : blocks) {
+    if (block.length() >= 24) {
+      bins.push_back(block);
+      continue;
+    }
+    const std::uint64_t count = block.size() / 256;
+    for (std::uint64_t i = 0; i < count; ++i) {
+      bins.emplace_back(block.AddressAt(i * 256), 24);
+    }
+  }
+  return bins;
+}
+
+void PrintHeader(const trace::TraceHeader& header) {
+  std::printf("schema                %s\n", trace::kTraceSchema);
+  std::printf("version               %u\n", header.version);
+  std::printf("scenario_fingerprint  %016" PRIx64 "\n",
+              header.scenario_fingerprint);
+  std::printf("seed                  %" PRIu64 "\n", header.seed);
+  std::printf("sampled               %s\n", header.sampled() ? "yes" : "no");
+  std::printf("sample_rate           %g\n", header.sample_rate);
+}
+
+int CmdInfo(const std::string& path) {
+  const trace::TraceInfo info = trace::ScanTrace(path);
+  PrintHeader(info.header);
+  std::printf("blocks                %" PRIu64 "\n", info.blocks);
+  std::printf("records               %" PRIu64 "\n", info.records);
+  std::printf("payload_bytes         %" PRIu64 "\n", info.payload_bytes);
+  std::printf("file_bytes            %" PRIu64 "\n", info.file_bytes);
+  if (info.records > 0) {
+    std::printf("time_span             [%.6f, %.6f] s\n", info.first_time,
+                info.last_time);
+    std::printf("bytes_per_record      %.2f\n",
+                static_cast<double>(info.payload_bytes) /
+                    static_cast<double>(info.records));
+  }
+  return 0;
+}
+
+int CmdValidate(const std::string& path) {
+  const trace::TraceInfo info = trace::ScanTrace(path);
+  std::printf("OK: %s — %" PRIu64 " records in %" PRIu64
+              " blocks, %" PRIu64 " bytes\n",
+              path.c_str(), info.records, info.blocks, info.file_bytes);
+  return 0;
+}
+
+int CmdHead(const std::string& path, std::uint64_t limit) {
+  trace::TraceReader reader{path};
+  std::printf("%-12s %-10s %-16s %-16s %s\n", "time", "src_host", "src_addr",
+              "dst", "delivery");
+  std::uint64_t printed = 0;
+  while (printed < limit) {
+    const auto batch = reader.NextBatch();
+    if (batch.empty()) break;
+    for (const sim::ProbeEvent& event : batch) {
+      std::printf("%-12.6f %-10u %-16s %-16s %.*s\n", event.time,
+                  event.src_host, event.src_address.ToString().c_str(),
+                  event.dst.ToString().c_str(),
+                  static_cast<int>(topology::ToString(event.delivery).size()),
+                  topology::ToString(event.delivery).data());
+      if (++printed == limit) break;
+    }
+  }
+  return 0;
+}
+
+int CmdReplay(int argc, char** argv) {
+  const std::string metrics_out = bench::MetricsOutArg(argc, argv);
+  std::string sensors_spec;
+  std::uint64_t alert_threshold = 0;
+  bool use_ims = false;
+  std::string path;
+  for (int i = 2; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--sensors") == 0 && i + 1 < argc) {
+      sensors_spec = argv[++i];
+    } else if (std::strcmp(argv[i], "--ims") == 0) {
+      use_ims = true;
+    } else if (std::strcmp(argv[i], "--alert-threshold") == 0 && i + 1 < argc) {
+      alert_threshold = std::strtoull(argv[++i], nullptr, 10);
+    } else if (path.empty()) {
+      path = argv[i];
+    } else {
+      return Usage();
+    }
+  }
+  if (path.empty()) return Usage();
+
+  telescope::SensorOptions options;
+  options.alert_threshold = alert_threshold;
+  telescope::Telescope sensors;
+  sim::NullObserver null_observer;
+  sim::ProbeObserver* sink = &null_observer;
+  if (use_ims) {
+    sensors = telescope::MakeImsTelescope(options);
+    sink = &sensors;
+  } else if (!sensors_spec.empty()) {
+    const std::vector<net::Prefix> blocks = ParsePrefixList(sensors_spec);
+    int index = 0;
+    for (const net::Prefix& block : blocks) {
+      sensors.AddSensor("replay" + std::to_string(index++), block, options);
+    }
+    sensors.Build();
+    sink = &sensors;
+  }
+
+  const trace::ReplaySummary summary = trace::ReplayFile(path, *sink);
+  std::printf("replayed %" PRIu64 " records (%" PRIu64 " blocks), %" PRIu64
+              " delivered, time span [%.3f, %.3f] s\n",
+              summary.records, summary.blocks, summary.delivered(),
+              summary.first_time, summary.last_time);
+  if (sink == &sensors) {
+    for (std::size_t i = 0; i < sensors.size(); ++i) {
+      const auto& sensor = sensors.sensor(static_cast<int>(i));
+      std::printf("  %-12s %-18s probes %-10" PRIu64 " sources %-8zu",
+                  sensor.label().c_str(), sensor.block().ToString().c_str(),
+                  sensor.probe_count(), sensor.UniqueSourceCount());
+      if (sensor.alerted()) {
+        std::printf(" alert@%.3fs", *sensor.alert_time());
+      }
+      std::printf("\n");
+    }
+    sensors.PublishSensorMetrics();
+  }
+  bench::DumpMetrics(metrics_out, "trace_tool_replay");
+  return 0;
+}
+
+int CmdUniformity(int argc, char** argv) {
+  analysis::BlockHistogramOptions options;
+  std::string path;
+  std::vector<net::Prefix> blocks;
+  for (int i = 2; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--unique-sources") == 0) {
+      options.unique_sources = true;
+    } else if (std::strcmp(argv[i], "--delivered-only") == 0) {
+      options.delivered_only = true;
+    } else if (path.empty()) {
+      path = argv[i];
+    } else {
+      const auto prefix = net::Prefix::Parse(argv[i]);
+      if (!prefix) {
+        std::fprintf(stderr, "trace_tool: bad CIDR block \"%s\"\n", argv[i]);
+        return 2;
+      }
+      blocks.push_back(*prefix);
+    }
+  }
+  if (path.empty() || blocks.empty()) return Usage();
+
+  const std::vector<net::Prefix> bins = ExpandToSlash24(blocks);
+  const analysis::TraceUniformity result =
+      analysis::AnalyzeTraceUniformity(path, bins, options);
+  std::printf("%" PRIu64 " records, %" PRIu64 " binned into %zu /24s (%s)\n",
+              result.records, result.binned, bins.size(),
+              options.unique_sources ? "unique sources" : "probes");
+  const analysis::UniformityReport& report = result.report;
+  std::printf("chi2/dof      %.3f\n",
+              report.chi_square_dof > 0
+                  ? report.chi_square / report.chi_square_dof
+                  : 0.0);
+  std::printf("kl_divergence %.4f nats\n", report.kl_divergence);
+  std::printf("gini          %.4f\n", report.gini);
+  std::printf("peak_to_mean  %.2f\n", report.peak_to_mean);
+  std::printf("half_mass     %.3f of bins hold 50%% of mass\n",
+              report.half_mass_bin_fraction);
+  std::printf("verdict       %s\n",
+              report.LooksNonUniform() ? "NON-UNIFORM (hotspots)" : "uniform");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) return Usage();
+  const std::string command = argv[1];
+  try {
+    if (command == "info") return CmdInfo(argv[2]);
+    if (command == "validate") return CmdValidate(argv[2]);
+    if (command == "head") {
+      const std::uint64_t limit =
+          argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 10;
+      return CmdHead(argv[2], limit);
+    }
+    if (command == "replay") return CmdReplay(argc, argv);
+    if (command == "uniformity") return CmdUniformity(argc, argv);
+  } catch (const trace::TraceError& error) {
+    std::fprintf(stderr, "trace_tool: %s\n", error.what());
+    return 1;
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "trace_tool: %s\n", error.what());
+    return 1;
+  }
+  return Usage();
+}
