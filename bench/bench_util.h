@@ -61,48 +61,45 @@ inline void Measured(const char* fmt, ...) {
   return value;
 }
 
-/// Extracts `--metrics-out PATH` from argv, compacting the remaining
-/// arguments in place so positional parsing (ScaleArg) still sees a clean
-/// argv.  Returns the path, or "" when the flag is absent.  Call before
-/// any positional argument parsing.
-[[nodiscard]] inline std::string MetricsOutArg(int& argc, char** argv) {
-  std::string path;
+/// Extracts `<flag> VALUE` from argv, compacting the remaining arguments
+/// in place so positional parsing (ScaleArg) still sees a clean argv.
+/// Returns the value, or "" when the flag is absent.  Call before any
+/// positional argument parsing.
+[[nodiscard]] inline std::string StringFlagArg(int& argc, char** argv,
+                                               const char* flag) {
+  std::string value;
   int kept = 1;
   for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--metrics-out") == 0) {
+    if (std::strcmp(argv[i], flag) == 0) {
       if (i + 1 >= argc) {
-        std::fprintf(stderr, "--metrics-out requires a file path\n");
+        std::fprintf(stderr, "%s requires a value\n", flag);
         std::exit(2);
       }
-      path = argv[++i];
+      value = argv[++i];
     } else {
       argv[kept++] = argv[i];
     }
   }
   argc = kept;
-  return path;
+  return value;
 }
 
-/// Extracts `--trace-out PATH` from argv, exactly like MetricsOutArg: the
-/// remaining arguments are compacted in place, and "" means the flag was
-/// absent (benches skip their capture step entirely — the disabled path
-/// adds no observer and no work).  Call before positional parsing.
+/// Extracts `--metrics-out PATH`; "" when absent.
+[[nodiscard]] inline std::string MetricsOutArg(int& argc, char** argv) {
+  return StringFlagArg(argc, argv, "--metrics-out");
+}
+
+/// Extracts `--trace-out PATH`; "" means the flag was absent (benches skip
+/// their capture step entirely — the disabled path adds no observer and no
+/// work).  Call before positional parsing.
 [[nodiscard]] inline std::string TraceOutArg(int& argc, char** argv) {
-  std::string path;
-  int kept = 1;
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--trace-out") == 0) {
-      if (i + 1 >= argc) {
-        std::fprintf(stderr, "--trace-out requires a file path\n");
-        std::exit(2);
-      }
-      path = argv[++i];
-    } else {
-      argv[kept++] = argv[i];
-    }
-  }
-  argc = kept;
-  return path;
+  return StringFlagArg(argc, argv, "--trace-out");
+}
+
+/// Extracts `--faults SPEC` (a `hotspots.faults.v1` text spec, see
+/// fault/schedule.h); "" when absent.
+[[nodiscard]] inline std::string FaultSpecArg(int& argc, char** argv) {
+  return StringFlagArg(argc, argv, "--faults");
 }
 
 /// Writes the metrics sidecar (EXPERIMENTS.md documents the schema): the
@@ -136,6 +133,8 @@ inline void DumpMetrics(const std::string& path, const char* bench_name,
     writer.KV("peak_concurrent_trials", telemetry->peak_concurrent_trials);
     writer.KV("wall_seconds", telemetry->wall_seconds);
     writer.KV("serial_seconds", telemetry->TotalTrialSeconds());
+    writer.KV("retries", telemetry->retries);
+    writer.KV("quarantined_trials", telemetry->quarantined_trials);
     writer.Key("trial_seconds");
     write_stats(telemetry->TrialLatencyStats());
     writer.Key("queue_wait_seconds");
@@ -146,6 +145,7 @@ inline void DumpMetrics(const std::string& path, const char* bench_name,
       writer.KV("label", segment.label);
       writer.KV("trial_offset", segment.trial_offset);
       writer.KV("trials", segment.trials);
+      writer.KV("lost_trials", segment.lost_trials);
       writer.EndObject();
     }
     writer.EndArray();

@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
 # CI entry point: the tier-1 verify (ROADMAP.md), a metrics smoke step,
-# a trace capture/replay smoke step, and a sanitizer pass.
+# a trace capture/replay smoke step, a fault-injection smoke step, and a
+# sanitizer pass (which fronts the trace-salvage suites verbosely).
 #
-#   ./ci.sh            # tier-1 + metrics smoke + trace smoke + asan presets
+#   ./ci.sh            # tier-1 + smoke steps + asan presets
 #   ./ci.sh --fast     # tier-1 only
 #
 # The sanitizer preset builds into its own tree (build-asan/) so it never
@@ -32,7 +33,7 @@ cmake --build build -j "${JOBS}"
 ctest --test-dir build --output-on-failure -j "${JOBS}"
 
 if [[ "${1:-}" == "--fast" ]]; then
-  echo "== tier-1 passed (metrics smoke + sanitizer passes skipped: --fast) =="
+  echo "== tier-1 passed (smoke + sanitizer passes skipped: --fast) =="
   exit 0
 fi
 
@@ -148,9 +149,65 @@ else
   echo "trace overhead gate skipped (HOTSPOTS_SKIP_OVERHEAD_GATE=1)"
 fi
 
+echo "== fault smoke: outage bench + degradation accounting =="
+# Detector visibility under injected sensor outages (EXPERIMENTS.md,
+# "Fault injection").  The bench itself hard-fails unless the outbreak
+# (total probes, infected fraction) is bit-identical across all sweep
+# points — outages must only remove what sensors *record* — so a zero
+# exit already proves non-perturbation.  The sidecar must additionally
+# carry the outage gauges and the study runner's loss accounting.
+HOTSPOTS_TRIALS=2 ./build/bench/outage_visibility 0.02 \
+  --metrics-out "${SMOKE_DIR}/outage.metrics.json" > /dev/null
+if command -v python3 > /dev/null 2>&1; then
+  python3 - "${SMOKE_DIR}/outage.metrics.json" <<'PY'
+import json, sys
+with open(sys.argv[1]) as handle:
+    doc = json.load(handle)
+assert doc["schema"] == "hotspots.metrics.v1", doc.get("schema")
+gauges = doc["gauges"]
+assert gauges.get("telescope.outage.sensors", 0) > 0, \
+    "no sensor carried an outage window"
+assert doc["counters"].get("telescope.outage.missed_probes", 0) > 0, \
+    "outage windows never intercepted a probe"
+study = doc["study"]
+for key in ("retries", "quarantined_trials"):
+    assert key in study, f"study telemetry missing {key}"
+assert study["segments"], "merged telemetry lost its segments"
+for segment in study["segments"]:
+    assert "lost_trials" in segment, f"segment missing lost_trials: {segment}"
+    assert segment["lost_trials"] == 0, f"smoke run lost trials: {segment}"
+print("outage sidecar OK:", int(gauges["telescope.outage.sensors"]),
+      "sensors downed,", doc["counters"]["telescope.outage.missed_probes"],
+      "probes missed,", len(study["segments"]), "segments")
+PY
+else
+  for key in '"telescope.outage.sensors"' '"telescope.outage.missed_probes"' \
+      '"lost_trials"'; do
+    grep -qF "${key}" "${SMOKE_DIR}/outage.metrics.json" \
+      || { echo "outage sidecar missing ${key}" >&2; exit 1; }
+  done
+  echo "outage sidecar OK (grep fallback)"
+fi
+# trace_tool validate must exit non-zero on degenerate files: a
+# header-only truncation (no blocks, no trailer) from the trace captured
+# by the smoke step above.  The zero-record (header + trailer only) case
+# is pinned by tests/trace_corruption_test.cc.
+head -c 48 "${SMOKE_DIR}/fig1.trace" > "${SMOKE_DIR}/headonly.trace"
+if ./build/tools/trace_tool validate "${SMOKE_DIR}/headonly.trace" \
+    > /dev/null 2>&1; then
+  echo "trace_tool validate accepted a header-only trace" >&2; exit 1
+fi
+echo "fault smoke OK"
+
 echo "== sanitizer pass: HOTSPOTS_SANITIZE=${SANITIZER} =="
 cmake -B "build-${SANITIZER}" -S . -DHOTSPOTS_SANITIZE="${SANITIZER}"
 cmake --build "build-${SANITIZER}" -j "${JOBS}"
+# Salvage/corruption suites first, verbosely: trace resync does raw
+# buffer scans over damaged files — the most sanitizer-sensitive code
+# in the tree — so a failure here is reported on its own before the
+# full-suite run.
+ctest --test-dir "build-${SANITIZER}" --output-on-failure \
+  -R 'TraceSalvage|TraceCorruption|ValidateTraceFile'
 ctest --test-dir "build-${SANITIZER}" --output-on-failure -j "${JOBS}"
 
 echo "== ci.sh: all passes green =="

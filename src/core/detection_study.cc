@@ -5,7 +5,12 @@
 #include <limits>
 #include <stdexcept>
 
+#include <optional>
+
 #include "core/placement.h"
+#include "fault/delivery.h"
+#include "fault/inject.h"
+#include "obs/metrics.h"
 #include "topology/reachability.h"
 
 namespace hotspots::core {
@@ -34,16 +39,39 @@ DetectionOutcome RunDetectionStudy(Scenario& scenario, const sim::Worm& worm,
   // transport anyway so passive-sensor configurations behave correctly.
   sensors.SetThreatRequiresHandshake(worm.requires_handshake());
 
+  // Fault layer: outage windows attach to the fleet, delivery faults hook
+  // into the engine.  A nullptr/empty schedule applies nothing, leaving
+  // the run bit-identical to the fault-free path.
+  std::optional<fault::DeliveryFaults> delivery_faults;
+  if (config.faults != nullptr) {
+    fault::ApplySensorOutages(*config.faults, sensors);
+    if (config.faults->HasDeliveryFaults()) {
+      delivery_faults.emplace(*config.faults);
+    }
+  }
+
   const topology::Reachability reachability{
       nullptr, scenario.nats.size() > 0 ? &scenario.nats : nullptr, nullptr,
       0.0};
   sim::Engine engine{scenario.population, worm, reachability,
                      scenario.nats.size() > 0 ? &scenario.nats : nullptr,
                      config.engine};
+  if (delivery_faults) engine.SetDeliveryFaults(&*delivery_faults);
   engine.SeedRandomInfections(config.seed_infections);
 
   DetectionOutcome outcome;
   outcome.run = engine.Run(sensors);
+  outcome.outage_missed_probes = sensors.OutageMissedProbes();
+  if (config.faults != nullptr) {
+    auto& registry = obs::Registry::Global();
+    if (outcome.outage_missed_probes > 0) {
+      registry.GetCounter("telescope.outage.missed_probes")
+          .Add(outcome.outage_missed_probes);
+    }
+    registry.GetGauge("telescope.outage.sensors")
+        .SetMax(static_cast<double>(sensors.SensorsWithOutages()));
+    if (delivery_faults) delivery_faults->PublishMetrics();
+  }
   outcome.total_sensors = sensors.size();
   outcome.alerted_sensors = sensors.AlertedCount();
   outcome.alert_times = sensors.AlertTimes();
@@ -87,14 +115,17 @@ DetectionPoint CurveAt(const std::vector<DetectionPoint>& curve, double time) {
 DetectionPoint MonteCarloDetectionSummary::MeanCurveAt(double time) const {
   DetectionPoint mean;
   mean.time = time;
-  if (trials.empty()) return mean;
-  for (const DetectionOutcome& trial : trials) {
-    const DetectionPoint point = CurveAt(trial.curve, time);
+  int completed = 0;
+  for (std::size_t i = 0; i < trials.size(); ++i) {
+    if (telemetry.TrialQuarantined(static_cast<int>(i))) continue;
+    const DetectionPoint point = CurveAt(trials[i].curve, time);
     mean.infected_fraction += point.infected_fraction;
     mean.alerted_fraction += point.alerted_fraction;
+    ++completed;
   }
-  mean.infected_fraction /= static_cast<double>(trials.size());
-  mean.alerted_fraction /= static_cast<double>(trials.size());
+  if (completed == 0) return mean;
+  mean.infected_fraction /= static_cast<double>(completed);
+  mean.alerted_fraction /= static_cast<double>(completed);
   return mean;
 }
 
@@ -117,11 +148,19 @@ MonteCarloDetectionSummary RunDetectionStudyMonteCarlo(
   options.threads = config.threads;
   options.master_seed = config.master_seed;
   options.label = config.label;
+  options.max_attempts = config.max_attempts;
+  options.retry_backoff_seconds = config.retry_backoff_seconds;
+  options.quarantine_failures = config.quarantine_failures;
 
   MonteCarloDetectionSummary summary;
   summary.trials.resize(static_cast<std::size_t>(config.trials));
   summary.telemetry = sim::RunTrials(
       options, config.trials, [&](int trial, std::uint64_t seed) {
+        // Fault-injected trial kills fire before any simulation work, on
+        // the attempt's seed — so a killed attempt can pass on retry.
+        if (config.study.faults != nullptr) {
+          fault::MaybeKillTrial(*config.study.faults, trial, seed);
+        }
         // Each trial owns a full copy of the scenario: RunDetectionStudy
         // resets and mutates host states, so nothing mutable is shared
         // between worker threads.
@@ -131,13 +170,25 @@ MonteCarloDetectionSummary RunDetectionStudyMonteCarlo(
         summary.trials[static_cast<std::size_t>(trial)] =
             RunDetectionStudy(scenario, worm, sensor_blocks, study);
       });
+  summary.lost_trials = summary.telemetry.quarantined_trials;
 
+  // Quarantined trials hold default-constructed outcomes: they are skipped
+  // here by pushing NaN, which Summarize() excludes — stats.count is the
+  // completed-trial count, the explicit partial-aggregate accounting.
   std::vector<double> infected;
   std::vector<double> alerted_fraction;
   std::vector<double> alerted_count;
   std::vector<double> first_alert;
   const auto never = std::numeric_limits<double>::quiet_NaN();
-  for (const DetectionOutcome& trial : summary.trials) {
+  for (std::size_t i = 0; i < summary.trials.size(); ++i) {
+    const DetectionOutcome& trial = summary.trials[i];
+    if (summary.telemetry.TrialQuarantined(static_cast<int>(i))) {
+      infected.push_back(never);
+      alerted_count.push_back(never);
+      alerted_fraction.push_back(never);
+      first_alert.push_back(never);
+      continue;
+    }
     summary.total_probes += trial.run.total_probes;
     infected.push_back(trial.run.FinalInfectedFraction());
     alerted_count.push_back(static_cast<double>(trial.alerted_sensors));
@@ -157,8 +208,11 @@ MonteCarloDetectionSummary RunDetectionStudyMonteCarlo(
   for (const double fraction : config.time_to_fractions) {
     std::vector<double> times;
     times.reserve(summary.trials.size());
-    for (const DetectionOutcome& trial : summary.trials) {
-      times.push_back(sim::TimeToInfectedFraction(trial.run, fraction));
+    for (std::size_t i = 0; i < summary.trials.size(); ++i) {
+      times.push_back(summary.telemetry.TrialQuarantined(static_cast<int>(i))
+                          ? never
+                          : sim::TimeToInfectedFraction(
+                                summary.trials[i].run, fraction));
     }
     summary.time_to_infected.emplace_back(
         fraction, sim::Summarize(times, config.quantiles));

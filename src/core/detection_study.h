@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "core/scenario.h"
+#include "fault/schedule.h"
 #include "sim/engine.h"
 #include "sim/study.h"
 #include "telescope/telescope.h"
@@ -23,6 +24,11 @@ struct DetectionStudyConfig {
   std::uint64_t alert_threshold = 5;
   /// Random initial infections (paper: 25).
   int seed_infections = 25;
+  /// Optional fault schedule (not owned; nullptr or an empty schedule run
+  /// bit-identically to the fault-free study): sensor outages are applied
+  /// to the fleet, delivery faults are hooked into the engine, and outage
+  /// metrics are folded into the registry.
+  const fault::FaultSchedule* faults = nullptr;
 };
 
 struct DetectionPoint {
@@ -37,6 +43,8 @@ struct DetectionOutcome {
   std::size_t alerted_sensors = 0;
   std::vector<double> alert_times;
   std::vector<DetectionPoint> curve;
+  /// Probes that landed on a sensor while it was down (0 without faults).
+  std::uint64_t outage_missed_probes = 0;
 
   /// Fraction of sensors alerted at the first sample where the infected
   /// fraction reaches `infected_fraction` (1.0 if never reached → final).
@@ -72,6 +80,12 @@ struct MonteCarloStudyConfig {
   std::vector<double> quantiles = {0.10, 0.50, 0.90};
   /// Infected fractions K for the time-to-K% summaries.
   std::vector<double> time_to_fractions = {0.25, 0.50};
+
+  // -- Trial isolation (sim::StudyOptions pass-through; defaults keep the
+  // legacy fail-fast behaviour) ------------------------------------------
+  int max_attempts = 1;
+  double retry_backoff_seconds = 0.0;
+  bool quarantine_failures = false;
 };
 
 /// Order-insensitive aggregates of a Monte-Carlo detection study.  The
@@ -81,7 +95,11 @@ struct MonteCarloStudyConfig {
 struct MonteCarloDetectionSummary {
   std::vector<DetectionOutcome> trials;  ///< By trial index.
   sim::StudyTelemetry telemetry;
-  std::uint64_t total_probes = 0;  ///< Across all trials.
+  std::uint64_t total_probes = 0;  ///< Across completed trials.
+  /// Trials quarantined after exhausting their retry budget.  Their slots
+  /// in `trials` are default-constructed and every aggregate below
+  /// excludes them (stats.count reports completed trials only).
+  int lost_trials = 0;
 
   sim::SummaryStats infected_fraction;  ///< Final infected fraction.
   sim::SummaryStats alerted_fraction;   ///< Final alerted-sensor fraction.

@@ -1,0 +1,93 @@
+#include "fault/delivery.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "obs/metrics.h"
+
+namespace hotspots::fault {
+
+DeliveryFaults::DeliveryFaults(const FaultSchedule& schedule)
+    : loss_rate_(schedule.delivery.loss_rate),
+      duplication_rate_(schedule.delivery.duplication_rate),
+      drift_events_(schedule.acl_drift), schedule_seed_(schedule.seed),
+      stream_(schedule.seed) {
+  // ParseFaultSpec sorts; programmatic schedules may not have.
+  std::sort(drift_events_.begin(), drift_events_.end(),
+            [](const AclDriftEvent& a, const AclDriftEvent& b) {
+              return a.at < b.at;
+            });
+  for (const AclDriftEvent& event : drift_events_) {
+    if (event.block.length() > 16) {
+      throw std::invalid_argument(
+          "DeliveryFaults: ACL drift blocks must be /16 or shorter, got " +
+          event.block.ToString());
+    }
+  }
+}
+
+void DeliveryFaults::OnRunStart(std::uint64_t engine_seed) {
+  stream_ = prng::SplitMix64{
+      prng::Mix64(schedule_seed_ ^ prng::Mix64(engine_seed))};
+  drifted_.fill(0);
+  drift_cursor_ = 0;
+  any_drift_active_ = false;
+  injected_losses_ = 0;
+  injected_duplicates_ = 0;
+  drift_filtered_ = 0;
+}
+
+DeliveryFaults::Outcome DeliveryFaults::OnProbeVerdict(
+    double time, net::Ipv4 dst, topology::Delivery verdict) {
+  // Activate due drift events (time is monotone within a run).
+  while (drift_cursor_ < drift_events_.size() &&
+         drift_events_[drift_cursor_].at <= time) {
+    const net::Prefix& block = drift_events_[drift_cursor_].block;
+    const std::uint32_t first = block.first().value() >> 16;
+    const std::uint32_t last = block.last().value() >> 16;
+    for (std::uint32_t slash16 = first; slash16 <= last; ++slash16) {
+      drifted_[slash16] = 1;
+    }
+    any_drift_active_ = true;
+    ++drift_cursor_;
+  }
+
+  Outcome outcome;
+  outcome.verdict = verdict;
+  if (verdict != topology::Delivery::kDelivered) return outcome;
+
+  // Faults only degrade delivered probes, in a fixed order (drift, then
+  // loss, then duplication) so draw sequences are well-defined.
+  if (any_drift_active_ && drifted_[dst.value() >> 16] != 0) {
+    ++drift_filtered_;
+    outcome.verdict = topology::Delivery::kIngressFiltered;
+    return outcome;
+  }
+  if (loss_rate_ > 0.0 && NextUnit() < loss_rate_) {
+    ++injected_losses_;
+    outcome.verdict = topology::Delivery::kNetworkLoss;
+    return outcome;
+  }
+  if (duplication_rate_ > 0.0 && NextUnit() < duplication_rate_) {
+    ++injected_duplicates_;
+    outcome.duplicate = true;
+  }
+  return outcome;
+}
+
+void DeliveryFaults::PublishMetrics() const {
+  auto& registry = obs::Registry::Global();
+  if (injected_losses_ > 0) {
+    registry.GetCounter("fault.delivery.injected_losses")
+        .Add(injected_losses_);
+  }
+  if (injected_duplicates_ > 0) {
+    registry.GetCounter("fault.delivery.injected_duplicates")
+        .Add(injected_duplicates_);
+  }
+  if (drift_filtered_ > 0) {
+    registry.GetCounter("fault.delivery.drift_filtered").Add(drift_filtered_);
+  }
+}
+
+}  // namespace hotspots::fault

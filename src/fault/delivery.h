@@ -1,0 +1,79 @@
+// Delivery-fault injector (sim::DeliveryFaultHook implementation).
+//
+// Layers a FaultSchedule's probabilistic loss/duplication and scripted
+// ACL-drift events on top of the verdicts the table-driven
+// topology::Reachability::Decide already produced — the classification
+// table itself is never touched, so the fault-free hot path keeps its
+// single-indexed-load cost and fault-free runs stay bit-identical.
+//
+// RNG isolation: all Bernoulli draws come from a private SplitMix64 stream
+// seeded from Mix64(schedule seed, engine seed) at OnRunStart, mirroring
+// the TraceWriter sampling design; the engine RNG is never consulted, so
+// identical (engine seed, schedule) pairs replay identical fault decisions.
+//
+// ACL drift is modelled at /16 granularity (the same granularity as the
+// reachability table): when a drift event's time arrives, every /16 the
+// block touches flips to ingress-filtered for delivered probes.  Events
+// are applied with a monotone time cursor, so the per-probe cost while no
+// event is pending is one comparison.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "fault/schedule.h"
+#include "prng/splitmix.h"
+#include "sim/fault_hook.h"
+
+namespace hotspots::fault {
+
+class DeliveryFaults : public sim::DeliveryFaultHook {
+ public:
+  explicit DeliveryFaults(const FaultSchedule& schedule);
+
+  /// Re-arms the private stream for a run: stream seed is
+  /// Mix64(schedule seed ^ Mix64(engine seed)); drift cursor and counters
+  /// reset so one injector can serve many runs.
+  void OnRunStart(std::uint64_t engine_seed) override;
+
+  [[nodiscard]] Outcome OnProbeVerdict(double time, net::Ipv4 dst,
+                                       topology::Delivery verdict) override;
+
+  // -- Accounting (since the last OnRunStart) ----------------------------
+  [[nodiscard]] std::uint64_t injected_losses() const {
+    return injected_losses_;
+  }
+  [[nodiscard]] std::uint64_t injected_duplicates() const {
+    return injected_duplicates_;
+  }
+  [[nodiscard]] std::uint64_t drift_filtered() const {
+    return drift_filtered_;
+  }
+
+  /// Folds the counters into the global registry ("fault.delivery.*").
+  void PublishMetrics() const;
+
+ private:
+  [[nodiscard]] double NextUnit() {
+    return static_cast<double>(stream_.Next() >> 11) * 0x1.0p-53;
+  }
+
+  double loss_rate_;
+  double duplication_rate_;
+  std::vector<AclDriftEvent> drift_events_;  ///< Sorted by activation time.
+  std::uint64_t schedule_seed_;
+  prng::SplitMix64 stream_;
+
+  /// /16s currently ingress-filtered by drift; bitmap mirrors the
+  /// reachability table's indexing (dst >> 16).
+  std::array<std::uint8_t, 65536> drifted_{};
+  std::size_t drift_cursor_ = 0;
+  bool any_drift_active_ = false;
+
+  std::uint64_t injected_losses_ = 0;
+  std::uint64_t injected_duplicates_ = 0;
+  std::uint64_t drift_filtered_ = 0;
+};
+
+}  // namespace hotspots::fault

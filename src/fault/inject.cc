@@ -1,0 +1,66 @@
+#include "fault/inject.h"
+
+#include <stdexcept>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace hotspots::fault {
+
+int ApplySensorOutages(const FaultSchedule& schedule,
+                       telescope::Telescope& fleet) {
+  const int sensors = static_cast<int>(fleet.size());
+  std::vector<std::vector<std::pair<double, double>>> windows(
+      static_cast<std::size_t>(sensors));
+
+  std::unordered_map<std::string_view, int> by_label;
+  by_label.reserve(static_cast<std::size_t>(sensors));
+  for (int i = 0; i < sensors; ++i) {
+    by_label.emplace(fleet.sensor(i).label(), i);
+  }
+
+  for (const OutageWindow& outage : schedule.outages) {
+    if (outage.sensor == "*") {
+      for (auto& sensor_windows : windows) {
+        sensor_windows.emplace_back(outage.down_at, outage.up_at);
+      }
+      continue;
+    }
+    const auto found = by_label.find(outage.sensor);
+    if (found == by_label.end()) {
+      throw std::invalid_argument(
+          "ApplySensorOutages: outage names unknown sensor \"" +
+          outage.sensor + "\"");
+    }
+    windows[static_cast<std::size_t>(found->second)].emplace_back(
+        outage.down_at, outage.up_at);
+  }
+
+  if (schedule.staggered.down_fraction > 0.0 &&
+      schedule.staggered.horizon > 0.0) {
+    std::vector<std::string> labels;
+    labels.reserve(static_cast<std::size_t>(sensors));
+    for (int i = 0; i < sensors; ++i) {
+      labels.push_back(fleet.sensor(i).label());
+    }
+    for (const OutageWindow& outage :
+         StaggeredOutages(labels, schedule.staggered.horizon,
+                          schedule.staggered.down_fraction, schedule.seed)) {
+      const int index = by_label.at(outage.sensor);
+      windows[static_cast<std::size_t>(index)].emplace_back(outage.down_at,
+                                                            outage.up_at);
+    }
+  }
+
+  int affected = 0;
+  for (int i = 0; i < sensors; ++i) {
+    auto& sensor_windows = windows[static_cast<std::size_t>(i)];
+    if (sensor_windows.empty()) continue;
+    fleet.SetSensorOutages(i, std::move(sensor_windows));
+    ++affected;
+  }
+  return affected;
+}
+
+}  // namespace hotspots::fault

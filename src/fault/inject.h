@@ -1,0 +1,23 @@
+// Telescope-side fault application.
+//
+// Materializes a FaultSchedule's outage windows against a concrete sensor
+// fleet: scripted windows match sensors by label ("*" matches every
+// sensor), and the staggered-outage config draws one window per sensor
+// from the schedule's private stream.  Idempotent per (schedule, fleet):
+// applying the same schedule twice yields the same windows.
+#pragma once
+
+#include "fault/schedule.h"
+#include "telescope/telescope.h"
+
+namespace hotspots::fault {
+
+/// Applies the schedule's outage windows to a built (or buildable)
+/// telescope.  Returns the number of sensors that ended up with at least
+/// one window.  Throws std::invalid_argument when a scripted window names
+/// a label that matches no sensor — a silently ignored outage would make
+/// the experiment lie.
+int ApplySensorOutages(const FaultSchedule& schedule,
+                       telescope::Telescope& fleet);
+
+}  // namespace hotspots::fault

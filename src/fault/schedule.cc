@@ -1,0 +1,185 @@
+#include "fault/schedule.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <string_view>
+
+#include "prng/splitmix.h"
+
+namespace hotspots::fault {
+namespace {
+
+/// Maps a 64-bit draw to a double in [0, 1).
+double UnitDouble(std::uint64_t bits) {
+  return static_cast<double>(bits >> 11) * 0x1.0p-53;
+}
+
+std::vector<std::string_view> Split(std::string_view text, char separator) {
+  std::vector<std::string_view> parts;
+  while (true) {
+    const std::size_t at = text.find(separator);
+    if (at == std::string_view::npos) {
+      parts.push_back(text);
+      return parts;
+    }
+    parts.push_back(text.substr(0, at));
+    text.remove_prefix(at + 1);
+  }
+}
+
+[[noreturn]] void BadDirective(std::string_view directive,
+                               const std::string& why) {
+  throw std::invalid_argument("fault spec (" + std::string(kFaultSchema) +
+                              "): bad directive \"" + std::string(directive) +
+                              "\": " + why);
+}
+
+double ParseDouble(std::string_view text, std::string_view directive) {
+  if (text == "inf") return std::numeric_limits<double>::infinity();
+  char* end = nullptr;
+  const std::string owned{text};
+  const double value = std::strtod(owned.c_str(), &end);
+  if (owned.empty() || end != owned.c_str() + owned.size()) {
+    BadDirective(directive, "expected a number, got \"" + owned + "\"");
+  }
+  return value;
+}
+
+double ParseProbability(std::string_view text, std::string_view directive) {
+  const double p = ParseDouble(text, directive);
+  if (!(p >= 0.0 && p <= 1.0)) {
+    BadDirective(directive, "probability outside [0, 1]");
+  }
+  return p;
+}
+
+std::uint64_t ParseU64(std::string_view text, std::string_view directive) {
+  const std::string owned{text};
+  char* end = nullptr;
+  const std::uint64_t value = std::strtoull(owned.c_str(), &end, 0);
+  if (owned.empty() || end != owned.c_str() + owned.size()) {
+    BadDirective(directive, "expected an integer, got \"" + owned + "\"");
+  }
+  return value;
+}
+
+}  // namespace
+
+bool FaultSchedule::empty() const {
+  return outages.empty() && staggered.down_fraction == 0.0 &&
+         !HasDeliveryFaults() && trials.failure_rate == 0.0;
+}
+
+bool FaultSchedule::HasDeliveryFaults() const {
+  return delivery.loss_rate > 0.0 || delivery.duplication_rate > 0.0 ||
+         !acl_drift.empty();
+}
+
+FaultSchedule ParseFaultSpec(const std::string& spec) {
+  FaultSchedule schedule;
+  for (std::string_view directive : Split(spec, ';')) {
+    if (directive.empty()) continue;  // Tolerates "a;;b" and trailing ';'.
+    const std::size_t colon = directive.find(':');
+    if (colon == std::string_view::npos) {
+      BadDirective(directive, "missing ':'");
+    }
+    const std::string_view verb = directive.substr(0, colon);
+    const std::string_view rest = directive.substr(colon + 1);
+    if (verb == "seed") {
+      schedule.seed = ParseU64(rest, directive);
+    } else if (verb == "outage") {
+      const auto parts = Split(rest, ':');
+      if (parts.size() != 3 || parts[0].empty()) {
+        BadDirective(directive, "want outage:<label>:<down>:<up>");
+      }
+      OutageWindow window;
+      window.sensor = std::string(parts[0]);
+      window.down_at = ParseDouble(parts[1], directive);
+      window.up_at = ParseDouble(parts[2], directive);
+      if (!(window.up_at > window.down_at)) {
+        BadDirective(directive, "window must satisfy down < up");
+      }
+      schedule.outages.push_back(std::move(window));
+    } else if (verb == "outages") {
+      const auto parts = Split(rest, ':');
+      if (parts.size() != 2) {
+        BadDirective(directive, "want outages:<fraction>:<horizon>");
+      }
+      schedule.staggered.down_fraction = ParseProbability(parts[0], directive);
+      schedule.staggered.horizon = ParseDouble(parts[1], directive);
+      if (!(schedule.staggered.horizon > 0.0)) {
+        BadDirective(directive, "horizon must be positive");
+      }
+    } else if (verb == "loss") {
+      schedule.delivery.loss_rate = ParseProbability(rest, directive);
+    } else if (verb == "dup") {
+      schedule.delivery.duplication_rate = ParseProbability(rest, directive);
+    } else if (verb == "acl") {
+      const std::size_t at_sign = rest.find('@');
+      if (at_sign == std::string_view::npos) {
+        BadDirective(directive, "want acl:<cidr>@<t>");
+      }
+      const auto block = net::Prefix::Parse(rest.substr(0, at_sign));
+      if (!block) {
+        BadDirective(directive, "unparseable CIDR block");
+      }
+      if (block->length() > 16) {
+        BadDirective(directive,
+                     "ACL drift operates on /16 or shorter blocks");
+      }
+      AclDriftEvent event;
+      event.block = *block;
+      event.at = ParseDouble(rest.substr(at_sign + 1), directive);
+      schedule.acl_drift.push_back(event);
+    } else if (verb == "trialfail") {
+      schedule.trials.failure_rate = ParseProbability(rest, directive);
+    } else {
+      BadDirective(directive, "unknown verb");
+    }
+  }
+  std::sort(schedule.acl_drift.begin(), schedule.acl_drift.end(),
+            [](const AclDriftEvent& a, const AclDriftEvent& b) {
+              return a.at < b.at;
+            });
+  return schedule;
+}
+
+std::vector<OutageWindow> StaggeredOutages(
+    const std::vector<std::string>& labels, double horizon,
+    double down_fraction, std::uint64_t seed) {
+  std::vector<OutageWindow> windows;
+  if (down_fraction <= 0.0 || horizon <= 0.0) return windows;
+  const double length = std::min(down_fraction, 1.0) * horizon;
+  prng::SplitMix64 stream{seed};
+  windows.reserve(labels.size());
+  for (const std::string& label : labels) {
+    const double start = UnitDouble(stream.Next()) * (horizon - length);
+    windows.push_back(OutageWindow{label, start, start + length});
+  }
+  return windows;
+}
+
+bool ShouldKillTrial(const FaultSchedule& schedule, int trial,
+                     std::uint64_t trial_seed) {
+  const double rate = schedule.trials.failure_rate;
+  if (rate <= 0.0) return false;
+  if (rate >= 1.0) return true;
+  // Pure function of (schedule seed, trial, attempt seed): retries see a
+  // fresh draw because TrialAttemptSeed changes per attempt, while the same
+  // (seed, schedule) pair replays the same kills on any thread count.
+  const std::uint64_t bits = prng::Mix64(
+      schedule.seed ^ prng::Mix64(trial_seed + static_cast<unsigned>(trial)));
+  return UnitDouble(bits) < rate;
+}
+
+void MaybeKillTrial(const FaultSchedule& schedule, int trial,
+                    std::uint64_t trial_seed) {
+  if (ShouldKillTrial(schedule, trial, trial_seed)) {
+    throw TrialKilled("fault-injected trial failure (trial " +
+                      std::to_string(trial) + ", schedule " +
+                      std::string(kFaultSchema) + ")");
+  }
+}
+
+}  // namespace hotspots::fault

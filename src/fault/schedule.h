@@ -1,0 +1,136 @@
+// Deterministic fault schedules (`hotspots.faults.v1`).
+//
+// The paper's environmental root causes of hotspots include *failures and
+// misconfiguration*: sensor blocks that go dark (BGP-style block
+// withdrawal), filtering policy that drifts, and plain packet loss.  A
+// FaultSchedule scripts those degradations for one experiment: scripted
+// per-sensor outage windows, probabilistic delivery faults (extra loss,
+// duplication), scripted ACL-drift events, and injected trial failures for
+// exercising the study runner's quarantine path.
+//
+// Every probabilistic fault draws from a schedule-private SplitMix64
+// stream — mirroring the TraceWriter sampling design — so injection never
+// perturbs engine RNG state: a run with an *empty* schedule is bit-identical
+// to a run with no fault layer at all, and identical (seed, schedule) pairs
+// reproduce bit-identical fault decisions on any thread count.
+//
+// Text spec grammar (the `hotspots.faults.v1` schema, also accepted by the
+// benches' --faults flag); directives are ';'-separated:
+//
+//   seed:<u64>                     fault-stream seed (decimal or 0x hex)
+//   outage:<label>:<down>:<up>     sensor outage window [down, up) seconds;
+//                                  label "*" matches every sensor; <up> may
+//                                  be "inf"
+//   outages:<fraction>:<horizon>   staggered random outages: every sensor
+//                                  gets one window of length
+//                                  fraction*horizon, start drawn from the
+//                                  fault stream (materialized per fleet)
+//   loss:<p>                       extra Bernoulli loss on delivered probes
+//   dup:<p>                        Bernoulli duplication of delivered probes
+//   acl:<cidr>@<t>                 the /16s of <cidr> become
+//                                  ingress-filtered at time <t> (policy
+//                                  drift); <cidr> must be /16 or shorter
+//   trialfail:<p>                  per-attempt probability that a study
+//                                  trial is fault-killed (throws TrialKilled)
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "net/prefix.h"
+
+namespace hotspots::fault {
+
+/// Schema identifier used in sidecars, specs, and diagnostics.
+inline constexpr const char* kFaultSchema = "hotspots.faults.v1";
+
+/// One scripted sensor outage: the sensor labelled `sensor` records nothing
+/// in [down_at, up_at).  "*" matches every sensor of the fleet.
+struct OutageWindow {
+  std::string sensor;
+  double down_at = 0.0;
+  double up_at = std::numeric_limits<double>::infinity();
+};
+
+/// Staggered probabilistic outages: every sensor goes dark once for
+/// `down_fraction * horizon` seconds, the start drawn uniformly from the
+/// schedule's fault stream.  Materialized against a concrete fleet by
+/// ApplySensorOutages() / StaggeredOutages().
+struct StaggeredOutageConfig {
+  double down_fraction = 0.0;
+  double horizon = 0.0;
+};
+
+/// Probabilistic faults layered on the delivery decision (DeliveryFaults).
+struct DeliveryFaultConfig {
+  /// Extra Bernoulli loss applied to probes the topology delivered.
+  double loss_rate = 0.0;
+  /// Probability a delivered probe is duplicated in flight.
+  double duplication_rate = 0.0;
+};
+
+/// One ACL-drift event: at time `at`, every /16 touched by `block` becomes
+/// ingress-filtered (misconfigured policy that widened).  Blocks must be
+/// /16 or shorter — drift is modelled at the classification table's
+/// granularity, like the paper's coarse upstream ACLs.
+struct AclDriftEvent {
+  double at = 0.0;
+  net::Prefix block;
+};
+
+/// Study-level fault injection (exercises retry/quarantine).
+struct TrialFaultConfig {
+  /// Per-attempt probability that the trial is killed before it runs.
+  double failure_rate = 0.0;
+};
+
+/// A complete, deterministic fault schedule for one experiment.
+struct FaultSchedule {
+  /// Seed of the schedule-private SplitMix64 stream(s).
+  std::uint64_t seed = 0xFA017ED5EEDull;
+  std::vector<OutageWindow> outages;
+  StaggeredOutageConfig staggered;
+  DeliveryFaultConfig delivery;
+  std::vector<AclDriftEvent> acl_drift;
+  TrialFaultConfig trials;
+
+  /// True when the schedule injects nothing — runs must then be
+  /// bit-identical to runs with no fault layer attached.
+  [[nodiscard]] bool empty() const;
+  /// True when any delivery-layer fault (loss, duplication, drift) is set.
+  [[nodiscard]] bool HasDeliveryFaults() const;
+};
+
+/// Parses a `hotspots.faults.v1` text spec (grammar above).  Throws
+/// std::invalid_argument naming the offending directive.
+[[nodiscard]] FaultSchedule ParseFaultSpec(const std::string& spec);
+
+/// Materializes staggered outage windows for `labels`: every sensor gets
+/// one window of length `down_fraction * horizon`, start drawn from
+/// SplitMix64(seed) in label order.  Deterministic in (labels, seed).
+[[nodiscard]] std::vector<OutageWindow> StaggeredOutages(
+    const std::vector<std::string>& labels, double horizon,
+    double down_fraction, std::uint64_t seed);
+
+/// Raised by MaybeKillTrial for fault-injected trial failures, so tests and
+/// benches can tell injected kills from real bugs.
+class TrialKilled : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Deterministic per-(trial, seed) draw against
+/// `schedule.trials.failure_rate`.  The trial seed differs per retry
+/// attempt (sim::TrialAttemptSeed), so a killed attempt can succeed on
+/// retry — exactly the transient-failure shape the retry path exists for.
+[[nodiscard]] bool ShouldKillTrial(const FaultSchedule& schedule, int trial,
+                                   std::uint64_t trial_seed);
+
+/// Throws TrialKilled when ShouldKillTrial() says so; no-op otherwise.
+void MaybeKillTrial(const FaultSchedule& schedule, int trial,
+                    std::uint64_t trial_seed);
+
+}  // namespace hotspots::fault

@@ -188,6 +188,10 @@ RunResult Engine::Run(ProbeObserver& observer) {
   // (HOTSPOTS_OBS_TIMERS=1): with them off the per-probe cost is one
   // hoisted-bool branch and the clock is never read.
   const bool stage_timers = obs::StageTimersEnabled();
+  // Hoisted fault hook: fault-free runs pay one null test per probe and
+  // take exactly the pre-fault code path (bit-identical output).
+  DeliveryFaultHook* const fault_hook = fault_hook_;
+  if (fault_hook != nullptr) fault_hook->OnRunStart(config_.seed);
   const std::uint64_t infected_at_start = ever_infected_;
   std::uint64_t targeting_ns = 0;
   std::uint64_t decide_ns = 0;
@@ -321,12 +325,37 @@ RunResult Engine::Run(ProbeObserver& observer) {
           probe.dst = target;
           verdict = reachability_.Decide(probe, rng_);
         }
+        bool duplicate = false;
+        if (fault_hook != nullptr) {
+          // Post-decision fault layer: may degrade a delivered probe or
+          // request an in-flight duplicate, never resurrect a drop.  Draws
+          // come from the hook's private stream, not rng_.
+          const DeliveryFaultHook::Outcome adjusted =
+              fault_hook->OnProbeVerdict(time, target, verdict);
+          if (verdict == topology::Delivery::kDelivered &&
+              adjusted.verdict != topology::Delivery::kDelivered) {
+            ++result.fault_injected_drops;
+          }
+          verdict = adjusted.verdict;
+          duplicate = adjusted.duplicate &&
+                      verdict == topology::Delivery::kDelivered;
+        }
         ++result.total_probes;
         ++result.delivery_counts[static_cast<std::size_t>(verdict)];
 
         event_buffer_.push_back(
             ProbeEvent{time, src_id, src_address, target, verdict});
         if (event_buffer_.size() == kBatchCapacity) flush_events();
+        if (duplicate) {
+          // The duplicate is a second observer-visible arrival of the same
+          // packet; it can infect (idempotently) but is not an emitted
+          // probe, so total_probes excludes it.
+          ++result.fault_duplicates;
+          ++result.delivery_counts[static_cast<std::size_t>(verdict)];
+          event_buffer_.push_back(
+              ProbeEvent{time, src_id, src_address, target, verdict});
+          if (event_buffer_.size() == kBatchCapacity) flush_events();
+        }
 
         if (verdict != topology::Delivery::kDelivered) continue;
         victim_buffer_.emplace_back(net::IsPrivate(target)
@@ -364,6 +393,14 @@ RunResult Engine::Run(ProbeObserver& observer) {
       registry.GetCounter(kDeliveryCounterNames[i])
           .Add(result.delivery_counts[i]);
     }
+  }
+  if (result.fault_injected_drops > 0) {
+    registry.GetCounter("engine.fault.injected_drops")
+        .Add(result.fault_injected_drops);
+  }
+  if (result.fault_duplicates > 0) {
+    registry.GetCounter("engine.fault.duplicates")
+        .Add(result.fault_duplicates);
   }
   if (stage_timers) {
     registry.GetCounter("engine.stage.targeting.nanos").Add(targeting_ns);

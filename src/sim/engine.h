@@ -29,6 +29,7 @@
 #include <vector>
 
 #include "prng/xoshiro.h"
+#include "sim/fault_hook.h"
 #include "sim/observer.h"
 #include "sim/population.h"
 #include "sim/targeting.h"
@@ -94,6 +95,13 @@ struct RunResult {
   std::uint64_t final_infected = 0;
   /// Hosts in the immune population at the end (patched or disinfected).
   std::uint64_t final_immune = 0;
+  /// Delivered probes a fault hook degraded to a drop (0 without faults).
+  std::uint64_t fault_injected_drops = 0;
+  /// In-flight duplicates a fault hook requested.  Duplicates are reported
+  /// to observers (and can infect), but are not part of total_probes;
+  /// delivery_counts tallies observer-visible events, so with duplicates
+  /// its sum exceeds total_probes by exactly this value.
+  std::uint64_t fault_duplicates = 0;
 
   [[nodiscard]] double FinalInfectedFraction() const {
     return eligible_population == 0
@@ -116,6 +124,12 @@ class Engine {
 
   /// Infects `count` distinct random vulnerable hosts (paper: 25 seeds).
   void SeedRandomInfections(int count);
+
+  /// Attaches a delivery-fault hook (nullptr detaches).  The hook adjusts
+  /// verdicts *after* Reachability::Decide from its own private RNG stream
+  /// (see sim/fault_hook.h), so runs without a hook are bit-identical to
+  /// the hook-free engine.  Not owned; must outlive Run().
+  void SetDeliveryFaults(DeliveryFaultHook* hook) { fault_hook_ = hook; }
 
   /// Runs to completion; reports every probe to `observer` (batched
   /// through ProbeObserver::OnProbeBatch in emission order).  `observer`
@@ -147,6 +161,7 @@ class Engine {
   const topology::NatDirectory* nats_;
   EngineConfig config_;
   prng::Xoshiro256 rng_;
+  DeliveryFaultHook* fault_hook_ = nullptr;
 
   /// Actively scanning hosts, their per-host targeting state, and their
   /// public-facing (post-NAT) source address — resolved once at activation

@@ -1,0 +1,46 @@
+// Delivery-fault hook interface.
+//
+// The engine's probe loop is fault-agnostic: when a hook is attached
+// (Engine::SetDeliveryFaults), every emitted probe's verdict is offered to
+// the hook *after* topology::Reachability::Decide, and the hook may degrade
+// it (injected loss, drifted ACLs) or request an in-flight duplicate.  The
+// concrete injector lives in src/fault (fault::DeliveryFaults); sim only
+// sees this interface, keeping the dependency edge fault → sim.
+//
+// Contract: the hook must be a pure function of (its own private RNG
+// stream, the probe sequence) — it must never touch the engine RNG, so a
+// run with no hook attached is bit-identical to the pre-fault engine, and
+// (engine seed, schedule) pairs reproduce exactly.
+#pragma once
+
+#include <cstdint>
+
+#include "net/ipv4.h"
+#include "topology/reachability.h"
+
+namespace hotspots::sim {
+
+class DeliveryFaultHook {
+ public:
+  virtual ~DeliveryFaultHook() = default;
+
+  /// What the fault layer decided for one probe.
+  struct Outcome {
+    topology::Delivery verdict = topology::Delivery::kDelivered;
+    /// Request an identical duplicate event (only honoured for probes that
+    /// are still delivered after fault adjustment).
+    bool duplicate = false;
+  };
+
+  /// Called once per Run() before the first probe, with the engine seed, so
+  /// injectors can derive a run-salted private stream.
+  virtual void OnRunStart(std::uint64_t engine_seed) = 0;
+
+  /// Adjusts one probe's verdict.  `verdict` is what the topology decided;
+  /// the hook may only degrade delivered probes or pass verdicts through —
+  /// it never resurrects a dropped probe.
+  [[nodiscard]] virtual Outcome OnProbeVerdict(double time, net::Ipv4 dst,
+                                               topology::Delivery verdict) = 0;
+};
+
+}  // namespace hotspots::sim

@@ -47,14 +47,29 @@ const StudySegment* StudyTelemetry::SegmentOf(int trial) const {
   return nullptr;
 }
 
+namespace {
+
+/// Pads the fault-accounting vectors to `trials` entries (defaults: one
+/// attempt, not quarantined) so telemetry assembled before this PR — or by
+/// hand in tests — merges cleanly with telemetry that carries them.
+void NormalizeFaultVectors(StudyTelemetry& telemetry) {
+  telemetry.trial_attempts.resize(
+      static_cast<std::size_t>(std::max(telemetry.trials, 0)), 1);
+  telemetry.trial_quarantined.resize(
+      static_cast<std::size_t>(std::max(telemetry.trials, 0)), 0);
+}
+
+}  // namespace
+
 void StudyTelemetry::Merge(const StudyTelemetry& other) {
+  NormalizeFaultVectors(*this);
   // Shift the incoming segments past our trials *before* the trial count
   // grows, so merged indices keep pointing at the right sweep point.
   const int offset = trials;
   for (const StudySegment& segment : other.segments) {
     segments.push_back(StudySegment{segment.label,
                                     segment.trial_offset + offset,
-                                    segment.trials});
+                                    segment.trials, segment.lost_trials});
   }
   trials += other.trials;
   threads_used = std::max(threads_used, other.threads_used);
@@ -67,6 +82,17 @@ void StudyTelemetry::Merge(const StudyTelemetry& other) {
   trial_queue_wait_seconds.insert(trial_queue_wait_seconds.end(),
                                   other.trial_queue_wait_seconds.begin(),
                                   other.trial_queue_wait_seconds.end());
+  trial_attempts.insert(trial_attempts.end(), other.trial_attempts.begin(),
+                        other.trial_attempts.end());
+  trial_quarantined.insert(trial_quarantined.end(),
+                           other.trial_quarantined.begin(),
+                           other.trial_quarantined.end());
+  NormalizeFaultVectors(*this);  // Pads a hand-built `other`'s entries.
+  quarantined_trials += other.quarantined_trials;
+  retries += other.retries;
+  failure_messages.insert(failure_messages.end(),
+                          other.failure_messages.begin(),
+                          other.failure_messages.end());
 }
 
 std::vector<std::uint64_t> TrialSeeds(std::uint64_t master_seed, int count) {
@@ -75,6 +101,22 @@ std::vector<std::uint64_t> TrialSeeds(std::uint64_t master_seed, int count) {
   std::vector<std::uint64_t> seeds(static_cast<std::size_t>(count));
   for (std::uint64_t& seed : seeds) seed = stream.Next();
   return seeds;
+}
+
+std::uint64_t TrialAttemptSeed(std::uint64_t master_seed, int trial,
+                               int attempt) {
+  if (trial < 0 || attempt < 0) {
+    throw std::invalid_argument("TrialAttemptSeed: negative index");
+  }
+  // Attempt 0 must equal the classic TrialSeeds()[trial] so retry-free
+  // studies stay bit-identical to the pre-retry runner.
+  prng::SplitMix64 stream{master_seed};
+  std::uint64_t base = 0;
+  for (int i = 0; i <= trial; ++i) base = stream.Next();
+  if (attempt == 0) return base;
+  // Retries mix (base, attempt) statelessly: independent of thread count
+  // and of how many *other* trials retried.
+  return prng::Mix64(base ^ prng::Mix64(static_cast<std::uint64_t>(attempt)));
 }
 
 int ResolveStudyThreads(int requested) {
@@ -94,12 +136,17 @@ StudyTelemetry RunTrials(
     const StudyOptions& options, int trials,
     const std::function<void(int, std::uint64_t)>& run_trial) {
   if (trials < 0) throw std::invalid_argument("RunTrials: trials < 0");
+  if (options.max_attempts < 1) {
+    throw std::invalid_argument("RunTrials: max_attempts < 1");
+  }
 
   StudyTelemetry telemetry;
   telemetry.trials = trials;
   telemetry.trial_wall_seconds.assign(static_cast<std::size_t>(trials), 0.0);
   telemetry.trial_queue_wait_seconds.assign(static_cast<std::size_t>(trials),
                                             0.0);
+  telemetry.trial_attempts.assign(static_cast<std::size_t>(trials), 1);
+  telemetry.trial_quarantined.assign(static_cast<std::size_t>(trials), 0);
   telemetry.segments = {StudySegment{options.label, 0, trials}};
   telemetry.threads_used =
       std::max(1, std::min(ResolveStudyThreads(options.threads), trials));
@@ -114,8 +161,13 @@ StudyTelemetry RunTrials(
   std::atomic<int> next_trial{0};
   std::atomic<int> active{0};
   std::atomic<int> peak{0};
+  std::atomic<int> total_retries{0};
   std::mutex failure_mutex;
   std::exception_ptr failure;
+  // Quarantine diagnostics are staged per trial index and compacted after
+  // the join, so failure_messages is in trial order on any thread count.
+  std::vector<std::string> quarantine_reasons(
+      static_cast<std::size_t>(trials));
 
   const auto study_start = std::chrono::steady_clock::now();
   const auto worker = [&] {
@@ -131,11 +183,50 @@ StudyTelemetry RunTrials(
       const auto start = std::chrono::steady_clock::now();
       telemetry.trial_queue_wait_seconds[static_cast<std::size_t>(trial)] =
           std::chrono::duration<double>(start - study_start).count();
-      try {
-        run_trial(trial, seeds[static_cast<std::size_t>(trial)]);
-      } catch (...) {
-        const std::scoped_lock lock{failure_mutex};
-        if (!failure) failure = std::current_exception();
+      std::exception_ptr last_error;
+      int attempts = 0;
+      for (int attempt = 0; attempt < options.max_attempts; ++attempt) {
+        if (attempt > 0 && options.retry_backoff_seconds > 0.0) {
+          std::this_thread::sleep_for(std::chrono::duration<double>(
+              options.retry_backoff_seconds *
+              static_cast<double>(1u << (attempt - 1))));
+        }
+        ++attempts;
+        try {
+          // Attempt 0 uses the precomputed classic seed; retries derive a
+          // fresh one from (trial, attempt) — see TrialAttemptSeed().
+          run_trial(trial,
+                    attempt == 0
+                        ? seeds[static_cast<std::size_t>(trial)]
+                        : TrialAttemptSeed(options.master_seed, trial,
+                                           attempt));
+          last_error = nullptr;
+          break;
+        } catch (...) {
+          last_error = std::current_exception();
+        }
+      }
+      telemetry.trial_attempts[static_cast<std::size_t>(trial)] = attempts;
+      if (attempts > 1) {
+        total_retries.fetch_add(attempts - 1, std::memory_order_relaxed);
+      }
+      if (last_error) {
+        if (options.quarantine_failures) {
+          telemetry.trial_quarantined[static_cast<std::size_t>(trial)] = 1;
+          std::string what = "unknown error";
+          try {
+            std::rethrow_exception(last_error);
+          } catch (const std::exception& error) {
+            what = error.what();
+          } catch (...) {
+          }
+          quarantine_reasons[static_cast<std::size_t>(trial)] =
+              "trial " + std::to_string(trial) + ": " + what + " (" +
+              std::to_string(attempts) + " attempts)";
+        } else {
+          const std::scoped_lock lock{failure_mutex};
+          if (!failure) failure = last_error;
+        }
       }
       telemetry.trial_wall_seconds[static_cast<std::size_t>(trial)] =
           std::chrono::duration<double>(std::chrono::steady_clock::now() -
@@ -160,6 +251,15 @@ StudyTelemetry RunTrials(
                                     study_start)
           .count();
   telemetry.peak_concurrent_trials = peak.load();
+  telemetry.retries = total_retries.load();
+  for (int trial = 0; trial < trials; ++trial) {
+    if (telemetry.trial_quarantined[static_cast<std::size_t>(trial)] != 0) {
+      ++telemetry.quarantined_trials;
+      telemetry.failure_messages.push_back(
+          std::move(quarantine_reasons[static_cast<std::size_t>(trial)]));
+    }
+  }
+  telemetry.segments.front().lost_trials = telemetry.quarantined_trials;
   if (failure) std::rethrow_exception(failure);
 
   // Study-level observability: fold once per study, after the workers have
@@ -172,6 +272,14 @@ StudyTelemetry RunTrials(
       .Set(static_cast<double>(telemetry.threads_used));
   registry.GetGauge("study.peak_concurrent_trials")
       .SetMax(static_cast<double>(telemetry.peak_concurrent_trials));
+  if (telemetry.retries > 0) {
+    registry.GetCounter("study.retries")
+        .Add(static_cast<std::uint64_t>(telemetry.retries));
+  }
+  if (telemetry.quarantined_trials > 0) {
+    registry.GetCounter("study.quarantined_trials")
+        .Add(static_cast<std::uint64_t>(telemetry.quarantined_trials));
+  }
   // 1 ms … ~2.3 h trial latencies; 1 µs … ~4.8 h queue waits.
   static const std::vector<double> kLatencyBounds =
       obs::ExponentialBounds(1e-3, 2.0, 24);

@@ -42,6 +42,20 @@ struct StudyOptions {
   /// merged telemetry can attribute each trial back to the study that ran
   /// it (benches use e.g. "list-1000" per hit-list size).
   std::string label;
+
+  // -- Trial isolation (defaults preserve legacy fail-fast behaviour) ----
+  /// Attempts per trial (≥ 1).  A trial that throws is retried up to this
+  /// many times, each attempt on a fresh seed from TrialAttemptSeed(), so
+  /// a transient fault cannot freeze a study on a poisoned draw.
+  int max_attempts = 1;
+  /// Base delay before retry k: base · 2^(k−1) seconds (exponential
+  /// backoff); 0 retries immediately.
+  double retry_backoff_seconds = 0.0;
+  /// When true, a trial that exhausts its attempts is *quarantined* — the
+  /// study completes, the loss is recorded in the telemetry (per-trial
+  /// flags, quarantined_trials, failure_messages) and in the segment's
+  /// lost_trials — instead of rethrowing after the pool joins.
+  bool quarantine_failures = false;
 };
 
 /// One study's slice of a merged telemetry: trials
@@ -51,6 +65,9 @@ struct StudySegment {
   std::string label;
   int trial_offset = 0;
   int trials = 0;
+  /// Trials of this segment quarantined after exhausting their attempts —
+  /// the explicit loss accounting behind any partial aggregate.
+  int lost_trials = 0;
 };
 
 /// Wall-clock instrumentation of one study (or, after Merge, of a sweep of
@@ -70,6 +87,30 @@ struct StudyTelemetry {
   /// Originating studies of the per-trial vectors, in merge order.  A
   /// freshly run study has one segment covering all its trials.
   std::vector<StudySegment> segments;
+
+  // -- Fault tolerance accounting ----------------------------------------
+  /// Attempts consumed per trial, by trial index (1 everywhere on a clean
+  /// run).
+  std::vector<int> trial_attempts;
+  /// 1 when the trial exhausted its attempts and was quarantined.
+  std::vector<std::uint8_t> trial_quarantined;
+  /// Count of quarantined trials (== sum of trial_quarantined).
+  int quarantined_trials = 0;
+  /// Retries beyond each trial's first attempt, study-wide.
+  int retries = 0;
+  /// One "trial N: <what> (k attempts)" line per quarantined trial, in
+  /// trial order — deterministic regardless of scheduling.
+  std::vector<std::string> failure_messages;
+
+  [[nodiscard]] bool TrialQuarantined(int trial) const {
+    return trial >= 0 &&
+           static_cast<std::size_t>(trial) < trial_quarantined.size() &&
+           trial_quarantined[static_cast<std::size_t>(trial)] != 0;
+  }
+  /// Trials that produced a result (trials − quarantined_trials).
+  [[nodiscard]] int CompletedTrials() const {
+    return trials - quarantined_trials;
+  }
 
   [[nodiscard]] double MeanTrialSeconds() const;
   /// Sum of per-trial wall clocks — the serial-equivalent cost; the ratio
@@ -96,6 +137,16 @@ struct StudyTelemetry {
 [[nodiscard]] std::vector<std::uint64_t> TrialSeeds(std::uint64_t master_seed,
                                                     int count);
 
+/// The seed for attempt `attempt` (0-based) of trial `trial`: attempt 0 is
+/// exactly TrialSeeds(master_seed, trial+1)[trial], and each retry derives
+/// a fresh seed by SplitMix64-mixing (base seed, attempt).  Both inputs are
+/// pure indices — never scheduling order — so aggregates are thread-count-
+/// and retry-invariant: a trial that succeeds on attempt k produces the
+/// same result whether its earlier failures happened on one thread or
+/// sixteen.
+[[nodiscard]] std::uint64_t TrialAttemptSeed(std::uint64_t master_seed,
+                                             int trial, int attempt);
+
 /// Resolves the worker-thread count: `requested` if positive, else the
 /// HOTSPOTS_THREADS environment variable, else hardware_concurrency
 /// (minimum 1).
@@ -105,9 +156,14 @@ struct StudyTelemetry {
 /// [0, trials) across the study's thread pool and returns the telemetry.
 /// `run_trial` must confine its mutable state to the call (each trial owns
 /// its population/engine/observer); it may write its result into a
-/// per-index slot of a caller-owned vector without locking.  The first
-/// exception thrown by any trial is rethrown on the calling thread after
-/// all workers join.
+/// per-index slot of a caller-owned vector without locking.
+///
+/// Failure policy: a throwing trial is retried up to options.max_attempts
+/// times on fresh TrialAttemptSeed() seeds (with exponential backoff).  A
+/// trial that exhausts its attempts is either quarantined — the study
+/// completes with the loss recorded in the telemetry and its segment
+/// (options.quarantine_failures) — or, by default, the first such
+/// exception is rethrown on the calling thread after all workers join.
 StudyTelemetry RunTrials(
     const StudyOptions& options, int trials,
     const std::function<void(int, std::uint64_t)>& run_trial);

@@ -61,9 +61,44 @@ std::vector<Slash24Row> SensorBlock::Histogram() const {
   return rows;
 }
 
+void SensorBlock::SetOutageWindows(
+    std::vector<std::pair<double, double>> windows) {
+  // Drop empty/inverted windows, then sort and merge overlaps so InOutage's
+  // monotone cursor sees disjoint ascending intervals.
+  std::erase_if(windows,
+                [](const auto& window) { return !(window.second > window.first); });
+  std::sort(windows.begin(), windows.end());
+  outages_.clear();
+  for (const auto& window : windows) {
+    if (!outages_.empty() && window.first <= outages_.back().second) {
+      outages_.back().second = std::max(outages_.back().second, window.second);
+    } else {
+      outages_.push_back(window);
+    }
+  }
+  outage_cursor_ = 0;
+  outage_missed_probes_ = 0;
+}
+
+double SensorBlock::DownSeconds(double horizon) const {
+  double total = 0.0;
+  for (const auto& [down, up] : outages_) {
+    if (horizon > 0.0) {
+      total += std::max(0.0, std::min(up, horizon) - std::min(down, horizon));
+    } else {
+      total += up - down;
+    }
+  }
+  return total;
+}
+
 void SensorBlock::Reset() {
   probes_ = 0;
   unidentified_probes_ = 0;
+  // Outage windows stay (they are schedule state); the cursor and the
+  // missed tally are per-trial.
+  outage_cursor_ = 0;
+  outage_missed_probes_ = 0;
   alert_time_.reset();
   sources_.Clear();
   for (PerSlash24& cell : per_slash24_) {

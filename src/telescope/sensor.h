@@ -18,6 +18,7 @@
 #include <cstdint>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "net/ipv4.h"
@@ -88,6 +89,35 @@ class SensorBlock {
   /// /24s of the block that saw nothing (so plots have a complete x-axis).
   [[nodiscard]] std::vector<Slash24Row> Histogram() const;
 
+  // -- Outage windows (fault injection; see src/fault) -------------------
+  /// Replaces the sensor's outage windows with [down, up) intervals
+  /// (sorted and merged here).  While down, the sensor records nothing —
+  /// the block has been withdrawn BGP-flap-style.  Windows survive Reset()
+  /// (they belong to the fault schedule, not to per-trial state).
+  void SetOutageWindows(std::vector<std::pair<double, double>> windows);
+  [[nodiscard]] bool has_outages() const { return !outages_.empty(); }
+
+  /// True when `time` falls inside an outage window.  Advances a monotone
+  /// cursor, so `time` must be non-decreasing between Reset()s — exactly
+  /// the probe-stream contract.  O(1) amortized.
+  [[nodiscard]] bool InOutage(double time) {
+    while (outage_cursor_ < outages_.size() &&
+           time >= outages_[outage_cursor_].second) {
+      ++outage_cursor_;
+    }
+    return outage_cursor_ < outages_.size() &&
+           time >= outages_[outage_cursor_].first;
+  }
+
+  /// Tallies one probe that arrived while the sensor was down.
+  void TallyOutageMiss() { ++outage_missed_probes_; }
+  [[nodiscard]] std::uint64_t outage_missed_probes() const {
+    return outage_missed_probes_;
+  }
+
+  /// Scheduled downtime overlapping [0, horizon] ([0, ∞) when horizon ≤ 0).
+  [[nodiscard]] double DownSeconds(double horizon = 0.0) const;
+
   /// Resets all counters (between experiment phases).  Capacity is kept, so
   /// resetting between trials is allocation-free.
   void Reset();
@@ -102,6 +132,11 @@ class SensorBlock {
 
   std::uint64_t probes_ = 0;
   std::uint64_t unidentified_probes_ = 0;
+  /// Sorted, merged [down, up) outage windows plus the monotone cursor of
+  /// the current/next window and the count of probes lost to downtime.
+  std::vector<std::pair<double, double>> outages_;
+  std::size_t outage_cursor_ = 0;
+  std::uint64_t outage_missed_probes_ = 0;
   std::optional<double> alert_time_;
   sim::FlatSet<std::uint32_t> sources_;
   // Dense per-/24 statistics (Figures 1/2/4 plot probes *and* unique

@@ -107,12 +107,43 @@ unsigned Telescope::ObserveBuilt(double time, net::Ipv4 src, net::Ipv4 dst) {
   const int* index = by_address_.Lookup(dst);
   if (index == nullptr) return 0;
   SensorBlock& sensor = *sensors_[static_cast<std::size_t>(*index)];
+  if (outages_present_ && sensor.has_outages() && sensor.InOutage(time)) {
+    // The block is withdrawn: the probe reached dead air.
+    sensor.TallyOutageMiss();
+    return 0;
+  }
   const bool identified =
       !threat_requires_handshake_ || sensor.options().active_responder;
   const bool was_alerted = sensor.alerted();
   sensor.Record(time, src, dst, identified);
   return kRecorded |
          (sensor.alerted() != was_alerted ? kNewAlert : 0u);
+}
+
+void Telescope::SetSensorOutages(
+    int index, std::vector<std::pair<double, double>> windows) {
+  SensorBlock& target = sensor(index);
+  target.SetOutageWindows(std::move(windows));
+  if (target.has_outages()) {
+    outages_present_ = true;
+  } else {
+    // This sensor's windows were cleared/empty: re-derive the fleet flag.
+    outages_present_ = SensorsWithOutages() > 0;
+  }
+}
+
+std::uint64_t Telescope::OutageMissedProbes() const {
+  std::uint64_t missed = 0;
+  for (const auto& sensor : sensors_) missed += sensor->outage_missed_probes();
+  return missed;
+}
+
+std::size_t Telescope::SensorsWithOutages() const {
+  std::size_t count = 0;
+  for (const auto& sensor : sensors_) {
+    if (sensor->has_outages()) ++count;
+  }
+  return count;
 }
 
 const SensorBlock* Telescope::FindByLabel(std::string_view label) const {
@@ -159,6 +190,18 @@ void Telescope::PublishSensorMetrics(double sim_duration) const {
       registry.GetGauge(prefix + ".rate_per_sec")
           .Set(static_cast<double>(sensor->probe_count()) / sim_duration);
     }
+    if (sensor->has_outages()) {
+      registry.GetGauge(prefix + ".outage_missed_probes")
+          .Set(static_cast<double>(sensor->outage_missed_probes()));
+      registry.GetGauge(prefix + ".outage_down_seconds")
+          .Set(sensor->DownSeconds(sim_duration));
+    }
+  }
+  if (outages_present_) {
+    registry.GetGauge("telescope.outage.sensors")
+        .Set(static_cast<double>(SensorsWithOutages()));
+    registry.GetGauge("telescope.outage.missed_probes")
+        .Set(static_cast<double>(OutageMissedProbes()));
   }
 }
 

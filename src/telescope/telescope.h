@@ -25,6 +25,7 @@
 #include <memory>
 #include <span>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "net/slash16_index.h"
@@ -78,6 +79,18 @@ class Telescope final : public sim::ProbeObserver {
   /// Sensor with the given label, or nullptr.
   [[nodiscard]] const SensorBlock* FindByLabel(std::string_view label) const;
 
+  // -- Outage injection (fault schedules; see src/fault) -----------------
+  /// Applies outage windows to sensor `index` (replacing previous ones).
+  /// Probes arriving during a window are counted as missed, not recorded,
+  /// so alerting and aggregation degrade instead of lying.  Fault-free
+  /// fleets pay one hoisted-bool branch per recorded probe.
+  void SetSensorOutages(int index,
+                        std::vector<std::pair<double, double>> windows);
+  /// Fleet-wide probes lost to outages.
+  [[nodiscard]] std::uint64_t OutageMissedProbes() const;
+  /// Sensors that currently carry at least one outage window.
+  [[nodiscard]] std::size_t SensorsWithOutages() const;
+
   /// Number of sensors that have alerted.
   [[nodiscard]] std::size_t AlertedCount() const;
 
@@ -125,6 +138,9 @@ class Telescope final : public sim::ProbeObserver {
   net::Slash16Index<int> by_address_;
   bool built_ = false;
   bool threat_requires_handshake_ = false;
+  /// Hoisted "any sensor has outage windows" flag: the per-probe outage
+  /// check is skipped entirely on fault-free fleets.
+  bool outages_present_ = false;
 };
 
 }  // namespace hotspots::telescope

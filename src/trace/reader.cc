@@ -30,7 +30,12 @@ inline double BitsToDouble(std::uint64_t bits) {
 
 }  // namespace
 
-TraceReader::TraceReader(const std::string& path) : path_(path) {
+TraceReader::TraceReader(const std::string& path)
+    : TraceReader(path, TraceReaderOptions{}) {}
+
+TraceReader::TraceReader(const std::string& path,
+                         const TraceReaderOptions& options)
+    : path_(path), options_(options) {
   file_ = std::fopen(path_.c_str(), "rb");
   if (file_ == nullptr) {
     throw TraceError("trace: cannot open " + path_);
@@ -69,18 +74,63 @@ void TraceReader::Fail(const std::string& what) const {
                    what);
 }
 
-void TraceReader::ReadExact(void* out, std::size_t size, const char* what) {
+std::size_t TraceReader::ReadUpTo(void* out, std::size_t size) {
   if (file_ == nullptr) Fail("read after end");
-  const std::size_t got = std::fread(out, 1, size, file_);
+  auto* dst = static_cast<std::uint8_t*>(out);
+  std::size_t total = 0;
+  // Drain bytes a salvage resync buffered before touching the file again.
+  if (pending_pos_ < pending_.size()) {
+    const std::size_t take = std::min(size, pending_.size() - pending_pos_);
+    std::memcpy(dst, pending_.data() + pending_pos_, take);
+    pending_pos_ += take;
+    total += take;
+    if (pending_pos_ == pending_.size()) {
+      pending_.clear();
+      pending_pos_ = 0;
+    }
+  }
+  if (total < size) {
+    total += std::fread(dst + total, 1, size - total, file_);
+  }
+  offset_ += total;
+  return total;
+}
+
+void TraceReader::ReadExact(void* out, std::size_t size, const char* what) {
+  const std::size_t got = ReadUpTo(out, size);
   if (got != size) {
+    offset_ -= got;  // Diagnose at the start of the truncated structure.
     Fail("truncated " + std::string(what) + " (needed " +
          std::to_string(size) + " bytes, got " + std::to_string(got) + ")");
   }
-  offset_ += size;
+}
+
+void TraceReader::FinishRead() {
+  at_end_ = true;
+  auto& registry = obs::Registry::Global();
+  registry.GetCounter("trace.reader.files").Increment();
+  registry.GetCounter("trace.reader.records").Add(records_);
+  registry.GetCounter("trace.reader.blocks").Add(blocks_);
+  if (salvage_.corrupt_blocks > 0) {
+    registry.GetCounter("trace.reader.salvage.corrupt_blocks")
+        .Add(salvage_.corrupt_blocks);
+  }
+  if (salvage_.records_lost > 0) {
+    registry.GetCounter("trace.reader.salvage.records_lost")
+        .Add(salvage_.records_lost);
+  }
+  if (salvage_.bytes_skipped > 0) {
+    registry.GetCounter("trace.reader.salvage.bytes_skipped")
+        .Add(salvage_.bytes_skipped);
+  }
 }
 
 std::span<const sim::ProbeEvent> TraceReader::NextBatch() {
   if (at_end_) return {};
+  return options_.salvage ? NextBatchSalvage() : NextBatchStrict();
+}
+
+std::span<const sim::ProbeEvent> TraceReader::NextBatchStrict() {
   std::uint8_t frame[kBlockFrameBytes];
   ReadExact(frame, sizeof frame, "block frame");
   const std::uint32_t record_count = LoadU32(frame);
@@ -114,11 +164,7 @@ std::span<const sim::ProbeEvent> TraceReader::NextBatch() {
 
   if (record_count == 0) {
     VerifyTrailer(payload_);
-    at_end_ = true;
-    auto& registry = obs::Registry::Global();
-    registry.GetCounter("trace.reader.files").Increment();
-    registry.GetCounter("trace.reader.records").Add(records_);
-    registry.GetCounter("trace.reader.blocks").Add(blocks_);
+    FinishRead();
     return {};
   }
 
@@ -127,6 +173,166 @@ std::span<const sim::ProbeEvent> TraceReader::NextBatch() {
   records_ += record_count;
   payload_bytes_ += payload_bytes;
   return events_;
+}
+
+namespace {
+
+/// Structural plausibility of a frame, mirroring the strict-path checks.
+bool PlausibleFrame(std::uint32_t record_count, std::uint32_t payload_bytes) {
+  if (record_count > kMaxBlockRecords) return false;
+  if (payload_bytes > kMaxBlockPayloadBytes) return false;
+  if (record_count != 0 &&
+      payload_bytes >
+          static_cast<std::uint64_t>(record_count) * kMaxRecordBytes) {
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+bool TraceReader::Resync(std::uint64_t frame_offset,
+                         const std::uint8_t (&frame)[kBlockFrameBytes]) {
+  // The 12 bytes at frame_offset are not a believable frame.  Slurp the
+  // rest of the stream (resyncs are rare — corruption, not steady state)
+  // and scan byte-wise for the next candidate whose declared payload fits
+  // and whose CRC verifies; a CRC match over a misaligned span is a ~2^-32
+  // accident, so a hit is a real re-lock.
+  std::vector<std::uint8_t> window(frame, frame + kBlockFrameBytes);
+  if (pending_pos_ < pending_.size()) {
+    window.insert(window.end(), pending_.begin() + static_cast<std::ptrdiff_t>(
+                                                       pending_pos_),
+                  pending_.end());
+    pending_.clear();
+    pending_pos_ = 0;
+  }
+  constexpr std::size_t kChunk = 1 << 16;
+  std::size_t got = kChunk;
+  while (got == kChunk) {
+    const std::size_t base = window.size();
+    window.resize(base + kChunk);
+    got = std::fread(window.data() + base, 1, kChunk, file_);
+    window.resize(base + got);
+  }
+
+  for (std::size_t at = 1; at + kBlockFrameBytes <= window.size(); ++at) {
+    const std::uint32_t record_count = LoadU32(window.data() + at);
+    const std::uint32_t payload_bytes = LoadU32(window.data() + at + 4);
+    const std::uint32_t stored_crc = LoadU32(window.data() + at + 8);
+    if (!PlausibleFrame(record_count, payload_bytes)) continue;
+    if (at + kBlockFrameBytes + payload_bytes > window.size()) continue;
+    if (Crc32(window.data() + at + kBlockFrameBytes, payload_bytes) !=
+        stored_crc) {
+      continue;
+    }
+    // Re-locked: everything before `at` is discarded, the rest becomes the
+    // logical stream again.
+    ++salvage_.corrupt_blocks;
+    salvage_.bytes_skipped += at;
+    pending_.assign(window.begin() + static_cast<std::ptrdiff_t>(at),
+                    window.end());
+    pending_pos_ = 0;
+    offset_ = frame_offset + at;
+    return true;
+  }
+  // No believable frame remains.
+  ++salvage_.corrupt_blocks;
+  salvage_.bytes_skipped += window.size();
+  salvage_.trailer_missing = true;
+  offset_ = frame_offset + window.size();
+  return false;
+}
+
+std::span<const sim::ProbeEvent> TraceReader::NextBatchSalvage() {
+  for (;;) {
+    const std::uint64_t frame_offset = offset_;
+    std::uint8_t frame[kBlockFrameBytes];
+    const std::size_t frame_got = ReadUpTo(frame, sizeof frame);
+    if (frame_got < sizeof frame) {
+      // Stream ends mid-frame (or cleanly after a block, trailer never
+      // written): salvage what we have.
+      if (frame_got > 0) ++salvage_.corrupt_blocks;
+      salvage_.bytes_skipped += frame_got;
+      salvage_.trailer_missing = true;
+      FinishRead();
+      return {};
+    }
+    const std::uint32_t record_count = LoadU32(frame);
+    const std::uint32_t payload_bytes = LoadU32(frame + 4);
+    const std::uint32_t stored_crc = LoadU32(frame + 8);
+    if (!PlausibleFrame(record_count, payload_bytes)) {
+      if (!Resync(frame_offset, frame)) {
+        FinishRead();
+        return {};
+      }
+      continue;
+    }
+    payload_.resize(payload_bytes);
+    const std::size_t payload_got = ReadUpTo(payload_.data(), payload_bytes);
+    if (payload_got < payload_bytes) {
+      ++salvage_.corrupt_blocks;
+      if (record_count != 0) salvage_.records_lost += record_count;
+      salvage_.bytes_skipped += sizeof frame + payload_got;
+      salvage_.trailer_missing = true;
+      FinishRead();
+      return {};
+    }
+    if (Crc32(payload_.data(), payload_bytes) != stored_crc) {
+      // The frame told us the block's extent, so we can skip it exactly
+      // and keep reading from the next frame boundary.
+      ++salvage_.corrupt_blocks;
+      if (record_count != 0) salvage_.records_lost += record_count;
+      salvage_.bytes_skipped += sizeof frame + payload_bytes;
+      continue;
+    }
+
+    if (record_count == 0) {
+      if (payload_bytes != kTrailerPayloadBytes) {
+        ++salvage_.corrupt_blocks;
+        salvage_.bytes_skipped += sizeof frame + payload_bytes;
+        continue;
+      }
+      // A CRC-valid trailer: reconcile the per-block loss estimates with
+      // its authoritative totals (exact accounting even when resyncs could
+      // not attribute skipped bytes to records).
+      const std::uint64_t declared_records = LoadU64(payload_.data());
+      const std::uint64_t declared_blocks = LoadU64(payload_.data() + 8);
+      if (declared_records >= records_) {
+        salvage_.records_lost = declared_records - records_;
+      } else {
+        salvage_.trailer_mismatch = true;
+      }
+      if (declared_blocks >= blocks_) {
+        salvage_.corrupt_blocks = declared_blocks - blocks_;
+      } else {
+        salvage_.trailer_mismatch = true;
+      }
+      // Trailing bytes after the trailer are damage too — count them.
+      std::uint8_t sink[256];
+      for (std::size_t got = ReadUpTo(sink, sizeof sink); got > 0;
+           got = ReadUpTo(sink, sizeof sink)) {
+        salvage_.bytes_skipped += got;
+        if (got < sizeof sink) break;
+      }
+      FinishRead();
+      return {};
+    }
+
+    try {
+      DecodeBlock(record_count, payload_);
+    } catch (const TraceError&) {
+      // CRC-valid but undecodable (writer bug or crafted file): treat as a
+      // corrupt block rather than poisoning the whole salvage.
+      ++salvage_.corrupt_blocks;
+      salvage_.records_lost += record_count;
+      salvage_.bytes_skipped += sizeof frame + payload_bytes;
+      continue;
+    }
+    ++blocks_;
+    records_ += record_count;
+    payload_bytes_ += payload_bytes;
+    return events_;
+  }
 }
 
 void TraceReader::VerifyTrailer(std::span<const std::uint8_t> payload) {
@@ -207,7 +413,12 @@ void TraceReader::DecodeBlock(std::uint32_t record_count,
 }
 
 TraceInfo ScanTrace(const std::string& path) {
-  TraceReader reader{path};
+  return ScanTrace(path, TraceReaderOptions{});
+}
+
+TraceInfo ScanTrace(const std::string& path,
+                    const TraceReaderOptions& options) {
+  TraceReader reader{path, options};
   TraceInfo info;
   info.header = reader.header();
   bool first = true;
@@ -224,6 +435,19 @@ TraceInfo ScanTrace(const std::string& path) {
   info.records = reader.records_read();
   info.payload_bytes = reader.payload_bytes_read();
   info.file_bytes = reader.bytes_read();
+  info.salvage = reader.salvage_stats();
+  return info;
+}
+
+TraceInfo ValidateTraceFile(const std::string& path) {
+  TraceInfo info = ScanTrace(path);
+  if (info.records == 0) {
+    throw TraceError(
+        "trace " + path +
+        ": structurally valid but carries zero probe records — an empty "
+        "capture (header and trailer only) usually means the producing run "
+        "was misconfigured, so it does not validate");
+  }
   return info;
 }
 

@@ -12,6 +12,17 @@
 // mismatches, varint garbage, record-count mismatches, a missing trailer,
 // or bytes after it.  A corrupt trace can therefore never crash a replay
 // or silently skew an analysis.
+//
+// Salvage mode (TraceReaderOptions::salvage, opt-in; the default above
+// stays fail-closed): a damaged block no longer kills the read.  The
+// reader skips the corrupt span, re-locks on the next frame whose CRC
+// verifies, and accounts the loss in SalvageStats — skipped blocks,
+// records lost (reconciled exactly against the trailer when one
+// survives), raw bytes discarded, and whether the trailer itself was
+// missing.  Only CRC-verified blocks are ever delivered, so salvage
+// changes availability, never integrity.  A corrupt *header* still fails
+// closed even in salvage mode: without it nothing in the file can be
+// interpreted.
 #pragma once
 
 #include <cstdint>
@@ -25,6 +36,38 @@
 
 namespace hotspots::trace {
 
+/// Reader behaviour knobs.
+struct TraceReaderOptions {
+  /// Skip damaged blocks and re-lock on the next valid frame instead of
+  /// throwing (loss is accounted in SalvageStats).  Default: fail closed.
+  bool salvage = false;
+};
+
+/// Damage accounting of a salvage-mode read (all zero on a pristine file).
+struct SalvageStats {
+  /// Blocks skipped: CRC failures, short payloads, undecodable contents,
+  /// malformed trailer candidates.  Reconciled against the trailer's block
+  /// total when one survives.
+  std::uint64_t corrupt_blocks = 0;
+  /// Records in skipped blocks.  Exact when frames are intact (each frame
+  /// declares its record count) and reconciled against the trailer's
+  /// record total when one survives; a lower bound otherwise.
+  std::uint64_t records_lost = 0;
+  /// Raw bytes discarded (frames + payloads of skipped blocks, resync
+  /// scans, trailing garbage).
+  std::uint64_t bytes_skipped = 0;
+  /// The stream ended without a CRC-valid trailer.
+  bool trailer_missing = false;
+  /// A trailer was found but its totals are below what the stream already
+  /// delivered — the trailer itself is lying.
+  bool trailer_mismatch = false;
+
+  [[nodiscard]] bool damaged() const {
+    return corrupt_blocks != 0 || records_lost != 0 || bytes_skipped != 0 ||
+           trailer_missing || trailer_mismatch;
+  }
+};
+
 /// Summary of a full-file scan (trace_tool info/validate).
 struct TraceInfo {
   TraceHeader header;
@@ -34,6 +77,8 @@ struct TraceInfo {
   std::uint64_t file_bytes = 0;
   double first_time = 0.0;
   double last_time = 0.0;
+  /// Damage accounting (meaningful for salvage-mode scans).
+  SalvageStats salvage;
 };
 
 class TraceReader {
@@ -41,6 +86,7 @@ class TraceReader {
   /// Opens `path` and validates the header.  Throws TraceError if the file
   /// is missing, not a trace, or of an unsupported version.
   explicit TraceReader(const std::string& path);
+  TraceReader(const std::string& path, const TraceReaderOptions& options);
 
   TraceReader(const TraceReader&) = delete;
   TraceReader& operator=(const TraceReader&) = delete;
@@ -59,6 +105,10 @@ class TraceReader {
   /// True once NextBatch() has returned the trailer's empty span.
   [[nodiscard]] bool at_end() const { return at_end_; }
 
+  [[nodiscard]] bool salvage_enabled() const { return options_.salvage; }
+  /// Damage accounting so far (only ever non-zero in salvage mode).
+  [[nodiscard]] const SalvageStats& salvage_stats() const { return salvage_; }
+
   /// Records decoded so far.
   [[nodiscard]] std::uint64_t records_read() const { return records_; }
   [[nodiscard]] std::uint64_t blocks_read() const { return blocks_; }
@@ -71,14 +121,24 @@ class TraceReader {
 
  private:
   [[noreturn]] void Fail(const std::string& what) const;
+  std::size_t ReadUpTo(void* out, std::size_t size);
   void ReadExact(void* out, std::size_t size, const char* what);
   void VerifyTrailer(std::span<const std::uint8_t> payload);
   void DecodeBlock(std::uint32_t record_count,
                    std::span<const std::uint8_t> payload);
+  [[nodiscard]] std::span<const sim::ProbeEvent> NextBatchStrict();
+  [[nodiscard]] std::span<const sim::ProbeEvent> NextBatchSalvage();
+  /// Byte-wise forward scan for the next frame whose CRC verifies,
+  /// starting just past `frame_offset`.  Repositions the logical stream at
+  /// the found frame and returns true; false at stream end.
+  bool Resync(std::uint64_t frame_offset,
+              const std::uint8_t (&frame)[kBlockFrameBytes]);
+  void FinishRead();
 
   std::string path_;
   std::FILE* file_ = nullptr;
   TraceHeader header_;
+  TraceReaderOptions options_;
   std::uint64_t offset_ = 0;  ///< Bytes consumed; for diagnostics.
   bool at_end_ = false;
 
@@ -87,10 +147,24 @@ class TraceReader {
   std::uint64_t records_ = 0;
   std::uint64_t blocks_ = 0;
   std::uint64_t payload_bytes_ = 0;
+  SalvageStats salvage_;
+  /// Bytes buffered by a salvage resync, drained before the file.
+  std::vector<std::uint8_t> pending_;
+  std::size_t pending_pos_ = 0;
 };
 
 /// Scans `path` end to end — every frame, CRC, and record decoded — and
-/// returns the totals.  Throws TraceError on the first violation.
+/// returns the totals.  Throws TraceError on the first violation (or, with
+/// options.salvage, skips damage and reports it in the returned
+/// TraceInfo::salvage).
 [[nodiscard]] TraceInfo ScanTrace(const std::string& path);
+[[nodiscard]] TraceInfo ScanTrace(const std::string& path,
+                                  const TraceReaderOptions& options);
+
+/// Strict full-file validation for tools: ScanTrace plus the policy that a
+/// structurally valid trace carrying *zero records* is itself an error
+/// ("validated" must never mean "vacuously empty" — an empty capture is
+/// how a misconfigured pipeline looks).  Throws TraceError.
+TraceInfo ValidateTraceFile(const std::string& path);
 
 }  // namespace hotspots::trace

@@ -1,0 +1,281 @@
+// Fault-injection subsystem: spec parsing, staggered-outage determinism,
+// trial kills, the delivery-fault injector, and outage application to a
+// sensor fleet.
+#include "fault/schedule.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "fault/delivery.h"
+#include "fault/inject.h"
+#include "telescope/telescope.h"
+
+namespace hotspots::fault {
+namespace {
+
+using net::Ipv4;
+using net::Prefix;
+using topology::Delivery;
+
+TEST(FaultSpecTest, ParsesEveryDirective) {
+  const FaultSchedule schedule = ParseFaultSpec(
+      "seed:0xBEEF;outage:S3:100:200;outage:*:0:inf;outages:0.3:2000;"
+      "loss:0.01;dup:0.002;acl:10.0.0.0/8@500;trialfail:0.05");
+  EXPECT_EQ(schedule.seed, 0xBEEFu);
+  ASSERT_EQ(schedule.outages.size(), 2u);
+  EXPECT_EQ(schedule.outages[0].sensor, "S3");
+  EXPECT_DOUBLE_EQ(schedule.outages[0].down_at, 100.0);
+  EXPECT_DOUBLE_EQ(schedule.outages[0].up_at, 200.0);
+  EXPECT_EQ(schedule.outages[1].sensor, "*");
+  EXPECT_TRUE(std::isinf(schedule.outages[1].up_at));
+  EXPECT_DOUBLE_EQ(schedule.staggered.down_fraction, 0.3);
+  EXPECT_DOUBLE_EQ(schedule.staggered.horizon, 2000.0);
+  EXPECT_DOUBLE_EQ(schedule.delivery.loss_rate, 0.01);
+  EXPECT_DOUBLE_EQ(schedule.delivery.duplication_rate, 0.002);
+  ASSERT_EQ(schedule.acl_drift.size(), 1u);
+  EXPECT_DOUBLE_EQ(schedule.acl_drift[0].at, 500.0);
+  EXPECT_EQ(schedule.acl_drift[0].block, (Prefix{Ipv4{10, 0, 0, 0}, 8}));
+  EXPECT_DOUBLE_EQ(schedule.trials.failure_rate, 0.05);
+  EXPECT_FALSE(schedule.empty());
+  EXPECT_TRUE(schedule.HasDeliveryFaults());
+}
+
+TEST(FaultSpecTest, EmptySpecIsEmptySchedule) {
+  EXPECT_TRUE(ParseFaultSpec("").empty());
+  EXPECT_TRUE(ParseFaultSpec(";;").empty());
+  EXPECT_TRUE(FaultSchedule{}.empty());
+  EXPECT_FALSE(FaultSchedule{}.HasDeliveryFaults());
+  // A seed alone injects nothing.
+  EXPECT_TRUE(ParseFaultSpec("seed:7").empty());
+}
+
+TEST(FaultSpecTest, DriftEventsSortedByTime) {
+  const FaultSchedule schedule =
+      ParseFaultSpec("acl:30.0.0.0/16@900;acl:20.0.0.0/16@100");
+  ASSERT_EQ(schedule.acl_drift.size(), 2u);
+  EXPECT_DOUBLE_EQ(schedule.acl_drift[0].at, 100.0);
+  EXPECT_DOUBLE_EQ(schedule.acl_drift[1].at, 900.0);
+}
+
+TEST(FaultSpecTest, RejectsMalformedDirectives) {
+  EXPECT_THROW((void)ParseFaultSpec("bogus:1"), std::invalid_argument);
+  EXPECT_THROW((void)ParseFaultSpec("loss"), std::invalid_argument);
+  EXPECT_THROW((void)ParseFaultSpec("loss:1.5"), std::invalid_argument);
+  EXPECT_THROW((void)ParseFaultSpec("loss:abc"), std::invalid_argument);
+  EXPECT_THROW((void)ParseFaultSpec("outage:S1:5"), std::invalid_argument);
+  EXPECT_THROW((void)ParseFaultSpec("outage:S1:9:5"), std::invalid_argument);
+  EXPECT_THROW((void)ParseFaultSpec("outages:0.5:-1"), std::invalid_argument);
+  EXPECT_THROW((void)ParseFaultSpec("acl:10.0.0.0/8"), std::invalid_argument);
+  // Drift is modelled at /16 granularity; longer prefixes are a spec error,
+  // not a silent widening.
+  EXPECT_THROW((void)ParseFaultSpec("acl:10.1.2.0/24@5"),
+               std::invalid_argument);
+  EXPECT_THROW((void)ParseFaultSpec("seed:12junk"), std::invalid_argument);
+}
+
+TEST(StaggeredOutagesTest, DeterministicInLabelsAndSeed) {
+  const std::vector<std::string> labels = {"A", "B", "C", "D"};
+  const auto first = StaggeredOutages(labels, 1000.0, 0.25, 42);
+  const auto again = StaggeredOutages(labels, 1000.0, 0.25, 42);
+  ASSERT_EQ(first.size(), 4u);
+  for (std::size_t i = 0; i < first.size(); ++i) {
+    EXPECT_EQ(first[i].sensor, labels[i]);
+    EXPECT_DOUBLE_EQ(first[i].down_at, again[i].down_at);
+    EXPECT_DOUBLE_EQ(first[i].up_at, again[i].up_at);
+    // Window shape: length = fraction * horizon, inside [0, horizon].
+    EXPECT_DOUBLE_EQ(first[i].up_at - first[i].down_at, 250.0);
+    EXPECT_GE(first[i].down_at, 0.0);
+    EXPECT_LE(first[i].up_at, 1000.0);
+  }
+  // A different schedule seed draws different windows.
+  const auto other = StaggeredOutages(labels, 1000.0, 0.25, 43);
+  bool any_difference = false;
+  for (std::size_t i = 0; i < first.size(); ++i) {
+    any_difference |= first[i].down_at != other[i].down_at;
+  }
+  EXPECT_TRUE(any_difference);
+  EXPECT_TRUE(StaggeredOutages(labels, 1000.0, 0.0, 42).empty());
+}
+
+TEST(ShouldKillTrialTest, EdgeRatesAndDeterminism) {
+  FaultSchedule schedule;
+  EXPECT_FALSE(ShouldKillTrial(schedule, 0, 1));
+  schedule.trials.failure_rate = 1.0;
+  EXPECT_TRUE(ShouldKillTrial(schedule, 0, 1));
+  EXPECT_THROW(MaybeKillTrial(schedule, 0, 1), TrialKilled);
+  schedule.trials.failure_rate = 0.5;
+  // Pure function of (schedule seed, trial, seed) — and sensitive to all
+  // three, so retries (fresh seeds) get fresh draws.
+  int kills = 0;
+  int flips = 0;
+  for (int trial = 0; trial < 64; ++trial) {
+    const bool kill = ShouldKillTrial(schedule, trial, 0xABC + trial);
+    EXPECT_EQ(kill, ShouldKillTrial(schedule, trial, 0xABC + trial));
+    kills += kill ? 1 : 0;
+    flips += kill != ShouldKillTrial(schedule, trial, 0xDEF + trial) ? 1 : 0;
+  }
+  EXPECT_GT(kills, 8);
+  EXPECT_LT(kills, 56);
+  EXPECT_GT(flips, 0);
+}
+
+TEST(DeliveryFaultsTest, LossDowngradesOnlyDeliveredProbes) {
+  FaultSchedule schedule;
+  schedule.delivery.loss_rate = 1.0;
+  DeliveryFaults faults{schedule};
+  faults.OnRunStart(7);
+  const auto lost = faults.OnProbeVerdict(1.0, Ipv4{1, 2, 3, 4},
+                                          Delivery::kDelivered);
+  EXPECT_EQ(lost.verdict, Delivery::kNetworkLoss);
+  EXPECT_FALSE(lost.duplicate);
+  // A probe the topology already dropped is never resurrected or relabeled.
+  const auto dropped = faults.OnProbeVerdict(2.0, Ipv4{1, 2, 3, 4},
+                                             Delivery::kIngressFiltered);
+  EXPECT_EQ(dropped.verdict, Delivery::kIngressFiltered);
+  EXPECT_EQ(faults.injected_losses(), 1u);
+}
+
+TEST(DeliveryFaultsTest, DuplicationFlagsDeliveredProbes) {
+  FaultSchedule schedule;
+  schedule.delivery.duplication_rate = 1.0;
+  DeliveryFaults faults{schedule};
+  faults.OnRunStart(7);
+  const auto outcome = faults.OnProbeVerdict(1.0, Ipv4{1, 2, 3, 4},
+                                             Delivery::kDelivered);
+  EXPECT_EQ(outcome.verdict, Delivery::kDelivered);
+  EXPECT_TRUE(outcome.duplicate);
+  const auto dropped = faults.OnProbeVerdict(2.0, Ipv4{1, 2, 3, 4},
+                                             Delivery::kNatUnroutable);
+  EXPECT_FALSE(dropped.duplicate);
+  EXPECT_EQ(faults.injected_duplicates(), 1u);
+}
+
+TEST(DeliveryFaultsTest, AclDriftFiltersSlash16sFromEventTime) {
+  FaultSchedule schedule;
+  schedule.acl_drift.push_back(
+      AclDriftEvent{100.0, Prefix{Ipv4{10, 2, 0, 0}, 15}});
+  DeliveryFaults faults{schedule};
+  faults.OnRunStart(7);
+  const Ipv4 inside{10, 2, 4, 4};
+  const Ipv4 sibling{10, 3, 4, 4};  // The /15 spans both 10.2/16 and 10.3/16.
+  const Ipv4 outside{10, 4, 4, 4};
+  EXPECT_EQ(faults.OnProbeVerdict(99.0, inside, Delivery::kDelivered).verdict,
+            Delivery::kDelivered);
+  EXPECT_EQ(faults.OnProbeVerdict(100.0, inside, Delivery::kDelivered).verdict,
+            Delivery::kIngressFiltered);
+  EXPECT_EQ(faults.OnProbeVerdict(100.5, sibling, Delivery::kDelivered)
+                .verdict,
+            Delivery::kIngressFiltered);
+  EXPECT_EQ(faults.OnProbeVerdict(101.0, outside, Delivery::kDelivered)
+                .verdict,
+            Delivery::kDelivered);
+  EXPECT_EQ(faults.drift_filtered(), 2u);
+  // OnRunStart re-arms: the drift is inactive again before its time.
+  faults.OnRunStart(7);
+  EXPECT_EQ(faults.OnProbeVerdict(50.0, inside, Delivery::kDelivered).verdict,
+            Delivery::kDelivered);
+}
+
+TEST(DeliveryFaultsTest, StreamIsPrivateAndSeedDerived) {
+  FaultSchedule schedule;
+  schedule.delivery.loss_rate = 0.5;
+  DeliveryFaults faults{schedule};
+  const auto draw_pattern = [&](std::uint64_t engine_seed) {
+    faults.OnRunStart(engine_seed);
+    std::vector<bool> pattern;
+    for (int i = 0; i < 256; ++i) {
+      pattern.push_back(
+          faults.OnProbeVerdict(static_cast<double>(i), Ipv4{1, 1, 1, 1},
+                                Delivery::kDelivered)
+              .verdict != Delivery::kDelivered);
+    }
+    return pattern;
+  };
+  // Same engine seed → identical decisions; different seed → different.
+  EXPECT_EQ(draw_pattern(7), draw_pattern(7));
+  EXPECT_NE(draw_pattern(7), draw_pattern(8));
+}
+
+TEST(ApplySensorOutagesTest, WildcardScriptedAndStaggered) {
+  telescope::Telescope fleet;
+  fleet.AddSensor("S0", Prefix{Ipv4{10, 0, 0, 0}, 24});
+  fleet.AddSensor("S1", Prefix{Ipv4{20, 0, 0, 0}, 24});
+  fleet.AddSensor("S2", Prefix{Ipv4{30, 0, 0, 0}, 24});
+  fleet.Build();
+
+  FaultSchedule schedule;
+  schedule.outages.push_back(OutageWindow{"S1", 10.0, 20.0});
+  EXPECT_EQ(ApplySensorOutages(schedule, fleet), 1);
+  EXPECT_EQ(fleet.SensorsWithOutages(), 1u);
+
+  schedule.outages[0].sensor = "*";
+  EXPECT_EQ(ApplySensorOutages(schedule, fleet), 3);
+  EXPECT_EQ(fleet.SensorsWithOutages(), 3u);
+
+  schedule.outages.clear();
+  schedule.staggered.down_fraction = 0.5;
+  schedule.staggered.horizon = 100.0;
+  EXPECT_EQ(ApplySensorOutages(schedule, fleet), 3);
+
+  // An empty schedule clears nothing and touches nobody.
+  EXPECT_EQ(ApplySensorOutages(FaultSchedule{}, fleet), 0);
+}
+
+TEST(ApplySensorOutagesTest, UnknownLabelThrows) {
+  telescope::Telescope fleet;
+  fleet.AddSensor("S0", Prefix{Ipv4{10, 0, 0, 0}, 24});
+  fleet.Build();
+  FaultSchedule schedule;
+  schedule.outages.push_back(OutageWindow{"nope", 0.0, 1.0});
+  EXPECT_THROW((void)ApplySensorOutages(schedule, fleet),
+               std::invalid_argument);
+}
+
+TEST(TelescopeOutageTest, DownSensorRecordsNothingAndTalliesMisses) {
+  telescope::Telescope fleet;
+  const int a = fleet.AddSensor("A", Prefix{Ipv4{10, 0, 0, 0}, 24});
+  const int b = fleet.AddSensor("B", Prefix{Ipv4{20, 0, 0, 0}, 24});
+  fleet.Build();
+  fleet.SetSensorOutages(a, {{10.0, 20.0}});
+
+  fleet.Observe(5.0, Ipv4{1, 1, 1, 1}, Ipv4{10, 0, 0, 1});   // A up.
+  fleet.Observe(15.0, Ipv4{1, 1, 1, 2}, Ipv4{10, 0, 0, 2});  // A down.
+  fleet.Observe(15.0, Ipv4{1, 1, 1, 2}, Ipv4{20, 0, 0, 2});  // B unaffected.
+  fleet.Observe(20.0, Ipv4{1, 1, 1, 3}, Ipv4{10, 0, 0, 3});  // A back ([down,up)).
+  EXPECT_EQ(fleet.sensor(a).probe_count(), 2u);
+  EXPECT_EQ(fleet.sensor(b).probe_count(), 1u);
+  EXPECT_EQ(fleet.sensor(a).outage_missed_probes(), 1u);
+  EXPECT_EQ(fleet.OutageMissedProbes(), 1u);
+  EXPECT_DOUBLE_EQ(fleet.sensor(a).DownSeconds(), 10.0);
+}
+
+TEST(TelescopeOutageTest, WindowsAreMergedAndSurviveReset) {
+  telescope::Telescope fleet;
+  const int a = fleet.AddSensor("A", Prefix{Ipv4{10, 0, 0, 0}, 24});
+  fleet.Build();
+  // Overlapping + out-of-order windows merge to [5, 25).
+  fleet.SetSensorOutages(a, {{15.0, 25.0}, {5.0, 18.0}});
+  EXPECT_DOUBLE_EQ(fleet.sensor(a).DownSeconds(), 20.0);
+
+  fleet.Observe(10.0, Ipv4{1, 1, 1, 1}, Ipv4{10, 0, 0, 1});
+  EXPECT_EQ(fleet.sensor(a).outage_missed_probes(), 1u);
+  fleet.ResetAll();
+  // Reset clears the tally and the cursor — the schedule itself persists,
+  // so a fleet can be reused across trials with the same fault plan.
+  EXPECT_EQ(fleet.sensor(a).outage_missed_probes(), 0u);
+  fleet.Observe(10.0, Ipv4{1, 1, 1, 1}, Ipv4{10, 0, 0, 1});
+  EXPECT_EQ(fleet.sensor(a).probe_count(), 0u);
+  EXPECT_EQ(fleet.sensor(a).outage_missed_probes(), 1u);
+  // Clearing the windows re-opens the sensor.
+  fleet.SetSensorOutages(a, {});
+  EXPECT_EQ(fleet.SensorsWithOutages(), 0u);
+  fleet.Observe(12.0, Ipv4{1, 1, 1, 1}, Ipv4{10, 0, 0, 1});
+  EXPECT_EQ(fleet.sensor(a).probe_count(), 1u);
+}
+
+}  // namespace
+}  // namespace hotspots::fault

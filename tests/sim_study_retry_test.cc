@@ -1,0 +1,180 @@
+// Study-runner trial isolation: retry on fresh derived seeds, quarantine
+// of persistent failures, and the invariance guarantees that keep partial
+// aggregates honest.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <limits>
+#include <mutex>
+#include <set>
+#include <stdexcept>
+#include <vector>
+
+#include "fault/schedule.h"
+#include "sim/study.h"
+
+namespace hotspots::sim {
+namespace {
+
+TEST(TrialAttemptSeedTest, AttemptZeroIsTheLegacyTrialSeed) {
+  // The retry machinery must not move the goalposts for clean runs: the
+  // first attempt of every trial uses exactly the seed the pre-retry
+  // runner handed out, so fault-free studies stay bit-identical.
+  const auto seeds = TrialSeeds(0xC0FFEE, 16);
+  for (int trial = 0; trial < 16; ++trial) {
+    EXPECT_EQ(TrialAttemptSeed(0xC0FFEE, trial, 0),
+              seeds[static_cast<std::size_t>(trial)])
+        << "trial " << trial;
+  }
+}
+
+TEST(TrialAttemptSeedTest, RetriesDeriveFreshDistinctSeeds) {
+  std::set<std::uint64_t> seen;
+  for (int trial = 0; trial < 8; ++trial) {
+    for (int attempt = 0; attempt < 8; ++attempt) {
+      EXPECT_EQ(TrialAttemptSeed(1, trial, attempt),
+                TrialAttemptSeed(1, trial, attempt));
+      seen.insert(TrialAttemptSeed(1, trial, attempt));
+    }
+  }
+  // (trial, attempt) pairs map to distinct seeds — a retry never replays
+  // the draw that just failed, and trials never collide.
+  EXPECT_EQ(seen.size(), 64u);
+}
+
+TEST(RunTrialsRetryTest, TransientFailureSucceedsOnRetry) {
+  StudyOptions options;
+  options.threads = 2;
+  options.max_attempts = 3;
+  std::vector<std::uint64_t> used_seed(4, 0);
+  std::atomic<int> failures{0};
+  const StudyTelemetry telemetry =
+      RunTrials(options, 4, [&](int trial, std::uint64_t seed) {
+        if (trial == 2 && seed == TrialAttemptSeed(options.master_seed, 2, 0)) {
+          ++failures;
+          throw std::runtime_error("transient");
+        }
+        used_seed[static_cast<std::size_t>(trial)] = seed;
+      });
+  EXPECT_EQ(failures.load(), 1);
+  EXPECT_EQ(telemetry.retries, 1);
+  EXPECT_EQ(telemetry.quarantined_trials, 0);
+  ASSERT_EQ(telemetry.trial_attempts.size(), 4u);
+  EXPECT_EQ(telemetry.trial_attempts[2], 2);
+  EXPECT_EQ(telemetry.trial_attempts[0], 1);
+  // The succeeding attempt ran on the derived attempt-1 seed.
+  EXPECT_EQ(used_seed[2], TrialAttemptSeed(options.master_seed, 2, 1));
+  EXPECT_EQ(telemetry.CompletedTrials(), 4);
+}
+
+TEST(RunTrialsRetryTest, PersistentFailureQuarantinesWhenAsked) {
+  StudyOptions options;
+  options.threads = 2;
+  options.max_attempts = 2;
+  options.quarantine_failures = true;
+  const StudyTelemetry telemetry =
+      RunTrials(options, 5, [&](int trial, std::uint64_t /*seed*/) {
+        if (trial == 1 || trial == 3) throw std::runtime_error("persistent");
+      });
+  EXPECT_EQ(telemetry.quarantined_trials, 2);
+  EXPECT_EQ(telemetry.CompletedTrials(), 3);
+  EXPECT_TRUE(telemetry.TrialQuarantined(1));
+  EXPECT_TRUE(telemetry.TrialQuarantined(3));
+  EXPECT_FALSE(telemetry.TrialQuarantined(0));
+  EXPECT_EQ(telemetry.retries, 2);  // One retry per failing trial.
+  ASSERT_EQ(telemetry.segments.size(), 1u);
+  EXPECT_EQ(telemetry.segments[0].lost_trials, 2);
+  // Failure messages are deterministic and in trial order.
+  ASSERT_EQ(telemetry.failure_messages.size(), 2u);
+  EXPECT_NE(telemetry.failure_messages[0].find("trial 1"), std::string::npos);
+  EXPECT_NE(telemetry.failure_messages[1].find("trial 3"), std::string::npos);
+  EXPECT_NE(telemetry.failure_messages[0].find("persistent"),
+            std::string::npos);
+}
+
+TEST(RunTrialsRetryTest, DefaultStillFailsFast) {
+  // Without quarantine opt-in, exhausting attempts rethrows to the caller —
+  // the legacy contract that a broken study can't silently report partial
+  // numbers.
+  StudyOptions options;
+  options.threads = 1;
+  options.max_attempts = 2;
+  EXPECT_THROW(RunTrials(options, 3,
+                         [&](int trial, std::uint64_t) {
+                           if (trial == 1) throw std::runtime_error("boom");
+                         }),
+               std::runtime_error);
+  options.max_attempts = 0;
+  EXPECT_THROW(RunTrials(options, 1, [](int, std::uint64_t) {}),
+               std::invalid_argument);
+}
+
+TEST(RunTrialsRetryTest, QuarantineAccountingIsThreadCountInvariant) {
+  // Fault-injected kills are a pure function of (schedule, trial, attempt
+  // seed), so which trials die — and the partial aggregate that remains —
+  // must not depend on the thread count.
+  fault::FaultSchedule schedule;
+  schedule.trials.failure_rate = 0.7;
+  const auto run = [&](int threads) {
+    StudyOptions options;
+    options.threads = threads;
+    options.master_seed = 0xFEED;
+    options.max_attempts = 2;
+    options.quarantine_failures = true;
+    std::vector<double> results(16, std::numeric_limits<double>::quiet_NaN());
+    const StudyTelemetry telemetry =
+        RunTrials(options, 16, [&](int trial, std::uint64_t seed) {
+          fault::MaybeKillTrial(schedule, trial, seed);
+          results[static_cast<std::size_t>(trial)] =
+              static_cast<double>(seed % 1000);
+        });
+    return std::make_pair(telemetry.trial_quarantined, results);
+  };
+  const auto serial = run(1);
+  const auto parallel = run(4);
+  EXPECT_EQ(serial.first, parallel.first);
+  for (std::size_t i = 0; i < serial.second.size(); ++i) {
+    if (std::isnan(serial.second[i])) {
+      EXPECT_TRUE(std::isnan(parallel.second[i])) << "trial " << i;
+    } else {
+      EXPECT_EQ(serial.second[i], parallel.second[i]) << "trial " << i;
+    }
+  }
+  // The 70% kill rate with one retry actually quarantined somebody (the
+  // invariance above is not vacuous) but not everybody.
+  int lost = 0;
+  for (const auto flag : serial.first) lost += flag;
+  EXPECT_GT(lost, 0);
+  EXPECT_LT(lost, 16);
+}
+
+TEST(StudyTelemetryMergeTest, CarriesFaultAccountingAcrossSegments) {
+  StudyOptions options;
+  options.threads = 2;
+  options.max_attempts = 1;
+  options.quarantine_failures = true;
+  options.label = "a";
+  StudyTelemetry merged =
+      RunTrials(options, 3, [](int trial, std::uint64_t) {
+        if (trial == 0) throw std::runtime_error("dead");
+      });
+  options.label = "b";
+  const StudyTelemetry second =
+      RunTrials(options, 2, [](int trial, std::uint64_t) {
+        if (trial == 1) throw std::runtime_error("gone");
+      });
+  merged.Merge(second);
+  EXPECT_EQ(merged.trials, 5);
+  EXPECT_EQ(merged.quarantined_trials, 2);
+  ASSERT_EQ(merged.trial_quarantined.size(), 5u);
+  EXPECT_TRUE(merged.TrialQuarantined(0));   // Segment "a" trial 0.
+  EXPECT_TRUE(merged.TrialQuarantined(4));   // Segment "b" trial 1 → index 4.
+  ASSERT_EQ(merged.segments.size(), 2u);
+  EXPECT_EQ(merged.segments[0].lost_trials, 1);
+  EXPECT_EQ(merged.segments[1].lost_trials, 1);
+  EXPECT_EQ(merged.failure_messages.size(), 2u);
+}
+
+}  // namespace
+}  // namespace hotspots::sim

@@ -247,5 +247,229 @@ TEST_F(TraceCorruptionTest, MissingFile) {
                TraceError);
 }
 
+// ---------------------------------------------------------------------------
+// Validation policy: "validated" must never mean "vacuously empty".
+
+TEST(ValidateTraceFileTest, RejectsHeaderAndTrailerOnlyTrace) {
+  const std::string path = ::testing::TempDir() + "/empty_capture.trace";
+  {
+    TraceWriter writer{path, TraceWriterOptions{}};
+    writer.OnAttach();
+    writer.Finish();  // Zero records: structurally valid, semantically empty.
+  }
+  // A plain scan accepts the file — it is well-formed...
+  EXPECT_EQ(ScanTrace(path).records, 0u);
+  // ...but validation refuses it with a diagnostic naming the condition.
+  try {
+    (void)ValidateTraceFile(path);
+    FAIL() << "zero-record trace validated";
+  } catch (const TraceError& error) {
+    EXPECT_NE(std::string(error.what()).find("zero probe records"),
+              std::string::npos)
+        << "actual message: " << error.what();
+    EXPECT_NE(std::string(error.what()).find(path), std::string::npos);
+  }
+  std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// Salvage mode: opt-in resync that skips damaged blocks, re-locks on the
+// next CRC-valid frame, and accounts every loss exactly.
+
+class TraceSalvageTest : public TraceCorruptionTest {
+ protected:
+  struct BlockSpan {
+    std::size_t offset = 0;  ///< Of the frame, from file start.
+    std::uint32_t records = 0;
+    std::uint32_t payload_bytes = 0;
+  };
+
+  /// Walks the pristine file's framing (data blocks only, not the trailer).
+  std::vector<BlockSpan> Blocks() const {
+    std::vector<BlockSpan> blocks;
+    std::size_t at = kHeaderBytes;
+    while (at + kBlockFrameBytes <= bytes_.size()) {
+      BlockSpan span;
+      span.offset = at;
+      span.records = static_cast<std::uint32_t>(
+          bytes_[at] | bytes_[at + 1] << 8 | bytes_[at + 2] << 16 |
+          bytes_[at + 3] << 24);
+      span.payload_bytes = static_cast<std::uint32_t>(
+          bytes_[at + 4] | bytes_[at + 5] << 8 | bytes_[at + 6] << 16 |
+          bytes_[at + 7] << 24);
+      if (span.records == 0) break;  // Trailer.
+      blocks.push_back(span);
+      at += kBlockFrameBytes + span.payload_bytes;
+    }
+    return blocks;
+  }
+
+  std::string WriteMutant(const std::vector<std::uint8_t>& mutant) {
+    const std::string path = MutantPath();
+    std::ofstream out{path, std::ios::binary | std::ios::trunc};
+    out.write(reinterpret_cast<const char*>(mutant.data()),
+              static_cast<std::streamsize>(mutant.size()));
+    return path;
+  }
+
+  /// Salvage-reads `path` to exhaustion, returning every delivered event.
+  static std::vector<sim::ProbeEvent> SalvageRead(const std::string& path,
+                                                  SalvageStats* stats) {
+    TraceReaderOptions options;
+    options.salvage = true;
+    TraceReader reader{path, options};
+    std::vector<sim::ProbeEvent> events;
+    for (auto batch = reader.NextBatch(); !batch.empty();
+         batch = reader.NextBatch()) {
+      events.insert(events.end(), batch.begin(), batch.end());
+    }
+    EXPECT_TRUE(reader.at_end());
+    if (stats != nullptr) *stats = reader.salvage_stats();
+    return events;
+  }
+};
+
+TEST_F(TraceSalvageTest, PristineFileSalvagesWithZeroDamage) {
+  SalvageStats stats;
+  const auto events = SalvageRead(path_, &stats);
+  EXPECT_EQ(events.size(), records_);
+  EXPECT_FALSE(stats.damaged());
+  EXPECT_EQ(stats.corrupt_blocks, 0u);
+  EXPECT_EQ(stats.records_lost, 0u);
+  EXPECT_EQ(stats.bytes_skipped, 0u);
+}
+
+TEST_F(TraceSalvageTest, MidStreamBitFlipLosesExactlyThatBlock) {
+  const auto blocks = Blocks();
+  ASSERT_GE(blocks.size(), 3u);
+  const BlockSpan& victim = blocks[1];
+  auto mutant = bytes_;
+  mutant[victim.offset + kBlockFrameBytes + 7] ^= 0x04;  // Payload bit flip.
+
+  SalvageStats stats;
+  const auto events = SalvageRead(WriteMutant(mutant), &stats);
+
+  // Loss accounting matches the injected damage exactly: one block, its
+  // record count, its on-disk extent — reconciled against the surviving
+  // trailer.
+  EXPECT_EQ(stats.corrupt_blocks, 1u);
+  EXPECT_EQ(stats.records_lost, victim.records);
+  EXPECT_EQ(stats.bytes_skipped, kBlockFrameBytes + victim.payload_bytes);
+  EXPECT_FALSE(stats.trailer_missing);
+  EXPECT_FALSE(stats.trailer_mismatch);
+  ASSERT_EQ(events.size(), records_ - victim.records);
+
+  // Only CRC-verified blocks were delivered, in order: the salvaged stream
+  // equals the pristine stream minus the victim block's records.
+  const auto pristine = [&] {
+    TraceReader reader{path_};
+    std::vector<sim::ProbeEvent> all;
+    for (auto batch = reader.NextBatch(); !batch.empty();
+         batch = reader.NextBatch()) {
+      all.insert(all.end(), batch.begin(), batch.end());
+    }
+    return all;
+  }();
+  std::size_t pristine_at = 0;
+  std::size_t salvaged_at = 0;
+  for (std::size_t b = 0; b < blocks.size(); ++b) {
+    for (std::uint32_t r = 0; r < blocks[b].records; ++r, ++pristine_at) {
+      if (b == 1) continue;  // The victim block.
+      EXPECT_EQ(events[salvaged_at].time, pristine[pristine_at].time);
+      EXPECT_EQ(events[salvaged_at].dst, pristine[pristine_at].dst);
+      ++salvaged_at;
+    }
+  }
+  EXPECT_EQ(salvaged_at, events.size());
+}
+
+TEST_F(TraceSalvageTest, CorruptFrameResyncsOnNextValidBlock) {
+  const auto blocks = Blocks();
+  ASSERT_GE(blocks.size(), 3u);
+  const BlockSpan& victim = blocks[1];
+  auto mutant = bytes_;
+  // Destroy the *frame* itself (absurd record count): the reader cannot
+  // trust the declared extent and must byte-scan for the next CRC-valid
+  // frame.
+  StoreU32At(mutant, victim.offset, kMaxBlockRecords + 7);
+
+  SalvageStats stats;
+  const auto events = SalvageRead(WriteMutant(mutant), &stats);
+  EXPECT_EQ(events.size(), records_ - victim.records);
+  EXPECT_EQ(stats.corrupt_blocks, 1u);  // Reconciled by the trailer.
+  EXPECT_EQ(stats.records_lost, victim.records);
+  EXPECT_EQ(stats.bytes_skipped, kBlockFrameBytes + victim.payload_bytes);
+  EXPECT_FALSE(stats.trailer_missing);
+}
+
+TEST_F(TraceSalvageTest, TruncatedTrailerSalvagesEveryDataBlock) {
+  auto mutant = bytes_;
+  mutant.resize(mutant.size() - 4);  // Trailer payload loses its tail.
+  SalvageStats stats;
+  const auto events = SalvageRead(WriteMutant(mutant), &stats);
+  EXPECT_EQ(events.size(), records_);  // No data block was damaged.
+  EXPECT_TRUE(stats.trailer_missing);
+  EXPECT_EQ(stats.records_lost, 0u);
+  EXPECT_TRUE(stats.damaged());
+}
+
+TEST_F(TraceSalvageTest, CleanCutBeforeTrailerReportsMissingTrailer) {
+  std::vector<std::uint8_t> mutant(bytes_.begin(),
+                                   bytes_.begin() + TrailerOffset());
+  SalvageStats stats;
+  const auto events = SalvageRead(WriteMutant(mutant), &stats);
+  EXPECT_EQ(events.size(), records_);
+  EXPECT_TRUE(stats.trailer_missing);
+  EXPECT_EQ(stats.corrupt_blocks, 0u);  // Every frame present was intact.
+  EXPECT_EQ(stats.records_lost, 0u);
+}
+
+TEST_F(TraceSalvageTest, GarbageTailNeverDeliversUnverifiedRecords) {
+  // Header + noise: nothing after the header checks out, so salvage ends
+  // with zero records and full damage accounting instead of throwing.
+  std::vector<std::uint8_t> mutant(bytes_.begin(),
+                                   bytes_.begin() + kHeaderBytes);
+  std::uint64_t x = 77;
+  for (int i = 0; i < 4096; ++i) {
+    x = x * 6364136223846793005ull + 1442695040888963407ull;
+    mutant.push_back(static_cast<std::uint8_t>(x >> 32));
+  }
+  SalvageStats stats;
+  const auto events = SalvageRead(WriteMutant(mutant), &stats);
+  EXPECT_TRUE(events.empty());
+  EXPECT_TRUE(stats.damaged());
+  EXPECT_TRUE(stats.trailer_missing);
+  EXPECT_GT(stats.bytes_skipped, 0u);
+  EXPECT_LE(stats.bytes_skipped, 4096u);
+}
+
+TEST_F(TraceSalvageTest, HeaderCorruptionStillFailsClosed) {
+  // Without a trusted header nothing in the file can be interpreted —
+  // salvage mode does not soften that.
+  auto mutant = bytes_;
+  mutant[0] ^= 0xFF;
+  const std::string path = WriteMutant(mutant);
+  TraceReaderOptions options;
+  options.salvage = true;
+  EXPECT_THROW((TraceReader{path, options}), TraceError);
+}
+
+TEST_F(TraceSalvageTest, ScanTraceReportsSalvageStats) {
+  const auto blocks = Blocks();
+  auto mutant = bytes_;
+  mutant[blocks[0].offset + kBlockFrameBytes + 2] ^= 0x01;
+  const std::string path = WriteMutant(mutant);
+
+  TraceReaderOptions options;
+  options.salvage = true;
+  const TraceInfo info = ScanTrace(path, options);
+  EXPECT_EQ(info.records, records_ - blocks[0].records);
+  EXPECT_TRUE(info.salvage.damaged());
+  EXPECT_EQ(info.salvage.records_lost, blocks[0].records);
+
+  // The same file under a strict scan still fails closed.
+  EXPECT_THROW((void)ScanTrace(path), TraceError);
+}
+
 }  // namespace
 }  // namespace hotspots::trace

@@ -2,9 +2,14 @@
 //
 //   trace_tool info FILE
 //       Header fields plus full-scan totals (blocks, records, time span).
-//   trace_tool validate FILE
+//   trace_tool validate FILE [--salvage]
 //       Decodes every frame, CRC, and record; prints OK or the first
-//       violation (exit 1).  This is the CI smoke step's integrity check.
+//       violation (exit 1).  A structurally valid trace with zero records
+//       also fails — an empty capture is how a misconfigured pipeline
+//       looks, and "validated" must never mean "vacuously empty".  With
+//       --salvage, damaged blocks are skipped instead of fatal and the
+//       recovery stats are printed; exit 0 only if no damage was found.
+//       This is the CI smoke step's integrity check.
 //   trace_tool head FILE [N]
 //       Prints the first N records (default 10) as a table.
 //   trace_tool replay FILE [--sensors CIDR[,CIDR...] | --ims]
@@ -44,7 +49,7 @@ int Usage() {
   std::fprintf(stderr,
                "usage: trace_tool <command> [args]\n"
                "  info FILE\n"
-               "  validate FILE\n"
+               "  validate FILE [--salvage]\n"
                "  head FILE [N]\n"
                "  replay FILE [--sensors CIDR[,CIDR...] | --ims]"
                " [--alert-threshold N] [--metrics-out PATH]\n"
@@ -120,11 +125,39 @@ int CmdInfo(const std::string& path) {
   return 0;
 }
 
-int CmdValidate(const std::string& path) {
-  const trace::TraceInfo info = trace::ScanTrace(path);
-  std::printf("OK: %s — %" PRIu64 " records in %" PRIu64
-              " blocks, %" PRIu64 " bytes\n",
-              path.c_str(), info.records, info.blocks, info.file_bytes);
+int CmdValidate(const std::string& path, bool salvage) {
+  if (!salvage) {
+    const trace::TraceInfo info = trace::ValidateTraceFile(path);
+    std::printf("OK: %s — %" PRIu64 " records in %" PRIu64
+                " blocks, %" PRIu64 " bytes\n",
+                path.c_str(), info.records, info.blocks, info.file_bytes);
+    return 0;
+  }
+  trace::TraceReaderOptions options;
+  options.salvage = true;
+  const trace::TraceInfo info = trace::ScanTrace(path, options);
+  const trace::SalvageStats& stats = info.salvage;
+  std::printf("%s: %s — %" PRIu64 " records recovered in %" PRIu64
+              " blocks, %" PRIu64 " bytes read\n",
+              stats.damaged() ? "SALVAGED" : "OK", path.c_str(), info.records,
+              info.blocks, info.file_bytes);
+  if (stats.damaged()) {
+    std::printf("  corrupt_blocks   %" PRIu64 "\n", stats.corrupt_blocks);
+    std::printf("  records_lost     %" PRIu64 "\n", stats.records_lost);
+    std::printf("  bytes_skipped    %" PRIu64 "\n", stats.bytes_skipped);
+    std::printf("  trailer          %s\n",
+                stats.trailer_mismatch
+                    ? "MISMATCH (totals below delivered stream)"
+                    : (stats.trailer_missing ? "missing" : "present"));
+    return 1;
+  }
+  if (info.records == 0) {
+    std::fprintf(stderr,
+                 "trace_tool: %s is structurally valid but carries zero "
+                 "probe records\n",
+                 path.c_str());
+    return 1;
+  }
   return 0;
 }
 
@@ -259,7 +292,10 @@ int main(int argc, char** argv) {
   const std::string command = argv[1];
   try {
     if (command == "info") return CmdInfo(argv[2]);
-    if (command == "validate") return CmdValidate(argv[2]);
+    if (command == "validate") {
+      const bool salvage = argc > 3 && std::strcmp(argv[3], "--salvage") == 0;
+      return CmdValidate(argv[2], salvage);
+    }
     if (command == "head") {
       const std::uint64_t limit =
           argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 10;
