@@ -15,6 +15,11 @@
 //   --label  entry label, e.g. "before" / "after" (default "run")
 //   --out    JSON file to append to (default results/BENCH_hotpath.json)
 //   --metrics-out FILE      obs registry sidecar (see bench_util.h)
+//   --shards N              engine worker shards (0 = HOTSPOTS_SHARDS env,
+//                           then 1).  The fingerprint is shard-count
+//                           invariant by design, so gating a --shards 8 run
+//                           against a --shards 1 baseline is the standing
+//                           determinism check for the sharded engine.
 //
 // Gate mode (CI overhead regression check) — compares this run against a
 // previously recorded entry and exits non-zero on regression:
@@ -50,6 +55,7 @@
 #include <cinttypes>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <optional>
 #include <string>
@@ -60,6 +66,7 @@
 #include "net/special_ranges.h"
 #include "prng/xoshiro.h"
 #include "sim/engine.h"
+#include "sim/shard.h"
 #include "telescope/telescope.h"
 #include "topology/filtering.h"
 #include "topology/reachability.h"
@@ -190,6 +197,7 @@ int main(int argc, char** argv) {
   std::string gate_file;
   double gate_tolerance = 2.0;
   bool gate_fingerprint_only = false;
+  int shards = 0;
   bool trace_overhead = false;
   double overhead_tolerance = 10.0;
   double capture_sample_rate = 0.05;
@@ -212,6 +220,15 @@ int main(int argc, char** argv) {
       gate_tolerance = *parsed;
     } else if (std::strcmp(argv[i], "--gate-fingerprint-only") == 0) {
       gate_fingerprint_only = true;
+    } else if (std::strcmp(argv[i], "--shards") == 0 && i + 1 < argc) {
+      char* end = nullptr;
+      const long parsed = std::strtol(argv[++i], &end, 10);
+      if (end == argv[i] || *end != '\0' || parsed < 0 || parsed > 1024) {
+        std::fprintf(stderr, "--shards: integer in [0, 1024] expected; "
+                     "got \"%s\"\n", argv[i]);
+        return 2;
+      }
+      shards = static_cast<int>(parsed);
     } else if (std::strcmp(argv[i], "--trace-overhead") == 0) {
       trace_overhead = true;
     } else if (std::strcmp(argv[i], "--overhead-tolerance") == 0 &&
@@ -237,7 +254,8 @@ int main(int argc, char** argv) {
       if (!parsed || *parsed <= 0.0 || *parsed > 1.0) {
         std::fprintf(stderr,
                      "usage: %s [scale] [--label NAME] [--out FILE] "
-                     "[--metrics-out FILE] [--gate LABEL [--gate-file FILE] "
+                     "[--metrics-out FILE] [--shards N] "
+                     "[--gate LABEL [--gate-file FILE] "
                      "[--gate-tolerance PCT] [--gate-fingerprint-only]]\n",
                      argv[0]);
         return 2;
@@ -302,10 +320,13 @@ int main(int argc, char** argv) {
   const topology::Reachability reachability{nullptr, &scenario.nats, &acls,
                                             0.001};
 
+  const int resolved_shards = sim::ResolveEngineShards(shards);
   std::printf("population: %u public + %u NATted hosts, %zu sensors, "
-              "hit-list 1000 /16s (coverage %.2f%%), scale %.2f\n",
+              "hit-list 1000 /16s (coverage %.2f%%), scale %.2f, "
+              "%d shard%s\n",
               scenario.public_hosts, scenario.natted_hosts,
-              sensor_blocks.size(), 100.0 * selection.coverage, scale);
+              sensor_blocks.size(), 100.0 * selection.coverage, scale,
+              resolved_shards, resolved_shards == 1 ? "" : "s");
 
   // ---- Trace-capture overhead mode (--trace-overhead) --------------------
   // A/B/C of the identical end-to-end run: NullObserver baseline, a
@@ -327,6 +348,7 @@ int main(int argc, char** argv) {
     engine_config.seed = 0xBEEF;
     engine_config.stop_at_infected_fraction = 0.995 * selection.coverage;
     engine_config.max_probes = 20'000'000;
+    engine_config.shards = shards;
 
     struct OverheadRun {
       double seconds = 0.0;
@@ -491,6 +513,7 @@ int main(int argc, char** argv) {
     writer.KV("mode", "trace_overhead");
     writer.KV("population", static_cast<std::uint64_t>(
                                 scenario.population.size()));
+    writer.KV("shards", static_cast<std::uint64_t>(resolved_shards));
     writer.Key("baseline").BeginObject();
     writer.KV("probes", baseline.probes);
     writer.Key("seconds").FixedValue(baseline.seconds, 4);
@@ -671,6 +694,7 @@ int main(int argc, char** argv) {
     engine_config.seed = 0xBEEF;
     engine_config.stop_at_infected_fraction = 0.995 * selection.coverage;
     engine_config.max_probes = 20'000'000;
+    engine_config.shards = shards;
     sim::Engine engine{population, worm, reachability, &scenario.nats,
                        engine_config};
     engine.SeedRandomInfections(25);
@@ -726,6 +750,7 @@ int main(int argc, char** argv) {
   writer.KV("population", static_cast<std::uint64_t>(
                               scenario.population.size()));
   writer.KV("sensors", static_cast<std::uint64_t>(sensor_blocks.size()));
+  writer.KV("shards", static_cast<std::uint64_t>(resolved_shards));
   writer.KV("obs_timers", obs::StageTimersEnabled());
   writer.Key("stages").BeginObject();
   for (const StageResult& stage : stages) {

@@ -15,8 +15,11 @@
 # a scaled-down fig5a run must produce a valid --metrics-out sidecar, and
 # micro_hotpath (timers off) must stay within HOTSPOTS_OVERHEAD_TOL percent
 # (default 15 — single-run container noise; see below) of the committed
-# "after-obs" baseline at the same scale, with a bit-identical fingerprint;
-# a timers-on rerun must keep the fingerprint.
+# "after-shard" baseline at the same scale, with a bit-identical
+# fingerprint; a timers-on rerun must keep the fingerprint.  ("after-shard"
+# supersedes "after-obs": moving the loss draws onto per-scanner RNG
+# streams for the sharded engine changed the probe stream of any run with
+# loss_rate > 0, so pre-shard fingerprints are not comparable.)
 # HOTSPOTS_OVERHEAD_SCALE (default 1.0) must match a recorded baseline's
 # scale — gate comparisons across scales are meaningless.  Set
 # HOTSPOTS_SKIP_OVERHEAD_GATE=1 to skip the slow gate runs (the sidecar
@@ -78,7 +81,7 @@ if [[ "${HOTSPOTS_SKIP_OVERHEAD_GATE:-0}" != "1" ]]; then
   # raise HOTSPOTS_OVERHEAD_TOL (or skip) when gating on slower hardware.
   HOTSPOTS_OBS_TIMERS=0 ./build/bench/micro_hotpath "${OVERHEAD_SCALE}" \
     --label ci-off --out "${SMOKE_DIR}/hotpath.json" \
-    --gate after-obs --gate-file results/BENCH_hotpath.json \
+    --gate after-shard --gate-file results/BENCH_hotpath.json \
     --gate-tolerance "${OVERHEAD_TOL}"
   # Timers on: throughput is expected to drop, but the simulation output
   # must stay bit-identical to the timers-off run just recorded.
@@ -89,6 +92,19 @@ if [[ "${HOTSPOTS_SKIP_OVERHEAD_GATE:-0}" != "1" ]]; then
 else
   echo "overhead gate skipped (HOTSPOTS_SKIP_OVERHEAD_GATE=1)"
 fi
+
+echo "== shard smoke: fingerprint invariance at 1 and 8 shards =="
+# The sharded engine's contract is that the run fingerprint — series,
+# delivery counts, every sensor's histogram/alert state — is bit-identical
+# at any shard count.  Record a 1-shard run, then gate an 8-shard run
+# against it fingerprint-only: throughput is not compared (CI containers
+# are often single-core, where extra shards can only add overhead).
+HOTSPOTS_OBS_TIMERS=0 ./build/bench/micro_hotpath 0.05 --shards 1 \
+  --label ci-shard1 --out "${SMOKE_DIR}/shards.json"
+HOTSPOTS_OBS_TIMERS=0 ./build/bench/micro_hotpath 0.05 --shards 8 \
+  --label ci-shard8 --out "${SMOKE_DIR}/shards.json" \
+  --gate ci-shard1 --gate-file "${SMOKE_DIR}/shards.json" \
+  --gate-fingerprint-only
 
 echo "== trace smoke: capture -> validate -> replay -> diff =="
 # End-to-end exercise of the src/trace subsystem: a small fig1 run captures
@@ -209,5 +225,20 @@ cmake --build "build-${SANITIZER}" -j "${JOBS}"
 ctest --test-dir "build-${SANITIZER}" --output-on-failure \
   -R 'TraceSalvage|TraceCorruption|ValidateTraceFile'
 ctest --test-dir "build-${SANITIZER}" --output-on-failure -j "${JOBS}"
+
+echo "== tsan pass: sharded commit queue under the race detector =="
+# The engine-shard suites are the only concurrent code in the tree; run
+# them under ThreadSanitizer even when the primary sanitizer pass was
+# asan.  (When HOTSPOTS_SANITIZE=tsan was requested, the full-suite pass
+# above already covered them.)
+if [[ "${SANITIZER}" == "tsan" ]]; then
+  echo "primary sanitizer pass already ran under tsan — skipped"
+else
+  cmake -B build-tsan -S . -DHOTSPOTS_SANITIZE=tsan
+  cmake --build build-tsan -j "${JOBS}" \
+    --target sim_engine_shard_test sim_study_retry_test
+  ctest --test-dir build-tsan --output-on-failure \
+    -R 'ShardPool|EngineShard|EngineAudit|ResolveEngineShards|RunTrials'
+fi
 
 echo "== ci.sh: all passes green =="

@@ -36,10 +36,40 @@ void TrwGatewayObserver::OnProbe(const sim::ProbeEvent& event) {
 PrevalenceStreamObserver::PrevalenceStreamObserver(PrevalenceStreamConfig config)
     : config_(config), detector_(config.prevalence) {}
 
+void TrwGatewayObserver::OnProbeBatch(
+    std::span<const sim::ProbeEvent> events) {
+  // The engine's shard commit hands whole per-shard runs of events; fold
+  // the seen-counter once per batch and touch the detector only for the
+  // delivered, watched subset.  Equivalent event-for-event to OnProbe(),
+  // so live, sharded, and replayed streams agree.
+  probes_seen_ += events.size();
+  for (const sim::ProbeEvent& event : events) {
+    if (event.delivery != topology::Delivery::kDelivered) continue;
+    if (!watched_sources_.Contains(event.src_address)) continue;
+    const bool success = live_space_.Contains(event.dst);
+    ++probes_fed_;
+    const TrwVerdict verdict =
+        detector_.Observe(event.time, event.src_address, success);
+    if (verdict == TrwVerdict::kScanner && !first_alert_time_.has_value()) {
+      first_alert_time_ = detector_.ScannerFlagTime(event.src_address);
+    }
+  }
+}
+
 void PrevalenceStreamObserver::OnProbe(const sim::ProbeEvent& event) {
   if (event.delivery != topology::Delivery::kDelivered) return;
   detector_.Observe(event.time, config_.content_id, event.src_address,
                     event.dst);
+}
+
+void PrevalenceStreamObserver::OnProbeBatch(
+    std::span<const sim::ProbeEvent> events) {
+  for (const sim::ProbeEvent& event : events) {
+    if (event.delivery == topology::Delivery::kDelivered) {
+      detector_.Observe(event.time, config_.content_id, event.src_address,
+                        event.dst);
+    }
+  }
 }
 
 }  // namespace hotspots::detect

@@ -18,6 +18,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <span>
 
 #include "detect/prevalence.h"
 #include "detect/trw.h"
@@ -49,6 +50,9 @@ class TrwGatewayObserver final : public sim::ProbeObserver {
 
   void OnAttach() override;
   void OnProbe(const sim::ProbeEvent& event) override;
+  /// Batch fast path for the engine's shard-commit spans: same verdicts
+  /// and counters as the per-event path, with the seen-tally folded once.
+  void OnProbeBatch(std::span<const sim::ProbeEvent> events) override;
 
   /// Earliest time any watched source was flagged SCANNER.
   [[nodiscard]] std::optional<double> first_alert_time() const {
@@ -82,6 +86,7 @@ class PrevalenceStreamObserver final : public sim::ProbeObserver {
   explicit PrevalenceStreamObserver(PrevalenceStreamConfig config = {});
 
   void OnProbe(const sim::ProbeEvent& event) override;
+  void OnProbeBatch(std::span<const sim::ProbeEvent> events) override;
 
   [[nodiscard]] std::optional<double> alert_time() const {
     return detector_.AlertTime(config_.content_id);

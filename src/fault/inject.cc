@@ -44,12 +44,15 @@ int ApplySensorOutages(const FaultSchedule& schedule,
     for (int i = 0; i < sensors; ++i) {
       labels.push_back(fleet.sensor(i).label());
     }
-    for (const OutageWindow& outage :
-         StaggeredOutages(labels, schedule.staggered.horizon,
-                          schedule.staggered.down_fraction, schedule.seed)) {
-      const int index = by_label.at(outage.sensor);
-      windows[static_cast<std::size_t>(index)].emplace_back(outage.down_at,
-                                                            outage.up_at);
+    // StaggeredOutages draws one window per label *in label order*, so
+    // window i belongs to sensor i by position.  Mapping back through the
+    // label table instead would send every window of a duplicated label to
+    // the first sensor carrying it.
+    const std::vector<OutageWindow> staggered =
+        StaggeredOutages(labels, schedule.staggered.horizon,
+                         schedule.staggered.down_fraction, schedule.seed);
+    for (std::size_t i = 0; i < staggered.size(); ++i) {
+      windows[i].emplace_back(staggered[i].down_at, staggered[i].up_at);
     }
   }
 
@@ -58,7 +61,11 @@ int ApplySensorOutages(const FaultSchedule& schedule,
     auto& sensor_windows = windows[static_cast<std::size_t>(i)];
     if (sensor_windows.empty()) continue;
     fleet.SetSensorOutages(i, std::move(sensor_windows));
-    ++affected;
+    // Count what *survived normalization*: SetOutageWindows drops
+    // zero-length/inverted windows and merges overlaps, so a sensor whose
+    // windows all normalize away is not affected — keep this tally in
+    // agreement with has_outages() and SensorsWithOutages().
+    if (fleet.sensor(i).has_outages()) ++affected;
   }
   return affected;
 }

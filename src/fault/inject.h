@@ -14,9 +14,12 @@ namespace hotspots::fault {
 
 /// Applies the schedule's outage windows to a built (or buildable)
 /// telescope.  Returns the number of sensors that ended up with at least
-/// one window.  Throws std::invalid_argument when a scripted window names
-/// a label that matches no sensor — a silently ignored outage would make
-/// the experiment lie.
+/// one *normalized* window (zero-length and inverted windows are dropped,
+/// overlapping and abutting ones merged — see SensorBlock::
+/// SetOutageWindows), so the count always agrees with
+/// Telescope::SensorsWithOutages().  Throws std::invalid_argument when a
+/// scripted window names a label that matches no sensor — a silently
+/// ignored outage would make the experiment lie.
 int ApplySensorOutages(const FaultSchedule& schedule,
                        telescope::Telescope& fleet);
 

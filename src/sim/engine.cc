@@ -4,10 +4,13 @@
 #include <cmath>
 #include <iterator>
 #include <stdexcept>
+#include <string>
 #include <tuple>
 
 #include "obs/metrics.h"
 #include "obs/stage_timer.h"
+#include "prng/splitmix.h"
+#include "sim/shard.h"
 
 namespace hotspots::sim {
 
@@ -23,7 +26,28 @@ constexpr const char* kDeliveryCounterNames[] = {
 static_assert(std::size(kDeliveryCounterNames) ==
               std::tuple_size_v<decltype(RunResult::delivery_counts)>);
 
+/// Domain separator between a scanner's targeting entropy and its probe
+/// (loss-draw) stream, so the two never correlate.
+constexpr std::uint64_t kProbeStreamSalt = 0x70b5'7e55'0b5e'55edULL;
+
+/// Below this many probes in a step, the shard fan-out costs more than it
+/// saves; run fewer shards (down to one, inline on the stepping thread).
+/// Results are identical either way: the commit order only depends on
+/// scanner index, never on the shard partition.
+constexpr std::uint64_t kMinProbesPerShard = 2048;
+
 }  // namespace
+
+void EngineAudit::CheckConservation(const RunResult& result) {
+  if (ConservationHolds(result)) return;
+  std::uint64_t verdicts = 0;
+  for (const std::uint64_t count : result.delivery_counts) verdicts += count;
+  throw std::logic_error(
+      "EngineAudit: delivery-count conservation violated: Σdelivery_counts=" +
+      std::to_string(verdicts) +
+      " != total_probes=" + std::to_string(result.total_probes) +
+      " + fault_duplicates=" + std::to_string(result.fault_duplicates));
+}
 
 Engine::Engine(Population& population, const Worm& worm,
                const topology::Reachability& reachability,
@@ -44,6 +68,9 @@ Engine::Engine(Population& population, const Worm& worm,
       config_.infection_latency < 0.0 ||
       config_.global_bandwidth_probes_per_sec < 0.0) {
     throw std::invalid_argument("Engine: lifecycle rates must be ≥ 0");
+  }
+  if (config_.shards < 0) {
+    throw std::invalid_argument("Engine: shards must be ≥ 0");
   }
 }
 
@@ -73,11 +100,17 @@ void Engine::ActivateDue(double time) {
     ++pending_cursor_;
     // A host disinfected while still latent never starts scanning.
     if (population_.host(id).state != HostState::kInfected) continue;
+    const std::uint64_t entropy = rng_.Next();
     infected_.push_back(id);
-    scanners_.push_back(worm_.MakeScanner(population_.host(id), rng_.Next()));
+    scanners_.push_back(worm_.MakeScanner(population_.host(id), entropy));
     // NAT resolution hoisted out of the probe loop: the public-facing
     // source address is fixed for the scanner's lifetime.
     scanner_sources_.push_back(PublicFacingAddress(population_.host(id)));
+    // The scanner's private probe stream (loss draws).  Derived from the
+    // same activation entropy as the targeting state, so a probe's
+    // classification is a pure function of (scanner, probe index) — the
+    // property that lets shards classify probes without sharing an RNG.
+    scanner_rngs_.emplace_back(prng::Mix64(entropy ^ kProbeStreamSalt));
   }
   if (pending_cursor_ == pending_.size() && !pending_.empty()) {
     pending_.clear();
@@ -103,6 +136,8 @@ void Engine::ApplyLifecycleEvents(double time, double dt) {
       scanners_.pop_back();
       scanner_sources_[index] = scanner_sources_.back();
       scanner_sources_.pop_back();
+      scanner_rngs_[index] = scanner_rngs_.back();
+      scanner_rngs_.pop_back();
     }
   }
   // Patching: expected events = rate · dt · #vulnerable; hosts are found by
@@ -192,6 +227,12 @@ RunResult Engine::Run(ProbeObserver& observer) {
   // take exactly the pre-fault code path (bit-identical output).
   DeliveryFaultHook* const fault_hook = fault_hook_;
   if (fault_hook != nullptr) fault_hook->OnRunStart(config_.seed);
+  // One outbreak across all cores: probe generation fans out over the
+  // shard pool and a serial commit merges the staged shards in index
+  // order, so every shard count replays the identical run (see engine.h).
+  const int shards = ResolveEngineShards(config_.shards);
+  ShardPool pool{shards};
+  shard_stages_.resize(static_cast<std::size_t>(shards));
   const std::uint64_t infected_at_start = ever_infected_;
   std::uint64_t targeting_ns = 0;
   std::uint64_t decide_ns = 0;
@@ -221,16 +262,20 @@ RunResult Engine::Run(ProbeObserver& observer) {
   // sample scheduled exactly on a step boundary is not pushed a step late.
   const double sample_slack = 1e-9 * config_.sample_interval;
 
-  // Probes are staged into event_buffer_ and their delivered subset into
-  // victim_buffer_, both flushed at step end (or when full).  Deferring the
-  // victim lookups is exact: infections take effect within the same step at
-  // the same timestamp, in emission order, and nothing reads the infection
-  // counters mid-step.
+  // Each step runs in two phases.  Generate: every shard walks its
+  // contiguous slice of the scanning population, classifies probes from
+  // per-scanner RNG streams, resolves victim candidates against the
+  // immutable population index, and stages everything into its ShardStage
+  // — no locks, no shared writes.  Commit (serial, shard 0 first): the
+  // staged shards are merged in index order, which reconstructs exactly
+  // the serial scanner-major emission order, so observers, the fault
+  // hook's private stream, and infections are shard-count-invariant.
+  // Deferring infections to the commit is exact: they take effect within
+  // the same step at the same timestamp, in emission order, and nothing
+  // reads the infection counters mid-step.
   constexpr std::size_t kBatchCapacity = 1024;
   event_buffer_.clear();
   event_buffer_.reserve(kBatchCapacity);
-  victim_buffer_.clear();
-  victim_buffer_.reserve(kBatchCapacity);
   const auto flush_events = [&] {
     if (event_buffer_.empty()) return;
     if (stage_timers) {
@@ -241,22 +286,6 @@ RunResult Engine::Run(ProbeObserver& observer) {
       observer.OnProbeBatch(event_buffer_);
     }
     event_buffer_.clear();
-  };
-  const auto flush_victims = [&](double now) {
-    const std::uint64_t t0 = stage_timers ? obs::NowNanos() : 0;
-    constexpr std::size_t kPrefetchAhead = 8;
-    const std::size_t count = victim_buffer_.size();
-    for (std::size_t i = 0; i < count; ++i) {
-      if (i + kPrefetchAhead < count) {
-        const auto& [site, dst] = victim_buffer_[i + kPrefetchAhead];
-        population_.PrefetchFind(site, dst);
-      }
-      const auto& [site, dst] = victim_buffer_[i];
-      const HostId victim = population_.FindInSite(site, dst);
-      if (victim != kInvalidHost) Infect(victim, now);
-    }
-    victim_buffer_.clear();
-    if (stage_timers) victim_flush_ns += obs::NowNanos() - t0;
   };
 
   while (time < config_.end_time && result.total_probes < config_.max_probes &&
@@ -301,72 +330,169 @@ RunResult Engine::Run(ProbeObserver& observer) {
     // Hosts activated during this step were appended beyond `active` (or
     // are still latent) and therefore start scanning at a later step.
     const std::size_t active = infected_.size();
-    for (std::size_t i = 0; i < active; ++i) {
-      const HostId src_id = infected_[i];
-      const Host& src = population_.host(src_id);
-      const net::Ipv4 src_address = scanner_sources_[i];
-      topology::Probe probe;
-      probe.src = src.address;
-      probe.src_site = src.nat_site;
-      probe.src_org = src.org;
-      for (int p = 0; p < probes_per_host; ++p) {
-        net::Ipv4 target;
-        topology::Delivery verdict;
-        if (stage_timers) {
-          const std::uint64_t t0 = obs::NowNanos();
-          target = scanners_[i]->NextTarget(rng_);
-          const std::uint64_t t1 = obs::NowNanos();
-          probe.dst = target;
-          verdict = reachability_.Decide(probe, rng_);
-          decide_ns += obs::NowNanos() - t1;
-          targeting_ns += t1 - t0;
-        } else {
-          target = scanners_[i]->NextTarget(rng_);
-          probe.dst = target;
-          verdict = reachability_.Decide(probe, rng_);
+    if (probes_per_host > 0 && active > 0) {
+      // Small steps run fewer shards (down to one, inline): the partition
+      // is by scanner index, so the committed stream is the same however
+      // many shards actually execute.
+      const std::uint64_t step_work =
+          static_cast<std::uint64_t>(active) *
+          static_cast<std::uint64_t>(probes_per_host);
+      const int step_shards = static_cast<int>(std::min<std::uint64_t>(
+          static_cast<std::uint64_t>(shards),
+          std::max<std::uint64_t>(1, step_work / kMinProbesPerShard)));
+
+      // -- Generate: optimistic, parallel, side-effect-free ------------
+      const auto generate = [&](int s) {
+        ShardStage& stage = shard_stages_[static_cast<std::size_t>(s)];
+        stage.Clear();
+        // The pool always dispatches every shard; on small steps the ones
+        // beyond step_shards have an empty slice and return immediately.
+        if (s >= step_shards) return;
+        const auto slot = static_cast<std::size_t>(s);
+        const auto slots = static_cast<std::size_t>(step_shards);
+        const std::size_t begin = active * slot / slots;
+        const std::size_t end = active * (slot + 1) / slots;
+        for (std::size_t i = begin; i < end; ++i) {
+          const HostId src_id = infected_[i];
+          const Host& src = population_.host(src_id);
+          const net::Ipv4 src_address = scanner_sources_[i];
+          prng::Xoshiro256& probe_rng = scanner_rngs_[i];
+          HostScanner& scanner = *scanners_[i];
+          topology::Probe probe;
+          probe.src = src.address;
+          probe.src_site = src.nat_site;
+          probe.src_org = src.org;
+          for (int p = 0; p < probes_per_host; ++p) {
+            net::Ipv4 target;
+            topology::Delivery verdict;
+            if (stage_timers) {
+              const std::uint64_t t0 = obs::NowNanos();
+              target = scanner.NextTarget(probe_rng);
+              const std::uint64_t t1 = obs::NowNanos();
+              probe.dst = target;
+              verdict = reachability_.Decide(probe, probe_rng);
+              stage.decide_ns += obs::NowNanos() - t1;
+              stage.targeting_ns += t1 - t0;
+            } else {
+              target = scanner.NextTarget(probe_rng);
+              probe.dst = target;
+              verdict = reachability_.Decide(probe, probe_rng);
+            }
+            ++stage.probes;
+            ++stage.delivery_counts[static_cast<std::size_t>(verdict)];
+            stage.events.push_back(
+                ProbeEvent{time, src_id, src_address, target, verdict});
+            if (verdict == topology::Delivery::kDelivered) {
+              stage.victim_keys.emplace_back(net::IsPrivate(target)
+                                                 ? src.nat_site
+                                                 : topology::kPublicSite,
+                                             target);
+            }
+          }
         }
-        bool duplicate = false;
+        // Resolve this shard's victim candidates against the population
+        // index (membership is immutable during a run, only host *state*
+        // changes — at commit, never here), prefetching ahead of use.
+        const std::uint64_t v0 = stage_timers ? obs::NowNanos() : 0;
+        constexpr std::size_t kPrefetchAhead = 8;
+        const std::size_t count = stage.victim_keys.size();
+        stage.victims.resize(count);
+        for (std::size_t i = 0; i < count; ++i) {
+          if (i + kPrefetchAhead < count) {
+            const auto& [site, dst] = stage.victim_keys[i + kPrefetchAhead];
+            population_.PrefetchFind(site, dst);
+          }
+          const auto& [site, dst] = stage.victim_keys[i];
+          stage.victims[i] = population_.FindInSite(site, dst);
+        }
+        if (stage_timers) stage.victim_ns += obs::NowNanos() - v0;
+      };
+      if (step_shards == 1) {
+        generate(0);
+      } else {
+        pool.Run(generate);
+      }
+
+      // -- Commit: serial merge in shard-major order -------------------
+      for (int s = 0; s < step_shards; ++s) {
+        ShardStage& stage = shard_stages_[static_cast<std::size_t>(s)];
+        targeting_ns += stage.targeting_ns;
+        decide_ns += stage.decide_ns;
+        victim_flush_ns += stage.victim_ns;
         if (fault_hook != nullptr) {
           // Post-decision fault layer: may degrade a delivered probe or
-          // request an in-flight duplicate, never resurrect a drop.  Draws
-          // come from the hook's private stream, not rng_.
-          const DeliveryFaultHook::Outcome adjusted =
-              fault_hook->OnProbeVerdict(time, target, verdict);
-          if (verdict == topology::Delivery::kDelivered &&
-              adjusted.verdict != topology::Delivery::kDelivered) {
-            ++result.fault_injected_drops;
+          // request an in-flight duplicate, never resurrect a drop.  The
+          // hook's private stream consumes the *committed* order, so its
+          // draws are shard-count-invariant.
+          std::size_t victim_cursor = 0;
+          for (const ProbeEvent& staged : stage.events) {
+            topology::Delivery verdict = staged.delivery;
+            HostId victim = kInvalidHost;
+            if (verdict == topology::Delivery::kDelivered) {
+              victim = stage.victims[victim_cursor++];
+            }
+            const DeliveryFaultHook::Outcome adjusted =
+                fault_hook->OnProbeVerdict(time, staged.dst, verdict);
+            if (verdict == topology::Delivery::kDelivered &&
+                adjusted.verdict != topology::Delivery::kDelivered) {
+              ++result.fault_injected_drops;
+            }
+            verdict = adjusted.verdict;
+            const bool duplicate = adjusted.duplicate &&
+                                   verdict == topology::Delivery::kDelivered;
+            ++result.total_probes;
+            ++result.delivery_counts[static_cast<std::size_t>(verdict)];
+            event_buffer_.push_back(ProbeEvent{staged.time, staged.src_host,
+                                               staged.src_address, staged.dst,
+                                               verdict});
+            if (event_buffer_.size() == kBatchCapacity) flush_events();
+            if (duplicate) {
+              // The duplicate is a second observer-visible arrival of the
+              // same packet; it can infect (idempotently) but is not an
+              // emitted probe, so total_probes excludes it.
+              ++result.fault_duplicates;
+              ++result.delivery_counts[static_cast<std::size_t>(verdict)];
+              event_buffer_.push_back(ProbeEvent{staged.time, staged.src_host,
+                                                 staged.src_address,
+                                                 staged.dst, verdict});
+              if (event_buffer_.size() == kBatchCapacity) flush_events();
+            }
+            // A hook can only degrade, so a post-fault delivery always has
+            // its pre-resolved victim; infect it (idempotently) now.
+            if (verdict == topology::Delivery::kDelivered &&
+                victim != kInvalidHost) {
+              Infect(victim, time);
+            }
           }
-          verdict = adjusted.verdict;
-          duplicate = adjusted.duplicate &&
-                      verdict == topology::Delivery::kDelivered;
+        } else {
+          result.total_probes += stage.probes;
+          for (std::size_t i = 0; i < stage.delivery_counts.size(); ++i) {
+            result.delivery_counts[i] += stage.delivery_counts[i];
+          }
+          // Fault-free commits are zero-copy: the shard's staged events go
+          // to the observer as one span, in committed order.
+          if (!stage.events.empty()) {
+            if (stage_timers) {
+              const std::uint64_t t0 = obs::NowNanos();
+              observer.OnProbeBatch(stage.events);
+              observe_flush_ns += obs::NowNanos() - t0;
+            } else {
+              observer.OnProbeBatch(stage.events);
+            }
+          }
+          for (const HostId victim : stage.victims) {
+            if (victim != kInvalidHost) Infect(victim, time);
+          }
         }
-        ++result.total_probes;
-        ++result.delivery_counts[static_cast<std::size_t>(verdict)];
-
-        event_buffer_.push_back(
-            ProbeEvent{time, src_id, src_address, target, verdict});
-        if (event_buffer_.size() == kBatchCapacity) flush_events();
-        if (duplicate) {
-          // The duplicate is a second observer-visible arrival of the same
-          // packet; it can infect (idempotently) but is not an emitted
-          // probe, so total_probes excludes it.
-          ++result.fault_duplicates;
-          ++result.delivery_counts[static_cast<std::size_t>(verdict)];
-          event_buffer_.push_back(
-              ProbeEvent{time, src_id, src_address, target, verdict});
-          if (event_buffer_.size() == kBatchCapacity) flush_events();
-        }
-
-        if (verdict != topology::Delivery::kDelivered) continue;
-        victim_buffer_.emplace_back(net::IsPrivate(target)
-                                        ? src.nat_site
-                                        : topology::kPublicSite,
-                                    target);
-        if (victim_buffer_.size() == kBatchCapacity) flush_victims(time);
       }
+      flush_events();
+#ifndef NDEBUG
+      // Debug builds re-check conservation at every shard commit, so a
+      // merge that drops or double-counts a staged probe fails at the
+      // offending step, not at run end.
+      EngineAudit::CheckConservation(result);
+#endif
     }
-    flush_events();
-    flush_victims(time);
     // Recompute instead of accumulating: step·dt has one rounding, a running
     // sum has billions, enough to skew long runs' sample alignment.
     ++step;
@@ -378,11 +504,15 @@ RunResult Engine::Run(ProbeObserver& observer) {
   result.end_time = time;
   result.final_infected = ever_infected_;
   result.final_immune = immune_;
+  // The conservation invariant is cheap enough to check in every build at
+  // run end; debug builds additionally checked it per step-commit above.
+  EngineAudit::CheckConservation(result);
 
   // One batched fold into the registry per run — the per-probe path never
   // touches shared metrics state.
   auto& registry = obs::Registry::Global();
   registry.GetCounter("engine.runs").Increment();
+  registry.GetGauge("engine.shards").Set(static_cast<double>(shards));
   registry.GetCounter("engine.steps").Add(step);
   registry.GetCounter("engine.probes").Add(result.total_probes);
   registry.GetCounter("engine.infections")

@@ -12,7 +12,22 @@
 // The step size defaults to 1/scan_rate so each infected host emits exactly
 // one probe per step; fractional configurations are handled with per-step
 // probe credit.  The engine is deterministic given (population order,
-// config.seed).
+// config.seed) — *independent of the shard count*.
+//
+// Sharding (EngineConfig::shards / HOTSPOTS_SHARDS): one outbreak is
+// parallelized by splitting the actively scanning population into
+// contiguous shards each step.  Workers generate and classify their
+// shard's probes optimistically — targeting state is per scanner, loss
+// draws come from per-scanner RNG streams, victim candidates resolve
+// against the immutable population index — and stage every side effect
+// (events, delivery tallies, victims) into per-shard buffers.  A serial
+// commit phase then merges the staged buffers in shard-major order, which
+// reproduces exactly the serial engine's scanner-major emission order, so
+// observers, fault hooks, trace writers, and infections all see one
+// deterministic stream: run output is bit-identical at 1, 2, 8, or N
+// shards.  Fault hooks are inherently serial (one private RNG stream over
+// the committed order), so with a hook attached the verdict adjustment
+// happens during commit, not generation.
 //
 // Observability: every Run() folds its accounting (steps, probes,
 // infections, the delivery-verdict breakdown) into the process-wide
@@ -26,6 +41,7 @@
 #include <array>
 #include <cstdint>
 #include <memory>
+#include <utility>
 #include <vector>
 
 #include "prng/xoshiro.h"
@@ -54,6 +70,11 @@ struct EngineConfig {
   double sample_interval = 1.0;
   /// Master seed for the engine RNG (scanner entropy, loss draws).
   std::uint64_t seed = 0x5EED;
+  /// Worker shards for one outbreak: 0 resolves HOTSPOTS_SHARDS (default
+  /// 1 = serial).  Any value yields bit-identical results; see file
+  /// comment.  Shards multiply with study-level trial threads, so studies
+  /// normally leave this at the serial default.
+  int shards = 0;
 
   // -- Host-lifecycle extensions (all default off) ----------------------
   /// Per-second probability that a vulnerable host is patched (moves to
@@ -111,6 +132,28 @@ struct RunResult {
   }
 };
 
+/// Accounting invariants the engine must uphold regardless of shard count
+/// or fault configuration.  The engine asserts these itself at every shard
+/// commit and at run end in debug builds; tests and harnesses call them on
+/// final results in any build.
+struct EngineAudit {
+  /// The conservation invariant: every emitted probe gets exactly one
+  /// verdict, and every fault duplicate exactly one more, so
+  /// Σ delivery_counts == total_probes + fault_duplicates.  A sharded
+  /// merge that dropped or double-counted a staged probe breaks this.
+  [[nodiscard]] static bool ConservationHolds(const RunResult& result) {
+    std::uint64_t verdicts = 0;
+    for (const std::uint64_t count : result.delivery_counts) {
+      verdicts += count;
+    }
+    return verdicts == result.total_probes + result.fault_duplicates;
+  }
+
+  /// Throws std::logic_error with the offending tallies when conservation
+  /// is violated.
+  static void CheckConservation(const RunResult& result);
+};
+
 class Engine {
  public:
   /// `nats` may be nullptr when the scenario has no NAT sites.  The
@@ -150,6 +193,41 @@ class Engine {
   [[nodiscard]] const Population& population() const { return population_; }
 
  private:
+  /// Side effects one shard stages during the optimistic generate phase,
+  /// merged serially (shard 0 first) by the commit phase.  Everything a
+  /// shard writes lands here or in its own scanner_rngs_ entries — shards
+  /// never touch engine or population state, which is what makes the
+  /// generate phase lock- and race-free.
+  struct ShardStage {
+    /// Staged probe events with pre-fault verdicts, in emission order.
+    std::vector<ProbeEvent> events;
+    /// Victim-lookup keys (site, dst), one per *pre-fault delivered* event
+    /// in event order; scratch for the in-shard resolution below.
+    std::vector<std::pair<topology::SiteId, net::Ipv4>> victim_keys;
+    /// Victim HostId per *pre-fault delivered* event, in event order
+    /// (kInvalidHost when nothing lives at the target).  Resolved during
+    /// generation so the hash lookups parallelize and prefetch.
+    std::vector<HostId> victims;
+    /// Verdict tallies and probe count for this shard's events.
+    std::array<std::uint64_t, 6> delivery_counts{};
+    std::uint64_t probes = 0;
+    /// Stage-timer accumulators (HOTSPOTS_OBS_TIMERS): each shard times
+    /// its own targeting/decide/victim work; the commit folds the per-
+    /// shard values into the run totals.
+    std::uint64_t targeting_ns = 0;
+    std::uint64_t decide_ns = 0;
+    std::uint64_t victim_ns = 0;
+
+    void Clear() {
+      events.clear();
+      victim_keys.clear();
+      victims.clear();
+      delivery_counts.fill(0);
+      probes = 0;
+      targeting_ns = decide_ns = victim_ns = 0;
+    }
+  };
+
   void Infect(HostId host, double time);
   void ActivateDue(double time);
   void ApplyLifecycleEvents(double time, double dt);
@@ -163,19 +241,24 @@ class Engine {
   prng::Xoshiro256 rng_;
   DeliveryFaultHook* fault_hook_ = nullptr;
 
-  /// Actively scanning hosts, their per-host targeting state, and their
+  /// Actively scanning hosts, their per-host targeting state, their
   /// public-facing (post-NAT) source address — resolved once at activation
-  /// instead of per probe (parallel vectors; disinfection swap-removes from
-  /// all three).
+  /// instead of per probe — and their private probe-RNG stream (loss
+  /// draws), seeded from the scanner's activation entropy so probe
+  /// classification is independent of which shard runs it (parallel
+  /// vectors; disinfection swap-removes from all four).
   std::vector<HostId> infected_;
   std::vector<std::unique_ptr<HostScanner>> scanners_;
   std::vector<net::Ipv4> scanner_sources_;
-  /// Probe-event staging buffer, flushed to the observer per step (or when
-  /// full) so virtual dispatch is amortized over whole batches.
+  std::vector<prng::Xoshiro256> scanner_rngs_;
+  /// Per-shard staging buffers, reused across steps.
+  std::vector<ShardStage> shard_stages_;
+  /// Probe-event staging buffer for fault-mode commits, where staged
+  /// verdicts are rewritten (and duplicates spliced in) before the
+  /// observer sees them; flushed when full so virtual dispatch stays
+  /// amortized.  Fault-free commits forward each shard's staged events as
+  /// one zero-copy span instead.
   std::vector<ProbeEvent> event_buffer_;
-  /// Delivered probes awaiting their victim lookup: (lookup site, dst).
-  /// Batched so the hash-table loads can be prefetched ahead of use.
-  std::vector<std::pair<topology::SiteId, net::Ipv4>> victim_buffer_;
   /// Infected hosts waiting out the infection latency, in activation-time
   /// order (time is monotone, so appends keep it sorted).
   struct PendingActivation {

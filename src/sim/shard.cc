@@ -1,0 +1,97 @@
+#include "sim/shard.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace hotspots::sim {
+
+int ResolveEngineShards(int requested) {
+  int shards = requested;
+  if (shards <= 0) {
+    shards = 1;
+    if (const char* env = std::getenv("HOTSPOTS_SHARDS")) {
+      char* end = nullptr;
+      const long value = std::strtol(env, &end, 10);
+      if (end != env && *end == '\0' && value > 0) {
+        shards = static_cast<int>(std::min(value, long{1 << 10}));
+      }
+    }
+  }
+  return std::clamp(shards, 1, 1 << 10);
+}
+
+ShardPool::ShardPool(int shards)
+    : shards_(std::max(1, shards)),
+      errors_(static_cast<std::size_t>(shards_)) {
+  workers_.reserve(static_cast<std::size_t>(shards_ - 1));
+  for (int shard = 1; shard < shards_; ++shard) {
+    workers_.emplace_back([this, shard] { WorkerLoop(shard); });
+  }
+}
+
+ShardPool::~ShardPool() {
+  {
+    const std::scoped_lock lock{mutex_};
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ShardPool::WorkerLoop(int shard) {
+  std::uint64_t seen = 0;
+  for (;;) {
+    const std::function<void(int)>* job = nullptr;
+    {
+      std::unique_lock lock{mutex_};
+      work_cv_.wait(lock, [&] { return stop_ || generation_ != seen; });
+      if (stop_) return;
+      seen = generation_;
+      job = job_;
+    }
+    try {
+      (*job)(shard);
+    } catch (...) {
+      // Slot write is safe lock-free: one writer per shard per generation,
+      // and the caller only reads after the done_cv_ join below.
+      errors_[static_cast<std::size_t>(shard)] = std::current_exception();
+    }
+    {
+      const std::scoped_lock lock{mutex_};
+      if (--remaining_ == 0) done_cv_.notify_one();
+    }
+  }
+}
+
+void ShardPool::Run(const std::function<void(int)>& job) {
+  if (shards_ == 1) {
+    job(0);  // Serial: no atomics, no wakeups, exceptions propagate as-is.
+    return;
+  }
+  {
+    const std::scoped_lock lock{mutex_};
+    job_ = &job;
+    remaining_ = shards_ - 1;
+    ++generation_;
+  }
+  work_cv_.notify_all();
+  try {
+    job(0);
+  } catch (...) {
+    errors_[0] = std::current_exception();
+  }
+  {
+    std::unique_lock lock{mutex_};
+    done_cv_.wait(lock, [&] { return remaining_ == 0; });
+    job_ = nullptr;
+  }
+  for (std::exception_ptr& error : errors_) {
+    if (error) {
+      const std::exception_ptr first = error;
+      for (std::exception_ptr& slot : errors_) slot = nullptr;
+      std::rethrow_exception(first);
+    }
+  }
+}
+
+}  // namespace hotspots::sim

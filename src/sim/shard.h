@@ -1,0 +1,72 @@
+// Intra-run sharding primitives for the epidemic engine.
+//
+// The engine parallelizes ONE outbreak by splitting the actively scanning
+// population into contiguous shards, generating and classifying each
+// shard's probes optimistically on worker threads, and then committing the
+// staged side effects in deterministic shard-major order (sim/engine.cc).
+// This header holds the two pieces that are independent of the engine's
+// step loop: shard-count resolution and the fork-join worker pool.
+//
+// ShardPool is deliberately minimal: one blocking Run(job) per step, shard
+// 0 always on the calling thread, workers parked on a condition variable
+// between steps.  The engine's determinism does not depend on the pool at
+// all — every shard's output is a pure function of (shard range, per-
+// scanner RNG streams, read-only step state) — so the pool only has to be
+// *correct*, never ordered.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace hotspots::sim {
+
+/// Resolves the engine shard count: `requested` if positive, else the
+/// HOTSPOTS_SHARDS environment variable, else 1 (serial).  Clamped to
+/// [1, 1024].  Unlike HOTSPOTS_THREADS (which fans out *trials*), shards
+/// parallelize a single outbreak; the two multiply, so studies normally
+/// leave HOTSPOTS_SHARDS unset.
+[[nodiscard]] int ResolveEngineShards(int requested);
+
+/// Fork-join pool for the engine's per-step generate phase.
+///
+/// Construction spawns `shards - 1` worker threads (none for 1 shard);
+/// Run(job) executes job(shard) for every shard in [0, shards), shard 0 on
+/// the calling thread, and returns when all shards have finished.  A job
+/// that throws is captured and rethrown on the calling thread after the
+/// join — when several shards throw, the lowest shard index wins, so the
+/// surfaced error is deterministic.
+class ShardPool {
+ public:
+  explicit ShardPool(int shards);
+  ~ShardPool();
+
+  ShardPool(const ShardPool&) = delete;
+  ShardPool& operator=(const ShardPool&) = delete;
+
+  [[nodiscard]] int shards() const { return shards_; }
+
+  /// Runs job(0) … job(shards-1) concurrently and blocks until every
+  /// shard has returned.  Not reentrant; call from one thread at a time.
+  void Run(const std::function<void(int)>& job);
+
+ private:
+  void WorkerLoop(int shard);
+
+  const int shards_;
+  std::mutex mutex_;
+  std::condition_variable work_cv_;   ///< Signals a new generation (or stop).
+  std::condition_variable done_cv_;   ///< Signals the last shard finishing.
+  const std::function<void(int)>* job_ = nullptr;
+  std::uint64_t generation_ = 0;
+  int remaining_ = 0;
+  bool stop_ = false;
+  std::vector<std::exception_ptr> errors_;  ///< One slot per shard.
+  std::vector<std::thread> workers_;        ///< Shards 1 … shards-1.
+};
+
+}  // namespace hotspots::sim

@@ -4,11 +4,13 @@
 #include <atomic>
 #include <chrono>
 #include <cmath>
+#include <condition_variable>
 #include <cstdlib>
 #include <exception>
 #include <limits>
 #include <mutex>
 #include <stdexcept>
+#include <string>
 #include <thread>
 
 #include "obs/metrics.h"
@@ -158,7 +160,6 @@ StudyTelemetry RunTrials(
   const std::vector<std::uint64_t> seeds =
       TrialSeeds(options.master_seed, trials);
 
-  std::atomic<int> next_trial{0};
   std::atomic<int> active{0};
   std::atomic<int> peak{0};
   std::atomic<int> total_retries{0};
@@ -169,29 +170,76 @@ StudyTelemetry RunTrials(
   std::vector<std::string> quarantine_reasons(
       static_cast<std::size_t>(trials));
 
+  // Retry backoff is deadline-based: a backing-off trial is *parked* in
+  // this queue with its resume deadline and the worker moves on, so a
+  // retrying trial never holds a worker hostage while other trials queue
+  // (the serial-era code slept on the pool thread here).  Workers prefer
+  // the earliest due parked retry, then fresh trials, and only block —
+  // until the earliest deadline — when neither exists.
+  struct ParkedRetry {
+    std::chrono::steady_clock::time_point due;
+    int trial = 0;
+    int attempt = 0;        ///< Next attempt index to run.
+    int attempts_done = 0;  ///< Attempts already consumed.
+    double work_seconds = 0.0;
+    std::exception_ptr last_error;
+  };
+  const auto later_due = [](const ParkedRetry& a, const ParkedRetry& b) {
+    if (a.due != b.due) return a.due > b.due;
+    return a.trial > b.trial;  // Deterministic pop order on deadline ties.
+  };
+  std::mutex queue_mutex;
+  std::condition_variable queue_cv;
+  std::vector<ParkedRetry> parked;  // Min-heap ordered by later_due.
+  int next_trial = 0;
+  int outstanding = trials;  ///< Trials not yet finalized (incl. parked).
+
   const auto study_start = std::chrono::steady_clock::now();
   const auto worker = [&] {
     for (;;) {
-      const int trial = next_trial.fetch_add(1, std::memory_order_relaxed);
-      if (trial >= trials) return;
+      ParkedRetry item;
+      {
+        std::unique_lock lock{queue_mutex};
+        for (;;) {
+          if (outstanding == 0) return;
+          const auto now = std::chrono::steady_clock::now();
+          if (!parked.empty() && parked.front().due <= now) {
+            std::pop_heap(parked.begin(), parked.end(), later_due);
+            item = parked.back();
+            parked.pop_back();
+            break;
+          }
+          if (next_trial < trials) {
+            item = ParkedRetry{};
+            item.trial = next_trial++;
+            break;
+          }
+          if (parked.empty()) {
+            // Running trials may yet park or finish; wait for either.
+            queue_cv.wait(lock);
+          } else {
+            queue_cv.wait_until(lock, parked.front().due);
+          }
+        }
+      }
+      const int trial = item.trial;
       const int in_flight = active.fetch_add(1, std::memory_order_relaxed) + 1;
       int observed_peak = peak.load(std::memory_order_relaxed);
       while (in_flight > observed_peak &&
              !peak.compare_exchange_weak(observed_peak, in_flight,
                                          std::memory_order_relaxed)) {
       }
-      const auto start = std::chrono::steady_clock::now();
-      telemetry.trial_queue_wait_seconds[static_cast<std::size_t>(trial)] =
-          std::chrono::duration<double>(start - study_start).count();
-      std::exception_ptr last_error;
-      int attempts = 0;
-      for (int attempt = 0; attempt < options.max_attempts; ++attempt) {
-        if (attempt > 0 && options.retry_backoff_seconds > 0.0) {
-          std::this_thread::sleep_for(std::chrono::duration<double>(
-              options.retry_backoff_seconds *
-              static_cast<double>(1u << (attempt - 1))));
-        }
-        ++attempts;
+      if (item.attempt == 0) {
+        telemetry.trial_queue_wait_seconds[static_cast<std::size_t>(trial)] =
+            std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                          study_start)
+                .count();
+      }
+      bool reparked = false;
+      for (int attempt = item.attempt; attempt < options.max_attempts;
+           ++attempt) {
+        const auto start = std::chrono::steady_clock::now();
+        ++item.attempts_done;
         try {
           // Attempt 0 uses the precomputed classic seed; retries derive a
           // fresh one from (trial, attempt) — see TrialAttemptSeed().
@@ -200,39 +248,72 @@ StudyTelemetry RunTrials(
                         ? seeds[static_cast<std::size_t>(trial)]
                         : TrialAttemptSeed(options.master_seed, trial,
                                            attempt));
-          last_error = nullptr;
-          break;
+          item.last_error = nullptr;
         } catch (...) {
-          last_error = std::current_exception();
+          item.last_error = std::current_exception();
         }
+        item.work_seconds +=
+            std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                          start)
+                .count();
+        if (!item.last_error) break;
+        if (attempt + 1 >= options.max_attempts) break;
+        if (options.retry_backoff_seconds > 0.0) {
+          // Park until the exponential-backoff deadline; some worker (not
+          // necessarily this one) resumes the trial when it comes due.
+          item.attempt = attempt + 1;
+          item.due = std::chrono::steady_clock::now() +
+                     std::chrono::duration_cast<
+                         std::chrono::steady_clock::duration>(
+                         std::chrono::duration<double>(
+                             options.retry_backoff_seconds *
+                             static_cast<double>(1u << attempt)));
+          {
+            const std::scoped_lock lock{queue_mutex};
+            parked.push_back(item);
+            std::push_heap(parked.begin(), parked.end(), later_due);
+          }
+          // Wake waiters so their deadline accounts for the new entry.
+          queue_cv.notify_all();
+          reparked = true;
+          break;
+        }
+        // No backoff configured: retry immediately, inline (legacy path).
       }
-      telemetry.trial_attempts[static_cast<std::size_t>(trial)] = attempts;
-      if (attempts > 1) {
-        total_retries.fetch_add(attempts - 1, std::memory_order_relaxed);
+      active.fetch_sub(1, std::memory_order_relaxed);
+      if (reparked) continue;
+
+      telemetry.trial_attempts[static_cast<std::size_t>(trial)] =
+          item.attempts_done;
+      if (item.attempts_done > 1) {
+        total_retries.fetch_add(item.attempts_done - 1,
+                                std::memory_order_relaxed);
       }
-      if (last_error) {
+      if (item.last_error) {
         if (options.quarantine_failures) {
           telemetry.trial_quarantined[static_cast<std::size_t>(trial)] = 1;
           std::string what = "unknown error";
           try {
-            std::rethrow_exception(last_error);
+            std::rethrow_exception(item.last_error);
           } catch (const std::exception& error) {
             what = error.what();
           } catch (...) {
           }
           quarantine_reasons[static_cast<std::size_t>(trial)] =
               "trial " + std::to_string(trial) + ": " + what + " (" +
-              std::to_string(attempts) + " attempts)";
+              std::to_string(item.attempts_done) + " attempts)";
         } else {
           const std::scoped_lock lock{failure_mutex};
-          if (!failure) failure = last_error;
+          if (!failure) failure = item.last_error;
         }
       }
       telemetry.trial_wall_seconds[static_cast<std::size_t>(trial)] =
-          std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                        start)
-              .count();
-      active.fetch_sub(1, std::memory_order_relaxed);
+          item.work_seconds;
+      {
+        const std::scoped_lock lock{queue_mutex};
+        --outstanding;
+      }
+      queue_cv.notify_all();
     }
   };
 

@@ -49,7 +49,12 @@ struct StudyOptions {
   /// a transient fault cannot freeze a study on a poisoned draw.
   int max_attempts = 1;
   /// Base delay before retry k: base · 2^(k−1) seconds (exponential
-  /// backoff); 0 retries immediately.
+  /// backoff); 0 retries immediately.  A backing-off trial is *parked* —
+  /// its retry deadline goes into a queue and the worker moves on to other
+  /// trials — so backoff never starves an idle worker.  Workers only
+  /// sleep when every runnable trial is claimed and only until the
+  /// earliest parked deadline.  Backoff wait time is excluded from the
+  /// trial's wall-seconds telemetry (it measures work, not parking).
   double retry_backoff_seconds = 0.0;
   /// When true, a trial that exhausts its attempts is *quarantined* — the
   /// study completes, the loss is recorded in the telemetry (per-trial

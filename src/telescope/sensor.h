@@ -90,10 +90,15 @@ class SensorBlock {
   [[nodiscard]] std::vector<Slash24Row> Histogram() const;
 
   // -- Outage windows (fault injection; see src/fault) -------------------
-  /// Replaces the sensor's outage windows with [down, up) intervals
-  /// (sorted and merged here).  While down, the sensor records nothing —
-  /// the block has been withdrawn BGP-flap-style.  Windows survive Reset()
-  /// (they belong to the fault schedule, not to per-trial state).
+  /// Replaces the sensor's outage windows with [down, up) intervals,
+  /// normalized here so InOutage()'s monotone cursor only ever sees
+  /// disjoint ascending windows: zero-length ([t,t)) and inverted windows
+  /// are dropped, and overlapping *or exactly abutting* windows ([a,b),
+  /// [b,c)) merge into one — a probe at the seam t==b is down, with no
+  /// one-probe up-flicker between the halves.  While down, the sensor
+  /// records nothing — the block has been withdrawn BGP-flap-style.
+  /// Windows survive Reset() (they belong to the fault schedule, not to
+  /// per-trial state).
   void SetOutageWindows(std::vector<std::pair<double, double>> windows);
   [[nodiscard]] bool has_outages() const { return !outages_.empty(); }
 

@@ -277,5 +277,68 @@ TEST(TelescopeOutageTest, WindowsAreMergedAndSurviveReset) {
   EXPECT_EQ(fleet.sensor(a).probe_count(), 1u);
 }
 
+TEST(TelescopeOutageTest, ZeroLengthWindowsNormalizeAway) {
+  // Regression: a scripted [t, t) outage used to survive as a degenerate
+  // window — has_outages() said yes, ApplySensorOutages counted the
+  // sensor, but no probe could ever land inside it.  Normalization drops
+  // it, and every observer of "is this sensor affected" agrees.
+  telescope::Telescope fleet;
+  const int a = fleet.AddSensor("A", Prefix{Ipv4{10, 0, 0, 0}, 24});
+  fleet.Build();
+
+  FaultSchedule schedule;
+  schedule.outages.push_back(OutageWindow{"A", 5.0, 5.0});
+  schedule.outages.push_back(OutageWindow{"A", 9.0, 3.0});  // Inverted.
+  EXPECT_EQ(ApplySensorOutages(schedule, fleet), 0);
+  EXPECT_FALSE(fleet.sensor(a).has_outages());
+  EXPECT_EQ(fleet.SensorsWithOutages(), 0u);
+  EXPECT_DOUBLE_EQ(fleet.sensor(a).DownSeconds(), 0.0);
+  fleet.Observe(5.0, Ipv4{1, 1, 1, 1}, Ipv4{10, 0, 0, 1});
+  EXPECT_EQ(fleet.sensor(a).probe_count(), 1u);
+  EXPECT_EQ(fleet.sensor(a).outage_missed_probes(), 0u);
+}
+
+TEST(TelescopeOutageTest, AbuttingWindowsMergeWithoutSeamFlicker) {
+  // Regression: [10, 20) followed by [20, 30) used to leave the merged-
+  // window cursor sitting between the halves, so a probe at exactly t=20
+  // slipped through an outage the schedule says covers [10, 30).
+  telescope::Telescope fleet;
+  const int a = fleet.AddSensor("A", Prefix{Ipv4{10, 0, 0, 0}, 24});
+  fleet.Build();
+  fleet.SetSensorOutages(a, {{10.0, 20.0}, {20.0, 30.0}});
+  EXPECT_DOUBLE_EQ(fleet.sensor(a).DownSeconds(), 20.0);
+
+  auto& sensor = fleet.sensor(a);
+  // Half-open on both ends of the merged window, down at the seam.
+  EXPECT_FALSE(sensor.InOutage(9.0));
+  EXPECT_TRUE(sensor.InOutage(10.0));
+  EXPECT_TRUE(sensor.InOutage(19.999));
+  EXPECT_TRUE(sensor.InOutage(20.0));  // The seam — no one-probe flicker.
+  EXPECT_TRUE(sensor.InOutage(29.999));
+  EXPECT_FALSE(sensor.InOutage(30.0));
+}
+
+TEST(ApplySensorOutagesTest, StaggeredWindowsReachDuplicateLabels) {
+  // Regression: staggered windows were routed back through a label table,
+  // so with two sensors sharing a label the first swallowed both windows
+  // and the second stayed up for the whole run.  Windows are drawn one per
+  // sensor in fleet order and must land positionally.
+  telescope::Telescope fleet;
+  const int first = fleet.AddSensor("dup", Prefix{Ipv4{10, 0, 0, 0}, 24});
+  const int second = fleet.AddSensor("dup", Prefix{Ipv4{20, 0, 0, 0}, 24});
+  fleet.Build();
+
+  FaultSchedule schedule;
+  schedule.staggered.down_fraction = 0.5;
+  schedule.staggered.horizon = 1000.0;
+  EXPECT_EQ(ApplySensorOutages(schedule, fleet), 2);
+  EXPECT_EQ(fleet.SensorsWithOutages(), 2u);
+  EXPECT_TRUE(fleet.sensor(first).has_outages());
+  EXPECT_TRUE(fleet.sensor(second).has_outages());
+  // Each sensor got exactly its own down_fraction * horizon of downtime.
+  EXPECT_DOUBLE_EQ(fleet.sensor(first).DownSeconds(1000.0), 500.0);
+  EXPECT_DOUBLE_EQ(fleet.sensor(second).DownSeconds(1000.0), 500.0);
+}
+
 }  // namespace
 }  // namespace hotspots::fault

@@ -1,0 +1,362 @@
+// Sharded-engine determinism: one outbreak generated across N worker
+// shards must be bit-identical to the serial run — same probe stream,
+// same infections, same telescope state, same trace bytes, same metrics —
+// at every shard count, with and without delivery faults.  Plus the
+// ShardPool fork-join primitive itself (stress + error propagation) and
+// the EngineAudit conservation invariant.
+#include "sim/shard.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <fstream>
+#include <iterator>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "fault/delivery.h"
+#include "fault/schedule.h"
+#include "obs/metrics.h"
+#include "sim/engine.h"
+#include "sim/population.h"
+#include "telescope/telescope.h"
+#include "trace/writer.h"
+#include "worms/hitlist.h"
+
+namespace hotspots::sim {
+namespace {
+
+using net::Ipv4;
+using net::Prefix;
+
+bool SameEvent(const ProbeEvent& a, const ProbeEvent& b) {
+  return a.time == b.time && a.src_host == b.src_host &&
+         a.src_address == b.src_address && a.dst == b.dst &&
+         a.delivery == b.delivery;
+}
+
+/// The shard counts every invariance test sweeps: serial, the smallest
+/// real fan-out, an uneven partition, a wide one, and whatever this
+/// machine would pick for "all cores".
+std::vector<int> ShardMatrix() {
+  std::vector<int> shards{1, 2, 3, 8};
+  const unsigned hardware = std::thread::hardware_concurrency();
+  if (hardware > 1) shards.push_back(static_cast<int>(hardware));
+  return shards;
+}
+
+class EngineShardTest : public ::testing::Test {
+ protected:
+  /// A dense population in 60.5.0.0/16, large enough that the steady
+  /// state (thousands of scanners) actually fans out across shards rather
+  /// than staying on the inline small-step path.
+  void BuildDensePopulation(int hosts) {
+    for (int i = 0; i < hosts; ++i) {
+      population_.AddHost(Ipv4{60, 5, static_cast<std::uint8_t>(i / 250),
+                               static_cast<std::uint8_t>(1 + i % 250)});
+    }
+    population_.Build(nullptr);
+  }
+
+  EngineConfig Config(int shards) const {
+    EngineConfig config;
+    config.scan_rate = 10.0;
+    config.end_time = 500.0;
+    config.sample_interval = 5.0;
+    config.stop_at_infected_fraction = 0.95;
+    config.seed = 0xD15EA5E;
+    config.shards = shards;
+    return config;
+  }
+
+  /// One full outbreak at the given shard count on a freshly reset
+  /// population; `loss_rate` > 0 exercises the per-scanner RNG streams.
+  RunResult RunOnce(int shards, ProbeObserver& observer,
+                    sim::DeliveryFaultHook* faults = nullptr) {
+    population_.ResetAllToVulnerable();
+    const topology::Reachability reachability{nullptr, nullptr, nullptr,
+                                              0.05};
+    const worms::HitListWorm worm{{Prefix{Ipv4{60, 5, 0, 0}, 16}}};
+    Engine engine{population_, worm, reachability, nullptr, Config(shards)};
+    engine.SetDeliveryFaults(faults);
+    engine.SeedRandomInfections(10);
+    return engine.Run(observer);
+  }
+
+  static void ExpectSameRun(const RunResult& reference, const RunResult& run,
+                            int shards) {
+    EXPECT_EQ(reference.total_probes, run.total_probes) << shards;
+    EXPECT_EQ(reference.delivery_counts, run.delivery_counts) << shards;
+    EXPECT_EQ(reference.final_infected, run.final_infected) << shards;
+    EXPECT_EQ(reference.fault_injected_drops, run.fault_injected_drops)
+        << shards;
+    EXPECT_EQ(reference.fault_duplicates, run.fault_duplicates) << shards;
+    ASSERT_EQ(reference.series.size(), run.series.size()) << shards;
+    for (std::size_t i = 0; i < reference.series.size(); ++i) {
+      EXPECT_EQ(reference.series[i].time, run.series[i].time);
+      EXPECT_EQ(reference.series[i].infected, run.series[i].infected);
+      EXPECT_EQ(reference.series[i].probes, run.series[i].probes);
+    }
+  }
+
+  static void ExpectSameEvents(const std::vector<ProbeEvent>& reference,
+                               const std::vector<ProbeEvent>& events,
+                               int shards) {
+    ASSERT_EQ(reference.size(), events.size()) << shards << " shards";
+    for (std::size_t i = 0; i < reference.size(); ++i) {
+      ASSERT_TRUE(SameEvent(reference[i], events[i]))
+          << shards << " shards diverge at event " << i;
+    }
+  }
+
+  Population population_;
+};
+
+TEST_F(EngineShardTest, CleanRunIsShardCountInvariant) {
+  BuildDensePopulation(20000);
+  RecordingObserver reference_observer;
+  const RunResult reference = RunOnce(1, reference_observer);
+  // The run must be big enough that the fan-out path actually ran.
+  ASSERT_GT(reference.total_probes, 200000u);
+  ASSERT_GT(reference.final_infected, 18000u);
+  // Loss draws happened (per-scanner streams were consumed).
+  ASSERT_GT(reference.delivery_counts[static_cast<std::size_t>(
+                topology::Delivery::kNetworkLoss)],
+            0u);
+  for (const int shards : ShardMatrix()) {
+    RecordingObserver observer;
+    const RunResult run = RunOnce(shards, observer);
+    ExpectSameRun(reference, run, shards);
+    ExpectSameEvents(reference_observer.events(), observer.events(), shards);
+  }
+}
+
+TEST_F(EngineShardTest, FaultedRunIsShardCountInvariant) {
+  BuildDensePopulation(20000);
+  fault::FaultSchedule schedule;
+  schedule.delivery.loss_rate = 0.02;
+  schedule.delivery.duplication_rate = 0.01;
+
+  fault::DeliveryFaults reference_faults{schedule};
+  RecordingObserver reference_observer;
+  const RunResult reference =
+      RunOnce(1, reference_observer, &reference_faults);
+  ASSERT_GT(reference.fault_injected_drops, 0u);
+  ASSERT_GT(reference.fault_duplicates, 0u);
+
+  for (const int shards : ShardMatrix()) {
+    // Fresh injector per run: its private stream re-arms at OnRunStart,
+    // and the committed order must replay it identically.
+    fault::DeliveryFaults faults{schedule};
+    RecordingObserver observer;
+    const RunResult run = RunOnce(shards, observer, &faults);
+    ExpectSameRun(reference, run, shards);
+    ExpectSameEvents(reference_observer.events(), observer.events(), shards);
+    EXPECT_EQ(reference_faults.injected_losses(), faults.injected_losses());
+    EXPECT_EQ(reference_faults.injected_duplicates(),
+              faults.injected_duplicates());
+  }
+}
+
+TEST_F(EngineShardTest, TracedRunWritesIdenticalBytesAtAnyShardCount) {
+  BuildDensePopulation(8000);
+  const auto trace_path = [](int shards) {
+    return ::testing::TempDir() + "/shard_run_" + std::to_string(shards) +
+           ".trace";
+  };
+  const auto file_bytes = [](const std::string& path) {
+    std::ifstream in{path, std::ios::binary};
+    return std::vector<char>{std::istreambuf_iterator<char>(in),
+                             std::istreambuf_iterator<char>()};
+  };
+  const auto capture = [&](int shards) {
+    trace::TraceWriterOptions options;
+    options.seed = 0xD15EA5E;
+    trace::TraceWriter writer{trace_path(shards), options};
+    RunOnce(shards, writer);
+    writer.Finish();
+    return file_bytes(trace_path(shards));
+  };
+  const std::vector<char> reference = capture(1);
+  ASSERT_FALSE(reference.empty());
+  for (const int shards : {2, 8}) {
+    // The writer sees the committed order, so the delta-encoded blocks —
+    // and therefore the file bytes — cannot depend on the shard count.
+    EXPECT_EQ(reference, capture(shards)) << shards << " shards";
+  }
+}
+
+TEST_F(EngineShardTest, TelescopeStateAndMetricsAreShardCountInvariant) {
+  BuildDensePopulation(8000);
+  auto& registry = obs::Registry::Global();
+  struct Observed {
+    std::vector<std::uint64_t> sensor_probes;
+    std::vector<std::size_t> sensor_sources;
+    std::uint64_t engine_probes = 0;
+    std::uint64_t telescope_events = 0;
+    std::uint64_t telescope_recorded = 0;
+  };
+  const auto run = [&](int shards) {
+    telescope::Telescope fleet;
+    // Two darknet /24s inside the swept /16 plus one outside it.
+    fleet.AddSensor("in-a", Prefix{Ipv4{60, 5, 200, 0}, 24});
+    fleet.AddSensor("in-b", Prefix{Ipv4{60, 5, 220, 0}, 24});
+    fleet.AddSensor("out", Prefix{Ipv4{99, 0, 0, 0}, 24});
+    fleet.Build();
+    Observed observed;
+    const std::uint64_t probes_before =
+        registry.GetCounter("engine.probes").Value();
+    const std::uint64_t events_before =
+        registry.GetCounter("telescope.events").Value();
+    const std::uint64_t recorded_before =
+        registry.GetCounter("telescope.recorded").Value();
+    RunOnce(shards, fleet);
+    observed.engine_probes =
+        registry.GetCounter("engine.probes").Value() - probes_before;
+    observed.telescope_events =
+        registry.GetCounter("telescope.events").Value() - events_before;
+    observed.telescope_recorded =
+        registry.GetCounter("telescope.recorded").Value() - recorded_before;
+    for (int i = 0; i < static_cast<int>(fleet.size()); ++i) {
+      observed.sensor_probes.push_back(fleet.sensor(i).probe_count());
+      observed.sensor_sources.push_back(fleet.sensor(i).UniqueSourceCount());
+    }
+    return observed;
+  };
+  const Observed reference = run(1);
+  ASSERT_GT(reference.sensor_probes[0], 0u);
+  ASSERT_GT(reference.telescope_recorded, 0u);
+  for (const int shards : ShardMatrix()) {
+    const Observed observed = run(shards);
+    EXPECT_EQ(reference.sensor_probes, observed.sensor_probes) << shards;
+    EXPECT_EQ(reference.sensor_sources, observed.sensor_sources) << shards;
+    EXPECT_EQ(reference.engine_probes, observed.engine_probes) << shards;
+    EXPECT_EQ(reference.telescope_events, observed.telescope_events)
+        << shards;
+    EXPECT_EQ(reference.telescope_recorded, observed.telescope_recorded)
+        << shards;
+  }
+}
+
+TEST(EngineAuditTest, ConservationHoldsOnRealRuns) {
+  Population population;
+  for (int i = 0; i < 400; ++i) {
+    population.AddHost(Ipv4{60, 5, static_cast<std::uint8_t>(i / 250),
+                            static_cast<std::uint8_t>(1 + i % 250)});
+  }
+  population.Build(nullptr);
+  const topology::Reachability reachability{nullptr, nullptr, nullptr, 0.1};
+  const worms::HitListWorm worm{{Prefix{Ipv4{60, 5, 0, 0}, 16}}};
+  EngineConfig config;
+  config.end_time = 50.0;
+  config.shards = 2;
+  Engine engine{population, worm, reachability, nullptr, config};
+  engine.SeedInfection(0);
+  const RunResult result = engine.Run();
+  EXPECT_TRUE(EngineAudit::ConservationHolds(result));
+  EXPECT_NO_THROW(EngineAudit::CheckConservation(result));
+}
+
+TEST(EngineAuditTest, CheckConservationThrowsOnCorruptedAccounting) {
+  RunResult result;
+  result.total_probes = 10;
+  result.delivery_counts[0] = 10;
+  EXPECT_TRUE(EngineAudit::ConservationHolds(result));
+  // A merge that double-counts a staged probe...
+  ++result.delivery_counts[0];
+  EXPECT_FALSE(EngineAudit::ConservationHolds(result));
+  EXPECT_THROW(EngineAudit::CheckConservation(result), std::logic_error);
+  // ...or silently drops one.
+  result.delivery_counts[0] = 9;
+  EXPECT_THROW(EngineAudit::CheckConservation(result), std::logic_error);
+  // Duplicates are observer-visible but not emitted probes: they widen
+  // delivery_counts over total_probes by exactly their count.
+  result.delivery_counts[0] = 13;
+  result.fault_duplicates = 3;
+  EXPECT_TRUE(EngineAudit::ConservationHolds(result));
+}
+
+TEST(ResolveEngineShardsTest, RequestedEnvAndClamping) {
+  EXPECT_EQ(ResolveEngineShards(4), 4);
+  EXPECT_EQ(ResolveEngineShards(1 << 12), 1 << 10);  // Clamped.
+  ::setenv("HOTSPOTS_SHARDS", "6", 1);
+  EXPECT_EQ(ResolveEngineShards(0), 6);
+  EXPECT_EQ(ResolveEngineShards(2), 2);  // Explicit request wins.
+  ::setenv("HOTSPOTS_SHARDS", "garbage", 1);
+  EXPECT_EQ(ResolveEngineShards(0), 1);
+  ::setenv("HOTSPOTS_SHARDS", "-3", 1);
+  EXPECT_EQ(ResolveEngineShards(0), 1);
+  ::unsetenv("HOTSPOTS_SHARDS");
+  EXPECT_EQ(ResolveEngineShards(0), 1);
+}
+
+// The commit queue under load: many generations of real concurrent writes
+// into per-shard slots.  Run under HOTSPOTS_SANITIZE=tsan, this is the
+// race detector's view of the pool's handoff (fork, parallel writes,
+// join, serial read-back).
+TEST(ShardPoolTest, StressManyGenerations) {
+  constexpr int kShards = 8;
+  constexpr int kGenerations = 400;
+  ShardPool pool{kShards};
+  ASSERT_EQ(pool.shards(), kShards);
+  std::vector<std::uint64_t> slots(kShards, 0);
+  std::uint64_t expected_total = 0;
+  for (int generation = 1; generation <= kGenerations; ++generation) {
+    pool.Run([&, generation](int shard) {
+      // Each shard owns exactly its slot — the commit-queue discipline.
+      slots[static_cast<std::size_t>(shard)] =
+          static_cast<std::uint64_t>(generation) *
+          static_cast<std::uint64_t>(shard + 1);
+    });
+    // Serial read-back of every staged slot, like the engine's commit.
+    std::uint64_t committed = 0;
+    for (const std::uint64_t slot : slots) committed += slot;
+    std::uint64_t expected = 0;
+    for (int shard = 0; shard < kShards; ++shard) {
+      expected += static_cast<std::uint64_t>(generation) *
+                  static_cast<std::uint64_t>(shard + 1);
+    }
+    ASSERT_EQ(committed, expected) << "generation " << generation;
+    expected_total += expected;
+  }
+  EXPECT_GT(expected_total, 0u);
+}
+
+TEST(ShardPoolTest, LowestShardErrorWinsAndPoolSurvives) {
+  ShardPool pool{4};
+  std::atomic<int> ran{0};
+  try {
+    pool.Run([&](int shard) {
+      ran.fetch_add(1);
+      if (shard >= 1) {
+        throw std::runtime_error("shard " + std::to_string(shard));
+      }
+    });
+    FAIL() << "expected the pool to rethrow";
+  } catch (const std::runtime_error& error) {
+    // Deterministic surfaced error: the lowest throwing shard.
+    EXPECT_STREQ(error.what(), "shard 1");
+  }
+  EXPECT_EQ(ran.load(), 4);
+  // The pool is reusable after an exception, with clean error slots.
+  std::atomic<int> second{0};
+  pool.Run([&](int) { second.fetch_add(1); });
+  EXPECT_EQ(second.load(), 4);
+}
+
+TEST(ShardPoolTest, SingleShardRunsInline) {
+  ShardPool pool{1};
+  const auto caller = std::this_thread::get_id();
+  std::thread::id seen;
+  pool.Run([&](int shard) {
+    EXPECT_EQ(shard, 0);
+    seen = std::this_thread::get_id();
+  });
+  EXPECT_EQ(seen, caller);
+}
+
+}  // namespace
+}  // namespace hotspots::sim

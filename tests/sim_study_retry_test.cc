@@ -149,6 +149,38 @@ TEST(RunTrialsRetryTest, QuarantineAccountingIsThreadCountInvariant) {
   EXPECT_LT(lost, 16);
 }
 
+TEST(RunTrialsRetryTest, BackoffParksTrialInsteadOfSleepingTheWorker) {
+  // Regression: the backoff used to be a sleep on the pool worker, so with
+  // threads=1 a single retrying trial stalled every queued trial behind it
+  // for the full backoff.  Parked retries must release the worker: trial 1
+  // gets claimed and finished while trial 0 waits out its deadline.
+  StudyOptions options;
+  options.threads = 1;
+  options.max_attempts = 2;
+  options.retry_backoff_seconds = 0.5;
+  std::atomic<int> attempts_on_zero{0};
+  const StudyTelemetry telemetry =
+      RunTrials(options, 2, [&](int trial, std::uint64_t /*seed*/) {
+        if (trial == 0 && attempts_on_zero.fetch_add(1) == 0) {
+          throw std::runtime_error("transient");
+        }
+      });
+  EXPECT_EQ(attempts_on_zero.load(), 2);
+  EXPECT_EQ(telemetry.retries, 1);
+  ASSERT_EQ(telemetry.trial_attempts.size(), 2u);
+  EXPECT_EQ(telemetry.trial_attempts[0], 2);
+  EXPECT_EQ(telemetry.trial_attempts[1], 1);
+  ASSERT_EQ(telemetry.trial_queue_wait_seconds.size(), 2u);
+  // Trial 1 must not have waited behind trial 0's 500 ms backoff — the
+  // worker picked it up as soon as trial 0 parked.
+  EXPECT_LT(telemetry.trial_queue_wait_seconds[1], 0.25);
+  // Parking is not work: trial 0's wall-clock covers its two attempts, not
+  // the 500 ms it spent in the retry heap.
+  ASSERT_EQ(telemetry.trial_wall_seconds.size(), 2u);
+  EXPECT_LT(telemetry.trial_wall_seconds[0], 0.25);
+  EXPECT_EQ(telemetry.CompletedTrials(), 2);
+}
+
 TEST(StudyTelemetryMergeTest, CarriesFaultAccountingAcrossSegments) {
   StudyOptions options;
   options.threads = 2;
