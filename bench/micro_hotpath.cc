@@ -20,6 +20,20 @@
 //                           invariant by design, so gating a --shards 8 run
 //                           against a --shards 1 baseline is the standing
 //                           determinism check for the sharded engine.
+//   --faults SPEC           attach a `hotspots.faults.v1` schedule (see
+//                           fault/schedule.h): delivery faults go through
+//                           the engine's sharded fault hook, outage windows
+//                           onto the sensor fleet.  Faulted fingerprints
+//                           are shard-count invariant too (per-scanner
+//                           fault streams), so the same 1-vs-8 gate works
+//                           with a schedule active.
+//
+// After the timed end-to-end run, the identical run repeats once with
+// stage timers forced on to produce a per-phase breakdown — generate
+// (parallel-phase wall), fault + prefold (summed per-shard work, overlaps
+// generate), commit (serial merge wall) — reported as a "phases" object
+// with serial_fraction = commit / run.  The timers-on rerun must reproduce
+// the timed run's fingerprint exactly (timers observe, never steer).
 //
 // Gate mode (CI overhead regression check) — compares this run against a
 // previously recorded entry and exits non-zero on regression:
@@ -57,12 +71,16 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <iterator>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "bench_util.h"
 #include "core/scenario.h"
+#include "fault/delivery.h"
+#include "fault/inject.h"
+#include "fault/schedule.h"
 #include "net/special_ranges.h"
 #include "prng/xoshiro.h"
 #include "sim/engine.h"
@@ -190,6 +208,7 @@ struct GateBaseline {
 int main(int argc, char** argv) {
   const std::string metrics_out = bench::MetricsOutArg(argc, argv);
   std::string trace_out = bench::TraceOutArg(argc, argv);
+  const std::string fault_spec = bench::FaultSpecArg(argc, argv);
   double scale = 1.0;
   std::string label = "run";
   std::string out_path = "results/BENCH_hotpath.json";
@@ -254,7 +273,7 @@ int main(int argc, char** argv) {
       if (!parsed || *parsed <= 0.0 || *parsed > 1.0) {
         std::fprintf(stderr,
                      "usage: %s [scale] [--label NAME] [--out FILE] "
-                     "[--metrics-out FILE] [--shards N] "
+                     "[--metrics-out FILE] [--shards N] [--faults SPEC] "
                      "[--gate LABEL [--gate-file FILE] "
                      "[--gate-tolerance PCT] [--gate-fingerprint-only]]\n",
                      argv[0]);
@@ -264,6 +283,20 @@ int main(int argc, char** argv) {
     }
   }
   if (gate_file.empty()) gate_file = out_path;
+  fault::FaultSchedule fault_schedule;
+  if (!fault_spec.empty()) {
+    if (trace_overhead) {
+      std::fprintf(stderr, "--faults is not supported with --trace-overhead "
+                   "(the overhead arms assume a fault-free baseline)\n");
+      return 2;
+    }
+    try {
+      fault_schedule = fault::ParseFaultSpec(fault_spec);
+    } catch (const std::invalid_argument& error) {
+      std::fprintf(stderr, "--faults: %s\n", error.what());
+      return 2;
+    }
+  }
   bench::Title("micro_hotpath", "per-probe pipeline stage timings");
 
   // ---- Shared fixture: fig5a-scale population + NAT + sensors + ACLs ----
@@ -682,28 +715,47 @@ int main(int argc, char** argv) {
 
   // ---- End-to-end: fig5-style outbreak with the sensor fleet attached ----
   bench::Section("end-to-end engine run (hit-list 1000, fleet attached)");
-  StageResult end_to_end{"end_to_end", 0, 0.0, 0};
-  Fingerprint fingerprint;
-  {
-    sim::Population population = scenario.population;  // Trial-owned copy.
+  sim::EngineConfig engine_config;
+  engine_config.scan_rate = 10.0;
+  engine_config.end_time = 2500.0;
+  engine_config.sample_interval = 25.0;
+  engine_config.seed = 0xBEEF;
+  engine_config.stop_at_infected_fraction = 0.995 * selection.coverage;
+  engine_config.max_probes = 20'000'000;
+  engine_config.shards = shards;
+
+  struct EndToEndRun {
+    std::uint64_t probes = 0;
+    std::uint64_t delivered = 0;
+    double seconds = 0.0;
+    std::uint64_t fingerprint = 0;
+    std::size_t alerted = 0;
+  };
+  // One complete end-to-end run; called twice (timed, then timers-on for
+  // the phase breakdown), so faulted state — the hook, the outage windows
+  // — is rebuilt identically per run from the parsed schedule.
+  const auto run_end_to_end =
+      [&](bool publish_sensor_metrics) -> EndToEndRun {
+    sim::Population population = scenario.population;  // Run-owned copy.
     telescope::Telescope scope = make_telescope();
-    sim::EngineConfig engine_config;
-    engine_config.scan_rate = 10.0;
-    engine_config.end_time = 2500.0;
-    engine_config.sample_interval = 25.0;
-    engine_config.seed = 0xBEEF;
-    engine_config.stop_at_infected_fraction = 0.995 * selection.coverage;
-    engine_config.max_probes = 20'000'000;
-    engine_config.shards = shards;
+    fault::DeliveryFaults faults{fault_schedule};
+    if (!fault_spec.empty()) {
+      try {
+        fault::ApplySensorOutages(fault_schedule, scope);
+      } catch (const std::invalid_argument& error) {
+        std::fprintf(stderr, "--faults: %s\n", error.what());
+        std::exit(2);
+      }
+    }
     sim::Engine engine{population, worm, reachability, &scenario.nats,
                        engine_config};
+    if (fault_schedule.HasDeliveryFaults()) engine.SetDeliveryFaults(&faults);
     engine.SeedRandomInfections(25);
     const auto t0 = Clock::now();
     const sim::RunResult result = engine.Run(scope);
     const auto t1 = Clock::now();
-    end_to_end.ops = result.total_probes;
-    end_to_end.seconds = Seconds(t0, t1);
 
+    Fingerprint fingerprint;
     for (const auto& point : result.series) {
       fingerprint.MixDouble(point.time);
       fingerprint.Mix(point.infected);
@@ -726,16 +778,78 @@ int main(int argc, char** argv) {
         fingerprint.Mix(row.stats.unique_sources);
       }
     }
-    end_to_end.checksum = fingerprint.hash;
     // Export per-sensor gauges (probe totals, rates, alert times) so a
     // --metrics-out sidecar of this bench carries the full fleet state.
-    if (!metrics_out.empty()) scope.PublishSensorMetrics(result.end_time);
-    PrintStage(end_to_end);
-    std::printf("  delivered %" PRIu64 " / %" PRIu64 " probes, %zu/%zu "
-                "sensors alerted, fingerprint %016" PRIx64 "\n",
-                result.delivery_counts[0], result.total_probes,
-                scope.AlertedCount(), scope.size(), fingerprint.hash);
+    if (publish_sensor_metrics && !metrics_out.empty()) {
+      scope.PublishSensorMetrics(result.end_time);
+    }
+    EndToEndRun run;
+    run.probes = result.total_probes;
+    run.delivered = result.delivery_counts[0];
+    run.seconds = Seconds(t0, t1);
+    run.fingerprint = fingerprint.hash;
+    run.alerted = scope.AlertedCount();
+    return run;
+  };
+
+  StageResult end_to_end{"end_to_end", 0, 0.0, 0};
+  const EndToEndRun timed = run_end_to_end(/*publish_sensor_metrics=*/true);
+  end_to_end.ops = timed.probes;
+  end_to_end.seconds = timed.seconds;
+  end_to_end.checksum = timed.fingerprint;
+  PrintStage(end_to_end);
+  std::printf("  delivered %" PRIu64 " / %" PRIu64 " probes, %zu/%zu "
+              "sensors alerted, fingerprint %016" PRIx64 "\n",
+              timed.delivered, timed.probes, timed.alerted,
+              sensor_blocks.size(), timed.fingerprint);
+
+  // ---- Per-phase breakdown: the identical run, timers forced on ---------
+  // Phase counters are cumulative process-wide, so the rerun's contribution
+  // is the delta around it.  Timers observe, never steer: the rerun must
+  // reproduce the timed run's fingerprint bit-for-bit or the entry (and the
+  // serial-fraction claim) would describe a different run.
+  bench::Section("per-phase breakdown (timers-on rerun)");
+  constexpr const char* kPhaseCounters[] = {
+      "engine.stage.generate.nanos", "engine.stage.fault.nanos",
+      "engine.stage.prefold.nanos", "engine.stage.commit.nanos",
+      "engine.run.nanos"};
+  constexpr std::size_t kPhaseCount = std::size(kPhaseCounters);
+  obs::Registry& registry = obs::Registry::Global();
+  std::uint64_t phase_nanos[kPhaseCount];
+  for (std::size_t i = 0; i < kPhaseCount; ++i) {
+    phase_nanos[i] = registry.GetCounter(kPhaseCounters[i]).Value();
   }
+  obs::SetStageTimersForTesting(1);
+  const EndToEndRun instrumented =
+      run_end_to_end(/*publish_sensor_metrics=*/false);
+  obs::SetStageTimersForTesting(-1);
+  for (std::size_t i = 0; i < kPhaseCount; ++i) {
+    phase_nanos[i] =
+        registry.GetCounter(kPhaseCounters[i]).Value() - phase_nanos[i];
+  }
+  if (instrumented.fingerprint != timed.fingerprint) {
+    std::fprintf(stderr,
+                 "phases: FINGERPRINT MISMATCH — the timers-on rerun "
+                 "diverged from the timed run (%016" PRIx64 " != %016" PRIx64
+                 "); stage timers must never steer the simulation\n",
+                 instrumented.fingerprint, timed.fingerprint);
+    return 1;
+  }
+  const std::uint64_t run_nanos = phase_nanos[kPhaseCount - 1];
+  const double serial_fraction =
+      run_nanos > 0
+          ? static_cast<double>(phase_nanos[3]) / static_cast<double>(run_nanos)
+          : 0.0;
+  const char* const phase_names[] = {"generate", "fault", "prefold", "commit",
+                                     "run"};
+  for (std::size_t i = 0; i < kPhaseCount; ++i) {
+    std::printf("  %-9s %12.3f ms  (%5.1f%% of run)\n", phase_names[i],
+                static_cast<double>(phase_nanos[i]) / 1e6,
+                run_nanos > 0 ? 100.0 * static_cast<double>(phase_nanos[i]) /
+                                    static_cast<double>(run_nanos)
+                              : 0.0);
+  }
+  std::printf("  serial fraction (commit/run): %.4f\n", serial_fraction);
 
   // ---- JSON entry --------------------------------------------------------
   char hex[32];
@@ -752,6 +866,7 @@ int main(int argc, char** argv) {
   writer.KV("sensors", static_cast<std::uint64_t>(sensor_blocks.size()));
   writer.KV("shards", static_cast<std::uint64_t>(resolved_shards));
   writer.KV("obs_timers", obs::StageTimersEnabled());
+  writer.KV("faults", fault_spec);
   writer.Key("stages").BeginObject();
   for (const StageResult& stage : stages) {
     writer.Key(stage.name).BeginObject();
@@ -766,7 +881,17 @@ int main(int argc, char** argv) {
   writer.KV("probes", end_to_end.ops);
   writer.Key("seconds").FixedValue(end_to_end.seconds, 4);
   writer.Key("probes_per_sec").FixedValue(end_to_end.OpsPerSec(), 0);
-  writer.KV("fingerprint", hex64(fingerprint.hash));
+  writer.KV("fingerprint", hex64(timed.fingerprint));
+  writer.EndObject();
+  // Phase nanos come from the timers-on rerun (fingerprint-checked against
+  // the timed run above); end_to_end.seconds stays the timers-off wall.
+  writer.Key("phases").BeginObject();
+  writer.KV("generate_nanos", phase_nanos[0]);
+  writer.KV("fault_nanos", phase_nanos[1]);
+  writer.KV("prefold_nanos", phase_nanos[2]);
+  writer.KV("commit_nanos", phase_nanos[3]);
+  writer.KV("run_nanos", run_nanos);
+  writer.Key("serial_fraction").FixedValue(serial_fraction, 4);
   writer.EndObject();
   writer.EndObject();
   AppendJsonEntry(out_path, writer.str());
@@ -790,11 +915,11 @@ int main(int argc, char** argv) {
       return 1;
     }
     bool ok = true;
-    if (baseline->fingerprint != hex64(fingerprint.hash)) {
+    if (baseline->fingerprint != hex64(timed.fingerprint)) {
       std::fprintf(stderr,
                    "gate: FINGERPRINT MISMATCH vs \"%s\": %s != %s — the "
                    "simulation output changed\n",
-                   gate_label.c_str(), hex64(fingerprint.hash),
+                   gate_label.c_str(), hex64(timed.fingerprint),
                    baseline->fingerprint.c_str());
       ok = false;
     }

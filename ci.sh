@@ -15,11 +15,12 @@
 # a scaled-down fig5a run must produce a valid --metrics-out sidecar, and
 # micro_hotpath (timers off) must stay within HOTSPOTS_OVERHEAD_TOL percent
 # (default 15 — single-run container noise; see below) of the committed
-# "after-shard" baseline at the same scale, with a bit-identical
-# fingerprint; a timers-on rerun must keep the fingerprint.  ("after-shard"
-# supersedes "after-obs": moving the loss draws onto per-scanner RNG
-# streams for the sharded engine changed the probe stream of any run with
-# loss_rate > 0, so pre-shard fingerprints are not comparable.)
+# "after-prefold" baseline at the same scale, with a bit-identical
+# fingerprint; a timers-on rerun must keep the fingerprint.
+# ("after-prefold" carries the same clean fingerprint as "after-shard" —
+# the observer pre-fold changed no clean run output — and supersedes it as
+# the throughput baseline; "after-shard" had superseded "after-obs" when
+# per-scanner loss streams changed faulted probe streams.)
 # HOTSPOTS_OVERHEAD_SCALE (default 1.0) must match a recorded baseline's
 # scale — gate comparisons across scales are meaningless.  Set
 # HOTSPOTS_SKIP_OVERHEAD_GATE=1 to skip the slow gate runs (the sidecar
@@ -81,7 +82,7 @@ if [[ "${HOTSPOTS_SKIP_OVERHEAD_GATE:-0}" != "1" ]]; then
   # raise HOTSPOTS_OVERHEAD_TOL (or skip) when gating on slower hardware.
   HOTSPOTS_OBS_TIMERS=0 ./build/bench/micro_hotpath "${OVERHEAD_SCALE}" \
     --label ci-off --out "${SMOKE_DIR}/hotpath.json" \
-    --gate after-shard --gate-file results/BENCH_hotpath.json \
+    --gate after-prefold --gate-file results/BENCH_hotpath.json \
     --gate-tolerance "${OVERHEAD_TOL}"
   # Timers on: throughput is expected to drop, but the simulation output
   # must stay bit-identical to the timers-off run just recorded.
@@ -104,6 +105,20 @@ HOTSPOTS_OBS_TIMERS=0 ./build/bench/micro_hotpath 0.05 --shards 1 \
 HOTSPOTS_OBS_TIMERS=0 ./build/bench/micro_hotpath 0.05 --shards 8 \
   --label ci-shard8 --out "${SMOKE_DIR}/shards.json" \
   --gate ci-shard1 --gate-file "${SMOKE_DIR}/shards.json" \
+  --gate-fingerprint-only
+# Same contract with a fault schedule active: delivery faults draw from
+# per-scanner streams and outage windows fold per step, so the faulted
+# fingerprint must be shard-count invariant too (the faulted probe stream
+# legitimately differs from the clean one — the gate is 1-vs-8, not
+# faulted-vs-clean).
+CI_FAULTS='seed:7;loss:0.02;dup:0.01;acl:20.0.0.0/16@400;outages:0.3:2000'
+HOTSPOTS_OBS_TIMERS=0 ./build/bench/micro_hotpath 0.05 --shards 1 \
+  --faults "${CI_FAULTS}" \
+  --label ci-faulted-shard1 --out "${SMOKE_DIR}/shards.json"
+HOTSPOTS_OBS_TIMERS=0 ./build/bench/micro_hotpath 0.05 --shards 8 \
+  --faults "${CI_FAULTS}" \
+  --label ci-faulted-shard8 --out "${SMOKE_DIR}/shards.json" \
+  --gate ci-faulted-shard1 --gate-file "${SMOKE_DIR}/shards.json" \
   --gate-fingerprint-only
 
 echo "== trace smoke: capture -> validate -> replay -> diff =="
@@ -236,9 +251,12 @@ if [[ "${SANITIZER}" == "tsan" ]]; then
 else
   cmake -B build-tsan -S . -DHOTSPOTS_SANITIZE=tsan
   cmake --build build-tsan -j "${JOBS}" \
-    --target sim_engine_shard_test sim_study_retry_test
+    --target sim_engine_shard_test sim_study_retry_test sim_prefold_test
+  # Prefold* covers the two-phase observer fold: worker threads write
+  # forked per-shard partials concurrently while the serial thread owns
+  # the merge — the handoff the race detector exists to watch.
   ctest --test-dir build-tsan --output-on-failure \
-    -R 'ShardPool|EngineShard|EngineAudit|ResolveEngineShards|RunTrials'
+    -R 'ShardPool|EngineShard|EngineAudit|ResolveEngineShards|RunTrials|Prefold'
 fi
 
 echo "== ci.sh: all passes green =="

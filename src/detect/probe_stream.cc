@@ -72,4 +72,108 @@ void PrevalenceStreamObserver::OnProbeBatch(
   }
 }
 
+// -- Two-phase sharded fold ----------------------------------------------
+//
+// Detector state is order-sensitive (TRW verdicts are sticky; prevalence
+// alerts depend on exact set sizes), so shards never touch the detectors:
+// they stage the filtered detector inputs in emission order and the serial
+// merge replays them shard-major — exactly the committed stream order, so
+// verdicts and first-alert times are bit-identical to a serial run.  The
+// parallel win is everything before the detector: the per-event filters,
+// the live-space membership resolution, and the seen tallies.
+
+class TrwGatewayObserver::ShardState final : public sim::ObserverShardState {
+ public:
+  struct FedRecord {
+    double time;
+    std::uint32_t src;
+    bool success;
+  };
+  std::vector<FedRecord> fed;       ///< Step-scoped; drained by the merge.
+  std::uint64_t probes_seen = 0;    ///< Run-scoped; drained by finalize.
+};
+
+std::unique_ptr<sim::ObserverShardState> TrwGatewayObserver::ForkShardState(
+    int /*shard*/) {
+  return std::make_unique<ShardState>();
+}
+
+void TrwGatewayObserver::OnShardBatch(sim::ObserverShardState& state_base,
+                                      std::span<const sim::ProbeEvent> events) {
+  auto& state = static_cast<ShardState&>(state_base);
+  state.probes_seen += events.size();
+  for (const sim::ProbeEvent& event : events) {
+    if (event.delivery != topology::Delivery::kDelivered) continue;
+    if (!watched_sources_.Contains(event.src_address)) continue;
+    state.fed.push_back(ShardState::FedRecord{
+        event.time, event.src_address.value(),
+        live_space_.Contains(event.dst)});
+  }
+}
+
+void TrwGatewayObserver::MergeShardStates(
+    std::span<sim::ObserverShardState* const> states) {
+  for (sim::ObserverShardState* state_base : states) {
+    auto& state = static_cast<ShardState&>(*state_base);
+    for (const ShardState::FedRecord& record : state.fed) {
+      const net::Ipv4 src{record.src};
+      ++probes_fed_;
+      const TrwVerdict verdict =
+          detector_.Observe(record.time, src, record.success);
+      if (verdict == TrwVerdict::kScanner && !first_alert_time_.has_value()) {
+        first_alert_time_ = detector_.ScannerFlagTime(src);
+      }
+    }
+    state.fed.clear();
+  }
+}
+
+void TrwGatewayObserver::FinalizeShardStates(
+    std::span<sim::ObserverShardState* const> states) {
+  for (sim::ObserverShardState* state_base : states) {
+    auto& state = static_cast<ShardState&>(*state_base);
+    probes_seen_ += state.probes_seen;
+    state.probes_seen = 0;
+  }
+}
+
+class PrevalenceStreamObserver::ShardState final
+    : public sim::ObserverShardState {
+ public:
+  struct DeliveredRecord {
+    double time;
+    std::uint32_t src;
+    std::uint32_t dst;
+  };
+  std::vector<DeliveredRecord> delivered;  ///< Step-scoped.
+};
+
+std::unique_ptr<sim::ObserverShardState>
+PrevalenceStreamObserver::ForkShardState(int /*shard*/) {
+  return std::make_unique<ShardState>();
+}
+
+void PrevalenceStreamObserver::OnShardBatch(
+    sim::ObserverShardState& state_base,
+    std::span<const sim::ProbeEvent> events) {
+  auto& state = static_cast<ShardState&>(state_base);
+  for (const sim::ProbeEvent& event : events) {
+    if (event.delivery != topology::Delivery::kDelivered) continue;
+    state.delivered.push_back(ShardState::DeliveredRecord{
+        event.time, event.src_address.value(), event.dst.value()});
+  }
+}
+
+void PrevalenceStreamObserver::MergeShardStates(
+    std::span<sim::ObserverShardState* const> states) {
+  for (sim::ObserverShardState* state_base : states) {
+    auto& state = static_cast<ShardState&>(*state_base);
+    for (const ShardState::DeliveredRecord& record : state.delivered) {
+      detector_.Observe(record.time, config_.content_id,
+                        net::Ipv4{record.src}, net::Ipv4{record.dst});
+    }
+    state.delivered.clear();
+  }
+}
+
 }  // namespace hotspots::detect

@@ -14,11 +14,20 @@
 // address space (the set of addresses where something answers).  Probes
 // into unallocated/darknet space fail, which is precisely the asymmetry TRW
 // exploits.
+// Sharded runs: both adapters implement sim::MergeableObserver.  The
+// worker-thread pre-fold does everything that is a pure per-event function
+// — the seen tally, the watched-source and live-space filters — and stages
+// the surviving detector inputs in emission order; the serial merge then
+// replays just those staged records into the (order-sensitive) detector in
+// committed shard-major order, so verdicts, alert thresholds, and
+// first-alert times are bit-identical to a serial run at any shard count.
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <span>
+#include <vector>
 
 #include "detect/prevalence.h"
 #include "detect/trw.h"
@@ -42,7 +51,8 @@ struct TrwGatewayConfig {
 /// to a live Engine::Run and to trace::Replay interchangeably; because the
 /// success predicate is a pure function of the event, both paths yield the
 /// same verdicts, flag times, and counters for the same stream.
-class TrwGatewayObserver final : public sim::ProbeObserver {
+class TrwGatewayObserver final : public sim::ProbeObserver,
+                                 public sim::MergeableObserver {
  public:
   /// `live_space` is the set of destination addresses where a connection
   /// can succeed; it must be Build()-t (checked at OnAttach).
@@ -54,6 +64,21 @@ class TrwGatewayObserver final : public sim::ProbeObserver {
   /// and counters as the per-event path, with the seen-tally folded once.
   void OnProbeBatch(std::span<const sim::ProbeEvent> events) override;
 
+  // -- Two-phase sharded fold (sim::MergeableObserver) -------------------
+  // Pre-fold filters to the delivered/watched subset and resolves the
+  // success predicate (all pure per-event functions) on worker threads;
+  // the merge replays the staged records into the sticky-verdict detector
+  // in committed order.
+  [[nodiscard]] sim::MergeableObserver* AsMergeable() override { return this; }
+  [[nodiscard]] std::unique_ptr<sim::ObserverShardState> ForkShardState(
+      int shard) override;
+  void OnShardBatch(sim::ObserverShardState& state,
+                    std::span<const sim::ProbeEvent> events) override;
+  void MergeShardStates(
+      std::span<sim::ObserverShardState* const> states) override;
+  void FinalizeShardStates(
+      std::span<sim::ObserverShardState* const> states) override;
+
   /// Earliest time any watched source was flagged SCANNER.
   [[nodiscard]] std::optional<double> first_alert_time() const {
     return first_alert_time_;
@@ -63,6 +88,8 @@ class TrwGatewayObserver final : public sim::ProbeObserver {
   [[nodiscard]] const TrwDetector& detector() const { return detector_; }
 
  private:
+  class ShardState;
+
   net::IntervalSet live_space_;
   net::Prefix watched_sources_;
   TrwDetector detector_;
@@ -81,12 +108,25 @@ struct PrevalenceStreamConfig {
 /// Feeds a content-prevalence detector from the probe stream: every
 /// *delivered* probe counts as one payload instance of `content_id`.
 /// Pure function of the event, so live and replayed streams agree.
-class PrevalenceStreamObserver final : public sim::ProbeObserver {
+class PrevalenceStreamObserver final : public sim::ProbeObserver,
+                                       public sim::MergeableObserver {
  public:
   explicit PrevalenceStreamObserver(PrevalenceStreamConfig config = {});
 
   void OnProbe(const sim::ProbeEvent& event) override;
   void OnProbeBatch(std::span<const sim::ProbeEvent> events) override;
+
+  // -- Two-phase sharded fold (sim::MergeableObserver) -------------------
+  // Pre-fold stages the delivered (src, dst) pairs per shard; the merge
+  // replays them in committed order, since the detector's alert predicate
+  // depends on exact set sizes as the stream arrives.
+  [[nodiscard]] sim::MergeableObserver* AsMergeable() override { return this; }
+  [[nodiscard]] std::unique_ptr<sim::ObserverShardState> ForkShardState(
+      int shard) override;
+  void OnShardBatch(sim::ObserverShardState& state,
+                    std::span<const sim::ProbeEvent> events) override;
+  void MergeShardStates(
+      std::span<sim::ObserverShardState* const> states) override;
 
   [[nodiscard]] std::optional<double> alert_time() const {
     return detector_.AlertTime(config_.content_id);
@@ -96,6 +136,8 @@ class PrevalenceStreamObserver final : public sim::ProbeObserver {
   }
 
  private:
+  class ShardState;
+
   PrevalenceStreamConfig config_;
   ContentPrevalenceDetector detector_;
 };

@@ -27,8 +27,8 @@ DeliveryFaults::DeliveryFaults(const FaultSchedule& schedule)
 }
 
 void DeliveryFaults::OnRunStart(std::uint64_t engine_seed) {
-  stream_ = prng::SplitMix64{
-      prng::Mix64(schedule_seed_ ^ prng::Mix64(engine_seed))};
+  stream_salt_ = prng::Mix64(schedule_seed_ ^ prng::Mix64(engine_seed));
+  stream_ = prng::SplitMix64{stream_salt_};
   drifted_.fill(0);
   drift_cursor_ = 0;
   any_drift_active_ = false;
@@ -37,9 +37,8 @@ void DeliveryFaults::OnRunStart(std::uint64_t engine_seed) {
   drift_filtered_ = 0;
 }
 
-DeliveryFaults::Outcome DeliveryFaults::OnProbeVerdict(
-    double time, net::Ipv4 dst, topology::Delivery verdict) {
-  // Activate due drift events (time is monotone within a run).
+void DeliveryFaults::ActivateDriftsDueBy(double time) {
+  // Time is monotone within a run, so a cursor suffices.
   while (drift_cursor_ < drift_events_.size() &&
          drift_events_[drift_cursor_].at <= time) {
     const net::Prefix& block = drift_events_[drift_cursor_].block;
@@ -51,6 +50,11 @@ DeliveryFaults::Outcome DeliveryFaults::OnProbeVerdict(
     any_drift_active_ = true;
     ++drift_cursor_;
   }
+}
+
+DeliveryFaults::Outcome DeliveryFaults::OnProbeVerdict(
+    double time, net::Ipv4 dst, topology::Delivery verdict) {
+  ActivateDriftsDueBy(time);
 
   Outcome outcome;
   outcome.verdict = verdict;
@@ -70,6 +74,29 @@ DeliveryFaults::Outcome DeliveryFaults::OnProbeVerdict(
   }
   if (duplication_rate_ > 0.0 && NextUnit() < duplication_rate_) {
     ++injected_duplicates_;
+    outcome.duplicate = true;
+  }
+  return outcome;
+}
+
+DeliveryFaults::Outcome DeliveryFaults::ShardProbeVerdict(
+    double /*time*/, net::Ipv4 dst, topology::Delivery verdict,
+    prng::Xoshiro256& stream) const {
+  Outcome outcome;
+  outcome.verdict = verdict;
+  if (verdict != topology::Delivery::kDelivered) return outcome;
+
+  // Same degrade order as the serial path (drift, loss, duplication); the
+  // engine tallies which branch fired and folds via FoldShardTallies.
+  if (any_drift_active_ && drifted_[dst.value() >> 16] != 0) {
+    outcome.verdict = topology::Delivery::kIngressFiltered;
+    return outcome;
+  }
+  if (loss_rate_ > 0.0 && stream.NextDouble() < loss_rate_) {
+    outcome.verdict = topology::Delivery::kNetworkLoss;
+    return outcome;
+  }
+  if (duplication_rate_ > 0.0 && stream.NextDouble() < duplication_rate_) {
     outcome.duplicate = true;
   }
   return outcome;

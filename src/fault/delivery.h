@@ -6,16 +6,27 @@
 // table itself is never touched, so the fault-free hot path keeps its
 // single-indexed-load cost and fault-free runs stay bit-identical.
 //
-// RNG isolation: all Bernoulli draws come from a private SplitMix64 stream
-// seeded from Mix64(schedule seed, engine seed) at OnRunStart, mirroring
-// the TraceWriter sampling design; the engine RNG is never consulted, so
-// identical (engine seed, schedule) pairs replay identical fault decisions.
+// RNG isolation: no draw ever consults the engine RNG, so identical
+// (engine seed, schedule) pairs replay identical fault decisions.  The
+// injector supports both hook evaluation modes:
+//
+//  * Serial OnProbeVerdict draws from a private SplitMix64 stream seeded
+//    from Mix64(schedule seed, engine seed) at OnRunStart (legacy path;
+//    still used by callers that drive the hook directly).
+//  * Sharded ShardProbeVerdict (the engine's default) is a const pure
+//    function drawing from an engine-owned per-scanner stream whose seed
+//    mixes in ShardStreamSalt() = the same Mix64(schedule, engine) value.
+//    Per-scanner streams make the draw sequence independent of the shard
+//    partition, so faulted fingerprints are bit-identical at any shard
+//    count (a per-(shard, step) stream would not be: the engine adapts its
+//    shard split to the step's probe volume).
 //
 // ACL drift is modelled at /16 granularity (the same granularity as the
 // reachability table): when a drift event's time arrives, every /16 the
 // block touches flips to ingress-filtered for delivered probes.  Events
-// are applied with a monotone time cursor, so the per-probe cost while no
-// event is pending is one comparison.
+// are applied with a monotone time cursor — serially inside OnProbeVerdict,
+// or from the engine's serial BeginStep in sharded mode — so the per-probe
+// cost while no event is pending is one comparison.
 #pragma once
 
 #include <array>
@@ -24,6 +35,7 @@
 
 #include "fault/schedule.h"
 #include "prng/splitmix.h"
+#include "prng/xoshiro.h"
 #include "sim/fault_hook.h"
 
 namespace hotspots::fault {
@@ -39,6 +51,23 @@ class DeliveryFaults : public sim::DeliveryFaultHook {
 
   [[nodiscard]] Outcome OnProbeVerdict(double time, net::Ipv4 dst,
                                        topology::Delivery verdict) override;
+
+  // -- Sharded evaluation (see sim/fault_hook.h) -------------------------
+  [[nodiscard]] bool SupportsShardedVerdicts() const override { return true; }
+  [[nodiscard]] std::uint64_t ShardStreamSalt() const override {
+    return stream_salt_;
+  }
+  void BeginStep(double time) override { ActivateDriftsDueBy(time); }
+  [[nodiscard]] Outcome ShardProbeVerdict(
+      double time, net::Ipv4 dst, topology::Delivery verdict,
+      prng::Xoshiro256& stream) const override;
+  void FoldShardTallies(std::uint64_t drift_filtered,
+                        std::uint64_t injected_losses,
+                        std::uint64_t injected_duplicates) override {
+    drift_filtered_ += drift_filtered;
+    injected_losses_ += injected_losses;
+    injected_duplicates_ += injected_duplicates;
+  }
 
   // -- Accounting (since the last OnRunStart) ----------------------------
   [[nodiscard]] std::uint64_t injected_losses() const {
@@ -59,11 +88,16 @@ class DeliveryFaults : public sim::DeliveryFaultHook {
     return static_cast<double>(stream_.Next() >> 11) * 0x1.0p-53;
   }
 
+  /// Flips the /16 bitmap for every drift event due by `time` (monotone
+  /// cursor; serial caller only).
+  void ActivateDriftsDueBy(double time);
+
   double loss_rate_;
   double duplication_rate_;
   std::vector<AclDriftEvent> drift_events_;  ///< Sorted by activation time.
   std::uint64_t schedule_seed_;
   prng::SplitMix64 stream_;
+  std::uint64_t stream_salt_ = 0;  ///< Mix64(schedule ^ Mix64(engine seed)).
 
   /// /16s currently ingress-filtered by drift; bitmap mirrors the
   /// reachability table's indexing (dst >> 16).

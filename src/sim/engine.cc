@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 #include <iterator>
+#include <memory>
+#include <span>
 #include <stdexcept>
 #include <string>
 #include <tuple>
@@ -29,6 +31,14 @@ static_assert(std::size(kDeliveryCounterNames) ==
 /// Domain separator between a scanner's targeting entropy and its probe
 /// (loss-draw) stream, so the two never correlate.
 constexpr std::uint64_t kProbeStreamSalt = 0x70b5'7e55'0b5e'55edULL;
+
+/// Domain separator for a scanner's fault-draw stream (sharded fault
+/// hooks).  Per-scanner — not per-(shard, step) — because the engine
+/// adapts its shard split to step probe volume, so only a partition-
+/// independent stream keeps faulted fingerprints shard-count-invariant.
+/// The hook's run salt is mixed in too, so distinct schedules (and engine
+/// seeds) draw distinct sequences while clean runs never touch this.
+constexpr std::uint64_t kFaultStreamSalt = 0xfa17'5a17'ed5e'edf5ULL;
 
 /// Below this many probes in a step, the shard fan-out costs more than it
 /// saves; run fewer shards (down to one, inline on the stepping thread).
@@ -111,6 +121,11 @@ void Engine::ActivateDue(double time) {
     // classification is a pure function of (scanner, probe index) — the
     // property that lets shards classify probes without sharing an RNG.
     scanner_rngs_.emplace_back(prng::Mix64(entropy ^ kProbeStreamSalt));
+    scanner_entropies_.push_back(entropy);
+    if (sharded_faults_active_) {
+      scanner_fault_rngs_.emplace_back(
+          prng::Mix64(entropy ^ kFaultStreamSalt ^ fault_stream_salt_));
+    }
   }
   if (pending_cursor_ == pending_.size() && !pending_.empty()) {
     pending_.clear();
@@ -138,6 +153,12 @@ void Engine::ApplyLifecycleEvents(double time, double dt) {
       scanner_sources_.pop_back();
       scanner_rngs_[index] = scanner_rngs_.back();
       scanner_rngs_.pop_back();
+      scanner_entropies_[index] = scanner_entropies_.back();
+      scanner_entropies_.pop_back();
+      if (!scanner_fault_rngs_.empty()) {
+        scanner_fault_rngs_[index] = scanner_fault_rngs_.back();
+        scanner_fault_rngs_.pop_back();
+      }
     }
   }
   // Patching: expected events = rate · dt · #vulnerable; hosts are found by
@@ -227,18 +248,62 @@ RunResult Engine::Run(ProbeObserver& observer) {
   // take exactly the pre-fault code path (bit-identical output).
   DeliveryFaultHook* const fault_hook = fault_hook_;
   if (fault_hook != nullptr) fault_hook->OnRunStart(config_.seed);
+  // Sharded fault hooks (fault::DeliveryFaults) move their draws into the
+  // parallel phase against per-scanner fault streams; legacy hooks keep
+  // the serial commit-time OnProbeVerdict path.  Existing scanners (a
+  // second Run on the same engine) get their streams re-derived from the
+  // retained activation entropies under this run's salt.
+  const bool sharded_faults =
+      fault_hook != nullptr && fault_hook->SupportsShardedVerdicts();
+  sharded_faults_active_ = sharded_faults;
+  scanner_fault_rngs_.clear();
+  if (sharded_faults) {
+    fault_stream_salt_ = fault_hook->ShardStreamSalt();
+    scanner_fault_rngs_.reserve(scanner_entropies_.size());
+    for (const std::uint64_t entropy : scanner_entropies_) {
+      scanner_fault_rngs_.emplace_back(
+          prng::Mix64(entropy ^ kFaultStreamSalt ^ fault_stream_salt_));
+    }
+  }
+  const bool serial_fault_commit = fault_hook != nullptr && !sharded_faults;
   // One outbreak across all cores: probe generation fans out over the
   // shard pool and a serial commit merges the staged shards in index
   // order, so every shard count replays the identical run (see engine.h).
   const int shards = ResolveEngineShards(config_.shards);
   ShardPool pool{shards};
   shard_stages_.resize(static_cast<std::size_t>(shards));
+  // Two-phase observer fold: mergeable observers fork one partial state
+  // per shard and fold on the worker threads; the commit merges.  A legacy
+  // serial fault hook stages *pre-fault* verdicts, so the pre-fold (which
+  // reads staged events) is disabled for that run — observers then see the
+  // adjusted events through the serial batch path as before.
+  MergeableObserver* const mergeable =
+      serial_fault_commit ? nullptr : observer.AsMergeable();
+  std::vector<std::unique_ptr<ObserverShardState>> fold_states;
+  std::vector<ObserverShardState*> fold_state_ptrs;
+  if (mergeable != nullptr) {
+    fold_states.reserve(static_cast<std::size_t>(shards));
+    for (int s = 0; s < shards; ++s) {
+      fold_states.push_back(mergeable->ForkShardState(s));
+      fold_state_ptrs.push_back(fold_states.back().get());
+    }
+  }
+  const bool serial_spans = mergeable == nullptr || mergeable->WantsSerialSpans();
   const std::uint64_t infected_at_start = ever_infected_;
   std::uint64_t targeting_ns = 0;
   std::uint64_t decide_ns = 0;
   std::uint64_t observe_flush_ns = 0;
   std::uint64_t victim_flush_ns = 0;
   std::uint64_t lifecycle_ns = 0;
+  std::uint64_t generate_ns = 0;
+  std::uint64_t fault_ns = 0;
+  std::uint64_t prefold_ns = 0;
+  std::uint64_t commit_ns = 0;
+  // Run totals of the sharded-fault tallies, folded into the hook once at
+  // run end so its published counters stay exact without hot-path atomics.
+  std::uint64_t run_fault_drift = 0;
+  std::uint64_t run_fault_losses = 0;
+  std::uint64_t run_fault_duplicates = 0;
   const std::uint64_t run_start_ns = stage_timers ? obs::NowNanos() : 0;
   vulnerable_ = population_.CountInState(HostState::kVulnerable);
   result.eligible_population = vulnerable_ + ever_infected_;
@@ -357,6 +422,8 @@ RunResult Engine::Run(ProbeObserver& observer) {
           const Host& src = population_.host(src_id);
           const net::Ipv4 src_address = scanner_sources_[i];
           prng::Xoshiro256& probe_rng = scanner_rngs_[i];
+          prng::Xoshiro256* const fault_rng =
+              sharded_faults ? &scanner_fault_rngs_[i] : nullptr;
           HostScanner& scanner = *scanners_[i];
           topology::Probe probe;
           probe.src = src.address;
@@ -379,10 +446,44 @@ RunResult Engine::Run(ProbeObserver& observer) {
               verdict = reachability_.Decide(probe, probe_rng);
             }
             ++stage.probes;
+            // Sharded fault adjustment happens here, in the parallel
+            // phase, from the scanner's private fault stream — staged
+            // events already carry post-fault verdicts, so the commit is
+            // uniform with the fault-free path.  Non-delivered probes
+            // pass through draw-free, matching the serial hook exactly.
+            bool duplicate = false;
+            if (sharded_faults &&
+                verdict == topology::Delivery::kDelivered) {
+              const std::uint64_t f0 = stage_timers ? obs::NowNanos() : 0;
+              const DeliveryFaultHook::Outcome adjusted =
+                  fault_hook->ShardProbeVerdict(time, target, verdict,
+                                                *fault_rng);
+              if (stage_timers) stage.fault_ns += obs::NowNanos() - f0;
+              if (adjusted.verdict != topology::Delivery::kDelivered) {
+                if (adjusted.verdict ==
+                    topology::Delivery::kIngressFiltered) {
+                  ++stage.fault_drift;
+                } else {
+                  ++stage.fault_losses;
+                }
+                verdict = adjusted.verdict;
+              } else if (adjusted.duplicate) {
+                duplicate = true;
+                ++stage.fault_duplicates;
+              }
+            }
             ++stage.delivery_counts[static_cast<std::size_t>(verdict)];
             stage.events.push_back(
                 ProbeEvent{time, src_id, src_address, target, verdict});
             if (verdict == topology::Delivery::kDelivered) {
+              if (duplicate) {
+                // Second observer-visible arrival of the same packet; it
+                // infects idempotently through the original's victim, so
+                // it stages an event + tally but no extra victim key.
+                ++stage.delivery_counts[static_cast<std::size_t>(verdict)];
+                stage.events.push_back(
+                    ProbeEvent{time, src_id, src_address, target, verdict});
+              }
               stage.victim_keys.emplace_back(net::IsPrivate(target)
                                                  ? src.nat_site
                                                  : topology::kPublicSite,
@@ -406,20 +507,38 @@ RunResult Engine::Run(ProbeObserver& observer) {
           stage.victims[i] = population_.FindInSite(site, dst);
         }
         if (stage_timers) stage.victim_ns += obs::NowNanos() - v0;
+        // -- Pre-fold: mergeable observers fold this shard's staged
+        // (post-fault) events into their forked partial state, still on
+        // the worker thread.  Only ordered side effects remain for the
+        // serial merge.
+        if (mergeable != nullptr && !stage.events.empty()) {
+          const std::uint64_t p0 = stage_timers ? obs::NowNanos() : 0;
+          mergeable->OnShardBatch(
+              *fold_state_ptrs[static_cast<std::size_t>(s)], stage.events);
+          if (stage_timers) stage.prefold_ns += obs::NowNanos() - p0;
+        }
       };
+      // Time-indexed hook state (ACL drift) advances serially before the
+      // fan-out so ShardProbeVerdict stays read-only.
+      if (sharded_faults) fault_hook->BeginStep(time);
+      const std::uint64_t g0 = stage_timers ? obs::NowNanos() : 0;
       if (step_shards == 1) {
         generate(0);
       } else {
         pool.Run(generate);
       }
+      if (stage_timers) generate_ns += obs::NowNanos() - g0;
 
       // -- Commit: serial merge in shard-major order -------------------
+      const std::uint64_t c0 = stage_timers ? obs::NowNanos() : 0;
       for (int s = 0; s < step_shards; ++s) {
         ShardStage& stage = shard_stages_[static_cast<std::size_t>(s)];
         targeting_ns += stage.targeting_ns;
         decide_ns += stage.decide_ns;
         victim_flush_ns += stage.victim_ns;
-        if (fault_hook != nullptr) {
+        fault_ns += stage.fault_ns;
+        prefold_ns += stage.prefold_ns;
+        if (serial_fault_commit) {
           // Post-decision fault layer: may degrade a delivered probe or
           // request an in-flight duplicate, never resurrect a drop.  The
           // hook's private stream consumes the *committed* order, so its
@@ -469,16 +588,26 @@ RunResult Engine::Run(ProbeObserver& observer) {
           for (std::size_t i = 0; i < stage.delivery_counts.size(); ++i) {
             result.delivery_counts[i] += stage.delivery_counts[i];
           }
-          // Fault-free commits are zero-copy: the shard's staged events go
-          // to the observer as one span, in committed order.
-          if (!stage.events.empty()) {
-            if (stage_timers) {
-              const std::uint64_t t0 = obs::NowNanos();
-              observer.OnProbeBatch(stage.events);
-              observe_flush_ns += obs::NowNanos() - t0;
+          result.fault_injected_drops +=
+              stage.fault_drift + stage.fault_losses;
+          result.fault_duplicates += stage.fault_duplicates;
+          run_fault_drift += stage.fault_drift;
+          run_fault_losses += stage.fault_losses;
+          run_fault_duplicates += stage.fault_duplicates;
+          // Commits are zero-copy: the shard's staged (post-fault) events
+          // go out as one span in committed order — through the plain
+          // batch path, or through OnCommittedSpan when a mergeable
+          // observer still wants ordered spans (e.g. a tee with a trace
+          // writer).  A purely mergeable observer already folded its
+          // shard's events in the parallel phase, so no span is sent.
+          if (serial_spans && !stage.events.empty()) {
+            const std::uint64_t t0 = stage_timers ? obs::NowNanos() : 0;
+            if (mergeable != nullptr) {
+              mergeable->OnCommittedSpan(stage.events);
             } else {
               observer.OnProbeBatch(stage.events);
             }
+            if (stage_timers) observe_flush_ns += obs::NowNanos() - t0;
           }
           for (const HostId victim : stage.victims) {
             if (victim != kInvalidHost) Infect(victim, time);
@@ -486,6 +615,15 @@ RunResult Engine::Run(ProbeObserver& observer) {
         }
       }
       flush_events();
+      // -- Merge: serial shard-major fold of the observer partials.  All
+      // ordered side effects (alert-threshold crossings, first-alert
+      // times) happen inside this call, so they are bit-identical to a
+      // serial run.
+      if (mergeable != nullptr) {
+        mergeable->MergeShardStates(std::span<ObserverShardState* const>(
+            fold_state_ptrs.data(), fold_state_ptrs.size()));
+      }
+      if (stage_timers) commit_ns += obs::NowNanos() - c0;
 #ifndef NDEBUG
       // Debug builds re-check conservation at every shard commit, so a
       // merge that drops or double-counts a staged probe fails at the
@@ -498,6 +636,19 @@ RunResult Engine::Run(ProbeObserver& observer) {
     ++step;
     time = static_cast<double>(step) * config_.dt;
   }
+
+  // Run-scoped observer partials (unique-source sets, registry counter
+  // totals) and the hook's fault-counter tallies fold once, serially.
+  if (mergeable != nullptr) {
+    mergeable->FinalizeShardStates(std::span<ObserverShardState* const>(
+        fold_state_ptrs.data(), fold_state_ptrs.size()));
+  }
+  if (sharded_faults) {
+    fault_hook->FoldShardTallies(run_fault_drift, run_fault_losses,
+                                 run_fault_duplicates);
+  }
+  sharded_faults_active_ = false;
+  scanner_fault_rngs_.clear();
 
   result.series.push_back(
       SamplePoint{time, ever_infected_, result.total_probes});
@@ -540,6 +691,14 @@ RunResult Engine::Run(ProbeObserver& observer) {
     registry.GetCounter("engine.stage.victim_flush.nanos")
         .Add(victim_flush_ns);
     registry.GetCounter("engine.stage.lifecycle.nanos").Add(lifecycle_ns);
+    // Phase view (see engine.h): generate is the parallel-phase wall
+    // clock, fault/prefold are summed per-shard work (they overlap
+    // generate), commit is the serial merge wall clock.  commit / run is
+    // the serial fraction micro_hotpath reports.
+    registry.GetCounter("engine.stage.generate.nanos").Add(generate_ns);
+    registry.GetCounter("engine.stage.fault.nanos").Add(fault_ns);
+    registry.GetCounter("engine.stage.prefold.nanos").Add(prefold_ns);
+    registry.GetCounter("engine.stage.commit.nanos").Add(commit_ns);
     registry.GetCounter("engine.run.nanos")
         .Add(obs::NowNanos() - run_start_ns);
   }

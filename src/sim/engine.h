@@ -25,17 +25,36 @@
 // reproduces exactly the serial engine's scanner-major emission order, so
 // observers, fault hooks, trace writers, and infections all see one
 // deterministic stream: run output is bit-identical at 1, 2, 8, or N
-// shards.  Fault hooks are inherently serial (one private RNG stream over
-// the committed order), so with a hook attached the verdict adjustment
-// happens during commit, not generation.
+// shards.
+//
+// Two-phase observer fold: observers that implement MergeableObserver
+// (telescope, detect folds, tees containing them) have their fold run on
+// the worker threads too — each shard folds its staged events into a
+// forked ObserverShardState during generation, and the serial commit only
+// merges the small partials in shard order (alert thresholds cross at
+// merge time, so first-alert times stay bit-identical).  Serial-only
+// observers (trace capture, user callbacks) keep receiving ordered spans
+// on the commit path.
+//
+// Fault hooks: hooks that support sharded verdicts (SupportsShardedVerdicts,
+// e.g. fault::DeliveryFaults) have their loss/dup/ACL draws evaluated in
+// the parallel generate phase against engine-owned per-scanner fault
+// streams — seeded from the scanner's activation entropy, so draw
+// sequences are partition-independent and faulted fingerprints are
+// shard-count-invariant.  Legacy serial hooks still get OnProbeVerdict at
+// commit over the committed order (which also disables the observer
+// pre-fold for that run, since staged verdicts are pre-fault).
 //
 // Observability: every Run() folds its accounting (steps, probes,
 // infections, the delivery-verdict breakdown) into the process-wide
 // obs::Registry under "engine.*" once at run end, and — only when
 // HOTSPOTS_OBS_TIMERS=1 — per-stage wall-clock totals under
 // "engine.stage.*.nanos" (targeting, decide, observe_flush, victim_flush,
-// lifecycle).  Metrics never feed back into simulation state, so results
-// are bit-identical with observability on or off.
+// lifecycle, plus the phase view: generate = parallel-phase wall, fault /
+// prefold = summed per-shard work, commit = serial merge wall).  The
+// commit/run ratio is the serial fraction micro_hotpath reports.  Metrics
+// never feed back into simulation state, so results are bit-identical
+// with observability on or off.
 #pragma once
 
 #include <array>
@@ -211,12 +230,21 @@ class Engine {
     /// Verdict tallies and probe count for this shard's events.
     std::array<std::uint64_t, 6> delivery_counts{};
     std::uint64_t probes = 0;
+    /// Sharded-fault tallies (post-fault verdicts are staged directly):
+    /// delivered probes degraded to kIngressFiltered (ACL drift), degraded
+    /// to any other drop (injected loss), and requested duplicates.  The
+    /// commit folds them into RunResult and the hook (FoldShardTallies).
+    std::uint64_t fault_drift = 0;
+    std::uint64_t fault_losses = 0;
+    std::uint64_t fault_duplicates = 0;
     /// Stage-timer accumulators (HOTSPOTS_OBS_TIMERS): each shard times
-    /// its own targeting/decide/victim work; the commit folds the per-
-    /// shard values into the run totals.
+    /// its own targeting/decide/victim/fault/pre-fold work; the commit
+    /// folds the per-shard values into the run totals.
     std::uint64_t targeting_ns = 0;
     std::uint64_t decide_ns = 0;
     std::uint64_t victim_ns = 0;
+    std::uint64_t fault_ns = 0;
+    std::uint64_t prefold_ns = 0;
 
     void Clear() {
       events.clear();
@@ -224,7 +252,8 @@ class Engine {
       victims.clear();
       delivery_counts.fill(0);
       probes = 0;
-      targeting_ns = decide_ns = victim_ns = 0;
+      fault_drift = fault_losses = fault_duplicates = 0;
+      targeting_ns = decide_ns = victim_ns = fault_ns = prefold_ns = 0;
     }
   };
 
@@ -243,14 +272,22 @@ class Engine {
 
   /// Actively scanning hosts, their per-host targeting state, their
   /// public-facing (post-NAT) source address — resolved once at activation
-  /// instead of per probe — and their private probe-RNG stream (loss
-  /// draws), seeded from the scanner's activation entropy so probe
-  /// classification is independent of which shard runs it (parallel
-  /// vectors; disinfection swap-removes from all four).
+  /// instead of per probe — their private probe-RNG stream (loss draws),
+  /// their activation entropy (kept so fault streams can be derived when a
+  /// run attaches a sharded hook after activation), and — only while a
+  /// sharded fault hook is attached — their private fault-draw stream.
+  /// All streams are seeded from the scanner's activation entropy so probe
+  /// classification and fault draws are independent of which shard runs
+  /// them (parallel vectors; disinfection swap-removes from all of them).
   std::vector<HostId> infected_;
   std::vector<std::unique_ptr<HostScanner>> scanners_;
   std::vector<net::Ipv4> scanner_sources_;
   std::vector<prng::Xoshiro256> scanner_rngs_;
+  std::vector<std::uint64_t> scanner_entropies_;
+  std::vector<prng::Xoshiro256> scanner_fault_rngs_;
+  /// Run-scoped sharded-fault wiring (set at Run start; see fault_hook.h).
+  bool sharded_faults_active_ = false;
+  std::uint64_t fault_stream_salt_ = 0;
   /// Per-shard staging buffers, reused across steps.
   std::vector<ShardStage> shard_stages_;
   /// Probe-event staging buffer for fault-mode commits, where staged

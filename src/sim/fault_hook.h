@@ -11,11 +11,28 @@
 // stream, the probe sequence) — it must never touch the engine RNG, so a
 // run with no hook attached is bit-identical to the pre-fault engine, and
 // (engine seed, schedule) pairs reproduce exactly.
+//
+// Two evaluation modes:
+//
+//  * Serial (legacy): the engine calls OnProbeVerdict at commit time, in
+//    committed emission order, so one private stream covers the run.
+//  * Sharded: hooks that return true from SupportsShardedVerdicts() have
+//    their draws evaluated in the parallel generate phase instead.  The
+//    engine owns one fault stream *per scanner* (seeded from the scanner's
+//    activation entropy xor ShardStreamSalt()), so draw sequences are a
+//    function of the scanner, not of the shard partition — fingerprints
+//    stay bit-identical at any shard count.  The engine calls BeginStep()
+//    serially before each step (time-indexed state such as ACL drift
+//    activates here), then ShardProbeVerdict() concurrently from worker
+//    threads — it must be const and touch no hook state — and finally
+//    FoldShardTallies() with the per-step counter deltas on the commit
+//    path, so published fault counters remain exact.
 #pragma once
 
 #include <cstdint>
 
 #include "net/ipv4.h"
+#include "prng/xoshiro.h"
 #include "topology/reachability.h"
 
 namespace hotspots::sim {
@@ -41,6 +58,40 @@ class DeliveryFaultHook {
   /// it never resurrects a dropped probe.
   [[nodiscard]] virtual Outcome OnProbeVerdict(double time, net::Ipv4 dst,
                                                topology::Delivery verdict) = 0;
+
+  // --- Sharded evaluation (opt-in) -------------------------------------
+
+  /// True when the hook supports ShardProbeVerdict(); the engine then
+  /// evaluates fault draws in the parallel phase against engine-owned
+  /// per-scanner streams and never calls OnProbeVerdict().
+  [[nodiscard]] virtual bool SupportsShardedVerdicts() const { return false; }
+
+  /// Run-scoped salt mixed into every per-scanner fault stream seed.
+  /// Valid after OnRunStart(); must depend on the hook's private seed (and
+  /// the engine seed) so distinct schedules draw distinct sequences.
+  [[nodiscard]] virtual std::uint64_t ShardStreamSalt() const { return 0; }
+
+  /// Serial, once per engine step before any worker runs: advance
+  /// time-indexed hook state (e.g. activate ACL-drift events due by
+  /// `time`) so ShardProbeVerdict() can stay read-only.
+  virtual void BeginStep(double /*time*/) {}
+
+  /// Thread-safe verdict adjustment for one *delivered* probe (the engine
+  /// skips the call for probes the topology already dropped — fault layers
+  /// only degrade, so non-delivered verdicts pass through draw-free, which
+  /// matches the serial path's draw consumption exactly).  Must not mutate
+  /// hook state; all randomness comes from `stream`.
+  [[nodiscard]] virtual Outcome ShardProbeVerdict(
+      double /*time*/, net::Ipv4 /*dst*/, topology::Delivery verdict,
+      prng::Xoshiro256& /*stream*/) const {
+    return Outcome{verdict, false};
+  }
+
+  /// Serial commit-path fold of the counters the workers tallied, so
+  /// hook-published metrics stay exact without atomics on the hot path.
+  virtual void FoldShardTallies(std::uint64_t /*drift_filtered*/,
+                                std::uint64_t /*injected_losses*/,
+                                std::uint64_t /*injected_duplicates*/) {}
 };
 
 }  // namespace hotspots::sim

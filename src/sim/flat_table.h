@@ -181,6 +181,16 @@ class FlatSet {
     size_ = 0;
   }
 
+  /// Visits every stored key, in unspecified order (set unions when
+  /// per-shard observer partials are absorbed into the run totals).
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    if (has_zero_) fn(Key{0});
+    for (const Key key : slots_) {
+      if (key != 0) fn(key);
+    }
+  }
+
   [[nodiscard]] std::size_t size() const { return size_; }
   [[nodiscard]] bool empty() const { return size_ == 0; }
 

@@ -14,9 +14,18 @@
 // the virtual dispatch and lets observers process a cache-resident run of
 // events.  The default OnProbeBatch() loops OnProbe(), so observers that
 // only care about individual probes implement just that.
+//
+// Sharded runs add a second, two-phase protocol (MergeableObserver):
+// observers that can fold into per-shard partial state implement
+// ForkShardState/OnShardBatch/MergeShardStates and have their fold run on
+// the engine's worker threads, with only a small deterministic merge left
+// on the serial commit path.  Observers that need the totally-ordered
+// event stream (trace capture, user callbacks) simply don't implement it
+// and keep receiving ordered OnProbeBatch spans at commit time.
 #pragma once
 
 #include <initializer_list>
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -33,6 +42,62 @@ struct ProbeEvent {
   net::Ipv4 src_address;        ///< Public-facing source (post-NAT) address.
   net::Ipv4 dst;
   topology::Delivery delivery = topology::Delivery::kDelivered;
+};
+
+/// Opaque per-shard partial state owned by a MergeableObserver.  The engine
+/// only ever holds these by pointer and hands them back to the observer
+/// that forked them; concrete layouts live in the observer's .cc file.
+class ObserverShardState {
+ public:
+  virtual ~ObserverShardState() = default;
+};
+
+/// Two-phase fold extension for observers whose state is mergeable.
+///
+/// Protocol, per Engine::Run with a mergeable observer attached:
+///   1. ForkShardState(shard) once per shard before the first step.
+///   2. OnShardBatch(state, span) once per shard per step, **on the worker
+///      thread that owns the shard**.  The observer must only read shared
+///      state that is immutable during the run (sensor maps, watch lists)
+///      and write through `state`.  Events within one step all carry the
+///      same timestamp, and concatenating the spans shard-major
+///      reconstructs the exact serial emission order.
+///   3. MergeShardStates(states) once per step on the serial commit path,
+///      with the states in shard order.  Ordered side effects — alert
+///      threshold crossings, first-alert times — happen here, so they are
+///      bit-identical to a 1-shard (or pre-shard serial) run.
+///   4. FinalizeShardStates(states) once at end of run, for run-scoped
+///      state that needs no per-step ordering (unique-source sets,
+///      registry counter totals).
+///
+/// Observers that also need the ordered event stream (e.g. a tee with a
+/// serial-only child) return true from WantsSerialSpans() and receive the
+/// committed spans through OnCommittedSpan() in emission order.
+class MergeableObserver {
+ public:
+  virtual ~MergeableObserver() = default;
+
+  [[nodiscard]] virtual std::unique_ptr<ObserverShardState> ForkShardState(
+      int shard) = 0;
+
+  /// Worker-thread fold of one shard's staged events into `state`.
+  virtual void OnShardBatch(ObserverShardState& state,
+                            std::span<const ProbeEvent> events) = 0;
+
+  /// Serial, per-step merge of all shard states, in shard order.
+  virtual void MergeShardStates(
+      std::span<ObserverShardState* const> states) = 0;
+
+  /// Serial, end-of-run fold of run-scoped partial state.
+  virtual void FinalizeShardStates(
+      std::span<ObserverShardState* const> /*states*/) {}
+
+  /// True when the observer (or one of its children) still needs ordered
+  /// event spans on the commit path in addition to the two-phase fold.
+  [[nodiscard]] virtual bool WantsSerialSpans() const { return false; }
+
+  /// Ordered committed span, delivered only when WantsSerialSpans().
+  virtual void OnCommittedSpan(std::span<const ProbeEvent> /*events*/) {}
 };
 
 /// Observer of the probe stream.
@@ -53,6 +118,11 @@ class ProbeObserver {
   virtual void OnProbeBatch(std::span<const ProbeEvent> events) {
     for (const ProbeEvent& event : events) OnProbe(event);
   }
+
+  /// Non-null when this observer supports the two-phase sharded fold.  The
+  /// engine uses it only for its own sharded runs; replay and serial paths
+  /// keep calling OnProbeBatch, which must remain equivalent.
+  [[nodiscard]] virtual MergeableObserver* AsMergeable() { return nullptr; }
 };
 
 /// Observer that ignores everything.
@@ -68,7 +138,13 @@ class NullObserver final : public ProbeObserver {
 /// the whole-batch fast path.  Children are borrowed, must outlive the
 /// tee, and receive batches in Add() order (observers are side-effect
 /// sinks, so ordering only matters for reproducible diagnostics).
-class TeeObserver final : public ProbeObserver {
+///
+/// On sharded runs the tee splits its children by capability: mergeable
+/// children ride the two-phase fork/merge path (their fold runs on worker
+/// threads), serial-only children receive the committed spans in emission
+/// order via OnCommittedSpan.  Either way every child sees exactly the
+/// events a serial run would have shown it.
+class TeeObserver final : public ProbeObserver, public MergeableObserver {
  public:
   TeeObserver() = default;
   TeeObserver(std::initializer_list<ProbeObserver*> children) {
@@ -95,8 +171,98 @@ class TeeObserver final : public ProbeObserver {
     for (ProbeObserver* child : children_) child->OnProbeBatch(events);
   }
 
+  /// Mergeable iff at least one child is; a tee of only serial children
+  /// stays on the plain span path with zero overhead.
+  [[nodiscard]] MergeableObserver* AsMergeable() override {
+    for (ProbeObserver* child : children_) {
+      if (child->AsMergeable() != nullptr) return this;
+    }
+    return nullptr;
+  }
+
+  [[nodiscard]] std::unique_ptr<ObserverShardState> ForkShardState(
+      int shard) override {
+    auto state = std::make_unique<TeeShardState>();
+    for (ProbeObserver* child : children_) {
+      if (MergeableObserver* mergeable = child->AsMergeable()) {
+        state->children.emplace_back(mergeable,
+                                     mergeable->ForkShardState(shard));
+      }
+    }
+    return state;
+  }
+
+  void OnShardBatch(ObserverShardState& state,
+                    std::span<const ProbeEvent> events) override {
+    auto& tee_state = static_cast<TeeShardState&>(state);
+    for (auto& [child, child_state] : tee_state.children) {
+      child->OnShardBatch(*child_state, events);
+    }
+  }
+
+  void MergeShardStates(std::span<ObserverShardState* const> states) override {
+    ForwardToChildren(states, [](MergeableObserver* child,
+                                 std::span<ObserverShardState* const> slice) {
+      child->MergeShardStates(slice);
+    });
+  }
+
+  void FinalizeShardStates(
+      std::span<ObserverShardState* const> states) override {
+    ForwardToChildren(states, [](MergeableObserver* child,
+                                 std::span<ObserverShardState* const> slice) {
+      child->FinalizeShardStates(slice);
+    });
+  }
+
+  [[nodiscard]] bool WantsSerialSpans() const override {
+    for (ProbeObserver* child : children_) {
+      MergeableObserver* mergeable =
+          const_cast<ProbeObserver*>(child)->AsMergeable();
+      if (mergeable == nullptr || mergeable->WantsSerialSpans()) return true;
+    }
+    return false;
+  }
+
+  void OnCommittedSpan(std::span<const ProbeEvent> events) override {
+    for (ProbeObserver* child : children_) {
+      MergeableObserver* mergeable = child->AsMergeable();
+      if (mergeable == nullptr) {
+        child->OnProbeBatch(events);
+      } else if (mergeable->WantsSerialSpans()) {
+        mergeable->OnCommittedSpan(events);
+      }
+    }
+  }
+
  private:
+  struct TeeShardState final : ObserverShardState {
+    std::vector<std::pair<MergeableObserver*,
+                          std::unique_ptr<ObserverShardState>>>
+        children;
+  };
+
+  /// Regroups the shard-major state list child-major and forwards one
+  /// shard-ordered slice per mergeable child.
+  template <typename Fn>
+  void ForwardToChildren(std::span<ObserverShardState* const> states,
+                         Fn&& forward) {
+    if (states.empty()) return;
+    const auto& first = static_cast<TeeShardState&>(*states[0]);
+    for (std::size_t child = 0; child < first.children.size(); ++child) {
+      scratch_states_.clear();
+      for (ObserverShardState* state : states) {
+        auto& tee_state = static_cast<TeeShardState&>(*state);
+        scratch_states_.push_back(tee_state.children[child].second.get());
+      }
+      forward(first.children[child].first,
+              std::span<ObserverShardState* const>(scratch_states_));
+    }
+  }
+
   std::vector<ProbeObserver*> children_;
+  /// Merge-path scratch (serial commit only); reused across steps.
+  std::vector<ObserverShardState*> scratch_states_;
 };
 
 /// Observer that copies every event into a vector (tests, small captures).

@@ -37,6 +37,47 @@ void SensorBlock::Record(double time, net::Ipv4 src, net::Ipv4 dst,
   }
 }
 
+bool SensorBlock::ApplyStepDelta(std::uint64_t identified,
+                                 std::uint64_t unidentified,
+                                 std::uint64_t outage_missed, double time) {
+  unidentified_probes_ += unidentified;
+  outage_missed_probes_ += outage_missed;
+  if (identified == 0) return false;
+  probes_ += identified;
+  if (options_.alert_threshold > 0 && !alert_time_ &&
+      probes_ >= options_.alert_threshold) {
+    alert_time_ = time;
+    return true;
+  }
+  return false;
+}
+
+void SensorBlock::AbsorbSources(const sim::FlatSet<std::uint32_t>& sources) {
+  if (!options_.track_unique_sources) return;
+  sources.ForEach([this](std::uint32_t src) { sources_.Insert(src); });
+}
+
+void SensorBlock::AbsorbSlash24Cell(
+    std::size_t cell, std::uint64_t probes,
+    const sim::FlatSet<std::uint32_t>& sources) {
+  if (!options_.track_per_slash24) return;
+  PerSlash24& target = per_slash24_[cell];
+  target.probes += probes;
+  sources.ForEach(
+      [&target](std::uint32_t src) { target.sources.Insert(src); });
+}
+
+bool SensorBlock::InOutageAt(double time) const {
+  // First window whose upper bound is still ahead of `time`; inside it iff
+  // the window has already started.
+  const auto it = std::upper_bound(
+      outages_.begin(), outages_.end(), time,
+      [](double t, const std::pair<double, double>& window) {
+        return t < window.second;
+      });
+  return it != outages_.end() && time >= it->first;
+}
+
 std::vector<Slash24Row> SensorBlock::Histogram() const {
   std::vector<Slash24Row> rows;
   if (!options_.track_per_slash24) {

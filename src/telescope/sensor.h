@@ -65,6 +65,34 @@ class SensorBlock {
   void Record(double time, net::Ipv4 src, net::Ipv4 dst,
               bool identified = true);
 
+  // -- Two-phase (sharded) fold support ----------------------------------
+  // Worker threads accumulate per-shard counter deltas and source sets
+  // against this sensor without touching it; the deltas are applied here,
+  // serially, in shard order.  Because every probe of one engine step
+  // carries the step's timestamp, applying a whole step's count delta at
+  // once crosses the alert threshold at exactly the time the serial
+  // per-probe path would have.
+
+  /// Applies one shard's step deltas.  Returns true when this delta
+  /// crossed the alert threshold (alert_time_ becomes `time`).
+  bool ApplyStepDelta(std::uint64_t identified, std::uint64_t unidentified,
+                      std::uint64_t outage_missed, double time);
+
+  /// Unions a shard's unique-source partial into the sensor (end of run).
+  void AbsorbSources(const sim::FlatSet<std::uint32_t>& sources);
+
+  /// Folds a shard's per-/24 cell partial into the sensor (end of run).
+  void AbsorbSlash24Cell(std::size_t cell, std::uint64_t probes,
+                         const sim::FlatSet<std::uint32_t>& sources);
+
+  /// Dense per-/24 cell count (0 when track_per_slash24 is off).
+  [[nodiscard]] std::size_t Slash24CellCount() const {
+    return per_slash24_.size();
+  }
+  /// Global /24 index of the block's first address; a destination's cell
+  /// is `dst.Slash24() - first_slash24()`.
+  [[nodiscard]] std::uint32_t first_slash24() const { return first_slash24_; }
+
   /// Probes that arrived but could not be identified (passive sensor vs a
   /// TCP threat).
   [[nodiscard]] std::uint64_t unidentified_probes() const {
@@ -113,6 +141,11 @@ class SensorBlock {
     return outage_cursor_ < outages_.size() &&
            time >= outages_[outage_cursor_].first;
   }
+
+  /// Cursor-free InOutage() for concurrent readers (the sharded pre-fold
+  /// queries from worker threads): binary search over the merged windows,
+  /// identical verdicts to InOutage() for any monotone probe stream.
+  [[nodiscard]] bool InOutageAt(double time) const;
 
   /// Tallies one probe that arrived while the sensor was down.
   void TallyOutageMiss() { ++outage_missed_probes_; }

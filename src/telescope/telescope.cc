@@ -103,6 +103,172 @@ void Telescope::Observe(double time, net::Ipv4 src, net::Ipv4 dst) {
   ObserveBuilt(time, src, dst);
 }
 
+// -- Two-phase sharded fold ----------------------------------------------
+//
+// The worker-thread fold only ever *reads* telescope state that is
+// immutable during a run (the address index, sensor options, outage
+// windows) and writes into its own ShardState.  Sensors are mutated on the
+// serial paths only: MergeShardStates applies each step's flat counter
+// deltas in shard order — reconstructing exactly the serial per-probe
+// fold, because all events of a step share one timestamp — and
+// FinalizeShardStates unions the order-free set partials once per run.
+
+class Telescope::ShardState final : public sim::ObserverShardState {
+ public:
+  explicit ShardState(std::size_t sensor_count) : accums(sensor_count) {}
+
+  struct Cell {
+    std::uint64_t probes = 0;
+    sim::FlatSet<std::uint32_t> sources;
+  };
+  struct Accum {
+    // Step-scoped counter deltas, consumed by every merge.
+    std::uint64_t step_identified = 0;
+    std::uint64_t step_unidentified = 0;
+    std::uint64_t step_outage_missed = 0;
+    bool in_step_list = false;
+    // Run-scoped set partials, consumed by the finalize.
+    bool in_run_list = false;
+    sim::FlatSet<std::uint32_t> sources;
+    std::vector<Cell> cells;  ///< Lazily sized to the sensor's cell count.
+  };
+
+  std::vector<Accum> accums;     ///< Dense by sensor index.
+  std::vector<int> step_touched;  ///< Sensors with pending step deltas.
+  std::vector<int> run_touched;   ///< Sensors with pending set partials.
+  double step_time = 0.0;
+  // Run-scoped registry tallies (events/delivered/recorded fold totals).
+  std::uint64_t events = 0;
+  std::uint64_t delivered = 0;
+  std::uint64_t recorded = 0;
+};
+
+std::unique_ptr<sim::ObserverShardState> Telescope::ForkShardState(
+    int /*shard*/) {
+  RequireBuilt();
+  return std::make_unique<ShardState>(sensors_.size());
+}
+
+void Telescope::OnShardBatch(sim::ObserverShardState& state_base,
+                             std::span<const sim::ProbeEvent> events) {
+  auto& state = static_cast<ShardState&>(state_base);
+  state.events += events.size();
+  if (!events.empty()) state.step_time = events.front().time;
+  constexpr std::size_t kPrefetchAhead = 8;
+  const std::size_t count = events.size();
+  for (std::size_t i = 0; i < count; ++i) {
+    if (i + kPrefetchAhead < count) {
+      const sim::ProbeEvent& ahead = events[i + kPrefetchAhead];
+      if (ahead.delivery == topology::Delivery::kDelivered) {
+        by_address_.PrefetchLookup(ahead.dst);
+      }
+    }
+    const sim::ProbeEvent& event = events[i];
+    if (event.delivery != topology::Delivery::kDelivered) continue;
+    ++state.delivered;
+    const int* index = by_address_.Lookup(event.dst);
+    if (index == nullptr) continue;
+    const auto sensor_index = static_cast<std::size_t>(*index);
+    const SensorBlock& sensor = *sensors_[sensor_index];
+    ShardState::Accum& accum = state.accums[sensor_index];
+    if (!accum.in_step_list) {
+      accum.in_step_list = true;
+      state.step_touched.push_back(*index);
+    }
+    if (outages_present_ && sensor.has_outages() &&
+        sensor.InOutageAt(event.time)) {
+      ++accum.step_outage_missed;
+      continue;
+    }
+    ++state.recorded;
+    const bool identified =
+        !threat_requires_handshake_ || sensor.options().active_responder;
+    if (!identified) {
+      ++accum.step_unidentified;
+      continue;
+    }
+    ++accum.step_identified;
+    if (!accum.in_run_list) {
+      accum.in_run_list = true;
+      state.run_touched.push_back(*index);
+    }
+    if (sensor.options().track_unique_sources) {
+      accum.sources.Insert(event.src_address.value());
+    }
+    if (sensor.options().track_per_slash24) {
+      if (accum.cells.empty()) accum.cells.resize(sensor.Slash24CellCount());
+      ShardState::Cell& cell =
+          accum.cells[event.dst.Slash24() - sensor.first_slash24()];
+      ++cell.probes;
+      cell.sources.Insert(event.src_address.value());
+    }
+  }
+}
+
+void Telescope::MergeShardStates(
+    std::span<sim::ObserverShardState* const> states) {
+  std::uint64_t new_alerts = 0;
+  double first_alert_time = 0.0;
+  for (sim::ObserverShardState* state_base : states) {
+    auto& state = static_cast<ShardState&>(*state_base);
+    for (const int index : state.step_touched) {
+      const auto sensor_index = static_cast<std::size_t>(index);
+      ShardState::Accum& accum = state.accums[sensor_index];
+      const bool new_alert = sensors_[sensor_index]->ApplyStepDelta(
+          accum.step_identified, accum.step_unidentified,
+          accum.step_outage_missed, state.step_time);
+      if (new_alert) {
+        if (new_alerts == 0) first_alert_time = state.step_time;
+        ++new_alerts;
+      }
+      accum.step_identified = 0;
+      accum.step_unidentified = 0;
+      accum.step_outage_missed = 0;
+      accum.in_step_list = false;
+    }
+    state.step_touched.clear();
+  }
+  if (new_alerts > 0) {
+    const RegistryHandles& handles = Handles();
+    handles.alerts->Add(new_alerts);
+    handles.first_alert->SetMin(first_alert_time);
+  }
+}
+
+void Telescope::FinalizeShardStates(
+    std::span<sim::ObserverShardState* const> states) {
+  std::uint64_t events = 0;
+  std::uint64_t delivered = 0;
+  std::uint64_t recorded = 0;
+  for (sim::ObserverShardState* state_base : states) {
+    auto& state = static_cast<ShardState&>(*state_base);
+    events += state.events;
+    delivered += state.delivered;
+    recorded += state.recorded;
+    state.events = state.delivered = state.recorded = 0;
+    for (const int index : state.run_touched) {
+      const auto sensor_index = static_cast<std::size_t>(index);
+      ShardState::Accum& accum = state.accums[sensor_index];
+      SensorBlock& sensor = *sensors_[sensor_index];
+      sensor.AbsorbSources(accum.sources);
+      accum.sources.Clear();
+      for (std::size_t cell = 0; cell < accum.cells.size(); ++cell) {
+        if (accum.cells[cell].probes == 0) continue;
+        sensor.AbsorbSlash24Cell(cell, accum.cells[cell].probes,
+                                 accum.cells[cell].sources);
+        accum.cells[cell].probes = 0;
+        accum.cells[cell].sources.Clear();
+      }
+      accum.in_run_list = false;
+    }
+    state.run_touched.clear();
+  }
+  const RegistryHandles& handles = Handles();
+  if (events > 0) handles.events->Add(events);
+  if (delivered > 0) handles.delivered->Add(delivered);
+  if (recorded > 0) handles.recorded->Add(recorded);
+}
+
 unsigned Telescope::ObserveBuilt(double time, net::Ipv4 src, net::Ipv4 dst) {
   const int* index = by_address_.Lookup(dst);
   if (index == nullptr) return 0;

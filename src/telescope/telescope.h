@@ -35,7 +35,8 @@
 
 namespace hotspots::telescope {
 
-class Telescope final : public sim::ProbeObserver {
+class Telescope final : public sim::ProbeObserver,
+                        public sim::MergeableObserver {
  public:
   explicit Telescope(SensorOptions default_options = {})
       : default_options_(default_options) {}
@@ -56,6 +57,22 @@ class Telescope final : public sim::ProbeObserver {
 
   void OnProbe(const sim::ProbeEvent& event) override;
   void OnProbeBatch(std::span<const sim::ProbeEvent> events) override;
+
+  // -- Two-phase sharded fold (sim::MergeableObserver) -------------------
+  // Worker threads fold each shard's events into flat per-sensor counter
+  // deltas + source-set partials; the serial merge applies count deltas in
+  // shard order per step (alert thresholds cross there, so first-alert
+  // times are bit-identical to the serial path), and the unique-source /
+  // per-/24 set partials union once at end of run.
+  [[nodiscard]] sim::MergeableObserver* AsMergeable() override { return this; }
+  [[nodiscard]] std::unique_ptr<sim::ObserverShardState> ForkShardState(
+      int shard) override;
+  void OnShardBatch(sim::ObserverShardState& state,
+                    std::span<const sim::ProbeEvent> events) override;
+  void MergeShardStates(
+      std::span<sim::ObserverShardState* const> states) override;
+  void FinalizeShardStates(
+      std::span<sim::ObserverShardState* const> states) override;
 
   /// Feeds a probe directly (for harnesses not using the engine).
   void Observe(double time, net::Ipv4 src, net::Ipv4 dst);
@@ -109,6 +126,9 @@ class Telescope final : public sim::ProbeObserver {
   void PublishSensorMetrics(double sim_duration = 0.0) const;
 
  private:
+  /// Per-shard fold partial (defined in telescope.cc).
+  class ShardState;
+
   /// Outcome flags of one observed probe (hot-path result, branch-free to
   /// tally): bit 0 = recorded by a sensor, bit 1 = that record crossed the
   /// sensor's alert threshold.

@@ -1,0 +1,343 @@
+// Two-phase observer pre-fold determinism (the shard-matrix merge suite).
+//
+// Mergeable observers fold each shard's staged events into per-shard
+// partial state on worker threads; the serial commit merges those partials
+// in shard order.  Everything ordered — detector verdicts, alert-threshold
+// crossings, first-alert times — must therefore be bit-identical to a
+// serial run at any shard count, with and without delivery faults active.
+// This suite pins that contract for the detector adapters (TRW gateway,
+// content prevalence), the telescope fold (per-sensor gauges, histograms,
+// outage accounting), mixed tees (mergeable + serial-only children), and
+// the EngineAudit conservation invariant; the stress test at the end is
+// the ThreadSanitizer view of concurrent OnShardBatch calls (run it under
+// HOTSPOTS_SANITIZE=tsan).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "detect/probe_stream.h"
+#include "fault/delivery.h"
+#include "fault/schedule.h"
+#include "net/interval_set.h"
+#include "sim/engine.h"
+#include "sim/observer.h"
+#include "sim/population.h"
+#include "telescope/telescope.h"
+#include "topology/reachability.h"
+#include "worms/hitlist.h"
+
+namespace hotspots::sim {
+namespace {
+
+using net::Ipv4;
+using net::Prefix;
+
+/// Serial, the smallest real fan-out, an uneven partition, a wide one.
+const int kShardMatrix[] = {1, 2, 3, 8};
+
+/// Forwarding wrapper that hides a child's mergeability, forcing the
+/// engine onto the ordered-span commit path.  The pre-fold's ground truth:
+/// the same observer driven through OnProbeBatch must end in the same
+/// state.
+class SerialOnly final : public ProbeObserver {
+ public:
+  explicit SerialOnly(ProbeObserver* child) : child_(child) {}
+  void OnAttach() override { child_->OnAttach(); }
+  void OnProbe(const ProbeEvent& event) override { child_->OnProbe(event); }
+  void OnProbeBatch(std::span<const ProbeEvent> events) override {
+    child_->OnProbeBatch(events);
+  }
+  // AsMergeable() intentionally left at the nullptr default.
+
+ private:
+  ProbeObserver* child_;
+};
+
+class PrefoldTest : public ::testing::Test {
+ protected:
+  /// Dense population in 60.5.0.0/16: large enough that the steady state
+  /// actually fans out across shards (kMinProbesPerShard) instead of
+  /// staying on the inline small-step path.
+  void BuildDensePopulation(int hosts) {
+    for (int i = 0; i < hosts; ++i) {
+      population_.AddHost(Ipv4{60, 5, static_cast<std::uint8_t>(i / 250),
+                               static_cast<std::uint8_t>(1 + i % 250)});
+    }
+    population_.Build(nullptr);
+  }
+
+  EngineConfig Config(int shards) const {
+    EngineConfig config;
+    config.scan_rate = 10.0;
+    config.end_time = 400.0;
+    config.sample_interval = 5.0;
+    config.stop_at_infected_fraction = 0.95;
+    config.seed = 0xD15EA5E;
+    config.shards = shards;
+    return config;
+  }
+
+  RunResult RunOnce(int shards, ProbeObserver& observer,
+                    DeliveryFaultHook* faults = nullptr) {
+    population_.ResetAllToVulnerable();
+    const topology::Reachability reachability{nullptr, nullptr, nullptr,
+                                              0.05};
+    const worms::HitListWorm worm{{Prefix{Ipv4{60, 5, 0, 0}, 16}}};
+    Engine engine{population_, worm, reachability, nullptr, Config(shards)};
+    engine.SetDeliveryFaults(faults);
+    engine.SeedRandomInfections(10);
+    return engine.Run(observer);
+  }
+
+  /// A loss+duplication schedule every faulted variant shares.
+  static fault::FaultSchedule FaultySchedule() {
+    fault::FaultSchedule schedule;
+    schedule.delivery.loss_rate = 0.02;
+    schedule.delivery.duplication_rate = 0.01;
+    return schedule;
+  }
+
+  Population population_;
+};
+
+// ---------------------------------------------------------------------
+// Detector adapters: staged inputs, replay-at-merge.
+// ---------------------------------------------------------------------
+
+struct DetectorReadings {
+  std::optional<double> trw_first_alert;
+  std::uint64_t trw_seen = 0;
+  std::uint64_t trw_fed = 0;
+  std::uint64_t trw_flagged = 0;
+  std::optional<double> prevalence_alert;
+  std::uint64_t total_probes = 0;
+
+  bool operator==(const DetectorReadings&) const = default;
+};
+
+TEST_F(PrefoldTest, DetectorAlertsAreShardCountInvariant) {
+  BuildDensePopulation(20000);
+  // Live space deliberately smaller than the scanned /16, so TRW sees a
+  // failure-heavy mix and flags scanners mid-run — the first-alert *step*
+  // is what the merge order must preserve.
+  net::IntervalSet live_space;
+  live_space.Add(Prefix{Ipv4{60, 5, 0, 0}, 18});
+  live_space.Build();
+
+  const auto run_detectors = [&](int shards, bool faulted,
+                                 bool force_serial) -> DetectorReadings {
+    detect::TrwGatewayObserver trw{live_space};
+    detect::PrevalenceStreamConfig prevalence_config;
+    prevalence_config.prevalence =
+        detect::PrevalenceConfig{/*prevalence_threshold=*/1000,
+                                 /*min_sources=*/10, /*min_destinations=*/50};
+    prevalence_config.content_id = 42;
+    detect::PrevalenceStreamObserver prevalence{prevalence_config};
+    TeeObserver tee{&trw, &prevalence};
+    SerialOnly serial{&tee};
+    ProbeObserver& observer =
+        force_serial ? static_cast<ProbeObserver&>(serial) : tee;
+    fault::DeliveryFaults faults{FaultySchedule()};
+    const RunResult run =
+        RunOnce(shards, observer, faulted ? &faults : nullptr);
+    DetectorReadings readings;
+    readings.trw_first_alert = trw.first_alert_time();
+    readings.trw_seen = trw.probes_seen();
+    readings.trw_fed = trw.probes_fed();
+    readings.trw_flagged = trw.detector().flagged_scanners();
+    readings.prevalence_alert = prevalence.alert_time();
+    readings.total_probes = run.total_probes;
+    return readings;
+  };
+
+  for (const bool faulted : {false, true}) {
+    // Ground truth: the ordered-span path with the fold hidden.
+    const DetectorReadings reference =
+        run_detectors(1, faulted, /*force_serial=*/true);
+    ASSERT_TRUE(reference.trw_first_alert.has_value()) << faulted;
+    ASSERT_TRUE(reference.prevalence_alert.has_value()) << faulted;
+    ASSERT_GT(reference.trw_fed, 0u) << faulted;
+    for (const int shards : kShardMatrix) {
+      const DetectorReadings folded =
+          run_detectors(shards, faulted, /*force_serial=*/false);
+      EXPECT_EQ(reference, folded)
+          << shards << " shards, faulted=" << faulted;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------
+// Mixed tee: mergeable + serial-only children on one run.
+// ---------------------------------------------------------------------
+
+TEST_F(PrefoldTest, MixedTeeSeesIdenticalEventsEitherWay) {
+  BuildDensePopulation(8000);
+  const auto make_fleet = [](telescope::Telescope& fleet) {
+    telescope::SensorOptions options;
+    options.track_unique_sources = true;
+    options.alert_threshold = 5;
+    fleet.AddSensor("in-a", Prefix{Ipv4{60, 5, 200, 0}, 24}, options);
+    fleet.AddSensor("in-b", Prefix{Ipv4{60, 5, 220, 0}, 24}, options);
+    fleet.Build();
+  };
+
+  // Reference: everything forced through the ordered-span path.
+  telescope::Telescope serial_fleet;
+  make_fleet(serial_fleet);
+  RecordingObserver serial_events;
+  TeeObserver serial_tee{&serial_fleet, &serial_events};
+  SerialOnly serial{&serial_tee};
+  const RunResult reference = RunOnce(8, serial);
+  ASSERT_GT(serial_fleet.sensor(0).probe_count(), 0u);
+  ASSERT_GT(serial_events.events().size(), 0u);
+
+  // Mixed tee on the same sharded run: the telescope child pre-folds on
+  // worker threads while the recording child still receives the committed
+  // spans — both must see exactly what the serial path showed them.
+  telescope::Telescope mixed_fleet;
+  make_fleet(mixed_fleet);
+  RecordingObserver mixed_events;
+  TeeObserver mixed_tee{&mixed_fleet, &mixed_events};
+  ASSERT_NE(mixed_tee.AsMergeable(), nullptr);
+  EXPECT_TRUE(mixed_tee.WantsSerialSpans());
+  const RunResult run = RunOnce(8, mixed_tee);
+
+  EXPECT_EQ(reference.total_probes, run.total_probes);
+  ASSERT_EQ(serial_events.events().size(), mixed_events.events().size());
+  for (std::size_t i = 0; i < serial_events.events().size(); ++i) {
+    const ProbeEvent& want = serial_events.events()[i];
+    const ProbeEvent& got = mixed_events.events()[i];
+    ASSERT_TRUE(want.time == got.time && want.src_host == got.src_host &&
+                want.src_address == got.src_address && want.dst == got.dst &&
+                want.delivery == got.delivery)
+        << "mixed tee diverges at event " << i;
+  }
+  for (int i = 0; i < static_cast<int>(serial_fleet.size()); ++i) {
+    EXPECT_EQ(serial_fleet.sensor(i).probe_count(),
+              mixed_fleet.sensor(i).probe_count());
+    EXPECT_EQ(serial_fleet.sensor(i).UniqueSourceCount(),
+              mixed_fleet.sensor(i).UniqueSourceCount());
+    EXPECT_EQ(serial_fleet.sensor(i).alert_time(),
+              mixed_fleet.sensor(i).alert_time());
+  }
+
+  // A tee of only-mergeable children takes the pure fold path (no spans);
+  // of only-serial children it is not mergeable at all.
+  TeeObserver pure_mergeable{&mixed_fleet};
+  ASSERT_NE(pure_mergeable.AsMergeable(), nullptr);
+  EXPECT_FALSE(pure_mergeable.WantsSerialSpans());
+  TeeObserver pure_serial{&mixed_events};
+  EXPECT_EQ(pure_serial.AsMergeable(), nullptr);
+}
+
+// ---------------------------------------------------------------------
+// Telescope gauges + conservation across the shard matrix, faults on/off.
+// ---------------------------------------------------------------------
+
+struct FleetReadings {
+  std::vector<std::uint64_t> probes;
+  std::vector<std::size_t> sources;
+  std::vector<std::optional<double>> alert_times;
+  std::vector<std::uint64_t> unidentified;
+  std::uint64_t outage_missed = 0;
+  std::uint64_t total_probes = 0;
+  std::uint64_t fault_drops = 0;
+  std::uint64_t fault_duplicates = 0;
+
+  bool operator==(const FleetReadings&) const = default;
+};
+
+TEST_F(PrefoldTest, TelescopeGaugesAndConservationAcrossShardMatrix) {
+  BuildDensePopulation(8000);
+  const auto run_fleet = [&](int shards, bool faulted) -> FleetReadings {
+    telescope::Telescope fleet;
+    telescope::SensorOptions options;
+    options.track_unique_sources = true;
+    options.track_per_slash24 = true;
+    options.alert_threshold = 5;
+    fleet.AddSensor("in-a", Prefix{Ipv4{60, 5, 200, 0}, 24}, options);
+    fleet.AddSensor("in-b", Prefix{Ipv4{60, 5, 220, 0}, 24}, options);
+    fleet.Build();
+    // One sensor dark mid-run: the outage-missed tally rides the same
+    // per-step fold as the probe counts and must merge identically.  The
+    // dense population saturates in ~10 simulated seconds, so the window
+    // sits inside the epidemic's growth phase.
+    fleet.SetSensorOutages(0, {{1.0, 5.0}});
+    fault::DeliveryFaults faults{FaultySchedule()};
+    const RunResult run =
+        RunOnce(shards, fleet, faulted ? &faults : nullptr);
+    EXPECT_TRUE(EngineAudit::ConservationHolds(run))
+        << shards << " shards, faulted=" << faulted;
+    FleetReadings readings;
+    for (int i = 0; i < static_cast<int>(fleet.size()); ++i) {
+      readings.probes.push_back(fleet.sensor(i).probe_count());
+      readings.sources.push_back(fleet.sensor(i).UniqueSourceCount());
+      readings.alert_times.push_back(fleet.sensor(i).alert_time());
+      readings.unidentified.push_back(fleet.sensor(i).unidentified_probes());
+    }
+    readings.outage_missed = fleet.OutageMissedProbes();
+    readings.total_probes = run.total_probes;
+    readings.fault_drops = run.fault_injected_drops;
+    readings.fault_duplicates = run.fault_duplicates;
+    return readings;
+  };
+
+  for (const bool faulted : {false, true}) {
+    const FleetReadings reference = run_fleet(1, faulted);
+    ASSERT_GT(reference.probes[0], 0u) << faulted;
+    ASSERT_GT(reference.outage_missed, 0u) << faulted;
+    if (faulted) {
+      ASSERT_GT(reference.fault_drops, 0u);
+      ASSERT_GT(reference.fault_duplicates, 0u);
+    }
+    for (const int shards : kShardMatrix) {
+      EXPECT_EQ(reference, run_fleet(shards, faulted))
+          << shards << " shards, faulted=" << faulted;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------
+// Concurrency stress: many generations of concurrent pre-fold.  The
+// interesting schedule is 8 worker threads folding into forked partials
+// while the serial thread merges the previous step — run this suite under
+// HOTSPOTS_SANITIZE=tsan to let the race detector watch that handoff.
+// ---------------------------------------------------------------------
+
+TEST_F(PrefoldTest, ConcurrentPrefoldStressIsDeterministic) {
+  BuildDensePopulation(12000);
+  net::IntervalSet live_space;
+  live_space.Add(Prefix{Ipv4{60, 5, 0, 0}, 18});
+  live_space.Build();
+  const auto run_stack = [&]() -> std::uint64_t {
+    telescope::Telescope fleet;
+    telescope::SensorOptions options;
+    options.track_unique_sources = true;
+    options.alert_threshold = 5;
+    fleet.AddSensor("in-a", Prefix{Ipv4{60, 5, 200, 0}, 24}, options);
+    fleet.Build();
+    detect::TrwGatewayObserver trw{live_space};
+    detect::PrevalenceStreamObserver prevalence;
+    TeeObserver tee{&fleet, &trw, &prevalence};
+    fault::DeliveryFaults faults{FaultySchedule()};
+    const RunResult run = RunOnce(8, tee, &faults);
+    // Fold everything observable into one word so repeated runs are
+    // comparable with a single EXPECT.
+    std::uint64_t digest = run.total_probes;
+    digest = digest * 1099511628211ull + fleet.sensor(0).probe_count();
+    digest = digest * 1099511628211ull + fleet.sensor(0).UniqueSourceCount();
+    digest = digest * 1099511628211ull + trw.probes_fed();
+    digest = digest * 1099511628211ull + trw.detector().flagged_scanners();
+    digest = digest * 1099511628211ull + run.fault_duplicates;
+    return digest;
+  };
+  const std::uint64_t reference = run_stack();
+  for (int generation = 0; generation < 4; ++generation) {
+    EXPECT_EQ(reference, run_stack()) << "generation " << generation;
+  }
+}
+
+}  // namespace
+}  // namespace hotspots::sim
