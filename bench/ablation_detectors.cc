@@ -126,6 +126,8 @@ sim::SummaryStats FiredStats(
 
 int main(int argc, char** argv) {
   const std::string metrics_out = bench::MetricsOutArg(argc, argv);
+  const std::string timeline_out = bench::TimelineOutArg(argc, argv);
+  bench::TimeseriesSidecar timeseries{bench::TimeseriesOutArg(argc, argv)};
   const double scale = bench::ScaleArg(argc, argv);
   const int trials = bench::TrialsArg(4);
   bench::Title("Ablation", "global quorum vs content prevalence vs local TRW");
@@ -256,5 +258,6 @@ int main(int argc, char** argv) {
       "scans — the paper's closing recommendation, quantified.");
   bench::PrintStudyThroughput(study.telemetry, total_probes);
   bench::DumpMetrics(metrics_out, "ablation_detectors", &study.telemetry);
+  bench::DumpTimeline(timeline_out);
   return 0;
 }

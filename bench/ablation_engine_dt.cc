@@ -23,6 +23,8 @@ using namespace hotspots;
 
 int main(int argc, char** argv) {
   const std::string metrics_out = bench::MetricsOutArg(argc, argv);
+  const std::string timeline_out = bench::TimelineOutArg(argc, argv);
+  bench::TimeseriesSidecar timeseries{bench::TimeseriesOutArg(argc, argv)};
   const double scale = bench::ScaleArg(argc, argv);
   const int trials = bench::TrialsArg(4);
   bench::Title("Ablation", "engine step size vs epidemic dynamics");
@@ -89,5 +91,6 @@ int main(int argc, char** argv) {
                   "cheapest per simulated second.");
   bench::PrintStudyThroughput(overall, total_probes);
   bench::DumpMetrics(metrics_out, "ablation_engine_dt", &overall);
+  bench::DumpTimeline(timeline_out);
   return 0;
 }

@@ -21,6 +21,8 @@ using namespace hotspots;
 
 int main(int argc, char** argv) {
   const std::string metrics_out = bench::MetricsOutArg(argc, argv);
+  const std::string timeline_out = bench::TimelineOutArg(argc, argv);
+  bench::TimeseriesSidecar timeseries{bench::TimeseriesOutArg(argc, argv)};
   const double scale = bench::ScaleArg(argc, argv);
   const int trials = bench::TrialsArg(4);
   bench::Title("Ablation", "patching / disinfection / exploit latency");
@@ -120,5 +122,6 @@ int main(int argc, char** argv) {
       "whole outbreak curve right without changing its endpoint.");
   bench::PrintStudyThroughput(overall, total_probes);
   bench::DumpMetrics(metrics_out, "ablation_lifecycle", &overall);
+  bench::DumpTimeline(timeline_out);
   return 0;
 }

@@ -71,6 +71,8 @@ LineageRow Profile(const sim::Worm& worm, int instances, int probes_each,
 
 int main(int argc, char** argv) {
   const std::string metrics_out = bench::MetricsOutArg(argc, argv);
+  const std::string timeline_out = bench::TimelineOutArg(argc, argv);
+  bench::TimeseriesSidecar timeseries{bench::TimeseriesOutArg(argc, argv)};
   const double scale = bench::ScaleArg(argc, argv);
   bench::Title("Ablation", "hotspot severity across the worm PRNG lineage");
 
@@ -131,5 +133,6 @@ int main(int argc, char** argv) {
                                   static_cast<std::uint64_t>(probes_each) *
                                   study.trials.size());
   bench::DumpMetrics(metrics_out, "ablation_prng_lineage", &study.telemetry);
+  bench::DumpTimeline(timeline_out);
   return 0;
 }

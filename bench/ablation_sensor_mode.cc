@@ -81,6 +81,8 @@ FleetResult RunFleetTrial(const core::Scenario& base, const sim::Worm& worm,
 
 int main(int argc, char** argv) {
   const std::string metrics_out = bench::MetricsOutArg(argc, argv);
+  const std::string timeline_out = bench::TimelineOutArg(argc, argv);
+  bench::TimeseriesSidecar timeseries{bench::TimeseriesOutArg(argc, argv)};
   const double scale = bench::ScaleArg(argc, argv);
   const int trials = bench::TrialsArg(4);
   bench::Title("Ablation", "active vs passive darknet sensors");
@@ -139,5 +141,6 @@ int main(int argc, char** argv) {
       "SYN-ACK responder.");
   bench::PrintStudyThroughput(overall, total_probes);
   bench::DumpMetrics(metrics_out, "ablation_sensor_mode", &overall);
+  bench::DumpTimeline(timeline_out);
   return 0;
 }

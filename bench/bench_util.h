@@ -15,7 +15,10 @@
 #include "obs/export.h"
 #include "obs/json_writer.h"
 #include "obs/metrics.h"
+#include "obs/sampler.h"
 #include "obs/stage_timer.h"
+#include "obs/timeline_export.h"
+#include "obs/trace_span.h"
 #include "sim/study.h"
 
 namespace hotspots::bench {
@@ -101,6 +104,66 @@ inline void Measured(const char* fmt, ...) {
 [[nodiscard]] inline std::string FaultSpecArg(int& argc, char** argv) {
   return StringFlagArg(argc, argv, "--faults");
 }
+
+/// Extracts `--timeline-out PATH`; "" when absent.  A non-empty path
+/// force-enables span tracing (equivalent to HOTSPOTS_OBS_TRACE=1) — the
+/// explicit opt-in keeps the env-gated disabled path untouched otherwise.
+/// Call before positional parsing.
+[[nodiscard]] inline std::string TimelineOutArg(int& argc, char** argv) {
+  const std::string path = StringFlagArg(argc, argv, "--timeline-out");
+  if (!path.empty()) obs::ForceTracing();
+  return path;
+}
+
+/// Extracts `--timeseries-out PATH`; "" when absent.  Benches that get a
+/// path run a MetricsSampler over the whole bench (see TimeseriesSidecar).
+[[nodiscard]] inline std::string TimeseriesOutArg(int& argc, char** argv) {
+  return StringFlagArg(argc, argv, "--timeseries-out");
+}
+
+/// Writes the drained span timeline as a Chrome trace-event sidecar
+/// (chrome://tracing / ui.perfetto.dev / tools/perf_report).  No-op when
+/// `path` is empty, so benches call it unconditionally at exit.
+inline void DumpTimeline(const std::string& path) {
+  if (path.empty()) return;
+  const obs::Timeline timeline = obs::SpanCollector::Global().TakeTimeline();
+  if (!obs::WriteTimelineFile(path, timeline)) std::exit(1);
+  std::printf("timeline sidecar written to %s (%zu spans, %llu dropped)\n",
+              path.c_str(), timeline.spans.size(),
+              static_cast<unsigned long long>(timeline.dropped));
+}
+
+/// Whole-bench metrics sampler: started on construction when `path` is
+/// non-empty, stopped and written by Dump() (or the destructor).  Samples
+/// the global registry every 25 ms into a hotspots.timeseries.v1 sidecar.
+class TimeseriesSidecar {
+ public:
+  explicit TimeseriesSidecar(std::string path) : path_(std::move(path)) {
+    if (path_.empty()) return;
+    sampler_.emplace(obs::Registry::Global(), obs::SamplerOptions{25});
+    sampler_->Start();
+  }
+
+  ~TimeseriesSidecar() { Dump(); }
+
+  TimeseriesSidecar(const TimeseriesSidecar&) = delete;
+  TimeseriesSidecar& operator=(const TimeseriesSidecar&) = delete;
+
+  /// Stops the sampler and writes the sidecar; idempotent.
+  void Dump() {
+    if (!sampler_ || dumped_) return;
+    dumped_ = true;
+    sampler_->Stop();
+    if (!sampler_->WriteFile(path_)) std::exit(1);
+    std::printf("timeseries sidecar written to %s (%zu samples)\n",
+                path_.c_str(), sampler_->sample_count());
+  }
+
+ private:
+  std::string path_;
+  std::optional<obs::MetricsSampler> sampler_;
+  bool dumped_ = false;
+};
 
 /// Writes the metrics sidecar (EXPERIMENTS.md documents the schema): the
 /// global registry snapshot plus, when given, the bench's merged study

@@ -47,6 +47,8 @@ constexpr std::uint32_t kSlash24Space = 1u << 24;
 
 int main(int argc, char** argv) {
   const std::string metrics_out = bench::MetricsOutArg(argc, argv);
+  const std::string timeline_out = bench::TimelineOutArg(argc, argv);
+  bench::TimeseriesSidecar timeseries{bench::TimeseriesOutArg(argc, argv)};
   const std::string trace_out = bench::TraceOutArg(argc, argv);
   const double scale = bench::ScaleArg(argc, argv);
   bench::Title("Figure 1", "unique Blaster sources by destination /24");
@@ -263,5 +265,6 @@ int main(int argc, char** argv) {
   bench::CaptureObservationalTrace(trace_out, "fig1_blaster_hotspots", worm,
                                    bench::CaptureOptions{.scale = scale});
   bench::DumpMetrics(metrics_out, "fig1_blaster_hotspots");
+  bench::DumpTimeline(timeline_out);
   return 0;
 }

@@ -27,6 +27,8 @@ using namespace hotspots;
 
 int main(int argc, char** argv) {
   const std::string metrics_out = bench::MetricsOutArg(argc, argv);
+  const std::string timeline_out = bench::TimelineOutArg(argc, argv);
+  bench::TimeseriesSidecar timeseries{bench::TimeseriesOutArg(argc, argv)};
   const std::string trace_out = bench::TraceOutArg(argc, argv);
   const double scale = bench::ScaleArg(argc, argv);
   bench::Title("Figure 2", "unique Slammer sources by destination /24");
@@ -214,5 +216,6 @@ int main(int argc, char** argv) {
                                    capture_worm,
                                    bench::CaptureOptions{.scale = scale});
   bench::DumpMetrics(metrics_out, "fig2_slammer_sources");
+  bench::DumpTimeline(timeline_out);
   return 0;
 }

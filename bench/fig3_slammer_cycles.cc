@@ -75,6 +75,8 @@ void ProfileHost(const char* name, int dll_version, std::uint32_t seed,
 
 int main(int argc, char** argv) {
   const std::string metrics_out = bench::MetricsOutArg(argc, argv);
+  const std::string timeline_out = bench::TimelineOutArg(argc, argv);
+  bench::TimeseriesSidecar timeseries{bench::TimeseriesOutArg(argc, argv)};
   const double scale = bench::ScaleArg(argc, argv);
   bench::Title("Figure 3",
                "per-host Slammer scanning bias and the LCG cycle census");
@@ -180,5 +182,6 @@ int main(int argc, char** argv) {
     std::printf("\n");
   }
   bench::DumpMetrics(metrics_out, "fig3_slammer_cycles");
+  bench::DumpTimeline(timeline_out);
   return 0;
 }

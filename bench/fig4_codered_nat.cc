@@ -47,6 +47,8 @@ void PrintBlocks(telescope::Telescope& ims, bool unique_sources) {
 
 int main(int argc, char** argv) {
   const std::string metrics_out = bench::MetricsOutArg(argc, argv);
+  const std::string timeline_out = bench::TimelineOutArg(argc, argv);
+  bench::TimeseriesSidecar timeseries{bench::TimeseriesOutArg(argc, argv)};
   const std::string trace_out = bench::TraceOutArg(argc, argv);
   const double scale = bench::ScaleArg(argc, argv);
   bench::Title("Figure 4", "CodeRedII, private address space, and the "
@@ -155,5 +157,6 @@ int main(int argc, char** argv) {
                   "small block; only the Z/8 (16M addresses) sees more "
                   "absolute traffic.");
   bench::DumpMetrics(metrics_out, "fig4_codered_nat");
+  bench::DumpTimeline(timeline_out);
   return 0;
 }

@@ -24,6 +24,8 @@ using namespace hotspots;
 
 int main(int argc, char** argv) {
   const std::string metrics_out = bench::MetricsOutArg(argc, argv);
+  const std::string timeline_out = bench::TimelineOutArg(argc, argv);
+  bench::TimeseriesSidecar timeseries{bench::TimeseriesOutArg(argc, argv)};
   const double scale = bench::ScaleArg(argc, argv);
   const int trials = bench::TrialsArg(4);
   bench::Title("Figure 5a", "infection rate vs hit-list size");
@@ -122,5 +124,6 @@ int main(int argc, char** argv) {
                    "trade-off of hit-list scanning.");
   bench::PrintStudyThroughput(overall, total_probes);
   bench::DumpMetrics(metrics_out, "fig5a_hitlist_infection", &overall);
+  bench::DumpTimeline(timeline_out);
   return 0;
 }

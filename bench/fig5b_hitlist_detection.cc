@@ -26,6 +26,8 @@ using namespace hotspots;
 
 int main(int argc, char** argv) {
   const std::string metrics_out = bench::MetricsOutArg(argc, argv);
+  const std::string timeline_out = bench::TimelineOutArg(argc, argv);
+  bench::TimeseriesSidecar timeseries{bench::TimeseriesOutArg(argc, argv)};
   const double scale = bench::ScaleArg(argc, argv);
   const int trials = bench::TrialsArg(4);
   bench::Title("Figure 5b", "sensor alert rate vs hit-list size");
@@ -123,5 +125,6 @@ int main(int argc, char** argv) {
                    "alerted.");
   bench::PrintStudyThroughput(overall, total_probes);
   bench::DumpMetrics(metrics_out, "fig5b_hitlist_detection", &overall);
+  bench::DumpTimeline(timeline_out);
   return 0;
 }

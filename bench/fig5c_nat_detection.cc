@@ -30,6 +30,8 @@ using namespace hotspots;
 
 int main(int argc, char** argv) {
   const std::string metrics_out = bench::MetricsOutArg(argc, argv);
+  const std::string timeline_out = bench::TimelineOutArg(argc, argv);
+  bench::TimeseriesSidecar timeseries{bench::TimeseriesOutArg(argc, argv)};
   const double scale = bench::ScaleArg(argc, argv);
   const int trials = bench::TrialsArg(4);
   bench::Title("Figure 5c", "sensor placement vs NAT-driven hotspots");
@@ -168,5 +170,6 @@ int main(int argc, char** argv) {
                    "containment difficult or impossible.'");
   bench::PrintStudyThroughput(overall, total_probes);
   bench::DumpMetrics(metrics_out, "fig5c_nat_detection", &overall);
+  bench::DumpTimeline(timeline_out);
   return 0;
 }

@@ -209,6 +209,10 @@ int main(int argc, char** argv) {
   const std::string metrics_out = bench::MetricsOutArg(argc, argv);
   std::string trace_out = bench::TraceOutArg(argc, argv);
   const std::string fault_spec = bench::FaultSpecArg(argc, argv);
+  // Forces tracing for the whole bench when non-empty; the timeline file
+  // itself holds only the spans-on rerun (see the tracing section below).
+  const std::string timeline_out = bench::TimelineOutArg(argc, argv);
+  bench::TimeseriesSidecar timeseries{bench::TimeseriesOutArg(argc, argv)};
   double scale = 1.0;
   std::string label = "run";
   std::string out_path = "results/BENCH_hotpath.json";
@@ -851,6 +855,40 @@ int main(int argc, char** argv) {
   }
   std::printf("  serial fraction (commit/run): %.4f\n", serial_fraction);
 
+  // ---- Tracing overhead: the identical run, spans forced on --------------
+  // Informational A/B so the cost of observation is itself tracked across
+  // PRs (no gate: span cost depends on step count, not probe count).  Spans
+  // observe, never steer: the traced rerun must reproduce the timed
+  // fingerprint bit-for-bit or the timeline would describe a different run.
+  // With --timeline-out the timed run was traced too (the flag forces
+  // tracing process-wide), so the A/B below compares on-vs-on and the
+  // overhead column reads ~0 — the recorded entries never pass the flag.
+  bench::Section("tracing overhead (spans-on rerun, informational)");
+  (void)obs::SpanCollector::Global().TakeTimeline();  // Clean span window.
+  obs::SetTracingForTesting(1);
+  const EndToEndRun traced = run_end_to_end(/*publish_sensor_metrics=*/false);
+  obs::SetTracingForTesting(timeline_out.empty() ? -1 : 1);
+  const obs::Timeline timeline = obs::SpanCollector::Global().TakeTimeline();
+  if (traced.fingerprint != timed.fingerprint) {
+    std::fprintf(stderr,
+                 "tracing: FINGERPRINT MISMATCH — the spans-on rerun "
+                 "diverged from the timed run (%016" PRIx64 " != %016" PRIx64
+                 "); spans must never steer the simulation\n",
+                 traced.fingerprint, timed.fingerprint);
+    return 1;
+  }
+  const double tracing_overhead_pct =
+      timed.seconds > 0.0 ? 100.0 * (traced.seconds / timed.seconds - 1.0)
+                          : 0.0;
+  std::printf("  %zu spans (%" PRIu64 " dropped), %.4fs traced vs %.4fs "
+              "untraced (%+.2f%%)\n",
+              timeline.spans.size(), timeline.dropped, traced.seconds,
+              timed.seconds, tracing_overhead_pct);
+  if (!timeline_out.empty()) {
+    if (!obs::WriteTimelineFile(timeline_out, timeline)) return 1;
+    std::printf("  timeline sidecar written to %s\n", timeline_out.c_str());
+  }
+
   // ---- JSON entry --------------------------------------------------------
   char hex[32];
   const auto hex64 = [&](std::uint64_t value) -> const char* {
@@ -892,6 +930,20 @@ int main(int argc, char** argv) {
   writer.KV("commit_nanos", phase_nanos[3]);
   writer.KV("run_nanos", run_nanos);
   writer.Key("serial_fraction").FixedValue(serial_fraction, 4);
+  writer.EndObject();
+  // Informational spans-on rerun (fingerprint-checked above).  Placed after
+  // end_to_end: FindGateBaseline textually takes the entry's *first*
+  // probes_per_sec/fingerprint, which must remain the untraced run's.
+  writer.Key("tracing").BeginObject();
+  writer.Key("seconds").FixedValue(traced.seconds, 4);
+  writer.Key("probes_per_sec")
+      .FixedValue(traced.seconds > 0.0
+                      ? static_cast<double>(traced.probes) / traced.seconds
+                      : 0.0,
+                  0);
+  writer.Key("overhead_pct").FixedValue(tracing_overhead_pct, 2);
+  writer.KV("spans", static_cast<std::uint64_t>(timeline.spans.size()));
+  writer.KV("dropped", timeline.dropped);
   writer.EndObject();
   writer.EndObject();
   AppendJsonEntry(out_path, writer.str());

@@ -63,6 +63,8 @@ struct SweepPoint {
 
 int main(int argc, char** argv) {
   const std::string metrics_out = bench::MetricsOutArg(argc, argv);
+  const std::string timeline_out = bench::TimelineOutArg(argc, argv);
+  bench::TimeseriesSidecar timeseries{bench::TimeseriesOutArg(argc, argv)};
   const std::string trace_out = bench::TraceOutArg(argc, argv);
   const std::string fault_spec = bench::FaultSpecArg(argc, argv);
   const double scale = bench::ScaleArg(argc, argv);
@@ -229,6 +231,7 @@ int main(int argc, char** argv) {
 
   bench::PrintStudyThroughput(overall, total_probes);
   bench::DumpMetrics(metrics_out, "outage_visibility", &overall);
+  bench::DumpTimeline(timeline_out);
   bench::CaptureObservationalTrace(trace_out, "outage_visibility", worm,
                                    {.scale = scale});
   return 0;

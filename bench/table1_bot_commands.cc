@@ -16,6 +16,8 @@ using namespace hotspots;
 
 int main(int argc, char** argv) {
   const std::string metrics_out = bench::MetricsOutArg(argc, argv);
+  const std::string timeline_out = bench::TimelineOutArg(argc, argv);
+  bench::TimeseriesSidecar timeseries{bench::TimeseriesOutArg(argc, argv)};
   bench::Title("Table 1", "botnet scan commands captured on a live network");
 
   // ~11 bots over a month (Section 4.2.1); each bot's controller issues a
@@ -64,5 +66,6 @@ int main(int argc, char** argv) {
       "the regenerated capture shows the same mixture: dcom2-dominant, a "
       "minority of commands pinned to /8 hit-lists, rest space-wide.");
   bench::DumpMetrics(metrics_out, "table1_bot_commands");
+  bench::DumpTimeline(timeline_out);
   return 0;
 }

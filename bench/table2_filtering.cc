@@ -64,6 +64,8 @@ class SourceCollector final : public sim::ProbeObserver {
 
 int main(int argc, char** argv) {
   const std::string metrics_out = bench::MetricsOutArg(argc, argv);
+  const std::string timeline_out = bench::TimelineOutArg(argc, argv);
+  bench::TimeseriesSidecar timeseries{bench::TimeseriesOutArg(argc, argv)};
   const double scale = bench::ScaleArg(argc, argv);
   bench::Title("Table 2", "enterprise egress filtering vs broadband leakage");
 
@@ -170,5 +172,6 @@ int main(int argc, char** argv) {
                   "its sequential sweep crosses monitored space rarely in a "
                   "bounded window).");
   bench::DumpMetrics(metrics_out, "table2_filtering");
+  bench::DumpTimeline(timeline_out);
   return 0;
 }

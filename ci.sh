@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
 # CI entry point: the tier-1 verify (ROADMAP.md), a metrics smoke step,
-# a trace capture/replay smoke step, a fault-injection smoke step, and a
+# an obs-trace smoke step (timeline/timeseries sidecars + perf_report), a
+# trace capture/replay smoke step, a fault-injection smoke step, and a
 # sanitizer pass (which fronts the trace-salvage suites verbosely).
 #
 #   ./ci.sh            # tier-1 + smoke steps + asan presets
@@ -120,6 +121,67 @@ HOTSPOTS_OBS_TIMERS=0 ./build/bench/micro_hotpath 0.05 --shards 8 \
   --label ci-faulted-shard8 --out "${SMOKE_DIR}/shards.json" \
   --gate ci-faulted-shard1 --gate-file "${SMOKE_DIR}/shards.json" \
   --gate-fingerprint-only
+
+echo "== obs-trace smoke: timeline + timeseries sidecars + perf_report =="
+# A traced, sampled 8-shard run must (a) keep the simulation fingerprint
+# bit-identical to the untraced ci-shard1 run recorded above (spans observe,
+# never steer), (b) emit a structurally valid Chrome trace-event timeline —
+# balanced B/E per tid, monotone timestamps, drop accounting present — plus
+# a hotspots.timeseries.v1 sidecar, and (c) feed both through perf_report
+# cleanly (exit 0).
+HOTSPOTS_OBS_TIMERS=0 ./build/bench/micro_hotpath 0.05 --shards 8 \
+  --timeline-out "${SMOKE_DIR}/hotpath.timeline.json" \
+  --timeseries-out "${SMOKE_DIR}/hotpath.timeseries.json" \
+  --label ci-traced --out "${SMOKE_DIR}/shards.json" \
+  --gate ci-shard1 --gate-file "${SMOKE_DIR}/shards.json" \
+  --gate-fingerprint-only
+if command -v python3 > /dev/null 2>&1; then
+  python3 - "${SMOKE_DIR}/hotpath.timeline.json" \
+    "${SMOKE_DIR}/hotpath.timeseries.json" <<'PY'
+import json, sys
+with open(sys.argv[1]) as handle:
+    timeline = json.load(handle)
+assert timeline["schema"] == "hotspots.timeline.v1", timeline.get("schema")
+assert "dropped" in timeline, "drop accounting missing"
+events = timeline["traceEvents"]
+assert events, "traced run produced no events"
+depth, last_ts = {}, {}
+for event in events:
+    tid, ph, ts = event["tid"], event["ph"], event["ts"]
+    if ph == "M":
+        continue
+    assert ph in ("B", "E"), f"unexpected phase {ph}"
+    assert ts >= last_ts.get(tid, 0.0), f"timestamp regressed on tid {tid}"
+    last_ts[tid] = ts
+    depth[tid] = depth.get(tid, 0) + (1 if ph == "B" else -1)
+    assert depth[tid] >= 0, f"E before B on tid {tid}"
+assert all(d == 0 for d in depth.values()), f"unbalanced B/E: {depth}"
+names = {e["name"] for e in events if e["ph"] == "B"}
+for required in ("engine.run", "engine.step", "engine.generate",
+                 "engine.commit"):
+    assert required in names, f"missing span {required}: {sorted(names)}"
+with open(sys.argv[2]) as handle:
+    series = json.load(handle)
+assert series["schema"] == "hotspots.timeseries.v1", series.get("schema")
+assert series["samples"] >= 2, "sampler took fewer than two samples"
+assert "engine.probes" in series["counters"], "probes series missing"
+print(f"timeline OK: {sum(1 for e in events if e['ph'] == 'B')} spans over "
+      f"{len(depth)} lanes, {timeline['dropped']} dropped; "
+      f"timeseries OK: {series['samples']} samples")
+PY
+else
+  for key in '"schema":"hotspots.timeline.v1"' '"dropped"' '"ph":"B"'; do
+    grep -qF "${key}" "${SMOKE_DIR}/hotpath.timeline.json" \
+      || { echo "timeline sidecar missing ${key}" >&2; exit 1; }
+  done
+  grep -qF '"schema":"hotspots.timeseries.v1"' \
+    "${SMOKE_DIR}/hotpath.timeseries.json" \
+    || { echo "timeseries sidecar missing schema" >&2; exit 1; }
+  echo "timeline + timeseries OK (grep fallback)"
+fi
+./build/tools/perf_report --timeline "${SMOKE_DIR}/hotpath.timeline.json" \
+  --timeseries "${SMOKE_DIR}/hotpath.timeseries.json" > /dev/null
+echo "obs-trace smoke OK"
 
 echo "== trace smoke: capture -> validate -> replay -> diff =="
 # End-to-end exercise of the src/trace subsystem: a small fig1 run captures
@@ -241,22 +303,28 @@ ctest --test-dir "build-${SANITIZER}" --output-on-failure \
   -R 'TraceSalvage|TraceCorruption|ValidateTraceFile'
 ctest --test-dir "build-${SANITIZER}" --output-on-failure -j "${JOBS}"
 
-echo "== tsan pass: sharded commit queue under the race detector =="
-# The engine-shard suites are the only concurrent code in the tree; run
-# them under ThreadSanitizer even when the primary sanitizer pass was
-# asan.  (When HOTSPOTS_SANITIZE=tsan was requested, the full-suite pass
-# above already covered them.)
+echo "== tsan pass: sharded commit queue + span rings under the race detector =="
+# The concurrent code in the tree: the engine-shard commit queue, the
+# lock-free SPSC span rings with their cross-thread drain/adoption paths,
+# the background metrics sampler, and the sharded counters snapshotted
+# mid-write.  Run those suites under ThreadSanitizer even when the primary
+# sanitizer pass was asan.  (When HOTSPOTS_SANITIZE=tsan was requested, the
+# full-suite pass above already covered them.)
 if [[ "${SANITIZER}" == "tsan" ]]; then
   echo "primary sanitizer pass already ran under tsan — skipped"
 else
   cmake -B build-tsan -S . -DHOTSPOTS_SANITIZE=tsan
   cmake --build build-tsan -j "${JOBS}" \
-    --target sim_engine_shard_test sim_study_retry_test sim_prefold_test
+    --target sim_engine_shard_test sim_study_retry_test sim_prefold_test \
+    obs_span_test obs_sampler_test obs_metrics_test \
+    obs_trace_determinism_test
   # Prefold* covers the two-phase observer fold: worker threads write
   # forked per-shard partials concurrently while the serial thread owns
-  # the merge — the handoff the race detector exists to watch.
+  # the merge — the handoff the race detector exists to watch.  ObsSpan/
+  # ObsSampler stress producer-vs-drain and sampler-vs-writer interleavings;
+  # ObsTraceDeterminism drives the instrumented engine at 8 shards.
   ctest --test-dir build-tsan --output-on-failure \
-    -R 'ShardPool|EngineShard|EngineAudit|ResolveEngineShards|RunTrials|Prefold'
+    -R 'ShardPool|EngineShard|EngineAudit|ResolveEngineShards|RunTrials|Prefold|ObsSpan|ObsSampler|ObsTraceDeterminism|ObsCounter|SnapshotWhileWriting'
 fi
 
 echo "== ci.sh: all passes green =="

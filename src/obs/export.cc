@@ -1,6 +1,36 @@
 #include "obs/export.h"
 
+#include <cmath>
+
 namespace hotspots::obs {
+
+namespace {
+
+/// Prometheus metric names are [a-zA-Z_:][a-zA-Z0-9_:]*; the repo's dotted
+/// names map '.' (and anything else invalid) to '_'.
+std::string PrometheusName(const std::string& name) {
+  std::string out;
+  out.reserve(name.size());
+  for (const char c : name) {
+    const bool valid = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                       (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out += valid ? c : '_';
+  }
+  if (out.empty() || (out.front() >= '0' && out.front() <= '9')) {
+    out.insert(out.begin(), '_');
+  }
+  return out;
+}
+
+/// Exposition-format float: NaN/±Inf spell their Prometheus literals
+/// (JsonNumber would turn them into "null", which the format rejects).
+std::string PrometheusNumber(double value) {
+  if (std::isnan(value)) return "NaN";
+  if (std::isinf(value)) return value > 0 ? "+Inf" : "-Inf";
+  return JsonNumber(value);
+}
+
+}  // namespace
 
 void WriteSnapshotSections(const Snapshot& snapshot, JsonWriter& writer) {
   writer.Key("counters").BeginObject();
@@ -77,6 +107,36 @@ std::string SnapshotToCsv(const Snapshot& snapshot) {
     out += "histogram," + name + ",count," + std::to_string(sample.count) +
            "\n";
     out += "histogram," + name + ",sum," + JsonNumber(sample.sum) + "\n";
+  }
+  return out;
+}
+
+std::string SnapshotToPrometheus(const Snapshot& snapshot) {
+  std::string out;
+  for (const CounterSample& sample : snapshot.counters) {
+    const std::string name = PrometheusName(sample.name) + "_total";
+    out += "# TYPE " + name + " counter\n";
+    out += name + " " + std::to_string(sample.value) + "\n";
+  }
+  for (const GaugeSample& sample : snapshot.gauges) {
+    const std::string name = PrometheusName(sample.name);
+    out += "# TYPE " + name + " gauge\n";
+    out += name + " " + PrometheusNumber(sample.value) + "\n";
+  }
+  for (const HistogramSample& sample : snapshot.histograms) {
+    const std::string name = PrometheusName(sample.name);
+    out += "# TYPE " + name + " histogram\n";
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0; i < sample.buckets.size(); ++i) {
+      cumulative += sample.buckets[i];
+      const std::string bound = i < sample.bounds.size()
+                                    ? PrometheusNumber(sample.bounds[i])
+                                    : "+Inf";
+      out += name + "_bucket{le=\"" + bound + "\"} " +
+             std::to_string(cumulative) + "\n";
+    }
+    out += name + "_sum " + PrometheusNumber(sample.sum) + "\n";
+    out += name + "_count " + std::to_string(sample.count) + "\n";
   }
   return out;
 }

@@ -32,4 +32,12 @@ void WriteSnapshotSections(const Snapshot& snapshot, JsonWriter& writer);
 /// overflow bucket), plus `histogram,name,count|sum,<value>` totals.
 [[nodiscard]] std::string SnapshotToCsv(const Snapshot& snapshot);
 
+/// Prometheus text exposition (format 0.0.4), groundwork for the planned
+/// ingest daemon's poller endpoint.  Metric names are sanitized to
+/// [a-zA-Z0-9_:] ('.' and anything else invalid become '_'); counters gain
+/// the conventional `_total` suffix; histograms export cumulative
+/// `_bucket{le="..."}` rows ending in `le="+Inf"` plus `_sum` and `_count`.
+/// Gauges holding NaN are written as the literal `NaN`.
+[[nodiscard]] std::string SnapshotToPrometheus(const Snapshot& snapshot);
+
 }  // namespace hotspots::obs

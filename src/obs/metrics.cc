@@ -56,18 +56,21 @@ std::uint64_t Counter::Value() const noexcept {
 
 void Gauge::Set(double value) noexcept {
   value_.store(value, std::memory_order_relaxed);
+  written_.store(true, std::memory_order_release);
 }
 
 void Gauge::SetMax(double value) noexcept {
   AtomicExtreme(value_, value, [](double a, double b) { return a > b; });
+  written_.store(true, std::memory_order_release);
 }
 
 void Gauge::SetMin(double value) noexcept {
   AtomicExtreme(value_, value, [](double a, double b) { return a < b; });
+  written_.store(true, std::memory_order_release);
 }
 
 bool Gauge::has_value() const noexcept {
-  return !std::isnan(value_.load(std::memory_order_relaxed));
+  return written_.load(std::memory_order_acquire);
 }
 
 double Gauge::Value() const noexcept {

@@ -70,12 +70,16 @@ class Gauge {
   void SetMax(double value) noexcept;
   void SetMin(double value) noexcept;
 
+  /// True once any Set/SetMax/SetMin has run — including Set(NaN), which is
+  /// a legitimate written value, not "never written" (an explicit flag
+  /// tracks writes precisely so the NaN initializer is not a sentinel).
   [[nodiscard]] bool has_value() const noexcept;
-  /// NaN when never written.
+  /// NaN when never written (and after an explicit Set(NaN)).
   [[nodiscard]] double Value() const noexcept;
 
  private:
   std::atomic<double> value_{std::numeric_limits<double>::quiet_NaN()};
+  std::atomic<bool> written_{false};
 };
 
 /// Fixed-bucket histogram (see the boundary semantics in the file header).

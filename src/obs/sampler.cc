@@ -1,0 +1,173 @@
+#include "obs/sampler.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <set>
+#include <stdexcept>
+
+#include "obs/json_writer.h"
+#include "obs/stage_timer.h"
+
+namespace hotspots::obs {
+
+MetricsSampler::MetricsSampler(Registry& registry, SamplerOptions options)
+    : registry_(registry), options_(options) {
+  if (options_.interval_ms <= 0) {
+    throw std::invalid_argument("MetricsSampler: interval_ms must be > 0");
+  }
+}
+
+MetricsSampler::~MetricsSampler() { Stop(); }
+
+void MetricsSampler::Start() {
+  std::scoped_lock lock{mutex_};
+  if (started_) {
+    throw std::logic_error("MetricsSampler::Start: already started");
+  }
+  started_ = true;
+  start_ns_ = NowNanos();
+  SampleLocked();
+  worker_ = std::thread([this] { Loop(); });
+}
+
+void MetricsSampler::Stop() {
+  std::thread to_join;
+  {
+    std::scoped_lock lock{mutex_};
+    if (stopped_) return;
+    stop_requested_ = true;
+    stopped_ = true;
+    to_join = std::move(worker_);
+  }
+  cv_.notify_all();
+  if (to_join.joinable()) to_join.join();
+  std::scoped_lock lock{mutex_};
+  if (started_) SampleLocked();  // Final sample once the thread is gone.
+}
+
+void MetricsSampler::Loop() {
+  std::unique_lock lock{mutex_};
+  while (!cv_.wait_for(lock, std::chrono::milliseconds(options_.interval_ms),
+                       [this] { return stop_requested_; })) {
+    SampleLocked();
+  }
+}
+
+void MetricsSampler::SampleLocked() {
+  times_ns_.push_back(NowNanos() - start_ns_);
+  snapshots_.push_back(registry_.TakeSnapshot());
+}
+
+void MetricsSampler::RequireStopped(const char* what) const {
+  if (!stopped_) {
+    throw std::logic_error(std::string("MetricsSampler::") + what +
+                           ": series is readable only after Stop()");
+  }
+}
+
+std::size_t MetricsSampler::sample_count() const {
+  std::scoped_lock lock{mutex_};
+  RequireStopped("sample_count");
+  return snapshots_.size();
+}
+
+const std::vector<std::uint64_t>& MetricsSampler::times_ns() const {
+  std::scoped_lock lock{mutex_};
+  RequireStopped("times_ns");
+  return times_ns_;
+}
+
+const std::vector<Snapshot>& MetricsSampler::snapshots() const {
+  std::scoped_lock lock{mutex_};
+  RequireStopped("snapshots");
+  return snapshots_;
+}
+
+std::string MetricsSampler::ToJson() const {
+  std::scoped_lock lock{mutex_};
+  RequireStopped("ToJson");
+
+  // Metrics can register mid-run, so serialize the union of names; a sample
+  // predating a counter reads as 0 and a missing gauge as null.
+  std::set<std::string> counter_names;
+  std::set<std::string> gauge_names;
+  for (const Snapshot& snapshot : snapshots_) {
+    for (const auto& counter : snapshot.counters) {
+      counter_names.insert(counter.name);
+    }
+    for (const auto& gauge : snapshot.gauges) gauge_names.insert(gauge.name);
+  }
+
+  JsonWriter writer(0);  // Series get long; write compact.
+  writer.BeginObject();
+  writer.KV("schema", kTimeseriesSchema);
+  writer.KV("interval_ms", options_.interval_ms);
+  writer.Key("start_ns");
+  writer.Value(start_ns_);
+  writer.Key("samples");
+  writer.Value(static_cast<std::uint64_t>(snapshots_.size()));
+
+  writer.Key("t_ns");
+  writer.BeginArray();
+  for (const std::uint64_t t : times_ns_) writer.Value(t);
+  writer.EndArray();
+
+  writer.Key("counters");
+  writer.BeginObject();
+  for (const std::string& name : counter_names) {
+    const auto value_at = [&](std::size_t i) -> std::uint64_t {
+      const CounterSample* sample = snapshots_[i].FindCounter(name);
+      return sample != nullptr ? sample->value : 0;
+    };
+    writer.Key(name);
+    writer.BeginObject();
+    writer.Key("base");
+    writer.Value(snapshots_.empty() ? std::uint64_t{0} : value_at(0));
+    writer.Key("deltas");
+    writer.BeginArray();
+    for (std::size_t i = 1; i < snapshots_.size(); ++i) {
+      const std::uint64_t prev = value_at(i - 1);
+      const std::uint64_t curr = value_at(i);
+      // Shards are monotone, so curr >= prev; clamp defensively anyway.
+      writer.Value(curr >= prev ? curr - prev : std::uint64_t{0});
+    }
+    writer.EndArray();
+    writer.EndObject();
+  }
+  writer.EndObject();
+
+  writer.Key("gauges");
+  writer.BeginObject();
+  for (const std::string& name : gauge_names) {
+    writer.Key(name);
+    writer.BeginArray();
+    for (const Snapshot& snapshot : snapshots_) {
+      const GaugeSample* sample = snapshot.FindGauge(name);
+      if (sample == nullptr) {
+        writer.Null();
+      } else {
+        writer.Value(sample->value);  // NaN serializes as null.
+      }
+    }
+    writer.EndArray();
+  }
+  writer.EndObject();
+
+  writer.EndObject();
+  return writer.str();
+}
+
+bool MetricsSampler::WriteFile(const std::string& path) const {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    std::fprintf(stderr, "timeseries export: cannot open %s\n", path.c_str());
+    return false;
+  }
+  out << ToJson() << '\n';
+  out.flush();
+  return static_cast<bool>(out);
+}
+
+}  // namespace hotspots::obs

@@ -1,0 +1,84 @@
+// Background metrics sampler: periodic Registry snapshots → time series.
+//
+// A run-total counter dump (--metrics-out) says what a run cost; it cannot
+// say when — whether the serial commit fraction grows as an outbreak ramps,
+// or whether probes/s sags mid-run.  MetricsSampler snapshots a Registry
+// from its own thread every interval_ms into an in-memory series and
+// serializes it as a `hotspots.timeseries.v1` sidecar: counters as a base
+// value plus per-sample deltas (each Counter shard is monotone, so deltas
+// are non-negative), gauges as per-sample values with null for
+// not-yet-written samples.  Histograms are omitted from the series — their
+// run totals live in the metrics sidecar.
+//
+// The sampler observes, never steers: it only calls TakeSnapshot(), which
+// takes the registry mutex briefly and reads atomics, so a sampled run
+// stays bit-identical to an unsampled one
+// (tests/obs_trace_determinism_test.cc).
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace hotspots::obs {
+
+/// Schema tag stamped into every timeseries JSON document.
+inline constexpr const char* kTimeseriesSchema = "hotspots.timeseries.v1";
+
+struct SamplerOptions {
+  int interval_ms = 50;  ///< Snapshot period; must be > 0.
+};
+
+class MetricsSampler {
+ public:
+  explicit MetricsSampler(Registry& registry, SamplerOptions options = {});
+  ~MetricsSampler();  // Stops (joining the thread) if still running.
+
+  MetricsSampler(const MetricsSampler&) = delete;
+  MetricsSampler& operator=(const MetricsSampler&) = delete;
+
+  /// Takes sample 0 and starts the sampling thread.  Throws
+  /// std::logic_error if already started.
+  void Start();
+
+  /// Takes one final sample and joins the thread.  Idempotent; a no-op when
+  /// never started.
+  void Stop();
+
+  /// The recorded series; valid only after Stop() (throws before).
+  [[nodiscard]] std::size_t sample_count() const;
+  [[nodiscard]] const std::vector<std::uint64_t>& times_ns() const;
+  [[nodiscard]] const std::vector<Snapshot>& snapshots() const;
+
+  /// Serializes the stopped series as a hotspots.timeseries.v1 document.
+  [[nodiscard]] std::string ToJson() const;
+
+  /// Writes ToJson() to `path`; false (after stderr) when unwritable.
+  bool WriteFile(const std::string& path) const;
+
+ private:
+  void Loop();
+  void SampleLocked();
+  void RequireStopped(const char* what) const;
+
+  Registry& registry_;
+  const SamplerOptions options_;
+  std::uint64_t start_ns_ = 0;
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  bool started_ = false;
+  bool stop_requested_ = false;
+  bool stopped_ = false;
+  std::thread worker_;
+
+  std::vector<std::uint64_t> times_ns_;  ///< Relative to start_ns_.
+  std::vector<Snapshot> snapshots_;
+};
+
+}  // namespace hotspots::obs

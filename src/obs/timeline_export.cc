@@ -1,0 +1,131 @@
+#include "obs/timeline_export.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <vector>
+
+#include "obs/json_writer.h"
+
+namespace hotspots::obs {
+
+namespace {
+
+/// Microseconds (with sub-µs fraction) relative to the timeline start.
+double RelativeMicros(std::uint64_t ns, std::uint64_t start_ns) {
+  return static_cast<double>(ns - start_ns) / 1000.0;
+}
+
+void EmitDurationEvent(JsonWriter& writer, const char* phase,
+                       std::uint32_t tid, double ts_us,
+                       const std::string* name) {
+  writer.BeginObject();
+  if (name != nullptr) writer.KV("name", *name);
+  writer.KV("ph", phase);
+  writer.Key("ts");
+  writer.FixedValue(ts_us, 3);
+  writer.KV("pid", 0);
+  writer.KV("tid", static_cast<std::uint64_t>(tid));
+  writer.EndObject();
+}
+
+void EmitThreadName(JsonWriter& writer, std::uint32_t tid,
+                    const std::string& lane) {
+  writer.BeginObject();
+  writer.KV("name", "thread_name");
+  writer.KV("ph", "M");
+  writer.Key("ts");
+  writer.FixedValue(0.0, 3);
+  writer.KV("pid", 0);
+  writer.KV("tid", static_cast<std::uint64_t>(tid));
+  writer.Key("args");
+  writer.BeginObject();
+  writer.KV("name", lane);
+  writer.EndObject();
+  writer.EndObject();
+}
+
+}  // namespace
+
+std::string TimelineToChromeTrace(const Timeline& timeline) {
+  // Group span indices per tid; emission is per thread so B/E pairs nest.
+  std::map<std::uint32_t, std::vector<std::size_t>> by_tid;
+  for (std::size_t i = 0; i < timeline.spans.size(); ++i) {
+    by_tid[timeline.spans[i].tid].push_back(i);
+  }
+
+  JsonWriter writer(0);  // Timelines get large; write compact.
+  writer.BeginObject();
+  writer.KV("schema", kTimelineSchema);
+  writer.KV("displayTimeUnit", "ns");
+  writer.Key("start_ns");
+  writer.Value(timeline.start_ns);
+  writer.Key("dropped");
+  writer.Value(timeline.dropped);
+  writer.Key("traceEvents");
+  writer.BeginArray();
+
+  for (auto& [tid, indices] : by_tid) {
+    const std::string lane = tid < timeline.lanes.size()
+                                 ? timeline.lanes[tid]
+                                 : "t" + std::to_string(tid);
+    EmitThreadName(writer, tid, lane);
+
+    // Sorting by (begin asc, end desc) opens parents before children, so a
+    // simple end-time stack recovers the nesting RAII guarantees per thread.
+    std::sort(indices.begin(), indices.end(),
+              [&](std::size_t a, std::size_t b) {
+                const TimelineSpan& sa = timeline.spans[a];
+                const TimelineSpan& sb = timeline.spans[b];
+                if (sa.begin_ns != sb.begin_ns) {
+                  return sa.begin_ns < sb.begin_ns;
+                }
+                if (sa.end_ns != sb.end_ns) return sa.end_ns > sb.end_ns;
+                return a < b;
+              });
+
+    std::vector<std::uint64_t> open_ends;
+    std::uint64_t last_ns = 0;  // Keeps emitted timestamps monotone per tid.
+    for (const std::size_t index : indices) {
+      const TimelineSpan& span = timeline.spans[index];
+      while (!open_ends.empty() && open_ends.back() <= span.begin_ns) {
+        last_ns = std::max(last_ns, open_ends.back());
+        EmitDurationEvent(writer, "E", tid,
+                          RelativeMicros(last_ns, timeline.start_ns), nullptr);
+        open_ends.pop_back();
+      }
+      const std::string& name =
+          span.name_id < timeline.names.size()
+              ? timeline.names[span.name_id]
+              : "span-" + std::to_string(span.name_id);
+      last_ns = std::max(last_ns, span.begin_ns);
+      EmitDurationEvent(writer, "B", tid,
+                        RelativeMicros(last_ns, timeline.start_ns), &name);
+      open_ends.push_back(std::max(span.end_ns, last_ns));
+    }
+    while (!open_ends.empty()) {
+      last_ns = std::max(last_ns, open_ends.back());
+      EmitDurationEvent(writer, "E", tid,
+                        RelativeMicros(last_ns, timeline.start_ns), nullptr);
+      open_ends.pop_back();
+    }
+  }
+
+  writer.EndArray();
+  writer.EndObject();
+  return writer.str();
+}
+
+bool WriteTimelineFile(const std::string& path, const Timeline& timeline) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    std::fprintf(stderr, "timeline export: cannot open %s\n", path.c_str());
+    return false;
+  }
+  out << TimelineToChromeTrace(timeline) << '\n';
+  out.flush();
+  return static_cast<bool>(out);
+}
+
+}  // namespace hotspots::obs

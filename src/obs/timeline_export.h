@@ -1,0 +1,32 @@
+// Chrome/Perfetto trace-event export for drained span timelines.
+//
+// The output is the trace-event JSON object form understood by
+// chrome://tracing and ui.perfetto.dev: a "traceEvents" array of duration
+// begin ("ph":"B") / end ("ph":"E") pairs plus one "thread_name" metadata
+// event per lane.  Extra top-level keys carry repo-specific context (the
+// schema tag, the drop count, the absolute start timestamp) — trace viewers
+// ignore keys they do not know.
+//
+// Timestamps are microseconds relative to Timeline::start_ns, written with
+// fractional digits so nanosecond resolution survives.  Events are emitted
+// per thread in a stack order that keeps B/E pairs balanced and timestamps
+// monotone within each tid (ci.sh's validator checks both).
+#pragma once
+
+#include <string>
+
+#include "obs/trace_span.h"
+
+namespace hotspots::obs {
+
+/// Schema tag stamped into every timeline document.
+inline constexpr const char* kTimelineSchema = "hotspots.timeline.v1";
+
+/// Serializes `timeline` as a complete Chrome trace-event JSON document.
+[[nodiscard]] std::string TimelineToChromeTrace(const Timeline& timeline);
+
+/// Writes TimelineToChromeTrace(timeline) to `path`.  Returns false (after
+/// printing to stderr) when the file cannot be written.
+bool WriteTimelineFile(const std::string& path, const Timeline& timeline);
+
+}  // namespace hotspots::obs

@@ -1,0 +1,160 @@
+#include "obs/trace_span.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+
+namespace hotspots::obs {
+
+namespace {
+
+/// -2 = not yet resolved, -1 = resolve from environment, 0/1 = forced.
+std::atomic<int> g_forced{-1};
+std::atomic<int> g_cached{-2};
+
+int ReadEnvironment() noexcept {
+  const char* value = std::getenv("HOTSPOTS_OBS_TRACE");
+  if (value == nullptr || *value == '\0') return 0;
+  return std::strcmp(value, "0") == 0 ? 0 : 1;
+}
+
+/// Returns the calling thread's buffer to the collector's free list when
+/// the thread exits, so short-lived pool threads recycle rings instead of
+/// growing the buffer set without bound.
+struct ThreadSlot {
+  SpanBuffer* buffer = nullptr;
+
+  ~ThreadSlot() {
+    if (buffer != nullptr) SpanCollector::Global().ReleaseBuffer(buffer);
+  }
+};
+
+thread_local ThreadSlot t_slot;
+
+}  // namespace
+
+bool TracingEnabled() noexcept {
+  const int forced = g_forced.load(std::memory_order_relaxed);
+  if (forced >= 0) return forced != 0;
+  int cached = g_cached.load(std::memory_order_relaxed);
+  if (cached == -2) {
+    cached = ReadEnvironment();
+    g_cached.store(cached, std::memory_order_relaxed);
+  }
+  return cached != 0;
+}
+
+void SetTracingForTesting(int forced) noexcept {
+  g_forced.store(forced < 0 ? -1 : (forced != 0 ? 1 : 0),
+                 std::memory_order_relaxed);
+}
+
+void ForceTracing() noexcept { SetTracingForTesting(1); }
+
+SpanCollector& SpanCollector::Global() {
+  static SpanCollector* collector = new SpanCollector();  // Never destroyed.
+  return *collector;
+}
+
+std::uint32_t SpanCollector::InternName(std::string_view name) {
+  std::scoped_lock lock{mutex_};
+  const auto it = name_ids_.find(name);
+  if (it != name_ids_.end()) return it->second;
+  const auto id = static_cast<std::uint32_t>(names_.size());
+  names_.emplace_back(name);
+  name_ids_.emplace(std::string(name), id);
+  return id;
+}
+
+void SpanCollector::SetThreadLane(std::string_view lane) {
+  SpanBuffer& buffer = ThisThreadBuffer();
+  std::scoped_lock lock{mutex_};
+  lanes_[buffer.tid_] = std::string(lane);
+}
+
+SpanBuffer& SpanCollector::ThisThreadBuffer() {
+  if (t_slot.buffer != nullptr) return *t_slot.buffer;
+  std::scoped_lock lock{mutex_};
+  SpanBuffer* buffer = nullptr;
+  if (!free_.empty()) {
+    buffer = free_.back();
+    free_.pop_back();
+    // Records the previous owner never drained stay attributed to its tid.
+    DrainBufferLocked(*buffer);
+  } else {
+    buffers_.push_back(std::make_unique<SpanBuffer>());
+    buffer = buffers_.back().get();
+  }
+  buffer->tid_ = next_tid_++;
+  lanes_.push_back("t" + std::to_string(buffer->tid_));
+  t_slot.buffer = buffer;
+  return *buffer;
+}
+
+void SpanCollector::ReleaseBuffer(SpanBuffer* buffer) {
+  std::scoped_lock lock{mutex_};
+  free_.push_back(buffer);
+}
+
+void SpanCollector::DrainBufferLocked(SpanBuffer& buffer) {
+  const std::uint64_t head = buffer.head_.load(std::memory_order_relaxed);
+  const std::uint64_t tail = buffer.tail_.load(std::memory_order_acquire);
+  for (std::uint64_t i = head; i != tail; ++i) {
+    const SpanRecord& record = buffer.ring_[i & (SpanBuffer::kCapacity - 1)];
+    drained_.push_back(
+        {record.begin_ns, record.end_ns, record.name_id, buffer.tid_});
+  }
+  buffer.head_.store(tail, std::memory_order_release);
+}
+
+void SpanCollector::Drain() {
+  std::scoped_lock lock{mutex_};
+  for (const auto& buffer : buffers_) DrainBufferLocked(*buffer);
+}
+
+Timeline SpanCollector::TakeTimeline() {
+  std::scoped_lock lock{mutex_};
+  for (const auto& buffer : buffers_) DrainBufferLocked(*buffer);
+  Timeline timeline;
+  timeline.names = names_;
+  timeline.lanes = lanes_;
+  timeline.spans = std::move(drained_);
+  drained_.clear();
+  for (const auto& buffer : buffers_) {
+    timeline.dropped += buffer->drops_.exchange(0, std::memory_order_relaxed);
+  }
+  if (!timeline.spans.empty()) {
+    timeline.start_ns = std::min_element(timeline.spans.begin(),
+                                         timeline.spans.end(),
+                                         [](const TimelineSpan& a,
+                                            const TimelineSpan& b) {
+                                           return a.begin_ns < b.begin_ns;
+                                         })
+                            ->begin_ns;
+  }
+  return timeline;
+}
+
+void SpanCollector::ResetForTesting() {
+  std::scoped_lock lock{mutex_};
+  for (const auto& buffer : buffers_) {
+    DrainBufferLocked(*buffer);
+    buffer->drops_.store(0, std::memory_order_relaxed);
+  }
+  drained_.clear();
+}
+
+std::size_t SpanCollector::BufferCountForTesting() {
+  std::scoped_lock lock{mutex_};
+  return buffers_.size();
+}
+
+std::uint32_t InternSpanName(std::string_view name) {
+  return SpanCollector::Global().InternName(name);
+}
+
+void TraceSpan::Commit() noexcept {
+  SpanCollector::Global().Append({begin_, NowNanos(), name_id_});
+}
+
+}  // namespace hotspots::obs

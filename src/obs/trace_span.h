@@ -1,0 +1,198 @@
+// Per-thread span tracing, gated by HOTSPOTS_OBS_TRACE.
+//
+// A span is a begin/end pair of NowNanos() readings tagged with an interned
+// name id.  Each producing thread owns one fixed-capacity single-producer /
+// single-consumer ring buffer: the producer pushes with one relaxed tail
+// load, one acquire head load, and one release tail store; when the ring is
+// full the record is dropped and a per-buffer drop counter bumped, so a
+// stalled consumer can never block the simulation.  The collector drains
+// every ring under one mutex — the engine calls Drain() after each serial
+// commit and at run end, so spans observe but never steer (runs stay
+// bit-identical with tracing on or off; tests/obs_trace_determinism_test.cc
+// pins this at 1 and 8 shards).
+//
+// Gating follows stage_timer.h exactly: HOTSPOTS_OBS_TRACE read once and
+// cached in a plain atomic, so the disabled path is a single well-predicted
+// branch with zero clock reads.  Hot loops hoist TracingEnabled() into a
+// local const and pass it to the TraceSpan two-argument constructor.
+//
+// Threads come and go (a ShardPool lives for one Engine::Run; study pools
+// per study), so buffers outlive their producer: a thread-exit hook returns
+// the buffer to a free list, and the next new thread adopts it after the
+// collector drains any still-pending records under the old thread id.  The
+// set of buffers therefore grows to the peak number of concurrent producers,
+// not the total number of threads ever started.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/stage_timer.h"  // NowNanos()
+
+namespace hotspots::obs {
+
+/// True when HOTSPOTS_OBS_TRACE is set to a non-empty value other than "0"
+/// (or an override is active).  First call reads the environment; later
+/// calls are one relaxed atomic load.
+[[nodiscard]] bool TracingEnabled() noexcept;
+
+/// -1 restores the environment-derived value, 0/1 force disabled/enabled.
+/// Not thread-safe against concurrent first-use.
+void SetTracingForTesting(int forced) noexcept;
+
+/// Programmatic opt-in (equivalent to forcing enabled): used by benches when
+/// --timeline-out is passed, so a traced run does not require the env var.
+void ForceTracing() noexcept;
+
+/// One completed span as written by the producing thread.
+struct SpanRecord {
+  std::uint64_t begin_ns = 0;
+  std::uint64_t end_ns = 0;
+  std::uint32_t name_id = 0;
+};
+
+/// A drained span with the collector-assigned thread id attached.
+struct TimelineSpan {
+  std::uint64_t begin_ns = 0;
+  std::uint64_t end_ns = 0;
+  std::uint32_t name_id = 0;
+  std::uint32_t tid = 0;
+};
+
+/// Everything TakeTimeline() hands to the exporter.  `names[name_id]` and
+/// `lanes[tid]` resolve the ids; `dropped` counts records lost to full rings
+/// since the previous TakeTimeline().
+struct Timeline {
+  std::vector<std::string> names;
+  std::vector<std::string> lanes;  ///< Lane label per tid ("t<tid>" default).
+  std::vector<TimelineSpan> spans;
+  std::uint64_t dropped = 0;
+  std::uint64_t start_ns = 0;  ///< Earliest begin_ns (0 when no spans).
+};
+
+/// Fixed-capacity SPSC ring.  The owning thread pushes; the collector
+/// drains under its mutex.  Producers never block: a full ring drops.
+class SpanBuffer {
+ public:
+  static constexpr std::size_t kCapacity = 4096;  // Power of two.
+
+  /// Producer side (owning thread only).
+  void Push(const SpanRecord& record) noexcept {
+    const std::uint64_t tail = tail_.load(std::memory_order_relaxed);
+    const std::uint64_t head = head_.load(std::memory_order_acquire);
+    if (tail - head == kCapacity) {
+      drops_.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    ring_[tail & (kCapacity - 1)] = record;
+    tail_.store(tail + 1, std::memory_order_release);
+  }
+
+  /// Records dropped since the last TakeTimeline() (relaxed read).
+  [[nodiscard]] std::uint64_t dropped() const noexcept {
+    return drops_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  friend class SpanCollector;
+
+  std::atomic<std::uint64_t> head_{0};
+  std::atomic<std::uint64_t> tail_{0};
+  std::atomic<std::uint64_t> drops_{0};
+  std::uint32_t tid_ = 0;  ///< Attribution id; collector-owned (under mutex).
+  std::array<SpanRecord, kCapacity> ring_{};
+};
+
+/// Process-wide owner of every span ring, the name-intern table, and the
+/// drained-span accumulator.
+class SpanCollector {
+ public:
+  /// The process-wide collector (never destroyed).
+  static SpanCollector& Global();
+
+  /// Returns a stable id for `name`; same name, same id.  Ids index
+  /// Timeline::names.  Callers resolve once (static local) and reuse.
+  std::uint32_t InternName(std::string_view name);
+
+  /// Labels the calling thread's lane in exported timelines ("shard-3",
+  /// "study-1", "trace-writer").  Unlabelled threads show as "t<tid>".
+  void SetThreadLane(std::string_view lane);
+
+  /// Appends to the calling thread's ring (allocating / adopting a buffer
+  /// on first use).  Hot callers go through TraceSpan instead.
+  void Append(const SpanRecord& record) { ThisThreadBuffer().Push(record); }
+
+  /// Drains every ring into the retained timeline.  Called by the engine
+  /// after each serial commit and at run end; safe from any thread.
+  void Drain();
+
+  /// Drains, then moves the retained timeline out (names and lanes are
+  /// copied; drop counters reset).  The next TakeTimeline() starts empty.
+  [[nodiscard]] Timeline TakeTimeline();
+
+  /// Drops all pending and retained spans and zeroes drop counters.  The
+  /// intern table and lane labels survive — callers cache interned ids in
+  /// static locals, so ids must stay valid for the process lifetime.
+  void ResetForTesting();
+
+  /// Number of rings ever allocated (peak concurrent producers, thanks to
+  /// the adoption free list).  Test-only observability.
+  [[nodiscard]] std::size_t BufferCountForTesting();
+
+  /// Internal: thread-exit hook returning a ring to the adoption free list.
+  /// Called only by the trace_span.cc thread_local destructor.
+  void ReleaseBuffer(SpanBuffer* buffer);
+
+ private:
+  SpanBuffer& ThisThreadBuffer();
+  void DrainBufferLocked(SpanBuffer& buffer);
+
+  std::mutex mutex_;
+  std::vector<std::unique_ptr<SpanBuffer>> buffers_;
+  std::vector<SpanBuffer*> free_;  ///< Released by exited threads; adoptable.
+  std::vector<std::string> names_;
+  std::map<std::string, std::uint32_t, std::less<>> name_ids_;
+  std::vector<std::string> lanes_;  ///< Indexed by tid.
+  std::vector<TimelineSpan> drained_;
+  std::uint32_t next_tid_ = 0;
+};
+
+/// Shorthand for SpanCollector::Global().InternName(name).
+[[nodiscard]] std::uint32_t InternSpanName(std::string_view name);
+
+/// RAII span.  Disabled cost: one relaxed load + one predicted branch (or
+/// zero loads with the two-argument form and a hoisted `enabled`).
+class TraceSpan {
+ public:
+  explicit TraceSpan(std::uint32_t name_id) noexcept
+      : TraceSpan(name_id, TracingEnabled()) {}
+
+  /// `enabled` is typically TracingEnabled() hoisted outside a loop.
+  TraceSpan(std::uint32_t name_id, bool enabled) noexcept
+      : enabled_(enabled), name_id_(name_id),
+        begin_(enabled ? NowNanos() : 0) {}
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+  ~TraceSpan() {
+    if (enabled_) Commit();
+  }
+
+ private:
+  void Commit() noexcept;
+
+  const bool enabled_;
+  const std::uint32_t name_id_;
+  const std::uint64_t begin_;
+};
+
+}  // namespace hotspots::obs

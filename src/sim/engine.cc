@@ -11,6 +11,7 @@
 
 #include "obs/metrics.h"
 #include "obs/stage_timer.h"
+#include "obs/trace_span.h"
 #include "prng/splitmix.h"
 #include "sim/shard.h"
 
@@ -45,6 +46,22 @@ constexpr std::uint64_t kFaultStreamSalt = 0xfa17'5a17'ed5e'edf5ULL;
 /// Results are identical either way: the commit order only depends on
 /// scanner index, never on the shard partition.
 constexpr std::uint64_t kMinProbesPerShard = 2048;
+
+/// Interned span names for the engine's trace lanes, resolved once per
+/// process (ids stay valid for the process lifetime).
+struct EngineSpanIds {
+  std::uint32_t step = obs::InternSpanName("engine.step");
+  std::uint32_t lifecycle = obs::InternSpanName("engine.lifecycle");
+  std::uint32_t generate = obs::InternSpanName("engine.generate");
+  std::uint32_t prefold = obs::InternSpanName("engine.prefold");
+  std::uint32_t commit = obs::InternSpanName("engine.commit");
+  std::uint32_t run = obs::InternSpanName("engine.run");
+};
+
+const EngineSpanIds& SpanIds() {
+  static const EngineSpanIds ids;
+  return ids;
+}
 
 }  // namespace
 
@@ -244,6 +261,14 @@ RunResult Engine::Run(ProbeObserver& observer) {
   // (HOTSPOTS_OBS_TIMERS=1): with them off the per-probe cost is one
   // hoisted-bool branch and the clock is never read.
   const bool stage_timers = obs::StageTimersEnabled();
+  // Tracing mirrors the stage timers: strictly opt-in (HOTSPOTS_OBS_TRACE),
+  // hoisted once into a local, and drained only at serial points (after
+  // each commit, at run end) so workers never block on the collector.
+  // Spans observe, never steer — fingerprints are bit-identical with
+  // tracing on or off (tests/obs_trace_determinism_test.cc).
+  const bool tracing = obs::TracingEnabled();
+  const EngineSpanIds& span_ids = SpanIds();
+  obs::TraceSpan run_span{span_ids.run, tracing};
   // Hoisted fault hook: fault-free runs pay one null test per probe and
   // take exactly the pre-fault code path (bit-identical output).
   DeliveryFaultHook* const fault_hook = fault_hook_;
@@ -355,14 +380,18 @@ RunResult Engine::Run(ProbeObserver& observer) {
 
   while (time < config_.end_time && result.total_probes < config_.max_probes &&
          ever_infected_ < stop_infected) {
-    if (stage_timers) {
-      const std::uint64_t t0 = obs::NowNanos();
-      ActivateDue(time);
-      ApplyLifecycleEvents(time, config_.dt);
-      lifecycle_ns += obs::NowNanos() - t0;
-    } else {
-      ActivateDue(time);
-      ApplyLifecycleEvents(time, config_.dt);
+    obs::TraceSpan step_span{span_ids.step, tracing};
+    {
+      obs::TraceSpan lifecycle_span{span_ids.lifecycle, tracing};
+      if (stage_timers) {
+        const std::uint64_t t0 = obs::NowNanos();
+        ActivateDue(time);
+        ApplyLifecycleEvents(time, config_.dt);
+        lifecycle_ns += obs::NowNanos() - t0;
+      } else {
+        ActivateDue(time);
+        ApplyLifecycleEvents(time, config_.dt);
+      }
     }
     // Emit *every* sample due by now at its scheduled time k·interval: an
     // integer schedule cannot drift, and steps larger than the sampling
@@ -413,6 +442,9 @@ RunResult Engine::Run(ProbeObserver& observer) {
         // The pool always dispatches every shard; on small steps the ones
         // beyond step_shards have an empty slice and return immediately.
         if (s >= step_shards) return;
+        // Worker-side span for this shard's whole slice; the pre-fold nests
+        // inside it, so per-worker busy time is the sum of generate spans.
+        obs::TraceSpan generate_span{span_ids.generate, tracing};
         const auto slot = static_cast<std::size_t>(s);
         const auto slots = static_cast<std::size_t>(step_shards);
         const std::size_t begin = active * slot / slots;
@@ -512,6 +544,7 @@ RunResult Engine::Run(ProbeObserver& observer) {
         // the worker thread.  Only ordered side effects remain for the
         // serial merge.
         if (mergeable != nullptr && !stage.events.empty()) {
+          obs::TraceSpan prefold_span{span_ids.prefold, tracing};
           const std::uint64_t p0 = stage_timers ? obs::NowNanos() : 0;
           mergeable->OnShardBatch(
               *fold_state_ptrs[static_cast<std::size_t>(s)], stage.events);
@@ -531,6 +564,7 @@ RunResult Engine::Run(ProbeObserver& observer) {
 
       // -- Commit: serial merge in shard-major order -------------------
       const std::uint64_t c0 = stage_timers ? obs::NowNanos() : 0;
+      const std::uint64_t commit_begin_ns = tracing ? obs::NowNanos() : 0;
       for (int s = 0; s < step_shards; ++s) {
         ShardStage& stage = shard_stages_[static_cast<std::size_t>(s)];
         targeting_ns += stage.targeting_ns;
@@ -624,6 +658,15 @@ RunResult Engine::Run(ProbeObserver& observer) {
             fold_state_ptrs.data(), fold_state_ptrs.size()));
       }
       if (stage_timers) commit_ns += obs::NowNanos() - c0;
+      if (tracing) {
+        // Manual span (the commit region stays unscoped) plus the serial
+        // drain point: the workers are parked after a commit, so draining
+        // here never contends with a producer mid-slice.
+        auto& collector = obs::SpanCollector::Global();
+        collector.Append(
+            {commit_begin_ns, obs::NowNanos(), span_ids.commit});
+        collector.Drain();
+      }
 #ifndef NDEBUG
       // Debug builds re-check conservation at every shard commit, so a
       // merge that drops or double-counts a staged probe fails at the
@@ -683,6 +726,9 @@ RunResult Engine::Run(ProbeObserver& observer) {
     registry.GetCounter("engine.fault.duplicates")
         .Add(result.fault_duplicates);
   }
+  // Run-end drain: whatever the last partial step left in the rings is
+  // collected before the exporters take the timeline.
+  if (tracing) obs::SpanCollector::Global().Drain();
   if (stage_timers) {
     registry.GetCounter("engine.stage.targeting.nanos").Add(targeting_ns);
     registry.GetCounter("engine.stage.decide.nanos").Add(decide_ns);

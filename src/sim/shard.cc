@@ -2,8 +2,26 @@
 
 #include <algorithm>
 #include <cstdlib>
+#include <string>
+
+#include "obs/trace_span.h"
 
 namespace hotspots::sim {
+
+namespace {
+
+/// Interned span names for worker lifecycle waits.
+struct PoolSpanIds {
+  std::uint32_t park = obs::InternSpanName("shard.park");
+  std::uint32_t join = obs::InternSpanName("shard.join");
+};
+
+const PoolSpanIds& SpanIds() {
+  static const PoolSpanIds ids;
+  return ids;
+}
+
+}  // namespace
 
 int ResolveEngineShards(int requested) {
   int shards = requested;
@@ -39,10 +57,20 @@ ShardPool::~ShardPool() {
 }
 
 void ShardPool::WorkerLoop(int shard) {
+  // Label this worker's timeline lane; the engine's generate/prefold spans
+  // land on it.  Tracing off: the branch is the only cost.
+  const bool tracing = obs::TracingEnabled();
+  if (tracing) {
+    obs::SpanCollector::Global().SetThreadLane("shard-" +
+                                               std::to_string(shard));
+  }
   std::uint64_t seen = 0;
   for (;;) {
     const std::function<void(int)>* job = nullptr;
     {
+      // Park span: time this worker spends waiting for the next fan-out.
+      // Declared before the lock so the record is pushed after unlock.
+      obs::TraceSpan park_span{SpanIds().park, tracing};
       std::unique_lock lock{mutex_};
       work_cv_.wait(lock, [&] { return stop_ || generation_ != seen; });
       if (stop_) return;
@@ -81,6 +109,9 @@ void ShardPool::Run(const std::function<void(int)>& job) {
     errors_[0] = std::current_exception();
   }
   {
+    // Join span: serial-thread time spent waiting for the slowest worker
+    // (the fork/join imbalance perf_report quantifies).
+    obs::TraceSpan join_span{SpanIds().join, obs::TracingEnabled()};
     std::unique_lock lock{mutex_};
     done_cv_.wait(lock, [&] { return remaining_ == 0; });
     job_ = nullptr;

@@ -14,6 +14,7 @@
 #include <thread>
 
 #include "obs/metrics.h"
+#include "obs/trace_span.h"
 #include "prng/splitmix.h"
 
 namespace hotspots::sim {
@@ -195,7 +196,11 @@ StudyTelemetry RunTrials(
   int outstanding = trials;  ///< Trials not yet finalized (incl. parked).
 
   const auto study_start = std::chrono::steady_clock::now();
+  // One span per trial attempt on the running worker's lane; nested engine
+  // spans (the trial body) sit inside it in the exported timeline.
+  static const std::uint32_t kTrialSpanId = obs::InternSpanName("study.trial");
   const auto worker = [&] {
+    const bool tracing = obs::TracingEnabled();
     for (;;) {
       ParkedRetry item;
       {
@@ -240,17 +245,20 @@ StudyTelemetry RunTrials(
            ++attempt) {
         const auto start = std::chrono::steady_clock::now();
         ++item.attempts_done;
-        try {
-          // Attempt 0 uses the precomputed classic seed; retries derive a
-          // fresh one from (trial, attempt) — see TrialAttemptSeed().
-          run_trial(trial,
-                    attempt == 0
-                        ? seeds[static_cast<std::size_t>(trial)]
-                        : TrialAttemptSeed(options.master_seed, trial,
-                                           attempt));
-          item.last_error = nullptr;
-        } catch (...) {
-          item.last_error = std::current_exception();
+        {
+          obs::TraceSpan trial_span{kTrialSpanId, tracing};
+          try {
+            // Attempt 0 uses the precomputed classic seed; retries derive a
+            // fresh one from (trial, attempt) — see TrialAttemptSeed().
+            run_trial(trial,
+                      attempt == 0
+                          ? seeds[static_cast<std::size_t>(trial)]
+                          : TrialAttemptSeed(options.master_seed, trial,
+                                             attempt));
+            item.last_error = nullptr;
+          } catch (...) {
+            item.last_error = std::current_exception();
+          }
         }
         item.work_seconds +=
             std::chrono::duration<double>(std::chrono::steady_clock::now() -
@@ -323,7 +331,13 @@ StudyTelemetry RunTrials(
     std::vector<std::thread> pool;
     pool.reserve(static_cast<std::size_t>(telemetry.threads_used));
     for (int i = 0; i < telemetry.threads_used; ++i) {
-      pool.emplace_back(worker);
+      pool.emplace_back([&worker, i] {
+        if (obs::TracingEnabled()) {
+          obs::SpanCollector::Global().SetThreadLane(
+              "study-" + std::to_string(i));
+        }
+        worker();
+      });
     }
     for (std::thread& thread : pool) thread.join();
   }

@@ -5,12 +5,24 @@
 #include <cstring>
 
 #include "obs/metrics.h"
+#include "obs/trace_span.h"
 #include "trace/crc32.h"
 #include "trace/varint.h"
 
 namespace hotspots::trace {
 
 namespace {
+
+/// Interned span names for the writer pipeline's timeline lanes.
+struct WriterSpanIds {
+  std::uint32_t queue_wait = obs::InternSpanName("trace.queue_wait");
+  std::uint32_t encode = obs::InternSpanName("trace.encode");
+};
+
+const WriterSpanIds& SpanIds() {
+  static const WriterSpanIds ids;
+  return ids;
+}
 
 inline void StoreU32(std::uint8_t* out, std::uint32_t value) {
   out[0] = static_cast<std::uint8_t>(value);
@@ -164,6 +176,10 @@ void TraceWriter::FlushBlock() {
 
 void TraceWriter::EnqueueStaging() {
   {
+    // Queue-wait span: simulation-thread time lost to writer back-pressure
+    // (a full queue parks the producer here until the encoder catches up).
+    obs::TraceSpan queue_wait_span{SpanIds().queue_wait,
+                                   obs::TracingEnabled()};
     std::unique_lock<std::mutex> lock{mutex_};
     space_ready_.wait(lock, [this] {
       return queue_.size() < kMaxQueuedBuffers || worker_error_ != nullptr;
@@ -187,6 +203,8 @@ void TraceWriter::EnqueueStaging() {
 }
 
 void TraceWriter::WorkerLoop() {
+  const bool tracing = obs::TracingEnabled();
+  if (tracing) obs::SpanCollector::Global().SetThreadLane("trace-writer");
   bool failed = false;
   for (;;) {
     std::vector<sim::ProbeEvent> buffer;
@@ -200,6 +218,7 @@ void TraceWriter::WorkerLoop() {
     space_ready_.notify_one();
     if (!failed) {
       try {
+        obs::TraceSpan encode_span{SpanIds().encode, tracing};
         for (const sim::ProbeEvent& event : buffer) Encode(event);
       } catch (...) {
         failed = true;  // Keep draining so the producer never deadlocks.

@@ -23,6 +23,46 @@ TEST(JsonEscapeTest, EscapesQuotesBackslashesAndControls) {
   EXPECT_EQ(JsonEscape("café"), "café");
 }
 
+TEST(JsonEscapeTest, EveryControlByteIsEscaped) {
+  // RFC 8259: all of U+0000..U+001F must be escaped.  The common ones get
+  // short forms; the rest must come out as \u00XX, never raw.
+  for (int c = 0x00; c < 0x20; ++c) {
+    const char byte = static_cast<char>(c);
+    const std::string escaped = JsonEscape(std::string_view{&byte, 1});
+    ASSERT_GE(escaped.size(), 2u) << "control byte 0x" << std::hex << c;
+    EXPECT_EQ(escaped[0], '\\') << "control byte 0x" << std::hex << c;
+    for (const char out : escaped) {
+      EXPECT_GE(static_cast<unsigned char>(out), 0x20u)
+          << "raw control byte leaked for 0x" << std::hex << c;
+    }
+  }
+  // Embedded NUL mid-string survives as an escape, not a truncation.
+  EXPECT_EQ(JsonEscape(std::string_view{"a\x00z", 3}), "a\\u0000z");
+  // DEL (0x7F) and above are not controls in JSON terms: pass through.
+  EXPECT_EQ(JsonEscape("\x7f"), "\x7f");
+}
+
+TEST(JsonEscapeTest, MultiByteUtf8PassesThroughIntact) {
+  // 2-, 3-, and 4-byte sequences: every byte has the high bit set, and a
+  // byte-wise escaper that tests `char` without casting to unsigned would
+  // mangle them (signed char < 0x20 comparison).
+  EXPECT_EQ(JsonEscape("µs"), "µs");                  // 2-byte.
+  EXPECT_EQ(JsonEscape("worm→host"), "worm→host");    // 3-byte.
+  EXPECT_EQ(JsonEscape("\xF0\x9F\x90\x9B"), "\xF0\x9F\x90\x9B");  // 4-byte.
+  // Mixed with characters that DO need escaping on both sides.
+  EXPECT_EQ(JsonEscape("\"π\n\""), "\\\"π\\n\\\"");
+}
+
+TEST(JsonWriterTest, Utf8AndControlsSurviveInKeysAndValues) {
+  JsonWriter writer{0};
+  writer.BeginObject();
+  writer.KV("lane→µ", "tab\there");
+  writer.KV(std::string_view{"nul\x00key", 7}, "π");
+  writer.EndObject();
+  EXPECT_EQ(writer.str(),
+            "{\"lane→µ\":\"tab\\there\",\"nul\\u0000key\":\"π\"}");
+}
+
 TEST(JsonNumberTest, FormatsFinitesAndNullsNonFinites) {
   EXPECT_EQ(JsonNumber(0.5), "0.5");
   EXPECT_EQ(JsonNumber(-3.0), "-3");

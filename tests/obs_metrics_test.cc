@@ -6,9 +6,12 @@
 
 #include <atomic>
 #include <cmath>
+#include <limits>
+#include <string>
 #include <thread>
 #include <vector>
 
+#include "obs/export.h"
 #include "obs/metrics.h"
 
 namespace hotspots::obs {
@@ -58,6 +61,34 @@ TEST(ObsGaugeTest, SetMaxMinAndUnsetSemantics) {
 
   gauge.Set(-3.0);  // Plain Set always overwrites.
   EXPECT_DOUBLE_EQ(gauge.Value(), -3.0);
+}
+
+TEST(ObsGaugeTest, SetNaNStillCountsAsWritten) {
+  // Regression: "written" used to be inferred from the NaN initializer, so
+  // an explicit Set(NaN) — a legitimate value for e.g. an empty-run mean —
+  // left the gauge looking unset and dropped it from every snapshot.  The
+  // written flag is now explicit.
+  Gauge gauge;
+  gauge.Set(std::numeric_limits<double>::quiet_NaN());
+  EXPECT_TRUE(gauge.has_value());
+  EXPECT_TRUE(std::isnan(gauge.Value()));
+
+  // A NaN-valued slot still adopts the next extreme update.
+  gauge.SetMax(3.0);
+  EXPECT_TRUE(gauge.has_value());
+  EXPECT_DOUBLE_EQ(gauge.Value(), 3.0);
+}
+
+TEST(ObsGaugeTest, ExplicitNaNReachesSnapshots) {
+  Registry registry;
+  registry.GetGauge("nan.gauge").Set(
+      std::numeric_limits<double>::quiet_NaN());
+  registry.GetGauge("never.written");
+  const Snapshot snapshot = registry.TakeSnapshot();
+  ASSERT_EQ(snapshot.gauges.size(), 1u);
+  EXPECT_EQ(snapshot.gauges[0].name, "nan.gauge");
+  EXPECT_TRUE(std::isnan(snapshot.gauges[0].value));
+  EXPECT_EQ(snapshot.FindGauge("never.written"), nullptr);
 }
 
 TEST(ObsHistogramTest, UpperBoundsAreInclusive) {
@@ -164,6 +195,50 @@ TEST(ObsRegistryTest, SnapshotWhileWritingIsMonotoneAndFinallyExact) {
   for (auto& writer : writers) writer.join();
   EXPECT_EQ(registry.TakeSnapshot().FindCounter("contended")->value,
             kWriters * kPerWriter);
+}
+
+TEST(ObsPrometheusTest, SanitizesNamesAndSuffixesCounters) {
+  Registry registry;
+  registry.GetCounter("engine.probes").Add(42);
+  registry.GetCounter("9weird-name").Add(1);
+  const std::string text = SnapshotToPrometheus(registry.TakeSnapshot());
+  EXPECT_NE(text.find("# TYPE engine_probes_total counter\n"
+                      "engine_probes_total 42\n"),
+            std::string::npos);
+  // Invalid chars become '_'; a leading digit gets a '_' prefix.
+  EXPECT_NE(text.find("_9weird_name_total 1\n"), std::string::npos);
+}
+
+TEST(ObsPrometheusTest, GaugesSpellNonFiniteLiterals) {
+  Registry registry;
+  registry.GetGauge("plain.gauge").Set(1.5);
+  registry.GetGauge("nan.gauge").Set(std::numeric_limits<double>::quiet_NaN());
+  registry.GetGauge("inf.gauge").Set(std::numeric_limits<double>::infinity());
+  const std::string text = SnapshotToPrometheus(registry.TakeSnapshot());
+  EXPECT_NE(text.find("plain_gauge 1.5\n"), std::string::npos);
+  EXPECT_NE(text.find("nan_gauge NaN\n"), std::string::npos);
+  EXPECT_NE(text.find("inf_gauge +Inf\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE plain_gauge gauge\n"), std::string::npos);
+}
+
+TEST(ObsPrometheusTest, HistogramBucketsAreCumulativeAndEndAtInf) {
+  Registry registry;
+  const std::vector<double> bounds{1.0, 2.0};
+  Histogram& histogram = registry.GetHistogram("lat.seconds", bounds);
+  histogram.Observe(0.5);   // bucket ≤1
+  histogram.Observe(1.5);   // bucket ≤2
+  histogram.Observe(1.5);   // bucket ≤2
+  histogram.Observe(99.0);  // overflow
+  const std::string text = SnapshotToPrometheus(registry.TakeSnapshot());
+  EXPECT_NE(text.find("# TYPE lat_seconds histogram\n"), std::string::npos);
+  EXPECT_NE(text.find("lat_seconds_bucket{le=\"1\"} 1\n"), std::string::npos);
+  EXPECT_NE(text.find("lat_seconds_bucket{le=\"2\"} 3\n"), std::string::npos);
+  // The +Inf row is last and equals the observation count.
+  EXPECT_NE(text.find("lat_seconds_bucket{le=\"+Inf\"} 4\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("lat_seconds_count 4\n"), std::string::npos);
+  EXPECT_NE(text.find("lat_seconds_sum 102.5\n"), std::string::npos);
+  EXPECT_LT(text.find("le=\"2\""), text.find("le=\"+Inf\""));
 }
 
 TEST(ObsRegistryTest, ResetForTestingDropsEverything) {

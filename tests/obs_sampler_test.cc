@@ -1,0 +1,145 @@
+// Pins the metrics sampler: lifecycle misuse throws, the series brackets
+// the run (sample 0 at Start, final sample at Stop), counter deltas
+// reconstruct the writers' totals exactly even while writers are mid-flight
+// (the tsan target), and the hotspots.timeseries.v1 document shape.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/sampler.h"
+
+namespace hotspots::obs {
+namespace {
+
+std::uint64_t SumCounterSeries(const MetricsSampler& sampler,
+                               const char* name) {
+  const CounterSample* last =
+      sampler.snapshots().back().FindCounter(name);
+  return last != nullptr ? last->value : 0;
+}
+
+TEST(ObsSamplerTest, RejectsNonPositiveInterval) {
+  Registry registry;
+  EXPECT_THROW(MetricsSampler(registry, SamplerOptions{0}),
+               std::invalid_argument);
+  EXPECT_THROW(MetricsSampler(registry, SamplerOptions{-5}),
+               std::invalid_argument);
+}
+
+TEST(ObsSamplerTest, SeriesIsReadableOnlyAfterStop) {
+  Registry registry;
+  MetricsSampler sampler{registry, SamplerOptions{1000}};
+  EXPECT_THROW((void)sampler.sample_count(), std::logic_error);
+  sampler.Start();
+  EXPECT_THROW(sampler.Start(), std::logic_error);
+  EXPECT_THROW((void)sampler.snapshots(), std::logic_error);
+  EXPECT_THROW((void)sampler.ToJson(), std::logic_error);
+  sampler.Stop();
+  sampler.Stop();  // Idempotent.
+  // Sample 0 at Start plus the final sample at Stop, regardless of whether
+  // any interval elapsed.
+  EXPECT_GE(sampler.sample_count(), 2u);
+  EXPECT_EQ(sampler.times_ns().size(), sampler.sample_count());
+  EXPECT_EQ(sampler.snapshots().size(), sampler.sample_count());
+}
+
+TEST(ObsSamplerTest, SamplesBracketTheRunWithMonotoneTimes) {
+  Registry registry;
+  Counter& counter = registry.GetCounter("work.items");
+  MetricsSampler sampler{registry, SamplerOptions{1}};
+  sampler.Start();
+  for (int i = 0; i < 20; ++i) {
+    counter.Add(5);
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  sampler.Stop();
+  EXPECT_GE(sampler.sample_count(), 2u);
+  const std::vector<std::uint64_t>& times = sampler.times_ns();
+  for (std::size_t i = 1; i < times.size(); ++i) {
+    EXPECT_GE(times[i], times[i - 1]);
+  }
+  // The first sample predates all writes; the last sees the full total.
+  const CounterSample* first =
+      sampler.snapshots().front().FindCounter("work.items");
+  ASSERT_NE(first, nullptr);  // Registered (at zero) before Start().
+  EXPECT_EQ(first->value, 0u);
+  EXPECT_EQ(SumCounterSeries(sampler, "work.items"), 100u);
+}
+
+TEST(ObsSamplerTest, ConcurrentWritersNeverRegressTheSeries) {
+  Registry registry;
+  Counter& counter = registry.GetCounter("contended.total");
+  constexpr int kWriters = 4;
+  constexpr std::uint64_t kPerWriter = 200'000;
+  MetricsSampler sampler{registry, SamplerOptions{1}};
+  std::atomic<bool> go{false};
+  std::vector<std::thread> writers;
+  writers.reserve(kWriters);
+  for (int t = 0; t < kWriters; ++t) {
+    writers.emplace_back([&] {
+      while (!go.load(std::memory_order_acquire)) {}
+      for (std::uint64_t i = 0; i < kPerWriter; ++i) counter.Increment();
+    });
+  }
+  sampler.Start();
+  go.store(true, std::memory_order_release);
+  for (auto& writer : writers) writer.join();
+  sampler.Stop();
+
+  // Every mid-flight snapshot is a valid lower bound and the series is
+  // monotone; the final sample is exact.
+  std::uint64_t previous = 0;
+  for (const Snapshot& snapshot : sampler.snapshots()) {
+    const CounterSample* sample = snapshot.FindCounter("contended.total");
+    const std::uint64_t value = sample != nullptr ? sample->value : 0;
+    EXPECT_GE(value, previous);
+    EXPECT_LE(value, kWriters * kPerWriter);
+    previous = value;
+  }
+  EXPECT_EQ(previous, kWriters * kPerWriter);
+}
+
+TEST(ObsSamplerTest, JsonDocumentCarriesSchemaDeltasAndGaugeNulls) {
+  Registry registry;
+  registry.GetCounter("series.count").Add(7);
+  MetricsSampler sampler{registry, SamplerOptions{500}};
+  sampler.Start();
+  registry.GetCounter("series.count").Add(3);
+  registry.GetGauge("late.gauge").Set(1.5);  // Registers mid-run.
+  sampler.Stop();
+
+  const std::string json = sampler.ToJson();
+  EXPECT_NE(json.find("\"schema\":\"hotspots.timeseries.v1\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"interval_ms\":500"), std::string::npos);
+  // Counter: base holds the pre-Start value; deltas cover Start→Stop.
+  EXPECT_NE(json.find("\"series.count\":{\"base\":7,\"deltas\":["),
+            std::string::npos);
+  // The gauge did not exist at sample 0, so its series starts with null.
+  EXPECT_NE(json.find("\"late.gauge\":[null"), std::string::npos);
+  EXPECT_NE(json.find("1.5]"), std::string::npos);
+
+  // Delta reconstruction: base + sum(deltas) == final counter value.
+  const std::size_t base_pos = json.find("\"base\":7,\"deltas\":[");
+  ASSERT_NE(base_pos, std::string::npos);
+  const std::size_t open = json.find('[', base_pos);
+  const std::size_t close = json.find(']', open);
+  ASSERT_NE(close, std::string::npos);
+  std::uint64_t total = 7;
+  std::size_t pos = open + 1;
+  while (pos < close) {
+    std::size_t consumed = 0;
+    total += std::stoull(json.substr(pos, close - pos), &consumed, 10);
+    pos += consumed + 1;  // Skip the separating comma.
+  }
+  EXPECT_EQ(total, 10u);
+}
+
+}  // namespace
+}  // namespace hotspots::obs

@@ -1,0 +1,215 @@
+// Pins the span-tracing core: interned name stability, the zero-cost
+// disabled path, SPSC ring overflow accounting (drops, never blocks), lane
+// labelling, concurrent producer/drain integrity (the tsan target), and the
+// thread-churn buffer-adoption bound that keeps long studies from leaking a
+// ring per worker thread ever started.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/trace_span.h"
+
+namespace hotspots::obs {
+namespace {
+
+class ObsSpanTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    SetTracingForTesting(1);
+    SpanCollector::Global().ResetForTesting();
+  }
+  void TearDown() override {
+    SpanCollector::Global().ResetForTesting();
+    SetTracingForTesting(-1);
+  }
+};
+
+TEST_F(ObsSpanTest, InternedNamesAreStableAndResolvable) {
+  const std::uint32_t a1 = InternSpanName("span.alpha");
+  const std::uint32_t b = InternSpanName("span.beta");
+  const std::uint32_t a2 = InternSpanName("span.alpha");
+  EXPECT_EQ(a1, a2);
+  EXPECT_NE(a1, b);
+
+  SpanCollector::Global().Append({10, 20, a1});
+  SpanCollector::Global().Append({30, 40, b});
+  const Timeline timeline = SpanCollector::Global().TakeTimeline();
+  ASSERT_EQ(timeline.spans.size(), 2u);
+  ASSERT_LT(a1, timeline.names.size());
+  ASSERT_LT(b, timeline.names.size());
+  EXPECT_EQ(timeline.names[a1], "span.alpha");
+  EXPECT_EQ(timeline.names[b], "span.beta");
+}
+
+TEST_F(ObsSpanTest, InternTableSurvivesResetForTesting) {
+  // Instrumented call sites cache ids in static locals, so resets (between
+  // tests, between bench reruns) must not invalidate them.
+  const std::uint32_t id = InternSpanName("span.cached");
+  SpanCollector::Global().ResetForTesting();
+  EXPECT_EQ(InternSpanName("span.cached"), id);
+  SpanCollector::Global().Append({1, 2, id});
+  const Timeline timeline = SpanCollector::Global().TakeTimeline();
+  ASSERT_EQ(timeline.spans.size(), 1u);
+  EXPECT_EQ(timeline.names[timeline.spans[0].name_id], "span.cached");
+}
+
+TEST_F(ObsSpanTest, DisabledTraceSpanRecordsNothing) {
+  SetTracingForTesting(0);
+  ASSERT_FALSE(TracingEnabled());
+  const std::uint32_t id = InternSpanName("span.disabled");
+  {
+    TraceSpan implicit_gate{id};
+    TraceSpan hoisted_gate{id, TracingEnabled()};
+  }
+  const Timeline timeline = SpanCollector::Global().TakeTimeline();
+  EXPECT_TRUE(timeline.spans.empty());
+  EXPECT_EQ(timeline.dropped, 0u);
+}
+
+TEST_F(ObsSpanTest, EnabledTraceSpanCapturesOrderedTimestamps) {
+  const std::uint32_t outer_id = InternSpanName("span.outer");
+  const std::uint32_t inner_id = InternSpanName("span.inner");
+  {
+    TraceSpan outer{outer_id};
+    TraceSpan inner{inner_id};
+  }
+  const Timeline timeline = SpanCollector::Global().TakeTimeline();
+  ASSERT_EQ(timeline.spans.size(), 2u);
+  // RAII order: the inner span commits first (destructors run inside-out).
+  const TimelineSpan& inner = timeline.spans[0];
+  const TimelineSpan& outer = timeline.spans[1];
+  EXPECT_EQ(timeline.names[inner.name_id], "span.inner");
+  EXPECT_EQ(timeline.names[outer.name_id], "span.outer");
+  EXPECT_LE(outer.begin_ns, inner.begin_ns);
+  EXPECT_LE(inner.begin_ns, inner.end_ns);
+  EXPECT_LE(inner.end_ns, outer.end_ns);
+  EXPECT_EQ(timeline.start_ns, outer.begin_ns);
+  EXPECT_EQ(inner.tid, outer.tid);
+}
+
+TEST_F(ObsSpanTest, FullRingDropsInsteadOfBlocking) {
+  const std::uint32_t id = InternSpanName("span.flood");
+  constexpr std::uint64_t kOverflow = 10;
+  auto& collector = SpanCollector::Global();
+  for (std::uint64_t i = 0; i < SpanBuffer::kCapacity + kOverflow; ++i) {
+    collector.Append({i, i + 1, id});
+  }
+  const Timeline timeline = collector.TakeTimeline();
+  EXPECT_EQ(timeline.spans.size(), SpanBuffer::kCapacity);
+  EXPECT_EQ(timeline.dropped, kOverflow);
+
+  // Drop accounting resets with TakeTimeline: the next harvest is clean.
+  collector.Append({1, 2, id});
+  const Timeline next = collector.TakeTimeline();
+  EXPECT_EQ(next.spans.size(), 1u);
+  EXPECT_EQ(next.dropped, 0u);
+}
+
+TEST_F(ObsSpanTest, ThreadLanesLabelTheirTids) {
+  const std::uint32_t id = InternSpanName("span.lane");
+  auto& collector = SpanCollector::Global();
+  collector.SetThreadLane("main-lane");
+  collector.Append({1, 2, id});
+  std::thread worker{[&collector, id] {
+    collector.SetThreadLane("worker-lane");
+    collector.Append({3, 4, id});
+  }};
+  worker.join();
+  const Timeline timeline = collector.TakeTimeline();
+  ASSERT_EQ(timeline.spans.size(), 2u);
+  std::map<std::string, std::uint32_t> tid_by_lane;
+  for (const TimelineSpan& span : timeline.spans) {
+    ASSERT_LT(span.tid, timeline.lanes.size());
+    tid_by_lane[timeline.lanes[span.tid]] = span.tid;
+  }
+  ASSERT_EQ(tid_by_lane.count("main-lane"), 1u);
+  ASSERT_EQ(tid_by_lane.count("worker-lane"), 1u);
+  EXPECT_NE(tid_by_lane["main-lane"], tid_by_lane["worker-lane"]);
+}
+
+TEST_F(ObsSpanTest, ConcurrentProducersAndDrainsLoseNothingUncounted) {
+  // The tsan target: producers push lock-free while the collector drains
+  // concurrently.  Every record is either harvested or counted as dropped.
+  constexpr int kProducers = 4;
+  constexpr std::uint64_t kPerProducer = 50'000;
+  const std::uint32_t id = InternSpanName("span.stress");
+  auto& collector = SpanCollector::Global();
+  std::atomic<bool> go{false};
+  std::atomic<int> running{kProducers};
+  std::vector<std::thread> producers;
+  producers.reserve(kProducers);
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&] {
+      while (!go.load(std::memory_order_acquire)) {}
+      for (std::uint64_t i = 0; i < kPerProducer; ++i) {
+        collector.Append({i, i + 1, id});
+      }
+      running.fetch_sub(1, std::memory_order_release);
+    });
+  }
+  go.store(true, std::memory_order_release);
+  while (running.load(std::memory_order_acquire) > 0) collector.Drain();
+  for (auto& producer : producers) producer.join();
+  const Timeline timeline = collector.TakeTimeline();
+  EXPECT_EQ(timeline.spans.size() + timeline.dropped,
+            kProducers * kPerProducer);
+  for (const TimelineSpan& span : timeline.spans) {
+    EXPECT_EQ(span.end_ns, span.begin_ns + 1);
+  }
+}
+
+TEST_F(ObsSpanTest, SequentialThreadsAdoptReleasedBuffers) {
+  // Short-lived threads (shard pools, study pools) must not grow the buffer
+  // set beyond peak concurrency: each exiting thread releases its ring and
+  // the next thread adopts it.
+  const std::uint32_t id = InternSpanName("span.churn");
+  auto& collector = SpanCollector::Global();
+  collector.Append({1, 2, id});  // Pin the main thread's buffer.
+  const std::size_t baseline = collector.BufferCountForTesting();
+  for (int round = 0; round < 16; ++round) {
+    std::thread worker{[&collector, id, round] {
+      collector.Append({static_cast<std::uint64_t>(round) + 10,
+                        static_cast<std::uint64_t>(round) + 11, id});
+    }};
+    worker.join();
+  }
+  // One extra ring for the churned lane, adopted 15 times over.
+  EXPECT_LE(collector.BufferCountForTesting(), baseline + 1);
+  const Timeline timeline = collector.TakeTimeline();
+  EXPECT_EQ(timeline.spans.size(), 17u);
+  EXPECT_EQ(timeline.dropped, 0u);
+}
+
+TEST_F(ObsSpanTest, AdoptionDrainsPredecessorRecordsUnderOldTid) {
+  // A record still buffered when its thread exits must be attributed to the
+  // exiting thread's tid, not to whoever adopts the ring next.
+  const std::uint32_t id = InternSpanName("span.handoff");
+  auto& collector = SpanCollector::Global();
+  std::thread first{[&collector, id] {
+    collector.SetThreadLane("first");
+    collector.Append({1, 2, id});
+  }};
+  first.join();  // Ring released with one pending record.
+  std::thread second{[&collector, id] {
+    collector.SetThreadLane("second");
+    collector.Append({3, 4, id});
+  }};
+  second.join();
+  const Timeline timeline = collector.TakeTimeline();
+  ASSERT_EQ(timeline.spans.size(), 2u);
+  std::map<std::uint64_t, std::string> lane_by_begin;
+  for (const TimelineSpan& span : timeline.spans) {
+    ASSERT_LT(span.tid, timeline.lanes.size());
+    lane_by_begin[span.begin_ns] = timeline.lanes[span.tid];
+  }
+  EXPECT_EQ(lane_by_begin[1], "first");
+  EXPECT_EQ(lane_by_begin[3], "second");
+}
+
+}  // namespace
+}  // namespace hotspots::obs

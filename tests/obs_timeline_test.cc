@@ -1,0 +1,164 @@
+// Pins the Chrome trace-event export contract: balanced B/E pairs emitted
+// in nesting order with per-tid monotone timestamps, thread_name metadata
+// per lane, JSON escaping of hostile span names, and the top-level schema /
+// drop-accounting keys ci.sh's validator reads.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "obs/timeline_export.h"
+#include "obs/trace_span.h"
+
+namespace hotspots::obs {
+namespace {
+
+/// Builds a timeline by hand so tests control every timestamp exactly.
+Timeline MakeTimeline(std::vector<std::string> names,
+                      std::vector<std::string> lanes,
+                      std::vector<TimelineSpan> spans) {
+  Timeline timeline;
+  timeline.names = std::move(names);
+  timeline.lanes = std::move(lanes);
+  timeline.spans = std::move(spans);
+  std::uint64_t start = ~0ull;
+  for (const TimelineSpan& span : timeline.spans) {
+    start = std::min(start, span.begin_ns);
+  }
+  timeline.start_ns = timeline.spans.empty() ? 0 : start;
+  return timeline;
+}
+
+std::size_t CountOccurrences(const std::string& text,
+                             const std::string& needle) {
+  std::size_t count = 0;
+  for (std::size_t pos = text.find(needle); pos != std::string::npos;
+       pos = text.find(needle, pos + needle.size())) {
+    ++count;
+  }
+  return count;
+}
+
+TEST(ObsTimelineTest, EmitsSchemaDropsAndBalancedPairs) {
+  const Timeline timeline = MakeTimeline(
+      {"work"}, {"t0"},
+      {{1000, 3000, 0, 0}, {4000, 6000, 0, 0}});
+  const std::string json = TimelineToChromeTrace(timeline);
+  EXPECT_NE(json.find("\"schema\":\"hotspots.timeline.v1\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"dropped\":0"), std::string::npos);
+  EXPECT_NE(json.find("\"start_ns\":1000"), std::string::npos);
+  EXPECT_EQ(CountOccurrences(json, "\"ph\":\"B\""), 2u);
+  EXPECT_EQ(CountOccurrences(json, "\"ph\":\"E\""), 2u);
+  EXPECT_EQ(CountOccurrences(json, "\"ph\":\"M\""), 1u);
+}
+
+TEST(ObsTimelineTest, NestedSpansOpenParentFirstCloseChildFirst) {
+  // Drain order is commit order (child first); export must still emit
+  // B(outer) B(inner) E E.
+  const Timeline timeline = MakeTimeline(
+      {"inner", "outer"}, {"t0"},
+      {{2000, 3000, 0, 0}, {1000, 4000, 1, 0}});
+  const std::string json = TimelineToChromeTrace(timeline);
+  const std::size_t outer_b = json.find("\"name\":\"outer\",\"ph\":\"B\"");
+  const std::size_t inner_b = json.find("\"name\":\"inner\",\"ph\":\"B\"");
+  ASSERT_NE(outer_b, std::string::npos);
+  ASSERT_NE(inner_b, std::string::npos);
+  EXPECT_LT(outer_b, inner_b);
+  // Inner closes at ts 2.000 µs (relative), outer at 3.000 µs — and the
+  // inner E must precede the outer E in the stream.
+  const std::size_t inner_e = json.find("\"ph\":\"E\",\"ts\":2.000");
+  const std::size_t outer_e = json.find("\"ph\":\"E\",\"ts\":3.000");
+  ASSERT_NE(inner_e, std::string::npos);
+  ASSERT_NE(outer_e, std::string::npos);
+  EXPECT_LT(inner_b, inner_e);
+  EXPECT_LT(inner_e, outer_e);
+}
+
+TEST(ObsTimelineTest, SequentialSpansCloseBeforeTheNextOpens) {
+  const Timeline timeline = MakeTimeline(
+      {"first", "second"}, {"t0"},
+      {{1000, 2000, 0, 0}, {2000, 3000, 1, 0}});
+  const std::string json = TimelineToChromeTrace(timeline);
+  const std::size_t first_b = json.find("\"name\":\"first\",\"ph\":\"B\"");
+  const std::size_t first_e = json.find("\"ph\":\"E\"");
+  const std::size_t second_b = json.find("\"name\":\"second\",\"ph\":\"B\"");
+  ASSERT_NE(first_b, std::string::npos);
+  ASSERT_NE(first_e, std::string::npos);
+  ASSERT_NE(second_b, std::string::npos);
+  EXPECT_LT(first_b, first_e);
+  EXPECT_LT(first_e, second_b);
+}
+
+TEST(ObsTimelineTest, LanesBecomeThreadNameMetadata) {
+  const Timeline timeline = MakeTimeline(
+      {"work"}, {"shard-0", "trace-writer"},
+      {{1000, 2000, 0, 0}, {1500, 2500, 0, 1}});
+  const std::string json = TimelineToChromeTrace(timeline);
+  EXPECT_NE(json.find("\"name\":\"thread_name\",\"ph\":\"M\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"args\":{\"name\":\"shard-0\"}"), std::string::npos);
+  EXPECT_NE(json.find("\"args\":{\"name\":\"trace-writer\"}"),
+            std::string::npos);
+  // A tid beyond the lane table falls back to "t<tid>".
+  const Timeline unlabelled =
+      MakeTimeline({"work"}, {}, {{1000, 2000, 0, 7}});
+  EXPECT_NE(TimelineToChromeTrace(unlabelled).find("\"args\":{\"name\":\"t7\"}"),
+            std::string::npos);
+}
+
+TEST(ObsTimelineTest, HostileNamesAreJsonEscaped) {
+  const Timeline timeline = MakeTimeline(
+      {"we\"ird\nname"}, {"lane\\0"}, {{1000, 2000, 0, 0}});
+  const std::string json = TimelineToChromeTrace(timeline);
+  EXPECT_NE(json.find(R"("name":"we\"ird\nname")"), std::string::npos);
+  EXPECT_NE(json.find(R"("name":"lane\\0")"), std::string::npos);
+  EXPECT_EQ(json.find('\n'), std::string::npos) << "raw newline leaked";
+}
+
+TEST(ObsTimelineTest, DroppedCountSurfacesInDocument) {
+  Timeline timeline = MakeTimeline({"work"}, {"t0"}, {{1000, 2000, 0, 0}});
+  timeline.dropped = 42;
+  EXPECT_NE(TimelineToChromeTrace(timeline).find("\"dropped\":42"),
+            std::string::npos);
+}
+
+TEST(ObsTimelineTest, TimestampsAreMonotonePerTidEvenWithAnomalies) {
+  // A child whose recorded end exceeds its parent's (clock-step anomaly)
+  // must still export with non-decreasing per-tid timestamps.
+  const Timeline timeline = MakeTimeline(
+      {"parent", "child"}, {"t0"},
+      {{1000, 3000, 0, 0}, {2000, 5000, 1, 0}});
+  const std::string json = TimelineToChromeTrace(timeline);
+  // Walk the ts values in emission order and check monotonicity.
+  double last = -1.0;
+  for (std::size_t pos = json.find("\"ts\":"); pos != std::string::npos;
+       pos = json.find("\"ts\":", pos + 5)) {
+    const double ts = std::stod(json.substr(pos + 5));
+    if (json.compare(pos - 9, 8, "\"ph\":\"M\"") != 0) {
+      EXPECT_GE(ts, last) << "timestamp regressed at offset " << pos;
+      last = ts;
+    }
+  }
+  EXPECT_EQ(CountOccurrences(json, "\"ph\":\"B\""),
+            CountOccurrences(json, "\"ph\":\"E\""));
+}
+
+TEST(ObsTimelineTest, RoundTripFromCollectorExportsEveryLane) {
+  SetTracingForTesting(1);
+  auto& collector = SpanCollector::Global();
+  collector.ResetForTesting();
+  const std::uint32_t id = InternSpanName("export.round_trip");
+  { TraceSpan span{id}; }
+  const Timeline timeline = collector.TakeTimeline();
+  ASSERT_EQ(timeline.spans.size(), 1u);
+  const std::string json = TimelineToChromeTrace(timeline);
+  EXPECT_NE(json.find("\"name\":\"export.round_trip\",\"ph\":\"B\""),
+            std::string::npos);
+  collector.ResetForTesting();
+  SetTracingForTesting(-1);
+}
+
+}  // namespace
+}  // namespace hotspots::obs

@@ -1,0 +1,171 @@
+// Pins the tracing subsystem's central invariant: spans and the metrics
+// sampler observe but never steer.  An engine run must be bit-identical —
+// same series, same delivery counts, same sensor state — with tracing on or
+// off and with a background sampler attached or not, at 1 shard (inline
+// serial path) and at 8 shards (worker pool + adoption churn).
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "core/scenario.h"
+#include "obs/metrics.h"
+#include "obs/sampler.h"
+#include "obs/trace_span.h"
+#include "sim/engine.h"
+#include "telescope/telescope.h"
+#include "topology/reachability.h"
+#include "worms/hitlist.h"
+
+namespace hotspots {
+namespace {
+
+/// FNV-1a over the complete externally visible run output (same mix as
+/// tests/obs_determinism_test.cc and bench/micro_hotpath.cc, so failures
+/// here predict ci gate failures).
+struct Fingerprint {
+  std::uint64_t hash = 0xcbf29ce484222325ull;
+  void Mix(std::uint64_t word) {
+    for (int shift = 0; shift < 64; shift += 8) {
+      hash ^= (word >> shift) & 0xFF;
+      hash *= 0x100000001b3ull;
+    }
+  }
+  void MixDouble(double value) {
+    std::uint64_t bits;
+    std::memcpy(&bits, &value, sizeof bits);
+    Mix(bits);
+  }
+};
+
+struct Fixture {
+  core::Scenario scenario;
+  std::vector<net::Prefix> sensor_blocks;
+
+  Fixture() {
+    core::ScenarioBuilder builder;
+    core::ClusteredPopulationConfig config;
+    config.total_hosts = 4000;
+    config.nonempty_slash16s = 120;
+    config.slash8_clusters = 12;
+    config.nat_fraction = 0.15;
+    config.nat_site_mode = core::NatSiteMode::kSharedSite;
+    config.seed = 0x0B5;
+    scenario = builder.BuildClustered(config);
+    for (std::size_t i = 0; i < scenario.slash16_clusters.size(); i += 8) {
+      const auto& cluster = scenario.slash16_clusters[i];
+      const std::uint32_t s24 = (cluster.prefix.first().value() >> 8) | 0xFE;
+      if (scenario.occupied_slash24s.count(s24) != 0) continue;
+      sensor_blocks.push_back(net::Prefix{net::Ipv4{s24 << 8}, 24});
+    }
+  }
+
+  /// One deterministic sharded outbreak, fingerprinting the series, the
+  /// delivery breakdown, and the full sensor fleet state.
+  [[nodiscard]] std::uint64_t RunAndFingerprint(int shards) const {
+    const auto selection = core::GreedyHitList(scenario, 40);
+    worms::HitListWorm worm{selection.prefixes};
+    const topology::Reachability reachability{
+        nullptr, scenario.nats.size() > 0 ? &scenario.nats : nullptr, nullptr,
+        0.001};
+    sim::Population population = scenario.population;
+    sim::EngineConfig config;
+    config.scan_rate = 10.0;
+    config.end_time = 400.0;
+    config.sample_interval = 10.0;
+    config.seed = 0xBEEF;
+    config.max_probes = 2'000'000;
+    config.shards = shards;
+    sim::Engine engine{population, worm, reachability,
+                       scenario.nats.size() > 0 ? &scenario.nats : nullptr,
+                       config};
+    engine.SeedRandomInfections(10);
+
+    telescope::SensorOptions options;
+    options.track_unique_sources = true;
+    options.track_per_slash24 = true;
+    options.alert_threshold = 5;
+    telescope::Telescope scope{options};
+    int id = 0;
+    for (const auto& block : sensor_blocks) {
+      scope.AddSensor("S" + std::to_string(id++), block);
+    }
+    scope.Build();
+
+    const sim::RunResult result = engine.Run(scope);
+
+    Fingerprint fingerprint;
+    for (const auto& point : result.series) {
+      fingerprint.MixDouble(point.time);
+      fingerprint.Mix(point.infected);
+      fingerprint.Mix(point.probes);
+    }
+    for (const std::uint64_t count : result.delivery_counts) {
+      fingerprint.Mix(count);
+    }
+    fingerprint.Mix(result.total_probes);
+    fingerprint.Mix(result.final_infected);
+    for (std::size_t i = 0; i < scope.size(); ++i) {
+      const auto& sensor = scope.sensor(static_cast<int>(i));
+      fingerprint.Mix(sensor.probe_count());
+      fingerprint.Mix(sensor.UniqueSourceCount());
+      fingerprint.MixDouble(sensor.alert_time().value_or(-1.0));
+    }
+    return fingerprint.hash;
+  }
+};
+
+class ObsTraceDeterminismTest : public ::testing::TestWithParam<int> {
+ protected:
+  void TearDown() override {
+    obs::SetTracingForTesting(-1);
+    obs::SpanCollector::Global().ResetForTesting();
+  }
+  Fixture fixture_;
+};
+
+TEST_P(ObsTraceDeterminismTest, FingerprintIdenticalWithTracingOnAndOff) {
+  const int shards = GetParam();
+
+  obs::SetTracingForTesting(0);
+  ASSERT_FALSE(obs::TracingEnabled());
+  const std::uint64_t off = fixture_.RunAndFingerprint(shards);
+  EXPECT_TRUE(obs::SpanCollector::Global().TakeTimeline().spans.empty())
+      << "disabled run still recorded spans";
+
+  obs::SetTracingForTesting(1);
+  ASSERT_TRUE(obs::TracingEnabled());
+  const std::uint64_t on = fixture_.RunAndFingerprint(shards);
+  const obs::Timeline timeline = obs::SpanCollector::Global().TakeTimeline();
+  EXPECT_FALSE(timeline.spans.empty()) << "traced run recorded no spans";
+
+  EXPECT_EQ(off, on) << "tracing changed simulation output at " << shards
+                     << " shard(s)";
+}
+
+TEST_P(ObsTraceDeterminismTest, FingerprintIdenticalWithSamplerAttached) {
+  const int shards = GetParam();
+  obs::SetTracingForTesting(0);
+  const std::uint64_t bare = fixture_.RunAndFingerprint(shards);
+
+  // Tracing AND a live background sampler: the worst observability load.
+  obs::SetTracingForTesting(1);
+  obs::MetricsSampler sampler{obs::Registry::Global(),
+                              obs::SamplerOptions{5}};
+  sampler.Start();
+  const std::uint64_t observed = fixture_.RunAndFingerprint(shards);
+  sampler.Stop();
+  (void)obs::SpanCollector::Global().TakeTimeline();
+
+  EXPECT_GE(sampler.sample_count(), 2u);
+  EXPECT_EQ(bare, observed) << "sampling changed simulation output at "
+                            << shards << " shard(s)";
+}
+
+INSTANTIATE_TEST_SUITE_P(ShardCounts, ObsTraceDeterminismTest,
+                         ::testing::Values(1, 8),
+                         [](const ::testing::TestParamInfo<int>& info) {
+                           return "Shards" + std::to_string(info.param);
+                         });
+
+}  // namespace
+}  // namespace hotspots

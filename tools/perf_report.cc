@@ -1,0 +1,622 @@
+// perf_report: turns a traced run's sidecars into a shard-performance
+// digest.
+//
+//   perf_report --timeline t.json [--timeseries s.json] [--windows N]
+//               [--top K]
+//
+// Ingests the Chrome trace-event timeline written by --timeline-out
+// (obs/timeline_export) and, optionally, the hotspots.timeseries.v1
+// sidecar written by --timeseries-out (obs/sampler), and prints:
+//
+//   * per-shard busy time and utilization (engine.generate span sums per
+//     worker lane against the trace wall clock),
+//   * the imbalance ratio (max / mean worker busy time — the fork/join
+//     stall budget),
+//   * the commit serial fraction per step window (how much of each slice
+//     of the run the serial engine.commit lane occupied),
+//   * top-K span self-times (span duration minus nested children),
+//   * probes/s-over-time from the timeseries counter deltas.
+//
+// The tool exits 0 on a well-formed pair, 1 on parse/shape errors, 2 on
+// usage errors — ci.sh's obs-trace smoke runs it against every traced
+// micro_hotpath artifact.
+#include <algorithm>
+#include <cctype>
+#include <cinttypes>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <limits>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Minimal JSON value + recursive-descent parser (the repo only writes JSON;
+// this tool is the first reader, so it carries its own parser rather than
+// growing a dependency).
+
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string text;
+  std::vector<JsonValue> items;
+  std::vector<std::pair<std::string, JsonValue>> members;
+
+  [[nodiscard]] const JsonValue* Find(std::string_view key) const {
+    for (const auto& [name, value] : members) {
+      if (name == key) return &value;
+    }
+    return nullptr;
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(std::string_view text) : text_(text) {}
+
+  JsonValue Parse() {
+    JsonValue value = ParseValue();
+    SkipSpace();
+    if (pos_ != text_.size()) Fail("trailing characters after document");
+    return value;
+  }
+
+ private:
+  [[noreturn]] void Fail(const std::string& what) const {
+    throw std::runtime_error("JSON parse error at offset " +
+                             std::to_string(pos_) + ": " + what);
+  }
+
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])) != 0) {
+      ++pos_;
+    }
+  }
+
+  char Peek() {
+    if (pos_ >= text_.size()) Fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  void Expect(char c) {
+    if (Peek() != c) Fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  JsonValue ParseValue() {
+    SkipSpace();
+    switch (Peek()) {
+      case '{': return ParseObject();
+      case '[': return ParseArray();
+      case '"': return ParseString();
+      case 't':
+      case 'f': return ParseBool();
+      case 'n': return ParseNull();
+      default: return ParseNumber();
+    }
+  }
+
+  JsonValue ParseObject() {
+    JsonValue value;
+    value.kind = JsonValue::Kind::kObject;
+    Expect('{');
+    SkipSpace();
+    if (Peek() == '}') {
+      ++pos_;
+      return value;
+    }
+    for (;;) {
+      SkipSpace();
+      JsonValue key = ParseString();
+      SkipSpace();
+      Expect(':');
+      value.members.emplace_back(std::move(key.text), ParseValue());
+      SkipSpace();
+      if (Peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      Expect('}');
+      return value;
+    }
+  }
+
+  JsonValue ParseArray() {
+    JsonValue value;
+    value.kind = JsonValue::Kind::kArray;
+    Expect('[');
+    SkipSpace();
+    if (Peek() == ']') {
+      ++pos_;
+      return value;
+    }
+    for (;;) {
+      value.items.push_back(ParseValue());
+      SkipSpace();
+      if (Peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      Expect(']');
+      return value;
+    }
+  }
+
+  JsonValue ParseString() {
+    JsonValue value;
+    value.kind = JsonValue::Kind::kString;
+    Expect('"');
+    while (Peek() != '"') {
+      const char c = text_[pos_++];
+      if (c != '\\') {
+        value.text += c;
+        continue;
+      }
+      const char escape = Peek();
+      ++pos_;
+      switch (escape) {
+        case '"': value.text += '"'; break;
+        case '\\': value.text += '\\'; break;
+        case '/': value.text += '/'; break;
+        case 'b': value.text += '\b'; break;
+        case 'f': value.text += '\f'; break;
+        case 'n': value.text += '\n'; break;
+        case 'r': value.text += '\r'; break;
+        case 't': value.text += '\t'; break;
+        case 'u': value.text += DecodeUnicodeEscape(); break;
+        default: Fail("bad escape");
+      }
+    }
+    ++pos_;
+    return value;
+  }
+
+  /// Decodes \uXXXX (and a following low surrogate when paired) to UTF-8.
+  std::string DecodeUnicodeEscape() {
+    std::uint32_t code = ReadHex4();
+    if (code >= 0xD800 && code <= 0xDBFF && pos_ + 1 < text_.size() &&
+        text_[pos_] == '\\' && text_[pos_ + 1] == 'u') {
+      pos_ += 2;
+      const std::uint32_t low = ReadHex4();
+      if (low >= 0xDC00 && low <= 0xDFFF) {
+        code = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+      }
+    }
+    std::string out;
+    if (code < 0x80) {
+      out += static_cast<char>(code);
+    } else if (code < 0x800) {
+      out += static_cast<char>(0xC0 | (code >> 6));
+      out += static_cast<char>(0x80 | (code & 0x3F));
+    } else if (code < 0x10000) {
+      out += static_cast<char>(0xE0 | (code >> 12));
+      out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (code & 0x3F));
+    } else {
+      out += static_cast<char>(0xF0 | (code >> 18));
+      out += static_cast<char>(0x80 | ((code >> 12) & 0x3F));
+      out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (code & 0x3F));
+    }
+    return out;
+  }
+
+  std::uint32_t ReadHex4() {
+    std::uint32_t value = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = Peek();
+      ++pos_;
+      value <<= 4;
+      if (c >= '0' && c <= '9') {
+        value |= static_cast<std::uint32_t>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        value |= static_cast<std::uint32_t>(c - 'a' + 10);
+      } else if (c >= 'A' && c <= 'F') {
+        value |= static_cast<std::uint32_t>(c - 'A' + 10);
+      } else {
+        Fail("bad \\u escape");
+      }
+    }
+    return value;
+  }
+
+  JsonValue ParseBool() {
+    JsonValue value;
+    value.kind = JsonValue::Kind::kBool;
+    if (text_.compare(pos_, 4, "true") == 0) {
+      value.boolean = true;
+      pos_ += 4;
+    } else if (text_.compare(pos_, 5, "false") == 0) {
+      value.boolean = false;
+      pos_ += 5;
+    } else {
+      Fail("bad literal");
+    }
+    return value;
+  }
+
+  JsonValue ParseNull() {
+    if (text_.compare(pos_, 4, "null") != 0) Fail("bad literal");
+    pos_ += 4;
+    return JsonValue{};
+  }
+
+  JsonValue ParseNumber() {
+    const std::size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
+            std::strchr("+-.eE", text_[pos_]) != nullptr)) {
+      ++pos_;
+    }
+    if (pos_ == start) Fail("expected a value");
+    JsonValue value;
+    value.kind = JsonValue::Kind::kNumber;
+    try {
+      value.number = std::stod(std::string(text_.substr(start, pos_ - start)));
+    } catch (const std::exception&) {
+      Fail("bad number");
+    }
+    return value;
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Timeline model reconstructed from B/E events.
+
+struct Span {
+  std::string name;
+  int tid = 0;
+  double begin_us = 0.0;
+  double end_us = 0.0;
+  double child_us = 0.0;  ///< Summed durations of directly nested spans.
+
+  [[nodiscard]] double duration_us() const { return end_us - begin_us; }
+  [[nodiscard]] double self_us() const {
+    return std::max(0.0, duration_us() - child_us);
+  }
+};
+
+struct TimelineReport {
+  std::map<int, std::string> lanes;
+  std::vector<Span> spans;  ///< Closed spans, any order.
+  double wall_us = 0.0;
+  double min_ts_us = 0.0;
+  std::uint64_t dropped = 0;
+};
+
+TimelineReport LoadTimeline(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open " + path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const std::string text = buffer.str();
+  const JsonValue document = JsonParser(text).Parse();
+  if (document.kind != JsonValue::Kind::kObject) {
+    throw std::runtime_error("timeline: top level is not an object");
+  }
+  TimelineReport report;
+  if (const JsonValue* dropped = document.Find("dropped")) {
+    report.dropped = static_cast<std::uint64_t>(dropped->number);
+  }
+  const JsonValue* events = document.Find("traceEvents");
+  if (events == nullptr || events->kind != JsonValue::Kind::kArray) {
+    throw std::runtime_error("timeline: missing traceEvents array");
+  }
+
+  struct Open {
+    std::string name;
+    double begin_us = 0.0;
+    double child_us = 0.0;
+  };
+  std::map<int, std::vector<Open>> stacks;
+  double min_ts = std::numeric_limits<double>::infinity();
+  double max_ts = -std::numeric_limits<double>::infinity();
+  for (const JsonValue& event : events->items) {
+    const JsonValue* ph = event.Find("ph");
+    const JsonValue* ts = event.Find("ts");
+    const JsonValue* tid_value = event.Find("tid");
+    if (ph == nullptr || ts == nullptr || tid_value == nullptr) {
+      throw std::runtime_error("timeline: event missing ph/ts/tid");
+    }
+    const int tid = static_cast<int>(tid_value->number);
+    if (ph->text == "M") {
+      const JsonValue* args = event.Find("args");
+      const JsonValue* name = args != nullptr ? args->Find("name") : nullptr;
+      if (name != nullptr) report.lanes[tid] = name->text;
+      continue;
+    }
+    min_ts = std::min(min_ts, ts->number);
+    max_ts = std::max(max_ts, ts->number);
+    if (ph->text == "B") {
+      const JsonValue* name = event.Find("name");
+      stacks[tid].push_back(
+          Open{name != nullptr ? name->text : "?", ts->number, 0.0});
+    } else if (ph->text == "E") {
+      auto& stack = stacks[tid];
+      if (stack.empty()) {
+        throw std::runtime_error("timeline: unbalanced E event on tid " +
+                                 std::to_string(tid));
+      }
+      Span span;
+      span.name = std::move(stack.back().name);
+      span.tid = tid;
+      span.begin_us = stack.back().begin_us;
+      span.end_us = ts->number;
+      span.child_us = stack.back().child_us;
+      stack.pop_back();
+      if (!stack.empty()) stack.back().child_us += span.duration_us();
+      report.spans.push_back(std::move(span));
+    }
+  }
+  for (const auto& [tid, stack] : stacks) {
+    if (!stack.empty()) {
+      throw std::runtime_error("timeline: unclosed span on tid " +
+                               std::to_string(tid));
+    }
+  }
+  if (report.spans.empty()) {
+    throw std::runtime_error("timeline: no spans (was tracing enabled?)");
+  }
+  report.min_ts_us = min_ts;
+  report.wall_us = std::max(0.0, max_ts - min_ts);
+  return report;
+}
+
+std::string LaneLabel(const TimelineReport& report, int tid) {
+  const auto it = report.lanes.find(tid);
+  return it != report.lanes.end() ? it->second : "t" + std::to_string(tid);
+}
+
+void PrintShardSection(const TimelineReport& report, double& imbalance_out) {
+  // Worker busy time: generate spans carry each shard's slice work (the
+  // pre-fold nests inside them, so no double count).
+  std::map<int, double> busy_us;
+  std::map<int, std::uint64_t> slices;
+  for (const Span& span : report.spans) {
+    if (span.name != "engine.generate") continue;
+    busy_us[span.tid] += span.duration_us();
+    ++slices[span.tid];
+  }
+  std::printf("shard utilization (engine.generate per lane, wall %.3f ms):\n",
+              report.wall_us / 1e3);
+  if (busy_us.empty()) {
+    std::printf("  no engine.generate spans — not an engine timeline\n");
+    imbalance_out = 0.0;
+    return;
+  }
+  double max_busy = 0.0;
+  double total_busy = 0.0;
+  for (const auto& [tid, busy] : busy_us) {
+    std::printf("  %-14s busy %10.3f ms  (%5.1f%% of wall, %" PRIu64
+                " slices)\n",
+                LaneLabel(report, tid).c_str(), busy / 1e3,
+                report.wall_us > 0.0 ? 100.0 * busy / report.wall_us : 0.0,
+                slices[tid]);
+    max_busy = std::max(max_busy, busy);
+    total_busy += busy;
+  }
+  const double mean_busy =
+      total_busy / static_cast<double>(busy_us.size());
+  imbalance_out = mean_busy > 0.0 ? max_busy / mean_busy : 0.0;
+  std::printf("  imbalance ratio (max/mean busy): %.3f over %zu lanes\n",
+              imbalance_out, busy_us.size());
+}
+
+void PrintCommitWindows(const TimelineReport& report, int windows) {
+  std::vector<const Span*> commits;
+  double commit_total_us = 0.0;
+  for (const Span& span : report.spans) {
+    if (span.name == "engine.commit") {
+      commits.push_back(&span);
+      commit_total_us += span.duration_us();
+    }
+  }
+  std::printf("\ncommit serial fraction (%d windows over %.3f ms):\n",
+              windows, report.wall_us / 1e3);
+  if (commits.empty() || report.wall_us <= 0.0) {
+    std::printf("  no engine.commit spans\n");
+    return;
+  }
+  const double window_us = report.wall_us / windows;
+  for (int w = 0; w < windows; ++w) {
+    const double w0 = report.min_ts_us + w * window_us;
+    const double w1 = w0 + window_us;
+    double occupied = 0.0;
+    for (const Span* span : commits) {
+      occupied += std::max(
+          0.0, std::min(span->end_us, w1) - std::max(span->begin_us, w0));
+    }
+    const double fraction = occupied / window_us;
+    const int bar = static_cast<int>(std::lround(fraction * 40.0));
+    std::printf("  [%6.1f, %6.1f) ms  %6.2f%%  |%.*s\n", (w0 - report.min_ts_us) / 1e3,
+                (w1 - report.min_ts_us) / 1e3, 100.0 * fraction, bar,
+                "****************************************");
+  }
+  std::printf("  overall commit fraction: %.4f (%.3f ms serial)\n",
+              commit_total_us / report.wall_us, commit_total_us / 1e3);
+}
+
+void PrintSelfTimes(const TimelineReport& report, int top) {
+  struct Aggregate {
+    double self_us = 0.0;
+    double total_us = 0.0;
+    std::uint64_t count = 0;
+  };
+  std::map<std::string, Aggregate> by_name;
+  for (const Span& span : report.spans) {
+    Aggregate& aggregate = by_name[span.name];
+    aggregate.self_us += span.self_us();
+    aggregate.total_us += span.duration_us();
+    ++aggregate.count;
+  }
+  std::vector<std::pair<std::string, Aggregate>> rows(by_name.begin(),
+                                                      by_name.end());
+  std::sort(rows.begin(), rows.end(), [](const auto& a, const auto& b) {
+    return a.second.self_us > b.second.self_us;
+  });
+  std::printf("\ntop span self-times (duration minus nested children):\n");
+  std::printf("  %-20s %12s %12s %10s\n", "span", "self ms", "total ms",
+              "count");
+  for (std::size_t i = 0;
+       i < rows.size() && i < static_cast<std::size_t>(top); ++i) {
+    const auto& [name, aggregate] = rows[i];
+    std::printf("  %-20s %12.3f %12.3f %10" PRIu64 "\n", name.c_str(),
+                aggregate.self_us / 1e3, aggregate.total_us / 1e3,
+                aggregate.count);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Timeseries sidecar (optional).
+
+void PrintTimeseries(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open " + path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const JsonValue document = JsonParser(buffer.str()).Parse();
+  const JsonValue* schema = document.Find("schema");
+  if (schema == nullptr || schema->text != "hotspots.timeseries.v1") {
+    throw std::runtime_error("timeseries: unexpected schema");
+  }
+  const JsonValue* t_ns = document.Find("t_ns");
+  const JsonValue* counters = document.Find("counters");
+  if (t_ns == nullptr || counters == nullptr) {
+    throw std::runtime_error("timeseries: missing t_ns/counters");
+  }
+  const std::size_t samples = t_ns->items.size();
+  std::printf("\ntimeseries (%zu samples over %.2f s):\n", samples,
+              samples > 0 ? t_ns->items.back().number / 1e9 : 0.0);
+
+  const auto deltas_of = [&](const char* name) -> const JsonValue* {
+    const JsonValue* counter = counters->Find(name);
+    return counter != nullptr ? counter->Find("deltas") : nullptr;
+  };
+  const JsonValue* probe_deltas = deltas_of("engine.probes");
+  if (probe_deltas == nullptr || samples < 2) {
+    std::printf("  no engine.probes series\n");
+    return;
+  }
+  const JsonValue* commit_deltas = deltas_of("engine.stage.commit.nanos");
+  const JsonValue* run_deltas = deltas_of("engine.run.nanos");
+
+  // Summaries plus a coarse curve (at most 20 rows) so long runs stay
+  // readable; each row covers a contiguous slice of sampling intervals.
+  double peak_rate = 0.0;
+  double total_probes = 0.0;
+  const std::size_t intervals = probe_deltas->items.size();
+  const std::size_t stride = std::max<std::size_t>(1, intervals / 20);
+  std::printf("  %-16s %14s %s\n", "t (s)", "probes/s",
+              run_deltas != nullptr ? "serial fraction" : "");
+  for (std::size_t i = 0; i < intervals; i += stride) {
+    const std::size_t j = std::min(intervals, i + stride);
+    const double t0 = t_ns->items[i].number / 1e9;
+    const double t1 = t_ns->items[j].number / 1e9;
+    double probes = 0.0;
+    double commit_ns = 0.0;
+    double run_ns = 0.0;
+    for (std::size_t k = i; k < j; ++k) {
+      probes += probe_deltas->items[k].number;
+      if (commit_deltas != nullptr && k < commit_deltas->items.size()) {
+        commit_ns += commit_deltas->items[k].number;
+      }
+      if (run_deltas != nullptr && k < run_deltas->items.size()) {
+        run_ns += run_deltas->items[k].number;
+      }
+    }
+    const double dt = t1 - t0;
+    const double rate = dt > 0.0 ? probes / dt : 0.0;
+    peak_rate = std::max(peak_rate, rate);
+    total_probes += probes;
+    if (run_deltas != nullptr && run_ns > 0.0) {
+      std::printf("  [%6.2f,%6.2f)  %14.0f %15.4f\n", t0, t1, rate,
+                  commit_ns / run_ns);
+    } else {
+      std::printf("  [%6.2f,%6.2f)  %14.0f\n", t0, t1, rate);
+    }
+  }
+  const double span_seconds =
+      (t_ns->items.back().number - t_ns->items.front().number) / 1e9;
+  std::printf("  total %.0f probes, mean %.0f probes/s, peak %.0f probes/s\n",
+              total_probes,
+              span_seconds > 0.0 ? total_probes / span_seconds : 0.0,
+              peak_rate);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string timeline_path;
+  std::string timeseries_path;
+  int windows = 10;
+  int top = 10;
+  for (int i = 1; i < argc; ++i) {
+    const auto int_arg = [&](const char* flag) -> int {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s requires a value\n", flag);
+        std::exit(2);
+      }
+      char* end = nullptr;
+      const long value = std::strtol(argv[++i], &end, 10);
+      if (end == argv[i] || *end != '\0' || value < 1 || value > 10000) {
+        std::fprintf(stderr, "%s: integer in [1, 10000] expected\n", flag);
+        std::exit(2);
+      }
+      return static_cast<int>(value);
+    };
+    if (std::strcmp(argv[i], "--timeline") == 0 && i + 1 < argc) {
+      timeline_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--timeseries") == 0 && i + 1 < argc) {
+      timeseries_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--windows") == 0) {
+      windows = int_arg("--windows");
+    } else if (std::strcmp(argv[i], "--top") == 0) {
+      top = int_arg("--top");
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s --timeline FILE [--timeseries FILE] "
+                   "[--windows N] [--top K]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+  if (timeline_path.empty()) {
+    std::fprintf(stderr, "--timeline is required\n");
+    return 2;
+  }
+  try {
+    const TimelineReport report = LoadTimeline(timeline_path);
+    std::printf("perf_report: %s (%zu spans, %" PRIu64 " dropped)\n\n",
+                timeline_path.c_str(), report.spans.size(), report.dropped);
+    if (report.dropped > 0) {
+      std::printf("  NOTE: %" PRIu64 " spans were dropped at capture (full "
+                  "rings); busy times are lower bounds\n\n",
+                  report.dropped);
+    }
+    double imbalance = 0.0;
+    PrintShardSection(report, imbalance);
+    PrintCommitWindows(report, windows);
+    PrintSelfTimes(report, top);
+    if (!timeseries_path.empty()) PrintTimeseries(timeseries_path);
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "perf_report: %s\n", error.what());
+    return 1;
+  }
+  return 0;
+}
