@@ -227,6 +227,48 @@ inline void DumpMetrics(const std::string& path, const char* bench_name,
   std::printf("metrics sidecar written to %s\n", path.c_str());
 }
 
+/// Reads a whole file; empty string if it does not exist.
+[[nodiscard]] inline std::string ReadFileOrEmpty(const std::string& path) {
+  std::string contents;
+  if (FILE* in = std::fopen(path.c_str(), "rb")) {
+    char buffer[4096];
+    std::size_t n;
+    while ((n = std::fread(buffer, 1, sizeof buffer, in)) > 0) {
+      contents.append(buffer, n);
+    }
+    std::fclose(in);
+  }
+  return contents;
+}
+
+/// Appends `entry` (a JSON object, no trailing newline) to the JSON array
+/// in `path`, creating the file if needed — the results/BENCH_*.json
+/// sidecar idiom shared by the recording benches.
+inline void AppendJsonEntry(const std::string& path, const std::string& entry,
+                            const char* bench_name) {
+  std::string contents = ReadFileOrEmpty(path);
+  // Strip everything after the final closing bracket (and the bracket).
+  const std::size_t end = contents.rfind(']');
+  std::string out;
+  if (end == std::string::npos) {
+    out = "[\n" + entry + "\n]\n";
+  } else {
+    out = contents.substr(0, end);
+    while (!out.empty() && (out.back() == '\n' || out.back() == ' ')) {
+      out.pop_back();
+    }
+    out += ",\n" + entry + "\n]\n";
+  }
+  FILE* file = std::fopen(path.c_str(), "wb");
+  if (file == nullptr) {
+    std::fprintf(stderr, "%s: cannot write %s\n", bench_name, path.c_str());
+    std::exit(1);
+  }
+  std::fwrite(out.data(), 1, out.size(), file);
+  std::fclose(file);
+  std::printf("\nappended entry to %s\n", path.c_str());
+}
+
 /// Scale factor from argv[1] or HOTSPOTS_SCALE (0 < s ≤ 1); scales the
 /// expensive experiments down for quick runs.  Defaults to 1.0 (full paper
 /// scale).

@@ -124,45 +124,7 @@ void PrintStage(const StageResult& stage) {
               stage.checksum);
 }
 
-/// Reads a whole file; empty string if it does not exist.
-[[nodiscard]] std::string ReadFileOrEmpty(const std::string& path) {
-  std::string contents;
-  if (FILE* in = std::fopen(path.c_str(), "rb")) {
-    char buffer[4096];
-    std::size_t n;
-    while ((n = std::fread(buffer, 1, sizeof buffer, in)) > 0) {
-      contents.append(buffer, n);
-    }
-    std::fclose(in);
-  }
-  return contents;
-}
-
-/// Appends `entry` (a JSON object, no trailing newline) to the JSON array in
-/// `path`, creating the file if needed.
-void AppendJsonEntry(const std::string& path, const std::string& entry) {
-  std::string contents = ReadFileOrEmpty(path);
-  // Strip everything after the final closing bracket (and the bracket).
-  const std::size_t end = contents.rfind(']');
-  std::string out;
-  if (end == std::string::npos) {
-    out = "[\n" + entry + "\n]\n";
-  } else {
-    out = contents.substr(0, end);
-    while (!out.empty() && (out.back() == '\n' || out.back() == ' ')) {
-      out.pop_back();
-    }
-    out += ",\n" + entry + "\n]\n";
-  }
-  FILE* file = std::fopen(path.c_str(), "wb");
-  if (file == nullptr) {
-    std::fprintf(stderr, "micro_hotpath: cannot write %s\n", path.c_str());
-    std::exit(1);
-  }
-  std::fwrite(out.data(), 1, out.size(), file);
-  std::fclose(file);
-  std::printf("\nappended entry to %s\n", path.c_str());
-}
+using bench::ReadFileOrEmpty;
 
 struct GateBaseline {
   double scale = -1.0;
@@ -577,7 +539,7 @@ int main(int argc, char** argv) {
     writer.Key("tolerance_pct").FixedValue(overhead_tolerance, 1);
     writer.KV("fingerprint", hex64(baseline.fingerprint));
     writer.EndObject();
-    AppendJsonEntry(out_path, writer.str());
+    bench::AppendJsonEntry(out_path, writer.str(), "micro_hotpath");
     bench::DumpMetrics(metrics_out, "micro_hotpath");
 
     if (sampled_overhead_pct > overhead_tolerance) {
@@ -946,7 +908,7 @@ int main(int argc, char** argv) {
   writer.KV("dropped", timeline.dropped);
   writer.EndObject();
   writer.EndObject();
-  AppendJsonEntry(out_path, writer.str());
+  bench::AppendJsonEntry(out_path, writer.str(), "micro_hotpath");
 
   bench::DumpMetrics(metrics_out, "micro_hotpath");
 

@@ -1,8 +1,11 @@
 #!/usr/bin/env bash
 # CI entry point: the tier-1 verify (ROADMAP.md), a metrics smoke step,
 # an obs-trace smoke step (timeline/timeseries sidecars + perf_report), a
-# trace capture/replay smoke step, a fault-injection smoke step, and a
-# sanitizer pass (which fronts the trace-salvage suites verbosely).
+# trace capture/replay smoke step, an ingest smoke step (telescope_server
+# fed by telescope_load over loopback, gauges diffed against the embedded
+# run), a fault-injection smoke step, a sanitizer pass (which fronts the
+# trace-salvage suites verbosely), a tsan pass over the concurrent
+# suites, and a UBSan-only pass over the full tier-1 suite.
 #
 #   ./ci.sh            # tier-1 + smoke steps + asan presets
 #   ./ci.sh --fast     # tier-1 only
@@ -44,7 +47,12 @@ fi
 
 echo "== metrics smoke: --metrics-out sidecar + overhead gate =="
 SMOKE_DIR="$(mktemp -d)"
-trap 'rm -rf "${SMOKE_DIR}"' EXIT
+INGEST_PID=""
+cleanup() {
+  [[ -n "${INGEST_PID}" ]] && kill "${INGEST_PID}" 2>/dev/null || true
+  rm -rf "${SMOKE_DIR}"
+}
+trap cleanup EXIT
 HOTSPOTS_TRIALS=2 ./build/bench/fig5a_hitlist_infection 0.05 \
   --metrics-out "${SMOKE_DIR}/fig5a.metrics.json" > /dev/null
 if command -v python3 > /dev/null 2>&1; then
@@ -225,6 +233,72 @@ else
   echo "trace replay OK (grep fallback: sensor gauges present)"
 fi
 
+echo "== ingest smoke: telescope_server + telescope_load over loopback =="
+# Telescope-as-a-service end to end: the daemon (IMS fleet, same
+# construction as `trace_tool replay --ims`) ingests the fig1 corpus over
+# 8 concurrent connections; a live HTTP /metrics poll must then show
+# per-sensor gauges bit-identical to the embedded fig1 run's sidecar
+# (.rate_per_sec excluded — the trace carries event times, not the run
+# duration), and SIGTERM must drain gracefully to exit 0.
+./build/tools/telescope_server --ims --alert-threshold 100 \
+  > "${SMOKE_DIR}/ingest.server.log" 2>&1 &
+INGEST_PID=$!
+INGEST_PORT=""
+for _ in $(seq 1 100); do
+  INGEST_PORT="$(sed -n 's/.*listening on port \([0-9]*\).*/\1/p' \
+    "${SMOKE_DIR}/ingest.server.log")"
+  [[ -n "${INGEST_PORT}" ]] && break
+  if ! kill -0 "${INGEST_PID}" 2>/dev/null; then
+    echo "telescope_server died before binding:" >&2
+    cat "${SMOKE_DIR}/ingest.server.log" >&2
+    exit 1
+  fi
+  sleep 0.1
+done
+if [[ -z "${INGEST_PORT}" ]]; then
+  echo "telescope_server never reported its port" >&2
+  cat "${SMOKE_DIR}/ingest.server.log" >&2
+  exit 1
+fi
+./build/tools/telescope_load "${SMOKE_DIR}/fig1.trace" \
+  --port "${INGEST_PORT}" --connections 8
+if command -v python3 > /dev/null 2>&1; then
+  python3 - "${INGEST_PORT}" "${SMOKE_DIR}/fig1.live.metrics.json" <<'PY'
+import json, sys, urllib.request
+with urllib.request.urlopen(
+        f"http://127.0.0.1:{sys.argv[1]}/metrics", timeout=10) as response:
+    served = json.load(response)
+assert served["schema"] == "hotspots.metrics.v1", served.get("schema")
+assert served["counters"]["serve.ingest.records"] > 0
+assert served["counters"]["serve.ingest.sequence_gaps"] == 0
+with open(sys.argv[2]) as handle:
+    live = json.load(handle)["gauges"]
+gauges = served["gauges"]
+keys = sorted(k for k in live
+              if k.startswith("telescope.sensor.")
+              and not k.endswith(".rate_per_sec"))
+assert keys, "live sidecar has no telescope.sensor.* gauges"
+mismatches = [(k, live[k], gauges.get(k)) for k in keys
+              if gauges.get(k) != live[k]]
+assert not mismatches, f"served gauges diverged from live run: {mismatches}"
+print(f"ingest metrics OK: {len(keys)} sensor gauges identical, "
+      f"{served['counters']['serve.ingest.records']:.0f} records over "
+      f"{served['counters']['serve.ingest.connections']:.0f} connections")
+PY
+else
+  echo "ingest HTTP diff skipped (no python3)"
+fi
+kill -TERM "${INGEST_PID}"
+if ! wait "${INGEST_PID}"; then
+  echo "telescope_server exited non-zero on SIGTERM drain:" >&2
+  cat "${SMOKE_DIR}/ingest.server.log" >&2
+  exit 1
+fi
+INGEST_PID=""
+grep -q "drained:" "${SMOKE_DIR}/ingest.server.log" \
+  || { echo "server log has no drain summary" >&2; exit 1; }
+echo "ingest smoke OK"
+
 if [[ "${HOTSPOTS_SKIP_OVERHEAD_GATE:-0}" != "1" ]]; then
   # Capture-overhead gate: a sampled TraceWriter teed into the hot path
   # must cost <= HOTSPOTS_TRACE_OVERHEAD_TOL percent (default 10) against
@@ -317,14 +391,30 @@ else
   cmake --build build-tsan -j "${JOBS}" \
     --target sim_engine_shard_test sim_study_retry_test sim_prefold_test \
     obs_span_test obs_sampler_test obs_metrics_test \
-    obs_trace_determinism_test
+    obs_trace_determinism_test serve_fold_test serve_server_test
   # Prefold* covers the two-phase observer fold: worker threads write
   # forked per-shard partials concurrently while the serial thread owns
   # the merge — the handoff the race detector exists to watch.  ObsSpan/
   # ObsSampler stress producer-vs-drain and sampler-vs-writer interleavings;
   # ObsTraceDeterminism drives the instrumented engine at 8 shards.
+  # ServeFold/ServeServer are the ingest daemon's two-thread core: the
+  # I/O-thread Submit vs fold-thread drain handoff, the resume/ack
+  # mailboxes, and the full loopback server with concurrent client threads.
   ctest --test-dir build-tsan --output-on-failure \
-    -R 'ShardPool|EngineShard|EngineAudit|ResolveEngineShards|RunTrials|Prefold|ObsSpan|ObsSampler|ObsTraceDeterminism|ObsCounter|SnapshotWhileWriting'
+    -R 'ShardPool|EngineShard|EngineAudit|ResolveEngineShards|RunTrials|Prefold|ObsSpan|ObsSampler|ObsTraceDeterminism|ObsCounter|SnapshotWhileWriting|ServeFold|ServeServer'
+fi
+
+echo "== ubsan pass: tier-1 under -fsanitize=undefined alone =="
+# The asan preset above already pairs address+undefined, but pure UBSan
+# runs at near-native speed, so the *whole* tier-1 suite — including the
+# timing-sensitive serve/ingest tests that would crawl under asan's
+# interceptors — gets undefined-behavior coverage here.
+if [[ "${SANITIZER}" == "ubsan" ]]; then
+  echo "primary sanitizer pass already ran under ubsan — skipped"
+else
+  cmake -B build-ubsan -S . -DHOTSPOTS_SANITIZE=ubsan
+  cmake --build build-ubsan -j "${JOBS}"
+  ctest --test-dir build-ubsan --output-on-failure -j "${JOBS}"
 fi
 
 echo "== ci.sh: all passes green =="

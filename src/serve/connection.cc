@@ -1,0 +1,258 @@
+#include "serve/connection.h"
+
+#include <cerrno>
+#include <cstring>
+
+#include <unistd.h>
+
+#include "obs/metrics.h"
+#include "trace/format.h"
+
+namespace hotspots::serve {
+namespace {
+
+constexpr std::size_t kReadChunk = 64 * 1024;
+constexpr std::size_t kMaxHttpRequestBytes = 8 * 1024;
+
+obs::Counter& ProtocolErrors() {
+  return obs::Registry::Global().GetCounter("serve.ingest.protocol_errors");
+}
+
+}  // namespace
+
+Connection::Connection(int fd, std::uint64_t id, Hooks hooks)
+    : fd_(fd), id_(id), hooks_(std::move(hooks)) {}
+
+Connection::~Connection() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void Connection::OnReadable() {
+  if (closed_) return;
+  std::uint8_t buffer[kReadChunk];
+  const ssize_t n = ::read(fd_, buffer, sizeof buffer);
+  if (n < 0) {
+    if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) return;
+    Close(std::string("read error: ") + std::strerror(errno));
+    return;
+  }
+  if (n == 0) {
+    HandleEof();
+    return;
+  }
+  try {
+    HandleBytes(buffer, static_cast<std::size_t>(n));
+  } catch (const std::exception& error) {
+    // IngestError (framing) and TraceError (block contents) both land
+    // here: a peer that ships damaged structures is disconnected, with
+    // the trace layer's own diagnostic as the close reason.
+    ProtocolErrors().Increment();
+    if (slot_ >= 0 && !fin_seen_) hooks_.fold->AbandonSlot(
+        static_cast<std::uint32_t>(slot_));
+    Close(error.what());
+  }
+}
+
+void Connection::HandleBytes(const std::uint8_t* data, std::size_t size) {
+  if (kind_ == Kind::kSniffing) {
+    sniff_.insert(sniff_.end(), data, data + size);
+    if (sniff_.size() < 4) return;
+    kind_ = std::memcmp(sniff_.data(), "GET ", 4) == 0 ? Kind::kHttp
+                                                       : Kind::kIngest;
+    std::vector<std::uint8_t> first;
+    first.swap(sniff_);
+    if (kind_ == Kind::kHttp) {
+      HandleHttpBytes(first.data(), first.size());
+    } else {
+      HandleIngestBytes(first.data(), first.size());
+    }
+    return;
+  }
+  if (kind_ == Kind::kHttp) {
+    HandleHttpBytes(data, size);
+  } else {
+    HandleIngestBytes(data, size);
+  }
+}
+
+void Connection::HandleIngestBytes(const std::uint8_t* data,
+                                   std::size_t size) {
+  parser_.Feed({data, size});
+  Frame frame;
+  while (parser_.Next(frame)) HandleFrame(frame);
+}
+
+void Connection::HandleFrame(const Frame& frame) {
+  const auto type = static_cast<FrameType>(frame.header.type);
+  if (decoder_ == nullptr) {
+    if (type != FrameType::kHello) {
+      throw IngestError("ingest: first frame must be HELLO, got type " +
+                        std::to_string(frame.header.type));
+    }
+    const Hello hello = ParseHello(frame.payload);
+    if (hooks_.on_hello) hooks_.on_hello(hello);
+    decoder_ = std::make_unique<trace::StreamDecoder>(
+        "conn:" + std::to_string(id_));
+    decoder_->Feed({hello.trace_header, trace::kHeaderBytes});
+    slot_ = hooks_.fold->RegisterSlot();
+    return;
+  }
+
+  switch (type) {
+    case FrameType::kHello:
+      throw IngestError("ingest: duplicate HELLO");
+    case FrameType::kAck:
+      throw IngestError("ingest: unexpected ACK from a client");
+    case FrameType::kBlock: {
+      if (fin_seen_) throw IngestError("ingest: BLOCK after FIN");
+      decoder_->Feed(frame.payload);
+      // A BLOCK payload is exactly one framed trace block, so the
+      // decoder yields exactly one batch (validated: ceilings, CRC,
+      // record decode) — unless the peer smuggled a trailer frame, which
+      // the decoder flags on the FIN path as trailing bytes.
+      for (;;) {
+        const std::span<const sim::ProbeEvent> events =
+            decoder_->NextBatch();
+        if (events.empty()) break;
+        std::vector<sim::ProbeEvent> copy(events.begin(), events.end());
+        if (!hooks_.fold->Submit(static_cast<std::uint32_t>(slot_),
+                                 frame.header.sequence, std::move(copy))) {
+          paused_ = true;  // Stop reading; fold resume re-opens the tap.
+        }
+      }
+      return;
+    }
+    case FrameType::kFin: {
+      if (fin_seen_) throw IngestError("ingest: duplicate FIN");
+      decoder_->Feed(frame.payload);
+      const std::span<const sim::ProbeEvent> events = decoder_->NextBatch();
+      if (!events.empty() || !decoder_->finished()) {
+        throw IngestError(
+            "ingest: FIN payload did not verify as this stream's trailer");
+      }
+      fin_seen_ = true;
+      hooks_.fold->FinishSlot(static_cast<std::uint32_t>(slot_));
+      return;
+    }
+  }
+  throw IngestError("ingest: unknown frame type " +
+                    std::to_string(frame.header.type));
+}
+
+void Connection::HandleHttpBytes(const std::uint8_t* data, std::size_t size) {
+  http_in_.append(reinterpret_cast<const char*>(data), size);
+  if (http_in_.size() > kMaxHttpRequestBytes) {
+    Close("http request exceeds " + std::to_string(kMaxHttpRequestBytes) +
+          " bytes");
+    return;
+  }
+  const std::size_t end = http_in_.find("\r\n\r\n");
+  if (end == std::string::npos) return;
+
+  obs::Registry::Global().GetCounter("serve.http.requests").Increment();
+  const std::size_t line_end = http_in_.find("\r\n");
+  const std::string line = http_in_.substr(0, line_end);
+  // "GET <path> HTTP/1.x" — the sniffer guaranteed the method.
+  const std::size_t path_begin = line.find(' ');
+  const std::size_t path_end = line.find(' ', path_begin + 1);
+  const std::string path =
+      path_end == std::string::npos
+          ? line.substr(path_begin + 1)
+          : line.substr(path_begin + 1, path_end - path_begin - 1);
+
+  if (path == "/metrics") {
+    QueueHttpResponse(200, "OK", "application/json", hooks_.metrics_json());
+  } else if (path == "/metrics.prom") {
+    QueueHttpResponse(200, "OK", "text/plain; version=0.0.4",
+                      hooks_.metrics_prom());
+  } else if (path == "/healthz") {
+    QueueHttpResponse(200, "OK", "text/plain", "ok\n");
+  } else {
+    QueueHttpResponse(404, "Not Found", "text/plain",
+                      "unknown path " + path + "\n");
+  }
+  close_after_flush_ = true;
+  FlushOut();
+}
+
+void Connection::QueueHttpResponse(int status, const char* reason,
+                                   const char* content_type,
+                                   const std::string& body) {
+  std::string head = "HTTP/1.0 " + std::to_string(status) + " " + reason +
+                     "\r\nContent-Type: " + content_type +
+                     "\r\nContent-Length: " + std::to_string(body.size()) +
+                     "\r\nConnection: close\r\n\r\n";
+  out_.insert(out_.end(), head.begin(), head.end());
+  out_.insert(out_.end(), body.begin(), body.end());
+}
+
+void Connection::QueueAck() {
+  if (closed_ || acked_) return;
+  acked_ = true;
+  AppendAck(out_);
+  FlushOut();
+  if (eof_seen_ && out_pos_ >= out_.size()) Close("done");
+}
+
+void Connection::HandleEof() {
+  eof_seen_ = true;
+  if (slot_ >= 0 && !fin_seen_) {
+    // An ingest peer vanished mid-stream: its queued blocks still fold,
+    // but there is nothing to ack and nothing more to read.
+    hooks_.fold->AbandonSlot(static_cast<std::uint32_t>(slot_));
+    Close("eof before FIN");
+    return;
+  }
+  if (slot_ >= 0 && !acked_) {
+    // FIN seen, ack still pending from the fold thread: keep the socket
+    // for the ack write.
+    paused_ = true;
+    return;
+  }
+  if (out_pos_ >= out_.size()) {
+    Close(slot_ >= 0 ? "done" : "eof");
+  } else {
+    close_after_flush_ = true;
+  }
+}
+
+void Connection::OnWritable() {
+  if (closed_) return;
+  FlushOut();
+}
+
+void Connection::OnError() { Close("socket error"); }
+
+void Connection::FlushOut() {
+  while (out_pos_ < out_.size()) {
+    const ssize_t n =
+        ::write(fd_, out_.data() + out_pos_, out_.size() - out_pos_);
+    if (n < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) break;
+      Close(std::string("write error: ") + std::strerror(errno));
+      return;
+    }
+    out_pos_ += static_cast<std::size_t>(n);
+  }
+  if (out_pos_ >= out_.size()) {
+    out_.clear();
+    out_pos_ = 0;
+    if (close_after_flush_ || (acked_ && eof_seen_)) {
+      Close(slot_ >= 0 ? "done" : "served");
+    }
+  } else if (out_.size() - out_pos_ > hooks_.max_output_buffer) {
+    obs::Registry::Global()
+        .GetCounter("serve.slow_consumer_closes")
+        .Increment();
+    Close("slow consumer: " + std::to_string(out_.size() - out_pos_) +
+          " bytes backlogged");
+  }
+}
+
+void Connection::Close(const std::string& reason) {
+  if (closed_) return;
+  closed_ = true;
+  close_reason_ = reason;
+}
+
+}  // namespace hotspots::serve

@@ -1,0 +1,129 @@
+// One accepted socket: protocol sniffing, ingest decode, HTTP snapshots.
+//
+// The server listens on a single port; the first bytes of a connection
+// decide what it is.  "GET " means an HTTP/1.0 metrics poll (the four
+// bytes can never open an ingest frame — they would decode as a payload
+// length far above the protocol ceiling); anything else is treated as an
+// `hotspots.ingest.v1` peer.  Each ingest connection owns a FrameParser
+// (frame reassembly from arbitrary socket fragments) and, after HELLO, a
+// trace::StreamDecoder fed the handshake's embedded trace header, every
+// BLOCK payload, and the FIN trailer — so the exact validation the trace
+// tests pin for files guards the network path too, including the
+// trailer's per-connection record/block reconciliation.
+//
+// All methods run on the server's I/O thread.  The fold thread never
+// touches a Connection; its resume/ack decisions travel through the
+// server's wake pipe and arrive here as ResumeReads()/QueueAck() calls
+// on the I/O thread.
+//
+// Buffer bounds: input is bounded by the fold pipeline's per-slot depth
+// cap (when Submit() reports the cap, want_read() drops and the kernel's
+// receive buffer takes the back-pressure); output is bounded by
+// Hooks::max_output_buffer — a consumer that stops reading past that is
+// closed and counted in `serve.slow_consumer_closes`.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "serve/fold.h"
+#include "serve/wire.h"
+#include "trace/stream_decoder.h"
+
+namespace hotspots::serve {
+
+class Connection {
+ public:
+  struct Hooks {
+    FoldPipeline* fold = nullptr;
+    /// Body of GET /metrics (hotspots.metrics.v1 JSON).
+    std::function<std::string()> metrics_json;
+    /// Body of GET /metrics.prom (Prometheus text exposition).
+    std::function<std::string()> metrics_prom;
+    /// Session admission check, called once per HELLO; throw IngestError
+    /// to reject (e.g. a scenario-fingerprint mismatch).
+    std::function<void(const Hello&)> on_hello;
+    std::size_t max_output_buffer = std::size_t{1} << 20;
+  };
+
+  /// Takes ownership of the (non-blocking) fd.
+  Connection(int fd, std::uint64_t id, Hooks hooks);
+  ~Connection();
+
+  Connection(const Connection&) = delete;
+  Connection& operator=(const Connection&) = delete;
+
+  [[nodiscard]] int fd() const { return fd_; }
+  [[nodiscard]] std::uint64_t id() const { return id_; }
+
+  /// Poller interest, recomputed by the server after every dispatch.
+  [[nodiscard]] bool want_read() const { return !closed_ && !paused_; }
+  [[nodiscard]] bool want_write() const {
+    return !closed_ && out_pos_ < out_.size();
+  }
+  [[nodiscard]] bool closed() const { return closed_; }
+
+  /// An ingest peer whose stream is not yet complete (no ACK flushed and
+  /// no EOF) — the graceful-drain path waits for these.
+  [[nodiscard]] bool ingest_unfinished() const {
+    return slot_ >= 0 && !closed_ && !(acked_ && out_pos_ >= out_.size());
+  }
+
+  /// Fold slot id once HELLO registered, else -1.
+  [[nodiscard]] std::int64_t slot() const { return slot_; }
+
+  void OnReadable();
+  void OnWritable();
+  void OnError();
+
+  /// Fold drained this connection's queue below the resume mark.
+  void ResumeReads() { paused_ = false; }
+  /// Every submitted block folded after FIN: send the ACK.
+  void QueueAck();
+
+  /// Why the connection closed ("eof", "done", or an error message).
+  [[nodiscard]] const std::string& close_reason() const {
+    return close_reason_;
+  }
+
+ private:
+  enum class Kind { kSniffing, kIngest, kHttp };
+
+  void HandleBytes(const std::uint8_t* data, std::size_t size);
+  void HandleIngestBytes(const std::uint8_t* data, std::size_t size);
+  void HandleFrame(const Frame& frame);
+  void HandleHttpBytes(const std::uint8_t* data, std::size_t size);
+  void QueueHttpResponse(int status, const char* reason,
+                         const char* content_type, const std::string& body);
+  void HandleEof();
+  void FlushOut();
+  void Close(const std::string& reason);
+
+  int fd_;
+  std::uint64_t id_;
+  Hooks hooks_;
+
+  Kind kind_ = Kind::kSniffing;
+  std::vector<std::uint8_t> sniff_;  ///< First bytes until the kind is known.
+  std::string http_in_;
+
+  FrameParser parser_;
+  std::unique_ptr<trace::StreamDecoder> decoder_;
+  std::int64_t slot_ = -1;
+  bool fin_seen_ = false;
+  bool acked_ = false;
+  bool eof_seen_ = false;
+  bool paused_ = false;
+  bool close_after_flush_ = false;
+
+  std::vector<std::uint8_t> out_;
+  std::size_t out_pos_ = 0;
+
+  bool closed_ = false;
+  std::string close_reason_;
+};
+
+}  // namespace hotspots::serve

@@ -1,0 +1,236 @@
+#include "serve/fold.h"
+
+#include <cmath>
+#include <limits>
+
+#include "obs/metrics.h"
+
+namespace hotspots::serve {
+namespace {
+
+/// Submit-to-fold latency buckets: 1 µs .. ~8 s, doubling.
+obs::Histogram& FoldLatencyHistogram() {
+  static const std::vector<double> bounds =
+      obs::ExponentialBounds(1e-6, 2.0, 24);
+  return obs::Registry::Global().GetHistogram(
+      "serve.ingest.fold_latency_seconds", bounds);
+}
+
+double SecondsSince(std::chrono::steady_clock::time_point from) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       from)
+      .count();
+}
+
+}  // namespace
+
+FoldPipeline::FoldPipeline(sim::MergeableObserver& observer,
+                           FoldOptions options)
+    : observer_(observer), options_(options) {
+  first_alert_wall_.store(std::numeric_limits<double>::quiet_NaN(),
+                          std::memory_order_relaxed);
+}
+
+FoldPipeline::~FoldPipeline() { Drain(); }
+
+void FoldPipeline::Start() {
+  std::lock_guard lock(mutex_);
+  if (started_) return;
+  started_ = true;
+  start_time_ = std::chrono::steady_clock::now();
+  thread_ = std::thread([this] { FoldThread(); });
+}
+
+std::uint32_t FoldPipeline::RegisterSlot() {
+  std::lock_guard lock(mutex_);
+  slots_.emplace_back();
+  obs::Registry::Global().GetCounter("serve.ingest.connections").Increment();
+  return static_cast<std::uint32_t>(slots_.size() - 1);
+}
+
+bool FoldPipeline::Submit(std::uint32_t slot, std::uint64_t sequence,
+                          std::vector<sim::ProbeEvent> events) {
+  bool has_room = true;
+  {
+    std::lock_guard lock(mutex_);
+    Batch batch;
+    batch.sequence = sequence;
+    batch.slot = slot;
+    batch.events = std::move(events);
+    batch.submitted = std::chrono::steady_clock::now();
+    pending_.emplace(sequence, std::move(batch));
+    Slot& s = slots_[slot];
+    ++s.depth;
+    if (s.depth >= options_.max_slot_depth) {
+      s.paused = true;
+      has_room = false;
+      obs::Registry::Global()
+          .GetCounter("serve.ingest.backpressure_pauses")
+          .Increment();
+    }
+  }
+  cv_.notify_all();
+  return has_room;
+}
+
+void FoldPipeline::FinishSlot(std::uint32_t slot) {
+  bool ack_now = false;
+  {
+    std::lock_guard lock(mutex_);
+    Slot& s = slots_[slot];
+    s.finished = true;
+    if (s.depth == 0 && !s.acked) {
+      s.acked = true;
+      ack_now = true;
+    }
+  }
+  if (ack_now && ack_cb_) ack_cb_(slot);
+}
+
+void FoldPipeline::AbandonSlot(std::uint32_t slot) {
+  std::lock_guard lock(mutex_);
+  slots_[slot].abandoned = true;
+}
+
+void FoldPipeline::Drain() {
+  {
+    std::lock_guard lock(mutex_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+}
+
+double FoldPipeline::first_alert_wall_seconds() const {
+  return first_alert_wall_.load(std::memory_order_relaxed);
+}
+
+void FoldPipeline::FoldThread() {
+  obs::Registry& registry = obs::Registry::Global();
+  obs::Counter& records_counter = registry.GetCounter("serve.ingest.records");
+  obs::Counter& blocks_counter = registry.GetCounter("serve.ingest.blocks");
+  obs::Counter& gaps_counter =
+      registry.GetCounter("serve.ingest.sequence_gaps");
+  obs::Gauge& depth_gauge = registry.GetGauge("serve.ingest.queue_depth");
+  obs::Histogram& latency = FoldLatencyHistogram();
+
+  const auto gap_timeout = std::chrono::duration_cast<
+      std::chrono::steady_clock::duration>(
+      std::chrono::duration<double>(options_.gap_timeout_seconds));
+
+  std::unique_lock lock(mutex_);
+  while (true) {
+    if (pending_.empty()) {
+      if (stop_) break;
+      cv_.wait(lock,
+               [this] { return stop_ || !pending_.empty(); });
+      continue;
+    }
+
+    auto it = pending_.begin();
+    if (it->first != next_sequence_ && !stop_) {
+      // The globally-next block has not arrived.  Wait a bounded time —
+      // in a healthy session it is in flight on some socket — then step
+      // over the gap so one dead client cannot stall every other feed.
+      const auto deadline = std::chrono::steady_clock::now() + gap_timeout;
+      cv_.wait_until(lock, deadline, [this] {
+        return stop_ || pending_.count(next_sequence_) != 0;
+      });
+      it = pending_.begin();
+    }
+    if (it->first != next_sequence_) {
+      gaps_counter.Increment();
+      sequence_gaps_.fetch_add(1, std::memory_order_relaxed);
+    }
+
+    Batch batch = std::move(it->second);
+    pending_.erase(it);
+    next_sequence_ = batch.sequence + 1;
+
+    Slot& s = slots_[batch.slot];
+    --s.depth;
+    bool resume = false;
+    if (s.paused && s.depth <= options_.max_slot_depth / 2) {
+      s.paused = false;
+      resume = true;
+    }
+    bool ack = false;
+    if (s.finished && s.depth == 0 && !s.acked) {
+      s.acked = true;
+      ack = true;
+    }
+    depth_gauge.Set(static_cast<double>(pending_.size()));
+
+    lock.unlock();
+    {
+      std::lock_guard observer_lock(observer_mutex_);
+      FoldOne(batch);
+      if (!alert_seen_.load(std::memory_order_relaxed) && alert_probe_ &&
+          alert_probe_()) {
+        first_alert_wall_.store(SecondsSince(start_time_),
+                                std::memory_order_relaxed);
+        registry.GetGauge("serve.ingest.first_alert_wall_seconds")
+            .Set(first_alert_wall_.load(std::memory_order_relaxed));
+        alert_seen_.store(true, std::memory_order_release);
+      }
+    }
+    records_counter.Add(batch.events.size());
+    blocks_counter.Increment();
+    records_folded_.fetch_add(batch.events.size(), std::memory_order_relaxed);
+    blocks_folded_.fetch_add(1, std::memory_order_relaxed);
+    latency.Observe(SecondsSince(batch.submitted));
+    if (resume && resume_cb_) resume_cb_(batch.slot);
+    if (ack && ack_cb_) ack_cb_(batch.slot);
+    lock.lock();
+  }
+
+  // End of run: one last (order-free) finalize over every forked state.
+  lock.unlock();
+  std::vector<sim::ObserverShardState*> all;
+  for (auto& state : shard_states_) {
+    if (state) all.push_back(state.get());
+  }
+  if (!all.empty()) {
+    std::lock_guard observer_lock(observer_mutex_);
+    observer_.FinalizeShardStates(
+        std::span<sim::ObserverShardState* const>(all));
+  }
+}
+
+void FoldPipeline::WithObserverLock(const std::function<void()>& fn) {
+  std::lock_guard observer_lock(observer_mutex_);
+  fn();
+}
+
+void FoldPipeline::FoldOne(Batch& batch) {
+  if (batch.slot >= shard_states_.size()) {
+    shard_states_.resize(batch.slot + 1);
+  }
+  if (!shard_states_[batch.slot]) {
+    shard_states_[batch.slot] =
+        observer_.ForkShardState(static_cast<int>(batch.slot));
+  }
+  sim::ObserverShardState* state = shard_states_[batch.slot].get();
+  const std::span<sim::ObserverShardState* const> one{&state, 1};
+
+  // A trace block may span engine steps; the per-step observer protocol
+  // requires same-timestamp spans (a shard state's step_time is the
+  // span's first timestamp, and alert crossings fire at merge with that
+  // time).  Split into maximal same-time runs — two runs at one
+  // timestamp merge identically to one, so block boundaries are safe.
+  const std::span<const sim::ProbeEvent> events{batch.events};
+  std::size_t i = 0;
+  while (i < events.size()) {
+    std::size_t j = i + 1;
+    while (j < events.size() && events[j].time == events[i].time) ++j;
+    observer_.OnShardBatch(*state, events.subspan(i, j - i));
+    observer_.MergeShardStates(one);
+    i = j;
+  }
+  // Additive for every observer here (telescope unique-source absorption,
+  // TRW probes_seen), so finalizing per block keeps run-scoped metrics
+  // fresh for HTTP pollers without waiting for the session to end.
+  observer_.FinalizeShardStates(one);
+}
+
+}  // namespace hotspots::serve

@@ -1,0 +1,180 @@
+// The ingest fold pipeline: many connections, one exact analysis state.
+//
+// Every connection decodes its frames into batches of sim::ProbeEvent on
+// the I/O thread and submits them here tagged with the block's *global*
+// capture sequence.  A single fold thread then restores capture order (a
+// min-map keyed by sequence), splits each block into maximal
+// same-timestamp runs, and drives the shared MergeableObserver through
+// the exact per-step protocol the engine itself uses:
+//
+//   OnShardBatch(slot_state, run)  →  MergeShardStates({slot_state})
+//
+// with one shard state per connection (forked lazily on the fold thread).
+// Because ordered side effects — telescope alert-threshold crossings,
+// TRW/prevalence verdicts — happen only inside MergeShardStates, and
+// merges run in global capture order at the run's own timestamps, the
+// folded state is bit-identical to an embedded live run no matter how the
+// blocks were fanned out across sockets.  FinalizeShardStates is additive
+// for every observer in this repo (telescope, TRW, prevalence), so the
+// pipeline finalizes after every block: an HTTP metrics poll between
+// blocks sees fresh run-scoped values, not stale pre-finalize ones.
+//
+// Back-pressure: each connection slot may have at most
+// FoldOptions::max_slot_depth blocks queued.  Submit() returns false at
+// the cap — the server then stops reading that socket (TCP pushes back to
+// the sender) — and the resume callback fires once the slot drains to
+// half the cap.  This cannot deadlock the in-order fold: a client sends
+// its own blocks in increasing sequence order, so the globally-next block
+// is always at the head of some slot's queue, i.e. already submitted.  A
+// sequence that never arrives (a crashed client) is bounded by
+// FoldOptions::gap_timeout_seconds, after which the fold steps over the
+// gap and counts it — liveness is preserved, and the gap is visible in
+// `serve.ingest.sequence_gaps`.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "sim/observer.h"
+
+namespace hotspots::serve {
+
+struct FoldOptions {
+  /// Blocks a single connection may have queued before its socket reads
+  /// pause.  64 blocks × 4096 records bounds per-slot memory at a few MiB.
+  std::size_t max_slot_depth = 64;
+  /// How long the fold waits for a missing global sequence before folding
+  /// past the gap.  Only a crashed or misbehaving client ever trips this.
+  double gap_timeout_seconds = 5.0;
+};
+
+class FoldPipeline {
+ public:
+  /// `slot` may resume reading (its queue drained below the resume mark).
+  /// Invoked on the fold thread; implementations must only wake the I/O
+  /// loop (e.g. write a self-pipe), never touch connection state directly.
+  using ResumeCallback = std::function<void(std::uint32_t slot)>;
+  /// Every block `slot` submitted before FinishSlot() has been folded —
+  /// time to send its ACK.  Same threading contract as ResumeCallback.
+  using AckCallback = std::function<void(std::uint32_t slot)>;
+  /// Polled on the fold thread after each folded block; returns true once
+  /// the shared analysis state has raised its first alert.  The fold
+  /// thread is the only state mutator, so the probe may read the
+  /// telescope/detector objects without locking.
+  using AlertProbe = std::function<bool()>;
+
+  FoldPipeline(sim::MergeableObserver& observer, FoldOptions options = {});
+  ~FoldPipeline();
+
+  FoldPipeline(const FoldPipeline&) = delete;
+  FoldPipeline& operator=(const FoldPipeline&) = delete;
+
+  void set_resume_callback(ResumeCallback cb) { resume_cb_ = std::move(cb); }
+  void set_ack_callback(AckCallback cb) { ack_cb_ = std::move(cb); }
+  void set_alert_probe(AlertProbe probe) { alert_probe_ = std::move(probe); }
+
+  /// Starts the fold thread.  Callbacks must be set before Start().
+  void Start();
+
+  /// Registers a connection and returns its slot id (I/O thread).
+  std::uint32_t RegisterSlot();
+
+  /// Submits one decoded block (I/O thread).  Returns false when the slot
+  /// just hit its depth cap — the caller must stop reading the socket
+  /// until the resume callback names this slot.  The batch is queued
+  /// either way; nothing is dropped.
+  bool Submit(std::uint32_t slot, std::uint64_t sequence,
+              std::vector<sim::ProbeEvent> events);
+
+  /// The slot's FIN arrived and decoded clean: once its queue drains, the
+  /// ack callback fires (immediately if already empty).
+  void FinishSlot(std::uint32_t slot);
+
+  /// The slot died without a FIN.  Queued blocks still fold (they carry
+  /// valid data); the slot just never acks.
+  void AbandonSlot(std::uint32_t slot);
+
+  /// Folds everything queued (in order, no gap waits), finalizes all
+  /// shard states, and joins the fold thread.  Idempotent; the graceful
+  /// SIGTERM path.
+  void Drain();
+
+  /// Runs `fn` under the same lock the fold thread holds while mutating
+  /// the observer — the race-free way for another thread (the server's
+  /// HTTP snapshot path) to read or publish observer state.  Held only
+  /// per folded block, so waiters are never blocked for long.
+  void WithObserverLock(const std::function<void()>& fn);
+
+  [[nodiscard]] std::uint64_t records_folded() const {
+    return records_folded_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t blocks_folded() const {
+    return blocks_folded_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t sequence_gaps() const {
+    return sequence_gaps_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] bool alert_seen() const {
+    return alert_seen_.load(std::memory_order_acquire);
+  }
+  /// Wall seconds from Start() to the first alert; NaN before one.
+  [[nodiscard]] double first_alert_wall_seconds() const;
+
+ private:
+  struct Batch {
+    std::uint64_t sequence = 0;
+    std::uint32_t slot = 0;
+    std::vector<sim::ProbeEvent> events;
+    std::chrono::steady_clock::time_point submitted;
+  };
+
+  struct Slot {
+    std::size_t depth = 0;      ///< Blocks queued, not yet folded.
+    bool paused = false;        ///< Submit() hit the cap; resume pending.
+    bool finished = false;      ///< FIN seen.
+    bool abandoned = false;
+    bool acked = false;
+  };
+
+  void FoldThread();
+  /// Folds one block through the per-step observer protocol (no lock).
+  void FoldOne(Batch& batch);
+
+  sim::MergeableObserver& observer_;
+  const FoldOptions options_;
+
+  ResumeCallback resume_cb_;
+  AckCallback ack_cb_;
+  AlertProbe alert_probe_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::map<std::uint64_t, Batch> pending_;  ///< Global capture order.
+  std::vector<Slot> slots_;
+  std::uint64_t next_sequence_ = 0;
+  bool stop_ = false;
+  bool started_ = false;
+
+  /// Fold-thread-only: per-slot shard states, forked lazily.
+  std::vector<std::unique_ptr<sim::ObserverShardState>> shard_states_;
+  /// Serializes observer mutation (fold thread) against snapshot readers.
+  std::mutex observer_mutex_;
+
+  std::thread thread_;
+  std::chrono::steady_clock::time_point start_time_;
+  std::atomic<std::uint64_t> records_folded_{0};
+  std::atomic<std::uint64_t> blocks_folded_{0};
+  std::atomic<std::uint64_t> sequence_gaps_{0};
+  std::atomic<bool> alert_seen_{false};
+  std::atomic<double> first_alert_wall_{0.0};
+};
+
+}  // namespace hotspots::serve

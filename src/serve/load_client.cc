@@ -1,0 +1,261 @@
+#include "serve/load_client.h"
+
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <stdexcept>
+#include <thread>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "serve/protocol.h"
+#include "serve/wire.h"
+#include "trace/format.h"
+#include "trace/record_codec.h"
+
+namespace hotspots::serve {
+namespace {
+
+using trace::detail::LoadU32;
+using trace::detail::LoadU64;
+
+[[noreturn]] void FailErrno(const std::string& what) {
+  throw std::runtime_error("load: " + what + ": " + std::strerror(errno));
+}
+
+int ConnectTo(const std::string& host, std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) FailErrno("socket");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    throw std::runtime_error("load: bad host address " + host);
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    const int err = errno;
+    ::close(fd);
+    errno = err;
+    FailErrno("connect " + host + ":" + std::to_string(port));
+  }
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+  return fd;
+}
+
+void WriteAll(int fd, const std::uint8_t* data, std::size_t size) {
+  std::size_t sent = 0;
+  while (sent < size) {
+    // MSG_NOSIGNAL: a server that rejects the feed (fingerprint mismatch,
+    // protocol violation) closes mid-stream; that must surface as an EPIPE
+    // exception on this thread, never a process-wide SIGPIPE the host
+    // process may not have masked.
+    const ssize_t n = ::send(fd, data + sent, size - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      FailErrno("write");
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+}
+
+void ReadAll(int fd, std::uint8_t* data, std::size_t size) {
+  std::size_t got = 0;
+  while (got < size) {
+    const ssize_t n = ::read(fd, data + got, size - got);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      FailErrno("read");
+    }
+    if (n == 0) {
+      throw std::runtime_error(
+          "load: server closed the connection before the ACK");
+    }
+    got += static_cast<std::size_t>(n);
+  }
+}
+
+}  // namespace
+
+CorpusIndex::CorpusIndex(const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) {
+    throw trace::TraceError("trace: cannot open " + path + ": " +
+                            std::strerror(errno));
+  }
+  std::fseek(file, 0, SEEK_END);
+  const long size = std::ftell(file);
+  std::fseek(file, 0, SEEK_SET);
+  bytes_.resize(size > 0 ? static_cast<std::size_t>(size) : 0);
+  if (!bytes_.empty() &&
+      std::fread(bytes_.data(), 1, bytes_.size(), file) != bytes_.size()) {
+    std::fclose(file);
+    throw trace::TraceError("trace: short read on " + path);
+  }
+  std::fclose(file);
+
+  if (bytes_.size() < trace::kHeaderBytes ||
+      std::memcmp(bytes_.data(), trace::kMagic, sizeof trace::kMagic) != 0) {
+    throw trace::TraceError("trace: " + path +
+                            " is not a hotspots.trace.v1 file");
+  }
+
+  // Frame walk only: offsets and declared sizes.  The daemon CRC-checks
+  // and decodes every block on receipt, so indexing stays I/O-cheap.
+  std::size_t offset = trace::kHeaderBytes;
+  for (;;) {
+    if (offset + trace::kBlockFrameBytes > bytes_.size()) {
+      throw trace::TraceError("trace: " + path + " @byte " +
+                              std::to_string(offset) +
+                              ": truncated block frame");
+    }
+    const std::uint32_t records = LoadU32(bytes_.data() + offset);
+    const std::uint32_t payload = LoadU32(bytes_.data() + offset + 4);
+    if (records > trace::kMaxBlockRecords ||
+        payload > trace::kMaxBlockPayloadBytes) {
+      throw trace::TraceError("trace: " + path + " @byte " +
+                              std::to_string(offset) +
+                              ": frame exceeds the format ceiling");
+    }
+    const std::size_t end = offset + trace::kBlockFrameBytes + payload;
+    if (end > bytes_.size()) {
+      throw trace::TraceError("trace: " + path + " @byte " +
+                              std::to_string(offset) +
+                              ": truncated block payload");
+    }
+    if (records == 0) {
+      if (payload != trace::kTrailerPayloadBytes) {
+        throw trace::TraceError("trace: " + path + " @byte " +
+                                std::to_string(offset) +
+                                ": truncated trailer payload");
+      }
+      last_time_bits_ =
+          LoadU64(bytes_.data() + offset + trace::kBlockFrameBytes + 16);
+      if (end != bytes_.size()) {
+        throw trace::TraceError("trace: " + path +
+                                ": trailing bytes after the trailer");
+      }
+      break;
+    }
+    blocks_.push_back(BlockSpan{offset, trace::kBlockFrameBytes + payload,
+                                records});
+    total_records_ += records;
+    offset = end;
+  }
+}
+
+LoadReport RunLoad(const CorpusIndex& corpus, const LoadOptions& options) {
+  if (options.connections == 0) {
+    throw std::runtime_error("load: need at least one connection");
+  }
+  if (options.loops == 0) {
+    throw std::runtime_error("load: need at least one loop");
+  }
+  const std::uint32_t fanout = options.connections;
+  const std::uint64_t corpus_blocks = corpus.blocks().size();
+  const double per_connection_rate =
+      options.rate > 0.0 ? options.rate / fanout : 0.0;
+
+  struct ConnResult {
+    std::uint64_t records = 0;
+    std::uint64_t blocks = 0;
+    std::uint64_t bytes = 0;
+    double ack_latency = 0.0;
+    std::string error;
+  };
+  std::vector<ConnResult> results(fanout);
+
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<std::thread> threads;
+  threads.reserve(fanout);
+  for (std::uint32_t c = 0; c < fanout; ++c) {
+    threads.emplace_back([&, c] {
+      ConnResult& result = results[c];
+      int fd = -1;
+      try {
+        fd = ConnectTo(options.host, options.port);
+        std::vector<std::uint8_t> buffer;
+        AppendHello(buffer, c, fanout,
+                    {corpus.header(), trace::kHeaderBytes});
+        WriteAll(fd, buffer.data(), buffer.size());
+        result.bytes += buffer.size();
+
+        const auto pace_start = std::chrono::steady_clock::now();
+        for (std::uint32_t loop = 0; loop < options.loops; ++loop) {
+          for (std::uint64_t i = c; i < corpus_blocks; i += fanout) {
+            const CorpusIndex::BlockSpan& span = corpus.blocks()[i];
+            buffer.clear();
+            AppendBlock(buffer,
+                        static_cast<std::uint64_t>(loop) * corpus_blocks + i,
+                        {corpus.bytes().data() + span.offset, span.size});
+            WriteAll(fd, buffer.data(), buffer.size());
+            result.bytes += buffer.size();
+            result.records += span.records;
+            ++result.blocks;
+            if (per_connection_rate > 0.0) {
+              // Pace against the schedule, not the previous send, so a
+              // slow write does not compound into permanent lag.
+              const double due =
+                  static_cast<double>(result.records) / per_connection_rate;
+              const auto due_at =
+                  pace_start + std::chrono::duration_cast<
+                                   std::chrono::steady_clock::duration>(
+                                   std::chrono::duration<double>(due));
+              std::this_thread::sleep_until(due_at);
+            }
+          }
+        }
+
+        buffer.clear();
+        const std::vector<std::uint8_t> trailer = BuildConnectionTrailer(
+            result.records, result.blocks, corpus.last_time_bits());
+        AppendFin(buffer, trailer);
+        const auto fin_at = std::chrono::steady_clock::now();
+        WriteAll(fd, buffer.data(), buffer.size());
+        result.bytes += buffer.size();
+
+        std::uint8_t ack[kFrameHeaderBytes];
+        ReadAll(fd, ack, sizeof ack);
+        if (LoadU32(ack + 4) != static_cast<std::uint32_t>(FrameType::kAck)) {
+          throw std::runtime_error("load: expected ACK, got frame type " +
+                                   std::to_string(LoadU32(ack + 4)));
+        }
+        result.ack_latency =
+            std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                          fin_at)
+                .count();
+      } catch (const std::exception& error) {
+        result.error = error.what();
+      }
+      if (fd >= 0) ::close(fd);
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+
+  LoadReport report;
+  for (std::uint32_t c = 0; c < fanout; ++c) {
+    if (!results[c].error.empty()) {
+      throw std::runtime_error("load: connection " + std::to_string(c) +
+                               ": " + results[c].error);
+    }
+    report.records_sent += results[c].records;
+    report.blocks_sent += results[c].blocks;
+    report.bytes_sent += results[c].bytes;
+    report.ack_latency_seconds.push_back(results[c].ack_latency);
+  }
+  report.wall_seconds = wall;
+  report.records_per_sec =
+      wall > 0.0 ? static_cast<double>(report.records_sent) / wall : 0.0;
+  return report;
+}
+
+}  // namespace hotspots::serve

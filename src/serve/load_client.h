@@ -1,0 +1,84 @@
+// Replay traffic generator for the telescope ingest daemon.
+//
+// A captured `hotspots.trace.v1` corpus is indexed once into raw block
+// byte spans — the load path never re-encodes a record — and fanned out
+// over N concurrent TCP connections: connection c carries exactly the
+// blocks whose capture index i satisfies i % N == c, tagged with their
+// global sequence (loop * total_blocks + i), so the server's in-order
+// fold reconstructs the original stream regardless of socket
+// interleaving.  Each connection is a plain blocking-socket thread:
+// HELLO, its block subsequence (optionally paced to an aggregate record
+// rate), FIN with its own record/block totals, then a blocking wait for
+// the server's ACK — which is the durability barrier the equality tests
+// and the ingest bench rely on.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace hotspots::serve {
+
+/// A corpus file sliced into send-ready spans.
+class CorpusIndex {
+ public:
+  /// Reads and indexes `path`.  Throws trace::TraceError on a file that
+  /// is not structurally a trace (frame walk only; CRCs are the
+  /// server's job).
+  explicit CorpusIndex(const std::string& path);
+
+  [[nodiscard]] const std::vector<std::uint8_t>& bytes() const {
+    return bytes_;
+  }
+  /// The 48-byte file header (HELLO payload material).
+  [[nodiscard]] const std::uint8_t* header() const { return bytes_.data(); }
+
+  struct BlockSpan {
+    std::size_t offset = 0;  ///< Into bytes(), at the block frame.
+    std::size_t size = 0;    ///< Frame + payload.
+    std::uint32_t records = 0;
+  };
+  [[nodiscard]] const std::vector<BlockSpan>& blocks() const {
+    return blocks_;
+  }
+  [[nodiscard]] std::uint64_t total_records() const { return total_records_; }
+  [[nodiscard]] std::uint64_t last_time_bits() const {
+    return last_time_bits_;
+  }
+
+ private:
+  std::vector<std::uint8_t> bytes_;
+  std::vector<BlockSpan> blocks_;
+  std::uint64_t total_records_ = 0;
+  std::uint64_t last_time_bits_ = 0;
+};
+
+struct LoadOptions {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+  /// Fan-out: concurrent connections the corpus is striped over.
+  std::uint32_t connections = 1;
+  /// Aggregate records/second across all connections; 0 = unthrottled.
+  double rate = 0.0;
+  /// Times the corpus is replayed back-to-back (sequences keep rising).
+  std::uint32_t loops = 1;
+};
+
+struct LoadReport {
+  std::uint64_t records_sent = 0;
+  std::uint64_t blocks_sent = 0;
+  std::uint64_t bytes_sent = 0;
+  /// Wall time from first connect to last ACK.
+  double wall_seconds = 0.0;
+  double records_per_sec = 0.0;
+  /// Per-connection wall time from its FIN write to its ACK — the tail
+  /// of the server's fold queue as seen from outside.
+  std::vector<double> ack_latency_seconds;
+};
+
+/// Runs the replay and blocks until every connection is acked.  Throws
+/// std::runtime_error on connect/protocol failures.
+[[nodiscard]] LoadReport RunLoad(const CorpusIndex& corpus,
+                                 const LoadOptions& options);
+
+}  // namespace hotspots::serve

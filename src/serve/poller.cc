@@ -1,0 +1,171 @@
+#include "serve/poller.h"
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+#include <unordered_map>
+
+#include <poll.h>
+#include <unistd.h>
+
+#if defined(__linux__)
+#define HOTSPOTS_HAVE_EPOLL 1
+#include <sys/epoll.h>
+#else
+#define HOTSPOTS_HAVE_EPOLL 0
+#endif
+
+namespace hotspots::serve {
+namespace {
+
+[[noreturn]] void FailErrno(const std::string& what) {
+  throw std::runtime_error("poller: " + what + ": " +
+                           std::strerror(errno));
+}
+
+class PollPoller final : public Poller {
+ public:
+  void Add(int fd, bool want_read, bool want_write) override {
+    if (index_.count(fd) != 0) {
+      throw std::runtime_error("poller: fd " + std::to_string(fd) +
+                               " already registered");
+    }
+    index_[fd] = fds_.size();
+    fds_.push_back(pollfd{fd, Mask(want_read, want_write), 0});
+  }
+
+  void Update(int fd, bool want_read, bool want_write) override {
+    fds_[At(fd)].events = Mask(want_read, want_write);
+  }
+
+  void Remove(int fd) override {
+    const std::size_t i = At(fd);
+    const std::size_t last = fds_.size() - 1;
+    if (i != last) {
+      fds_[i] = fds_[last];
+      index_[fds_[i].fd] = i;
+    }
+    fds_.pop_back();
+    index_.erase(fd);
+  }
+
+  int Wait(std::vector<PollEvent>& out, int timeout_ms) override {
+    out.clear();
+    const int n = ::poll(fds_.data(), fds_.size(), timeout_ms);
+    if (n < 0) {
+      if (errno == EINTR) return 0;
+      FailErrno("poll");
+    }
+    for (const pollfd& p : fds_) {
+      if (p.revents == 0) continue;
+      PollEvent ev;
+      ev.fd = p.fd;
+      ev.readable = (p.revents & (POLLIN | POLLHUP)) != 0;
+      ev.writable = (p.revents & POLLOUT) != 0;
+      ev.error = (p.revents & (POLLERR | POLLNVAL)) != 0;
+      out.push_back(ev);
+      if (static_cast<int>(out.size()) == n) break;
+    }
+    return static_cast<int>(out.size());
+  }
+
+  const char* name() const override { return "poll"; }
+
+ private:
+  static short Mask(bool want_read, bool want_write) {
+    short events = 0;
+    if (want_read) events |= POLLIN;
+    if (want_write) events |= POLLOUT;
+    return events;
+  }
+
+  std::size_t At(int fd) const {
+    const auto it = index_.find(fd);
+    if (it == index_.end()) {
+      throw std::runtime_error("poller: fd " + std::to_string(fd) +
+                               " not registered");
+    }
+    return it->second;
+  }
+
+  std::vector<pollfd> fds_;
+  std::unordered_map<int, std::size_t> index_;
+};
+
+#if HOTSPOTS_HAVE_EPOLL
+
+class EpollPoller final : public Poller {
+ public:
+  EpollPoller() : epfd_(::epoll_create1(EPOLL_CLOEXEC)) {
+    if (epfd_ < 0) FailErrno("epoll_create1");
+  }
+
+  ~EpollPoller() override { ::close(epfd_); }
+
+  void Add(int fd, bool want_read, bool want_write) override {
+    Ctl(EPOLL_CTL_ADD, fd, want_read, want_write);
+  }
+
+  void Update(int fd, bool want_read, bool want_write) override {
+    Ctl(EPOLL_CTL_MOD, fd, want_read, want_write);
+  }
+
+  void Remove(int fd) override {
+    epoll_event unused{};
+    if (::epoll_ctl(epfd_, EPOLL_CTL_DEL, fd, &unused) != 0) {
+      FailErrno("epoll_ctl(DEL)");
+    }
+  }
+
+  int Wait(std::vector<PollEvent>& out, int timeout_ms) override {
+    out.clear();
+    epoll_event events[128];
+    const int n = ::epoll_wait(epfd_, events, 128, timeout_ms);
+    if (n < 0) {
+      if (errno == EINTR) return 0;
+      FailErrno("epoll_wait");
+    }
+    out.reserve(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) {
+      PollEvent ev;
+      ev.fd = events[i].data.fd;
+      ev.readable = (events[i].events & (EPOLLIN | EPOLLHUP)) != 0;
+      ev.writable = (events[i].events & EPOLLOUT) != 0;
+      ev.error = (events[i].events & EPOLLERR) != 0;
+      out.push_back(ev);
+    }
+    return n;
+  }
+
+  const char* name() const override { return "epoll"; }
+
+ private:
+  void Ctl(int op, int fd, bool want_read, bool want_write) {
+    epoll_event ev{};
+    if (want_read) ev.events |= EPOLLIN;
+    if (want_write) ev.events |= EPOLLOUT;
+    ev.data.fd = fd;
+    if (::epoll_ctl(epfd_, op, fd, &ev) != 0) FailErrno("epoll_ctl");
+  }
+
+  int epfd_;
+};
+
+#endif  // HOTSPOTS_HAVE_EPOLL
+
+}  // namespace
+
+std::unique_ptr<Poller> Poller::Create(bool force_poll) {
+  const char* env = std::getenv("HOTSPOTS_SERVE_POLLER");
+  if (env != nullptr && std::string(env) == "poll") force_poll = true;
+#if HOTSPOTS_HAVE_EPOLL
+  if (!force_poll) return std::make_unique<EpollPoller>();
+#else
+  (void)force_poll;
+#endif
+  return std::make_unique<PollPoller>();
+}
+
+}  // namespace hotspots::serve

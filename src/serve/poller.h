@@ -1,0 +1,64 @@
+// Readiness-notification abstraction for the telescope server.
+//
+// The server's event loop only needs four verbs — watch an fd, change
+// what you're watching for, stop watching, wait — so that is the whole
+// interface.  Two implementations exist:
+//
+//   * EpollPoller (Linux): O(ready) wakeups via epoll, level-triggered.
+//     Level triggering is deliberate: the server's back-pressure story
+//     relies on *not* draining a socket when the fold queue is full, and
+//     level-triggered readiness re-arms that socket for free once
+//     reading resumes.  Edge triggering would force a drain-everything
+//     discipline that fights the bounded-buffer design.
+//   * PollPoller (portable): poll(2) over a dense array.  O(watched) per
+//     wait, fine for tests and modest fan-in, and the only option on
+//     non-Linux hosts.
+//
+// Create() picks epoll when the platform has it, unless the caller (or
+// the HOTSPOTS_SERVE_POLLER=poll environment override) forces the
+// fallback — which is how CI exercises both paths on one machine.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+namespace hotspots::serve {
+
+struct PollEvent {
+  int fd = -1;
+  bool readable = false;
+  bool writable = false;
+  /// Error/hangup on the fd; the owner should tear the connection down.
+  bool error = false;
+};
+
+class Poller {
+ public:
+  virtual ~Poller() = default;
+
+  /// Starts watching `fd`.  Watching neither direction is legal — the fd
+  /// stays registered (errors are still reported) but never wakes the
+  /// loop for I/O; this is the paused state back-pressure uses.
+  virtual void Add(int fd, bool want_read, bool want_write) = 0;
+  /// Changes the watched directions of a registered fd.
+  virtual void Update(int fd, bool want_read, bool want_write) = 0;
+  /// Stops watching `fd` (must precede close(fd)).
+  virtual void Remove(int fd) = 0;
+
+  /// Blocks up to `timeout_ms` (-1 = forever) and appends ready fds to
+  /// `out` (which is cleared first).  Returns the number of events; 0 on
+  /// timeout.  EINTR is absorbed and reported as a timeout so signal
+  /// delivery (SIGTERM → self-pipe) never surfaces as an error.
+  virtual int Wait(std::vector<PollEvent>& out, int timeout_ms) = 0;
+
+  /// "epoll" or "poll" — logged at startup so a run records which
+  /// readiness path it exercised.
+  [[nodiscard]] virtual const char* name() const = 0;
+
+  /// Builds the best poller for this platform: epoll on Linux, poll
+  /// elsewhere.  `force_poll` (or HOTSPOTS_SERVE_POLLER=poll in the
+  /// environment) selects the portable fallback explicitly.
+  static std::unique_ptr<Poller> Create(bool force_poll = false);
+};
+
+}  // namespace hotspots::serve

@@ -1,0 +1,116 @@
+// `hotspots.ingest.v1` — the telescope server's wire protocol.
+//
+// The trace subsystem (src/trace) made the probe stream a *file*; this
+// protocol makes it a *network stream*, so many vantage points can feed
+// one shared telescope + detector fold (src/serve/fold.h).  The design
+// rule is maximal reuse of the proven trace encoding: the bytes inside
+// ingest frames ARE `hotspots.trace.v1` structures — the 48-byte trace
+// header rides in the handshake, every data frame carries one CRC-framed
+// trace block verbatim, and the finish frame carries a per-connection
+// trailer.  A server therefore decodes connections with the same
+// incremental StreamDecoder the tests pin against files, and a client can
+// replay a captured corpus by slicing the file, never re-encoding.
+//
+// Framing (all integers little-endian):
+//
+//   frame header (16 bytes)
+//     [ 0..4)   u32  payload length L (<= kMaxFramePayloadBytes)
+//     [ 4..8)   u32  frame type (FrameType below)
+//     [ 8..16)  u64  sequence
+//   then L payload bytes.
+//
+//   HELLO (client -> server, first frame; seq 0) — payload 72 bytes:
+//     [ 0..8)   magic "HSPTSRV1"
+//     [ 8..12)  u32  protocol version (1)
+//     [12..16)  u32  connection index C within the replay session
+//     [16..20)  u32  session fan-out F (C < F); F=1 for a lone stream
+//     [20..24)  u32  reserved (0)
+//     [24..72)  the stream's 48-byte hotspots.trace.v1 file header
+//               (carries the scenario fingerprint + seed, so the server
+//               can refuse mixed-scenario sessions)
+//
+//   BLOCK (client -> server) — payload: one CRC-framed trace block
+//     (12-byte block frame + payload), verbatim.  `sequence` is the
+//     block's position in the *original capture order* across the whole
+//     session; the fold thread restores that global order before folding,
+//     which is what keeps first-alert times bit-identical to an embedded
+//     run no matter how the blocks were fanned out.
+//
+//   FIN (client -> server; seq 0) — payload: the stream's 36-byte trailer
+//     (block frame with record count 0 + 24-byte payload) carrying the
+//     records/blocks THIS connection sent; the per-connection decoder
+//     verifies it like a file trailer.
+//
+//   ACK (server -> client; seq 0, empty payload) — sent once every block
+//     of the connection has been folded into the shared state.  The ack
+//     is the client's durability signal: after ACK, a metrics poll will
+//     see this connection's probes.
+//
+// Back-pressure: there is none in-band.  A server that cannot fold fast
+// enough simply stops reading the saturated connection's socket and lets
+// TCP flow control push back to the sender; it resumes reading when the
+// fold queue drains.  Slow *consumers* (an HTTP poller that stops
+// reading its response) are disconnected once their output buffer
+// exceeds the server's bound.  Protocol violations — bad magic, frame
+// ceilings exceeded, CRC failures, a BLOCK before HELLO — close the
+// connection; a network peer is disconnected, never salvaged.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+#include "trace/format.h"
+
+namespace hotspots::serve {
+
+/// Schema identifier used in docs, sidecars, and diagnostics.
+inline constexpr const char* kIngestSchema = "hotspots.ingest.v1";
+
+inline constexpr char kIngestMagic[8] = {'H', 'S', 'P', 'T',
+                                         'S', 'R', 'V', '1'};
+inline constexpr std::uint32_t kIngestVersion = 1;
+
+inline constexpr std::size_t kFrameHeaderBytes = 16;
+inline constexpr std::size_t kHelloPayloadBytes = 24 + trace::kHeaderBytes;
+inline constexpr std::size_t kFinPayloadBytes =
+    trace::kBlockFrameBytes + trace::kTrailerPayloadBytes;
+
+/// Hard ceiling on a declared frame payload: one maximal trace block.
+/// A corrupt or hostile length field can never drive a large allocation.
+inline constexpr std::uint32_t kMaxFramePayloadBytes =
+    trace::kBlockFrameBytes + trace::kMaxBlockPayloadBytes;
+
+enum class FrameType : std::uint32_t {
+  kHello = 1,
+  kBlock = 2,
+  kFin = 3,
+  kAck = 4,
+};
+
+/// Any malformed ingest input — undersized handshake, unknown frame type,
+/// ceiling violations — raises this on the parsing side; the server turns
+/// it into a counted disconnect, never UB.
+class IngestError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Parsed 16-byte frame header.
+struct FrameHeader {
+  std::uint32_t length = 0;
+  std::uint32_t type = 0;
+  std::uint64_t sequence = 0;
+};
+
+/// Parsed HELLO payload.
+struct Hello {
+  std::uint32_t version = kIngestVersion;
+  std::uint32_t connection = 0;
+  std::uint32_t fanout = 1;
+  /// The embedded hotspots.trace.v1 file header, verbatim — fed to the
+  /// connection's StreamDecoder so the trace layer owns its validation.
+  std::uint8_t trace_header[trace::kHeaderBytes] = {};
+};
+
+}  // namespace hotspots::serve

@@ -1,0 +1,323 @@
+#include "serve/server.h"
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <stdexcept>
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "obs/export.h"
+#include "obs/metrics.h"
+
+namespace hotspots::serve {
+namespace {
+
+[[noreturn]] void FailErrno(const std::string& what) {
+  throw std::runtime_error("serve: " + what + ": " + std::strerror(errno));
+}
+
+void SetNonBlocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) != 0) {
+    FailErrno("fcntl(O_NONBLOCK)");
+  }
+}
+
+}  // namespace
+
+TelescopeServer::TelescopeServer(sim::MergeableObserver& observer,
+                                 ServerOptions options)
+    : observer_(observer),
+      options_(std::move(options)),
+      fold_(observer_, options_.fold),
+      poller_(Poller::Create(options_.force_poll)) {}
+
+TelescopeServer::~TelescopeServer() {
+  connections_.clear();
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+  if (wake_read_ >= 0) ::close(wake_read_);
+  if (wake_write_ >= 0) ::close(wake_write_);
+}
+
+const char* TelescopeServer::poller_name() const { return poller_->name(); }
+
+void TelescopeServer::Bind() {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) FailErrno("socket");
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  if (::inet_pton(AF_INET, options_.bind_address.c_str(), &addr.sin_addr) !=
+      1) {
+    throw std::runtime_error("serve: bad bind address " +
+                             options_.bind_address);
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) !=
+      0) {
+    FailErrno("bind " + options_.bind_address + ":" +
+              std::to_string(options_.port));
+  }
+  if (::listen(listen_fd_, 128) != 0) FailErrno("listen");
+  SetNonBlocking(listen_fd_);
+
+  socklen_t len = sizeof addr;
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len) !=
+      0) {
+    FailErrno("getsockname");
+  }
+  bound_port_ = ntohs(addr.sin_port);
+
+  int pipe_fds[2];
+  if (::pipe(pipe_fds) != 0) FailErrno("pipe");
+  wake_read_ = pipe_fds[0];
+  wake_write_ = pipe_fds[1];
+  SetNonBlocking(wake_read_);
+  SetNonBlocking(wake_write_);
+}
+
+void TelescopeServer::RequestShutdown() {
+  shutdown_requested_.store(true, std::memory_order_release);
+  const char byte = 'q';
+  // Async-signal-safe: a single write; EAGAIN means the pipe already has
+  // a pending wake, which is just as good.
+  [[maybe_unused]] const ssize_t n = ::write(wake_write_, &byte, 1);
+}
+
+Connection::Hooks TelescopeServer::MakeHooks() {
+  Connection::Hooks hooks;
+  hooks.fold = &fold_;
+  hooks.max_output_buffer = options_.max_output_buffer;
+  hooks.metrics_json = [this] { return RenderMetrics(false); };
+  hooks.metrics_prom = [this] { return RenderMetrics(true); };
+  if (options_.enforce_fingerprint) {
+    const std::uint64_t expected = options_.expected_fingerprint;
+    hooks.on_hello = [expected](const Hello& hello) {
+      // The fingerprint sits at bytes [16..24) of the embedded header;
+      // the decoder re-validates the full header later, this check only
+      // guards session admission.
+      std::uint64_t fp = 0;
+      for (int i = 7; i >= 0; --i) {
+        fp = (fp << 8) | hello.trace_header[16 + i];
+      }
+      if (fp != expected) {
+        throw IngestError("ingest: scenario fingerprint " +
+                          std::to_string(fp) +
+                          " does not match this daemon's scenario " +
+                          std::to_string(expected));
+      }
+    };
+  }
+  return hooks;
+}
+
+std::string TelescopeServer::RenderMetrics(bool prometheus) {
+  obs::Snapshot snapshot;
+  fold_.WithObserverLock([&] {
+    if (before_snapshot_) before_snapshot_();
+    snapshot = obs::Registry::Global().TakeSnapshot();
+  });
+  return prometheus ? obs::SnapshotToPrometheus(snapshot)
+                    : obs::SnapshotToJson(snapshot);
+}
+
+std::string TelescopeServer::MetricsJson() { return RenderMetrics(false); }
+
+void TelescopeServer::Accept() {
+  for (;;) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) return;
+      return;  // Transient accept failures are not fatal to the loop.
+    }
+    SetNonBlocking(fd);
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+    Entry entry;
+    entry.connection =
+        std::make_unique<Connection>(fd, next_connection_id_++, MakeHooks());
+    entry.want_read = true;
+    entry.want_write = false;
+    poller_->Add(fd, true, false);
+    connections_.emplace(fd, std::move(entry));
+  }
+}
+
+void TelescopeServer::SyncInterest(int fd) {
+  auto it = connections_.find(fd);
+  if (it == connections_.end()) return;
+  Entry& entry = it->second;
+  Connection& conn = *entry.connection;
+  if (conn.closed()) {
+    CloseConnection(fd);
+    return;
+  }
+  if (conn.slot() >= 0 &&
+      slot_to_fd_.count(static_cast<std::uint32_t>(conn.slot())) == 0) {
+    slot_to_fd_[static_cast<std::uint32_t>(conn.slot())] = fd;
+  }
+  const bool want_read = conn.want_read();
+  const bool want_write = conn.want_write();
+  if (want_read != entry.want_read || want_write != entry.want_write) {
+    poller_->Update(fd, want_read, want_write);
+    entry.want_read = want_read;
+    entry.want_write = want_write;
+  }
+}
+
+void TelescopeServer::CloseConnection(int fd) {
+  auto it = connections_.find(fd);
+  if (it == connections_.end()) return;
+  const Connection& conn = *it->second.connection;
+  if (conn.slot() >= 0) {
+    slot_to_fd_.erase(static_cast<std::uint32_t>(conn.slot()));
+  }
+  poller_->Remove(fd);
+  connections_.erase(it);  // Destructor closes the fd.
+}
+
+void TelescopeServer::HandleWake() {
+  char buffer[256];
+  while (::read(wake_read_, buffer, sizeof buffer) > 0) {
+  }
+  std::vector<std::uint32_t> resumes;
+  std::vector<std::uint32_t> acks;
+  {
+    std::lock_guard lock(mailbox_mutex_);
+    resumes.swap(pending_resumes_);
+    acks.swap(pending_acks_);
+  }
+  for (const std::uint32_t slot : resumes) {
+    const auto it = slot_to_fd_.find(slot);
+    if (it == slot_to_fd_.end()) continue;
+    connections_[it->second].connection->ResumeReads();
+    SyncInterest(it->second);
+  }
+  for (const std::uint32_t slot : acks) {
+    const auto it = slot_to_fd_.find(slot);
+    if (it == slot_to_fd_.end()) continue;
+    const int fd = it->second;
+    connections_[fd].connection->QueueAck();
+    SyncInterest(fd);
+  }
+}
+
+void TelescopeServer::Run() {
+  if (listen_fd_ < 0) Bind();
+
+  fold_.set_resume_callback([this](std::uint32_t slot) {
+    {
+      std::lock_guard lock(mailbox_mutex_);
+      pending_resumes_.push_back(slot);
+    }
+    const char byte = 'r';
+    [[maybe_unused]] const ssize_t n = ::write(wake_write_, &byte, 1);
+  });
+  fold_.set_ack_callback([this](std::uint32_t slot) {
+    {
+      std::lock_guard lock(mailbox_mutex_);
+      pending_acks_.push_back(slot);
+    }
+    const char byte = 'a';
+    [[maybe_unused]] const ssize_t n = ::write(wake_write_, &byte, 1);
+  });
+  fold_.Start();
+
+  poller_->Add(listen_fd_, true, false);
+  poller_->Add(wake_read_, true, false);
+
+  bool draining = false;
+  std::chrono::steady_clock::time_point drain_deadline;
+  std::vector<PollEvent> events;
+
+  for (;;) {
+    int timeout_ms = -1;
+    if (draining) {
+      const auto remaining = drain_deadline - std::chrono::steady_clock::now();
+      const auto ms =
+          std::chrono::duration_cast<std::chrono::milliseconds>(remaining)
+              .count();
+      if (ms <= 0) break;
+      timeout_ms = static_cast<int>(ms < 100 ? ms : 100);
+    }
+    poller_->Wait(events, timeout_ms);
+
+    for (const PollEvent& event : events) {
+      if (event.fd == listen_fd_) {
+        if (!draining && event.readable) Accept();
+        continue;
+      }
+      if (event.fd == wake_read_) {
+        HandleWake();
+        continue;
+      }
+      auto it = connections_.find(event.fd);
+      if (it == connections_.end()) continue;
+      Connection& conn = *it->second.connection;
+      if (event.error) {
+        conn.OnError();
+      } else {
+        if (event.writable) conn.OnWritable();
+        if (event.readable) conn.OnReadable();
+      }
+      SyncInterest(event.fd);
+    }
+
+    if (!draining &&
+        shutdown_requested_.load(std::memory_order_acquire)) {
+      draining = true;
+      drain_deadline =
+          std::chrono::steady_clock::now() +
+          std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+              std::chrono::duration<double>(options_.drain_timeout_seconds));
+      poller_->Remove(listen_fd_);
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+      // Connections that never completed a request/handshake have
+      // nothing to drain; close them now.
+      std::vector<int> idle;
+      for (const auto& [fd, entry] : connections_) {
+        const Connection& conn = *entry.connection;
+        if (conn.slot() < 0 && !conn.want_write()) idle.push_back(fd);
+      }
+      for (const int fd : idle) CloseConnection(fd);
+    }
+
+    if (draining) {
+      bool busy = false;
+      for (const auto& [fd, entry] : connections_) {
+        if (entry.connection->ingest_unfinished() ||
+            entry.connection->want_write()) {
+          busy = true;
+          break;
+        }
+      }
+      if (!busy) break;
+    }
+  }
+
+  // Whatever is left did not finish inside the drain window: abandon the
+  // unfinished ingest feeds (their queued blocks still fold) and close.
+  for (const auto& [fd, entry] : connections_) {
+    const Connection& conn = *entry.connection;
+    if (conn.slot() >= 0 && conn.ingest_unfinished()) {
+      fold_.AbandonSlot(static_cast<std::uint32_t>(conn.slot()));
+    }
+  }
+  std::vector<int> remaining;
+  remaining.reserve(connections_.size());
+  for (const auto& [fd, entry] : connections_) remaining.push_back(fd);
+  for (const int fd : remaining) CloseConnection(fd);
+
+  fold_.Drain();
+}
+
+}  // namespace hotspots::serve

@@ -1,0 +1,137 @@
+// The telescope ingest daemon: one port, many feeds, live metrics.
+//
+// TelescopeServer binds a single TCP port and runs a non-blocking
+// readiness loop (Poller: epoll on Linux, poll elsewhere).  Accepted
+// connections self-select their protocol — `hotspots.ingest.v1` record
+// streams or HTTP/1.0 metrics polls (see connection.h) — and every
+// decoded probe folds through the shared MergeableObserver on the
+// FoldPipeline's single fold thread, in global capture order, so the
+// daemon's telescope/detector state is bit-identical to an embedded run
+// of the same stream.
+//
+// Threading: exactly two threads touch server state.  The I/O thread
+// owns the sockets, the poller, and every Connection; the fold thread
+// owns the observer.  They meet in two places only: the fold queue
+// (FoldPipeline's mutex) and the wake pipe — fold-side resume/ack
+// decisions are queued under a mutex and a byte is written to a self-pipe
+// the poller watches, so the I/O thread applies them on its own thread.
+// RequestShutdown() writes the same pipe and nothing else, which makes it
+// async-signal-safe: `signal(SIGTERM, ...)` handlers may call it
+// directly.
+//
+// Graceful drain: on shutdown the server stops accepting, gives
+// in-flight connections ServerOptions::drain_timeout_seconds to finish
+// (ingest peers get their ACKs, HTTP responses flush), then abandons
+// stragglers, folds everything already queued, finalizes shard states,
+// and returns from Run().
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "serve/connection.h"
+#include "serve/fold.h"
+#include "serve/poller.h"
+
+namespace hotspots::serve {
+
+struct ServerOptions {
+  std::string bind_address = "127.0.0.1";
+  /// 0 binds an ephemeral port; read the result back from port().
+  std::uint16_t port = 0;
+  /// Force the portable poll(2) backend (HOTSPOTS_SERVE_POLLER=poll in
+  /// the environment does the same).
+  bool force_poll = false;
+  FoldOptions fold;
+  std::size_t max_output_buffer = std::size_t{1} << 20;
+  double drain_timeout_seconds = 5.0;
+  /// When set, every HELLO's embedded trace header must carry this
+  /// scenario fingerprint; mismatching feeds are rejected so one daemon
+  /// never folds two different scenarios into one state.
+  bool enforce_fingerprint = false;
+  std::uint64_t expected_fingerprint = 0;
+};
+
+class TelescopeServer {
+ public:
+  TelescopeServer(sim::MergeableObserver& observer, ServerOptions options);
+  ~TelescopeServer();
+
+  TelescopeServer(const TelescopeServer&) = delete;
+  TelescopeServer& operator=(const TelescopeServer&) = delete;
+
+  /// Polled on the fold thread after each block; true once the analysis
+  /// state has raised its first alert.  Set before Run().
+  void set_alert_probe(FoldPipeline::AlertProbe probe) {
+    fold_.set_alert_probe(std::move(probe));
+  }
+
+  /// Runs under the observer lock just before every metrics snapshot —
+  /// the place to publish observer state into the registry (e.g.
+  /// Telescope::PublishSensorMetrics).  Set before Run().
+  void set_before_snapshot(std::function<void()> fn) {
+    before_snapshot_ = std::move(fn);
+  }
+
+  /// Creates the listening socket.  Throws std::runtime_error on
+  /// failure.  port() is valid afterwards.
+  void Bind();
+  [[nodiscard]] std::uint16_t port() const { return bound_port_; }
+  [[nodiscard]] const char* poller_name() const;
+
+  /// Serves until RequestShutdown(), then drains and returns.
+  void Run();
+
+  /// Async-signal-safe shutdown trigger (a single write(2) on the wake
+  /// pipe); callable from any thread or a signal handler.
+  void RequestShutdown();
+
+  [[nodiscard]] const FoldPipeline& fold() const { return fold_; }
+
+  /// Renders the current hotspots.metrics.v1 JSON snapshot (also what
+  /// GET /metrics serves).  Safe while serving.
+  [[nodiscard]] std::string MetricsJson();
+
+ private:
+  void Accept();
+  void HandleWake();
+  void SyncInterest(int fd);
+  void CloseConnection(int fd);
+  [[nodiscard]] std::string RenderMetrics(bool prometheus);
+  [[nodiscard]] Connection::Hooks MakeHooks();
+
+  sim::MergeableObserver& observer_;
+  ServerOptions options_;
+  FoldPipeline fold_;
+  std::function<void()> before_snapshot_;
+
+  std::unique_ptr<Poller> poller_;
+  int listen_fd_ = -1;
+  int wake_read_ = -1;
+  int wake_write_ = -1;
+  std::uint16_t bound_port_ = 0;
+  std::uint64_t next_connection_id_ = 0;
+
+  struct Entry {
+    std::unique_ptr<Connection> connection;
+    bool want_read = false;
+    bool want_write = false;
+  };
+  std::unordered_map<int, Entry> connections_;
+  std::unordered_map<std::uint32_t, int> slot_to_fd_;
+
+  /// Fold-thread → I/O-thread mailboxes, drained on wake-pipe readiness.
+  std::mutex mailbox_mutex_;
+  std::vector<std::uint32_t> pending_resumes_;
+  std::vector<std::uint32_t> pending_acks_;
+
+  std::atomic<bool> shutdown_requested_{false};
+};
+
+}  // namespace hotspots::serve

@@ -1,0 +1,184 @@
+#include "serve/wire.h"
+
+#include <cstring>
+#include <string>
+
+#include "trace/crc32.h"
+#include "trace/record_codec.h"
+
+namespace hotspots::serve {
+namespace {
+
+using trace::detail::LoadU32;
+using trace::detail::LoadU64;
+
+void AppendU32(std::vector<std::uint8_t>& out, std::uint32_t value) {
+  for (int shift = 0; shift < 32; shift += 8) {
+    out.push_back(static_cast<std::uint8_t>(value >> shift));
+  }
+}
+
+void AppendU64(std::vector<std::uint8_t>& out, std::uint64_t value) {
+  for (int shift = 0; shift < 64; shift += 8) {
+    out.push_back(static_cast<std::uint8_t>(value >> shift));
+  }
+}
+
+/// Fixed payload size for a frame type, or SIZE_MAX for variable (BLOCK).
+std::size_t FixedPayloadBytes(std::uint32_t type) {
+  switch (static_cast<FrameType>(type)) {
+    case FrameType::kHello:
+      return kHelloPayloadBytes;
+    case FrameType::kFin:
+      return kFinPayloadBytes;
+    case FrameType::kAck:
+      return 0;
+    case FrameType::kBlock:
+      return static_cast<std::size_t>(-1);
+  }
+  throw IngestError("ingest: unknown frame type " + std::to_string(type));
+}
+
+}  // namespace
+
+void FrameParser::Feed(std::span<const std::uint8_t> bytes) {
+  if (bytes.empty()) return;
+  if (pos_ > 0 && pos_ >= buffer_.size() - pos_) {
+    buffer_.erase(buffer_.begin(),
+                  buffer_.begin() + static_cast<std::ptrdiff_t>(pos_));
+    pos_ = 0;
+  }
+  buffer_.insert(buffer_.end(), bytes.begin(), bytes.end());
+}
+
+bool FrameParser::Next(Frame& out) {
+  if (buffered_bytes() < kFrameHeaderBytes) return false;
+  const std::uint8_t* head = buffer_.data() + pos_;
+  FrameHeader header;
+  header.length = LoadU32(head);
+  header.type = LoadU32(head + 4);
+  header.sequence = LoadU64(head + 8);
+
+  if (header.length > kMaxFramePayloadBytes) {
+    throw IngestError("ingest: frame payload length " +
+                      std::to_string(header.length) +
+                      " exceeds the protocol ceiling " +
+                      std::to_string(kMaxFramePayloadBytes));
+  }
+  const std::size_t fixed = FixedPayloadBytes(header.type);  // may throw
+  if (fixed != static_cast<std::size_t>(-1) && header.length != fixed) {
+    throw IngestError("ingest: frame type " + std::to_string(header.type) +
+                      " declares " + std::to_string(header.length) +
+                      " payload bytes, expected " + std::to_string(fixed));
+  }
+  if (buffered_bytes() < kFrameHeaderBytes + header.length) return false;
+
+  out.header = header;
+  out.payload = {buffer_.data() + pos_ + kFrameHeaderBytes, header.length};
+  pos_ += kFrameHeaderBytes + header.length;
+  ++frames_;
+  return true;
+}
+
+void AppendFrameHeader(std::vector<std::uint8_t>& out, FrameType type,
+                       std::uint64_t sequence, std::uint32_t payload_len) {
+  AppendU32(out, payload_len);
+  AppendU32(out, static_cast<std::uint32_t>(type));
+  AppendU64(out, sequence);
+}
+
+void AppendHello(std::vector<std::uint8_t>& out, std::uint32_t connection,
+                 std::uint32_t fanout,
+                 std::span<const std::uint8_t> trace_header) {
+  if (trace_header.size() != trace::kHeaderBytes) {
+    throw IngestError("ingest: HELLO needs a " +
+                      std::to_string(trace::kHeaderBytes) +
+                      "-byte trace header, got " +
+                      std::to_string(trace_header.size()));
+  }
+  AppendFrameHeader(out, FrameType::kHello, 0,
+                    static_cast<std::uint32_t>(kHelloPayloadBytes));
+  out.insert(out.end(), kIngestMagic, kIngestMagic + sizeof kIngestMagic);
+  AppendU32(out, kIngestVersion);
+  AppendU32(out, connection);
+  AppendU32(out, fanout);
+  AppendU32(out, 0);  // reserved
+  out.insert(out.end(), trace_header.begin(), trace_header.end());
+}
+
+void AppendBlock(std::vector<std::uint8_t>& out, std::uint64_t sequence,
+                 std::span<const std::uint8_t> block) {
+  if (block.size() < trace::kBlockFrameBytes ||
+      block.size() > kMaxFramePayloadBytes) {
+    throw IngestError("ingest: BLOCK payload of " +
+                      std::to_string(block.size()) +
+                      " bytes is not a framed trace block");
+  }
+  AppendFrameHeader(out, FrameType::kBlock, sequence,
+                    static_cast<std::uint32_t>(block.size()));
+  out.insert(out.end(), block.begin(), block.end());
+}
+
+void AppendFin(std::vector<std::uint8_t>& out,
+               std::span<const std::uint8_t> trailer) {
+  if (trailer.size() != kFinPayloadBytes) {
+    throw IngestError("ingest: FIN needs a " +
+                      std::to_string(kFinPayloadBytes) +
+                      "-byte trailer, got " + std::to_string(trailer.size()));
+  }
+  AppendFrameHeader(out, FrameType::kFin, 0,
+                    static_cast<std::uint32_t>(kFinPayloadBytes));
+  out.insert(out.end(), trailer.begin(), trailer.end());
+}
+
+void AppendAck(std::vector<std::uint8_t>& out) {
+  AppendFrameHeader(out, FrameType::kAck, 0, 0);
+}
+
+Hello ParseHello(std::span<const std::uint8_t> payload) {
+  if (payload.size() != kHelloPayloadBytes) {
+    throw IngestError("ingest: HELLO payload is " +
+                      std::to_string(payload.size()) + " bytes, expected " +
+                      std::to_string(kHelloPayloadBytes));
+  }
+  if (std::memcmp(payload.data(), kIngestMagic, sizeof kIngestMagic) != 0) {
+    throw IngestError("ingest: bad HELLO magic — not a hotspots ingest peer");
+  }
+  Hello hello;
+  hello.version = LoadU32(payload.data() + 8);
+  if (hello.version != kIngestVersion) {
+    throw IngestError("ingest: unsupported protocol version " +
+                      std::to_string(hello.version) +
+                      " (this server speaks version " +
+                      std::to_string(kIngestVersion) + ")");
+  }
+  hello.connection = LoadU32(payload.data() + 12);
+  hello.fanout = LoadU32(payload.data() + 16);
+  if (hello.fanout == 0 || hello.connection >= hello.fanout) {
+    throw IngestError("ingest: HELLO connection index " +
+                      std::to_string(hello.connection) +
+                      " outside fan-out " + std::to_string(hello.fanout));
+  }
+  std::memcpy(hello.trace_header, payload.data() + 24, trace::kHeaderBytes);
+  return hello;
+}
+
+std::vector<std::uint8_t> BuildConnectionTrailer(std::uint64_t records,
+                                                 std::uint64_t blocks,
+                                                 std::uint64_t last_time_bits) {
+  std::vector<std::uint8_t> payload;
+  payload.reserve(trace::kTrailerPayloadBytes);
+  AppendU64(payload, records);
+  AppendU64(payload, blocks);
+  AppendU64(payload, last_time_bits);
+
+  std::vector<std::uint8_t> trailer;
+  trailer.reserve(kFinPayloadBytes);
+  AppendU32(trailer, 0);  // record count: trailer sentinel
+  AppendU32(trailer, static_cast<std::uint32_t>(payload.size()));
+  AppendU32(trailer, trace::Crc32(payload.data(), payload.size()));
+  trailer.insert(trailer.end(), payload.begin(), payload.end());
+  return trailer;
+}
+
+}  // namespace hotspots::serve

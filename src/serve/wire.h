@@ -1,0 +1,86 @@
+// Byte-level encode/decode for `hotspots.ingest.v1` frames.
+//
+// FrameParser is the receive half: feed it whatever the socket produced
+// and pull complete frames out.  It is deliberately shaped like
+// trace::StreamDecoder — an internal compacting buffer, a cursor, and a
+// "return empty until a whole structure is buffered" contract — because a
+// readiness loop delivers bytes in arbitrary fragments and the parser
+// must make progress on every fragment without copying the stream twice.
+// It validates only the *framing* (header size, payload ceiling, known
+// type, fixed payload sizes for HELLO/FIN/ACK); the payload semantics
+// belong to the connection's StreamDecoder.
+//
+// The Build* helpers are the send half, used by the load generator and
+// the server's ACK path.  They append to a caller-owned byte vector so a
+// client can batch many frames into one write.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "serve/protocol.h"
+
+namespace hotspots::serve {
+
+/// One complete frame surfaced by FrameParser.  `payload` aliases the
+/// parser's internal buffer and is invalidated by the next Feed()/Next().
+struct Frame {
+  FrameHeader header;
+  std::span<const std::uint8_t> payload;
+};
+
+class FrameParser {
+ public:
+  /// Appends raw socket bytes.  Never throws: framing violations are
+  /// reported by Next() so callers have a single error path.
+  void Feed(std::span<const std::uint8_t> bytes);
+
+  /// Returns true and fills `out` when a complete frame is buffered;
+  /// false when more bytes are needed.  Throws IngestError on framing
+  /// violations (oversized payload, unknown type, wrong fixed size).
+  bool Next(Frame& out);
+
+  [[nodiscard]] std::size_t buffered_bytes() const {
+    return buffer_.size() - pos_;
+  }
+  [[nodiscard]] std::uint64_t frames_parsed() const { return frames_; }
+
+ private:
+  std::vector<std::uint8_t> buffer_;
+  std::size_t pos_ = 0;
+  std::uint64_t frames_ = 0;
+};
+
+/// Appends a 16-byte frame header to `out`.
+void AppendFrameHeader(std::vector<std::uint8_t>& out, FrameType type,
+                       std::uint64_t sequence, std::uint32_t payload_len);
+
+/// Appends a complete HELLO frame.  `trace_header` must be the stream's
+/// verbatim 48-byte hotspots.trace.v1 header.
+void AppendHello(std::vector<std::uint8_t>& out, std::uint32_t connection,
+                 std::uint32_t fanout,
+                 std::span<const std::uint8_t> trace_header);
+
+/// Appends a complete BLOCK frame wrapping one verbatim CRC-framed block.
+void AppendBlock(std::vector<std::uint8_t>& out, std::uint64_t sequence,
+                 std::span<const std::uint8_t> block);
+
+/// Appends a complete FIN frame wrapping a 36-byte trailer structure.
+void AppendFin(std::vector<std::uint8_t>& out,
+               std::span<const std::uint8_t> trailer);
+
+/// Appends a complete (empty-payload) ACK frame.
+void AppendAck(std::vector<std::uint8_t>& out);
+
+/// Parses and validates a HELLO payload.  Throws IngestError on bad
+/// magic, version, size, or a connection index outside the fan-out.
+[[nodiscard]] Hello ParseHello(std::span<const std::uint8_t> payload);
+
+/// Builds the 36-byte per-connection trailer a FIN carries: a block frame
+/// with record count zero and a 24-byte payload declaring this
+/// connection's record/block totals and last-record time bits.
+[[nodiscard]] std::vector<std::uint8_t> BuildConnectionTrailer(
+    std::uint64_t records, std::uint64_t blocks, std::uint64_t last_time_bits);
+
+}  // namespace hotspots::serve

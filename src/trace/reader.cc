@@ -4,31 +4,13 @@
 
 #include "obs/metrics.h"
 #include "trace/crc32.h"
-#include "trace/varint.h"
+#include "trace/record_codec.h"
 
 namespace hotspots::trace {
 
-namespace {
-
-inline std::uint32_t LoadU32(const std::uint8_t* in) {
-  return static_cast<std::uint32_t>(in[0]) |
-         static_cast<std::uint32_t>(in[1]) << 8 |
-         static_cast<std::uint32_t>(in[2]) << 16 |
-         static_cast<std::uint32_t>(in[3]) << 24;
-}
-
-inline std::uint64_t LoadU64(const std::uint8_t* in) {
-  return static_cast<std::uint64_t>(LoadU32(in)) |
-         static_cast<std::uint64_t>(LoadU32(in + 4)) << 32;
-}
-
-inline double BitsToDouble(std::uint64_t bits) {
-  double value;
-  std::memcpy(&value, &bits, sizeof value);
-  return value;
-}
-
-}  // namespace
+using detail::BitsToDouble;
+using detail::LoadU32;
+using detail::LoadU64;
 
 TraceReader::TraceReader(const std::string& path)
     : TraceReader(path, TraceReaderOptions{}) {}
@@ -70,8 +52,16 @@ TraceReader::~TraceReader() {
 }
 
 void TraceReader::Fail(const std::string& what) const {
-  throw TraceError("trace: " + path_ + " @" + std::to_string(offset_) + ": " +
-                   what);
+  throw TraceError("trace: " + path_ + " @byte " + std::to_string(offset_) +
+                   ": " + what);
+}
+
+void TraceReader::NoteCorruptBlock(std::uint64_t at_offset) {
+  if (!salvage_.damaged()) {
+    salvage_.first_damage_block = blocks_ + salvage_.corrupt_blocks;
+    salvage_.first_damage_offset = at_offset;
+  }
+  ++salvage_.corrupt_blocks;
 }
 
 std::size_t TraceReader::ReadUpTo(void* out, std::size_t size) {
@@ -131,33 +121,38 @@ std::span<const sim::ProbeEvent> TraceReader::NextBatch() {
 }
 
 std::span<const sim::ProbeEvent> TraceReader::NextBatchStrict() {
+  const std::string block_tag = " (block " + std::to_string(blocks_) + ")";
   std::uint8_t frame[kBlockFrameBytes];
-  ReadExact(frame, sizeof frame, "block frame");
+  ReadExact(frame, sizeof frame, ("block frame" + block_tag).c_str());
   const std::uint32_t record_count = LoadU32(frame);
   const std::uint32_t payload_bytes = LoadU32(frame + 4);
   const std::uint32_t stored_crc = LoadU32(frame + 8);
 
   if (record_count > kMaxBlockRecords) {
     Fail("block record count " + std::to_string(record_count) +
-         " exceeds the format ceiling " + std::to_string(kMaxBlockRecords));
+         " exceeds the format ceiling " + std::to_string(kMaxBlockRecords) +
+         block_tag);
   }
   if (payload_bytes > kMaxBlockPayloadBytes) {
     Fail("block payload size " + std::to_string(payload_bytes) +
-         " exceeds the format ceiling");
+         " exceeds the format ceiling" + block_tag);
   }
   if (record_count != 0 &&
       payload_bytes > static_cast<std::uint64_t>(record_count) *
                           kMaxRecordBytes) {
     Fail("block payload size " + std::to_string(payload_bytes) +
-         " impossible for " + std::to_string(record_count) + " records");
+         " impossible for " + std::to_string(record_count) + " records" +
+         block_tag);
   }
   payload_.resize(payload_bytes);
   ReadExact(payload_.data(), payload_bytes,
-            record_count == 0 ? "trailer payload" : "block payload");
+            record_count == 0 ? "trailer payload"
+                              : ("block payload" + block_tag).c_str());
   const std::uint32_t computed_crc = Crc32(payload_.data(), payload_bytes);
   if (computed_crc != stored_crc) {
-    Fail((record_count == 0 ? std::string("trailer") : std::string("block ")) +
-         (record_count == 0 ? "" : std::to_string(blocks_)) +
+    Fail((record_count == 0
+              ? "trailer (after block " + std::to_string(blocks_) + ")"
+              : "block " + std::to_string(blocks_)) +
          " CRC mismatch (stored " + std::to_string(stored_crc) +
          ", computed " + std::to_string(computed_crc) + ")");
   }
@@ -175,21 +170,7 @@ std::span<const sim::ProbeEvent> TraceReader::NextBatchStrict() {
   return events_;
 }
 
-namespace {
-
-/// Structural plausibility of a frame, mirroring the strict-path checks.
-bool PlausibleFrame(std::uint32_t record_count, std::uint32_t payload_bytes) {
-  if (record_count > kMaxBlockRecords) return false;
-  if (payload_bytes > kMaxBlockPayloadBytes) return false;
-  if (record_count != 0 &&
-      payload_bytes >
-          static_cast<std::uint64_t>(record_count) * kMaxRecordBytes) {
-    return false;
-  }
-  return true;
-}
-
-}  // namespace
+using detail::PlausibleFrame;
 
 bool TraceReader::Resync(std::uint64_t frame_offset,
                          const std::uint8_t (&frame)[kBlockFrameBytes]) {
@@ -227,7 +208,7 @@ bool TraceReader::Resync(std::uint64_t frame_offset,
     }
     // Re-locked: everything before `at` is discarded, the rest becomes the
     // logical stream again.
-    ++salvage_.corrupt_blocks;
+    NoteCorruptBlock(frame_offset);
     salvage_.bytes_skipped += at;
     pending_.assign(window.begin() + static_cast<std::ptrdiff_t>(at),
                     window.end());
@@ -236,7 +217,7 @@ bool TraceReader::Resync(std::uint64_t frame_offset,
     return true;
   }
   // No believable frame remains.
-  ++salvage_.corrupt_blocks;
+  NoteCorruptBlock(frame_offset);
   salvage_.bytes_skipped += window.size();
   salvage_.trailer_missing = true;
   offset_ = frame_offset + window.size();
@@ -251,7 +232,7 @@ std::span<const sim::ProbeEvent> TraceReader::NextBatchSalvage() {
     if (frame_got < sizeof frame) {
       // Stream ends mid-frame (or cleanly after a block, trailer never
       // written): salvage what we have.
-      if (frame_got > 0) ++salvage_.corrupt_blocks;
+      if (frame_got > 0) NoteCorruptBlock(frame_offset);
       salvage_.bytes_skipped += frame_got;
       salvage_.trailer_missing = true;
       FinishRead();
@@ -270,7 +251,7 @@ std::span<const sim::ProbeEvent> TraceReader::NextBatchSalvage() {
     payload_.resize(payload_bytes);
     const std::size_t payload_got = ReadUpTo(payload_.data(), payload_bytes);
     if (payload_got < payload_bytes) {
-      ++salvage_.corrupt_blocks;
+      NoteCorruptBlock(frame_offset);
       if (record_count != 0) salvage_.records_lost += record_count;
       salvage_.bytes_skipped += sizeof frame + payload_got;
       salvage_.trailer_missing = true;
@@ -280,7 +261,7 @@ std::span<const sim::ProbeEvent> TraceReader::NextBatchSalvage() {
     if (Crc32(payload_.data(), payload_bytes) != stored_crc) {
       // The frame told us the block's extent, so we can skip it exactly
       // and keep reading from the next frame boundary.
-      ++salvage_.corrupt_blocks;
+      NoteCorruptBlock(frame_offset);
       if (record_count != 0) salvage_.records_lost += record_count;
       salvage_.bytes_skipped += sizeof frame + payload_bytes;
       continue;
@@ -288,7 +269,7 @@ std::span<const sim::ProbeEvent> TraceReader::NextBatchSalvage() {
 
     if (record_count == 0) {
       if (payload_bytes != kTrailerPayloadBytes) {
-        ++salvage_.corrupt_blocks;
+        NoteCorruptBlock(frame_offset);
         salvage_.bytes_skipped += sizeof frame + payload_bytes;
         continue;
       }
@@ -297,6 +278,9 @@ std::span<const sim::ProbeEvent> TraceReader::NextBatchSalvage() {
       // not attribute skipped bytes to records).
       const std::uint64_t declared_records = LoadU64(payload_.data());
       const std::uint64_t declared_blocks = LoadU64(payload_.data() + 8);
+      salvage_.trailer_seen = true;
+      salvage_.trailer_records = declared_records;
+      salvage_.trailer_blocks = declared_blocks;
       if (declared_records >= records_) {
         salvage_.records_lost = declared_records - records_;
       } else {
@@ -323,7 +307,7 @@ std::span<const sim::ProbeEvent> TraceReader::NextBatchSalvage() {
     } catch (const TraceError&) {
       // CRC-valid but undecodable (writer bug or crafted file): treat as a
       // corrupt block rather than poisoning the whole salvage.
-      ++salvage_.corrupt_blocks;
+      NoteCorruptBlock(frame_offset);
       salvage_.records_lost += record_count;
       salvage_.bytes_skipped += sizeof frame + payload_bytes;
       continue;
@@ -359,56 +343,10 @@ void TraceReader::VerifyTrailer(std::span<const std::uint8_t> payload) {
 
 void TraceReader::DecodeBlock(std::uint32_t record_count,
                               std::span<const std::uint8_t> payload) {
-  events_.resize(record_count);
-  const std::uint8_t* cursor = payload.data();
-  const std::uint8_t* const end = cursor + payload.size();
-  std::uint64_t prev_time_bits = 0;
-  std::uint32_t prev_src_host = 0;
-  std::uint32_t prev_src_address = 0;
-  for (std::uint32_t i = 0; i < record_count; ++i) {
-    std::uint64_t time_delta = 0;
-    std::uint64_t host_delta = 0;
-    std::uint64_t addr_delta = 0;
-    std::uint64_t dst_delivery = 0;
-    if (!DecodeVarint(&cursor, end, &time_delta) ||
-        !DecodeVarint(&cursor, end, &host_delta) ||
-        !DecodeVarint(&cursor, end, &addr_delta) ||
-        !DecodeVarint(&cursor, end, &dst_delivery)) {
-      Fail("block " + std::to_string(blocks_) + " record " +
-           std::to_string(i) + ": malformed varint");
-    }
-    const std::uint64_t time_bits = prev_time_bits ^ time_delta;
-    prev_time_bits = time_bits;
-    const std::int64_t src_host =
-        static_cast<std::int64_t>(prev_src_host) + ZigZagDecode(host_delta);
-    if (src_host < 0 || src_host > static_cast<std::int64_t>(~std::uint32_t{0})) {
-      Fail("block " + std::to_string(blocks_) + " record " +
-           std::to_string(i) + ": source host id out of range");
-    }
-    prev_src_host = static_cast<std::uint32_t>(src_host);
-    if (addr_delta > ~std::uint32_t{0}) {
-      Fail("block " + std::to_string(blocks_) + " record " +
-           std::to_string(i) + ": source address out of range");
-    }
-    prev_src_address ^= static_cast<std::uint32_t>(addr_delta);
-    const std::uint64_t delivery = dst_delivery & 0x7u;
-    const std::uint64_t dst = dst_delivery >> 3;
-    if (dst > ~std::uint32_t{0} ||
-        delivery > static_cast<std::uint64_t>(
-                       topology::Delivery::kNetworkLoss)) {
-      Fail("block " + std::to_string(blocks_) + " record " +
-           std::to_string(i) + ": destination/delivery out of range");
-    }
-    sim::ProbeEvent& event = events_[i];
-    event.time = BitsToDouble(time_bits);
-    event.src_host = prev_src_host;
-    event.src_address = net::Ipv4{prev_src_address};
-    event.dst = net::Ipv4{static_cast<std::uint32_t>(dst)};
-    event.delivery = static_cast<topology::Delivery>(delivery);
-  }
-  if (cursor != end) {
-    Fail("block " + std::to_string(blocks_) + ": " +
-         std::to_string(end - cursor) + " unconsumed payload bytes");
+  const std::string defect =
+      detail::DecodeRecords(record_count, payload, events_);
+  if (!defect.empty()) {
+    Fail("block " + std::to_string(blocks_) + " " + defect);
   }
 }
 

@@ -61,6 +61,18 @@ struct SalvageStats {
   /// A trailer was found but its totals are below what the stream already
   /// delivered — the trailer itself is lying.
   bool trailer_mismatch = false;
+  /// Location of the first damaged structure, for diagnostics: the block
+  /// sequence index the stream was at (delivered + skipped so far) and the
+  /// byte offset where the structure started.  Valid when damaged().
+  std::uint64_t first_damage_block = 0;
+  std::uint64_t first_damage_offset = 0;
+  /// A CRC-valid trailer survived; its declared totals follow.  These are
+  /// the *writer's* totals — when blocks were lost they exceed what the
+  /// read delivered, which is exactly why tooling wants them (trace_tool
+  /// info prints them even when the trailer is the only intact section).
+  bool trailer_seen = false;
+  std::uint64_t trailer_records = 0;
+  std::uint64_t trailer_blocks = 0;
 
   [[nodiscard]] bool damaged() const {
     return corrupt_blocks != 0 || records_lost != 0 || bytes_skipped != 0 ||
@@ -121,6 +133,10 @@ class TraceReader {
 
  private:
   [[noreturn]] void Fail(const std::string& what) const;
+  /// Records the first-damage location (salvage accounting) and bumps the
+  /// corrupt-block tally.  `at_offset` is where the damaged structure
+  /// started.
+  void NoteCorruptBlock(std::uint64_t at_offset);
   std::size_t ReadUpTo(void* out, std::size_t size);
   void ReadExact(void* out, std::size_t size, const char* what);
   void VerifyTrailer(std::span<const std::uint8_t> payload);

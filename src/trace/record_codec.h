@@ -1,0 +1,115 @@
+// Internal decode helpers shared by the one-shot TraceReader and the
+// incremental StreamDecoder (stream_decoder.h).
+//
+// Both readers walk the same wire structures — little-endian frame words,
+// the plausibility ceilings a frame must satisfy before its declared
+// payload size is trusted, and the varint/delta record encoding — so the
+// logic lives here once.  DecodeRecords returns an error *description*
+// ("record 17: malformed varint") instead of throwing: each caller owns
+// its own diagnostic framing (file offset for the reader, connection +
+// stream offset for the decoder) and prefixes the block index itself.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "sim/observer.h"
+#include "trace/format.h"
+#include "trace/varint.h"
+
+namespace hotspots::trace::detail {
+
+inline std::uint32_t LoadU32(const std::uint8_t* in) {
+  return static_cast<std::uint32_t>(in[0]) |
+         static_cast<std::uint32_t>(in[1]) << 8 |
+         static_cast<std::uint32_t>(in[2]) << 16 |
+         static_cast<std::uint32_t>(in[3]) << 24;
+}
+
+inline std::uint64_t LoadU64(const std::uint8_t* in) {
+  return static_cast<std::uint64_t>(LoadU32(in)) |
+         static_cast<std::uint64_t>(LoadU32(in + 4)) << 32;
+}
+
+inline double BitsToDouble(std::uint64_t bits) {
+  double value;
+  std::memcpy(&value, &bits, sizeof value);
+  return value;
+}
+
+/// Structural plausibility of a block frame: the declared counts must fit
+/// the format ceilings before any payload-sized allocation happens.
+inline bool PlausibleFrame(std::uint32_t record_count,
+                           std::uint32_t payload_bytes) {
+  if (record_count > kMaxBlockRecords) return false;
+  if (payload_bytes > kMaxBlockPayloadBytes) return false;
+  if (record_count != 0 &&
+      payload_bytes >
+          static_cast<std::uint64_t>(record_count) * kMaxRecordBytes) {
+    return false;
+  }
+  return true;
+}
+
+/// Decodes `record_count` delta-predicted records from `payload` into
+/// `events` (resized to exactly `record_count`).  Returns "" on success,
+/// else a description of the first defect ("record 17: malformed varint").
+/// Predictors reset per call — blocks decode independently by design.
+inline std::string DecodeRecords(std::uint32_t record_count,
+                                 std::span<const std::uint8_t> payload,
+                                 std::vector<sim::ProbeEvent>& events) {
+  events.resize(record_count);
+  const std::uint8_t* cursor = payload.data();
+  const std::uint8_t* const end = cursor + payload.size();
+  std::uint64_t prev_time_bits = 0;
+  std::uint32_t prev_src_host = 0;
+  std::uint32_t prev_src_address = 0;
+  for (std::uint32_t i = 0; i < record_count; ++i) {
+    std::uint64_t time_delta = 0;
+    std::uint64_t host_delta = 0;
+    std::uint64_t addr_delta = 0;
+    std::uint64_t dst_delivery = 0;
+    if (!DecodeVarint(&cursor, end, &time_delta) ||
+        !DecodeVarint(&cursor, end, &host_delta) ||
+        !DecodeVarint(&cursor, end, &addr_delta) ||
+        !DecodeVarint(&cursor, end, &dst_delivery)) {
+      return "record " + std::to_string(i) + ": malformed varint";
+    }
+    const std::uint64_t time_bits = prev_time_bits ^ time_delta;
+    prev_time_bits = time_bits;
+    const std::int64_t src_host =
+        static_cast<std::int64_t>(prev_src_host) + ZigZagDecode(host_delta);
+    if (src_host < 0 ||
+        src_host > static_cast<std::int64_t>(~std::uint32_t{0})) {
+      return "record " + std::to_string(i) + ": source host id out of range";
+    }
+    prev_src_host = static_cast<std::uint32_t>(src_host);
+    if (addr_delta > ~std::uint32_t{0}) {
+      return "record " + std::to_string(i) + ": source address out of range";
+    }
+    prev_src_address ^= static_cast<std::uint32_t>(addr_delta);
+    const std::uint64_t delivery = dst_delivery & 0x7u;
+    const std::uint64_t dst = dst_delivery >> 3;
+    if (dst > ~std::uint32_t{0} ||
+        delivery >
+            static_cast<std::uint64_t>(topology::Delivery::kNetworkLoss)) {
+      return "record " + std::to_string(i) +
+             ": destination/delivery out of range";
+    }
+    sim::ProbeEvent& event = events[i];
+    event.time = BitsToDouble(time_bits);
+    event.src_host = prev_src_host;
+    event.src_address = net::Ipv4{prev_src_address};
+    event.dst = net::Ipv4{static_cast<std::uint32_t>(dst)};
+    event.delivery = static_cast<topology::Delivery>(delivery);
+  }
+  if (cursor != end) {
+    return std::to_string(end - cursor) + " unconsumed payload bytes";
+  }
+  return {};
+}
+
+}  // namespace hotspots::trace::detail

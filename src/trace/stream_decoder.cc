@@ -1,0 +1,162 @@
+#include "trace/stream_decoder.h"
+
+#include <cstring>
+
+#include "trace/crc32.h"
+#include "trace/record_codec.h"
+
+namespace hotspots::trace {
+
+using detail::BitsToDouble;
+using detail::LoadU32;
+using detail::LoadU64;
+
+StreamDecoder::StreamDecoder(std::string stream_name)
+    : stream_name_(std::move(stream_name)) {}
+
+void StreamDecoder::Fail(const std::string& what) const {
+  throw TraceError("trace: " + stream_name_ + " @" +
+                   std::to_string(consumed_) + ": " + what);
+}
+
+void StreamDecoder::Feed(std::span<const std::uint8_t> bytes) {
+  if (bytes.empty()) return;
+  if (state_ == State::kDone) {
+    Fail("trailing bytes after the trailer");
+  }
+  // Compact before growing: once the cursor has passed more bytes than
+  // remain, slide the live tail to the front so the buffer stays bounded
+  // by one in-flight structure, not the whole stream.
+  if (pos_ > 0 && pos_ >= buffer_.size() - pos_) {
+    buffer_.erase(buffer_.begin(),
+                  buffer_.begin() + static_cast<std::ptrdiff_t>(pos_));
+    pos_ = 0;
+  }
+  buffer_.insert(buffer_.end(), bytes.begin(), bytes.end());
+}
+
+void StreamDecoder::Consume(std::size_t bytes) {
+  pos_ += bytes;
+  consumed_ += bytes;
+}
+
+void StreamDecoder::DecodeHeader() {
+  const std::uint8_t* header = buffer_.data() + pos_;
+  if (std::memcmp(header, kMagic, sizeof kMagic) != 0) {
+    Fail("bad magic — not a hotspots.trace stream");
+  }
+  header_.version = LoadU32(header + 8);
+  if (header_.version != kFormatVersion) {
+    Fail("unsupported format version " + std::to_string(header_.version) +
+         " (this decoder understands version " +
+         std::to_string(kFormatVersion) + ")");
+  }
+  const std::uint32_t header_bytes = LoadU32(header + 12);
+  if (header_bytes != kHeaderBytes) {
+    Fail("declared header size " + std::to_string(header_bytes) +
+         " != " + std::to_string(kHeaderBytes));
+  }
+  header_.scenario_fingerprint = LoadU64(header + 16);
+  header_.seed = LoadU64(header + 24);
+  header_.flags = LoadU64(header + 32);
+  header_.sample_rate = BitsToDouble(LoadU64(header + 40));
+  if (!(header_.sample_rate > 0.0) || header_.sample_rate > 1.0) {
+    Fail("sample rate outside (0,1]");
+  }
+  Consume(kHeaderBytes);
+  state_ = State::kBody;
+}
+
+std::span<const sim::ProbeEvent> StreamDecoder::NextBatch() {
+  if (state_ == State::kHeader) {
+    if (Available() < kHeaderBytes) return {};
+    DecodeHeader();
+  }
+  if (state_ == State::kDone) return {};
+
+  if (Available() < kBlockFrameBytes) return {};
+  const std::uint8_t* frame = buffer_.data() + pos_;
+  const std::uint32_t record_count = LoadU32(frame);
+  const std::uint32_t payload_bytes = LoadU32(frame + 4);
+  const std::uint32_t stored_crc = LoadU32(frame + 8);
+
+  if (record_count > kMaxBlockRecords) {
+    Fail("block " + std::to_string(blocks_) + ": record count " +
+         std::to_string(record_count) + " exceeds the format ceiling " +
+         std::to_string(kMaxBlockRecords));
+  }
+  if (payload_bytes > kMaxBlockPayloadBytes) {
+    Fail("block " + std::to_string(blocks_) + ": payload size " +
+         std::to_string(payload_bytes) + " exceeds the format ceiling");
+  }
+  if (record_count != 0 &&
+      payload_bytes >
+          static_cast<std::uint64_t>(record_count) * kMaxRecordBytes) {
+    Fail("block " + std::to_string(blocks_) + ": payload size " +
+         std::to_string(payload_bytes) + " impossible for " +
+         std::to_string(record_count) + " records");
+  }
+  if (Available() < kBlockFrameBytes + payload_bytes) return {};
+
+  const std::span<const std::uint8_t> payload{
+      buffer_.data() + pos_ + kBlockFrameBytes, payload_bytes};
+  const std::uint32_t computed_crc = Crc32(payload.data(), payload.size());
+  if (computed_crc != stored_crc) {
+    Fail((record_count == 0 ? std::string("trailer")
+                            : "block " + std::to_string(blocks_)) +
+         " CRC mismatch (stored " + std::to_string(stored_crc) +
+         ", computed " + std::to_string(computed_crc) + ")");
+  }
+
+  if (record_count == 0) {
+    VerifyTrailer(payload);
+    Consume(kBlockFrameBytes + payload_bytes);
+    state_ = State::kDone;
+    if (Available() > 0) Fail("trailing bytes after the trailer");
+    return {};
+  }
+
+  const std::string defect =
+      detail::DecodeRecords(record_count, payload, events_);
+  if (!defect.empty()) {
+    Fail("block " + std::to_string(blocks_) + ": " + defect);
+  }
+  Consume(kBlockFrameBytes + payload_bytes);
+  ++blocks_;
+  records_ += record_count;
+  return events_;
+}
+
+void StreamDecoder::VerifyTrailer(std::span<const std::uint8_t> payload) {
+  if (payload.size() != kTrailerPayloadBytes) {
+    Fail("trailer payload is " + std::to_string(payload.size()) +
+         " bytes, expected " + std::to_string(kTrailerPayloadBytes));
+  }
+  const std::uint64_t declared_records = LoadU64(payload.data());
+  const std::uint64_t declared_blocks = LoadU64(payload.data() + 8);
+  if (declared_records != records_) {
+    Fail("trailer declares " + std::to_string(declared_records) +
+         " records but the stream held " + std::to_string(records_));
+  }
+  if (declared_blocks != blocks_) {
+    Fail("trailer declares " + std::to_string(declared_blocks) +
+         " blocks but the stream held " + std::to_string(blocks_));
+  }
+}
+
+void StreamDecoder::FinishEof() {
+  if (state_ == State::kDone) return;
+  if (state_ == State::kHeader) {
+    Fail("stream ended inside the file header (got " +
+         std::to_string(Available()) + " of " + std::to_string(kHeaderBytes) +
+         " bytes)");
+  }
+  if (Available() == 0) {
+    Fail("stream ended before the trailer (after block " +
+         std::to_string(blocks_) + ")");
+  }
+  Fail("stream ended mid-block (block " + std::to_string(blocks_) + ", " +
+       std::to_string(Available()) + " bytes of an unfinished structure)");
+}
+
+}  // namespace hotspots::trace

@@ -1,0 +1,97 @@
+// Incremental `hotspots.trace.v1` decoding over arbitrary byte chunks.
+//
+// TraceReader (reader.h) owns a FILE* and pulls bytes itself; a network
+// ingest path is push-driven — a socket hands over whatever bytes
+// happened to arrive, cut anywhere: mid-header, mid-frame, mid-varint.
+// StreamDecoder is the state machine that makes those two worlds meet:
+// Feed() appends raw bytes, NextBatch() yields each block's records the
+// moment the block is complete and CRC-verified, and nothing is ever
+// delivered from an unverified span.  Feeding a whole trace file in one
+// chunk or one byte at a time yields byte-identical record sequences —
+// pinned by tests/trace_stream_decoder_test.cc, which splits fixture
+// traces at every byte boundary across block seams.  This is the
+// correctness backbone of the telescope server's per-connection partial
+// reads (src/serve/connection.h).
+//
+// The decoder is strict/fail-closed only (no salvage): a network peer
+// that ships a damaged block is a protocol violation to disconnect, not
+// a tape to splice.  Every TraceError names the stream, the failing
+// block index, and the byte offset within the logical stream.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "sim/observer.h"
+#include "trace/format.h"
+
+namespace hotspots::trace {
+
+class StreamDecoder {
+ public:
+  /// `stream_name` labels diagnostics (a path, or "conn 7 from 10.0.0.2").
+  explicit StreamDecoder(std::string stream_name = "stream");
+
+  StreamDecoder(const StreamDecoder&) = delete;
+  StreamDecoder& operator=(const StreamDecoder&) = delete;
+
+  /// Appends bytes to the decode buffer.  Cheap (one memcpy); decoding
+  /// happens in NextBatch().  Throws TraceError if bytes arrive after the
+  /// trailer completed the stream.
+  void Feed(std::span<const std::uint8_t> bytes);
+
+  /// Decodes the next complete block, or returns an empty span when the
+  /// buffered bytes don't yet hold one (call Feed() and retry) or the
+  /// stream is finished (check finished()).  The span aliases an internal
+  /// buffer overwritten by the next call.  Throws TraceError on any
+  /// corruption — bad magic, ceilings exceeded, CRC mismatch, varint
+  /// garbage, trailer totals off.
+  [[nodiscard]] std::span<const sim::ProbeEvent> NextBatch();
+
+  /// Declares end of input (peer closed the connection / EOF).  Throws
+  /// TraceError unless the stream ended exactly at a verified trailer
+  /// with no bytes left over.
+  void FinishEof();
+
+  /// True once the file header has been decoded.
+  [[nodiscard]] bool header_seen() const { return state_ != State::kHeader; }
+  /// Valid once header_seen().
+  [[nodiscard]] const TraceHeader& header() const { return header_; }
+  /// True once the trailer has been verified; NextBatch() stays empty.
+  [[nodiscard]] bool finished() const { return state_ == State::kDone; }
+
+  [[nodiscard]] std::uint64_t records_read() const { return records_; }
+  [[nodiscard]] std::uint64_t blocks_read() const { return blocks_; }
+  /// Logical stream offset of the next undecoded byte.
+  [[nodiscard]] std::uint64_t bytes_consumed() const { return consumed_; }
+  /// Bytes fed but not yet decoded (the partial structure in flight).
+  [[nodiscard]] std::size_t buffered_bytes() const {
+    return buffer_.size() - pos_;
+  }
+
+ private:
+  enum class State { kHeader, kBody, kDone };
+
+  [[noreturn]] void Fail(const std::string& what) const;
+  /// Bytes available beyond pos_.
+  [[nodiscard]] std::size_t Available() const { return buffer_.size() - pos_; }
+  void Consume(std::size_t bytes);
+  void DecodeHeader();
+  void VerifyTrailer(std::span<const std::uint8_t> payload);
+
+  std::string stream_name_;
+  State state_ = State::kHeader;
+  TraceHeader header_;
+
+  std::vector<std::uint8_t> buffer_;  ///< Fed, not yet decoded bytes.
+  std::size_t pos_ = 0;               ///< Decode cursor into buffer_.
+  std::uint64_t consumed_ = 0;        ///< Logical stream offset at pos_.
+
+  std::vector<sim::ProbeEvent> events_;  ///< Reused decoded batch.
+  std::uint64_t records_ = 0;
+  std::uint64_t blocks_ = 0;
+};
+
+}  // namespace hotspots::trace

@@ -1,0 +1,230 @@
+// End-to-end daemon pin — the PR's acceptance criterion: a corpus fanned
+// out over >= 8 concurrent loopback connections folds to analysis state
+// *bit-identical* to an embedded replay of the same file.  The observer
+// stack (telescope + TRW gateway + content prevalence in a TeeObserver)
+// is the same one tools/telescope_server composes; the reference is
+// trace::ReplayFile, the repo's canonical offline execution mode.  Also
+// pinned here: the HTTP side (JSON /metrics, /metrics.prom, /healthz,
+// 404) and both poller backends via the force_poll parameter.
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <cstring>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "detect/probe_stream.h"
+#include "net/interval_set.h"
+#include "net/ipv4.h"
+#include "net/prefix.h"
+#include "serve/load_client.h"
+#include "serve/server.h"
+#include "sim/observer.h"
+#include "telescope/telescope.h"
+#include "trace/replay.h"
+#include "trace/writer.h"
+
+namespace hotspots::serve {
+namespace {
+
+using net::Ipv4;
+using net::Prefix;
+
+constexpr std::uint64_t kFingerprint = 0xD5217EA1u;
+
+/// One full observer stack, identical on the reference and served sides.
+struct Stack {
+  telescope::Telescope sensors;
+  detect::TrwGatewayObserver trw;
+  detect::PrevalenceStreamObserver prevalence;
+  sim::TeeObserver tee;
+
+  Stack()
+      : sensors{[] {
+          telescope::SensorOptions options;
+          options.alert_threshold = 50;
+          return options;
+        }()},
+        trw{[] {
+          net::IntervalSet live;
+          live.Add(Prefix{Ipv4{192, 168, 0, 0}, 16});
+          live.Build();
+          return live;
+        }()} {
+    sensors.AddSensor("serve/16", Prefix{Ipv4{10, 0, 0, 0}, 16});
+    sensors.Build();
+    tee.Add(&sensors);
+    tee.Add(&trw);
+    tee.Add(&prevalence);
+    tee.OnAttach();
+  }
+};
+
+/// ~6k records in 24ish blocks: half aimed at the 10.0.0.0/16 darknet
+/// sensor, the rest scattered (all outside the TRW live space, so every
+/// source racks up failures and TRW alerts deterministically).
+std::string WriteCorpus() {
+  // ctest -j runs every case as its own process and all of them write the
+  // corpus, so the path must be per-process to keep reads from racing a
+  // concurrent rewrite.
+  const std::string path = ::testing::TempDir() + "/serve_server." +
+                           std::to_string(::getpid()) + ".trace";
+  trace::TraceWriterOptions options;
+  options.scenario_fingerprint = kFingerprint;
+  options.seed = 7;
+  options.block_records = 256;
+  trace::TraceWriter writer{path, options};
+  writer.OnAttach();
+  std::vector<sim::ProbeEvent> events;
+  for (std::uint32_t i = 0; i < 6000; ++i) {
+    sim::ProbeEvent event;
+    event.time = 0.01 * static_cast<double>(i / 8);
+    event.src_host = i % 97;
+    event.src_address = Ipv4{0xC6000000u + (i % 97) * 131u};
+    event.dst = (i % 2 == 0) ? Ipv4{(10u << 24) | (i * 2654435761u & 0xFFFFu)}
+                             : Ipv4{(60u << 24) | (i * 40503u & 0xFFFFFFu)};
+    event.delivery = topology::Delivery::kDelivered;
+    events.push_back(event);
+  }
+  writer.OnProbeBatch(events);
+  writer.Finish();
+  return path;
+}
+
+/// Minimal blocking HTTP/1.0 GET against the bound loopback port.
+std::string HttpGet(std::uint16_t port, const std::string& target) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  EXPECT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+  const std::string request = "GET " + target + " HTTP/1.0\r\n\r\n";
+  EXPECT_EQ(::send(fd, request.data(), request.size(), 0),
+            static_cast<ssize_t>(request.size()));
+  std::string response;
+  char buffer[4096];
+  while (true) {
+    const ssize_t n = ::recv(fd, buffer, sizeof(buffer), 0);
+    if (n <= 0) break;
+    response.append(buffer, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  return response;
+}
+
+class ServeServerTest : public ::testing::TestWithParam<bool> {};
+
+TEST_P(ServeServerTest, EightConnectionLoopbackEqualsEmbeddedReplay) {
+  const std::string corpus_path = WriteCorpus();
+
+  // Reference: the canonical offline replay.
+  Stack reference;
+  const auto summary = trace::ReplayFile(corpus_path, reference.tee);
+  ASSERT_EQ(summary.records, 6000u);
+  ASSERT_TRUE(reference.sensors.sensor(0).alerted());
+  ASSERT_TRUE(reference.trw.first_alert_time().has_value());
+
+  // Served: same stack behind the daemon, fed over 8 TCP connections.
+  Stack served;
+  ServerOptions options;
+  options.force_poll = GetParam();
+  options.enforce_fingerprint = true;
+  options.expected_fingerprint = kFingerprint;
+  TelescopeServer server{served.tee, options};
+  server.set_before_snapshot([&] { served.sensors.PublishSensorMetrics(); });
+  server.set_alert_probe([&] { return served.sensors.AlertedCount() > 0; });
+  server.Bind();
+  std::thread server_thread{[&] { server.Run(); }};
+
+  CorpusIndex corpus{corpus_path};
+  ASSERT_GE(corpus.blocks().size(), 8u);
+  LoadOptions load;
+  load.port = server.port();
+  load.connections = 8;
+  const LoadReport report = RunLoad(corpus, load);
+  EXPECT_EQ(report.records_sent, 6000u);
+  EXPECT_EQ(report.blocks_sent, corpus.blocks().size());
+  EXPECT_EQ(report.ack_latency_seconds.size(), 8u);
+
+  // ACKs are the durability barrier: everything is already folded here.
+  EXPECT_EQ(server.fold().records_folded(), 6000u);
+  EXPECT_EQ(server.fold().sequence_gaps(), 0u);
+  EXPECT_TRUE(server.fold().alert_seen());
+
+  // HTTP endpoints while the daemon is live.
+  const std::string json = HttpGet(server.port(), "/metrics");
+  EXPECT_NE(json.find("200"), std::string::npos);
+  EXPECT_NE(json.find("hotspots.metrics.v1"), std::string::npos);
+  EXPECT_NE(json.find("serve.ingest.records"), std::string::npos);
+  EXPECT_NE(json.find("telescope.sensor.serve/16.probes"), std::string::npos);
+  const std::string prom = HttpGet(server.port(), "/metrics.prom");
+  EXPECT_NE(prom.find("200"), std::string::npos);
+  EXPECT_NE(prom.find("# TYPE"), std::string::npos);
+  const std::string health = HttpGet(server.port(), "/healthz");
+  EXPECT_NE(health.find("200"), std::string::npos);
+  const std::string missing = HttpGet(server.port(), "/nope");
+  EXPECT_NE(missing.find("404"), std::string::npos);
+
+  server.RequestShutdown();
+  server_thread.join();
+
+  // The acceptance pin: gauges AND alert times bit-identical.
+  const auto& ref_sensor = reference.sensors.sensor(0);
+  const auto& got_sensor = served.sensors.sensor(0);
+  EXPECT_EQ(got_sensor.probe_count(), ref_sensor.probe_count());
+  EXPECT_EQ(got_sensor.UniqueSourceCount(), ref_sensor.UniqueSourceCount());
+  ASSERT_TRUE(got_sensor.alerted());
+  EXPECT_EQ(*got_sensor.alert_time(), *ref_sensor.alert_time());
+
+  EXPECT_EQ(served.trw.probes_seen(), reference.trw.probes_seen());
+  EXPECT_EQ(served.trw.probes_fed(), reference.trw.probes_fed());
+  ASSERT_TRUE(served.trw.first_alert_time().has_value());
+  EXPECT_EQ(*served.trw.first_alert_time(), *reference.trw.first_alert_time());
+
+  EXPECT_EQ(served.prevalence.alert_time().has_value(),
+            reference.prevalence.alert_time().has_value());
+  if (reference.prevalence.alert_time().has_value()) {
+    EXPECT_EQ(*served.prevalence.alert_time(),
+              *reference.prevalence.alert_time());
+  }
+}
+
+TEST_P(ServeServerTest, FingerprintMismatchRejectsFeed) {
+  const std::string corpus_path = WriteCorpus();
+  Stack served;
+  ServerOptions options;
+  options.force_poll = GetParam();
+  options.enforce_fingerprint = true;
+  options.expected_fingerprint = kFingerprint + 1;  // Wrong scenario.
+  TelescopeServer server{served.tee, options};
+  server.Bind();
+  std::thread server_thread{[&] { server.Run(); }};
+
+  CorpusIndex corpus{corpus_path};
+  LoadOptions load;
+  load.port = server.port();
+  load.connections = 2;
+  EXPECT_THROW((void)RunLoad(corpus, load), std::runtime_error);
+
+  server.RequestShutdown();
+  server_thread.join();
+  EXPECT_EQ(server.fold().records_folded(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Pollers, ServeServerTest, ::testing::Bool(),
+                         [](const ::testing::TestParamInfo<bool>& info) {
+                           return info.param ? "poll" : "native";
+                         });
+
+}  // namespace
+}  // namespace hotspots::serve

@@ -1,0 +1,268 @@
+// Pins for the `hotspots.ingest.v1` framing layer (src/serve/wire.h):
+// builder/parser round-trips survive arbitrary fragmentation, and every
+// framing ceiling fails closed with an IngestError instead of a silent
+// resync.  The parser is what stands between raw socket bytes and the
+// shared fold, so "reject, never guess" is the property under test.
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "serve/protocol.h"
+#include "serve/wire.h"
+#include "trace/format.h"
+
+namespace hotspots::serve {
+namespace {
+
+/// A syntactically plausible 48-byte trace header for HELLO payloads.
+/// ParseHello treats it as opaque bytes; only size matters here.
+std::vector<std::uint8_t> FakeTraceHeader() {
+  std::vector<std::uint8_t> header(trace::kHeaderBytes, 0);
+  for (std::size_t i = 0; i < header.size(); ++i) {
+    header[i] = static_cast<std::uint8_t>(0xA0 + i);
+  }
+  return header;
+}
+
+std::vector<std::uint8_t> FakeBlock(std::size_t payload_bytes) {
+  // Framing only cares that the payload is at least one block frame; the
+  // CRC is validated downstream by the StreamDecoder, not the parser.
+  std::vector<std::uint8_t> block(trace::kBlockFrameBytes + payload_bytes, 0);
+  for (std::size_t i = 0; i < block.size(); ++i) {
+    block[i] = static_cast<std::uint8_t>(i * 7);
+  }
+  return block;
+}
+
+std::vector<Frame> DrainCopy(FrameParser& parser,
+                             std::vector<std::vector<std::uint8_t>>& payloads) {
+  std::vector<Frame> frames;
+  Frame frame;
+  while (parser.Next(frame)) {
+    payloads.emplace_back(frame.payload.begin(), frame.payload.end());
+    frames.push_back(frame);
+  }
+  return frames;
+}
+
+/// One of each frame type, in session order, as a client would send them.
+std::vector<std::uint8_t> SessionBytes() {
+  std::vector<std::uint8_t> bytes;
+  const auto trace_header = FakeTraceHeader();
+  AppendHello(bytes, /*connection=*/3, /*fanout=*/8, trace_header);
+  AppendBlock(bytes, /*sequence=*/17, FakeBlock(40));
+  AppendBlock(bytes, /*sequence=*/18, FakeBlock(9));
+  const auto trailer = BuildConnectionTrailer(/*records=*/123, /*blocks=*/2,
+                                              /*last_time_bits=*/0x3FF00000u);
+  AppendFin(bytes, trailer);
+  AppendAck(bytes);
+  return bytes;
+}
+
+void ExpectSessionFrames(const std::vector<Frame>& frames,
+                         const std::vector<std::vector<std::uint8_t>>& payloads,
+                         const std::string& context) {
+  ASSERT_EQ(frames.size(), 5u) << context;
+  EXPECT_EQ(frames[0].header.type,
+            static_cast<std::uint32_t>(FrameType::kHello))
+      << context;
+  EXPECT_EQ(payloads[0].size(), kHelloPayloadBytes) << context;
+  EXPECT_EQ(frames[1].header.type,
+            static_cast<std::uint32_t>(FrameType::kBlock))
+      << context;
+  EXPECT_EQ(frames[1].header.sequence, 17u) << context;
+  EXPECT_EQ(payloads[1].size(), trace::kBlockFrameBytes + 40) << context;
+  EXPECT_EQ(frames[2].header.sequence, 18u) << context;
+  EXPECT_EQ(payloads[2].size(), trace::kBlockFrameBytes + 9) << context;
+  EXPECT_EQ(frames[3].header.type, static_cast<std::uint32_t>(FrameType::kFin))
+      << context;
+  EXPECT_EQ(payloads[3].size(), kFinPayloadBytes) << context;
+  EXPECT_EQ(frames[4].header.type, static_cast<std::uint32_t>(FrameType::kAck))
+      << context;
+  EXPECT_TRUE(payloads[4].empty()) << context;
+
+  // Payload bytes must be verbatim: the block frame we appended must come
+  // back untouched (spot-check first data block).
+  const auto block = FakeBlock(40);
+  EXPECT_EQ(payloads[1], block) << context;
+}
+
+TEST(ServeWireTest, SessionRoundTripOneFeed) {
+  const auto bytes = SessionBytes();
+  FrameParser parser;
+  parser.Feed(bytes);
+  std::vector<std::vector<std::uint8_t>> payloads;
+  const auto frames = DrainCopy(parser, payloads);
+  ExpectSessionFrames(frames, payloads, "one feed");
+  EXPECT_EQ(parser.buffered_bytes(), 0u);
+  EXPECT_EQ(parser.frames_parsed(), 5u);
+}
+
+/// Fragmentation sweep: every two-chunk split of the whole session byte
+/// stream yields the identical frame sequence — the parser must tolerate
+/// a cut inside a frame header, inside a payload, and exactly on a seam.
+TEST(ServeWireTest, EveryTwoChunkSplitYieldsSameFrames) {
+  const auto bytes = SessionBytes();
+  const std::span<const std::uint8_t> all{bytes};
+  for (std::size_t split = 0; split <= bytes.size(); ++split) {
+    FrameParser parser;
+    std::vector<std::vector<std::uint8_t>> payloads;
+    std::vector<Frame> frames;
+    parser.Feed(all.subspan(0, split));
+    for (const auto& f : DrainCopy(parser, payloads)) frames.push_back(f);
+    parser.Feed(all.subspan(split));
+    for (const auto& f : DrainCopy(parser, payloads)) frames.push_back(f);
+    ASSERT_NO_FATAL_FAILURE(ExpectSessionFrames(
+        frames, payloads, "split at byte " + std::to_string(split)));
+  }
+}
+
+TEST(ServeWireTest, ByteAtATime) {
+  const auto bytes = SessionBytes();
+  FrameParser parser;
+  std::vector<std::vector<std::uint8_t>> payloads;
+  std::vector<Frame> frames;
+  for (const std::uint8_t byte : bytes) {
+    parser.Feed({&byte, 1});
+    for (const auto& f : DrainCopy(parser, payloads)) frames.push_back(f);
+  }
+  ExpectSessionFrames(frames, payloads, "byte at a time");
+}
+
+TEST(ServeWireTest, OversizedPayloadLengthThrows) {
+  std::vector<std::uint8_t> bytes;
+  AppendFrameHeader(bytes, FrameType::kBlock, /*sequence=*/0,
+                    kMaxFramePayloadBytes + 1);
+  FrameParser parser;
+  parser.Feed(bytes);
+  Frame frame;
+  EXPECT_THROW((void)parser.Next(frame), IngestError);
+}
+
+TEST(ServeWireTest, UnknownFrameTypeThrows) {
+  std::vector<std::uint8_t> bytes;
+  AppendFrameHeader(bytes, static_cast<FrameType>(99), /*sequence=*/0, 0);
+  FrameParser parser;
+  parser.Feed(bytes);
+  Frame frame;
+  EXPECT_THROW((void)parser.Next(frame), IngestError);
+}
+
+TEST(ServeWireTest, WrongFixedSizesThrow) {
+  // HELLO must be exactly kHelloPayloadBytes.
+  {
+    std::vector<std::uint8_t> bytes;
+    AppendFrameHeader(bytes, FrameType::kHello, 0, kHelloPayloadBytes - 1);
+    bytes.resize(bytes.size() + kHelloPayloadBytes - 1, 0);
+    FrameParser parser;
+    parser.Feed(bytes);
+    Frame frame;
+    EXPECT_THROW((void)parser.Next(frame), IngestError);
+  }
+  // FIN must be exactly kFinPayloadBytes.
+  {
+    std::vector<std::uint8_t> bytes;
+    AppendFrameHeader(bytes, FrameType::kFin, 0, kFinPayloadBytes + 4);
+    bytes.resize(bytes.size() + kFinPayloadBytes + 4, 0);
+    FrameParser parser;
+    parser.Feed(bytes);
+    Frame frame;
+    EXPECT_THROW((void)parser.Next(frame), IngestError);
+  }
+  // ACK must be empty.
+  {
+    std::vector<std::uint8_t> bytes;
+    AppendFrameHeader(bytes, FrameType::kAck, 0, 1);
+    bytes.push_back(0);
+    FrameParser parser;
+    parser.Feed(bytes);
+    Frame frame;
+    EXPECT_THROW((void)parser.Next(frame), IngestError);
+  }
+  // BLOCK payloads are variable-length for the parser (the StreamDecoder
+  // owns their validation), but the *builder* refuses to frame a span
+  // smaller than one block frame.
+  {
+    std::vector<std::uint8_t> bytes;
+    const auto tiny = FakeBlock(0);
+    EXPECT_THROW(
+        AppendBlock(bytes, 0,
+                    std::span<const std::uint8_t>{tiny}.subspan(
+                        0, trace::kBlockFrameBytes - 1)),
+        IngestError);
+  }
+}
+
+TEST(ServeWireTest, ParseHelloRoundTrip) {
+  std::vector<std::uint8_t> bytes;
+  const auto trace_header = FakeTraceHeader();
+  AppendHello(bytes, /*connection=*/5, /*fanout=*/8, trace_header);
+  FrameParser parser;
+  parser.Feed(bytes);
+  Frame frame;
+  ASSERT_TRUE(parser.Next(frame));
+  const Hello hello = ParseHello(frame.payload);
+  EXPECT_EQ(hello.version, kIngestVersion);
+  EXPECT_EQ(hello.connection, 5u);
+  EXPECT_EQ(hello.fanout, 8u);
+  EXPECT_EQ(std::memcmp(hello.trace_header, trace_header.data(),
+                        trace::kHeaderBytes),
+            0);
+}
+
+TEST(ServeWireTest, ParseHelloRejectsBadMagicVersionAndFanout) {
+  const auto trace_header = FakeTraceHeader();
+
+  auto hello_bytes = [&](auto mutate) {
+    std::vector<std::uint8_t> bytes;
+    AppendHello(bytes, /*connection=*/0, /*fanout=*/4, trace_header);
+    std::vector<std::uint8_t> payload(bytes.begin() + kFrameHeaderBytes,
+                                      bytes.end());
+    mutate(payload);
+    return payload;
+  };
+
+  // Bad magic.
+  auto bad_magic = hello_bytes([](auto& p) { p[0] ^= 0xFF; });
+  EXPECT_THROW((void)ParseHello(bad_magic), IngestError);
+  // Unsupported version.
+  auto bad_version = hello_bytes([](auto& p) { p[8] = 9; });
+  EXPECT_THROW((void)ParseHello(bad_version), IngestError);
+  // connection >= fanout.
+  auto bad_index = hello_bytes([](auto& p) { p[12] = 4; });
+  EXPECT_THROW((void)ParseHello(bad_index), IngestError);
+  // Truncated payload.
+  auto good = hello_bytes([](auto&) {});
+  EXPECT_THROW(
+      (void)ParseHello(std::span<const std::uint8_t>{good}.subspan(0, 20)),
+      IngestError);
+}
+
+TEST(ServeWireTest, BuildConnectionTrailerShape) {
+  const auto trailer = BuildConnectionTrailer(/*records=*/1000, /*blocks=*/3,
+                                              /*last_time_bits=*/0xDEADBEEFu);
+  ASSERT_EQ(trailer.size(), kFinPayloadBytes);
+  // Block frame with record count zero (the trace trailer marker).
+  std::uint32_t record_count = 0;
+  std::uint32_t payload_size = 0;
+  std::memcpy(&record_count, trailer.data(), 4);
+  std::memcpy(&payload_size, trailer.data() + 4, 4);
+  EXPECT_EQ(record_count, 0u);
+  EXPECT_EQ(payload_size, trace::kTrailerPayloadBytes);
+  std::uint64_t records = 0;
+  std::uint64_t blocks = 0;
+  std::uint64_t time_bits = 0;
+  std::memcpy(&records, trailer.data() + trace::kBlockFrameBytes, 8);
+  std::memcpy(&blocks, trailer.data() + trace::kBlockFrameBytes + 8, 8);
+  std::memcpy(&time_bits, trailer.data() + trace::kBlockFrameBytes + 16, 8);
+  EXPECT_EQ(records, 1000u);
+  EXPECT_EQ(blocks, 3u);
+  EXPECT_EQ(time_bits, 0xDEADBEEFu);
+}
+
+}  // namespace
+}  // namespace hotspots::serve

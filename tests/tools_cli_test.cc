@@ -1,0 +1,96 @@
+// CLI contract pins for the tools/ binaries that scripts depend on.
+// Exit codes are API: ci.sh and result-collection scripts branch on
+// them, so a usage error must be 2 with a one-line diagnostic — never a
+// parse backtrace or an ambiguous 1.  Covered here: perf_report's
+// --timeseries argument with a missing and with a truncated sidecar
+// (the ISSUE 9 satellite).
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace {
+
+#ifndef PERF_REPORT_PATH
+#error "PERF_REPORT_PATH must point at the built perf_report binary"
+#endif
+
+/// Scratch path unique to this test process: ctest -j runs each case in
+/// its own process, so shared names would race.
+std::string Scratch(const std::string& name) {
+  return ::testing::TempDir() + "/tools_cli." + std::to_string(::getpid()) +
+         "." + name;
+}
+
+/// Runs `command` with stderr captured into `err_out`; returns the exit
+/// status (or -1 if the child did not exit normally).
+int RunCapture(const std::string& command, std::string& err_out) {
+  const std::string err_path = Scratch("stderr");
+  const int raw = std::system(
+      (command + " >/dev/null 2>" + err_path).c_str());
+  std::ifstream err{err_path};
+  err_out.assign(std::istreambuf_iterator<char>(err),
+                 std::istreambuf_iterator<char>());
+  if (!WIFEXITED(raw)) return -1;
+  return WEXITSTATUS(raw);
+}
+
+/// A minimal but well-formed trace-event timeline, so the failure under
+/// test is isolated to the --timeseries argument.
+std::string WriteTimeline() {
+  const std::string path = Scratch("timeline.json");
+  std::ofstream out{path};
+  out << R"({"traceEvents":[)"
+      << R"({"ph":"B","ts":1,"tid":0,"name":"run"},)"
+      << R"({"ph":"E","ts":5,"tid":0,"name":"run"}]})";
+  return path;
+}
+
+TEST(PerfReportCliTest, MissingTimeseriesExitsTwoWithOneLineError) {
+  const std::string timeline = WriteTimeline();
+  const std::string missing = Scratch("no_such_sidecar.json");
+  std::remove(missing.c_str());
+  std::string err;
+  const int status = RunCapture(std::string(PERF_REPORT_PATH) + " --timeline " +
+                                    timeline + " --timeseries " + missing,
+                                err);
+  EXPECT_EQ(status, 2) << err;
+  EXPECT_NE(err.find("perf_report: --timeseries"), std::string::npos) << err;
+  EXPECT_NE(err.find(missing), std::string::npos) << err;
+  // One line, no backtrace/partial-parse spew.
+  EXPECT_EQ(std::count(err.begin(), err.end(), '\n'), 1) << err;
+}
+
+TEST(PerfReportCliTest, TruncatedTimeseriesExitsTwoWithOneLineError) {
+  const std::string timeline = WriteTimeline();
+  const std::string truncated = Scratch("truncated_sidecar.json");
+  {
+    std::ofstream out{truncated};
+    out << R"([{"t": 0.5, "records": 12)";  // Cut mid-object.
+  }
+  std::string err;
+  const int status = RunCapture(std::string(PERF_REPORT_PATH) + " --timeline " +
+                                    timeline + " --timeseries " + truncated,
+                                err);
+  EXPECT_EQ(status, 2) << err;
+  EXPECT_NE(err.find("perf_report: --timeseries"), std::string::npos) << err;
+  EXPECT_EQ(std::count(err.begin(), err.end(), '\n'), 1) << err;
+}
+
+TEST(PerfReportCliTest, WellFormedPairStillExitsZero) {
+  // Guard against the exit-2 path over-matching: a valid timeline with no
+  // --timeseries at all must keep working.
+  const std::string timeline = WriteTimeline();
+  std::string err;
+  const int status =
+      RunCapture(std::string(PERF_REPORT_PATH) + " --timeline " + timeline, err);
+  EXPECT_EQ(status, 0) << err;
+}
+
+}  // namespace

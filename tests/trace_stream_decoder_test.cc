@@ -1,0 +1,225 @@
+// Incremental decode pins: trace::StreamDecoder must yield the same
+// record sequence as the one-shot TraceReader no matter where the byte
+// stream is cut — mid-header, mid-frame, mid-varint, across block seams.
+// This is the correctness backbone of the telescope server's
+// per-connection partial reads (src/serve/connection.cc): a socket
+// delivers bytes in arbitrary fragments, and nothing unverified may ever
+// reach the fold.  The central test splits a multi-block fixture at
+// EVERY byte boundary (which necessarily includes every block seam) and
+// requires byte-identical output; the rest covers the fail-closed paths
+// (truncation at EOF, CRC damage, bytes after the trailer).
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <span>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include "net/ipv4.h"
+#include "sim/observer.h"
+#include "trace/format.h"
+#include "trace/reader.h"
+#include "trace/stream_decoder.h"
+#include "trace/writer.h"
+
+namespace hotspots {
+namespace {
+
+using net::Ipv4;
+
+std::string FixturePath(const char* name) {
+  // Per-process suffix: ctest -j runs each case in its own process and
+  // several cases rebuild the same fixture name concurrently.
+  return ::testing::TempDir() + "/" + name + "." +
+         std::to_string(::getpid()) + ".trace";
+}
+
+/// A small deterministic stream: 40 records in blocks of 7 (so the last
+/// block is short), repeated timestamps, every delivery verdict, sources
+/// and destinations exercising the varint edge widths.
+std::vector<sim::ProbeEvent> FixtureEvents() {
+  std::vector<sim::ProbeEvent> events;
+  for (std::uint32_t i = 0; i < 40; ++i) {
+    sim::ProbeEvent event;
+    event.time = 0.25 * static_cast<double>(i / 4);  // Runs of 4 per step.
+    event.src_host = i * 97;
+    event.src_address = Ipv4{(i % 3 == 0) ? 0xFFFFFF00u + i : i * 2654435761u};
+    event.dst = Ipv4{(60u << 24) | (i * 40503u)};
+    event.delivery = static_cast<topology::Delivery>(i % 6);
+    events.push_back(event);
+  }
+  return events;
+}
+
+/// Writes the fixture and returns its bytes.
+std::vector<std::uint8_t> WriteFixture(const std::string& path) {
+  trace::TraceWriterOptions options;
+  options.scenario_fingerprint = 0xFEEDFACEu;
+  options.seed = 99;
+  options.block_records = 7;
+  trace::TraceWriter writer{path, options};
+  writer.OnAttach();
+  const auto events = FixtureEvents();
+  writer.OnProbeBatch(events);
+  writer.Finish();
+
+  std::ifstream in{path, std::ios::binary};
+  return {std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>()};
+}
+
+std::vector<sim::ProbeEvent> ReadOneShot(const std::string& path) {
+  trace::TraceReader reader{path};
+  std::vector<sim::ProbeEvent> events;
+  while (true) {
+    const auto batch = reader.NextBatch();
+    if (batch.empty()) break;
+    events.insert(events.end(), batch.begin(), batch.end());
+  }
+  return events;
+}
+
+void DrainInto(trace::StreamDecoder& decoder,
+               std::vector<sim::ProbeEvent>& out) {
+  while (true) {
+    const auto batch = decoder.NextBatch();
+    if (batch.empty()) break;
+    out.insert(out.end(), batch.begin(), batch.end());
+  }
+}
+
+void ExpectSameEvents(const std::vector<sim::ProbeEvent>& got,
+                      const std::vector<sim::ProbeEvent>& want) {
+  ASSERT_EQ(got.size(), want.size());
+  for (std::size_t i = 0; i < want.size(); ++i) {
+    EXPECT_EQ(got[i].time, want[i].time) << "record " << i;
+    EXPECT_EQ(got[i].src_host, want[i].src_host) << "record " << i;
+    EXPECT_EQ(got[i].src_address.value(), want[i].src_address.value())
+        << "record " << i;
+    EXPECT_EQ(got[i].dst.value(), want[i].dst.value()) << "record " << i;
+    EXPECT_EQ(got[i].delivery, want[i].delivery) << "record " << i;
+  }
+}
+
+class StreamDecoderTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = FixturePath("stream_decoder");
+    bytes_ = WriteFixture(path_);
+    reference_ = ReadOneShot(path_);
+    ASSERT_EQ(reference_.size(), 40u);
+    // The fixture must actually span several blocks or the seam sweep
+    // proves nothing.
+    ASSERT_GT(bytes_.size(),
+              trace::kHeaderBytes + 3 * trace::kBlockFrameBytes);
+  }
+
+  std::string path_;
+  std::vector<std::uint8_t> bytes_;
+  std::vector<sim::ProbeEvent> reference_;
+};
+
+TEST_F(StreamDecoderTest, WholeFileInOneFeed) {
+  trace::StreamDecoder decoder{"one-shot"};
+  decoder.Feed(bytes_);
+  std::vector<sim::ProbeEvent> got;
+  DrainInto(decoder, got);
+  ExpectSameEvents(got, reference_);
+  EXPECT_TRUE(decoder.finished());
+  EXPECT_EQ(decoder.records_read(), 40u);
+  EXPECT_EQ(decoder.blocks_read(), 6u);  // ceil(40 / 7)
+  EXPECT_EQ(decoder.header().seed, 99u);
+  EXPECT_EQ(decoder.header().scenario_fingerprint, 0xFEEDFACEu);
+  EXPECT_NO_THROW(decoder.FinishEof());
+}
+
+/// The headline pin: every two-chunk split of the file — which includes
+/// every block seam and every offset within every frame, payload, and
+/// varint — decodes to the identical record sequence.
+TEST_F(StreamDecoderTest, EveryByteBoundarySplitMatchesOneShot) {
+  const std::span<const std::uint8_t> all{bytes_};
+  for (std::size_t split = 0; split <= bytes_.size(); ++split) {
+    trace::StreamDecoder decoder{"split@" + std::to_string(split)};
+    std::vector<sim::ProbeEvent> got;
+    decoder.Feed(all.subspan(0, split));
+    DrainInto(decoder, got);
+    decoder.Feed(all.subspan(split));
+    DrainInto(decoder, got);
+    ASSERT_NO_FATAL_FAILURE(ExpectSameEvents(got, reference_))
+        << "split at byte " << split;
+    ASSERT_TRUE(decoder.finished()) << "split at byte " << split;
+    ASSERT_NO_THROW(decoder.FinishEof()) << "split at byte " << split;
+  }
+}
+
+TEST_F(StreamDecoderTest, OneByteAtATime) {
+  trace::StreamDecoder decoder{"dribble"};
+  std::vector<sim::ProbeEvent> got;
+  for (const std::uint8_t byte : bytes_) {
+    decoder.Feed({&byte, 1});
+    DrainInto(decoder, got);
+  }
+  ExpectSameEvents(got, reference_);
+  EXPECT_TRUE(decoder.finished());
+  EXPECT_EQ(decoder.bytes_consumed(), bytes_.size());
+}
+
+/// EOF anywhere before the verified trailer is an error — a peer that
+/// hangs up mid-stream must not look like a clean finish.
+TEST_F(StreamDecoderTest, FinishEofMidStreamThrowsEverywhere) {
+  const std::span<const std::uint8_t> all{bytes_};
+  for (std::size_t cut = 0; cut < bytes_.size(); ++cut) {
+    trace::StreamDecoder decoder{"cut@" + std::to_string(cut)};
+    decoder.Feed(all.subspan(0, cut));
+    std::vector<sim::ProbeEvent> got;
+    DrainInto(decoder, got);
+    ASSERT_FALSE(decoder.finished()) << "cut at byte " << cut;
+    ASSERT_THROW(decoder.FinishEof(), trace::TraceError)
+        << "cut at byte " << cut;
+  }
+}
+
+TEST_F(StreamDecoderTest, BytesAfterTrailerThrow) {
+  trace::StreamDecoder decoder{"overlong"};
+  decoder.Feed(bytes_);
+  std::vector<sim::ProbeEvent> got;
+  DrainInto(decoder, got);
+  ASSERT_TRUE(decoder.finished());
+  const std::uint8_t extra = 0x42;
+  EXPECT_THROW(decoder.Feed({&extra, 1}), trace::TraceError);
+}
+
+TEST_F(StreamDecoderTest, CorruptBlockPayloadThrows) {
+  // Flip one byte inside the first block's payload; the CRC check must
+  // refuse the block, and the diagnostic must name block and offset.
+  std::vector<std::uint8_t> damaged = bytes_;
+  const std::size_t at = trace::kHeaderBytes + trace::kBlockFrameBytes + 2;
+  damaged[at] ^= 0xFF;
+  trace::StreamDecoder decoder{"crc"};
+  decoder.Feed(damaged);
+  try {
+    while (!decoder.NextBatch().empty()) {
+    }
+    FAIL() << "corrupt block decoded";
+  } catch (const trace::TraceError& error) {
+    const std::string what = error.what();
+    // Diagnostic names the stream, the byte offset, and the block index,
+    // e.g. "trace: crc @48: block 0 CRC mismatch (...)".
+    EXPECT_NE(what.find("block 0"), std::string::npos) << what;
+    EXPECT_NE(what.find("@48"), std::string::npos) << what;
+  }
+}
+
+TEST_F(StreamDecoderTest, BadMagicThrows) {
+  std::vector<std::uint8_t> damaged = bytes_;
+  damaged[0] ^= 0xFF;
+  trace::StreamDecoder decoder{"magic"};
+  decoder.Feed(damaged);
+  EXPECT_THROW((void)decoder.NextBatch(), trace::TraceError);
+}
+
+}  // namespace
+}  // namespace hotspots

@@ -17,8 +17,10 @@
 //   * top-K span self-times (span duration minus nested children),
 //   * probes/s-over-time from the timeseries counter deltas.
 //
-// The tool exits 0 on a well-formed pair, 1 on parse/shape errors, 2 on
-// usage errors — ci.sh's obs-trace smoke runs it against every traced
+// The tool exits 0 on a well-formed pair, 1 on timeline parse/shape
+// errors, and 2 on usage errors — including a --timeseries path that is
+// missing or truncated, which gets a one-line diagnostic rather than a
+// parse backtrace.  ci.sh's obs-trace smoke runs it against every traced
 // micro_hotpath artifact.
 #include <algorithm>
 #include <cctype>
@@ -487,7 +489,7 @@ void PrintSelfTimes(const TimelineReport& report, int top) {
 
 void PrintTimeseries(const std::string& path) {
   std::ifstream in(path);
-  if (!in) throw std::runtime_error("cannot open " + path);
+  if (!in) throw std::runtime_error("cannot open (missing or unreadable)");
   std::stringstream buffer;
   buffer << in.rdbuf();
   const JsonValue document = JsonParser(buffer.str()).Parse();
@@ -613,10 +615,22 @@ int main(int argc, char** argv) {
     PrintShardSection(report, imbalance);
     PrintCommitWindows(report, windows);
     PrintSelfTimes(report, top);
-    if (!timeseries_path.empty()) PrintTimeseries(timeseries_path);
   } catch (const std::exception& error) {
     std::fprintf(stderr, "perf_report: %s\n", error.what());
     return 1;
+  }
+  // A bad --timeseries argument is an invocation error, not a shape
+  // problem inside a well-formed artifact pair: missing and truncated
+  // sidecars both get one line and exit 2 (a truncated file surfaces as
+  // the parser's "unexpected end of input").
+  if (!timeseries_path.empty()) {
+    try {
+      PrintTimeseries(timeseries_path);
+    } catch (const std::exception& error) {
+      std::fprintf(stderr, "perf_report: --timeseries %s: %s\n",
+                   timeseries_path.c_str(), error.what());
+      return 2;
+    }
   }
   return 0;
 }

@@ -1,0 +1,101 @@
+// telescope_load — replay a captured trace corpus against a telescope
+// ingest daemon at fan-out.
+//
+//   telescope_load FILE --port N [--host ADDR] [--connections N]
+//                  [--rate RECORDS_PER_SEC] [--loop N]
+//
+// The corpus is indexed into raw block spans (never re-encoded) and
+// striped over N concurrent connections — connection c carries blocks
+// i with i % N == c, tagged with their global capture sequence — so the
+// daemon's in-order fold reconstructs the original stream exactly.
+// --rate paces the *aggregate* record rate across all connections
+// (0 = unthrottled); --loop replays the corpus that many times
+// back-to-back with monotonically rising sequences.  Exits 0 once every
+// connection's FIN has been ACKed, i.e. once the daemon has folded
+// every record sent.
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "bench_util.h"
+#include "serve/load_client.h"
+
+namespace {
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: telescope_load FILE --port N [--host ADDR]\n"
+               "  [--connections N] [--rate RECORDS_PER_SEC] [--loop N]\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace hotspots;
+
+  serve::LoadOptions options;
+  std::string path;
+  for (int i = 1; i < argc; ++i) {
+    const auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "telescope_load: %s requires a value\n",
+                     argv[i]);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (std::strcmp(argv[i], "--port") == 0) {
+      options.port =
+          static_cast<std::uint16_t>(std::strtoul(next(), nullptr, 10));
+    } else if (std::strcmp(argv[i], "--host") == 0) {
+      options.host = next();
+    } else if (std::strcmp(argv[i], "--connections") == 0) {
+      options.connections =
+          static_cast<std::uint32_t>(std::strtoul(next(), nullptr, 10));
+    } else if (std::strcmp(argv[i], "--rate") == 0) {
+      const auto rate = bench::ParseDouble(next());
+      if (!rate || *rate < 0.0) {
+        std::fprintf(stderr, "telescope_load: bad --rate\n");
+        return 2;
+      }
+      options.rate = *rate;
+    } else if (std::strcmp(argv[i], "--loop") == 0) {
+      options.loops =
+          static_cast<std::uint32_t>(std::strtoul(next(), nullptr, 10));
+    } else if (path.empty()) {
+      path = argv[i];
+    } else {
+      return Usage();
+    }
+  }
+  if (path.empty() || options.port == 0) return Usage();
+
+  try {
+    const serve::CorpusIndex corpus{path};
+    std::printf("corpus %s: %zu blocks, %llu records\n", path.c_str(),
+                corpus.blocks().size(),
+                static_cast<unsigned long long>(corpus.total_records()));
+    const serve::LoadReport report = serve::RunLoad(corpus, options);
+    std::printf("sent %llu records (%llu blocks, %.2f MiB) over %u "
+                "connections in %.3f s — %.0f records/s\n",
+                static_cast<unsigned long long>(report.records_sent),
+                static_cast<unsigned long long>(report.blocks_sent),
+                static_cast<double>(report.bytes_sent) / (1024.0 * 1024.0),
+                options.connections, report.wall_seconds,
+                report.records_per_sec);
+    std::vector<double> lat = report.ack_latency_seconds;
+    std::sort(lat.begin(), lat.end());
+    if (!lat.empty()) {
+      std::printf("fin-to-ack latency: p50 %.6f s, max %.6f s\n",
+                  lat[lat.size() / 2], lat.back());
+    }
+    std::printf("all connections acked\n");
+    return 0;
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "telescope_load: %s\n", error.what());
+    return 1;
+  }
+}

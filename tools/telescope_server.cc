@@ -1,0 +1,228 @@
+// telescope_server — long-running telescope-as-a-service ingest daemon.
+//
+//   telescope_server [--port N] [--bind ADDR]
+//                    [--sensors CIDR[,CIDR...] | --ims]
+//                    [--alert-threshold N] [--trw LIVE_CIDR[,CIDR...]]
+//                    [--prevalence] [--poller poll]
+//                    [--drain-timeout SECONDS] [--metrics-out PATH]
+//
+// Accepts `hotspots.ingest.v1` streams (see EXPERIMENTS.md) from any
+// number of concurrent feeds — telescope_load, or a future live capture
+// relay — and folds every decoded probe into one shared telescope (+
+// optional TRW gateway and content-prevalence detector) in global
+// capture order, so its state matches an embedded run of the same
+// stream bit for bit.  The same port answers HTTP/1.0 GETs:
+//
+//   /metrics        hotspots.metrics.v1 JSON snapshot (live)
+//   /metrics.prom   Prometheus text exposition
+//   /healthz        liveness probe
+//
+// --port 0 (the default) binds an ephemeral port; the chosen port is
+// printed as "listening on port N" for harnesses to parse.  SIGTERM and
+// SIGINT trigger a graceful drain: stop accepting, let in-flight feeds
+// finish (bounded by --drain-timeout), fold everything queued, exit 0.
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "detect/probe_stream.h"
+#include "net/interval_set.h"
+#include "net/prefix.h"
+#include "serve/server.h"
+#include "sim/observer.h"
+#include "telescope/ims.h"
+#include "telescope/telescope.h"
+
+namespace {
+
+using namespace hotspots;
+
+serve::TelescopeServer* g_server = nullptr;
+
+void HandleSignal(int /*sig*/) {
+  if (g_server != nullptr) g_server->RequestShutdown();
+}
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: telescope_server [--port N] [--bind ADDR]\n"
+               "  [--sensors CIDR[,CIDR...] | --ims] [--alert-threshold N]\n"
+               "  [--trw LIVE_CIDR[,CIDR...]] [--prevalence]\n"
+               "  [--poller poll] [--drain-timeout SECONDS]\n"
+               "  [--metrics-out PATH]\n");
+  return 2;
+}
+
+std::vector<net::Prefix> ParsePrefixList(const std::string& spec) {
+  std::vector<net::Prefix> prefixes;
+  std::size_t start = 0;
+  while (start <= spec.size()) {
+    std::size_t comma = spec.find(',', start);
+    if (comma == std::string::npos) comma = spec.size();
+    const std::string one = spec.substr(start, comma - start);
+    if (!one.empty()) {
+      const auto prefix = net::Prefix::Parse(one);
+      if (!prefix) {
+        std::fprintf(stderr, "telescope_server: bad CIDR block \"%s\"\n",
+                     one.c_str());
+        std::exit(2);
+      }
+      prefixes.push_back(*prefix);
+    }
+    start = comma + 1;
+  }
+  return prefixes;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string metrics_out = bench::MetricsOutArg(argc, argv);
+  serve::ServerOptions options;
+  std::string sensors_spec;
+  std::string trw_spec;
+  std::uint64_t alert_threshold = 0;
+  bool use_ims = false;
+  bool use_prevalence = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "telescope_server: %s requires a value\n",
+                     argv[i]);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (std::strcmp(argv[i], "--port") == 0) {
+      options.port = static_cast<std::uint16_t>(std::strtoul(next(), nullptr,
+                                                             10));
+    } else if (std::strcmp(argv[i], "--bind") == 0) {
+      options.bind_address = next();
+    } else if (std::strcmp(argv[i], "--sensors") == 0) {
+      sensors_spec = next();
+    } else if (std::strcmp(argv[i], "--ims") == 0) {
+      use_ims = true;
+    } else if (std::strcmp(argv[i], "--alert-threshold") == 0) {
+      alert_threshold = std::strtoull(next(), nullptr, 10);
+    } else if (std::strcmp(argv[i], "--trw") == 0) {
+      trw_spec = next();
+    } else if (std::strcmp(argv[i], "--prevalence") == 0) {
+      use_prevalence = true;
+    } else if (std::strcmp(argv[i], "--poller") == 0) {
+      options.force_poll = std::strcmp(next(), "poll") == 0;
+    } else if (std::strcmp(argv[i], "--drain-timeout") == 0) {
+      const auto seconds = bench::ParseDouble(next());
+      if (!seconds || *seconds <= 0.0) {
+        std::fprintf(stderr, "telescope_server: bad --drain-timeout\n");
+        return 2;
+      }
+      options.drain_timeout_seconds = *seconds;
+    } else {
+      return Usage();
+    }
+  }
+  if (use_ims && !sensors_spec.empty()) return Usage();
+
+  // The observer stack mirrors `trace_tool replay`: same telescope
+  // construction, same publish call, so the daemon's /metrics gauges diff
+  // byte-for-byte against a live or replayed run's sidecar.
+  telescope::SensorOptions sensor_options;
+  sensor_options.alert_threshold = alert_threshold;
+  telescope::Telescope sensors;
+  bool have_sensors = false;
+  if (use_ims) {
+    sensors = telescope::MakeImsTelescope(sensor_options);
+    have_sensors = true;
+  } else if (!sensors_spec.empty()) {
+    int index = 0;
+    for (const net::Prefix& block : ParsePrefixList(sensors_spec)) {
+      sensors.AddSensor("replay" + std::to_string(index++), block,
+                        sensor_options);
+    }
+    sensors.Build();
+    have_sensors = true;
+  }
+
+  std::optional<detect::TrwGatewayObserver> trw;
+  if (!trw_spec.empty()) {
+    net::IntervalSet live_space;
+    for (const net::Prefix& block : ParsePrefixList(trw_spec)) {
+      live_space.Add(block);
+    }
+    live_space.Build();
+    trw.emplace(std::move(live_space));
+  }
+  std::optional<detect::PrevalenceStreamObserver> prevalence;
+  if (use_prevalence) prevalence.emplace();
+
+  sim::TeeObserver tee;
+  if (have_sensors) tee.Add(&sensors);
+  if (trw) tee.Add(&*trw);
+  if (prevalence) tee.Add(&*prevalence);
+  if (tee.size() == 0) {
+    std::fprintf(stderr,
+                 "telescope_server: nothing to fold into — give --ims, "
+                 "--sensors, --trw, or --prevalence\n");
+    return 2;
+  }
+  tee.OnAttach();
+
+  serve::TelescopeServer server{tee, options};
+  if (have_sensors) {
+    server.set_before_snapshot([&] { sensors.PublishSensorMetrics(); });
+  }
+  server.set_alert_probe([&] {
+    if (have_sensors && sensors.AlertedCount() > 0) return true;
+    if (trw && trw->first_alert_time().has_value()) return true;
+    if (prevalence && prevalence->alert_time().has_value()) return true;
+    return false;
+  });
+
+  try {
+    server.Bind();
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "telescope_server: %s\n", error.what());
+    return 1;
+  }
+  g_server = &server;
+  std::signal(SIGTERM, HandleSignal);
+  std::signal(SIGINT, HandleSignal);
+  std::signal(SIGPIPE, SIG_IGN);
+
+  std::printf("telescope_server listening on port %u (poller %s)\n",
+              server.port(), server.poller_name());
+  std::fflush(stdout);
+
+  server.Run();
+
+  const serve::FoldPipeline& fold = server.fold();
+  std::printf("drained: %llu records in %llu blocks folded, %llu sequence "
+              "gaps\n",
+              static_cast<unsigned long long>(fold.records_folded()),
+              static_cast<unsigned long long>(fold.blocks_folded()),
+              static_cast<unsigned long long>(fold.sequence_gaps()));
+  if (have_sensors) {
+    for (std::size_t i = 0; i < sensors.size(); ++i) {
+      const auto& sensor = sensors.sensor(static_cast<int>(i));
+      std::printf("  %-12s probes %-10llu sources %-8zu",
+                  sensor.label().c_str(),
+                  static_cast<unsigned long long>(sensor.probe_count()),
+                  sensor.UniqueSourceCount());
+      if (sensor.alerted()) std::printf(" alert@%.3fs", *sensor.alert_time());
+      std::printf("\n");
+    }
+    sensors.PublishSensorMetrics();
+  }
+  if (fold.alert_seen()) {
+    std::printf("first alert %.6f s (wall) after serving began\n",
+                fold.first_alert_wall_seconds());
+  }
+  bench::DumpMetrics(metrics_out, "telescope_server");
+  return 0;
+}

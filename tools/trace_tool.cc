@@ -2,6 +2,10 @@
 //
 //   trace_tool info FILE
 //       Header fields plus full-scan totals (blocks, records, time span).
+//       Damaged files are scanned in salvage mode instead of failing on
+//       the first bad block: surviving totals, the trailer's declared
+//       totals (printed even when the trailer is the only intact
+//       section), and the first damage site are all reported (exit 1).
 //   trace_tool validate FILE [--salvage]
 //       Decodes every frame, CRC, and record; prints OK or the first
 //       violation (exit 1).  A structurally valid trace with zero records
@@ -109,7 +113,15 @@ void PrintHeader(const trace::TraceHeader& header) {
 }
 
 int CmdInfo(const std::string& path) {
-  const trace::TraceInfo info = trace::ScanTrace(path);
+  // Info must still describe a damaged capture — after a crash the
+  // trailer is often the only intact section — so the scan runs in
+  // salvage mode and reports both what survived and what the trailer
+  // declares the stream held.  An intact file prints identically to the
+  // old strict scan (and exits 0); damage is summarized and exits 1.
+  trace::TraceReaderOptions options;
+  options.salvage = true;
+  const trace::TraceInfo info = trace::ScanTrace(path, options);
+  const trace::SalvageStats& stats = info.salvage;
   PrintHeader(info.header);
   std::printf("blocks                %" PRIu64 "\n", info.blocks);
   std::printf("records               %" PRIu64 "\n", info.records);
@@ -121,6 +133,20 @@ int CmdInfo(const std::string& path) {
     std::printf("bytes_per_record      %.2f\n",
                 static_cast<double>(info.payload_bytes) /
                     static_cast<double>(info.records));
+  }
+  if (stats.trailer_seen) {
+    std::printf("trailer_records       %" PRIu64 "\n", stats.trailer_records);
+    std::printf("trailer_blocks        %" PRIu64 "\n", stats.trailer_blocks);
+  }
+  if (stats.damaged()) {
+    std::printf("damage                %" PRIu64 " corrupt block%s, first at "
+                "block %" PRIu64 " @byte %" PRIu64 "; trailer %s\n",
+                stats.corrupt_blocks, stats.corrupt_blocks == 1 ? "" : "s",
+                stats.first_damage_block, stats.first_damage_offset,
+                stats.trailer_mismatch
+                    ? "MISMATCH"
+                    : (stats.trailer_missing ? "missing" : "present"));
+    return 1;
   }
   return 0;
 }
@@ -145,6 +171,10 @@ int CmdValidate(const std::string& path, bool salvage) {
     std::printf("  corrupt_blocks   %" PRIu64 "\n", stats.corrupt_blocks);
     std::printf("  records_lost     %" PRIu64 "\n", stats.records_lost);
     std::printf("  bytes_skipped    %" PRIu64 "\n", stats.bytes_skipped);
+    if (stats.corrupt_blocks > 0) {
+      std::printf("  first_damage     block %" PRIu64 " @byte %" PRIu64 "\n",
+                  stats.first_damage_block, stats.first_damage_offset);
+    }
     std::printf("  trailer          %s\n",
                 stats.trailer_mismatch
                     ? "MISMATCH (totals below delivered stream)"
