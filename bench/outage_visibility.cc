@@ -10,6 +10,17 @@
 // the quorum first-alert time is compared against the fault-free
 // baseline.
 //
+// The v2 sweep adds the *correlated* arm: at each total down-time the
+// uniform per-sensor stagger is paired against `groupoutages:8:f:h` —
+// every sensor sharing a /8 goes dark in ONE common window, the
+// shared-transit/shared-collector failure mode.  Total sensor-seconds of
+// darkness are equal by construction, so any detection lag difference is
+// pure correlation structure.  Because the paper's traffic is hotspotted,
+// correlated darkness can black out an entire hot cluster at once —
+// uniform darkness always leaves some sensor of a hot /8 up — so the
+// correlated arm is expected to show a strictly larger first-alert lag.
+// Each paired sweep appends a row to results/BENCH_outage.json.
+//
 // Outage faults must never touch the outbreak itself: they drop what
 // sensors *record*, not what the worm *sends*, and every probabilistic
 // fault draws from the schedule-private RNG stream.  The bench hard-gates
@@ -22,9 +33,9 @@
 // Usage: outage_visibility [scale] [--metrics-out PATH] [--trace-out PATH]
 //                          [--faults SPEC]
 // With --faults, the default down-fraction sweep is replaced by the
-// baseline plus the given `hotspots.faults.v1` schedule (see
+// baseline plus the given `hotspots.faults.v2` schedule (see
 // fault/schedule.h for the grammar).  HOTSPOTS_TRIALS sets the trial
-// count (default 4).
+// count (default 8).
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -38,6 +49,7 @@
 #include "core/placement.h"
 #include "core/scenario.h"
 #include "fault/schedule.h"
+#include "obs/json_writer.h"
 #include "telescope/alerting.h"
 #include "telescope/ims.h"
 #include "trace_capture.h"
@@ -50,13 +62,23 @@ namespace {
 constexpr double kEndTime = 2500.0;
 /// Outage windows are drawn inside [0, kOutageHorizon], strictly before
 /// the end of the run, so every sensor is back up with time to re-alert.
-constexpr double kOutageHorizon = 2000.0;
+/// The horizon is deliberately tight around the detection-critical epoch
+/// (first alerts land near t≈75 s, the alert ramp is over by ~250 s): a
+/// window can only reveal correlation structure if it overlaps the epoch
+/// where detection is actually decided.  Per-sensor down-time is
+/// fraction*horizon in BOTH arms regardless, so the pairing stays fair.
+constexpr double kOutageHorizon = 250.0;
 constexpr double kQuorumFraction = 0.75;
 
 struct SweepPoint {
   std::string label;
   fault::FaultSchedule schedule;  ///< Ignored when `faulted` is false.
   bool faulted = false;
+  /// Total down-time fraction (both arms), 0 for baseline/custom.
+  double fraction = 0.0;
+  /// True for the group-correlated arm (`groupoutages`), false for the
+  /// uniform per-sensor stagger at the same fraction.
+  bool correlated = false;
 };
 
 }  // namespace
@@ -68,7 +90,11 @@ int main(int argc, char** argv) {
   const std::string trace_out = bench::TraceOutArg(argc, argv);
   const std::string fault_spec = bench::FaultSpecArg(argc, argv);
   const double scale = bench::ScaleArg(argc, argv);
-  const int trials = bench::TrialsArg(4);
+  // 8 trials by default: the correlated arm's first-alert lag is an
+  // all-or-nothing event per trial (the hot /8's window either covers the
+  // onset or it doesn't, ~43% at 30% down-time), so small trial counts
+  // can miss it entirely.  ci.sh overrides down to 2 for its smoke.
+  const int trials = bench::TrialsArg(8);
   fault::FaultSchedule custom_schedule;
   if (!fault_spec.empty()) {
     try {
@@ -112,14 +138,28 @@ int main(int argc, char** argv) {
     sweep.push_back(std::move(custom));
   } else {
     for (const double fraction : {0.3, 0.6}) {
-      SweepPoint point;
       char label[32];
-      std::snprintf(label, sizeof label, "down-%.0f%%", 100.0 * fraction);
-      point.label = label;
-      point.schedule.staggered.down_fraction = fraction;
-      point.schedule.staggered.horizon = kOutageHorizon;
-      point.faulted = true;
-      sweep.push_back(std::move(point));
+      // Uniform arm: every sensor independently dark for fraction*horizon.
+      SweepPoint uniform;
+      std::snprintf(label, sizeof label, "unif-%.0f%%", 100.0 * fraction);
+      uniform.label = label;
+      uniform.schedule.staggered.down_fraction = fraction;
+      uniform.schedule.staggered.horizon = kOutageHorizon;
+      uniform.faulted = true;
+      uniform.fraction = fraction;
+      sweep.push_back(std::move(uniform));
+      // Correlated arm: identical per-sensor down-time, but all sensors
+      // in a /8 share one window (one draw per distinct /8).
+      SweepPoint correlated;
+      std::snprintf(label, sizeof label, "corr8-%.0f%%", 100.0 * fraction);
+      correlated.label = label;
+      correlated.schedule.group_staggered.prefix_bits = 8;
+      correlated.schedule.group_staggered.down_fraction = fraction;
+      correlated.schedule.group_staggered.horizon = kOutageHorizon;
+      correlated.faulted = true;
+      correlated.fraction = fraction;
+      correlated.correlated = true;
+      sweep.push_back(std::move(correlated));
     }
   }
 
@@ -206,17 +246,23 @@ int main(int argc, char** argv) {
               gated_points, rows.size());
 
   bench::Section("quorum detection under outages");
-  std::printf("  %-10s %-12s %-22s %-14s %s\n", "sweep", "down-time",
-              "quorum first-alert (s)", "lag vs base", "missed probes/trial");
+  std::printf("  %-10s %-10s %-20s %-20s %-12s %s\n", "sweep", "down-time",
+              "first alert (s)", "quorum alert (s)", "quorum lag",
+              "missed probes/trial");
   const double base_quorum = baseline.quorum_time.mean;
+  const double base_first = baseline.mc.first_alert_time.mean;
   for (const Row& row : rows) {
     const double fraction =
-        row.point->faulted ? row.point->schedule.staggered.down_fraction : 0.0;
+        row.point->fraction > 0.0
+            ? row.point->fraction
+            : (row.point->faulted ? row.point->schedule.staggered.down_fraction
+                                  : 0.0);
     const double lag = row.quorum_time.mean - base_quorum;
     char down_time[16];
     std::snprintf(down_time, sizeof down_time, "%.0f%%", 100.0 * fraction);
-    std::printf("  %-10s %-12s %-22s %+-14.1f %.0f\n",
+    std::printf("  %-10s %-10s %-20s %-20s %+-12.1f %.0f\n",
                 row.point->label.c_str(), down_time,
+                bench::MeanStd(row.mc.first_alert_time, "%.1f").c_str(),
                 bench::MeanStd(row.quorum_time, "%.1f").c_str(),
                 row.point->faulted ? lag : 0.0, row.mean_outage_missed);
     if (row.point->faulted && row.mc.trials.size() > 0 &&
@@ -224,10 +270,62 @@ int main(int argc, char** argv) {
       std::printf("    (quorum never fired under this schedule)\n");
     }
   }
-  bench::Measured("a sensor fleet losing 30%%+ of its sensor-time delays the "
-                  "%.0f%%-quorum first alert without changing the outbreak — "
-                  "availability faults degrade *visibility*, not the threat.",
-                  100.0 * kQuorumFraction);
+
+  // -- Correlated-vs-uniform comparison + results/BENCH_outage.json ------
+  // Only the default sweep has matched arms; a custom --faults run skips
+  // this block entirely.
+  if (fault_spec.empty()) {
+    for (const double fraction : {0.3, 0.6}) {
+      const Row* uniform = nullptr;
+      const Row* correlated = nullptr;
+      for (const Row& row : rows) {
+        if (row.point->fraction != fraction) continue;
+        (row.point->correlated ? correlated : uniform) = &row;
+      }
+      if (uniform == nullptr || correlated == nullptr) continue;
+      const double unif_first_lag = uniform->mc.first_alert_time.mean - base_first;
+      const double corr_first_lag =
+          correlated->mc.first_alert_time.mean - base_first;
+      const double unif_quorum_lag = uniform->quorum_time.mean - base_quorum;
+      const double corr_quorum_lag = correlated->quorum_time.mean - base_quorum;
+      std::printf("\n  at %.0f%% down-time: first-alert lag %+.1f s uniform "
+                  "vs %+.1f s correlated (/8) — correlated %s uniform\n",
+                  100.0 * fraction, unif_first_lag, corr_first_lag,
+                  corr_first_lag > unif_first_lag ? "exceeds"
+                                                  : "DOES NOT exceed");
+      obs::JsonWriter writer;
+      writer.BeginObject();
+      writer.KV("bench", "outage_visibility");
+      writer.Key("down_fraction").FixedValue(fraction, 2);
+      writer.Key("horizon_seconds").FixedValue(kOutageHorizon, 0);
+      writer.KV("trials", static_cast<std::int64_t>(trials));
+      writer.Key("scale").FixedValue(scale, 4);
+      writer.KV("correlated_group_prefix_bits", std::int64_t{8});
+      writer.Key("first_alert_baseline_s").FixedValue(base_first, 3);
+      writer.Key("first_alert_uniform_s")
+          .FixedValue(uniform->mc.first_alert_time.mean, 3);
+      writer.Key("first_alert_correlated_s")
+          .FixedValue(correlated->mc.first_alert_time.mean, 3);
+      writer.Key("first_alert_lag_uniform_s").FixedValue(unif_first_lag, 3);
+      writer.Key("first_alert_lag_correlated_s").FixedValue(corr_first_lag, 3);
+      writer.Key("quorum_baseline_s").FixedValue(base_quorum, 3);
+      writer.Key("quorum_uniform_s").FixedValue(uniform->quorum_time.mean, 3);
+      writer.Key("quorum_correlated_s")
+          .FixedValue(correlated->quorum_time.mean, 3);
+      writer.Key("quorum_lag_uniform_s").FixedValue(unif_quorum_lag, 3);
+      writer.Key("quorum_lag_correlated_s").FixedValue(corr_quorum_lag, 3);
+      writer.KV("correlated_exceeds_uniform",
+                corr_first_lag > unif_first_lag);
+      writer.EndObject();
+      bench::AppendJsonEntry("results/BENCH_outage.json", writer.str(),
+                             "outage_visibility");
+    }
+  }
+  bench::Measured("at equal total down-time, /8-correlated darkness delays "
+                  "the first alert more than uniform darkness: hotspot "
+                  "traffic concentrates in a few /8s, and a correlated "
+                  "outage can black out a whole hot cluster at once — "
+                  "availability faults degrade *visibility*, not the threat.");
 
   bench::PrintStudyThroughput(overall, total_probes);
   bench::DumpMetrics(metrics_out, "outage_visibility", &overall);

@@ -3,7 +3,9 @@
 # an obs-trace smoke step (timeline/timeseries sidecars + perf_report), a
 # trace capture/replay smoke step, an ingest smoke step (telescope_server
 # fed by telescope_load over loopback, gauges diffed against the embedded
-# run), a fault-injection smoke step, a sanitizer pass (which fronts the
+# run), a chaos smoke step (the same ingest under injected mid-frame
+# disconnects with reconnect-resume — gauges must stay bit-identical),
+# a fault-injection smoke step, a sanitizer pass (which fronts the
 # trace-salvage suites verbosely), a tsan pass over the concurrent
 # suites, and a UBSan-only pass over the full tier-1 suite.
 #
@@ -299,6 +301,74 @@ grep -q "drained:" "${SMOKE_DIR}/ingest.server.log" \
   || { echo "server log has no drain summary" >&2; exit 1; }
 echo "ingest smoke OK"
 
+echo "== chaos smoke: injected disconnects + reconnect-resume over loopback =="
+# The robustness contract end to end: the same fig1 corpus over 8
+# connections, but the client's chaos shim (src/serve/chaos.h) cuts
+# connections mid-frame, resets sockets, and splits writes; reconnect-
+# with-resume must absorb every cut, and the daemon's folded state —
+# every per-sensor gauge — must come out bit-identical to the clean
+# embedded run, with zero unrecovered sequence gaps.
+./build/tools/telescope_server --ims --alert-threshold 100 \
+  > "${SMOKE_DIR}/chaos.server.log" 2>&1 &
+INGEST_PID=$!
+CHAOS_PORT=""
+for _ in $(seq 1 100); do
+  CHAOS_PORT="$(sed -n 's/.*listening on port \([0-9]*\).*/\1/p' \
+    "${SMOKE_DIR}/chaos.server.log")"
+  [[ -n "${CHAOS_PORT}" ]] && break
+  if ! kill -0 "${INGEST_PID}" 2>/dev/null; then
+    echo "telescope_server died before binding:" >&2
+    cat "${SMOKE_DIR}/chaos.server.log" >&2
+    exit 1
+  fi
+  sleep 0.1
+done
+[[ -n "${CHAOS_PORT}" ]] \
+  || { echo "chaos telescope_server never reported its port" >&2; exit 1; }
+./build/tools/telescope_load "${SMOKE_DIR}/fig1.trace" \
+  --port "${CHAOS_PORT}" --connections 8 --retries 64 \
+  --chaos 'seed:1311;disconnect:0.08;reset:0.03;shortwrite:0.25' \
+  | tee "${SMOKE_DIR}/chaos.load.log"
+grep -q "injected cuts" "${SMOKE_DIR}/chaos.load.log" \
+  || { echo "chaos run injected no faults — shim inert?" >&2; exit 1; }
+if command -v python3 > /dev/null 2>&1; then
+  python3 - "${CHAOS_PORT}" "${SMOKE_DIR}/fig1.live.metrics.json" <<'PY'
+import json, sys, urllib.request
+with urllib.request.urlopen(
+        f"http://127.0.0.1:{sys.argv[1]}/metrics", timeout=10) as response:
+    served = json.load(response)
+counters = served["counters"]
+assert counters["serve.ingest.records"] > 0
+# Every chaos cut must have been resumed: sequence_gaps counts missing
+# sequences the fold STEPPED OVER, and a bit-identical run allows none.
+assert counters["serve.ingest.sequence_gaps"] == 0, \
+    f"unrecovered gaps: {counters['serve.ingest.sequence_gaps']}"
+with open(sys.argv[2]) as handle:
+    live = json.load(handle)["gauges"]
+gauges = served["gauges"]
+keys = sorted(k for k in live
+              if k.startswith("telescope.sensor.")
+              and not k.endswith(".rate_per_sec"))
+assert keys, "live sidecar has no telescope.sensor.* gauges"
+mismatches = [(k, live[k], gauges.get(k)) for k in keys
+              if gauges.get(k) != live[k]]
+assert not mismatches, f"chaos run diverged from clean run: {mismatches}"
+dupes = counters.get("serve.ingest.duplicate_blocks", 0)
+print(f"chaos metrics OK: {len(keys)} sensor gauges bit-identical, "
+      f"{dupes:.0f} duplicate blocks absorbed, 0 sequence gaps")
+PY
+else
+  echo "chaos HTTP diff skipped (no python3)"
+fi
+kill -TERM "${INGEST_PID}"
+if ! wait "${INGEST_PID}"; then
+  echo "telescope_server exited non-zero on SIGTERM drain:" >&2
+  cat "${SMOKE_DIR}/chaos.server.log" >&2
+  exit 1
+fi
+INGEST_PID=""
+echo "chaos smoke OK"
+
 if [[ "${HOTSPOTS_SKIP_OVERHEAD_GATE:-0}" != "1" ]]; then
   # Capture-overhead gate: a sampled TraceWriter teed into the hot path
   # must cost <= HOTSPOTS_TRACE_OVERHEAD_TOL percent (default 10) against
@@ -391,7 +461,8 @@ else
   cmake --build build-tsan -j "${JOBS}" \
     --target sim_engine_shard_test sim_study_retry_test sim_prefold_test \
     obs_span_test obs_sampler_test obs_metrics_test \
-    obs_trace_determinism_test serve_fold_test serve_server_test
+    obs_trace_determinism_test serve_fold_test serve_server_test \
+    fault_determinism_test
   # Prefold* covers the two-phase observer fold: worker threads write
   # forked per-shard partials concurrently while the serial thread owns
   # the merge — the handoff the race detector exists to watch.  ObsSpan/
@@ -400,8 +471,12 @@ else
   # ServeFold/ServeServer are the ingest daemon's two-thread core: the
   # I/O-thread Submit vs fold-thread drain handoff, the resume/ack
   # mailboxes, and the full loopback server with concurrent client threads.
+  # FaultDeterminism rides along: its GE-channel and loss-profile cases
+  # drive the 4-shard engine with the delivery-fault hook on the commit
+  # path, and the chaos e2e case in ServeServer crosses client retry
+  # threads with the daemon's fold thread.
   ctest --test-dir build-tsan --output-on-failure \
-    -R 'ShardPool|EngineShard|EngineAudit|ResolveEngineShards|RunTrials|Prefold|ObsSpan|ObsSampler|ObsTraceDeterminism|ObsCounter|SnapshotWhileWriting|ServeFold|ServeServer'
+    -R 'ShardPool|EngineShard|EngineAudit|ResolveEngineShards|RunTrials|Prefold|ObsSpan|ObsSampler|ObsTraceDeterminism|ObsCounter|SnapshotWhileWriting|ServeFold|ServeServer|FaultDeterminism'
 fi
 
 echo "== ubsan pass: tier-1 under -fsanitize=undefined alone =="

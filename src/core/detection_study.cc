@@ -8,6 +8,7 @@
 #include <optional>
 
 #include "core/placement.h"
+#include "detect/alert_delay.h"
 #include "fault/delivery.h"
 #include "fault/inject.h"
 #include "obs/metrics.h"
@@ -74,8 +75,23 @@ DetectionOutcome RunDetectionStudy(Scenario& scenario, const sim::Worm& worm,
   }
   outcome.total_sensors = sensors.size();
   outcome.alerted_sensors = sensors.AlertedCount();
-  outcome.alert_times = sensors.AlertTimes();
-  std::sort(outcome.alert_times.begin(), outcome.alert_times.end());
+  if (config.faults != nullptr && config.faults->alert_delay.Active()) {
+    // Detector-side reporting lag: each sensed alert is delivered at
+    // sense + delay(sensor), with the delay a pure function of
+    // (schedule seed, sensor index) — so first-alert and quorum times
+    // reflect *reported* visibility, not instantaneous sensing.
+    detect::AlertDelayQueue delay{config.faults->alert_delay.min_delay,
+                                  config.faults->alert_delay.max_delay,
+                                  config.faults->seed};
+    for (int i = 0; i < static_cast<int>(sensors.size()); ++i) {
+      const auto& sensed = sensors.sensor(i).alert_time();
+      if (sensed.has_value()) delay.Push(i, *sensed);
+    }
+    outcome.alert_times = delay.DrainSorted();
+  } else {
+    outcome.alert_times = sensors.AlertTimes();
+    std::sort(outcome.alert_times.begin(), outcome.alert_times.end());
+  }
 
   outcome.curve.reserve(outcome.run.series.size());
   const double eligible =

@@ -1,0 +1,64 @@
+#include "detect/alert_delay.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "prng/splitmix.h"
+
+namespace hotspots::detect {
+namespace {
+
+/// Domain separator: per-sensor delay draws must not collide with any
+/// other consumer of the schedule seed (fault streams, outage stagger).
+constexpr std::uint64_t kAlertDelaySalt = 0xA1E27DE1A75ull;
+
+}  // namespace
+
+AlertDelayQueue::AlertDelayQueue(double min_delay, double max_delay,
+                                 std::uint64_t seed)
+    : min_delay_(min_delay), max_delay_(max_delay), seed_(seed) {
+  if (!(min_delay >= 0.0) || !(max_delay >= min_delay) ||
+      !std::isfinite(max_delay)) {
+    throw std::invalid_argument(
+        "AlertDelayQueue: want 0 <= min <= max with finite max");
+  }
+}
+
+double AlertDelayQueue::DelayFor(int sensor_index) const {
+  if (max_delay_ == min_delay_) return min_delay_;
+  const std::uint64_t bits = prng::Mix64(
+      seed_ ^ kAlertDelaySalt ^
+      (static_cast<std::uint64_t>(static_cast<std::uint32_t>(sensor_index)) +
+       1));
+  const double unit = static_cast<double>(bits >> 11) * 0x1.0p-53;
+  return min_delay_ + unit * (max_delay_ - min_delay_);
+}
+
+void AlertDelayQueue::Push(int sensor_index, double sense_time) {
+  pending_.push_back(ReportTime(sensor_index, sense_time));
+}
+
+std::vector<double> AlertDelayQueue::PopDueBy(double now) {
+  std::vector<double> due;
+  auto keep = pending_.begin();
+  for (double report_time : pending_) {
+    if (report_time <= now) {
+      due.push_back(report_time);
+    } else {
+      *keep++ = report_time;
+    }
+  }
+  pending_.erase(keep, pending_.end());
+  std::sort(due.begin(), due.end());
+  return due;
+}
+
+std::vector<double> AlertDelayQueue::DrainSorted() {
+  std::vector<double> all = std::move(pending_);
+  pending_.clear();
+  std::sort(all.begin(), all.end());
+  return all;
+}
+
+}  // namespace hotspots::detect

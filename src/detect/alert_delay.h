@@ -1,0 +1,59 @@
+// Detector-side alert-propagation delay (`hotspots.faults.v2`).
+//
+// The telescope's per-sensor alert times are *sensing* times: the instant
+// the sensor's own threshold crossed.  Real distributed detection adds a
+// reporting path — batching at the sensor, transport to the aggregator,
+// processing queues — so the time a coordination point can act on an
+// alert lags the time it was sensed.  AlertDelayQueue models that lag as
+// a bounded deterministic per-sensor delay: sensor i reporting an alert
+// sensed at t delivers it at t + delay(i), with delay(i) drawn once from
+// [min_delay, max_delay] as a pure function of (seed, sensor index).
+//
+// Determinism: no state is consulted other than (seed, index), so the
+// same schedule reproduces the same report times for any feed order, any
+// thread count, and any subset of alerting sensors — a sensor's delay
+// never depends on *which other* sensors alerted.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace hotspots::detect {
+
+/// Bounded deterministic alert-propagation delay queue.
+class AlertDelayQueue {
+ public:
+  /// Delays are uniform in [min_delay, max_delay]; both must be finite
+  /// with 0 <= min <= max (throws std::invalid_argument otherwise).
+  AlertDelayQueue(double min_delay, double max_delay, std::uint64_t seed);
+
+  /// The delay sensor `sensor_index` adds to every alert it reports.
+  /// Pure function of (seed, sensor_index).
+  [[nodiscard]] double DelayFor(int sensor_index) const;
+
+  /// The report (delivery) time of an alert sensed at `sense_time` by
+  /// sensor `sensor_index`.
+  [[nodiscard]] double ReportTime(int sensor_index, double sense_time) const {
+    return sense_time + DelayFor(sensor_index);
+  }
+
+  /// Enqueues one sensed alert.
+  void Push(int sensor_index, double sense_time);
+
+  /// Alerts whose report time is due by `now`, in ascending report-time
+  /// order; removed from the queue.
+  [[nodiscard]] std::vector<double> PopDueBy(double now);
+
+  /// Every queued report time in ascending order; empties the queue.
+  [[nodiscard]] std::vector<double> DrainSorted();
+
+  [[nodiscard]] std::size_t pending() const { return pending_.size(); }
+
+ private:
+  double min_delay_;
+  double max_delay_;
+  std::uint64_t seed_;
+  std::vector<double> pending_;  ///< Report times, unordered until drain.
+};
+
+}  // namespace hotspots::detect

@@ -6,11 +6,20 @@
 #include "obs/metrics.h"
 
 namespace hotspots::fault {
+namespace {
+
+/// Domain separator for the Gilbert–Elliott transition sub-stream: channel
+/// ticks must never share draws with the per-probe loss/dup stream, or the
+/// channel's tick count would depend on the probe volume.
+constexpr std::uint64_t kGilbertSalt = 0xB0257E11A907ull;
+
+}  // namespace
 
 DeliveryFaults::DeliveryFaults(const FaultSchedule& schedule)
     : loss_rate_(schedule.delivery.loss_rate),
       duplication_rate_(schedule.delivery.duplication_rate),
-      drift_events_(schedule.acl_drift), schedule_seed_(schedule.seed),
+      drift_events_(schedule.acl_drift), gilbert_(schedule.gilbert),
+      profile_(schedule.loss_profile), schedule_seed_(schedule.seed),
       stream_(schedule.seed) {
   // ParseFaultSpec sorts; programmatic schedules may not have.
   std::sort(drift_events_.begin(), drift_events_.end(),
@@ -24,6 +33,11 @@ DeliveryFaults::DeliveryFaults(const FaultSchedule& schedule)
           event.block.ToString());
     }
   }
+  // Usable before any OnRunStart (callers that drive the hook directly):
+  // mirror the legacy schedule-seed-only stream arming.
+  time_varying_loss_ = gilbert_.Active() || profile_.Active();
+  gilbert_stream_ = prng::SplitMix64{prng::Mix64(schedule_seed_ ^ kGilbertSalt)};
+  RecomposeEffectiveLoss(0.0);
 }
 
 void DeliveryFaults::OnRunStart(std::uint64_t engine_seed) {
@@ -35,6 +49,52 @@ void DeliveryFaults::OnRunStart(std::uint64_t engine_seed) {
   injected_losses_ = 0;
   injected_duplicates_ = 0;
   drift_filtered_ = 0;
+  gilbert_stream_ = prng::SplitMix64{prng::Mix64(stream_salt_ ^ kGilbertSalt)};
+  gilbert_ticks_ = 0;
+  gilbert_bad_ = false;
+  bad_ticks_ = 0;
+  cursor_time_ = 0.0;
+  RecomposeEffectiveLoss(0.0);
+}
+
+void DeliveryFaults::RecomposeEffectiveLoss(double time) {
+  if (!time_varying_loss_) {
+    // Exact assignment: 1-(1-p) is not p in floating point, and a changed
+    // threshold would silently re-draw every v1 loss decision.
+    effective_loss_ = loss_rate_;
+    return;
+  }
+  const double channel =
+      gilbert_.Active() ? (gilbert_bad_ ? gilbert_.bad_loss : gilbert_.good_loss)
+                        : 0.0;
+  const double diurnal = profile_.LossAt(time);
+  const double keep = (1.0 - loss_rate_) * (1.0 - channel) * (1.0 - diurnal);
+  effective_loss_ = std::min(1.0, std::max(0.0, 1.0 - keep));
+}
+
+void DeliveryFaults::AdvanceTimeTo(double time) {
+  ActivateDriftsDueBy(time);
+  if (!time_varying_loss_ || time == cursor_time_) return;
+  cursor_time_ = time;
+  if (gilbert_.Active()) {
+    // Exactly one transition draw per elapsed tick, in either state: the
+    // channel state is a pure function of the tick index, so serial and
+    // sharded evaluation (and any shard count) see the same state at the
+    // same step time.
+    while (static_cast<double>(gilbert_ticks_ + 1) * gilbert_.tick_seconds <=
+           time) {
+      const double draw =
+          static_cast<double>(gilbert_stream_.Next() >> 11) * 0x1.0p-53;
+      if (gilbert_bad_) {
+        if (draw < gilbert_.exit_bad) gilbert_bad_ = false;
+      } else {
+        if (draw < gilbert_.enter_bad) gilbert_bad_ = true;
+      }
+      ++gilbert_ticks_;
+      if (gilbert_bad_) ++bad_ticks_;
+    }
+  }
+  RecomposeEffectiveLoss(time);
 }
 
 void DeliveryFaults::ActivateDriftsDueBy(double time) {
@@ -54,20 +114,23 @@ void DeliveryFaults::ActivateDriftsDueBy(double time) {
 
 DeliveryFaults::Outcome DeliveryFaults::OnProbeVerdict(
     double time, net::Ipv4 dst, topology::Delivery verdict) {
-  ActivateDriftsDueBy(time);
+  AdvanceTimeTo(time);
 
   Outcome outcome;
   outcome.verdict = verdict;
   if (verdict != topology::Delivery::kDelivered) return outcome;
 
   // Faults only degrade delivered probes, in a fixed order (drift, then
-  // loss, then duplication) so draw sequences are well-defined.
+  // loss, then duplication) so draw sequences are well-defined.  The loss
+  // draw is consumed iff the *effective* rate at this step is positive —
+  // time-dependent under v2 clauses, but identical for every probe of a
+  // step and therefore identical across evaluation modes and shard counts.
   if (any_drift_active_ && drifted_[dst.value() >> 16] != 0) {
     ++drift_filtered_;
     outcome.verdict = topology::Delivery::kIngressFiltered;
     return outcome;
   }
-  if (loss_rate_ > 0.0 && NextUnit() < loss_rate_) {
+  if (effective_loss_ > 0.0 && NextUnit() < effective_loss_) {
     ++injected_losses_;
     outcome.verdict = topology::Delivery::kNetworkLoss;
     return outcome;
@@ -92,7 +155,7 @@ DeliveryFaults::Outcome DeliveryFaults::ShardProbeVerdict(
     outcome.verdict = topology::Delivery::kIngressFiltered;
     return outcome;
   }
-  if (loss_rate_ > 0.0 && stream.NextDouble() < loss_rate_) {
+  if (effective_loss_ > 0.0 && stream.NextDouble() < effective_loss_) {
     outcome.verdict = topology::Delivery::kNetworkLoss;
     return outcome;
   }
@@ -114,6 +177,9 @@ void DeliveryFaults::PublishMetrics() const {
   }
   if (drift_filtered_ > 0) {
     registry.GetCounter("fault.delivery.drift_filtered").Add(drift_filtered_);
+  }
+  if (bad_ticks_ > 0) {
+    registry.GetCounter("fault.delivery.bursty_bad_ticks").Add(bad_ticks_);
   }
 }
 

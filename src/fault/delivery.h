@@ -27,6 +27,16 @@
 // are applied with a monotone time cursor — serially inside OnProbeVerdict,
 // or from the engine's serial BeginStep in sharded mode — so the per-probe
 // cost while no event is pending is one comparison.
+//
+// Bursty and diurnal loss (v2): a Gilbert–Elliott channel and a piecewise
+// loss profile compose with the flat loss rate into one effective per-step
+// Bernoulli rate, 1 - (1-flat)(1-channel(t))(1-profile(t)).  Channel state
+// advances only on the same serial time cursor (one transition draw per
+// tick, from a salted sub-stream), so the state — and therefore the
+// effective rate — is a pure function of time: per-probe draws stay on the
+// per-scanner streams and fingerprints stay shard-count-invariant.  When
+// neither v2 clause is present the effective rate *is* the flat rate (no
+// recomposition), so v1 schedules reproduce their draws bit-for-bit.
 #pragma once
 
 #include <array>
@@ -57,7 +67,7 @@ class DeliveryFaults : public sim::DeliveryFaultHook {
   [[nodiscard]] std::uint64_t ShardStreamSalt() const override {
     return stream_salt_;
   }
-  void BeginStep(double time) override { ActivateDriftsDueBy(time); }
+  void BeginStep(double time) override { AdvanceTimeTo(time); }
   [[nodiscard]] Outcome ShardProbeVerdict(
       double time, net::Ipv4 dst, topology::Delivery verdict,
       prng::Xoshiro256& stream) const override;
@@ -79,6 +89,12 @@ class DeliveryFaults : public sim::DeliveryFaultHook {
   [[nodiscard]] std::uint64_t drift_filtered() const {
     return drift_filtered_;
   }
+  /// Gilbert–Elliott ticks spent in the bad (burst) state so far.
+  [[nodiscard]] std::uint64_t bursty_bad_ticks() const {
+    return bad_ticks_;
+  }
+  /// The composed per-probe loss rate at the current time cursor.
+  [[nodiscard]] double effective_loss_rate() const { return effective_loss_; }
 
   /// Folds the counters into the global registry ("fault.delivery.*").
   void PublishMetrics() const;
@@ -91,13 +107,38 @@ class DeliveryFaults : public sim::DeliveryFaultHook {
   /// Flips the /16 bitmap for every drift event due by `time` (monotone
   /// cursor; serial caller only).
   void ActivateDriftsDueBy(double time);
+  /// Advances every time-indexed layer (drift bitmap, Gilbert–Elliott
+  /// ticks, diurnal profile) to `time` and recomposes the effective loss
+  /// rate.  Monotone cursor; serial caller only (BeginStep in sharded
+  /// mode, OnProbeVerdict itself in serial mode).
+  void AdvanceTimeTo(double time);
+  /// Recomposes effective_loss_ from the flat rate and the time-varying
+  /// layers.  Exact passthrough when no v2 clause is active.
+  void RecomposeEffectiveLoss(double time);
 
   double loss_rate_;
   double duplication_rate_;
   std::vector<AclDriftEvent> drift_events_;  ///< Sorted by activation time.
+  GilbertElliottConfig gilbert_;
+  LossProfile profile_;
   std::uint64_t schedule_seed_;
   prng::SplitMix64 stream_;
   std::uint64_t stream_salt_ = 0;  ///< Mix64(schedule ^ Mix64(engine seed)).
+
+  /// Gilbert–Elliott channel state (serial cursor only).  Transition
+  /// draws come from a salted private sub-stream — one draw per tick in
+  /// either state — so the state sequence is a pure function of
+  /// (stream salt, tick index) and never perturbs per-probe draws.
+  prng::SplitMix64 gilbert_stream_{0};
+  std::uint64_t gilbert_ticks_ = 0;
+  bool gilbert_bad_ = false;
+  std::uint64_t bad_ticks_ = 0;
+  /// Composed per-probe loss rate at the current time cursor.  With no v2
+  /// clause active this is loss_rate_ *exactly* (assigned, not recomposed
+  /// through 1-(1-p)), preserving v1 draw thresholds bit-for-bit.
+  double effective_loss_ = 0.0;
+  bool time_varying_loss_ = false;  ///< Any GE/profile clause active.
+  double cursor_time_ = 0.0;  ///< Last time the effective rate was composed.
 
   /// /16s currently ingress-filtered by drift; bitmap mirrors the
   /// reachability table's indexing (dst >> 16).

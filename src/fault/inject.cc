@@ -7,6 +7,28 @@
 #include <vector>
 
 namespace hotspots::fault {
+namespace {
+
+/// Appends a shared window to every member of a named sensor set.  Throws
+/// when a member label matches no sensor — a silently ignored correlated
+/// outage would make the experiment lie about its darkness.
+void ApplyNamedGroupOutage(
+    const GroupOutage& outage, const NamedSensorGroup& group,
+    const std::unordered_map<std::string_view, int>& by_label,
+    std::vector<std::vector<std::pair<double, double>>>& windows) {
+  for (const std::string& label : group.labels) {
+    const auto found = by_label.find(label);
+    if (found == by_label.end()) {
+      throw std::invalid_argument(
+          "ApplySensorOutages: group \"" + group.name +
+          "\" names unknown sensor \"" + label + "\"");
+    }
+    windows[static_cast<std::size_t>(found->second)].emplace_back(
+        outage.down_at, outage.up_at);
+  }
+}
+
+}  // namespace
 
 int ApplySensorOutages(const FaultSchedule& schedule,
                        telescope::Telescope& fleet) {
@@ -37,6 +59,39 @@ int ApplySensorOutages(const FaultSchedule& schedule,
         outage.down_at, outage.up_at);
   }
 
+  // Correlated scripted outages: one window shared by a whole fleet slice,
+  // keyed by prefix containment or a named sensor set.
+  for (const GroupOutage& outage : schedule.group_outages) {
+    if (!outage.group.empty()) {
+      const NamedSensorGroup* group = nullptr;
+      for (const NamedSensorGroup& candidate : schedule.groups) {
+        if (candidate.name == outage.group) {
+          group = &candidate;
+          break;
+        }
+      }
+      if (group == nullptr) {
+        throw std::invalid_argument(
+            "ApplySensorOutages: groupoutage names undefined group \"@" +
+            outage.group + "\"");
+      }
+      ApplyNamedGroupOutage(outage, *group, by_label, windows);
+      continue;
+    }
+    int matched = 0;
+    for (int i = 0; i < sensors; ++i) {
+      if (!outage.block.Contains(fleet.sensor(i).block())) continue;
+      windows[static_cast<std::size_t>(i)].emplace_back(outage.down_at,
+                                                        outage.up_at);
+      ++matched;
+    }
+    if (matched == 0) {
+      throw std::invalid_argument(
+          "ApplySensorOutages: groupoutage block " + outage.block.ToString() +
+          " contains no sensor");
+    }
+  }
+
   if (schedule.staggered.down_fraction > 0.0 &&
       schedule.staggered.horizon > 0.0) {
     std::vector<std::string> labels;
@@ -51,6 +106,27 @@ int ApplySensorOutages(const FaultSchedule& schedule,
     const std::vector<OutageWindow> staggered =
         StaggeredOutages(labels, schedule.staggered.horizon,
                          schedule.staggered.down_fraction, schedule.seed);
+    for (std::size_t i = 0; i < staggered.size(); ++i) {
+      windows[i].emplace_back(staggered[i].down_at, staggered[i].up_at);
+    }
+  }
+
+  if (schedule.group_staggered.prefix_bits > 0 &&
+      schedule.group_staggered.down_fraction > 0.0 &&
+      schedule.group_staggered.horizon > 0.0) {
+    // Group key = the top `prefix_bits` bits of the sensor block's base:
+    // every sensor of a /8 (bits = 8) shares one window, so a scheduled
+    // event darkens a correlated fleet slice at the same per-sensor
+    // down-time as the uniform `outages:` stagger.
+    const int shift = 32 - schedule.group_staggered.prefix_bits;
+    std::vector<std::uint32_t> keys;
+    keys.reserve(static_cast<std::size_t>(sensors));
+    for (int i = 0; i < sensors; ++i) {
+      keys.push_back(fleet.sensor(i).block().first().value() >> shift);
+    }
+    const std::vector<OutageWindow> staggered = GroupStaggeredOutages(
+        keys, schedule.group_staggered.horizon,
+        schedule.group_staggered.down_fraction, schedule.seed);
     for (std::size_t i = 0; i < staggered.size(); ++i) {
       windows[i].emplace_back(staggered[i].down_at, staggered[i].up_at);
     }

@@ -3,12 +3,18 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdlib>
+#include <map>
 #include <string_view>
 
 #include "prng/splitmix.h"
 
 namespace hotspots::fault {
 namespace {
+
+/// Domain separator for the correlated-outage sub-stream: group windows
+/// must not share draws with the per-sensor staggered stream, or adding a
+/// `groupoutages:` clause would silently reshuffle `outages:` windows.
+constexpr std::uint64_t kGroupStaggerSalt = 0x6707A6E5A17ull;
 
 /// Maps a 64-bit draw to a double in [0, 1).
 double UnitDouble(std::uint64_t bits) {
@@ -28,114 +34,307 @@ std::vector<std::string_view> Split(std::string_view text, char separator) {
   }
 }
 
-[[noreturn]] void BadDirective(std::string_view directive,
-                               const std::string& why) {
+/// Diagnostics carry the offending token *and* its byte offset in the
+/// original spec string, so a bad clause deep inside a long --faults
+/// argument is findable without bisecting the spec by hand.
+[[noreturn]] void BadToken(std::string_view token, std::size_t offset,
+                           const std::string& why) {
   throw std::invalid_argument("fault spec (" + std::string(kFaultSchema) +
-                              "): bad directive \"" + std::string(directive) +
-                              "\": " + why);
+                              "): bad directive \"" + std::string(token) +
+                              "\" at byte " + std::to_string(offset) + ": " +
+                              why);
 }
 
-double ParseDouble(std::string_view text, std::string_view directive) {
+double ParseDouble(std::string_view text, std::string_view directive,
+                   std::size_t offset) {
   if (text == "inf") return std::numeric_limits<double>::infinity();
   char* end = nullptr;
   const std::string owned{text};
   const double value = std::strtod(owned.c_str(), &end);
   if (owned.empty() || end != owned.c_str() + owned.size()) {
-    BadDirective(directive, "expected a number, got \"" + owned + "\"");
+    BadToken(directive, offset, "expected a number, got \"" + owned + "\"");
   }
   return value;
 }
 
-double ParseProbability(std::string_view text, std::string_view directive) {
-  const double p = ParseDouble(text, directive);
+double ParseProbability(std::string_view text, std::string_view directive,
+                        std::size_t offset) {
+  const double p = ParseDouble(text, directive, offset);
   if (!(p >= 0.0 && p <= 1.0)) {
-    BadDirective(directive, "probability outside [0, 1]");
+    BadToken(directive, offset, "probability outside [0, 1]");
   }
   return p;
 }
 
-std::uint64_t ParseU64(std::string_view text, std::string_view directive) {
+std::uint64_t ParseU64(std::string_view text, std::string_view directive,
+                       std::size_t offset) {
   const std::string owned{text};
   char* end = nullptr;
   const std::uint64_t value = std::strtoull(owned.c_str(), &end, 0);
   if (owned.empty() || end != owned.c_str() + owned.size()) {
-    BadDirective(directive, "expected an integer, got \"" + owned + "\"");
+    BadToken(directive, offset, "expected an integer, got \"" + owned + "\"");
   }
   return value;
 }
 
 }  // namespace
 
+double LossProfile::LossAt(double time) const {
+  if (points.empty()) return 0.0;
+  double local = time;
+  if (period > 0.0) {
+    local = std::fmod(time, period);
+    if (local < 0.0) local += period;
+  }
+  // Knots are sorted with the first at t = 0, so the scan always lands.
+  double loss = points.front().loss;
+  for (const LossProfilePoint& point : points) {
+    if (point.at > local) break;
+    loss = point.loss;
+  }
+  return loss;
+}
+
 bool FaultSchedule::empty() const {
   return outages.empty() && staggered.down_fraction == 0.0 &&
-         !HasDeliveryFaults() && trials.failure_rate == 0.0;
+         !HasDeliveryFaults() && trials.failure_rate == 0.0 &&
+         group_outages.empty() && group_staggered.prefix_bits == 0 &&
+         !alert_delay.Active();
 }
 
 bool FaultSchedule::HasDeliveryFaults() const {
   return delivery.loss_rate > 0.0 || delivery.duplication_rate > 0.0 ||
-         !acl_drift.empty();
+         !acl_drift.empty() || gilbert.Active() || loss_profile.Active();
 }
 
 FaultSchedule ParseFaultSpec(const std::string& spec) {
   FaultSchedule schedule;
-  for (std::string_view directive : Split(spec, ';')) {
+  const std::string_view text{spec};
+  // Scalar directives may appear once; a silent last-wins overwrite turns
+  // a typo'd experiment into a different experiment.
+  std::map<std::string, std::size_t> seen_scalar;
+  const auto require_unseen = [&](std::string_view verb,
+                                  std::string_view directive,
+                                  std::size_t offset) {
+    const auto [it, inserted] = seen_scalar.emplace(std::string(verb), offset);
+    if (!inserted) {
+      BadToken(directive, offset,
+               "duplicate \"" + std::string(verb) + "\" directive (first at byte " +
+                   std::to_string(it->second) + ")");
+    }
+  };
+
+  std::size_t cursor = 0;
+  while (cursor <= text.size()) {
+    const std::size_t semi = text.find(';', cursor);
+    const std::size_t end = semi == std::string_view::npos ? text.size() : semi;
+    const std::string_view directive = text.substr(cursor, end - cursor);
+    const std::size_t offset = cursor;
+    cursor = end + 1;
     if (directive.empty()) continue;  // Tolerates "a;;b" and trailing ';'.
+
     const std::size_t colon = directive.find(':');
     if (colon == std::string_view::npos) {
-      BadDirective(directive, "missing ':'");
+      BadToken(directive, offset, "missing ':'");
     }
     const std::string_view verb = directive.substr(0, colon);
     const std::string_view rest = directive.substr(colon + 1);
     if (verb == "seed") {
-      schedule.seed = ParseU64(rest, directive);
+      require_unseen(verb, directive, offset);
+      schedule.seed = ParseU64(rest, directive, offset);
     } else if (verb == "outage") {
       const auto parts = Split(rest, ':');
       if (parts.size() != 3 || parts[0].empty()) {
-        BadDirective(directive, "want outage:<label>:<down>:<up>");
+        BadToken(directive, offset, "want outage:<label>:<down>:<up>");
       }
       OutageWindow window;
       window.sensor = std::string(parts[0]);
-      window.down_at = ParseDouble(parts[1], directive);
-      window.up_at = ParseDouble(parts[2], directive);
+      window.down_at = ParseDouble(parts[1], directive, offset);
+      window.up_at = ParseDouble(parts[2], directive, offset);
       if (!(window.up_at > window.down_at)) {
-        BadDirective(directive, "window must satisfy down < up");
+        BadToken(directive, offset, "window must satisfy down < up");
       }
       schedule.outages.push_back(std::move(window));
     } else if (verb == "outages") {
+      require_unseen(verb, directive, offset);
       const auto parts = Split(rest, ':');
       if (parts.size() != 2) {
-        BadDirective(directive, "want outages:<fraction>:<horizon>");
+        BadToken(directive, offset, "want outages:<fraction>:<horizon>");
       }
-      schedule.staggered.down_fraction = ParseProbability(parts[0], directive);
-      schedule.staggered.horizon = ParseDouble(parts[1], directive);
+      schedule.staggered.down_fraction =
+          ParseProbability(parts[0], directive, offset);
+      schedule.staggered.horizon = ParseDouble(parts[1], directive, offset);
       if (!(schedule.staggered.horizon > 0.0)) {
-        BadDirective(directive, "horizon must be positive");
+        BadToken(directive, offset, "horizon must be positive");
       }
     } else if (verb == "loss") {
-      schedule.delivery.loss_rate = ParseProbability(rest, directive);
+      require_unseen(verb, directive, offset);
+      schedule.delivery.loss_rate = ParseProbability(rest, directive, offset);
     } else if (verb == "dup") {
-      schedule.delivery.duplication_rate = ParseProbability(rest, directive);
+      require_unseen(verb, directive, offset);
+      schedule.delivery.duplication_rate =
+          ParseProbability(rest, directive, offset);
     } else if (verb == "acl") {
       const std::size_t at_sign = rest.find('@');
       if (at_sign == std::string_view::npos) {
-        BadDirective(directive, "want acl:<cidr>@<t>");
+        BadToken(directive, offset, "want acl:<cidr>@<t>");
       }
       const auto block = net::Prefix::Parse(rest.substr(0, at_sign));
       if (!block) {
-        BadDirective(directive, "unparseable CIDR block");
+        BadToken(directive, offset, "unparseable CIDR block");
       }
       if (block->length() > 16) {
-        BadDirective(directive,
-                     "ACL drift operates on /16 or shorter blocks");
+        BadToken(directive, offset,
+                 "ACL drift operates on /16 or shorter blocks");
       }
       AclDriftEvent event;
       event.block = *block;
-      event.at = ParseDouble(rest.substr(at_sign + 1), directive);
+      event.at = ParseDouble(rest.substr(at_sign + 1), directive, offset);
       schedule.acl_drift.push_back(event);
     } else if (verb == "trialfail") {
-      schedule.trials.failure_rate = ParseProbability(rest, directive);
+      require_unseen(verb, directive, offset);
+      schedule.trials.failure_rate =
+          ParseProbability(rest, directive, offset);
+    } else if (verb == "group") {
+      const std::size_t equals = rest.find('=');
+      if (equals == std::string_view::npos || equals == 0) {
+        BadToken(directive, offset, "want group:<name>=<label>,<label>,...");
+      }
+      NamedSensorGroup group;
+      group.name = std::string(rest.substr(0, equals));
+      for (const NamedSensorGroup& existing : schedule.groups) {
+        if (existing.name == group.name) {
+          BadToken(directive, offset,
+                   "duplicate group name \"" + group.name + "\"");
+        }
+      }
+      for (std::string_view label : Split(rest.substr(equals + 1), ',')) {
+        if (label.empty()) {
+          BadToken(directive, offset, "empty label in group member list");
+        }
+        group.labels.emplace_back(label);
+      }
+      schedule.groups.push_back(std::move(group));
+    } else if (verb == "groupoutage") {
+      const auto parts = Split(rest, ':');
+      if (parts.size() != 3 || parts[0].empty()) {
+        BadToken(directive, offset,
+                 "want groupoutage:<cidr>|@<name>:<down>:<up>");
+      }
+      GroupOutage outage;
+      if (parts[0].front() == '@') {
+        outage.group = std::string(parts[0].substr(1));
+        if (outage.group.empty()) {
+          BadToken(directive, offset, "empty group name after '@'");
+        }
+      } else {
+        const auto block = net::Prefix::Parse(parts[0]);
+        if (!block) {
+          BadToken(directive, offset, "unparseable CIDR group key");
+        }
+        outage.block = *block;
+      }
+      outage.down_at = ParseDouble(parts[1], directive, offset);
+      outage.up_at = ParseDouble(parts[2], directive, offset);
+      if (!(outage.up_at > outage.down_at)) {
+        BadToken(directive, offset, "window must satisfy down < up");
+      }
+      schedule.group_outages.push_back(std::move(outage));
+    } else if (verb == "groupoutages") {
+      require_unseen(verb, directive, offset);
+      const auto parts = Split(rest, ':');
+      if (parts.size() != 3) {
+        BadToken(directive, offset,
+                 "want groupoutages:<bits>:<fraction>:<horizon>");
+      }
+      const std::uint64_t bits = ParseU64(parts[0], directive, offset);
+      if (bits < 1 || bits > 32) {
+        BadToken(directive, offset, "prefix bits must be in [1, 32]");
+      }
+      schedule.group_staggered.prefix_bits = static_cast<int>(bits);
+      schedule.group_staggered.down_fraction =
+          ParseProbability(parts[1], directive, offset);
+      schedule.group_staggered.horizon =
+          ParseDouble(parts[2], directive, offset);
+      if (!(schedule.group_staggered.horizon > 0.0)) {
+        BadToken(directive, offset, "horizon must be positive");
+      }
+    } else if (verb == "gilbert") {
+      require_unseen(verb, directive, offset);
+      const auto parts = Split(rest, ':');
+      if (parts.size() != 4 && parts.size() != 5) {
+        BadToken(directive, offset,
+                 "want gilbert:<good>:<bad>:<enter>:<exit>[:<tick>]");
+      }
+      schedule.gilbert.good_loss =
+          ParseProbability(parts[0], directive, offset);
+      schedule.gilbert.bad_loss = ParseProbability(parts[1], directive, offset);
+      schedule.gilbert.enter_bad =
+          ParseProbability(parts[2], directive, offset);
+      schedule.gilbert.exit_bad = ParseProbability(parts[3], directive, offset);
+      if (parts.size() == 5) {
+        schedule.gilbert.tick_seconds =
+            ParseDouble(parts[4], directive, offset);
+        if (!(schedule.gilbert.tick_seconds > 0.0)) {
+          BadToken(directive, offset, "tick must be positive");
+        }
+      }
+    } else if (verb == "profile") {
+      require_unseen(verb, directive, offset);
+      std::string_view body = rest;
+      const std::size_t at_sign = body.rfind('@');
+      if (at_sign != std::string_view::npos) {
+        schedule.loss_profile.period =
+            ParseDouble(body.substr(at_sign + 1), directive, offset);
+        if (!(schedule.loss_profile.period > 0.0)) {
+          BadToken(directive, offset, "period must be positive");
+        }
+        body = body.substr(0, at_sign);
+      }
+      for (std::string_view knot : Split(body, ',')) {
+        const std::size_t equals = knot.find('=');
+        if (equals == std::string_view::npos) {
+          BadToken(directive, offset,
+                   "want profile:<t0>=<p0>,<t1>=<p1>,...[@<period>]");
+        }
+        LossProfilePoint point;
+        point.at = ParseDouble(knot.substr(0, equals), directive, offset);
+        point.loss =
+            ParseProbability(knot.substr(equals + 1), directive, offset);
+        if (!schedule.loss_profile.points.empty() &&
+            !(point.at > schedule.loss_profile.points.back().at)) {
+          BadToken(directive, offset, "knot times must strictly increase");
+        }
+        schedule.loss_profile.points.push_back(point);
+      }
+      if (schedule.loss_profile.points.empty() ||
+          schedule.loss_profile.points.front().at != 0.0) {
+        BadToken(directive, offset, "first knot must be at t=0");
+      }
+      if (schedule.loss_profile.period > 0.0 &&
+          schedule.loss_profile.period <=
+              schedule.loss_profile.points.back().at) {
+        BadToken(directive, offset, "period must exceed the last knot time");
+      }
+    } else if (verb == "alertdelay") {
+      require_unseen(verb, directive, offset);
+      const auto parts = Split(rest, ':');
+      if (parts.size() != 2) {
+        BadToken(directive, offset, "want alertdelay:<min>:<max>");
+      }
+      schedule.alert_delay.min_delay =
+          ParseDouble(parts[0], directive, offset);
+      schedule.alert_delay.max_delay =
+          ParseDouble(parts[1], directive, offset);
+      if (!(schedule.alert_delay.min_delay >= 0.0) ||
+          !(schedule.alert_delay.max_delay >=
+            schedule.alert_delay.min_delay) ||
+          !std::isfinite(schedule.alert_delay.max_delay)) {
+        BadToken(directive, offset,
+                 "want 0 <= min <= max with finite max (bounded delay)");
+      }
     } else {
-      BadDirective(directive, "unknown verb");
+      BadToken(directive, offset, "unknown verb");
     }
   }
   std::sort(schedule.acl_drift.begin(), schedule.acl_drift.end(),
@@ -156,6 +355,35 @@ std::vector<OutageWindow> StaggeredOutages(
   for (const std::string& label : labels) {
     const double start = UnitDouble(stream.Next()) * (horizon - length);
     windows.push_back(OutageWindow{label, start, start + length});
+  }
+  return windows;
+}
+
+std::vector<OutageWindow> GroupStaggeredOutages(
+    const std::vector<std::uint32_t>& group_keys, double horizon,
+    double down_fraction, std::uint64_t seed) {
+  std::vector<OutageWindow> windows;
+  if (down_fraction <= 0.0 || horizon <= 0.0) return windows;
+  const double length = std::min(down_fraction, 1.0) * horizon;
+
+  // One draw per *distinct* key, in ascending key order: the window a
+  // group gets depends only on (key, seed), never on fleet size, sensor
+  // order, or how many sensors share the group.
+  std::vector<std::uint32_t> distinct = group_keys;
+  std::sort(distinct.begin(), distinct.end());
+  distinct.erase(std::unique(distinct.begin(), distinct.end()),
+                 distinct.end());
+  prng::SplitMix64 stream{prng::Mix64(seed ^ kGroupStaggerSalt)};
+  std::map<std::uint32_t, std::pair<double, double>> window_by_key;
+  for (const std::uint32_t key : distinct) {
+    const double start = UnitDouble(stream.Next()) * (horizon - length);
+    window_by_key.emplace(key, std::make_pair(start, start + length));
+  }
+
+  windows.reserve(group_keys.size());
+  for (const std::uint32_t key : group_keys) {
+    const auto& [down, up] = window_by_key.at(key);
+    windows.push_back(OutageWindow{std::string{}, down, up});
   }
   return windows;
 }

@@ -1,4 +1,4 @@
-// Deterministic fault schedules (`hotspots.faults.v1`).
+// Deterministic fault schedules (`hotspots.faults.v2`).
 //
 // The paper's environmental root causes of hotspots include *failures and
 // misconfiguration*: sensor blocks that go dark (BGP-style block
@@ -8,14 +8,22 @@
 // duplication), scripted ACL-drift events, and injected trial failures for
 // exercising the study runner's quarantine path.
 //
+// v2 extends the independent per-event draws of v1 with *correlated*
+// failure models — the regime real degradations live in: group outages
+// that darken a whole prefix slice of the fleet at once (a BGP withdrawal,
+// not N independent sensor reboots), a two-state Gilbert–Elliott loss
+// channel for bursty congestion, piecewise diurnal loss profiles, and
+// detector-side alert-propagation delay.  Every v1 spec string parses
+// unchanged and reproduces its v1 fault decisions bit-for-bit.
+//
 // Every probabilistic fault draws from a schedule-private SplitMix64
 // stream — mirroring the TraceWriter sampling design — so injection never
 // perturbs engine RNG state: a run with an *empty* schedule is bit-identical
 // to a run with no fault layer at all, and identical (seed, schedule) pairs
 // reproduce bit-identical fault decisions on any thread count.
 //
-// Text spec grammar (the `hotspots.faults.v1` schema, also accepted by the
-// benches' --faults flag); directives are ';'-separated:
+// Text spec grammar (the `hotspots.faults.v2` schema, also accepted by the
+// benches' --faults flag); directives are ';'-separated.  v1 verbs:
 //
 //   seed:<u64>                     fault-stream seed (decimal or 0x hex)
 //   outage:<label>:<down>:<up>     sensor outage window [down, up) seconds;
@@ -32,6 +40,36 @@
 //                                  drift); <cidr> must be /16 or shorter
 //   trialfail:<p>                  per-attempt probability that a study
 //                                  trial is fault-killed (throws TrialKilled)
+//
+// v2 verbs (correlated failures):
+//
+//   group:<name>=<l1>,<l2>,...     names a sensor set for groupoutage
+//   groupoutage:<cidr>:<down>:<up> one outage window shared by every sensor
+//                                  whose block lies inside <cidr>
+//   groupoutage:@<name>:<down>:<up> same, keyed by a named sensor set
+//   groupoutages:<bits>:<fraction>:<horizon>
+//                                  correlated staggered outages: sensors
+//                                  are grouped by the top <bits> bits of
+//                                  their block base (/8 → bits=8) and each
+//                                  *group* gets one shared window of length
+//                                  fraction*horizon — equal per-sensor
+//                                  down-time to `outages:`, correlated
+//                                  within a group
+//   gilbert:<good>:<bad>:<enter>:<exit>[:<tick>]
+//                                  two-state Gilbert–Elliott loss channel:
+//                                  loss rate <good>/<bad> per state,
+//                                  per-tick transition probabilities
+//                                  P(good→bad)=<enter>, P(bad→good)=<exit>,
+//                                  tick length <tick> seconds (default 1)
+//   profile:<t0>=<p0>,<t1>=<p1>,...[@<period>]
+//                                  piecewise-constant diurnal loss profile
+//                                  (t0 must be 0; optional repeat period)
+//   alertdelay:<min>:<max>         deterministic per-sensor alert
+//                                  propagation delay in [min, max] seconds
+//
+// Duplicate scalar directives (seed, outages, loss, dup, trialfail,
+// gilbert, profile, alertdelay, groupoutages) are rejected explicitly;
+// parse errors name the offending token and its byte offset.
 #pragma once
 
 #include <cstdint>
@@ -45,7 +83,10 @@
 namespace hotspots::fault {
 
 /// Schema identifier used in sidecars, specs, and diagnostics.
-inline constexpr const char* kFaultSchema = "hotspots.faults.v1";
+inline constexpr const char* kFaultSchema = "hotspots.faults.v2";
+/// The v1 schema every pre-v2 spec was written against; still accepted in
+/// full by ParseFaultSpec (v2 is a strict grammar superset).
+inline constexpr const char* kFaultSchemaV1 = "hotspots.faults.v1";
 
 /// One scripted sensor outage: the sensor labelled `sensor` records nothing
 /// in [down_at, up_at).  "*" matches every sensor of the fleet.
@@ -70,6 +111,87 @@ struct DeliveryFaultConfig {
   double loss_rate = 0.0;
   /// Probability a delivered probe is duplicated in flight.
   double duplication_rate = 0.0;
+};
+
+/// Two-state Gilbert–Elliott loss channel: the channel is `good` or `bad`,
+/// each state carrying its own Bernoulli loss rate for delivered probes;
+/// transitions are drawn once per `tick_seconds` from a schedule-private
+/// sub-stream, so the state sequence is a pure function of (schedule seed,
+/// engine seed, time) — shard-count-invariant by construction.  The channel
+/// starts `good` at t = 0.
+struct GilbertElliottConfig {
+  double good_loss = 0.0;  ///< Loss rate while the channel is good.
+  double bad_loss = 0.0;   ///< Loss rate while the channel is bad (burst).
+  double enter_bad = 0.0;  ///< Per-tick P(good → bad).
+  double exit_bad = 0.0;   ///< Per-tick P(bad → good).
+  double tick_seconds = 1.0;
+
+  /// True when the channel can ever lose a probe.
+  [[nodiscard]] bool Active() const {
+    return good_loss > 0.0 || bad_loss > 0.0;
+  }
+};
+
+/// One knot of a piecewise-constant loss profile.
+struct LossProfilePoint {
+  double at = 0.0;    ///< Knot time (seconds; profile-local when periodic).
+  double loss = 0.0;  ///< Loss rate from this knot until the next.
+};
+
+/// Piecewise-constant (diurnal) loss profile.  The rate at time t is the
+/// value of the last knot with `at <= t` (knots are sorted, the first knot
+/// is required at t = 0).  When `period > 0` the profile repeats:
+/// evaluation uses fmod(t, period).
+struct LossProfile {
+  std::vector<LossProfilePoint> points;
+  double period = 0.0;  ///< 0 = aperiodic.
+
+  [[nodiscard]] bool Active() const {
+    for (const LossProfilePoint& point : points) {
+      if (point.loss > 0.0) return true;
+    }
+    return false;
+  }
+  /// Loss rate at time `time` (0 when the profile has no knots).
+  [[nodiscard]] double LossAt(double time) const;
+};
+
+/// A named sensor set usable as a group-outage key (`groupoutage:@name`).
+struct NamedSensorGroup {
+  std::string name;
+  std::vector<std::string> labels;
+};
+
+/// One correlated outage: every member of the group shares the *same*
+/// window [down_at, up_at).  Membership is by named set (`group`
+/// non-empty) or by prefix containment (`block`): a sensor belongs when
+/// its whole block lies inside `block`.
+struct GroupOutage {
+  std::string group;  ///< Named-set key; empty = prefix-keyed.
+  net::Prefix block;  ///< Prefix key (when `group` is empty).
+  double down_at = 0.0;
+  double up_at = std::numeric_limits<double>::infinity();
+};
+
+/// Correlated staggered outages: sensors are grouped by the top
+/// `prefix_bits` bits of their block base, and each *group* draws one
+/// shared window of length `down_fraction * horizon` — the correlated
+/// counterpart of StaggeredOutageConfig at equal per-sensor down-time.
+struct GroupStaggeredConfig {
+  int prefix_bits = 0;  ///< 0 = disabled; 1..32 otherwise.
+  double down_fraction = 0.0;
+  double horizon = 0.0;
+};
+
+/// Detector-side alert propagation delay: a sensor that senses its alert
+/// at time t *reports* it at t + delay, with delay drawn deterministically
+/// per sensor index from [min_delay, max_delay] (see
+/// detect::AlertDelayQueue).
+struct AlertDelayConfig {
+  double min_delay = 0.0;
+  double max_delay = 0.0;
+
+  [[nodiscard]] bool Active() const { return max_delay > 0.0; }
 };
 
 /// One ACL-drift event: at time `at`, every /16 touched by `block` becomes
@@ -97,15 +219,27 @@ struct FaultSchedule {
   std::vector<AclDriftEvent> acl_drift;
   TrialFaultConfig trials;
 
+  // -- v2 correlated-failure clauses ------------------------------------
+  std::vector<NamedSensorGroup> groups;
+  std::vector<GroupOutage> group_outages;
+  GroupStaggeredConfig group_staggered;
+  GilbertElliottConfig gilbert;
+  LossProfile loss_profile;
+  AlertDelayConfig alert_delay;
+
   /// True when the schedule injects nothing — runs must then be
-  /// bit-identical to runs with no fault layer attached.
+  /// bit-identical to runs with no fault layer attached.  (Named groups
+  /// alone inject nothing: they only key groupoutage directives.)
   [[nodiscard]] bool empty() const;
-  /// True when any delivery-layer fault (loss, duplication, drift) is set.
+  /// True when any delivery-layer fault (loss, duplication, drift, bursty
+  /// channel, loss profile) is set.
   [[nodiscard]] bool HasDeliveryFaults() const;
 };
 
-/// Parses a `hotspots.faults.v1` text spec (grammar above).  Throws
-/// std::invalid_argument naming the offending directive.
+/// Parses a `hotspots.faults.v2` text spec (grammar above; every v1 spec
+/// is valid v2).  Throws std::invalid_argument naming the offending token
+/// and its byte offset in the spec, and rejects duplicate scalar
+/// directives explicitly.
 [[nodiscard]] FaultSchedule ParseFaultSpec(const std::string& spec);
 
 /// Materializes staggered outage windows for `labels`: every sensor gets
@@ -113,6 +247,16 @@ struct FaultSchedule {
 /// SplitMix64(seed) in label order.  Deterministic in (labels, seed).
 [[nodiscard]] std::vector<OutageWindow> StaggeredOutages(
     const std::vector<std::string>& labels, double horizon,
+    double down_fraction, std::uint64_t seed);
+
+/// Materializes *correlated* staggered windows: one window of length
+/// `down_fraction * horizon` per distinct group key, drawn in ascending
+/// key order from a salted sub-stream of `seed`, shared by every index
+/// mapped to that key.  Returns one window per input key (aligned by
+/// position).  Deterministic in (keys, seed) and independent of how many
+/// sensors share a group.
+[[nodiscard]] std::vector<OutageWindow> GroupStaggeredOutages(
+    const std::vector<std::uint32_t>& group_keys, double horizon,
     double down_fraction, std::uint64_t seed);
 
 /// Raised by MaybeKillTrial for fault-injected trial failures, so tests and

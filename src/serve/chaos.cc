@@ -1,0 +1,183 @@
+#include "serve/chaos.h"
+
+#include <cerrno>
+#include <chrono>
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace hotspots::serve {
+namespace {
+
+/// Domain separator: chaos draws must never collide with the fault
+/// schedule's simulation-side streams even under an equal seed.
+constexpr std::uint64_t kChaosSalt = 0xC4A05B17E5ull;
+
+double UnitDouble(std::uint64_t bits) {
+  return static_cast<double>(bits >> 11) * 0x1.0p-53;
+}
+
+[[noreturn]] void BadDirective(const std::string& token,
+                               const std::string& why) {
+  throw std::invalid_argument("chaos spec: bad directive \"" + token +
+                              "\": " + why);
+}
+
+double ParseRate(const std::string& token, const std::string& text) {
+  char* end = nullptr;
+  const double value = std::strtod(text.c_str(), &end);
+  if (end == nullptr || *end != '\0' || !(value >= 0.0) || !(value <= 1.0)) {
+    BadDirective(token, "want a probability in [0, 1]");
+  }
+  return value;
+}
+
+void WriteAllRaw(int fd, const std::uint8_t* data, std::size_t size) {
+  std::size_t sent = 0;
+  while (sent < size) {
+    const ssize_t n = ::send(fd, data + sent, size - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw std::runtime_error(std::string("chaos: write: ") +
+                               std::strerror(errno));
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+}
+
+}  // namespace
+
+ChaosSpec ParseChaosSpec(const std::string& spec) {
+  ChaosSpec parsed;
+  bool seen[5] = {};  // seed, disconnect, reset, stall, shortwrite
+  std::size_t cursor = 0;
+  while (cursor < spec.size()) {
+    std::size_t semi = spec.find(';', cursor);
+    if (semi == std::string::npos) semi = spec.size();
+    const std::string token = spec.substr(cursor, semi - cursor);
+    cursor = semi + 1;
+    if (token.empty()) continue;
+
+    std::vector<std::string> parts;
+    std::size_t start = 0;
+    for (;;) {
+      const std::size_t colon = token.find(':', start);
+      if (colon == std::string::npos) {
+        parts.push_back(token.substr(start));
+        break;
+      }
+      parts.push_back(token.substr(start, colon - start));
+      start = colon + 1;
+    }
+    const auto require_unseen = [&](int index) {
+      if (seen[index]) BadDirective(token, "duplicate key");
+      seen[index] = true;
+    };
+    if (parts[0] == "seed" && parts.size() == 2) {
+      require_unseen(0);
+      try {
+        parsed.seed = std::stoull(parts[1]);
+      } catch (const std::exception&) {
+        BadDirective(token, "want seed:<u64>");
+      }
+    } else if (parts[0] == "disconnect" && parts.size() == 2) {
+      require_unseen(1);
+      parsed.disconnect_rate = ParseRate(token, parts[1]);
+    } else if (parts[0] == "reset" && parts.size() == 2) {
+      require_unseen(2);
+      parsed.reset_rate = ParseRate(token, parts[1]);
+    } else if (parts[0] == "stall" && parts.size() == 3) {
+      require_unseen(3);
+      parsed.stall_rate = ParseRate(token, parts[1]);
+      char* end = nullptr;
+      parsed.stall_seconds = std::strtod(parts[2].c_str(), &end);
+      if (end == nullptr || *end != '\0' || !(parsed.stall_seconds >= 0.0) ||
+          !std::isfinite(parsed.stall_seconds)) {
+        BadDirective(token, "want stall:<p>:<seconds>");
+      }
+    } else if (parts[0] == "shortwrite" && parts.size() == 2) {
+      require_unseen(4);
+      parsed.short_write_rate = ParseRate(token, parts[1]);
+    } else {
+      BadDirective(token,
+                   "want seed:<n>, disconnect:<p>, reset:<p>, "
+                   "stall:<p>:<secs>, or shortwrite:<p>");
+    }
+  }
+  if (parsed.disconnect_rate + parsed.reset_rate > 1.0) {
+    throw std::invalid_argument(
+        "chaos spec: disconnect + reset rates exceed 1");
+  }
+  return parsed;
+}
+
+ChaosWriter::ChaosWriter(const ChaosSpec& spec, std::uint32_t connection,
+                         std::uint32_t attempt)
+    : spec_(spec),
+      stream_(prng::Mix64(
+          spec.seed ^ kChaosSalt ^
+          ((static_cast<std::uint64_t>(connection) << 32) | attempt))) {}
+
+void ChaosWriter::WriteFrame(int& fd, const std::uint8_t* data,
+                             std::size_t size) {
+  if (!spec_.any() || size == 0) {
+    WriteAllRaw(fd, data, size);
+    return;
+  }
+  // One verdict draw per frame, then fault-specific draws — a fixed
+  // consumption pattern, so frame k's fate never depends on what faults
+  // earlier frames happened to draw.
+  const double verdict = UnitDouble(stream_.Next());
+  const std::uint64_t detail = stream_.Next();
+
+  double threshold = spec_.disconnect_rate;
+  if (verdict < threshold) {
+    // Mid-frame disconnect: a strict prefix of the frame reaches the
+    // wire, then the socket dies — the server must park the fragment in
+    // its parser and survive the EOF.
+    const std::size_t partial =
+        size > 1 ? 1 + static_cast<std::size_t>(detail % (size - 1)) : 0;
+    if (partial > 0) WriteAllRaw(fd, data, partial);
+    ::close(fd);
+    fd = -1;
+    ++cuts_;
+    throw ChaosCut("chaos: mid-frame disconnect after " +
+                   std::to_string(partial) + " of " + std::to_string(size) +
+                   " bytes");
+  }
+  threshold += spec_.reset_rate;
+  if (verdict < threshold) {
+    // Hard reset: zero linger makes close() send RST, so the server sees
+    // ECONNRESET instead of an orderly EOF.
+    const linger hard{1, 0};
+    ::setsockopt(fd, SOL_SOCKET, SO_LINGER, &hard, sizeof hard);
+    ::close(fd);
+    fd = -1;
+    ++cuts_;
+    throw ChaosCut("chaos: connection reset before frame write");
+  }
+  threshold += spec_.stall_rate;
+  if (verdict < threshold) {
+    std::this_thread::sleep_for(
+        std::chrono::duration<double>(spec_.stall_seconds));
+    WriteAllRaw(fd, data, size);
+    return;
+  }
+  threshold += spec_.short_write_rate;
+  if (verdict < threshold && size > 1) {
+    // Fragmented write: split at a drawn point inside the frame so the
+    // server's parser sees headers and payloads torn across reads.
+    const std::size_t split = 1 + static_cast<std::size_t>(detail % (size - 1));
+    WriteAllRaw(fd, data, split);
+    WriteAllRaw(fd, data + split, size - split);
+    return;
+  }
+  WriteAllRaw(fd, data, size);
+}
+
+}  // namespace hotspots::serve

@@ -1,0 +1,88 @@
+// Deterministic fault-injecting socket shim for the ingest client path.
+//
+// The chaos harness answers one question about the serve pipeline: does
+// the folded analysis state stay *exact* when real sockets misbehave?  To
+// make that testable the misbehaviour itself must be reproducible, so the
+// shim draws every fault from a schedule-private SplitMix64 stream keyed
+// by (spec seed, connection index, attempt number) — the same spec string
+// replays the same cuts at the same frame indices on every run, on any
+// machine, which is what lets CI diff a chaos-battered ingest against a
+// clean embedded run bit for bit.
+//
+// Spec grammar (semicolon-separated `key:value` directives):
+//
+//   seed:<u64>              stream seed (default 0xC4A05)
+//   disconnect:<p>          P(write a partial frame prefix, then close)
+//   reset:<p>               P(close with SO_LINGER{1,0} -> TCP RST)
+//   stall:<p>:<seconds>     P(sleep <seconds> before the frame's write)
+//   shortwrite:<p>          P(fragment the frame into two tiny writes)
+//
+// Probabilities are per *frame*; disconnect + reset must sum to <= 1.
+// Duplicate or unknown keys are rejected with the offending token, like
+// the fault-schedule parser.  The empty spec is a no-op shim.
+//
+// Faults are injected on BLOCK/FIN frames only — the HELLO handshake and
+// its PROGRESS/ERROR reply stay clean so the resume protocol itself is
+// never the thing being damaged (a cut handshake is indistinguishable
+// from a refused one to a blocking client).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+#include "prng/splitmix.h"
+
+namespace hotspots::serve {
+
+struct ChaosSpec {
+  std::uint64_t seed = 0xC4A05;
+  double disconnect_rate = 0.0;
+  double reset_rate = 0.0;
+  double stall_rate = 0.0;
+  double stall_seconds = 0.0;
+  double short_write_rate = 0.0;
+
+  [[nodiscard]] bool any() const {
+    return disconnect_rate > 0.0 || reset_rate > 0.0 || stall_rate > 0.0 ||
+           short_write_rate > 0.0;
+  }
+};
+
+/// Parses a chaos spec string.  Throws std::invalid_argument naming the
+/// offending directive on malformed, duplicate, or out-of-range input.
+[[nodiscard]] ChaosSpec ParseChaosSpec(const std::string& spec);
+
+/// An injected socket kill (mid-frame disconnect or reset).  The shim
+/// closed the fd before throwing; the owning connection loop treats this
+/// exactly like a real peer failure and retries.
+class ChaosCut : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Per-connection-attempt fault-injecting writer.  Not thread-safe; each
+/// connection thread owns one per attempt.
+class ChaosWriter {
+ public:
+  ChaosWriter(const ChaosSpec& spec, std::uint32_t connection,
+              std::uint32_t attempt);
+
+  /// Writes one whole frame through `fd`, possibly injecting a fault
+  /// first.  On an injected kill the fd is closed (reset: with zero
+  /// linger, so the peer sees RST) and set to -1, then ChaosCut is
+  /// thrown.  Draw order is fixed per frame, so the fault sequence is a
+  /// pure function of (seed, connection, attempt, frame index).
+  void WriteFrame(int& fd, const std::uint8_t* data, std::size_t size);
+
+  /// Injected kills so far (disconnects + resets).
+  [[nodiscard]] std::uint64_t cuts() const { return cuts_; }
+
+ private:
+  ChaosSpec spec_;
+  prng::SplitMix64 stream_;
+  std::uint64_t cuts_ = 0;
+};
+
+}  // namespace hotspots::serve

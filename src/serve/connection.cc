@@ -83,6 +83,9 @@ void Connection::HandleIngestBytes(const std::uint8_t* data,
 }
 
 void Connection::HandleFrame(const Frame& frame) {
+  // After a refusal only the queued ERROR frame matters; whatever else
+  // the peer already put on the wire is ignored, not a fresh violation.
+  if (rejected_) return;
   const auto type = static_cast<FrameType>(frame.header.type);
   if (decoder_ == nullptr) {
     if (type != FrameType::kHello) {
@@ -90,11 +93,32 @@ void Connection::HandleFrame(const Frame& frame) {
                         std::to_string(frame.header.type));
     }
     const Hello hello = ParseHello(frame.payload);
-    if (hooks_.on_hello) hooks_.on_hello(hello);
+    try {
+      if (hooks_.on_hello) hooks_.on_hello(hello);
+    } catch (const IngestError& error) {
+      // Session admission refused: say *why* in-band before closing, so a
+      // well-behaved client surfaces the server's one-line reason instead
+      // of a bare EPIPE.  The peer structurally speaks the protocol here
+      // (magic/version/fan-out all parsed), so the frame is deliverable.
+      ProtocolErrors().Increment();
+      rejected_ = true;
+      paused_ = true;  // Never read this peer again.
+      AppendError(out_, error.what());
+      close_after_flush_ = true;
+      FlushOut();
+      return;
+    }
     decoder_ = std::make_unique<trace::StreamDecoder>(
         "conn:" + std::to_string(id_));
     decoder_->Feed({hello.trace_header, trace::kHeaderBytes});
     slot_ = hooks_.fold->RegisterSlot();
+    if ((hello.flags & kHelloFlagAwaitWindow) != 0) {
+      // The peer blocks for its send window: advertise the fold's
+      // committed low-water mark so a resumed connection skips what is
+      // already durable and resends from the first uncommitted sequence.
+      AppendProgress(out_, hooks_.fold->committed_low_water());
+      FlushOut();
+    }
     return;
   }
 
@@ -103,6 +127,11 @@ void Connection::HandleFrame(const Frame& frame) {
       throw IngestError("ingest: duplicate HELLO");
     case FrameType::kAck:
       throw IngestError("ingest: unexpected ACK from a client");
+    case FrameType::kProgress:
+    case FrameType::kError:
+      // Server-to-client frames; a peer echoing one back is broken.
+      throw IngestError("ingest: unexpected server-side frame " +
+                        std::to_string(frame.header.type) + " from a client");
     case FrameType::kBlock: {
       if (fin_seen_) throw IngestError("ingest: BLOCK after FIN");
       decoder_->Feed(frame.payload);

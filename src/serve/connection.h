@@ -113,6 +113,7 @@ class Connection {
   FrameParser parser_;
   std::unique_ptr<trace::StreamDecoder> decoder_;
   std::int64_t slot_ = -1;
+  bool rejected_ = false;  ///< Admission refused; ERROR frame queued.
   bool fin_seen_ = false;
   bool acked_ = false;
   bool eof_seen_ = false;

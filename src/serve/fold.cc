@@ -53,6 +53,17 @@ bool FoldPipeline::Submit(std::uint32_t slot, std::uint64_t sequence,
   bool has_room = true;
   {
     std::lock_guard lock(mutex_);
+    if (sequence < next_sequence_ || pending_.count(sequence) != 0) {
+      // Already folded, already stepped past, or already queued by an
+      // earlier connection attempt: reconnect-resume overlap.  Count it
+      // and drop it — folding it (again) would corrupt capture order, and
+      // it must not consume this slot's queue depth.
+      duplicate_blocks_.fetch_add(1, std::memory_order_relaxed);
+      obs::Registry::Global()
+          .GetCounter("serve.ingest.duplicate_blocks")
+          .Increment();
+      return true;
+    }
     Batch batch;
     batch.sequence = sequence;
     batch.slot = slot;
@@ -139,8 +150,12 @@ void FoldPipeline::FoldThread() {
       it = pending_.begin();
     }
     if (it->first != next_sequence_) {
-      gaps_counter.Increment();
-      sequence_gaps_.fetch_add(1, std::memory_order_relaxed);
+      // Exact loss accounting: charge one gap per *missing sequence*, not
+      // per step-over event, so `serve.ingest.sequence_gaps` equals the
+      // number of blocks that never reached the fold.
+      const std::uint64_t missing = it->first - next_sequence_;
+      gaps_counter.Add(missing);
+      sequence_gaps_.fetch_add(missing, std::memory_order_relaxed);
     }
 
     Batch batch = std::move(it->second);

@@ -89,8 +89,11 @@ class FoldPipeline {
 
   /// Submits one decoded block (I/O thread).  Returns false when the slot
   /// just hit its depth cap — the caller must stop reading the socket
-  /// until the resume callback names this slot.  The batch is queued
-  /// either way; nothing is dropped.
+  /// until the resume callback names this slot.  A sequence that was
+  /// already folded (or is already queued) is a *duplicate* — a resumed
+  /// connection legally re-sends overlap around the PROGRESS low-water
+  /// mark — and is counted and discarded without occupying queue depth;
+  /// every other batch is queued, nothing else is dropped.
   bool Submit(std::uint32_t slot, std::uint64_t sequence,
               std::vector<sim::ProbeEvent> events);
 
@@ -119,8 +122,23 @@ class FoldPipeline {
   [[nodiscard]] std::uint64_t blocks_folded() const {
     return blocks_folded_.load(std::memory_order_relaxed);
   }
+  /// Count of *missing sequences* permanently stepped over (not step-over
+  /// events): a clean session reports 0, a session that lost exactly K
+  /// blocks reports K.
   [[nodiscard]] std::uint64_t sequence_gaps() const {
     return sequence_gaps_.load(std::memory_order_relaxed);
+  }
+  /// Blocks discarded because their sequence was already folded or queued
+  /// (reconnect-resume overlap).
+  [[nodiscard]] std::uint64_t duplicate_blocks() const {
+    return duplicate_blocks_.load(std::memory_order_relaxed);
+  }
+  /// The fold's committed low-water mark: every global sequence below it
+  /// has been folded or permanently stepped over.  This is the resume
+  /// point a PROGRESS reply advertises.
+  [[nodiscard]] std::uint64_t committed_low_water() const {
+    std::lock_guard lock(mutex_);
+    return next_sequence_;
   }
   [[nodiscard]] bool alert_seen() const {
     return alert_seen_.load(std::memory_order_acquire);
@@ -173,6 +191,7 @@ class FoldPipeline {
   std::atomic<std::uint64_t> records_folded_{0};
   std::atomic<std::uint64_t> blocks_folded_{0};
   std::atomic<std::uint64_t> sequence_gaps_{0};
+  std::atomic<std::uint64_t> duplicate_blocks_{0};
   std::atomic<bool> alert_seen_{false};
   std::atomic<double> first_alert_wall_{0.0};
 };

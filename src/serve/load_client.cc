@@ -13,6 +13,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include "prng/splitmix.h"
 #include "serve/protocol.h"
 #include "serve/wire.h"
 #include "trace/format.h"
@@ -79,6 +80,31 @@ void ReadAll(int fd, std::uint8_t* data, std::size_t size) {
     }
     got += static_cast<std::size_t>(n);
   }
+}
+
+/// Blocking read of the server's reply to a flagged HELLO.  Returns the
+/// fold low-water mark from a PROGRESS frame; turns an ERROR frame into
+/// LoadRefused carrying the server's own one-line reason.
+std::uint64_t ReadSendWindow(int fd) {
+  std::uint8_t head[kFrameHeaderBytes];
+  ReadAll(fd, head, sizeof head);
+  const std::uint32_t length = LoadU32(head);
+  const std::uint32_t type = LoadU32(head + 4);
+  if (type == static_cast<std::uint32_t>(FrameType::kProgress)) {
+    return LoadU64(head + 8);
+  }
+  if (type == static_cast<std::uint32_t>(FrameType::kError) &&
+      length <= kMaxErrorPayloadBytes) {
+    std::string reason(length, '\0');
+    ReadAll(fd, reinterpret_cast<std::uint8_t*>(reason.data()), length);
+    throw LoadRefused("server refused the session: " + reason);
+  }
+  throw std::runtime_error("load: expected PROGRESS or ERROR after HELLO, "
+                           "got frame type " + std::to_string(type));
+}
+
+double UnitDouble(std::uint64_t bits) {
+  return static_cast<double>(bits >> 11) * 0x1.0p-53;
 }
 
 }  // namespace
@@ -163,13 +189,88 @@ LoadReport RunLoad(const CorpusIndex& corpus, const LoadOptions& options) {
       options.rate > 0.0 ? options.rate / fanout : 0.0;
 
   struct ConnResult {
-    std::uint64_t records = 0;
+    std::uint64_t records = 0;  ///< Counts for the final (acked) attempt.
     std::uint64_t blocks = 0;
     std::uint64_t bytes = 0;
     double ack_latency = 0.0;
+    std::uint64_t reconnects = 0;
+    std::uint64_t chaos_cuts = 0;
     std::string error;
   };
   std::vector<ConnResult> results(fanout);
+
+  // One connection attempt: HELLO (awaiting a window), stream the stripe
+  // from the server's low-water mark, FIN, wait for the ACK.  Per-attempt
+  // counts reset so the FIN trailer declares exactly what THIS connection
+  // carried — the per-connection decoder reconciles against that.
+  const auto attempt_stripe = [&](std::uint32_t c, std::uint32_t attempt,
+                                  ConnResult& result) {
+    result.records = 0;
+    result.blocks = 0;
+    int fd = ConnectTo(options.host, options.port);
+    try {
+      ChaosWriter chaos{options.chaos, c, attempt};
+      std::vector<std::uint8_t> buffer;
+      AppendHello(buffer, c, fanout, {corpus.header(), trace::kHeaderBytes},
+                  kHelloFlagAwaitWindow);
+      WriteAll(fd, buffer.data(), buffer.size());
+      result.bytes += buffer.size();
+      const std::uint64_t window = ReadSendWindow(fd);
+
+      const auto pace_start = std::chrono::steady_clock::now();
+      for (std::uint32_t loop = 0; loop < options.loops; ++loop) {
+        for (std::uint64_t i = c; i < corpus_blocks; i += fanout) {
+          const std::uint64_t sequence =
+              static_cast<std::uint64_t>(loop) * corpus_blocks + i;
+          // Already committed server-side (or queued by a prior attempt
+          // whose overlap the fold will dedup): resume past it.
+          if (sequence < window) continue;
+          const CorpusIndex::BlockSpan& span = corpus.blocks()[i];
+          buffer.clear();
+          AppendBlock(buffer, sequence,
+                      {corpus.bytes().data() + span.offset, span.size});
+          chaos.WriteFrame(fd, buffer.data(), buffer.size());
+          result.bytes += buffer.size();
+          result.records += span.records;
+          ++result.blocks;
+          if (per_connection_rate > 0.0) {
+            // Pace against the schedule, not the previous send, so a
+            // slow write does not compound into permanent lag.
+            const double due =
+                static_cast<double>(result.records) / per_connection_rate;
+            const auto due_at =
+                pace_start + std::chrono::duration_cast<
+                                 std::chrono::steady_clock::duration>(
+                                 std::chrono::duration<double>(due));
+            std::this_thread::sleep_until(due_at);
+          }
+        }
+      }
+
+      buffer.clear();
+      const std::vector<std::uint8_t> trailer = BuildConnectionTrailer(
+          result.records, result.blocks, corpus.last_time_bits());
+      AppendFin(buffer, trailer);
+      const auto fin_at = std::chrono::steady_clock::now();
+      chaos.WriteFrame(fd, buffer.data(), buffer.size());
+      result.bytes += buffer.size();
+
+      std::uint8_t ack[kFrameHeaderBytes];
+      ReadAll(fd, ack, sizeof ack);
+      if (LoadU32(ack + 4) != static_cast<std::uint32_t>(FrameType::kAck)) {
+        throw std::runtime_error("load: expected ACK, got frame type " +
+                                 std::to_string(LoadU32(ack + 4)));
+      }
+      result.ack_latency =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        fin_at)
+              .count();
+    } catch (...) {
+      if (fd >= 0) ::close(fd);
+      throw;
+    }
+    ::close(fd);
+  };
 
   const auto start = std::chrono::steady_clock::now();
   std::vector<std::thread> threads;
@@ -177,63 +278,41 @@ LoadReport RunLoad(const CorpusIndex& corpus, const LoadOptions& options) {
   for (std::uint32_t c = 0; c < fanout; ++c) {
     threads.emplace_back([&, c] {
       ConnResult& result = results[c];
-      int fd = -1;
-      try {
-        fd = ConnectTo(options.host, options.port);
-        std::vector<std::uint8_t> buffer;
-        AppendHello(buffer, c, fanout,
-                    {corpus.header(), trace::kHeaderBytes});
-        WriteAll(fd, buffer.data(), buffer.size());
-        result.bytes += buffer.size();
-
-        const auto pace_start = std::chrono::steady_clock::now();
-        for (std::uint32_t loop = 0; loop < options.loops; ++loop) {
-          for (std::uint64_t i = c; i < corpus_blocks; i += fanout) {
-            const CorpusIndex::BlockSpan& span = corpus.blocks()[i];
-            buffer.clear();
-            AppendBlock(buffer,
-                        static_cast<std::uint64_t>(loop) * corpus_blocks + i,
-                        {corpus.bytes().data() + span.offset, span.size});
-            WriteAll(fd, buffer.data(), buffer.size());
-            result.bytes += buffer.size();
-            result.records += span.records;
-            ++result.blocks;
-            if (per_connection_rate > 0.0) {
-              // Pace against the schedule, not the previous send, so a
-              // slow write does not compound into permanent lag.
-              const double due =
-                  static_cast<double>(result.records) / per_connection_rate;
-              const auto due_at =
-                  pace_start + std::chrono::duration_cast<
-                                   std::chrono::steady_clock::duration>(
-                                   std::chrono::duration<double>(due));
-              std::this_thread::sleep_until(due_at);
-            }
+      // Client-private jitter stream: reconnect timing must never leak
+      // into (or depend on) any server-side deterministic state.
+      prng::SplitMix64 jitter{
+          prng::Mix64(options.retry_seed ^ (std::uint64_t{c} + 1))};
+      const std::uint32_t max_attempts =
+          options.max_attempts == 0 ? 1 : options.max_attempts;
+      for (std::uint32_t attempt = 0;; ++attempt) {
+        try {
+          attempt_stripe(c, attempt, result);
+          break;
+        } catch (const LoadRefused& refusal) {
+          // The server said no in-band; retrying cannot change its mind.
+          result.error = refusal.what();
+          break;
+        } catch (const std::exception& error) {
+          if (dynamic_cast<const ChaosCut*>(&error) != nullptr) {
+            ++result.chaos_cuts;
           }
+          if (attempt + 1 >= max_attempts) {
+            result.error = error.what();
+            break;
+          }
+          ++result.reconnects;
+          const double exp_backoff =
+              options.backoff_base_seconds *
+              static_cast<double>(std::uint64_t{1} << (attempt < 20 ? attempt
+                                                                    : 20));
+          const double capped = exp_backoff < options.backoff_cap_seconds
+                                    ? exp_backoff
+                                    : options.backoff_cap_seconds;
+          const double factor = 0.5 + 0.5 * UnitDouble(jitter.Next());
+          std::this_thread::sleep_for(
+              std::chrono::duration<double>(capped * factor));
         }
-
-        buffer.clear();
-        const std::vector<std::uint8_t> trailer = BuildConnectionTrailer(
-            result.records, result.blocks, corpus.last_time_bits());
-        AppendFin(buffer, trailer);
-        const auto fin_at = std::chrono::steady_clock::now();
-        WriteAll(fd, buffer.data(), buffer.size());
-        result.bytes += buffer.size();
-
-        std::uint8_t ack[kFrameHeaderBytes];
-        ReadAll(fd, ack, sizeof ack);
-        if (LoadU32(ack + 4) != static_cast<std::uint32_t>(FrameType::kAck)) {
-          throw std::runtime_error("load: expected ACK, got frame type " +
-                                   std::to_string(LoadU32(ack + 4)));
-        }
-        result.ack_latency =
-            std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                          fin_at)
-                .count();
-      } catch (const std::exception& error) {
-        result.error = error.what();
       }
-      if (fd >= 0) ::close(fd);
     });
   }
   for (std::thread& thread : threads) thread.join();
@@ -251,6 +330,8 @@ LoadReport RunLoad(const CorpusIndex& corpus, const LoadOptions& options) {
     report.blocks_sent += results[c].blocks;
     report.bytes_sent += results[c].bytes;
     report.ack_latency_seconds.push_back(results[c].ack_latency);
+    report.reconnects += results[c].reconnects;
+    report.chaos_cuts += results[c].chaos_cuts;
   }
   report.wall_seconds = wall;
   report.records_per_sec =

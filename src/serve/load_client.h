@@ -7,15 +7,28 @@
 // global sequence (loop * total_blocks + i), so the server's in-order
 // fold reconstructs the original stream regardless of socket
 // interleaving.  Each connection is a plain blocking-socket thread:
-// HELLO, its block subsequence (optionally paced to an aggregate record
-// rate), FIN with its own record/block totals, then a blocking wait for
-// the server's ACK — which is the durability barrier the equality tests
-// and the ingest bench rely on.
+// HELLO (flagged kHelloFlagAwaitWindow, so the server replies with its
+// fold low-water mark — or a one-line ERROR on refused admission), its
+// block subsequence from that mark up (optionally paced to an aggregate
+// record rate), FIN with its own record/block totals, then a blocking
+// wait for the server's ACK — which is the durability barrier the
+// equality tests and the ingest bench rely on.
+//
+// Failure handling: a socket-level failure (EPIPE, RST, an injected
+// chaos cut) triggers reconnect-with-resume — bounded retries with
+// exponential backoff jittered from a client-private RNG, each new
+// attempt re-HELLOing and resuming from the server-advertised low-water
+// mark.  Overlap around the mark is legal; the server's fold dedups it.
+// A server *refusal* (an in-band ERROR frame) is never retried: the
+// server said no, and its sentence becomes the thrown error.
 #pragma once
 
 #include <cstdint>
+#include <stdexcept>
 #include <string>
 #include <vector>
+
+#include "serve/chaos.h"
 
 namespace hotspots::serve {
 
@@ -62,6 +75,19 @@ struct LoadOptions {
   double rate = 0.0;
   /// Times the corpus is replayed back-to-back (sequences keep rising).
   std::uint32_t loops = 1;
+  /// Connection attempts per stripe before the failure is fatal
+  /// (1 = no reconnect; each retry resumes from the server's low-water
+  /// mark).
+  std::uint32_t max_attempts = 1;
+  /// Reconnect backoff: attempt k sleeps min(cap, base * 2^(k-1)) scaled
+  /// by a jitter factor in [0.5, 1] drawn from `retry_seed`.
+  double backoff_base_seconds = 0.02;
+  double backoff_cap_seconds = 1.0;
+  /// Client-private jitter stream; never mixed into server-side state.
+  std::uint64_t retry_seed = 0x10AD5EEDull;
+  /// Fault-injection shim applied to this client's own writes (tests/CI
+  /// only).  Default: no chaos.
+  ChaosSpec chaos;
 };
 
 struct LoadReport {
@@ -74,6 +100,18 @@ struct LoadReport {
   /// Per-connection wall time from its FIN write to its ACK — the tail
   /// of the server's fold queue as seen from outside.
   std::vector<double> ack_latency_seconds;
+  /// Reconnect attempts beyond each stripe's first, summed.
+  std::uint64_t reconnects = 0;
+  /// Injected chaos kills (disconnects + resets) across all attempts.
+  std::uint64_t chaos_cuts = 0;
+};
+
+/// The server refused the session in-band (ERROR frame) — e.g. a
+/// scenario-fingerprint mismatch.  Carries the server's one-line reason;
+/// never retried.
+class LoadRefused : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
 };
 
 /// Runs the replay and blocks until every connection is acked.  Throws

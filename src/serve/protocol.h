@@ -24,7 +24,12 @@
 //     [ 8..12)  u32  protocol version (1)
 //     [12..16)  u32  connection index C within the replay session
 //     [16..20)  u32  session fan-out F (C < F); F=1 for a lone stream
-//     [20..24)  u32  reserved (0)
+//     [20..24)  u32  flags (was reserved-zero; legacy encoders still
+//               write 0, which selects the original fire-and-forget
+//               flow).  Bit 0 (kHelloFlagAwaitWindow): the client will
+//               block after HELLO for a PROGRESS or ERROR reply before
+//               streaming — this is what makes reconnect-with-resume
+//               and clean admission refusal deterministic.
 //     [24..72)  the stream's 48-byte hotspots.trace.v1 file header
 //               (carries the scenario fingerprint + seed, so the server
 //               can refuse mixed-scenario sessions)
@@ -45,6 +50,20 @@
 //     of the connection has been folded into the shared state.  The ack
 //     is the client's durability signal: after ACK, a metrics poll will
 //     see this connection's probes.
+//
+//   PROGRESS (server -> client; empty payload) — the reply to a HELLO
+//     whose flags request it (kHelloFlagAwaitWindow).  `sequence` carries
+//     the fold's committed low-water mark: every global sequence below it
+//     has already been folded (or permanently stepped over), so a
+//     resuming client may skip blocks below the mark and MUST resend from
+//     it.  Overlap is harmless — the fold drops already-committed or
+//     already-queued sequences and counts them as duplicates.
+//
+//   ERROR (server -> client; seq 0) — payload: a UTF-8 one-line reason.
+//     Sent instead of PROGRESS when session admission fails (fingerprint
+//     mismatch, bad handshake), then the connection closes.  A client
+//     that asked for a window reads this *before* streaming, so refusal
+//     surfaces as the server's own sentence, not a mid-write EPIPE.
 //
 // Back-pressure: there is none in-band.  A server that cannot fold fast
 // enough simply stops reading the saturated connection's socket and lets
@@ -86,7 +105,17 @@ enum class FrameType : std::uint32_t {
   kBlock = 2,
   kFin = 3,
   kAck = 4,
+  kProgress = 5,
+  kError = 6,
 };
+
+/// HELLO flag bit 0: the client blocks for a PROGRESS/ERROR reply after
+/// its HELLO before streaming blocks (resume + clean-refusal handshake).
+inline constexpr std::uint32_t kHelloFlagAwaitWindow = 1u;
+
+/// Ceiling on an ERROR frame's message payload; longer reasons are
+/// truncated by the encoder, never rejected by the parser.
+inline constexpr std::size_t kMaxErrorPayloadBytes = 512;
 
 /// Any malformed ingest input — undersized handshake, unknown frame type,
 /// ceiling violations — raises this on the parsing side; the server turns
@@ -108,6 +137,8 @@ struct Hello {
   std::uint32_t version = kIngestVersion;
   std::uint32_t connection = 0;
   std::uint32_t fanout = 1;
+  /// kHelloFlag* bits; 0 from legacy encoders (the field was reserved).
+  std::uint32_t flags = 0;
   /// The embedded hotspots.trace.v1 file header, verbatim — fed to the
   /// connection's StreamDecoder so the trace layer owns its validation.
   std::uint8_t trace_header[trace::kHeaderBytes] = {};

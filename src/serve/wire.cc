@@ -32,8 +32,10 @@ std::size_t FixedPayloadBytes(std::uint32_t type) {
     case FrameType::kFin:
       return kFinPayloadBytes;
     case FrameType::kAck:
+    case FrameType::kProgress:
       return 0;
     case FrameType::kBlock:
+    case FrameType::kError:
       return static_cast<std::size_t>(-1);
   }
   throw IngestError("ingest: unknown frame type " + std::to_string(type));
@@ -89,7 +91,8 @@ void AppendFrameHeader(std::vector<std::uint8_t>& out, FrameType type,
 
 void AppendHello(std::vector<std::uint8_t>& out, std::uint32_t connection,
                  std::uint32_t fanout,
-                 std::span<const std::uint8_t> trace_header) {
+                 std::span<const std::uint8_t> trace_header,
+                 std::uint32_t flags) {
   if (trace_header.size() != trace::kHeaderBytes) {
     throw IngestError("ingest: HELLO needs a " +
                       std::to_string(trace::kHeaderBytes) +
@@ -102,7 +105,7 @@ void AppendHello(std::vector<std::uint8_t>& out, std::uint32_t connection,
   AppendU32(out, kIngestVersion);
   AppendU32(out, connection);
   AppendU32(out, fanout);
-  AppendU32(out, 0);  // reserved
+  AppendU32(out, flags);
   out.insert(out.end(), trace_header.begin(), trace_header.end());
 }
 
@@ -135,6 +138,20 @@ void AppendAck(std::vector<std::uint8_t>& out) {
   AppendFrameHeader(out, FrameType::kAck, 0, 0);
 }
 
+void AppendProgress(std::vector<std::uint8_t>& out, std::uint64_t low_water) {
+  AppendFrameHeader(out, FrameType::kProgress, low_water, 0);
+}
+
+void AppendError(std::vector<std::uint8_t>& out, const std::string& message) {
+  const std::size_t len =
+      message.size() < kMaxErrorPayloadBytes ? message.size()
+                                             : kMaxErrorPayloadBytes;
+  AppendFrameHeader(out, FrameType::kError, 0,
+                    static_cast<std::uint32_t>(len));
+  out.insert(out.end(), message.begin(),
+             message.begin() + static_cast<std::ptrdiff_t>(len));
+}
+
 Hello ParseHello(std::span<const std::uint8_t> payload) {
   if (payload.size() != kHelloPayloadBytes) {
     throw IngestError("ingest: HELLO payload is " +
@@ -154,6 +171,7 @@ Hello ParseHello(std::span<const std::uint8_t> payload) {
   }
   hello.connection = LoadU32(payload.data() + 12);
   hello.fanout = LoadU32(payload.data() + 16);
+  hello.flags = LoadU32(payload.data() + 20);
   if (hello.fanout == 0 || hello.connection >= hello.fanout) {
     throw IngestError("ingest: HELLO connection index " +
                       std::to_string(hello.connection) +

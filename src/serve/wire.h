@@ -57,10 +57,12 @@ void AppendFrameHeader(std::vector<std::uint8_t>& out, FrameType type,
                        std::uint64_t sequence, std::uint32_t payload_len);
 
 /// Appends a complete HELLO frame.  `trace_header` must be the stream's
-/// verbatim 48-byte hotspots.trace.v1 header.
+/// verbatim 48-byte hotspots.trace.v1 header.  `flags` is the kHelloFlag*
+/// bitmask; legacy encoders pass 0 (the field used to be reserved).
 void AppendHello(std::vector<std::uint8_t>& out, std::uint32_t connection,
                  std::uint32_t fanout,
-                 std::span<const std::uint8_t> trace_header);
+                 std::span<const std::uint8_t> trace_header,
+                 std::uint32_t flags = 0);
 
 /// Appends a complete BLOCK frame wrapping one verbatim CRC-framed block.
 void AppendBlock(std::vector<std::uint8_t>& out, std::uint64_t sequence,
@@ -72,6 +74,14 @@ void AppendFin(std::vector<std::uint8_t>& out,
 
 /// Appends a complete (empty-payload) ACK frame.
 void AppendAck(std::vector<std::uint8_t>& out);
+
+/// Appends a complete (empty-payload) PROGRESS frame whose sequence field
+/// carries the fold's committed low-water mark.
+void AppendProgress(std::vector<std::uint8_t>& out, std::uint64_t low_water);
+
+/// Appends a complete ERROR frame carrying a one-line UTF-8 reason,
+/// truncated to kMaxErrorPayloadBytes.
+void AppendError(std::vector<std::uint8_t>& out, const std::string& message);
 
 /// Parses and validates a HELLO payload.  Throws IngestError on bad
 /// magic, version, size, or a connection index outside the fan-out.

@@ -145,5 +145,126 @@ TEST_F(FaultDeterminismTest, DuplicateAccountingInvariant) {
   EXPECT_EQ(events, outcome.run.total_probes + outcome.run.fault_duplicates);
 }
 
+// -- hotspots.faults.v2: the v1 contract and the new correlated layers ----
+
+TEST_F(FaultDeterminismTest, V1SpecsReproduceIdenticalCountersUnderV2) {
+  // Every v1 spec string must parse to a schedule whose fault decisions
+  // are bit-for-bit those of the hand-built v1 structure: the v2 layers
+  // (GE channel, profiles, group outages) may cost nothing when unused —
+  // not even a last-ulp drift in the effective loss rate.
+  const char* const kV1Specs[] = {
+      "seed:0xD0;outages:0.4:400;loss:0.02;dup:0.01",
+      "loss:0.03",
+      "outage:*:50:150;dup:0.02",
+      "acl:10.0.0.0/8@100;loss:0.01",
+  };
+  for (const char* spec : kV1Specs) {
+    fault::FaultSchedule parsed = fault::ParseFaultSpec(spec);
+    fault::FaultSchedule manual;
+    manual.seed = parsed.seed;
+    manual.outages = parsed.outages;
+    manual.staggered = parsed.staggered;
+    manual.delivery = parsed.delivery;
+    manual.acl_drift = parsed.acl_drift;
+    manual.trials = parsed.trials;
+
+    DetectionStudyConfig config = BaseConfig();
+    config.faults = &parsed;
+    const DetectionOutcome from_spec = Run(config);
+    config.faults = &manual;
+    const DetectionOutcome from_struct = Run(config);
+    ExpectIdentical(from_spec, from_struct);
+  }
+}
+
+TEST_F(FaultDeterminismTest, InertV2ClausesDoNotPerturbV1Decisions) {
+  // A named group keys nothing by itself; adding one to a v1 spec must
+  // leave every counter bit-identical.
+  fault::FaultSchedule v1 =
+      fault::ParseFaultSpec("seed:0xD0;loss:0.02;dup:0.01");
+  fault::FaultSchedule with_group =
+      fault::ParseFaultSpec("seed:0xD0;loss:0.02;dup:0.01;group:idle=A,B");
+  DetectionStudyConfig config = BaseConfig();
+  config.faults = &v1;
+  const DetectionOutcome bare = Run(config);
+  config.faults = &with_group;
+  const DetectionOutcome grouped = Run(config);
+  ExpectIdentical(bare, grouped);
+}
+
+TEST_F(FaultDeterminismTest, GilbertChannelIsShardCountInvariant) {
+  // The GE state sequence is a pure function of (seeds, time): transitions
+  // are drawn serially once per tick, per-probe Bernoulli draws stay in
+  // per-scanner streams — so 1 worker and 4 workers lose the same probes.
+  fault::FaultSchedule schedule =
+      fault::ParseFaultSpec("seed:0x6EE;gilbert:0.01:0.9:0.05:0.2:5");
+  DetectionStudyConfig config = BaseConfig();
+  config.faults = &schedule;
+  config.engine.shards = 1;
+  const DetectionOutcome serial = Run(config);
+  config.engine.shards = 4;
+  const DetectionOutcome sharded = Run(config);
+  ExpectIdentical(serial, sharded);
+  EXPECT_GT(serial.run.fault_injected_drops, 0u);
+}
+
+TEST_F(FaultDeterminismTest, LossProfileIsShardCountInvariant) {
+  fault::FaultSchedule schedule =
+      fault::ParseFaultSpec("profile:0=0.0,100=0.3,200=0.0@400");
+  DetectionStudyConfig config = BaseConfig();
+  config.faults = &schedule;
+  config.engine.shards = 1;
+  const DetectionOutcome serial = Run(config);
+  config.engine.shards = 4;
+  const DetectionOutcome sharded = Run(config);
+  ExpectIdentical(serial, sharded);
+  EXPECT_GT(serial.run.fault_injected_drops, 0u);
+}
+
+TEST_F(FaultDeterminismTest, GroupOutagesAreObservationOnlyAndCorrelated) {
+  const DetectionOutcome bare = Run(BaseConfig());
+  fault::FaultSchedule schedule =
+      fault::ParseFaultSpec("groupoutages:8:0.5:400");
+  DetectionStudyConfig config = BaseConfig();
+  config.faults = &schedule;
+  const DetectionOutcome outaged = Run(config);
+  // Correlated darkness drops what sensors *record*, never what the worm
+  // *sends* — the outbreak fingerprint is bit-identical.
+  EXPECT_EQ(bare.run.total_probes, outaged.run.total_probes);
+  EXPECT_EQ(bare.run.final_infected, outaged.run.final_infected);
+  EXPECT_EQ(bare.run.delivery_counts, outaged.run.delivery_counts);
+  EXPECT_GT(outaged.outage_missed_probes, 0u);
+  const DetectionOutcome again = Run(config);
+  ExpectIdentical(outaged, again);
+}
+
+TEST_F(FaultDeterminismTest, AlertDelayShiftsReportsWithinBounds) {
+  const DetectionOutcome bare = Run(BaseConfig());
+  fault::FaultSchedule schedule = fault::ParseFaultSpec("alertdelay:5:20");
+  DetectionStudyConfig config = BaseConfig();
+  config.faults = &schedule;
+  const DetectionOutcome delayed = Run(config);
+  // Delay defers *reports*; it neither invents nor drops alerts, and it
+  // never touches the outbreak.
+  EXPECT_EQ(bare.run.total_probes, delayed.run.total_probes);
+  ASSERT_EQ(delayed.alert_times.size(), bare.alert_times.size());
+  ASSERT_FALSE(bare.alert_times.empty());
+  // Sorted earliest-report vs earliest-sense: the first report can only
+  // lag the first sensing by a delay inside the configured bounds — and
+  // every report lags *some* sensing, so totals shift forward too.
+  EXPECT_GE(delayed.alert_times.front(), bare.alert_times.front() + 5.0);
+  // min(sense_i + delay_i) <= min(sense_i) + max_delay.
+  EXPECT_LE(delayed.alert_times.front(), bare.alert_times.front() + 20.0);
+  double sensed_sum = 0.0;
+  double reported_sum = 0.0;
+  for (const double t : bare.alert_times) sensed_sum += t;
+  for (const double t : delayed.alert_times) reported_sum += t;
+  const auto n = static_cast<double>(bare.alert_times.size());
+  EXPECT_GE(reported_sum, sensed_sum + 5.0 * n);
+  EXPECT_LE(reported_sum, sensed_sum + 20.0 * n);
+  const DetectionOutcome again = Run(config);
+  ExpectIdentical(delayed, again);
+}
+
 }  // namespace
 }  // namespace hotspots::core

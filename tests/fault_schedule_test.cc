@@ -340,5 +340,242 @@ TEST(ApplySensorOutagesTest, StaggeredWindowsReachDuplicateLabels) {
   EXPECT_DOUBLE_EQ(fleet.sensor(second).DownSeconds(1000.0), 500.0);
 }
 
+// -- hotspots.faults.v2: correlated-failure grammar -----------------------
+
+TEST(FaultSpecV2Test, ParsesEveryV2Directive) {
+  const FaultSchedule schedule = ParseFaultSpec(
+      "group:edge=S0,S1;groupoutage:10.0.0.0/8:100:200;"
+      "groupoutage:@edge:50:inf;groupoutages:8:0.25:1000;"
+      "gilbert:0.01:0.8:0.002:0.1:2.5;"
+      "profile:0=0.01,300=0.2,600=0.01@900;alertdelay:2:30");
+  ASSERT_EQ(schedule.groups.size(), 1u);
+  EXPECT_EQ(schedule.groups[0].name, "edge");
+  EXPECT_EQ(schedule.groups[0].labels,
+            (std::vector<std::string>{"S0", "S1"}));
+  ASSERT_EQ(schedule.group_outages.size(), 2u);
+  EXPECT_TRUE(schedule.group_outages[0].group.empty());
+  EXPECT_EQ(schedule.group_outages[0].block, (Prefix{Ipv4{10, 0, 0, 0}, 8}));
+  EXPECT_DOUBLE_EQ(schedule.group_outages[0].down_at, 100.0);
+  EXPECT_DOUBLE_EQ(schedule.group_outages[0].up_at, 200.0);
+  EXPECT_EQ(schedule.group_outages[1].group, "edge");
+  EXPECT_TRUE(std::isinf(schedule.group_outages[1].up_at));
+  EXPECT_EQ(schedule.group_staggered.prefix_bits, 8);
+  EXPECT_DOUBLE_EQ(schedule.group_staggered.down_fraction, 0.25);
+  EXPECT_DOUBLE_EQ(schedule.group_staggered.horizon, 1000.0);
+  EXPECT_DOUBLE_EQ(schedule.gilbert.good_loss, 0.01);
+  EXPECT_DOUBLE_EQ(schedule.gilbert.bad_loss, 0.8);
+  EXPECT_DOUBLE_EQ(schedule.gilbert.enter_bad, 0.002);
+  EXPECT_DOUBLE_EQ(schedule.gilbert.exit_bad, 0.1);
+  EXPECT_DOUBLE_EQ(schedule.gilbert.tick_seconds, 2.5);
+  EXPECT_TRUE(schedule.gilbert.Active());
+  ASSERT_EQ(schedule.loss_profile.points.size(), 3u);
+  EXPECT_DOUBLE_EQ(schedule.loss_profile.period, 900.0);
+  EXPECT_TRUE(schedule.loss_profile.Active());
+  EXPECT_DOUBLE_EQ(schedule.alert_delay.min_delay, 2.0);
+  EXPECT_DOUBLE_EQ(schedule.alert_delay.max_delay, 30.0);
+  EXPECT_TRUE(schedule.alert_delay.Active());
+  EXPECT_FALSE(schedule.empty());
+  EXPECT_TRUE(schedule.HasDeliveryFaults());
+}
+
+TEST(FaultSpecV2Test, NamedGroupsAloneInjectNothing) {
+  // A `group:` directive only *names* a set; without a groupoutage keyed
+  // to it the schedule injects nothing and must stay bit-identity empty.
+  const FaultSchedule schedule = ParseFaultSpec("group:edge=S0,S1");
+  EXPECT_TRUE(schedule.empty());
+  EXPECT_FALSE(schedule.HasDeliveryFaults());
+}
+
+TEST(FaultSpecV2Test, DiagnosticsNameTokenAndByteOffset) {
+  // "bogus:1" starts at byte 10 of the spec below; the error must carry
+  // both the token and the offset so a bad clause deep inside a long
+  // --faults argument is findable without bisecting.
+  try {
+    (void)ParseFaultSpec("loss:0.01;bogus:1;dup:0.5");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& error) {
+    const std::string what = error.what();
+    EXPECT_NE(what.find("bogus:1"), std::string::npos) << what;
+    EXPECT_NE(what.find("at byte 10"), std::string::npos) << what;
+    EXPECT_NE(what.find(kFaultSchema), std::string::npos) << what;
+  }
+}
+
+TEST(FaultSpecV2Test, RejectsDuplicateScalarDirectives) {
+  // A silent last-wins overwrite turns a typo'd experiment into a
+  // different experiment; the duplicate diagnostic names both offsets.
+  try {
+    (void)ParseFaultSpec("loss:0.1;loss:0.2");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& error) {
+    const std::string what = error.what();
+    EXPECT_NE(what.find("duplicate \"loss\""), std::string::npos) << what;
+    EXPECT_NE(what.find("first at byte 0"), std::string::npos) << what;
+    EXPECT_NE(what.find("at byte 9"), std::string::npos) << what;
+  }
+  EXPECT_THROW((void)ParseFaultSpec("seed:1;seed:2"), std::invalid_argument);
+  EXPECT_THROW((void)ParseFaultSpec("outages:0.1:10;outages:0.2:10"),
+               std::invalid_argument);
+  EXPECT_THROW((void)ParseFaultSpec("dup:0.1;dup:0.1"),
+               std::invalid_argument);
+  EXPECT_THROW((void)ParseFaultSpec("trialfail:0.1;trialfail:0.1"),
+               std::invalid_argument);
+  EXPECT_THROW(
+      (void)ParseFaultSpec("gilbert:0:1:0.1:0.1;gilbert:0:1:0.1:0.1"),
+      std::invalid_argument);
+  EXPECT_THROW((void)ParseFaultSpec("profile:0=0.1;profile:0=0.2"),
+               std::invalid_argument);
+  EXPECT_THROW((void)ParseFaultSpec("alertdelay:1:2;alertdelay:1:2"),
+               std::invalid_argument);
+  EXPECT_THROW(
+      (void)ParseFaultSpec("groupoutages:8:0.1:10;groupoutages:8:0.1:10"),
+      std::invalid_argument);
+  EXPECT_THROW((void)ParseFaultSpec("group:g=A;group:g=B"),
+               std::invalid_argument);
+  // Repeatable directives stay repeatable.
+  EXPECT_NO_THROW(
+      (void)ParseFaultSpec("outage:A:1:2;outage:A:5:6;"
+                           "groupoutage:1.0.0.0/8:1:2;"
+                           "groupoutage:2.0.0.0/8:1:2"));
+}
+
+TEST(FaultSpecV2Test, RejectsMalformedV2Directives) {
+  EXPECT_THROW((void)ParseFaultSpec("group:=A"), std::invalid_argument);
+  EXPECT_THROW((void)ParseFaultSpec("group:g=A,,B"), std::invalid_argument);
+  EXPECT_THROW((void)ParseFaultSpec("groupoutage:10.0.0.0/8:5:5"),
+               std::invalid_argument);
+  EXPECT_THROW((void)ParseFaultSpec("groupoutage:@:1:2"),
+               std::invalid_argument);
+  EXPECT_THROW((void)ParseFaultSpec("groupoutage:junk:1:2"),
+               std::invalid_argument);
+  EXPECT_THROW((void)ParseFaultSpec("groupoutages:0:0.5:100"),
+               std::invalid_argument);
+  EXPECT_THROW((void)ParseFaultSpec("groupoutages:33:0.5:100"),
+               std::invalid_argument);
+  EXPECT_THROW((void)ParseFaultSpec("groupoutages:8:0.5:0"),
+               std::invalid_argument);
+  EXPECT_THROW((void)ParseFaultSpec("gilbert:0.1:0.2:0.3"),
+               std::invalid_argument);
+  EXPECT_THROW((void)ParseFaultSpec("gilbert:0.1:0.2:0.3:0.4:0"),
+               std::invalid_argument);
+  EXPECT_THROW((void)ParseFaultSpec("profile:5=0.1"), std::invalid_argument);
+  EXPECT_THROW((void)ParseFaultSpec("profile:0=0.1,100=0.2,100=0.3"),
+               std::invalid_argument);
+  EXPECT_THROW((void)ParseFaultSpec("profile:0=0.1,100=0.2@50"),
+               std::invalid_argument);
+  EXPECT_THROW((void)ParseFaultSpec("alertdelay:5:2"),
+               std::invalid_argument);
+  EXPECT_THROW((void)ParseFaultSpec("alertdelay:0:inf"),
+               std::invalid_argument);
+}
+
+TEST(LossProfileTest, PiecewiseEvaluationAndPeriodicWrap) {
+  const FaultSchedule schedule =
+      ParseFaultSpec("profile:0=0.01,300=0.2,600=0.01@900");
+  const LossProfile& profile = schedule.loss_profile;
+  EXPECT_DOUBLE_EQ(profile.LossAt(0.0), 0.01);
+  EXPECT_DOUBLE_EQ(profile.LossAt(299.0), 0.01);
+  EXPECT_DOUBLE_EQ(profile.LossAt(300.0), 0.2);   // Knot is inclusive.
+  EXPECT_DOUBLE_EQ(profile.LossAt(599.0), 0.2);
+  EXPECT_DOUBLE_EQ(profile.LossAt(600.0), 0.01);
+  EXPECT_DOUBLE_EQ(profile.LossAt(899.0), 0.01);
+  EXPECT_DOUBLE_EQ(profile.LossAt(900.0), 0.01);   // Wraps to t = 0.
+  EXPECT_DOUBLE_EQ(profile.LossAt(1200.0), 0.2);   // 1200 mod 900 = 300.
+  EXPECT_DOUBLE_EQ(LossProfile{}.LossAt(5.0), 0.0);
+}
+
+TEST(GroupStaggeredOutagesTest, MembersShareWindowsAndDrawsAreByGroup) {
+  // Three sensors in group 10, one in group 20: the trio shares ONE
+  // window, and group 20's window is the same whether the fleet carries
+  // one or three sensors of group 10 — draws are per *group*, in
+  // ascending key order, never per sensor.
+  const auto windows =
+      GroupStaggeredOutages({10, 10, 20, 10}, 1000.0, 0.25, 42);
+  ASSERT_EQ(windows.size(), 4u);
+  EXPECT_DOUBLE_EQ(windows[0].down_at, windows[1].down_at);
+  EXPECT_DOUBLE_EQ(windows[0].down_at, windows[3].down_at);
+  EXPECT_NE(windows[0].down_at, windows[2].down_at);
+  for (const OutageWindow& window : windows) {
+    EXPECT_DOUBLE_EQ(window.up_at - window.down_at, 250.0);
+    EXPECT_GE(window.down_at, 0.0);
+    EXPECT_LE(window.up_at, 1000.0);
+  }
+  const auto fewer = GroupStaggeredOutages({10, 20}, 1000.0, 0.25, 42);
+  ASSERT_EQ(fewer.size(), 2u);
+  EXPECT_DOUBLE_EQ(fewer[0].down_at, windows[0].down_at);
+  EXPECT_DOUBLE_EQ(fewer[1].down_at, windows[2].down_at);
+  // Deterministic in (keys, seed); a different seed draws elsewhere.
+  const auto again = GroupStaggeredOutages({10, 10, 20, 10}, 1000.0, 0.25, 42);
+  for (std::size_t i = 0; i < windows.size(); ++i) {
+    EXPECT_DOUBLE_EQ(windows[i].down_at, again[i].down_at);
+  }
+  const auto other = GroupStaggeredOutages({10, 20}, 1000.0, 0.25, 43);
+  EXPECT_NE(fewer[0].down_at, other[0].down_at);
+  EXPECT_TRUE(GroupStaggeredOutages({}, 1000.0, 0.25, 42).empty());
+}
+
+TEST(ApplySensorOutagesTest, GroupOutagesByPrefixNameAndStagger) {
+  telescope::Telescope fleet;
+  const int a = fleet.AddSensor("A", Prefix{Ipv4{10, 1, 0, 0}, 24});
+  const int b = fleet.AddSensor("B", Prefix{Ipv4{10, 2, 0, 0}, 24});
+  const int c = fleet.AddSensor("C", Prefix{Ipv4{20, 1, 0, 0}, 24});
+  fleet.Build();
+
+  // Prefix-keyed: 10/8 darkens A and B together, never C.
+  FaultSchedule schedule = ParseFaultSpec("groupoutage:10.0.0.0/8:100:200");
+  EXPECT_EQ(ApplySensorOutages(schedule, fleet), 2);
+  EXPECT_TRUE(fleet.sensor(a).InOutage(150.0));
+  EXPECT_TRUE(fleet.sensor(b).InOutage(150.0));
+  EXPECT_FALSE(fleet.sensor(c).InOutage(150.0));
+
+  // Named-set keyed: @pair picks exactly A and C.
+  telescope::Telescope fleet2;
+  fleet2.AddSensor("A", Prefix{Ipv4{10, 1, 0, 0}, 24});
+  fleet2.AddSensor("B", Prefix{Ipv4{10, 2, 0, 0}, 24});
+  fleet2.AddSensor("C", Prefix{Ipv4{20, 1, 0, 0}, 24});
+  fleet2.Build();
+  schedule = ParseFaultSpec("group:pair=A,C;groupoutage:@pair:5:15");
+  EXPECT_EQ(ApplySensorOutages(schedule, fleet2), 2);
+  EXPECT_TRUE(fleet2.sensor(0).InOutage(10.0));
+  EXPECT_FALSE(fleet2.sensor(1).InOutage(10.0));
+  EXPECT_TRUE(fleet2.sensor(2).InOutage(10.0));
+
+  // Correlated stagger at /8: A and B share one window, C draws its own;
+  // every sensor still gets exactly fraction * horizon of darkness.
+  telescope::Telescope fleet3;
+  const int a3 = fleet3.AddSensor("A", Prefix{Ipv4{10, 1, 0, 0}, 24});
+  const int b3 = fleet3.AddSensor("B", Prefix{Ipv4{10, 2, 0, 0}, 24});
+  const int c3 = fleet3.AddSensor("C", Prefix{Ipv4{20, 1, 0, 0}, 24});
+  fleet3.Build();
+  schedule = ParseFaultSpec("groupoutages:8:0.5:1000");
+  EXPECT_EQ(ApplySensorOutages(schedule, fleet3), 3);
+  EXPECT_DOUBLE_EQ(fleet3.sensor(a3).DownSeconds(1000.0), 500.0);
+  EXPECT_DOUBLE_EQ(fleet3.sensor(b3).DownSeconds(1000.0), 500.0);
+  EXPECT_DOUBLE_EQ(fleet3.sensor(c3).DownSeconds(1000.0), 500.0);
+  for (double t = 0.0; t < 1000.0; t += 10.0) {
+    EXPECT_EQ(fleet3.sensor(a3).InOutage(t), fleet3.sensor(b3).InOutage(t))
+        << "A and B share a /8 and must be dark together at t=" << t;
+  }
+}
+
+TEST(ApplySensorOutagesTest, GroupOutageErrorsAreLoud) {
+  telescope::Telescope fleet;
+  fleet.AddSensor("A", Prefix{Ipv4{10, 1, 0, 0}, 24});
+  fleet.Build();
+  // Undefined named group.
+  FaultSchedule schedule = ParseFaultSpec("groupoutage:@nope:1:2");
+  EXPECT_THROW((void)ApplySensorOutages(schedule, fleet),
+               std::invalid_argument);
+  // Defined group naming an unknown sensor.
+  schedule = ParseFaultSpec("group:g=A,ghost;groupoutage:@g:1:2");
+  EXPECT_THROW((void)ApplySensorOutages(schedule, fleet),
+               std::invalid_argument);
+  // Prefix key containing no sensor — a silently empty correlated outage
+  // would make the experiment lie about its darkness.
+  schedule = ParseFaultSpec("groupoutage:99.0.0.0/8:1:2");
+  EXPECT_THROW((void)ApplySensorOutages(schedule, fleet),
+               std::invalid_argument);
+}
+
 }  // namespace
 }  // namespace hotspots::fault

@@ -188,6 +188,105 @@ TEST(ServeFoldTest, BackpressurePausesAtCapAndResumes) {
   EXPECT_EQ(fold.sequence_gaps(), 0u);
 }
 
+/// Crash/rejoin degradation: a client dies mid-stripe and a new
+/// connection (new slot) resumes with overlap around the low-water mark.
+/// The duplicates must be counted and dropped — never folded twice, never
+/// charged against the new slot's queue depth — and the final state must
+/// equal the serial replay of the unique stream exactly.
+TEST(ServeFoldTest, CrashAndRejoinWithOverlapFoldsExactlyOnce) {
+  const auto blocks = MakeBlocks(10, 20);
+  Telescope reference = MakeTelescope();
+  FoldReference(reference, blocks);
+
+  Telescope folded = MakeTelescope();
+  FoldPipeline fold{folded};
+  fold.Start();
+  const std::uint32_t crashed = fold.RegisterSlot();
+  // First attempt delivers 0..5, then the socket dies (no FIN).
+  for (std::size_t i = 0; i < 6; ++i) fold.Submit(crashed, i, blocks[i]);
+  fold.AbandonSlot(crashed);
+
+  // The rejoined connection read a low-water mark somewhere <= 6 and
+  // resends from 3: sequences 3..5 are overlap, 6..9 are new.
+  const std::uint32_t rejoined = fold.RegisterSlot();
+  for (std::size_t i = 3; i < blocks.size(); ++i) {
+    fold.Submit(rejoined, i, blocks[i]);
+  }
+  fold.FinishSlot(rejoined);
+  fold.Drain();
+
+  EXPECT_EQ(fold.records_folded(), 10u * 20u);
+  EXPECT_EQ(fold.blocks_folded(), 10u);
+  EXPECT_EQ(fold.sequence_gaps(), 0u);
+  EXPECT_EQ(fold.duplicate_blocks(), 3u);
+  EXPECT_EQ(fold.committed_low_water(), 10u);
+  ExpectSameSensorState(folded, reference);
+}
+
+/// A duplicate of a sequence that is still *queued* (not yet folded) must
+/// also be dropped, without inflating the submitting slot's depth — a
+/// leaked depth count would wedge back-pressure forever.
+TEST(ServeFoldTest, DuplicateOfQueuedSequenceDoesNotLeakDepth) {
+  const auto blocks = MakeBlocks(4, 10);
+  Telescope folded = MakeTelescope();
+  FoldOptions options;
+  options.max_slot_depth = 3;
+  FoldPipeline fold{folded, options};
+  fold.Start();
+  const std::uint32_t slot = fold.RegisterSlot();
+
+  // Withhold 0 so nothing folds; queue 1 and 2, then re-submit both.
+  EXPECT_TRUE(fold.Submit(slot, 1, blocks[1]));
+  EXPECT_TRUE(fold.Submit(slot, 2, blocks[2]));
+  EXPECT_TRUE(fold.Submit(slot, 1, blocks[1]));  // Duplicate: dropped.
+  EXPECT_TRUE(fold.Submit(slot, 2, blocks[2]));  // Duplicate: dropped.
+  // Depth is 2, not 4: one more unique submission reaches the cap (3)
+  // exactly now, not earlier.
+  EXPECT_FALSE(fold.Submit(slot, 3, blocks[3]));
+
+  fold.Submit(slot, 0, blocks[0]);
+  fold.FinishSlot(slot);
+  fold.Drain();
+  EXPECT_EQ(fold.duplicate_blocks(), 2u);
+  EXPECT_EQ(fold.records_folded(), 4u * 10u);
+  EXPECT_EQ(fold.blocks_folded(), 4u);
+}
+
+/// Gap accounting is exact: K sequences that never arrive are charged as
+/// K gaps (not one step-over event), so `serve.ingest.sequence_gaps`
+/// reconciles against the sender's ledger block for block.
+TEST(ServeFoldTest, GapCountEqualsMissingSequencesExactly) {
+  Telescope folded = MakeTelescope();
+  FoldOptions options;
+  options.gap_timeout_seconds = 0.05;
+  FoldPipeline fold{folded, options};
+  fold.Start();
+  const std::uint32_t slot = fold.RegisterSlot();
+
+  const auto blocks = MakeBlocks(8, 10);
+  // Sequences 1, 2, 3 and then 6 never arrive: exactly 4 lost blocks.
+  fold.Submit(slot, 0, blocks[0]);
+  fold.Submit(slot, 4, blocks[4]);
+  fold.Submit(slot, 5, blocks[5]);
+  fold.Submit(slot, 7, blocks[7]);
+  fold.FinishSlot(slot);
+
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (fold.blocks_folded() < 4u &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  fold.Drain();
+  EXPECT_EQ(fold.blocks_folded(), 4u);
+  EXPECT_EQ(fold.sequence_gaps(), 4u);
+  EXPECT_EQ(fold.committed_low_water(), 8u);
+  // A block for a stepped-over sequence arriving *after* the fact is a
+  // duplicate, not a new fold: the state already moved past it.
+  // (Submit after Drain would race the joined thread; the pin above on
+  // sequence_gaps + low-water is the contract.)
+}
+
 TEST(ServeFoldTest, GapTimeoutStepsOverMissingSequence) {
   Telescope folded = MakeTelescope();
   FoldOptions options;

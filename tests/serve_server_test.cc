@@ -214,11 +214,93 @@ TEST_P(ServeServerTest, FingerprintMismatchRejectsFeed) {
   LoadOptions load;
   load.port = server.port();
   load.connections = 2;
-  EXPECT_THROW((void)RunLoad(corpus, load), std::runtime_error);
+  load.max_attempts = 5;  // A refusal must NOT burn retries: it is final.
+  try {
+    (void)RunLoad(corpus, load);
+    FAIL() << "RunLoad accepted a mismatched-fingerprint session";
+  } catch (const std::runtime_error& error) {
+    // The client surfaces the server's in-band ERROR reason verbatim —
+    // not a bare EPIPE — so operators see *why* admission failed.
+    const std::string what = error.what();
+    EXPECT_NE(what.find("server refused the session"), std::string::npos)
+        << what;
+    EXPECT_NE(what.find("scenario fingerprint"), std::string::npos) << what;
+  }
 
   server.RequestShutdown();
   server_thread.join();
   EXPECT_EQ(server.fold().records_folded(), 0u);
+}
+
+/// The chaos acceptance pin: deterministic injected socket faults —
+/// mid-frame disconnects, hard resets, fragmented writes — with
+/// reconnect-with-resume must leave the folded analysis state
+/// *bit-identical* to the clean embedded replay, with every unrecovered
+/// loss (here: none) accounted in sequence_gaps.
+TEST_P(ServeServerTest, ChaosCutsWithReconnectResumeFoldExactly) {
+  const std::string corpus_path = WriteCorpus();
+
+  Stack reference;
+  const auto summary = trace::ReplayFile(corpus_path, reference.tee);
+  ASSERT_EQ(summary.records, 6000u);
+
+  Stack served;
+  ServerOptions options;
+  options.force_poll = GetParam();
+  options.enforce_fingerprint = true;
+  options.expected_fingerprint = kFingerprint;
+  // Keep the gap timeout far above the reconnect backoff so a killed
+  // stripe always resumes before the fold steps over its sequences —
+  // losses here must be *recovered*, not written off.
+  options.fold.gap_timeout_seconds = 60.0;
+  TelescopeServer server{served.tee, options};
+  server.set_alert_probe([&] { return served.sensors.AlertedCount() > 0; });
+  server.Bind();
+  std::thread server_thread{[&] { server.Run(); }};
+
+  CorpusIndex corpus{corpus_path};
+  LoadOptions load;
+  load.port = server.port();
+  load.connections = 8;
+  load.max_attempts = 64;
+  load.backoff_base_seconds = 0.005;
+  load.backoff_cap_seconds = 0.05;
+  load.chaos = ParseChaosSpec(
+      "seed:1311;disconnect:0.12;reset:0.05;shortwrite:0.25");
+  const LoadReport report = RunLoad(corpus, load);
+  // The spec is deterministic: this seed provably injects kills (pinned
+  // so a silently disabled shim cannot pass as a trivially clean run).
+  EXPECT_GT(report.chaos_cuts, 0u);
+  EXPECT_GE(report.reconnects, report.chaos_cuts);
+
+  // Every record reached the fold exactly once despite the carnage.
+  EXPECT_EQ(server.fold().records_folded(), 6000u);
+  EXPECT_EQ(server.fold().sequence_gaps(), 0u);
+
+  server.RequestShutdown();
+  server_thread.join();
+
+  const auto& ref_sensor = reference.sensors.sensor(0);
+  const auto& got_sensor = served.sensors.sensor(0);
+  EXPECT_EQ(got_sensor.probe_count(), ref_sensor.probe_count());
+  EXPECT_EQ(got_sensor.UniqueSourceCount(), ref_sensor.UniqueSourceCount());
+  ASSERT_EQ(got_sensor.alerted(), ref_sensor.alerted());
+  if (ref_sensor.alerted()) {
+    EXPECT_EQ(*got_sensor.alert_time(), *ref_sensor.alert_time());
+  }
+  EXPECT_EQ(served.trw.probes_seen(), reference.trw.probes_seen());
+  ASSERT_EQ(served.trw.first_alert_time().has_value(),
+            reference.trw.first_alert_time().has_value());
+  if (reference.trw.first_alert_time().has_value()) {
+    EXPECT_EQ(*served.trw.first_alert_time(),
+              *reference.trw.first_alert_time());
+  }
+  EXPECT_EQ(served.prevalence.alert_time().has_value(),
+            reference.prevalence.alert_time().has_value());
+  if (reference.prevalence.alert_time().has_value()) {
+    EXPECT_EQ(*served.prevalence.alert_time(),
+              *reference.prevalence.alert_time());
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(Pollers, ServeServerTest, ::testing::Bool(),

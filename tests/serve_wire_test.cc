@@ -242,6 +242,53 @@ TEST(ServeWireTest, ParseHelloRejectsBadMagicVersionAndFanout) {
       IngestError);
 }
 
+TEST(ServeWireTest, HelloFlagsRoundTripAndLegacyZero) {
+  const auto trace_header = FakeTraceHeader();
+  // Legacy encoder (no flags argument): byte [20..24) stays zero, and the
+  // parser reports flags == 0 — the original fire-and-forget flow.
+  std::vector<std::uint8_t> legacy;
+  AppendHello(legacy, 1, 4, trace_header);
+  FrameParser parser;
+  parser.Feed(legacy);
+  Frame frame;
+  ASSERT_TRUE(parser.Next(frame));
+  EXPECT_EQ(ParseHello(frame.payload).flags, 0u);
+
+  std::vector<std::uint8_t> flagged;
+  AppendHello(flagged, 1, 4, trace_header, kHelloFlagAwaitWindow);
+  parser.Feed(flagged);
+  ASSERT_TRUE(parser.Next(frame));
+  const Hello hello = ParseHello(frame.payload);
+  EXPECT_EQ(hello.flags, kHelloFlagAwaitWindow);
+  EXPECT_EQ(hello.connection, 1u);
+  EXPECT_EQ(hello.fanout, 4u);
+}
+
+TEST(ServeWireTest, ProgressAndErrorFramesRoundTrip) {
+  std::vector<std::uint8_t> bytes;
+  AppendProgress(bytes, /*low_water=*/0xABCDEF0123ull);
+  AppendError(bytes, "ingest: scenario fingerprint 9 does not match");
+  FrameParser parser;
+  parser.Feed(bytes);
+  Frame frame;
+  ASSERT_TRUE(parser.Next(frame));
+  EXPECT_EQ(frame.header.type,
+            static_cast<std::uint32_t>(FrameType::kProgress));
+  EXPECT_EQ(frame.header.sequence, 0xABCDEF0123ull);
+  EXPECT_TRUE(frame.payload.empty());
+  ASSERT_TRUE(parser.Next(frame));
+  EXPECT_EQ(frame.header.type, static_cast<std::uint32_t>(FrameType::kError));
+  const std::string reason(frame.payload.begin(), frame.payload.end());
+  EXPECT_EQ(reason, "ingest: scenario fingerprint 9 does not match");
+
+  // Oversized reasons truncate at the encoder; the wire stays bounded.
+  std::vector<std::uint8_t> big;
+  AppendError(big, std::string(4096, 'x'));
+  parser.Feed(big);
+  ASSERT_TRUE(parser.Next(frame));
+  EXPECT_EQ(frame.payload.size(), kMaxErrorPayloadBytes);
+}
+
 TEST(ServeWireTest, BuildConnectionTrailerShape) {
   const auto trailer = BuildConnectionTrailer(/*records=*/1000, /*blocks=*/3,
                                               /*last_time_bits=*/0xDEADBEEFu);

@@ -3,7 +3,9 @@
 // them, so a usage error must be 2 with a one-line diagnostic — never a
 // parse backtrace or an ambiguous 1.  Covered here: perf_report's
 // --timeseries argument with a missing and with a truncated sidecar
-// (the ISSUE 9 satellite).
+// (the ISSUE 9 satellite), and telescope_load's exit-1 one-liner when
+// the daemon refuses its HELLO (fingerprint admission).
+#include <csignal>
 #include <sys/wait.h>
 #include <unistd.h>
 
@@ -12,13 +14,25 @@
 #include <cstdlib>
 #include <fstream>
 #include <string>
+#include <vector>
 
 #include <gtest/gtest.h>
+
+#include "net/ipv4.h"
+#include "sim/observer.h"
+#include "topology/reachability.h"
+#include "trace/writer.h"
 
 namespace {
 
 #ifndef PERF_REPORT_PATH
 #error "PERF_REPORT_PATH must point at the built perf_report binary"
+#endif
+#ifndef TELESCOPE_SERVER_PATH
+#error "TELESCOPE_SERVER_PATH must point at the built telescope_server binary"
+#endif
+#ifndef TELESCOPE_LOAD_PATH
+#error "TELESCOPE_LOAD_PATH must point at the built telescope_load binary"
 #endif
 
 /// Scratch path unique to this test process: ctest -j runs each case in
@@ -80,6 +94,83 @@ TEST(PerfReportCliTest, TruncatedTimeseriesExitsTwoWithOneLineError) {
                                 err);
   EXPECT_EQ(status, 2) << err;
   EXPECT_NE(err.find("perf_report: --timeseries"), std::string::npos) << err;
+  EXPECT_EQ(std::count(err.begin(), err.end(), '\n'), 1) << err;
+}
+
+/// A tiny but valid ingest corpus stamped with `fingerprint`, so the
+/// refusal under test is the admission check — not a parse failure.
+std::string WriteRefusalCorpus(std::uint64_t fingerprint) {
+  const std::string path = Scratch("refusal.trace");
+  hotspots::trace::TraceWriterOptions options;
+  options.scenario_fingerprint = fingerprint;
+  options.seed = 7;
+  options.block_records = 64;
+  hotspots::trace::TraceWriter writer{path, options};
+  writer.OnAttach();
+  std::vector<hotspots::sim::ProbeEvent> events;
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    hotspots::sim::ProbeEvent event;
+    event.time = 0.01 * static_cast<double>(i);
+    event.src_host = i % 17;
+    event.src_address = hotspots::net::Ipv4{0xC6000000u + i * 131u};
+    event.dst = hotspots::net::Ipv4{(10u << 24) | i};
+    event.delivery = hotspots::topology::Delivery::kDelivered;
+    events.push_back(event);
+  }
+  writer.OnProbeBatch(events);
+  writer.Finish();
+  return path;
+}
+
+TEST(TelescopeLoadCliTest, HelloRefusalExitsOneWithServerReason) {
+  // Scripted harnesses branch on telescope_load's exit code, so an
+  // in-band admission refusal must be a clean exit 1 carrying the
+  // *server's* one-line reason — never a hang, a retry storm, or an
+  // opaque socket error.  The corpus is stamped 7777 while the daemon
+  // demands 12345.
+  const std::string corpus = WriteRefusalCorpus(7777);
+  const std::string log = Scratch("server.log");
+  const std::string pid_path = Scratch("server.pid");
+  ASSERT_EQ(std::system((std::string(TELESCOPE_SERVER_PATH) +
+                         " --sensors 10.0.0.0/24 --expect-fingerprint 12345 > " +
+                         log + " 2>&1 & echo $! > " + pid_path)
+                            .c_str()),
+            0);
+  int pid = 0;
+  {
+    std::ifstream in{pid_path};
+    in >> pid;
+  }
+  ASSERT_GT(pid, 0);
+
+  // The daemon binds an ephemeral port and prints it; poll the log.
+  int port = 0;
+  for (int attempt = 0; attempt < 200 && port == 0; ++attempt) {
+    std::ifstream in{log};
+    std::string line;
+    while (std::getline(in, line)) {
+      const auto at = line.find("listening on port ");
+      if (at != std::string::npos) {
+        port = std::atoi(line.c_str() + at + 18);
+        break;
+      }
+    }
+    if (port == 0) ::usleep(50 * 1000);
+  }
+  ASSERT_GT(port, 0) << "telescope_server never reported its port";
+
+  // --retries must NOT turn a refusal into a retry loop: the server's
+  // answer is final, and the client must fail fast exactly once.
+  std::string err;
+  const int status = RunCapture(std::string(TELESCOPE_LOAD_PATH) + " " +
+                                    corpus + " --port " +
+                                    std::to_string(port) + " --retries 5",
+                                err);
+  ::kill(pid, SIGKILL);
+  EXPECT_EQ(status, 1) << err;
+  EXPECT_NE(err.find("telescope_load: "), std::string::npos) << err;
+  EXPECT_NE(err.find("server refused the session"), std::string::npos) << err;
+  EXPECT_NE(err.find("scenario fingerprint"), std::string::npos) << err;
   EXPECT_EQ(std::count(err.begin(), err.end(), '\n'), 1) << err;
 }
 

@@ -3,6 +3,7 @@
 //
 //   telescope_load FILE --port N [--host ADDR] [--connections N]
 //                  [--rate RECORDS_PER_SEC] [--loop N]
+//                  [--retries N] [--chaos SPEC]
 //
 // The corpus is indexed into raw block spans (never re-encoded) and
 // striped over N concurrent connections — connection c carries blocks
@@ -13,6 +14,14 @@
 // back-to-back with monotonically rising sequences.  Exits 0 once every
 // connection's FIN has been ACKed, i.e. once the daemon has folded
 // every record sent.
+//
+// --retries N allows each connection up to N attempts: a broken socket
+// reconnects with exponential backoff and resumes from the server's
+// committed low-water mark.  --chaos SPEC (see src/serve/chaos.h, e.g.
+// "seed:7;disconnect:0.05;shortwrite:0.2") injects deterministic socket
+// faults into this client's own writes — the chaos-testing harness.
+// Exits 1 with the server's own one-line reason when the daemon refuses
+// the session (scenario-fingerprint mismatch).
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
@@ -27,7 +36,8 @@ namespace {
 int Usage() {
   std::fprintf(stderr,
                "usage: telescope_load FILE --port N [--host ADDR]\n"
-               "  [--connections N] [--rate RECORDS_PER_SEC] [--loop N]\n");
+               "  [--connections N] [--rate RECORDS_PER_SEC] [--loop N]\n"
+               "  [--retries N] [--chaos SPEC]\n");
   return 2;
 }
 
@@ -65,6 +75,16 @@ int main(int argc, char** argv) {
     } else if (std::strcmp(argv[i], "--loop") == 0) {
       options.loops =
           static_cast<std::uint32_t>(std::strtoul(next(), nullptr, 10));
+    } else if (std::strcmp(argv[i], "--retries") == 0) {
+      options.max_attempts =
+          static_cast<std::uint32_t>(std::strtoul(next(), nullptr, 10));
+    } else if (std::strcmp(argv[i], "--chaos") == 0) {
+      try {
+        options.chaos = serve::ParseChaosSpec(next());
+      } catch (const std::exception& error) {
+        std::fprintf(stderr, "telescope_load: %s\n", error.what());
+        return 2;
+      }
     } else if (path.empty()) {
       path = argv[i];
     } else {
@@ -91,6 +111,11 @@ int main(int argc, char** argv) {
     if (!lat.empty()) {
       std::printf("fin-to-ack latency: p50 %.6f s, max %.6f s\n",
                   lat[lat.size() / 2], lat.back());
+    }
+    if (report.reconnects > 0 || report.chaos_cuts > 0) {
+      std::printf("chaos: %llu injected cuts, %llu reconnects\n",
+                  static_cast<unsigned long long>(report.chaos_cuts),
+                  static_cast<unsigned long long>(report.reconnects));
     }
     std::printf("all connections acked\n");
     return 0;

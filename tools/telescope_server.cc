@@ -5,6 +5,7 @@
 //                    [--alert-threshold N] [--trw LIVE_CIDR[,CIDR...]]
 //                    [--prevalence] [--poller poll]
 //                    [--drain-timeout SECONDS] [--metrics-out PATH]
+//                    [--expect-fingerprint N]
 //
 // Accepts `hotspots.ingest.v1` streams (see EXPERIMENTS.md) from any
 // number of concurrent feeds — telescope_load, or a future live capture
@@ -54,7 +55,7 @@ int Usage() {
                "  [--sensors CIDR[,CIDR...] | --ims] [--alert-threshold N]\n"
                "  [--trw LIVE_CIDR[,CIDR...]] [--prevalence]\n"
                "  [--poller poll] [--drain-timeout SECONDS]\n"
-               "  [--metrics-out PATH]\n");
+               "  [--metrics-out PATH] [--expect-fingerprint N]\n");
   return 2;
 }
 
@@ -116,6 +117,11 @@ int main(int argc, char** argv) {
       use_prevalence = true;
     } else if (std::strcmp(argv[i], "--poller") == 0) {
       options.force_poll = std::strcmp(next(), "poll") == 0;
+    } else if (std::strcmp(argv[i], "--expect-fingerprint") == 0) {
+      // Session admission: refuse any HELLO whose embedded trace header
+      // carries a different scenario fingerprint (decimal u64).
+      options.enforce_fingerprint = true;
+      options.expected_fingerprint = std::strtoull(next(), nullptr, 10);
     } else if (std::strcmp(argv[i], "--drain-timeout") == 0) {
       const auto seconds = bench::ParseDouble(next());
       if (!seconds || *seconds <= 0.0) {
@@ -203,10 +209,11 @@ int main(int argc, char** argv) {
 
   const serve::FoldPipeline& fold = server.fold();
   std::printf("drained: %llu records in %llu blocks folded, %llu sequence "
-              "gaps\n",
+              "gaps, %llu duplicate blocks\n",
               static_cast<unsigned long long>(fold.records_folded()),
               static_cast<unsigned long long>(fold.blocks_folded()),
-              static_cast<unsigned long long>(fold.sequence_gaps()));
+              static_cast<unsigned long long>(fold.sequence_gaps()),
+              static_cast<unsigned long long>(fold.duplicate_blocks()));
   if (have_sensors) {
     for (std::size_t i = 0; i < sensors.size(); ++i) {
       const auto& sensor = sensors.sensor(static_cast<int>(i));
